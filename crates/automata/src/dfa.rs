@@ -1,0 +1,710 @@
+//! Deterministic finite automata: subset construction, Hopcroft
+//! minimization, Boolean combinations and the decision procedures
+//! (emptiness, inclusion, equivalence) that make Corollary 3.3 effective.
+
+use crate::nfa::{Nfa, StateId};
+use std::collections::HashMap;
+
+/// A *complete* DFA over the alphabet `0..num_symbols`: every state has
+/// exactly one successor per symbol (a sink state is materialized when
+/// needed).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Dfa {
+    num_symbols: u32,
+    /// Row-major transition table: `trans[q * num_symbols + s]`.
+    trans: Vec<u32>,
+    accept: Vec<bool>,
+    start: u32,
+}
+
+impl Dfa {
+    /// Alphabet size.
+    #[must_use]
+    pub fn num_symbols(&self) -> u32 {
+        self.num_symbols
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// The start state.
+    #[must_use]
+    pub fn start(&self) -> u32 {
+        self.start
+    }
+
+    /// The successor of `q` on `sym`.
+    #[must_use]
+    pub fn step(&self, q: u32, sym: u32) -> u32 {
+        self.trans[q as usize * self.num_symbols as usize + sym as usize]
+    }
+
+    /// Whether `q` accepts.
+    #[must_use]
+    pub fn is_accepting(&self, q: u32) -> bool {
+        self.accept[q as usize]
+    }
+
+    /// The DFA accepting the empty language.
+    #[must_use]
+    pub fn empty_language(num_symbols: u32) -> Dfa {
+        Dfa {
+            num_symbols,
+            trans: vec![0; num_symbols as usize],
+            accept: vec![false],
+            start: 0,
+        }
+    }
+
+    /// The DFA accepting every word.
+    #[must_use]
+    pub fn universal(num_symbols: u32) -> Dfa {
+        Dfa {
+            num_symbols,
+            trans: vec![0; num_symbols as usize],
+            accept: vec![true],
+            start: 0,
+        }
+    }
+
+    /// Subset construction (ε-closures handled).
+    #[must_use]
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        let ns = nfa.num_symbols();
+        let mut ids: HashMap<Vec<StateId>, u32> = HashMap::new();
+        let mut subsets: Vec<Vec<StateId>> = Vec::new();
+        let mut trans: Vec<u32> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+
+        let start_set = nfa.eps_closure(nfa.starts());
+        ids.insert(start_set.clone(), 0);
+        subsets.push(start_set);
+        let mut next_unprocessed = 0usize;
+        while next_unprocessed < subsets.len() {
+            let set = subsets[next_unprocessed].clone();
+            next_unprocessed += 1;
+            accept.push(set.iter().any(|&q| nfa.is_accepting(q)));
+            for sym in 0..ns {
+                let mut moved: Vec<StateId> = Vec::new();
+                for &q in &set {
+                    for (s, t) in nfa.transitions(q) {
+                        if s == sym && !moved.contains(&t) {
+                            moved.push(t);
+                        }
+                    }
+                }
+                let closed = nfa.eps_closure(&moved);
+                let id = match ids.get(&closed) {
+                    Some(&id) => id,
+                    None => {
+                        let id = subsets.len() as u32;
+                        ids.insert(closed.clone(), id);
+                        subsets.push(closed);
+                        id
+                    }
+                };
+                trans.push(id);
+            }
+        }
+        Dfa { num_symbols: ns, trans, accept, start: 0 }
+    }
+
+    /// Build directly from parts (used by product constructions).
+    #[must_use]
+    pub fn from_parts(num_symbols: u32, trans: Vec<u32>, accept: Vec<bool>, start: u32) -> Dfa {
+        debug_assert_eq!(trans.len(), accept.len() * num_symbols as usize);
+        Dfa { num_symbols, trans, accept, start }
+    }
+
+    /// Run the DFA on a word.
+    #[must_use]
+    pub fn accepts(&self, word: &[u32]) -> bool {
+        let mut q = self.start;
+        for &s in word {
+            q = self.step(q, s);
+        }
+        self.accept[q as usize]
+    }
+
+    /// Whether the language is empty.
+    #[must_use]
+    pub fn is_empty_language(&self) -> bool {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(q) = stack.pop() {
+            if self.accept[q as usize] {
+                return false;
+            }
+            for s in 0..self.num_symbols {
+                let t = self.step(q, s);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Complement (flip acceptance — the DFA is complete).
+    #[must_use]
+    pub fn complement(&self) -> Dfa {
+        Dfa {
+            num_symbols: self.num_symbols,
+            trans: self.trans.clone(),
+            accept: self.accept.iter().map(|&a| !a).collect(),
+            start: self.start,
+        }
+    }
+
+    /// Product construction with a Boolean combiner.
+    #[must_use]
+    pub fn product(&self, other: &Dfa, combine: &dyn Fn(bool, bool) -> bool) -> Dfa {
+        assert_eq!(
+            self.num_symbols, other.num_symbols,
+            "product requires identical alphabets"
+        );
+        let ns = self.num_symbols;
+        let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut order: Vec<(u32, u32)> = Vec::new();
+        let mut trans: Vec<u32> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let start = (self.start, other.start);
+        ids.insert(start, 0);
+        order.push(start);
+        let mut i = 0usize;
+        while i < order.len() {
+            let (a, b) = order[i];
+            i += 1;
+            accept.push(combine(self.accept[a as usize], other.accept[b as usize]));
+            for s in 0..ns {
+                let pair = (self.step(a, s), other.step(b, s));
+                let id = match ids.get(&pair) {
+                    Some(&id) => id,
+                    None => {
+                        let id = order.len() as u32;
+                        ids.insert(pair, id);
+                        order.push(pair);
+                        id
+                    }
+                };
+                trans.push(id);
+            }
+        }
+        Dfa { num_symbols: ns, trans, accept, start: 0 }
+    }
+
+    /// Intersection.
+    #[must_use]
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, &|a, b| a && b)
+    }
+
+    /// Union.
+    #[must_use]
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, &|a, b| a || b)
+    }
+
+    /// Difference `L(self) − L(other)`.
+    #[must_use]
+    pub fn difference(&self, other: &Dfa) -> Dfa {
+        self.product(other, &|a, b| a && !b)
+    }
+
+    /// Language inclusion `L(self) ⊆ L(other)` — the decision procedure
+    /// behind "Σ *satisfies* an inventory" (Corollary 3.3).
+    #[must_use]
+    pub fn is_subset_of(&self, other: &Dfa) -> bool {
+        self.difference(other).is_empty_language()
+    }
+
+    /// Language equivalence.
+    #[must_use]
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        self.is_subset_of(other) && other.is_subset_of(self)
+    }
+
+    /// A word in `L(self) − L(other)`, if any (diagnostic counterexample).
+    #[must_use]
+    pub fn witness_not_subset(&self, other: &Dfa) -> Option<Vec<u32>> {
+        self.difference(other).shortest_accepted()
+    }
+
+    /// A shortest accepted word, if the language is non-empty (BFS).
+    #[must_use]
+    pub fn shortest_accepted(&self) -> Option<Vec<u32>> {
+        let n = self.num_states();
+        let mut prev: Vec<Option<(u32, u32)>> = vec![None; n]; // (pred state, symbol)
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(self.start);
+        seen[self.start as usize] = true;
+        let mut goal = None;
+        if self.accept[self.start as usize] {
+            goal = Some(self.start);
+        }
+        'bfs: while let Some(q) = queue.pop_front() {
+            if goal.is_some() {
+                break;
+            }
+            for s in 0..self.num_symbols {
+                let t = self.step(q, s);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    prev[t as usize] = Some((q, s));
+                    if self.accept[t as usize] {
+                        goal = Some(t);
+                        break 'bfs;
+                    }
+                    queue.push_back(t);
+                }
+            }
+        }
+        let mut q = goal?;
+        let mut word = Vec::new();
+        while let Some((p, s)) = prev[q as usize] {
+            word.push(s);
+            q = p;
+        }
+        word.reverse();
+        Some(word)
+    }
+
+    /// Remove unreachable states (keeps completeness).
+    #[must_use]
+    pub fn trim_unreachable(&self) -> Dfa {
+        let n = self.num_states();
+        let mut seen = vec![false; n];
+        let mut stack = vec![self.start];
+        seen[self.start as usize] = true;
+        while let Some(q) = stack.pop() {
+            for s in 0..self.num_symbols {
+                let t = self.step(q, s);
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        let mut map = vec![u32::MAX; n];
+        let mut count = 0u32;
+        for (q, &k) in seen.iter().enumerate() {
+            if k {
+                map[q] = count;
+                count += 1;
+            }
+        }
+        let mut trans = vec![0u32; count as usize * self.num_symbols as usize];
+        let mut accept = vec![false; count as usize];
+        for (q, &k) in seen.iter().enumerate() {
+            if !k {
+                continue;
+            }
+            let nq = map[q];
+            accept[nq as usize] = self.accept[q];
+            for s in 0..self.num_symbols {
+                trans[nq as usize * self.num_symbols as usize + s as usize] =
+                    map[self.step(q as u32, s) as usize];
+            }
+        }
+        Dfa { num_symbols: self.num_symbols, trans, accept, start: map[self.start as usize] }
+    }
+
+    /// Hopcroft's minimization. The result is the canonical minimal
+    /// complete DFA (up to state numbering, which is made canonical by a
+    /// BFS renumbering so that `minimize` output is structurally
+    /// comparable).
+    #[must_use]
+    pub fn minimize(&self) -> Dfa {
+        let dfa = self.trim_unreachable();
+        let n = dfa.num_states();
+        let ns = dfa.num_symbols as usize;
+        if n == 0 {
+            return dfa;
+        }
+
+        // Inverse transition lists per symbol.
+        let mut inv: Vec<Vec<Vec<u32>>> = vec![vec![Vec::new(); n]; ns];
+        for q in 0..n {
+            for (s, inv_s) in inv.iter_mut().enumerate() {
+                let t = dfa.trans[q * ns + s] as usize;
+                inv_s[t].push(q as u32);
+            }
+        }
+
+        // Partition refinement.
+        let mut block_of: Vec<u32> = dfa.accept.iter().map(|&a| u32::from(a)).collect();
+        let mut blocks: Vec<Vec<u32>> = vec![Vec::new(), Vec::new()];
+        for (q, &b) in block_of.iter().enumerate() {
+            blocks[b as usize].push(q as u32);
+        }
+        // Drop an empty initial block if all states agree on acceptance.
+        if blocks[1].is_empty() {
+            blocks.pop();
+        } else if blocks[0].is_empty() {
+            blocks.swap_remove(0);
+            block_of.fill(0);
+        }
+
+        let mut worklist: Vec<(u32, u32)> = Vec::new();
+        let smaller = if blocks.len() == 2 && blocks[1].len() < blocks[0].len() { 1 } else { 0 };
+        for s in 0..ns as u32 {
+            worklist.push((smaller, s));
+            if blocks.len() == 2 {
+                // Hopcroft needs only the smaller block enqueued, but
+                // enqueueing both is still O(n·σ·log n)-ish and simpler to
+                // reason about for the modest sizes we handle.
+                worklist.push((1 - smaller, s));
+            }
+        }
+
+        while let Some((b, s)) = worklist.pop() {
+            // X = preimage of block b under symbol s.
+            let mut preimage: Vec<u32> = Vec::new();
+            for &q in &blocks[b as usize] {
+                preimage.extend(inv[s as usize][q as usize].iter().copied());
+            }
+            if preimage.is_empty() {
+                continue;
+            }
+            // Group the preimage by current block; split blocks.
+            let mut touched: HashMap<u32, Vec<u32>> = HashMap::new();
+            for q in preimage {
+                touched.entry(block_of[q as usize]).or_default().push(q);
+            }
+            for (blk, hits) in touched {
+                let blk_size = blocks[blk as usize].len();
+                if hits.len() == blk_size {
+                    continue; // no split
+                }
+                // Split blk into hits / rest.
+                let new_id = blocks.len() as u32;
+                let mut in_hits = vec![false; n];
+                for &q in &hits {
+                    in_hits[q as usize] = true;
+                }
+                let old: Vec<u32> = std::mem::take(&mut blocks[blk as usize]);
+                let (hit_part, rest): (Vec<u32>, Vec<u32>) =
+                    old.into_iter().partition(|&q| in_hits[q as usize]);
+                let (small, large) = if hit_part.len() <= rest.len() {
+                    (hit_part, rest)
+                } else {
+                    (rest, hit_part)
+                };
+                // Keep the large part under the old id, small under new.
+                for &q in &small {
+                    block_of[q as usize] = new_id;
+                }
+                blocks[blk as usize] = large;
+                blocks.push(small);
+                for s2 in 0..ns as u32 {
+                    worklist.push((new_id, s2));
+                }
+            }
+        }
+
+        // Build the quotient automaton, renumbered canonically by BFS.
+        let num_blocks = blocks.len();
+        let mut q_trans = vec![0u32; num_blocks * ns];
+        let mut q_accept = vec![false; num_blocks];
+        for (bi, members) in blocks.iter().enumerate() {
+            let rep = members[0] as usize;
+            q_accept[bi] = dfa.accept[rep];
+            for s in 0..ns {
+                q_trans[bi * ns + s] = block_of[dfa.trans[rep * ns + s] as usize];
+            }
+        }
+        let quotient = Dfa {
+            num_symbols: dfa.num_symbols,
+            trans: q_trans,
+            accept: q_accept,
+            start: block_of[dfa.start as usize],
+        };
+        quotient.canonical_renumber()
+    }
+
+    /// Renumber states in BFS order from the start (canonical form for
+    /// structural comparison of minimal DFAs).
+    #[must_use]
+    fn canonical_renumber(&self) -> Dfa {
+        let n = self.num_states();
+        let ns = self.num_symbols as usize;
+        let mut map = vec![u32::MAX; n];
+        let mut order = Vec::with_capacity(n);
+        map[self.start as usize] = 0;
+        order.push(self.start);
+        let mut i = 0;
+        while i < order.len() {
+            let q = order[i];
+            i += 1;
+            for s in 0..ns {
+                let t = self.trans[q as usize * ns + s];
+                if map[t as usize] == u32::MAX {
+                    map[t as usize] = order.len() as u32;
+                    order.push(t);
+                }
+            }
+        }
+        // Unreachable states were already trimmed.
+        let mut trans = vec![0u32; order.len() * ns];
+        let mut accept = vec![false; order.len()];
+        for (new_q, &old_q) in order.iter().enumerate() {
+            accept[new_q] = self.accept[old_q as usize];
+            for s in 0..ns {
+                trans[new_q * ns + s] = map[self.trans[old_q as usize * ns + s] as usize];
+            }
+        }
+        Dfa { num_symbols: self.num_symbols, trans, accept, start: 0 }
+    }
+
+    /// Number of accepted words of each length `0..=max_len`
+    /// (saturating `u64` counts) — used by equivalence diagnostics and the
+    /// benchmark harness.
+    #[must_use]
+    pub fn count_words(&self, max_len: usize) -> Vec<u64> {
+        let n = self.num_states();
+        let mut cur = vec![0u64; n];
+        cur[self.start as usize] = 1;
+        let mut out = Vec::with_capacity(max_len + 1);
+        for _ in 0..=max_len {
+            out.push(
+                cur.iter()
+                    .zip(&self.accept)
+                    .filter(|(_, &a)| a)
+                    .map(|(c, _)| *c)
+                    .fold(0u64, u64::saturating_add),
+            );
+            let mut next = vec![0u64; n];
+            for (q, &c) in cur.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                for s in 0..self.num_symbols {
+                    let t = self.step(q as u32, s) as usize;
+                    next[t] = next[t].saturating_add(c);
+                }
+            }
+            cur = next;
+        }
+        out
+    }
+
+    /// Enumerate accepted words in shortlex order, up to `max_len`, at most
+    /// `limit` words.
+    #[must_use]
+    pub fn enumerate(&self, max_len: usize, limit: usize) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        let mut layer: Vec<(u32, Vec<u32>)> = vec![(self.start, Vec::new())];
+        // Prune via co-reachability to avoid wandering in dead regions.
+        let live = self.live_states();
+        for len in 0..=max_len {
+            for (q, w) in &layer {
+                if self.accept[*q as usize] {
+                    out.push(w.clone());
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+            if len == max_len {
+                break;
+            }
+            let mut next = Vec::new();
+            for (q, w) in layer {
+                for s in 0..self.num_symbols {
+                    let t = self.step(q, s);
+                    if live[t as usize] {
+                        let mut w2 = w.clone();
+                        w2.push(s);
+                        next.push((t, w2));
+                    }
+                }
+            }
+            layer = next;
+        }
+        out
+    }
+
+    /// States from which acceptance is reachable.
+    #[must_use]
+    pub fn live_states(&self) -> Vec<bool> {
+        let n = self.num_states();
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for q in 0..n {
+            for s in 0..self.num_symbols {
+                rev[self.step(q as u32, s) as usize].push(q as u32);
+            }
+        }
+        let mut live = self.accept.clone();
+        let mut stack: Vec<u32> =
+            (0..n).filter(|&q| live[q]).map(|q| q as u32).collect();
+        while let Some(q) = stack.pop() {
+            for &p in &rev[q as usize] {
+                if !live[p as usize] {
+                    live[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        live
+    }
+
+    /// Convert to an NFA (for further closure operations).
+    #[must_use]
+    pub fn to_nfa(&self) -> Nfa {
+        let mut nfa = Nfa::empty(self.num_symbols);
+        for q in 0..self.num_states() {
+            nfa.add_state(self.accept[q]);
+        }
+        for q in 0..self.num_states() as u32 {
+            for s in 0..self.num_symbols {
+                nfa.add_transition(q, s, self.step(q, s));
+            }
+        }
+        nfa.add_start(self.start);
+        nfa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn dfa(r: Regex, ns: u32) -> Dfa {
+        Dfa::from_nfa(&Nfa::from_regex(&r, ns))
+    }
+
+    #[test]
+    fn subset_construction_accepts_same_language() {
+        let r = Regex::concat([
+            Regex::star(Regex::union([Regex::Sym(0), Regex::Sym(1)])),
+            Regex::Sym(2),
+        ]);
+        let n = Nfa::from_regex(&r, 3);
+        let d = Dfa::from_nfa(&n);
+        for w in [&[2][..], &[0, 2], &[1, 0, 1, 2], &[0], &[], &[2, 2]] {
+            assert_eq!(n.accepts(w), d.accepts(w), "word {w:?}");
+        }
+    }
+
+    #[test]
+    fn boolean_combinations() {
+        let a = dfa(Regex::star(Regex::Sym(0)), 2); // 0*
+        let b = dfa(Regex::star(Regex::union([Regex::Sym(0), Regex::Sym(1)])), 2); // (0|1)*
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert_eq!(b.witness_not_subset(&a), Some(vec![1]));
+        assert!(a.intersect(&b).equivalent(&a));
+        assert!(a.union(&b).equivalent(&b));
+        let diff = b.difference(&a);
+        assert!(!diff.accepts(&[0]));
+        assert!(diff.accepts(&[1]));
+        assert!(diff.accepts(&[0, 1, 0]));
+    }
+
+    #[test]
+    fn complement_roundtrip() {
+        let a = dfa(Regex::word([0, 1]), 2);
+        let c = a.complement();
+        assert!(!c.accepts(&[0, 1]));
+        assert!(c.accepts(&[]));
+        assert!(c.accepts(&[1, 0]));
+        assert!(c.complement().equivalent(&a));
+    }
+
+    #[test]
+    fn minimize_collapses_equivalent_states() {
+        // (0|1)(0|1) — even-odd structure: minimal DFA has 4 states
+        // (start, after-1, accept, sink... actually: q0 →{0,1} q1 →{0,1} q2(acc) →{0,1} sink).
+        let r = Regex::concat([
+            Regex::union([Regex::Sym(0), Regex::Sym(1)]),
+            Regex::union([Regex::Sym(0), Regex::Sym(1)]),
+        ]);
+        let d = dfa(r, 2);
+        let m = d.minimize();
+        assert!(m.equivalent(&d));
+        assert_eq!(m.num_states(), 4);
+    }
+
+    #[test]
+    fn minimize_is_canonical() {
+        // Two different expressions for the same language minimize to the
+        // same structure.
+        let a = dfa(Regex::star(Regex::Sym(0)), 2).minimize();
+        let b = dfa(
+            Regex::union([Regex::Epsilon, Regex::plus(Regex::Sym(0))]),
+            2,
+        )
+        .minimize();
+        assert_eq!(a, b, "canonical minimal DFAs should be identical");
+    }
+
+    #[test]
+    fn empty_and_universal() {
+        let e = Dfa::empty_language(3);
+        assert!(e.is_empty_language());
+        assert!(e.shortest_accepted().is_none());
+        let u = Dfa::universal(3);
+        assert!(u.accepts(&[]));
+        assert!(u.accepts(&[0, 1, 2]));
+        assert!(e.is_subset_of(&u));
+        assert!(e.complement().equivalent(&u));
+    }
+
+    #[test]
+    fn count_words_fibonacci_language() {
+        // Words over {0,1} without consecutive 1s: counts follow Fibonacci.
+        // L = (0 | 10)* (1 | λ)
+        let r = Regex::concat([
+            Regex::star(Regex::union([Regex::Sym(0), Regex::word([1, 0])])),
+            Regex::opt(Regex::Sym(1)),
+        ]);
+        let d = dfa(r, 2).minimize();
+        let counts = d.count_words(8);
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 2);
+        assert_eq!(counts[2], 3);
+        assert_eq!(counts[3], 5);
+        assert_eq!(counts[4], 8);
+        assert_eq!(counts[8], 55);
+    }
+
+    #[test]
+    fn enumerate_shortlex() {
+        let d = dfa(Regex::star(Regex::Sym(1)), 2);
+        let ws = d.enumerate(3, 10);
+        assert_eq!(ws, vec![vec![], vec![1], vec![1, 1], vec![1, 1, 1]]);
+        // Limit respected.
+        let ws = d.enumerate(10, 2);
+        assert_eq!(ws.len(), 2);
+    }
+
+    #[test]
+    fn shortest_accepted_is_shortest() {
+        let d = dfa(Regex::union([Regex::word([0, 0, 0]), Regex::word([1, 1])]), 2);
+        assert_eq!(d.shortest_accepted(), Some(vec![1, 1]));
+    }
+
+    #[test]
+    fn dfa_to_nfa_roundtrip() {
+        let d = dfa(Regex::plus(Regex::Sym(0)), 2);
+        let n = d.to_nfa();
+        let d2 = Dfa::from_nfa(&n);
+        assert!(d.equivalent(&d2));
+    }
+
+    #[test]
+    fn minimize_handles_all_accepting_and_all_rejecting() {
+        let u = Dfa::universal(2).minimize();
+        assert_eq!(u.num_states(), 1);
+        let e = Dfa::empty_language(2).minimize();
+        assert_eq!(e.num_states(), 1);
+        assert!(!e.accept[0] && u.accept[0]);
+    }
+}

@@ -1,0 +1,77 @@
+//! Graphviz rendering of automata (for documentation and debugging of
+//! migration graphs).
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use std::fmt::Write as _;
+
+/// Render an NFA in Graphviz dot format with a symbol-naming function.
+#[must_use]
+pub fn nfa_to_dot(nfa: &Nfa, name: &dyn Fn(u32) -> String) -> String {
+    let mut out = String::from("digraph nfa {\n  rankdir=LR;\n  node [shape=circle];\n");
+    for q in 0..nfa.num_states() as u32 {
+        if nfa.is_accepting(q) {
+            let _ = writeln!(out, "  q{q} [shape=doublecircle];");
+        }
+    }
+    for (i, &s) in nfa.starts().iter().enumerate() {
+        let _ = writeln!(out, "  start{i} [shape=point]; start{i} -> q{s};");
+    }
+    for q in 0..nfa.num_states() as u32 {
+        for (s, t) in nfa.transitions(q) {
+            let _ = writeln!(out, "  q{q} -> q{t} [label=\"{}\"];", name(s));
+        }
+        for t in nfa.eps_transitions(q) {
+            let _ = writeln!(out, "  q{q} -> q{t} [label=\"ε\"];");
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Render a DFA in Graphviz dot format (sink states with no route to
+/// acceptance are omitted for readability).
+#[must_use]
+pub fn dfa_to_dot(dfa: &Dfa, name: &dyn Fn(u32) -> String) -> String {
+    let live = dfa.live_states();
+    let mut out = String::from("digraph dfa {\n  rankdir=LR;\n  node [shape=circle];\n");
+    for q in 0..dfa.num_states() as u32 {
+        if dfa.is_accepting(q) {
+            let _ = writeln!(out, "  q{q} [shape=doublecircle];");
+        }
+    }
+    let _ = writeln!(out, "  start [shape=point]; start -> q{};", dfa.start());
+    for q in 0..dfa.num_states() as u32 {
+        if !live[q as usize] {
+            continue;
+        }
+        for s in 0..dfa.num_symbols() {
+            let t = dfa.step(q, s);
+            if live[t as usize] {
+                let _ = writeln!(out, "  q{q} -> q{t} [label=\"{}\"];", name(s));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    #[test]
+    fn dot_outputs_contain_structure() {
+        let n = Nfa::from_regex(&Regex::word([0, 1]), 2);
+        let dot = nfa_to_dot(&n, &|s| format!("a{s}"));
+        assert!(dot.starts_with("digraph nfa"));
+        assert!(dot.contains("a0") && dot.contains("a1"));
+        assert!(dot.contains("doublecircle"));
+
+        let d = Dfa::from_nfa(&n);
+        let dot = dfa_to_dot(&d, &|s| format!("a{s}"));
+        assert!(dot.starts_with("digraph dfa"));
+        assert!(dot.contains("start ->"));
+    }
+}

@@ -1,0 +1,132 @@
+//! State elimination: automaton → regular expression.
+//!
+//! Theorem 3.2(1) asserts that regular expressions for the pattern
+//! families "can be effectively constructed from Σ"; this module provides
+//! that last step, converting the migration graph's automaton into a
+//! regular expression via the classical generalized-NFA elimination.
+
+use crate::dfa::Dfa;
+use crate::nfa::Nfa;
+use crate::regex::Regex;
+
+/// Convert an NFA to an equivalent regular expression by state
+/// elimination. The expression can be large (worst-case exponential);
+/// minimize the automaton first for small outputs.
+#[must_use]
+pub fn nfa_to_regex(nfa: &Nfa) -> Regex {
+    let n = nfa.num_states();
+    // GNFA with fresh start (index n) and accept (index n+1).
+    let total = n + 2;
+    let start = n;
+    let accept = n + 1;
+    let mut edge: Vec<Vec<Regex>> = vec![vec![Regex::Empty; total]; total];
+
+    #[allow(clippy::needless_range_loop)] // edge is a 2-D matrix indexed by q
+    for q in 0..n {
+        for (s, t) in nfa.transitions(q as u32) {
+            let e = &mut edge[q][t as usize];
+            *e = Regex::union([std::mem::replace(e, Regex::Empty), Regex::Sym(s)]);
+        }
+        for t in nfa.eps_transitions(q as u32) {
+            let e = &mut edge[q][t as usize];
+            *e = Regex::union([std::mem::replace(e, Regex::Empty), Regex::Epsilon]);
+        }
+        if nfa.is_accepting(q as u32) {
+            edge[q][accept] = Regex::Epsilon;
+        }
+    }
+    for &s in nfa.starts() {
+        edge[start][s as usize] = Regex::Epsilon;
+    }
+
+    // Eliminate interior states one by one.
+    for k in 0..n {
+        let loop_k = Regex::star(edge[k][k].clone());
+        let incoming: Vec<usize> = (0..total)
+            .filter(|&i| i != k && edge[i][k] != Regex::Empty)
+            .collect();
+        let outgoing: Vec<usize> = (0..total)
+            .filter(|&j| j != k && edge[k][j] != Regex::Empty)
+            .collect();
+        for &i in &incoming {
+            for &j in &outgoing {
+                let through = Regex::concat([
+                    edge[i][k].clone(),
+                    loop_k.clone(),
+                    edge[k][j].clone(),
+                ]);
+                let e = &mut edge[i][j];
+                *e = Regex::union([std::mem::replace(e, Regex::Empty), through]);
+            }
+        }
+        for row in edge.iter_mut() {
+            row[k] = Regex::Empty;
+        }
+        edge[k].fill(Regex::Empty);
+    }
+    edge[start][accept].clone()
+}
+
+/// Convert a DFA to a regular expression (minimizes first to keep the
+/// output small).
+#[must_use]
+pub fn dfa_to_regex(dfa: &Dfa) -> Regex {
+    nfa_to_regex(&dfa.minimize().to_nfa())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(r: &Regex, ns: u32) {
+        let d = Dfa::from_nfa(&Nfa::from_regex(r, ns));
+        let r2 = dfa_to_regex(&d);
+        let d2 = Dfa::from_nfa(&Nfa::from_regex(&r2, ns));
+        assert!(
+            d.equivalent(&d2),
+            "state elimination changed the language of {r}: produced {r2}"
+        );
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip(&Regex::word([0, 1]), 2);
+        roundtrip(&Regex::star(Regex::Sym(0)), 2);
+        roundtrip(&Regex::Epsilon, 2);
+        roundtrip(&Regex::Empty, 2);
+    }
+
+    #[test]
+    fn roundtrip_structured() {
+        // P(QQP)* — the paper's Example 3.6 expression shape.
+        let p = Regex::Sym(0);
+        let q = Regex::Sym(1);
+        let r = Regex::concat([
+            p.clone(),
+            Regex::star(Regex::concat([q.clone(), q, p])),
+        ]);
+        roundtrip(&r, 2);
+    }
+
+    #[test]
+    fn roundtrip_with_unions_and_plus() {
+        let r = Regex::concat([
+            Regex::plus(Regex::Sym(0)),
+            Regex::star(Regex::union([Regex::Sym(1), Regex::word([2, 2])])),
+            Regex::opt(Regex::Sym(0)),
+        ]);
+        roundtrip(&r, 3);
+    }
+
+    #[test]
+    fn roundtrip_prefix_closure() {
+        // Init(0 1 2) via prefix closure, then back to a regex.
+        let n = Nfa::from_regex(&Regex::word([0, 1, 2]), 3).prefix_closure();
+        let r = nfa_to_regex(&n);
+        let d = Dfa::from_nfa(&Nfa::from_regex(&r, 3));
+        for w in [&[][..], &[0], &[0, 1], &[0, 1, 2]] {
+            assert!(d.accepts(w));
+        }
+        assert!(!d.accepts(&[1]));
+    }
+}

@@ -1,0 +1,51 @@
+//! Error types for the automata toolkit.
+
+/// Errors raised by regex parsing and automaton construction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AutomataError {
+    /// A regular-expression parse error.
+    Parse {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// Description.
+        msg: String,
+    },
+    /// A symbol name could not be resolved against the alphabet.
+    UnknownSymbol(String),
+    /// Two automata over different alphabets were combined.
+    AlphabetMismatch {
+        /// Left operand's symbol count.
+        left: u32,
+        /// Right operand's symbol count.
+        right: u32,
+    },
+}
+
+impl std::fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AutomataError::Parse { offset, msg } => {
+                write!(f, "regex parse error at byte {offset}: {msg}")
+            }
+            AutomataError::UnknownSymbol(s) => write!(f, "unknown symbol `{s}`"),
+            AutomataError::AlphabetMismatch { left, right } => {
+                write!(f, "alphabet mismatch: {left} vs {right} symbols")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutomataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(AutomataError::UnknownSymbol("Q".into()).to_string().contains('Q'));
+        assert!(AutomataError::AlphabetMismatch { left: 2, right: 3 }
+            .to_string()
+            .contains("2 vs 3"));
+    }
+}

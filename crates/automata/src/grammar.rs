@@ -1,0 +1,162 @@
+//! Linear grammars.
+//!
+//! The proof of Theorem 3.2(1) extracts the pattern family from the
+//! migration graph G_Σ by building a grammar with one nonterminal per
+//! vertex and productions `u → L(u) v` for each edge `(u, v)` plus
+//! `u → L(u)` for edges into the sink. (The paper calls it "left-linear";
+//! with the terminal emitted on the left of the nonterminal the
+//! conventional name is *right-linear* — either way it generates a regular
+//! language.) This module implements such grammars and their conversion to
+//! NFAs, so the paper's route is reproduced literally and tested against
+//! the direct automaton construction.
+
+use crate::nfa::Nfa;
+
+/// A production of a right-linear grammar: `lhs → sym? rhs?`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LinearProd {
+    /// Left-hand nonterminal.
+    pub lhs: u32,
+    /// Emitted terminal (or none for `lhs → rhs` / `lhs → λ`).
+    pub sym: Option<u32>,
+    /// Continuation nonterminal (or none to stop).
+    pub rhs: Option<u32>,
+}
+
+/// A right-linear grammar over terminals `0..num_symbols` and
+/// nonterminals `0..num_nonterminals`.
+#[derive(Clone, Debug)]
+pub struct RightLinearGrammar {
+    /// Alphabet size.
+    pub num_symbols: u32,
+    /// Nonterminal count.
+    pub num_nonterminals: u32,
+    /// Start nonterminal.
+    pub start: u32,
+    /// Productions.
+    pub prods: Vec<LinearProd>,
+}
+
+impl RightLinearGrammar {
+    /// A grammar with no productions (empty language).
+    #[must_use]
+    pub fn new(num_symbols: u32, num_nonterminals: u32, start: u32) -> Self {
+        RightLinearGrammar { num_symbols, num_nonterminals, start, prods: Vec::new() }
+    }
+
+    /// Add `lhs → sym rhs`.
+    pub fn add(&mut self, lhs: u32, sym: Option<u32>, rhs: Option<u32>) {
+        debug_assert!(lhs < self.num_nonterminals);
+        debug_assert!(rhs.is_none_or(|r| r < self.num_nonterminals));
+        debug_assert!(sym.is_none_or(|s| s < self.num_symbols));
+        self.prods.push(LinearProd { lhs, sym, rhs });
+    }
+
+    /// Convert to an NFA: one state per nonterminal plus a final state;
+    /// `u → a v` becomes an `a`-transition `u → v`; `u → a` an
+    /// `a`-transition to the final state; `u → v` an ε-transition;
+    /// `u → λ` makes `u` accepting.
+    #[must_use]
+    pub fn to_nfa(&self) -> Nfa {
+        let mut nfa = Nfa::empty(self.num_symbols);
+        for _ in 0..self.num_nonterminals {
+            nfa.add_state(false);
+        }
+        let fin = nfa.add_state(true);
+        for p in &self.prods {
+            match (p.sym, p.rhs) {
+                (Some(s), Some(r)) => nfa.add_transition(p.lhs, s, r),
+                (Some(s), None) => nfa.add_transition(p.lhs, s, fin),
+                (None, Some(r)) => nfa.add_eps(p.lhs, r),
+                (None, None) => nfa.add_eps(p.lhs, fin),
+            }
+        }
+        nfa.add_start(self.start);
+        nfa
+    }
+
+    /// Number of productions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.prods.len()
+    }
+
+    /// Whether there are no productions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.prods.is_empty()
+    }
+}
+
+/// Extract a right-linear grammar from an NFA (inverse direction, for
+/// round-trip testing): nonterminals are states, `q → a r` per transition,
+/// `q → λ` per accepting state.
+#[must_use]
+pub fn grammar_from_nfa(nfa: &Nfa) -> RightLinearGrammar {
+    // Multiple start states are folded through a fresh start nonterminal.
+    let n = nfa.num_states() as u32;
+    let mut g = RightLinearGrammar::new(nfa.num_symbols(), n + 1, n);
+    for q in 0..n {
+        for (s, t) in nfa.transitions(q) {
+            g.add(q, Some(s), Some(t));
+        }
+        for t in nfa.eps_transitions(q) {
+            g.add(q, None, Some(t));
+        }
+        if nfa.is_accepting(q) {
+            g.add(q, None, None);
+        }
+    }
+    for &s in nfa.starts() {
+        g.add(n, None, Some(s));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use crate::regex::Regex;
+
+    #[test]
+    fn grammar_generates_walk_language() {
+        // The paper's construction for a two-vertex migration graph:
+        // vs → [P] v1, v1 → [Q] v1, v1 → [Q].
+        // Walk labels: P Q+… with prefix closure handled by acceptance.
+        let mut g = RightLinearGrammar::new(2, 2, 0);
+        g.add(0, Some(0), Some(1)); // vs → P v1
+        g.add(1, Some(1), Some(1)); // v1 → Q v1
+        g.add(1, Some(1), None); // v1 → Q
+        let d = Dfa::from_nfa(&g.to_nfa());
+        assert!(d.accepts(&[0, 1]));
+        assert!(d.accepts(&[0, 1, 1, 1]));
+        assert!(!d.accepts(&[0]));
+        assert!(!d.accepts(&[1]));
+    }
+
+    #[test]
+    fn lambda_production_makes_nullable() {
+        let mut g = RightLinearGrammar::new(1, 1, 0);
+        g.add(0, None, None); // S → λ
+        g.add(0, Some(0), Some(0)); // S → 0 S
+        let d = Dfa::from_nfa(&g.to_nfa());
+        assert!(d.accepts(&[]));
+        assert!(d.accepts(&[0, 0]));
+    }
+
+    #[test]
+    fn nfa_grammar_roundtrip() {
+        let r = Regex::concat([
+            Regex::star(Regex::union([Regex::Sym(0), Regex::word([1, 2])])),
+            Regex::Sym(2),
+        ]);
+        let nfa = Nfa::from_regex(&r, 3);
+        let g = grammar_from_nfa(&nfa);
+        let back = Dfa::from_nfa(&g.to_nfa());
+        let orig = Dfa::from_nfa(&nfa);
+        assert!(orig.equivalent(&back));
+        assert!(!g.is_empty());
+        assert_eq!(g.len(), g.prods.len());
+    }
+}

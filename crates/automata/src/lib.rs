@@ -1,0 +1,50 @@
+//! # migratory-automata — the regular-language toolkit
+//!
+//! Theorem 3.2 of Su, *Dynamic Constraints and Object Migration*
+//! (VLDB 1991 / TCS 1997) characterizes SL migration-pattern families as
+//! regular sets, and Corollary 3.3 rests on the classical decision
+//! procedures for regular languages. This crate supplies that machinery,
+//! self-contained:
+//!
+//! * [`Regex`] — expressions over dense symbol alphabets, with a
+//!   paper-notation parser ([`parse_regex`]: `∅* [P]* ([S] ∪ [G])+`);
+//! * [`Nfa`] — Thompson construction, ε-closure, trimming, prefix closure
+//!   (`Init`), homomorphic relabelling, reversal;
+//! * [`Dfa`] — subset construction, Hopcroft minimization, Boolean
+//!   products, inclusion/equivalence with counterexamples, counting,
+//!   shortlex enumeration;
+//! * [`ops`] — rational combinators and the left quotient `X⁻¹Y` of
+//!   Definition 4.8;
+//! * [`transduce`] — image constructions for the paper's `f_rr`
+//!   (remove repeats) and `f_rei` (remove empty initial) functions;
+//! * [`grammar`] — the right-linear grammars used in the proof of
+//!   Theorem 3.2(1);
+//! * [`elim`] — state elimination (automaton → regular expression), making
+//!   "the regular expressions can be effectively constructed" literal;
+//! * [`sample`] — uniform random sampling of accepted words.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dfa;
+pub mod display;
+pub mod elim;
+pub mod error;
+pub mod grammar;
+pub mod nfa;
+pub mod ops;
+pub mod parser;
+pub mod regex;
+pub mod sample;
+pub mod transduce;
+
+pub use dfa::Dfa;
+pub use elim::{dfa_to_regex, nfa_to_regex};
+pub use error::AutomataError;
+pub use grammar::RightLinearGrammar;
+pub use nfa::{Nfa, StateId};
+pub use ops::{concat, left_quotient, nfa_witness_not_subset, star, union};
+pub use parser::parse_regex;
+pub use regex::Regex;
+pub use sample::sample_word;
+pub use transduce::{f_rei_image, f_rei_word, f_rr_image, f_rr_word};

@@ -1,0 +1,470 @@
+//! Nondeterministic finite automata with ε-transitions.
+//!
+//! The migration graphs of Section 3 are essentially NFAs over the role
+//! set alphabet; this module provides Thompson's construction from
+//! regexes, ε-closure, membership, reversal, trimming, prefix closure
+//! (the paper's `Init`), and symbol relabelling (regular sets are closed
+//! under homomorphism — used for the `f_rr`-style transformations).
+
+use crate::regex::Regex;
+
+/// A state index.
+pub type StateId = u32;
+
+#[derive(Clone, Debug, Default)]
+struct NfaState {
+    /// Labelled transitions `(symbol, target)`.
+    trans: Vec<(u32, StateId)>,
+    /// ε-transitions.
+    eps: Vec<StateId>,
+    accept: bool,
+}
+
+/// An NFA with ε-transitions over the alphabet `0..num_symbols`.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    num_symbols: u32,
+    states: Vec<NfaState>,
+    starts: Vec<StateId>,
+}
+
+impl Nfa {
+    /// An NFA with no states (the empty language).
+    #[must_use]
+    pub fn empty(num_symbols: u32) -> Self {
+        Nfa { num_symbols, states: Vec::new(), starts: Vec::new() }
+    }
+
+    /// Alphabet size.
+    #[must_use]
+    pub fn num_symbols(&self) -> u32 {
+        self.num_symbols
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Total number of transitions (ε included).
+    #[must_use]
+    pub fn num_transitions(&self) -> usize {
+        self.states.iter().map(|s| s.trans.len() + s.eps.len()).sum()
+    }
+
+    /// The start states.
+    #[must_use]
+    pub fn starts(&self) -> &[StateId] {
+        &self.starts
+    }
+
+    /// Whether a state accepts.
+    #[must_use]
+    pub fn is_accepting(&self, q: StateId) -> bool {
+        self.states[q as usize].accept
+    }
+
+    /// Iterate the labelled transitions of a state.
+    pub fn transitions(&self, q: StateId) -> impl Iterator<Item = (u32, StateId)> + '_ {
+        self.states[q as usize].trans.iter().copied()
+    }
+
+    /// Iterate the ε-transitions of a state.
+    pub fn eps_transitions(&self, q: StateId) -> impl Iterator<Item = StateId> + '_ {
+        self.states[q as usize].eps.iter().copied()
+    }
+
+    // --- construction ---------------------------------------------------
+
+    /// Add a state; returns its id.
+    pub fn add_state(&mut self, accept: bool) -> StateId {
+        let id = self.states.len() as StateId;
+        self.states.push(NfaState { accept, ..Default::default() });
+        id
+    }
+
+    /// Add a labelled transition.
+    ///
+    /// # Panics
+    /// Panics if the symbol is outside the alphabet.
+    pub fn add_transition(&mut self, from: StateId, sym: u32, to: StateId) {
+        assert!(sym < self.num_symbols, "symbol {sym} outside alphabet 0..{}", self.num_symbols);
+        self.states[from as usize].trans.push((sym, to));
+    }
+
+    /// Add an ε-transition.
+    pub fn add_eps(&mut self, from: StateId, to: StateId) {
+        self.states[from as usize].eps.push(to);
+    }
+
+    /// Mark a state as a start state.
+    pub fn add_start(&mut self, q: StateId) {
+        if !self.starts.contains(&q) {
+            self.starts.push(q);
+        }
+    }
+
+    /// Replace the start set (used by quotient constructions).
+    pub fn replace_starts(&mut self, starts: &[StateId]) {
+        self.starts.clear();
+        for &s in starts {
+            self.add_start(s);
+        }
+    }
+
+    /// Set a state's acceptance.
+    pub fn set_accepting(&mut self, q: StateId, accept: bool) {
+        self.states[q as usize].accept = accept;
+    }
+
+    /// Thompson's construction.
+    #[must_use]
+    pub fn from_regex(r: &Regex, num_symbols: u32) -> Nfa {
+        let mut nfa = Nfa::empty(num_symbols);
+        let start = nfa.add_state(false);
+        let end = nfa.add_state(true);
+        nfa.add_start(start);
+        nfa.thompson(r, start, end);
+        nfa
+    }
+
+    fn thompson(&mut self, r: &Regex, from: StateId, to: StateId) {
+        match r {
+            Regex::Empty => {}
+            Regex::Epsilon => self.add_eps(from, to),
+            Regex::Sym(s) => self.add_transition(from, *s, to),
+            Regex::Concat(ps) => {
+                let mut cur = from;
+                for (i, p) in ps.iter().enumerate() {
+                    let next = if i + 1 == ps.len() { to } else { self.add_state(false) };
+                    self.thompson(p, cur, next);
+                    cur = next;
+                }
+                if ps.is_empty() {
+                    self.add_eps(from, to);
+                }
+            }
+            Regex::Union(ps) => {
+                for p in ps {
+                    self.thompson(p, from, to);
+                }
+            }
+            Regex::Star(p) => {
+                let mid = self.add_state(false);
+                self.add_eps(from, mid);
+                self.thompson(p, mid, mid);
+                self.add_eps(mid, to);
+            }
+        }
+    }
+
+    // --- semantics -------------------------------------------------------
+
+    /// ε-closure of a set of states (sorted, deduplicated).
+    #[must_use]
+    pub fn eps_closure(&self, set: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<StateId> = Vec::with_capacity(set.len());
+        for &q in set {
+            if !seen[q as usize] {
+                seen[q as usize] = true;
+                stack.push(q);
+            }
+        }
+        let mut out = stack.clone();
+        while let Some(q) = stack.pop() {
+            for &t in &self.states[q as usize].eps {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                    out.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Whether the NFA accepts a word.
+    #[must_use]
+    pub fn accepts(&self, word: &[u32]) -> bool {
+        let mut current = self.eps_closure(&self.starts);
+        for &sym in word {
+            let mut next: Vec<StateId> = Vec::new();
+            for &q in &current {
+                for &(s, t) in &self.states[q as usize].trans {
+                    if s == sym && !next.contains(&t) {
+                        next.push(t);
+                    }
+                }
+            }
+            current = self.eps_closure(&next);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|&q| self.states[q as usize].accept)
+    }
+
+    /// Whether the language is empty.
+    #[must_use]
+    pub fn is_empty_language(&self) -> bool {
+        let reach = self.reachable();
+        !(0..self.states.len())
+            .any(|q| reach[q] && self.states[q].accept)
+    }
+
+    fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<StateId> = self.starts.clone();
+        for &q in &self.starts {
+            seen[q as usize] = true;
+        }
+        while let Some(q) = stack.pop() {
+            let st = &self.states[q as usize];
+            for &(_, t) in &st.trans {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+            for &t in &st.eps {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    fn co_reachable(&self) -> Vec<bool> {
+        // States from which an accepting state is reachable.
+        let n = self.states.len();
+        let mut rev: Vec<Vec<StateId>> = vec![Vec::new(); n];
+        for (q, st) in self.states.iter().enumerate() {
+            for &(_, t) in &st.trans {
+                rev[t as usize].push(q as StateId);
+            }
+            for &t in &st.eps {
+                rev[t as usize].push(q as StateId);
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack: Vec<StateId> = (0..n)
+            .filter(|&q| self.states[q].accept)
+            .map(|q| q as StateId)
+            .collect();
+        for &q in &stack {
+            seen[q as usize] = true;
+        }
+        while let Some(q) = stack.pop() {
+            for &p in &rev[q as usize] {
+                if !seen[p as usize] {
+                    seen[p as usize] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Remove states that are unreachable or cannot reach acceptance.
+    #[must_use]
+    pub fn trim(&self) -> Nfa {
+        let reach = self.reachable();
+        let co = self.co_reachable();
+        let keep: Vec<bool> = (0..self.states.len()).map(|q| reach[q] && co[q]).collect();
+        let mut map = vec![u32::MAX; self.states.len()];
+        let mut out = Nfa::empty(self.num_symbols);
+        for (q, &k) in keep.iter().enumerate() {
+            if k {
+                map[q] = out.add_state(self.states[q].accept);
+            }
+        }
+        for (q, &k) in keep.iter().enumerate() {
+            if !k {
+                continue;
+            }
+            for &(s, t) in &self.states[q].trans {
+                if keep[t as usize] {
+                    out.add_transition(map[q], s, map[t as usize]);
+                }
+            }
+            for &t in &self.states[q].eps {
+                if keep[t as usize] {
+                    out.add_eps(map[q], map[t as usize]);
+                }
+            }
+        }
+        for &q in &self.starts {
+            if keep[q as usize] {
+                out.add_start(map[q as usize]);
+            }
+        }
+        out
+    }
+
+    /// The prefix closure `Init(L) = {x | ∃y, xy ∈ L}` (Section 3): mark
+    /// every state that can reach acceptance as accepting.
+    #[must_use]
+    pub fn prefix_closure(&self) -> Nfa {
+        let co = self.co_reachable();
+        let mut out = self.clone();
+        for (q, &c) in co.iter().enumerate() {
+            if c {
+                out.states[q].accept = true;
+            }
+        }
+        out
+    }
+
+    /// Apply a symbol homomorphism `h : Σ → Σ′` (image automaton — regular
+    /// sets are closed under homomorphism).
+    #[must_use]
+    pub fn relabel(&self, num_symbols: u32, h: &dyn Fn(u32) -> u32) -> Nfa {
+        let mut out = Nfa::empty(num_symbols);
+        for st in &self.states {
+            out.states.push(NfaState {
+                trans: st.trans.iter().map(|&(s, t)| (h(s), t)).collect(),
+                eps: st.eps.clone(),
+                accept: st.accept,
+            });
+        }
+        for st in &out.states {
+            for &(s, _) in &st.trans {
+                assert!(s < num_symbols, "homomorphism target outside alphabet");
+            }
+        }
+        out.starts = self.starts.clone();
+        out
+    }
+
+    /// The reversed automaton (recognizing the mirror language).
+    #[must_use]
+    pub fn reverse(&self) -> Nfa {
+        let n = self.states.len();
+        let mut out = Nfa::empty(self.num_symbols);
+        for q in 0..n {
+            out.add_state(self.starts.contains(&(q as StateId)));
+        }
+        for (q, st) in self.states.iter().enumerate() {
+            for &(s, t) in &st.trans {
+                out.add_transition(t, s, q as StateId);
+            }
+            for &t in &st.eps {
+                out.add_eps(t, q as StateId);
+            }
+            if st.accept {
+                out.add_start(q as StateId);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn re(parts: Regex) -> Nfa {
+        Nfa::from_regex(&parts, 3)
+    }
+
+    #[test]
+    fn thompson_basic() {
+        let n = re(Regex::word([0, 1]));
+        assert!(n.accepts(&[0, 1]));
+        assert!(!n.accepts(&[0]));
+        assert!(!n.accepts(&[1, 0]));
+        assert!(!n.accepts(&[]));
+    }
+
+    #[test]
+    fn thompson_star_union() {
+        // (0 | 1)* 2
+        let r = Regex::concat([
+            Regex::star(Regex::union([Regex::Sym(0), Regex::Sym(1)])),
+            Regex::Sym(2),
+        ]);
+        let n = re(r);
+        assert!(n.accepts(&[2]));
+        assert!(n.accepts(&[0, 1, 0, 2]));
+        assert!(!n.accepts(&[0, 1]));
+        assert!(!n.accepts(&[2, 0]));
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        let n = re(Regex::Empty);
+        assert!(!n.accepts(&[]));
+        assert!(n.is_empty_language());
+        let n = re(Regex::Epsilon);
+        assert!(n.accepts(&[]));
+        assert!(!n.accepts(&[0]));
+        assert!(!n.is_empty_language());
+    }
+
+    #[test]
+    fn prefix_closure_is_init() {
+        // L = {012}; Init(L) = {λ, 0, 01, 012}.
+        let n = re(Regex::word([0, 1, 2])).prefix_closure();
+        for w in [&[][..], &[0], &[0, 1], &[0, 1, 2]] {
+            assert!(n.accepts(w), "{w:?} should be a prefix");
+        }
+        assert!(!n.accepts(&[1]));
+        assert!(!n.accepts(&[0, 1, 2, 0]));
+    }
+
+    #[test]
+    fn trim_removes_dead_states() {
+        let mut n = Nfa::empty(2);
+        let s = n.add_state(false);
+        let a = n.add_state(true);
+        let dead = n.add_state(false); // unreachable-from AND not co-reachable
+        n.add_start(s);
+        n.add_transition(s, 0, a);
+        n.add_transition(a, 1, dead);
+        let t = n.trim();
+        assert_eq!(t.num_states(), 2);
+        assert!(t.accepts(&[0]));
+        assert!(!t.accepts(&[0, 1]));
+    }
+
+    #[test]
+    fn relabel_applies_homomorphism() {
+        let n = re(Regex::word([0, 1])); // "01"
+        let h = n.relabel(2, &|s| if s == 0 { 1 } else { 0 });
+        assert!(h.accepts(&[1, 0]));
+        assert!(!h.accepts(&[0, 1]));
+    }
+
+    #[test]
+    fn reverse_mirrors() {
+        let n = re(Regex::word([0, 1, 2]));
+        let r = n.reverse();
+        assert!(r.accepts(&[2, 1, 0]));
+        assert!(!r.accepts(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn plus_and_opt_via_smart_constructors() {
+        let n = re(Regex::plus(Regex::Sym(1)));
+        assert!(!n.accepts(&[]));
+        assert!(n.accepts(&[1]));
+        assert!(n.accepts(&[1, 1, 1]));
+        let n = re(Regex::opt(Regex::Sym(1)));
+        assert!(n.accepts(&[]));
+        assert!(n.accepts(&[1]));
+        assert!(!n.accepts(&[1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside alphabet")]
+    fn alphabet_bound_enforced() {
+        let mut n = Nfa::empty(1);
+        let s = n.add_state(false);
+        n.add_transition(s, 5, s);
+    }
+}

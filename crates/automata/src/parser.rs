@@ -1,0 +1,259 @@
+//! A parser for regular expressions with *named* symbols.
+//!
+//! The paper writes inventories like `∅*[P]*[S]*[G]*[E]+[P]*∅*`
+//! (Example 3.2) and `(p(q∪r)s)*` (Example 3.3). This parser accepts that
+//! style:
+//!
+//! * symbols: identifiers (`p`, `STUDENT`), bracketed names (`[G]`,
+//!   `[S,E]` — the bracket content, trimmed, is the symbol name), or the
+//!   literal `∅`;
+//! * operators: juxtaposition/whitespace (concatenation), `|` or `∪`
+//!   (union), postfix `*` `+` `?`, parentheses;
+//! * `λ` or `%` denote the empty word.
+//!
+//! Symbol names are resolved to ids by a caller-supplied resolver, so the
+//! same parser serves any alphabet (role sets, abstract test alphabets…).
+
+use crate::error::AutomataError;
+use crate::regex::Regex;
+
+/// Parse a regular expression, resolving symbol names via `resolve`.
+pub fn parse_regex(
+    src: &str,
+    resolve: &dyn Fn(&str) -> Option<u32>,
+) -> Result<Regex, AutomataError> {
+    let mut p = Parser { chars: src.char_indices().peekable(), src, resolve };
+    p.skip_ws();
+    let r = p.union()?;
+    p.skip_ws();
+    if let Some(&(i, c)) = p.chars.peek() {
+        return Err(AutomataError::Parse { offset: i, msg: format!("unexpected `{c}`") });
+    }
+    Ok(r)
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+    resolve: &'a dyn Fn(&str) -> Option<u32>,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some(&(_, c)) if c.is_whitespace() || c == '·' || c == '.')
+        {
+            self.chars.next();
+        }
+    }
+
+    fn union(&mut self) -> Result<Regex, AutomataError> {
+        let mut parts = vec![self.concat()?];
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                Some(&(_, '|')) | Some(&(_, '∪')) => {
+                    self.chars.next();
+                    self.skip_ws();
+                    parts.push(self.concat()?);
+                }
+                _ => break,
+            }
+        }
+        Ok(Regex::union(parts))
+    }
+
+    fn concat(&mut self) -> Result<Regex, AutomataError> {
+        let mut parts = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.chars.peek() {
+                None | Some(&(_, ')')) | Some(&(_, '|')) | Some(&(_, '∪')) => break,
+                _ => parts.push(self.postfix()?),
+            }
+        }
+        if parts.is_empty() {
+            // Allow `()` and empty alternatives to mean λ.
+            return Ok(Regex::Epsilon);
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn postfix(&mut self) -> Result<Regex, AutomataError> {
+        let mut base = self.atom()?;
+        loop {
+            match self.chars.peek() {
+                Some(&(_, '*')) => {
+                    self.chars.next();
+                    base = Regex::star(base);
+                }
+                Some(&(_, '+')) => {
+                    self.chars.next();
+                    base = Regex::plus(base);
+                }
+                Some(&(_, '?')) => {
+                    self.chars.next();
+                    base = Regex::opt(base);
+                }
+                _ => return Ok(base),
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Regex, AutomataError> {
+        let Some(&(i, c)) = self.chars.peek() else {
+            return Err(AutomataError::Parse {
+                offset: self.src.len(),
+                msg: "unexpected end of expression".into(),
+            });
+        };
+        match c {
+            '(' => {
+                self.chars.next();
+                let inner = self.union()?;
+                self.skip_ws();
+                match self.chars.next() {
+                    Some((_, ')')) => Ok(inner),
+                    _ => Err(AutomataError::Parse { offset: i, msg: "unclosed `(`".into() }),
+                }
+            }
+            'λ' | '%' => {
+                self.chars.next();
+                Ok(Regex::Epsilon)
+            }
+            '∅' => {
+                self.chars.next();
+                self.symbol("∅", i)
+            }
+            '[' => {
+                self.chars.next();
+                let mut name = String::new();
+                loop {
+                    match self.chars.next() {
+                        Some((_, ']')) => break,
+                        Some((_, ch)) => name.push(ch),
+                        None => {
+                            return Err(AutomataError::Parse {
+                                offset: i,
+                                msg: "unclosed `[`".into(),
+                            })
+                        }
+                    }
+                }
+                let trimmed: String =
+                    name.split(',').map(str::trim).collect::<Vec<_>>().join(",");
+                self.symbol(&format!("[{trimmed}]"), i)
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&(_, ch)) = self.chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' || ch == '-' {
+                        name.push(ch);
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                self.symbol(&name, i)
+            }
+            other => {
+                Err(AutomataError::Parse { offset: i, msg: format!("unexpected `{other}`") })
+            }
+        }
+    }
+
+    fn symbol(&mut self, name: &str, offset: usize) -> Result<Regex, AutomataError> {
+        match (self.resolve)(name) {
+            Some(id) => Ok(Regex::Sym(id)),
+            None => Err(AutomataError::Parse {
+                offset,
+                msg: format!("unknown symbol `{name}`"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use crate::nfa::Nfa;
+
+    fn resolver(name: &str) -> Option<u32> {
+        match name {
+            "∅" => Some(0),
+            "p" | "[P]" => Some(1),
+            "q" | "[Q]" => Some(2),
+            "r" | "[R]" => Some(3),
+            "s" | "[S,E]" => Some(4),
+            _ => None,
+        }
+    }
+
+    fn parse(src: &str) -> Regex {
+        parse_regex(src, &resolver).unwrap()
+    }
+
+    fn lang(src: &str) -> Dfa {
+        Dfa::from_nfa(&Nfa::from_regex(&parse(src), 5))
+    }
+
+    #[test]
+    fn symbols_and_operators() {
+        let d = lang("p (q | r)* s");
+        assert!(d.accepts(&[1, 4]));
+        assert!(d.accepts(&[1, 2, 3, 2, 4]));
+        assert!(!d.accepts(&[1]));
+    }
+
+    #[test]
+    fn paper_style_inventory() {
+        // ∅*[P]*[Q]+∅* in Example 3.2 style.
+        let d = lang("∅* [P]* [Q]+ ∅*");
+        assert!(d.accepts(&[0, 0, 1, 2, 2, 0]));
+        assert!(d.accepts(&[2]));
+        assert!(!d.accepts(&[0]));
+        assert!(!d.accepts(&[2, 1]));
+    }
+
+    #[test]
+    fn union_unicode_and_plus() {
+        let d = lang("(p (q ∪ r) s)+");
+        assert!(d.accepts(&[1, 2, 4]));
+        assert!(d.accepts(&[1, 3, 4, 1, 2, 4]));
+        assert!(!d.accepts(&[]));
+    }
+
+    #[test]
+    fn epsilon_and_empty_group() {
+        let d = lang("p? λ () q");
+        assert!(d.accepts(&[2]));
+        assert!(d.accepts(&[1, 2]));
+        assert!(!d.accepts(&[1]));
+    }
+
+    #[test]
+    fn bracket_symbol_with_comma() {
+        let d = lang("[S, E]*");
+        assert!(d.accepts(&[4, 4]));
+        assert!(d.accepts(&[]));
+    }
+
+    #[test]
+    fn errors_reported_with_offset() {
+        let e = parse_regex("p ) q", &resolver).unwrap_err();
+        assert!(matches!(e, AutomataError::Parse { .. }));
+        let e = parse_regex("zqz", &resolver).unwrap_err();
+        match e {
+            AutomataError::Parse { msg, .. } => assert!(msg.contains("zqz")),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_regex("(p", &resolver).is_err());
+        assert!(parse_regex("[P", &resolver).is_err());
+    }
+
+    #[test]
+    fn concatenation_via_dot() {
+        let d = lang("p·q.r");
+        assert!(d.accepts(&[1, 2, 3]));
+    }
+}

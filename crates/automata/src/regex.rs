@@ -1,0 +1,259 @@
+//! Regular expressions over a dense symbol alphabet `0..n`.
+//!
+//! Migration inventories are given by regular expressions over the set Ω
+//! of role sets (Section 3 of the paper); this module provides the AST,
+//! smart constructors performing light algebraic simplification, and
+//! rendering with caller-supplied symbol names.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// A regular expression over symbols `0..num_symbols` (the alphabet is
+/// implicit; symbol ids are plain `u32`s).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Regex {
+    /// The empty language ∅ (no words).
+    Empty,
+    /// The language {λ}.
+    Epsilon,
+    /// A single symbol.
+    Sym(u32),
+    /// Concatenation, in order.
+    Concat(Vec<Regex>),
+    /// Union (alternation).
+    Union(Vec<Regex>),
+    /// Kleene star.
+    Star(Arc<Regex>),
+}
+
+impl Regex {
+    /// Smart concatenation: flattens, drops ε factors, collapses to ∅ if
+    /// any factor is ∅.
+    #[must_use]
+    pub fn concat(parts: impl IntoIterator<Item = Regex>) -> Regex {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                Regex::Epsilon => {}
+                Regex::Empty => return Regex::Empty,
+                Regex::Concat(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Regex::Epsilon,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Concat(out),
+        }
+    }
+
+    /// Smart union: flattens, deduplicates, drops ∅ alternatives.
+    #[must_use]
+    pub fn union(parts: impl IntoIterator<Item = Regex>) -> Regex {
+        let mut out: Vec<Regex> = Vec::new();
+        for p in parts {
+            match p {
+                Regex::Empty => {}
+                Regex::Union(inner) => {
+                    for i in inner {
+                        if !out.contains(&i) {
+                            out.push(i);
+                        }
+                    }
+                }
+                other => {
+                    if !out.contains(&other) {
+                        out.push(other);
+                    }
+                }
+            }
+        }
+        match out.len() {
+            0 => Regex::Empty,
+            1 => out.pop().expect("len checked"),
+            _ => Regex::Union(out),
+        }
+    }
+
+    /// Smart star: `∅* = ε* = ε`; `(r*)* = r*`.
+    #[must_use]
+    pub fn star(inner: Regex) -> Regex {
+        match inner {
+            Regex::Empty | Regex::Epsilon => Regex::Epsilon,
+            s @ Regex::Star(_) => s,
+            other => Regex::Star(Arc::new(other)),
+        }
+    }
+
+    /// `r⁺ = r·r*` (the paper's `a⁺ = a a*`).
+    #[must_use]
+    pub fn plus(inner: Regex) -> Regex {
+        Regex::concat([inner.clone(), Regex::star(inner)])
+    }
+
+    /// `r? = r ∪ ε`.
+    #[must_use]
+    pub fn opt(inner: Regex) -> Regex {
+        Regex::union([inner, Regex::Epsilon])
+    }
+
+    /// Literal word `s₁ s₂ … sₖ`.
+    #[must_use]
+    pub fn word(symbols: impl IntoIterator<Item = u32>) -> Regex {
+        Regex::concat(symbols.into_iter().map(Regex::Sym))
+    }
+
+    /// Whether the language surely contains λ (syntactic check — exact for
+    /// expressions built by the smart constructors).
+    #[must_use]
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Sym(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(ps) => ps.iter().all(Regex::nullable),
+            Regex::Union(ps) => ps.iter().any(Regex::nullable),
+        }
+    }
+
+    /// The largest symbol id mentioned, if any — useful for choosing an
+    /// automaton alphabet size.
+    #[must_use]
+    pub fn max_symbol(&self) -> Option<u32> {
+        match self {
+            Regex::Empty | Regex::Epsilon => None,
+            Regex::Sym(s) => Some(*s),
+            Regex::Concat(ps) | Regex::Union(ps) => {
+                ps.iter().filter_map(Regex::max_symbol).max()
+            }
+            Regex::Star(p) => p.max_symbol(),
+        }
+    }
+
+    /// Number of AST nodes (size measure for benches).
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Sym(_) => 1,
+            Regex::Concat(ps) | Regex::Union(ps) => {
+                1 + ps.iter().map(Regex::size).sum::<usize>()
+            }
+            Regex::Star(p) => 1 + p.size(),
+        }
+    }
+
+    /// Render with a symbol-naming function (precedence-aware).
+    #[must_use]
+    pub fn display_with(&self, name: &dyn Fn(u32) -> String) -> String {
+        fn go(r: &Regex, name: &dyn Fn(u32) -> String, out: &mut String, prec: u8) {
+            // prec: 0 = union context, 1 = concat, 2 = star operand.
+            match r {
+                Regex::Empty => out.push('∅'),
+                Regex::Epsilon => out.push('λ'),
+                Regex::Sym(s) => {
+                    let _ = write!(out, "{}", name(*s));
+                }
+                Regex::Concat(ps) => {
+                    let need = prec >= 2;
+                    if need {
+                        out.push('(');
+                    }
+                    for (i, p) in ps.iter().enumerate() {
+                        if i > 0 {
+                            out.push(' ');
+                        }
+                        go(p, name, out, 1);
+                    }
+                    if need {
+                        out.push(')');
+                    }
+                }
+                Regex::Union(ps) => {
+                    let need = prec >= 1;
+                    if need {
+                        out.push('(');
+                    }
+                    for (i, p) in ps.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(" | ");
+                        }
+                        go(p, name, out, 0);
+                    }
+                    if need {
+                        out.push(')');
+                    }
+                }
+                Regex::Star(p) => {
+                    go(p, name, out, 2);
+                    out.push('*');
+                }
+            }
+        }
+        let mut s = String::new();
+        go(self, name, &mut s, 0);
+        s
+    }
+}
+
+impl std::fmt::Display for Regex {
+    /// Default rendering with numeric symbol names `s0, s1, …`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.display_with(&|s| format!("s{s}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_constructors_simplify() {
+        assert_eq!(Regex::concat([Regex::Epsilon, Regex::Sym(1)]), Regex::Sym(1));
+        assert_eq!(Regex::concat([Regex::Sym(1), Regex::Empty]), Regex::Empty);
+        assert_eq!(Regex::union([Regex::Empty, Regex::Sym(1)]), Regex::Sym(1));
+        assert_eq!(Regex::union([Regex::Sym(1), Regex::Sym(1)]), Regex::Sym(1));
+        assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
+        assert_eq!(Regex::star(Regex::star(Regex::Sym(0))), Regex::star(Regex::Sym(0)));
+        // Nested flattening.
+        let c = Regex::concat([
+            Regex::concat([Regex::Sym(0), Regex::Sym(1)]),
+            Regex::Sym(2),
+        ]);
+        assert_eq!(c, Regex::Concat(vec![Regex::Sym(0), Regex::Sym(1), Regex::Sym(2)]));
+    }
+
+    #[test]
+    fn nullable() {
+        assert!(Regex::Epsilon.nullable());
+        assert!(!Regex::Sym(0).nullable());
+        assert!(Regex::star(Regex::Sym(0)).nullable());
+        assert!(Regex::opt(Regex::Sym(0)).nullable());
+        assert!(!Regex::plus(Regex::Sym(0)).nullable());
+        assert!(Regex::concat([Regex::star(Regex::Sym(0)), Regex::Epsilon]).nullable());
+    }
+
+    #[test]
+    fn display_respects_precedence() {
+        let r = Regex::concat([
+            Regex::Sym(0),
+            Regex::star(Regex::union([Regex::Sym(1), Regex::Sym(2)])),
+        ]);
+        assert_eq!(r.to_string(), "s0 (s1 | s2)*");
+        let r2 = Regex::star(Regex::concat([Regex::Sym(0), Regex::Sym(1)]));
+        assert_eq!(r2.to_string(), "(s0 s1)*");
+    }
+
+    #[test]
+    fn size_and_max_symbol() {
+        let r = Regex::plus(Regex::Sym(4));
+        assert_eq!(r.max_symbol(), Some(4));
+        assert!(r.size() >= 3);
+        assert_eq!(Regex::Epsilon.max_symbol(), None);
+    }
+
+    #[test]
+    fn word_builder() {
+        let w = Regex::word([1, 2, 1]);
+        assert_eq!(w, Regex::Concat(vec![Regex::Sym(1), Regex::Sym(2), Regex::Sym(1)]));
+        assert_eq!(Regex::word([]), Regex::Epsilon);
+    }
+}

@@ -1,0 +1,133 @@
+//! Random sampling of accepted words — used by the property-test and
+//! benchmark workloads ("pick a random legal migration pattern").
+
+use crate::dfa::Dfa;
+use rand::{Rng, RngExt as _};
+
+/// Sample a word accepted by `dfa`, uniformly among all accepted words of
+/// length ≤ `max_len` (counted without saturation caveats for the modest
+/// lengths used here). Returns `None` when no word of length ≤ `max_len`
+/// is accepted.
+pub fn sample_word<R: Rng + ?Sized>(dfa: &Dfa, max_len: usize, rng: &mut R) -> Option<Vec<u32>> {
+    let n = dfa.num_states();
+    let ns = dfa.num_symbols() as usize;
+    // counts[k][q] = number of accepted words of length exactly k starting
+    // from state q.
+    let mut counts: Vec<Vec<u64>> = Vec::with_capacity(max_len + 1);
+    let mut base = vec![0u64; n];
+    for (q, slot) in base.iter_mut().enumerate() {
+        *slot = u64::from(dfa.is_accepting(q as u32));
+    }
+    counts.push(base);
+    for k in 1..=max_len {
+        let prev = &counts[k - 1];
+        let mut cur = vec![0u64; n];
+        for (q, slot) in cur.iter_mut().enumerate() {
+            let mut acc = 0u64;
+            for s in 0..ns {
+                acc = acc.saturating_add(prev[dfa.step(q as u32, s as u32) as usize]);
+            }
+            *slot = acc;
+        }
+        counts.push(cur);
+    }
+
+    let total: u64 = (0..=max_len)
+        .map(|k| counts[k][dfa.start() as usize])
+        .fold(0, u64::saturating_add);
+    if total == 0 {
+        return None;
+    }
+    // Choose a length weighted by word counts.
+    let mut pick = rng.random_range(0..total);
+    let mut len = 0;
+    for (k, row) in counts.iter().enumerate() {
+        let c = row[dfa.start() as usize];
+        if pick < c {
+            len = k;
+            break;
+        }
+        pick -= c;
+    }
+
+    // Walk the DFA, choosing symbols weighted by remaining counts.
+    let mut word = Vec::with_capacity(len);
+    let mut q = dfa.start();
+    for k in (1..=len).rev() {
+        let mut weights = Vec::with_capacity(ns);
+        let mut sum = 0u64;
+        for s in 0..ns {
+            let w = counts[k - 1][dfa.step(q, s as u32) as usize];
+            weights.push(w);
+            sum = sum.saturating_add(w);
+        }
+        debug_assert!(sum > 0, "counting table inconsistent");
+        let mut r = rng.random_range(0..sum);
+        let mut chosen = 0;
+        for (s, &w) in weights.iter().enumerate() {
+            if r < w {
+                chosen = s;
+                break;
+            }
+            r -= w;
+        }
+        word.push(chosen as u32);
+        q = dfa.step(q, chosen as u32);
+    }
+    debug_assert!(dfa.is_accepting(q));
+    Some(word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::Nfa;
+    use crate::regex::Regex;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn samples_are_accepted() {
+        let r = Regex::concat([
+            Regex::plus(Regex::Sym(0)),
+            Regex::star(Regex::union([Regex::Sym(1), Regex::Sym(2)])),
+        ]);
+        let d = Dfa::from_nfa(&Nfa::from_regex(&r, 3));
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..200 {
+            let w = sample_word(&d, 8, &mut rng).expect("language non-empty");
+            assert!(d.accepts(&w), "sampled word {w:?} rejected");
+            assert!(w.len() <= 8);
+        }
+    }
+
+    #[test]
+    fn empty_language_yields_none() {
+        let d = Dfa::empty_language(2);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_word(&d, 10, &mut rng), None);
+    }
+
+    #[test]
+    fn single_word_language_is_deterministic() {
+        let d = Dfa::from_nfa(&Nfa::from_regex(&Regex::word([1, 0, 1]), 2));
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(sample_word(&d, 5, &mut rng), Some(vec![1, 0, 1]));
+        }
+    }
+
+    #[test]
+    fn sampling_covers_the_language() {
+        // {0, 1}: both words should appear over many draws.
+        let d = Dfa::from_nfa(&Nfa::from_regex(
+            &Regex::union([Regex::Sym(0), Regex::Sym(1)]),
+            2,
+        ));
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            seen.insert(sample_word(&d, 3, &mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 2);
+    }
+}

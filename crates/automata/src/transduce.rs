@@ -1,0 +1,211 @@
+//! Images of regular languages under the paper's word functions
+//! `f_rr` (remove repeats) and `f_rei` (remove empty initial).
+//!
+//! Section 3 defines, for a language of migration patterns `L`:
+//!
+//! * `L^rr = f_rr(L)` — collapse runs of identical role sets to a single
+//!   occurrence (focus on role *changes*);
+//! * `f_rei(L)` — drop the leading run of ∅ symbols (focus on the life
+//!   after creation; `𝓛ᵢₘₘ(Σ) = f_rei(𝓛(Σ))`).
+//!
+//! Both are rational functions, so the image of a regular set is regular;
+//! the constructions below build image NFAs directly.
+
+use crate::nfa::{Nfa, StateId};
+
+/// Apply `f_rr` to a word: collapse each maximal run of equal symbols.
+#[must_use]
+pub fn f_rr_word(w: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(w.len());
+    for &s in w {
+        if out.last() != Some(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Apply `f_rei` to a word: remove the maximal prefix of `empty_sym`s.
+#[must_use]
+pub fn f_rei_word(w: &[u32], empty_sym: u32) -> Vec<u32> {
+    let k = w.iter().take_while(|&&s| s == empty_sym).count();
+    w[k..].to_vec()
+}
+
+/// The image NFA for `f_rr(L(a))`.
+///
+/// States are pairs `(q, last)` where `last` is the symbol most recently
+/// *emitted* (`None` initially). Reading `x ≠ last` simulates emitting `x`;
+/// a *silent* (ε) move simulates the input word containing an additional
+/// repeat of `last` that `f_rr` deletes. A word `v` is accepted iff `v` is
+/// repeat-free and some `w` with `f_rr(w) = v` is accepted by `a`.
+#[must_use]
+pub fn f_rr_image(a: &Nfa) -> Nfa {
+    let ns = a.num_symbols();
+    let n = a.num_states() as u32;
+    // State encoding: (q, last) → q * (ns+1) + (last+1 or 0).
+    let enc = |q: StateId, last: Option<u32>| -> StateId {
+        q * (ns + 1) + last.map_or(0, |l| l + 1)
+    };
+    let mut out = Nfa::empty(ns);
+    for q in 0..n {
+        for _last in 0..=ns {
+            out.add_state(a.is_accepting(q));
+        }
+    }
+    for q in 0..n {
+        // ε-transitions of `a` preserve `last`.
+        for t in a.eps_transitions(q) {
+            for last in 0..=ns {
+                let l = if last == 0 { None } else { Some(last - 1) };
+                out.add_eps(enc(q, l), enc(t, l));
+            }
+        }
+        for (s, t) in a.transitions(q) {
+            for last in 0..=ns {
+                let l = if last == 0 { None } else { Some(last - 1) };
+                if l == Some(s) {
+                    // Input repeats `s`: deleted by f_rr — silent move.
+                    out.add_eps(enc(q, l), enc(t, l));
+                } else {
+                    // Emit s.
+                    out.add_transition(enc(q, l), s, enc(t, Some(s)));
+                }
+            }
+        }
+    }
+    for &s in a.starts() {
+        out.add_start(enc(s, None));
+    }
+    out.trim()
+}
+
+/// The image NFA for `f_rei(L(a))` with respect to `empty_sym`.
+///
+/// Two phases: in phase 0 (still inside the leading ∅-run) reading
+/// `empty_sym` in the input is silent; the first non-∅ symbol switches to
+/// phase 1, where everything is read verbatim.
+#[must_use]
+pub fn f_rei_image(a: &Nfa, empty_sym: u32) -> Nfa {
+    let ns = a.num_symbols();
+    let n = a.num_states() as u32;
+    let enc = |q: StateId, phase: u32| -> StateId { q * 2 + phase };
+    let mut out = Nfa::empty(ns);
+    for q in 0..n {
+        for _phase in 0..2 {
+            out.add_state(a.is_accepting(q));
+        }
+    }
+    for q in 0..n {
+        for t in a.eps_transitions(q) {
+            out.add_eps(enc(q, 0), enc(t, 0));
+            out.add_eps(enc(q, 1), enc(t, 1));
+        }
+        for (s, t) in a.transitions(q) {
+            if s == empty_sym {
+                // Leading ∅: silently swallowed in phase 0.
+                out.add_eps(enc(q, 0), enc(t, 0));
+            } else {
+                // First non-∅ symbol: phase switch.
+                out.add_transition(enc(q, 0), s, enc(t, 1));
+            }
+            out.add_transition(enc(q, 1), s, enc(t, 1));
+        }
+    }
+    for &s in a.starts() {
+        out.add_start(enc(s, 0));
+    }
+    out.trim()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::Dfa;
+    use crate::regex::Regex;
+
+    fn nfa(r: Regex) -> Nfa {
+        Nfa::from_regex(&r, 3)
+    }
+
+    #[test]
+    fn word_functions() {
+        assert_eq!(f_rr_word(&[0, 0, 1, 1, 1, 0]), vec![0, 1, 0]);
+        assert_eq!(f_rr_word(&[]), Vec::<u32>::new());
+        assert_eq!(f_rr_word(&[2]), vec![2]);
+        assert_eq!(f_rei_word(&[0, 0, 1, 0], 0), vec![1, 0]);
+        assert_eq!(f_rei_word(&[0, 0], 0), Vec::<u32>::new());
+        assert_eq!(f_rei_word(&[1, 0], 0), vec![1, 0]);
+    }
+
+    #[test]
+    fn f_rr_image_of_repeats() {
+        // L = 0 0* 1 1* ⇒ f_rr(L) = {01}.
+        let l = nfa(Regex::concat([
+            Regex::plus(Regex::Sym(0)),
+            Regex::plus(Regex::Sym(1)),
+        ]));
+        let img = f_rr_image(&l);
+        assert!(img.accepts(&[0, 1]));
+        assert!(!img.accepts(&[0, 0, 1]), "image contains only repeat-free words");
+        assert!(!img.accepts(&[0]));
+        assert!(!img.accepts(&[1, 0]));
+    }
+
+    #[test]
+    fn f_rr_image_exhaustive_check() {
+        // Compare the image automaton with the direct image of enumerated
+        // words, for L = (0|1)(0|1)(0|1).
+        let sym01 = Regex::union([Regex::Sym(0), Regex::Sym(1)]);
+        let l = nfa(Regex::concat([sym01.clone(), sym01.clone(), sym01]));
+        let img = f_rr_image(&l);
+        let dl = Dfa::from_nfa(&l);
+        let expected: std::collections::BTreeSet<Vec<u32>> =
+            dl.enumerate(5, 1000).iter().map(|w| f_rr_word(w)).collect();
+        let got: std::collections::BTreeSet<Vec<u32>> =
+            Dfa::from_nfa(&img).enumerate(5, 1000).into_iter().collect();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn f_rei_image_strips_leading_empty() {
+        // L = 0*12 with ∅ = 0 ⇒ image = {12}.
+        let l = nfa(Regex::concat([Regex::star(Regex::Sym(0)), Regex::word([1, 2])]));
+        let img = f_rei_image(&l, 0);
+        assert!(img.accepts(&[1, 2]));
+        assert!(!img.accepts(&[0, 1, 2]));
+        assert!(!img.accepts(&[2]));
+    }
+
+    #[test]
+    fn f_rei_keeps_internal_empties() {
+        // L = 0 1 0 2 with ∅ = 0 ⇒ image = {1 0 2}.
+        let l = nfa(Regex::word([0, 1, 0, 2]));
+        let img = f_rei_image(&l, 0);
+        assert!(img.accepts(&[1, 0, 2]));
+        assert!(!img.accepts(&[1, 2]));
+    }
+
+    #[test]
+    fn f_rei_lambda_case() {
+        // L = 0* ⇒ image = {λ}.
+        let l = nfa(Regex::star(Regex::Sym(0)));
+        let img = f_rei_image(&l, 0);
+        assert!(img.accepts(&[]));
+        assert!(!img.accepts(&[0]));
+        assert!(!img.accepts(&[1]));
+    }
+
+    #[test]
+    fn rr_and_rei_commute_on_images() {
+        // Paper (Section 3): f_rr and f_rei commute. Check on an example
+        // language: L = 0 0 1 1 0* with ∅ = 0.
+        let l = nfa(Regex::concat([
+            Regex::word([0, 0, 1, 1]),
+            Regex::star(Regex::Sym(0)),
+        ]));
+        let a = Dfa::from_nfa(&f_rr_image(&f_rei_image(&l, 0)));
+        let b = Dfa::from_nfa(&f_rei_image(&f_rr_image(&l), 0));
+        assert!(a.equivalent(&b));
+    }
+}

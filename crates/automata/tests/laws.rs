@@ -1,0 +1,164 @@
+//! Algebraic laws of the regular-language toolkit, property-tested over
+//! random regular expressions. These are the closure properties the
+//! paper's proofs lean on ("the family of regular sets is closed under
+//! homomorphism", effective inclusion tests, etc.) — each law is checked
+//! both at the automaton level (language equivalence) and against raw
+//! word membership.
+
+use migratory_automata::{
+    dfa_to_regex, nfa_witness_not_subset, Dfa, Nfa, Regex,
+};
+use proptest::prelude::*;
+
+const SYMS: u32 = 3;
+
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        Just(Regex::Empty),
+        (0u32..SYMS).prop_map(Regex::Sym),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::union),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+fn word_strategy() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..SYMS, 0..7)
+}
+
+fn dfa(r: &Regex) -> Dfa {
+    Dfa::from_nfa(&Nfa::from_regex(r, SYMS))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn minimization_preserves_language(r in regex_strategy(), w in word_strategy()) {
+        let d = dfa(&r);
+        let m = d.minimize();
+        prop_assert!(d.equivalent(&m));
+        prop_assert_eq!(d.accepts(&w), m.accepts(&w));
+        prop_assert!(m.num_states() <= d.num_states());
+    }
+
+    #[test]
+    fn complement_is_an_involution(r in regex_strategy(), w in word_strategy()) {
+        let d = dfa(&r);
+        let cc = d.complement().complement();
+        prop_assert!(d.equivalent(&cc));
+        prop_assert_eq!(d.accepts(&w), !d.complement().accepts(&w));
+    }
+
+    #[test]
+    fn de_morgan(a in regex_strategy(), b in regex_strategy()) {
+        let (da, db) = (dfa(&a), dfa(&b));
+        let left = da.union(&db).complement();
+        let right = da.complement().intersect(&db.complement());
+        prop_assert!(left.equivalent(&right));
+    }
+
+    #[test]
+    fn boolean_ops_match_membership(
+        a in regex_strategy(),
+        b in regex_strategy(),
+        w in word_strategy(),
+    ) {
+        let (da, db) = (dfa(&a), dfa(&b));
+        let (x, y) = (da.accepts(&w), db.accepts(&w));
+        prop_assert_eq!(da.union(&db).accepts(&w), x || y);
+        prop_assert_eq!(da.intersect(&db).accepts(&w), x && y);
+        prop_assert_eq!(da.difference(&db).accepts(&w), x && !y);
+    }
+
+    #[test]
+    fn subset_laws(a in regex_strategy(), b in regex_strategy()) {
+        let (da, db) = (dfa(&a), dfa(&b));
+        prop_assert!(da.intersect(&db).is_subset_of(&da));
+        prop_assert!(da.is_subset_of(&da.union(&db)));
+        // Witnesses are sound.
+        if let Some(w) = da.witness_not_subset(&db) {
+            prop_assert!(da.accepts(&w) && !db.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn on_the_fly_inclusion_agrees(a in regex_strategy(), b in regex_strategy()) {
+        let na = Nfa::from_regex(&a, SYMS);
+        let db = dfa(&b);
+        let fly = nfa_witness_not_subset(&na, &db).expect("same alphabet");
+        let heavy = Dfa::from_nfa(&na).witness_not_subset(&db);
+        prop_assert_eq!(fly.is_none(), heavy.is_none());
+        if let Some(w) = fly {
+            prop_assert!(na.accepts(&w) && !db.accepts(&w));
+        }
+    }
+
+    #[test]
+    fn prefix_closure_contains_all_prefixes(r in regex_strategy(), w in word_strategy()) {
+        let n = Nfa::from_regex(&r, SYMS);
+        let closed = Dfa::from_nfa(&n.prefix_closure());
+        if n.accepts(&w) {
+            for k in 0..=w.len() {
+                prop_assert!(closed.accepts(&w[..k]), "prefix of length {k} missing");
+            }
+        }
+        // Idempotent.
+        let twice = Dfa::from_nfa(&closed.to_nfa().prefix_closure());
+        prop_assert!(closed.equivalent(&twice));
+    }
+
+    #[test]
+    fn reverse_is_an_involution(r in regex_strategy(), w in word_strategy()) {
+        let n = Nfa::from_regex(&r, SYMS);
+        let back = Dfa::from_nfa(&n.reverse().reverse());
+        prop_assert!(dfa(&r).equivalent(&back));
+        let mut rev = w.clone();
+        rev.reverse();
+        prop_assert_eq!(n.accepts(&w), Dfa::from_nfa(&n.reverse()).accepts(&rev));
+    }
+
+    #[test]
+    fn state_elimination_round_trips(r in regex_strategy()) {
+        let d = dfa(&r).minimize();
+        let back = dfa(&dfa_to_regex(&d));
+        prop_assert!(d.equivalent(&back), "state elimination changed the language");
+    }
+
+    #[test]
+    fn count_words_matches_enumeration(r in regex_strategy()) {
+        let d = dfa(&r).minimize();
+        let counts = d.count_words(4);
+        let words = d.enumerate(4, usize::MAX);
+        for len in 0..=4usize {
+            let n = words.iter().filter(|w| w.len() == len).count() as u64;
+            prop_assert_eq!(counts[len], n, "length {} disagreement", len);
+        }
+    }
+
+    #[test]
+    fn rational_combinators_match_membership(
+        a in regex_strategy(),
+        b in regex_strategy(),
+        w in word_strategy(),
+    ) {
+        use migratory_automata::{concat, star, union};
+        let (na, nb) = (Nfa::from_regex(&a, SYMS), Nfa::from_regex(&b, SYMS));
+        // Union agrees with the DFA-level union.
+        let u = Dfa::from_nfa(&union(&na, &nb).expect("same alphabet"));
+        prop_assert_eq!(u.accepts(&w), na.accepts(&w) || nb.accepts(&w));
+        // Concat: every split agrees.
+        let c = Dfa::from_nfa(&concat(&na, &nb).expect("same alphabet"));
+        let split_ok =
+            (0..=w.len()).any(|k| na.accepts(&w[..k]) && nb.accepts(&w[k..]));
+        prop_assert_eq!(c.accepts(&w), split_ok);
+        // Star accepts iff the regex-level star does.
+        let s = Dfa::from_nfa(&star(&na));
+        prop_assert_eq!(s.accepts(&w), dfa(&Regex::star(a.clone())).accepts(&w));
+    }
+}

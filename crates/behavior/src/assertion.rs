@@ -1,0 +1,184 @@
+//! Assertions over classes (Definition 5.2): conjunctions of `A = a` and
+//! `A = B` atoms, evaluated on objects and — crucially for decidability —
+//! on separator vertices, where every object matching a vertex gives the
+//! same answer ("for each vertex … either all objects matching the vertex
+//! satisfy the assertion, or none", proof of Theorem 5.1).
+
+use migratory_core::separator::{attrs_of_role, Choice, VertexKey};
+use migratory_core::RoleAlphabet;
+use migratory_model::{AttrId, ClassId, Instance, Oid, Schema, Value};
+
+/// An atomic assertion.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AssertionAtom {
+    /// `A = a` for a constant.
+    EqConst(AttrId, Value),
+    /// `A = B` between two attributes of the class.
+    EqAttr(AttrId, AttrId),
+}
+
+/// A conjunction of atomic assertions over one class.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Assertion {
+    /// The class `P` the assertion speaks about.
+    pub class: ClassId,
+    /// The conjuncts (empty = the always-true assertion ρ = ∅).
+    pub atoms: Vec<AssertionAtom>,
+}
+
+impl Assertion {
+    /// The trivial assertion on a class.
+    #[must_use]
+    pub fn trivial(class: ClassId) -> Self {
+        Assertion { class, atoms: Vec::new() }
+    }
+
+    /// The constants mentioned (to refine the analyzer's hyperplanes).
+    #[must_use]
+    pub fn constants(&self) -> Vec<Value> {
+        self.atoms
+            .iter()
+            .filter_map(|a| match a {
+                AssertionAtom::EqConst(_, v) => Some(v.clone()),
+                AssertionAtom::EqAttr(..) => None,
+            })
+            .collect()
+    }
+
+    /// Whether an object satisfies the assertion (`o ⊨ ρ`).
+    #[must_use]
+    pub fn satisfied_by(&self, db: &Instance, o: Oid) -> bool {
+        if !db.role_set(o).contains(self.class) {
+            return false;
+        }
+        self.atoms.iter().all(|a| match a {
+            AssertionAtom::EqConst(attr, v) => db.value(o, *attr) == Some(v),
+            AssertionAtom::EqAttr(x, y) => {
+                db.value(o, *x).is_some() && db.value(o, *x) == db.value(o, *y)
+            }
+        })
+    }
+
+    /// Whether every object matching `key` satisfies the assertion
+    /// (equivalently: some object does — vertices are assertion-uniform
+    /// once the assertion's constants are part of the separator's `C`).
+    #[must_use]
+    pub fn satisfied_by_vertex(
+        &self,
+        schema: &Schema,
+        alphabet: &RoleAlphabet,
+        constants: &[Value],
+        key: &VertexKey,
+    ) -> bool {
+        let role = alphabet.role_set(key.role);
+        if !role.contains(self.class) {
+            return false;
+        }
+        let attrs = attrs_of_role(schema, role);
+        let pos = |a: AttrId| attrs.iter().position(|&x| x == a);
+        // Free attributes are numbered consecutively for partition lookup.
+        let free_index = |i: usize| -> usize {
+            key.choices[..i].iter().filter(|c| **c == Choice::Free).count()
+        };
+        self.atoms.iter().all(|atom| match atom {
+            AssertionAtom::EqConst(a, v) => {
+                let Some(i) = pos(*a) else { return false };
+                match key.choices[i] {
+                    Choice::Eq(ci) => constants.get(ci as usize) == Some(v),
+                    // Free means "differs from every constant of C"; the
+                    // assertion's constants are required to be in C.
+                    Choice::Free => false,
+                }
+            }
+            AssertionAtom::EqAttr(x, y) => {
+                let (Some(i), Some(j)) = (pos(*x), pos(*y)) else { return false };
+                match (key.choices[i], key.choices[j]) {
+                    (Choice::Eq(a), Choice::Eq(b)) => a == b,
+                    (Choice::Free, Choice::Free) => {
+                        key.partition[free_index(i)] == key.partition[free_index(j)]
+                    }
+                    _ => false,
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use migratory_core::separator::vertex_of;
+    use migratory_model::{ClassSet, SchemaBuilder};
+    use std::collections::BTreeMap;
+
+    fn setup() -> (Schema, RoleAlphabet, ClassId, AttrId, AttrId) {
+        let mut b = SchemaBuilder::new();
+        let p = b.class("P", &["A", "B"]).unwrap();
+        let schema = b.build().unwrap();
+        let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+        let a = schema.attr_id("A").unwrap();
+        let bb = schema.attr_id("B").unwrap();
+        (schema, alphabet, p, a, bb)
+    }
+
+    fn mk_db(p: ClassId, a: AttrId, b: AttrId, va: Value, vb: Value) -> Instance {
+        let mut db = Instance::empty();
+        db.create(ClassSet::singleton(p), BTreeMap::from([(a, va), (b, vb)]));
+        db
+    }
+
+    #[test]
+    fn object_level_evaluation() {
+        let (_, _, p, a, b) = setup();
+        let db = mk_db(p, a, b, Value::int(1), Value::int(1));
+        let eq_const = Assertion { class: p, atoms: vec![AssertionAtom::EqConst(a, Value::int(1))] };
+        let eq_attr = Assertion { class: p, atoms: vec![AssertionAtom::EqAttr(a, b)] };
+        assert!(eq_const.satisfied_by(&db, Oid(1)));
+        assert!(eq_attr.satisfied_by(&db, Oid(1)));
+        let db2 = mk_db(p, a, b, Value::int(1), Value::int(2));
+        assert!(!Assertion { class: p, atoms: vec![AssertionAtom::EqAttr(a, b)] }
+            .satisfied_by(&db2, Oid(1)));
+        assert!(Assertion::trivial(p).satisfied_by(&db, Oid(1)));
+        assert!(!Assertion::trivial(p).satisfied_by(&db, Oid(9)));
+    }
+
+    #[test]
+    fn vertex_level_matches_object_level() {
+        let (schema, alphabet, p, a, b) = setup();
+        let constants = vec![Value::int(1)];
+        let assertions = [
+            Assertion { class: p, atoms: vec![AssertionAtom::EqConst(a, Value::int(1))] },
+            Assertion { class: p, atoms: vec![AssertionAtom::EqAttr(a, b)] },
+            Assertion::trivial(p),
+        ];
+        let dbs = [
+            mk_db(p, a, b, Value::int(1), Value::int(1)),
+            mk_db(p, a, b, Value::int(1), Value::int(9)),
+            mk_db(p, a, b, Value::int(7), Value::int(7)),
+            mk_db(p, a, b, Value::int(7), Value::int(8)),
+        ];
+        for db in &dbs {
+            let key = vertex_of(&schema, &alphabet, &constants, db, Oid(1)).unwrap();
+            for asrt in &assertions {
+                assert_eq!(
+                    asrt.satisfied_by(db, Oid(1)),
+                    asrt.satisfied_by_vertex(&schema, &alphabet, &constants, &key),
+                    "vertex/object disagreement for {asrt:?} on {db:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constants_collected() {
+        let (_, _, p, a, b) = setup();
+        let asrt = Assertion {
+            class: p,
+            atoms: vec![
+                AssertionAtom::EqConst(a, Value::int(5)),
+                AssertionAtom::EqAttr(a, b),
+            ],
+        };
+        assert_eq!(asrt.constants(), vec![Value::int(5)]);
+    }
+}

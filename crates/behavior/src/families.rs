@@ -1,0 +1,564 @@
+//! Pattern families of inflow and script schemas — Section 5's closing
+//! remark made executable.
+//!
+//! The paper ends Section 5 observing that the precedence construct
+//! "does not yield richer expressiveness in terms of migration patterns":
+//! ordering the transactions of an SL schema only *restricts* which
+//! walks of its migration graph occur, a regular restriction. This module
+//! proves it constructively: [`flow_families`] builds, for every
+//! [`FlowSchema`], the four pattern-family DFAs by a product of the
+//! analyzer's migration graph (Theorem 3.2(1)) with the precedence
+//! relation — so the families stay regular, and with the complete
+//! relation they coincide with the plain schema's.
+//!
+//! The two interpretations differ in what the product threads through:
+//!
+//! * **inflow** (Definition 5.1, global order): *every* application —
+//!   including those that only repeat a role set, and those applied
+//!   before the object exists or after it is deleted — consumes a step of
+//!   the precedence relation, so the product state is
+//!   (phase, last applied transaction);
+//! * **script** (Definition 5.3, per-object order): only applications
+//!   that *update the object* are chained; silent repetitions and the
+//!   pre-creation/post-deletion ∅-steps are free — they can always be
+//!   realized by applications touching only other, independent objects
+//!   (Lemma 3.5) — so the product threads the last *updating*
+//!   transaction.
+
+use crate::inflow::{FlowKind, FlowSchema};
+use migratory_automata::{Dfa, Nfa, Regex};
+use migratory_core::analyze::{analyze_with_witnesses, AnalyzeOptions, EdgeWitness, Families};
+use migratory_core::graph::{MigrationGraph, VS, VT};
+use migratory_core::{CoreError, PatternKind, RoleAlphabet};
+use migratory_model::Schema;
+
+/// Compute the four pattern families of a flow schema over one component
+/// (SL only; for CSL even plain satisfiability is undecidable,
+/// Corollary 4.7).
+///
+/// ```
+/// use migratory_behavior::{flow_families, FlowKind, FlowSchema};
+/// use migratory_core::{AnalyzeOptions, PatternKind, RoleAlphabet};
+/// use migratory_lang::parse_transactions;
+/// use migratory_model::{text::parse_schema, RoleSet};
+///
+/// let schema = parse_schema("schema S { class P { Id } }")?;
+/// let alphabet = RoleAlphabet::new(&schema, 0)?;
+/// let ts = parse_transactions(&schema, r#"
+///     transaction Mk(x) { create(P, { Id = x }); }
+///     transaction Rm(x) { delete(P, { Id = x }); }
+/// "#)?;
+/// // Deletions may only follow creations; nothing follows a deletion.
+/// let flow = FlowSchema::new(ts, &[("Mk", "Rm")], FlowKind::Inflow)?;
+/// let fams = flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default())?;
+/// let p = alphabet
+///     .symbol_of(RoleSet::closure_of_named(&schema, &["P"])?)
+///     .expect("[P] is a role set");
+/// let all = fams.of(PatternKind::All);
+/// assert!(all.accepts(&[p, alphabet.empty_symbol()]));
+/// assert!(!all.accepts(&[p, p, p]), "global runs stop after Mk; Rm");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn flow_families(
+    schema: &Schema,
+    alphabet: &RoleAlphabet,
+    flow: &FlowSchema,
+    opts: &AnalyzeOptions,
+) -> Result<Families, CoreError> {
+    let ns = alphabet.num_symbols();
+    if flow.transactions.is_empty() {
+        let lambda = Dfa::from_nfa(&Nfa::from_regex(&Regex::Epsilon, ns)).minimize();
+        return Ok(Families {
+            all: lambda.clone(),
+            imm: lambda.clone(),
+            pro: lambda.clone(),
+            lazy: lambda,
+        });
+    }
+    let (analysis, witnesses) =
+        analyze_with_witnesses(schema, alphabet, &flow.transactions, opts)?;
+    let build = |kind: PatternKind| -> Dfa {
+        let nfa = product_nfa(alphabet, &analysis.graph, &witnesses, flow, kind);
+        Dfa::from_nfa(&nfa).minimize()
+    };
+    Ok(Families {
+        all: build(PatternKind::All),
+        imm: build(PatternKind::ImmediateStart),
+        pro: build(PatternKind::Proper),
+        lazy: build(PatternKind::Lazy),
+    })
+}
+
+/// The product automaton of the migration graph with the precedence
+/// relation, for one pattern kind.
+///
+/// State layout (all states accepting — families are prefix-closed);
+/// contexts `l` range over `0..=n` with `0` = "no chained application
+/// yet" and `1 + t` = "transaction `t` was the last chained application":
+///
+/// * `pre(l)` — the object does not exist yet;
+/// * `pre_one(l)` — proper/lazy only: exactly one leading ∅ emitted;
+/// * `in(v, l)` — the object matches interior vertex `v`;
+/// * `post(l)` — the object has been deleted.
+fn product_nfa(
+    alphabet: &RoleAlphabet,
+    graph: &MigrationGraph,
+    witnesses: &[EdgeWitness],
+    flow: &FlowSchema,
+    kind: PatternKind,
+) -> Nfa {
+    let n = flow.transactions.len();
+    let ns = alphabet.num_symbols();
+    let empty = alphabet.empty_symbol();
+    let nv = graph.num_vertices(); // includes vs (0) and vt (1)
+    let script = flow.kind == FlowKind::Script;
+    let restrict_prefix = matches!(kind, PatternKind::Proper | PatternKind::Lazy);
+
+    let ctxs = n + 1;
+    let pre = |l: usize| l as u32;
+    let pre_one = |l: usize| (ctxs + l) as u32;
+    let inv = |v: u32, l: usize| (2 * ctxs + (v as usize - 2) * ctxs + l) as u32;
+    let post = |l: usize| (2 * ctxs + (nv - 2) * ctxs + l) as u32;
+
+    let mut nfa = Nfa::empty(ns);
+    for _ in 0..(3 * ctxs + (nv - 2) * ctxs) {
+        nfa.add_state(true);
+    }
+    nfa.add_start(pre(0));
+
+    // Whether transaction `b` may be chained after context `l`.
+    let ok = |l: usize, b: usize| l == 0 || flow.allows(l - 1, b);
+    let after = |b: usize| 1 + b;
+
+    // Pre-creation ∅ steps (an application fires while the object does
+    // not exist; under inflow it consumes the chain, under script it is a
+    // free filler touching other objects only).
+    if kind != PatternKind::ImmediateStart {
+        if restrict_prefix {
+            // At most one leading ∅ survives properness/laziness.
+            if script {
+                nfa.add_transition(pre(0), empty, pre_one(0));
+            } else {
+                for b in 0..n {
+                    nfa.add_transition(pre(0), empty, pre_one(after(b)));
+                }
+            }
+        } else if script {
+            nfa.add_transition(pre(0), empty, pre(0));
+        } else {
+            for l in 0..ctxs {
+                for b in 0..n {
+                    if ok(l, b) {
+                        nfa.add_transition(pre(l), empty, pre(after(b)));
+                    }
+                }
+            }
+        }
+    }
+
+    for w in witnesses {
+        let b = w.transaction;
+        if w.from == VS {
+            // Creation — always updates the object.
+            let lab = graph.label(w.to);
+            let to = inv(w.to, after(b));
+            if restrict_prefix {
+                nfa.add_transition(pre(0), lab, to);
+                if script {
+                    nfa.add_transition(pre_one(0), lab, to);
+                } else {
+                    for l in 1..ctxs {
+                        if ok(l, b) {
+                            nfa.add_transition(pre_one(l), lab, to);
+                        }
+                    }
+                }
+            } else if script {
+                nfa.add_transition(pre(0), lab, to);
+            } else {
+                for l in 0..ctxs {
+                    if ok(l, b) {
+                        nfa.add_transition(pre(l), lab, to);
+                    }
+                }
+            }
+        } else if w.to == VT {
+            // Deletion — updates the object, emits ∅, chained in both
+            // interpretations.
+            for l in 0..ctxs {
+                if ok(l, b) {
+                    nfa.add_transition(inv(w.from, l), empty, post(after(b)));
+                }
+            }
+        } else {
+            let include = match kind {
+                PatternKind::All | PatternKind::ImmediateStart => true,
+                PatternKind::Proper => w.updates_object,
+                PatternKind::Lazy => graph.label(w.from) != graph.label(w.to),
+            };
+            if !include {
+                continue;
+            }
+            let lab = graph.label(w.to);
+            if script && !w.updates_object {
+                // Silent per-object step: free, context unchanged.
+                for l in 0..ctxs {
+                    nfa.add_transition(inv(w.from, l), lab, inv(w.to, l));
+                }
+            } else {
+                for l in 0..ctxs {
+                    if ok(l, b) {
+                        nfa.add_transition(inv(w.from, l), lab, inv(w.to, after(b)));
+                    }
+                }
+            }
+        }
+    }
+
+    // Post-deletion ∅ steps (not under proper/lazy — a second trailing ∅
+    // leaves the object unchanged).
+    if matches!(kind, PatternKind::All | PatternKind::ImmediateStart) {
+        if script {
+            for l in 0..ctxs {
+                nfa.add_transition(post(l), empty, post(l));
+            }
+        } else {
+            for l in 0..ctxs {
+                for b in 0..n {
+                    if ok(l, b) {
+                        nfa.add_transition(post(l), empty, post(after(b)));
+                    }
+                }
+            }
+        }
+    }
+
+    nfa
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use migratory_core::analyze::analyze_families;
+    use migratory_lang::parse_transactions;
+    use migratory_model::SchemaBuilder;
+
+    /// P ⊇ S ⊇ G chain with one attribute (tiny separator space).
+    fn slim() -> (Schema, RoleAlphabet) {
+        let mut b = SchemaBuilder::new();
+        let p = b.class("P", &["Id"]).unwrap();
+        let s = b.subclass("S", &[p], &[]).unwrap();
+        b.subclass("G", &[s], &[]).unwrap();
+        let schema = b.build().unwrap();
+        let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+        (schema, alphabet)
+    }
+
+    const SLIM_TS: &str = r"
+        transaction Mk(x) { create(P, { Id = x }); }
+        transaction Up(x) { specialize(P, S, { Id = x }, {}); }
+        transaction Dn(x) { generalize(S, { Id = x }); }
+        transaction Rm(x) { delete(P, { Id = x }); }
+    ";
+
+    fn slim_flow(edges: &[(&str, &str)], kind: FlowKind) -> (Schema, RoleAlphabet, FlowSchema) {
+        let (schema, alphabet) = slim();
+        let ts = parse_transactions(&schema, SLIM_TS).unwrap();
+        let flow = FlowSchema::new(ts, edges, kind).unwrap();
+        (schema, alphabet, flow)
+    }
+
+    fn sym(schema: &Schema, alphabet: &RoleAlphabet, names: &[&str]) -> u32 {
+        alphabet
+            .symbol_of(migratory_model::RoleSet::closure_of_named(schema, names).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn complete_relation_equals_plain_families() {
+        // §5 closing remark, the degenerate direction: with every order
+        // allowed, the flow product must coincide with Theorem 3.2(1)'s
+        // plain families — for both interpretations and all four kinds.
+        let (schema, alphabet) = slim();
+        let ts = parse_transactions(&schema, SLIM_TS).unwrap();
+        let opts = AnalyzeOptions::default();
+        let (_, plain) = analyze_families(&schema, &alphabet, &ts, &opts).unwrap();
+        for fk in [FlowKind::Inflow, FlowKind::Script] {
+            let flow = FlowSchema::complete(ts.clone(), fk);
+            let fams = flow_families(&schema, &alphabet, &flow, &opts).unwrap();
+            for kind in PatternKind::ALL {
+                assert!(
+                    fams.of(kind).equivalent(plain.of(kind)),
+                    "{fk:?}/{kind} differs from the plain family"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flow_families_are_contained_in_plain_families() {
+        // Ordering only restricts: ∀E, family(Σ, E) ⊆ family(Σ).
+        let (schema, alphabet, flow) =
+            slim_flow(&[("Mk", "Up"), ("Up", "Rm")], FlowKind::Inflow);
+        let opts = AnalyzeOptions::default();
+        let (_, plain) =
+            analyze_families(&schema, &alphabet, &flow.transactions, &opts).unwrap();
+        let fams = flow_families(&schema, &alphabet, &flow, &opts).unwrap();
+        for kind in PatternKind::ALL {
+            assert!(fams.of(kind).is_subset_of(plain.of(kind)), "{kind} not contained");
+        }
+    }
+
+    #[test]
+    fn inflow_chain_restricts_patterns() {
+        // E = Mk→Up, Up→Rm: global runs are prefixes of Mk; Up; Rm.
+        let (schema, alphabet, flow) =
+            slim_flow(&[("Mk", "Up"), ("Up", "Rm")], FlowKind::Inflow);
+        let fams =
+            flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
+        let p = sym(&schema, &alphabet, &["P"]);
+        let s = sym(&schema, &alphabet, &["S"]);
+        let e = alphabet.empty_symbol();
+        let all = fams.of(PatternKind::All);
+        assert!(all.accepts(&[p, s, e]), "Mk; Up; Rm traces [P][S]∅");
+        assert!(all.accepts(&[p, s]));
+        assert!(all.accepts(&[p]));
+        assert!(
+            all.accepts(&[p, p]),
+            "Mk; Up(silent, non-matching key) is applicable and repeats [P]"
+        );
+        assert!(!all.accepts(&[p, e]), "deletion cannot follow creation directly");
+        assert!(!all.accepts(&[p, s, p]), "after Up only Rm may run, which cannot demote");
+        assert!(!all.accepts(&[p, s, e, e]), "Rm has no successor: runs stop after it");
+        assert!(!all.accepts(&[p, p, p, p]), "no applicable run has four steps");
+        // The ∅-prefix consumes the chain too: an object created on the
+        // second step needs Mk as a second application, but Mk has no
+        // predecessor in E.
+        assert!(!all.accepts(&[e, p]), "no second application can be Mk");
+    }
+
+    #[test]
+    fn script_frees_fillers_that_inflow_chains() {
+        // E = Mk→Rm only. Globally, every second application must be Rm
+        // and Rm has no successor, so inflow runs have at most two steps.
+        // Per object, silent fillers are free: a script run can repeat
+        // [P] indefinitely before the chained deletion.
+        let (schema, alphabet, flow) = slim_flow(&[("Mk", "Rm")], FlowKind::Inflow);
+        let opts = AnalyzeOptions::default();
+        let inflow_fams = flow_families(&schema, &alphabet, &flow, &opts).unwrap();
+        let script_flow = FlowSchema { kind: FlowKind::Script, ..flow };
+        let script_fams = flow_families(&schema, &alphabet, &script_flow, &opts).unwrap();
+        let p = sym(&schema, &alphabet, &["P"]);
+        let s = sym(&schema, &alphabet, &["S"]);
+        let e = alphabet.empty_symbol();
+        assert!(!inflow_fams.of(PatternKind::All).accepts(&[p, p, p]));
+        assert!(script_fams.of(PatternKind::All).accepts(&[p, p, p]));
+        assert!(script_fams.of(PatternKind::All).accepts(&[p, p, p, e]));
+        // The per-object chain still bites: Up never follows Mk in E, so
+        // no object is ever promoted under either interpretation.
+        assert!(!inflow_fams.of(PatternKind::All).accepts(&[p, s]));
+        assert!(!script_fams.of(PatternKind::All).accepts(&[p, s]));
+        // Both allow the chained lifecycle.
+        assert!(inflow_fams.of(PatternKind::All).accepts(&[p, e]));
+        assert!(script_fams.of(PatternKind::All).accepts(&[p, e]));
+        // For THIS relation inflow ⊆ script (every updating subsequence
+        // of a chained two-step run is itself chained). In general the
+        // two interpretations are *incomparable*: script frees filler
+        // steps but chains each object's updating subsequence directly,
+        // which a globally chained run can violate by interleaving
+        // updates to other objects — see `examples/course_workflow.rs`.
+        for kind in PatternKind::ALL {
+            assert!(inflow_fams
+                .of(kind)
+                .is_subset_of(script_fams.of(kind)));
+        }
+    }
+
+    #[test]
+    fn inflow_and_script_are_incomparable_in_general() {
+        // E chains Mk→Up→Rm→Dn. Globally, Mk; Up(x); Rm(other); Dn(x) is
+        // chained, and the silent Rm leaves object x untouched — so x's
+        // updating subsequence is Mk; Up; Dn with (Up, Dn) ∉ E: the
+        // pattern [P][S][S][P] is inflow-only. Conversely, an object
+        // created on step 2 (∅ prefix) is script-only, since Mk has no
+        // predecessor in E.
+        let (schema, alphabet, flow) =
+            slim_flow(&[("Mk", "Up"), ("Up", "Rm"), ("Rm", "Dn")], FlowKind::Inflow);
+        let opts = AnalyzeOptions::default();
+        let inflow_fams = flow_families(&schema, &alphabet, &flow, &opts).unwrap();
+        let script_flow = FlowSchema { kind: FlowKind::Script, ..flow };
+        let script_fams = flow_families(&schema, &alphabet, &script_flow, &opts).unwrap();
+        let all_i = inflow_fams.of(PatternKind::All);
+        let all_s = script_fams.of(PatternKind::All);
+        assert!(!all_i.is_subset_of(all_s), "an inflow-only pattern exists");
+        assert!(!all_s.is_subset_of(all_i), "a script-only pattern exists");
+        let p = sym(&schema, &alphabet, &["P"]);
+        let e = alphabet.empty_symbol();
+        assert!(all_s.accepts(&[e, p]), "free filler then create");
+        assert!(!all_i.accepts(&[e, p]), "nothing may precede Mk globally");
+    }
+
+    #[test]
+    fn families_stay_regular_and_prefix_closed() {
+        // §5 closing remark, main direction: the product is a DFA, i.e.
+        // regular by construction; check prefix closure as a sanity
+        // invariant of pattern families.
+        let (schema, alphabet, flow) =
+            slim_flow(&[("Mk", "Up"), ("Up", "Dn"), ("Dn", "Up")], FlowKind::Inflow);
+        let fams =
+            flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
+        for kind in PatternKind::ALL {
+            let dfa = fams.of(kind);
+            let closed = Dfa::from_nfa(&dfa.to_nfa().prefix_closure());
+            assert!(closed.is_subset_of(dfa), "{kind} family not prefix-closed");
+        }
+        // And the alternation shows up: [P][S][P][S]… is allowed.
+        let p = sym(&schema, &alphabet, &["P"]);
+        let s = sym(&schema, &alphabet, &["S"]);
+        let e = alphabet.empty_symbol();
+        assert!(fams.of(PatternKind::All).accepts(&[p, s, p, s, p]));
+        // Rm can only ever be the *first* application (it has no
+        // predecessor in E), so no non-trivial pattern reaches deletion:
+        assert!(!fams.of(PatternKind::All).accepts(&[p, s, e]));
+        // Mk creates into [P] only.
+        assert!(!fams.of(PatternKind::All).accepts(&[s]));
+    }
+
+    /// Brute-force oracle: enumerate every ground run of length ≤ `depth`
+    /// (values drawn from three fixed keys), keep those obeying the flow,
+    /// and collect every object's observed pattern (plus the virtual
+    /// never-created ∅ᵏ patterns). Ground truth for the product DFA.
+    fn bounded_flow_patterns(
+        schema: &Schema,
+        alphabet: &RoleAlphabet,
+        flow: &FlowSchema,
+        depth: usize,
+    ) -> std::collections::BTreeSet<Vec<u32>> {
+        use migratory_core::pattern::{observe, pattern_of};
+        use migratory_lang::{run, Assignment};
+        use migratory_model::{Instance, Oid, Value};
+
+        let ts = flow.transactions.transactions();
+        let values = ["k1", "k2", "k3"];
+        let mut apps: Vec<(usize, Assignment)> = Vec::new();
+        for (ti, t) in ts.iter().enumerate() {
+            assert!(t.params.len() <= 1, "oracle supports ≤1 parameter");
+            if t.params.is_empty() {
+                apps.push((ti, Assignment::empty()));
+            } else {
+                for v in values {
+                    apps.push((ti, Assignment::new(vec![Value::str(v)])));
+                }
+            }
+        }
+
+        let mut out = std::collections::BTreeSet::new();
+        out.insert(Vec::new());
+        // DFS over application sequences.
+        let mut stack: Vec<(Vec<usize>, Vec<Instance>)> =
+            vec![(Vec::new(), vec![Instance::empty()])];
+        while let Some((seq, trace)) = stack.pop() {
+            if seq.len() == depth {
+                continue;
+            }
+            for (ai, (ti, args)) in apps.iter().enumerate() {
+                let mut seq2 = seq.clone();
+                seq2.push(ai);
+                let next =
+                    run(schema, trace.last().unwrap(), &ts[*ti], args).unwrap();
+                let mut trace2 = trace.clone();
+                trace2.push(next);
+                // Does the extended run obey the flow?
+                let tids: Vec<usize> = seq2.iter().map(|&a| apps[a].0).collect();
+                let obeys = match flow.kind {
+                    FlowKind::Inflow => flow.is_applicable(&tids),
+                    FlowKind::Script => {
+                        // Per object: the updating subsequence chains.
+                        let max_oid = trace2.last().unwrap().next_oid().0;
+                        (1..=max_oid).all(|o| {
+                            let obs = observe(schema, alphabet, &trace2, Oid(o));
+                            let mut flags = Vec::new();
+                            for (i, st) in obs.iter().enumerate() {
+                                flags.push((tids[i], st.object_changed));
+                            }
+                            flow.obeys_for_object(&flags)
+                        })
+                    }
+                };
+                if !obeys {
+                    continue;
+                }
+                // Collect patterns of every object and the virtual one.
+                let max_oid = trace2.last().unwrap().next_oid().0;
+                for o in (1..=max_oid).chain([1 << 40]) {
+                    let obs = observe(schema, alphabet, &trace2, Oid(o));
+                    out.insert(pattern_of(&obs));
+                }
+                stack.push((seq2, trace2));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn product_matches_brute_force_inflow() {
+        let (schema, alphabet, flow) =
+            slim_flow(&[("Mk", "Up"), ("Up", "Rm"), ("Up", "Dn"), ("Dn", "Rm")], FlowKind::Inflow);
+        let fams =
+            flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
+        let depth = 4;
+        let observed = bounded_flow_patterns(&schema, &alphabet, &flow, depth);
+        let dfa = fams.of(PatternKind::All);
+        for w in &observed {
+            assert!(dfa.accepts(w), "observed pattern {w:?} missing from the product");
+        }
+        for w in dfa.enumerate(depth, 100_000) {
+            assert!(observed.contains(&w), "product pattern {w:?} never observed");
+        }
+    }
+
+    #[test]
+    fn product_matches_brute_force_script() {
+        let (schema, alphabet, flow) =
+            slim_flow(&[("Mk", "Up"), ("Up", "Rm")], FlowKind::Script);
+        let fams =
+            flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
+        let depth = 3;
+        let observed = bounded_flow_patterns(&schema, &alphabet, &flow, depth);
+        let dfa = fams.of(PatternKind::All);
+        for w in &observed {
+            assert!(dfa.accepts(w), "observed pattern {w:?} missing from the product");
+        }
+        for w in dfa.enumerate(depth, 100_000) {
+            assert!(observed.contains(&w), "product pattern {w:?} never observed");
+        }
+    }
+
+    #[test]
+    fn empty_flow_schema_yields_lambda() {
+        let (schema, alphabet) = slim();
+        let flow = FlowSchema::complete(
+            migratory_lang::TransactionSchema::new(),
+            FlowKind::Inflow,
+        );
+        let fams =
+            flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
+        for kind in PatternKind::ALL {
+            assert!(fams.of(kind).accepts(&[]));
+            assert!(!fams.of(kind).accepts(&[0]));
+        }
+    }
+
+    #[test]
+    fn immediate_start_has_no_leading_empty() {
+        let (schema, alphabet, flow) =
+            slim_flow(&[("Mk", "Mk"), ("Mk", "Rm")], FlowKind::Inflow);
+        let fams =
+            flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
+        let p = sym(&schema, &alphabet, &["P"]);
+        let e = alphabet.empty_symbol();
+        assert!(fams.of(PatternKind::All).accepts(&[e, p]), "created on step 2");
+        assert!(!fams.of(PatternKind::ImmediateStart).accepts(&[e, p]));
+        assert!(fams.of(PatternKind::ImmediateStart).accepts(&[p, p]));
+    }
+}

@@ -1,0 +1,149 @@
+//! Inflow and script schemas (Definitions 5.1 and 5.3): a transaction
+//! schema plus a precedence relation `E ⊆ Σ × Σ`.
+//!
+//! * **Inflow** (INSYDE-style): a sequence `T₁ … Tₙ` is *applicable* iff
+//!   every consecutive pair is in `E` — the order is global.
+//! * **Script** (TAXIS-style): the order applies per object — only the
+//!   subsequence of applications that *update* a given object must follow
+//!   `E`; applications leaving the object untouched are free.
+
+use migratory_lang::{LangError, Transaction, TransactionSchema};
+
+/// Whether the precedence relation is interpreted globally or per object.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlowKind {
+    /// Global ordering (Definition 5.1).
+    Inflow,
+    /// Per-object ordering (Definition 5.3).
+    Script,
+}
+
+/// A transaction schema with a precedence relation.
+#[derive(Clone, Debug)]
+pub struct FlowSchema {
+    /// The transactions.
+    pub transactions: TransactionSchema,
+    /// Precedence edges as pairs of transaction indices.
+    pub edges: Vec<(usize, usize)>,
+    /// Global or per-object interpretation.
+    pub kind: FlowKind,
+}
+
+impl FlowSchema {
+    /// Build a flow schema, resolving edge names.
+    pub fn new(
+        transactions: TransactionSchema,
+        edges_by_name: &[(&str, &str)],
+        kind: FlowKind,
+    ) -> Result<FlowSchema, LangError> {
+        let mut edges = Vec::with_capacity(edges_by_name.len());
+        for (a, b) in edges_by_name {
+            let ia = transactions
+                .index_of(a)
+                .ok_or_else(|| LangError::UnknownTransaction((*a).to_owned()))?;
+            let ib = transactions
+                .index_of(b)
+                .ok_or_else(|| LangError::UnknownTransaction((*b).to_owned()))?;
+            edges.push((ia, ib));
+        }
+        Ok(FlowSchema { transactions, edges, kind })
+    }
+
+    /// A flow with the complete relation (every order allowed — plain
+    /// transaction schema semantics).
+    #[must_use]
+    pub fn complete(transactions: TransactionSchema, kind: FlowKind) -> FlowSchema {
+        let n = transactions.len();
+        let edges = (0..n).flat_map(|a| (0..n).map(move |b| (a, b))).collect();
+        FlowSchema { transactions, edges, kind }
+    }
+
+    /// Whether `(a, b) ∈ E`.
+    #[must_use]
+    pub fn allows(&self, a: usize, b: usize) -> bool {
+        self.edges.contains(&(a, b))
+    }
+
+    /// Whether a **global** sequence of transaction indices is applicable
+    /// (Definition 5.1).
+    #[must_use]
+    pub fn is_applicable(&self, seq: &[usize]) -> bool {
+        seq.windows(2).all(|w| self.allows(w[0], w[1]))
+    }
+
+    /// Whether a sequence, with per-step "updates the object o" flags,
+    /// obeys the schema *for o* (Definition 5.3): the updating
+    /// subsequence must be `E`-chained. With [`FlowKind::Inflow`] the
+    /// flags are ignored and the whole sequence is checked.
+    #[must_use]
+    pub fn obeys_for_object(&self, seq: &[(usize, bool)]) -> bool {
+        match self.kind {
+            FlowKind::Inflow => {
+                self.is_applicable(&seq.iter().map(|&(t, _)| t).collect::<Vec<_>>())
+            }
+            FlowKind::Script => {
+                let updating: Vec<usize> =
+                    seq.iter().filter(|&&(_, u)| u).map(|&(t, _)| t).collect();
+                self.is_applicable(&updating)
+            }
+        }
+    }
+
+    /// Borrow a transaction by index.
+    #[must_use]
+    pub fn transaction(&self, i: usize) -> &Transaction {
+        &self.transactions.transactions()[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use migratory_lang::Transaction;
+
+    fn three() -> TransactionSchema {
+        TransactionSchema::from_transactions([
+            Transaction::empty("a"),
+            Transaction::empty("b"),
+            Transaction::empty("c"),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn applicability_checks_consecutive_pairs() {
+        let f = FlowSchema::new(three(), &[("a", "b"), ("b", "c")], FlowKind::Inflow).unwrap();
+        assert!(f.is_applicable(&[0, 1, 2]));
+        assert!(f.is_applicable(&[0]));
+        assert!(f.is_applicable(&[]));
+        assert!(!f.is_applicable(&[0, 2]));
+        assert!(!f.is_applicable(&[1, 0]));
+        assert!(!f.is_applicable(&[0, 1, 2, 0]));
+    }
+
+    #[test]
+    fn script_ignores_non_updating_steps() {
+        let f = FlowSchema::new(three(), &[("a", "b")], FlowKind::Script).unwrap();
+        // a updates, c does not (for this object), b updates: a→b fine.
+        assert!(f.obeys_for_object(&[(0, true), (2, false), (1, true)]));
+        // But the same sequence as an inflow is not applicable.
+        let g = FlowSchema::new(three(), &[("a", "b")], FlowKind::Inflow).unwrap();
+        assert!(!g.obeys_for_object(&[(0, true), (2, false), (1, true)]));
+        // b before a in the updating subsequence is rejected.
+        assert!(!f.obeys_for_object(&[(1, true), (0, true)]));
+    }
+
+    #[test]
+    fn complete_relation_allows_everything() {
+        let f = FlowSchema::complete(three(), FlowKind::Inflow);
+        assert!(f.is_applicable(&[2, 1, 0, 2, 2]));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        assert!(matches!(
+            FlowSchema::new(three(), &[("a", "zz")], FlowKind::Inflow),
+            Err(LangError::UnknownTransaction(_))
+        ));
+    }
+}

@@ -1,0 +1,36 @@
+//! # migratory-behavior — inflow and script schemas (Section 5)
+//!
+//! The paper's application section models behaviour in the spirit of the
+//! INSYDE and TAXIS methodologies: a transaction schema plus a precedence
+//! relation on transactions. For *inflow schemas* the relation constrains
+//! the global application sequence; for *script schemas* it constrains,
+//! per object, only the applications that actually update that object.
+//!
+//! The **reachability problem** — "will every object of class `P`
+//! satisfying an assertion eventually sit in class `Q` satisfying
+//! another?" — is decidable for SL (Theorems 5.1(1)/5.2(1)), by crossing
+//! the separator migration graph with the precedence relation
+//! ([`reach`]). For CSL⁺/CSL it is undecidable (Theorems 5.1(2)/5.2(2)),
+//! shown by reducing the halting problem through the Theorem 4.3
+//! compiler ([`undecide`]); the library exposes the reduction with
+//! bounded semi-decision.
+//!
+//! Section 5 closes remarking that the precedence construct "does not
+//! yield richer expressiveness in terms of migration patterns";
+//! [`families`] proves it constructively with a product of the migration
+//! graph and the precedence relation — the flow families stay regular.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod assertion;
+pub mod families;
+pub mod inflow;
+pub mod reach;
+pub mod undecide;
+
+pub use assertion::{Assertion, AssertionAtom};
+pub use families::flow_families;
+pub use inflow::{FlowKind, FlowSchema};
+pub use reach::{decide_reachability, Reachability};
+pub use undecide::{bounded_halting_reachability, halting_flow};

@@ -1,0 +1,285 @@
+//! The reachability decision procedure for SL flow schemas —
+//! Theorems 5.1(1) and 5.2(1).
+//!
+//! "Will a student currently majoring in history work in a business
+//! office with salary > 35K in the future?" Formally: given assertions
+//! `ρ_P` on `P` and `ρ_Q` on `Q`, does every (some) object of `P`
+//! satisfying `ρ_P` have an applicable transaction sequence leaving it in
+//! `Q` satisfying `ρ_Q`?
+//!
+//! The procedure crosses the separator migration graph (computed with the
+//! assertions' constants added to `C`, so vertices are assertion-uniform)
+//! with the precedence relation: search states are
+//! `(vertex, last transaction)`; edge witnesses advance the vertex, and
+//! for scripts only *object-updating* witnesses consume a precedence
+//! step.
+
+use crate::assertion::Assertion;
+use crate::inflow::{FlowKind, FlowSchema};
+use migratory_core::analyze::{analyze_with_witnesses, AnalyzeOptions};
+use migratory_core::{CoreError, RoleAlphabet};
+use migratory_model::Schema;
+use std::collections::HashSet;
+
+/// The reachability verdict.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Reachability {
+    /// Vertices whose objects satisfy the source assertion.
+    pub sources: usize,
+    /// How many of them can reach a target-satisfying vertex.
+    pub reachable_sources: usize,
+}
+
+impl Reachability {
+    /// The ∀-form of the paper's problem: *every* source object reaches
+    /// the target.
+    #[must_use]
+    pub fn holds_for_all(&self) -> bool {
+        self.sources == self.reachable_sources
+    }
+
+    /// The ∃-form: some source object reaches the target.
+    #[must_use]
+    pub fn holds_for_some(&self) -> bool {
+        self.reachable_sources > 0
+    }
+}
+
+/// Decide reachability for an SL flow schema (inflow or script).
+/// `source`/`target` are the assertions `ρ_P`, `ρ_Q`; the classes they
+/// mention must be weakly connected (otherwise nothing is reachable, as
+/// the paper notes).
+pub fn decide_reachability(
+    schema: &Schema,
+    alphabet: &RoleAlphabet,
+    flow: &FlowSchema,
+    source: &Assertion,
+    target: &Assertion,
+) -> Result<Reachability, CoreError> {
+    if !schema.weakly_connected(source.class, target.class) {
+        return Ok(Reachability { sources: 0, reachable_sources: 0 });
+    }
+    let mut extra = source.constants();
+    extra.extend(target.constants());
+    let opts = AnalyzeOptions { extra_constants: extra, ..Default::default() };
+    let (analysis, witnesses) =
+        analyze_with_witnesses(schema, alphabet, &flow.transactions, &opts)?;
+
+    let vertex_sat = |v: u32, asrt: &Assertion| -> bool {
+        if v < 2 {
+            return false; // vs/vt carry no objects
+        }
+        asrt.satisfied_by_vertex(
+            schema,
+            alphabet,
+            &analysis.constants,
+            &analysis.keys[v as usize - 2],
+        )
+    };
+
+    let sources: Vec<u32> = (2..analysis.graph.num_vertices() as u32)
+        .filter(|&v| vertex_sat(v, source))
+        .collect();
+
+    // BFS over (vertex, last ordered transaction). `usize::MAX` = no
+    // ordered transaction applied yet.
+    let mut reachable_sources = 0usize;
+    for &start in &sources {
+        if vertex_sat(start, target) {
+            reachable_sources += 1; // the empty sequence suffices
+            continue;
+        }
+        let mut seen: HashSet<(u32, usize)> = HashSet::new();
+        let mut stack = vec![(start, usize::MAX)];
+        seen.insert((start, usize::MAX));
+        let mut found = false;
+        'search: while let Some((v, last)) = stack.pop() {
+            for w in &witnesses {
+                if w.from != v {
+                    continue;
+                }
+                // Does this application consume a precedence step?
+                let ordered = match flow.kind {
+                    FlowKind::Inflow => true,
+                    FlowKind::Script => w.updates_object,
+                };
+                let next_last = if ordered { w.transaction } else { last };
+                if ordered && last != usize::MAX && !flow.allows(last, w.transaction) {
+                    continue;
+                }
+                let state = (w.to, next_last);
+                if seen.insert(state) {
+                    if vertex_sat(w.to, target) {
+                        found = true;
+                        break 'search;
+                    }
+                    stack.push(state);
+                }
+            }
+        }
+        if found {
+            reachable_sources += 1;
+        }
+    }
+
+    Ok(Reachability { sources: sources.len(), reachable_sources })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::AssertionAtom;
+    use migratory_lang::parse_transactions;
+    use migratory_model::{SchemaBuilder, Value};
+
+    /// Example 5.1's shape, simplified: visa classes VISITOR → RESIDENT →
+    /// CITIZEN with an immigration-law ordering.
+    fn immigration() -> (Schema, RoleAlphabet) {
+        let mut b = SchemaBuilder::new();
+        let p = b.class("PERSON", &["Id", "Status"]).unwrap();
+        b.subclass("VISITOR", &[p], &[]).unwrap();
+        b.subclass("RESIDENT", &[p], &[]).unwrap();
+        b.subclass("CITIZEN", &[p], &[]).unwrap();
+        let schema = b.build().unwrap();
+        let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+        (schema, alphabet)
+    }
+
+    const IMMIGRATION_TS: &str = r#"
+        transaction Enter(x) {
+          create(PERSON, { Id = x, Status = "v" });
+          specialize(PERSON, VISITOR, { Id = x, Status = "v" }, {});
+        }
+        transaction Settle(x) {
+          generalize(VISITOR, { Id = x, Status = "v" });
+          specialize(PERSON, RESIDENT, { Id = x, Status = "v" }, {});
+          modify(PERSON, { Id = x, Status = "v" }, { Status = "r" });
+        }
+        transaction Naturalize(x) {
+          generalize(RESIDENT, { Id = x, Status = "r" });
+          specialize(PERSON, CITIZEN, { Id = x, Status = "r" }, {});
+          modify(PERSON, { Id = x, Status = "r" }, { Status = "c" });
+        }
+    "#;
+
+    #[test]
+    fn ordered_inflow_permits_the_full_path() {
+        let (schema, alphabet) = immigration();
+        let ts = parse_transactions(&schema, IMMIGRATION_TS).unwrap();
+        let flow = FlowSchema::new(
+            ts,
+            &[
+                ("Enter", "Enter"),
+                ("Enter", "Settle"),
+                ("Settle", "Enter"),
+                ("Settle", "Naturalize"),
+                ("Naturalize", "Enter"),
+            ],
+            FlowKind::Inflow,
+        )
+        .unwrap();
+        let visitor = Assertion::trivial(schema.class_id("VISITOR").unwrap());
+        let citizen = Assertion::trivial(schema.class_id("CITIZEN").unwrap());
+        let r =
+            decide_reachability(&schema, &alphabet, &flow, &visitor, &citizen).unwrap();
+        assert!(r.sources > 0);
+        assert!(r.holds_for_all(), "{r:?}");
+    }
+
+    #[test]
+    fn missing_edge_blocks_reachability() {
+        let (schema, alphabet) = immigration();
+        let ts = parse_transactions(&schema, IMMIGRATION_TS).unwrap();
+        // Settle → Naturalize removed: a visitor can never become citizen.
+        let flow = FlowSchema::new(
+            ts,
+            &[("Enter", "Enter"), ("Enter", "Settle"), ("Naturalize", "Enter")],
+            FlowKind::Inflow,
+        )
+        .unwrap();
+        let visitor = Assertion::trivial(schema.class_id("VISITOR").unwrap());
+        let citizen = Assertion::trivial(schema.class_id("CITIZEN").unwrap());
+        let r =
+            decide_reachability(&schema, &alphabet, &flow, &visitor, &citizen).unwrap();
+        assert!(r.sources > 0);
+        assert!(!r.holds_for_some(), "{r:?}");
+    }
+
+    #[test]
+    fn script_frees_other_objects_updates() {
+        // Same missing edge, but as a *script*: the precedence only binds
+        // updates of the same object. The path Settle;Naturalize updates
+        // the object twice and Settle→Naturalize is still missing, so it
+        // remains unreachable; adding it per-object works even though the
+        // global sequence interleaves Enter (which does not update the
+        // object).
+        let (schema, alphabet) = immigration();
+        let ts = parse_transactions(&schema, IMMIGRATION_TS).unwrap();
+        let flow = FlowSchema::new(
+            ts.clone(),
+            &[("Enter", "Settle"), ("Settle", "Naturalize")],
+            FlowKind::Script,
+        )
+        .unwrap();
+        let visitor = Assertion::trivial(schema.class_id("VISITOR").unwrap());
+        let citizen = Assertion::trivial(schema.class_id("CITIZEN").unwrap());
+        let r =
+            decide_reachability(&schema, &alphabet, &flow, &visitor, &citizen).unwrap();
+        assert!(r.holds_for_all(), "{r:?}");
+        // Script with the reversed relation fails.
+        let flow = FlowSchema::new(
+            ts,
+            &[("Naturalize", "Settle")],
+            FlowKind::Script,
+        )
+        .unwrap();
+        let r =
+            decide_reachability(&schema, &alphabet, &flow, &visitor, &citizen).unwrap();
+        assert!(!r.holds_for_some());
+    }
+
+    #[test]
+    fn assertions_refine_reachability() {
+        let (schema, alphabet) = immigration();
+        let ts = parse_transactions(&schema, IMMIGRATION_TS).unwrap();
+        let flow = FlowSchema::complete(ts, FlowKind::Inflow);
+        let status = schema.attr_id("Status").unwrap();
+        // Persons whose Status = "x" (a value no transition produces or
+        // consumes) can never be naturalized — Naturalize requires "r".
+        let stuck = Assertion {
+            class: schema.class_id("PERSON").unwrap(),
+            atoms: vec![AssertionAtom::EqConst(status, Value::str("x"))],
+        };
+        let citizen = Assertion::trivial(schema.class_id("CITIZEN").unwrap());
+        let r = decide_reachability(&schema, &alphabet, &flow, &stuck, &citizen).unwrap();
+        // No reachable source among the Status="x" vertices…
+        assert!(!r.holds_for_some(), "{r:?}");
+        // …while Status="v" visitors do reach citizenship.
+        let v_src = Assertion {
+            class: schema.class_id("VISITOR").unwrap(),
+            atoms: vec![AssertionAtom::EqConst(status, Value::str("v"))],
+        };
+        let r = decide_reachability(&schema, &alphabet, &flow, &v_src, &citizen).unwrap();
+        assert!(r.sources > 0 && r.holds_for_all(), "{r:?}");
+    }
+
+    #[test]
+    fn disconnected_classes_are_unreachable() {
+        let mut b = SchemaBuilder::new();
+        let p = b.class("P", &["A"]).unwrap();
+        let q = b.class("Q", &["B"]).unwrap();
+        let schema = b.build().unwrap();
+        let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+        let ts = migratory_lang::TransactionSchema::new();
+        let flow = FlowSchema::complete(ts, FlowKind::Inflow);
+        let r = decide_reachability(
+            &schema,
+            &alphabet,
+            &flow,
+            &Assertion::trivial(p),
+            &Assertion::trivial(q),
+        )
+        .unwrap();
+        assert_eq!(r, Reachability { sources: 0, reachable_sources: 0 });
+    }
+}

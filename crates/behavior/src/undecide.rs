@@ -1,0 +1,141 @@
+//! The undecidability side — Theorems 5.1(2) and 5.2(2).
+//!
+//! Reachability for CSL⁺/CSL flow schemas is undecidable: the proof
+//! reduces the halting problem through the Theorem 4.3 machinery. This
+//! module exposes that reduction executably: [`halting_flow`] compiles a
+//! Turing machine into a CSL⁺ flow schema such that *an object can reach
+//! the letter class iff the machine accepts some (driven) input*, and
+//! [`bounded_halting_reachability`] semi-decides it by bounded search —
+//! the best any algorithm can do.
+
+use crate::inflow::{FlowKind, FlowSchema};
+use migratory_chomsky::TuringMachine;
+use migratory_core::tm_compile::{compile_tm, drive_word, standard_tm_schema, TmSpec};
+use migratory_core::{CoreError, RoleAlphabet};
+use migratory_lang::Assignment;
+use migratory_model::{ClassId, Instance, Schema};
+
+/// The halting reduction: a CSL⁺ flow schema (complete precedence — the
+/// reduction of Theorem 5.1(2) uses `E = Σ × Σ`) whose reachability
+/// question "can an object inhabit `target_class`?" encodes "does the
+/// machine accept the word it is driven on?".
+pub struct HaltingFlow {
+    /// The combined host schema.
+    pub schema: Schema,
+    /// Alphabet of the migrating component.
+    pub alphabet: RoleAlphabet,
+    /// The compiled CSL⁺ flow schema.
+    pub flow: FlowSchema,
+    /// The class whose reachability encodes acceptance (`L0`).
+    pub target_class: ClassId,
+    /// The machine being simulated.
+    pub tm: TuringMachine,
+}
+
+/// Build the reduction for a single-letter machine (`letter 0 ↔ L0`).
+pub fn halting_flow(tm: TuringMachine) -> Result<HaltingFlow, CoreError> {
+    let (schema, alphabet, s_class, roles) = standard_tm_schema(1)?;
+    let letter_of = (0..tm.num_symbols())
+        .map(|s| if s == tm.blank() { None } else { Some(roles[0]) })
+        .collect();
+    let compiled = compile_tm(&schema, &alphabet, s_class, &tm, &TmSpec { letter_of })?;
+    let target_class = schema.require_class("L0")?;
+    let flow = FlowSchema::complete(compiled.transactions, FlowKind::Inflow);
+    Ok(HaltingFlow { schema, alphabet, flow, target_class, tm })
+}
+
+/// Bounded semi-decision of the reduction's reachability question:
+/// drive the word `0ⁿ` for each `n ≤ max_word` with at most `max_steps`
+/// machine steps. `Some(n)` means reachable (machine accepted `0ⁿ`);
+/// `None` is *inconclusive* — exactly the undecidability phenomenon.
+#[must_use]
+pub fn bounded_halting_reachability(
+    hf: &HaltingFlow,
+    max_word: usize,
+    max_steps: usize,
+) -> Option<usize> {
+    for n in 1..=max_word {
+        let word = vec![0u32; n];
+        let Some(script) = drive_word(&hf.tm, &word, max_steps) else {
+            continue;
+        };
+        // Replay and check an object reaches the target class.
+        let mut db = Instance::empty();
+        let mut reached = false;
+        for (name, args) in script {
+            let t = hf.flow.transactions.get(&name).expect("compiled transaction");
+            migratory_lang::apply_transaction(
+                &hf.schema,
+                &mut db,
+                t,
+                &Assignment::new(args),
+            )
+            .expect("validated");
+            if db.objects().any(|o| db.role_set(o).contains(hf.target_class)) {
+                reached = true;
+            }
+        }
+        if reached {
+            return Some(n);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use migratory_chomsky::turing::machines;
+    use migratory_chomsky::Move;
+
+    #[test]
+    fn halting_machine_reaches_the_letter_class() {
+        // accept_all halts immediately on any input — the target class is
+        // reachable, witnessed at word length 1.
+        let hf = halting_flow(machines::accept_all()).unwrap();
+        assert_eq!(bounded_halting_reachability(&hf, 3, 1000), Some(1));
+    }
+
+    #[test]
+    fn looping_machine_is_inconclusive() {
+        // loop_forever never halts; bounded search cannot certify
+        // unreachability — it returns None for every bound.
+        let hf = halting_flow(machines::loop_forever()).unwrap();
+        assert_eq!(bounded_halting_reachability(&hf, 3, 500), None);
+        assert_eq!(bounded_halting_reachability(&hf, 3, 2000), None);
+    }
+
+    #[test]
+    fn acceptance_threshold_is_respected() {
+        // A machine accepting only words of length ≥ 2 (blank = 1):
+        // scan two letters then accept.
+        let mut tm = TuringMachine::new(4, 2, 1, 0, 3).unwrap();
+        tm.add_transition(0, 0, 1, 0, Move::Right).unwrap();
+        tm.add_transition(1, 0, 2, 0, Move::Right).unwrap();
+        tm.add_transition(2, 0, 3, 0, Move::Stay).unwrap();
+        tm.add_transition(2, 1, 3, 1, Move::Stay).unwrap();
+        let hf = halting_flow(tm).unwrap();
+        assert_eq!(bounded_halting_reachability(&hf, 4, 1000), Some(2));
+    }
+
+    #[test]
+    fn csl_flow_is_rejected_by_the_sl_decider() {
+        // The compiled schema is CSL⁺, so the decidable procedure of
+        // Theorem 5.1(1) correctly refuses it.
+        let hf = halting_flow(machines::accept_all()).unwrap();
+        let src = crate::assertion::Assertion::trivial(
+            hf.schema.require_class("R").unwrap(),
+        );
+        let tgt = crate::assertion::Assertion::trivial(hf.target_class);
+        assert!(matches!(
+            crate::reach::decide_reachability(
+                &hf.schema,
+                &hf.alphabet,
+                &hf.flow,
+                &src,
+                &tgt
+            ),
+            Err(CoreError::NotSl)
+        ));
+    }
+}

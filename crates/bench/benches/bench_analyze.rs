@@ -1,0 +1,83 @@
+//! thm3.2.1 / perf-analyze: the separator analyzer, with the ablations of
+//! DESIGN.md §6 — reachable-only vs full space, sequential vs parallel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use migratory_bench::{slim_chain, university};
+use migratory_core::{analyze, AnalyzeOptions};
+
+fn bench(c: &mut Criterion) {
+    let (schema, alphabet, ts) = slim_chain();
+    let mut g = c.benchmark_group("analyze_slim_chain");
+    g.bench_function("reachable", |b| {
+        b.iter(|| analyze(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap())
+    });
+    g.bench_function("full_space", |b| {
+        b.iter(|| {
+            analyze(
+                &schema,
+                &alphabet,
+                &ts,
+                &AnalyzeOptions { full_space: true, ..Default::default() },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+
+    // DESIGN.md §6.2: canonical restricted-growth assignments vs the full
+    // value product — identical graphs and families, more ground runs.
+    // Restricted growth only bites with multi-parameter transactions, so
+    // the workload adds two- and three-parameter modifies to the chain.
+    let multi = migratory_lang::parse_transactions(
+        &schema,
+        r#"
+        transaction Mk(x) { create(P, { Id = x }); }
+        transaction Mv(x, y) { modify(P, { Id = x }, { Id = y }); }
+        transaction Mv3(x, y, z) {
+          modify(P, { Id = x }, { Id = y });
+          modify(P, { Id = z }, { Id = x });
+        }
+        transaction Up(x) { specialize(P, S, { Id = x }, {}); }
+        transaction Rm(x) { delete(P, { Id = x }); }
+    "#,
+    )
+    .expect("ablation workload validates");
+    let mut g = c.benchmark_group("analyze_assignments");
+    g.bench_function("canonical", |b| {
+        b.iter(|| analyze(&schema, &alphabet, &multi, &AnalyzeOptions::default()).unwrap())
+    });
+    g.bench_function("naive_product", |b| {
+        b.iter(|| {
+            analyze(
+                &schema,
+                &alphabet,
+                &multi,
+                &AnalyzeOptions { naive_assignments: true, ..Default::default() },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+
+    let (schema, alphabet, ts) = university();
+    let mut g = c.benchmark_group("analyze_example_3_4");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| analyze(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap())
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| {
+            analyze(
+                &schema,
+                &alphabet,
+                &ts,
+                &AnalyzeOptions { parallel: true, ..Default::default() },
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

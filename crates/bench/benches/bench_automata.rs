@@ -1,0 +1,37 @@
+//! perf-automata: minimization / inclusion / quotient scaling on the
+//! regular-language substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use migratory_automata::{Dfa, Nfa, Regex};
+
+fn deep_regex(depth: usize) -> Regex {
+    // ((0|1)(0|1)…)* nested with unions — states grow with depth.
+    let mut r = Regex::union([Regex::Sym(0), Regex::Sym(1)]);
+    for i in 0..depth {
+        r = Regex::concat([
+            r.clone(),
+            Regex::star(Regex::union([Regex::Sym(i as u32 % 3), r])),
+        ]);
+    }
+    r
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dfa_pipeline");
+    for &depth in &[2usize, 4, 6] {
+        let r = deep_regex(depth);
+        g.bench_with_input(BenchmarkId::new("determinize_minimize", depth), &r, |b, r| {
+            b.iter(|| Dfa::from_nfa(&Nfa::from_regex(r, 3)).minimize())
+        });
+    }
+    let a = Dfa::from_nfa(&Nfa::from_regex(&deep_regex(5), 3)).minimize();
+    let bdfa = Dfa::from_nfa(&Nfa::from_regex(&deep_regex(6), 3)).minimize();
+    g.bench_function("inclusion", |b| b.iter(|| a.is_subset_of(&bdfa)));
+    g.bench_function("state_elimination", |b| {
+        b.iter(|| migratory_automata::dfa_to_regex(&a))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! thm4.8 / ex4.1: GNF conversion and the derivation machine for aⁱbⁱ
+//! and Dyck words.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use migratory_chomsky::{cfg::grammars, to_gnf};
+use migratory_core::cfg_compile::{compile_cfg, drive_word, standard_cfg_schema};
+use migratory_lang::Assignment;
+use migratory_model::Instance;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cfg");
+    for (name, grammar) in [
+        ("anbn", grammars::anbn()),
+        ("dyck", grammars::dyck()),
+        ("palindromes", grammars::even_palindromes()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("to_gnf", name), &grammar, |b, gr| {
+            b.iter(|| to_gnf(gr))
+        });
+    }
+
+    let grammar = grammars::anbn();
+    let (schema, alphabet, s_class, roles) = standard_cfg_schema(2).unwrap();
+    let compiled = compile_cfg(&schema, &alphabet, s_class, &grammar, &roles).unwrap();
+    for &n in &[2usize, 4] {
+        let mut word = vec![0u32; n];
+        word.extend(vec![1u32; n]);
+        let script = drive_word(&compiled, &word).unwrap();
+        g.bench_with_input(BenchmarkId::new("derivation_machine", n), &script, |b, script| {
+            b.iter(|| {
+                let mut db = Instance::empty();
+                for (name, args) in script {
+                    let t = compiled.transactions.get(name).unwrap();
+                    migratory_lang::apply_transaction(
+                        &schema,
+                        &mut db,
+                        t,
+                        &Assignment::new(args.clone()),
+                    )
+                    .unwrap();
+                }
+                db
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! cor3.3 / perf-baseline: automata-based decision vs brute-force bounded
+//! exploration — the baseline comparison (who wins and where).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use migratory_bench::slim_chain;
+use migratory_core::{
+    analyze_families, decide_with_families, explore, AnalyzeOptions, ExploreConfig, Inventory,
+    PatternKind,
+};
+
+fn bench(c: &mut Criterion) {
+    let (schema, alphabet, ts) = slim_chain();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [P]* [S]* ([G] ∪ [S])* ∅*").unwrap();
+
+    let mut g = c.benchmark_group("satisfiability");
+    g.bench_function("graph_decision", |b| {
+        b.iter(|| {
+            let (_, fams) =
+                analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap();
+            decide_with_families(&fams, &inv, PatternKind::All)
+        })
+    });
+    for &depth in &[2usize, 3] {
+        g.bench_with_input(
+            BenchmarkId::new("bounded_explorer", depth),
+            &depth,
+            |b, &depth| {
+                b.iter(|| {
+                    let sets = explore(
+                        &schema,
+                        &alphabet,
+                        &ts,
+                        &ExploreConfig { max_steps: depth, ..Default::default() },
+                    );
+                    sets.all.iter().find(|w| !inv.contains(w)).cloned()
+                })
+            },
+        );
+    }
+    g.finish();
+
+    // DESIGN.md §6.3: inclusion-check route ablation. Both routes start
+    // from the analyzed migration graph; the heavy route determinizes and
+    // minimizes the family before a product check, the on-the-fly route
+    // explores the NFA×complement product lazily. `amortized` is the
+    // heavy route's repeat-query case (DFA already built).
+    let (analysis, fams) =
+        analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap();
+    let ns = alphabet.num_symbols();
+    let empty_sym = alphabet.empty_symbol();
+    let family_nfa = || {
+        let imm = analysis.graph.walks_nfa(ns, empty_sym, PatternKind::All);
+        let estar = migratory_automata::Nfa::from_regex(
+            &migratory_automata::Regex::star(migratory_automata::Regex::Sym(empty_sym)),
+            ns,
+        );
+        migratory_automata::concat(&estar, &imm).expect("same alphabet")
+    };
+    let mut g = c.benchmark_group("inclusion_route");
+    g.bench_function("dfa_minimized", |b| {
+        b.iter(|| {
+            let nfa = family_nfa();
+            let dfa = migratory_automata::Dfa::from_nfa(&nfa).minimize();
+            dfa.witness_not_subset(inv.dfa())
+        })
+    });
+    g.bench_function("nfa_on_the_fly", |b| {
+        b.iter(|| {
+            let nfa = family_nfa();
+            migratory_automata::nfa_witness_not_subset(&nfa, inv.dfa()).unwrap()
+        })
+    });
+    g.bench_function("amortized_repeat", |b| {
+        b.iter(|| fams.all.witness_not_subset(inv.dfa()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

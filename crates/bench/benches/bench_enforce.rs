@@ -1,0 +1,121 @@
+//! perf-enforce: runtime-enforcement overhead ablation.
+//!
+//! Three ways to run the same 4·n-step lifecycle script (Example 3.4's
+//! schema, n objects through enroll → assist → employ → leave):
+//!
+//! * `raw`       — the bare interpreter, no constraint;
+//! * `checked`   — a [`Monitor`] validating every application against the
+//!   schema's characterizing inventory (per-object DFA stepping);
+//! * `certified` — the same monitor after Corollary 3.3 statically
+//!   certified the schema, so every runtime check is skipped.
+//!
+//! Expected shape: `certified` tracks `raw` within a small constant,
+//! while `checked` pays per tracked object per step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use migratory_bench::university;
+use migratory_core::enforce::Monitor;
+use migratory_core::{Inventory, PatternKind};
+use migratory_lang::{Assignment, Transaction, TransactionSchema};
+use migratory_model::{Instance, Value};
+
+fn lifecycle_script(
+    ts: &TransactionSchema,
+    n: usize,
+) -> Vec<(&Transaction, Assignment)> {
+    let t1 = ts.get("T1").expect("T1");
+    let t2 = ts.get("T2").expect("T2");
+    let t3 = ts.get("T3").expect("T3");
+    let t4 = ts.get("T4").expect("T4");
+    let mut script = Vec::with_capacity(4 * n);
+    for i in 0..n {
+        let ssn = Value::str(&format!("s{i}"));
+        script.push((
+            t1,
+            Assignment::new(vec![
+                Value::str(&format!("n{i}")),
+                ssn.clone(),
+                Value::int(1990),
+                Value::str("CS"),
+            ]),
+        ));
+        script.push((
+            t2,
+            Assignment::new(vec![
+                ssn.clone(),
+                Value::int(50),
+                Value::int(1),
+                Value::str("D"),
+            ]),
+        ));
+        script.push((t3, Assignment::new(vec![ssn.clone()])));
+        script.push((t4, Assignment::new(vec![ssn])));
+    }
+    script
+}
+
+fn bench(c: &mut Criterion) {
+    let (schema, alphabet, ts) = university();
+    // The schema's own family: certification succeeds, nothing rejects.
+    let inventory = Inventory::parse_init(
+        &schema,
+        &alphabet,
+        "∅* ([STUDENT]+ [GRAD_ASSIST]*)* ∅*",
+    )
+    .expect("inventory parses");
+
+    let mut g = c.benchmark_group("enforce_lifecycle");
+    for &n in &[8usize, 32, 128] {
+        let script = lifecycle_script(&ts, n);
+
+        g.bench_with_input(BenchmarkId::new("raw", n), &n, |b, _| {
+            b.iter(|| {
+                let mut db = Instance::empty();
+                for (t, args) in &script {
+                    migratory_lang::apply_transaction(&schema, &mut db, t, args)
+                        .expect("applies");
+                }
+                db
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("checked", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m =
+                    Monitor::new(&schema, &alphabet, &inventory, PatternKind::All);
+                for (t, args) in &script {
+                    m.try_apply(t, args).expect("schema satisfies inventory");
+                }
+                m.steps()
+            });
+        });
+
+        // Certification is a one-time static analysis; measure only the
+        // runtime path it buys.
+        let mut certified_proto =
+            Monitor::new(&schema, &alphabet, &inventory, PatternKind::All);
+        assert!(certified_proto.certify(&ts).expect("SL decidable"));
+        g.bench_with_input(BenchmarkId::new("certified", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = certified_proto.clone();
+                for (t, args) in &script {
+                    m.try_apply(t, args).expect("certified never rejects");
+                }
+                m.steps()
+            });
+        });
+    }
+    g.finish();
+
+    // The one-time cost certification pays (Corollary 3.3 analysis +
+    // inclusion check) — amortized over every later application.
+    c.bench_function("enforce_certify_once", |b| {
+        b.iter(|| {
+            let mut m = Monitor::new(&schema, &alphabet, &inventory, PatternKind::All);
+            m.certify(&ts).expect("SL decidable")
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! thm4.2: the bounded r.e. enumerator's cost per depth (why decision via
+//! automata wins for SL).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use migratory_bench::slim_chain;
+use migratory_core::{explore, ExploreConfig};
+
+fn bench(c: &mut Criterion) {
+    let (schema, alphabet, ts) = slim_chain();
+    let mut g = c.benchmark_group("explore_depth");
+    g.sample_size(10);
+    for &depth in &[1usize, 2, 3] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                explore(
+                    &schema,
+                    &alphabet,
+                    &ts,
+                    &ExploreConfig { max_steps: depth, ..Default::default() },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

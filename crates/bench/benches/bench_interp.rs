@@ -1,0 +1,25 @@
+//! perf-interp / fig1-2: SL interpreter throughput as the database grows
+//! (rows: 100, 1 000, 10 000 objects).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use migratory_bench::{apply_round, populated_university};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interp_apply_transaction");
+    for &n in &[100usize, 1_000, 10_000] {
+        let (schema, ts, db) = populated_university(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let mut db2 = db.clone();
+                apply_round(&schema, &ts, &mut db2, i);
+                i += 1;
+                db2
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

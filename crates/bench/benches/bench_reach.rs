@@ -1,0 +1,32 @@
+//! thm5.1/5.2: inflow/script reachability decision cost vs precedence
+//! relation density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use migratory_behavior::{decide_reachability, Assertion, FlowKind, FlowSchema};
+use migratory_bench::slim_chain;
+
+fn bench(c: &mut Criterion) {
+    let (schema, alphabet, ts) = slim_chain();
+    let src = Assertion::trivial(schema.class_id("P").unwrap());
+    let tgt = Assertion::trivial(schema.class_id("G").unwrap());
+    let mut g = c.benchmark_group("reachability");
+    for (name, kind) in [("inflow", FlowKind::Inflow), ("script", FlowKind::Script)] {
+        let flow = FlowSchema::complete(ts.clone(), kind);
+        g.bench_with_input(BenchmarkId::new("complete_relation", name), &flow, |b, flow| {
+            b.iter(|| decide_reachability(&schema, &alphabet, flow, &src, &tgt).unwrap())
+        });
+        let sparse = FlowSchema::new(
+            ts.clone(),
+            &[("Mk", "Up"), ("Up", "Up2"), ("Up2", "Rm")],
+            kind,
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("sparse_relation", name), &sparse, |b, flow| {
+            b.iter(|| decide_reachability(&schema, &alphabet, flow, &src, &tgt).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

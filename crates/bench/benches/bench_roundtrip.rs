@@ -1,0 +1,24 @@
+//! thm3.2.2 round trip: synthesize Σ_η then analyze it back (the full
+//! pipeline both directions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use migratory_bench::{chain_regex, synthesis_host};
+use migratory_core::{analyze_families, synthesize, AnalyzeOptions};
+
+fn bench(c: &mut Criterion) {
+    let (schema, alphabet) = synthesis_host(2);
+    let eta = chain_regex(&schema, &alphabet, 2);
+    let mut g = c.benchmark_group("roundtrip");
+    g.sample_size(10);
+    g.bench_function("synthesize_then_analyze", |b| {
+        b.iter(|| {
+            let synth = synthesize(&schema, &alphabet, &eta).unwrap();
+            analyze_families(&schema, &alphabet, &synth.transactions, &AnalyzeOptions::default())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

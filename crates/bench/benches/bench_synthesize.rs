@@ -1,0 +1,20 @@
+//! thm3.2.2 / ex3.6-7: synthesis cost and output size vs regex length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use migratory_bench::{chain_regex, synthesis_host};
+use migratory_core::synthesize;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("synthesize_chain");
+    for &k in &[1usize, 2, 3, 4] {
+        let (schema, alphabet) = synthesis_host(k.max(2));
+        let eta = chain_regex(&schema, &alphabet, k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| synthesize(&schema, &alphabet, &eta).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

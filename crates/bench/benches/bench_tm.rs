@@ -1,0 +1,47 @@
+//! thm4.3: TM-in-CSL⁺ simulation cost per word length vs the native
+//! machine (the interpretive-overhead shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use migratory_chomsky::turing::machines;
+use migratory_core::tm_compile::{compile_tm, drive_word, standard_tm_schema, TmSpec};
+use migratory_lang::Assignment;
+use migratory_model::Instance;
+
+fn bench(c: &mut Criterion) {
+    let (schema, alphabet, s_class, roles) = standard_tm_schema(2).unwrap();
+    let tm = machines::anbn();
+    let spec = TmSpec {
+        letter_of: vec![Some(roles[0]), Some(roles[1]), Some(roles[0]), Some(roles[1]), None],
+    };
+    let compiled = compile_tm(&schema, &alphabet, s_class, &tm, &spec).unwrap();
+
+    let mut g = c.benchmark_group("tm_anbn");
+    for &n in &[2usize, 4, 6] {
+        let mut word = vec![0u32; n];
+        word.extend(vec![1u32; n]);
+        g.bench_with_input(BenchmarkId::new("native", n), &word, |b, w| {
+            b.iter(|| tm.run(w, 1_000_000))
+        });
+        let script = drive_word(&tm, &word, 1_000_000).unwrap();
+        g.bench_with_input(BenchmarkId::new("csl_simulation", n), &script, |b, script| {
+            b.iter(|| {
+                let mut db = Instance::empty();
+                for (name, args) in script {
+                    let t = compiled.transactions.get(name).unwrap();
+                    migratory_lang::apply_transaction(
+                        &schema,
+                        &mut db,
+                        t,
+                        &Assignment::new(args.clone()),
+                    )
+                    .unwrap();
+                }
+                db
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,354 @@
+//! Regenerate every experiment row of EXPERIMENTS.md.
+//!
+//! Usage: `cargo run -p migratory-bench --bin experiments --release [-- <id>]`
+//! with ids: fig1-2, ex3.4, thm3.2, cor3.3, thm4.3, ex4.1, thm5.1,
+//! baseline, enforce, flow, all (default).
+
+use migratory_bench::*;
+use migratory_chomsky::turing::machines;
+use migratory_core::tm_compile::{compile_tm, drive_word, standard_tm_schema, TmSpec};
+use migratory_core::{
+    analyze_families, decide_with_families, explore, AnalyzeOptions, ExploreConfig, Inventory,
+    PatternKind,
+};
+use migratory_lang::Assignment;
+use migratory_model::Instance;
+use std::time::Instant;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    let all = which == "all";
+    if all || which == "fig1-2" {
+        fig1_2();
+    }
+    if all || which == "ex3.4" || which == "thm3.2" {
+        thm3_2();
+    }
+    if all || which == "cor3.3" || which == "baseline" {
+        cor3_3_baseline();
+    }
+    if all || which == "thm4.3" {
+        thm4_3();
+    }
+    if all || which == "ex4.1" {
+        ex4_1();
+    }
+    if all || which == "thm5.1" {
+        thm5_1();
+    }
+    if all || which == "enforce" {
+        enforce_row();
+    }
+    if all || which == "flow" {
+        flow_families_row();
+    }
+}
+
+fn enforce_row() {
+    println!("== perf-enforce: runtime enforcement vs static certification ==");
+    let (schema, alphabet, ts) = university();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* ([STUDENT]+ [GRAD_ASSIST]*)* ∅*")
+        .unwrap();
+    let n = 64usize;
+    let t1 = ts.get("T1").unwrap();
+    let t2 = ts.get("T2").unwrap();
+    let t3 = ts.get("T3").unwrap();
+    let t4 = ts.get("T4").unwrap();
+    let mut script: Vec<(&migratory_lang::Transaction, Assignment)> = Vec::new();
+    for i in 0..n {
+        use migratory_model::Value;
+        let ssn = Value::str(&format!("s{i}"));
+        script.push((
+            t1,
+            Assignment::new(vec![
+                Value::str(&format!("n{i}")),
+                ssn.clone(),
+                Value::int(1990),
+                Value::str("CS"),
+            ]),
+        ));
+        script.push((
+            t2,
+            Assignment::new(vec![ssn.clone(), Value::int(50), Value::int(1), Value::str("D")]),
+        ));
+        script.push((t3, Assignment::new(vec![ssn.clone()])));
+        script.push((t4, Assignment::new(vec![ssn])));
+    }
+
+    let t0 = Instant::now();
+    let mut db = Instance::empty();
+    for (t, args) in &script {
+        migratory_lang::apply_transaction(&schema, &mut db, t, args).unwrap();
+    }
+    let raw = t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut m = migratory_core::Monitor::new(&schema, &alphabet, &inv, PatternKind::All);
+    for (t, args) in &script {
+        m.try_apply(t, args).expect("conforming");
+    }
+    let checked = t0.elapsed();
+
+    let t0 = Instant::now();
+    let mut m = migratory_core::Monitor::new(&schema, &alphabet, &inv, PatternKind::All);
+    assert!(m.certify(&ts).unwrap());
+    let certify_once = t0.elapsed();
+    let t0 = Instant::now();
+    for (t, args) in &script {
+        m.try_apply(t, args).expect("certified");
+    }
+    let certified = t0.elapsed();
+
+    println!("  {} applications over {n} objects:", script.len());
+    println!("{:>16}: {:>10.2?}", "raw interpreter", raw);
+    println!(
+        "{:>16}: {:>10.2?}  ({:.1}× raw)",
+        "checked monitor",
+        checked,
+        checked.as_secs_f64() / raw.as_secs_f64()
+    );
+    println!(
+        "{:>16}: {:>10.2?}  ({:.1}× raw; one-time certification {:?})",
+        "certified",
+        certified,
+        certified.as_secs_f64() / raw.as_secs_f64(),
+        certify_once
+    );
+    println!();
+}
+
+fn flow_families_row() {
+    println!("== §5 remark / flow: inflow families stay regular and only restrict ==");
+    let (schema, alphabet, ts) = slim_chain();
+    let (_, plain) =
+        analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap();
+    let ordered = vec![("Mk", "Up"), ("Up", "Up"), ("Up", "Rm")];
+    println!(
+        "{:>10} {:>6} {:>10}  patterns of length ≤ k, k = 0..6",
+        "relation", "kind", "|DFA|"
+    );
+    for (rel, flow) in [
+        (
+            "complete",
+            migratory_behavior::FlowSchema::complete(
+                ts.clone(),
+                migratory_behavior::FlowKind::Inflow,
+            ),
+        ),
+        (
+            "ordered",
+            migratory_behavior::FlowSchema::new(
+                ts.clone(),
+                &ordered,
+                migratory_behavior::FlowKind::Inflow,
+            )
+            .unwrap(),
+        ),
+    ] {
+        let fams = migratory_behavior::flow_families(
+            &schema,
+            &alphabet,
+            &flow,
+            &AnalyzeOptions::default(),
+        )
+        .unwrap();
+        for kind in PatternKind::ALL {
+            let dfa = fams.of(kind);
+            assert!(dfa.is_subset_of(plain.of(kind)), "ordering only restricts");
+            let counts = dfa.count_words(6);
+            let series: Vec<u64> = (0..=6)
+                .map(|k| counts.iter().take(k + 1).sum())
+                .collect();
+            println!("{rel:>10} {kind:>6} {:>10}  {series:?}", dfa.num_states());
+        }
+    }
+    println!("  (every family ⊆ the plain Theorem 3.2(1) family — asserted above)");
+    println!();
+}
+
+fn fig1_2() {
+    println!("== fig1-2 / perf-interp: interpreter throughput vs database size ==");
+    println!("{:>10} {:>14} {:>16}", "objects", "apply (µs)", "applies/sec");
+    for &n in &[100usize, 1_000, 10_000, 30_000] {
+        let (schema, ts, db) = populated_university(n);
+        let rounds = 20usize;
+        let start = Instant::now();
+        for i in 0..rounds {
+            let mut db2 = db.clone();
+            apply_round(&schema, &ts, &mut db2, i);
+        }
+        let per = start.elapsed().as_secs_f64() / rounds as f64;
+        println!("{:>10} {:>14.1} {:>16.0}", n, per * 1e6, 1.0 / per);
+    }
+    println!();
+}
+
+fn thm3_2() {
+    println!("== thm3.2(1) / ex3.4: separator analysis of Example 3.4 ==");
+    let (schema, alphabet, ts) = university();
+    for (mode, opts) in [
+        ("reachable+seq", AnalyzeOptions::default()),
+        ("reachable+par", AnalyzeOptions { parallel: true, ..Default::default() }),
+    ] {
+        let start = Instant::now();
+        let (analysis, fams) = analyze_families(&schema, &alphabet, &ts, &opts).unwrap();
+        let dt = start.elapsed();
+        println!(
+            "{mode:>14}: {:>5} vertices {:>6} edges {:>9} runs  {:>8.2?}  |imm DFA| = {}",
+            analysis.stats.vertices,
+            analysis.stats.edges,
+            analysis.stats.runs,
+            dt,
+            fams.imm.num_states(),
+        );
+    }
+    let (schema, alphabet, ts) = slim_chain();
+    println!("-- ablation (slim chain): reachable-only vs full separator space --");
+    for (mode, opts) in [
+        ("reachable", AnalyzeOptions::default()),
+        ("full-space", AnalyzeOptions { full_space: true, ..Default::default() }),
+    ] {
+        let start = Instant::now();
+        let (analysis, _) = analyze_families(&schema, &alphabet, &ts, &opts).unwrap();
+        println!(
+            "{mode:>14}: {:>5} vertices {:>6} edges {:>9} runs  {:>8.2?}",
+            analysis.stats.vertices,
+            analysis.stats.edges,
+            analysis.stats.runs,
+            start.elapsed(),
+        );
+    }
+    println!();
+}
+
+fn cor3_3_baseline() {
+    println!("== cor3.3 / perf-baseline: graph decision vs bounded exploration ==");
+    let (schema, alphabet, ts) = slim_chain();
+    let inv =
+        Inventory::parse_init(&schema, &alphabet, "∅* [P]* [S]* ([G] ∪ [S])* ∅*").unwrap();
+    let start = Instant::now();
+    let (_, fams) = analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap();
+    let d = decide_with_families(&fams, &inv, PatternKind::All);
+    println!(
+        "{:>22}: verdict(satisfies)={:<5} {:>10.2?}  (complete, sound)",
+        "graph decision",
+        d.satisfies.holds(),
+        start.elapsed()
+    );
+    for depth in [2usize, 3, 4] {
+        let start = Instant::now();
+        let sets = explore(
+            &schema,
+            &alphabet,
+            &ts,
+            &ExploreConfig { max_steps: depth, ..Default::default() },
+        );
+        let refuted = sets.all.iter().any(|w| !inv.contains(w));
+        println!(
+            "{:>18} d={depth}: refuted={refuted:<5} {:>10.2?}  ({} patterns; bound-limited)",
+            "explorer",
+            start.elapsed(),
+            sets.all.len()
+        );
+    }
+    println!();
+}
+
+fn thm4_3() {
+    println!("== thm4.3: TM-in-CSL⁺ simulation (aⁿbⁿ) ==");
+    let (schema, alphabet, s_class, roles) = standard_tm_schema(2).unwrap();
+    let tm = machines::anbn();
+    let spec = TmSpec {
+        letter_of: vec![Some(roles[0]), Some(roles[1]), Some(roles[0]), Some(roles[1]), None],
+    };
+    let compiled = compile_tm(&schema, &alphabet, s_class, &tm, &spec).unwrap();
+    println!(
+        "{:>6} {:>12} {:>12} {:>14} {:>12}",
+        "n", "TM steps", "script len", "native (µs)", "CSL (µs)"
+    );
+    for n in [2usize, 4, 6, 8] {
+        let mut word = vec![0u32; n];
+        word.extend(vec![1u32; n]);
+        let t0 = Instant::now();
+        let outcome = tm.run(&word, 1_000_000);
+        let native = t0.elapsed();
+        let steps = match outcome {
+            migratory_chomsky::Outcome::Accepted { steps, .. } => steps,
+            _ => unreachable!("aⁿbⁿ accepted"),
+        };
+        let script = drive_word(&tm, &word, 1_000_000).unwrap();
+        let t0 = Instant::now();
+        let mut db = Instance::empty();
+        for (name, args) in &script {
+            let t = compiled.transactions.get(name).unwrap();
+            migratory_lang::apply_transaction(&schema, &mut db, t, &Assignment::new(args.clone()))
+                .unwrap();
+        }
+        let csl = t0.elapsed();
+        println!(
+            "{:>6} {:>12} {:>12} {:>14.1} {:>12.1}",
+            n,
+            steps,
+            script.len(),
+            native.as_secs_f64() * 1e6,
+            csl.as_secs_f64() * 1e6
+        );
+    }
+    println!();
+}
+
+fn ex4_1() {
+    println!("== ex4.1 / thm4.8: CFG derivation machine (aⁱbⁱ) ==");
+    let grammar = migratory_chomsky::cfg::grammars::anbn();
+    let (schema, alphabet, s_class, roles) =
+        migratory_core::standard_cfg_schema(2).unwrap();
+    let compiled =
+        migratory_core::compile_cfg(&schema, &alphabet, s_class, &grammar, &roles).unwrap();
+    println!("GNF productions: {}", compiled.gnf.prods.len());
+    println!("{:>6} {:>12} {:>12}", "n", "script len", "CSL (µs)");
+    for n in [1usize, 2, 4, 8] {
+        let mut word = vec![0u32; n];
+        word.extend(vec![1u32; n]);
+        let script = migratory_core::cfg_compile::drive_word(&compiled, &word).unwrap();
+        let t0 = Instant::now();
+        let mut db = Instance::empty();
+        for (name, args) in &script {
+            let t = compiled.transactions.get(name).unwrap();
+            migratory_lang::apply_transaction(&schema, &mut db, t, &Assignment::new(args.clone()))
+                .unwrap();
+        }
+        println!("{:>6} {:>12} {:>12.1}", n, script.len(), t0.elapsed().as_secs_f64() * 1e6);
+    }
+    println!();
+}
+
+fn thm5_1() {
+    println!("== thm5.1/5.2: reachability decision ==");
+    let (schema, alphabet, ts) = slim_chain();
+    let src = migratory_behavior::Assertion::trivial(schema.class_id("P").unwrap());
+    let tgt = migratory_behavior::Assertion::trivial(schema.class_id("G").unwrap());
+    for (name, kind) in [
+        ("inflow", migratory_behavior::FlowKind::Inflow),
+        ("script", migratory_behavior::FlowKind::Script),
+    ] {
+        for (rel, edges) in [
+            ("complete", None),
+            ("ordered", Some(vec![("Mk", "Up"), ("Up", "Up"), ("Up", "Rm")])),
+        ] {
+            let flow = match &edges {
+                None => migratory_behavior::FlowSchema::complete(ts.clone(), kind),
+                Some(e) => migratory_behavior::FlowSchema::new(ts.clone(), e, kind).unwrap(),
+            };
+            let t0 = Instant::now();
+            let r = migratory_behavior::decide_reachability(&schema, &alphabet, &flow, &src, &tgt)
+                .unwrap();
+            println!(
+                "{name:>8} {rel:>9}: reach {}/{} sources  {:>9.2?}",
+                r.reachable_sources,
+                r.sources,
+                t0.elapsed()
+            );
+        }
+    }
+    println!();
+}

@@ -1,0 +1,14 @@
+//! # migratory-bench — workloads and reporting for the experiment suite
+//!
+//! The paper is a theory paper: its "evaluation" is a set of theorems,
+//! worked examples and figures. Every one of them maps to an experiment
+//! here (see EXPERIMENTS.md); the Criterion benches measure the
+//! algorithms' scaling *shape* and the `experiments` binary regenerates
+//! the qualitative rows (who wins, where the crossovers sit).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workload;
+
+pub use workload::*;

@@ -1,0 +1,152 @@
+//! Shared workload builders for benches and the experiments binary.
+
+use migratory_core::{RoleAlphabet};
+use migratory_lang::{parse_transactions, Assignment, Transaction, TransactionSchema};
+use migratory_model::{Instance, Schema, SchemaBuilder, Value};
+
+/// The Fig. 1 university schema with Example 3.4's transactions.
+#[must_use]
+pub fn university() -> (Schema, RoleAlphabet, TransactionSchema) {
+    let schema = migratory_model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0 exists");
+    let ts = parse_transactions(
+        &schema,
+        r"
+        transaction T1(n, s, t, m) {
+          create(PERSON, { SSN = s, Name = n });
+          specialize(PERSON, STUDENT, { SSN = s }, { Major = m, FirstEnroll = t });
+        }
+        transaction T2(s, p, x, d) {
+          specialize(STUDENT, GRAD_ASSIST, { SSN = s },
+                     { PcAppoint = p, Salary = x, WorksIn = d });
+        }
+        transaction T3(s) { generalize(EMPLOYEE, { SSN = s }); }
+        transaction T4(s) { delete(PERSON, { SSN = s }); }
+    ",
+    )
+    .expect("Example 3.4 validates");
+    (schema, alphabet, ts)
+}
+
+/// A database with `n` enrolled students (for interpreter scaling).
+#[must_use]
+pub fn populated_university(n: usize) -> (Schema, TransactionSchema, Instance) {
+    let (schema, _, ts) = university();
+    let enroll = ts.get("T1").expect("T1 exists");
+    let mut db = Instance::empty();
+    for i in 0..n {
+        let args = Assignment::new(vec![
+            Value::str(&format!("name{i}")),
+            Value::str(&format!("ssn{i}")),
+            Value::int(1980 + (i % 40) as i64),
+            Value::str(if i % 2 == 0 { "CS" } else { "EE" }),
+        ]);
+        migratory_lang::apply_transaction(&schema, &mut db, enroll, &args).expect("arity");
+    }
+    (schema, ts, db)
+}
+
+/// One Example 3.4-style application on a populated database.
+pub fn apply_round(
+    schema: &Schema,
+    ts: &TransactionSchema,
+    db: &mut Instance,
+    i: usize,
+) {
+    let t: &Transaction = match i % 3 {
+        0 => ts.get("T2").expect("T2"),
+        1 => ts.get("T3").expect("T3"),
+        _ => ts.get("T2").expect("T2"),
+    };
+    let ssn = Value::str(&format!("ssn{}", i % db.num_objects().max(1)));
+    let args = match t.params.len() {
+        1 => Assignment::new(vec![ssn]),
+        4 => Assignment::new(vec![ssn, Value::int(50), Value::int(1200), Value::str("lab")]),
+        _ => Assignment::empty(),
+    };
+    migratory_lang::apply_transaction(schema, db, t, &args).expect("arity");
+}
+
+/// The pq synthesis host (Fig. 3 style: root R{A,B,C} with `k` leaf
+/// classes).
+#[must_use]
+pub fn synthesis_host(k: usize) -> (Schema, RoleAlphabet) {
+    let mut b = SchemaBuilder::new();
+    let r = b.class("R", &["A", "B", "C"]).expect("fresh");
+    for i in 0..k {
+        b.subclass(&format!("c{i}"), &[r], &[]).expect("fresh");
+    }
+    let schema = b.build().expect("valid");
+    let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+    (schema, alphabet)
+}
+
+/// A chain regex `c0 c1 … c(k−1)` over the host's leaf role sets.
+#[must_use]
+pub fn chain_regex(schema: &Schema, alphabet: &RoleAlphabet, k: usize) -> migratory_automata::Regex {
+    let syms: Vec<u32> = (0..k)
+        .map(|i| {
+            let rs = migratory_model::RoleSet::closure_of_named(schema, &[&format!("c{i}")])
+                .expect("leaf exists");
+            alphabet.symbol_of(rs).expect("role set interned")
+        })
+        .collect();
+    migratory_automata::Regex::concat(
+        syms.into_iter()
+            .map(|s| migratory_automata::Regex::plus(migratory_automata::Regex::Sym(s)))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// The slim single-attribute chain schema with four transactions, whose
+/// separator space is tiny (used to compare brute-force exploration with
+/// graph-based decision).
+#[must_use]
+pub fn slim_chain() -> (Schema, RoleAlphabet, TransactionSchema) {
+    let mut b = SchemaBuilder::new();
+    let p = b.class("P", &["Id"]).expect("fresh");
+    let s = b.subclass("S", &[p], &[]).expect("fresh");
+    b.subclass("G", &[s], &[]).expect("fresh");
+    let schema = b.build().expect("valid");
+    let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+    let ts = parse_transactions(
+        &schema,
+        r"
+        transaction Mk(x) { create(P, { Id = x }); }
+        transaction Up(x) { specialize(P, S, { Id = x }, {}); }
+        transaction Up2(x) { specialize(S, G, { Id = x }, {}); }
+        transaction Dn(x) { generalize(S, { Id = x }); }
+        transaction Rm(x) { delete(P, { Id = x }); }
+    ",
+    )
+    .expect("validates");
+    (schema, alphabet, ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_build() {
+        let (schema, _, ts) = university();
+        assert_eq!(ts.len(), 4);
+        let (_, _, db) = populated_university(10);
+        assert_eq!(db.num_objects(), 10);
+        db.check_invariants(&schema).unwrap();
+        let (schema2, alphabet2) = synthesis_host(3);
+        let r = chain_regex(&schema2, &alphabet2, 3);
+        assert!(r.max_symbol().is_some());
+        let (_, _, slim_ts) = slim_chain();
+        assert_eq!(slim_ts.len(), 5);
+    }
+
+    #[test]
+    fn apply_round_mutates() {
+        let (schema, ts, mut db) = populated_university(5);
+        for i in 0..6 {
+            apply_round(&schema, &ts, &mut db, i);
+        }
+        db.check_invariants(&schema).unwrap();
+    }
+}

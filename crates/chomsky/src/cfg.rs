@@ -1,0 +1,323 @@
+//! Context-free grammars.
+//!
+//! Theorem 4.8 of the paper compiles any *context-free* migration
+//! inventory into a CSL⁺ transaction schema, going through Greibach
+//! normal form ("there is a context-free grammar G_L in Greibach normal
+//! form with 𝓛(G_L) = L [21]"). This module provides the grammar type and
+//! bounded language generation; the normal-form pipeline lives in
+//! [`crate::normal`].
+
+use crate::error::ChomskyError;
+use std::collections::BTreeSet;
+
+/// A grammar symbol: terminal or nonterminal.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Sym {
+    /// Terminal `0..num_terminals`.
+    T(u32),
+    /// Nonterminal `0..num_nonterminals`.
+    N(u32),
+}
+
+/// A production `lhs → rhs`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Production {
+    /// Left-hand nonterminal.
+    pub lhs: u32,
+    /// Body (empty = ε-production).
+    pub rhs: Vec<Sym>,
+}
+
+/// A context-free grammar over terminals `0..num_terminals`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cfg {
+    /// Terminal alphabet size.
+    pub num_terminals: u32,
+    /// Nonterminal count.
+    pub num_nonterminals: u32,
+    /// Start nonterminal.
+    pub start: u32,
+    /// Productions.
+    pub prods: Vec<Production>,
+}
+
+impl Cfg {
+    /// A grammar with no productions.
+    pub fn new(num_terminals: u32, num_nonterminals: u32, start: u32) -> Result<Self, ChomskyError> {
+        if start >= num_nonterminals {
+            return Err(ChomskyError::BadNonterminal(start));
+        }
+        Ok(Cfg { num_terminals, num_nonterminals, start, prods: Vec::new() })
+    }
+
+    /// Add a production.
+    pub fn add(&mut self, lhs: u32, rhs: Vec<Sym>) -> Result<(), ChomskyError> {
+        if lhs >= self.num_nonterminals {
+            return Err(ChomskyError::BadNonterminal(lhs));
+        }
+        for s in &rhs {
+            match *s {
+                Sym::T(t) if t >= self.num_terminals => return Err(ChomskyError::BadSymbol(t)),
+                Sym::N(n) if n >= self.num_nonterminals => {
+                    return Err(ChomskyError::BadNonterminal(n))
+                }
+                _ => {}
+            }
+        }
+        let p = Production { lhs, rhs };
+        if !self.prods.contains(&p) {
+            self.prods.push(p);
+        }
+        Ok(())
+    }
+
+    /// Mint a fresh nonterminal.
+    pub fn fresh_nonterminal(&mut self) -> u32 {
+        let n = self.num_nonterminals;
+        self.num_nonterminals += 1;
+        n
+    }
+
+    /// The set of *nullable* nonterminals (deriving ε).
+    #[must_use]
+    pub fn nullable(&self) -> Vec<bool> {
+        let mut nullable = vec![false; self.num_nonterminals as usize];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in &self.prods {
+                if !nullable[p.lhs as usize]
+                    && p.rhs.iter().all(|s| match s {
+                        Sym::T(_) => false,
+                        Sym::N(n) => nullable[*n as usize],
+                    })
+                {
+                    nullable[p.lhs as usize] = true;
+                    changed = true;
+                }
+            }
+        }
+        nullable
+    }
+
+    /// The length of a shortest terminal word derivable from each
+    /// nonterminal (`usize::MAX` when none) — used to prune generation.
+    #[must_use]
+    pub fn min_lengths(&self) -> Vec<usize> {
+        let mut min = vec![usize::MAX; self.num_nonterminals as usize];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for p in &self.prods {
+                let mut total: usize = 0;
+                let mut ok = true;
+                for s in &p.rhs {
+                    match s {
+                        Sym::T(_) => total += 1,
+                        Sym::N(n) => {
+                            let m = min[*n as usize];
+                            if m == usize::MAX {
+                                ok = false;
+                                break;
+                            }
+                            total += m;
+                        }
+                    }
+                }
+                if ok && total < min[p.lhs as usize] {
+                    min[p.lhs as usize] = total;
+                    changed = true;
+                }
+            }
+        }
+        min
+    }
+
+    /// Generate all terminal words of length ≤ `max_len` (at most `limit`
+    /// distinct words), by leftmost derivation with min-length pruning.
+    /// Exact for any grammar whose nonterminals all derive something.
+    #[must_use]
+    pub fn generate(&self, max_len: usize, limit: usize) -> BTreeSet<Vec<u32>> {
+        let min = self.min_lengths();
+        let mut out = BTreeSet::new();
+        if min[self.start as usize] == usize::MAX {
+            return out;
+        }
+        // Sentential form: produced terminals + remaining symbols.
+        let mut stack: Vec<(Vec<u32>, Vec<Sym>)> =
+            vec![(Vec::new(), vec![Sym::N(self.start)])];
+        let mut seen: BTreeSet<(Vec<u32>, Vec<Sym>)> = BTreeSet::new();
+        while let Some((done, rest)) = stack.pop() {
+            if out.len() >= limit {
+                break;
+            }
+            // Consume leading terminals.
+            let mut done = done;
+            let mut rest = rest;
+            while let Some(Sym::T(t)) = rest.first().copied() {
+                done.push(t);
+                rest.remove(0);
+            }
+            if done.len() > max_len {
+                continue;
+            }
+            let lower: usize = done.len()
+                + rest
+                    .iter()
+                    .map(|s| match s {
+                        Sym::T(_) => 1,
+                        Sym::N(n) => min[*n as usize],
+                    })
+                    .try_fold(0usize, usize::checked_add)
+                    .unwrap_or(usize::MAX);
+            if lower > max_len {
+                continue;
+            }
+            match rest.first().copied() {
+                None => {
+                    out.insert(done);
+                }
+                Some(Sym::N(n)) => {
+                    for p in self.prods.iter().filter(|p| p.lhs == n) {
+                        let mut rest2: Vec<Sym> = p.rhs.clone();
+                        rest2.extend_from_slice(&rest[1..]);
+                        let key = (done.clone(), rest2.clone());
+                        if seen.insert(key) {
+                            stack.push((done.clone(), rest2));
+                        }
+                    }
+                }
+                Some(Sym::T(_)) => unreachable!("terminals consumed above"),
+            }
+        }
+        out
+    }
+
+    /// Productions of a nonterminal.
+    pub fn prods_of(&self, n: u32) -> impl Iterator<Item = &Production> {
+        self.prods.iter().filter(move |p| p.lhs == n)
+    }
+}
+
+/// Stock grammars used by tests, examples and benches.
+pub mod grammars {
+    use super::{Cfg, Sym};
+
+    /// `{aⁱbⁱ | i ≥ 0}` with a = 0, b = 1 (the language of Example 4.1).
+    #[must_use]
+    pub fn anbn() -> Cfg {
+        let mut g = Cfg::new(2, 1, 0).expect("valid");
+        g.add(0, vec![]).expect("valid");
+        g.add(0, vec![Sym::T(0), Sym::N(0), Sym::T(1)]).expect("valid");
+        g
+    }
+
+    /// Balanced parentheses (Dyck-1) with `( = 0`, `) = 1`.
+    #[must_use]
+    pub fn dyck() -> Cfg {
+        let mut g = Cfg::new(2, 1, 0).expect("valid");
+        g.add(0, vec![]).expect("valid");
+        g.add(0, vec![Sym::T(0), Sym::N(0), Sym::T(1), Sym::N(0)]).expect("valid");
+        g
+    }
+
+    /// Even-length palindromes over `{0, 1}`.
+    #[must_use]
+    pub fn even_palindromes() -> Cfg {
+        let mut g = Cfg::new(2, 1, 0).expect("valid");
+        g.add(0, vec![]).expect("valid");
+        g.add(0, vec![Sym::T(0), Sym::N(0), Sym::T(0)]).expect("valid");
+        g.add(0, vec![Sym::T(1), Sym::N(0), Sym::T(1)]).expect("valid");
+        g
+    }
+
+    /// A regular-ish grammar: `(01)*` with unit and ε productions, for
+    /// exercising the normal-form pipeline.
+    #[must_use]
+    pub fn zero_one_star() -> Cfg {
+        let mut g = Cfg::new(2, 2, 0).expect("valid");
+        g.add(0, vec![Sym::N(1)]).expect("valid"); // S → A (unit)
+        g.add(1, vec![]).expect("valid"); // A → ε
+        g.add(1, vec![Sym::T(0), Sym::T(1), Sym::N(1)]).expect("valid"); // A → 01A
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::grammars::*;
+    use super::*;
+
+    #[test]
+    fn anbn_generates_matched_words() {
+        let g = anbn();
+        let words = g.generate(6, 1000);
+        let expected: BTreeSet<Vec<u32>> = (0..=3)
+            .map(|n| {
+                let mut w = vec![0; n];
+                w.extend(vec![1; n]);
+                w
+            })
+            .collect();
+        assert_eq!(words, expected);
+    }
+
+    #[test]
+    fn dyck_generation() {
+        let g = dyck();
+        let words = g.generate(4, 1000);
+        assert!(words.contains(&vec![]));
+        assert!(words.contains(&vec![0, 1]));
+        assert!(words.contains(&vec![0, 1, 0, 1]));
+        assert!(words.contains(&vec![0, 0, 1, 1]));
+        assert!(!words.contains(&vec![1, 0]));
+        assert_eq!(words.len(), 4);
+    }
+
+    #[test]
+    fn nullable_and_min_lengths() {
+        let g = anbn();
+        assert_eq!(g.nullable(), vec![true]);
+        assert_eq!(g.min_lengths(), vec![0]);
+        let mut g2 = Cfg::new(1, 2, 0).unwrap();
+        g2.add(0, vec![Sym::T(0), Sym::N(1)]).unwrap();
+        // N(1) has no productions: derives nothing.
+        assert_eq!(g2.min_lengths(), vec![usize::MAX, usize::MAX]);
+        assert!(g2.generate(5, 10).is_empty());
+    }
+
+    #[test]
+    fn generation_respects_limit() {
+        let g = dyck();
+        let words = g.generate(10, 3);
+        assert_eq!(words.len(), 3);
+    }
+
+    #[test]
+    fn bad_indices_rejected() {
+        assert!(Cfg::new(1, 1, 5).is_err());
+        let mut g = Cfg::new(1, 1, 0).unwrap();
+        assert!(g.add(5, vec![]).is_err());
+        assert!(g.add(0, vec![Sym::T(9)]).is_err());
+        assert!(g.add(0, vec![Sym::N(9)]).is_err());
+    }
+
+    #[test]
+    fn duplicate_productions_collapse() {
+        let mut g = Cfg::new(1, 1, 0).unwrap();
+        g.add(0, vec![Sym::T(0)]).unwrap();
+        g.add(0, vec![Sym::T(0)]).unwrap();
+        assert_eq!(g.prods.len(), 1);
+    }
+
+    #[test]
+    fn palindromes_are_palindromic() {
+        let g = even_palindromes();
+        for w in g.generate(6, 1000) {
+            let mut r = w.clone();
+            r.reverse();
+            assert_eq!(w, r);
+            assert_eq!(w.len() % 2, 0);
+        }
+    }
+}

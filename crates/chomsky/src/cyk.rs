@@ -1,0 +1,145 @@
+//! CYK membership for grammars in Chomsky normal form.
+
+use crate::cfg::{Cfg, Sym};
+use crate::normal::{check_cnf, to_cnf, NormalForm};
+use crate::error::ChomskyError;
+
+/// A compiled CYK recognizer.
+#[derive(Clone, Debug)]
+pub struct CykRecognizer {
+    num_nonterminals: usize,
+    start: usize,
+    derives_lambda: bool,
+    /// `unary[t]` = nonterminals with `A → t`.
+    unary: Vec<Vec<u32>>,
+    /// Binary rules `A → B C` as `(a, b, c)`.
+    binary: Vec<(u32, u32, u32)>,
+}
+
+impl CykRecognizer {
+    /// Compile a recognizer from an arbitrary CFG (normalized internally).
+    #[must_use]
+    pub fn from_cfg(g: &Cfg) -> CykRecognizer {
+        let NormalForm { cfg, derives_lambda } = to_cnf(g);
+        Self::from_cnf(&cfg, derives_lambda).expect("to_cnf produces CNF")
+    }
+
+    /// Compile from a grammar already in CNF.
+    pub fn from_cnf(g: &Cfg, derives_lambda: bool) -> Result<CykRecognizer, ChomskyError> {
+        check_cnf(g)?;
+        let mut unary = vec![Vec::new(); g.num_terminals as usize];
+        let mut binary = Vec::new();
+        for p in &g.prods {
+            match p.rhs.as_slice() {
+                [Sym::T(t)] => unary[*t as usize].push(p.lhs),
+                [Sym::N(b), Sym::N(c)] => binary.push((p.lhs, *b, *c)),
+                _ => unreachable!("checked CNF"),
+            }
+        }
+        Ok(CykRecognizer {
+            num_nonterminals: g.num_nonterminals as usize,
+            start: g.start as usize,
+            derives_lambda,
+            unary,
+            binary,
+        })
+    }
+
+    /// Whether the word belongs to the language.
+    #[must_use]
+    pub fn recognizes(&self, word: &[u32]) -> bool {
+        let n = word.len();
+        if n == 0 {
+            return self.derives_lambda;
+        }
+        let nn = self.num_nonterminals;
+        // table[i][len-1] = bitset of nonterminals deriving word[i..i+len].
+        let idx = |i: usize, l: usize| i * n + (l - 1);
+        let mut table = vec![false; n * n * nn];
+        let cell = |t: &[bool], i: usize, l: usize, a: usize| t[(idx(i, l)) * nn + a];
+        for (i, &t) in word.iter().enumerate() {
+            if (t as usize) < self.unary.len() {
+                for &a in &self.unary[t as usize] {
+                    table[idx(i, 1) * nn + a as usize] = true;
+                }
+            }
+        }
+        for l in 2..=n {
+            for i in 0..=n - l {
+                for split in 1..l {
+                    for &(a, b, c) in &self.binary {
+                        if cell(&table, i, split, b as usize)
+                            && cell(&table, i + split, l - split, c as usize)
+                        {
+                            table[idx(i, l) * nn + a as usize] = true;
+                        }
+                    }
+                }
+            }
+        }
+        cell(&table, 0, n, self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::grammars;
+
+    #[test]
+    fn recognizes_anbn() {
+        let r = CykRecognizer::from_cfg(&grammars::anbn());
+        assert!(r.recognizes(&[]));
+        assert!(r.recognizes(&[0, 1]));
+        assert!(r.recognizes(&[0, 0, 0, 1, 1, 1]));
+        assert!(!r.recognizes(&[0]));
+        assert!(!r.recognizes(&[0, 1, 1]));
+        assert!(!r.recognizes(&[1, 0]));
+    }
+
+    #[test]
+    fn recognizes_dyck() {
+        let r = CykRecognizer::from_cfg(&grammars::dyck());
+        assert!(r.recognizes(&[0, 0, 1, 1, 0, 1]));
+        assert!(!r.recognizes(&[0, 1, 1, 0]));
+    }
+
+    #[test]
+    fn agrees_with_generation() {
+        for g in [grammars::anbn(), grammars::dyck(), grammars::even_palindromes()] {
+            let r = CykRecognizer::from_cfg(&g);
+            let words = g.generate(6, 100_000);
+            // Everything generated is recognized; everything recognized of
+            // length ≤ 6 is generated.
+            for w in &words {
+                assert!(r.recognizes(w), "{w:?} generated but rejected");
+            }
+            let alphabet = g.num_terminals;
+            let mut all: Vec<Vec<u32>> = vec![vec![]];
+            for _ in 0..4 {
+                let mut next = Vec::new();
+                for w in &all {
+                    for t in 0..alphabet {
+                        let mut w2 = w.clone();
+                        w2.push(t);
+                        next.push(w2);
+                    }
+                }
+                for w in &next {
+                    assert_eq!(
+                        r.recognizes(w),
+                        words.contains(w),
+                        "CYK disagrees with generation on {w:?}"
+                    );
+                }
+                all = next;
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_alphabet_symbols_rejected() {
+        let r = CykRecognizer::from_cfg(&grammars::anbn());
+        assert!(!r.recognizes(&[7]));
+    }
+}

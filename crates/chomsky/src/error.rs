@@ -1,0 +1,52 @@
+//! Error types for the computability substrate.
+
+/// Errors raised while constructing Turing machines or grammars.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ChomskyError {
+    /// A state index out of range.
+    BadState(u32),
+    /// A tape or terminal symbol out of range.
+    BadSymbol(u32),
+    /// A nonterminal index out of range.
+    BadNonterminal(u32),
+    /// Two transitions from the same (state, symbol) pair in a
+    /// deterministic machine.
+    NondeterministicTransition {
+        /// The conflicting state.
+        state: u32,
+        /// The conflicting read symbol.
+        symbol: u32,
+    },
+    /// A grammar transformation precondition failed.
+    NotInNormalForm(&'static str),
+}
+
+impl std::fmt::Display for ChomskyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChomskyError::BadState(q) => write!(f, "state {q} out of range"),
+            ChomskyError::BadSymbol(s) => write!(f, "symbol {s} out of range"),
+            ChomskyError::BadNonterminal(n) => write!(f, "nonterminal {n} out of range"),
+            ChomskyError::NondeterministicTransition { state, symbol } => {
+                write!(f, "duplicate transition from (q{state}, {symbol})")
+            }
+            ChomskyError::NotInNormalForm(what) => {
+                write!(f, "grammar not in required normal form: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChomskyError {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn display() {
+        use super::ChomskyError;
+        assert!(ChomskyError::BadState(3).to_string().contains('3'));
+        assert!(ChomskyError::NondeterministicTransition { state: 1, symbol: 2 }
+            .to_string()
+            .contains("q1"));
+    }
+}

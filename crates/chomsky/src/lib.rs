@@ -1,0 +1,32 @@
+//! # migratory-chomsky — computability substrate
+//!
+//! The CSL/CSL⁺ expressiveness results of Su, *Dynamic Constraints and
+//! Object Migration* (VLDB 1991 / TCS 1997) are proved by simulating
+//! Turing machines inside transaction schemas (Theorem 4.3) and by
+//! compiling Greibach-normal-form grammars into chain-counter schemas
+//! (Theorem 4.8, Example 4.1). This crate supplies those ingredients:
+//!
+//! * [`TuringMachine`] — deterministic single-tape machines with a
+//!   right-infinite tape, bounded execution (undecidability surfaces as
+//!   "out of fuel", never as a wrong answer), and stock machines
+//!   ([`turing::machines`]) including an input-preserving `aⁿbⁿ` acceptor;
+//! * [`Cfg`] — context-free grammars with bounded generation and stock
+//!   grammars ([`cfg::grammars`]);
+//! * [`normal`] — ε/unit/useless removal, Chomsky and **Greibach** normal
+//!   forms;
+//! * [`CykRecognizer`] — CYK membership.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod cyk;
+pub mod error;
+pub mod normal;
+pub mod turing;
+
+pub use cfg::{Cfg, Production, Sym};
+pub use cyk::CykRecognizer;
+pub use error::ChomskyError;
+pub use normal::{is_gnf, to_cnf, to_gnf, NormalForm};
+pub use turing::{Move, Outcome, TuringMachine};

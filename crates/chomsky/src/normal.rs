@@ -1,0 +1,466 @@
+//! Grammar normal forms: ε-removal, unit-removal, useless-symbol removal,
+//! Chomsky normal form, and **Greibach normal form** — the form Theorem
+//! 4.8's CSL⁺ compiler consumes ("every production rule has the form
+//! N → cα where c is a terminal and α a string of nonterminals").
+//!
+//! Since GNF cannot produce the empty word, transformations carry a
+//! `derives_lambda` flag alongside; the compiler of Theorem 4.8 handles λ
+//! through prefix closure anyway (`Init(L)` always contains λ).
+
+use crate::cfg::{Cfg, Production, Sym};
+use crate::error::ChomskyError;
+
+/// A grammar paired with the fact whether the original language contained
+/// the empty word (normal forms below never produce λ themselves).
+#[derive(Clone, Debug)]
+pub struct NormalForm {
+    /// The transformed grammar.
+    pub cfg: Cfg,
+    /// Whether λ was in the original language.
+    pub derives_lambda: bool,
+}
+
+/// Remove ε-productions (except the information that λ was derivable,
+/// returned in the flag).
+#[must_use]
+pub fn remove_epsilon(g: &Cfg) -> NormalForm {
+    let nullable = g.nullable();
+    let derives_lambda = nullable[g.start as usize];
+    let mut out = Cfg { prods: Vec::new(), ..g.clone() };
+    for p in &g.prods {
+        // For every subset of nullable occurrences, emit the body with
+        // that subset deleted (skip the fully-empty result).
+        let positions: Vec<usize> = p
+            .rhs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, Sym::N(n) if nullable[*n as usize]))
+            .map(|(i, _)| i)
+            .collect();
+        let k = positions.len();
+        debug_assert!(k < 24, "pathological nullable production");
+        for mask in 0..(1u32 << k) {
+            let drop: Vec<usize> = positions
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| mask & (1 << j) != 0)
+                .map(|(_, &i)| i)
+                .collect();
+            let body: Vec<Sym> = p
+                .rhs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !drop.contains(i))
+                .map(|(_, s)| *s)
+                .collect();
+            if !body.is_empty() {
+                out.add(p.lhs, body).expect("indices preserved");
+            }
+        }
+    }
+    NormalForm { cfg: out, derives_lambda }
+}
+
+/// Remove unit productions `A → B` (assumes ε-free input).
+#[must_use]
+pub fn remove_units(g: &Cfg) -> Cfg {
+    let n = g.num_nonterminals as usize;
+    // unit_reach[a][b]: A ⇒* B via unit productions.
+    let mut reach = vec![vec![false; n]; n];
+    for (i, row) in reach.iter_mut().enumerate() {
+        row[i] = true;
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in &g.prods {
+            if let [Sym::N(b)] = p.rhs.as_slice() {
+                for row in reach.iter_mut() {
+                    if row[p.lhs as usize] && !row[*b as usize] {
+                        row[*b as usize] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut out = Cfg { prods: Vec::new(), ..g.clone() };
+    #[allow(clippy::needless_range_loop)] // reach is a 2-D matrix
+    for a in 0..n {
+        for b in 0..n {
+            if !reach[a][b] {
+                continue;
+            }
+            for p in g.prods.iter().filter(|p| p.lhs == b as u32) {
+                if matches!(p.rhs.as_slice(), [Sym::N(_)]) {
+                    continue; // unit production — skipped
+                }
+                out.add(a as u32, p.rhs.clone()).expect("indices preserved");
+            }
+        }
+    }
+    out
+}
+
+/// Remove non-generating and unreachable nonterminals (useless symbols).
+/// Nonterminal indices are preserved (productions are just dropped), so
+/// callers need not remap.
+#[must_use]
+pub fn remove_useless(g: &Cfg) -> Cfg {
+    // Generating fixpoint.
+    let mut generating = vec![false; g.num_nonterminals as usize];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in &g.prods {
+            if !generating[p.lhs as usize]
+                && p.rhs.iter().all(|s| match s {
+                    Sym::T(_) => true,
+                    Sym::N(n) => generating[*n as usize],
+                })
+            {
+                generating[p.lhs as usize] = true;
+                changed = true;
+            }
+        }
+    }
+    // Reachable fixpoint (through generating productions only).
+    let mut reachable = vec![false; g.num_nonterminals as usize];
+    reachable[g.start as usize] = true;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for p in &g.prods {
+            if !reachable[p.lhs as usize] {
+                continue;
+            }
+            if !p.rhs.iter().all(|s| match s {
+                Sym::T(_) => true,
+                Sym::N(n) => generating[*n as usize],
+            }) {
+                continue;
+            }
+            for s in &p.rhs {
+                if let Sym::N(n) = s {
+                    if !reachable[*n as usize] {
+                        reachable[*n as usize] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    let keep = |n: u32| generating[n as usize] && reachable[n as usize];
+    let mut out = Cfg { prods: Vec::new(), ..g.clone() };
+    for p in &g.prods {
+        if keep(p.lhs)
+            && p.rhs.iter().all(|s| match s {
+                Sym::T(_) => true,
+                Sym::N(n) => keep(*n),
+            })
+        {
+            out.add(p.lhs, p.rhs.clone()).expect("indices preserved");
+        }
+    }
+    out
+}
+
+/// Chomsky normal form: every production is `A → BC` or `A → a`
+/// (ε- and unit-free input produced internally; λ carried in the flag).
+#[must_use]
+pub fn to_cnf(g: &Cfg) -> NormalForm {
+    let NormalForm { cfg, derives_lambda } = remove_epsilon(g);
+    let cfg = remove_units(&cfg);
+    let mut cfg = remove_useless(&cfg);
+
+    // TERM: replace terminals inside long bodies by fresh nonterminals.
+    let mut term_nt: Vec<Option<u32>> = vec![None; cfg.num_terminals as usize];
+    let prods = std::mem::take(&mut cfg.prods);
+    let mut staged: Vec<Production> = Vec::new();
+    for p in prods {
+        if p.rhs.len() >= 2 {
+            let body: Vec<Sym> = p
+                .rhs
+                .iter()
+                .map(|s| match *s {
+                    Sym::T(t) => {
+                        let nt = *term_nt[t as usize].get_or_insert_with(|| {
+                            let fresh = cfg.num_nonterminals;
+                            cfg.num_nonterminals += 1;
+                            fresh
+                        });
+                        Sym::N(nt)
+                    }
+                    n => n,
+                })
+                .collect();
+            staged.push(Production { lhs: p.lhs, rhs: body });
+        } else {
+            staged.push(p);
+        }
+    }
+    for (t, nt) in term_nt.iter().enumerate() {
+        if let Some(nt) = nt {
+            staged.push(Production { lhs: *nt, rhs: vec![Sym::T(t as u32)] });
+        }
+    }
+
+    // BIN: split bodies longer than 2.
+    let mut final_prods: Vec<Production> = Vec::new();
+    for p in staged {
+        if p.rhs.len() <= 2 {
+            final_prods.push(p);
+            continue;
+        }
+        let mut lhs = p.lhs;
+        let body = p.rhs;
+        for &sym in &body[..body.len() - 2] {
+            let fresh = cfg.num_nonterminals;
+            cfg.num_nonterminals += 1;
+            final_prods.push(Production { lhs, rhs: vec![sym, Sym::N(fresh)] });
+            lhs = fresh;
+        }
+        final_prods.push(Production {
+            lhs,
+            rhs: vec![body[body.len() - 2], body[body.len() - 1]],
+        });
+    }
+    for p in final_prods {
+        cfg.add(p.lhs, p.rhs).expect("fresh indices allocated");
+    }
+    NormalForm { cfg, derives_lambda }
+}
+
+/// Whether every production has the Greibach shape `A → a N₁ … Nₖ`.
+#[must_use]
+pub fn is_gnf(g: &Cfg) -> bool {
+    g.prods.iter().all(|p| {
+        matches!(p.rhs.first(), Some(Sym::T(_)))
+            && p.rhs[1..].iter().all(|s| matches!(s, Sym::N(_)))
+    })
+}
+
+/// Greibach normal form via the classical CNF-based algorithm
+/// (Hopcroft & Ullman): order nonterminals, substitute lower-numbered
+/// leading nonterminals, remove immediate left recursion with fresh "B"
+/// nonterminals, then back-substitute.
+#[must_use]
+pub fn to_gnf(g: &Cfg) -> NormalForm {
+    let NormalForm { cfg, derives_lambda } = to_cnf(g);
+    let mut cfg = cfg;
+    let base = cfg.num_nonterminals; // A-nonterminals: 0..base
+
+    // Work tables: prods_of[a] = bodies.
+    let mut bodies: Vec<Vec<Vec<Sym>>> = vec![Vec::new(); base as usize];
+    for p in &cfg.prods {
+        bodies[p.lhs as usize].push(p.rhs.clone());
+    }
+    let mut b_bodies: Vec<(u32, Vec<Vec<Sym>>)> = Vec::new(); // (B-nonterminal id, bodies)
+
+    for i in 0..base {
+        // Substitute Ai → Aj γ for j < i.
+        loop {
+            let mut replaced = false;
+            let mut next: Vec<Vec<Sym>> = Vec::new();
+            for body in std::mem::take(&mut bodies[i as usize]) {
+                match body.first() {
+                    Some(&Sym::N(j)) if j < i => {
+                        for jb in bodies[j as usize].clone() {
+                            let mut nb = jb;
+                            nb.extend_from_slice(&body[1..]);
+                            next.push(nb);
+                        }
+                        replaced = true;
+                    }
+                    _ => next.push(body),
+                }
+            }
+            bodies[i as usize] = next;
+            if !replaced {
+                break;
+            }
+        }
+        // Remove immediate left recursion Ai → Ai α.
+        let (rec, nonrec): (Vec<Vec<Sym>>, Vec<Vec<Sym>>) = bodies[i as usize]
+            .drain(..)
+            .partition(|b| matches!(b.first(), Some(&Sym::N(j)) if j == i));
+        if rec.is_empty() {
+            bodies[i as usize] = nonrec;
+        } else {
+            let b_id = cfg.num_nonterminals;
+            cfg.num_nonterminals += 1;
+            let mut new_bodies = Vec::new();
+            for b in &nonrec {
+                new_bodies.push(b.clone());
+                let mut with_b = b.clone();
+                with_b.push(Sym::N(b_id));
+                new_bodies.push(with_b);
+            }
+            bodies[i as usize] = new_bodies;
+            let mut bb = Vec::new();
+            for r in rec {
+                let alpha = r[1..].to_vec();
+                bb.push(alpha.clone());
+                let mut with_b = alpha;
+                with_b.push(Sym::N(b_id));
+                bb.push(with_b);
+            }
+            b_bodies.push((b_id, bb));
+        }
+    }
+
+    // Back-substitution: Ai bodies starting with Aj (j > i) get expanded,
+    // from the highest index down. After this every A-body starts with a
+    // terminal.
+    for i in (0..base).rev() {
+        let mut next = Vec::new();
+        for body in std::mem::take(&mut bodies[i as usize]) {
+            match body.first() {
+                Some(&Sym::N(j)) if j < base && j > i => {
+                    for jb in bodies[j as usize].clone() {
+                        let mut nb = jb;
+                        nb.extend_from_slice(&body[1..]);
+                        next.push(nb);
+                    }
+                }
+                _ => next.push(body),
+            }
+        }
+        bodies[i as usize] = next;
+    }
+
+    // B-nonterminal bodies may start with an A-nonterminal — substitute.
+    let mut final_b: Vec<(u32, Vec<Vec<Sym>>)> = Vec::new();
+    for (b_id, bb) in b_bodies {
+        let mut out = Vec::new();
+        for body in bb {
+            match body.first() {
+                Some(&Sym::N(j)) if j < base => {
+                    for jb in bodies[j as usize].clone() {
+                        let mut nb = jb;
+                        nb.extend_from_slice(&body[1..]);
+                        out.push(nb);
+                    }
+                }
+                _ => out.push(body),
+            }
+        }
+        final_b.push((b_id, out));
+    }
+
+    let mut out = Cfg { prods: Vec::new(), ..cfg };
+    for (i, bs) in bodies.iter().enumerate() {
+        for b in bs {
+            out.add(i as u32, b.clone()).expect("indices valid");
+        }
+    }
+    for (b_id, bs) in final_b {
+        for b in bs {
+            out.add(b_id, b).expect("indices valid");
+        }
+    }
+    let out = remove_useless(&out);
+    debug_assert!(is_gnf(&out), "GNF construction left a non-Greibach production");
+    NormalForm { cfg: out, derives_lambda }
+}
+
+/// Validate that a grammar is in CNF (`A → BC` | `A → a`).
+pub fn check_cnf(g: &Cfg) -> Result<(), ChomskyError> {
+    for p in &g.prods {
+        let ok = matches!(p.rhs.as_slice(), [Sym::T(_)] | [Sym::N(_), Sym::N(_)]);
+        if !ok {
+            return Err(ChomskyError::NotInNormalForm("expected CNF"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::grammars;
+    use std::collections::BTreeSet;
+
+    fn same_language(a: &Cfg, b: &Cfg, b_lambda: bool, max_len: usize) {
+        let wa = a.generate(max_len, 100_000);
+        let mut wb: BTreeSet<Vec<u32>> = b.generate(max_len, 100_000);
+        if b_lambda {
+            wb.insert(vec![]);
+        }
+        assert_eq!(wa, wb, "language changed by transformation");
+    }
+
+    #[test]
+    fn epsilon_removal_preserves_language() {
+        for g in [grammars::anbn(), grammars::dyck(), grammars::zero_one_star()] {
+            let nf = remove_epsilon(&g);
+            assert!(nf.derives_lambda);
+            assert!(nf.cfg.prods.iter().all(|p| !p.rhs.is_empty()));
+            same_language(&g, &nf.cfg, nf.derives_lambda, 8);
+        }
+    }
+
+    #[test]
+    fn unit_removal_preserves_language() {
+        let g = grammars::zero_one_star();
+        let nf = remove_epsilon(&g);
+        let g2 = remove_units(&nf.cfg);
+        assert!(g2
+            .prods
+            .iter()
+            .all(|p| !matches!(p.rhs.as_slice(), [Sym::N(_)])));
+        same_language(&g, &g2, nf.derives_lambda, 8);
+    }
+
+    #[test]
+    fn cnf_has_cnf_shape_and_language() {
+        for g in [grammars::anbn(), grammars::dyck(), grammars::even_palindromes()] {
+            let nf = to_cnf(&g);
+            check_cnf(&nf.cfg).unwrap();
+            same_language(&g, &nf.cfg, nf.derives_lambda, 8);
+        }
+    }
+
+    #[test]
+    fn gnf_has_greibach_shape_and_language() {
+        for g in [
+            grammars::anbn(),
+            grammars::dyck(),
+            grammars::even_palindromes(),
+            grammars::zero_one_star(),
+        ] {
+            let nf = to_gnf(&g);
+            assert!(is_gnf(&nf.cfg), "not GNF: {:?}", nf.cfg.prods);
+            same_language(&g, &nf.cfg, nf.derives_lambda, 8);
+        }
+    }
+
+    #[test]
+    fn gnf_of_left_recursive_grammar() {
+        // E → E + a | a  (terminals: + = 0, a = 1), classic left recursion.
+        let mut g = Cfg::new(2, 1, 0).unwrap();
+        g.add(0, vec![Sym::N(0), Sym::T(0), Sym::T(1)]).unwrap();
+        g.add(0, vec![Sym::T(1)]).unwrap();
+        let nf = to_gnf(&g);
+        assert!(is_gnf(&nf.cfg));
+        assert!(!nf.derives_lambda);
+        same_language(&g, &nf.cfg, nf.derives_lambda, 7);
+    }
+
+    #[test]
+    fn useless_removal_drops_dead_rules() {
+        let mut g = Cfg::new(1, 3, 0).unwrap();
+        g.add(0, vec![Sym::T(0)]).unwrap();
+        g.add(1, vec![Sym::T(0)]).unwrap(); // unreachable
+        g.add(0, vec![Sym::N(2)]).unwrap(); // N2 non-generating
+        let g2 = remove_useless(&g);
+        assert_eq!(g2.prods.len(), 1);
+        assert_eq!(g2.prods[0].lhs, 0);
+    }
+
+    #[test]
+    fn cnf_check_rejects_non_cnf() {
+        let g = grammars::anbn();
+        assert!(check_cnf(&g).is_err());
+    }
+}

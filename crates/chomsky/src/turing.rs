@@ -1,0 +1,374 @@
+//! Deterministic single-tape Turing machines with a right-infinite tape —
+//! the machine model of the paper's Theorem 4.3 appendix ("we assume the
+//! terminology for Turing machines [21]").
+//!
+//! The appendix additionally assumes the machine *does not erase the input
+//! word* (every input square, once written, keeps a symbol that still
+//! identifies the original letter). Machines used with the CSL compiler
+//! satisfy this by marking letters with primed variants rather than
+//! overwriting them; the compiler is told which tape symbols stand for
+//! which input letters.
+
+use crate::error::ChomskyError;
+use std::collections::HashMap;
+
+/// Head movement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Move {
+    /// One square left (no-op at the left end of the right-infinite tape).
+    Left,
+    /// One square right.
+    Right,
+    /// Stay.
+    Stay,
+}
+
+/// Outcome of a bounded run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// Reached the accepting state; carries the step count and the final
+    /// tape contents (trailing blanks trimmed).
+    Accepted {
+        /// Steps executed.
+        steps: usize,
+        /// Final tape (trailing blanks removed).
+        tape: Vec<u32>,
+    },
+    /// Halted in a non-accepting configuration (no applicable transition).
+    Rejected {
+        /// Steps executed.
+        steps: usize,
+    },
+    /// The step bound was exhausted first.
+    OutOfFuel,
+}
+
+impl Outcome {
+    /// Whether the run accepted.
+    #[must_use]
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Outcome::Accepted { .. })
+    }
+}
+
+/// A deterministic Turing machine over tape alphabet `0..num_symbols`
+/// (symbol 0 is conventionally usable as a letter; the blank is explicit).
+#[derive(Clone, Debug)]
+pub struct TuringMachine {
+    num_states: u32,
+    num_symbols: u32,
+    blank: u32,
+    start: u32,
+    accept: u32,
+    delta: HashMap<(u32, u32), (u32, u32, Move)>,
+}
+
+impl TuringMachine {
+    /// Create a machine shell; add transitions with
+    /// [`TuringMachine::add_transition`].
+    pub fn new(
+        num_states: u32,
+        num_symbols: u32,
+        blank: u32,
+        start: u32,
+        accept: u32,
+    ) -> Result<Self, ChomskyError> {
+        if blank >= num_symbols {
+            return Err(ChomskyError::BadSymbol(blank));
+        }
+        if start >= num_states {
+            return Err(ChomskyError::BadState(start));
+        }
+        if accept >= num_states {
+            return Err(ChomskyError::BadState(accept));
+        }
+        Ok(TuringMachine { num_states, num_symbols, blank, start, accept, delta: HashMap::new() })
+    }
+
+    /// Add `δ(from, read) = (to, write, dir)`.
+    pub fn add_transition(
+        &mut self,
+        from: u32,
+        read: u32,
+        to: u32,
+        write: u32,
+        dir: Move,
+    ) -> Result<(), ChomskyError> {
+        if from >= self.num_states || to >= self.num_states {
+            return Err(ChomskyError::BadState(from.max(to)));
+        }
+        if read >= self.num_symbols || write >= self.num_symbols {
+            return Err(ChomskyError::BadSymbol(read.max(write)));
+        }
+        if self.delta.insert((from, read), (to, write, dir)).is_some() {
+            return Err(ChomskyError::NondeterministicTransition { state: from, symbol: read });
+        }
+        Ok(())
+    }
+
+    /// Number of control states.
+    #[must_use]
+    pub fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    /// Tape alphabet size.
+    #[must_use]
+    pub fn num_symbols(&self) -> u32 {
+        self.num_symbols
+    }
+
+    /// The blank symbol.
+    #[must_use]
+    pub fn blank(&self) -> u32 {
+        self.blank
+    }
+
+    /// The start state.
+    #[must_use]
+    pub fn start_state(&self) -> u32 {
+        self.start
+    }
+
+    /// The accepting (halting) state.
+    #[must_use]
+    pub fn accept_state(&self) -> u32 {
+        self.accept
+    }
+
+    /// Iterate all transitions `((from, read), (to, write, dir))` in a
+    /// deterministic order.
+    pub fn transitions(
+        &self,
+    ) -> impl Iterator<Item = ((u32, u32), (u32, u32, Move))> + '_ {
+        let mut keys: Vec<_> = self.delta.keys().copied().collect();
+        keys.sort_unstable();
+        keys.into_iter().map(move |k| (k, self.delta[&k]))
+    }
+
+    /// The transition from `(state, symbol)`, if any.
+    #[must_use]
+    pub fn step_of(&self, state: u32, symbol: u32) -> Option<(u32, u32, Move)> {
+        self.delta.get(&(state, symbol)).copied()
+    }
+
+    /// Run on `input` for at most `max_steps` steps.
+    #[must_use]
+    pub fn run(&self, input: &[u32], max_steps: usize) -> Outcome {
+        let mut tape: Vec<u32> = input.to_vec();
+        let mut head: usize = 0;
+        let mut state = self.start;
+        for steps in 0..max_steps {
+            if state == self.accept {
+                while tape.last() == Some(&self.blank) {
+                    tape.pop();
+                }
+                return Outcome::Accepted { steps, tape };
+            }
+            let read = tape.get(head).copied().unwrap_or(self.blank);
+            let Some((to, write, dir)) = self.delta.get(&(state, read)).copied() else {
+                return Outcome::Rejected { steps };
+            };
+            if head >= tape.len() {
+                tape.resize(head + 1, self.blank);
+            }
+            tape[head] = write;
+            state = to;
+            match dir {
+                Move::Left => head = head.saturating_sub(1),
+                Move::Right => head += 1,
+                Move::Stay => {}
+            }
+        }
+        if state == self.accept {
+            while tape.last() == Some(&self.blank) {
+                tape.pop();
+            }
+            return Outcome::Accepted { steps: max_steps, tape };
+        }
+        Outcome::OutOfFuel
+    }
+
+    /// Whether the machine accepts `input` within `max_steps` steps
+    /// (`None` when the bound is hit — undecidability shows up as
+    /// `None`, never as a wrong answer).
+    #[must_use]
+    pub fn accepts(&self, input: &[u32], max_steps: usize) -> Option<bool> {
+        match self.run(input, max_steps) {
+            Outcome::Accepted { .. } => Some(true),
+            Outcome::Rejected { .. } => Some(false),
+            Outcome::OutOfFuel => None,
+        }
+    }
+}
+
+/// Stock machines used by tests, examples and benches.
+pub mod machines {
+    use super::{Move, TuringMachine};
+
+    /// Tape symbols of [`anbn`]: `a=0, b=1, A=2 (marked a), B=3 (marked b),
+    /// blank=4`. The marked variants preserve the input letters, as the
+    /// compiler of Theorem 4.3 requires.
+    pub const ANBN_A: u32 = 0;
+    /// `b` for [`anbn`].
+    pub const ANBN_B: u32 = 1;
+    /// Marked `a`.
+    pub const ANBN_MA: u32 = 2;
+    /// Marked `b`.
+    pub const ANBN_MB: u32 = 3;
+    /// Blank for [`anbn`].
+    pub const ANBN_BLANK: u32 = 4;
+
+    /// The classical marker machine for `{aⁿbⁿ | n ≥ 0}`, input preserved
+    /// up to marking.
+    ///
+    /// States: 0 = scan-for-a (start), 1 = seek-unmarked-b, 2 = rewind,
+    /// 3 = verify-rest-marked, 4 = accept.
+    #[must_use]
+    pub fn anbn() -> TuringMachine {
+        let (a, b, ma, mb, blank) = (ANBN_A, ANBN_B, ANBN_MA, ANBN_MB, ANBN_BLANK);
+        let mut m = TuringMachine::new(5, 5, blank, 0, 4).expect("valid shell");
+        let mut t = |f, r, to, w, d| m.add_transition(f, r, to, w, d).expect("fresh");
+        // q0: at leftmost unmarked symbol.
+        t(0, a, 1, ma, Move::Right); // mark an a, go find a b
+        t(0, mb, 3, mb, Move::Right); // all a's consumed: verify tail
+        t(0, blank, 4, blank, Move::Stay); // empty word: accept
+        // q1: scan right for an unmarked b.
+        t(1, a, 1, a, Move::Right);
+        t(1, mb, 1, mb, Move::Right);
+        t(1, b, 2, mb, Move::Left); // mark it, rewind
+        // q2: rewind to the leftmost unmarked symbol.
+        t(2, a, 2, a, Move::Left);
+        t(2, mb, 2, mb, Move::Left);
+        t(2, ma, 0, ma, Move::Right);
+        // q3: everything remaining must be marked b's.
+        t(3, mb, 3, mb, Move::Right);
+        t(3, blank, 4, blank, Move::Stay);
+        m
+    }
+
+    /// Read-only machine accepting words of even length over `{0, 1}`
+    /// (blank = 2).
+    #[must_use]
+    pub fn even_length() -> TuringMachine {
+        let blank = 2;
+        let mut m = TuringMachine::new(3, 3, blank, 0, 2).expect("valid shell");
+        let mut t = |f, r, to, w, d| m.add_transition(f, r, to, w, d).expect("fresh");
+        for s in 0..2 {
+            t(0, s, 1, s, Move::Right);
+            t(1, s, 0, s, Move::Right);
+        }
+        t(0, blank, 2, blank, Move::Stay);
+        m
+    }
+
+    /// Machine accepting every word over `{0}` immediately (blank = 1).
+    #[must_use]
+    pub fn accept_all() -> TuringMachine {
+        let mut m = TuringMachine::new(2, 2, 1, 0, 1).expect("valid shell");
+        m.add_transition(0, 0, 1, 0, Move::Stay).expect("fresh");
+        m.add_transition(0, 1, 1, 1, Move::Stay).expect("fresh");
+        m
+    }
+
+    /// A machine that loops forever on every input (for bound-exhaustion
+    /// tests; blank = 1).
+    #[must_use]
+    pub fn loop_forever() -> TuringMachine {
+        let mut m = TuringMachine::new(2, 2, 1, 0, 1).expect("valid shell");
+        m.add_transition(0, 0, 0, 0, Move::Stay).expect("fresh");
+        m.add_transition(0, 1, 0, 1, Move::Stay).expect("fresh");
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::machines::*;
+    use super::*;
+
+    #[test]
+    fn anbn_accepts_exactly_matched_words() {
+        let m = anbn();
+        for n in 0..6 {
+            let mut w = vec![ANBN_A; n];
+            w.extend(vec![ANBN_B; n]);
+            assert_eq!(m.accepts(&w, 10_000), Some(true), "a^{n} b^{n}");
+        }
+        for w in [
+            vec![ANBN_A],
+            vec![ANBN_B],
+            vec![ANBN_A, ANBN_B, ANBN_B],
+            vec![ANBN_A, ANBN_A, ANBN_B],
+            vec![ANBN_B, ANBN_A],
+            vec![ANBN_A, ANBN_B, ANBN_A, ANBN_B],
+        ] {
+            assert_eq!(m.accepts(&w, 10_000), Some(false), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn anbn_preserves_input_up_to_marking() {
+        let m = anbn();
+        let w = vec![ANBN_A, ANBN_A, ANBN_B, ANBN_B];
+        match m.run(&w, 10_000) {
+            Outcome::Accepted { tape, .. } => {
+                assert_eq!(tape, vec![ANBN_MA, ANBN_MA, ANBN_MB, ANBN_MB]);
+            }
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn even_length_machine() {
+        let m = even_length();
+        assert_eq!(m.accepts(&[], 100), Some(true));
+        assert_eq!(m.accepts(&[0], 100), Some(false));
+        assert_eq!(m.accepts(&[0, 1], 100), Some(true));
+        assert_eq!(m.accepts(&[1, 1, 0], 100), Some(false));
+    }
+
+    #[test]
+    fn loop_forever_exhausts_fuel() {
+        let m = loop_forever();
+        assert_eq!(m.accepts(&[0], 1000), None);
+        assert_eq!(m.run(&[0], 5), Outcome::OutOfFuel);
+    }
+
+    #[test]
+    fn determinism_enforced() {
+        let mut m = TuringMachine::new(2, 2, 1, 0, 1).unwrap();
+        m.add_transition(0, 0, 1, 0, Move::Stay).unwrap();
+        assert!(matches!(
+            m.add_transition(0, 0, 0, 0, Move::Left),
+            Err(ChomskyError::NondeterministicTransition { .. })
+        ));
+    }
+
+    #[test]
+    fn bounds_checked() {
+        assert!(TuringMachine::new(2, 2, 5, 0, 1).is_err());
+        assert!(TuringMachine::new(2, 2, 1, 5, 1).is_err());
+        let mut m = TuringMachine::new(2, 2, 1, 0, 1).unwrap();
+        assert!(m.add_transition(0, 9, 1, 0, Move::Stay).is_err());
+        assert!(m.add_transition(9, 0, 1, 0, Move::Stay).is_err());
+    }
+
+    #[test]
+    fn left_boundary_is_sticky() {
+        // A machine that tries to move left from square 0 stays put.
+        let mut m = TuringMachine::new(3, 2, 1, 0, 2).unwrap();
+        m.add_transition(0, 0, 1, 0, Move::Left).unwrap();
+        m.add_transition(1, 0, 2, 0, Move::Stay).unwrap();
+        assert_eq!(m.accepts(&[0], 10), Some(true));
+    }
+
+    #[test]
+    fn transitions_iterate_deterministically() {
+        let m = anbn();
+        let t1: Vec<_> = m.transitions().collect();
+        let t2: Vec<_> = m.transitions().collect();
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), 11);
+    }
+}

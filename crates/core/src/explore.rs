@@ -1,0 +1,477 @@
+//! Bounded ground-truth exploration of migration patterns.
+//!
+//! Theorem 4.2 observes that the pattern families of a CSL schema are
+//! recursively enumerable: enumerate runs (transaction sequences with
+//! canonical assignments drawn from the schema's constants, the active
+//! domain, and fresh values — finitely many up to isomorphism) and collect
+//! the role-set words traced by objects. This module implements that
+//! enumeration with explicit bounds. It is *exact up to the bounds*: every
+//! reported pattern is genuine, and every pattern witnessed by a run
+//! within the bounds is reported. It serves as the oracle that the
+//! migration-graph analyzer (Theorem 3.2) and the CSL compilers
+//! (Theorems 4.3/4.8) are tested against.
+
+use crate::alphabet::RoleAlphabet;
+use crate::pattern::MigrationPattern;
+use migratory_lang::{run, Assignment, Language, Transaction, TransactionSchema};
+use migratory_model::{Instance, Oid, RoleSet, Schema, Value};
+use std::collections::BTreeSet;
+
+/// Bounds and options for [`explore`].
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Maximum run length (number of transaction applications).
+    pub max_steps: usize,
+    /// Stop after this many distinct patterns per family.
+    pub max_patterns: usize,
+    /// CSL semantics (Definition 4.6): count only database-changing
+    /// applications as steps. `None` = infer from the schema's language
+    /// (SL → false, CSL/CSL⁺ → true).
+    pub require_db_change: Option<bool>,
+    /// Extra candidate constants beyond the schema's own.
+    pub extra_values: Vec<Value>,
+    /// Cap on the number of assignments tried per (database, transaction).
+    pub max_assignments: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            max_steps: 4,
+            max_patterns: 100_000,
+            require_db_change: None,
+            extra_values: Vec::new(),
+            max_assignments: 10_000,
+        }
+    }
+}
+
+/// The four pattern families, as enumerated sets of words.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct PatternSets {
+    /// 𝓛(Σ) ∩ (bounds).
+    pub all: BTreeSet<MigrationPattern>,
+    /// 𝓛ᵢₘₘ(Σ) ∩ (bounds).
+    pub imm: BTreeSet<MigrationPattern>,
+    /// 𝓛ₚᵣₒ(Σ) ∩ (bounds).
+    pub pro: BTreeSet<MigrationPattern>,
+    /// 𝓛ₗₐ(Σ) ∩ (bounds).
+    pub lazy: BTreeSet<MigrationPattern>,
+}
+
+impl PatternSets {
+    /// Total number of stored patterns.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.all.len() + self.imm.len() + self.pro.len() + self.lazy.len()
+    }
+
+    /// Whether no pattern was collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// State of one tracked object along the current run.
+#[derive(Clone, Debug)]
+struct TrackedObject {
+    oid: Oid,
+    word: MigrationPattern,
+    imm_ok: bool,
+    pro_ok: bool,
+    lazy_ok: bool,
+    /// Whether the object belongs to the alphabet's component (or has
+    /// never occurred). Objects of other components contribute nothing to
+    /// this component's families (Definition 4.7).
+    in_component: bool,
+}
+
+/// Enumerate the four pattern families of `ts` within the bounds of `cfg`.
+#[must_use]
+pub fn explore(
+    schema: &Schema,
+    alphabet: &RoleAlphabet,
+    ts: &TransactionSchema,
+    cfg: &ExploreConfig,
+) -> PatternSets {
+    let require_change = cfg
+        .require_db_change
+        .unwrap_or_else(|| ts.language() != Language::Sl);
+    let mut constants: Vec<Value> = ts.constants().into_iter().collect();
+    constants.extend(cfg.extra_values.iter().cloned());
+    constants.sort();
+    constants.dedup();
+
+    let mut out = PatternSets::default();
+    // The virtual never-created object witnesses ∅ⁿ patterns.
+    let mut fresh_counter: u32 = 1 << 20; // clear of user Fresh values
+    let mut virtual_word: MigrationPattern = Vec::new();
+    dfs(
+        schema,
+        alphabet,
+        ts,
+        cfg,
+        require_change,
+        &constants,
+        &Instance::empty(),
+        &mut Vec::new(),
+        &mut virtual_word,
+        &mut fresh_counter,
+        &mut out,
+    );
+    out
+}
+
+#[allow(clippy::too_many_arguments, clippy::ptr_arg)] // tracked is cloned-and-pushed per branch
+fn dfs(
+    schema: &Schema,
+    alphabet: &RoleAlphabet,
+    ts: &TransactionSchema,
+    cfg: &ExploreConfig,
+    require_change: bool,
+    constants: &[Value],
+    db: &Instance,
+    tracked: &mut Vec<TrackedObject>,
+    virtual_word: &mut MigrationPattern,
+    fresh_counter: &mut u32,
+    out: &mut PatternSets,
+) {
+    // Record the patterns at this node.
+    record(alphabet, tracked, virtual_word, out);
+    if virtual_word.len() >= cfg.max_steps || out.all.len() >= cfg.max_patterns {
+        return;
+    }
+
+    // Candidate values: schema constants ∪ active domain ∪ fresh.
+    let mut pool: Vec<Value> = constants.to_vec();
+    for v in db.active_domain() {
+        if !pool.contains(&v) {
+            pool.push(v);
+        }
+    }
+
+    for t in ts.transactions() {
+        let m = t.params.len();
+        // Fresh values for this step (shared across assignments — the
+        // specific tags are irrelevant, only (in)equality matters).
+        let mut step_pool = pool.clone();
+        for _ in 0..m {
+            step_pool.push(Value::Fresh(*fresh_counter));
+            *fresh_counter += 1;
+        }
+        let mut assignment_count = 0usize;
+        let mut idx = vec![0usize; m];
+        loop {
+            if assignment_count >= cfg.max_assignments {
+                break;
+            }
+            assignment_count += 1;
+            let args =
+                Assignment::new(idx.iter().map(|&i| step_pool[i].clone()).collect());
+            let next = run(schema, db, t, &args).expect("validated transaction");
+            let db_changed = next != *db;
+            if !require_change || db_changed {
+                // Extend tracked objects (and discover newly created ones).
+                let mut saved: Vec<TrackedObject> = tracked.clone();
+                step_objects(schema, alphabet, db, &next, virtual_word.len(), &mut saved);
+                virtual_word.push(alphabet.empty_symbol());
+                let mut saved_ref = saved;
+                dfs(
+                    schema,
+                    alphabet,
+                    ts,
+                    cfg,
+                    require_change,
+                    constants,
+                    &next,
+                    &mut saved_ref,
+                    virtual_word,
+                    fresh_counter,
+                    out,
+                );
+                virtual_word.pop();
+            }
+            // Advance the assignment odometer.
+            if m == 0 {
+                break;
+            }
+            let mut pos = 0;
+            loop {
+                idx[pos] += 1;
+                if idx[pos] < step_pool.len() {
+                    break;
+                }
+                idx[pos] = 0;
+                pos += 1;
+                if pos == m {
+                    break;
+                }
+            }
+            if pos == m {
+                break;
+            }
+        }
+    }
+}
+
+#[allow(clippy::ptr_arg)] // new objects are pushed: a Vec is required
+fn step_objects(
+    schema: &Schema,
+    alphabet: &RoleAlphabet,
+    prev: &Instance,
+    next: &Instance,
+    steps_before: usize,
+    tracked: &mut Vec<TrackedObject>,
+) {
+    // Discover new objects.
+    let known: BTreeSet<Oid> = tracked.iter().map(|t| t.oid).collect();
+    for o in next.objects() {
+        if !known.contains(&o) {
+            // New object: its history so far is ∅^(steps completed before
+            // this one).
+            let steps = steps_before;
+            tracked.push(TrackedObject {
+                oid: o,
+                word: vec![alphabet.empty_symbol(); steps],
+                imm_ok: steps == 0,
+                // Steps before creation don't update the object; with the
+                // "from step 2" reading only a single leading ∅ is proper.
+                pro_ok: steps <= 1,
+                lazy_ok: steps <= 1,
+                in_component: true,
+            });
+        }
+    }
+    for t in tracked.iter_mut() {
+        let prev_cs = prev.role_set(t.oid);
+        let cur_cs = next.role_set(t.oid);
+        let comp_ok = |cs: migratory_model::ClassSet| -> bool {
+            cs.is_empty()
+                || cs.first().map(|c| schema.component_of(c)) == Some(alphabet.component())
+        };
+        if !comp_ok(cur_cs) || !comp_ok(prev_cs) {
+            t.in_component = false;
+        }
+        let sym = |cs: migratory_model::ClassSet| -> u32 {
+            RoleSet::new(schema, cs)
+                .ok()
+                .and_then(|rs| alphabet.symbol_of(rs))
+                .unwrap_or_else(|| alphabet.empty_symbol())
+        };
+        let (s_prev, s_cur) = (sym(prev_cs), sym(cur_cs));
+        let tuple_changed = prev.tuple_of(t.oid) != next.tuple_of(t.oid);
+        let step_index = t.word.len(); // 0-based; step 1 is unconstrained
+        t.word.push(s_cur);
+        if step_index == 0 {
+            t.imm_ok = s_cur != alphabet.empty_symbol();
+        } else {
+            if !(s_prev != s_cur || tuple_changed) {
+                t.pro_ok = false;
+            }
+            if s_prev == s_cur {
+                t.lazy_ok = false;
+            }
+        }
+    }
+}
+
+fn record(
+    alphabet: &RoleAlphabet,
+    tracked: &[TrackedObject],
+    virtual_word: &MigrationPattern,
+    out: &mut PatternSets,
+) {
+    let _ = alphabet;
+    // Virtual object: ∅ⁿ ∈ 𝓛; ∅⁰ and ∅¹ are also proper/lazy; ∅⁰ is
+    // immediate-start (n = 0 case of Definition 3.4).
+    out.all.insert(virtual_word.clone());
+    if virtual_word.is_empty() {
+        out.imm.insert(virtual_word.clone());
+    }
+    if virtual_word.len() <= 1 {
+        out.pro.insert(virtual_word.clone());
+        out.lazy.insert(virtual_word.clone());
+    }
+    for t in tracked {
+        if !t.in_component {
+            continue;
+        }
+        out.all.insert(t.word.clone());
+        if t.imm_ok {
+            out.imm.insert(t.word.clone());
+        }
+        if t.pro_ok {
+            out.pro.insert(t.word.clone());
+        }
+        if t.lazy_ok {
+            out.lazy.insert(t.word.clone());
+        }
+    }
+}
+
+/// Convenience: run a specific scripted sequence and return each tracked
+/// object's pattern (used by the compiler drivers where exhaustive search
+/// is infeasible).
+pub fn patterns_of_run<'a>(
+    schema: &Schema,
+    alphabet: &RoleAlphabet,
+    steps: impl IntoIterator<Item = (&'a Transaction, &'a Assignment)>,
+) -> Result<Vec<(Oid, MigrationPattern)>, migratory_lang::LangError> {
+    let trace = migratory_lang::run_trace(schema, &Instance::empty(), steps)?;
+    let max_oid = trace.last().map_or(1, |d| d.next_oid().0);
+    let mut out = Vec::new();
+    for i in 1..max_oid {
+        let o = Oid(i);
+        let obs = crate::pattern::observe(schema, alphabet, &trace, o);
+        // Only objects of this component (or never-created) qualify.
+        let in_comp = trace.iter().all(|db| {
+            let cs = db.role_set(o);
+            cs.is_empty()
+                || cs.first().map(|c| schema.component_of(c)) == Some(alphabet.component())
+        });
+        if in_comp {
+            out.push((o, crate::pattern::pattern_of(&obs)));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use migratory_lang::parse_transactions;
+    use migratory_model::schema::university_schema;
+
+    fn uni_schema_and_alphabet() -> (Schema, RoleAlphabet) {
+        let s = university_schema();
+        let a = RoleAlphabet::new(&s, 0).unwrap();
+        (s, a)
+    }
+
+    #[test]
+    fn single_create_transaction() {
+        let (s, a) = uni_schema_and_alphabet();
+        let ts = parse_transactions(
+            &s,
+            r#"transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }"#,
+        )
+        .unwrap();
+        let sets = explore(&s, &a, &ts, &ExploreConfig { max_steps: 3, ..Default::default() });
+        let p = a.symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap()).unwrap();
+        // 𝓛 = Init(∅*[P]*∅⁰) without deletion: words ∅^i [P]^j.
+        assert!(sets.all.contains(&vec![]));
+        assert!(sets.all.contains(&vec![p, p, p]));
+        assert!(sets.all.contains(&vec![0, p, p]));
+        assert!(sets.all.contains(&vec![0, 0, p]));
+        assert!(sets.all.contains(&vec![0, 0, 0]));
+        assert!(!sets.all.contains(&vec![p, 0, p]));
+        // Immediate-start: starts with [P] (or λ).
+        assert!(sets.imm.contains(&vec![p, p]));
+        assert!(!sets.imm.contains(&vec![0, p]));
+        assert!(sets.imm.contains(&vec![]));
+        // Proper: the object is never updated after creation → [P] and
+        // ∅[P] only (plus the ≤1-length ∅ cases).
+        assert!(sets.pro.contains(&vec![p]));
+        assert!(sets.pro.contains(&vec![0, p]));
+        assert!(!sets.pro.contains(&vec![p, p]));
+        assert!(!sets.pro.contains(&vec![0, 0, p]));
+        // Lazy agrees here.
+        assert_eq!(sets.pro, sets.lazy);
+    }
+
+    #[test]
+    fn create_and_delete_gives_empty_suffixes() {
+        let (s, a) = uni_schema_and_alphabet();
+        let ts = parse_transactions(
+            &s,
+            r#"
+            transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+            transaction Rm(x) { delete(PERSON, { SSN = x }); }
+        "#,
+        )
+        .unwrap();
+        let sets = explore(&s, &a, &ts, &ExploreConfig { max_steps: 3, ..Default::default() });
+        let p = a.symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap()).unwrap();
+        assert!(sets.all.contains(&vec![p, 0, 0]));
+        assert!(sets.imm.contains(&vec![p, 0]));
+        assert!(sets.pro.contains(&vec![p, 0]), "deletion is a proper step");
+        assert!(!sets.pro.contains(&vec![p, 0, 0]), "after deletion nothing changes");
+        assert!(sets.lazy.contains(&vec![p, 0]));
+        assert!(!sets.lazy.contains(&vec![p, p]));
+        assert!(sets.all.contains(&vec![p, p]));
+    }
+
+    #[test]
+    fn csl_guard_requires_db_change_steps() {
+        let (s, a) = uni_schema_and_alphabet();
+        // Guarded transaction that fires only when a PERSON exists; from
+        // the empty database it is a null application — under CSL
+        // semantics that is not a step at all.
+        let ts = parse_transactions(
+            &s,
+            r#"
+            transaction Nop() {
+              when PERSON() -> delete(PERSON, {});
+            }
+        "#,
+        )
+        .unwrap();
+        let sets = explore(&s, &a, &ts, &ExploreConfig { max_steps: 2, ..Default::default() });
+        // No database change is ever possible: only the empty pattern.
+        assert_eq!(sets.all.len(), 1);
+        assert!(sets.all.contains(&vec![]));
+    }
+
+    #[test]
+    fn patterns_of_run_scripted() {
+        let (s, a) = uni_schema_and_alphabet();
+        let ts = parse_transactions(
+            &s,
+            r#"
+            transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+            transaction St(x) {
+              specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS", FirstEnroll = 1 });
+            }
+        "#,
+        )
+        .unwrap();
+        let mk = ts.get("Mk").unwrap();
+        let st = ts.get("St").unwrap();
+        let a1 = Assignment::new(vec![Value::str("1")]);
+        let pats = patterns_of_run(&s, &a, [(mk, &a1), (st, &a1)]).unwrap();
+        assert_eq!(pats.len(), 1);
+        let p = a.symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap()).unwrap();
+        let st_sym = a.symbol_of(RoleSet::closure_of_named(&s, &["STUDENT"]).unwrap()).unwrap();
+        assert_eq!(pats[0].1, vec![p, st_sym]);
+    }
+
+    #[test]
+    fn patterns_are_well_formed() {
+        let (s, a) = uni_schema_and_alphabet();
+        let ts = parse_transactions(
+            &s,
+            r#"
+            transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+            transaction Rm(x) { delete(PERSON, { SSN = x }); }
+            transaction St(x) {
+              specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS", FirstEnroll = 1 });
+            }
+        "#,
+        )
+        .unwrap();
+        let sets = explore(&s, &a, &ts, &ExploreConfig { max_steps: 3, ..Default::default() });
+        for w in &sets.all {
+            assert!(
+                crate::pattern::is_well_formed(w, a.empty_symbol()),
+                "ill-formed pattern {w:?}"
+            );
+        }
+        // Families nest: imm/pro/lazy ⊆ all.
+        for set in [&sets.imm, &sets.pro, &sets.lazy] {
+            for w in set {
+                assert!(sets.all.contains(w));
+            }
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! Migration graphs (Definition 3.6) — the central combinatorial object
+//! of Theorem 3.2.
+//!
+//! A migration graph has a *source* `vs`, a *sink* `vt`, and interior
+//! vertices labelled with non-empty role sets; edges avoid entering `vs`
+//! or leaving `vt`. Two constructions use it:
+//!
+//! * **synthesis** (Lemma 3.4): [`MigrationGraph::from_regex`] builds
+//!   G_η from a regular expression η over Ω₊, mirroring the paper's
+//!   inductive construction (Fig. 6 shows G for `P(QQP)*`);
+//! * **analysis** (Theorem 3.2(1)): the separator construction produces a
+//!   migration graph whose walks from `vs` spell exactly the pattern
+//!   families; [`MigrationGraph::walks_nfa`] converts walks to an NFA.
+
+use crate::error::CoreError;
+use crate::pattern::PatternKind;
+use migratory_automata::{Nfa, Regex};
+use std::collections::BTreeMap;
+
+/// The source vertex id.
+pub const VS: u32 = 0;
+/// The sink vertex id.
+pub const VT: u32 = 1;
+
+/// Edge annotations produced by the analyzer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EdgeInfo {
+    /// Whether some realizing transaction application *updates the
+    /// object* (role set or attribute values change) — the condition for
+    /// the edge to participate in proper patterns.
+    pub proper: bool,
+}
+
+/// A vertex-labelled migration graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MigrationGraph {
+    /// Labels of interior vertices: `labels[v - 2]` is the role-set symbol
+    /// of vertex `v ≥ 2`.
+    labels: Vec<u32>,
+    edges: BTreeMap<(u32, u32), EdgeInfo>,
+}
+
+impl Default for MigrationGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MigrationGraph {
+    /// An empty graph (source and sink only).
+    #[must_use]
+    pub fn new() -> Self {
+        MigrationGraph { labels: Vec::new(), edges: BTreeMap::new() }
+    }
+
+    /// Add an interior vertex with the given role-set symbol; returns its
+    /// id (≥ 2).
+    pub fn add_vertex(&mut self, label: u32) -> u32 {
+        self.labels.push(label);
+        self.labels.len() as u32 + 1
+    }
+
+    /// Number of vertices, source and sink included.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.labels.len() + 2
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The label of an interior vertex.
+    ///
+    /// # Panics
+    /// Panics on `VS`/`VT`, which are unlabelled.
+    #[must_use]
+    pub fn label(&self, v: u32) -> u32 {
+        assert!(v >= 2, "vs/vt have no label");
+        self.labels[v as usize - 2]
+    }
+
+    /// Interior vertex ids.
+    pub fn interior(&self) -> impl Iterator<Item = u32> + '_ {
+        2..self.num_vertices() as u32
+    }
+
+    /// Add an edge `(u, v)`; `proper` marks are OR-merged on duplicates.
+    ///
+    /// # Panics
+    /// Panics if the edge enters `vs` or leaves `vt` (Definition 3.6).
+    pub fn add_edge(&mut self, u: u32, v: u32, info: EdgeInfo) {
+        assert!(u != VT, "no edges leave the sink");
+        assert!(v != VS, "no edges enter the source");
+        let e = self.edges.entry((u, v)).or_default();
+        e.proper |= info.proper;
+    }
+
+    /// Iterate edges.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, EdgeInfo)> + '_ {
+        self.edges.iter().map(|(&(u, v), &i)| (u, v, i))
+    }
+
+    /// The successors of a vertex.
+    pub fn successors(&self, u: u32) -> impl Iterator<Item = u32> + '_ {
+        self.edges
+            .range((u, 0)..(u + 1, 0))
+            .map(|(&(_, v), _)| v)
+    }
+
+    /// Whether an edge is *lazy* (its endpoints carry different role
+    /// sets; `vs` counts as ∅ and `vt` as ∅).
+    #[must_use]
+    pub fn edge_is_lazy(&self, u: u32, v: u32, empty_sym: u32) -> bool {
+        let lab = |x: u32| if x == VS || x == VT { empty_sym } else { self.label(x) };
+        lab(u) != lab(v)
+    }
+
+    /// Build G_η from a regular expression over non-empty role-set
+    /// symbols, following the paper's inductive construction (symbols,
+    /// concatenation, union, star; `λ` becomes the edge `(vs, vt)` and ∅
+    /// the edge-less graph).
+    pub fn from_regex(regex: &Regex, empty_sym: u32) -> Result<MigrationGraph, CoreError> {
+        fn build(r: &Regex, empty_sym: u32) -> Result<MigrationGraph, CoreError> {
+            match r {
+                Regex::Empty => Ok(MigrationGraph::new()),
+                Regex::Epsilon => {
+                    let mut g = MigrationGraph::new();
+                    g.add_edge(VS, VT, EdgeInfo { proper: true });
+                    Ok(g)
+                }
+                Regex::Sym(s) => {
+                    if *s == empty_sym {
+                        return Err(CoreError::NotANonEmptyRoleSet(*s));
+                    }
+                    let mut g = MigrationGraph::new();
+                    let u = g.add_vertex(*s);
+                    g.add_edge(VS, u, EdgeInfo { proper: true });
+                    g.add_edge(u, VT, EdgeInfo { proper: true });
+                    Ok(g)
+                }
+                Regex::Concat(parts) => {
+                    let mut acc = build(&Regex::Epsilon, empty_sym)?;
+                    for p in parts {
+                        let g2 = build(p, empty_sym)?;
+                        acc = concat(&acc, &g2);
+                    }
+                    Ok(acc)
+                }
+                Regex::Union(parts) => {
+                    let mut acc = MigrationGraph::new();
+                    for p in parts {
+                        let g2 = build(p, empty_sym)?;
+                        acc = union(&acc, &g2);
+                    }
+                    Ok(acc)
+                }
+                Regex::Star(inner) => {
+                    let g1 = build(inner, empty_sym)?;
+                    Ok(star(&g1))
+                }
+            }
+        }
+
+        /// Disjoint embedding of `g`'s interior into `out`; returns the
+        /// vertex map.
+        fn embed(g: &MigrationGraph, out: &mut MigrationGraph) -> Vec<u32> {
+            let mut map = vec![VS, VT];
+            for v in g.interior() {
+                map.push(out.add_vertex(g.label(v)));
+            }
+            map
+        }
+
+        fn concat(g1: &MigrationGraph, g2: &MigrationGraph) -> MigrationGraph {
+            let mut out = MigrationGraph::new();
+            let m1 = embed(g1, &mut out);
+            let m2 = embed(g2, &mut out);
+            // E = {e ∈ E1 | e does not enter vt} ∪ {e ∈ E2 | e does not
+            // leave vs} ∪ {(u,v) | (u,vt) ∈ E1, (vs,v) ∈ E2}.
+            for (u, v, i) in g1.edges() {
+                if v != VT {
+                    out.add_edge(m1[u as usize], m1[v as usize], i);
+                }
+            }
+            for (u, v, i) in g2.edges() {
+                if u != VS {
+                    out.add_edge(m2[u as usize], m2[v as usize], i);
+                }
+            }
+            for (u, v1, i1) in g1.edges() {
+                if v1 != VT {
+                    continue;
+                }
+                for (u2, v, i2) in g2.edges() {
+                    if u2 != VS {
+                        continue;
+                    }
+                    out.add_edge(
+                        m1[u as usize],
+                        m2[v as usize],
+                        EdgeInfo { proper: i1.proper && i2.proper },
+                    );
+                }
+            }
+            out
+        }
+
+        fn union(g1: &MigrationGraph, g2: &MigrationGraph) -> MigrationGraph {
+            let mut out = MigrationGraph::new();
+            let m1 = embed(g1, &mut out);
+            let m2 = embed(g2, &mut out);
+            for (u, v, i) in g1.edges() {
+                out.add_edge(m1[u as usize], m1[v as usize], i);
+            }
+            for (u, v, i) in g2.edges() {
+                out.add_edge(m2[u as usize], m2[v as usize], i);
+            }
+            out
+        }
+
+        fn star(g1: &MigrationGraph) -> MigrationGraph {
+            let mut out = MigrationGraph::new();
+            let m1 = embed(g1, &mut out);
+            for (u, v, i) in g1.edges() {
+                out.add_edge(m1[u as usize], m1[v as usize], i);
+            }
+            out.add_edge(VS, VT, EdgeInfo { proper: true });
+            // {(u,v) | (u,vt) ∈ E1, (vs,v) ∈ E1}.
+            for (u, v1, i1) in g1.edges() {
+                if v1 != VT {
+                    continue;
+                }
+                for (u2, v, i2) in g1.edges() {
+                    if u2 != VS {
+                        continue;
+                    }
+                    out.add_edge(
+                        m1[u as usize],
+                        m1[v as usize],
+                        EdgeInfo { proper: i1.proper && i2.proper },
+                    );
+                }
+            }
+            out
+        }
+
+        build(regex, empty_sym)
+    }
+
+    /// The NFA of **vs→vt path labels** — accepts exactly `L(η)` when the
+    /// graph is `G_η` (used to validate `from_regex`).
+    #[must_use]
+    pub fn path_language_nfa(&self, num_symbols: u32) -> Nfa {
+        let mut nfa = Nfa::empty(num_symbols);
+        for v in 0..self.num_vertices() as u32 {
+            nfa.add_state(v == VT);
+        }
+        for (u, v, _) in self.edges() {
+            if v == VT {
+                nfa.add_eps(u, VT);
+            } else {
+                nfa.add_transition(u, self.label(v), v);
+            }
+        }
+        nfa.add_start(VS);
+        nfa
+    }
+
+    /// The NFA of **walk labels from vs**, the pattern-family language of
+    /// the analyzer's graph:
+    ///
+    /// * every vertex is accepting (families are prefix-closed);
+    /// * an edge `(u, v)` with `v` interior reads `L(v)`;
+    /// * an edge `(u, vt)` reads ∅ (the deletion step);
+    /// * for [`PatternKind::All`]/[`PatternKind::ImmediateStart`] the sink
+    ///   carries an ∅ self-loop (steps after deletion);
+    /// * for [`PatternKind::Proper`] only proper edges participate and
+    ///   there is no sink loop;
+    /// * for [`PatternKind::Lazy`] only label-changing edges participate.
+    ///
+    /// The ∅*-prefix of `All` and the (λ∪∅)-prefix of `Proper`/`Lazy` are
+    /// assembled by the caller (see `analyze::families`).
+    #[must_use]
+    pub fn walks_nfa(&self, num_symbols: u32, empty_sym: u32, kind: PatternKind) -> Nfa {
+        let mut nfa = Nfa::empty(num_symbols);
+        for _ in 0..self.num_vertices() {
+            nfa.add_state(true);
+        }
+        for (u, v, info) in self.edges() {
+            let include = match kind {
+                PatternKind::All | PatternKind::ImmediateStart => true,
+                PatternKind::Proper => info.proper,
+                PatternKind::Lazy => self.edge_is_lazy(u, v, empty_sym),
+            };
+            if !include {
+                continue;
+            }
+            if v == VT {
+                nfa.add_transition(u, empty_sym, VT);
+            } else {
+                nfa.add_transition(u, self.label(v), v);
+            }
+        }
+        if matches!(kind, PatternKind::All | PatternKind::ImmediateStart) {
+            nfa.add_transition(VT, empty_sym, VT);
+        }
+        nfa.add_start(VS);
+        nfa
+    }
+
+    /// The grammar N of the proof of Theorem 3.2(1): nonterminals are the
+    /// vertices, with `u → L(v) v` per edge `(u, v)` (the paper calls it
+    /// left-linear; with the terminal emitted before the nonterminal the
+    /// conventional name is right-linear) and `u → λ` for every vertex,
+    /// making the generated language the prefix-closed walk language.
+    /// Tested equivalent to [`MigrationGraph::walks_nfa`] for the
+    /// immediate-start kind (without the sink's ∅-loop, which the grammar
+    /// models with an extra ∅-emitting production on the sink).
+    #[must_use]
+    pub fn to_grammar(&self, num_symbols: u32, empty_sym: u32) -> migratory_automata::RightLinearGrammar {
+        let n = self.num_vertices() as u32;
+        let mut g = migratory_automata::RightLinearGrammar::new(num_symbols, n, VS);
+        for (u, v, _) in self.edges() {
+            let sym = if v == VT { empty_sym } else { self.label(v) };
+            g.add(u, Some(sym), Some(v));
+        }
+        // Sink ∅-loop (steps after deletion) and prefix closure (walks may
+        // stop anywhere).
+        g.add(VT, Some(empty_sym), Some(VT));
+        for u in 0..n {
+            g.add(u, None, None);
+        }
+        g
+    }
+
+    /// The lazy contraction Ĝ used by Lemma 3.4(2): `(u, v) ∈ Ĝ` iff G has
+    /// a path `u = v₀, …, vₙ = v` (n ≥ 1) whose intermediate vertices all
+    /// carry `u`'s label and whose endpoint label differs. Synthesis from
+    /// Ĝ produces a schema whose lazy patterns are `f_rr` of the
+    /// original's.
+    #[must_use]
+    pub fn lazy_contraction(&self, empty_sym: u32) -> MigrationGraph {
+        let mut out = MigrationGraph::new();
+        for v in self.interior() {
+            let nv = out.add_vertex(self.label(v));
+            debug_assert_eq!(nv, v);
+        }
+        for u in std::iter::once(VS).chain(self.interior()) {
+            let lab_u = if u == VS { empty_sym } else { self.label(u) };
+            // BFS through same-labelled vertices.
+            let mut stack: Vec<u32> = vec![u];
+            let mut seen = vec![false; self.num_vertices()];
+            seen[u as usize] = true;
+            while let Some(x) = stack.pop() {
+                for y in self.successors(x) {
+                    if y == VT {
+                        out.add_edge(u, VT, EdgeInfo { proper: true });
+                        continue;
+                    }
+                    if self.label(y) == lab_u {
+                        if !seen[y as usize] {
+                            seen[y as usize] = true;
+                            stack.push(y);
+                        }
+                    } else {
+                        out.add_edge(u, y, EdgeInfo { proper: true });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use migratory_automata::{Dfa, Nfa};
+
+    const EMPTY: u32 = 0;
+
+    fn lang_of_regex(r: &Regex, ns: u32) -> Dfa {
+        Dfa::from_nfa(&Nfa::from_regex(r, ns))
+    }
+
+    fn path_lang(r: &Regex, ns: u32) -> Dfa {
+        let g = MigrationGraph::from_regex(r, EMPTY).unwrap();
+        Dfa::from_nfa(&g.path_language_nfa(ns))
+    }
+
+    #[test]
+    fn from_regex_preserves_language() {
+        // Symbols 1, 2, 3 are non-empty role sets.
+        let cases = [
+            Regex::Sym(1),
+            Regex::word([1, 2]),
+            Regex::star(Regex::Sym(1)),
+            Regex::concat([
+                Regex::Sym(1),
+                Regex::star(Regex::concat([Regex::Sym(2), Regex::Sym(2), Regex::Sym(1)])),
+            ]), // P(QQP)* — Example 3.6 / Fig. 6
+            Regex::union([Regex::word([1, 2, 2]), Regex::plus(Regex::Sym(3))]),
+            Regex::opt(Regex::Sym(2)),
+            Regex::Epsilon,
+            Regex::Empty,
+            Regex::concat([
+                Regex::star(Regex::Sym(1)),
+                Regex::union([Regex::Sym(2), Regex::Epsilon]),
+                Regex::Sym(3),
+            ]),
+        ];
+        for r in &cases {
+            let expect = lang_of_regex(r, 4);
+            let got = path_lang(r, 4);
+            assert!(
+                expect.equivalent(&got),
+                "G_η language mismatch for {r}: wanted equivalence"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_shape_for_p_qqp_star() {
+        // P(QQP)* has the 4-interior-vertex graph of Fig. 6.
+        let r = Regex::concat([
+            Regex::Sym(1),
+            Regex::star(Regex::concat([Regex::Sym(2), Regex::Sym(2), Regex::Sym(1)])),
+        ]);
+        let g = MigrationGraph::from_regex(&r, EMPTY).unwrap();
+        assert_eq!(g.num_vertices(), 6); // vs, vt, P, Q, Q, P
+        let labels: Vec<u32> = g.interior().map(|v| g.label(v)).collect();
+        assert_eq!(labels.iter().filter(|&&l| l == 1).count(), 2);
+        assert_eq!(labels.iter().filter(|&&l| l == 2).count(), 2);
+    }
+
+    #[test]
+    fn empty_symbol_rejected_in_regex() {
+        assert!(matches!(
+            MigrationGraph::from_regex(&Regex::Sym(EMPTY), EMPTY),
+            Err(CoreError::NotANonEmptyRoleSet(0))
+        ));
+    }
+
+    #[test]
+    fn walks_nfa_prefix_closed_with_deletion() {
+        // G for the single word "12": walks spell Init(1·2·∅*).
+        let g = MigrationGraph::from_regex(&Regex::word([1, 2]), EMPTY).unwrap();
+        let d = Dfa::from_nfa(&g.walks_nfa(3, EMPTY, PatternKind::ImmediateStart));
+        for w in [&[][..], &[1], &[1, 2], &[1, 2, 0], &[1, 2, 0, 0]] {
+            assert!(d.accepts(w), "{w:?} should be an immediate-start pattern");
+        }
+        for w in [&[2][..], &[0, 1], &[1, 0, 2], &[1, 2, 1]] {
+            assert!(!d.accepts(w), "{w:?} should not be accepted");
+        }
+    }
+
+    #[test]
+    fn proper_walks_exclude_improper_edges() {
+        let mut g = MigrationGraph::new();
+        let a = g.add_vertex(1);
+        g.add_edge(VS, a, EdgeInfo { proper: true });
+        g.add_edge(a, a, EdgeInfo { proper: false }); // idempotent self-loop
+        let all = Dfa::from_nfa(&g.walks_nfa(2, EMPTY, PatternKind::All));
+        let pro = Dfa::from_nfa(&g.walks_nfa(2, EMPTY, PatternKind::Proper));
+        assert!(all.accepts(&[1, 1]));
+        assert!(!pro.accepts(&[1, 1]));
+        assert!(pro.accepts(&[1]));
+    }
+
+    #[test]
+    fn lazy_walks_require_label_change() {
+        let mut g = MigrationGraph::new();
+        let a = g.add_vertex(1);
+        let b = g.add_vertex(1); // same label, different vertex
+        let c = g.add_vertex(2);
+        g.add_edge(VS, a, EdgeInfo { proper: true });
+        g.add_edge(a, b, EdgeInfo { proper: true });
+        g.add_edge(b, c, EdgeInfo { proper: true });
+        let lazy = Dfa::from_nfa(&g.walks_nfa(3, EMPTY, PatternKind::Lazy));
+        assert!(lazy.accepts(&[1]));
+        assert!(!lazy.accepts(&[1, 1]), "a→b keeps label 1: not lazy");
+        assert!(!lazy.accepts(&[1, 1, 2]));
+    }
+
+    #[test]
+    fn lazy_contraction_skips_same_label_runs() {
+        // vs → a(1) → b(1) → c(2) → vt contracts to vs → a → c → vt plus
+        // vs→… (b unreachable directly from vs in Ĝ).
+        let mut g = MigrationGraph::new();
+        let a = g.add_vertex(1);
+        let b = g.add_vertex(1);
+        let c = g.add_vertex(2);
+        g.add_edge(VS, a, EdgeInfo { proper: true });
+        g.add_edge(a, b, EdgeInfo { proper: true });
+        g.add_edge(b, c, EdgeInfo { proper: true });
+        g.add_edge(c, VT, EdgeInfo { proper: true });
+        let h = g.lazy_contraction(EMPTY);
+        let d = Dfa::from_nfa(&h.walks_nfa(3, EMPTY, PatternKind::Lazy));
+        assert!(d.accepts(&[1, 2]));
+        assert!(d.accepts(&[1, 2, 0]));
+        assert!(!d.accepts(&[1, 1, 2]));
+        // vs-side contraction: vs has label ∅, a has 1 → direct edge kept.
+        assert!(d.accepts(&[1]));
+    }
+
+    #[test]
+    fn grammar_route_matches_walks_nfa() {
+        // The paper's proof extracts the family via a linear grammar; it
+        // must agree with the direct NFA over walks.
+        let r = Regex::concat([
+            Regex::Sym(1),
+            Regex::star(Regex::concat([Regex::Sym(2), Regex::Sym(2), Regex::Sym(1)])),
+        ]);
+        let g = MigrationGraph::from_regex(&r, EMPTY).unwrap();
+        let via_nfa = Dfa::from_nfa(&g.walks_nfa(3, EMPTY, PatternKind::ImmediateStart));
+        let via_grammar = Dfa::from_nfa(&g.to_grammar(3, EMPTY).to_nfa());
+        assert!(via_nfa.equivalent(&via_grammar));
+    }
+
+    #[test]
+    fn edge_endpoint_rules_enforced() {
+        let mut g = MigrationGraph::new();
+        let a = g.add_vertex(1);
+        g.add_edge(VS, a, EdgeInfo::default());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g2 = g.clone();
+            g2.add_edge(VT, a, EdgeInfo::default());
+        }));
+        assert!(r.is_err(), "edges may not leave the sink");
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut g2 = g.clone();
+            g2.add_edge(a, VS, EdgeInfo::default());
+        }));
+        assert!(r.is_err(), "edges may not enter the source");
+    }
+
+    #[test]
+    fn successors_and_counts() {
+        let mut g = MigrationGraph::new();
+        let a = g.add_vertex(1);
+        let b = g.add_vertex(2);
+        g.add_edge(VS, a, EdgeInfo::default());
+        g.add_edge(a, b, EdgeInfo::default());
+        g.add_edge(a, VT, EdgeInfo::default());
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        let succ: Vec<u32> = g.successors(a).collect();
+        assert_eq!(succ, vec![VT, b]);
+        // Duplicate edges OR-merge properness.
+        g.add_edge(a, b, EdgeInfo { proper: true });
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.edges().any(|(u, v, i)| u == a && v == b && i.proper));
+    }
+}

@@ -1,0 +1,204 @@
+//! Migration inventories (Definition 3.3) — prefix-closed sets of
+//! well-formed migration patterns used as dynamic integrity constraints.
+//!
+//! A language 𝔏 over Ω is an inventory iff `Init(𝔏) ⊆ 𝔏 ⊆ ∅*Ω₊*∅*`.
+//! Regular inventories are represented by a DFA over a [`RoleAlphabet`];
+//! constructors accept paper-notation regular expressions
+//! (`∅* [P]* [S]* [G]* [E]+ [P]* ∅*`, Example 3.2) with optional
+//! prefix-closure.
+
+use crate::alphabet::RoleAlphabet;
+use crate::error::CoreError;
+use migratory_automata::{Dfa, Nfa, Regex};
+use migratory_model::Schema;
+
+/// A regular migration inventory over a component's role alphabet.
+#[derive(Clone, Debug)]
+pub struct Inventory {
+    dfa: Dfa,
+}
+
+impl Inventory {
+    /// Build from a regular expression, taking the prefix closure
+    /// (`Init`) — the usual way inventories are written in the paper
+    /// ("This can be expressed as a set Init(𝔏) of migration patterns").
+    /// Words violating the well-formed shape `∅*Ω₊*∅*` are excluded.
+    pub fn init_of_regex(
+        schema: &Schema,
+        alphabet: &RoleAlphabet,
+        regex: &Regex,
+    ) -> Result<Inventory, CoreError> {
+        let _ = schema;
+        let nfa = Nfa::from_regex(regex, alphabet.num_symbols()).prefix_closure();
+        let dfa = Dfa::from_nfa(&nfa).intersect(&shape_dfa(alphabet)).minimize();
+        Ok(Inventory { dfa })
+    }
+
+    /// Parse a paper-notation expression and take its prefix closure.
+    pub fn parse_init(
+        schema: &Schema,
+        alphabet: &RoleAlphabet,
+        src: &str,
+    ) -> Result<Inventory, CoreError> {
+        let regex = alphabet.parse_regex(schema, src)?;
+        Self::init_of_regex(schema, alphabet, &regex)
+    }
+
+    /// Wrap an explicit language, validating the inventory conditions of
+    /// Definition 3.3 (prefix-closed, well-formed shape).
+    pub fn from_dfa(alphabet: &RoleAlphabet, dfa: Dfa) -> Result<Inventory, CoreError> {
+        let shape = shape_dfa(alphabet);
+        if !dfa.is_subset_of(&shape) {
+            return Err(CoreError::UnsupportedRegex(
+                "inventory words must have the shape ∅*Ω₊*∅*".to_owned(),
+            ));
+        }
+        let closed = Dfa::from_nfa(&dfa.to_nfa().prefix_closure());
+        if !closed.is_subset_of(&dfa) {
+            return Err(CoreError::UnsupportedRegex(
+                "inventory must be prefix-closed (Init(𝔏) ⊆ 𝔏)".to_owned(),
+            ));
+        }
+        Ok(Inventory { dfa: dfa.minimize() })
+    }
+
+    /// The underlying DFA.
+    #[must_use]
+    pub fn dfa(&self) -> &Dfa {
+        &self.dfa
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(&self, word: &[u32]) -> bool {
+        self.dfa.accepts(word)
+    }
+
+    /// An equivalent regular expression (state elimination).
+    #[must_use]
+    pub fn to_regex(&self) -> Regex {
+        migratory_automata::dfa_to_regex(&self.dfa)
+    }
+}
+
+/// The DFA of well-formed pattern words `∅*Ω₊*∅*`.
+#[must_use]
+pub fn shape_dfa(alphabet: &RoleAlphabet) -> Dfa {
+    let e = alphabet.empty_symbol();
+    let nonempty = Regex::union(alphabet.nonempty_symbols().map(Regex::Sym).collect::<Vec<_>>());
+    let shape = Regex::concat([
+        Regex::star(Regex::Sym(e)),
+        Regex::star(nonempty),
+        Regex::star(Regex::Sym(e)),
+    ]);
+    Dfa::from_nfa(&Nfa::from_regex(&shape, alphabet.num_symbols())).minimize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use migratory_model::schema::university_schema;
+    use migratory_model::RoleSet;
+
+    fn setup() -> (Schema, RoleAlphabet) {
+        let s = university_schema();
+        let a = RoleAlphabet::new(&s, 0).unwrap();
+        (s, a)
+    }
+
+    #[test]
+    fn example_3_2_inventory() {
+        // Init(∅*[P]*[S]*[G]*[E]+[P]*∅*): live as P, study, assist,
+        // be employed, retire to plain person, leave.
+        let (s, a) = setup();
+        let inv = Inventory::parse_init(
+            &s,
+            &a,
+            "∅* [PERSON]* [STUDENT]* [GRAD_ASSIST]* [EMPLOYEE]+ [PERSON]* ∅*",
+        )
+        .unwrap();
+        let sym = |names: &[&str]| {
+            a.symbol_of(RoleSet::closure_of_named(&s, names).unwrap()).unwrap()
+        };
+        let (p, st, g, e) =
+            (sym(&["PERSON"]), sym(&["STUDENT"]), sym(&["GRAD_ASSIST"]), sym(&["EMPLOYEE"]));
+        assert!(inv.contains(&[]));
+        assert!(inv.contains(&[p, st, g, e, p, 0]));
+        assert!(inv.contains(&[p, st]), "prefixes belong to Init");
+        assert!(inv.contains(&[0, 0, p]));
+        assert!(!inv.contains(&[e, st]), "employment cannot precede study");
+        assert!(!inv.contains(&[p, 0, p]), "not well-formed: re-creation");
+    }
+
+    #[test]
+    fn shape_enforced() {
+        let (s, a) = setup();
+        let p = a
+            .symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap())
+            .unwrap();
+        // A "bad" language containing [P]∅[P].
+        let bad = Regex::word([p, a.empty_symbol(), p]);
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&bad, a.num_symbols()));
+        assert!(matches!(
+            Inventory::from_dfa(&a, dfa),
+            Err(CoreError::UnsupportedRegex(_))
+        ));
+        // init_of_regex silently intersects the shape away.
+        let inv = Inventory::init_of_regex(&s, &a, &bad).unwrap();
+        assert!(!inv.contains(&[p, 0, p]));
+        assert!(inv.contains(&[p, 0]), "the well-formed prefix survives");
+    }
+
+    #[test]
+    fn prefix_closure_required() {
+        let (s, a) = setup();
+        let p = a
+            .symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap())
+            .unwrap();
+        // {pp} alone is not prefix-closed.
+        let dfa = Dfa::from_nfa(&Nfa::from_regex(&Regex::word([p, p]), a.num_symbols()));
+        assert!(Inventory::from_dfa(&a, dfa.clone()).is_err());
+        let closed = Dfa::from_nfa(&dfa.to_nfa().prefix_closure());
+        let inv = Inventory::from_dfa(&a, closed).unwrap();
+        assert!(inv.contains(&[p]) && inv.contains(&[]));
+    }
+
+    #[test]
+    fn example_3_3_path_expression() {
+        // (p(q ∪ r)s)* as an inventory over a four-operation hierarchy
+        // (Fig. 3): each operation is a subclass of R.
+        let mut b = migratory_model::SchemaBuilder::new();
+        let r = b.class("R", &["A"]).unwrap();
+        for op in ["p", "q", "r_", "s"] {
+            b.subclass(op, &[r], &[]).unwrap();
+        }
+        let schema = b.build().unwrap();
+        let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+        let inv = Inventory::parse_init(
+            &schema,
+            &alphabet,
+            "∅* ([p] ([q] ∪ [r_]) [s])* ∅*",
+        )
+        .unwrap();
+        let sym = |n: &str| {
+            alphabet
+                .symbol_of(RoleSet::closure_of_named(&schema, &[n]).unwrap())
+                .unwrap()
+        };
+        let (p, q, r_, sct) = (sym("p"), sym("q"), sym("r_"), sym("s"));
+        assert!(inv.contains(&[p, q, sct, p, r_, sct]));
+        assert!(inv.contains(&[p, q]), "a prefix — the next operation may be pending");
+        assert!(!inv.contains(&[q]), "q may not run before p");
+        assert!(!inv.contains(&[p, sct]));
+    }
+
+    #[test]
+    fn regex_roundtrip() {
+        let (s, a) = setup();
+        let inv = Inventory::parse_init(&s, &a, "[PERSON]* ∅*").unwrap();
+        let r = inv.to_regex();
+        let back =
+            Inventory::init_of_regex(&s, &a, &r).unwrap();
+        assert!(inv.dfa().equivalent(back.dfa()));
+    }
+}

@@ -1,0 +1,417 @@
+//! Synthesis of SL transactions from a regular inventory — Lemma 3.4 /
+//! Theorem 3.2(2).
+//!
+//! Given a regular expression η over the non-empty role sets of a
+//! component whose isa-root carries at least three attributes `A, B, C`,
+//! build a transaction schema Σ_η that *characterizes* η:
+//!
+//! * `A` identifies the migration-graph vertex an object currently sits
+//!   on (`A = h(u)`);
+//! * `B` receives the transaction parameter `x` and selects the outgoing
+//!   edge (values `1..k−1` pick a specific edge; anything else the last);
+//! * `C` is the processing mark. The single transaction T_η carries two
+//!   block sets: objects entering with `C = 0` are processed by set A
+//!   (marks 2 → 1, leave at 10), objects entering with `C = 10` by set B
+//!   (marks 3 → 4, leave at 0). Every application moves **every** live
+//!   object along an edge and flips `C` — the paper's refinement ("the
+//!   value for the attribute C of each object will switch between, say,
+//!   0 and 10") — so objects cannot stand still (which keeps 𝓛ᵢₘₘ exactly
+//!   the walk language) and every step is proper.
+//!
+//! The transaction: `create` at the source vertex, the two block sets
+//! (mark, then per-edge `mig`/`delete` with branch conditions on `B`),
+//! and the final round flips.
+
+use crate::alphabet::RoleAlphabet;
+use crate::error::CoreError;
+use crate::graph::{MigrationGraph, VS, VT};
+use migratory_automata::Regex;
+use migratory_lang::{con, mig_ops, var, AtomicUpdate, GuardedUpdate, Transaction, TransactionSchema};
+use migratory_model::{Atom, AttrId, CmpOp, Condition, RoleSet, Schema, Term, Value};
+use std::collections::BTreeMap;
+
+/// The synthesis result: the schema Σ_η plus the migration graph it was
+/// driven by (useful for stating the expected families in tests/benches).
+#[derive(Clone, Debug)]
+pub struct Synthesis {
+    /// The singleton SL schema {T_η(x)}.
+    pub transactions: TransactionSchema,
+    /// The migration graph G_η.
+    pub graph: MigrationGraph,
+}
+
+/// Synthesize an SL schema characterizing η (Theorem 3.2(2) items (a)–(c)).
+pub fn synthesize(
+    schema: &Schema,
+    alphabet: &RoleAlphabet,
+    eta: &Regex,
+) -> Result<Synthesis, CoreError> {
+    let graph = MigrationGraph::from_regex(eta, alphabet.empty_symbol())?;
+    from_graph(schema, alphabet, graph)
+}
+
+/// Synthesize the *lazy* companion schema Σ′ of Lemma 3.4(2): built from
+/// the lazy contraction Ĝ of G_η, its lazy family is
+/// `f_rr(Init(∅*η∅*))`-shaped.
+pub fn synthesize_lazy(
+    schema: &Schema,
+    alphabet: &RoleAlphabet,
+    eta: &Regex,
+) -> Result<Synthesis, CoreError> {
+    let graph = MigrationGraph::from_regex(eta, alphabet.empty_symbol())?
+        .lazy_contraction(alphabet.empty_symbol());
+    from_graph(schema, alphabet, graph)
+}
+
+/// Build Σ from an explicit migration graph.
+pub fn from_graph(
+    schema: &Schema,
+    alphabet: &RoleAlphabet,
+    graph: MigrationGraph,
+) -> Result<Synthesis, CoreError> {
+    let root = schema.component_root(alphabet.component());
+    let root_attrs = schema.attrs_of(root);
+    if root_attrs.len() < 3 {
+        return Err(CoreError::RootNeedsThreeAttrs);
+    }
+    let (a, b, c) = (root_attrs[0], root_attrs[1], root_attrs[2]);
+
+    // Default values for every attribute the migrations may need to set.
+    let mut mig_values: BTreeMap<AttrId, Term> = BTreeMap::new();
+    for class in schema.component_classes(alphabet.component()).iter() {
+        for &attr in schema.attrs_of(class) {
+            mig_values.insert(attr, con(0));
+        }
+    }
+
+    let h = |v: u32| -> Value { Value::str(&format!("@v{v}")) };
+
+    // One transaction with two block sets: objects entering with C = 0 are
+    // processed by set A (marks 2 → 1) and leave with C = 10; objects
+    // entering with C = 10 by set B (marks 3 → 4) and leave with C = 0.
+    // Every application therefore moves EVERY live object along an edge
+    // and flips C — no object can stand still, and every step is proper
+    // (the paper's "switch between, say, 0 and 10" refinement).
+    let mut steps: Vec<AtomicUpdate> = Vec::new();
+
+    // create(R, {A = h(vs), B = x, C = 0, extras = 0}).
+    let mut create_cond = Condition::from_atoms([
+        Atom::eq_const(a, h(VS)),
+        Atom { attr: b, op: CmpOp::Eq, term: var(0) },
+        Atom::eq_const(c, 0),
+    ]);
+    for &extra in &root_attrs[3..] {
+        create_cond.push(Atom::eq_const(extra, 0));
+    }
+    steps.push(AtomicUpdate::Create { class: root, gamma: create_cond });
+
+    for (round_in, processing, done) in [(0i64, 2i64, 1i64), (10, 3, 4)] {
+        // Per-vertex blocks, source first then interior vertices.
+        for u in std::iter::once(VS).chain(graph.interior()) {
+            let succ: Vec<u32> = graph.successors(u).collect();
+            if succ.is_empty() {
+                continue;
+            }
+            let at_u = |extra: Vec<Atom>| -> Condition {
+                let mut cond = Condition::from_atoms([
+                    Atom::eq_const(a, h(u)),
+                    Atom::eq_const(c, processing),
+                ]);
+                for at in extra {
+                    cond.push(at);
+                }
+                cond
+            };
+            // Mark: objects at u entering this round.
+            steps.push(AtomicUpdate::Modify {
+                class: root,
+                select: Condition::from_atoms([
+                    Atom::eq_const(a, h(u)),
+                    Atom::eq_const(c, round_in),
+                ]),
+                set: Condition::from_atoms([
+                    Atom { attr: b, op: CmpOp::Eq, term: var(0) },
+                    Atom::eq_const(c, processing),
+                ]),
+            });
+            let k = succ.len();
+            for (i, &v) in succ.iter().enumerate() {
+                // Branch condition Γ_u(v): B = i+1 for all but the last
+                // successor; the last takes everything else.
+                let branch: Vec<Atom> = if k == 1 {
+                    Vec::new()
+                } else if i + 1 < k {
+                    vec![Atom::eq_const(b, (i + 1) as i64)]
+                } else {
+                    (1..k).map(|j| Atom::ne_const(b, j as i64)).collect()
+                };
+                if v == VT {
+                    steps.push(AtomicUpdate::Delete { class: root, gamma: at_u(branch) });
+                } else {
+                    let target = alphabet.role_set(graph.label(v));
+                    let from_role: Option<RoleSet> = if u == VS {
+                        None // freshly created objects sit at the bare root
+                    } else {
+                        Some(alphabet.role_set(graph.label(u)))
+                    };
+                    steps.extend(mig_ops(
+                        schema,
+                        from_role,
+                        target,
+                        &at_u(branch.clone()),
+                        &mig_values,
+                    )?);
+                    // Stamp the new vertex and the done-mark.
+                    steps.push(AtomicUpdate::Modify {
+                        class: root,
+                        select: at_u(branch),
+                        set: Condition::from_atoms([
+                            Atom::eq_const(a, h(v)),
+                            Atom::eq_const(c, done),
+                        ]),
+                    });
+                }
+            }
+        }
+    }
+
+    // Round flips: set-A finishers (C = 1) enter the next round at 10,
+    // set-B finishers (C = 4) at 0.
+    steps.push(AtomicUpdate::Modify {
+        class: root,
+        select: Condition::from_atoms([Atom::eq_const(c, 1)]),
+        set: Condition::from_atoms([Atom::eq_const(c, 10)]),
+    });
+    steps.push(AtomicUpdate::Modify {
+        class: root,
+        select: Condition::from_atoms([Atom::eq_const(c, 4)]),
+        set: Condition::from_atoms([Atom::eq_const(c, 0)]),
+    });
+
+    let mut ts = TransactionSchema::new();
+    ts.add(Transaction {
+        name: "T_eta".to_owned(),
+        params: vec!["x".to_owned()],
+        steps: steps.into_iter().map(GuardedUpdate::plain).collect(),
+    })?;
+    migratory_lang::validate_schema(schema, &ts)?;
+    Ok(Synthesis { transactions: ts, graph })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{analyze_families, AnalyzeOptions};
+    use crate::pattern::PatternKind;
+    use migratory_automata::{concat as nfa_concat, f_rr_image, Dfa, Nfa};
+    use migratory_model::SchemaBuilder;
+
+    /// Fig. 3-style schema: root R{A,B,C} with subclasses p, q.
+    fn pq_schema() -> (Schema, RoleAlphabet) {
+        let mut bld = SchemaBuilder::new();
+        let r = bld.class("R", &["A", "B", "C"]).unwrap();
+        bld.subclass("p", &[r], &[]).unwrap();
+        bld.subclass("q", &[r], &[]).unwrap();
+        let schema = bld.build().unwrap();
+        let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+        (schema, alphabet)
+    }
+
+    fn sym(schema: &Schema, alphabet: &RoleAlphabet, class: &str) -> u32 {
+        alphabet
+            .symbol_of(RoleSet::closure_of_named(schema, &[class]).unwrap())
+            .unwrap()
+    }
+
+    /// `λ ∪ (Ω₊ · Σ*)` — words not starting with ∅.
+    fn nonempty_start(alphabet: &RoleAlphabet) -> Dfa {
+        let ns = alphabet.num_symbols();
+        let any = Regex::union((0..ns).map(Regex::Sym).collect::<Vec<_>>());
+        let bad = Regex::concat([Regex::Sym(alphabet.empty_symbol()), Regex::star(any)]);
+        Dfa::from_nfa(&Nfa::from_regex(&bad, ns)).complement()
+    }
+
+    /// Run the full round trip for η and check all four families.
+    fn round_trip(eta: &Regex) {
+        let (schema, alphabet) = pq_schema();
+        let ns = alphabet.num_symbols();
+        let e = alphabet.empty_symbol();
+        let synth = synthesize(&schema, &alphabet, eta).unwrap();
+        let (_, fams) = analyze_families(
+            &schema,
+            &alphabet,
+            &synth.transactions,
+            &AnalyzeOptions::default(),
+        )
+        .unwrap();
+
+        let ns_start = nonempty_start(&alphabet);
+        let walks_imm =
+            Dfa::from_nfa(&synth.graph.walks_nfa(ns, e, PatternKind::ImmediateStart));
+        let expected_imm = walks_imm.intersect(&ns_start).minimize();
+        assert!(
+            fams.imm.equivalent(&expected_imm),
+            "imm mismatch for {eta}: {:?}",
+            fams.imm
+                .witness_not_subset(&expected_imm)
+                .or_else(|| expected_imm.witness_not_subset(&fams.imm))
+                .map(|w| alphabet.display_word(&w)),
+        );
+
+        let empty_star = Nfa::from_regex(&Regex::star(Regex::Sym(e)), ns);
+        let expected_all =
+            Dfa::from_nfa(&nfa_concat(&empty_star, &walks_imm.to_nfa()).unwrap()).minimize();
+        assert!(
+            fams.all.equivalent(&expected_all),
+            "all mismatch for {eta}: {:?}",
+            fams.all
+                .witness_not_subset(&expected_all)
+                .or_else(|| expected_all.witness_not_subset(&fams.all))
+                .map(|w| alphabet.display_word(&w)),
+        );
+
+        let empty_opt = Nfa::from_regex(&Regex::opt(Regex::Sym(e)), ns);
+        for (kind, got) in
+            [(PatternKind::Proper, &fams.pro), (PatternKind::Lazy, &fams.lazy)]
+        {
+            let walks = Dfa::from_nfa(&synth.graph.walks_nfa(ns, e, kind))
+                .intersect(&ns_start);
+            let expected =
+                Dfa::from_nfa(&nfa_concat(&empty_opt, &walks.to_nfa()).unwrap()).minimize();
+            assert!(
+                got.equivalent(&expected),
+                "{kind} mismatch for {eta}: {:?}",
+                got.witness_not_subset(&expected)
+                    .or_else(|| expected.witness_not_subset(got))
+                    .map(|w| alphabet.display_word(&w)),
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_single_symbol() {
+        let (schema, alphabet) = pq_schema();
+        let p = sym(&schema, &alphabet, "p");
+        round_trip(&Regex::Sym(p));
+    }
+
+    #[test]
+    fn round_trip_word_and_star() {
+        let (schema, alphabet) = pq_schema();
+        let p = sym(&schema, &alphabet, "p");
+        let q = sym(&schema, &alphabet, "q");
+        round_trip(&Regex::word([p, q]));
+        round_trip(&Regex::star(Regex::Sym(p)));
+    }
+
+    #[test]
+    fn round_trip_example_3_6_p_qqp_star() {
+        // P(QQP)* — Example 3.6 / Fig. 5-6 of the paper.
+        let (schema, alphabet) = pq_schema();
+        let p = sym(&schema, &alphabet, "p");
+        let q = sym(&schema, &alphabet, "q");
+        round_trip(&Regex::concat([
+            Regex::Sym(p),
+            Regex::star(Regex::word([q, q, p])),
+        ]));
+    }
+
+    #[test]
+    fn round_trip_example_3_6_second_expression() {
+        // ∅*(PQ* ∪ QP*)∅* — the paper's second Example 3.6 expression
+        // (the ∅-padding is what 𝓛 adds anyway, so synthesize the core).
+        let (schema, alphabet) = pq_schema();
+        let p = sym(&schema, &alphabet, "p");
+        let q = sym(&schema, &alphabet, "q");
+        round_trip(&Regex::union([
+            Regex::concat([Regex::Sym(p), Regex::star(Regex::Sym(q))]),
+            Regex::concat([Regex::Sym(q), Regex::star(Regex::Sym(p))]),
+        ]));
+    }
+
+    #[test]
+    fn round_trip_branching_and_lambda() {
+        let (schema, alphabet) = pq_schema();
+        let p = sym(&schema, &alphabet, "p");
+        let q = sym(&schema, &alphabet, "q");
+        // (p ∪ qq)? — exercises branch conditions and a nullable η.
+        round_trip(&Regex::opt(Regex::union([
+            Regex::Sym(p),
+            Regex::word([q, q]),
+        ])));
+    }
+
+    #[test]
+    fn role_set_with_both_classes() {
+        let (schema, alphabet) = pq_schema();
+        let pq = alphabet
+            .symbol_of(RoleSet::closure_of_named(&schema, &["p", "q"]).unwrap())
+            .unwrap();
+        let p = sym(&schema, &alphabet, "p");
+        round_trip(&Regex::concat([Regex::Sym(p), Regex::Sym(pq)]));
+    }
+
+    #[test]
+    fn lazy_synthesis_matches_f_rr() {
+        // Lemma 3.4(2): 𝓛ₗₐ(Σ′) = f_rr(Init(∅*η∅*)).
+        let (schema, alphabet) = pq_schema();
+        let ns = alphabet.num_symbols();
+        let e = alphabet.empty_symbol();
+        let p = sym(&schema, &alphabet, "p");
+        let q = sym(&schema, &alphabet, "q");
+        for eta in [
+            Regex::concat([Regex::plus(Regex::Sym(p)), Regex::plus(Regex::Sym(q))]),
+            Regex::word([p, p]),
+            Regex::star(Regex::Sym(p)),
+        ] {
+            let synth = synthesize_lazy(&schema, &alphabet, &eta).unwrap();
+            let (_, fams) = analyze_families(
+                &schema,
+                &alphabet,
+                &synth.transactions,
+                &AnalyzeOptions::default(),
+            )
+            .unwrap();
+            // f_rr(Init(∅*η∅*)).
+            let padded = Regex::concat([
+                Regex::star(Regex::Sym(e)),
+                eta.clone(),
+                Regex::star(Regex::Sym(e)),
+            ]);
+            let init = Nfa::from_regex(&padded, ns).prefix_closure();
+            let expected = Dfa::from_nfa(&f_rr_image(&init)).minimize();
+            assert!(
+                fams.lazy.equivalent(&expected),
+                "lazy mismatch for {eta}: {:?}",
+                fams.lazy
+                    .witness_not_subset(&expected)
+                    .or_else(|| expected.witness_not_subset(&fams.lazy))
+                    .map(|w| alphabet.display_word(&w)),
+            );
+        }
+    }
+
+    #[test]
+    fn needs_three_root_attributes() {
+        let mut bld = SchemaBuilder::new();
+        let r = bld.class("R", &["A"]).unwrap();
+        bld.subclass("p", &[r], &[]).unwrap();
+        let schema = bld.build().unwrap();
+        let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+        let p = sym(&schema, &alphabet, "p");
+        assert_eq!(
+            synthesize(&schema, &alphabet, &Regex::Sym(p)).unwrap_err(),
+            CoreError::RootNeedsThreeAttrs
+        );
+    }
+
+    #[test]
+    fn synthesized_schema_is_valid_sl() {
+        let (schema, alphabet) = pq_schema();
+        let p = sym(&schema, &alphabet, "p");
+        let synth = synthesize(&schema, &alphabet, &Regex::star(Regex::Sym(p))).unwrap();
+        assert_eq!(synth.transactions.len(), 1);
+        assert_eq!(synth.transactions.language(), migratory_lang::Language::Sl);
+        migratory_lang::validate_schema(&schema, &synth.transactions).unwrap();
+    }
+}

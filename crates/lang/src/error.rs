@@ -1,0 +1,121 @@
+//! Error types for the language layer.
+
+use migratory_model::{ClassId, ModelError};
+
+/// Errors raised while validating, parsing or executing transactions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LangError {
+    /// An error from the data-model layer (including parse errors).
+    Model(ModelError),
+    /// `create`/`delete` applied to a class that is not an isa-root
+    /// (Definition 2.3, items 1(a)/2(a)).
+    NotIsaRoot(ClassId),
+    /// `generalize` applied to an isa-root (Definition 2.3, item 4(a)) —
+    /// root membership can only be removed by `delete`.
+    IsIsaRoot(ClassId),
+    /// `specialize(P, Q, …)` where `Q isa P` is not a direct edge
+    /// (Definition 2.3, item 5(a)).
+    NotDirectSubclass {
+        /// The would-be subclass `Q`.
+        sub: ClassId,
+        /// The would-be superclass `P`.
+        sup: ClassId,
+    },
+    /// A condition references or defines the wrong attribute set for its
+    /// operator (Definition 2.3's `Att`/`Att_def` side conditions).
+    ConditionAttrs {
+        /// Which operator and which condition slot is at fault.
+        context: &'static str,
+    },
+    /// A condition references a variable not declared by the transaction.
+    UnboundVariable {
+        /// Dense index of the variable.
+        var: u32,
+    },
+    /// A transaction was applied with the wrong number of arguments.
+    ArityMismatch {
+        /// Declared parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        got: usize,
+    },
+    /// A variable name was referenced in a transaction body but not
+    /// declared in its parameter list (parser-level; bare identifiers in
+    /// conditions must be parameters — constants are quoted).
+    UnknownVariable(String),
+    /// A transaction name was declared twice in one schema.
+    DuplicateTransaction(String),
+    /// A transaction name was not found.
+    UnknownTransaction(String),
+    /// `mig` was asked to migrate between role sets of different
+    /// weakly-connected components.
+    MigAcrossComponents,
+    /// `mig` lacked a value for an attribute acquired by the target role
+    /// set.
+    MigMissingValue(String),
+}
+
+impl From<ModelError> for LangError {
+    fn from(e: ModelError) -> Self {
+        LangError::Model(e)
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LangError::Model(e) => write!(f, "{e}"),
+            LangError::NotIsaRoot(c) => {
+                write!(f, "class {c} is not an isa-root (required by create/delete)")
+            }
+            LangError::IsIsaRoot(c) => {
+                write!(f, "class {c} is an isa-root (generalize requires a non-root)")
+            }
+            LangError::NotDirectSubclass { sub, sup } => {
+                write!(f, "{sub} is not a direct subclass of {sup}")
+            }
+            LangError::ConditionAttrs { context } => {
+                write!(f, "ill-formed condition attributes in {context}")
+            }
+            LangError::UnboundVariable { var } => write!(f, "unbound variable x{var}"),
+            LangError::ArityMismatch { expected, got } => {
+                write!(f, "transaction expects {expected} argument(s), got {got}")
+            }
+            LangError::UnknownVariable(n) => write!(
+                f,
+                "identifier `{n}` is not a parameter (string constants must be quoted)"
+            ),
+            LangError::DuplicateTransaction(n) => write!(f, "duplicate transaction `{n}`"),
+            LangError::UnknownTransaction(n) => write!(f, "unknown transaction `{n}`"),
+            LangError::MigAcrossComponents => {
+                write!(f, "mig cannot move objects between weakly-connected components")
+            }
+            LangError::MigMissingValue(a) => {
+                write!(f, "mig has no value for acquired attribute `{a}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LangError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LangError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LangError::NotIsaRoot(ClassId(3));
+        assert!(e.to_string().contains("isa-root"));
+        let e: LangError = ModelError::UnknownClass("X".into()).into();
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(e.to_string().contains('X'));
+    }
+}

@@ -1,0 +1,242 @@
+//! The derived migration operation of Proposition 3.1.
+//!
+//! `specialize` and `generalize` suffice to migrate objects between any
+//! two non-empty role sets ω₁, ω₂ of a weakly-connected component. The
+//! paper calls the generated sequence `mig(ω, ω′, Γ, Γ′)` and uses it as a
+//! macro throughout the constructions of Lemma 3.4 and Theorem 4.3
+//! (`migto`). The sequence produced here:
+//!
+//! 1. *generalizes away* every child of the component root that belongs to
+//!    ω₁ (or every child, for [`migto_ops`]), shrinking the selected
+//!    objects' role set to `{root}`;
+//! 2. *specializes downward* through ω₂ in topological order, re-adding
+//!    one class per step (each step's direct-subclass requirement is met
+//!    because ancestors are processed first), assigning the newly acquired
+//!    attributes from the supplied value map.
+//!
+//! The selection condition must use root attributes only (`Att(Γ) ⊆
+//! A(root)`), so it keeps selecting the same objects across the whole
+//! sequence — intermediate steps never clear root attributes.
+
+use crate::ast::AtomicUpdate;
+use crate::error::LangError;
+use migratory_model::{AttrId, Condition, RoleSet, Schema, Term};
+use std::collections::BTreeMap;
+
+/// Build the `mig(ω₁, ω₂, Γ, values)` sequence. `values` must provide a
+/// term for every attribute acquired anywhere inside ω₂ beyond the root's
+/// own attributes (extra entries are ignored).
+///
+/// With `omega1 = None` the sequence generalizes *all* root children, so
+/// it migrates objects regardless of their current role set — the paper's
+/// `migto` (used in Theorem 4.3's construction).
+pub fn mig_ops(
+    schema: &Schema,
+    omega1: Option<RoleSet>,
+    omega2: RoleSet,
+    select: &Condition,
+    values: &BTreeMap<AttrId, Term>,
+) -> Result<Vec<AtomicUpdate>, LangError> {
+    let comp = omega2
+        .component(schema)
+        .ok_or(LangError::MigAcrossComponents)?;
+    if let Some(o1) = omega1 {
+        if !o1.is_empty() && o1.component(schema) != Some(comp) {
+            return Err(LangError::MigAcrossComponents);
+        }
+    }
+    let root = schema.component_root(comp);
+    let root_attrs: migratory_model::AttrSet =
+        schema.attrs_of(root).iter().copied().collect();
+    if !select.referenced_attrs().is_subset(root_attrs) {
+        return Err(LangError::ConditionAttrs { context: "mig(ω₁, ω₂, Γ, ·): Γ" });
+    }
+
+    let mut ops = Vec::new();
+
+    // Phase 1: strip down to {root}.
+    for &child in schema.children(root) {
+        let strip = match omega1 {
+            Some(o1) => o1.contains(child),
+            None => true,
+        };
+        if strip {
+            ops.push(AtomicUpdate::Generalize { class: child, gamma: select.clone() });
+        }
+    }
+
+    // Phase 2: rebuild ω₂ downward in topological order.
+    for &q in schema.topo_order() {
+        if q == root || !omega2.contains(q) {
+            continue;
+        }
+        // Any parent works; all parents of q are in ω₂ (up-closedness) and
+        // have been added already (topological order).
+        let p = *schema.parents(q).first().expect("non-root class has a parent");
+        let acquired = schema.attr_star(q).difference(schema.attr_star(p));
+        let mut set = Condition::empty();
+        for a in acquired.iter() {
+            let term = values.get(&a).ok_or_else(|| {
+                LangError::MigMissingValue(schema.attr_name(a).to_owned())
+            })?;
+            set.push(migratory_model::Atom {
+                attr: a,
+                op: migratory_model::CmpOp::Eq,
+                term: term.clone(),
+            });
+        }
+        ops.push(AtomicUpdate::Specialize { from: p, to: q, select: select.clone(), set });
+    }
+    Ok(ops)
+}
+
+/// The paper's `migto(ω)`: migrate **all** objects of ω's component
+/// (whatever their current role set) to ω, selecting with the empty
+/// condition.
+pub fn migto_ops(
+    schema: &Schema,
+    omega: RoleSet,
+    values: &BTreeMap<AttrId, Term>,
+) -> Result<Vec<AtomicUpdate>, LangError> {
+    mig_ops(schema, None, omega, &Condition::empty(), values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{con, Assignment, Transaction};
+    use crate::interp::run;
+    use crate::validate::validate_transaction;
+    use migratory_model::roleset::all_nonempty_role_sets;
+    use migratory_model::schema::university_schema;
+    use migratory_model::{Atom, ClassSet, Instance, Oid, Value};
+
+    fn default_values(schema: &Schema) -> BTreeMap<AttrId, Term> {
+        schema
+            .all_attrs()
+            .map(|a| (a, con(0)))
+            .collect()
+    }
+
+    fn person_db(schema: &Schema) -> Instance {
+        let mut db = Instance::empty();
+        let p = schema.class_id("PERSON").unwrap();
+        let ssn = schema.attr_id("SSN").unwrap();
+        let name = schema.attr_id("Name").unwrap();
+        db.create(
+            ClassSet::singleton(p),
+            BTreeMap::from([(ssn, Value::str("1")), (name, Value::str("A"))]),
+        );
+        db
+    }
+
+    /// Proposition 3.1, exhaustively on the university schema: for every
+    /// ordered pair (ω₁, ω₂) of non-empty role sets there is a
+    /// {specialize, generalize}-transaction moving an ω₁ object to ω₂.
+    #[test]
+    fn proposition_3_1_university() {
+        let s = university_schema();
+        let values = default_values(&s);
+        let all = all_nonempty_role_sets(&s, 0);
+        for &w1 in &all {
+            for &w2 in &all {
+                // Prepare an object with role set ω₁ (via mig from [PERSON]).
+                let mut db = person_db(&s);
+                let to_w1 = Transaction::sl(
+                    "to_w1",
+                    &[],
+                    mig_ops(&s, None, w1, &Condition::empty(), &values).unwrap(),
+                );
+                validate_transaction(&s, &to_w1).unwrap();
+                db = run(&s, &db, &to_w1, &Assignment::empty()).unwrap();
+                assert_eq!(db.role_set(Oid(1)), w1.classes(), "setup failed for {:?}", w1);
+
+                // Now migrate ω₁ → ω₂.
+                let t = Transaction::sl(
+                    "mig",
+                    &[],
+                    mig_ops(&s, Some(w1), w2, &Condition::empty(), &values).unwrap(),
+                );
+                validate_transaction(&s, &t).unwrap();
+                let out = run(&s, &db, &t, &Assignment::empty()).unwrap();
+                assert_eq!(
+                    out.role_set(Oid(1)),
+                    w2.classes(),
+                    "mig {} → {} failed",
+                    w1.display(&s),
+                    w2.display(&s)
+                );
+                out.check_invariants(&s).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn mig_only_touches_selected_objects() {
+        let s = university_schema();
+        let values = default_values(&s);
+        let ssn = s.attr_id("SSN").unwrap();
+        let name = s.attr_id("Name").unwrap();
+        let p = s.class_id("PERSON").unwrap();
+        let mut db = person_db(&s);
+        db.create(
+            ClassSet::singleton(p),
+            BTreeMap::from([(ssn, Value::str("2")), (name, Value::str("B"))]),
+        );
+        let w2 = RoleSet::closure_of_named(&s, &["STUDENT"]).unwrap();
+        let select = Condition::from_atoms([Atom::eq_const(ssn, "1")]);
+        let t = Transaction::sl("m", &[], mig_ops(&s, None, w2, &select, &values).unwrap());
+        let out = run(&s, &db, &t, &Assignment::empty()).unwrap();
+        assert!(out.role_set(Oid(1)).contains(s.class_id("STUDENT").unwrap()));
+        assert_eq!(out.role_set(Oid(2)), ClassSet::singleton(p), "o2 untouched");
+    }
+
+    #[test]
+    fn migto_moves_everything() {
+        let s = university_schema();
+        let values = default_values(&s);
+        let mut db = person_db(&s);
+        let ssn = s.attr_id("SSN").unwrap();
+        let name = s.attr_id("Name").unwrap();
+        let p = s.class_id("PERSON").unwrap();
+        db.create(
+            ClassSet::singleton(p),
+            BTreeMap::from([(ssn, Value::str("2")), (name, Value::str("B"))]),
+        );
+        let w = RoleSet::closure_of_named(&s, &["GRAD_ASSIST"]).unwrap();
+        let t = Transaction::sl("m", &[], migto_ops(&s, w, &values).unwrap());
+        let out = run(&s, &db, &t, &Assignment::empty()).unwrap();
+        for o in [Oid(1), Oid(2)] {
+            assert_eq!(out.role_set(o), w.classes());
+        }
+        out.check_invariants(&s).unwrap();
+    }
+
+    #[test]
+    fn missing_value_reported() {
+        let s = university_schema();
+        let w = RoleSet::closure_of_named(&s, &["STUDENT"]).unwrap();
+        let e = mig_ops(&s, None, w, &Condition::empty(), &BTreeMap::new()).unwrap_err();
+        assert!(matches!(e, LangError::MigMissingValue(_)));
+    }
+
+    #[test]
+    fn non_root_selection_rejected() {
+        let s = university_schema();
+        let w = RoleSet::closure_of_named(&s, &["STUDENT"]).unwrap();
+        let major = s.attr_id("Major").unwrap();
+        let sel = Condition::from_atoms([Atom::eq_const(major, "CS")]);
+        let e = mig_ops(&s, None, w, &sel, &default_values(&s)).unwrap_err();
+        assert!(matches!(e, LangError::ConditionAttrs { .. }));
+    }
+
+    #[test]
+    fn mig_to_root_only_generalizes() {
+        let s = university_schema();
+        let values = default_values(&s);
+        let root = RoleSet::closure_of_named(&s, &["PERSON"]).unwrap();
+        let ops = mig_ops(&s, None, root, &Condition::empty(), &values).unwrap();
+        assert!(ops.iter().all(|o| matches!(o, AtomicUpdate::Generalize { .. })));
+        assert_eq!(ops.len(), 2, "one generalize per root child");
+    }
+}

@@ -1,0 +1,347 @@
+//! Text syntax for transactions, mirroring the paper's notation.
+//!
+//! ```text
+//! // Example 3.4 of the paper
+//! transaction T1(n, s, t, m) {
+//!   create(PERSON, { SSN = s, Name = n });
+//!   specialize(PERSON, STUDENT, { SSN = s }, { Major = m, FirstEnroll = t });
+//! }
+//!
+//! transaction T2(s, p, x, d) {
+//!   when STUDENT(SSN = s), !GRAD_ASSIST(SSN = s) ->
+//!     specialize(STUDENT, GRAD_ASSIST, { SSN = s },
+//!                { PcAppoint = p, Salary = x, WorksIn = d });
+//! }
+//! ```
+//!
+//! Bare identifiers in term position are transaction parameters; string
+//! constants must be quoted and integers are written literally — this
+//! makes accidental free variables a parse error rather than a silent
+//! constant.
+
+use crate::ast::{
+    AtomicUpdate, GuardedUpdate, Literal, Transaction, TransactionSchema,
+};
+use crate::error::LangError;
+use crate::validate::validate_transaction;
+use migratory_model::text::{lex, Cursor, TokenKind};
+use migratory_model::{Atom, CmpOp, Condition, Schema, Term, Value, VarId};
+
+/// Parse a sequence of `transaction` declarations and validate each
+/// against `schema`.
+pub fn parse_transactions(schema: &Schema, src: &str) -> Result<TransactionSchema, LangError> {
+    let mut cur = Cursor::new(lex(src)?);
+    let mut out = TransactionSchema::new();
+    while !cur.at_eof() {
+        let t = parse_transaction(schema, &mut cur)?;
+        validate_transaction(schema, &t)?;
+        out.add(t)?;
+    }
+    Ok(out)
+}
+
+/// Parse a single transaction declaration.
+pub fn parse_transaction(schema: &Schema, cur: &mut Cursor) -> Result<Transaction, LangError> {
+    if !cur.eat_kw("transaction") {
+        return Err(cur.error_here("expected `transaction`").into());
+    }
+    let name = cur.expect_ident()?;
+    cur.expect(&TokenKind::LParen)?;
+    let mut params: Vec<String> = Vec::new();
+    if !cur.eat(&TokenKind::RParen) {
+        params.push(cur.expect_ident()?);
+        while cur.eat(&TokenKind::Comma) {
+            params.push(cur.expect_ident()?);
+        }
+        cur.expect(&TokenKind::RParen)?;
+    }
+    cur.expect(&TokenKind::LBrace)?;
+    let mut steps = Vec::new();
+    while !cur.eat(&TokenKind::RBrace) {
+        if cur.at_eof() {
+            return Err(cur.error_here("expected `}` to close transaction").into());
+        }
+        steps.push(parse_step(schema, cur, &params)?);
+    }
+    Ok(Transaction { name, params, steps })
+}
+
+fn parse_step(
+    schema: &Schema,
+    cur: &mut Cursor,
+    params: &[String],
+) -> Result<GuardedUpdate, LangError> {
+    let mut guards = Vec::new();
+    if cur.eat_kw("when") {
+        guards.push(parse_literal(schema, cur, params)?);
+        while cur.eat(&TokenKind::Comma) {
+            guards.push(parse_literal(schema, cur, params)?);
+        }
+        cur.expect(&TokenKind::Arrow)?;
+    }
+    let update = parse_update(schema, cur, params)?;
+    cur.expect(&TokenKind::Semi)?;
+    Ok(GuardedUpdate { guards, update })
+}
+
+fn parse_literal(
+    schema: &Schema,
+    cur: &mut Cursor,
+    params: &[String],
+) -> Result<Literal, LangError> {
+    let positive = !cur.eat(&TokenKind::Bang);
+    let class_name = cur.expect_ident()?;
+    let class = schema.require_class(&class_name)?;
+    cur.expect(&TokenKind::LParen)?;
+    let mut gamma = Condition::empty();
+    if !cur.eat(&TokenKind::RParen) {
+        gamma = parse_atoms_until(schema, cur, params, &TokenKind::RParen)?;
+    }
+    Ok(Literal { positive, class, gamma })
+}
+
+fn parse_update(
+    schema: &Schema,
+    cur: &mut Cursor,
+    params: &[String],
+) -> Result<AtomicUpdate, LangError> {
+    let op = cur.expect_ident()?;
+    cur.expect(&TokenKind::LParen)?;
+    let class_name = cur.expect_ident()?;
+    let class = schema.require_class(&class_name)?;
+    let upd = match op.as_str() {
+        "create" | "delete" | "generalize" => {
+            cur.expect(&TokenKind::Comma)?;
+            let gamma = parse_condition(schema, cur, params)?;
+            match op.as_str() {
+                "create" => AtomicUpdate::Create { class, gamma },
+                "delete" => AtomicUpdate::Delete { class, gamma },
+                _ => AtomicUpdate::Generalize { class, gamma },
+            }
+        }
+        "modify" => {
+            cur.expect(&TokenKind::Comma)?;
+            let select = parse_condition(schema, cur, params)?;
+            cur.expect(&TokenKind::Comma)?;
+            let set = parse_condition(schema, cur, params)?;
+            AtomicUpdate::Modify { class, select, set }
+        }
+        "specialize" => {
+            cur.expect(&TokenKind::Comma)?;
+            let to_name = cur.expect_ident()?;
+            let to = schema.require_class(&to_name)?;
+            cur.expect(&TokenKind::Comma)?;
+            let select = parse_condition(schema, cur, params)?;
+            cur.expect(&TokenKind::Comma)?;
+            let set = parse_condition(schema, cur, params)?;
+            AtomicUpdate::Specialize { from: class, to, select, set }
+        }
+        other => {
+            return Err(cur
+                .error_here(format!(
+                    "unknown operator `{other}` (expected create, delete, modify, generalize or specialize)"
+                ))
+                .into())
+        }
+    };
+    cur.expect(&TokenKind::RParen)?;
+    Ok(upd)
+}
+
+fn parse_condition(
+    schema: &Schema,
+    cur: &mut Cursor,
+    params: &[String],
+) -> Result<Condition, LangError> {
+    cur.expect(&TokenKind::LBrace)?;
+    if cur.eat(&TokenKind::RBrace) {
+        return Ok(Condition::empty());
+    }
+    parse_atoms_until(schema, cur, params, &TokenKind::RBrace)
+}
+
+fn parse_atoms_until(
+    schema: &Schema,
+    cur: &mut Cursor,
+    params: &[String],
+    close: &TokenKind,
+) -> Result<Condition, LangError> {
+    let mut cond = Condition::empty();
+    loop {
+        cond.push(parse_atom(schema, cur, params)?);
+        if cur.eat(&TokenKind::Comma) {
+            continue;
+        }
+        cur.expect(close)?;
+        return Ok(cond);
+    }
+}
+
+fn parse_atom(schema: &Schema, cur: &mut Cursor, params: &[String]) -> Result<Atom, LangError> {
+    let attr_name = cur.expect_ident()?;
+    let attr = schema.require_attr(&attr_name)?;
+    let op = if cur.eat(&TokenKind::Eq) {
+        CmpOp::Eq
+    } else if cur.eat(&TokenKind::Ne) {
+        CmpOp::Ne
+    } else {
+        return Err(cur.error_here("expected `=` or `!=`").into());
+    };
+    let term = parse_term(cur, params)?;
+    Ok(Atom { attr, op, term })
+}
+
+fn parse_term(cur: &mut Cursor, params: &[String]) -> Result<Term, LangError> {
+    let tok = cur.peek().clone();
+    match tok.kind {
+        TokenKind::Int(i) => {
+            cur.next();
+            Ok(Term::Const(Value::int(i)))
+        }
+        TokenKind::Str(ref s) => {
+            let v = Value::str(s);
+            cur.next();
+            Ok(Term::Const(v))
+        }
+        TokenKind::Ident(ref name) => {
+            let r = params
+                .iter()
+                .position(|p| p == name)
+                .map(|i| Term::Var(VarId(i as u32)))
+                .ok_or_else(|| LangError::UnknownVariable(name.clone()));
+            cur.next();
+            r
+        }
+        other => Err(cur
+            .error_here(format!("expected constant or parameter, found {other}"))
+            .into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Language;
+    use migratory_model::schema::university_schema;
+
+    const EXAMPLE_3_4: &str = r#"
+        // Example 3.4 of the paper.
+        transaction T1(n, s, t, m) {
+          create(PERSON, { SSN = s, Name = n });
+          specialize(PERSON, STUDENT, { SSN = s }, { Major = m, FirstEnroll = t });
+        }
+        transaction T2(s, p, x, d) {
+          specialize(STUDENT, GRAD_ASSIST, { SSN = s },
+                     { PcAppoint = p, Salary = x, WorksIn = d });
+        }
+        transaction T3(s) {
+          generalize(EMPLOYEE, { SSN = s });
+        }
+        transaction T4(s) {
+          delete(PERSON, { SSN = s });
+        }
+    "#;
+
+    #[test]
+    fn parses_example_3_4() {
+        let s = university_schema();
+        let ts = parse_transactions(&s, EXAMPLE_3_4).unwrap();
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.language(), Language::Sl);
+        let t1 = ts.get("T1").unwrap();
+        assert_eq!(t1.params, vec!["n", "s", "t", "m"]);
+        assert_eq!(t1.steps.len(), 2);
+        assert_eq!(t1.vars_used().len(), 4);
+    }
+
+    #[test]
+    fn parses_guards() {
+        let s = university_schema();
+        let src = r#"
+            transaction Guarded(x) {
+              when PERSON(SSN = x), !EMPLOYEE(SSN = x) ->
+                specialize(PERSON, EMPLOYEE, { SSN = x },
+                           { Salary = 0, WorksIn = "tbd" });
+            }
+        "#;
+        let ts = parse_transactions(&s, src).unwrap();
+        assert_eq!(ts.language(), Language::Csl);
+        let t = ts.get("Guarded").unwrap();
+        assert_eq!(t.steps[0].guards.len(), 2);
+        assert!(t.steps[0].guards[0].positive);
+        assert!(!t.steps[0].guards[1].positive);
+    }
+
+    #[test]
+    fn positive_only_is_csl_plus() {
+        let s = university_schema();
+        let src = r#"
+            transaction G() {
+              when PERSON() -> delete(PERSON, {});
+            }
+        "#;
+        let ts = parse_transactions(&s, src).unwrap();
+        assert_eq!(ts.language(), Language::CslPlus);
+    }
+
+    #[test]
+    fn free_identifier_is_an_error() {
+        let s = university_schema();
+        let src = r"
+            transaction T() {
+              delete(PERSON, { SSN = s });
+            }
+        ";
+        let e = parse_transactions(&s, src).unwrap_err();
+        assert_eq!(e, LangError::UnknownVariable("s".into()));
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let s = university_schema();
+        assert!(matches!(
+            parse_transactions(&s, "transaction T() { delete(NOPE, {}); }"),
+            Err(LangError::Model(migratory_model::ModelError::UnknownClass(_)))
+        ));
+        assert!(matches!(
+            parse_transactions(&s, r#"transaction T() { delete(PERSON, { Huh = "x" }); }"#),
+            Err(LangError::Model(migratory_model::ModelError::UnknownAttr(_)))
+        ));
+    }
+
+    #[test]
+    fn validation_runs_after_parse() {
+        let s = university_schema();
+        // create on non-root STUDENT: parses but fails validation.
+        let e = parse_transactions(
+            &s,
+            r#"transaction T() { create(STUDENT, { SSN = "1", Name = "x" }); }"#,
+        )
+        .unwrap_err();
+        assert!(matches!(e, LangError::NotIsaRoot(_) | LangError::ConditionAttrs { .. }));
+    }
+
+    #[test]
+    fn integer_and_negative_constants() {
+        let s = university_schema();
+        let src = r#"
+            transaction T(x) {
+              modify(EMPLOYEE, { Salary = -1 }, { Salary = 35000 });
+            }
+        "#;
+        let ts = parse_transactions(&s, src).unwrap();
+        let t = ts.get("T").unwrap();
+        let consts = t.constants();
+        assert!(consts.contains(&Value::int(-1)) && consts.contains(&Value::int(35000)));
+    }
+
+    #[test]
+    fn duplicate_transaction_names_rejected() {
+        let s = university_schema();
+        let src = "transaction A() { } transaction A() { }";
+        assert!(matches!(
+            parse_transactions(&s, src),
+            Err(LangError::DuplicateTransaction(_))
+        ));
+    }
+}

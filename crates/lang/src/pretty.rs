@@ -1,0 +1,178 @@
+//! Pretty-printing of transactions back to the surface syntax of
+//! [`crate::parser`] (round-trips).
+
+use crate::ast::{AtomicUpdate, GuardedUpdate, Literal, Transaction, TransactionSchema};
+use migratory_model::{CmpOp, Condition, Schema, Term, Value};
+use std::fmt::Write as _;
+
+fn term_to_text(t: &Term, params: &[String]) -> String {
+    match t {
+        Term::Const(Value::Int(i)) => i.to_string(),
+        Term::Const(Value::Str(s)) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Term::Const(Value::Fresh(k)) => format!("\"⊥{k}\""),
+        Term::Var(x) => params
+            .get(x.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("x{}", x.0)),
+    }
+}
+
+/// Render a condition as `{ A = t, B != u }`.
+#[must_use]
+pub fn condition_to_text(schema: &Schema, c: &Condition, params: &[String]) -> String {
+    if c.is_empty() {
+        return "{}".to_owned();
+    }
+    let parts: Vec<String> = c
+        .atoms()
+        .map(|a| {
+            format!(
+                "{} {} {}",
+                schema.attr_name(a.attr),
+                match a.op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "!=",
+                },
+                term_to_text(&a.term, params)
+            )
+        })
+        .collect();
+    format!("{{ {} }}", parts.join(", "))
+}
+
+/// Render an atomic update.
+#[must_use]
+pub fn update_to_text(schema: &Schema, u: &AtomicUpdate, params: &[String]) -> String {
+    match u {
+        AtomicUpdate::Create { class, gamma } => format!(
+            "create({}, {})",
+            schema.class_name(*class),
+            condition_to_text(schema, gamma, params)
+        ),
+        AtomicUpdate::Delete { class, gamma } => format!(
+            "delete({}, {})",
+            schema.class_name(*class),
+            condition_to_text(schema, gamma, params)
+        ),
+        AtomicUpdate::Modify { class, select, set } => format!(
+            "modify({}, {}, {})",
+            schema.class_name(*class),
+            condition_to_text(schema, select, params),
+            condition_to_text(schema, set, params)
+        ),
+        AtomicUpdate::Generalize { class, gamma } => format!(
+            "generalize({}, {})",
+            schema.class_name(*class),
+            condition_to_text(schema, gamma, params)
+        ),
+        AtomicUpdate::Specialize { from, to, select, set } => format!(
+            "specialize({}, {}, {}, {})",
+            schema.class_name(*from),
+            schema.class_name(*to),
+            condition_to_text(schema, select, params),
+            condition_to_text(schema, set, params)
+        ),
+    }
+}
+
+fn literal_to_text(schema: &Schema, l: &Literal, params: &[String]) -> String {
+    let inner = if l.gamma.is_empty() {
+        "()".to_owned()
+    } else {
+        let body = condition_to_text(schema, &l.gamma, params);
+        // Strip the braces for literal syntax `P(A = x)`.
+        format!("({})", body.trim_start_matches("{ ").trim_end_matches(" }"))
+    };
+    format!("{}{}{}", if l.positive { "" } else { "!" }, schema.class_name(l.class), inner)
+}
+
+/// Render a step, guards included.
+#[must_use]
+pub fn step_to_text(schema: &Schema, s: &GuardedUpdate, params: &[String]) -> String {
+    let mut out = String::new();
+    if !s.guards.is_empty() {
+        let gs: Vec<String> =
+            s.guards.iter().map(|g| literal_to_text(schema, g, params)).collect();
+        let _ = write!(out, "when {} -> ", gs.join(", "));
+    }
+    out.push_str(&update_to_text(schema, &s.update, params));
+    out.push(';');
+    out
+}
+
+/// Render a full transaction declaration.
+#[must_use]
+pub fn transaction_to_text(schema: &Schema, t: &Transaction) -> String {
+    let mut out = format!("transaction {}({}) {{\n", t.name, t.params.join(", "));
+    for s in &t.steps {
+        let _ = writeln!(out, "  {}", step_to_text(schema, s, &t.params));
+    }
+    out.push('}');
+    out
+}
+
+/// Render a whole transaction schema.
+#[must_use]
+pub fn schema_to_text(schema: &Schema, ts: &TransactionSchema) -> String {
+    ts.transactions()
+        .iter()
+        .map(|t| transaction_to_text(schema, t))
+        .collect::<Vec<_>>()
+        .join("\n\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_transactions;
+    use migratory_model::schema::university_schema;
+
+    #[test]
+    fn round_trip_example_3_4() {
+        let s = university_schema();
+        let src = r#"
+            transaction T1(n, s, t, m) {
+              create(PERSON, { SSN = s, Name = n });
+              specialize(PERSON, STUDENT, { SSN = s }, { Major = m, FirstEnroll = t });
+            }
+            transaction T3(s) {
+              generalize(EMPLOYEE, { SSN = s });
+            }
+        "#;
+        let ts = parse_transactions(&s, src).unwrap();
+        let text = schema_to_text(&s, &ts);
+        let ts2 = parse_transactions(&s, &text).unwrap();
+        assert_eq!(ts, ts2, "pretty → parse is the identity");
+    }
+
+    #[test]
+    fn round_trip_guards_and_literals() {
+        let s = university_schema();
+        let src = r#"
+            transaction G(x) {
+              when PERSON(SSN = x, Name != "bob"), !EMPLOYEE() ->
+                modify(PERSON, { SSN = x }, { Name = "seen" });
+              delete(PERSON, {});
+            }
+        "#;
+        let ts = parse_transactions(&s, src).unwrap();
+        let text = schema_to_text(&s, &ts);
+        let ts2 = parse_transactions(&s, &text).unwrap();
+        assert_eq!(ts, ts2);
+        assert!(text.contains("!EMPLOYEE()"));
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let s = university_schema();
+        let src = r#"
+            transaction T() {
+              modify(PERSON, {}, { Name = "a\"b\\c" });
+            }
+        "#;
+        let ts = parse_transactions(&s, src).unwrap();
+        let text = schema_to_text(&s, &ts);
+        let ts2 = parse_transactions(&s, &text).unwrap();
+        assert_eq!(ts, ts2);
+    }
+}

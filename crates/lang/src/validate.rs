@@ -1,0 +1,294 @@
+//! Well-formedness of atomic updates, guards and transactions against a
+//! database schema (the side conditions of Definitions 2.3 and 4.1).
+
+use crate::ast::{AtomicUpdate, GuardedUpdate, Literal, Transaction, TransactionSchema};
+use crate::error::LangError;
+use migratory_model::ids::DenseId as _;
+use migratory_model::{AttrSet, Condition, Schema};
+
+/// Validate one atomic update (Definition 2.3).
+pub fn validate_update(schema: &Schema, u: &AtomicUpdate) -> Result<(), LangError> {
+    match u {
+        AtomicUpdate::Create { class, gamma } => {
+            if !schema.is_isa_root(*class) {
+                return Err(LangError::NotIsaRoot(*class));
+            }
+            let a_p: AttrSet = schema.attrs_of(*class).iter().copied().collect();
+            // Att(Γ) = Att_def(Γ) = A(P): every attribute referenced is
+            // defined, and the referenced set is exactly A(P).
+            if gamma.referenced_attrs() != a_p || gamma.defined_attrs() != a_p {
+                return Err(LangError::ConditionAttrs { context: "create(P, Γ): Γ" });
+            }
+            Ok(())
+        }
+        AtomicUpdate::Delete { class, gamma } => {
+            if !schema.is_isa_root(*class) {
+                return Err(LangError::NotIsaRoot(*class));
+            }
+            let a_p: AttrSet = schema.attrs_of(*class).iter().copied().collect();
+            if !gamma.referenced_attrs().is_subset(a_p) {
+                return Err(LangError::ConditionAttrs { context: "delete(P, Γ): Γ" });
+            }
+            Ok(())
+        }
+        AtomicUpdate::Modify { class, select, set } => {
+            let a_star = schema.attr_star(*class);
+            if !select.referenced_attrs().is_subset(a_star) {
+                return Err(LangError::ConditionAttrs { context: "modify(P, Γ, Γ′): Γ" });
+            }
+            if !set.referenced_attrs().is_subset(a_star)
+                || set.defined_attrs() != set.referenced_attrs()
+            {
+                return Err(LangError::ConditionAttrs { context: "modify(P, Γ, Γ′): Γ′" });
+            }
+            Ok(())
+        }
+        AtomicUpdate::Generalize { class, gamma } => {
+            if schema.is_isa_root(*class) {
+                return Err(LangError::IsIsaRoot(*class));
+            }
+            if !gamma.referenced_attrs().is_subset(schema.attr_star(*class)) {
+                return Err(LangError::ConditionAttrs { context: "generalize(P, Γ): Γ" });
+            }
+            Ok(())
+        }
+        AtomicUpdate::Specialize { from, to, select, set } => {
+            if !schema.isa_direct(*to, *from) {
+                return Err(LangError::NotDirectSubclass { sub: *to, sup: *from });
+            }
+            if !select.referenced_attrs().is_subset(schema.attr_star(*from)) {
+                return Err(LangError::ConditionAttrs { context: "specialize(P, Q, Γ, Γ′): Γ" });
+            }
+            let acquired = schema.attr_star(*to).difference(schema.attr_star(*from));
+            if set.referenced_attrs() != acquired || set.defined_attrs() != acquired {
+                return Err(LangError::ConditionAttrs { context: "specialize(P, Q, Γ, Γ′): Γ′" });
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Validate a testing literal (Section 4: `Att(Γ) ⊆ A*(P)`).
+pub fn validate_literal(schema: &Schema, l: &Literal) -> Result<(), LangError> {
+    if !l.gamma.referenced_attrs().is_subset(schema.attr_star(l.class)) {
+        return Err(LangError::ConditionAttrs { context: "literal P(Γ): Γ" });
+    }
+    Ok(())
+}
+
+fn check_vars(cond: &Condition, arity: usize) -> Result<(), LangError> {
+    for v in cond.vars() {
+        if v.index() >= arity {
+            return Err(LangError::UnboundVariable { var: v.0 });
+        }
+    }
+    Ok(())
+}
+
+/// Validate one (possibly guarded) step.
+pub fn validate_step(schema: &Schema, s: &GuardedUpdate, arity: usize) -> Result<(), LangError> {
+    for g in &s.guards {
+        validate_literal(schema, g)?;
+        check_vars(&g.gamma, arity)?;
+    }
+    validate_update(schema, &s.update)?;
+    for c in s.update.conditions() {
+        check_vars(c, arity)?;
+    }
+    Ok(())
+}
+
+/// Validate a whole transaction: every step well-formed, every variable
+/// bound by the parameter list. (Variables are global to the transaction,
+/// per Definition 4.1's restriction — there are no step-local variables.)
+pub fn validate_transaction(schema: &Schema, t: &Transaction) -> Result<(), LangError> {
+    for s in &t.steps {
+        validate_step(schema, s, t.params.len())?;
+    }
+    Ok(())
+}
+
+/// Validate every transaction of a schema.
+pub fn validate_schema(schema: &Schema, ts: &TransactionSchema) -> Result<(), LangError> {
+    for t in ts.transactions() {
+        validate_transaction(schema, t)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::GuardedUpdate;
+    use migratory_model::schema::university_schema;
+    use migratory_model::{Atom, ClassId, Condition};
+
+    fn cond(atoms: Vec<Atom>) -> Condition {
+        Condition::from_atoms(atoms)
+    }
+
+    #[test]
+    fn create_requires_root_and_full_definition() {
+        let s = university_schema();
+        let p = s.class_id("PERSON").unwrap();
+        let st = s.class_id("STUDENT").unwrap();
+        let ssn = s.attr_id("SSN").unwrap();
+        let name = s.attr_id("Name").unwrap();
+
+        let ok = AtomicUpdate::Create {
+            class: p,
+            gamma: cond(vec![Atom::eq_const(ssn, "1"), Atom::eq_const(name, "n")]),
+        };
+        validate_update(&s, &ok).unwrap();
+
+        // Non-root class.
+        let bad = AtomicUpdate::Create {
+            class: st,
+            gamma: Condition::empty(),
+        };
+        assert_eq!(validate_update(&s, &bad), Err(LangError::NotIsaRoot(st)));
+
+        // Missing Name definition.
+        let bad = AtomicUpdate::Create { class: p, gamma: cond(vec![Atom::eq_const(ssn, "1")]) };
+        assert!(matches!(validate_update(&s, &bad), Err(LangError::ConditionAttrs { .. })));
+
+        // Referencing an inherited-only attr is out of A(P)… use Salary.
+        let salary = s.attr_id("Salary").unwrap();
+        let bad = AtomicUpdate::Create {
+            class: p,
+            gamma: cond(vec![
+                Atom::eq_const(ssn, "1"),
+                Atom::eq_const(name, "n"),
+                Atom::eq_const(salary, 1),
+            ]),
+        };
+        assert!(validate_update(&s, &bad).is_err());
+    }
+
+    #[test]
+    fn delete_requires_root_and_local_attrs() {
+        let s = university_schema();
+        let p = s.class_id("PERSON").unwrap();
+        let salary = s.attr_id("Salary").unwrap();
+        validate_update(&s, &AtomicUpdate::Delete { class: p, gamma: Condition::empty() })
+            .unwrap();
+        let bad =
+            AtomicUpdate::Delete { class: p, gamma: cond(vec![Atom::eq_const(salary, 0)]) };
+        assert!(validate_update(&s, &bad).is_err());
+    }
+
+    #[test]
+    fn modify_set_must_define_everything_referenced() {
+        let s = university_schema();
+        let e = s.class_id("EMPLOYEE").unwrap();
+        let salary = s.attr_id("Salary").unwrap();
+        let ssn = s.attr_id("SSN").unwrap();
+        // Selecting on inherited SSN is fine (Att ⊆ A*(EMPLOYEE)).
+        let ok = AtomicUpdate::Modify {
+            class: e,
+            select: cond(vec![Atom::eq_const(ssn, "1")]),
+            set: cond(vec![Atom::eq_const(salary, 100)]),
+        };
+        validate_update(&s, &ok).unwrap();
+        // A ≠ atom in Γ′ does not define its attribute.
+        let bad = AtomicUpdate::Modify {
+            class: e,
+            select: Condition::empty(),
+            set: cond(vec![Atom::ne_const(salary, 100)]),
+        };
+        assert!(validate_update(&s, &bad).is_err());
+    }
+
+    #[test]
+    fn generalize_rejects_root() {
+        let s = university_schema();
+        let p = s.class_id("PERSON").unwrap();
+        let e = s.class_id("EMPLOYEE").unwrap();
+        validate_update(&s, &AtomicUpdate::Generalize { class: e, gamma: Condition::empty() })
+            .unwrap();
+        assert_eq!(
+            validate_update(
+                &s,
+                &AtomicUpdate::Generalize { class: p, gamma: Condition::empty() }
+            ),
+            Err(LangError::IsIsaRoot(p))
+        );
+    }
+
+    #[test]
+    fn specialize_requires_direct_edge_and_exact_acquired_set() {
+        let s = university_schema();
+        let p = s.class_id("PERSON").unwrap();
+        let st = s.class_id("STUDENT").unwrap();
+        let g = s.class_id("GRAD_ASSIST").unwrap();
+        let major = s.attr_id("Major").unwrap();
+        let fe = s.attr_id("FirstEnroll").unwrap();
+
+        let ok = AtomicUpdate::Specialize {
+            from: p,
+            to: st,
+            select: Condition::empty(),
+            set: cond(vec![Atom::eq_const(major, "CS"), Atom::eq_const(fe, 1990)]),
+        };
+        validate_update(&s, &ok).unwrap();
+
+        // GRAD_ASSIST is not a *direct* subclass of PERSON.
+        let bad = AtomicUpdate::Specialize {
+            from: p,
+            to: g,
+            select: Condition::empty(),
+            set: Condition::empty(),
+        };
+        assert_eq!(validate_update(&s, &bad), Err(LangError::NotDirectSubclass { sub: g, sup: p }));
+
+        // Γ′ must define exactly A*(Q) − A*(P); missing FirstEnroll.
+        let bad = AtomicUpdate::Specialize {
+            from: p,
+            to: st,
+            select: Condition::empty(),
+            set: cond(vec![Atom::eq_const(major, "CS")]),
+        };
+        assert!(validate_update(&s, &bad).is_err());
+    }
+
+    #[test]
+    fn unbound_variables_detected() {
+        let s = university_schema();
+        let p = s.class_id("PERSON").unwrap();
+        let ssn = s.attr_id("SSN").unwrap();
+        let t = Transaction::sl(
+            "t",
+            &[], // no params but uses x0
+            vec![AtomicUpdate::Delete {
+                class: p,
+                gamma: cond(vec![Atom::eq_var(ssn, migratory_model::VarId(0))]),
+            }],
+        );
+        assert_eq!(validate_transaction(&s, &t), Err(LangError::UnboundVariable { var: 0 }));
+    }
+
+    #[test]
+    fn literal_attrs_checked() {
+        let s = university_schema();
+        let p = s.class_id("PERSON").unwrap();
+        let salary = s.attr_id("Salary").unwrap();
+        // Salary is not defined on PERSON.
+        let l = Literal::pos(p, cond(vec![Atom::eq_const(salary, 1)]));
+        assert!(validate_literal(&s, &l).is_err());
+        let step = GuardedUpdate::when(
+            vec![l],
+            AtomicUpdate::Delete { class: p, gamma: Condition::empty() },
+        );
+        assert!(validate_step(&s, &step, 0).is_err());
+    }
+
+    #[test]
+    fn unknown_class_ids_panic_contract() {
+        // ClassIds come from the same schema by construction; validation
+        // assumes in-range ids (checked by indexing). Out-of-range would
+        // panic — ensure in-range negative case behaves.
+        let s = university_schema();
+        assert!(s.class_id("NOPE").is_none());
+        assert_eq!(ClassId(0).0, 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Compact 128-bit sets of dense identifiers.
+//!
+//! Class hierarchies and attribute sets in the paper (and in every workload
+//! we reproduce) are small; a schema is validated to at most 128 classes
+//! and 128 attributes, so sets of either fit a single `u128` word. This
+//! keeps role-set operations (Definition 3.1: closure under `isa`) and the
+//! separator construction of Theorem 3.2 allocation-free.
+
+use crate::ids::{AttrId, ClassId, DenseId};
+use std::marker::PhantomData;
+
+/// The maximum dense index storable in an [`IdSet`].
+pub const MAX_DENSE: usize = 128;
+
+/// A set of dense identifiers backed by a `u128` bitmask.
+#[derive(PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IdSet<T> {
+    bits: u128,
+    _marker: PhantomData<T>,
+}
+
+/// A set of classes (e.g. a role set's carrier, an isa up-closure).
+pub type ClassSet = IdSet<ClassId>;
+/// A set of attributes (e.g. `Att(Γ)`, `A*(P)`).
+pub type AttrSet = IdSet<AttrId>;
+
+// Manual impls so `T` need not be `Clone`/`Copy`/`Default`.
+impl<T> Clone for IdSet<T> {
+    #[inline]
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for IdSet<T> {}
+impl<T> Default for IdSet<T> {
+    #[inline]
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<T> IdSet<T> {
+    /// The empty set.
+    #[inline]
+    #[must_use]
+    pub const fn empty() -> Self {
+        IdSet { bits: 0, _marker: PhantomData }
+    }
+
+    /// Whether the set contains no elements.
+    #[inline]
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.bits == 0
+    }
+
+    /// Number of elements.
+    #[inline]
+    #[must_use]
+    pub const fn len(self) -> usize {
+        self.bits.count_ones() as usize
+    }
+
+    /// The raw bitmask (stable across identical element sets).
+    #[inline]
+    #[must_use]
+    pub const fn raw(self) -> u128 {
+        self.bits
+    }
+
+    /// Rebuild from a raw bitmask produced by [`IdSet::raw`].
+    #[inline]
+    #[must_use]
+    pub const fn from_raw(bits: u128) -> Self {
+        IdSet { bits, _marker: PhantomData }
+    }
+
+    /// Set union.
+    #[inline]
+    #[must_use]
+    pub const fn union(self, other: Self) -> Self {
+        Self::from_raw(self.bits | other.bits)
+    }
+
+    /// Set intersection.
+    #[inline]
+    #[must_use]
+    pub const fn intersection(self, other: Self) -> Self {
+        Self::from_raw(self.bits & other.bits)
+    }
+
+    /// Set difference `self − other`.
+    #[inline]
+    #[must_use]
+    pub const fn difference(self, other: Self) -> Self {
+        Self::from_raw(self.bits & !other.bits)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    #[must_use]
+    pub const fn is_subset(self, other: Self) -> bool {
+        self.bits & !other.bits == 0
+    }
+
+    /// Whether the two sets share no element.
+    #[inline]
+    #[must_use]
+    pub const fn is_disjoint(self, other: Self) -> bool {
+        self.bits & other.bits == 0
+    }
+}
+
+impl<T: DenseId> IdSet<T> {
+    /// The singleton set `{id}`.
+    ///
+    /// # Panics
+    /// Panics if the dense index is ≥ [`MAX_DENSE`]; schemas validate this
+    /// bound at construction.
+    #[inline]
+    #[must_use]
+    pub fn singleton(id: T) -> Self {
+        let mut s = Self::empty();
+        s.insert(id);
+        s
+    }
+
+    /// Insert an element, returning whether it was newly added.
+    #[inline]
+    pub fn insert(&mut self, id: T) -> bool {
+        let i = id.index();
+        assert!(i < MAX_DENSE, "dense index {i} exceeds IdSet capacity");
+        let bit = 1u128 << i;
+        let fresh = self.bits & bit == 0;
+        self.bits |= bit;
+        fresh
+    }
+
+    /// Remove an element, returning whether it was present.
+    #[inline]
+    pub fn remove(&mut self, id: T) -> bool {
+        let i = id.index();
+        if i >= MAX_DENSE {
+            return false;
+        }
+        let bit = 1u128 << i;
+        let present = self.bits & bit != 0;
+        self.bits &= !bit;
+        present
+    }
+
+    /// Membership test.
+    #[inline]
+    #[must_use]
+    pub fn contains(self, id: T) -> bool {
+        let i = id.index();
+        i < MAX_DENSE && self.bits & (1u128 << i) != 0
+    }
+
+    /// Iterate elements in increasing dense-index order.
+    pub fn iter(self) -> impl Iterator<Item = T> {
+        let mut bits = self.bits;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(T::from_index(i))
+            }
+        })
+    }
+
+    /// The smallest element, if any.
+    #[inline]
+    #[must_use]
+    pub fn first(self) -> Option<T> {
+        if self.bits == 0 {
+            None
+        } else {
+            Some(T::from_index(self.bits.trailing_zeros() as usize))
+        }
+    }
+}
+
+impl<T: DenseId> FromIterator<T> for IdSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = Self::empty();
+        for id in iter {
+            s.insert(id);
+        }
+        s
+    }
+}
+
+impl<T: DenseId> std::fmt::Debug for IdSet<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> ClassSet {
+        ids.iter().map(|&i| ClassId(i)).collect()
+    }
+
+    #[test]
+    fn empty_set_properties() {
+        let e = ClassSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.iter().count(), 0);
+        assert_eq!(e.first(), None);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ClassSet::empty();
+        assert!(s.insert(ClassId(3)));
+        assert!(!s.insert(ClassId(3)));
+        assert!(s.contains(ClassId(3)));
+        assert!(!s.contains(ClassId(4)));
+        assert!(s.remove(ClassId(3)));
+        assert!(!s.remove(ClassId(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn algebra_laws() {
+        let a = set(&[0, 1, 5]);
+        let b = set(&[1, 5, 9]);
+        assert_eq!(a.union(b), set(&[0, 1, 5, 9]));
+        assert_eq!(a.intersection(b), set(&[1, 5]));
+        assert_eq!(a.difference(b), set(&[0]));
+        assert!(a.intersection(b).is_subset(a));
+        assert!(a.intersection(b).is_subset(b));
+        assert!(!a.is_disjoint(b));
+        assert!(set(&[0]).is_disjoint(set(&[9])));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s = set(&[9, 0, 5, 127]);
+        let v: Vec<u32> = s.iter().map(|c| c.0).collect();
+        assert_eq!(v, vec![0, 5, 9, 127]);
+        assert_eq!(s.first(), Some(ClassId(0)));
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let s = set(&[2, 64, 100]);
+        assert_eq!(ClassSet::from_raw(s.raw()), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds IdSet capacity")]
+    fn overflow_panics() {
+        let mut s = ClassSet::empty();
+        s.insert(ClassId(128));
+    }
+}

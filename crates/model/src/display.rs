@@ -1,0 +1,129 @@
+//! Human-readable rendering of schemas and instances, in the style of
+//! Figs. 1 and 2 of the paper.
+
+use crate::instance::Instance;
+use crate::schema::Schema;
+use std::fmt::Write as _;
+
+/// Render a schema in the text format accepted by
+/// [`crate::text::parse_schema`] (round-trips).
+#[must_use]
+pub fn schema_to_text(schema: &Schema) -> String {
+    let mut out = String::from("schema S {\n");
+    for c in schema.classes() {
+        let _ = write!(out, "  class {}", schema.class_name(c));
+        let parents = schema.parents(c);
+        if !parents.is_empty() {
+            let names: Vec<&str> = parents.iter().map(|&p| schema.class_name(p)).collect();
+            let _ = write!(out, " isa {}", names.join(", "));
+        }
+        let attrs = schema.attrs_of(c);
+        if attrs.is_empty() {
+            out.push_str(" { }\n");
+        } else {
+            let names: Vec<&str> = attrs.iter().map(|&a| schema.attr_name(a)).collect();
+            let _ = writeln!(out, " {{ {} }}", names.join(", "));
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Render the class-membership map `o` of an instance, one line per class
+/// (Fig. 2(a) style).
+#[must_use]
+pub fn membership_table(schema: &Schema, db: &Instance) -> String {
+    let mut out = String::new();
+    for c in schema.classes() {
+        let objs: Vec<String> = db.objects_in(c).map(|o| o.to_string()).collect();
+        let _ = writeln!(out, "o({}) = {{{}}}", schema.class_name(c), objs.join(", "));
+    }
+    let _ = write!(out, "next = {}", db.next_oid());
+    out
+}
+
+/// Render the attribute assignment `a` of an instance as one table per
+/// class (Fig. 2(b) style): a header row of attribute names (inherited
+/// included) and one row per member object.
+#[must_use]
+pub fn attribute_tables(schema: &Schema, db: &Instance) -> String {
+    let mut out = String::new();
+    for c in schema.classes() {
+        let members: Vec<_> = db.objects_in(c).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let attrs: Vec<_> = schema.attr_star(c).iter().collect();
+        let mut header: Vec<String> = vec!["oid".into()];
+        header.extend(attrs.iter().map(|&a| schema.attr_name(a).to_owned()));
+        let mut rows: Vec<Vec<String>> = vec![header];
+        for &o in &members {
+            let mut row = vec![o.to_string()];
+            for &a in &attrs {
+                row.push(db.value(o, a).map_or_else(|| "—".into(), ToString::to_string));
+            }
+            rows.push(row);
+        }
+        let widths: Vec<usize> = (0..rows[0].len())
+            .map(|i| rows.iter().map(|r| r[i].chars().count()).max().unwrap_or(0))
+            .collect();
+        let _ = writeln!(out, "{}:", schema.class_name(c));
+        for (ri, row) in rows.iter().enumerate() {
+            out.push_str("  ");
+            for (i, cell) in row.iter().enumerate() {
+                let pad = widths[i] - cell.chars().count();
+                let _ = write!(out, "{cell}{} ", " ".repeat(pad));
+            }
+            out.push('\n');
+            if ri == 0 {
+                let total: usize = widths.iter().sum::<usize>() + widths.len();
+                let _ = writeln!(out, "  {}", "-".repeat(total));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitset::ClassSet;
+    use crate::schema::university_schema;
+    use crate::text::parse_schema;
+    use crate::value::Value;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn schema_text_roundtrip() {
+        let s = university_schema();
+        let text = schema_to_text(&s);
+        let s2 = parse_schema(&text).unwrap();
+        assert_eq!(s.num_classes(), s2.num_classes());
+        assert_eq!(s.num_attrs(), s2.num_attrs());
+        for c in s.classes() {
+            let c2 = s2.class_id(s.class_name(c)).unwrap();
+            assert_eq!(s.parents(c).len(), s2.parents(c2).len());
+        }
+    }
+
+    #[test]
+    fn tables_render() {
+        let s = university_schema();
+        let mut db = Instance::empty();
+        let person = s.class_id("PERSON").unwrap();
+        let ssn = s.attr_id("SSN").unwrap();
+        let name = s.attr_id("Name").unwrap();
+        db.create(
+            ClassSet::singleton(person),
+            BTreeMap::from([(ssn, Value::str("0067")), (name, Value::str("Michelle"))]),
+        );
+        let m = membership_table(&s, &db);
+        assert!(m.contains("o(PERSON) = {o1}"));
+        assert!(m.contains("next = o2"));
+        let t = attribute_tables(&s, &db);
+        assert!(t.contains("Michelle"));
+        assert!(t.contains("SSN"));
+        // Classes without members render nothing.
+        assert!(!t.contains("GRAD_ASSIST:"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types for the data-model layer.
+
+use crate::ids::{AttrId, ClassId};
+
+/// Errors raised while building or validating schemas and instances.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ModelError {
+    /// A class name was declared twice.
+    DuplicateClass(String),
+    /// An attribute name was declared twice. Definition 2.1 requires the
+    /// attribute sets of distinct classes to be pairwise disjoint, so
+    /// attribute names are globally unique.
+    DuplicateAttr(String),
+    /// A class name was referenced but never declared.
+    UnknownClass(String),
+    /// An attribute name was referenced but never declared.
+    UnknownAttr(String),
+    /// The isa relation is cyclic — specialization graphs are acyclic.
+    IsaCycle(Vec<ClassId>),
+    /// A weakly-connected component of the isa graph has more than one
+    /// isa-root; Definition 2.1 requires each component to be a rooted DAG.
+    MultipleRoots {
+        /// Two of the offending roots.
+        roots: (ClassId, ClassId),
+    },
+    /// The schema exceeds the 128-class capacity of [`crate::ClassSet`].
+    TooManyClasses(usize),
+    /// The schema exceeds the 128-attribute capacity of [`crate::AttrSet`].
+    TooManyAttrs(usize),
+    /// A set of classes is not closed under `isa*` where a role set was
+    /// expected (Definition 3.1).
+    NotUpClosed {
+        /// The class whose ancestor is missing from the set.
+        class: ClassId,
+    },
+    /// A role set spans two weakly-connected components (forbidden by
+    /// Definition 4.5 — objects cannot belong to unrelated classes).
+    CrossComponent {
+        /// Two classes from different components.
+        classes: (ClassId, ClassId),
+    },
+    /// An instance violates a well-formedness invariant of Definition 2.2.
+    InvariantViolated(String),
+    /// An attribute value is missing for an object that should have it.
+    MissingValue {
+        /// The object's identifier (numeric part).
+        oid: u64,
+        /// The attribute lacking a value.
+        attr: AttrId,
+    },
+    /// Text-format parse error.
+    Parse {
+        /// 1-based line of the offending token.
+        line: u32,
+        /// 1-based column of the offending token.
+        col: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::DuplicateClass(n) => write!(f, "duplicate class name `{n}`"),
+            ModelError::DuplicateAttr(n) => write!(
+                f,
+                "duplicate attribute name `{n}` (attribute sets of distinct classes must be disjoint)"
+            ),
+            ModelError::UnknownClass(n) => write!(f, "unknown class `{n}`"),
+            ModelError::UnknownAttr(n) => write!(f, "unknown attribute `{n}`"),
+            ModelError::IsaCycle(cycle) => write!(f, "isa relation is cyclic through {cycle:?}"),
+            ModelError::MultipleRoots { roots } => write!(
+                f,
+                "weakly-connected component has multiple isa-roots: {} and {}",
+                roots.0, roots.1
+            ),
+            ModelError::TooManyClasses(n) => {
+                write!(f, "schema has {n} classes; at most 128 supported")
+            }
+            ModelError::TooManyAttrs(n) => {
+                write!(f, "schema has {n} attributes; at most 128 supported")
+            }
+            ModelError::NotUpClosed { class } => {
+                write!(f, "set is not isa*-closed: an ancestor of {class} is missing")
+            }
+            ModelError::CrossComponent { classes } => write!(
+                f,
+                "classes {} and {} are not weakly connected",
+                classes.0, classes.1
+            ),
+            ModelError::InvariantViolated(msg) => write!(f, "instance invariant violated: {msg}"),
+            ModelError::MissingValue { oid, attr } => {
+                write!(f, "object o{oid} has no value for attribute {attr}")
+            }
+            ModelError::Parse { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::DuplicateClass("PERSON".into());
+        assert!(e.to_string().contains("PERSON"));
+        let e = ModelError::Parse { line: 3, col: 9, msg: "expected `{`".into() };
+        assert!(e.to_string().contains("3:9"));
+        let e = ModelError::MissingValue { oid: 4, attr: AttrId(1) };
+        assert!(e.to_string().contains("o4"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Strongly-typed identifiers for classes, attributes, objects and
+//! transaction variables.
+//!
+//! The paper assumes pairwise-disjoint countably infinite sets 𝒞 of class
+//! names, 𝒜 of attribute names, 𝒪 of abstract objects (totally ordered by
+//! `<ₒ`), and 𝒱 of variables. We intern names in a [`crate::Schema`] and
+//! refer to them by dense `u32` indices; abstract objects are `u64`s whose
+//! numeric order *is* the paper's `<ₒ`.
+
+/// Trait for dense `u32`-indexed identifiers, used by [`crate::IdSet`].
+pub trait DenseId: Copy + Eq + Ord + std::hash::Hash + std::fmt::Debug {
+    /// Construct from a dense index.
+    fn from_index(i: usize) -> Self;
+    /// The dense index.
+    fn index(self) -> usize;
+}
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        pub struct $name(pub u32);
+
+        impl DenseId for $name {
+            #[inline]
+            fn from_index(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+            #[inline]
+            fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+
+dense_id! {
+    /// A class name interned in a [`crate::Schema`] (an element of 𝒞).
+    ClassId
+}
+dense_id! {
+    /// An attribute name interned in a [`crate::Schema`] (an element of 𝒜).
+    AttrId
+}
+dense_id! {
+    /// A transaction variable (an element of 𝒱), interned per transaction
+    /// schema by the language layer.
+    VarId
+}
+
+/// An abstract object identifier — an element of the totally ordered set
+/// 𝒪 = {o₁, o₂, …}. `Oid(i)` is the paper's `oᵢ`; the derived `Ord` is the
+/// paper's `<ₒ`. Each abstract object can be created into a database **at
+/// most once** (Section 2), which [`crate::Instance`] enforces by only ever
+/// minting fresh identifiers from its `next` counter.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Oid(pub u64);
+
+impl std::fmt::Display for Oid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_id_roundtrip() {
+        for i in [0usize, 1, 7, 4096] {
+            assert_eq!(ClassId::from_index(i).index(), i);
+            assert_eq!(AttrId::from_index(i).index(), i);
+            assert_eq!(VarId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn oid_order_is_creation_order() {
+        assert!(Oid(1) < Oid(2));
+        assert!(Oid(41) < Oid(42));
+        assert_eq!(Oid(3).to_string(), "o3");
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ClassId(2).to_string(), "ClassId(2)");
+        assert_eq!(AttrId(0).to_string(), "AttrId(0)");
+        assert_eq!(VarId(9).to_string(), "VarId(9)");
+    }
+}

@@ -1,0 +1,434 @@
+//! Database instances (Definition 2.2 of the paper).
+//!
+//! An instance of a schema `D` is a triple `d = (o, a, oᵢ)`:
+//!
+//! * `o` maps each class to a finite set of abstract objects, such that
+//!   `o(P) ⊆ o(Q)` whenever `P isa Q` (membership is up-closed) and
+//!   `o(P) ∩ o(Q) = ∅` for non-weakly-connected `P, Q` (an object lives in
+//!   a single component);
+//! * `a` assigns a constant to every `(object, attribute)` pair with the
+//!   attribute defined on a class the object belongs to;
+//! * `oᵢ` is the *next* abstract object — strictly larger than every
+//!   object occurring in `d`, used when new objects are created. Because
+//!   objects are only ever minted from this counter, each abstract object
+//!   is created into the database **at most once**, as the model requires.
+//!
+//! The representation stores, per object, its class set (which is its role
+//! set `Rs(o, d)`) and its attribute tuple; `o(P)` is derived. `BTreeMap`s
+//! give deterministic iteration, which the canonical-database machinery of
+//! Theorem 3.2 relies on.
+
+use crate::bitset::ClassSet;
+use crate::condition::Condition;
+use crate::error::ModelError;
+use crate::ids::{AttrId, ClassId, Oid};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A database instance `d = (o, a, oᵢ)`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Instance {
+    /// Class membership per occurring object — always a non-empty set.
+    membership: BTreeMap<Oid, ClassSet>,
+    /// Attribute values per occurring object.
+    attrs: BTreeMap<Oid, Tuple>,
+    /// Numeric part of the next abstract object `oᵢ`.
+    next: u64,
+}
+
+impl Default for Instance {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl Instance {
+    /// The empty database `d₀ = (∅, ∅, o₁)` — the starting point of every
+    /// migration pattern (Section 3).
+    #[must_use]
+    pub fn empty() -> Self {
+        Instance { membership: BTreeMap::new(), attrs: BTreeMap::new(), next: 1 }
+    }
+
+    /// The next abstract object `oᵢ`.
+    #[must_use]
+    pub fn next_oid(&self) -> Oid {
+        Oid(self.next)
+    }
+
+    /// Whether object `o` occurs in the database (belongs to some class).
+    #[must_use]
+    pub fn occurs(&self, o: Oid) -> bool {
+        self.membership.contains_key(&o)
+    }
+
+    /// Number of occurring objects.
+    #[must_use]
+    pub fn num_objects(&self) -> usize {
+        self.membership.len()
+    }
+
+    /// Whether no object occurs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.membership.is_empty()
+    }
+
+    /// `Rs(o, d)` — the role set of `o` as a raw class set (∅ if `o` does
+    /// not occur).
+    #[must_use]
+    pub fn role_set(&self, o: Oid) -> ClassSet {
+        self.membership.get(&o).copied().unwrap_or_default()
+    }
+
+    /// The attribute tuple `ō` yielded by `o` (empty if absent).
+    #[must_use]
+    pub fn tuple_of(&self, o: Oid) -> Tuple {
+        self.attrs.get(&o).cloned().unwrap_or_default()
+    }
+
+    /// Borrow the attribute tuple of `o`, if it occurs.
+    #[must_use]
+    pub fn tuple_ref(&self, o: Oid) -> Option<&Tuple> {
+        self.attrs.get(&o)
+    }
+
+    /// The value `a(o, A)`.
+    #[must_use]
+    pub fn value(&self, o: Oid, a: AttrId) -> Option<&Value> {
+        self.attrs.get(&o).and_then(|t| t.get(a))
+    }
+
+    /// Iterate all occurring objects in `<ₒ` order.
+    pub fn objects(&self) -> impl Iterator<Item = Oid> + '_ {
+        self.membership.keys().copied()
+    }
+
+    /// Iterate objects of class `P` (the set `o(P)`) in `<ₒ` order.
+    pub fn objects_in(&self, p: ClassId) -> impl Iterator<Item = Oid> + '_ {
+        self.membership
+            .iter()
+            .filter(move |(_, cs)| cs.contains(p))
+            .map(|(o, _)| *o)
+    }
+
+    /// `Sat(Γ, d, P)` — the objects of `o(P)` whose tuples satisfy the
+    /// **ground** condition `Γ` (Section 2).
+    #[must_use]
+    pub fn sat(&self, p: ClassId, gamma: &Condition) -> Vec<Oid> {
+        self.membership
+            .iter()
+            .filter(|(o, cs)| {
+                cs.contains(p)
+                    && gamma.satisfied_by(self.attrs.get(o).unwrap_or(&Tuple::default()))
+            })
+            .map(|(o, _)| *o)
+            .collect()
+    }
+
+    /// All constants currently stored in the database.
+    #[must_use]
+    pub fn active_domain(&self) -> std::collections::BTreeSet<Value> {
+        self.attrs.values().flat_map(|t| t.iter().map(|(_, v)| v.clone())).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation primitives. These are the *mechanical* operations the
+    // language layer's operational semantics (Definition 2.5) is built
+    // from; they do not themselves validate conditions.
+    // ------------------------------------------------------------------
+
+    /// Create a new object with the given class memberships and attribute
+    /// values, consuming the next abstract object. Returns its identifier.
+    pub fn create(&mut self, classes: ClassSet, values: BTreeMap<AttrId, Value>) -> Oid {
+        debug_assert!(!classes.is_empty(), "created objects must belong to a class");
+        let oid = Oid(self.next);
+        self.next += 1;
+        self.membership.insert(oid, classes);
+        self.attrs.insert(oid, Tuple::from_pairs(values));
+        oid
+    }
+
+    /// Remove an object entirely (class memberships and attribute values).
+    pub fn delete_object(&mut self, o: Oid) {
+        self.membership.remove(&o);
+        self.attrs.remove(&o);
+    }
+
+    /// Remove the classes of `remove` from `o`'s membership and clear the
+    /// attribute values of `clear_attrs`. If the membership becomes empty
+    /// the object is removed entirely (cannot happen through `generalize`,
+    /// which never removes root classes, but kept total for safety).
+    pub fn remove_classes(
+        &mut self,
+        o: Oid,
+        remove: ClassSet,
+        clear_attrs: impl IntoIterator<Item = AttrId>,
+    ) {
+        if let Some(cs) = self.membership.get_mut(&o) {
+            *cs = cs.difference(remove);
+            let emptied = cs.is_empty();
+            if let Some(t) = self.attrs.get_mut(&o) {
+                for a in clear_attrs {
+                    t.unset(a);
+                }
+            }
+            if emptied {
+                self.delete_object(o);
+            }
+        }
+    }
+
+    /// Add the classes of `add` to `o`'s membership and set the given
+    /// attribute values.
+    pub fn add_classes(
+        &mut self,
+        o: Oid,
+        add: ClassSet,
+        values: impl IntoIterator<Item = (AttrId, Value)>,
+    ) {
+        if let Some(cs) = self.membership.get_mut(&o) {
+            *cs = cs.union(add);
+            let t = self.attrs.entry(o).or_default();
+            for (a, v) in values {
+                t.set(a, v);
+            }
+        }
+    }
+
+    /// Overwrite attribute values of `o`.
+    pub fn set_values(&mut self, o: Oid, values: impl IntoIterator<Item = (AttrId, Value)>) {
+        if self.membership.contains_key(&o) {
+            let t = self.attrs.entry(o).or_default();
+            for (a, v) in values {
+                t.set(a, v);
+            }
+        }
+    }
+
+    /// The restriction `d|_I` of the database onto a set of objects
+    /// (Section 3, before Lemma 3.5): keep only the membership and values
+    /// of objects in `I`; the `next` counter is preserved.
+    #[must_use]
+    pub fn restrict(&self, objects: &[Oid]) -> Instance {
+        Instance {
+            membership: self
+                .membership
+                .iter()
+                .filter(|(o, _)| objects.contains(o))
+                .map(|(o, cs)| (*o, *cs))
+                .collect(),
+            attrs: self
+                .attrs
+                .iter()
+                .filter(|(o, _)| objects.contains(o))
+                .map(|(o, t)| (*o, t.clone()))
+                .collect(),
+            next: self.next,
+        }
+    }
+
+    /// Construct an instance directly (used by canonical-database builders
+    /// in the analyzer). `next` is set just above the largest object.
+    #[must_use]
+    pub fn from_objects(objects: impl IntoIterator<Item = (Oid, ClassSet, Tuple)>) -> Instance {
+        let mut membership = BTreeMap::new();
+        let mut attrs = BTreeMap::new();
+        let mut max = 0u64;
+        for (o, cs, t) in objects {
+            max = max.max(o.0);
+            membership.insert(o, cs);
+            attrs.insert(o, t);
+        }
+        Instance { membership, attrs, next: max + 1 }
+    }
+
+    /// Force the next-object counter (canonical databases only).
+    pub fn set_next(&mut self, next: u64) {
+        debug_assert!(self.membership.keys().all(|o| o.0 < next));
+        self.next = next;
+    }
+
+    /// Check the well-formedness invariants of Definition 2.2 against a
+    /// schema:
+    ///
+    /// 1. membership up-closed under isa (`o(P) ⊆ o(Q)` for `P isa Q`);
+    /// 2. each object inside a single weakly-connected component;
+    /// 3. `a` total: each object has a value for exactly the attributes of
+    ///    the classes it belongs to;
+    /// 4. every occurring object `<ₒ`-smaller than `next`.
+    pub fn check_invariants(&self, schema: &Schema) -> Result<(), ModelError> {
+        for (&o, &cs) in &self.membership {
+            if cs.is_empty() {
+                return Err(ModelError::InvariantViolated(format!(
+                    "object {o} occurs with empty class set"
+                )));
+            }
+            if !schema.is_up_closed(cs) {
+                return Err(ModelError::InvariantViolated(format!(
+                    "membership of {o} is not isa-closed"
+                )));
+            }
+            let comp = schema.component_of(cs.first().expect("non-empty"));
+            if cs.iter().any(|c| schema.component_of(c) != comp) {
+                return Err(ModelError::InvariantViolated(format!(
+                    "object {o} belongs to non-weakly-connected classes"
+                )));
+            }
+            let expected = schema.attrs_of_class_set(cs);
+            let t = self.attrs.get(&o).cloned().unwrap_or_default();
+            for a in expected.iter() {
+                if t.get(a).is_none() {
+                    return Err(ModelError::MissingValue { oid: o.0, attr: a });
+                }
+            }
+            if t.domain() != expected {
+                return Err(ModelError::InvariantViolated(format!(
+                    "object {o} stores values outside its defined attributes"
+                )));
+            }
+            if o.0 >= self.next {
+                return Err(ModelError::InvariantViolated(format!(
+                    "object {o} is not smaller than next object o{}",
+                    self.next
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Atom;
+    use crate::schema::university_schema;
+
+    fn sample() -> (Schema, Instance) {
+        let schema = university_schema();
+        let mut db = Instance::empty();
+        let person = schema.class_id("PERSON").unwrap();
+        let ssn = schema.attr_id("SSN").unwrap();
+        let name = schema.attr_id("Name").unwrap();
+        for (s, n) in [("1234", "John"), ("2345", "Jim")] {
+            db.create(
+                ClassSet::singleton(person),
+                BTreeMap::from([(ssn, Value::str(s)), (name, Value::str(n))]),
+            );
+        }
+        (schema, db)
+    }
+
+    #[test]
+    fn empty_database_is_d0() {
+        let d = Instance::empty();
+        assert!(d.is_empty());
+        assert_eq!(d.next_oid(), Oid(1));
+        assert_eq!(d.role_set(Oid(1)), ClassSet::empty());
+    }
+
+    #[test]
+    fn create_bumps_next_and_occurs() {
+        let (schema, db) = sample();
+        assert_eq!(db.num_objects(), 2);
+        assert_eq!(db.next_oid(), Oid(3));
+        assert!(db.occurs(Oid(1)) && db.occurs(Oid(2)) && !db.occurs(Oid(3)));
+        db.check_invariants(&schema).unwrap();
+    }
+
+    #[test]
+    fn sat_selects_by_condition() {
+        let (schema, db) = sample();
+        let person = schema.class_id("PERSON").unwrap();
+        let ssn = schema.attr_id("SSN").unwrap();
+        let g = Condition::from_atoms([Atom::eq_const(ssn, "1234")]);
+        assert_eq!(db.sat(person, &g), vec![Oid(1)]);
+        let g2 = Condition::from_atoms([Atom::ne_const(ssn, "1234")]);
+        assert_eq!(db.sat(person, &g2), vec![Oid(2)]);
+        assert_eq!(db.sat(person, &Condition::empty()).len(), 2);
+        // No students yet.
+        let student = schema.class_id("STUDENT").unwrap();
+        assert!(db.sat(student, &Condition::empty()).is_empty());
+    }
+
+    #[test]
+    fn add_remove_classes() {
+        let (schema, mut db) = sample();
+        let student = schema.class_id("STUDENT").unwrap();
+        let major = schema.attr_id("Major").unwrap();
+        let fe = schema.attr_id("FirstEnroll").unwrap();
+        db.add_classes(
+            Oid(1),
+            schema.up_closure_of(student),
+            [(major, Value::str("CS")), (fe, Value::int(1990))],
+        );
+        db.check_invariants(&schema).unwrap();
+        assert!(db.role_set(Oid(1)).contains(student));
+        // Removing STUDENT (and its attrs) restores a plain person.
+        db.remove_classes(Oid(1), schema.down_closure_of(student), [major, fe]);
+        db.check_invariants(&schema).unwrap();
+        assert!(!db.role_set(Oid(1)).contains(student));
+        assert!(db.value(Oid(1), major).is_none());
+    }
+
+    #[test]
+    fn delete_object_is_total() {
+        let (schema, mut db) = sample();
+        db.delete_object(Oid(1));
+        assert!(!db.occurs(Oid(1)));
+        assert_eq!(db.num_objects(), 1);
+        // next is NOT reused — abstract objects are created at most once.
+        assert_eq!(db.next_oid(), Oid(3));
+        db.check_invariants(&schema).unwrap();
+    }
+
+    #[test]
+    fn restriction_keeps_counter() {
+        let (_, db) = sample();
+        let r = db.restrict(&[Oid(2)]);
+        assert_eq!(r.num_objects(), 1);
+        assert!(r.occurs(Oid(2)) && !r.occurs(Oid(1)));
+        assert_eq!(r.next_oid(), db.next_oid());
+    }
+
+    #[test]
+    fn invariant_violations_detected() {
+        let (schema, mut db) = sample();
+        let ga = schema.class_id("GRAD_ASSIST").unwrap();
+        // Not up-closed: GRAD_ASSIST without its ancestors.
+        db.membership.insert(Oid(9), ClassSet::singleton(ga));
+        db.attrs.insert(Oid(9), Tuple::new());
+        db.next = 10;
+        assert!(db.check_invariants(&schema).is_err());
+    }
+
+    #[test]
+    fn missing_attribute_detected() {
+        let (schema, mut db) = sample();
+        let ssn = schema.attr_id("SSN").unwrap();
+        db.attrs.get_mut(&Oid(1)).unwrap().unset(ssn);
+        assert_eq!(
+            db.check_invariants(&schema),
+            Err(ModelError::MissingValue { oid: 1, attr: ssn })
+        );
+    }
+
+    #[test]
+    fn extra_attribute_detected() {
+        let (schema, mut db) = sample();
+        let salary = schema.attr_id("Salary").unwrap();
+        db.attrs.get_mut(&Oid(1)).unwrap().set(salary, Value::int(1));
+        assert!(db.check_invariants(&schema).is_err());
+    }
+
+    #[test]
+    fn instances_compare_including_counter() {
+        let (_, db) = sample();
+        let mut db2 = db.clone();
+        assert_eq!(db, db2);
+        db2.set_next(17);
+        assert_ne!(db, db2);
+    }
+}

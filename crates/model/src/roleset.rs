@@ -1,0 +1,274 @@
+//! Role sets (Definitions 3.1 and 4.5 of the paper).
+//!
+//! A *role set* over a schema is a set ω of classes closed under taking
+//! ancestors (`P ∈ ω` implies every `Q` with `P isa* Q` is in ω) whose
+//! members are pairwise weakly connected — i.e. ω lives inside one
+//! maximal weakly-connected component of the specialization graph. The
+//! set of all role sets over `D` is Ω (Ω₊ excluding ∅). The role set of an
+//! object `o` in a database `d`, `Rs(o, d)`, is the set of classes `o`
+//! currently belongs to.
+
+use crate::bitset::ClassSet;
+use crate::error::ModelError;
+use crate::ids::ClassId;
+use crate::schema::Schema;
+
+/// A validated role set: an isa*-up-closed, single-component set of
+/// classes. The empty role set ∅ is allowed (an object not in the
+/// database).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct RoleSet(ClassSet);
+
+impl RoleSet {
+    /// The empty role set ∅.
+    #[must_use]
+    pub fn empty() -> Self {
+        RoleSet(ClassSet::empty())
+    }
+
+    /// Validate a class set as a role set over `schema`.
+    pub fn new(schema: &Schema, classes: ClassSet) -> Result<Self, ModelError> {
+        // Up-closure check.
+        for c in classes.iter() {
+            if !schema.up_closure_of(c).is_subset(classes) {
+                return Err(ModelError::NotUpClosed { class: c });
+            }
+        }
+        // Single-component check.
+        let mut comp: Option<(u32, ClassId)> = None;
+        for c in classes.iter() {
+            let cc = schema.component_of(c);
+            match comp {
+                None => comp = Some((cc, c)),
+                Some((prev, pc)) if prev != cc => {
+                    return Err(ModelError::CrossComponent { classes: (pc, c) });
+                }
+                _ => {}
+            }
+        }
+        Ok(RoleSet(classes))
+    }
+
+    /// The smallest role set containing all the given classes — their
+    /// isa* up-closure. The paper writes `[G]` for the closure of
+    /// `{GRAD_ASSIST}`, `[SE]` for the closure of `{STUDENT, EMPLOYEE}`,
+    /// etc. (Example 3.1).
+    pub fn closure_of(
+        schema: &Schema,
+        classes: impl IntoIterator<Item = ClassId>,
+    ) -> Result<Self, ModelError> {
+        let set: ClassSet = classes.into_iter().collect();
+        Self::new(schema, schema.up_closure(set))
+    }
+
+    /// Closure constructor by class names.
+    pub fn closure_of_named(schema: &Schema, names: &[&str]) -> Result<Self, ModelError> {
+        let ids = names
+            .iter()
+            .map(|n| schema.require_class(n))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::closure_of(schema, ids)
+    }
+
+    /// The underlying class set.
+    #[must_use]
+    pub fn classes(self) -> ClassSet {
+        self.0
+    }
+
+    /// Whether the role set is ∅.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.len()
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(self, c: ClassId) -> bool {
+        self.0.contains(c)
+    }
+
+    /// The weakly-connected component this (non-empty) role set lives in.
+    #[must_use]
+    pub fn component(self, schema: &Schema) -> Option<u32> {
+        self.0.first().map(|c| schema.component_of(c))
+    }
+
+    /// The *minimal* (most specific) classes of the role set: members none
+    /// of whose proper subclasses is also a member. A role set is the
+    /// up-closure of its minimal elements; they determine it.
+    #[must_use]
+    pub fn minimal_elements(self, schema: &Schema) -> Vec<ClassId> {
+        self.0
+            .iter()
+            .filter(|&c| {
+                schema.children(c).iter().all(|&ch| !self.0.contains(ch))
+            })
+            .collect()
+    }
+
+    /// Human-readable form `[G]`, `[S,E]`, `∅` using minimal-element class
+    /// names (the paper's bracket notation).
+    #[must_use]
+    pub fn display(self, schema: &Schema) -> String {
+        if self.is_empty() {
+            return "∅".to_owned();
+        }
+        let names: Vec<&str> =
+            self.minimal_elements(schema).iter().map(|&c| schema.class_name(c)).collect();
+        format!("[{}]", names.join(","))
+    }
+}
+
+/// Enumerate **all** role sets over one weakly-connected component of the
+/// schema, the empty role set included, in a deterministic order
+/// (lexicographic in the component's topological order). This is the
+/// alphabet Ω of migration patterns.
+///
+/// Role sets are exactly the up-closed subsets of the component; they are
+/// produced by choosing, in topological order (ancestors first), whether
+/// to include each class, a class being includable only when all of its
+/// parents are already included.
+#[must_use]
+pub fn all_role_sets(schema: &Schema, component: u32) -> Vec<RoleSet> {
+    let members: Vec<ClassId> = schema
+        .topo_order()
+        .iter()
+        .copied()
+        .filter(|&c| schema.component_of(c) == component)
+        .collect();
+    let mut out = Vec::new();
+    let mut current = ClassSet::empty();
+    enumerate(schema, &members, 0, &mut current, &mut out);
+    out.sort();
+    out
+}
+
+/// Enumerate all *non-empty* role sets over a component (Ω₊).
+#[must_use]
+pub fn all_nonempty_role_sets(schema: &Schema, component: u32) -> Vec<RoleSet> {
+    all_role_sets(schema, component).into_iter().filter(|r| !r.is_empty()).collect()
+}
+
+fn enumerate(
+    schema: &Schema,
+    members: &[ClassId],
+    i: usize,
+    current: &mut ClassSet,
+    out: &mut Vec<RoleSet>,
+) {
+    if i == members.len() {
+        out.push(RoleSet(*current));
+        return;
+    }
+    let c = members[i];
+    // Exclude c.
+    enumerate(schema, members, i + 1, current, out);
+    // Include c if all parents are in.
+    if schema.parents(c).iter().all(|&p| current.contains(p)) {
+        current.insert(c);
+        enumerate(schema, members, i + 1, current, out);
+        current.remove(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{university_schema, SchemaBuilder};
+
+    #[test]
+    fn example_3_1_role_sets() {
+        // Paper, Example 3.1: possible role sets are ∅, [G], [S], [E], [SE], [P].
+        let s = university_schema();
+        let all = all_role_sets(&s, 0);
+        assert_eq!(all.len(), 6);
+        let nonempty = all_nonempty_role_sets(&s, 0);
+        assert_eq!(nonempty.len(), 5);
+        let names: Vec<String> = nonempty.iter().map(|r| r.display(&s)).collect();
+        for expected in ["[GRAD_ASSIST]", "[STUDENT]", "[EMPLOYEE]", "[PERSON]"] {
+            assert!(names.iter().any(|n| n == expected), "{expected} missing in {names:?}");
+        }
+        assert!(
+            names.iter().any(|n| n == "[EMPLOYEE,STUDENT]" || n == "[STUDENT,EMPLOYEE]"),
+            "[SE] missing in {names:?}"
+        );
+    }
+
+    #[test]
+    fn closure_constructor() {
+        let s = university_schema();
+        let g = s.class_id("GRAD_ASSIST").unwrap();
+        let rs = RoleSet::closure_of(&s, [g]).unwrap();
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs.minimal_elements(&s), vec![g]);
+        assert_eq!(rs.display(&s), "[GRAD_ASSIST]");
+    }
+
+    #[test]
+    fn invalid_role_sets_rejected() {
+        let s = university_schema();
+        let g = s.class_id("GRAD_ASSIST").unwrap();
+        assert!(matches!(
+            RoleSet::new(&s, ClassSet::singleton(g)),
+            Err(ModelError::NotUpClosed { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_component_rejected() {
+        let mut b = SchemaBuilder::new();
+        let p = b.class("P", &[]).unwrap();
+        let q = b.class("Q", &[]).unwrap();
+        let s = b.build().unwrap();
+        let mut set = ClassSet::singleton(p);
+        set.insert(q);
+        assert!(matches!(RoleSet::new(&s, set), Err(ModelError::CrossComponent { .. })));
+    }
+
+    #[test]
+    fn nonempty_role_sets_contain_component_root() {
+        let s = university_schema();
+        let root = s.component_root(0);
+        for rs in all_nonempty_role_sets(&s, 0) {
+            assert!(rs.contains(root), "every non-empty role set contains the isa-root");
+        }
+    }
+
+    #[test]
+    fn empty_displays_as_symbol() {
+        let s = university_schema();
+        assert_eq!(RoleSet::empty().display(&s), "∅");
+        assert_eq!(RoleSet::empty().component(&s), None);
+    }
+
+    #[test]
+    fn role_set_count_on_chain() {
+        // Chain P ← Q ← R: up-closed sets are ∅, {P}, {P,Q}, {P,Q,R}.
+        let mut b = SchemaBuilder::new();
+        let p = b.class("P", &[]).unwrap();
+        let q = b.subclass("Q", &[p], &[]).unwrap();
+        b.subclass("R", &[q], &[]).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(all_role_sets(&s, 0).len(), 4);
+    }
+
+    #[test]
+    fn role_set_count_on_diamond() {
+        // Diamond: root P, children Q,R, bottom S below both.
+        // Up-closed: ∅, P, PQ, PR, PQR, PQRS → 6.
+        let mut b = SchemaBuilder::new();
+        let p = b.class("P", &[]).unwrap();
+        let q = b.subclass("Q", &[p], &[]).unwrap();
+        let r = b.subclass("R", &[p], &[]).unwrap();
+        b.subclass("S", &[q, r], &[]).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(all_role_sets(&s, 0).len(), 6);
+    }
+}

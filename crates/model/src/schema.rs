@@ -1,0 +1,590 @@
+//! Database schemas: classes, specialization graphs and attributes
+//! (Definition 2.1 of the paper).
+//!
+//! A schema is a triple `D = (C, isa, A)` where `(C, isa)` is a
+//! *specialization graph* — an acyclic directed graph each of whose
+//! weakly-connected components is rooted (has a unique *isa-root* that
+//! every member reaches via directed isa paths) — and `A` assigns each
+//! class a set of attributes, pairwise disjoint across classes. The set of
+//! attributes *defined on* `P` is `A*(P) = ⋃_{P isa* Q} A(Q)` (inherited
+//! attributes included); disjointness rules out inheritance conflicts.
+
+use crate::bitset::{AttrSet, ClassSet, MAX_DENSE};
+use crate::error::ModelError;
+use crate::ids::{AttrId, ClassId, DenseId};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+struct ClassDecl {
+    name: String,
+    parents: Vec<ClassId>,
+    children: Vec<ClassId>,
+    attrs: Vec<AttrId>,
+}
+
+#[derive(Clone, Debug)]
+struct AttrDecl {
+    name: String,
+    owner: ClassId,
+}
+
+/// An immutable, validated database schema (Definition 2.1).
+///
+/// Built through [`SchemaBuilder`]; all derived structure (isa closures,
+/// inherited attribute sets, weakly-connected components, topological
+/// order) is precomputed.
+#[derive(Clone, Debug)]
+pub struct Schema {
+    classes: Vec<ClassDecl>,
+    attrs: Vec<AttrDecl>,
+    class_by_name: HashMap<String, ClassId>,
+    attr_by_name: HashMap<String, AttrId>,
+    /// `up[c]` = ancestors of `c` including `c` (the isa* up-closure).
+    up: Vec<ClassSet>,
+    /// `down[c]` = descendants of `c` including `c`.
+    down: Vec<ClassSet>,
+    /// `attr_star[c]` = `A*(c)`, all attributes defined on `c`.
+    attr_star: Vec<AttrSet>,
+    /// Weakly-connected component index per class.
+    component: Vec<u32>,
+    /// The unique isa-root of each component.
+    comp_root: Vec<ClassId>,
+    /// Classes of each component.
+    comp_classes: Vec<ClassSet>,
+    /// Topological order: ancestors before descendants.
+    topo: Vec<ClassId>,
+}
+
+impl Schema {
+    /// Number of classes in `C`.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of attributes across all classes.
+    #[must_use]
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Iterate all class identifiers.
+    pub fn classes(&self) -> impl Iterator<Item = ClassId> + '_ {
+        (0..self.classes.len()).map(ClassId::from_index)
+    }
+
+    /// Iterate all attribute identifiers.
+    pub fn all_attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.attrs.len()).map(AttrId::from_index)
+    }
+
+    /// Look up a class by name.
+    #[must_use]
+    pub fn class_id(&self, name: &str) -> Option<ClassId> {
+        self.class_by_name.get(name).copied()
+    }
+
+    /// Look up a class by name, erroring if absent.
+    pub fn require_class(&self, name: &str) -> Result<ClassId, ModelError> {
+        self.class_id(name).ok_or_else(|| ModelError::UnknownClass(name.to_owned()))
+    }
+
+    /// Look up an attribute by name.
+    #[must_use]
+    pub fn attr_id(&self, name: &str) -> Option<AttrId> {
+        self.attr_by_name.get(name).copied()
+    }
+
+    /// Look up an attribute by name, erroring if absent.
+    pub fn require_attr(&self, name: &str) -> Result<AttrId, ModelError> {
+        self.attr_id(name).ok_or_else(|| ModelError::UnknownAttr(name.to_owned()))
+    }
+
+    /// The name of a class.
+    #[must_use]
+    pub fn class_name(&self, c: ClassId) -> &str {
+        &self.classes[c.index()].name
+    }
+
+    /// The name of an attribute.
+    #[must_use]
+    pub fn attr_name(&self, a: AttrId) -> &str {
+        &self.attrs[a.index()].name
+    }
+
+    /// The class that declares attribute `a` (i.e. `a ∈ A(owner)`).
+    #[must_use]
+    pub fn attr_owner(&self, a: AttrId) -> ClassId {
+        self.attrs[a.index()].owner
+    }
+
+    /// `A(c)` — the attributes declared directly on `c`.
+    #[must_use]
+    pub fn attrs_of(&self, c: ClassId) -> &[AttrId] {
+        &self.classes[c.index()].attrs
+    }
+
+    /// `A*(c)` — all attributes defined on `c`, inherited ones included.
+    #[must_use]
+    pub fn attr_star(&self, c: ClassId) -> AttrSet {
+        self.attr_star[c.index()]
+    }
+
+    /// The direct superclasses of `c` (targets of isa edges from `c`).
+    #[must_use]
+    pub fn parents(&self, c: ClassId) -> &[ClassId] {
+        &self.classes[c.index()].parents
+    }
+
+    /// The direct subclasses of `c`.
+    #[must_use]
+    pub fn children(&self, c: ClassId) -> &[ClassId] {
+        &self.classes[c.index()].children
+    }
+
+    /// Whether `c` is an isa-root (no superclass).
+    #[must_use]
+    pub fn is_isa_root(&self, c: ClassId) -> bool {
+        self.classes[c.index()].parents.is_empty()
+    }
+
+    /// Whether `sub isa sup` is a direct edge of the specialization graph.
+    #[must_use]
+    pub fn isa_direct(&self, sub: ClassId, sup: ClassId) -> bool {
+        self.classes[sub.index()].parents.contains(&sup)
+    }
+
+    /// Whether `sub isa* sup` (reflexive–transitive closure).
+    #[must_use]
+    pub fn isa_star(&self, sub: ClassId, sup: ClassId) -> bool {
+        self.up[sub.index()].contains(sup)
+    }
+
+    /// The isa* up-closure of a single class: `{Q | c isa* Q}`.
+    #[must_use]
+    pub fn up_closure_of(&self, c: ClassId) -> ClassSet {
+        self.up[c.index()]
+    }
+
+    /// The isa* down-closure of a single class: `{Q | Q isa* c}`.
+    #[must_use]
+    pub fn down_closure_of(&self, c: ClassId) -> ClassSet {
+        self.down[c.index()]
+    }
+
+    /// The up-closure of a set of classes.
+    #[must_use]
+    pub fn up_closure(&self, set: ClassSet) -> ClassSet {
+        set.iter().fold(ClassSet::empty(), |acc, c| acc.union(self.up[c.index()]))
+    }
+
+    /// Whether `set` is closed under taking ancestors (Definition 3.1's
+    /// role-set condition).
+    #[must_use]
+    pub fn is_up_closed(&self, set: ClassSet) -> bool {
+        self.up_closure(set) == set
+    }
+
+    /// The weakly-connected component index of a class.
+    #[must_use]
+    pub fn component_of(&self, c: ClassId) -> u32 {
+        self.component[c.index()]
+    }
+
+    /// Number of weakly-connected components (maximal weakly-connected
+    /// subgraphs).
+    #[must_use]
+    pub fn num_components(&self) -> usize {
+        self.comp_root.len()
+    }
+
+    /// The unique isa-root of a component.
+    #[must_use]
+    pub fn component_root(&self, comp: u32) -> ClassId {
+        self.comp_root[comp as usize]
+    }
+
+    /// All classes of a component.
+    #[must_use]
+    pub fn component_classes(&self, comp: u32) -> ClassSet {
+        self.comp_classes[comp as usize]
+    }
+
+    /// Whether two classes are weakly connected (share a component).
+    #[must_use]
+    pub fn weakly_connected(&self, a: ClassId, b: ClassId) -> bool {
+        self.component[a.index()] == self.component[b.index()]
+    }
+
+    /// Classes in topological order — every class appears after all of its
+    /// ancestors.
+    #[must_use]
+    pub fn topo_order(&self) -> &[ClassId] {
+        &self.topo
+    }
+
+    /// `A_ω = ⋃_{Q ∈ ω} A(Q)` — the attributes of a set of classes. For an
+    /// up-closed ω this equals `⋃_{Q ∈ ω} A*(Q)` (Definition 3.7's `A_ω`).
+    #[must_use]
+    pub fn attrs_of_class_set(&self, set: ClassSet) -> AttrSet {
+        let mut s = AttrSet::empty();
+        for c in set.iter() {
+            for &a in self.attrs_of(c) {
+                s.insert(a);
+            }
+        }
+        s
+    }
+}
+
+/// Incremental builder for [`Schema`].
+///
+/// Classes are declared with [`SchemaBuilder::class`] (isa-roots) or
+/// [`SchemaBuilder::subclass`]; extra isa edges may be added with
+/// [`SchemaBuilder::isa`]. [`SchemaBuilder::build`] validates Definition
+/// 2.1 (acyclicity, unique root per weakly-connected component, disjoint
+/// attribute sets) and precomputes derived structure.
+#[derive(Clone, Debug, Default)]
+pub struct SchemaBuilder {
+    classes: Vec<ClassDecl>,
+    attrs: Vec<AttrDecl>,
+    class_by_name: HashMap<String, ClassId>,
+    attr_by_name: HashMap<String, AttrId>,
+}
+
+impl SchemaBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a class with no superclasses and the given attribute names.
+    pub fn class(&mut self, name: &str, attrs: &[&str]) -> Result<ClassId, ModelError> {
+        self.subclass(name, &[], attrs)
+    }
+
+    /// Declare a class with the given direct superclasses and attributes.
+    pub fn subclass(
+        &mut self,
+        name: &str,
+        parents: &[ClassId],
+        attrs: &[&str],
+    ) -> Result<ClassId, ModelError> {
+        if self.class_by_name.contains_key(name) {
+            return Err(ModelError::DuplicateClass(name.to_owned()));
+        }
+        if self.classes.len() >= MAX_DENSE {
+            return Err(ModelError::TooManyClasses(self.classes.len() + 1));
+        }
+        let id = ClassId::from_index(self.classes.len());
+        let mut attr_ids = Vec::with_capacity(attrs.len());
+        for &a in attrs {
+            if self.attr_by_name.contains_key(a) {
+                return Err(ModelError::DuplicateAttr(a.to_owned()));
+            }
+            if self.attrs.len() >= MAX_DENSE {
+                return Err(ModelError::TooManyAttrs(self.attrs.len() + 1));
+            }
+            let aid = AttrId::from_index(self.attrs.len());
+            self.attrs.push(AttrDecl { name: a.to_owned(), owner: id });
+            self.attr_by_name.insert(a.to_owned(), aid);
+            attr_ids.push(aid);
+        }
+        for &p in parents {
+            self.classes[p.index()].children.push(id);
+        }
+        self.classes.push(ClassDecl {
+            name: name.to_owned(),
+            parents: parents.to_vec(),
+            children: Vec::new(),
+            attrs: attr_ids,
+        });
+        self.class_by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Declare a subclass referring to parents by name.
+    pub fn subclass_named(
+        &mut self,
+        name: &str,
+        parents: &[&str],
+        attrs: &[&str],
+    ) -> Result<ClassId, ModelError> {
+        let pids = parents
+            .iter()
+            .map(|p| {
+                self.class_by_name
+                    .get(*p)
+                    .copied()
+                    .ok_or_else(|| ModelError::UnknownClass((*p).to_owned()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.subclass(name, &pids, attrs)
+    }
+
+    /// Add an extra isa edge `sub isa sup` between already-declared classes.
+    pub fn isa(&mut self, sub: ClassId, sup: ClassId) -> Result<(), ModelError> {
+        if !self.classes[sub.index()].parents.contains(&sup) {
+            self.classes[sub.index()].parents.push(sup);
+            self.classes[sup.index()].children.push(sub);
+        }
+        Ok(())
+    }
+
+    /// Validate and freeze the schema.
+    pub fn build(self) -> Result<Schema, ModelError> {
+        let n = self.classes.len();
+        if n > MAX_DENSE {
+            return Err(ModelError::TooManyClasses(n));
+        }
+        if self.attrs.len() > MAX_DENSE {
+            return Err(ModelError::TooManyAttrs(self.attrs.len()));
+        }
+
+        // Topological sort (Kahn) over isa edges (class → parents); detects
+        // cycles. Order: ancestors first.
+        let mut out_deg: Vec<usize> =
+            self.classes.iter().map(|c| c.parents.len()).collect();
+        let mut topo: Vec<ClassId> = Vec::with_capacity(n);
+        let mut queue: Vec<ClassId> = (0..n)
+            .filter(|&i| out_deg[i] == 0)
+            .map(ClassId::from_index)
+            .collect();
+        while let Some(c) = queue.pop() {
+            topo.push(c);
+            for &child in &self.classes[c.index()].children {
+                out_deg[child.index()] -= 1;
+                if out_deg[child.index()] == 0 {
+                    queue.push(child);
+                }
+            }
+        }
+        if topo.len() != n {
+            let cycle: Vec<ClassId> = (0..n)
+                .filter(|&i| out_deg[i] > 0)
+                .map(ClassId::from_index)
+                .collect();
+            return Err(ModelError::IsaCycle(cycle));
+        }
+
+        // Up/down closures in topological order.
+        let mut up = vec![ClassSet::empty(); n];
+        for &c in &topo {
+            let mut s = ClassSet::singleton(c);
+            for &p in &self.classes[c.index()].parents {
+                s = s.union(up[p.index()]);
+            }
+            up[c.index()] = s;
+        }
+        let mut down = vec![ClassSet::empty(); n];
+        for &c in topo.iter().rev() {
+            let mut s = ClassSet::singleton(c);
+            for &ch in &self.classes[c.index()].children {
+                s = s.union(down[ch.index()]);
+            }
+            down[c.index()] = s;
+        }
+
+        // A*(c).
+        let mut attr_star = vec![AttrSet::empty(); n];
+        for c in 0..n {
+            let mut s = AttrSet::empty();
+            for q in up[c].iter() {
+                for &a in &self.classes[q.index()].attrs {
+                    s.insert(a);
+                }
+            }
+            attr_star[c] = s;
+        }
+
+        // Weakly-connected components via union-find over undirected edges.
+        let mut uf: Vec<usize> = (0..n).collect();
+        fn find(uf: &mut [usize], mut x: usize) -> usize {
+            while uf[x] != x {
+                uf[x] = uf[uf[x]];
+                x = uf[x];
+            }
+            x
+        }
+        for c in 0..n {
+            for p in self.classes[c].parents.clone() {
+                let (a, b) = (find(&mut uf, c), find(&mut uf, p.index()));
+                if a != b {
+                    uf[a] = b;
+                }
+            }
+        }
+        let mut comp_of_rep: HashMap<usize, u32> = HashMap::new();
+        let mut component = vec![0u32; n];
+        let mut comp_classes: Vec<ClassSet> = Vec::new();
+        for (c, slot) in component.iter_mut().enumerate() {
+            let rep = find(&mut uf, c);
+            let next = comp_of_rep.len() as u32;
+            let comp = *comp_of_rep.entry(rep).or_insert(next);
+            *slot = comp;
+            if comp as usize == comp_classes.len() {
+                comp_classes.push(ClassSet::empty());
+            }
+            comp_classes[comp as usize].insert(ClassId::from_index(c));
+        }
+
+        // Unique isa-root per component (Definition 2.1's condition 2).
+        let mut comp_root: Vec<Option<ClassId>> = vec![None; comp_classes.len()];
+        for (c, decl) in self.classes.iter().enumerate() {
+            if decl.parents.is_empty() {
+                let comp = component[c] as usize;
+                let id = ClassId::from_index(c);
+                match comp_root[comp] {
+                    None => comp_root[comp] = Some(id),
+                    Some(other) => {
+                        return Err(ModelError::MultipleRoots { roots: (other, id) });
+                    }
+                }
+            }
+        }
+        let comp_root: Vec<ClassId> = comp_root
+            .into_iter()
+            .map(|r| r.expect("acyclic non-empty component has at least one root"))
+            .collect();
+
+        Ok(Schema {
+            classes: self.classes,
+            attrs: self.attrs,
+            class_by_name: self.class_by_name,
+            attr_by_name: self.attr_by_name,
+            up,
+            down,
+            attr_star,
+            component,
+            comp_root,
+            comp_classes,
+            topo,
+        })
+    }
+}
+
+/// Build the paper's running example — the university schema of Fig. 1
+/// (classes PERSON, EMPLOYEE, STUDENT, GRAD_ASSIST) — used pervasively in
+/// tests and examples.
+pub fn university_schema() -> Schema {
+    let mut b = SchemaBuilder::new();
+    let person = b.class("PERSON", &["SSN", "Name"]).expect("fresh builder");
+    let employee =
+        b.subclass("EMPLOYEE", &[person], &["Salary", "WorksIn"]).expect("fresh name");
+    let student =
+        b.subclass("STUDENT", &[person], &["Major", "FirstEnroll"]).expect("fresh name");
+    b.subclass("GRAD_ASSIST", &[employee, student], &["PcAppoint"]).expect("fresh name");
+    b.build().expect("Fig. 1 schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn university_schema_shape() {
+        let s = university_schema();
+        assert_eq!(s.num_classes(), 4);
+        assert_eq!(s.num_attrs(), 7);
+        let p = s.class_id("PERSON").unwrap();
+        let e = s.class_id("EMPLOYEE").unwrap();
+        let st = s.class_id("STUDENT").unwrap();
+        let g = s.class_id("GRAD_ASSIST").unwrap();
+        assert!(s.is_isa_root(p));
+        assert!(!s.is_isa_root(g));
+        assert!(s.isa_direct(g, e) && s.isa_direct(g, st));
+        assert!(!s.isa_direct(g, p));
+        assert!(s.isa_star(g, p) && s.isa_star(e, p) && s.isa_star(p, p));
+        assert!(!s.isa_star(p, g));
+        assert_eq!(s.up_closure_of(g).len(), 4);
+        assert_eq!(s.down_closure_of(p).len(), 4);
+        assert_eq!(s.num_components(), 1);
+        assert_eq!(s.component_root(0), p);
+    }
+
+    #[test]
+    fn inherited_attributes() {
+        let s = university_schema();
+        let g = s.class_id("GRAD_ASSIST").unwrap();
+        let star = s.attr_star(g);
+        assert_eq!(star.len(), 7);
+        for name in ["SSN", "Name", "Salary", "WorksIn", "Major", "FirstEnroll", "PcAppoint"] {
+            assert!(star.contains(s.attr_id(name).unwrap()), "{name} missing from A*(G)");
+        }
+        let st = s.class_id("STUDENT").unwrap();
+        assert_eq!(s.attr_star(st).len(), 4);
+        assert_eq!(s.attr_owner(s.attr_id("Salary").unwrap()), s.class_id("EMPLOYEE").unwrap());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = SchemaBuilder::new();
+        b.class("P", &["A"]).unwrap();
+        assert_eq!(b.class("P", &[]).unwrap_err(), ModelError::DuplicateClass("P".into()));
+        assert_eq!(b.class("Q", &["A"]).unwrap_err(), ModelError::DuplicateAttr("A".into()));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = SchemaBuilder::new();
+        let p = b.class("P", &[]).unwrap();
+        let q = b.subclass("Q", &[p], &[]).unwrap();
+        b.isa(p, q).unwrap();
+        assert!(matches!(b.build(), Err(ModelError::IsaCycle(_))));
+    }
+
+    #[test]
+    fn multiple_roots_in_component_rejected() {
+        // P and Q both roots, R below both → one component, two roots.
+        let mut b = SchemaBuilder::new();
+        let p = b.class("P", &[]).unwrap();
+        let q = b.class("Q", &[]).unwrap();
+        b.subclass("R", &[p, q], &[]).unwrap();
+        assert!(matches!(b.build(), Err(ModelError::MultipleRoots { .. })));
+    }
+
+    #[test]
+    fn two_separate_components() {
+        let mut b = SchemaBuilder::new();
+        let p = b.class("P", &[]).unwrap();
+        b.subclass("P1", &[p], &[]).unwrap();
+        let s = b.class("S", &["A1", "A2"]).unwrap();
+        let schema = b.build().unwrap();
+        assert_eq!(schema.num_components(), 2);
+        assert!(!schema.weakly_connected(p, s));
+        assert_eq!(schema.component_root(schema.component_of(s)), s);
+    }
+
+    #[test]
+    fn up_closed_checks() {
+        let s = university_schema();
+        let p = s.class_id("PERSON").unwrap();
+        let g = s.class_id("GRAD_ASSIST").unwrap();
+        assert!(s.is_up_closed(ClassSet::singleton(p)));
+        assert!(!s.is_up_closed(ClassSet::singleton(g)));
+        assert!(s.is_up_closed(s.up_closure_of(g)));
+        assert!(s.is_up_closed(ClassSet::empty()));
+    }
+
+    #[test]
+    fn topo_order_parents_first() {
+        let s = university_schema();
+        let order = s.topo_order();
+        let pos = |c: ClassId| order.iter().position(|&x| x == c).unwrap();
+        for c in s.classes() {
+            for &p in s.parents(c) {
+                assert!(pos(p) < pos(c), "parent must precede child");
+            }
+        }
+    }
+
+    #[test]
+    fn attrs_of_class_set_is_union() {
+        let s = university_schema();
+        let g = s.class_id("GRAD_ASSIST").unwrap();
+        let all = s.attrs_of_class_set(s.up_closure_of(g));
+        assert_eq!(all.len(), 7);
+        assert_eq!(all, s.attr_star(g));
+    }
+}

@@ -1,0 +1,523 @@
+//! Text format for schemas, plus the shared lexer used by the language
+//! layer's transaction parser.
+//!
+//! The schema syntax mirrors Fig. 1 of the paper:
+//!
+//! ```text
+//! schema University {
+//!   class PERSON { SSN, Name }
+//!   class EMPLOYEE isa PERSON { Salary, WorksIn }
+//!   class STUDENT isa PERSON { Major, FirstEnroll }
+//!   class GRAD_ASSIST isa EMPLOYEE, STUDENT { PcAppoint }
+//! }
+//! ```
+//!
+//! `// line comments` are allowed. Forward references between classes are
+//! permitted (resolution happens after parsing).
+
+use crate::error::ModelError;
+use crate::schema::{Schema, SchemaBuilder};
+
+/// A lexical token with source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// Token payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Token payloads produced by [`lex`].
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokenKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Double-quoted string literal (escapes: `\"`, `\\`).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `->`
+    Arrow,
+    /// `!`
+    Bang,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `?`
+    Question,
+    /// `|`
+    Pipe,
+    /// `.`
+    Dot,
+    /// End of input (always the final token).
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::Int(i) => write!(f, "`{i}`"),
+            TokenKind::Str(s) => write!(f, "\"{s}\""),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::LParen => write!(f, "`(`"),
+            TokenKind::RParen => write!(f, "`)`"),
+            TokenKind::LBracket => write!(f, "`[`"),
+            TokenKind::RBracket => write!(f, "`]`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Colon => write!(f, "`:`"),
+            TokenKind::Eq => write!(f, "`=`"),
+            TokenKind::Ne => write!(f, "`!=`"),
+            TokenKind::Arrow => write!(f, "`->`"),
+            TokenKind::Bang => write!(f, "`!`"),
+            TokenKind::Star => write!(f, "`*`"),
+            TokenKind::Plus => write!(f, "`+`"),
+            TokenKind::Question => write!(f, "`?`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+            TokenKind::Dot => write!(f, "`.`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+fn err(line: u32, col: u32, msg: impl Into<String>) -> ModelError {
+    ModelError::Parse { line, col, msg: msg.into() }
+}
+
+/// Tokenize source text. Identifiers may contain letters, digits, `_` and
+/// `-` (the paper uses names like `GRAD-ASSIST`), starting with a letter
+/// or `_`. Negative integer literals are written with a leading `-`.
+pub fn lex(src: &str) -> Result<Vec<Token>, ModelError> {
+    let mut out = Vec::new();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c2) = chars.peek() {
+                        if c2 == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    return Err(err(tline, tcol, "unexpected `/` (use `//` for comments)"));
+                }
+            }
+            '{' | '}' | '(' | ')' | '[' | ']' | ',' | ';' | ':' | '=' | '*' | '+' | '?'
+            | '|' | '.' => {
+                bump!();
+                let kind = match c {
+                    '{' => TokenKind::LBrace,
+                    '}' => TokenKind::RBrace,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    '[' => TokenKind::LBracket,
+                    ']' => TokenKind::RBracket,
+                    ',' => TokenKind::Comma,
+                    ';' => TokenKind::Semi,
+                    ':' => TokenKind::Colon,
+                    '=' => TokenKind::Eq,
+                    '*' => TokenKind::Star,
+                    '+' => TokenKind::Plus,
+                    '?' => TokenKind::Question,
+                    '|' => TokenKind::Pipe,
+                    '.' => TokenKind::Dot,
+                    _ => unreachable!(),
+                };
+                out.push(Token { kind, line: tline, col: tcol });
+            }
+            '!' => {
+                bump!();
+                if chars.peek() == Some(&'=') {
+                    bump!();
+                    out.push(Token { kind: TokenKind::Ne, line: tline, col: tcol });
+                } else {
+                    out.push(Token { kind: TokenKind::Bang, line: tline, col: tcol });
+                }
+            }
+            '-' => {
+                bump!();
+                match chars.peek() {
+                    Some('>') => {
+                        bump!();
+                        out.push(Token { kind: TokenKind::Arrow, line: tline, col: tcol });
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        let mut n = String::from("-");
+                        while let Some(&d) = chars.peek() {
+                            if d.is_ascii_digit() {
+                                n.push(d);
+                                bump!();
+                            } else {
+                                break;
+                            }
+                        }
+                        let v = n
+                            .parse::<i64>()
+                            .map_err(|_| err(tline, tcol, "integer literal out of range"))?;
+                        out.push(Token { kind: TokenKind::Int(v), line: tline, col: tcol });
+                    }
+                    _ => return Err(err(tline, tcol, "unexpected `-`")),
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('"') => break,
+                        Some('\\') => match bump!() {
+                            Some('"') => s.push('"'),
+                            Some('\\') => s.push('\\'),
+                            Some(other) => {
+                                return Err(err(line, col, format!("bad escape `\\{other}`")))
+                            }
+                            None => return Err(err(line, col, "unterminated string")),
+                        },
+                        Some(other) => s.push(other),
+                        None => return Err(err(tline, tcol, "unterminated string")),
+                    }
+                }
+                out.push(Token { kind: TokenKind::Str(s), line: tline, col: tcol });
+            }
+            d if d.is_ascii_digit() => {
+                let mut n = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        n.push(d);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let v = n
+                    .parse::<i64>()
+                    .map_err(|_| err(tline, tcol, "integer literal out of range"))?;
+                out.push(Token { kind: TokenKind::Int(v), line: tline, col: tcol });
+            }
+            a if a.is_alphabetic() || a == '_' => {
+                let mut s = String::new();
+                while let Some(&a) = chars.peek() {
+                    if a.is_alphanumeric() || a == '_' || a == '-' {
+                        // `-` only continues an identifier when followed by
+                        // an identifier character (so `A-B` lexes as one
+                        // name but `A -> B` does not).
+                        if a == '-' {
+                            let mut look = chars.clone();
+                            look.next();
+                            match look.peek() {
+                                Some(&n) if n.is_alphanumeric() || n == '_' => {}
+                                _ => break,
+                            }
+                        }
+                        s.push(a);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { kind: TokenKind::Ident(s), line: tline, col: tcol });
+            }
+            other => return Err(err(tline, tcol, format!("unexpected character `{other}`"))),
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, line, col });
+    Ok(out)
+}
+
+/// A cursor over a token stream with helpers shared by all parsers.
+#[derive(Clone, Debug)]
+pub struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// Start a cursor over lexed tokens.
+    #[must_use]
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Cursor { tokens, pos: 0 }
+    }
+
+    /// The current token.
+    #[must_use]
+    pub fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    /// Advance and return the current token.
+    #[allow(clippy::should_implement_trait)] // a cursor, not an iterator
+    pub fn next(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Whether the current token matches, consuming it if so.
+    pub fn eat(&mut self, kind: &TokenKind) -> bool {
+        if &self.peek().kind == kind {
+            self.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume a specific token or fail.
+    pub fn expect(&mut self, kind: &TokenKind) -> Result<(), ModelError> {
+        let t = self.peek().clone();
+        if &t.kind == kind {
+            self.next();
+            Ok(())
+        } else {
+            Err(err(t.line, t.col, format!("expected {kind}, found {}", t.kind)))
+        }
+    }
+
+    /// Consume an identifier or fail.
+    pub fn expect_ident(&mut self) -> Result<String, ModelError> {
+        let t = self.peek().clone();
+        if let TokenKind::Ident(s) = t.kind {
+            self.next();
+            Ok(s)
+        } else {
+            Err(err(t.line, t.col, format!("expected identifier, found {}", t.kind)))
+        }
+    }
+
+    /// Whether the current token is the given keyword (an identifier with
+    /// that exact spelling), consuming it if so.
+    pub fn eat_kw(&mut self, kw: &str) -> bool {
+        if let TokenKind::Ident(s) = &self.peek().kind {
+            if s == kw {
+                self.next();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the cursor is at end of input.
+    #[must_use]
+    pub fn at_eof(&self) -> bool {
+        self.peek().kind == TokenKind::Eof
+    }
+
+    /// Error at the current position.
+    #[must_use]
+    pub fn error_here(&self, msg: impl Into<String>) -> ModelError {
+        let t = self.peek();
+        err(t.line, t.col, msg)
+    }
+}
+
+/// Parse a schema from text. Accepts either a `schema Name { … }` block or
+/// a bare list of `class` declarations.
+pub fn parse_schema(src: &str) -> Result<Schema, ModelError> {
+    let mut cur = Cursor::new(lex(src)?);
+    let braced = if cur.eat_kw("schema") {
+        let _name = cur.expect_ident()?;
+        cur.expect(&TokenKind::LBrace)?;
+        true
+    } else {
+        false
+    };
+
+    struct Decl {
+        name: String,
+        parents: Vec<String>,
+        attrs: Vec<String>,
+    }
+    let mut decls: Vec<Decl> = Vec::new();
+    loop {
+        if braced && cur.eat(&TokenKind::RBrace) {
+            break;
+        }
+        if cur.at_eof() {
+            if braced {
+                return Err(cur.error_here("expected `}` to close schema"));
+            }
+            break;
+        }
+        if !cur.eat_kw("class") {
+            return Err(cur.error_here("expected `class`"));
+        }
+        let name = cur.expect_ident()?;
+        let mut parents = Vec::new();
+        if cur.eat_kw("isa") {
+            parents.push(cur.expect_ident()?);
+            while cur.eat(&TokenKind::Comma) {
+                parents.push(cur.expect_ident()?);
+            }
+        }
+        let mut attrs = Vec::new();
+        if cur.eat(&TokenKind::LBrace) && !cur.eat(&TokenKind::RBrace) {
+            attrs.push(cur.expect_ident()?);
+            while cur.eat(&TokenKind::Comma) {
+                attrs.push(cur.expect_ident()?);
+            }
+            cur.expect(&TokenKind::RBrace)?;
+        }
+        cur.eat(&TokenKind::Semi);
+        decls.push(Decl { name, parents, attrs });
+    }
+
+    // Two passes so forward isa references work.
+    let mut b = SchemaBuilder::new();
+    let mut ids = Vec::with_capacity(decls.len());
+    for d in &decls {
+        let attrs: Vec<&str> = d.attrs.iter().map(String::as_str).collect();
+        ids.push(b.class(&d.name, &attrs)?);
+    }
+    for (i, d) in decls.iter().enumerate() {
+        for p in &d.parents {
+            let pid = decls
+                .iter()
+                .position(|e| &e.name == p)
+                .ok_or_else(|| ModelError::UnknownClass(p.clone()))?;
+            b.isa(ids[i], ids[pid])?;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIVERSITY: &str = r"
+        schema University {
+          // Fig. 1 of the paper
+          class PERSON { SSN, Name }
+          class EMPLOYEE isa PERSON { Salary, WorksIn }
+          class STUDENT isa PERSON { Major, FirstEnroll }
+          class GRAD-ASSIST isa EMPLOYEE, STUDENT { PcAppoint }
+        }";
+
+    #[test]
+    fn lex_punctuation_and_literals() {
+        let toks = lex(r#"a != b -> { -12 "s\"x" } ;"#).unwrap();
+        let kinds: Vec<&TokenKind> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], TokenKind::Ident(s) if s == "a"));
+        assert_eq!(kinds[1], &TokenKind::Ne);
+        assert!(matches!(kinds[2], TokenKind::Ident(s) if s == "b"));
+        assert_eq!(kinds[3], &TokenKind::Arrow);
+        assert_eq!(kinds[4], &TokenKind::LBrace);
+        assert_eq!(kinds[5], &TokenKind::Int(-12));
+        assert!(matches!(kinds[6], TokenKind::Str(s) if s == "s\"x"));
+        assert_eq!(kinds[7], &TokenKind::RBrace);
+        assert_eq!(kinds[8], &TokenKind::Semi);
+        assert_eq!(kinds[9], &TokenKind::Eof);
+    }
+
+    #[test]
+    fn hyphenated_identifiers() {
+        let toks = lex("GRAD-ASSIST A - >").unwrap_err();
+        // `A - >` has a bare `-` which is an error…
+        assert!(matches!(toks, ModelError::Parse { .. }));
+        let toks = lex("GRAD-ASSIST A -> B").unwrap();
+        assert!(matches!(&toks[0].kind, TokenKind::Ident(s) if s == "GRAD-ASSIST"));
+        assert_eq!(toks[2].kind, TokenKind::Arrow);
+    }
+
+    #[test]
+    fn parse_university() {
+        let s = parse_schema(UNIVERSITY).unwrap();
+        assert_eq!(s.num_classes(), 4);
+        assert_eq!(s.num_attrs(), 7);
+        let g = s.class_id("GRAD-ASSIST").unwrap();
+        let p = s.class_id("PERSON").unwrap();
+        assert!(s.isa_star(g, p));
+        assert_eq!(s.attr_star(g).len(), 7);
+    }
+
+    #[test]
+    fn parse_bare_class_list_and_forward_refs() {
+        let s = parse_schema(
+            "class B isa A { X }\n class A { Y }",
+        )
+        .unwrap();
+        assert_eq!(s.num_classes(), 2);
+        let b = s.class_id("B").unwrap();
+        let a = s.class_id("A").unwrap();
+        assert!(s.isa_direct(b, a));
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let e = parse_schema("schema S { klass A }").unwrap_err();
+        match e {
+            ModelError::Parse { line, col, msg } => {
+                assert_eq!(line, 1);
+                assert!(col > 1);
+                assert!(msg.contains("class"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn token_positions_track_lines() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn empty_attr_block() {
+        let s = parse_schema("class A { } class B isa A").unwrap();
+        assert_eq!(s.num_attrs(), 0);
+        assert_eq!(s.num_classes(), 2);
+    }
+}

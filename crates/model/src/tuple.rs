@@ -1,0 +1,142 @@
+//! Tuples over attribute sets.
+//!
+//! For a set of attributes `S`, a tuple is a total mapping `S → 𝒰`
+//! (Section 2). The tuple *yielded by* an object `o` in a database `d` is
+//! `ō(A) = a(o, A)` for each `A ∈ A*(P)`; objects are compared and
+//! selected through their tuples.
+
+use crate::bitset::AttrSet;
+use crate::ids::AttrId;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A (partial) tuple: a finite mapping from attributes to constants.
+///
+/// "Total over S" is a property relative to an attribute set; use
+/// [`Tuple::is_total_over`] to check it.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Tuple {
+    values: BTreeMap<AttrId, Value>,
+}
+
+impl Tuple {
+    /// The empty tuple (total over ∅).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from pairs.
+    #[must_use]
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (AttrId, Value)>) -> Self {
+        Tuple { values: pairs.into_iter().collect() }
+    }
+
+    /// The value of attribute `a`, if present.
+    #[must_use]
+    pub fn get(&self, a: AttrId) -> Option<&Value> {
+        self.values.get(&a)
+    }
+
+    /// Set the value of attribute `a`.
+    pub fn set(&mut self, a: AttrId, v: Value) {
+        self.values.insert(a, v);
+    }
+
+    /// Remove the value of attribute `a`, returning it if present.
+    pub fn unset(&mut self, a: AttrId) -> Option<Value> {
+        self.values.remove(&a)
+    }
+
+    /// Number of attributes with a value.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no attribute has a value.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate `(attribute, value)` pairs in attribute order.
+    pub fn iter(&self) -> impl Iterator<Item = (AttrId, &Value)> {
+        self.values.iter().map(|(a, v)| (*a, v))
+    }
+
+    /// Whether this tuple is total over `s` (defined on exactly… at least
+    /// every attribute of `s`).
+    #[must_use]
+    pub fn is_total_over(&self, s: AttrSet) -> bool {
+        s.iter().all(|a| self.values.contains_key(&a))
+    }
+
+    /// The projection of this tuple onto `s`.
+    #[must_use]
+    pub fn project(&self, s: AttrSet) -> Tuple {
+        Tuple {
+            values: self
+                .values
+                .iter()
+                .filter(|(a, _)| s.contains(**a))
+                .map(|(a, v)| (*a, v.clone()))
+                .collect(),
+        }
+    }
+
+    /// The attributes on which this tuple is defined.
+    #[must_use]
+    pub fn domain(&self) -> AttrSet {
+        self.values.keys().copied().collect()
+    }
+}
+
+impl FromIterator<(AttrId, Value)> for Tuple {
+    fn from_iter<I: IntoIterator<Item = (AttrId, Value)>>(iter: I) -> Self {
+        Tuple::from_pairs(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(i: u32) -> AttrId {
+        AttrId(i)
+    }
+
+    #[test]
+    fn get_set_unset() {
+        let mut t = Tuple::new();
+        assert!(t.is_empty());
+        t.set(a(1), Value::int(5));
+        assert_eq!(t.get(a(1)), Some(&Value::int(5)));
+        t.set(a(1), Value::int(6));
+        assert_eq!(t.get(a(1)), Some(&Value::int(6)));
+        assert_eq!(t.unset(a(1)), Some(Value::int(6)));
+        assert_eq!(t.get(a(1)), None);
+    }
+
+    #[test]
+    fn totality_and_projection() {
+        let t = Tuple::from_pairs([(a(0), Value::int(0)), (a(1), Value::int(1))]);
+        let s01: AttrSet = [a(0), a(1)].into_iter().collect();
+        let s02: AttrSet = [a(0), a(2)].into_iter().collect();
+        assert!(t.is_total_over(s01));
+        assert!(!t.is_total_over(s02));
+        let p = t.project([a(1)].into_iter().collect());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(a(1)), Some(&Value::int(1)));
+        assert_eq!(t.domain(), s01);
+    }
+
+    #[test]
+    fn equality_is_value_based() {
+        let t1 = Tuple::from_pairs([(a(0), Value::str("x"))]);
+        let t2 = Tuple::from_pairs([(a(0), Value::str("x"))]);
+        let t3 = Tuple::from_pairs([(a(0), Value::str("y"))]);
+        assert_eq!(t1, t2);
+        assert_ne!(t1, t3);
+    }
+}

@@ -1,0 +1,157 @@
+//! The universal domain 𝒰 of constants.
+//!
+//! The paper assumes a single countably infinite domain of printable
+//! constants (`a, b, c, …`) and notes the results generalise to multiple
+//! domains. We realise 𝒰 as the disjoint union of
+//!
+//! * 64-bit integers (the paper freely uses ℕ ⊆ 𝒰, e.g. in the branching
+//!   construction of Lemma 3.4),
+//! * interned strings, and
+//! * *fresh* values `⊥ₖ` — the `p₁…p_l` / `ν₁…ν_m` values that the proofs
+//!   of Lemma 3.9 and Theorem 4.3 draw from outside the constants of a
+//!   transaction schema. Keeping them in a separate variant makes
+//!   "does not occur among the schema's constants" trivially true by
+//!   construction.
+//!
+//! Equality is plain structural equality across the union; the domain is
+//! totally ordered (ints < strings < fresh) so instances and canonical
+//! databases have a deterministic form.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A constant of the universal domain 𝒰.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Value {
+    /// An integer constant.
+    Int(i64),
+    /// A string constant (cheaply clonable).
+    Str(Arc<str>),
+    /// A fresh value minted by an algorithm, guaranteed distinct from every
+    /// `Int`/`Str` constant and from every other `Fresh` with a different
+    /// tag. Used for the `pⱼ` and `νᵢ` values of Lemma 3.9.
+    Fresh(u32),
+}
+
+impl Value {
+    /// String constant constructor.
+    #[must_use]
+    pub fn str(s: &str) -> Self {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Integer constant constructor.
+    #[must_use]
+    pub const fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// A fresh value with the given tag.
+    #[must_use]
+    pub const fn fresh(tag: u32) -> Self {
+        Value::Fresh(tag)
+    }
+
+    /// Whether this is a fresh (algorithm-minted) value.
+    #[must_use]
+    pub const fn is_fresh(&self) -> bool {
+        matches!(self, Value::Fresh(_))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s.as_str()))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Fresh(t) => write!(f, "⊥{t}"),
+        }
+    }
+}
+
+/// A deterministic source of fresh values, used by the analyzer and the
+/// CSL compilers. Every value it yields is distinct from all previously
+/// yielded ones.
+#[derive(Clone, Debug, Default)]
+pub struct FreshSource {
+    next: u32,
+}
+
+impl FreshSource {
+    /// A source starting at tag 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mint the next fresh value.
+    pub fn mint(&mut self) -> Value {
+        let v = Value::Fresh(self.next);
+        self.next += 1;
+        v
+    }
+
+    /// Mint `n` fresh values.
+    pub fn mint_n(&mut self, n: usize) -> Vec<Value> {
+        (0..n).map(|_| self.mint()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_across_variants() {
+        assert_eq!(Value::int(3), Value::from(3));
+        assert_eq!(Value::str("ab"), Value::from("ab"));
+        assert_ne!(Value::int(3), Value::str("3"));
+        assert_ne!(Value::fresh(3), Value::int(3));
+        assert_ne!(Value::fresh(0), Value::fresh(1));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stratified() {
+        assert!(Value::int(i64::MAX) < Value::str(""));
+        assert!(Value::str("zzz") < Value::fresh(0));
+        assert!(Value::int(-1) < Value::int(0));
+        assert!(Value::str("a") < Value::str("b"));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(-7).to_string(), "-7");
+        assert_eq!(Value::str("Ann").to_string(), "Ann");
+        assert_eq!(Value::fresh(2).to_string(), "⊥2");
+    }
+
+    #[test]
+    fn fresh_source_never_repeats() {
+        let mut src = FreshSource::new();
+        let vs = src.mint_n(100);
+        for (i, a) in vs.iter().enumerate() {
+            for b in &vs[i + 1..] {
+                assert_ne!(a, b);
+            }
+            assert!(a.is_fresh());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! The introduction's banking example: an interest-bearing checking
+//! account becomes a regular checking account — the object stops playing
+//! the role INTEREST_CHECKING and starts REGULAR_CHECKING.
+//!
+//! A migration inventory forbids illegal account-state flows (an account
+//! opens as REGULAR, may toggle between the two flavours, and never
+//! returns once closed). As with Example 3.5 (see `phd_lifecycle`),
+//! naively selecting accounts by number alone lets a second `Open` mix
+//! roles on an interest-bearing account; encoding the flavour in a `Kind`
+//! attribute repairs it — and the decision procedure certifies both
+//! verdicts.
+//!
+//! Run with `cargo run --example banking_roles`.
+
+use migratory::core::{decide, Inventory, PatternKind, RoleAlphabet, Verdict};
+use migratory::lang::parse_transactions;
+use migratory::model::text::parse_schema;
+
+fn main() {
+    let schema = parse_schema(
+        r"
+        schema Bank {
+          class ACCOUNT { AcctNo, Owner, Kind }
+          class REGULAR_CHECKING isa ACCOUNT { }
+          class INTEREST_CHECKING isa ACCOUNT { Rate }
+        }",
+    )
+    .unwrap();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+
+    let inventory = Inventory::parse_init(
+        &schema,
+        &alphabet,
+        "∅* [REGULAR_CHECKING] ([REGULAR_CHECKING] ∪ [INTEREST_CHECKING])* ∅*",
+    )
+    .unwrap();
+
+    // Kind-encoded design: every selection checks the current flavour.
+    let good = parse_transactions(
+        &schema,
+        r#"
+        transaction Open(no, owner) {
+          create(ACCOUNT, { AcctNo = no, Owner = owner, Kind = "r" });
+          specialize(ACCOUNT, REGULAR_CHECKING, { AcctNo = no, Kind = "r" }, {});
+        }
+        transaction AddInterest(no, rate) {
+          generalize(REGULAR_CHECKING, { AcctNo = no, Kind = "r" });
+          specialize(ACCOUNT, INTEREST_CHECKING, { AcctNo = no, Kind = "r" }, { Rate = rate });
+          modify(ACCOUNT, { AcctNo = no, Kind = "r" }, { Kind = "i" });
+        }
+        transaction DropInterest(no) {
+          generalize(INTEREST_CHECKING, { AcctNo = no, Kind = "i" });
+          specialize(ACCOUNT, REGULAR_CHECKING, { AcctNo = no, Kind = "i" }, {});
+          modify(ACCOUNT, { AcctNo = no, Kind = "i" }, { Kind = "r" });
+        }
+        transaction Close(no) { delete(ACCOUNT, { AcctNo = no }); }
+    "#,
+    )
+    .unwrap();
+
+    let d = decide(&schema, &alphabet, &good, &inventory, PatternKind::All).unwrap();
+    println!("kind-encoded design satisfies the account-flow constraint: {}", d.satisfies.holds());
+    assert!(d.satisfies.holds(), "{:?}", d.satisfies);
+
+    // The naive design selects by account number only: a second Open on
+    // an interest-bearing account adds REGULAR_CHECKING on top of it.
+    let naive = parse_transactions(
+        &schema,
+        r#"
+        transaction Open(no, owner) {
+          create(ACCOUNT, { AcctNo = no, Owner = owner, Kind = "r" });
+          specialize(ACCOUNT, REGULAR_CHECKING, { AcctNo = no }, {});
+        }
+        transaction AddInterest(no, rate) {
+          generalize(REGULAR_CHECKING, { AcctNo = no });
+          specialize(ACCOUNT, INTEREST_CHECKING, { AcctNo = no }, { Rate = rate });
+        }
+        transaction Close(no) { delete(ACCOUNT, { AcctNo = no }); }
+    "#,
+    )
+    .unwrap();
+    let d = decide(&schema, &alphabet, &naive, &inventory, PatternKind::All).unwrap();
+    match &d.satisfies {
+        Verdict::Fails { counterexample } => {
+            println!(
+                "naive design refuted — offending migration pattern: {}",
+                alphabet.display_word(counterexample)
+            );
+        }
+        Verdict::Holds => unreachable!("the mixed-role bug must be caught"),
+    }
+}

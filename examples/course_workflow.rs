@@ -1,0 +1,131 @@
+//! Section 5's behaviour-modelling constructs on a course-registration
+//! workflow: the same transactions under (a) no ordering, (b) an INSYDE-
+//! style *inflow* schema (global precedence), and (c) a TAXIS-style
+//! *script* schema (per-object precedence) — and what each does to the
+//! migration-pattern families.
+//!
+//! The paper's closing remark says precedence "does not yield richer
+//! expressiveness in terms of migration patterns": the families stay
+//! regular, they can only shrink. This example computes all three family
+//! sets and prints the growth series so the restriction is visible.
+//!
+//! Run with `cargo run --example course_workflow`.
+
+use migratory::behavior::{flow_families, FlowKind, FlowSchema};
+use migratory::core::{analyze_families, AnalyzeOptions, PatternKind, RoleAlphabet};
+use migratory::lang::parse_transactions;
+use migratory::model::text::parse_schema;
+
+fn main() {
+    let schema = parse_schema(
+        r"
+        schema Registrar {
+          class APPLICANT { Id, Name }
+          class ADMITTED isa APPLICANT { Term }
+          class REGISTERED isa ADMITTED { Units }
+        }",
+    )
+    .unwrap();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+
+    let ts = parse_transactions(
+        &schema,
+        r#"
+        transaction Apply(id, n)   { create(APPLICANT, { Id = id, Name = n }); }
+        transaction Admit(id, t)   { specialize(APPLICANT, ADMITTED, { Id = id }, { Term = t }); }
+        transaction Register(id, u){ specialize(ADMITTED, REGISTERED, { Id = id }, { Units = u }); }
+        transaction Withdraw(id)   { generalize(ADMITTED, { Id = id }); }
+        transaction Purge(id)      { delete(APPLICANT, { Id = id }); }
+    "#,
+    )
+    .unwrap();
+
+    // The university's workflow: apply → admit → register → (withdraw →
+    // admit again)* and purge only after withdraw.
+    let edges = [
+        ("Apply", "Admit"),
+        ("Admit", "Register"),
+        ("Register", "Withdraw"),
+        ("Withdraw", "Admit"),
+        ("Withdraw", "Purge"),
+    ];
+
+    let opts = AnalyzeOptions::default();
+    let (_, plain) = analyze_families(&schema, &alphabet, &ts, &opts).unwrap();
+
+    let inflow = FlowSchema::new(ts.clone(), &edges, FlowKind::Inflow).unwrap();
+    let inflow_fams = flow_families(&schema, &alphabet, &inflow, &opts).unwrap();
+
+    let script = FlowSchema::new(ts.clone(), &edges, FlowKind::Script).unwrap();
+    let script_fams = flow_families(&schema, &alphabet, &script, &opts).unwrap();
+
+    println!("== Migration-pattern growth: #patterns of length ≤ k ==\n");
+    println!(
+        "{:>18} {:>14} {:>14} {:>14}",
+        "kind / k=0..6", "unordered", "inflow", "script"
+    );
+    for kind in PatternKind::ALL {
+        let series = |dfa: &migratory::automata::Dfa| -> String {
+            let c = dfa.count_words(6);
+            let total: u64 = c.iter().sum();
+            format!("{total}")
+        };
+        println!(
+            "{:>18} {:>14} {:>14} {:>14}",
+            kind.to_string(),
+            series(plain.of(kind)),
+            series(inflow_fams.of(kind)),
+            series(script_fams.of(kind)),
+        );
+        assert!(
+            inflow_fams.of(kind).is_subset_of(plain.of(kind)),
+            "ordering only restricts"
+        );
+        assert!(
+            script_fams.of(kind).is_subset_of(plain.of(kind)),
+            "ordering only restricts"
+        );
+    }
+
+    // The two interpretations are *incomparable* in general: script mode
+    // frees the steps that do not update an object (so it admits longer
+    // repetitive patterns), but it also chains an object's updating
+    // subsequence directly — which a globally chained run may violate by
+    // interleaving updates to other objects in between.
+    let all_inflow = inflow_fams.of(PatternKind::All);
+    let all_script = script_fams.of(PatternKind::All);
+    println!(
+        "\ninflow ⊆ script: {}   script ⊆ inflow: {}",
+        all_inflow.is_subset_of(all_script),
+        all_script.is_subset_of(all_inflow),
+    );
+    if let Some(w) = all_inflow.witness_not_subset(all_script) {
+        println!("  inflow-only pattern: {}", alphabet.display_word(&w));
+    }
+    if let Some(w) = all_script.witness_not_subset(all_inflow) {
+        println!("  script-only pattern: {}", alphabet.display_word(&w));
+    }
+
+    // Show a concrete difference: a second applicant can be processed
+    // between one student's steps only under the script interpretation
+    // (globally, Apply cannot follow Admit).
+    let sym = |names: &[&str]| {
+        alphabet
+            .symbol_of(migratory::model::RoleSet::closure_of_named(&schema, names).unwrap())
+            .unwrap()
+    };
+    let a = sym(&["APPLICANT"]);
+    let ad = sym(&["ADMITTED"]);
+    // Pattern ∅ [APPLICANT] [ADMITTED]: the object is created on step 2.
+    let late = [alphabet.empty_symbol(), a, ad];
+    println!(
+        "\npattern ∅ [APPLICANT] [ADMITTED] (object created mid-run):\n  \
+         inflow: {}   script: {}",
+        inflow_fams.of(PatternKind::All).accepts(&late),
+        script_fams.of(PatternKind::All).accepts(&late),
+    );
+    println!(
+        "\nThe families stay regular under both interpretations — the paper's\n\
+         §5 closing remark, verified constructively by the product builder."
+    );
+}

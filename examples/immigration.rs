@@ -1,0 +1,115 @@
+//! Example 5.1: immigration law as an inflow schema, and the reachability
+//! problem (Theorem 5.1).
+//!
+//! "Before a person with a type-C visa can immigrate, she has to go back
+//! to her own country" — the inflow relation orders the transactions so
+//! the only route to IMMIGRANT passes through ABROAD. The SL decision
+//! procedure certifies the lawful design, proves unreachability when the
+//! final edge is removed, and exposes an illegal shortcut transaction
+//! that a permissive relation would admit.
+//!
+//! (Definition 5.1 constrains only *consecutive* pairs, so the first
+//! transaction of a sequence is free — which is why the shortcut must be
+//! removed from the schema, not merely left out of the relation.)
+//!
+//! Run with `cargo run --example immigration`.
+
+use migratory::behavior::{decide_reachability, Assertion, FlowKind, FlowSchema};
+use migratory::core::RoleAlphabet;
+use migratory::lang::parse_transactions;
+use migratory::model::text::parse_schema;
+
+const LAWFUL_TS: &str = r#"
+    transaction EnterC(x) {
+      create(PERSON, { Id = x, Status = "c" });
+      specialize(PERSON, VISA_C, { Id = x, Status = "c" }, {});
+    }
+    transaction GoHome(x) {
+      generalize(VISA_C, { Id = x, Status = "c" });
+      specialize(PERSON, ABROAD, { Id = x, Status = "c" }, {});
+      modify(PERSON, { Id = x, Status = "c" }, { Status = "h" });
+    }
+    transaction Immigrate(x) {
+      generalize(ABROAD, { Id = x, Status = "h" });
+      specialize(PERSON, IMMIGRANT, { Id = x, Status = "h" }, {});
+      modify(PERSON, { Id = x, Status = "h" }, { Status = "i" });
+    }
+"#;
+
+fn main() {
+    let schema = parse_schema(
+        r"
+        schema Immigration {
+          class PERSON { Id, Status }
+          class VISA_C isa PERSON { }
+          class ABROAD isa PERSON { }
+          class IMMIGRANT isa PERSON { }
+        }",
+    )
+    .unwrap();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let ts = parse_transactions(&schema, LAWFUL_TS).unwrap();
+
+    let visa_c = Assertion::trivial(schema.class_id("VISA_C").unwrap());
+    let immigrant = Assertion::trivial(schema.class_id("IMMIGRANT").unwrap());
+
+    // Lawful inflow: EnterC → GoHome → Immigrate.
+    let lawful = FlowSchema::new(
+        ts.clone(),
+        &[
+            ("EnterC", "EnterC"),
+            ("EnterC", "GoHome"),
+            ("GoHome", "Immigrate"),
+            ("GoHome", "EnterC"),
+            ("Immigrate", "EnterC"),
+        ],
+        FlowKind::Inflow,
+    )
+    .unwrap();
+    let r = decide_reachability(&schema, &alphabet, &lawful, &visa_c, &immigrant).unwrap();
+    println!(
+        "lawful inflow:   {}/{} visa-C vertices reach IMMIGRANT (GoHome → Immigrate)",
+        r.reachable_sources, r.sources
+    );
+    assert!(r.holds_for_all());
+
+    // Remove GoHome → Immigrate: Immigrate can then only appear as the
+    // *first* transaction of a sequence, where no object has yet reached
+    // ABROAD — unreachable.
+    let blocked = FlowSchema::new(
+        ts.clone(),
+        &[("EnterC", "EnterC"), ("EnterC", "GoHome"), ("GoHome", "EnterC")],
+        FlowKind::Inflow,
+    )
+    .unwrap();
+    let r = decide_reachability(&schema, &alphabet, &blocked, &visa_c, &immigrant).unwrap();
+    println!(
+        "blocked inflow:  {}/{} visa-C vertices reach IMMIGRANT",
+        r.reachable_sources, r.sources
+    );
+    assert!(!r.holds_for_some());
+
+    // A buggy schema with an illegal shortcut: even an EMPTY precedence
+    // relation cannot hide it, because single-transaction sequences are
+    // always applicable — the design review must remove the transaction.
+    let with_shortcut = parse_transactions(
+        &schema,
+        &format!(
+            "{LAWFUL_TS}
+            transaction ImmigrateDirectly(x) {{
+              generalize(VISA_C, {{ Id = x, Status = \"c\" }});
+              specialize(PERSON, IMMIGRANT, {{ Id = x, Status = \"c\" }}, {{}});
+              modify(PERSON, {{ Id = x, Status = \"c\" }}, {{ Status = \"i\" }});
+            }}"
+        ),
+    )
+    .unwrap();
+    let empty_relation = FlowSchema { transactions: with_shortcut, edges: vec![], kind: FlowKind::Inflow };
+    let r = decide_reachability(&schema, &alphabet, &empty_relation, &visa_c, &immigrant)
+        .unwrap();
+    println!(
+        "with shortcut:   {}/{} visa-C vertices reach IMMIGRANT — ImmigrateDirectly exposed!",
+        r.reachable_sources, r.sources
+    );
+    assert!(r.holds_for_all());
+}

@@ -1,0 +1,23 @@
+//! `migctl` — command-line access to the library: pattern-family
+//! analysis, inventory decision, synthesis, and runtime enforcement.
+//! All logic lives in [`migratory::cli`]; this binary only reads files,
+//! prints, and sets the exit code.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let read = |path: &str| -> Result<String, String> {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    };
+    match migratory::cli::dispatch(&args, &read) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("migctl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

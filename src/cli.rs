@@ -1,0 +1,461 @@
+//! The `migctl` command-line interface: the paper's decision procedures,
+//! analysis, synthesis and runtime enforcement over text-format schema,
+//! transaction and script files.
+//!
+//! All subcommand logic lives here as string-in/string-out functions so
+//! it can be unit-tested without touching the filesystem; the binary in
+//! `src/bin/migctl.rs` only reads files and prints.
+
+use migratory_core::enforce::{EnforceError, Monitor};
+use migratory_core::{
+    analyze_families, decide_with_families, AnalyzeOptions, Inventory, PatternKind,
+    RoleAlphabet, Verdict,
+};
+use migratory_lang::pretty::transaction_to_text;
+use migratory_lang::{parse_transactions, Assignment};
+use migratory_model::text::parse_schema;
+use migratory_model::{Schema, Value};
+
+/// Usage text for the binary and the `help` subcommand.
+pub const USAGE: &str = "\
+migctl — dynamic constraints and object migration (Su, VLDB 1991)
+
+USAGE:
+  migctl families   <schema> <transactions> [--component N]
+  migctl decide     <schema> <transactions> --inventory <regex> [--kind K] [--component N]
+  migctl synthesize <schema> --inventory <regex> [--lazy] [--component N]
+  migctl enforce    <schema> <transactions> --inventory <regex> --script <file> [--kind K]
+  migctl help
+
+  <schema>        a `schema Name { class … }` file
+  <transactions>  a `transaction Name(params) { … }` file (SL or CSL)
+  <regex>         paper notation over role sets, e.g. \"∅* [PERSON]* [STUDENT]* ∅*\"
+                  (Init — the prefix closure — is applied automatically)
+  K               all | immediate-start | proper | lazy   (default: all)
+  --script        lines of `Name(arg, …)` applications; `#` comments allowed
+
+families    prints the four pattern families of Theorem 3.2(1) as regexes
+decide      checks satisfies/generates of Corollary 3.3, with counterexamples
+synthesize  builds the SL schema characterizing the inventory (Lemma 3.4)
+enforce     replays a script under the runtime monitor, reporting rejections
+";
+
+/// Parse a `--kind` value.
+fn parse_kind(s: &str) -> Result<PatternKind, String> {
+    match s {
+        "all" => Ok(PatternKind::All),
+        "immediate-start" | "imm" => Ok(PatternKind::ImmediateStart),
+        "proper" | "pro" => Ok(PatternKind::Proper),
+        "lazy" => Ok(PatternKind::Lazy),
+        other => Err(format!("unknown pattern kind `{other}` (all|immediate-start|proper|lazy)")),
+    }
+}
+
+/// A parsed flag set: positional arguments plus `--flag value` pairs.
+pub struct Flags {
+    positional: Vec<String>,
+    named: Vec<(String, String)>,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut positional = Vec::new();
+    let mut named = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "lazy" {
+                named.push((name.to_owned(), "true".to_owned()));
+                continue;
+            }
+            let v = it
+                .next()
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            named.push((name.to_owned(), v.clone()));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok(Flags { positional, named })
+}
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.named.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn component(&self) -> Result<u32, String> {
+        self.get("component").map_or(Ok(0), |v| {
+            v.parse().map_err(|_| format!("--component takes a number, got `{v}`"))
+        })
+    }
+
+    fn kind(&self) -> Result<PatternKind, String> {
+        self.get("kind").map_or(Ok(PatternKind::All), parse_kind)
+    }
+}
+
+fn load(schema_src: &str, component: u32) -> Result<(Schema, RoleAlphabet), String> {
+    let schema = parse_schema(schema_src).map_err(|e| format!("schema: {e}"))?;
+    let alphabet =
+        RoleAlphabet::new(&schema, component).map_err(|e| format!("alphabet: {e}"))?;
+    Ok((schema, alphabet))
+}
+
+fn load_inventory(
+    schema: &Schema,
+    alphabet: &RoleAlphabet,
+    flags: &Flags,
+) -> Result<Inventory, String> {
+    let src = flags
+        .get("inventory")
+        .ok_or("missing --inventory <regex>")?;
+    Inventory::parse_init(schema, alphabet, src).map_err(|e| format!("inventory: {e}"))
+}
+
+/// `migctl families`: the four families as role-set regexes.
+pub fn cmd_families(
+    schema_src: &str,
+    tx_src: &str,
+    component: u32,
+) -> Result<String, String> {
+    let (schema, alphabet) = load(schema_src, component)?;
+    let ts = parse_transactions(&schema, tx_src).map_err(|e| format!("transactions: {e}"))?;
+    let (analysis, fams) =
+        analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default())
+            .map_err(|e| format!("analysis: {e}"))?;
+    let name = |s: u32| alphabet.name(s).to_owned();
+    let mut out = format!(
+        "migration graph: {} vertices, {} edges ({} ground runs)\n",
+        analysis.stats.vertices, analysis.stats.edges, analysis.stats.runs
+    );
+    for kind in PatternKind::ALL {
+        let dfa = fams.of(kind);
+        let regex = migratory_automata::dfa_to_regex(dfa);
+        out.push_str(&format!(
+            "{kind:>16}: {}   ({} DFA states)\n",
+            regex.display_with(&name),
+            dfa.num_states()
+        ));
+    }
+    Ok(out)
+}
+
+/// `migctl decide`: Corollary 3.3 verdicts with counterexamples.
+pub fn cmd_decide(
+    schema_src: &str,
+    tx_src: &str,
+    flags: &Flags,
+) -> Result<String, String> {
+    let (schema, alphabet) = load(schema_src, flags.component()?)?;
+    let ts = parse_transactions(&schema, tx_src).map_err(|e| format!("transactions: {e}"))?;
+    let inv = load_inventory(&schema, &alphabet, flags)?;
+    let kind = flags.kind()?;
+    let (_, fams) = analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default())
+        .map_err(|e| format!("analysis: {e}"))?;
+    let d = decide_with_families(&fams, &inv, kind);
+    let mut out = String::new();
+    let show = |out: &mut String, label: &str, v: &Verdict| match v {
+        Verdict::Holds => out.push_str(&format!("{label}: HOLDS\n")),
+        Verdict::Fails { counterexample } => out.push_str(&format!(
+            "{label}: FAILS — counterexample {}\n",
+            alphabet.display_word(counterexample)
+        )),
+    };
+    show(&mut out, "satisfies", &d.satisfies);
+    show(&mut out, "generates", &d.generates);
+    out.push_str(&format!("characterizes: {}\n", d.characterizes()));
+    Ok(out)
+}
+
+/// `migctl synthesize`: Lemma 3.4's schema for a regular inventory.
+pub fn cmd_synthesize(
+    schema_src: &str,
+    flags: &Flags,
+) -> Result<String, String> {
+    let (schema, alphabet) = load(schema_src, flags.component()?)?;
+    let src = flags.get("inventory").ok_or("missing --inventory <regex>")?;
+    let eta = alphabet
+        .parse_regex(&schema, src)
+        .map_err(|e| format!("inventory: {e}"))?;
+    let synthesis = if flags.get("lazy").is_some() {
+        migratory_core::synthesize_lazy(&schema, &alphabet, &eta)
+    } else {
+        migratory_core::synthesize(&schema, &alphabet, &eta)
+    }
+    .map_err(|e| format!("synthesis: {e}"))?;
+    let mut out = format!(
+        "migration graph G_η: {} vertices, {} edges\n\n",
+        synthesis.graph.num_vertices(),
+        synthesis.graph.num_edges()
+    );
+    for t in synthesis.transactions.transactions() {
+        out.push_str(&transaction_to_text(&schema, t));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// One parsed script application: transaction name and argument values.
+pub fn parse_script(src: &str) -> Result<Vec<(String, Vec<Value>)>, String> {
+    let mut out = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: &str| format!("script line {}: {msg}: `{line}`", lineno + 1);
+        let open = line.find('(').ok_or_else(|| err("expected `Name(args…)`"))?;
+        let close = line.rfind(')').ok_or_else(|| err("missing `)`"))?;
+        let name = line[..open].trim();
+        if name.is_empty() {
+            return Err(err("empty transaction name"));
+        }
+        let inner = &line[open + 1..close];
+        let mut args = Vec::new();
+        if !inner.trim().is_empty() {
+            for part in inner.split(',') {
+                let part = part.trim();
+                let v = if let Some(stripped) =
+                    part.strip_prefix('"').and_then(|p| p.strip_suffix('"'))
+                {
+                    Value::str(stripped)
+                } else if let Ok(i) = part.parse::<i64>() {
+                    Value::int(i)
+                } else {
+                    Value::str(part)
+                };
+                args.push(v);
+            }
+        }
+        out.push((name.to_owned(), args));
+    }
+    Ok(out)
+}
+
+/// `migctl enforce`: replay a script under the runtime monitor.
+pub fn cmd_enforce(
+    schema_src: &str,
+    tx_src: &str,
+    script_src: &str,
+    flags: &Flags,
+) -> Result<String, String> {
+    let (schema, alphabet) = load(schema_src, flags.component()?)?;
+    let ts = parse_transactions(&schema, tx_src).map_err(|e| format!("transactions: {e}"))?;
+    let inv = load_inventory(&schema, &alphabet, flags)?;
+    let kind = flags.kind()?;
+    let script = parse_script(script_src)?;
+    let mut m = Monitor::new(&schema, &alphabet, &inv, kind);
+    let mut out = String::new();
+    let mut rejected = 0usize;
+    for (name, args) in &script {
+        let t = ts
+            .get(name)
+            .ok_or_else(|| format!("unknown transaction `{name}`"))?;
+        match m.try_apply(t, &Assignment::new(args.clone())) {
+            Ok(()) => out.push_str(&format!("✓ {name}\n")),
+            Err(EnforceError::Violation(v)) => {
+                rejected += 1;
+                out.push_str(&format!("✗ {name} — {}\n", v.display(&alphabet)));
+            }
+            Err(EnforceError::Lang(e)) => {
+                return Err(format!("applying {name}: {e}"));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "committed {} of {} applications ({} rejected); {} object(s) live\n",
+        script.len() - rejected,
+        script.len(),
+        rejected,
+        m.db().num_objects()
+    ));
+    Ok(out)
+}
+
+/// Dispatch a full argument vector (excluding the binary name). Used by
+/// the binary with file contents read eagerly.
+pub fn dispatch(args: &[String], read: &dyn Fn(&str) -> Result<String, String>) -> Result<String, String> {
+    let Some(cmd) = args.first() else {
+        return Ok(USAGE.to_owned());
+    };
+    let flags = parse_flags(&args[1..])?;
+    let pos = |i: usize, what: &str| -> Result<String, String> {
+        flags
+            .positional
+            .get(i)
+            .cloned()
+            .ok_or_else(|| format!("missing {what}\n\n{USAGE}"))
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        "families" => {
+            let schema = read(&pos(0, "<schema> file")?)?;
+            let tx = read(&pos(1, "<transactions> file")?)?;
+            cmd_families(&schema, &tx, flags.component()?)
+        }
+        "decide" => {
+            let schema = read(&pos(0, "<schema> file")?)?;
+            let tx = read(&pos(1, "<transactions> file")?)?;
+            cmd_decide(&schema, &tx, &flags)
+        }
+        "synthesize" => {
+            let schema = read(&pos(0, "<schema> file")?)?;
+            cmd_synthesize(&schema, &flags)
+        }
+        "enforce" => {
+            let schema = read(&pos(0, "<schema> file")?)?;
+            let tx = read(&pos(1, "<transactions> file")?)?;
+            let script_path = flags.get("script").ok_or("missing --script <file>")?;
+            let script = read(script_path)?;
+            cmd_enforce(&schema, &tx, &script, &flags)
+        }
+        other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = r"
+        schema Uni {
+          class PERSON { SSN, Name }
+          class STUDENT isa PERSON { Major }
+        }";
+
+    const TX: &str = r#"
+        transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+        transaction St(x) { specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS" }); }
+        transaction Rm(x) { delete(PERSON, { SSN = x }); }
+    "#;
+
+    fn flags(pairs: &[(&str, &str)]) -> Flags {
+        Flags {
+            positional: Vec::new(),
+            named: pairs.iter().map(|(a, b)| ((*a).to_owned(), (*b).to_owned())).collect(),
+        }
+    }
+
+    #[test]
+    fn families_prints_four_rows() {
+        let out = cmd_families(SCHEMA, TX, 0).unwrap();
+        assert!(out.contains("migration graph"));
+        for k in ["all", "immediate-start", "proper", "lazy"] {
+            assert!(out.contains(k), "missing row {k}:\n{out}");
+        }
+        assert!(out.contains("[PERSON]"));
+    }
+
+    #[test]
+    fn decide_reports_verdicts_and_counterexamples() {
+        let f = flags(&[("inventory", "∅* [PERSON]* [STUDENT]* ∅*")]);
+        let out = cmd_decide(SCHEMA, TX, &f).unwrap();
+        assert!(out.contains("satisfies: HOLDS"), "{out}");
+        assert!(out.contains("generates: FAILS"), "{out}");
+        assert!(out.contains("counterexample"));
+
+        // A narrower inventory is violated, with a counterexample word.
+        let f = flags(&[("inventory", "[PERSON]*")]);
+        let out = cmd_decide(SCHEMA, TX, &f).unwrap();
+        assert!(out.contains("satisfies: FAILS"), "{out}");
+    }
+
+    #[test]
+    fn synthesize_emits_a_transaction() {
+        // Lemma 3.4 needs an isa-root with three attributes (A, B, C).
+        let schema3 = r"
+            schema Uni {
+              class PERSON { SSN, Name, Tag }
+              class STUDENT isa PERSON { Major }
+            }";
+        let f = flags(&[("inventory", "[PERSON] [STUDENT]*")]);
+        let out = cmd_synthesize(schema3, &f).unwrap();
+        assert!(out.contains("transaction"), "{out}");
+        assert!(out.contains("create"), "{out}");
+
+        // The two-attribute schema reports the Lemma 3.4 requirement.
+        let err = cmd_synthesize(SCHEMA, &f).unwrap_err();
+        assert!(err.contains("three attributes"), "{err}");
+    }
+
+    #[test]
+    fn script_parsing_handles_values_and_comments() {
+        let script = r#"
+            # enroll two people
+            Mk(1)
+            Mk("two words")
+            St(1)     # promote
+            Rm(notanumber)
+        "#;
+        let parsed = parse_script(script).unwrap();
+        assert_eq!(parsed.len(), 4);
+        assert_eq!(parsed[0], ("Mk".to_owned(), vec![Value::int(1)]));
+        assert_eq!(parsed[1].1, vec![Value::str("two words")]);
+        assert_eq!(parsed[3].1, vec![Value::str("notanumber")]);
+        assert!(parse_script("Mk 1").is_err());
+        assert!(parse_script("(1)").is_err());
+    }
+
+    #[test]
+    fn enforce_replays_and_reports() {
+        let f = flags(&[("inventory", "∅* [PERSON]+ ∅*")]);
+        let script = "Mk(1)\nSt(1)\nRm(1)\n";
+        let out = cmd_enforce(SCHEMA, TX, script, &f).unwrap();
+        assert!(out.contains("✓ Mk"));
+        assert!(out.contains("✗ St"), "{out}");
+        assert!(out.contains("✓ Rm"));
+        assert!(out.contains("committed 2 of 3"), "{out}");
+    }
+
+    #[test]
+    fn dispatch_routes_and_reports_usage() {
+        let files = |name: &str| -> Result<String, String> {
+            match name {
+                "s.mig" => Ok(SCHEMA.to_owned()),
+                "t.sl" => Ok(TX.to_owned()),
+                "run.txt" => Ok("Mk(1)\n".to_owned()),
+                other => Err(format!("no such file {other}")),
+            }
+        };
+        let ok = dispatch(
+            &["families".to_owned(), "s.mig".to_owned(), "t.sl".to_owned()],
+            &files,
+        )
+        .unwrap();
+        assert!(ok.contains("migration graph"));
+
+        let usage = dispatch(&[], &files).unwrap();
+        assert!(usage.contains("USAGE"));
+        assert!(dispatch(&["bogus".to_owned()], &files).is_err());
+
+        let enforce = dispatch(
+            &[
+                "enforce".to_owned(),
+                "s.mig".to_owned(),
+                "t.sl".to_owned(),
+                "--inventory".to_owned(),
+                "∅* [PERSON]* ∅*".to_owned(),
+                "--script".to_owned(),
+                "run.txt".to_owned(),
+            ],
+            &files,
+        )
+        .unwrap();
+        assert!(enforce.contains("committed 1 of 1"));
+    }
+
+    #[test]
+    fn kind_flag_parses_all_spellings() {
+        for (s, k) in [
+            ("all", PatternKind::All),
+            ("imm", PatternKind::ImmediateStart),
+            ("immediate-start", PatternKind::ImmediateStart),
+            ("pro", PatternKind::Proper),
+            ("proper", PatternKind::Proper),
+            ("lazy", PatternKind::Lazy),
+        ] {
+            assert_eq!(parse_kind(s).unwrap(), k);
+        }
+        assert!(parse_kind("sometimes").is_err());
+    }
+}

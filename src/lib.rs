@@ -1,0 +1,47 @@
+//! # migratory — dynamic constraints and object migration
+//!
+//! A complete implementation of Jianwen Su, *Dynamic Constraints and
+//! Object Migration* (VLDB 1991; full version in Theoretical Computer
+//! Science 184 (1997) 195–236): an object-based data model with class
+//! hierarchies and object migration, the update languages SL / CSL⁺ / CSL,
+//! migration patterns and inventories as dynamic integrity constraints,
+//! the regularity characterization for SL (analysis and synthesis), the
+//! recursive-enumerability results for CSL, and the inflow/script
+//! reachability applications.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`model`] — schemas, instances, conditions, role sets;
+//! * [`lang`] — the SL/CSL⁺/CSL languages and their interpreter;
+//! * [`automata`] — the regular-language toolkit;
+//! * [`chomsky`] — Turing machines and context-free grammars;
+//! * [`core`] — migration patterns, inventories, migration graphs,
+//!   analysis, synthesis, and decision procedures;
+//! * [`behavior`] — inflow/script schemas and reachability;
+//! * [`cli`] — the `migctl` subcommands (families / decide / synthesize /
+//!   enforce) as unit-tested library functions.
+//!
+//! See `examples/` for runnable walkthroughs of the paper's figures.
+
+#![forbid(unsafe_code)]
+
+pub mod cli;
+
+pub use migratory_automata as automata;
+pub use migratory_behavior as behavior;
+pub use migratory_chomsky as chomsky;
+pub use migratory_core as core;
+pub use migratory_lang as lang;
+pub use migratory_model as model;
+
+/// Commonly used items, for `use migratory::prelude::*`.
+pub mod prelude {
+    pub use migratory_automata::{Dfa, Nfa, Regex};
+    pub use migratory_core::{MigrationPattern, PatternKind, RoleAlphabet};
+    pub use migratory_lang::{
+        Assignment, AtomicUpdate, CslTransaction, Transaction, TransactionSchema,
+    };
+    pub use migratory_model::{
+        Condition, Instance, RoleSet, Schema, SchemaBuilder, Value,
+    };
+}

@@ -1,0 +1,151 @@
+//! Failure-injection tests for every text front end: arbitrary input must
+//! produce `Err`, never a panic, and valid output of the pretty-printers
+//! must re-parse to the same meaning.
+
+use migratory::automata::{parse_regex, Dfa, Nfa, Regex};
+use migratory::core::RoleAlphabet;
+use migratory::lang::pretty::{schema_to_text, transaction_to_text};
+use migratory::lang::parse_transactions;
+use migratory::model::text::parse_schema;
+use migratory::model::schema::university_schema;
+use proptest::prelude::*;
+
+/// A character soup biased toward the grammars' own tokens.
+fn soup() -> impl Strategy<Value = String> {
+    proptest::string::string_regex(
+        "[a-zA-Z0-9_{}()\\[\\]*+?|=:;,!<>%∅∪λ \"\\-\n]{0,80}",
+    )
+    .expect("valid generator regex")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn schema_parser_never_panics(src in soup()) {
+        let _ = parse_schema(&src);
+    }
+
+    #[test]
+    fn transaction_parser_never_panics(src in soup()) {
+        let schema = university_schema();
+        let _ = parse_transactions(&schema, &src);
+    }
+
+    #[test]
+    fn regex_parser_never_panics(src in soup()) {
+        let schema = university_schema();
+        let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+        let _ = alphabet.parse_regex(&schema, &src);
+    }
+}
+
+/// Random regex ASTs over a 4-symbol alphabet.
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        (0u32..4).prop_map(Regex::Sym),
+    ];
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::union),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Display → parse is the identity up to language equivalence.
+    #[test]
+    fn regex_display_parse_roundtrip(r in regex_strategy()) {
+        let text = r.to_string();
+        let resolve = |name: &str| -> Option<u32> {
+            name.strip_prefix('s').and_then(|d| d.parse().ok()).filter(|&v| v < 4)
+        };
+        let back = parse_regex(&text, &resolve)
+            .unwrap_or_else(|e| panic!("pretty output `{text}` failed to parse: {e}"));
+        let d1 = Dfa::from_nfa(&Nfa::from_regex(&r, 4)).minimize();
+        let d2 = Dfa::from_nfa(&Nfa::from_regex(&back, 4)).minimize();
+        prop_assert!(d1.equivalent(&d2), "`{text}` re-parsed to a different language");
+    }
+}
+
+/// Pretty-printed transactions re-parse to identical ASTs, for sources
+/// covering every operator and guard form.
+#[test]
+fn transaction_pretty_parse_roundtrip() {
+    let schema = university_schema();
+    let sources = [
+        r#"transaction Mk(x, n) { create(PERSON, { SSN = x, Name = n }); }"#,
+        r#"transaction Rm(x) { delete(PERSON, { SSN = x }); }"#,
+        r#"transaction Up(x, y) { modify(PERSON, { SSN = x, Name != "z" }, { Name = y }); }"#,
+        r#"transaction St(x) {
+             specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS", FirstEnroll = 1 });
+           }"#,
+        r#"transaction Un(x) { generalize(STUDENT, { SSN = x }); }"#,
+        r#"transaction Guarded(x) {
+             when PERSON(SSN = x), !EMPLOYEE(SSN = x) ->
+               specialize(PERSON, EMPLOYEE, { SSN = x }, { Salary = 0, WorksIn = "d" });
+           }"#,
+        r#"transaction Multi(x, y) {
+             create(PERSON, { SSN = x, Name = "n" });
+             when STUDENT() -> delete(PERSON, { SSN = y });
+             modify(PERSON, { SSN = x }, { Name = y });
+           }"#,
+    ];
+    for src in sources {
+        let ts = parse_transactions(&schema, src).unwrap();
+        let t = &ts.transactions()[0];
+        let printed = transaction_to_text(&schema, t);
+        let ts2 = parse_transactions(&schema, &printed)
+            .unwrap_or_else(|e| panic!("pretty output failed to parse: {e}\n{printed}"));
+        assert_eq!(
+            ts.transactions()[0], ts2.transactions()[0],
+            "round trip changed the AST for\n{printed}"
+        );
+    }
+}
+
+/// The whole-schema printer round-trips through the parser as well.
+#[test]
+fn schema_text_roundtrip() {
+    let schema = university_schema();
+    let ts = parse_transactions(
+        &schema,
+        r#"
+        transaction A(x) { create(PERSON, { SSN = x, Name = "n" }); }
+        transaction B(x) {
+          when PERSON(SSN = x) -> generalize(STUDENT, { SSN = x });
+        }
+    "#,
+    )
+    .unwrap();
+    let printed = schema_to_text(&schema, &ts);
+    let back = parse_transactions(&schema, &printed).unwrap();
+    assert_eq!(ts.transactions(), back.transactions());
+}
+
+/// Error values (not panics) for representative malformed inputs, each
+/// with a position or message a user can act on.
+#[test]
+fn malformed_inputs_report_errors() {
+    let schema = university_schema();
+    for bad in [
+        "transaction",
+        "transaction X { create(PERSON, { SSN = 1 }",
+        "transaction X() { create(NOPE, {}); }",
+        "transaction X() { modify(PERSON, { Bogus = 1 }, {}); }",
+        "transaction X() { specialize(PERSON, PERSON, {}, {}); }",
+        "transaction X(x) { when -> delete(PERSON, {}); }",
+    ] {
+        let err = parse_transactions(&schema, bad).unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+    for bad in ["schema", "schema S { class C", "schema S { class C { A } class C { B } }"] {
+        let err = parse_schema(bad).unwrap_err();
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the engine invariants the paper's proofs rely on:
+//! Definition 2.2 well-formedness is preserved by every SL operation, and
+//! objects behave independently (Lemma 3.5).
+
+use migratory::lang::{run, Assignment, AtomicUpdate, Transaction};
+use migratory::model::{
+    schema::university_schema, Atom, Condition, Instance, Oid, Value,
+};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Create(String, String),
+    Delete(String),
+    SpecializeStudent(String),
+    SpecializeGrad(String),
+    GeneralizeEmployee(String),
+    GeneralizeStudent(String),
+    Rename(String, String),
+}
+
+fn key_strategy() -> impl Strategy<Value = String> {
+    prop_oneof![Just("k1".to_owned()), Just("k2".to_owned()), Just("k3".to_owned())]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::Create(a, b)),
+        key_strategy().prop_map(Op::Delete),
+        key_strategy().prop_map(Op::SpecializeStudent),
+        key_strategy().prop_map(Op::SpecializeGrad),
+        key_strategy().prop_map(Op::GeneralizeEmployee),
+        key_strategy().prop_map(Op::GeneralizeStudent),
+        (key_strategy(), key_strategy()).prop_map(|(a, b)| Op::Rename(a, b)),
+    ]
+}
+
+fn to_update(schema: &migratory::model::Schema, op: &Op) -> AtomicUpdate {
+    let c = |n: &str| schema.class_id(n).unwrap();
+    let a = |n: &str| schema.attr_id(n).unwrap();
+    let eq = |attr: &str, v: &str| Atom::eq_const(a(attr), v);
+    match op {
+        Op::Create(s, n) => AtomicUpdate::Create {
+            class: c("PERSON"),
+            gamma: Condition::from_atoms([eq("SSN", s), eq("Name", n)]),
+        },
+        Op::Delete(s) => AtomicUpdate::Delete {
+            class: c("PERSON"),
+            gamma: Condition::from_atoms([eq("SSN", s)]),
+        },
+        Op::SpecializeStudent(s) => AtomicUpdate::Specialize {
+            from: c("PERSON"),
+            to: c("STUDENT"),
+            select: Condition::from_atoms([eq("SSN", s)]),
+            set: Condition::from_atoms([eq("Major", "m"), Atom::eq_const(a("FirstEnroll"), 1)]),
+        },
+        Op::SpecializeGrad(s) => AtomicUpdate::Specialize {
+            from: c("STUDENT"),
+            to: c("GRAD_ASSIST"),
+            select: Condition::from_atoms([eq("SSN", s)]),
+            set: Condition::from_atoms([
+                Atom::eq_const(a("PcAppoint"), 50),
+                Atom::eq_const(a("Salary"), 1),
+                eq("WorksIn", "d"),
+            ]),
+        },
+        Op::GeneralizeEmployee(s) => AtomicUpdate::Generalize {
+            class: c("EMPLOYEE"),
+            gamma: Condition::from_atoms([eq("SSN", s)]),
+        },
+        Op::GeneralizeStudent(s) => AtomicUpdate::Generalize {
+            class: c("STUDENT"),
+            gamma: Condition::from_atoms([eq("SSN", s)]),
+        },
+        Op::Rename(s, n) => AtomicUpdate::Modify {
+            class: c("PERSON"),
+            select: Condition::from_atoms([eq("SSN", s)]),
+            set: Condition::from_atoms([eq("Name", n)]),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every database reachable from d₀ by SL operations satisfies
+    /// Definition 2.2 (the interpreter can never corrupt an instance).
+    #[test]
+    fn sl_preserves_instance_invariants(ops in prop::collection::vec(op_strategy(), 0..12)) {
+        let schema = university_schema();
+        let mut db = Instance::empty();
+        for op in &ops {
+            let upd = to_update(&schema, op);
+            migratory::lang::validate_update(&schema, &upd).unwrap();
+            migratory::lang::apply_atomic(&schema, &mut db, &upd);
+            db.check_invariants(&schema).unwrap();
+        }
+    }
+
+    /// Lemma 3.5: ⟦T⟧(d|I) = (⟦T⟧(d))|I for SL transactions — objects
+    /// evolve independently.
+    #[test]
+    fn restriction_lemma(
+        setup in prop::collection::vec(op_strategy(), 0..6),
+        body in prop::collection::vec(op_strategy(), 1..5),
+        keep in prop::collection::vec(any::<bool>(), 12),
+    ) {
+        let schema = university_schema();
+        let mut db = Instance::empty();
+        for op in &setup {
+            migratory::lang::apply_atomic(&schema, &mut db, &to_update(&schema, op));
+        }
+        let t = Transaction::sl(
+            "body",
+            &[],
+            body.iter().map(|op| to_update(&schema, op)).collect(),
+        );
+        let objects: Vec<Oid> = db
+            .objects()
+            .filter(|o| keep.get(o.0 as usize % keep.len()).copied().unwrap_or(false))
+            .collect();
+        let lhs = run(&schema, &db.restrict(&objects), &t, &Assignment::empty()).unwrap();
+        let rhs = run(&schema, &db, &t, &Assignment::empty()).unwrap();
+        // Restriction must ignore objects created by T itself: compare on
+        // the original object set only.
+        let rhs_restricted = rhs.restrict(
+            &objects
+                .iter()
+                .copied()
+                .chain(lhs.objects())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>(),
+        );
+        let lhs_restricted = lhs.restrict(
+            &objects
+                .iter()
+                .copied()
+                .chain(rhs_restricted.objects())
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>(),
+        );
+        // Compare per-object state (next counters can differ when the
+        // restricted run creates the same number of objects at different
+        // ids — they don't here because create is unconditional, but keep
+        // the comparison on observables to state exactly Lemma 3.5).
+        for o in &objects {
+            prop_assert_eq!(lhs_restricted.role_set(*o), rhs.role_set(*o));
+            prop_assert_eq!(lhs_restricted.tuple_of(*o), rhs.tuple_of(*o));
+        }
+        let _ = Value::int(0);
+    }
+}

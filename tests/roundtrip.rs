@@ -1,0 +1,105 @@
+//! The paper's central equivalence, as a property test: for random
+//! regular expressions η over the role sets of a component, the schema
+//! Σ_η synthesized by Lemma 3.4 is analyzed back by Theorem 3.2(1) and
+//! the four families must equal their closed forms.
+
+use migratory::automata::{concat as nfa_concat, Dfa, Nfa, Regex};
+use migratory::core::{
+    analyze_families, synthesize, AnalyzeOptions, PatternKind, RoleAlphabet,
+};
+use migratory::model::{RoleSet, Schema, SchemaBuilder};
+use proptest::prelude::*;
+
+fn pq_schema() -> (Schema, RoleAlphabet) {
+    let mut b = SchemaBuilder::new();
+    let r = b.class("R", &["A", "B", "C"]).unwrap();
+    b.subclass("p", &[r], &[]).unwrap();
+    b.subclass("q", &[r], &[]).unwrap();
+    let schema = b.build().unwrap();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    (schema, alphabet)
+}
+
+/// Random regexes over the non-empty role symbols {1..=3} of the pq
+/// schema ([p], [q], [p,q] — whatever the alphabet ordering is, symbols
+/// 1..4 are the non-empty ones).
+fn regex_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        (1u32..4).prop_map(Regex::Sym),
+        Just(Regex::Epsilon),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::union),
+            inner.prop_map(Regex::star),
+        ]
+    })
+}
+
+fn nonempty_start(alphabet: &RoleAlphabet) -> Dfa {
+    let ns = alphabet.num_symbols();
+    let any = Regex::union((0..ns).map(Regex::Sym).collect::<Vec<_>>());
+    let bad = Regex::concat([Regex::Sym(alphabet.empty_symbol()), Regex::star(any)]);
+    Dfa::from_nfa(&Nfa::from_regex(&bad, ns)).complement()
+}
+
+fn check_round_trip(schema: &Schema, alphabet: &RoleAlphabet, eta: &Regex) {
+    let ns = alphabet.num_symbols();
+    let e = alphabet.empty_symbol();
+    let synth = synthesize(schema, alphabet, eta).expect("R has three attributes");
+    let (_, fams) = analyze_families(
+        schema,
+        alphabet,
+        &synth.transactions,
+        &AnalyzeOptions::default(),
+    )
+    .expect("synthesized schema is SL");
+
+    let ns_start = nonempty_start(alphabet);
+    let walks_imm = Dfa::from_nfa(&synth.graph.walks_nfa(ns, e, PatternKind::ImmediateStart));
+    let expected_imm = walks_imm.intersect(&ns_start).minimize();
+    assert!(fams.imm.equivalent(&expected_imm), "imm mismatch for {eta}");
+
+    let empty_star = Nfa::from_regex(&Regex::star(Regex::Sym(e)), ns);
+    let expected_all =
+        Dfa::from_nfa(&nfa_concat(&empty_star, &walks_imm.to_nfa()).unwrap()).minimize();
+    assert!(fams.all.equivalent(&expected_all), "all mismatch for {eta}");
+
+    let empty_opt = Nfa::from_regex(&Regex::opt(Regex::Sym(e)), ns);
+    for (kind, got) in [(PatternKind::Proper, &fams.pro), (PatternKind::Lazy, &fams.lazy)] {
+        let walks = Dfa::from_nfa(&synth.graph.walks_nfa(ns, e, kind)).intersect(&ns_start);
+        let expected =
+            Dfa::from_nfa(&nfa_concat(&empty_opt, &walks.to_nfa()).unwrap()).minimize();
+        assert!(got.equivalent(&expected), "{kind} mismatch for {eta}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_regular_inventories_round_trip(eta in regex_strategy()) {
+        let (schema, alphabet) = pq_schema();
+        check_round_trip(&schema, &alphabet, &eta);
+    }
+}
+
+#[test]
+fn pinned_regressions_round_trip() {
+    let (schema, alphabet) = pq_schema();
+    let p = alphabet
+        .symbol_of(RoleSet::closure_of_named(&schema, &["p"]).unwrap())
+        .unwrap();
+    let q = alphabet
+        .symbol_of(RoleSet::closure_of_named(&schema, &["q"]).unwrap())
+        .unwrap();
+    for eta in [
+        Regex::Sym(p),
+        Regex::word([p, q, p]),
+        Regex::star(Regex::union([Regex::word([p, q]), Regex::Sym(q)])),
+        Regex::concat([Regex::opt(Regex::Sym(q)), Regex::plus(Regex::Sym(p))]),
+    ] {
+        check_round_trip(&schema, &alphabet, &eta);
+    }
+}
