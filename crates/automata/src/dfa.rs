@@ -51,23 +51,13 @@ impl Dfa {
     /// The DFA accepting the empty language.
     #[must_use]
     pub fn empty_language(num_symbols: u32) -> Dfa {
-        Dfa {
-            num_symbols,
-            trans: vec![0; num_symbols as usize],
-            accept: vec![false],
-            start: 0,
-        }
+        Dfa { num_symbols, trans: vec![0; num_symbols as usize], accept: vec![false], start: 0 }
     }
 
     /// The DFA accepting every word.
     #[must_use]
     pub fn universal(num_symbols: u32) -> Dfa {
-        Dfa {
-            num_symbols,
-            trans: vec![0; num_symbols as usize],
-            accept: vec![true],
-            start: 0,
-        }
+        Dfa { num_symbols, trans: vec![0; num_symbols as usize], accept: vec![true], start: 0 }
     }
 
     /// Subset construction (ε-closures handled).
@@ -164,10 +154,7 @@ impl Dfa {
     /// Product construction with a Boolean combiner.
     #[must_use]
     pub fn product(&self, other: &Dfa, combine: &dyn Fn(bool, bool) -> bool) -> Dfa {
-        assert_eq!(
-            self.num_symbols, other.num_symbols,
-            "product requires identical alphabets"
-        );
+        assert_eq!(self.num_symbols, other.num_symbols, "product requires identical alphabets");
         let ns = self.num_symbols;
         let mut ids: HashMap<(u32, u32), u32> = HashMap::new();
         let mut order: Vec<(u32, u32)> = Vec::new();
@@ -391,11 +378,8 @@ impl Dfa {
                 let old: Vec<u32> = std::mem::take(&mut blocks[blk as usize]);
                 let (hit_part, rest): (Vec<u32>, Vec<u32>) =
                     old.into_iter().partition(|&q| in_hits[q as usize]);
-                let (small, large) = if hit_part.len() <= rest.len() {
-                    (hit_part, rest)
-                } else {
-                    (rest, hit_part)
-                };
+                let (small, large) =
+                    if hit_part.len() <= rest.len() { (hit_part, rest) } else { (rest, hit_part) };
                 // Keep the large part under the old id, small under new.
                 for &q in &small {
                     block_of[q as usize] = new_id;
@@ -541,8 +525,7 @@ impl Dfa {
             }
         }
         let mut live = self.accept.clone();
-        let mut stack: Vec<u32> =
-            (0..n).filter(|&q| live[q]).map(|q| q as u32).collect();
+        let mut stack: Vec<u32> = (0..n).filter(|&q| live[q]).map(|q| q as u32).collect();
         while let Some(q) = stack.pop() {
             for &p in &rev[q as usize] {
                 if !live[p as usize] {
@@ -637,11 +620,7 @@ mod tests {
         // Two different expressions for the same language minimize to the
         // same structure.
         let a = dfa(Regex::star(Regex::Sym(0)), 2).minimize();
-        let b = dfa(
-            Regex::union([Regex::Epsilon, Regex::plus(Regex::Sym(0))]),
-            2,
-        )
-        .minimize();
+        let b = dfa(Regex::union([Regex::Epsilon, Regex::plus(Regex::Sym(0))]), 2).minimize();
         assert_eq!(a, b, "canonical minimal DFAs should be identical");
     }
 

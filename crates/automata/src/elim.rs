@@ -42,19 +42,14 @@ pub fn nfa_to_regex(nfa: &Nfa) -> Regex {
     // Eliminate interior states one by one.
     for k in 0..n {
         let loop_k = Regex::star(edge[k][k].clone());
-        let incoming: Vec<usize> = (0..total)
-            .filter(|&i| i != k && edge[i][k] != Regex::Empty)
-            .collect();
-        let outgoing: Vec<usize> = (0..total)
-            .filter(|&j| j != k && edge[k][j] != Regex::Empty)
-            .collect();
+        let incoming: Vec<usize> =
+            (0..total).filter(|&i| i != k && edge[i][k] != Regex::Empty).collect();
+        let outgoing: Vec<usize> =
+            (0..total).filter(|&j| j != k && edge[k][j] != Regex::Empty).collect();
         for &i in &incoming {
             for &j in &outgoing {
-                let through = Regex::concat([
-                    edge[i][k].clone(),
-                    loop_k.clone(),
-                    edge[k][j].clone(),
-                ]);
+                let through =
+                    Regex::concat([edge[i][k].clone(), loop_k.clone(), edge[k][j].clone()]);
                 let e = &mut edge[i][j];
                 *e = Regex::union([std::mem::replace(e, Regex::Empty), through]);
             }
@@ -82,10 +77,7 @@ mod tests {
         let d = Dfa::from_nfa(&Nfa::from_regex(r, ns));
         let r2 = dfa_to_regex(&d);
         let d2 = Dfa::from_nfa(&Nfa::from_regex(&r2, ns));
-        assert!(
-            d.equivalent(&d2),
-            "state elimination changed the language of {r}: produced {r2}"
-        );
+        assert!(d.equivalent(&d2), "state elimination changed the language of {r}: produced {r2}");
     }
 
     #[test]
@@ -101,10 +93,7 @@ mod tests {
         // P(QQP)* — the paper's Example 3.6 expression shape.
         let p = Regex::Sym(0);
         let q = Regex::Sym(1);
-        let r = Regex::concat([
-            p.clone(),
-            Regex::star(Regex::concat([q.clone(), q, p])),
-        ]);
+        let r = Regex::concat([p.clone(), Regex::star(Regex::concat([q.clone(), q, p]))]);
         roundtrip(&r, 2);
     }
 

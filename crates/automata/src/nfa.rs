@@ -211,8 +211,7 @@ impl Nfa {
     #[must_use]
     pub fn is_empty_language(&self) -> bool {
         let reach = self.reachable();
-        !(0..self.states.len())
-            .any(|q| reach[q] && self.states[q].accept)
+        !(0..self.states.len()).any(|q| reach[q] && self.states[q].accept)
     }
 
     fn reachable(&self) -> Vec<bool> {
@@ -252,10 +251,8 @@ impl Nfa {
             }
         }
         let mut seen = vec![false; n];
-        let mut stack: Vec<StateId> = (0..n)
-            .filter(|&q| self.states[q].accept)
-            .map(|q| q as StateId)
-            .collect();
+        let mut stack: Vec<StateId> =
+            (0..n).filter(|&q| self.states[q].accept).map(|q| q as StateId).collect();
         for &q in &stack {
             seen[q as usize] = true;
         }

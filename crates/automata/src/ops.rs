@@ -273,10 +273,7 @@ mod tests {
             // L ⊆ R holds.
             (Regex::star(Regex::Sym(0)), Regex::star(Regex::union([Regex::Sym(0), Regex::Sym(1)]))),
             // Fails with witness 11.
-            (
-                Regex::star(Regex::Sym(1)),
-                Regex::union([Regex::Epsilon, Regex::Sym(1)]),
-            ),
+            (Regex::star(Regex::Sym(1)), Regex::union([Regex::Epsilon, Regex::Sym(1)])),
             // Equal languages.
             (
                 Regex::concat([Regex::Sym(0), Regex::star(Regex::Sym(1))]),

@@ -139,8 +139,7 @@ impl Parser<'_> {
                         }
                     }
                 }
-                let trimmed: String =
-                    name.split(',').map(str::trim).collect::<Vec<_>>().join(",");
+                let trimmed: String = name.split(',').map(str::trim).collect::<Vec<_>>().join(",");
                 self.symbol(&format!("[{trimmed}]"), i)
             }
             c if c.is_alphanumeric() || c == '_' => {
@@ -155,19 +154,14 @@ impl Parser<'_> {
                 }
                 self.symbol(&name, i)
             }
-            other => {
-                Err(AutomataError::Parse { offset: i, msg: format!("unexpected `{other}`") })
-            }
+            other => Err(AutomataError::Parse { offset: i, msg: format!("unexpected `{other}`") }),
         }
     }
 
     fn symbol(&mut self, name: &str, offset: usize) -> Result<Regex, AutomataError> {
         match (self.resolve)(name) {
             Some(id) => Ok(Regex::Sym(id)),
-            None => Err(AutomataError::Parse {
-                offset,
-                msg: format!("unknown symbol `{name}`"),
-            }),
+            None => Err(AutomataError::Parse { offset, msg: format!("unknown symbol `{name}`") }),
         }
     }
 }

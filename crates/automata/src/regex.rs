@@ -122,9 +122,7 @@ impl Regex {
         match self {
             Regex::Empty | Regex::Epsilon => None,
             Regex::Sym(s) => Some(*s),
-            Regex::Concat(ps) | Regex::Union(ps) => {
-                ps.iter().filter_map(Regex::max_symbol).max()
-            }
+            Regex::Concat(ps) | Regex::Union(ps) => ps.iter().filter_map(Regex::max_symbol).max(),
             Regex::Star(p) => p.max_symbol(),
         }
     }
@@ -134,9 +132,7 @@ impl Regex {
     pub fn size(&self) -> usize {
         match self {
             Regex::Empty | Regex::Epsilon | Regex::Sym(_) => 1,
-            Regex::Concat(ps) | Regex::Union(ps) => {
-                1 + ps.iter().map(Regex::size).sum::<usize>()
-            }
+            Regex::Concat(ps) | Regex::Union(ps) => 1 + ps.iter().map(Regex::size).sum::<usize>(),
             Regex::Star(p) => 1 + p.size(),
         }
     }
@@ -214,10 +210,7 @@ mod tests {
         assert_eq!(Regex::star(Regex::Empty), Regex::Epsilon);
         assert_eq!(Regex::star(Regex::star(Regex::Sym(0))), Regex::star(Regex::Sym(0)));
         // Nested flattening.
-        let c = Regex::concat([
-            Regex::concat([Regex::Sym(0), Regex::Sym(1)]),
-            Regex::Sym(2),
-        ]);
+        let c = Regex::concat([Regex::concat([Regex::Sym(0), Regex::Sym(1)]), Regex::Sym(2)]);
         assert_eq!(c, Regex::Concat(vec![Regex::Sym(0), Regex::Sym(1), Regex::Sym(2)]));
     }
 

@@ -32,9 +32,8 @@ pub fn sample_word<R: Rng + ?Sized>(dfa: &Dfa, max_len: usize, rng: &mut R) -> O
         counts.push(cur);
     }
 
-    let total: u64 = (0..=max_len)
-        .map(|k| counts[k][dfa.start() as usize])
-        .fold(0, u64::saturating_add);
+    let total: u64 =
+        (0..=max_len).map(|k| counts[k][dfa.start() as usize]).fold(0, u64::saturating_add);
     if total == 0 {
         return None;
     }
@@ -119,10 +118,7 @@ mod tests {
     #[test]
     fn sampling_covers_the_language() {
         // {0, 1}: both words should appear over many draws.
-        let d = Dfa::from_nfa(&Nfa::from_regex(
-            &Regex::union([Regex::Sym(0), Regex::Sym(1)]),
-            2,
-        ));
+        let d = Dfa::from_nfa(&Nfa::from_regex(&Regex::union([Regex::Sym(0), Regex::Sym(1)]), 2));
         let mut rng = StdRng::seed_from_u64(3);
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..100 {

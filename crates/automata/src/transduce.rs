@@ -44,9 +44,8 @@ pub fn f_rr_image(a: &Nfa) -> Nfa {
     let ns = a.num_symbols();
     let n = a.num_states() as u32;
     // State encoding: (q, last) → q * (ns+1) + (last+1 or 0).
-    let enc = |q: StateId, last: Option<u32>| -> StateId {
-        q * (ns + 1) + last.map_or(0, |l| l + 1)
-    };
+    let enc =
+        |q: StateId, last: Option<u32>| -> StateId { q * (ns + 1) + last.map_or(0, |l| l + 1) };
     let mut out = Nfa::empty(ns);
     for q in 0..n {
         for _last in 0..=ns {
@@ -141,10 +140,7 @@ mod tests {
     #[test]
     fn f_rr_image_of_repeats() {
         // L = 0 0* 1 1* ⇒ f_rr(L) = {01}.
-        let l = nfa(Regex::concat([
-            Regex::plus(Regex::Sym(0)),
-            Regex::plus(Regex::Sym(1)),
-        ]));
+        let l = nfa(Regex::concat([Regex::plus(Regex::Sym(0)), Regex::plus(Regex::Sym(1))]));
         let img = f_rr_image(&l);
         assert!(img.accepts(&[0, 1]));
         assert!(!img.accepts(&[0, 0, 1]), "image contains only repeat-free words");
@@ -200,10 +196,7 @@ mod tests {
     fn rr_and_rei_commute_on_images() {
         // Paper (Section 3): f_rr and f_rei commute. Check on an example
         // language: L = 0 0 1 1 0* with ∅ = 0.
-        let l = nfa(Regex::concat([
-            Regex::word([0, 0, 1, 1]),
-            Regex::star(Regex::Sym(0)),
-        ]));
+        let l = nfa(Regex::concat([Regex::word([0, 0, 1, 1]), Regex::star(Regex::Sym(0))]));
         let a = Dfa::from_nfa(&f_rr_image(&f_rei_image(&l, 0)));
         let b = Dfa::from_nfa(&f_rei_image(&f_rr_image(&l), 0));
         assert!(a.equivalent(&b));

@@ -77,9 +77,8 @@ impl Assertion {
         let attrs = attrs_of_role(schema, role);
         let pos = |a: AttrId| attrs.iter().position(|&x| x == a);
         // Free attributes are numbered consecutively for partition lookup.
-        let free_index = |i: usize| -> usize {
-            key.choices[..i].iter().filter(|c| **c == Choice::Free).count()
-        };
+        let free_index =
+            |i: usize| -> usize { key.choices[..i].iter().filter(|c| **c == Choice::Free).count() };
         self.atoms.iter().all(|atom| match atom {
             AssertionAtom::EqConst(a, v) => {
                 let Some(i) = pos(*a) else { return false };
@@ -131,7 +130,8 @@ mod tests {
     fn object_level_evaluation() {
         let (_, _, p, a, b) = setup();
         let db = mk_db(p, a, b, Value::int(1), Value::int(1));
-        let eq_const = Assertion { class: p, atoms: vec![AssertionAtom::EqConst(a, Value::int(1))] };
+        let eq_const =
+            Assertion { class: p, atoms: vec![AssertionAtom::EqConst(a, Value::int(1))] };
         let eq_attr = Assertion { class: p, atoms: vec![AssertionAtom::EqAttr(a, b)] };
         assert!(eq_const.satisfied_by(&db, Oid(1)));
         assert!(eq_attr.satisfied_by(&db, Oid(1)));
@@ -174,10 +174,7 @@ mod tests {
         let (_, _, p, a, b) = setup();
         let asrt = Assertion {
             class: p,
-            atoms: vec![
-                AssertionAtom::EqConst(a, Value::int(5)),
-                AssertionAtom::EqAttr(a, b),
-            ],
+            atoms: vec![AssertionAtom::EqConst(a, Value::int(5)), AssertionAtom::EqAttr(a, b)],
         };
         assert_eq!(asrt.constants(), vec![Value::int(5)]);
     }

@@ -75,8 +75,7 @@ pub fn flow_families(
             lazy: lambda,
         });
     }
-    let (analysis, witnesses) =
-        analyze_with_witnesses(schema, alphabet, &flow.transactions, opts)?;
+    let (analysis, witnesses) = analyze_with_witnesses(schema, alphabet, &flow.transactions, opts)?;
     let build = |kind: PatternKind| -> Dfa {
         let nfa = product_nfa(alphabet, &analysis.graph, &witnesses, flow, kind);
         Dfa::from_nfa(&nfa).minimize()
@@ -298,11 +297,9 @@ mod tests {
     #[test]
     fn flow_families_are_contained_in_plain_families() {
         // Ordering only restricts: ∀E, family(Σ, E) ⊆ family(Σ).
-        let (schema, alphabet, flow) =
-            slim_flow(&[("Mk", "Up"), ("Up", "Rm")], FlowKind::Inflow);
+        let (schema, alphabet, flow) = slim_flow(&[("Mk", "Up"), ("Up", "Rm")], FlowKind::Inflow);
         let opts = AnalyzeOptions::default();
-        let (_, plain) =
-            analyze_families(&schema, &alphabet, &flow.transactions, &opts).unwrap();
+        let (_, plain) = analyze_families(&schema, &alphabet, &flow.transactions, &opts).unwrap();
         let fams = flow_families(&schema, &alphabet, &flow, &opts).unwrap();
         for kind in PatternKind::ALL {
             assert!(fams.of(kind).is_subset_of(plain.of(kind)), "{kind} not contained");
@@ -312,10 +309,8 @@ mod tests {
     #[test]
     fn inflow_chain_restricts_patterns() {
         // E = Mk→Up, Up→Rm: global runs are prefixes of Mk; Up; Rm.
-        let (schema, alphabet, flow) =
-            slim_flow(&[("Mk", "Up"), ("Up", "Rm")], FlowKind::Inflow);
-        let fams =
-            flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
+        let (schema, alphabet, flow) = slim_flow(&[("Mk", "Up"), ("Up", "Rm")], FlowKind::Inflow);
+        let fams = flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
         let p = sym(&schema, &alphabet, &["P"]);
         let s = sym(&schema, &alphabet, &["S"]);
         let e = alphabet.empty_symbol();
@@ -368,9 +363,7 @@ mod tests {
         // which a globally chained run can violate by interleaving
         // updates to other objects — see `examples/course_workflow.rs`.
         for kind in PatternKind::ALL {
-            assert!(inflow_fams
-                .of(kind)
-                .is_subset_of(script_fams.of(kind)));
+            assert!(inflow_fams.of(kind).is_subset_of(script_fams.of(kind)));
         }
     }
 
@@ -405,8 +398,7 @@ mod tests {
         // invariant of pattern families.
         let (schema, alphabet, flow) =
             slim_flow(&[("Mk", "Up"), ("Up", "Dn"), ("Dn", "Up")], FlowKind::Inflow);
-        let fams =
-            flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
+        let fams = flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
         for kind in PatternKind::ALL {
             let dfa = fams.of(kind);
             let closed = Dfa::from_nfa(&dfa.to_nfa().prefix_closure());
@@ -464,8 +456,7 @@ mod tests {
             for (ai, (ti, args)) in apps.iter().enumerate() {
                 let mut seq2 = seq.clone();
                 seq2.push(ai);
-                let next =
-                    run(schema, trace.last().unwrap(), &ts[*ti], args).unwrap();
+                let next = run(schema, trace.last().unwrap(), &ts[*ti], args).unwrap();
                 let mut trace2 = trace.clone();
                 trace2.push(next);
                 // Does the extended run obey the flow?
@@ -504,8 +495,7 @@ mod tests {
     fn product_matches_brute_force_inflow() {
         let (schema, alphabet, flow) =
             slim_flow(&[("Mk", "Up"), ("Up", "Rm"), ("Up", "Dn"), ("Dn", "Rm")], FlowKind::Inflow);
-        let fams =
-            flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
+        let fams = flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
         let depth = 4;
         let observed = bounded_flow_patterns(&schema, &alphabet, &flow, depth);
         let dfa = fams.of(PatternKind::All);
@@ -519,10 +509,8 @@ mod tests {
 
     #[test]
     fn product_matches_brute_force_script() {
-        let (schema, alphabet, flow) =
-            slim_flow(&[("Mk", "Up"), ("Up", "Rm")], FlowKind::Script);
-        let fams =
-            flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
+        let (schema, alphabet, flow) = slim_flow(&[("Mk", "Up"), ("Up", "Rm")], FlowKind::Script);
+        let fams = flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
         let depth = 3;
         let observed = bounded_flow_patterns(&schema, &alphabet, &flow, depth);
         let dfa = fams.of(PatternKind::All);
@@ -537,12 +525,8 @@ mod tests {
     #[test]
     fn empty_flow_schema_yields_lambda() {
         let (schema, alphabet) = slim();
-        let flow = FlowSchema::complete(
-            migratory_lang::TransactionSchema::new(),
-            FlowKind::Inflow,
-        );
-        let fams =
-            flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
+        let flow = FlowSchema::complete(migratory_lang::TransactionSchema::new(), FlowKind::Inflow);
+        let fams = flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
         for kind in PatternKind::ALL {
             assert!(fams.of(kind).accepts(&[]));
             assert!(!fams.of(kind).accepts(&[0]));
@@ -551,10 +535,8 @@ mod tests {
 
     #[test]
     fn immediate_start_has_no_leading_empty() {
-        let (schema, alphabet, flow) =
-            slim_flow(&[("Mk", "Mk"), ("Mk", "Rm")], FlowKind::Inflow);
-        let fams =
-            flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
+        let (schema, alphabet, flow) = slim_flow(&[("Mk", "Mk"), ("Mk", "Rm")], FlowKind::Inflow);
+        let fams = flow_families(&schema, &alphabet, &flow, &AnalyzeOptions::default()).unwrap();
         let p = sym(&schema, &alphabet, &["P"]);
         let e = alphabet.empty_symbol();
         assert!(fams.of(PatternKind::All).accepts(&[e, p]), "created on step 2");

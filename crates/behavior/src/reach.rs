@@ -77,9 +77,8 @@ pub fn decide_reachability(
         )
     };
 
-    let sources: Vec<u32> = (2..analysis.graph.num_vertices() as u32)
-        .filter(|&v| vertex_sat(v, source))
-        .collect();
+    let sources: Vec<u32> =
+        (2..analysis.graph.num_vertices() as u32).filter(|&v| vertex_sat(v, source)).collect();
 
     // BFS over (vertex, last ordered transaction). `usize::MAX` = no
     // ordered transaction applied yet.
@@ -180,8 +179,7 @@ mod tests {
         .unwrap();
         let visitor = Assertion::trivial(schema.class_id("VISITOR").unwrap());
         let citizen = Assertion::trivial(schema.class_id("CITIZEN").unwrap());
-        let r =
-            decide_reachability(&schema, &alphabet, &flow, &visitor, &citizen).unwrap();
+        let r = decide_reachability(&schema, &alphabet, &flow, &visitor, &citizen).unwrap();
         assert!(r.sources > 0);
         assert!(r.holds_for_all(), "{r:?}");
     }
@@ -199,8 +197,7 @@ mod tests {
         .unwrap();
         let visitor = Assertion::trivial(schema.class_id("VISITOR").unwrap());
         let citizen = Assertion::trivial(schema.class_id("CITIZEN").unwrap());
-        let r =
-            decide_reachability(&schema, &alphabet, &flow, &visitor, &citizen).unwrap();
+        let r = decide_reachability(&schema, &alphabet, &flow, &visitor, &citizen).unwrap();
         assert!(r.sources > 0);
         assert!(!r.holds_for_some(), "{r:?}");
     }
@@ -223,18 +220,11 @@ mod tests {
         .unwrap();
         let visitor = Assertion::trivial(schema.class_id("VISITOR").unwrap());
         let citizen = Assertion::trivial(schema.class_id("CITIZEN").unwrap());
-        let r =
-            decide_reachability(&schema, &alphabet, &flow, &visitor, &citizen).unwrap();
+        let r = decide_reachability(&schema, &alphabet, &flow, &visitor, &citizen).unwrap();
         assert!(r.holds_for_all(), "{r:?}");
         // Script with the reversed relation fails.
-        let flow = FlowSchema::new(
-            ts,
-            &[("Naturalize", "Settle")],
-            FlowKind::Script,
-        )
-        .unwrap();
-        let r =
-            decide_reachability(&schema, &alphabet, &flow, &visitor, &citizen).unwrap();
+        let flow = FlowSchema::new(ts, &[("Naturalize", "Settle")], FlowKind::Script).unwrap();
+        let r = decide_reachability(&schema, &alphabet, &flow, &visitor, &citizen).unwrap();
         assert!(!r.holds_for_some());
     }
 

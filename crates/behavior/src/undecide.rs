@@ -64,13 +64,8 @@ pub fn bounded_halting_reachability(
         let mut reached = false;
         for (name, args) in script {
             let t = hf.flow.transactions.get(&name).expect("compiled transaction");
-            migratory_lang::apply_transaction(
-                &hf.schema,
-                &mut db,
-                t,
-                &Assignment::new(args),
-            )
-            .expect("validated");
+            migratory_lang::apply_transaction(&hf.schema, &mut db, t, &Assignment::new(args))
+                .expect("validated");
             if db.objects().any(|o| db.role_set(o).contains(hf.target_class)) {
                 reached = true;
             }
@@ -123,18 +118,10 @@ mod tests {
         // The compiled schema is CSL⁺, so the decidable procedure of
         // Theorem 5.1(1) correctly refuses it.
         let hf = halting_flow(machines::accept_all()).unwrap();
-        let src = crate::assertion::Assertion::trivial(
-            hf.schema.require_class("R").unwrap(),
-        );
+        let src = crate::assertion::Assertion::trivial(hf.schema.require_class("R").unwrap());
         let tgt = crate::assertion::Assertion::trivial(hf.target_class);
         assert!(matches!(
-            crate::reach::decide_reachability(
-                &hf.schema,
-                &hf.alphabet,
-                &hf.flow,
-                &src,
-                &tgt
-            ),
+            crate::reach::decide_reachability(&hf.schema, &hf.alphabet, &hf.flow, &src, &tgt),
             Err(CoreError::NotSl)
         ));
     }

@@ -8,10 +8,7 @@ fn deep_regex(depth: usize) -> Regex {
     // ((0|1)(0|1)…)* nested with unions — states grow with depth.
     let mut r = Regex::union([Regex::Sym(0), Regex::Sym(1)]);
     for i in 0..depth {
-        r = Regex::concat([
-            r.clone(),
-            Regex::star(Regex::union([Regex::Sym(i as u32 % 3), r])),
-        ]);
+        r = Regex::concat([r.clone(), Regex::star(Regex::union([Regex::Sym(i as u32 % 3), r]))]);
     }
     r
 }
@@ -27,9 +24,7 @@ fn bench(c: &mut Criterion) {
     let a = Dfa::from_nfa(&Nfa::from_regex(&deep_regex(5), 3)).minimize();
     let bdfa = Dfa::from_nfa(&Nfa::from_regex(&deep_regex(6), 3)).minimize();
     g.bench_function("inclusion", |b| b.iter(|| a.is_subset_of(&bdfa)));
-    g.bench_function("state_elimination", |b| {
-        b.iter(|| migratory_automata::dfa_to_regex(&a))
-    });
+    g.bench_function("state_elimination", |b| b.iter(|| migratory_automata::dfa_to_regex(&a)));
     g.finish();
 }
 

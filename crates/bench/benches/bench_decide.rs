@@ -21,21 +21,17 @@ fn bench(c: &mut Criterion) {
         })
     });
     for &depth in &[2usize, 3] {
-        g.bench_with_input(
-            BenchmarkId::new("bounded_explorer", depth),
-            &depth,
-            |b, &depth| {
-                b.iter(|| {
-                    let sets = explore(
-                        &schema,
-                        &alphabet,
-                        &ts,
-                        &ExploreConfig { max_steps: depth, ..Default::default() },
-                    );
-                    sets.all.iter().find(|w| !inv.contains(w)).cloned()
-                })
-            },
-        );
+        g.bench_with_input(BenchmarkId::new("bounded_explorer", depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let sets = explore(
+                    &schema,
+                    &alphabet,
+                    &ts,
+                    &ExploreConfig { max_steps: depth, ..Default::default() },
+                );
+                sets.all.iter().find(|w| !inv.contains(w)).cloned()
+            })
+        });
     }
     g.finish();
 
@@ -70,9 +66,7 @@ fn bench(c: &mut Criterion) {
             migratory_automata::nfa_witness_not_subset(&nfa, inv.dfa()).unwrap()
         })
     });
-    g.bench_function("amortized_repeat", |b| {
-        b.iter(|| fams.all.witness_not_subset(inv.dfa()))
-    });
+    g.bench_function("amortized_repeat", |b| b.iter(|| fams.all.witness_not_subset(inv.dfa())));
     g.finish();
 }
 

@@ -5,24 +5,28 @@
 //!
 //! * `raw`       — the bare interpreter, no constraint;
 //! * `checked`   — a [`Monitor`] validating every application against the
-//!   schema's characterizing inventory (per-object DFA stepping);
+//!   schema's characterizing inventory (delta/cohort engine);
 //! * `certified` — the same monitor after Corollary 3.3 statically
 //!   certified the schema, so every runtime check is skipped.
 //!
 //! Expected shape: `certified` tracks `raw` within a small constant,
-//! while `checked` pays per tracked object per step.
+//! while `checked` pays per *touched* object per step.
+//!
+//! The `enforce_large_db` group measures the steady state on a
+//! bulk-loaded database: the delta/cohort engine (`delta`) versus the
+//! whole-database rescan baseline (`reference`,
+//! [`Monitor::new_reference`]). The full 10k–1M sweep with latency
+//! trajectories lives in the `experiments` binary (`enforce-large`),
+//! which also emits `BENCH_enforce.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use migratory_bench::university;
+use migratory_bench::{bulk_create, toggle_step, toggle_transactions, university};
 use migratory_core::enforce::Monitor;
 use migratory_core::{Inventory, PatternKind};
 use migratory_lang::{Assignment, Transaction, TransactionSchema};
 use migratory_model::{Instance, Value};
 
-fn lifecycle_script(
-    ts: &TransactionSchema,
-    n: usize,
-) -> Vec<(&Transaction, Assignment)> {
+fn lifecycle_script(ts: &TransactionSchema, n: usize) -> Vec<(&Transaction, Assignment)> {
     let t1 = ts.get("T1").expect("T1");
     let t2 = ts.get("T2").expect("T2");
     let t3 = ts.get("T3").expect("T3");
@@ -41,12 +45,7 @@ fn lifecycle_script(
         ));
         script.push((
             t2,
-            Assignment::new(vec![
-                ssn.clone(),
-                Value::int(50),
-                Value::int(1),
-                Value::str("D"),
-            ]),
+            Assignment::new(vec![ssn.clone(), Value::int(50), Value::int(1), Value::str("D")]),
         ));
         script.push((t3, Assignment::new(vec![ssn.clone()])));
         script.push((t4, Assignment::new(vec![ssn])));
@@ -57,12 +56,8 @@ fn lifecycle_script(
 fn bench(c: &mut Criterion) {
     let (schema, alphabet, ts) = university();
     // The schema's own family: certification succeeds, nothing rejects.
-    let inventory = Inventory::parse_init(
-        &schema,
-        &alphabet,
-        "∅* ([STUDENT]+ [GRAD_ASSIST]*)* ∅*",
-    )
-    .expect("inventory parses");
+    let inventory = Inventory::parse_init(&schema, &alphabet, "∅* ([STUDENT]+ [GRAD_ASSIST]*)* ∅*")
+        .expect("inventory parses");
 
     let mut g = c.benchmark_group("enforce_lifecycle");
     for &n in &[8usize, 32, 128] {
@@ -72,8 +67,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut db = Instance::empty();
                 for (t, args) in &script {
-                    migratory_lang::apply_transaction(&schema, &mut db, t, args)
-                        .expect("applies");
+                    migratory_lang::apply_transaction(&schema, &mut db, t, args).expect("applies");
                 }
                 db
             });
@@ -81,8 +75,7 @@ fn bench(c: &mut Criterion) {
 
         g.bench_with_input(BenchmarkId::new("checked", n), &n, |b, _| {
             b.iter(|| {
-                let mut m =
-                    Monitor::new(&schema, &alphabet, &inventory, PatternKind::All);
+                let mut m = Monitor::new(&schema, &alphabet, &inventory, PatternKind::All);
                 for (t, args) in &script {
                     m.try_apply(t, args).expect("schema satisfies inventory");
                 }
@@ -92,8 +85,7 @@ fn bench(c: &mut Criterion) {
 
         // Certification is a one-time static analysis; measure only the
         // runtime path it buys.
-        let mut certified_proto =
-            Monitor::new(&schema, &alphabet, &inventory, PatternKind::All);
+        let mut certified_proto = Monitor::new(&schema, &alphabet, &inventory, PatternKind::All);
         assert!(certified_proto.certify(&ts).expect("SL decidable"));
         g.bench_with_input(BenchmarkId::new("certified", n), &n, |b, _| {
             b.iter(|| {
@@ -115,6 +107,38 @@ fn bench(c: &mut Criterion) {
             m.certify(&ts).expect("SL decidable")
         });
     });
+
+    // Steady state on a bulk-loaded database: 64 single-object toggles.
+    // The delta engine's per-step cost depends on the touched set (1
+    // object) plus the sat scan; the reference engine re-clones and
+    // rescans the whole store every application.
+    let toggle_inv = Inventory::parse_init(&schema, &alphabet, "∅* ([PERSON] ∪ [STUDENT])* ∅*")
+        .expect("inventory parses");
+    let toggles = toggle_transactions(&schema);
+    let no_args = Assignment::empty();
+    let mut g = c.benchmark_group("enforce_large_db");
+    g.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let bulk = bulk_create(&schema, n);
+        let mut delta_proto = Monitor::new(&schema, &alphabet, &toggle_inv, PatternKind::All);
+        delta_proto.try_apply(&bulk, &no_args).expect("bulk load conforms");
+        let mut ref_proto =
+            Monitor::new_reference(&schema, &alphabet, &toggle_inv, PatternKind::All);
+        ref_proto.try_apply(&bulk, &no_args).expect("bulk load conforms");
+        for (label, proto) in [("delta", &delta_proto), ("reference", &ref_proto)] {
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    let mut m = proto.clone();
+                    for i in 0..64 {
+                        let (name, args) = toggle_step(i, n);
+                        m.try_apply(toggles.get(name).expect("toggle"), &args).expect("conforms");
+                    }
+                    m.steps()
+                });
+            });
+        }
+    }
+    g.finish();
 }
 
 criterion_group!(benches, bench);

@@ -15,12 +15,9 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("complete_relation", name), &flow, |b, flow| {
             b.iter(|| decide_reachability(&schema, &alphabet, flow, &src, &tgt).unwrap())
         });
-        let sparse = FlowSchema::new(
-            ts.clone(),
-            &[("Mk", "Up"), ("Up", "Up2"), ("Up2", "Rm")],
-            kind,
-        )
-        .unwrap();
+        let sparse =
+            FlowSchema::new(ts.clone(), &[("Mk", "Up"), ("Up", "Up2"), ("Up2", "Rm")], kind)
+                .unwrap();
         g.bench_with_input(BenchmarkId::new("sparse_relation", name), &sparse, |b, flow| {
             b.iter(|| decide_reachability(&schema, &alphabet, flow, &src, &tgt).unwrap())
         });

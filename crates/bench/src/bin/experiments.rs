@@ -2,7 +2,11 @@
 //!
 //! Usage: `cargo run -p migratory-bench --bin experiments --release [-- <id>]`
 //! with ids: fig1-2, ex3.4, thm3.2, cor3.3, thm4.3, ex4.1, thm5.1,
-//! baseline, enforce, flow, all (default).
+//! baseline, enforce, enforce-large, flow, all (default).
+//!
+//! `enforce-large` additionally writes `BENCH_enforce.json` (throughput /
+//! latency trajectory of the delta monitor vs the reference monitor on
+//! 10k–1M-object databases) to the current directory.
 
 use migratory_bench::*;
 use migratory_chomsky::turing::machines;
@@ -39,6 +43,9 @@ fn main() {
     if all || which == "enforce" {
         enforce_row();
     }
+    if all || which == "enforce-large" {
+        enforce_large_row();
+    }
     if all || which == "flow" {
         flow_families_row();
     }
@@ -47,8 +54,8 @@ fn main() {
 fn enforce_row() {
     println!("== perf-enforce: runtime enforcement vs static certification ==");
     let (schema, alphabet, ts) = university();
-    let inv = Inventory::parse_init(&schema, &alphabet, "∅* ([STUDENT]+ [GRAD_ASSIST]*)* ∅*")
-        .unwrap();
+    let inv =
+        Inventory::parse_init(&schema, &alphabet, "∅* ([STUDENT]+ [GRAD_ASSIST]*)* ∅*").unwrap();
     let n = 64usize;
     let t1 = ts.get("T1").unwrap();
     let t2 = ts.get("T2").unwrap();
@@ -117,16 +124,130 @@ fn enforce_row() {
     println!();
 }
 
+/// Large-database enforcement: bulk-load n objects in one step, then
+/// measure steady-state single-object applications under (a) the raw
+/// interpreter, (b) the delta/cohort monitor, (c) the reference monitor.
+/// Writes `BENCH_enforce.json` with the throughput/latency trajectory.
+fn enforce_large_row() {
+    use migratory_core::enforce::Monitor;
+
+    println!("== perf-enforce-large: O(touched) monitor vs whole-db rescan ==");
+    let configs: [(usize, usize, usize); 3] =
+        [(10_000, 400, 100), (100_000, 400, 60), (1_000_000, 200, 5)];
+    let mut rows: Vec<String> = Vec::new();
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>9} {:>10} {:>10}",
+        "objects", "raw/s", "delta/s", "ref/s", "speedup", "p50 (µs)", "p95 (µs)"
+    );
+    for &(n, steps_new, steps_ref) in &configs {
+        let (schema, alphabet, _) = university();
+        let inv =
+            Inventory::parse_init(&schema, &alphabet, "∅* ([PERSON] ∪ [STUDENT])* ∅*").unwrap();
+        let ts = toggle_transactions(&schema);
+        let bulk = bulk_create(&schema, n);
+        let no_args = migratory_lang::Assignment::empty();
+
+        // (a) Raw interpreter: the irreducible cost of the applications
+        // themselves (sat-scan included) — no enforcement.
+        let mut db = Instance::empty();
+        migratory_lang::apply_transaction(&schema, &mut db, &bulk, &no_args).unwrap();
+        let t0 = Instant::now();
+        for i in 0..steps_new {
+            let (name, args) = toggle_step(i, n);
+            migratory_lang::apply_transaction(&schema, &mut db, ts.get(name).unwrap(), &args)
+                .unwrap();
+        }
+        let raw_rate = steps_new as f64 / t0.elapsed().as_secs_f64();
+
+        // (b) Delta/cohort monitor with per-step latencies.
+        let mut m = Monitor::new(&schema, &alphabet, &inv, PatternKind::All);
+        let t0 = Instant::now();
+        m.try_apply(&bulk, &no_args).expect("bulk load conforms");
+        let bulk_load = t0.elapsed();
+        let mut lat: Vec<f64> = Vec::with_capacity(steps_new);
+        let t_run = Instant::now();
+        for i in 0..steps_new {
+            let (name, args) = toggle_step(i, n);
+            let t0 = Instant::now();
+            m.try_apply(ts.get(name).unwrap(), &args).expect("toggle conforms");
+            lat.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        let delta_rate = steps_new as f64 / t_run.elapsed().as_secs_f64();
+        assert_eq!(m.last_touched(), Some(1), "steady-state steps touch one object");
+        // Throughput trajectory over ten equal segments of the run: flat
+        // means per-step cost does not grow with run length.
+        let seg = (steps_new / 10).max(1);
+        let trajectory: Vec<f64> =
+            lat.chunks(seg).map(|c| c.len() as f64 / (c.iter().sum::<f64>() / 1e6)).collect();
+        let mut sorted = lat.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pct = |p: f64| sorted[(p * (sorted.len() - 1) as f64).round() as usize];
+        let (p50, p95, pmax) = (pct(0.50), pct(0.95), sorted[sorted.len() - 1]);
+
+        // (c) Reference monitor (fewer steps: each one is O(|db|)).
+        let mut r = Monitor::new_reference(&schema, &alphabet, &inv, PatternKind::All);
+        r.try_apply(&bulk, &no_args).expect("bulk load conforms");
+        let t0 = Instant::now();
+        for i in 0..steps_ref {
+            let (name, args) = toggle_step(i, n);
+            r.try_apply(ts.get(name).unwrap(), &args).expect("toggle conforms");
+        }
+        let ref_rate = steps_ref as f64 / t0.elapsed().as_secs_f64();
+
+        let speedup = delta_rate / ref_rate;
+        println!(
+            "{n:>10} {raw_rate:>12.0} {delta_rate:>12.0} {ref_rate:>12.1} {speedup:>8.1}× {p50:>10.1} {p95:>10.1}"
+        );
+        let fmt_list =
+            |v: &[f64]| v.iter().map(|x| format!("{x:.1}")).collect::<Vec<_>>().join(", ");
+        rows.push(format!(
+            r#"    {{
+      "objects": {n},
+      "bulk_load_ms": {:.2},
+      "raw": {{ "steps": {steps_new}, "apps_per_sec": {raw_rate:.1} }},
+      "delta": {{
+        "steps": {steps_new},
+        "apps_per_sec": {delta_rate:.1},
+        "latency_us": {{ "p50": {p50:.1}, "p95": {p95:.1}, "max": {pmax:.1} }},
+        "throughput_trajectory_apps_per_sec": [{}],
+        "touched_per_step": 1
+      }},
+      "reference": {{ "steps": {steps_ref}, "apps_per_sec": {ref_rate:.1} }},
+      "speedup_vs_reference": {speedup:.1}
+    }}"#,
+            bulk_load.as_secs_f64() * 1e3,
+            fmt_list(&trajectory),
+        ));
+    }
+    let json = format!(
+        r#"{{
+  "bench": "enforce_large_db",
+  "workload": "bulk-load n persons in one step, then alternating single-object specialize/generalize toggles",
+  "inventory": "∅* ([PERSON] ∪ [STUDENT])* ∅*",
+  "kind": "all",
+  "engines": {{
+    "raw": "interpreter only, no enforcement",
+    "delta": "Monitor::new — incremental delta/cohort engine",
+    "reference": "Monitor::new_reference — whole-database rescan per application"
+  }},
+  "sizes": [
+{}
+  ]
+}}
+"#,
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_enforce.json", &json).expect("write BENCH_enforce.json");
+    println!("  (wrote BENCH_enforce.json)");
+    println!();
+}
+
 fn flow_families_row() {
     println!("== §5 remark / flow: inflow families stay regular and only restrict ==");
     let (schema, alphabet, ts) = slim_chain();
-    let (_, plain) =
-        analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap();
+    let (_, plain) = analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap();
     let ordered = vec![("Mk", "Up"), ("Up", "Up"), ("Up", "Rm")];
-    println!(
-        "{:>10} {:>6} {:>10}  patterns of length ≤ k, k = 0..6",
-        "relation", "kind", "|DFA|"
-    );
+    println!("{:>10} {:>6} {:>10}  patterns of length ≤ k, k = 0..6", "relation", "kind", "|DFA|");
     for (rel, flow) in [
         (
             "complete",
@@ -156,9 +277,7 @@ fn flow_families_row() {
             let dfa = fams.of(kind);
             assert!(dfa.is_subset_of(plain.of(kind)), "ordering only restricts");
             let counts = dfa.count_words(6);
-            let series: Vec<u64> = (0..=6)
-                .map(|k| counts.iter().take(k + 1).sum())
-                .collect();
+            let series: Vec<u64> = (0..=6).map(|k| counts.iter().take(k + 1).sum()).collect();
             println!("{rel:>10} {kind:>6} {:>10}  {series:?}", dfa.num_states());
         }
     }
@@ -224,8 +343,7 @@ fn thm3_2() {
 fn cor3_3_baseline() {
     println!("== cor3.3 / perf-baseline: graph decision vs bounded exploration ==");
     let (schema, alphabet, ts) = slim_chain();
-    let inv =
-        Inventory::parse_init(&schema, &alphabet, "∅* [P]* [S]* ([G] ∪ [S])* ∅*").unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [P]* [S]* ([G] ∪ [S])* ∅*").unwrap();
     let start = Instant::now();
     let (_, fams) = analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap();
     let d = decide_with_families(&fams, &inv, PatternKind::All);
@@ -300,8 +418,7 @@ fn thm4_3() {
 fn ex4_1() {
     println!("== ex4.1 / thm4.8: CFG derivation machine (aⁱbⁱ) ==");
     let grammar = migratory_chomsky::cfg::grammars::anbn();
-    let (schema, alphabet, s_class, roles) =
-        migratory_core::standard_cfg_schema(2).unwrap();
+    let (schema, alphabet, s_class, roles) = migratory_core::standard_cfg_schema(2).unwrap();
     let compiled =
         migratory_core::compile_cfg(&schema, &alphabet, s_class, &grammar, &roles).unwrap();
     println!("GNF productions: {}", compiled.gnf.prods.len());
@@ -331,10 +448,9 @@ fn thm5_1() {
         ("inflow", migratory_behavior::FlowKind::Inflow),
         ("script", migratory_behavior::FlowKind::Script),
     ] {
-        for (rel, edges) in [
-            ("complete", None),
-            ("ordered", Some(vec![("Mk", "Up"), ("Up", "Up"), ("Up", "Rm")])),
-        ] {
+        for (rel, edges) in
+            [("complete", None), ("ordered", Some(vec![("Mk", "Up"), ("Up", "Up"), ("Up", "Rm")]))]
+        {
             let flow = match &edges {
                 None => migratory_behavior::FlowSchema::complete(ts.clone(), kind),
                 Some(e) => migratory_behavior::FlowSchema::new(ts.clone(), e, kind).unwrap(),

@@ -1,6 +1,6 @@
 //! Shared workload builders for benches and the experiments binary.
 
-use migratory_core::{RoleAlphabet};
+use migratory_core::RoleAlphabet;
 use migratory_lang::{parse_transactions, Assignment, Transaction, TransactionSchema};
 use migratory_model::{Instance, Schema, SchemaBuilder, Value};
 
@@ -47,12 +47,7 @@ pub fn populated_university(n: usize) -> (Schema, TransactionSchema, Instance) {
 }
 
 /// One Example 3.4-style application on a populated database.
-pub fn apply_round(
-    schema: &Schema,
-    ts: &TransactionSchema,
-    db: &mut Instance,
-    i: usize,
-) {
+pub fn apply_round(schema: &Schema, ts: &TransactionSchema, db: &mut Instance, i: usize) {
     let t: &Transaction = match i % 3 {
         0 => ts.get("T2").expect("T2"),
         1 => ts.get("T3").expect("T3"),
@@ -65,6 +60,55 @@ pub fn apply_round(
         _ => Assignment::empty(),
     };
     migratory_lang::apply_transaction(schema, db, t, &args).expect("arity");
+}
+
+/// One SL transaction creating `n` persons — bulk-loads a large database
+/// in a **single** monitor step, so enforcement benchmarks can measure
+/// steady-state per-application cost on a big store without paying a
+/// quadratic build-up.
+#[must_use]
+pub fn bulk_create(schema: &Schema, n: usize) -> Transaction {
+    use migratory_lang::AtomicUpdate;
+    use migratory_model::{Atom, Condition};
+    let person = schema.class_id("PERSON").expect("university schema");
+    let ssn = schema.attr_id("SSN").expect("university schema");
+    let name = schema.attr_id("Name").expect("university schema");
+    let updates = (0..n)
+        .map(|i| AtomicUpdate::Create {
+            class: person,
+            gamma: Condition::from_atoms([
+                Atom::eq_const(ssn, format!("s{i}")),
+                Atom::eq_const(name, "n"),
+            ]),
+        })
+        .collect();
+    Transaction::sl("BulkLoad", &[], updates)
+}
+
+/// Point-touch transactions for the large-database enforcement workload:
+/// toggle one keyed person between PERSON and STUDENT. Each application
+/// touches exactly one object; everything else is untouched ballast.
+#[must_use]
+pub fn toggle_transactions(schema: &Schema) -> TransactionSchema {
+    parse_transactions(
+        schema,
+        r#"
+        transaction St(x) {
+          specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS", FirstEnroll = 1 });
+        }
+        transaction UnSt(x) { generalize(STUDENT, { SSN = x }); }
+    "#,
+    )
+    .expect("validates against the university schema")
+}
+
+/// The `i`-th application of the toggle workload over `n` objects:
+/// `(transaction name, argument)` — alternating St/UnSt over a rotating
+/// key so each step changes one object's role set.
+#[must_use]
+pub fn toggle_step(i: usize, n: usize) -> (&'static str, Assignment) {
+    let key = Assignment::new(vec![Value::str(&format!("s{}", (i / 2) % n.max(1)))]);
+    (if i.is_multiple_of(2) { "St" } else { "UnSt" }, key)
 }
 
 /// The pq synthesis host (Fig. 3 style: root R{A,B,C} with `k` leaf
@@ -83,7 +127,11 @@ pub fn synthesis_host(k: usize) -> (Schema, RoleAlphabet) {
 
 /// A chain regex `c0 c1 … c(k−1)` over the host's leaf role sets.
 #[must_use]
-pub fn chain_regex(schema: &Schema, alphabet: &RoleAlphabet, k: usize) -> migratory_automata::Regex {
+pub fn chain_regex(
+    schema: &Schema,
+    alphabet: &RoleAlphabet,
+    k: usize,
+) -> migratory_automata::Regex {
     let syms: Vec<u32> = (0..k)
         .map(|i| {
             let rs = migratory_model::RoleSet::closure_of_named(schema, &[&format!("c{i}")])

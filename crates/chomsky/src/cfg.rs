@@ -43,7 +43,11 @@ pub struct Cfg {
 
 impl Cfg {
     /// A grammar with no productions.
-    pub fn new(num_terminals: u32, num_nonterminals: u32, start: u32) -> Result<Self, ChomskyError> {
+    pub fn new(
+        num_terminals: u32,
+        num_nonterminals: u32,
+        start: u32,
+    ) -> Result<Self, ChomskyError> {
         if start >= num_nonterminals {
             return Err(ChomskyError::BadNonterminal(start));
         }
@@ -144,8 +148,7 @@ impl Cfg {
             return out;
         }
         // Sentential form: produced terminals + remaining symbols.
-        let mut stack: Vec<(Vec<u32>, Vec<Sym>)> =
-            vec![(Vec::new(), vec![Sym::N(self.start)])];
+        let mut stack: Vec<(Vec<u32>, Vec<Sym>)> = vec![(Vec::new(), vec![Sym::N(self.start)])];
         let mut seen: BTreeSet<(Vec<u32>, Vec<Sym>)> = BTreeSet::new();
         while let Some((done, rest)) = stack.pop() {
             if out.len() >= limit {

@@ -1,8 +1,8 @@
 //! CYK membership for grammars in Chomsky normal form.
 
 use crate::cfg::{Cfg, Sym};
-use crate::normal::{check_cnf, to_cnf, NormalForm};
 use crate::error::ChomskyError;
+use crate::normal::{check_cnf, to_cnf, NormalForm};
 
 /// A compiled CYK recognizer.
 #[derive(Clone, Debug)]

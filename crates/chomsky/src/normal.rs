@@ -220,10 +220,7 @@ pub fn to_cnf(g: &Cfg) -> NormalForm {
             final_prods.push(Production { lhs, rhs: vec![sym, Sym::N(fresh)] });
             lhs = fresh;
         }
-        final_prods.push(Production {
-            lhs,
-            rhs: vec![body[body.len() - 2], body[body.len() - 1]],
-        });
+        final_prods.push(Production { lhs, rhs: vec![body[body.len() - 2], body[body.len() - 1]] });
     }
     for p in final_prods {
         cfg.add(p.lhs, p.rhs).expect("fresh indices allocated");
@@ -405,10 +402,7 @@ mod tests {
         let g = grammars::zero_one_star();
         let nf = remove_epsilon(&g);
         let g2 = remove_units(&nf.cfg);
-        assert!(g2
-            .prods
-            .iter()
-            .all(|p| !matches!(p.rhs.as_slice(), [Sym::N(_)])));
+        assert!(g2.prods.iter().all(|p| !matches!(p.rhs.as_slice(), [Sym::N(_)])));
         same_language(&g, &g2, nf.derives_lambda, 8);
     }
 

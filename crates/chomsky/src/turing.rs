@@ -138,9 +138,7 @@ impl TuringMachine {
 
     /// Iterate all transitions `((from, read), (to, write, dir))` in a
     /// deterministic order.
-    pub fn transitions(
-        &self,
-    ) -> impl Iterator<Item = ((u32, u32), (u32, u32, Move))> + '_ {
+    pub fn transitions(&self) -> impl Iterator<Item = ((u32, u32), (u32, u32, Move))> + '_ {
         let mut keys: Vec<_> = self.delta.keys().copied().collect();
         keys.sort_unstable();
         keys.into_iter().map(move |k| (k, self.delta[&k]))
@@ -233,11 +231,11 @@ pub mod machines {
         t(0, a, 1, ma, Move::Right); // mark an a, go find a b
         t(0, mb, 3, mb, Move::Right); // all a's consumed: verify tail
         t(0, blank, 4, blank, Move::Stay); // empty word: accept
-        // q1: scan right for an unmarked b.
+                                           // q1: scan right for an unmarked b.
         t(1, a, 1, a, Move::Right);
         t(1, mb, 1, mb, Move::Right);
         t(1, b, 2, mb, Move::Left); // mark it, rewind
-        // q2: rewind to the leftmost unmarked symbol.
+                                    // q2: rewind to the leftmost unmarked symbol.
         t(2, a, 2, a, Move::Left);
         t(2, mb, 2, mb, Move::Left);
         t(2, ma, 0, ma, Move::Right);

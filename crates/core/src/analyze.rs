@@ -22,7 +22,9 @@ use crate::alphabet::RoleAlphabet;
 use crate::error::CoreError;
 use crate::graph::{EdgeInfo, MigrationGraph, VS, VT};
 use crate::pattern::PatternKind;
-use crate::separator::{canonical_db, enumerate_full_space, num_free_classes, vertex_of, VertexKey};
+use crate::separator::{
+    canonical_db, enumerate_full_space, num_free_classes, vertex_of, VertexKey,
+};
 use migratory_automata::{concat as nfa_concat, Dfa, Nfa, Regex};
 use migratory_lang::{run, validate_schema, Assignment, Language, TransactionSchema};
 use migratory_model::{Instance, Oid, Schema, Value};
@@ -145,9 +147,9 @@ pub fn analyze_with_witnesses(
     let mut stats = AnalyzeStats::default();
 
     let intern = |key: VertexKey,
-                      graph: &mut MigrationGraph,
-                      keys: &mut Vec<VertexKey>,
-                      index: &mut HashMap<VertexKey, u32>|
+                  graph: &mut MigrationGraph,
+                  keys: &mut Vec<VertexKey>,
+                  index: &mut HashMap<VertexKey, u32>|
      -> u32 {
         if let Some(&v) = index.get(&key) {
             return v;
@@ -207,20 +209,19 @@ pub fn analyze_with_witnesses(
     while !frontier.is_empty() {
         let batch = std::mem::take(&mut frontier);
         let results: Vec<(u32, Vec<(usize, Target)>)> = if opts.parallel && batch.len() > 1 {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = batch
                     .iter()
                     .map(|&v| {
                         let key = keys[v as usize - 2].clone();
                         let constants = &constants;
-                        scope.spawn(move |_| {
+                        scope.spawn(move || {
                             (v, vertex_edges(schema, alphabet, ts, constants, &key, naive))
                         })
                     })
                     .collect();
                 handles.into_iter().map(|h| h.join().expect("no panics")).collect()
             })
-            .expect("scope")
         } else {
             batch
                 .iter()
@@ -425,12 +426,21 @@ impl Families {
 /// With an empty transaction schema there are no steps at all and every
 /// family is `{λ}`.
 #[must_use]
-pub fn families(graph: &MigrationGraph, alphabet: &RoleAlphabet, num_transactions: usize) -> Families {
+pub fn families(
+    graph: &MigrationGraph,
+    alphabet: &RoleAlphabet,
+    num_transactions: usize,
+) -> Families {
     let ns = alphabet.num_symbols();
     let e = alphabet.empty_symbol();
     if num_transactions == 0 {
         let lambda = Dfa::from_nfa(&Nfa::from_regex(&Regex::Epsilon, ns)).minimize();
-        return Families { all: lambda.clone(), imm: lambda.clone(), pro: lambda.clone(), lazy: lambda };
+        return Families {
+            all: lambda.clone(),
+            imm: lambda.clone(),
+            pro: lambda.clone(),
+            lazy: lambda,
+        };
     }
     let imm_nfa = graph.walks_nfa(ns, e, PatternKind::ImmediateStart);
     let empty_star = Nfa::from_regex(&Regex::star(Regex::Sym(e)), ns);
@@ -438,8 +448,8 @@ pub fn families(graph: &MigrationGraph, alphabet: &RoleAlphabet, num_transaction
     let all_nfa = nfa_concat(&empty_star, &imm_nfa).expect("same alphabet");
     let pro_nfa = nfa_concat(&empty_opt, &graph.walks_nfa(ns, e, PatternKind::Proper))
         .expect("same alphabet");
-    let lazy_nfa = nfa_concat(&empty_opt, &graph.walks_nfa(ns, e, PatternKind::Lazy))
-        .expect("same alphabet");
+    let lazy_nfa =
+        nfa_concat(&empty_opt, &graph.walks_nfa(ns, e, PatternKind::Lazy)).expect("same alphabet");
     Families {
         all: Dfa::from_nfa(&all_nfa).minimize(),
         imm: Dfa::from_nfa(&imm_nfa).minimize(),
@@ -531,15 +541,10 @@ mod tests {
         transaction Rm(x) { delete(P, { Id = x }); }
     ";
 
-    fn check_against_explorer(
-        schema: &Schema,
-        alphabet: &RoleAlphabet,
-        src: &str,
-        depth: usize,
-    ) {
+    fn check_against_explorer(schema: &Schema, alphabet: &RoleAlphabet, src: &str, depth: usize) {
         let ts = parse_transactions(schema, src).unwrap();
-        let (_, fams) = analyze_families(schema, alphabet, &ts, &AnalyzeOptions::default())
-            .unwrap();
+        let (_, fams) =
+            analyze_families(schema, alphabet, &ts, &AnalyzeOptions::default()).unwrap();
         let sets = explore(
             schema,
             alphabet,
@@ -668,8 +673,7 @@ mod tests {
             transaction RmQ(x) { delete(Q, { Jd = x }); }
         ";
         let ts = parse_transactions(&schema, src).unwrap();
-        let per_comp =
-            analyze_all_components(&schema, &ts, &AnalyzeOptions::default()).unwrap();
+        let per_comp = analyze_all_components(&schema, &ts, &AnalyzeOptions::default()).unwrap();
         assert_eq!(per_comp.len(), 2);
         for (alphabet, fams) in &per_comp {
             // Agreement with the bounded explorer on this component.
@@ -680,11 +684,7 @@ mod tests {
                 &ExploreConfig { max_steps: 3, ..Default::default() },
             );
             for w in sets.all.iter() {
-                assert!(
-                    fams.all.accepts(w),
-                    "component {} missing {w:?}",
-                    alphabet.component()
-                );
+                assert!(fams.all.accepts(w), "component {} missing {w:?}", alphabet.component());
             }
             for w in fams.all.enumerate(3, 10_000) {
                 assert!(
@@ -697,9 +697,7 @@ mod tests {
         // Cross-component repetition: on the P-component, MkQ can fire
         // while a P-object sits still, so [P][P] is a pattern there.
         let (a0, f0) = &per_comp[0];
-        let psym = a0
-            .symbol_of(RoleSet::closure_of_named(&schema, &["P"]).unwrap())
-            .unwrap();
+        let psym = a0.symbol_of(RoleSet::closure_of_named(&schema, &["P"]).unwrap()).unwrap();
         assert!(f0.all.accepts(&[psym, psym]));
         // And the Q-component cannot see S: its alphabet has ∅ and [Q]
         // only.
@@ -749,9 +747,7 @@ mod tests {
                         .symbol_of(RoleSet::closure_of_named(&schema, &["STUDENT"]).unwrap())
                         .unwrap();
                     let g = alphabet
-                        .symbol_of(
-                            RoleSet::closure_of_named(&schema, &["GRAD_ASSIST"]).unwrap(),
-                        )
+                        .symbol_of(RoleSet::closure_of_named(&schema, &["GRAD_ASSIST"]).unwrap())
                         .unwrap();
                     Regex::concat([
                         Regex::star(Regex::concat([
@@ -891,11 +887,8 @@ mod tests {
     #[test]
     fn csl_input_rejected() {
         let (schema, alphabet) = slim();
-        let ts = parse_transactions(
-            &schema,
-            "transaction T() { when P() -> delete(P, {}); }",
-        )
-        .unwrap();
+        let ts =
+            parse_transactions(&schema, "transaction T() { when P() -> delete(P, {}); }").unwrap();
         assert_eq!(
             analyze(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap_err(),
             CoreError::NotSl

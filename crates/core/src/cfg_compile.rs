@@ -31,7 +31,9 @@
 use crate::alphabet::RoleAlphabet;
 use crate::error::CoreError;
 use migratory_chomsky::{to_gnf, Cfg, Sym};
-use migratory_lang::{con, mig_ops, AtomicUpdate, GuardedUpdate, Literal, Transaction, TransactionSchema};
+use migratory_lang::{
+    con, mig_ops, AtomicUpdate, GuardedUpdate, Literal, Transaction, TransactionSchema,
+};
 use migratory_model::{Atom, ClassId, CmpOp, Condition, RoleSet, Schema, Term, Value, VarId};
 use std::collections::BTreeMap;
 
@@ -67,9 +69,7 @@ pub fn compile_cfg(
     letter_of: &[RoleSet],
 ) -> Result<CfgCompiled, CoreError> {
     if schema.component_of(s_class) == alphabet.component() {
-        return Err(CoreError::BadMachine(
-            "the S class must live in a separate component".into(),
-        ));
+        return Err(CoreError::BadMachine("the S class must live in a separate component".into()));
     }
     if !schema.is_isa_root(s_class) || schema.attrs_of(s_class).len() < 3 {
         return Err(CoreError::BadMachine(
@@ -136,10 +136,7 @@ pub fn compile_cfg(
                 set: Condition::from_atoms([Atom::eq_const(flip, to)]),
             });
         }
-        Ok(ops
-            .into_iter()
-            .map(|op| GuardedUpdate::when(guards.to_vec(), op))
-            .collect())
+        Ok(ops.into_iter().map(|op| GuardedUpdate::when(guards.to_vec(), op)).collect())
     };
 
     // Validity gate for pushed cells y₁…y_k (variables offset..offset+k):
@@ -197,9 +194,7 @@ pub fn compile_cfg(
             } else {
                 Term::Const(s_val("bot"))
             };
-            let Sym::N(nt) = body[i as usize] else {
-                unreachable!("GNF tails are nonterminals")
-            };
+            let Sym::N(nt) = body[i as usize] else { unreachable!("GNF tails are nonterminals") };
             steps.push(GuardedUpdate::when(
                 guards.to_vec(),
                 AtomicUpdate::Delete {
@@ -241,9 +236,7 @@ pub fn compile_cfg(
         {
             let x = VarId(0);
             let params: Vec<String> =
-                std::iter::once("x".to_owned())
-                    .chain((0..k).map(|i| format!("y{i}")))
-                    .collect();
+                std::iter::once("x".to_owned()).chain((0..k).map(|i| format!("y{i}"))).collect();
             let top_is = Literal::pos(
                 s_class,
                 Condition::from_atoms([
@@ -430,14 +423,7 @@ pub fn drive_word(compiled: &CfgCompiled, word: &[u32]) -> Option<Vec<(String, V
     let mut stack = vec![gnf.start];
     // The first production must come from the start symbol; handle it as
     // T_init. Search full derivations from the start.
-    if !derive(
-        gnf,
-        word,
-        0,
-        &mut stack,
-        &mut prods,
-        &mut std::collections::HashSet::new(),
-    ) {
+    if !derive(gnf, word, 0, &mut stack, &mut prods, &mut std::collections::HashSet::new()) {
         return None;
     }
 
@@ -513,13 +499,8 @@ mod tests {
                 )
             })
             .collect();
-        let refs: Vec<(&Transaction, &Assignment)> =
-            steps.iter().map(|(t, a)| (*t, a)).collect();
-        patterns_of_run(schema, alphabet, refs)
-            .unwrap()
-            .into_iter()
-            .map(|(_, p)| p)
-            .collect()
+        let refs: Vec<(&Transaction, &Assignment)> = steps.iter().map(|(t, a)| (*t, a)).collect();
+        patterns_of_run(schema, alphabet, refs).unwrap().into_iter().map(|(_, p)| p).collect()
     }
 
     #[test]
@@ -535,9 +516,7 @@ mod tests {
             let patterns = run_script(&schema, &alphabet, &compiled, &script);
             let visible: Vec<Vec<u32>> = patterns
                 .into_iter()
-                .map(|p| {
-                    p.into_iter().filter(|&s| s != alphabet.empty_symbol()).collect()
-                })
+                .map(|p| p.into_iter().filter(|&s| s != alphabet.empty_symbol()).collect())
                 .filter(|v: &Vec<u32>| !v.is_empty())
                 .collect();
             assert_eq!(visible.len(), 1, "one migrating object for n={n}");
@@ -554,15 +533,12 @@ mod tests {
     fn dyck_words_emit_correctly() {
         let g = grammars::dyck();
         let (schema, alphabet, compiled, syms) = setup(&g);
-        for word in [vec![0u32, 1], vec![0, 0, 1, 1], vec![0, 1, 0, 1], vec![0, 0, 1, 1, 0, 1]]
-        {
+        for word in [vec![0u32, 1], vec![0, 0, 1, 1], vec![0, 1, 0, 1], vec![0, 0, 1, 1, 0, 1]] {
             let script = drive_word(&compiled, &word).expect("balanced word");
             let patterns = run_script(&schema, &alphabet, &compiled, &script);
             let visible: Vec<Vec<u32>> = patterns
                 .into_iter()
-                .map(|p| {
-                    p.into_iter().filter(|&s| s != alphabet.empty_symbol()).collect()
-                })
+                .map(|p| p.into_iter().filter(|&s| s != alphabet.empty_symbol()).collect())
                 .filter(|v: &Vec<u32>| !v.is_empty())
                 .collect();
             assert_eq!(visible.len(), 1);
@@ -609,19 +585,15 @@ mod tests {
                 let in_g = trace.iter().all(|d| {
                     let cs = d.role_set(o);
                     cs.is_empty()
-                        || cs.first().map(|c| schema.component_of(c))
-                            == Some(alphabet.component())
+                        || cs.first().map(|c| schema.component_of(c)) == Some(alphabet.component())
                 });
                 if !in_g {
                     continue;
                 }
                 let obs = crate::pattern::observe(&schema, &alphabet, &trace, o);
                 let pat = crate::pattern::pattern_of(&obs);
-                let letters: Vec<u32> = pat
-                    .iter()
-                    .copied()
-                    .filter(|&s| s != alphabet.empty_symbol())
-                    .collect();
+                let letters: Vec<u32> =
+                    pat.iter().copied().filter(|&s| s != alphabet.empty_symbol()).collect();
                 let mut depth: i64 = 0;
                 for &l in &letters {
                     if l == open {

@@ -52,10 +52,7 @@ impl Decision {
     }
 }
 
-fn inclusion(
-    left: &migratory_automata::Dfa,
-    right: &migratory_automata::Dfa,
-) -> Verdict {
+fn inclusion(left: &migratory_automata::Dfa, right: &migratory_automata::Dfa) -> Verdict {
     match left.witness_not_subset(right) {
         None => Verdict::Holds,
         Some(counterexample) => Verdict::Fails { counterexample },
@@ -138,9 +135,7 @@ mod tests {
     }
 
     fn sym(schema: &Schema, alphabet: &RoleAlphabet, class: &str) -> u32 {
-        alphabet
-            .symbol_of(RoleSet::closure_of_named(schema, &[class]).unwrap())
-            .unwrap()
+        alphabet.symbol_of(RoleSet::closure_of_named(schema, &[class]).unwrap()).unwrap()
     }
 
     #[test]
@@ -150,28 +145,16 @@ mod tests {
         let (schema, alphabet) = pq_schema();
         let p = sym(&schema, &alphabet, "p");
         let q = sym(&schema, &alphabet, "q");
-        let eta = Regex::concat([
-            Regex::Sym(p),
-            Regex::star(Regex::word([q, q, p])),
-        ]);
+        let eta = Regex::concat([Regex::Sym(p), Regex::star(Regex::word([q, q, p]))]);
         let synth = synthesize(&schema, &alphabet, &eta).unwrap();
         let inv = Inventory::init_of_regex(
             &schema,
             &alphabet,
-            &Regex::concat([
-                eta,
-                Regex::star(Regex::Sym(alphabet.empty_symbol())),
-            ]),
+            &Regex::concat([eta, Regex::star(Regex::Sym(alphabet.empty_symbol()))]),
         )
         .unwrap();
-        let d = decide(
-            &schema,
-            &alphabet,
-            &synth.transactions,
-            &inv,
-            PatternKind::ImmediateStart,
-        )
-        .unwrap();
+        let d = decide(&schema, &alphabet, &synth.transactions, &inv, PatternKind::ImmediateStart)
+            .unwrap();
         assert!(d.satisfies.holds(), "{:?}", d.satisfies);
         assert!(d.generates.holds(), "{:?}", d.generates);
         assert!(d.characterizes());
@@ -239,8 +222,7 @@ mod tests {
         ));
         // The bounded explorer refutes "Σ satisfies ∅*" (it creates [R]
         // objects).
-        let cex =
-            refute_csl_satisfies(&schema, &alphabet, &ts, &inv, PatternKind::All, 2);
+        let cex = refute_csl_satisfies(&schema, &alphabet, &ts, &inv, PatternKind::All, 2);
         assert!(cex.is_some());
         assert!(!inv.contains(&cex.unwrap()));
     }

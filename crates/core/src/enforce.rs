@@ -11,6 +11,43 @@
 //! as it is produced is exactly the constraint `family(Σ) ⊆ 𝔏` of
 //! Definition 3.5 restricted to the runs that actually happen.
 //!
+//! # The delta/cohort engine
+//!
+//! The default engine ([`Monitor::new`]) makes the admit path cost
+//! **O(touched + |cohorts|)** per application instead of O(|db| ×
+//! run-length):
+//!
+//! * **Apply-then-undo instead of clone.** The transaction is applied in
+//!   place through [`migratory_lang::apply_transaction_delta`], which
+//!   returns the exact change-set (created / updated / deleted objects
+//!   with before-images) plus the information needed to roll the
+//!   application back on violation. No whole-`Instance` clone ever
+//!   happens.
+//! * **Cohort-compressed DFA tracking.** An object untouched by a step
+//!   re-reads its current role symbol, so all objects sharing a (DFA
+//!   state, last role symbol) pair move *identically*. The monitor groups
+//!   them into cohorts and performs one `dfa.step` per cohort per
+//!   application — the number of cohorts is bounded by |Q| × |Ω|, not by
+//!   the database size. Objects exempted from the enforced family (e.g.
+//!   a non-changing step under [`PatternKind::Proper`]) collapse into a
+//!   single never-checked cohort.
+//! * **Run-length-encoded histories.** Per object the monitor stores only
+//!   its creation step and the steps at which its role symbol *changed*
+//!   (`(letter, from_step)` segments). Full patterns are reconstructed
+//!   on demand — for [`Monitor::pattern_of`] and [`Violation`]
+//!   diagnostics — so per-step allocation no longer grows with run
+//!   length.
+//!
+//! Violations are rare and roll back anyway, so the rejection path
+//! affords an O(objects) diagnostic scan that replays the step in the
+//! reference engine's object order; the reported [`Violation`] (object,
+//! pattern, letter) is therefore *identical* to the reference engine's.
+//!
+//! The pre-optimization engine is preserved behind
+//! [`Monitor::new_reference`] — it re-derives every object's letter from
+//! a cloned database each step and is used by tests as the oracle and by
+//! `bench_enforce` as the baseline.
+//!
 //! Enforcement is *kind-aware*: under [`PatternKind::Proper`] a pattern
 //! stops being constrained the moment a step leaves its object unchanged
 //! (the full pattern can then never be proper), and similarly for
@@ -29,9 +66,12 @@ use crate::alphabet::RoleAlphabet;
 use crate::error::CoreError;
 use crate::inventory::Inventory;
 use crate::pattern::{MigrationPattern, PatternKind};
-use migratory_lang::{run, Assignment, LangError, Transaction, TransactionSchema};
-use migratory_model::{Instance, Oid, RoleSet, Schema};
-use std::collections::BTreeMap;
+use migratory_lang::{
+    apply_transaction, apply_transaction_delta, run, Assignment, Delta, LangError, Transaction,
+    TransactionSchema,
+};
+use migratory_model::{ClassSet, Instance, Oid, RoleSet, Schema};
+use std::collections::{BTreeMap, HashMap};
 
 /// When a transaction application contributes a letter to the patterns.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -105,7 +145,185 @@ impl From<LangError> for EnforceError {
     }
 }
 
-/// Per-object tracking state.
+// ---------------------------------------------------------------------
+// Delta engine state
+// ---------------------------------------------------------------------
+
+/// The always-present cohort of exempt objects (never stepped, never
+/// checked).
+const EXEMPT: u32 = 0;
+
+/// Run-length-encoded tracking record of one object.
+#[derive(Clone, Debug)]
+struct ObjRecord {
+    /// 1-based step at which the object was created.
+    creation_step: usize,
+    /// `(letter, from_step)` segments; a new segment is appended only
+    /// when the role symbol changes, so length is the number of role
+    /// *changes*, not the run length. The last segment extends to the
+    /// current step.
+    segments: Vec<(u32, usize)>,
+    /// Cohort the object currently belongs to (follow `parent` links).
+    cohort: u32,
+}
+
+impl ObjRecord {
+    fn current_role(&self) -> u32 {
+        self.segments.last().expect("non-empty").0
+    }
+
+    /// Reconstruct the full pattern through global step `upto`.
+    fn pattern_through(&self, empty: u32, upto: usize) -> MigrationPattern {
+        let mut p = Vec::with_capacity(upto);
+        p.resize(self.creation_step - 1, empty);
+        for (i, &(letter, from)) in self.segments.iter().enumerate() {
+            let end = match self.segments.get(i + 1) {
+                Some(&(_, next_from)) => next_from - 1,
+                None => upto,
+            };
+            p.resize(p.len() + (end + 1 - from), letter);
+        }
+        p
+    }
+}
+
+/// A group of objects indistinguishable to the DFA: same state, same
+/// current role symbol, same exemption status. Untouched cohorts advance
+/// with **one** `dfa.step` regardless of how many objects they hold.
+#[derive(Clone, Debug)]
+struct Cohort {
+    state: u32,
+    last_role: u32,
+    size: usize,
+    /// Union-find forwarding after merges; a root has `parent == id`.
+    parent: u32,
+}
+
+/// Staged move of one touched object, applied only on commit.
+enum TouchedMove {
+    /// New object: insert `record`, join `key`-cohort (or EXEMPT).
+    Insert { oid: Oid, record: ObjRecord, target: Target },
+    /// Existing object: optionally start a new `(letter, step)` segment,
+    /// then join `target`.
+    Move { oid: Oid, segment: Option<u32>, target: Target },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Target {
+    Exempt,
+    Key(u32, u32),
+}
+
+#[derive(Clone, Default)]
+struct DeltaState {
+    records: BTreeMap<Oid, ObjRecord>,
+    cohorts: Vec<Cohort>,
+    /// Root non-exempt cohorts, by (DFA state, last role symbol).
+    by_key: HashMap<(u32, u32), u32>,
+    /// Cohort slots emptied by a step, reused before growing `cohorts`.
+    /// Forwarding slots (merge / exemption-fold survivors with members
+    /// still routed through them) cannot be freed eagerly; when they
+    /// outgrow the record count, [`DeltaState::compact`] rebuilds the
+    /// table — amortized O(1) per application, keeping resident state at
+    /// O(live cohorts + records).
+    free: Vec<u32>,
+    /// Touched-object count of the last admitted application.
+    last_touched: usize,
+}
+
+impl DeltaState {
+    fn new() -> DeltaState {
+        DeltaState {
+            // Slot 0 is the exempt sink.
+            cohorts: vec![Cohort { state: 0, last_role: 0, size: 0, parent: EXEMPT }],
+            ..DeltaState::default()
+        }
+    }
+
+    fn find(&mut self, mut id: u32) -> u32 {
+        while self.cohorts[id as usize].parent != id {
+            let p = self.cohorts[id as usize].parent;
+            self.cohorts[id as usize].parent = self.cohorts[p as usize].parent;
+            id = p;
+        }
+        id
+    }
+
+    fn find_ro(&self, mut id: u32) -> u32 {
+        while self.cohorts[id as usize].parent != id {
+            id = self.cohorts[id as usize].parent;
+        }
+        id
+    }
+
+    /// Root cohort for `target` post-step, creating (or reusing a freed
+    /// slot for) it if new.
+    fn cohort_for(&mut self, target: Target) -> u32 {
+        match target {
+            Target::Exempt => EXEMPT,
+            Target::Key(state, role) => *self.by_key.entry((state, role)).or_insert_with(|| {
+                if let Some(id) = self.free.pop() {
+                    self.cohorts[id as usize] =
+                        Cohort { state, last_role: role, size: 0, parent: id };
+                    id
+                } else {
+                    let id = self.cohorts.len() as u32;
+                    self.cohorts.push(Cohort { state, last_role: role, size: 0, parent: id });
+                    id
+                }
+            }),
+        }
+    }
+
+    /// Whether dead slots (freed + unreachable forwarders) dominate the
+    /// table: live slots are bounded by the record count plus the sink.
+    fn needs_compaction(&self) -> bool {
+        self.cohorts.len() > 64 && self.cohorts.len() > 2 * (self.records.len() + 1)
+    }
+
+    /// Rebuild the cohort table with only live cohorts: every record is
+    /// redirected to its root, forwarding chains disappear, and dead
+    /// slots are dropped. O(records) — run only when the table has
+    /// outgrown the record count, so the cost amortizes to O(1) per
+    /// application.
+    fn compact(&mut self) {
+        let mut records = std::mem::take(&mut self.records);
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut table: Vec<Cohort> = vec![self.cohorts[EXEMPT as usize].clone()];
+        for rec in records.values_mut() {
+            let root = self.find(rec.cohort);
+            rec.cohort = if root == EXEMPT {
+                EXEMPT
+            } else {
+                *remap.entry(root).or_insert_with(|| {
+                    let nid = table.len() as u32;
+                    let old = &self.cohorts[root as usize];
+                    table.push(Cohort {
+                        state: old.state,
+                        last_role: old.last_role,
+                        size: old.size,
+                        parent: nid,
+                    });
+                    nid
+                })
+            };
+        }
+        self.records = records;
+        // Every populated by_key root has members, so it was remapped;
+        // anything else is dead and dropped with its key.
+        self.by_key =
+            self.by_key.iter().filter_map(|(&k, root)| Some((k, *remap.get(root)?))).collect();
+        self.cohorts = table;
+        self.free.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reference engine state (the pre-optimization algorithm, kept as the
+// oracle and benchmark baseline)
+// ---------------------------------------------------------------------
+
+/// Per-object tracking state of the reference engine.
 #[derive(Clone, Debug)]
 struct Tracked {
     /// Inventory-DFA state after the object's pattern so far.
@@ -118,6 +336,25 @@ struct Tracked {
     last_role: u32,
     /// The full pattern, for diagnostics.
     history: MigrationPattern,
+}
+
+#[derive(Clone)]
+enum Engine {
+    /// Incremental delta/cohort engine (default).
+    Delta(DeltaState),
+    /// Whole-database rescan engine (oracle / baseline).
+    Reference { tracked: BTreeMap<Oid, Tracked> },
+}
+
+/// The role-set symbol of a raw class set (∅ when absent or outside the
+/// alphabet's component) — free function so the admit path (which holds a
+/// mutable engine borrow) and the diagnostics path share one
+/// implementation.
+fn classes_symbol(schema: &Schema, alphabet: &RoleAlphabet, cs: ClassSet) -> u32 {
+    RoleSet::new(schema, cs)
+        .ok()
+        .and_then(|rs| alphabet.symbol_of(rs))
+        .unwrap_or_else(|| alphabet.empty_symbol())
 }
 
 /// A database guarded by a migration inventory.
@@ -155,7 +392,7 @@ pub struct Monitor<'a> {
     kind: PatternKind,
     policy: StepPolicy,
     db: Instance,
-    tracked: BTreeMap<Oid, Tracked>,
+    engine: Engine,
     /// DFA state shared by all never-created objects (pattern ∅ⁿ).
     pre_state: u32,
     /// The never-created pattern has already left the enforced family.
@@ -163,17 +400,18 @@ pub struct Monitor<'a> {
     /// Number of letters emitted so far (n).
     steps: usize,
     certified: bool,
+    /// Step count at the moment certification succeeded — the horizon at
+    /// which pattern tracking froze.
+    certified_at: Option<usize>,
 }
 
 impl<'a> Monitor<'a> {
-    /// A monitor over the empty database, enforcing `inventory` for the
-    /// given pattern family.
-    #[must_use]
-    pub fn new(
+    fn with_engine(
         schema: &'a Schema,
         alphabet: &'a RoleAlphabet,
         inventory: &'a Inventory,
         kind: PatternKind,
+        engine: Engine,
     ) -> Monitor<'a> {
         Monitor {
             schema,
@@ -182,13 +420,47 @@ impl<'a> Monitor<'a> {
             kind,
             policy: StepPolicy::default(),
             db: Instance::empty(),
-            tracked: BTreeMap::new(),
+            engine,
             pre_state: inventory.dfa().start(),
             // ∅ⁿ never starts with a non-∅ letter.
             pre_exempt: kind == PatternKind::ImmediateStart,
             steps: 0,
             certified: false,
+            certified_at: None,
         }
+    }
+
+    /// A monitor over the empty database, enforcing `inventory` for the
+    /// given pattern family with the incremental delta/cohort engine.
+    #[must_use]
+    pub fn new(
+        schema: &'a Schema,
+        alphabet: &'a RoleAlphabet,
+        inventory: &'a Inventory,
+        kind: PatternKind,
+    ) -> Monitor<'a> {
+        Self::with_engine(schema, alphabet, inventory, kind, Engine::Delta(DeltaState::new()))
+    }
+
+    /// A monitor driven by the **reference** algorithm: every application
+    /// clones the database, rescans all tracked objects and clones their
+    /// full histories. Semantically identical to [`Monitor::new`]
+    /// (including reported [`Violation`]s) but O(|db| × run-length) per
+    /// step — kept as the testing oracle and benchmark baseline.
+    #[must_use]
+    pub fn new_reference(
+        schema: &'a Schema,
+        alphabet: &'a RoleAlphabet,
+        inventory: &'a Inventory,
+        kind: PatternKind,
+    ) -> Monitor<'a> {
+        Self::with_engine(
+            schema,
+            alphabet,
+            inventory,
+            kind,
+            Engine::Reference { tracked: BTreeMap::new() },
+        )
     }
 
     /// Choose when applications contribute letters (default:
@@ -217,40 +489,435 @@ impl<'a> Monitor<'a> {
         self.certified
     }
 
-    /// The recorded pattern of an object (present once it has occurred in
-    /// the database; absent in certified mode).
+    /// Whether this monitor uses the incremental delta/cohort engine.
     #[must_use]
-    pub fn pattern_of(&self, o: Oid) -> Option<&[u32]> {
-        self.tracked.get(&o).map(|t| t.history.as_slice())
+    pub fn is_incremental(&self) -> bool {
+        matches!(self.engine, Engine::Delta(_))
+    }
+
+    /// Number of objects touched by the last admitted **checked**
+    /// application (`None` on the reference engine, which has no
+    /// touched-set notion). The admit-path work of the delta engine is
+    /// proportional to this, never to the database size. Certified-mode
+    /// applications skip change capture entirely and leave the count
+    /// untouched.
+    #[must_use]
+    pub fn last_touched(&self) -> Option<usize> {
+        match &self.engine {
+            Engine::Delta(d) => Some(d.last_touched),
+            Engine::Reference { .. } => None,
+        }
+    }
+
+    /// The recorded pattern of an object (present once it has occurred in
+    /// the database; absent when tracking never saw it, e.g. objects
+    /// created after certification). Reconstructed from the run-length
+    /// encoding on demand. After a mid-run [`Monitor::certify`], patterns
+    /// are frozen at the certification point — certified steps skip all
+    /// tracking, in both engines.
+    #[must_use]
+    pub fn pattern_of(&self, o: Oid) -> Option<MigrationPattern> {
+        match &self.engine {
+            Engine::Delta(d) => {
+                // Records stop advancing once certified: clamp the
+                // reconstruction horizon so certified steps do not
+                // fabricate repeat letters.
+                let horizon = self.certified_at.unwrap_or(self.steps);
+                d.records.get(&o).map(|r| r.pattern_through(self.alphabet.empty_symbol(), horizon))
+            }
+            Engine::Reference { tracked } => tracked.get(&o).map(|t| t.history.clone()),
+        }
     }
 
     /// Statically certify an SL transaction schema against the inventory
     /// (Corollary 3.3). On success the monitor skips all per-object
     /// runtime checks: no application of certified transactions can ever
-    /// produce a pattern outside 𝔏. Returns whether certification
-    /// succeeded; errs on non-SL schemas, where the problem is
-    /// undecidable (Corollary 4.7).
+    /// produce a pattern outside 𝔏. Returns whether `ts` certifies; errs
+    /// on non-SL schemas, where the problem is undecidable (Corollary
+    /// 4.7).
+    ///
+    /// Certification is **one-way**: once a monitor is certified, pattern
+    /// tracking stops and later `certify` calls only report the new
+    /// schema's verdict without re-enabling checks (the tracking state
+    /// would be stale). Enforce a different, non-certifying schema with a
+    /// fresh monitor.
     pub fn certify(&mut self, ts: &TransactionSchema) -> Result<bool, CoreError> {
         let decision =
             crate::decide::decide(self.schema, self.alphabet, ts, self.inventory, self.kind)?;
-        self.certified = decision.satisfies.holds();
-        Ok(self.certified)
+        let holds = decision.satisfies.holds();
+        if holds && !self.certified {
+            self.certified = true;
+            self.certified_at = Some(self.steps);
+        }
+        Ok(holds)
     }
 
-    /// The role-set symbol of `o` in `db` (∅ when absent or outside this
-    /// component).
+    /// The role-set symbol of a raw class set (∅ when absent or outside
+    /// this component).
+    fn symbol_of_classes(&self, cs: ClassSet) -> u32 {
+        classes_symbol(self.schema, self.alphabet, cs)
+    }
+
+    /// The role-set symbol of `o` in `db` (∅ when absent).
     fn role_symbol(&self, db: &Instance, o: Oid) -> u32 {
-        let cs = db.role_set(o);
-        RoleSet::new(self.schema, cs)
-            .ok()
-            .and_then(|rs| self.alphabet.symbol_of(rs))
-            .unwrap_or_else(|| self.alphabet.empty_symbol())
+        self.symbol_of_classes(db.role_set(o))
     }
 
     /// Apply `t[args]`, committing only if no enforced pattern leaves the
     /// inventory. On violation the database is unchanged and the first
     /// offending object is reported.
-    pub fn try_apply(
+    pub fn try_apply(&mut self, t: &Transaction, args: &Assignment) -> Result<(), EnforceError> {
+        match &self.engine {
+            Engine::Delta(_) => self.try_apply_delta(t, args),
+            Engine::Reference { .. } => self.try_apply_reference(t, args),
+        }
+    }
+
+    /// Apply a whole sequence, stopping at the first rejection; returns
+    /// how many applications committed.
+    pub fn try_apply_all<'t>(
+        &mut self,
+        steps: impl IntoIterator<Item = (&'t Transaction, &'t Assignment)>,
+    ) -> (usize, Option<EnforceError>) {
+        let mut done = 0;
+        for (t, args) in steps {
+            match self.try_apply(t, args) {
+                Ok(()) => done += 1,
+                Err(e) => return (done, Some(e)),
+            }
+        }
+        (done, None)
+    }
+
+    // -----------------------------------------------------------------
+    // Delta/cohort engine
+    // -----------------------------------------------------------------
+
+    fn try_apply_delta(&mut self, t: &Transaction, args: &Assignment) -> Result<(), EnforceError> {
+        if self.certified {
+            // Certified fast path: no checks will run, so skip the
+            // before-image capture entirely — the raw interpreter cost is
+            // all that remains.
+            apply_transaction(self.schema, &mut self.db, t, args)?;
+            self.steps += 1;
+            return Ok(());
+        }
+        let delta = apply_transaction_delta(self.schema, &mut self.db, t, args)?;
+        if self.policy == StepPolicy::OnlyChanging && delta.is_identity() {
+            // Null application (Definition 4.6): no letter, and the
+            // database is bit-identical — nothing to undo.
+            let Engine::Delta(state) = &mut self.engine else { unreachable!() };
+            state.last_touched = delta.objects().len();
+            return Ok(());
+        }
+        let dfa = self.inventory.dfa();
+        let empty = self.alphabet.empty_symbol();
+        let step_idx = self.steps + 1; // 1-based index of this letter
+
+        // 1. The never-created objects read one more ∅ (O(1)).
+        let pre_state_old = self.pre_state;
+        let mut pre_exempt_new = self.pre_exempt;
+        if !pre_exempt_new
+            && step_idx >= 2
+            && matches!(self.kind, PatternKind::Proper | PatternKind::Lazy)
+        {
+            // A second ∅ neither changes the object nor its role set.
+            pre_exempt_new = true;
+        }
+        let pre_state_new = dfa.step(pre_state_old, empty);
+        if !pre_exempt_new && !dfa.is_accepting(pre_state_new) {
+            delta.undo(&mut self.db);
+            return Err(EnforceError::Violation(Violation {
+                oid: None,
+                pattern: vec![empty; step_idx],
+                letter: empty,
+            }));
+        }
+
+        // 2. Touched objects, individually (O(touched)). Everything is
+        //    staged; nothing is written to the tracking state until the
+        //    whole step is known to be admissible.
+        let mut moves: Vec<TouchedMove> = Vec::with_capacity(delta.objects().len());
+        // Touched members leaving each root cohort this step.
+        let mut leaving: HashMap<u32, usize> = HashMap::new();
+        let mut violated = false;
+        {
+            let Engine::Delta(state) = &mut self.engine else { unreachable!() };
+            for od in delta.objects() {
+                if od.before.is_none() && od.after_classes.is_none() {
+                    // Minted and deleted inside one application: never
+                    // observable, covered by the never-created class.
+                    continue;
+                }
+                let after_sym = match od.after_classes {
+                    Some(cs) => classes_symbol(self.schema, self.alphabet, cs),
+                    None => empty,
+                };
+                if od.created() {
+                    // Pattern ∅^(step_idx−1)·ω, starting from the shared
+                    // pre-state. Inherit the never-created exemption
+                    // accrued before this step; the creation step itself
+                    // always changes the object.
+                    let exempt = match self.kind {
+                        PatternKind::All => false,
+                        PatternKind::ImmediateStart => step_idx > 1,
+                        PatternKind::Proper | PatternKind::Lazy => self.pre_exempt,
+                    };
+                    let new_state = dfa.step(pre_state_old, after_sym);
+                    if !exempt && !dfa.is_accepting(new_state) {
+                        violated = true;
+                        break;
+                    }
+                    let target =
+                        if exempt { Target::Exempt } else { Target::Key(new_state, after_sym) };
+                    moves.push(TouchedMove::Insert {
+                        oid: od.oid,
+                        record: ObjRecord {
+                            creation_step: step_idx,
+                            segments: vec![(after_sym, step_idx)],
+                            cohort: EXEMPT, // assigned on commit
+                        },
+                        target,
+                    });
+                } else {
+                    let cohort_id =
+                        state.records.get(&od.oid).expect("touched object is tracked").cohort;
+                    let old_root = state.find(cohort_id);
+                    let rec = &state.records[&od.oid];
+                    let before_sym = rec.current_role();
+                    let role_changed = after_sym != before_sym;
+                    let object_changed = role_changed || od.tuple_changed;
+                    let mut exempt = old_root == EXEMPT;
+                    if !exempt && step_idx >= 2 {
+                        exempt = match self.kind {
+                            PatternKind::All | PatternKind::ImmediateStart => false,
+                            PatternKind::Proper => !object_changed,
+                            PatternKind::Lazy => !role_changed,
+                        };
+                    }
+                    let target = if exempt {
+                        Target::Exempt
+                    } else {
+                        let new_state = dfa.step(state.cohorts[old_root as usize].state, after_sym);
+                        if !dfa.is_accepting(new_state) {
+                            violated = true;
+                            break;
+                        }
+                        Target::Key(new_state, after_sym)
+                    };
+                    *leaving.entry(old_root).or_insert(0) += 1;
+                    moves.push(TouchedMove::Move {
+                        oid: od.oid,
+                        segment: role_changed.then_some(after_sym),
+                        target,
+                    });
+                }
+            }
+        }
+
+        // 3. Untouched cohorts: one dfa.step per cohort (O(|cohorts|) ≤
+        //    O(|Q| × |Ω|)). A cohort emptied by this step's touches is
+        //    skipped.
+        let fold_all_exempt =
+            step_idx >= 2 && matches!(self.kind, PatternKind::Proper | PatternKind::Lazy);
+        let mut stepped: Vec<(u32, u32)> = Vec::new(); // (root, new_state)
+        let mut emptied: Vec<u32> = Vec::new(); // roots with no members left
+        if !violated {
+            let Engine::Delta(state) = &self.engine else { unreachable!() };
+            for (&(cstate, role), &root) in &state.by_key {
+                let remaining =
+                    state.cohorts[root as usize].size - leaving.get(&root).copied().unwrap_or(0);
+                if remaining == 0 {
+                    if !fold_all_exempt {
+                        emptied.push(root);
+                    }
+                    continue;
+                }
+                if fold_all_exempt {
+                    // An untouched step neither changes these objects nor
+                    // their role sets: the whole cohort leaves the
+                    // enforced family unchecked.
+                    continue;
+                }
+                let new_state = dfa.step(cstate, role);
+                if !dfa.is_accepting(new_state) {
+                    violated = true;
+                    break;
+                }
+                stepped.push((root, new_state));
+            }
+        }
+
+        if violated {
+            // Rejection path: reproduce the reference engine's scan (all
+            // objects, ascending oid) so the reported violation is
+            // byte-identical to [`Monitor::new_reference`]'s, then roll
+            // the database back. O(objects), paid only on rejection.
+            let v = self.diagnose_violation(&delta, step_idx, pre_state_old);
+            delta.undo(&mut self.db);
+            return Err(EnforceError::Violation(v));
+        }
+
+        // Commit: write the staged step.
+        let Engine::Delta(state) = &mut self.engine else { unreachable!() };
+        state.last_touched = delta.objects().len();
+        if fold_all_exempt {
+            // Every untouched object becomes exempt: fold all non-exempt
+            // cohorts into the sink. A cohort whose members all left this
+            // step has nothing pointing at it — recycle its slot instead
+            // of leaking a forwarder (cyclic Proper/Lazy workloads would
+            // otherwise grow one dead slot per application).
+            for (_, root) in state.by_key.drain() {
+                let leave = leaving.remove(&root).unwrap_or(0);
+                let untouched = state.cohorts[root as usize].size - leave;
+                state.cohorts[root as usize].size = 0;
+                if untouched == 0 {
+                    state.free.push(root);
+                } else {
+                    state.cohorts[root as usize].parent = EXEMPT;
+                    state.cohorts[EXEMPT as usize].size += untouched;
+                }
+            }
+            // Leftover entries are touched members leaving the sink
+            // itself; their moves below re-target them, so debit now.
+            for (root, n) in leaving.drain() {
+                debug_assert_eq!(root, EXEMPT);
+                state.cohorts[EXEMPT as usize].size -= n;
+            }
+        } else {
+            // Debit leavers, re-key stepped cohorts, merging collisions.
+            for (root, n) in leaving.drain() {
+                state.cohorts[root as usize].size -= n;
+            }
+            let mut new_keys: HashMap<(u32, u32), u32> = HashMap::with_capacity(state.by_key.len());
+            for &(root, new_state) in &stepped {
+                let role = state.cohorts[root as usize].last_role;
+                state.cohorts[root as usize].state = new_state;
+                match new_keys.entry((new_state, role)) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(root);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        // Two cohorts converged on one DFA state: merge.
+                        let survivor = *e.get();
+                        let sz = state.cohorts[root as usize].size;
+                        state.cohorts[root as usize].parent = survivor;
+                        state.cohorts[root as usize].size = 0;
+                        state.cohorts[survivor as usize].size += sz;
+                    }
+                }
+            }
+            // Cohorts not in `stepped` were emptied; drop their keys and
+            // recycle the slots (size 0 ⇒ no record reaches them through
+            // any forwarding chain).
+            state.by_key = new_keys;
+            for &root in &emptied {
+                debug_assert_eq!(state.cohorts[root as usize].size, 0);
+                state.free.push(root);
+            }
+        }
+        for mv in moves {
+            match mv {
+                TouchedMove::Insert { oid, mut record, target } => {
+                    let c = state.cohort_for(target);
+                    state.cohorts[c as usize].size += 1;
+                    record.cohort = c;
+                    state.records.insert(oid, record);
+                }
+                TouchedMove::Move { oid, segment, target } => {
+                    let c = state.cohort_for(target);
+                    state.cohorts[c as usize].size += 1;
+                    let rec = state.records.get_mut(&oid).expect("tracked");
+                    rec.cohort = c;
+                    if let Some(letter) = segment {
+                        rec.segments.push((letter, step_idx));
+                    }
+                }
+            }
+        }
+        if state.needs_compaction() {
+            state.compact();
+        }
+        self.steps = step_idx;
+        self.pre_state = pre_state_new;
+        self.pre_exempt = pre_exempt_new;
+        Ok(())
+    }
+
+    /// Rejection diagnostics: replay this step over **all** objects in
+    /// ascending oid order — exactly the reference engine's scan — and
+    /// return the first violation. `self.db` still holds the post-state;
+    /// per-object pre-states come from the tracking records and `delta`.
+    fn diagnose_violation(&self, delta: &Delta, step_idx: usize, pre_state_old: u32) -> Violation {
+        let Engine::Delta(state) = &self.engine else { unreachable!() };
+        let dfa = self.inventory.dfa();
+        let empty = self.alphabet.empty_symbol();
+        let touched: BTreeMap<Oid, &migratory_lang::ObjectDelta> =
+            delta.objects().iter().map(|od| (od.oid, od)).collect();
+
+        // Existing objects (every record predates this step).
+        for (&o, rec) in &state.records {
+            let root = state.find_ro(rec.cohort);
+            let (after_sym, role_changed, object_changed) = match touched.get(&o) {
+                Some(od) => {
+                    let after_sym = match od.after_classes {
+                        Some(cs) => self.symbol_of_classes(cs),
+                        None => empty,
+                    };
+                    let role_changed = after_sym != rec.current_role();
+                    (after_sym, role_changed, role_changed || od.tuple_changed)
+                }
+                None => (rec.current_role(), false, false),
+            };
+            let mut exempt = root == EXEMPT;
+            if !exempt && step_idx >= 2 {
+                exempt = match self.kind {
+                    PatternKind::All | PatternKind::ImmediateStart => false,
+                    PatternKind::Proper => !object_changed,
+                    PatternKind::Lazy => !role_changed,
+                };
+            }
+            if exempt {
+                continue;
+            }
+            let new_state = dfa.step(state.cohorts[root as usize].state, after_sym);
+            if !dfa.is_accepting(new_state) {
+                let mut pattern = rec.pattern_through(empty, step_idx - 1);
+                pattern.push(after_sym);
+                return Violation { oid: Some(o), pattern, letter: after_sym };
+            }
+        }
+
+        // Objects created by this step (their oids are larger than every
+        // tracked one, so this continues the ascending-oid scan).
+        for od in delta.objects() {
+            if !od.created() {
+                continue;
+            }
+            let after_sym = match od.after_classes {
+                Some(cs) => self.symbol_of_classes(cs),
+                None => empty,
+            };
+            let exempt = match self.kind {
+                PatternKind::All => false,
+                PatternKind::ImmediateStart => step_idx > 1,
+                PatternKind::Proper | PatternKind::Lazy => self.pre_exempt,
+            };
+            let new_state = dfa.step(pre_state_old, after_sym);
+            if !exempt && !dfa.is_accepting(new_state) {
+                let mut pattern = vec![empty; step_idx - 1];
+                pattern.push(after_sym);
+                return Violation { oid: Some(od.oid), pattern, letter: after_sym };
+            }
+        }
+        unreachable!("diagnose_violation called without a violating object")
+    }
+
+    // -----------------------------------------------------------------
+    // Reference engine (pre-optimization algorithm, verbatim)
+    // -----------------------------------------------------------------
+
+    fn try_apply_reference(
         &mut self,
         t: &Transaction,
         args: &Assignment,
@@ -287,14 +954,15 @@ impl<'a> Monitor<'a> {
             }));
         }
 
+        let Engine::Reference { tracked } = &self.engine else { unreachable!() };
+
         // 2. Already-tracked objects (live or deleted) read their new
         //    role symbol.
-        let mut updates: Vec<(Oid, Tracked)> = Vec::with_capacity(self.tracked.len());
-        for (&o, tr) in &self.tracked {
+        let mut updates: Vec<(Oid, Tracked)> = Vec::with_capacity(tracked.len());
+        for (&o, tr) in tracked {
             let letter = self.role_symbol(&next, o);
             let role_changed = letter != tr.last_role;
-            let object_changed =
-                role_changed || self.db.tuple_ref(o) != next.tuple_ref(o);
+            let object_changed = role_changed || self.db.tuple_ref(o) != next.tuple_ref(o);
             let mut exempt = tr.exempt;
             if !exempt && step_idx >= 2 {
                 exempt = match self.kind {
@@ -307,11 +975,7 @@ impl<'a> Monitor<'a> {
             if !exempt && !dfa.is_accepting(state) {
                 let mut pattern = tr.history.clone();
                 pattern.push(letter);
-                return Err(EnforceError::Violation(Violation {
-                    oid: Some(o),
-                    pattern,
-                    letter,
-                }));
+                return Err(EnforceError::Violation(Violation { oid: Some(o), pattern, letter }));
             }
             let mut history = tr.history.clone();
             history.push(letter);
@@ -321,7 +985,7 @@ impl<'a> Monitor<'a> {
         // 3. Objects created by this application: pattern ∅^(step_idx−1)·ω.
         let mut created: Vec<(Oid, Tracked)> = Vec::new();
         for o in next.objects() {
-            if self.tracked.contains_key(&o) {
+            if tracked.contains_key(&o) {
                 continue;
             }
             let letter = self.role_symbol(&next, o);
@@ -336,11 +1000,7 @@ impl<'a> Monitor<'a> {
             if !exempt && !dfa.is_accepting(state) {
                 let mut pattern = vec![empty; step_idx - 1];
                 pattern.push(letter);
-                return Err(EnforceError::Violation(Violation {
-                    oid: Some(o),
-                    pattern,
-                    letter,
-                }));
+                return Err(EnforceError::Violation(Violation { oid: Some(o), pattern, letter }));
             }
             let mut history = vec![empty; step_idx - 1];
             history.push(letter);
@@ -352,29 +1012,13 @@ impl<'a> Monitor<'a> {
         self.steps = step_idx;
         self.pre_state = pre_state_new;
         self.pre_exempt = pre_exempt_new;
+        let Engine::Reference { tracked } = &mut self.engine else { unreachable!() };
         for (o, tr) in updates.into_iter().chain(created) {
-            self.tracked.insert(o, tr);
+            tracked.insert(o, tr);
         }
         Ok(())
     }
-
-    /// Apply a whole sequence, stopping at the first rejection; returns
-    /// how many applications committed.
-    pub fn try_apply_all<'t>(
-        &mut self,
-        steps: impl IntoIterator<Item = (&'t Transaction, &'t Assignment)>,
-    ) -> (usize, Option<EnforceError>) {
-        let mut done = 0;
-        for (t, args) in steps {
-            match self.try_apply(t, args) {
-                Ok(()) => done += 1,
-                Err(e) => return (done, Some(e)),
-            }
-        }
-        (done, None)
-    }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -416,8 +1060,7 @@ mod tests {
     fn admits_conforming_run_and_rejects_violation() {
         let (s, a) = setup();
         let ts = uni_transactions(&s);
-        let inv =
-            Inventory::parse_init(&s, &a, "∅* [PERSON]* [STUDENT]* [PERSON]* ∅*").unwrap();
+        let inv = Inventory::parse_init(&s, &a, "∅* [PERSON]* [STUDENT]* [PERSON]* ∅*").unwrap();
         let mut m = Monitor::new(&s, &a, &inv, PatternKind::All);
         let x = arg("1");
         m.try_apply(ts.get("Mk").unwrap(), &x).unwrap();
@@ -435,11 +1078,7 @@ mod tests {
         }
         // Rolled back: the object is still a plain person, 3 letters.
         assert_eq!(m.steps(), 3);
-        assert_eq!(
-            m.pattern_of(Oid(1)).unwrap().len(),
-            3,
-            "the rejected letter was not recorded"
-        );
+        assert_eq!(m.pattern_of(Oid(1)).unwrap().len(), 3, "the rejected letter was not recorded");
         // The run can continue down a permitted branch.
         m.try_apply(ts.get("Rm").unwrap(), &x).unwrap();
         assert_eq!(m.db().num_objects(), 0);
@@ -483,7 +1122,7 @@ mod tests {
         assert!(committed >= 5, "most of the script conforms");
         for o in [Oid(1), Oid(2)] {
             if let Some(p) = m.pattern_of(o) {
-                assert!(inv.contains(p), "committed pattern {p:?} must lie in 𝔏");
+                assert!(inv.contains(&p), "committed pattern {p:?} must lie in 𝔏");
             }
         }
     }
@@ -497,10 +1136,7 @@ mod tests {
         let inv = Inventory::parse_init(&s, &a, "[PERSON]*").unwrap();
         let mut m = Monitor::new(&s, &a, &inv, PatternKind::All);
         let err = m.try_apply(ts.get("Mk").unwrap(), &arg("1")).unwrap_err();
-        assert!(matches!(
-            err,
-            EnforceError::Violation(Violation { oid: None, .. })
-        ));
+        assert!(matches!(err, EnforceError::Violation(Violation { oid: None, .. })));
         // …but immediate-start patterns never begin with ∅, so the same
         // application is admitted under kind=ImmediateStart.
         let mut m2 = Monitor::new(&s, &a, &inv, PatternKind::ImmediateStart);
@@ -599,9 +1235,7 @@ mod tests {
         m.try_apply(ts.get("Rm").unwrap(), &arg("zzz")).unwrap();
         m.try_apply(ts.get("Mk").unwrap(), &arg("1")).unwrap();
         assert_eq!(m.pattern_of(Oid(1)).unwrap().to_vec(), {
-            let p = a
-                .symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap())
-                .unwrap();
+            let p = a.symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap()).unwrap();
             vec![a.empty_symbol(), p]
         });
     }
@@ -661,6 +1295,55 @@ mod tests {
     }
 
     #[test]
+    fn mid_run_certification_freezes_patterns_identically() {
+        // Certifying after some steps must freeze pattern tracking in
+        // both engines at the same horizon — certified steps must not
+        // fabricate repeat letters in the RLE reconstruction.
+        let (s, a) = setup();
+        let ts = parse_transactions(
+            &s,
+            r#"
+            transaction T1(n, sv, t, mj) {
+              create(PERSON, { SSN = sv, Name = n });
+              specialize(PERSON, STUDENT, { SSN = sv },
+                         { Major = mj, FirstEnroll = t });
+            }
+            transaction T4(sv) { delete(PERSON, { SSN = sv }); }
+        "#,
+        )
+        .unwrap();
+        let inv = Inventory::parse_init(&s, &a, "∅* [STUDENT]* ∅*").unwrap();
+        let args = |k: &str| {
+            Assignment::new(vec![
+                Value::str("ann"),
+                Value::str(k),
+                Value::int(1990),
+                Value::str("CS"),
+            ])
+        };
+        let mut fast = Monitor::new(&s, &a, &inv, PatternKind::All);
+        let mut oracle = Monitor::new_reference(&s, &a, &inv, PatternKind::All);
+        for m in [&mut fast, &mut oracle] {
+            m.try_apply(ts.get("T1").unwrap(), &args("1")).unwrap();
+            assert!(m.certify(&ts).unwrap());
+            m.try_apply(ts.get("T1").unwrap(), &args("2")).unwrap();
+            assert_eq!(m.steps(), 2);
+        }
+        // o1's pattern is frozen at one letter ([STUDENT]); the certified
+        // step contributed nothing to tracking. Both engines agree.
+        assert_eq!(fast.pattern_of(Oid(1)), oracle.pattern_of(Oid(1)));
+        assert_eq!(fast.pattern_of(Oid(1)).unwrap().len(), 1);
+        // o2 was created after certification: untracked in both engines.
+        assert!(fast.pattern_of(Oid(2)).is_none());
+        assert!(oracle.pattern_of(Oid(2)).is_none());
+        // Certification is one-way: a later non-certifying schema reports
+        // false but does not resurrect checks over stale tracking state.
+        let bad = uni_transactions(&s);
+        assert!(!fast.certify(&bad).unwrap());
+        assert!(fast.is_certified());
+    }
+
+    #[test]
     fn certify_rejects_csl() {
         let (s, a) = setup();
         let csl = parse_transactions(
@@ -689,16 +1372,11 @@ mod tests {
             "∅* [PERSON]* [STUDENT]* [GRAD_ASSIST]* [EMPLOYEE]* [PERSON]* ∅*",
         )
         .unwrap();
-        let sets = explore(
-            &s,
-            &a,
-            &ts,
-            &ExploreConfig { max_steps: 3, ..ExploreConfig::default() },
-        );
+        let sets =
+            explore(&s, &a, &ts, &ExploreConfig { max_steps: 3, ..ExploreConfig::default() });
         // All explored patterns inside 𝔏 are admissible: the monitor is
         // not *stricter* than the constraint (completeness per prefix).
-        let admissible =
-            sets.all.iter().filter(|w| inv.contains(w)).count();
+        let admissible = sets.all.iter().filter(|w| inv.contains(w)).count();
         assert!(admissible > 0);
         // And every pattern the monitor commits lies in 𝔏 (soundness):
         // exercised by the batch test above; here check the two agree on
@@ -720,6 +1398,198 @@ mod tests {
         assert_eq!(done, 1, "St violates [PERSON]*");
         assert!(err.is_some());
         assert_eq!(m.db().num_objects(), 1);
+    }
+
+    /// Replay a script on both engines, asserting identical commit
+    /// prefixes, identical violations, identical databases and identical
+    /// recorded patterns.
+    fn assert_engines_agree(
+        inv_src: &str,
+        kind: PatternKind,
+        policy: StepPolicy,
+        script: &[(&str, Assignment)],
+    ) {
+        let (s, a) = setup();
+        let ts = uni_transactions(&s);
+        let inv = Inventory::parse_init(&s, &a, inv_src).unwrap();
+        let mut fast = Monitor::new(&s, &a, &inv, kind).with_policy(policy);
+        let mut oracle = Monitor::new_reference(&s, &a, &inv, kind).with_policy(policy);
+        for (i, (name, args)) in script.iter().enumerate() {
+            let t = ts.get(name).unwrap();
+            let rf = fast.try_apply(t, args);
+            let ro = oracle.try_apply(t, args);
+            assert_eq!(rf, ro, "engines disagree at step {i} ({name}) under {kind} / {inv_src}");
+            assert_eq!(fast.db(), oracle.db(), "databases diverged at step {i}");
+            assert_eq!(fast.steps(), oracle.steps(), "letter counts diverged at step {i}");
+        }
+        for o in fast.db().objects().chain((1..=script.len() as u64).map(Oid)) {
+            assert_eq!(fast.pattern_of(o), oracle.pattern_of(o), "pattern of o{} diverged", o.0);
+        }
+    }
+
+    #[test]
+    fn delta_engine_matches_reference_on_scripted_runs() {
+        let one = |n: &'static str| (n, arg("1"));
+        let two = |n: &'static str| (n, arg("2"));
+        let script: Vec<(&str, Assignment)> = vec![
+            one("Mk"),
+            one("St"),
+            two("Mk"),
+            two("Emp"),
+            one("Emp"),
+            one("UnSt"),
+            ("Nm", Assignment::new(vec![Value::str("1"), Value::str("z")])),
+            ("Nm", Assignment::new(vec![Value::str("1"), Value::str("z")])), // no-op rename
+            two("Rm"),
+            one("Rm"),
+            ("Mk", arg("3")),
+        ];
+        for inv in [
+            "∅* [PERSON]* [STUDENT]* [GRAD_ASSIST]* [EMPLOYEE]+ [PERSON]* ∅*",
+            "∅* [PERSON]* [STUDENT]* [PERSON]* ∅*",
+            "∅* [PERSON]+ ∅",
+            "∅ [PERSON]* [EMPLOYEE]* ∅*",
+        ] {
+            for kind in PatternKind::ALL {
+                for policy in [StepPolicy::EveryApplication, StepPolicy::OnlyChanging] {
+                    assert_engines_agree(inv, kind, policy, &script);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn untouched_objects_cost_one_cohort_step() {
+        // 50 parallel persons; each application touches exactly one. The
+        // cohort map must stay tiny and last_touched must track the
+        // delta, not the database.
+        let (s, a) = setup();
+        let ts = uni_transactions(&s);
+        let inv = Inventory::parse_init(&s, &a, "∅* [PERSON]* [STUDENT]* [PERSON]* ∅*").unwrap();
+        let mut m = Monitor::new(&s, &a, &inv, PatternKind::All);
+        for i in 0..50 {
+            m.try_apply(ts.get("Mk").unwrap(), &arg(&format!("k{i}"))).unwrap();
+        }
+        m.try_apply(ts.get("St").unwrap(), &arg("k7")).unwrap();
+        assert_eq!(m.last_touched(), Some(1), "only k7 was touched");
+        let Engine::Delta(state) = &m.engine else { panic!("delta engine") };
+        assert!(
+            state.by_key.len() <= 3,
+            "50 objects collapse into ≤3 cohorts, got {}",
+            state.by_key.len()
+        );
+        // Histories are run-length encoded: 51 steps, but o1's record
+        // holds a single segment ([P] since step 1).
+        let rec = &state.records[&Oid(1)];
+        assert_eq!(rec.segments.len(), 1, "no per-step history growth");
+        assert_eq!(m.pattern_of(Oid(1)).unwrap().len(), 51, "full pattern reconstructs");
+        // o8 (= k7) changed role once: two segments.
+        let touched = &state.records[&Oid(8)];
+        assert_eq!(touched.segments.len(), 2);
+    }
+
+    #[test]
+    fn violation_diagnostics_identical_to_reference_with_many_objects() {
+        // Several objects violate "simultaneously": the delta engine must
+        // report the same (first-by-oid) object, pattern and letter the
+        // reference scan reports.
+        let (s, a) = setup();
+        let ts = parse_transactions(
+            &s,
+            r#"
+            transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+            transaction RmAll() { delete(PERSON, { }); }
+        "#,
+        )
+        .unwrap();
+        // One trailing ∅ allowed after deletion; a bulk delete then one
+        // more application gives every deleted object its second ∅ at
+        // the same step.
+        let inv = Inventory::parse_init(&s, &a, "∅* [PERSON]+ ∅").unwrap();
+        let mut fast = Monitor::new(&s, &a, &inv, PatternKind::All);
+        let mut oracle = Monitor::new_reference(&s, &a, &inv, PatternKind::All);
+        let none = Assignment::empty();
+        for m in [&mut fast, &mut oracle] {
+            m.try_apply(ts.get("Mk").unwrap(), &arg("a")).unwrap();
+            m.try_apply(ts.get("Mk").unwrap(), &arg("b")).unwrap();
+            m.try_apply(ts.get("RmAll").unwrap(), &none).unwrap();
+        }
+        let ef = fast.try_apply(ts.get("Mk").unwrap(), &arg("c")).unwrap_err();
+        let eo = oracle.try_apply(ts.get("Mk").unwrap(), &arg("c")).unwrap_err();
+        assert_eq!(ef, eo);
+        match ef {
+            EnforceError::Violation(v) => {
+                assert_eq!(v.oid, Some(Oid(1)), "lowest-oid violator reported");
+                assert_eq!(v.pattern.len(), 4);
+                assert_eq!(v.letter, a.empty_symbol());
+            }
+            EnforceError::Lang(e) => panic!("unexpected {e}"),
+        }
+        // Rejection rolled back: both databases agree and can continue.
+        assert_eq!(fast.db(), oracle.db());
+        assert_eq!(fast.steps(), 3);
+    }
+
+    #[test]
+    fn proper_kind_folds_untouched_objects_into_exempt_cohort() {
+        let (s, a) = setup();
+        let ts = uni_transactions(&s);
+        let inv = Inventory::parse_init(&s, &a, "∅* [PERSON] [STUDENT] ∅*").unwrap();
+        let mut m = Monitor::new(&s, &a, &inv, PatternKind::Proper);
+        for i in 0..10 {
+            m.try_apply(ts.get("Mk").unwrap(), &arg(&format!("k{i}"))).unwrap();
+        }
+        let Engine::Delta(state) = &m.engine else { panic!("delta engine") };
+        // After step 2 under Proper, every untouched object is exempt:
+        // only the latest creation can still occupy a live cohort.
+        assert!(state.by_key.len() <= 1);
+        assert!(state.cohorts[EXEMPT as usize].size >= 9);
+    }
+
+    #[test]
+    fn cyclic_workloads_recycle_cohort_slots() {
+        // St/UnSt toggling empties and recreates cohorts every step; the
+        // free list must keep the slot table bounded instead of growing
+        // one slot per application.
+        let (s, a) = setup();
+        let ts = uni_transactions(&s);
+        let inv = Inventory::parse_init(&s, &a, "∅* ([PERSON] ∪ [STUDENT])* ∅*").unwrap();
+        // All exercises the re-key path; Proper and Lazy exercise the
+        // fold-to-exempt path. Same-object toggling empties and recreates
+        // a singleton cohort every step (free-list path); rotating over
+        // several objects leaves live forwarders behind each fold
+        // (compaction path).
+        for kind in [PatternKind::All, PatternKind::Proper, PatternKind::Lazy] {
+            for rotate in [false, true] {
+                let keys = ["a", "b", "c"];
+                let mut m = Monitor::new(&s, &a, &inv, kind);
+                for k in keys {
+                    m.try_apply(ts.get("Mk").unwrap(), &arg(k)).unwrap();
+                }
+                for i in 0..300 {
+                    let t = if i % 2 == 0 { "St" } else { "UnSt" };
+                    let k = if rotate { keys[(i / 2) % keys.len()] } else { "b" };
+                    m.try_apply(ts.get(t).unwrap(), &arg(k)).unwrap();
+                }
+                let Engine::Delta(state) = &m.engine else { panic!("delta engine") };
+                assert!(
+                    state.cohorts.len() <= 65,
+                    "300 toggles (rotate {rotate}) under {kind} must bound the slot \
+                     table, got {} cohorts",
+                    state.cohorts.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_engine_reports_itself() {
+        let (s, a) = setup();
+        let inv = Inventory::parse_init(&s, &a, "∅* [PERSON]* ∅*").unwrap();
+        assert!(Monitor::new(&s, &a, &inv, PatternKind::All).is_incremental());
+        let r = Monitor::new_reference(&s, &a, &inv, PatternKind::All);
+        assert!(!r.is_incremental());
+        assert_eq!(r.last_touched(), None);
     }
 
     #[test]

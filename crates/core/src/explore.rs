@@ -95,9 +95,7 @@ pub fn explore(
     ts: &TransactionSchema,
     cfg: &ExploreConfig,
 ) -> PatternSets {
-    let require_change = cfg
-        .require_db_change
-        .unwrap_or_else(|| ts.language() != Language::Sl);
+    let require_change = cfg.require_db_change.unwrap_or_else(|| ts.language() != Language::Sl);
     let mut constants: Vec<Value> = ts.constants().into_iter().collect();
     constants.extend(cfg.extra_values.iter().cloned());
     constants.sort();
@@ -167,8 +165,7 @@ fn dfs(
                 break;
             }
             assignment_count += 1;
-            let args =
-                Assignment::new(idx.iter().map(|&i| step_pool[i].clone()).collect());
+            let args = Assignment::new(idx.iter().map(|&i| step_pool[i].clone()).collect());
             let next = run(schema, db, t, &args).expect("validated transaction");
             let db_changed = next != *db;
             if !require_change || db_changed {

@@ -105,9 +105,7 @@ impl MigrationGraph {
 
     /// The successors of a vertex.
     pub fn successors(&self, u: u32) -> impl Iterator<Item = u32> + '_ {
-        self.edges
-            .range((u, 0)..(u + 1, 0))
-            .map(|(&(_, v), _)| v)
+        self.edges.range((u, 0)..(u + 1, 0)).map(|(&(_, v), _)| v)
     }
 
     /// Whether an edge is *lazy* (its endpoints carry different role
@@ -320,7 +318,11 @@ impl MigrationGraph {
     /// immediate-start kind (without the sink's ∅-loop, which the grammar
     /// models with an extra ∅-emitting production on the sink).
     #[must_use]
-    pub fn to_grammar(&self, num_symbols: u32, empty_sym: u32) -> migratory_automata::RightLinearGrammar {
+    pub fn to_grammar(
+        &self,
+        num_symbols: u32,
+        empty_sym: u32,
+    ) -> migratory_automata::RightLinearGrammar {
         let n = self.num_vertices() as u32;
         let mut g = migratory_automata::RightLinearGrammar::new(num_symbols, n, VS);
         for (u, v, _) in self.edges() {
@@ -415,10 +417,7 @@ mod tests {
         for r in &cases {
             let expect = lang_of_regex(r, 4);
             let got = path_lang(r, 4);
-            assert!(
-                expect.equivalent(&got),
-                "G_η language mismatch for {r}: wanted equivalence"
-            );
+            assert!(expect.equivalent(&got), "G_η language mismatch for {r}: wanted equivalence");
         }
     }
 

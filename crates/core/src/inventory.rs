@@ -117,9 +117,8 @@ mod tests {
             "∅* [PERSON]* [STUDENT]* [GRAD_ASSIST]* [EMPLOYEE]+ [PERSON]* ∅*",
         )
         .unwrap();
-        let sym = |names: &[&str]| {
-            a.symbol_of(RoleSet::closure_of_named(&s, names).unwrap()).unwrap()
-        };
+        let sym =
+            |names: &[&str]| a.symbol_of(RoleSet::closure_of_named(&s, names).unwrap()).unwrap();
         let (p, st, g, e) =
             (sym(&["PERSON"]), sym(&["STUDENT"]), sym(&["GRAD_ASSIST"]), sym(&["EMPLOYEE"]));
         assert!(inv.contains(&[]));
@@ -133,16 +132,11 @@ mod tests {
     #[test]
     fn shape_enforced() {
         let (s, a) = setup();
-        let p = a
-            .symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap())
-            .unwrap();
+        let p = a.symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap()).unwrap();
         // A "bad" language containing [P]∅[P].
         let bad = Regex::word([p, a.empty_symbol(), p]);
         let dfa = Dfa::from_nfa(&Nfa::from_regex(&bad, a.num_symbols()));
-        assert!(matches!(
-            Inventory::from_dfa(&a, dfa),
-            Err(CoreError::UnsupportedRegex(_))
-        ));
+        assert!(matches!(Inventory::from_dfa(&a, dfa), Err(CoreError::UnsupportedRegex(_))));
         // init_of_regex silently intersects the shape away.
         let inv = Inventory::init_of_regex(&s, &a, &bad).unwrap();
         assert!(!inv.contains(&[p, 0, p]));
@@ -152,9 +146,7 @@ mod tests {
     #[test]
     fn prefix_closure_required() {
         let (s, a) = setup();
-        let p = a
-            .symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap())
-            .unwrap();
+        let p = a.symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap()).unwrap();
         // {pp} alone is not prefix-closed.
         let dfa = Dfa::from_nfa(&Nfa::from_regex(&Regex::word([p, p]), a.num_symbols()));
         assert!(Inventory::from_dfa(&a, dfa.clone()).is_err());
@@ -174,16 +166,10 @@ mod tests {
         }
         let schema = b.build().unwrap();
         let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
-        let inv = Inventory::parse_init(
-            &schema,
-            &alphabet,
-            "∅* ([p] ([q] ∪ [r_]) [s])* ∅*",
-        )
-        .unwrap();
+        let inv =
+            Inventory::parse_init(&schema, &alphabet, "∅* ([p] ([q] ∪ [r_]) [s])* ∅*").unwrap();
         let sym = |n: &str| {
-            alphabet
-                .symbol_of(RoleSet::closure_of_named(&schema, &[n]).unwrap())
-                .unwrap()
+            alphabet.symbol_of(RoleSet::closure_of_named(&schema, &[n]).unwrap()).unwrap()
         };
         let (p, q, r_, sct) = (sym("p"), sym("q"), sym("r_"), sym("s"));
         assert!(inv.contains(&[p, q, sct, p, r_, sct]));
@@ -197,8 +183,7 @@ mod tests {
         let (s, a) = setup();
         let inv = Inventory::parse_init(&s, &a, "[PERSON]* ∅*").unwrap();
         let r = inv.to_regex();
-        let back =
-            Inventory::init_of_regex(&s, &a, &r).unwrap();
+        let back = Inventory::init_of_regex(&s, &a, &r).unwrap();
         assert!(inv.dfa().equivalent(back.dfa()));
     }
 }

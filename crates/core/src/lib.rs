@@ -18,8 +18,17 @@
 //!   satisfies/generates/characterizes with counterexamples;
 //! * **Runtime enforcement** ([`enforce`]): the paper's motivating
 //!   application — a monitor admitting only updates whose object
-//!   migration patterns stay inside the inventory, with a static
-//!   certification fast path for provably conforming SL schemas;
+//!   migration patterns stay inside the inventory. The default engine is
+//!   **incremental**: transactions are applied through
+//!   `migratory_lang::apply_transaction_delta` and validated from the
+//!   change-set alone (apply-then-undo, no database clone), untouched
+//!   objects advance via cohorts keyed by (DFA state, role symbol) — one
+//!   `dfa.step` per cohort, not per object — and per-object histories are
+//!   run-length encoded, so admitting a transaction costs O(touched +
+//!   |cohorts|) instead of O(|db| × run-length). The pre-optimization
+//!   rescan algorithm survives as `Monitor::new_reference`, the testing
+//!   oracle and benchmark baseline, and Corollary 3.3 still provides the
+//!   static certification fast path for provably conforming SL schemas;
 //! * **CSL expressiveness** ([`tm_compile`], [`cfg_compile`]): Theorem
 //!   4.3's Turing-machine simulation and Theorem 4.8's Greibach-normal-
 //!   form compiler, with scripted completeness drivers and fuzzable
@@ -47,8 +56,7 @@ pub mod tm_compile;
 
 pub use alphabet::RoleAlphabet;
 pub use analyze::{
-    analyze, analyze_all_components, analyze_families, families, Analysis, AnalyzeOptions,
-    Families,
+    analyze, analyze_all_components, analyze_families, families, Analysis, AnalyzeOptions, Families,
 };
 pub use cfg_compile::{compile_cfg, standard_cfg_schema, CfgCompiled};
 pub use decide::{decide, decide_with_families, Decision, Verdict};

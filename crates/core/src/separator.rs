@@ -64,12 +64,7 @@ pub fn vertex_of(
 
 /// Compute the key of a tuple over the given attributes.
 #[must_use]
-pub fn key_of_tuple(
-    role: u32,
-    attrs: &[AttrId],
-    constants: &[Value],
-    tuple: &Tuple,
-) -> VertexKey {
+pub fn key_of_tuple(role: u32, attrs: &[AttrId], constants: &[Value], tuple: &Tuple) -> VertexKey {
     let mut choices = Vec::with_capacity(attrs.len());
     let mut free_values: Vec<&Value> = Vec::new();
     for &a in attrs {
@@ -289,9 +284,7 @@ mod tests {
         // PERSON role set: 2 attrs, k = 2 constants: hyperplanes = 3² = 9;
         // free-count 0 → 1 partition ×4, 1 → 1 ×4, 2 → 2 ×1: total 4+4+2=10.
         let (s, a, constants) = setup();
-        let person_sym = a
-            .symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap())
-            .unwrap();
+        let person_sym = a.symbol_of(RoleSet::closure_of_named(&s, &["PERSON"]).unwrap()).unwrap();
         let count = enumerate_full_space(&s, &a, &constants)
             .into_iter()
             .filter(|k| k.role == person_sym)

@@ -26,7 +26,9 @@ use crate::alphabet::RoleAlphabet;
 use crate::error::CoreError;
 use crate::graph::{MigrationGraph, VS, VT};
 use migratory_automata::Regex;
-use migratory_lang::{con, mig_ops, var, AtomicUpdate, GuardedUpdate, Transaction, TransactionSchema};
+use migratory_lang::{
+    con, mig_ops, var, AtomicUpdate, GuardedUpdate, Transaction, TransactionSchema,
+};
 use migratory_model::{Atom, AttrId, CmpOp, Condition, RoleSet, Schema, Term, Value};
 use std::collections::BTreeMap;
 
@@ -113,10 +115,8 @@ pub fn from_graph(
                 continue;
             }
             let at_u = |extra: Vec<Atom>| -> Condition {
-                let mut cond = Condition::from_atoms([
-                    Atom::eq_const(a, h(u)),
-                    Atom::eq_const(c, processing),
-                ]);
+                let mut cond =
+                    Condition::from_atoms([Atom::eq_const(a, h(u)), Atom::eq_const(c, processing)]);
                 for at in extra {
                     cond.push(at);
                 }
@@ -218,9 +218,7 @@ mod tests {
     }
 
     fn sym(schema: &Schema, alphabet: &RoleAlphabet, class: &str) -> u32 {
-        alphabet
-            .symbol_of(RoleSet::closure_of_named(schema, &[class]).unwrap())
-            .unwrap()
+        alphabet.symbol_of(RoleSet::closure_of_named(schema, &[class]).unwrap()).unwrap()
     }
 
     /// `λ ∪ (Ω₊ · Σ*)` — words not starting with ∅.
@@ -237,17 +235,12 @@ mod tests {
         let ns = alphabet.num_symbols();
         let e = alphabet.empty_symbol();
         let synth = synthesize(&schema, &alphabet, eta).unwrap();
-        let (_, fams) = analyze_families(
-            &schema,
-            &alphabet,
-            &synth.transactions,
-            &AnalyzeOptions::default(),
-        )
-        .unwrap();
+        let (_, fams) =
+            analyze_families(&schema, &alphabet, &synth.transactions, &AnalyzeOptions::default())
+                .unwrap();
 
         let ns_start = nonempty_start(&alphabet);
-        let walks_imm =
-            Dfa::from_nfa(&synth.graph.walks_nfa(ns, e, PatternKind::ImmediateStart));
+        let walks_imm = Dfa::from_nfa(&synth.graph.walks_nfa(ns, e, PatternKind::ImmediateStart));
         let expected_imm = walks_imm.intersect(&ns_start).minimize();
         assert!(
             fams.imm.equivalent(&expected_imm),
@@ -271,11 +264,8 @@ mod tests {
         );
 
         let empty_opt = Nfa::from_regex(&Regex::opt(Regex::Sym(e)), ns);
-        for (kind, got) in
-            [(PatternKind::Proper, &fams.pro), (PatternKind::Lazy, &fams.lazy)]
-        {
-            let walks = Dfa::from_nfa(&synth.graph.walks_nfa(ns, e, kind))
-                .intersect(&ns_start);
+        for (kind, got) in [(PatternKind::Proper, &fams.pro), (PatternKind::Lazy, &fams.lazy)] {
+            let walks = Dfa::from_nfa(&synth.graph.walks_nfa(ns, e, kind)).intersect(&ns_start);
             let expected =
                 Dfa::from_nfa(&nfa_concat(&empty_opt, &walks.to_nfa()).unwrap()).minimize();
             assert!(
@@ -310,10 +300,7 @@ mod tests {
         let (schema, alphabet) = pq_schema();
         let p = sym(&schema, &alphabet, "p");
         let q = sym(&schema, &alphabet, "q");
-        round_trip(&Regex::concat([
-            Regex::Sym(p),
-            Regex::star(Regex::word([q, q, p])),
-        ]));
+        round_trip(&Regex::concat([Regex::Sym(p), Regex::star(Regex::word([q, q, p]))]));
     }
 
     #[test]
@@ -335,18 +322,14 @@ mod tests {
         let p = sym(&schema, &alphabet, "p");
         let q = sym(&schema, &alphabet, "q");
         // (p ∪ qq)? — exercises branch conditions and a nullable η.
-        round_trip(&Regex::opt(Regex::union([
-            Regex::Sym(p),
-            Regex::word([q, q]),
-        ])));
+        round_trip(&Regex::opt(Regex::union([Regex::Sym(p), Regex::word([q, q])])));
     }
 
     #[test]
     fn role_set_with_both_classes() {
         let (schema, alphabet) = pq_schema();
-        let pq = alphabet
-            .symbol_of(RoleSet::closure_of_named(&schema, &["p", "q"]).unwrap())
-            .unwrap();
+        let pq =
+            alphabet.symbol_of(RoleSet::closure_of_named(&schema, &["p", "q"]).unwrap()).unwrap();
         let p = sym(&schema, &alphabet, "p");
         round_trip(&Regex::concat([Regex::Sym(p), Regex::Sym(pq)]));
     }

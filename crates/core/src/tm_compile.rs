@@ -34,7 +34,9 @@
 use crate::alphabet::RoleAlphabet;
 use crate::error::CoreError;
 use migratory_chomsky::{Move, TuringMachine};
-use migratory_lang::{con, mig_ops, var, AtomicUpdate, GuardedUpdate, Literal, Transaction, TransactionSchema};
+use migratory_lang::{
+    con, mig_ops, var, AtomicUpdate, GuardedUpdate, Literal, Transaction, TransactionSchema,
+};
 use migratory_model::{Atom, ClassId, Condition, RoleSet, Schema, Value};
 use std::collections::BTreeMap;
 
@@ -95,16 +97,8 @@ pub fn compile_tm(
     if spec.letter_of[tm.blank() as usize].is_some() {
         return Err(CoreError::BadMachine("the blank cannot be a letter".into()));
     }
-    for ((_, read), _) in tm.transitions() {
-        let _ = read;
-    }
-    if tm
-        .transitions()
-        .any(|((from, _), _)| from == tm.accept_state())
-    {
-        return Err(CoreError::BadMachine(
-            "no transitions may leave the accepting state".into(),
-        ));
+    if tm.transitions().any(|((from, _), _)| from == tm.accept_state()) {
+        return Err(CoreError::BadMachine("no transitions may leave the accepting state".into()));
     }
     for rs in spec.letter_of.iter().flatten() {
         if alphabet.symbol_of(*rs).is_none() || rs.is_empty() {
@@ -153,12 +147,8 @@ pub fn compile_tm(
         ])
     };
 
-    let letters: Vec<(u32, RoleSet)> = spec
-        .letter_of
-        .iter()
-        .enumerate()
-        .filter_map(|(s, r)| r.map(|rs| (s as u32, rs)))
-        .collect();
+    let letters: Vec<(u32, RoleSet)> =
+        spec.letter_of.iter().enumerate().filter_map(|(s, r)| r.map(|rs| (s as u32, rs))).collect();
     let non_letters: Vec<Value> = (0..tm.num_symbols())
         .filter(|&s| spec.letter_of[s as usize].is_none())
         .map(sym_val)
@@ -170,18 +160,12 @@ pub fn compile_tm(
     // --- T_init(x): reset; flag ← aw; head cell (¢, ¢, x, -). -----------
     {
         let steps = vec![
-            GuardedUpdate::plain(AtomicUpdate::Delete {
-                class: g_root,
-                gamma: Condition::empty(),
-            }),
+            GuardedUpdate::plain(AtomicUpdate::Delete { class: g_root, gamma: Condition::empty() }),
             GuardedUpdate::plain(AtomicUpdate::Delete {
                 class: s_class,
                 gamma: Condition::empty(),
             }),
-            GuardedUpdate::plain(AtomicUpdate::Create {
-                class: s_class,
-                gamma: flag_cond("aw"),
-            }),
+            GuardedUpdate::plain(AtomicUpdate::Create { class: s_class, gamma: flag_cond("aw") }),
             GuardedUpdate::plain(AtomicUpdate::Create {
                 class: s_class,
                 gamma: Condition::from_atoms([
@@ -197,51 +181,50 @@ pub fn compile_tm(
 
     // Chain extension blocks shared by T_expand (phase w, letter z) and
     // T_pad (phase c, blank).
-    let extend =
-        |guard: &Literal, a3_term: migratory_model::Term| -> Vec<GuardedUpdate> {
-            vec![
-                GuardedUpdate::when(
-                    vec![guard.clone()],
-                    AtomicUpdate::Delete {
-                        class: s_class,
-                        gamma: Condition::from_atoms([Atom::eq_var(a1, migratory_model::VarId(1))]),
-                    },
-                ),
-                GuardedUpdate::when(
-                    vec![guard.clone()],
-                    AtomicUpdate::Delete {
-                        class: s_class,
-                        gamma: Condition::from_atoms([Atom::eq_var(a2, migratory_model::VarId(1))]),
-                    },
-                ),
-                GuardedUpdate::when(
-                    vec![guard.clone()],
-                    AtomicUpdate::Create {
-                        class: s_class,
-                        gamma: Condition::from_atoms([
-                            Atom::eq_var(a1, migratory_model::VarId(1)),
-                            Atom::eq_var(a2, migratory_model::VarId(1)),
-                            Atom { attr: a3, op: migratory_model::CmpOp::Eq, term: a3_term },
-                            Atom::eq_const(a4, s_val("-")),
-                        ]),
-                    },
-                ),
-                // Link the old (self-linked) end to the new cell; A1 ≠ y
-                // forces x ≠ y.
-                GuardedUpdate::when(
-                    vec![guard.clone()],
-                    AtomicUpdate::Modify {
-                        class: s_class,
-                        select: Condition::from_atoms([
-                            Atom::eq_var(a1, migratory_model::VarId(0)),
-                            Atom::eq_var(a2, migratory_model::VarId(0)),
-                            Atom::ne_var(a1, migratory_model::VarId(1)),
-                        ]),
-                        set: Condition::from_atoms([Atom::eq_var(a2, migratory_model::VarId(1))]),
-                    },
-                ),
-            ]
-        };
+    let extend = |guard: &Literal, a3_term: migratory_model::Term| -> Vec<GuardedUpdate> {
+        vec![
+            GuardedUpdate::when(
+                vec![guard.clone()],
+                AtomicUpdate::Delete {
+                    class: s_class,
+                    gamma: Condition::from_atoms([Atom::eq_var(a1, migratory_model::VarId(1))]),
+                },
+            ),
+            GuardedUpdate::when(
+                vec![guard.clone()],
+                AtomicUpdate::Delete {
+                    class: s_class,
+                    gamma: Condition::from_atoms([Atom::eq_var(a2, migratory_model::VarId(1))]),
+                },
+            ),
+            GuardedUpdate::when(
+                vec![guard.clone()],
+                AtomicUpdate::Create {
+                    class: s_class,
+                    gamma: Condition::from_atoms([
+                        Atom::eq_var(a1, migratory_model::VarId(1)),
+                        Atom::eq_var(a2, migratory_model::VarId(1)),
+                        Atom { attr: a3, op: migratory_model::CmpOp::Eq, term: a3_term },
+                        Atom::eq_const(a4, s_val("-")),
+                    ]),
+                },
+            ),
+            // Link the old (self-linked) end to the new cell; A1 ≠ y
+            // forces x ≠ y.
+            GuardedUpdate::when(
+                vec![guard.clone()],
+                AtomicUpdate::Modify {
+                    class: s_class,
+                    select: Condition::from_atoms([
+                        Atom::eq_var(a1, migratory_model::VarId(0)),
+                        Atom::eq_var(a2, migratory_model::VarId(0)),
+                        Atom::ne_var(a1, migratory_model::VarId(1)),
+                    ]),
+                    set: Condition::from_atoms([Atom::eq_var(a2, migratory_model::VarId(1))]),
+                },
+            ),
+        ]
+    };
 
     // --- T_expand(x, y, z): append a letter cell at the end. -------------
     ts.add(Transaction {
@@ -268,10 +251,7 @@ pub fn compile_tm(
                         Atom::eq_const(a1, s_val("¢")),
                         Atom::eq_const(a4, s_val("-")),
                     ]),
-                    set: Condition::from_atoms([Atom::eq_const(
-                        a4,
-                        state_val(tm.start_state()),
-                    )]),
+                    set: Condition::from_atoms([Atom::eq_const(a4, state_val(tm.start_state()))]),
                 },
             ),
             GuardedUpdate::when(
@@ -322,10 +302,8 @@ pub fn compile_tm(
                     });
                     c
                 };
-                let moving = Literal::pos(
-                    s_class,
-                    Condition::from_atoms([Atom::eq_const(a4, s_val("m1"))]),
-                );
+                let moving =
+                    Literal::pos(s_class, Condition::from_atoms([Atom::eq_const(a4, s_val("m1"))]));
                 let neighbour_sel = Condition::from_atoms([
                     if dir == Move::Right {
                         Atom::eq_var(a1, migratory_model::VarId(0))
@@ -461,7 +439,11 @@ pub fn compile_tm(
                 s_class,
                 Condition::from_atoms([
                     Atom::eq_var(a1, migratory_model::VarId(0)),
-                    Atom { attr: a3, op: migratory_model::CmpOp::Eq, term: migratory_model::Term::Const(v) },
+                    Atom {
+                        attr: a3,
+                        op: migratory_model::CmpOp::Eq,
+                        term: migratory_model::Term::Const(v),
+                    },
                     Atom::eq_const(a4, s_val("-")),
                 ]),
             )
@@ -668,19 +650,10 @@ mod tests {
         let tm = machines::anbn();
         // a=0→L0, b=1→L1; marked variants map to the same letters.
         let spec = TmSpec {
-            letter_of: vec![
-                Some(roles[0]),
-                Some(roles[1]),
-                Some(roles[0]),
-                Some(roles[1]),
-                None,
-            ],
+            letter_of: vec![Some(roles[0]), Some(roles[1]), Some(roles[0]), Some(roles[1]), None],
         };
         let compiled = compile_tm(&schema, &alphabet, s_class, &tm, &spec).unwrap();
-        let letter_syms = roles
-            .iter()
-            .map(|r| alphabet.symbol_of(*r).unwrap())
-            .collect();
+        let letter_syms = roles.iter().map(|r| alphabet.symbol_of(*r).unwrap()).collect();
         (schema, alphabet, compiled, letter_syms)
     }
 
@@ -724,12 +697,8 @@ mod tests {
                 continue;
             }
             assert_eq!(g_patterns.len(), 1, "exactly one migrating object for n={n}");
-            let visible: Vec<u32> = g_patterns[0]
-                .1
-                .iter()
-                .copied()
-                .filter(|&s| s != alphabet.empty_symbol())
-                .collect();
+            let visible: Vec<u32> =
+                g_patterns[0].1.iter().copied().filter(|&s| s != alphabet.empty_symbol()).collect();
             let expected: Vec<u32> = word.iter().map(|&c| syms[c as usize]).collect();
             assert_eq!(visible, expected, "pattern must spell a^{n} b^{n}");
             // The object is deleted at the end (∅ suffix).
@@ -784,17 +753,13 @@ mod tests {
                 let in_g = trace.iter().all(|d| {
                     let cs = d.role_set(o);
                     cs.is_empty()
-                        || cs.first().map(|c| schema.component_of(c))
-                            == Some(alphabet.component())
+                        || cs.first().map(|c| schema.component_of(c)) == Some(alphabet.component())
                 });
                 if !in_g {
                     continue;
                 }
-                let letters: Vec<u32> = pat
-                    .iter()
-                    .copied()
-                    .filter(|&s| s != alphabet.empty_symbol())
-                    .collect();
+                let letters: Vec<u32> =
+                    pat.iter().copied().filter(|&s| s != alphabet.empty_symbol()).collect();
                 // Must be a prefix of aⁿbⁿ roles: a-run then b-run with
                 // #b ≤ #a, and the word must be well-formed.
                 assert!(
@@ -804,15 +769,8 @@ mod tests {
                 let a_run = letters.iter().take_while(|&&s| s == a_sym).count();
                 let rest = &letters[a_run..];
                 let b_run = rest.iter().take_while(|&&s| s == b_sym).count();
-                assert_eq!(
-                    b_run,
-                    rest.len(),
-                    "letters {letters:?} not of the form aⁱbʲ"
-                );
-                assert!(
-                    b_run <= a_run,
-                    "letters {letters:?} not a prefix of any aⁿbⁿ"
-                );
+                assert_eq!(b_run, rest.len(), "letters {letters:?} not of the form aⁱbʲ");
+                assert!(b_run <= a_run, "letters {letters:?} not a prefix of any aⁿbⁿ");
             }
         }
     }
@@ -856,16 +814,12 @@ mod tests {
         let patterns = patterns_of_run(&schema, &alphabet, step_refs).unwrap();
         let visible: Vec<Vec<u32>> = patterns
             .iter()
-            .map(|(_, p)| {
-                p.iter().copied().filter(|&s| s != alphabet.empty_symbol()).collect()
-            })
+            .map(|(_, p)| p.iter().copied().filter(|&s| s != alphabet.empty_symbol()).collect())
             .filter(|v: &Vec<u32>| !v.is_empty())
             .collect();
         assert_eq!(visible.len(), 1);
-        let expected: Vec<u32> = word
-            .iter()
-            .map(|&c| alphabet.symbol_of(roles[c as usize]).unwrap())
-            .collect();
+        let expected: Vec<u32> =
+            word.iter().map(|&c| alphabet.symbol_of(roles[c as usize]).unwrap()).collect();
         assert_eq!(visible[0], expected);
         // Odd-length words are rejected.
         assert!(drive_word(&tm, &[0], 1000).is_none());

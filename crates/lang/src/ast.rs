@@ -531,9 +531,7 @@ mod tests {
         );
         assert!(!t.is_ground());
         assert_eq!(t.vars_used().len(), 2);
-        let g = t
-            .ground(&Assignment::new(vec![Value::str("123"), Value::str("Ann")]))
-            .unwrap();
+        let g = t.ground(&Assignment::new(vec![Value::str("123"), Value::str("Ann")])).unwrap();
         assert!(g.is_ground());
         assert!(g.constants().contains(&Value::str("Ann")));
     }

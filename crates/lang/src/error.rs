@@ -81,10 +81,9 @@ impl std::fmt::Display for LangError {
             LangError::ArityMismatch { expected, got } => {
                 write!(f, "transaction expects {expected} argument(s), got {got}")
             }
-            LangError::UnknownVariable(n) => write!(
-                f,
-                "identifier `{n}` is not a parameter (string constants must be quoted)"
-            ),
+            LangError::UnknownVariable(n) => {
+                write!(f, "identifier `{n}` is not a parameter (string constants must be quoted)")
+            }
             LangError::DuplicateTransaction(n) => write!(f, "duplicate transaction `{n}`"),
             LangError::UnknownTransaction(n) => write!(f, "unknown transaction `{n}`"),
             LangError::MigAcrossComponents => {

@@ -5,10 +5,144 @@
 //! identity. Guarded updates first evaluate their literals against the
 //! current database and fire only if all hold. Transactions compose
 //! left-to-right: `⟦θ₁; …; θₙ⟧ = ⟦θₙ⟧ ∘ … ∘ ⟦θ₁⟧`.
+//!
+//! All entry points funnel through one recorder-generic core:
+//! [`apply_transaction`] (and the [`run`] / [`run_trace`] wrappers) use a
+//! zero-cost no-op recorder, while [`apply_transaction_delta`]
+//! additionally captures before-images of exactly the touched objects and
+//! returns them as a [`Delta`] — the O(touched) change-set that powers
+//! incremental enforcement in `migratory-core`.
 
 use crate::ast::{Assignment, AtomicUpdate, GuardedUpdate, Literal, Transaction};
 use crate::error::LangError;
-use migratory_model::{Instance, Oid, Schema};
+use migratory_model::{ClassSet, Instance, Oid, Schema, Tuple};
+use std::collections::BTreeMap;
+
+/// Observer of object mutations during an application. The interpreter
+/// reports every object it is *about* to mutate (with its pre-state still
+/// readable from `db`) and every object it mints; [`DeltaRecorder`]
+/// captures before-images from these callbacks, while the plain entry
+/// points use the zero-cost [`NoRecord`].
+trait Recorder {
+    /// `o` is about to be mutated; `db` still holds its pre-state.
+    fn touch(&mut self, db: &Instance, o: Oid);
+    /// `o` was just minted by `create` (no pre-state exists).
+    fn minted(&mut self, o: Oid);
+}
+
+/// The no-op recorder behind [`apply_atomic`] and friends.
+struct NoRecord;
+
+impl Recorder for NoRecord {
+    #[inline]
+    fn touch(&mut self, _db: &Instance, _o: Oid) {}
+    #[inline]
+    fn minted(&mut self, _o: Oid) {}
+}
+
+/// Captures the before-image of each object on its first touch.
+#[derive(Default)]
+struct DeltaRecorder {
+    touched: BTreeMap<Oid, Option<(ClassSet, Tuple)>>,
+}
+
+impl Recorder for DeltaRecorder {
+    fn touch(&mut self, db: &Instance, o: Oid) {
+        self.touched
+            .entry(o)
+            .or_insert_with(|| db.occurs(o).then(|| (db.role_set(o), db.tuple_of(o))));
+    }
+    fn minted(&mut self, o: Oid) {
+        self.touched.entry(o).or_insert(None);
+    }
+}
+
+/// One object's before/after images across a transaction application.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ObjectDelta {
+    /// The touched object.
+    pub oid: Oid,
+    /// Pre-state (class set and attribute tuple), `None` if the object did
+    /// not occur before the application.
+    pub before: Option<(ClassSet, Tuple)>,
+    /// Post-state class set, `None` if the object does not occur after the
+    /// application.
+    pub after_classes: Option<ClassSet>,
+    /// Whether the attribute tuple differs between pre- and post-state
+    /// (creation and deletion count as changes).
+    pub tuple_changed: bool,
+}
+
+impl ObjectDelta {
+    /// Pre-state class set (∅ when the object did not occur).
+    #[must_use]
+    pub fn before_classes(&self) -> ClassSet {
+        self.before.as_ref().map(|(cs, _)| *cs).unwrap_or_default()
+    }
+
+    /// The object was minted by this application (and still occurs).
+    #[must_use]
+    pub fn created(&self) -> bool {
+        self.before.is_none() && self.after_classes.is_some()
+    }
+
+    /// The object was removed by this application.
+    #[must_use]
+    pub fn deleted(&self) -> bool {
+        self.before.is_some() && self.after_classes.is_none()
+    }
+
+    /// The object's observable state is identical before and after (it was
+    /// selected by some update that ended up writing back its own values).
+    #[must_use]
+    pub fn is_noop(&self) -> bool {
+        !self.tuple_changed && self.before.as_ref().map(|(cs, _)| *cs) == self.after_classes
+    }
+}
+
+/// The exact change-set of one transaction application: which objects were
+/// created / updated / deleted (with before-images), plus enough state to
+/// [`undo`](Delta::undo) the application in place.
+///
+/// Work and memory are **O(touched)** — objects the transaction never
+/// selected are not represented. This is what makes incremental consumers
+/// (the runtime [`Monitor`](../../migratory_core/enforce/struct.Monitor.html))
+/// independent of database size.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Delta {
+    old_next: u64,
+    new_next: u64,
+    objects: Vec<ObjectDelta>,
+}
+
+impl Delta {
+    /// Per-object changes, ordered by object identifier.
+    #[must_use]
+    pub fn objects(&self) -> &[ObjectDelta] {
+        &self.objects
+    }
+
+    /// Whether the application was the identity on the database —
+    /// including the next-object counter, so a transaction that mints and
+    /// immediately deletes an object is **not** an identity (Definition
+    /// 4.6's "null application" test, computed in O(touched)).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.old_next == self.new_next && self.objects.iter().all(ObjectDelta::is_noop)
+    }
+
+    /// Roll the application back in place. `db` must be exactly the
+    /// post-state this delta was produced on.
+    pub fn undo(&self, db: &mut Instance) {
+        for od in &self.objects {
+            match &od.before {
+                Some((cs, t)) => db.put_object(od.oid, *cs, t.clone()),
+                None => db.delete_object(od.oid),
+            }
+        }
+        db.set_next(self.old_next);
+    }
+}
 
 /// Apply a **ground** atomic update in place (Definition 2.5).
 ///
@@ -16,6 +150,15 @@ use migratory_model::{Instance, Oid, Schema};
 /// (see [`crate::validate::validate_update`]); validation guarantees the
 /// class/attribute side conditions this function relies on.
 pub fn apply_atomic(schema: &Schema, db: &mut Instance, u: &AtomicUpdate) {
+    apply_atomic_rec(schema, db, u, &mut NoRecord);
+}
+
+fn apply_atomic_rec<R: Recorder>(
+    schema: &Schema,
+    db: &mut Instance,
+    u: &AtomicUpdate,
+    rec: &mut R,
+) {
     debug_assert!(u.is_ground(), "semantics is defined on ground updates");
     match u {
         AtomicUpdate::Create { class, gamma } => {
@@ -25,7 +168,8 @@ pub fn apply_atomic(schema: &Schema, db: &mut Instance, u: &AtomicUpdate) {
             // o'(P) = o(P) ∪ {oᵢ}; values from Γ's equalities. Creation is
             // unconditional: a fresh identifier is always minted.
             let values = gamma.value_map();
-            db.create(migratory_model::ClassSet::singleton(*class), values);
+            let oid = db.create(migratory_model::ClassSet::singleton(*class), values);
+            rec.minted(oid);
         }
         AtomicUpdate::Delete { class, gamma } => {
             if !gamma.is_satisfiable() {
@@ -35,6 +179,7 @@ pub fn apply_atomic(schema: &Schema, db: &mut Instance, u: &AtomicUpdate) {
             // is the unique root of its weakly-connected component, so
             // every class of a member object is a descendant of P.
             for o in db.sat(*class, gamma) {
+                rec.touch(db, o);
                 db.delete_object(o);
             }
         }
@@ -44,6 +189,7 @@ pub fn apply_atomic(schema: &Schema, db: &mut Instance, u: &AtomicUpdate) {
             }
             let values = set.value_map();
             for o in db.sat(*class, select) {
+                rec.touch(db, o);
                 db.set_values(o, values.clone());
             }
         }
@@ -57,6 +203,7 @@ pub fn apply_atomic(schema: &Schema, db: &mut Instance, u: &AtomicUpdate) {
             let clear: Vec<_> =
                 remove.iter().flat_map(|c| schema.attrs_of(c).iter().copied()).collect();
             for o in db.sat(*class, gamma) {
+                rec.touch(db, o);
                 db.remove_classes(o, remove, clear.iter().copied());
             }
         }
@@ -73,6 +220,7 @@ pub fn apply_atomic(schema: &Schema, db: &mut Instance, u: &AtomicUpdate) {
                 .filter(|&o| !db.role_set(o).contains(*to))
                 .collect();
             for o in targets {
+                rec.touch(db, o);
                 db.add_classes(o, add, values.clone());
             }
         }
@@ -84,17 +232,24 @@ pub fn apply_atomic(schema: &Schema, db: &mut Instance, u: &AtomicUpdate) {
 /// does.
 #[must_use]
 pub fn satisfies_literal(db: &Instance, l: &Literal) -> bool {
-    let witness = db
-        .objects_in(l.class)
-        .any(|o| l.gamma.satisfied_by(&db.tuple_of(o)));
+    let witness = db.objects_in(l.class).any(|o| l.gamma.satisfied_by(&db.tuple_of(o)));
     witness == l.positive
 }
 
 /// Apply a **ground** guarded update (Definition 4.3): the update fires
 /// only when every literal holds.
 pub fn apply_guarded(schema: &Schema, db: &mut Instance, g: &GuardedUpdate) {
+    apply_guarded_rec(schema, db, g, &mut NoRecord);
+}
+
+fn apply_guarded_rec<R: Recorder>(
+    schema: &Schema,
+    db: &mut Instance,
+    g: &GuardedUpdate,
+    rec: &mut R,
+) {
     if g.guards.iter().all(|l| satisfies_literal(db, l)) {
-        apply_atomic(schema, db, &g.update);
+        apply_atomic_rec(schema, db, &g.update, rec);
     }
 }
 
@@ -105,6 +260,24 @@ pub fn apply_ground_transaction(schema: &Schema, db: &mut Instance, t: &Transact
     }
 }
 
+fn apply_transaction_rec<R: Recorder>(
+    schema: &Schema,
+    db: &mut Instance,
+    t: &Transaction,
+    args: &Assignment,
+    rec: &mut R,
+) -> Result<(), LangError> {
+    if args.len() != t.params.len() {
+        return Err(LangError::ArityMismatch { expected: t.params.len(), got: args.len() });
+    }
+    let assign = |x: migratory_model::VarId| args.get(x).clone();
+    for step in &t.steps {
+        let ground = step.substitute(&assign);
+        apply_guarded_rec(schema, db, &ground, rec);
+    }
+    Ok(())
+}
+
 /// Apply a parameterized transaction under an assignment, in place
 /// (`⟦T(x₁,…,xₘ)⟧(α) = ⟦T[α]⟧`).
 pub fn apply_transaction(
@@ -113,15 +286,44 @@ pub fn apply_transaction(
     t: &Transaction,
     args: &Assignment,
 ) -> Result<(), LangError> {
-    if args.len() != t.params.len() {
-        return Err(LangError::ArityMismatch { expected: t.params.len(), got: args.len() });
-    }
-    let assign = |x: migratory_model::VarId| args.get(x).clone();
-    for step in &t.steps {
-        let ground = step.substitute(&assign);
-        apply_guarded(schema, db, &ground);
-    }
-    Ok(())
+    apply_transaction_rec(schema, db, t, args, &mut NoRecord)
+}
+
+/// Apply a parameterized transaction in place **and** return the exact
+/// change-set: before/after images for every touched object plus the undo
+/// needed to roll the application back. Errors (arity) leave `db`
+/// untouched.
+///
+/// This is the incremental entry point behind the runtime monitor: cost
+/// and allocation are O(touched objects), never O(|db|), and consumers
+/// decide *after* seeing the delta whether to keep or
+/// [`undo`](Delta::undo) the application — no defensive whole-database
+/// clone.
+pub fn apply_transaction_delta(
+    schema: &Schema,
+    db: &mut Instance,
+    t: &Transaction,
+    args: &Assignment,
+) -> Result<Delta, LangError> {
+    let old_next = db.next_oid().0;
+    let mut rec = DeltaRecorder::default();
+    apply_transaction_rec(schema, db, t, args, &mut rec)?;
+    let objects = rec
+        .touched
+        .into_iter()
+        .map(|(oid, before)| {
+            let after_classes = db.occurs(oid).then(|| db.role_set(oid));
+            let tuple_changed = match (&before, &after_classes) {
+                (Some((_, t_before)), Some(_)) => db.tuple_ref(oid) != Some(t_before),
+                (None, Some(_)) | (Some(_), None) => true,
+                // Minted and deleted within one application: never
+                // observable (patterns read post-states only).
+                (None, None) => false,
+            };
+            ObjectDelta { oid, before, after_classes, tuple_changed }
+        })
+        .collect();
+    Ok(Delta { old_next, new_next: db.next_oid().0, objects })
 }
 
 /// Functional form of [`apply_transaction`].
@@ -328,7 +530,10 @@ mod tests {
         apply_atomic(
             &u.s,
             &mut db,
-            &AtomicUpdate::Delete { class: u.person, gamma: cond(vec![Atom::eq_const(u.ssn, "7")]) },
+            &AtomicUpdate::Delete {
+                class: u.person,
+                gamma: cond(vec![Atom::eq_const(u.ssn, "7")]),
+            },
         );
         assert!(db.is_empty());
         assert_eq!(db.next_oid(), migratory_model::Oid(2), "identifiers never reused");
@@ -406,8 +611,7 @@ mod tests {
         let mut db = Instance::empty();
         create_person(&u, &mut db, "1", "A");
         let before = db.clone();
-        apply_transaction(&u.s, &mut db, &Transaction::empty("id"), &Assignment::empty())
-            .unwrap();
+        apply_transaction(&u.s, &mut db, &Transaction::empty("id"), &Assignment::empty()).unwrap();
         assert_eq!(db, before);
     }
 
@@ -423,8 +627,7 @@ mod tests {
             }],
         );
         let a = Assignment::empty();
-        let trace =
-            run_trace(&u.s, &Instance::empty(), [(&t, &a), (&t, &a)]).unwrap();
+        let trace = run_trace(&u.s, &Instance::empty(), [(&t, &a), (&t, &a)]).unwrap();
         assert_eq!(trace.len(), 3);
         assert_eq!(trace[0].num_objects(), 0);
         assert_eq!(trace[1].num_objects(), 1);
@@ -452,6 +655,187 @@ mod tests {
         let lhs = run(&u.s, &db.restrict(&i), &t, &Assignment::empty()).unwrap();
         let rhs = run(&u.s, &db, &t, &Assignment::empty()).unwrap().restrict(&i);
         assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn delta_reports_exact_change_set_and_undoes() {
+        let u = uni();
+        let mut db = Instance::empty();
+        create_person(&u, &mut db, "1", "Ann");
+        create_person(&u, &mut db, "2", "Bob");
+        let before = db.clone();
+
+        // One transaction: specialize Ann to STUDENT, rename Bob, create Caz.
+        let t = Transaction::sl(
+            "mixed",
+            &[],
+            vec![
+                AtomicUpdate::Specialize {
+                    from: u.person,
+                    to: u.student,
+                    select: cond(vec![Atom::eq_const(u.ssn, "1")]),
+                    set: cond(vec![Atom::eq_const(u.major, "CS"), Atom::eq_const(u.fe, 1990)]),
+                },
+                AtomicUpdate::Modify {
+                    class: u.person,
+                    select: cond(vec![Atom::eq_const(u.ssn, "2")]),
+                    set: cond(vec![Atom::eq_const(u.name, "Robert")]),
+                },
+                AtomicUpdate::Create {
+                    class: u.person,
+                    gamma: cond(vec![Atom::eq_const(u.ssn, "3"), Atom::eq_const(u.name, "Caz")]),
+                },
+            ],
+        );
+        let delta = apply_transaction_delta(&u.s, &mut db, &t, &Assignment::empty()).unwrap();
+        assert!(!delta.is_identity());
+        assert_eq!(delta.objects().len(), 3, "exactly the touched objects");
+        let [ann, bob, caz] = delta.objects() else { panic!("three objects") };
+        assert_eq!(ann.oid, Oid(1));
+        assert!(!ann.created() && !ann.deleted());
+        assert_ne!(Some(ann.before_classes()), ann.after_classes, "role set grew");
+        assert!(ann.tuple_changed);
+        assert_eq!(bob.oid, Oid(2));
+        assert_eq!(Some(bob.before_classes()), bob.after_classes);
+        assert!(bob.tuple_changed, "renamed");
+        assert_eq!(caz.oid, Oid(3));
+        assert!(caz.created() && caz.tuple_changed);
+
+        // Undo restores the pre-state bit for bit (counter included).
+        delta.undo(&mut db);
+        assert_eq!(db, before);
+    }
+
+    #[test]
+    fn delta_identity_for_noop_and_unsatisfied_selects() {
+        let u = uni();
+        let mut db = Instance::empty();
+        create_person(&u, &mut db, "1", "Ann");
+        let before = db.clone();
+        // Write back the value already stored: touched but a no-op.
+        let t = Transaction::sl(
+            "noop",
+            &[],
+            vec![AtomicUpdate::Modify {
+                class: u.person,
+                select: cond(vec![Atom::eq_const(u.ssn, "1")]),
+                set: cond(vec![Atom::eq_const(u.name, "Ann")]),
+            }],
+        );
+        let delta = apply_transaction_delta(&u.s, &mut db, &t, &Assignment::empty()).unwrap();
+        assert_eq!(delta.objects().len(), 1);
+        assert!(delta.objects()[0].is_noop());
+        assert!(delta.is_identity());
+        assert_eq!(db, before, "no-op application left the database intact");
+
+        // A select matching nothing touches nothing at all.
+        let t2 = Transaction::sl(
+            "miss",
+            &[],
+            vec![AtomicUpdate::Delete {
+                class: u.person,
+                gamma: cond(vec![Atom::eq_const(u.ssn, "zzz")]),
+            }],
+        );
+        let d2 = apply_transaction_delta(&u.s, &mut db, &t2, &Assignment::empty()).unwrap();
+        assert!(d2.objects().is_empty() && d2.is_identity());
+    }
+
+    #[test]
+    fn delta_create_then_delete_is_not_identity() {
+        // The minted identifier advances the next-object counter even when
+        // the object is gone by the end: matches Instance equality (and
+        // Definition 4.6's null-application test).
+        let u = uni();
+        let mut db = Instance::empty();
+        let before = db.clone();
+        let t = Transaction::sl(
+            "blip",
+            &[],
+            vec![
+                AtomicUpdate::Create {
+                    class: u.person,
+                    gamma: cond(vec![Atom::eq_const(u.ssn, "1"), Atom::eq_const(u.name, "A")]),
+                },
+                AtomicUpdate::Delete {
+                    class: u.person,
+                    gamma: cond(vec![Atom::eq_const(u.ssn, "1")]),
+                },
+            ],
+        );
+        let delta = apply_transaction_delta(&u.s, &mut db, &t, &Assignment::empty()).unwrap();
+        assert!(!delta.is_identity(), "next-object counter moved");
+        assert_eq!(delta.objects().len(), 1);
+        let od = &delta.objects()[0];
+        assert!(od.is_noop(), "never observable before or after");
+        assert!(!od.created() && !od.deleted());
+        delta.undo(&mut db);
+        assert_eq!(db, before);
+    }
+
+    #[test]
+    fn delta_deletion_restores_full_tuple() {
+        let u = uni();
+        let mut db = Instance::empty();
+        create_person(&u, &mut db, "7", "Kim");
+        apply_atomic(
+            &u.s,
+            &mut db,
+            &AtomicUpdate::Specialize {
+                from: u.person,
+                to: u.student,
+                select: Condition::empty(),
+                set: cond(vec![Atom::eq_const(u.major, "CS"), Atom::eq_const(u.fe, 1990)]),
+            },
+        );
+        let before = db.clone();
+        let t = Transaction::sl(
+            "rm",
+            &[],
+            vec![AtomicUpdate::Delete { class: u.person, gamma: Condition::empty() }],
+        );
+        let delta = apply_transaction_delta(&u.s, &mut db, &t, &Assignment::empty()).unwrap();
+        assert!(db.is_empty());
+        assert!(delta.objects()[0].deleted());
+        delta.undo(&mut db);
+        assert_eq!(db, before, "role set and attributes restored");
+        db.check_invariants(&u.s).unwrap();
+    }
+
+    #[test]
+    fn delta_agrees_with_run() {
+        // apply_transaction_delta(db) == run(db) on the result, for a
+        // guarded CSL transaction exercising every operator.
+        let u = uni();
+        let mut db = Instance::empty();
+        create_person(&u, &mut db, "1", "Ann");
+        create_person(&u, &mut db, "2", "Bob");
+        let t = Transaction::new(
+            "guarded",
+            &[],
+            vec![
+                GuardedUpdate::when(
+                    vec![Literal::pos(u.person, cond(vec![Atom::eq_const(u.ssn, "1")]))],
+                    AtomicUpdate::Specialize {
+                        from: u.person,
+                        to: u.student,
+                        select: cond(vec![Atom::eq_const(u.ssn, "1")]),
+                        set: cond(vec![Atom::eq_const(u.major, "CS"), Atom::eq_const(u.fe, 1990)]),
+                    },
+                ),
+                GuardedUpdate::when(
+                    vec![Literal::neg(u.person, cond(vec![Atom::eq_const(u.ssn, "9")]))],
+                    AtomicUpdate::Delete {
+                        class: u.person,
+                        gamma: cond(vec![Atom::eq_const(u.ssn, "2")]),
+                    },
+                ),
+            ],
+        );
+        let expected = run(&u.s, &db, &t, &Assignment::empty()).unwrap();
+        let delta = apply_transaction_delta(&u.s, &mut db, &t, &Assignment::empty()).unwrap();
+        assert_eq!(db, expected);
+        assert_eq!(delta.objects().len(), 2);
     }
 
     #[test]

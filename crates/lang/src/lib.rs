@@ -52,7 +52,8 @@ pub use ast::{
 };
 pub use error::LangError;
 pub use interp::{
-    apply_atomic, apply_guarded, apply_transaction, run, run_trace, satisfies_literal,
+    apply_atomic, apply_guarded, apply_transaction, apply_transaction_delta, run, run_trace,
+    satisfies_literal, Delta, ObjectDelta,
 };
 pub use mig::{mig_ops, migto_ops};
 pub use parser::parse_transactions;

@@ -37,17 +37,14 @@ pub fn mig_ops(
     select: &Condition,
     values: &BTreeMap<AttrId, Term>,
 ) -> Result<Vec<AtomicUpdate>, LangError> {
-    let comp = omega2
-        .component(schema)
-        .ok_or(LangError::MigAcrossComponents)?;
+    let comp = omega2.component(schema).ok_or(LangError::MigAcrossComponents)?;
     if let Some(o1) = omega1 {
         if !o1.is_empty() && o1.component(schema) != Some(comp) {
             return Err(LangError::MigAcrossComponents);
         }
     }
     let root = schema.component_root(comp);
-    let root_attrs: migratory_model::AttrSet =
-        schema.attrs_of(root).iter().copied().collect();
+    let root_attrs: migratory_model::AttrSet = schema.attrs_of(root).iter().copied().collect();
     if !select.referenced_attrs().is_subset(root_attrs) {
         return Err(LangError::ConditionAttrs { context: "mig(ω₁, ω₂, Γ, ·): Γ" });
     }
@@ -76,9 +73,9 @@ pub fn mig_ops(
         let acquired = schema.attr_star(q).difference(schema.attr_star(p));
         let mut set = Condition::empty();
         for a in acquired.iter() {
-            let term = values.get(&a).ok_or_else(|| {
-                LangError::MigMissingValue(schema.attr_name(a).to_owned())
-            })?;
+            let term = values
+                .get(&a)
+                .ok_or_else(|| LangError::MigMissingValue(schema.attr_name(a).to_owned()))?;
             set.push(migratory_model::Atom {
                 attr: a,
                 op: migratory_model::CmpOp::Eq,
@@ -112,10 +109,7 @@ mod tests {
     use migratory_model::{Atom, ClassSet, Instance, Oid, Value};
 
     fn default_values(schema: &Schema) -> BTreeMap<AttrId, Term> {
-        schema
-            .all_attrs()
-            .map(|a| (a, con(0)))
-            .collect()
+        schema.all_attrs().map(|a| (a, con(0))).collect()
     }
 
     fn person_db(schema: &Schema) -> Instance {

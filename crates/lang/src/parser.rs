@@ -19,9 +19,7 @@
 //! makes accidental free variables a parse error rather than a silent
 //! constant.
 
-use crate::ast::{
-    AtomicUpdate, GuardedUpdate, Literal, Transaction, TransactionSchema,
-};
+use crate::ast::{AtomicUpdate, GuardedUpdate, Literal, Transaction, TransactionSchema};
 use crate::error::LangError;
 use crate::validate::validate_transaction;
 use migratory_model::text::{lex, Cursor, TokenKind};
@@ -212,9 +210,9 @@ fn parse_term(cur: &mut Cursor, params: &[String]) -> Result<Term, LangError> {
             cur.next();
             r
         }
-        other => Err(cur
-            .error_here(format!("expected constant or parameter, found {other}"))
-            .into()),
+        other => {
+            Err(cur.error_here(format!("expected constant or parameter, found {other}")).into())
+        }
     }
 }
 
@@ -339,9 +337,6 @@ mod tests {
     fn duplicate_transaction_names_rejected() {
         let s = university_schema();
         let src = "transaction A() { } transaction A() { }";
-        assert!(matches!(
-            parse_transactions(&s, src),
-            Err(LangError::DuplicateTransaction(_))
-        ));
+        assert!(matches!(parse_transactions(&s, src), Err(LangError::DuplicateTransaction(_))));
     }
 }

@@ -8,12 +8,11 @@ use std::fmt::Write as _;
 fn term_to_text(t: &Term, params: &[String]) -> String {
     match t {
         Term::Const(Value::Int(i)) => i.to_string(),
-        Term::Const(Value::Str(s)) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Term::Const(Value::Str(s)) => {
+            format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+        }
         Term::Const(Value::Fresh(k)) => format!("\"⊥{k}\""),
-        Term::Var(x) => params
-            .get(x.0 as usize)
-            .cloned()
-            .unwrap_or_else(|| format!("x{}", x.0)),
+        Term::Var(x) => params.get(x.0 as usize).cloned().unwrap_or_else(|| format!("x{}", x.0)),
     }
 }
 
@@ -91,8 +90,7 @@ fn literal_to_text(schema: &Schema, l: &Literal, params: &[String]) -> String {
 pub fn step_to_text(schema: &Schema, s: &GuardedUpdate, params: &[String]) -> String {
     let mut out = String::new();
     if !s.guards.is_empty() {
-        let gs: Vec<String> =
-            s.guards.iter().map(|g| literal_to_text(schema, g, params)).collect();
+        let gs: Vec<String> = s.guards.iter().map(|g| literal_to_text(schema, g, params)).collect();
         let _ = write!(out, "when {} -> ", gs.join(", "));
     }
     out.push_str(&update_to_text(schema, &s.update, params));

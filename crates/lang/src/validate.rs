@@ -57,11 +57,15 @@ pub fn validate_update(schema: &Schema, u: &AtomicUpdate) -> Result<(), LangErro
                 return Err(LangError::NotDirectSubclass { sub: *to, sup: *from });
             }
             if !select.referenced_attrs().is_subset(schema.attr_star(*from)) {
-                return Err(LangError::ConditionAttrs { context: "specialize(P, Q, Γ, Γ′): Γ" });
+                return Err(LangError::ConditionAttrs {
+                    context: "specialize(P, Q, Γ, Γ′): Γ"
+                });
             }
             let acquired = schema.attr_star(*to).difference(schema.attr_star(*from));
             if set.referenced_attrs() != acquired || set.defined_attrs() != acquired {
-                return Err(LangError::ConditionAttrs { context: "specialize(P, Q, Γ, Γ′): Γ′" });
+                return Err(LangError::ConditionAttrs {
+                    context: "specialize(P, Q, Γ, Γ′): Γ′"
+                });
             }
             Ok(())
         }
@@ -142,10 +146,7 @@ mod tests {
         validate_update(&s, &ok).unwrap();
 
         // Non-root class.
-        let bad = AtomicUpdate::Create {
-            class: st,
-            gamma: Condition::empty(),
-        };
+        let bad = AtomicUpdate::Create { class: st, gamma: Condition::empty() };
         assert_eq!(validate_update(&s, &bad), Err(LangError::NotIsaRoot(st)));
 
         // Missing Name definition.
@@ -170,10 +171,8 @@ mod tests {
         let s = university_schema();
         let p = s.class_id("PERSON").unwrap();
         let salary = s.attr_id("Salary").unwrap();
-        validate_update(&s, &AtomicUpdate::Delete { class: p, gamma: Condition::empty() })
-            .unwrap();
-        let bad =
-            AtomicUpdate::Delete { class: p, gamma: cond(vec![Atom::eq_const(salary, 0)]) };
+        validate_update(&s, &AtomicUpdate::Delete { class: p, gamma: Condition::empty() }).unwrap();
+        let bad = AtomicUpdate::Delete { class: p, gamma: cond(vec![Atom::eq_const(salary, 0)]) };
         assert!(validate_update(&s, &bad).is_err());
     }
 
@@ -207,10 +206,7 @@ mod tests {
         validate_update(&s, &AtomicUpdate::Generalize { class: e, gamma: Condition::empty() })
             .unwrap();
         assert_eq!(
-            validate_update(
-                &s,
-                &AtomicUpdate::Generalize { class: p, gamma: Condition::empty() }
-            ),
+            validate_update(&s, &AtomicUpdate::Generalize { class: p, gamma: Condition::empty() }),
             Err(LangError::IsIsaRoot(p))
         );
     }

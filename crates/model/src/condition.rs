@@ -174,10 +174,7 @@ impl Condition {
     /// The constants occurring in the condition (`C_Γ`).
     #[must_use]
     pub fn constants(&self) -> BTreeSet<Value> {
-        self.atoms
-            .iter()
-            .filter_map(|a| a.term.as_const().cloned())
-            .collect()
+        self.atoms.iter().filter_map(|a| a.term.as_const().cloned()).collect()
     }
 
     /// Substitute variables by constants according to `assign`, producing a

@@ -108,10 +108,7 @@ impl Instance {
 
     /// Iterate objects of class `P` (the set `o(P)`) in `<ₒ` order.
     pub fn objects_in(&self, p: ClassId) -> impl Iterator<Item = Oid> + '_ {
-        self.membership
-            .iter()
-            .filter(move |(_, cs)| cs.contains(p))
-            .map(|(o, _)| *o)
+        self.membership.iter().filter(move |(_, cs)| cs.contains(p)).map(|(o, _)| *o)
     }
 
     /// `Sat(Γ, d, P)` — the objects of `o(P)` whose tuples satisfy the
@@ -121,8 +118,7 @@ impl Instance {
         self.membership
             .iter()
             .filter(|(o, cs)| {
-                cs.contains(p)
-                    && gamma.satisfied_by(self.attrs.get(o).unwrap_or(&Tuple::default()))
+                cs.contains(p) && gamma.satisfied_by(self.attrs.get(o).unwrap_or(&Tuple::default()))
             })
             .map(|(o, _)| *o)
             .collect()
@@ -206,6 +202,16 @@ impl Instance {
                 t.set(a, v);
             }
         }
+    }
+
+    /// Restore an object's raw state — membership and attribute tuple —
+    /// exactly as previously captured (the rollback primitive behind
+    /// `migratory_lang`'s transaction deltas). Does not validate against a
+    /// schema; callers restore states that were valid when captured.
+    pub fn put_object(&mut self, o: Oid, classes: ClassSet, tuple: Tuple) {
+        debug_assert!(!classes.is_empty(), "restored objects must belong to a class");
+        self.membership.insert(o, classes);
+        self.attrs.insert(o, tuple);
     }
 
     /// The restriction `d|_I` of the database onto a set of objects

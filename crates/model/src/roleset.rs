@@ -63,10 +63,7 @@ impl RoleSet {
 
     /// Closure constructor by class names.
     pub fn closure_of_named(schema: &Schema, names: &[&str]) -> Result<Self, ModelError> {
-        let ids = names
-            .iter()
-            .map(|n| schema.require_class(n))
-            .collect::<Result<Vec<_>, _>>()?;
+        let ids = names.iter().map(|n| schema.require_class(n)).collect::<Result<Vec<_>, _>>()?;
         Self::closure_of(schema, ids)
     }
 
@@ -107,9 +104,7 @@ impl RoleSet {
     pub fn minimal_elements(self, schema: &Schema) -> Vec<ClassId> {
         self.0
             .iter()
-            .filter(|&c| {
-                schema.children(c).iter().all(|&ch| !self.0.contains(ch))
-            })
+            .filter(|&c| schema.children(c).iter().all(|&ch| !self.0.contains(ch)))
             .collect()
     }
 

@@ -344,13 +344,10 @@ impl SchemaBuilder {
 
         // Topological sort (Kahn) over isa edges (class → parents); detects
         // cycles. Order: ancestors first.
-        let mut out_deg: Vec<usize> =
-            self.classes.iter().map(|c| c.parents.len()).collect();
+        let mut out_deg: Vec<usize> = self.classes.iter().map(|c| c.parents.len()).collect();
         let mut topo: Vec<ClassId> = Vec::with_capacity(n);
-        let mut queue: Vec<ClassId> = (0..n)
-            .filter(|&i| out_deg[i] == 0)
-            .map(ClassId::from_index)
-            .collect();
+        let mut queue: Vec<ClassId> =
+            (0..n).filter(|&i| out_deg[i] == 0).map(ClassId::from_index).collect();
         while let Some(c) = queue.pop() {
             topo.push(c);
             for &child in &self.classes[c.index()].children {
@@ -361,10 +358,8 @@ impl SchemaBuilder {
             }
         }
         if topo.len() != n {
-            let cycle: Vec<ClassId> = (0..n)
-                .filter(|&i| out_deg[i] > 0)
-                .map(ClassId::from_index)
-                .collect();
+            let cycle: Vec<ClassId> =
+                (0..n).filter(|&i| out_deg[i] > 0).map(ClassId::from_index).collect();
             return Err(ModelError::IsaCycle(cycle));
         }
 
@@ -470,10 +465,8 @@ impl SchemaBuilder {
 pub fn university_schema() -> Schema {
     let mut b = SchemaBuilder::new();
     let person = b.class("PERSON", &["SSN", "Name"]).expect("fresh builder");
-    let employee =
-        b.subclass("EMPLOYEE", &[person], &["Salary", "WorksIn"]).expect("fresh name");
-    let student =
-        b.subclass("STUDENT", &[person], &["Major", "FirstEnroll"]).expect("fresh name");
+    let employee = b.subclass("EMPLOYEE", &[person], &["Salary", "WorksIn"]).expect("fresh name");
+    let student = b.subclass("STUDENT", &[person], &["Major", "FirstEnroll"]).expect("fresh name");
     b.subclass("GRAD_ASSIST", &[employee, student], &["PcAppoint"]).expect("fresh name");
     b.build().expect("Fig. 1 schema is valid")
 }

@@ -152,8 +152,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>, ModelError> {
                     return Err(err(tline, tcol, "unexpected `/` (use `//` for comments)"));
                 }
             }
-            '{' | '}' | '(' | ')' | '[' | ']' | ',' | ';' | ':' | '=' | '*' | '+' | '?'
-            | '|' | '.' => {
+            '{' | '}' | '(' | ')' | '[' | ']' | ',' | ';' | ':' | '=' | '*' | '+' | '?' | '|'
+            | '.' => {
                 bump!();
                 let kind = match c {
                     '{' => TokenKind::LBrace,
@@ -484,10 +484,7 @@ mod tests {
 
     #[test]
     fn parse_bare_class_list_and_forward_refs() {
-        let s = parse_schema(
-            "class B isa A { X }\n class A { Y }",
-        )
-        .unwrap();
+        let s = parse_schema("class B isa A { X }\n class A { Y }").unwrap();
         assert_eq!(s.num_classes(), 2);
         let b = s.class_id("B").unwrap();
         let a = s.class_id("A").unwrap();

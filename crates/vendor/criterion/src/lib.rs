@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! a minimal wall-clock harness with criterion's bench-definition API:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Timings are median-of-samples wall-clock
+//! numbers printed to stdout — good enough to read scaling shape, with
+//! none of upstream's statistics, plotting, or baseline storage.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one bench within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Runs one measured closure repeatedly and records the per-iteration
+/// wall-clock time.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measure `f`, discarding a warm-up iteration, then timing
+    /// `sample_size` iterations individually.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        std_black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            std_black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort_unstable();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    println!("bench {label:<40} median {:>12.2?}  ({} samples)", b.median(), b.sample_size);
+}
+
+/// A named set of related benches.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured iterations per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Accepted for source compatibility; unused by this shim.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Bench `f` under `id` with an input value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.effective_sample_size(), |b| f(b, input));
+        self
+    }
+
+    /// Bench `f` under a plain name.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, name.into());
+        run_one(&label, self.effective_sample_size(), f);
+        self
+    }
+
+    /// End the group (no-op beyond matching upstream's API).
+    pub fn finish(self) {}
+}
+
+/// The bench driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Upstream defaults to 100 samples; wall-clock shim keeps runs
+        // short — the benches here measure milliseconds-scale bodies.
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of measured iterations per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: None }
+    }
+
+    /// Bench a standalone function.
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// Define a bench group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($bench_fn:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($bench_fn(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        for &n in &[2u64, 4] {
+            g.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>());
+            });
+        }
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

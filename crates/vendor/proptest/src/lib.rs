@@ -1,0 +1,545 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of proptest it uses: the [`Strategy`] trait with `prop_map` /
+//! `prop_recursive` / `boxed`, strategies for constants ([`Just`]),
+//! integer ranges, tuples, [`collection::vec`], [`string::string_regex`],
+//! [`any`], the [`prop_oneof!`] union, and the [`proptest!`] test macro.
+//!
+//! Differences from upstream, deliberate for an offline test shim:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs
+//!   left to the assertion message; cases are deterministic (seeded from
+//!   the test name), so failures reproduce exactly under `cargo test`.
+//! * **No persistence files**, no forking, no timeout handling.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::ops::Range;
+use std::rc::Rc;
+
+/// The deterministic RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Uniform draw from a half-open integer range.
+    pub fn range<T: rand::SampleUniform>(&mut self, r: Range<T>) -> T {
+        self.0.random_range(r)
+    }
+
+    /// A uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.0.random_bool()
+    }
+}
+
+/// Deterministic per-test RNG, seeded from the test's name.
+pub fn test_rng(name: &str) -> TestRng {
+    // FNV-1a over the name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng(StdRng::seed_from_u64(h))
+}
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused by this shim.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+/// A generator of test values.
+///
+/// Unlike upstream there is no value tree: `generate` directly yields a
+/// value, and failing cases are not shrunk.
+pub trait Strategy: Clone {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let s = self;
+        BoxedStrategy(Rc::new(move |rng| s.generate(rng)))
+    }
+
+    /// Build a recursive strategy: `recurse` receives the strategy for the
+    /// sub-level and returns the strategy for one level up; `depth` bounds
+    /// the nesting. The size-tuning parameters of upstream are accepted
+    /// but only `depth` is honoured.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut cur = self.clone().boxed();
+        for _ in 0..depth {
+            let deeper = recurse(cur).boxed();
+            // Mix the leaf back in at every level so generated sizes stay
+            // small (upstream controls this probabilistically).
+            cur = Union::new(vec![self.clone().boxed(), deeper]).boxed();
+        }
+        cur
+    }
+}
+
+/// A type-erased strategy (clone-shared, no shrinking state).
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + Clone,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T: rand::SampleUniform + Clone> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+/// Uniform choice between type-erased alternatives (see [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms (at least one).
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Types with a canonical strategy (only what the workspace needs).
+pub trait Arbitrary {
+    /// The canonical strategy for the type.
+    type Strategy: Strategy<Value = Self>;
+    /// Construct the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy of a type: `any::<bool>()` etc.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Strategy for [`Arbitrary`] booleans.
+#[derive(Clone, Debug, Default)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.bool()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Size specifications accepted by [`vec`]: an exact `usize` or a
+    /// half-open `Range<usize>`.
+    pub trait IntoSizeRange {
+        /// `(lo, hi)` half-open bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Vectors of `element` values with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        assert!(lo < hi, "empty size range");
+        VecStrategy { element, lo, hi }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.lo + 1 == self.hi { self.lo } else { rng.range(self.lo..self.hi) };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// Error from [`string_regex`].
+    #[derive(Clone, Debug)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "unsupported generator regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Strategy generating strings matching a character-class regex of the
+    /// shape `[class]{min,max}` — the only form the workspace uses.
+    /// Supports `\`-escapes and `a-z` ranges inside the class.
+    pub fn string_regex(pattern: &str) -> Result<StringRegexStrategy, Error> {
+        let err = |m: &str| Err(Error(format!("{m} in {pattern:?}")));
+        let mut chars = pattern.chars().peekable();
+        if chars.next() != Some('[') {
+            return err("expected leading [");
+        }
+        let mut class: Vec<char> = Vec::new();
+        let mut pending: Option<char> = None;
+        loop {
+            let Some(c) = chars.next() else { return err("unterminated class") };
+            let literal = match c {
+                ']' => break,
+                '\\' => match chars.next() {
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some(e) => e,
+                    None => return err("dangling escape"),
+                },
+                '-' if pending.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                    let lo = pending.take().expect("checked");
+                    let hi = match chars.next() {
+                        Some('\\') => chars.next().ok_or(Error("dangling escape".into()))?,
+                        Some(h) => h,
+                        None => return err("unterminated range"),
+                    };
+                    if (lo as u32) > (hi as u32) {
+                        return err("reversed range");
+                    }
+                    for p in lo as u32..=hi as u32 {
+                        class.extend(char::from_u32(p));
+                    }
+                    continue;
+                }
+                other => other,
+            };
+            class.extend(pending.replace(literal));
+        }
+        class.extend(pending);
+        if class.is_empty() {
+            return err("empty class");
+        }
+        let rest: String = chars.collect();
+        let (min, max) = if rest.is_empty() {
+            (1, 1)
+        } else {
+            let inner = rest
+                .strip_prefix('{')
+                .and_then(|r| r.strip_suffix('}'))
+                .ok_or(Error(format!("expected {{min,max}} after class, got {rest:?}")))?;
+            let (lo, hi) =
+                inner.split_once(',').ok_or(Error(format!("expected min,max in {inner:?}")))?;
+            let lo: usize = lo.trim().parse().map_err(|e| Error(format!("{e}")))?;
+            let hi: usize = hi.trim().parse().map_err(|e| Error(format!("{e}")))?;
+            if lo > hi {
+                return err("reversed repetition");
+            }
+            (lo, hi)
+        };
+        Ok(StringRegexStrategy { class, min, max })
+    }
+
+    /// The result of [`string_regex`].
+    #[derive(Clone, Debug)]
+    pub struct StringRegexStrategy {
+        class: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    impl Strategy for StringRegexStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let len =
+                if self.min == self.max { self.min } else { rng.range(self.min..self.max + 1) };
+            (0..len).map(|_| self.class[rng.range(0..self.class.len())]).collect()
+        }
+    }
+}
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// The `prop::` module tree (`prop::collection::vec` etc.).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
+
+/// Uniform choice between strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            for _case in 0..cfg.cases {
+                $(let $pat = $crate::Strategy::generate(&$strat, &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+/// Define property tests: each generated case binds the patterns from
+/// their strategies and runs the body. Cases are deterministic (seeded
+/// from the test path); there is no shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(u32),
+        Node(Vec<Tree>),
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..5, 10usize..12), flip in any::<bool>()) {
+            prop_assert!(a < 5);
+            prop_assert!((10..12).contains(&b));
+            let _ = flip;
+        }
+
+        #[test]
+        fn vec_sizes(v in prop::collection::vec(0u32..3, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn recursion_is_bounded(t in Just(Tree::Leaf(0)).prop_recursive(3, 8, 2, |inner| {
+            prop_oneof![
+                (0u32..9).prop_map(Tree::Leaf),
+                prop::collection::vec(inner, 1..3).prop_map(Tree::Node),
+            ]
+        })) {
+            prop_assert!(depth(&t) <= 3);
+        }
+    }
+
+    #[test]
+    fn string_regex_generates_in_class() {
+        let s = prop::string::string_regex("[a-c0\\-]{0,5}").unwrap();
+        let mut rng = crate::test_rng("string_regex");
+        for _ in 0..100 {
+            let w = s.generate(&mut rng);
+            assert!(w.len() <= 5);
+            assert!(w.chars().all(|c| "abc0-".contains(c)), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let s = prop::collection::vec(0u32..100, 3..9);
+        let a: Vec<_> = {
+            let mut rng = crate::test_rng("k");
+            (0..20).map(|_| s.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = crate::test_rng("k");
+            (0..20).map(|_| s.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -60,10 +60,7 @@ fn main() {
     let script_fams = flow_families(&schema, &alphabet, &script, &opts).unwrap();
 
     println!("== Migration-pattern growth: #patterns of length ≤ k ==\n");
-    println!(
-        "{:>18} {:>14} {:>14} {:>14}",
-        "kind / k=0..6", "unordered", "inflow", "script"
-    );
+    println!("{:>18} {:>14} {:>14} {:>14}", "kind / k=0..6", "unordered", "inflow", "script");
     for kind in PatternKind::ALL {
         let series = |dfa: &migratory::automata::Dfa| -> String {
             let c = dfa.count_words(6);
@@ -77,14 +74,8 @@ fn main() {
             series(inflow_fams.of(kind)),
             series(script_fams.of(kind)),
         );
-        assert!(
-            inflow_fams.of(kind).is_subset_of(plain.of(kind)),
-            "ordering only restricts"
-        );
-        assert!(
-            script_fams.of(kind).is_subset_of(plain.of(kind)),
-            "ordering only restricts"
-        );
+        assert!(inflow_fams.of(kind).is_subset_of(plain.of(kind)), "ordering only restricts");
+        assert!(script_fams.of(kind).is_subset_of(plain.of(kind)), "ordering only restricts");
     }
 
     // The two interpretations are *incomparable* in general: script mode

@@ -98,7 +98,7 @@ fn main() {
         "\n  final database: {} object(s); Ada's recorded pattern: {}",
         m.db().num_objects(),
         m.pattern_of(migratory::model::Oid(1))
-            .map(|p| alphabet.display_word(p))
+            .map(|p| alphabet.display_word(&p))
             .unwrap_or_default(),
     );
 

@@ -104,9 +104,9 @@ fn main() {
         ),
     )
     .unwrap();
-    let empty_relation = FlowSchema { transactions: with_shortcut, edges: vec![], kind: FlowKind::Inflow };
-    let r = decide_reachability(&schema, &alphabet, &empty_relation, &visa_c, &immigrant)
-        .unwrap();
+    let empty_relation =
+        FlowSchema { transactions: with_shortcut, edges: vec![], kind: FlowKind::Inflow };
+    let r = decide_reachability(&schema, &alphabet, &empty_relation, &visa_c, &immigrant).unwrap();
     println!(
         "with shortcut:   {}/{} visa-C vertices reach IMMIGRANT — ImmigrateDirectly exposed!",
         r.reachable_sources, r.sources

@@ -64,13 +64,9 @@ fn main() {
     // Corollary 3.3 + Theorem 3.2(2)(a): Σ_η characterizes Init(∅*η∅*)
     // as its full pattern family 𝓛(Σ_η).
     let padded = migratory::automata::Regex::concat([
-        migratory::automata::Regex::star(migratory::automata::Regex::Sym(
-            alphabet.empty_symbol(),
-        )),
+        migratory::automata::Regex::star(migratory::automata::Regex::Sym(alphabet.empty_symbol())),
         eta,
-        migratory::automata::Regex::star(migratory::automata::Regex::Sym(
-            alphabet.empty_symbol(),
-        )),
+        migratory::automata::Regex::star(migratory::automata::Regex::Sym(alphabet.empty_symbol())),
     ]);
     let inventory = Inventory::init_of_regex(&schema, &alphabet, &padded).unwrap();
     let d = decide_with_families(&fams, &inventory, PatternKind::All);

@@ -25,12 +25,9 @@ fn main() {
     )
     .unwrap();
     let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
-    let inventory = Inventory::parse_init(
-        &schema,
-        &alphabet,
-        "∅* [UNSCREENED]* [SCREENED]* [CANDIDATE]* ∅*",
-    )
-    .unwrap();
+    let inventory =
+        Inventory::parse_init(&schema, &alphabet, "∅* [UNSCREENED]* [SCREENED]* [CANDIDATE]* ∅*")
+            .unwrap();
 
     // The paper's literal design (Example 3.5).
     let naive = parse_transactions(
@@ -96,8 +93,5 @@ fn main() {
     )
     .unwrap();
     let name = |s: u32| alphabet.name(s).to_owned();
-    println!(
-        "𝓛_pro = {}",
-        migratory::automata::dfa_to_regex(&fams.pro).display_with(&name)
-    );
+    println!("𝓛_pro = {}", migratory::automata::dfa_to_regex(&fams.pro).display_with(&name));
 }

@@ -7,7 +7,9 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use migratory::core::{analyze_families, decide_with_families, AnalyzeOptions, Inventory, PatternKind, RoleAlphabet};
+use migratory::core::{
+    analyze_families, decide_with_families, AnalyzeOptions, Inventory, PatternKind, RoleAlphabet,
+};
 use migratory::lang::{parse_transactions, run_trace, Assignment};
 use migratory::model::display::{attribute_tables, membership_table};
 use migratory::model::{schema::university_schema, Instance, Value};
@@ -57,9 +59,13 @@ fn main() {
 
     // ---- Theorem 3.2(1): the four pattern families -------------------------
     let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
-    let (analysis, fams) =
-        analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions { parallel: true, ..Default::default() })
-            .expect("SL schema analyzes");
+    let (analysis, fams) = analyze_families(
+        &schema,
+        &alphabet,
+        &ts,
+        &AnalyzeOptions { parallel: true, ..Default::default() },
+    )
+    .expect("SL schema analyzes");
     println!(
         "=== Migration graph (Theorem 3.2) === \n{} separator vertices, {} edges, {} ground runs\n",
         analysis.stats.vertices, analysis.stats.edges, analysis.stats.runs
@@ -78,12 +84,8 @@ fn main() {
     // ---- Corollary 3.3: checking inventories --------------------------------
     // The paper notes Σ lets a student "get several assistantships from
     // time to time": the matching constraint allows [S]/[G] alternation.
-    let alternating = Inventory::parse_init(
-        &schema,
-        &alphabet,
-        "∅* ([STUDENT]+ [GRAD_ASSIST]*)* ∅*",
-    )
-    .unwrap();
+    let alternating =
+        Inventory::parse_init(&schema, &alphabet, "∅* ([STUDENT]+ [GRAD_ASSIST]*)* ∅*").unwrap();
     let d = decide_with_families(&fams, &alternating, PatternKind::All);
     println!("\n=== Σ vs Init(∅*([S]+[G]*)*∅*) — the family the paper derives ===");
     println!("satisfies: {}", d.satisfies.holds());

@@ -8,8 +8,8 @@
 
 use migratory_core::enforce::{EnforceError, Monitor};
 use migratory_core::{
-    analyze_families, decide_with_families, AnalyzeOptions, Inventory, PatternKind,
-    RoleAlphabet, Verdict,
+    analyze_families, decide_with_families, AnalyzeOptions, Inventory, PatternKind, RoleAlphabet,
+    Verdict,
 };
 use migratory_lang::pretty::transaction_to_text;
 use migratory_lang::{parse_transactions, Assignment};
@@ -67,9 +67,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 named.push((name.to_owned(), "true".to_owned()));
                 continue;
             }
-            let v = it
-                .next()
-                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            let v = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
             named.push((name.to_owned(), v.clone()));
         } else {
             positional.push(a.clone());
@@ -96,8 +94,7 @@ impl Flags {
 
 fn load(schema_src: &str, component: u32) -> Result<(Schema, RoleAlphabet), String> {
     let schema = parse_schema(schema_src).map_err(|e| format!("schema: {e}"))?;
-    let alphabet =
-        RoleAlphabet::new(&schema, component).map_err(|e| format!("alphabet: {e}"))?;
+    let alphabet = RoleAlphabet::new(&schema, component).map_err(|e| format!("alphabet: {e}"))?;
     Ok((schema, alphabet))
 }
 
@@ -106,23 +103,16 @@ fn load_inventory(
     alphabet: &RoleAlphabet,
     flags: &Flags,
 ) -> Result<Inventory, String> {
-    let src = flags
-        .get("inventory")
-        .ok_or("missing --inventory <regex>")?;
+    let src = flags.get("inventory").ok_or("missing --inventory <regex>")?;
     Inventory::parse_init(schema, alphabet, src).map_err(|e| format!("inventory: {e}"))
 }
 
 /// `migctl families`: the four families as role-set regexes.
-pub fn cmd_families(
-    schema_src: &str,
-    tx_src: &str,
-    component: u32,
-) -> Result<String, String> {
+pub fn cmd_families(schema_src: &str, tx_src: &str, component: u32) -> Result<String, String> {
     let (schema, alphabet) = load(schema_src, component)?;
     let ts = parse_transactions(&schema, tx_src).map_err(|e| format!("transactions: {e}"))?;
-    let (analysis, fams) =
-        analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default())
-            .map_err(|e| format!("analysis: {e}"))?;
+    let (analysis, fams) = analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default())
+        .map_err(|e| format!("analysis: {e}"))?;
     let name = |s: u32| alphabet.name(s).to_owned();
     let mut out = format!(
         "migration graph: {} vertices, {} edges ({} ground runs)\n",
@@ -141,11 +131,7 @@ pub fn cmd_families(
 }
 
 /// `migctl decide`: Corollary 3.3 verdicts with counterexamples.
-pub fn cmd_decide(
-    schema_src: &str,
-    tx_src: &str,
-    flags: &Flags,
-) -> Result<String, String> {
+pub fn cmd_decide(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String, String> {
     let (schema, alphabet) = load(schema_src, flags.component()?)?;
     let ts = parse_transactions(&schema, tx_src).map_err(|e| format!("transactions: {e}"))?;
     let inv = load_inventory(&schema, &alphabet, flags)?;
@@ -168,15 +154,10 @@ pub fn cmd_decide(
 }
 
 /// `migctl synthesize`: Lemma 3.4's schema for a regular inventory.
-pub fn cmd_synthesize(
-    schema_src: &str,
-    flags: &Flags,
-) -> Result<String, String> {
+pub fn cmd_synthesize(schema_src: &str, flags: &Flags) -> Result<String, String> {
     let (schema, alphabet) = load(schema_src, flags.component()?)?;
     let src = flags.get("inventory").ok_or("missing --inventory <regex>")?;
-    let eta = alphabet
-        .parse_regex(&schema, src)
-        .map_err(|e| format!("inventory: {e}"))?;
+    let eta = alphabet.parse_regex(&schema, src).map_err(|e| format!("inventory: {e}"))?;
     let synthesis = if flags.get("lazy").is_some() {
         migratory_core::synthesize_lazy(&schema, &alphabet, &eta)
     } else {
@@ -248,9 +229,7 @@ pub fn cmd_enforce(
     let mut out = String::new();
     let mut rejected = 0usize;
     for (name, args) in &script {
-        let t = ts
-            .get(name)
-            .ok_or_else(|| format!("unknown transaction `{name}`"))?;
+        let t = ts.get(name).ok_or_else(|| format!("unknown transaction `{name}`"))?;
         match m.try_apply(t, &Assignment::new(args.clone())) {
             Ok(()) => out.push_str(&format!("✓ {name}\n")),
             Err(EnforceError::Violation(v)) => {
@@ -274,17 +253,16 @@ pub fn cmd_enforce(
 
 /// Dispatch a full argument vector (excluding the binary name). Used by
 /// the binary with file contents read eagerly.
-pub fn dispatch(args: &[String], read: &dyn Fn(&str) -> Result<String, String>) -> Result<String, String> {
+pub fn dispatch(
+    args: &[String],
+    read: &dyn Fn(&str) -> Result<String, String>,
+) -> Result<String, String> {
     let Some(cmd) = args.first() else {
         return Ok(USAGE.to_owned());
     };
     let flags = parse_flags(&args[1..])?;
     let pos = |i: usize, what: &str| -> Result<String, String> {
-        flags
-            .positional
-            .get(i)
-            .cloned()
-            .ok_or_else(|| format!("missing {what}\n\n{USAGE}"))
+        flags.positional.get(i).cloned().ok_or_else(|| format!("missing {what}\n\n{USAGE}"))
     };
     match cmd.as_str() {
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
@@ -417,11 +395,8 @@ mod tests {
                 other => Err(format!("no such file {other}")),
             }
         };
-        let ok = dispatch(
-            &["families".to_owned(), "s.mig".to_owned(), "t.sl".to_owned()],
-            &files,
-        )
-        .unwrap();
+        let ok = dispatch(&["families".to_owned(), "s.mig".to_owned(), "t.sl".to_owned()], &files)
+            .unwrap();
         assert!(ok.contains("migration graph"));
 
         let usage = dispatch(&[], &files).unwrap();

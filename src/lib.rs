@@ -41,7 +41,5 @@ pub mod prelude {
     pub use migratory_lang::{
         Assignment, AtomicUpdate, CslTransaction, Transaction, TransactionSchema,
     };
-    pub use migratory_model::{
-        Condition, Instance, RoleSet, Schema, SchemaBuilder, Value,
-    };
+    pub use migratory_model::{Condition, Instance, RoleSet, Schema, SchemaBuilder, Value};
 }

@@ -45,10 +45,8 @@ fn tm_compiler_realizes_anbn() {
                 continue;
             }
             found = true;
-            let expected: Vec<u32> = word
-                .iter()
-                .map(|&c| alphabet.symbol_of(roles[c as usize]).unwrap())
-                .collect();
+            let expected: Vec<u32> =
+                word.iter().map(|&c| alphabet.symbol_of(roles[c as usize]).unwrap()).collect();
             assert_eq!(letters, expected, "n = {n}");
             assert_eq!(*pat.last().unwrap(), alphabet.empty_symbol(), "∅ suffix after deletion");
         }
@@ -101,8 +99,7 @@ fn cfg_compiler_realizes_dyck() {
     assert!(compiled.derives_lambda);
 
     for word in [vec![0u32, 1], vec![0, 0, 1, 1], vec![0, 1, 0, 0, 1, 1]] {
-        let script =
-            migratory::core::cfg_compile::drive_word(&compiled, &word).expect("balanced");
+        let script = migratory::core::cfg_compile::drive_word(&compiled, &word).expect("balanced");
         let mut db = Instance::empty();
         let mut trace = vec![db.clone()];
         for (name, args) in &script {
@@ -123,10 +120,8 @@ fn cfg_compiler_realizes_dyck() {
                 continue;
             }
             found = true;
-            let expected: Vec<u32> = word
-                .iter()
-                .map(|&c| alphabet.symbol_of(roles[c as usize]).unwrap())
-                .collect();
+            let expected: Vec<u32> =
+                word.iter().map(|&c| alphabet.symbol_of(roles[c as usize]).unwrap()).collect();
             assert_eq!(letters, expected);
         }
         assert!(found);

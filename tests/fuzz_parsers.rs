@@ -4,18 +4,16 @@
 
 use migratory::automata::{parse_regex, Dfa, Nfa, Regex};
 use migratory::core::RoleAlphabet;
-use migratory::lang::pretty::{schema_to_text, transaction_to_text};
 use migratory::lang::parse_transactions;
-use migratory::model::text::parse_schema;
+use migratory::lang::pretty::{schema_to_text, transaction_to_text};
 use migratory::model::schema::university_schema;
+use migratory::model::text::parse_schema;
 use proptest::prelude::*;
 
 /// A character soup biased toward the grammars' own tokens.
 fn soup() -> impl Strategy<Value = String> {
-    proptest::string::string_regex(
-        "[a-zA-Z0-9_{}()\\[\\]*+?|=:;,!<>%∅∪λ \"\\-\n]{0,80}",
-    )
-    .expect("valid generator regex")
+    proptest::string::string_regex("[a-zA-Z0-9_{}()\\[\\]*+?|=:;,!<>%∅∪λ \"\\-\n]{0,80}")
+        .expect("valid generator regex")
 }
 
 proptest! {
@@ -42,10 +40,7 @@ proptest! {
 
 /// Random regex ASTs over a 4-symbol alphabet.
 fn regex_strategy() -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        Just(Regex::Epsilon),
-        (0u32..4).prop_map(Regex::Sym),
-    ];
+    let leaf = prop_oneof![Just(Regex::Epsilon), (0u32..4).prop_map(Regex::Sym),];
     leaf.prop_recursive(4, 24, 3, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
@@ -103,7 +98,8 @@ fn transaction_pretty_parse_roundtrip() {
         let ts2 = parse_transactions(&schema, &printed)
             .unwrap_or_else(|e| panic!("pretty output failed to parse: {e}\n{printed}"));
         assert_eq!(
-            ts.transactions()[0], ts2.transactions()[0],
+            ts.transactions()[0],
+            ts2.transactions()[0],
             "round trip changed the AST for\n{printed}"
         );
     }

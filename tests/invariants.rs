@@ -3,9 +3,7 @@
 //! objects behave independently (Lemma 3.5).
 
 use migratory::lang::{run, Assignment, AtomicUpdate, Transaction};
-use migratory::model::{
-    schema::university_schema, Atom, Condition, Instance, Oid, Value,
-};
+use migratory::model::{schema::university_schema, Atom, Condition, Instance, Oid, Value};
 use proptest::prelude::*;
 
 #[derive(Clone, Debug)]

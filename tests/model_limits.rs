@@ -4,8 +4,8 @@
 
 use migratory::core::RoleAlphabet;
 use migratory::model::{
-    schema::university_schema, ClassSet, Instance, ModelError, Oid, RoleSet, SchemaBuilder,
-    Tuple, Value,
+    schema::university_schema, ClassSet, Instance, ModelError, Oid, RoleSet, SchemaBuilder, Tuple,
+    Value,
 };
 
 #[test]
@@ -72,10 +72,7 @@ fn diamond_role_set_requires_all_ancestors() {
     let mut cs = ClassSet::empty();
     cs.insert(g);
     cs.insert(p);
-    assert!(matches!(
-        RoleSet::new(&schema, cs),
-        Err(ModelError::NotUpClosed { .. })
-    ));
+    assert!(matches!(RoleSet::new(&schema, cs), Err(ModelError::NotUpClosed { .. })));
 }
 
 #[test]
@@ -109,9 +106,7 @@ fn multi_rooted_components_rejected() {
 fn university_oid(classes: &[&str], pairs: &[(&str, Value)]) -> Instance {
     let schema = university_schema();
     let cs = RoleSet::closure_of_named(&schema, classes).unwrap().classes();
-    let t = Tuple::from_pairs(
-        pairs.iter().map(|(a, v)| (schema.attr_id(a).unwrap(), v.clone())),
-    );
+    let t = Tuple::from_pairs(pairs.iter().map(|(a, v)| (schema.attr_id(a).unwrap(), v.clone())));
     Instance::from_objects([(Oid(1), cs, t)])
 }
 
@@ -120,10 +115,7 @@ fn invariants_missing_attribute_value() {
     let schema = university_schema();
     // A PERSON without a Name.
     let db = university_oid(&["PERSON"], &[("SSN", Value::str("1"))]);
-    assert!(matches!(
-        db.check_invariants(&schema),
-        Err(ModelError::MissingValue { .. })
-    ));
+    assert!(matches!(db.check_invariants(&schema), Err(ModelError::MissingValue { .. })));
 }
 
 #[test]
@@ -132,11 +124,7 @@ fn invariants_extraneous_attribute_value() {
     // A plain PERSON storing a STUDENT attribute.
     let db = university_oid(
         &["PERSON"],
-        &[
-            ("SSN", Value::str("1")),
-            ("Name", Value::str("n")),
-            ("Major", Value::str("CS")),
-        ],
+        &[("SSN", Value::str("1")), ("Name", Value::str("n")), ("Major", Value::str("CS"))],
     );
     assert!(db.check_invariants(&schema).is_err());
 }
@@ -162,10 +150,8 @@ fn invariants_oid_counter_monotone() {
     // Definition 2.2(3): every occurring object precedes the next-object
     // marker, and creation consumes it in <ₒ order.
     let schema = university_schema();
-    let mut db = university_oid(
-        &["PERSON"],
-        &[("SSN", Value::str("1")), ("Name", Value::str("n"))],
-    );
+    let mut db =
+        university_oid(&["PERSON"], &[("SSN", Value::str("1")), ("Name", Value::str("n"))]);
     assert!(db.check_invariants(&schema).is_ok());
     assert_eq!(db.next_oid(), Oid(2));
     // Skipping the counter forward is always safe…

@@ -55,11 +55,9 @@ fn corollary_3_6_families_identity() {
     let ns = alphabet.num_symbols();
     let e = alphabet.empty_symbol();
     let empty_star = Nfa::from_regex(&Regex::star(Regex::Sym(e)), ns);
-    let rhs = Dfa::from_nfa(
-        &migratory::automata::concat(&empty_star, &fams.imm.to_nfa()).unwrap(),
-    )
-    .union(&Dfa::from_nfa(&Nfa::from_regex(&Regex::star(Regex::Sym(e)), ns)))
-    .minimize();
+    let rhs = Dfa::from_nfa(&migratory::automata::concat(&empty_star, &fams.imm.to_nfa()).unwrap())
+        .union(&Dfa::from_nfa(&Nfa::from_regex(&Regex::star(Regex::Sym(e)), ns)))
+        .minimize();
     assert!(fams.all.equivalent(&rhs), "Corollary 3.6 fails");
 }
 
@@ -120,14 +118,9 @@ fn explorer_agrees_with_analyzer() {
     ",
     )
     .unwrap();
-    let (_, fams) =
-        analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap();
-    let sets = explore(
-        &schema,
-        &alphabet,
-        &ts,
-        &ExploreConfig { max_steps: 3, ..Default::default() },
-    );
+    let (_, fams) = analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap();
+    let sets =
+        explore(&schema, &alphabet, &ts, &ExploreConfig { max_steps: 3, ..Default::default() });
     for w in &sets.all {
         assert!(fams.all.accepts(w), "enumerated {w:?} rejected by the analyzer");
     }
@@ -149,9 +142,7 @@ fn inventories_of_examples_3_2_and_3_3() {
     )
     .unwrap();
     let sym = |names: &[&str]| {
-        alphabet
-            .symbol_of(RoleSet::closure_of_named(&schema, names).unwrap())
-            .unwrap()
+        alphabet.symbol_of(RoleSet::closure_of_named(&schema, names).unwrap()).unwrap()
     };
     let (p, s, g, e) =
         (sym(&["PERSON"]), sym(&["STUDENT"]), sym(&["GRAD_ASSIST"]), sym(&["EMPLOYEE"]));
@@ -179,16 +170,13 @@ fn four_families_differ() {
     "#,
     )
     .unwrap();
-    let (_, fams) =
-        analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap();
+    let (_, fams) = analyze_families(&schema, &alphabet, &ts, &AnalyzeOptions::default()).unwrap();
     assert!(!fams.all.equivalent(&fams.imm));
     assert!(!fams.imm.equivalent(&fams.pro));
     assert!(!fams.pro.equivalent(&fams.lazy));
     // 𝓛 has ∅-prefixed words, imm does not; proper admits Touch-repeats
     // ([P][P] with a value change), lazy does not.
-    let p_sym = alphabet
-        .symbol_of(RoleSet::closure_of_named(&schema, &["P"]).unwrap())
-        .unwrap();
+    let p_sym = alphabet.symbol_of(RoleSet::closure_of_named(&schema, &["P"]).unwrap()).unwrap();
     assert!(fams.all.accepts(&[0, p_sym]));
     assert!(!fams.imm.accepts(&[0, p_sym]));
     assert!(fams.pro.accepts(&[p_sym, p_sym]));

@@ -4,9 +4,7 @@
 //! the four families must equal their closed forms.
 
 use migratory::automata::{concat as nfa_concat, Dfa, Nfa, Regex};
-use migratory::core::{
-    analyze_families, synthesize, AnalyzeOptions, PatternKind, RoleAlphabet,
-};
+use migratory::core::{analyze_families, synthesize, AnalyzeOptions, PatternKind, RoleAlphabet};
 use migratory::model::{RoleSet, Schema, SchemaBuilder};
 use proptest::prelude::*;
 
@@ -24,10 +22,7 @@ fn pq_schema() -> (Schema, RoleAlphabet) {
 /// schema ([p], [q], [p,q] — whatever the alphabet ordering is, symbols
 /// 1..4 are the non-empty ones).
 fn regex_strategy() -> impl Strategy<Value = Regex> {
-    let leaf = prop_oneof![
-        (1u32..4).prop_map(Regex::Sym),
-        Just(Regex::Epsilon),
-    ];
+    let leaf = prop_oneof![(1u32..4).prop_map(Regex::Sym), Just(Regex::Epsilon),];
     leaf.prop_recursive(3, 12, 3, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 1..3).prop_map(Regex::concat),
@@ -48,13 +43,9 @@ fn check_round_trip(schema: &Schema, alphabet: &RoleAlphabet, eta: &Regex) {
     let ns = alphabet.num_symbols();
     let e = alphabet.empty_symbol();
     let synth = synthesize(schema, alphabet, eta).expect("R has three attributes");
-    let (_, fams) = analyze_families(
-        schema,
-        alphabet,
-        &synth.transactions,
-        &AnalyzeOptions::default(),
-    )
-    .expect("synthesized schema is SL");
+    let (_, fams) =
+        analyze_families(schema, alphabet, &synth.transactions, &AnalyzeOptions::default())
+            .expect("synthesized schema is SL");
 
     let ns_start = nonempty_start(alphabet);
     let walks_imm = Dfa::from_nfa(&synth.graph.walks_nfa(ns, e, PatternKind::ImmediateStart));
@@ -69,8 +60,7 @@ fn check_round_trip(schema: &Schema, alphabet: &RoleAlphabet, eta: &Regex) {
     let empty_opt = Nfa::from_regex(&Regex::opt(Regex::Sym(e)), ns);
     for (kind, got) in [(PatternKind::Proper, &fams.pro), (PatternKind::Lazy, &fams.lazy)] {
         let walks = Dfa::from_nfa(&synth.graph.walks_nfa(ns, e, kind)).intersect(&ns_start);
-        let expected =
-            Dfa::from_nfa(&nfa_concat(&empty_opt, &walks.to_nfa()).unwrap()).minimize();
+        let expected = Dfa::from_nfa(&nfa_concat(&empty_opt, &walks.to_nfa()).unwrap()).minimize();
         assert!(got.equivalent(&expected), "{kind} mismatch for {eta}");
     }
 }
@@ -88,12 +78,8 @@ proptest! {
 #[test]
 fn pinned_regressions_round_trip() {
     let (schema, alphabet) = pq_schema();
-    let p = alphabet
-        .symbol_of(RoleSet::closure_of_named(&schema, &["p"]).unwrap())
-        .unwrap();
-    let q = alphabet
-        .symbol_of(RoleSet::closure_of_named(&schema, &["q"]).unwrap())
-        .unwrap();
+    let p = alphabet.symbol_of(RoleSet::closure_of_named(&schema, &["p"]).unwrap()).unwrap();
+    let q = alphabet.symbol_of(RoleSet::closure_of_named(&schema, &["q"]).unwrap()).unwrap();
     for eta in [
         Regex::Sym(p),
         Regex::word([p, q, p]),
