@@ -20,8 +20,11 @@
 //! which also emits `BENCH_enforce.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use migratory_bench::{bulk_create, toggle_step, toggle_transactions, university};
-use migratory_core::enforce::Monitor;
+use migratory_bench::{
+    bulk_create, ladder_inventory_src, ladder_scripts, point_conditions, toggle_step,
+    toggle_transactions, university,
+};
+use migratory_core::enforce::{Monitor, ShardedMonitor};
 use migratory_core::{Inventory, PatternKind};
 use migratory_lang::{Assignment, Transaction, TransactionSchema};
 use migratory_model::{Instance, Value};
@@ -137,6 +140,71 @@ fn bench(c: &mut Criterion) {
                 });
             });
         }
+    }
+    g.finish();
+
+    // sat_heavy: point-condition selection on a bulk-loaded store — the
+    // index-backed planner against the preserved full-scan oracle.
+    let mut g = c.benchmark_group("sat_heavy");
+    g.sample_size(10);
+    {
+        let n = 10_000usize;
+        let mut db = Instance::empty();
+        migratory_lang::apply_transaction(&schema, &mut db, &bulk_create(&schema, n), &no_args)
+            .expect("bulk load");
+        let queries = point_conditions(&schema, n, 64);
+        g.bench_with_input(BenchmarkId::new("indexed", n), &n, |b, _| {
+            b.iter(|| queries.iter().map(|(p, cond)| db.sat(*p, cond).len()).sum::<usize>());
+        });
+        g.bench_with_input(BenchmarkId::new("scan", n), &n, |b, _| {
+            b.iter(|| queries.iter().map(|(p, cond)| db.sat_scan(*p, cond).len()).sum::<usize>());
+        });
+    }
+    g.finish();
+
+    // batch_admit: 64 ladder toggles (deep inventory, ~60 live cohorts)
+    // admitted one at a time by the single-threaded delta engine vs as
+    // one block per shard sweep by the sharded monitor.
+    let mut g = c.benchmark_group("batch_admit");
+    g.sample_size(10);
+    {
+        let n = 10_000usize;
+        let ladder_inv = Inventory::parse_init(&schema, &alphabet, &ladder_inventory_src(32))
+            .expect("ladder inventory parses");
+        let bulk = bulk_create(&schema, n);
+        let (setup, timed) = ladder_scripts(64, 56, 64);
+        let mut single_proto = Monitor::new(&schema, &alphabet, &ladder_inv, PatternKind::All);
+        single_proto.try_apply(&bulk, &no_args).expect("bulk load conforms");
+        for (name, args) in &setup {
+            single_proto.try_apply(toggles.get(name).expect("toggle"), args).expect("setup");
+        }
+        let mut sharded_proto =
+            ShardedMonitor::new(&schema, &alphabet, &ladder_inv, PatternKind::All, 2);
+        sharded_proto.try_apply(&bulk, &no_args).expect("bulk load conforms");
+        let (done, err) = sharded_proto
+            .try_apply_batch(setup.iter().map(|(name, a)| (toggles.get(name).expect("t"), a)));
+        assert_eq!((done, err), (setup.len(), None));
+        let script: Vec<(&Transaction, Assignment)> = timed
+            .iter()
+            .map(|(name, args)| (toggles.get(name).expect("toggle"), args.clone()))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("single", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = single_proto.clone();
+                for (t, args) in &script {
+                    m.try_apply(t, args).expect("conforms");
+                }
+                m.steps()
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("sharded_batch", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = sharded_proto.clone();
+                let (done, err) = m.try_apply_batch(script.iter().map(|(t, a)| (*t, a)));
+                assert_eq!((done, err), (script.len(), None));
+                m.steps()
+            });
+        });
     }
     g.finish();
 }

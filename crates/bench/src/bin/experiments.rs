@@ -2,11 +2,16 @@
 //!
 //! Usage: `cargo run -p migratory-bench --bin experiments --release [-- <id>]`
 //! with ids: fig1-2, ex3.4, thm3.2, cor3.3, thm4.3, ex4.1, thm5.1,
-//! baseline, enforce, enforce-large, flow, all (default).
+//! baseline, enforce, enforce-large, sat-heavy, batch-admit, smoke,
+//! flow, all (default).
 //!
 //! `enforce-large` additionally writes `BENCH_enforce.json` (throughput /
-//! latency trajectory of the delta monitor vs the reference monitor on
-//! 10k–1M-object databases) to the current directory.
+//! latency trajectory of the delta monitor vs the reference monitor,
+//! the indexed-vs-scan `sat_heavy` comparison, and the sharded
+//! `batch_admit` comparison, on 10k–1M-object databases) to the current
+//! directory. `sat-heavy` and `batch-admit` print their rows without
+//! touching the file; `smoke` runs tiny versions of both (the CI
+//! bench-smoke entry point).
 
 use migratory_bench::*;
 use migratory_chomsky::turing::machines;
@@ -45,6 +50,17 @@ fn main() {
     }
     if all || which == "enforce-large" {
         enforce_large_row();
+    }
+    if which == "sat-heavy" {
+        sat_heavy_rows(&[(100_000, 2_000, 100), (1_000_000, 2_000, 20)]);
+    }
+    if which == "batch-admit" {
+        batch_admit_rows(&[(100_000, 1_024)]);
+    }
+    if which == "smoke" {
+        // Tiny versions of the new workloads — the CI bench-smoke entry.
+        sat_heavy_rows(&[(2_000, 400, 50)]);
+        batch_admit_rows(&[(2_000, 256)]);
     }
     if all || which == "flow" {
         flow_families_row();
@@ -219,6 +235,8 @@ fn enforce_large_row() {
             fmt_list(&trajectory),
         ));
     }
+    let sat_heavy = sat_heavy_rows(&[(100_000, 2_000, 100), (1_000_000, 2_000, 20)]);
+    let batch_admit = batch_admit_rows(&[(100_000, 1_024)]);
     let json = format!(
         r#"{{
   "bench": "enforce_large_db",
@@ -226,13 +244,15 @@ fn enforce_large_row() {
   "inventory": "∅* ([PERSON] ∪ [STUDENT])* ∅*",
   "kind": "all",
   "engines": {{
-    "raw": "interpreter only, no enforcement",
+    "raw": "interpreter only, no enforcement (indexed Sat planning)",
     "delta": "Monitor::new — incremental delta/cohort engine",
     "reference": "Monitor::new_reference — whole-database rescan per application"
   }},
   "sizes": [
 {}
-  ]
+  ],
+{sat_heavy},
+{batch_admit}
 }}
 "#,
         rows.join(",\n")
@@ -240,6 +260,200 @@ fn enforce_large_row() {
     std::fs::write("BENCH_enforce.json", &json).expect("write BENCH_enforce.json");
     println!("  (wrote BENCH_enforce.json)");
     println!();
+}
+
+/// `sat_heavy`: point-condition `Sat` evaluation on a bulk-loaded store —
+/// the index-backed planner vs the preserved full-scan oracle
+/// ([`Instance::sat_scan`]) — plus the interpreter-level guarded-rename
+/// throughput that rides on it. `(objects, indexed queries, scan queries)`
+/// per config; returns the `sat_heavy` JSON fragment.
+fn sat_heavy_rows(configs: &[(usize, usize, usize)]) -> String {
+    println!("== perf-sat-heavy: indexed Sat planning vs full-scan baseline ==");
+    println!(
+        "{:>10} {:>14} {:>14} {:>9} {:>14}",
+        "objects", "indexed µs/q", "scan µs/q", "speedup", "renames/s"
+    );
+    let mut rows = Vec::new();
+    for &(n, q_indexed, q_scan) in configs {
+        let (schema, _, _) = university();
+        let bulk = bulk_create(&schema, n);
+        let no_args = Assignment::empty();
+        let mut db = Instance::empty();
+        migratory_lang::apply_transaction(&schema, &mut db, &bulk, &no_args).unwrap();
+
+        let queries = point_conditions(&schema, n, q_indexed);
+        let t0 = Instant::now();
+        let mut hits = 0usize;
+        for (p, c) in &queries {
+            hits += db.sat(*p, c).len();
+        }
+        let indexed_us = t0.elapsed().as_secs_f64() * 1e6 / q_indexed as f64;
+
+        let t0 = Instant::now();
+        let mut scan_hits = 0usize;
+        for (p, c) in queries.iter().take(q_scan) {
+            scan_hits += db.sat_scan(*p, c).len();
+        }
+        let scan_us = t0.elapsed().as_secs_f64() * 1e6 / q_scan as f64;
+        // Same queries → same answers (the property suite proves it in
+        // general; this guards the bench itself).
+        assert_eq!(
+            queries.iter().take(q_scan).map(|(p, c)| db.sat(*p, c).len()).sum::<usize>(),
+            scan_hits
+        );
+
+        // Interpreter level: each guarded rename evaluates one guard
+        // literal and one point select, both planned from the index.
+        let ts = sat_heavy_transactions(&schema);
+        let ren = ts.get("Ren").unwrap();
+        let steps = q_indexed.min(2_000);
+        let t0 = Instant::now();
+        for i in 0..steps {
+            let args = sat_heavy_step(i, n);
+            migratory_lang::apply_transaction(&schema, &mut db, ren, &args).unwrap();
+        }
+        let renames = steps as f64 / t0.elapsed().as_secs_f64();
+
+        let speedup = scan_us / indexed_us;
+        println!("{n:>10} {indexed_us:>14.2} {scan_us:>14.1} {speedup:>8.0}× {renames:>14.0}");
+        rows.push(format!(
+            r#"      {{
+        "objects": {n},
+        "queries": {q_indexed},
+        "hits": {hits},
+        "indexed_us_per_query": {indexed_us:.2},
+        "scan_us_per_query": {scan_us:.1},
+        "speedup_vs_scan": {speedup:.1},
+        "guarded_renames_per_sec": {renames:.0}
+      }}"#
+        ));
+    }
+    println!();
+    format!(
+        r#"  "sat_heavy": {{
+    "workload": "point Sat conditions (indexed key hits, misses, eq+ne conjunctions) on a bulk-loaded store; guarded point renames on top",
+    "engines": {{
+      "indexed": "Instance::sat — planned from the condition via the value/class indexes",
+      "scan": "Instance::sat_scan — the preserved full-heap-scan oracle"
+    }},
+    "sizes": [
+{}
+    ]
+  }}"#,
+        rows.join(
+            ",
+"
+        )
+    )
+}
+
+/// `batch_admit`: a deep "career ladder" inventory (`∅* ([PERSON]+
+/// [STUDENT]+)^32 ∅*`, ~64 DFA states) over a bulk-loaded store, with
+/// climber objects staggered across the ladder so the cohort table holds
+/// ~60 live cohorts. Admission then pays a cohort sweep + re-key per
+/// application — once per *application* on the PR 1 single-threaded
+/// delta engine, once per *block* per shard under
+/// `ShardedMonitor::try_apply_batch`. `(objects, steps)` per config;
+/// returns the `batch_admit` JSON fragment. Engines are built, set up
+/// and measured one at a time so no measurement inherits another's
+/// allocator pressure.
+fn batch_admit_rows(configs: &[(usize, usize)]) -> String {
+    use migratory_core::enforce::{Monitor, ShardedMonitor};
+
+    const PAIRS: usize = 32;
+    const SPREAD: usize = 256;
+    const MAX_DEPTH: usize = 56;
+
+    println!("== perf-batch-admit: sharded batch admission vs per-application ==");
+    println!(
+        "{:>10} {:>8} {:>7} {:>7} {:>12} {:>12} {:>9}",
+        "objects", "cohorts", "shards", "batch", "single/s", "batched/s", "speedup"
+    );
+    let mut rows = Vec::new();
+    for &(n, steps) in configs {
+        let (schema, alphabet, _) = university();
+        let inv = Inventory::parse_init(&schema, &alphabet, &ladder_inventory_src(PAIRS))
+            .expect("ladder inventory parses");
+        let ts = toggle_transactions(&schema);
+        let bulk = bulk_create(&schema, n);
+        let no_args = Assignment::empty();
+        let (setup, timed) = ladder_scripts(SPREAD, MAX_DEPTH, steps);
+        let resolve = |script: &[(&'static str, Assignment)]| -> Vec<(String, Assignment)> {
+            script.iter().map(|(name, a)| ((*name).to_owned(), a.clone())).collect()
+        };
+        let setup = resolve(&setup);
+        let timed = resolve(&timed);
+
+        // (a) PR 1 baseline: the single-threaded delta engine, one
+        // admission (cohort sweep included) per application.
+        let (single_rate, single_steps, single_objects, cohorts) = {
+            let mut single = Monitor::new(&schema, &alphabet, &inv, PatternKind::All);
+            single.try_apply(&bulk, &no_args).expect("bulk load conforms");
+            for (name, args) in &setup {
+                single.try_apply(ts.get(name).unwrap(), args).expect("setup conforms");
+            }
+            let t0 = Instant::now();
+            for (name, args) in &timed {
+                single.try_apply(ts.get(name).unwrap(), args).expect("toggle conforms");
+            }
+            let rate = steps as f64 / t0.elapsed().as_secs_f64();
+            (rate, single.steps(), single.db().num_objects(), MAX_DEPTH)
+        };
+
+        // (b) Sharded batch admission at several shard/batch shapes,
+        // each on a freshly built and set-up monitor.
+        let mut batch_rows = Vec::new();
+        for &shards in &[2usize, 4] {
+            for &batch in &[64usize, 256] {
+                let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, shards);
+                m.try_apply(&bulk, &no_args).expect("bulk load conforms");
+                for block in setup.chunks(batch) {
+                    let (done, err) =
+                        m.try_apply_batch(block.iter().map(|(name, a)| (ts.get(name).unwrap(), a)));
+                    assert_eq!((done, err), (block.len(), None), "setup conforms");
+                }
+                let t0 = Instant::now();
+                for block in timed.chunks(batch) {
+                    let (done, err) =
+                        m.try_apply_batch(block.iter().map(|(name, a)| (ts.get(name).unwrap(), a)));
+                    assert_eq!((done, err), (block.len(), None), "toggle batch conforms");
+                }
+                let rate = steps as f64 / t0.elapsed().as_secs_f64();
+                assert_eq!(m.steps(), single_steps, "same letters on both engines");
+                assert_eq!(m.db().num_objects(), single_objects);
+                let speedup = rate / single_rate;
+                println!(
+                    "{n:>10} {cohorts:>8} {shards:>7} {batch:>7} {single_rate:>12.0} {rate:>12.0} {speedup:>8.2}×"
+                );
+                batch_rows.push(format!(
+                    r#"        {{ "shards": {shards}, "batch": {batch}, "apps_per_sec": {rate:.0}, "speedup_vs_single": {speedup:.2} }}"#
+                ));
+            }
+        }
+        rows.push(format!(
+            r#"      {{
+        "objects": {n},
+        "steps": {steps},
+        "ladder_pairs": {PAIRS},
+        "staggered_climbers": {SPREAD},
+        "single_delta_apps_per_sec": {single_rate:.0},
+        "batched": [
+{}
+        ]
+      }}"#,
+            batch_rows.join(",\n")
+        ));
+    }
+    println!();
+    format!(
+        r#"  "batch_admit": {{
+    "workload": "deep career-ladder inventory (∅* ([PERSON]+ [STUDENT]+)^32 ∅*) over a bulk-loaded store, climbers staggered across ~56 ladder depths; single-object toggles admitted one-by-one (PR 1 engine, one cohort sweep per application) vs in blocks (sharded monitor, one cohort sweep per shard per block)",
+    "sizes": [
+{}
+    ]
+  }}"#,
+        rows.join(",\n")
+    )
 }
 
 fn flow_families_row() {

@@ -111,6 +111,110 @@ pub fn toggle_step(i: usize, n: usize) -> (&'static str, Assignment) {
     (if i.is_multiple_of(2) { "St" } else { "UnSt" }, key)
 }
 
+/// Point conditions for the `sat_heavy` workload: `q` ground conditions
+/// over an `n`-person store — mostly indexed key hits (`SSN = sᵢ`),
+/// mixed with guaranteed misses and equality+inequality conjunctions, so
+/// the planner exercises the value index, the miss fast path and the
+/// residual-atom filter.
+#[must_use]
+pub fn point_conditions(
+    schema: &Schema,
+    n: usize,
+    q: usize,
+) -> Vec<(migratory_model::ClassId, migratory_model::Condition)> {
+    use migratory_model::{Atom, Condition};
+    let person = schema.class_id("PERSON").expect("university schema");
+    let ssn = schema.attr_id("SSN").expect("university schema");
+    let name = schema.attr_id("Name").expect("university schema");
+    (0..q)
+        .map(|i| {
+            let c = match i % 8 {
+                // A key that misses the whole store.
+                3 => Condition::from_atoms([Atom::eq_const(ssn, format!("miss{i}"))]),
+                // Key hit plus a residual inequality to verify.
+                5 => Condition::from_atoms([
+                    Atom::eq_const(ssn, format!("s{}", i % n.max(1))),
+                    Atom::ne_const(name, "nobody"),
+                ]),
+                // Plain indexed key hit.
+                _ => Condition::from_atoms([Atom::eq_const(ssn, format!("s{}", i % n.max(1)))]),
+            };
+            (person, c)
+        })
+        .collect()
+}
+
+/// Guarded point-rename transactions for the interpreter-level
+/// `sat_heavy` workload: each application evaluates one positive guard
+/// literal and one point select — both index lookups now, both formerly
+/// O(|db|) scans.
+#[must_use]
+pub fn sat_heavy_transactions(schema: &Schema) -> TransactionSchema {
+    parse_transactions(
+        schema,
+        r"
+        transaction Ren(x, y) {
+          when PERSON(SSN = x) -> modify(PERSON, { SSN = x }, { Name = y });
+        }
+    ",
+    )
+    .expect("validates against the university schema")
+}
+
+/// The `i`-th application of the guarded-rename workload over `n`
+/// objects.
+#[must_use]
+pub fn sat_heavy_step(i: usize, n: usize) -> Assignment {
+    Assignment::new(vec![Value::str(&format!("s{}", i % n.max(1))), Value::str(&format!("r{i}"))])
+}
+
+/// The deep "career ladder" inventory source: `∅* ([PERSON]+
+/// [STUDENT]+)^pairs ∅*` written out textually. Its DFA has ~2·`pairs`
+/// states; with objects staggered across the ladder the monitor's cohort
+/// table holds up to ~2·`pairs` live cohorts, so the per-application
+/// cohort sweep + re-key becomes the dominant admission cost — exactly
+/// what batch admission amortizes to one sweep per block.
+#[must_use]
+pub fn ladder_inventory_src(pairs: usize) -> String {
+    let mut s = String::from("∅* ");
+    for _ in 0..pairs {
+        s.push_str("[PERSON]+ [STUDENT]+ ");
+    }
+    s.push_str("∅*");
+    s
+}
+
+/// A named script: `(transaction name, argument)` applications in order.
+pub type Script = Vec<(&'static str, Assignment)>;
+
+/// Toggle schedules for the `batch_admit` ladder workload: `spread`
+/// climber objects (keys `s0..s(spread−1)`) are staggered across ladder
+/// depths `0..max_depth` by the setup script, then the timed script
+/// round-robins `steps` further toggles over them. Each toggle advances
+/// its object one ladder segment, so callers must keep `max_depth +
+/// ceil(steps/spread)` below the ladder's segment count (2·pairs − 1).
+/// Untouched objects re-read their role, which self-loops inside a
+/// `[…]+` segment — every application is admissible.
+#[must_use]
+pub fn ladder_scripts(spread: usize, max_depth: usize, steps: usize) -> (Script, Script) {
+    let key = |i: usize| Assignment::new(vec![Value::str(&format!("s{i}"))]);
+    let mut toggles = vec![0usize; spread];
+    let op = |j: usize, toggles: &mut Vec<usize>| {
+        let name = if toggles[j].is_multiple_of(2) { "St" } else { "UnSt" };
+        toggles[j] += 1;
+        (name, key(j))
+    };
+    let mut setup = Vec::new();
+    for j in 0..spread {
+        for _ in 0..(j * max_depth) / spread {
+            let step = op(j, &mut toggles);
+            setup.push(step);
+        }
+    }
+    let timed = (0..steps).map(|i| op(i % spread, &mut toggles)).collect();
+    (setup, timed)
+}
+
 /// The pq synthesis host (Fig. 3 style: root R{A,B,C} with `k` leaf
 /// classes).
 #[must_use]

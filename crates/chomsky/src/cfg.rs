@@ -3,7 +3,7 @@
 //! Theorem 4.8 of the paper compiles any *context-free* migration
 //! inventory into a CSL⁺ transaction schema, going through Greibach
 //! normal form ("there is a context-free grammar G_L in Greibach normal
-//! form with 𝓛(G_L) = L [21]"). This module provides the grammar type and
+//! form with 𝓛(G_L) = L \\[21\\]"). This module provides the grammar type and
 //! bounded language generation; the normal-form pipeline lives in
 //! [`crate::normal`].
 

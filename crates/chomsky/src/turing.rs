@@ -1,6 +1,6 @@
 //! Deterministic single-tape Turing machines with a right-infinite tape —
 //! the machine model of the paper's Theorem 4.3 appendix ("we assume the
-//! terminology for Turing machines [21]").
+//! terminology for Turing machines \\[21\\]").
 //!
 //! The appendix additionally assumes the machine *does not erase the input
 //! word* (every input square, once written, keeps a symbol that still

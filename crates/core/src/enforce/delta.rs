@@ -1,0 +1,618 @@
+//! Shared state machinery of the delta/cohort admission engines.
+//!
+//! A [`DeltaState`] tracks one *partition* of the object population —
+//! the whole database for the single [`Monitor`](super::Monitor), one
+//! shard of it for the [`ShardedMonitor`](super::ShardedMonitor). It
+//! owns the run-length-encoded per-object records and the cohort table
+//! (objects grouped by indistinguishable (DFA state, role symbol)
+//! pairs), and knows how to *stage* and *commit* admission steps:
+//!
+//! steps through one staged, read-only pass
+//! ([`DeltaState::stage_batch`]) and one write-back
+//! ([`DeltaState::commit_batch`]): `k` letters are validated against
+//! **one** cohort sweep, advancing each untouched cohort `k` DFA steps
+//! in a single pass and replaying touched objects' interleaved
+//! touch/untouched chains individually. The single-step engines are the
+//! `k = 1` case of the same code path.
+//!
+//! Batch validation leans on the inventory being prefix-closed
+//! (Definition 3.3): in any DFA of a prefix-closed language every
+//! *reachable* non-accepting state is a trap, so checking the endpoint
+//! of a run of identical letters is equivalent to checking every
+//! intermediate step. Staging is read-only (`&self`), which is what lets
+//! the sharded monitor stage all shards concurrently; commits are only
+//! applied once every shard has accepted.
+//!
+//! [`diagnose_step`] reproduces the reference engine's whole-database,
+//! ascending-oid rejection scan over any record iterator, so single and
+//! sharded monitors report byte-identical [`Violation`]s.
+
+use super::Violation;
+use crate::alphabet::RoleAlphabet;
+use crate::pattern::{MigrationPattern, PatternKind};
+use migratory_automata::Dfa;
+use migratory_lang::{Delta, ObjectDelta};
+use migratory_model::{ClassSet, Oid, RoleSet, Schema};
+use std::collections::{BTreeMap, HashMap};
+
+/// The always-present cohort of exempt objects (never stepped, never
+/// checked).
+pub(crate) const EXEMPT: u32 = 0;
+
+/// Run-length-encoded tracking record of one object.
+#[derive(Clone, Debug)]
+pub(crate) struct ObjRecord {
+    /// 1-based step at which the object was created.
+    pub(crate) creation_step: usize,
+    /// `(letter, from_step)` segments; a new segment is appended only
+    /// when the role symbol changes, so length is the number of role
+    /// *changes*, not the run length. The last segment extends to the
+    /// current step.
+    pub(crate) segments: Vec<(u32, usize)>,
+    /// Cohort the object currently belongs to (follow `parent` links).
+    pub(crate) cohort: u32,
+}
+
+impl ObjRecord {
+    pub(crate) fn current_role(&self) -> u32 {
+        self.segments.last().expect("non-empty").0
+    }
+
+    /// Reconstruct the full pattern through global step `upto`.
+    pub(crate) fn pattern_through(&self, empty: u32, upto: usize) -> MigrationPattern {
+        let mut p = Vec::with_capacity(upto);
+        p.resize(self.creation_step - 1, empty);
+        for (i, &(letter, from)) in self.segments.iter().enumerate() {
+            let end = match self.segments.get(i + 1) {
+                Some(&(_, next_from)) => next_from - 1,
+                None => upto,
+            };
+            p.resize(p.len() + (end + 1 - from), letter);
+        }
+        p
+    }
+}
+
+/// A group of objects indistinguishable to the DFA: same state, same
+/// current role symbol, same exemption status. Untouched cohorts advance
+/// with **one** `dfa.step` regardless of how many objects they hold.
+#[derive(Clone, Debug)]
+pub(crate) struct Cohort {
+    pub(crate) state: u32,
+    pub(crate) last_role: u32,
+    pub(crate) size: usize,
+    /// Union-find forwarding after merges; a root has `parent == id`.
+    pub(crate) parent: u32,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Target {
+    Exempt,
+    Key(u32, u32),
+}
+
+#[derive(Clone, Default)]
+pub(crate) struct DeltaState {
+    pub(crate) records: BTreeMap<Oid, ObjRecord>,
+    pub(crate) cohorts: Vec<Cohort>,
+    /// Root non-exempt cohorts, by (DFA state, last role symbol).
+    pub(crate) by_key: HashMap<(u32, u32), u32>,
+    /// Cohort slots emptied by a step, reused before growing `cohorts`.
+    /// Forwarding slots (merge / exemption-fold survivors with members
+    /// still routed through them) cannot be freed eagerly; when they
+    /// outgrow the record count, [`DeltaState::compact`] rebuilds the
+    /// table — amortized O(1) per application, keeping resident state at
+    /// O(live cohorts + records).
+    pub(crate) free: Vec<u32>,
+    /// Touched-object count of the last admitted application.
+    pub(crate) last_touched: usize,
+}
+
+impl DeltaState {
+    pub(crate) fn new() -> DeltaState {
+        DeltaState {
+            // Slot 0 is the exempt sink.
+            cohorts: vec![Cohort { state: 0, last_role: 0, size: 0, parent: EXEMPT }],
+            ..DeltaState::default()
+        }
+    }
+
+    pub(crate) fn find(&mut self, mut id: u32) -> u32 {
+        while self.cohorts[id as usize].parent != id {
+            let p = self.cohorts[id as usize].parent;
+            self.cohorts[id as usize].parent = self.cohorts[p as usize].parent;
+            id = p;
+        }
+        id
+    }
+
+    pub(crate) fn find_ro(&self, mut id: u32) -> u32 {
+        while self.cohorts[id as usize].parent != id {
+            id = self.cohorts[id as usize].parent;
+        }
+        id
+    }
+
+    /// Root cohort for `target` post-step, creating (or reusing a freed
+    /// slot for) it if new.
+    pub(crate) fn cohort_for(&mut self, target: Target) -> u32 {
+        match target {
+            Target::Exempt => EXEMPT,
+            Target::Key(state, role) => *self.by_key.entry((state, role)).or_insert_with(|| {
+                if let Some(id) = self.free.pop() {
+                    self.cohorts[id as usize] =
+                        Cohort { state, last_role: role, size: 0, parent: id };
+                    id
+                } else {
+                    let id = self.cohorts.len() as u32;
+                    self.cohorts.push(Cohort { state, last_role: role, size: 0, parent: id });
+                    id
+                }
+            }),
+        }
+    }
+
+    /// Whether dead slots (freed + unreachable forwarders) dominate the
+    /// table: live slots are bounded by the record count plus the sink.
+    pub(crate) fn needs_compaction(&self) -> bool {
+        self.cohorts.len() > 64 && self.cohorts.len() > 2 * (self.records.len() + 1)
+    }
+
+    /// Rebuild the cohort table with only live cohorts: every record is
+    /// redirected to its root, forwarding chains disappear, and dead
+    /// slots are dropped. O(records) — run only when the table has
+    /// outgrown the record count, so the cost amortizes to O(1) per
+    /// application.
+    pub(crate) fn compact(&mut self) {
+        let mut records = std::mem::take(&mut self.records);
+        let mut remap: HashMap<u32, u32> = HashMap::new();
+        let mut table: Vec<Cohort> = vec![self.cohorts[EXEMPT as usize].clone()];
+        for rec in records.values_mut() {
+            let root = self.find(rec.cohort);
+            rec.cohort = if root == EXEMPT {
+                EXEMPT
+            } else {
+                *remap.entry(root).or_insert_with(|| {
+                    let nid = table.len() as u32;
+                    let old = &self.cohorts[root as usize];
+                    table.push(Cohort {
+                        state: old.state,
+                        last_role: old.last_role,
+                        size: old.size,
+                        parent: nid,
+                    });
+                    nid
+                })
+            };
+        }
+        self.records = records;
+        // Every populated by_key root has members, so it was remapped;
+        // anything else is dead and dropped with its key.
+        self.by_key =
+            self.by_key.iter().filter_map(|(&k, root)| Some((k, *remap.get(root)?))).collect();
+        self.cohorts = table;
+        self.free.clear();
+    }
+
+    // -----------------------------------------------------------------
+    // Batch staging
+    // -----------------------------------------------------------------
+
+    /// Validate `ctx.k` effective letters over this partition's objects
+    /// in one pass: each touched object's interleaved touch/untouched
+    /// chain is replayed exactly, each untouched cohort is advanced `k`
+    /// DFA steps once. Read-only; returns `Err(())` on the first
+    /// violation (callers fall back to sequential admission for exact
+    /// diagnostics) and the staged changes to
+    /// [`commit_batch`](Self::commit_batch) otherwise.
+    pub(crate) fn stage_batch(
+        &self,
+        ctx: &BatchCtx<'_>,
+        touched: &BTreeMap<Oid, Vec<(usize, &ObjectDelta)>>,
+    ) -> Result<BatchStage, ()> {
+        let dfa = ctx.dfa;
+        let empty = ctx.alphabet.empty_symbol();
+        // Untouched objects under Proper/Lazy leave the enforced family
+        // at their first untouched step; any record predating the batch
+        // has global step index ≥ 2 for every batch step (records imply
+        // at least one committed letter), so the whole table folds.
+        let fold_all = matches!(ctx.kind, PatternKind::Proper | PatternKind::Lazy);
+        let mut moves: Vec<BatchMove> = Vec::with_capacity(touched.len());
+        let mut leaving: HashMap<u32, usize> = HashMap::new();
+
+        for (&oid, touches) in touched {
+            // Chain state of this object across the batch.
+            let mut chain: Option<ChainState> = self.records.get(&oid).map(|rec| {
+                let root = self.find_ro(rec.cohort);
+                ChainState {
+                    state: self.cohorts[root as usize].state,
+                    role: rec.current_role(),
+                    exempt: root == EXEMPT,
+                    synced: 0,
+                    segments: Vec::new(),
+                    existing: true,
+                    creation_step: 0,
+                    start_root: root,
+                }
+            });
+            if let Some(ch) = &chain {
+                *leaving.entry(ch.start_root).or_insert(0) += 1;
+            }
+            for &(j, od) in touches {
+                let idx = ctx.steps0 + j;
+                let after_sym = match od.after_classes {
+                    Some(cs) => classes_symbol(ctx.schema, ctx.alphabet, cs),
+                    None => empty,
+                };
+                match &mut chain {
+                    None => {
+                        // Created at effective step j: starts from the
+                        // never-created class's state before that step.
+                        debug_assert!(od.created(), "untracked touched object must be a creation");
+                        let (pre_state, pre_exempt) = ctx.pre_trace[j - 1];
+                        let exempt = match ctx.kind {
+                            PatternKind::All => false,
+                            PatternKind::ImmediateStart => idx > 1,
+                            PatternKind::Proper | PatternKind::Lazy => pre_exempt,
+                        };
+                        let state = dfa.step(pre_state, after_sym);
+                        if !exempt && !dfa.is_accepting(state) {
+                            return Err(());
+                        }
+                        chain = Some(ChainState {
+                            state,
+                            role: after_sym,
+                            exempt,
+                            synced: j,
+                            segments: vec![(after_sym, idx)],
+                            existing: false,
+                            creation_step: idx,
+                            start_root: EXEMPT,
+                        });
+                    }
+                    Some(ch) => {
+                        // Untouched gap since the last sync point. Gap
+                        // steps always have global index ≥ 2 (something
+                        // was tracked before them), so Proper/Lazy
+                        // exempt; otherwise advance by the gap — the
+                        // trap property makes the endpoint check
+                        // equivalent to per-step checks.
+                        let gap = j - 1 - ch.synced;
+                        if gap > 0 && !ch.exempt {
+                            if fold_all {
+                                ch.exempt = true;
+                            } else {
+                                ch.state = advance_many(dfa, ch.state, ch.role, gap);
+                                if !dfa.is_accepting(ch.state) {
+                                    return Err(());
+                                }
+                            }
+                        }
+                        // The touch itself.
+                        let role_changed = after_sym != ch.role;
+                        let object_changed = role_changed || od.tuple_changed;
+                        if !ch.exempt && idx >= 2 {
+                            ch.exempt = match ctx.kind {
+                                PatternKind::All | PatternKind::ImmediateStart => false,
+                                PatternKind::Proper => !object_changed,
+                                PatternKind::Lazy => !role_changed,
+                            };
+                        }
+                        if !ch.exempt {
+                            ch.state = dfa.step(ch.state, after_sym);
+                            if !dfa.is_accepting(ch.state) {
+                                return Err(());
+                            }
+                        }
+                        if role_changed {
+                            ch.segments.push((after_sym, idx));
+                        }
+                        ch.role = after_sym;
+                        ch.synced = j;
+                    }
+                }
+            }
+            let ch = chain.as_mut().expect("first touch created or found the object");
+            // Trailing untouched steps through the end of the batch.
+            let tail = ctx.k - ch.synced;
+            if tail > 0 && !ch.exempt {
+                if fold_all {
+                    ch.exempt = true;
+                } else {
+                    ch.state = advance_many(dfa, ch.state, ch.role, tail);
+                    if !dfa.is_accepting(ch.state) {
+                        return Err(());
+                    }
+                }
+            }
+            let target = if ch.exempt { Target::Exempt } else { Target::Key(ch.state, ch.role) };
+            moves.push(if ch.existing {
+                BatchMove::Move { oid, segments: std::mem::take(&mut ch.segments), target }
+            } else {
+                BatchMove::Insert {
+                    oid,
+                    record: ObjRecord {
+                        creation_step: ch.creation_step,
+                        segments: std::mem::take(&mut ch.segments),
+                        cohort: EXEMPT, // assigned on commit
+                    },
+                    target,
+                }
+            });
+        }
+
+        // One sweep over the untouched cohort remainders.
+        let mut advanced: Vec<(u32, u32)> = Vec::new();
+        let mut emptied: Vec<u32> = Vec::new();
+        for (&(cstate, role), &root) in &self.by_key {
+            let remaining =
+                self.cohorts[root as usize].size - leaving.get(&root).copied().unwrap_or(0);
+            if remaining == 0 {
+                if !fold_all {
+                    emptied.push(root);
+                }
+                continue;
+            }
+            if fold_all {
+                continue;
+            }
+            let st = advance_many(dfa, cstate, role, ctx.k);
+            if !dfa.is_accepting(st) {
+                return Err(());
+            }
+            advanced.push((root, st));
+        }
+
+        Ok(BatchStage { moves, leaving, advanced, emptied, fold_all, touched: touched.len() })
+    }
+
+    /// Write a staged batch: debit leavers, advance or fold the untouched
+    /// cohorts, place every touched object. Mirrors the single-step
+    /// commit, generalized to `k` letters.
+    pub(crate) fn commit_batch(&mut self, stage: BatchStage) {
+        let BatchStage { moves, mut leaving, advanced, emptied, fold_all, touched } = stage;
+        self.last_touched = touched;
+        if fold_all {
+            // Every untouched object becomes exempt: fold all non-exempt
+            // cohorts into the sink, recycling slots nobody routes
+            // through.
+            for (_, root) in self.by_key.drain() {
+                let leave = leaving.remove(&root).unwrap_or(0);
+                let untouched = self.cohorts[root as usize].size - leave;
+                self.cohorts[root as usize].size = 0;
+                if untouched == 0 {
+                    self.free.push(root);
+                } else {
+                    self.cohorts[root as usize].parent = EXEMPT;
+                    self.cohorts[EXEMPT as usize].size += untouched;
+                }
+            }
+            // Leftover entries are touched members leaving the sink
+            // itself; their moves below re-target them, so debit now.
+            for (root, n) in leaving.drain() {
+                debug_assert_eq!(root, EXEMPT);
+                self.cohorts[EXEMPT as usize].size -= n;
+            }
+        } else {
+            for (root, n) in leaving.drain() {
+                self.cohorts[root as usize].size -= n;
+            }
+            let mut new_keys: HashMap<(u32, u32), u32> = HashMap::with_capacity(self.by_key.len());
+            for &(root, new_state) in &advanced {
+                let role = self.cohorts[root as usize].last_role;
+                self.cohorts[root as usize].state = new_state;
+                match new_keys.entry((new_state, role)) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(root);
+                    }
+                    std::collections::hash_map::Entry::Occupied(e) => {
+                        // Two cohorts converged on one DFA state: merge.
+                        let survivor = *e.get();
+                        let sz = self.cohorts[root as usize].size;
+                        self.cohorts[root as usize].parent = survivor;
+                        self.cohorts[root as usize].size = 0;
+                        self.cohorts[survivor as usize].size += sz;
+                    }
+                }
+            }
+            self.by_key = new_keys;
+            for &root in &emptied {
+                debug_assert_eq!(self.cohorts[root as usize].size, 0);
+                self.free.push(root);
+            }
+        }
+        for mv in moves {
+            match mv {
+                BatchMove::Insert { oid, mut record, target } => {
+                    let c = self.cohort_for(target);
+                    self.cohorts[c as usize].size += 1;
+                    record.cohort = c;
+                    self.records.insert(oid, record);
+                }
+                BatchMove::Move { oid, segments, target } => {
+                    let c = self.cohort_for(target);
+                    self.cohorts[c as usize].size += 1;
+                    let rec = self.records.get_mut(&oid).expect("tracked");
+                    rec.cohort = c;
+                    rec.segments.extend(segments);
+                }
+            }
+        }
+        if self.needs_compaction() {
+            self.compact();
+        }
+    }
+}
+
+/// Advance `state` by `m` repetitions of `letter` in O(min(m, |Q|)):
+/// repeating one letter must enter a cycle within |Q| steps, so the walk
+/// is cut short with modular arithmetic once a state repeats (detected
+/// through a position map, keeping the walk linear). Checking acceptance
+/// of the *returned* state is equivalent to checking every intermediate
+/// one, because reachable non-accepting states of a prefix-closed
+/// language's DFA are traps.
+fn advance_many(dfa: &Dfa, mut state: u32, letter: u32, m: usize) -> u32 {
+    // Small advances — the per-application k = 1 staging chief among
+    // them — step directly: cycle bookkeeping costs two allocations and
+    // only pays off once the walk could exceed the DFA size.
+    if m <= 8 {
+        for _ in 0..m {
+            state = dfa.step(state, letter);
+        }
+        return state;
+    }
+    let mut seen: Vec<u32> = vec![state];
+    let mut pos_of: HashMap<u32, usize> = HashMap::from([(state, 0)]);
+    for step in 1..=m {
+        state = dfa.step(state, letter);
+        if let Some(&pos) = pos_of.get(&state) {
+            let cycle = seen.len() - pos;
+            return seen[pos + (m - step) % cycle];
+        }
+        pos_of.insert(state, seen.len());
+        seen.push(state);
+    }
+    state
+}
+
+/// Per-object chain state while staging a batch.
+struct ChainState {
+    state: u32,
+    role: u32,
+    exempt: bool,
+    /// Effective batch step the chain is synced through.
+    synced: usize,
+    /// `(letter, global step)` segments to append on commit.
+    segments: Vec<(u32, usize)>,
+    existing: bool,
+    creation_step: usize,
+    start_root: u32,
+}
+
+/// Immutable context of one staged batch, shared by every shard (and
+/// every staging thread).
+pub(crate) struct BatchCtx<'a> {
+    pub(crate) schema: &'a Schema,
+    pub(crate) alphabet: &'a RoleAlphabet,
+    pub(crate) dfa: &'a Dfa,
+    pub(crate) kind: PatternKind,
+    /// Letters emitted before the batch (the shared step counter).
+    pub(crate) steps0: usize,
+    /// Effective letters in the batch.
+    pub(crate) k: usize,
+    /// `(pre_state, pre_exempt)` of the never-created class *before*
+    /// each effective step `1..=k`.
+    pub(crate) pre_trace: &'a [(u32, bool)],
+}
+
+/// The staged outcome of [`DeltaState::stage_batch`].
+pub(crate) struct BatchStage {
+    moves: Vec<BatchMove>,
+    leaving: HashMap<u32, usize>,
+    /// `(root, state after k untouched letters)` for surviving cohorts.
+    advanced: Vec<(u32, u32)>,
+    emptied: Vec<u32>,
+    fold_all: bool,
+    touched: usize,
+}
+
+/// Final placement of one touched object after a staged batch.
+enum BatchMove {
+    Insert { oid: Oid, record: ObjRecord, target: Target },
+    Move { oid: Oid, segments: Vec<(u32, usize)>, target: Target },
+}
+
+/// The role-set symbol of a raw class set (∅ when absent or outside the
+/// alphabet's component) — free function so the admit paths (which hold
+/// mutable engine borrows) and the diagnostics path share one
+/// implementation.
+pub(crate) fn classes_symbol(schema: &Schema, alphabet: &RoleAlphabet, cs: ClassSet) -> u32 {
+    RoleSet::new(schema, cs)
+        .ok()
+        .and_then(|rs| alphabet.symbol_of(rs))
+        .unwrap_or_else(|| alphabet.empty_symbol())
+}
+
+/// Immutable inputs of a rejection-diagnostics scan.
+pub(crate) struct DiagParams<'a> {
+    pub(crate) schema: &'a Schema,
+    pub(crate) alphabet: &'a RoleAlphabet,
+    pub(crate) dfa: &'a Dfa,
+    pub(crate) kind: PatternKind,
+    pub(crate) step_idx: usize,
+    pub(crate) pre_state_old: u32,
+    pub(crate) pre_exempt: bool,
+}
+
+/// Rejection diagnostics: replay one step over **all** objects in
+/// ascending oid order — exactly the reference engine's scan — and
+/// return the first violation. `records` yields every tracked object (in
+/// ascending oid order, merged across shards if need be) as
+/// `(oid, record, exempt, cohort state)`; the database already holds the
+/// post-state and `delta` maps touched objects to their changes.
+/// O(objects), paid only on rejection.
+pub(crate) fn diagnose_step<'r>(
+    p: &DiagParams<'_>,
+    records: impl Iterator<Item = (Oid, &'r ObjRecord, bool, u32)>,
+    delta: &Delta,
+) -> Violation {
+    let empty = p.alphabet.empty_symbol();
+    let touched: BTreeMap<Oid, &ObjectDelta> =
+        delta.objects().iter().map(|od| (od.oid, od)).collect();
+
+    // Existing objects (every record predates this step).
+    for (o, rec, cohort_exempt, cohort_state) in records {
+        let (after_sym, role_changed, object_changed) = match touched.get(&o) {
+            Some(od) => {
+                let after_sym = match od.after_classes {
+                    Some(cs) => classes_symbol(p.schema, p.alphabet, cs),
+                    None => empty,
+                };
+                let role_changed = after_sym != rec.current_role();
+                (after_sym, role_changed, role_changed || od.tuple_changed)
+            }
+            None => (rec.current_role(), false, false),
+        };
+        let mut exempt = cohort_exempt;
+        if !exempt && p.step_idx >= 2 {
+            exempt = match p.kind {
+                PatternKind::All | PatternKind::ImmediateStart => false,
+                PatternKind::Proper => !object_changed,
+                PatternKind::Lazy => !role_changed,
+            };
+        }
+        if exempt {
+            continue;
+        }
+        let new_state = p.dfa.step(cohort_state, after_sym);
+        if !p.dfa.is_accepting(new_state) {
+            let mut pattern = rec.pattern_through(empty, p.step_idx - 1);
+            pattern.push(after_sym);
+            return Violation { oid: Some(o), pattern, letter: after_sym };
+        }
+    }
+
+    // Objects created by this step (their oids are larger than every
+    // tracked one, so this continues the ascending-oid scan).
+    for od in delta.objects() {
+        if !od.created() {
+            continue;
+        }
+        let after_sym = match od.after_classes {
+            Some(cs) => classes_symbol(p.schema, p.alphabet, cs),
+            None => empty,
+        };
+        let exempt = match p.kind {
+            PatternKind::All => false,
+            PatternKind::ImmediateStart => p.step_idx > 1,
+            PatternKind::Proper | PatternKind::Lazy => p.pre_exempt,
+        };
+        let new_state = p.dfa.step(p.pre_state_old, after_sym);
+        if !exempt && !p.dfa.is_accepting(new_state) {
+            let mut pattern = vec![empty; p.step_idx - 1];
+            pattern.push(after_sym);
+            return Violation { oid: Some(od.oid), pattern, letter: after_sym };
+        }
+    }
+    unreachable!("diagnose_step called without a violating object")
+}

@@ -48,6 +48,20 @@
 //! a cloned database each step and is used by tests as the oracle and by
 //! `bench_enforce` as the baseline.
 //!
+//! # Module layout: sharding and batching
+//!
+//! The engine's state machinery (records, cohorts, staging/commit,
+//! diagnostics) lives in the private `delta` submodule, shared between
+//! two front ends: this file's single-partition [`Monitor`] and
+//! [`sharded::ShardedMonitor`], which partitions the object population
+//! by weakly-connected role component (oid stripes as fallback), stages
+//! all shards' checks concurrently on scoped threads, and admits whole
+//! *batches* of transactions against one cohort sweep per shard
+//! ([`ShardedMonitor::try_apply_batch`]). Objects evolve independently
+//! (Lemma 3.5), so the shards coordinate only through the shared step
+//! counter; both front ends are observationally identical to the
+//! reference engine, byte-identical [`Violation`]s included.
+//!
 //! Enforcement is *kind-aware*: under [`PatternKind::Proper`] a pattern
 //! stops being constrained the moment a step leaves its object unchanged
 //! (the full pattern can then never be proper), and similarly for
@@ -62,16 +76,22 @@
 //! certified** once ([`Monitor::certify`]) and all runtime checks skipped
 //! thereafter — the ablation benchmarked in `bench_enforce`.
 
+mod delta;
+pub mod sharded;
+
+pub use sharded::{ShardStats, ShardedMonitor};
+
 use crate::alphabet::RoleAlphabet;
 use crate::error::CoreError;
 use crate::inventory::Inventory;
 use crate::pattern::{MigrationPattern, PatternKind};
+use delta::{classes_symbol, diagnose_step, DeltaState, DiagParams, EXEMPT};
 use migratory_lang::{
     apply_transaction, apply_transaction_delta, run, Assignment, Delta, LangError, Transaction,
     TransactionSchema,
 };
-use migratory_model::{ClassSet, Instance, Oid, RoleSet, Schema};
-use std::collections::{BTreeMap, HashMap};
+use migratory_model::{ClassSet, Instance, Oid, Schema};
+use std::collections::BTreeMap;
 
 /// When a transaction application contributes a letter to the patterns.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -146,179 +166,6 @@ impl From<LangError> for EnforceError {
 }
 
 // ---------------------------------------------------------------------
-// Delta engine state
-// ---------------------------------------------------------------------
-
-/// The always-present cohort of exempt objects (never stepped, never
-/// checked).
-const EXEMPT: u32 = 0;
-
-/// Run-length-encoded tracking record of one object.
-#[derive(Clone, Debug)]
-struct ObjRecord {
-    /// 1-based step at which the object was created.
-    creation_step: usize,
-    /// `(letter, from_step)` segments; a new segment is appended only
-    /// when the role symbol changes, so length is the number of role
-    /// *changes*, not the run length. The last segment extends to the
-    /// current step.
-    segments: Vec<(u32, usize)>,
-    /// Cohort the object currently belongs to (follow `parent` links).
-    cohort: u32,
-}
-
-impl ObjRecord {
-    fn current_role(&self) -> u32 {
-        self.segments.last().expect("non-empty").0
-    }
-
-    /// Reconstruct the full pattern through global step `upto`.
-    fn pattern_through(&self, empty: u32, upto: usize) -> MigrationPattern {
-        let mut p = Vec::with_capacity(upto);
-        p.resize(self.creation_step - 1, empty);
-        for (i, &(letter, from)) in self.segments.iter().enumerate() {
-            let end = match self.segments.get(i + 1) {
-                Some(&(_, next_from)) => next_from - 1,
-                None => upto,
-            };
-            p.resize(p.len() + (end + 1 - from), letter);
-        }
-        p
-    }
-}
-
-/// A group of objects indistinguishable to the DFA: same state, same
-/// current role symbol, same exemption status. Untouched cohorts advance
-/// with **one** `dfa.step` regardless of how many objects they hold.
-#[derive(Clone, Debug)]
-struct Cohort {
-    state: u32,
-    last_role: u32,
-    size: usize,
-    /// Union-find forwarding after merges; a root has `parent == id`.
-    parent: u32,
-}
-
-/// Staged move of one touched object, applied only on commit.
-enum TouchedMove {
-    /// New object: insert `record`, join `key`-cohort (or EXEMPT).
-    Insert { oid: Oid, record: ObjRecord, target: Target },
-    /// Existing object: optionally start a new `(letter, step)` segment,
-    /// then join `target`.
-    Move { oid: Oid, segment: Option<u32>, target: Target },
-}
-
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Target {
-    Exempt,
-    Key(u32, u32),
-}
-
-#[derive(Clone, Default)]
-struct DeltaState {
-    records: BTreeMap<Oid, ObjRecord>,
-    cohorts: Vec<Cohort>,
-    /// Root non-exempt cohorts, by (DFA state, last role symbol).
-    by_key: HashMap<(u32, u32), u32>,
-    /// Cohort slots emptied by a step, reused before growing `cohorts`.
-    /// Forwarding slots (merge / exemption-fold survivors with members
-    /// still routed through them) cannot be freed eagerly; when they
-    /// outgrow the record count, [`DeltaState::compact`] rebuilds the
-    /// table — amortized O(1) per application, keeping resident state at
-    /// O(live cohorts + records).
-    free: Vec<u32>,
-    /// Touched-object count of the last admitted application.
-    last_touched: usize,
-}
-
-impl DeltaState {
-    fn new() -> DeltaState {
-        DeltaState {
-            // Slot 0 is the exempt sink.
-            cohorts: vec![Cohort { state: 0, last_role: 0, size: 0, parent: EXEMPT }],
-            ..DeltaState::default()
-        }
-    }
-
-    fn find(&mut self, mut id: u32) -> u32 {
-        while self.cohorts[id as usize].parent != id {
-            let p = self.cohorts[id as usize].parent;
-            self.cohorts[id as usize].parent = self.cohorts[p as usize].parent;
-            id = p;
-        }
-        id
-    }
-
-    fn find_ro(&self, mut id: u32) -> u32 {
-        while self.cohorts[id as usize].parent != id {
-            id = self.cohorts[id as usize].parent;
-        }
-        id
-    }
-
-    /// Root cohort for `target` post-step, creating (or reusing a freed
-    /// slot for) it if new.
-    fn cohort_for(&mut self, target: Target) -> u32 {
-        match target {
-            Target::Exempt => EXEMPT,
-            Target::Key(state, role) => *self.by_key.entry((state, role)).or_insert_with(|| {
-                if let Some(id) = self.free.pop() {
-                    self.cohorts[id as usize] =
-                        Cohort { state, last_role: role, size: 0, parent: id };
-                    id
-                } else {
-                    let id = self.cohorts.len() as u32;
-                    self.cohorts.push(Cohort { state, last_role: role, size: 0, parent: id });
-                    id
-                }
-            }),
-        }
-    }
-
-    /// Whether dead slots (freed + unreachable forwarders) dominate the
-    /// table: live slots are bounded by the record count plus the sink.
-    fn needs_compaction(&self) -> bool {
-        self.cohorts.len() > 64 && self.cohorts.len() > 2 * (self.records.len() + 1)
-    }
-
-    /// Rebuild the cohort table with only live cohorts: every record is
-    /// redirected to its root, forwarding chains disappear, and dead
-    /// slots are dropped. O(records) — run only when the table has
-    /// outgrown the record count, so the cost amortizes to O(1) per
-    /// application.
-    fn compact(&mut self) {
-        let mut records = std::mem::take(&mut self.records);
-        let mut remap: HashMap<u32, u32> = HashMap::new();
-        let mut table: Vec<Cohort> = vec![self.cohorts[EXEMPT as usize].clone()];
-        for rec in records.values_mut() {
-            let root = self.find(rec.cohort);
-            rec.cohort = if root == EXEMPT {
-                EXEMPT
-            } else {
-                *remap.entry(root).or_insert_with(|| {
-                    let nid = table.len() as u32;
-                    let old = &self.cohorts[root as usize];
-                    table.push(Cohort {
-                        state: old.state,
-                        last_role: old.last_role,
-                        size: old.size,
-                        parent: nid,
-                    });
-                    nid
-                })
-            };
-        }
-        self.records = records;
-        // Every populated by_key root has members, so it was remapped;
-        // anything else is dead and dropped with its key.
-        self.by_key =
-            self.by_key.iter().filter_map(|(&k, root)| Some((k, *remap.get(root)?))).collect();
-        self.cohorts = table;
-        self.free.clear();
-    }
-}
-
-// ---------------------------------------------------------------------
 // Reference engine state (the pre-optimization algorithm, kept as the
 // oracle and benchmark baseline)
 // ---------------------------------------------------------------------
@@ -344,17 +191,6 @@ enum Engine {
     Delta(DeltaState),
     /// Whole-database rescan engine (oracle / baseline).
     Reference { tracked: BTreeMap<Oid, Tracked> },
-}
-
-/// The role-set symbol of a raw class set (∅ when absent or outside the
-/// alphabet's component) — free function so the admit path (which holds a
-/// mutable engine borrow) and the diagnostics path share one
-/// implementation.
-fn classes_symbol(schema: &Schema, alphabet: &RoleAlphabet, cs: ClassSet) -> u32 {
-    RoleSet::new(schema, cs)
-        .ok()
-        .and_then(|rs| alphabet.symbol_of(rs))
-        .unwrap_or_else(|| alphabet.empty_symbol())
 }
 
 /// A database guarded by a migration inventory.
@@ -634,283 +470,81 @@ impl<'a> Monitor<'a> {
             }));
         }
 
-        // 2. Touched objects, individually (O(touched)). Everything is
-        //    staged; nothing is written to the tracking state until the
-        //    whole step is known to be admissible.
-        let mut moves: Vec<TouchedMove> = Vec::with_capacity(delta.objects().len());
-        // Touched members leaving each root cohort this step.
-        let mut leaving: HashMap<u32, usize> = HashMap::new();
-        let mut violated = false;
-        {
-            let Engine::Delta(state) = &mut self.engine else { unreachable!() };
-            for od in delta.objects() {
-                if od.before.is_none() && od.after_classes.is_none() {
-                    // Minted and deleted inside one application: never
-                    // observable, covered by the never-created class.
-                    continue;
-                }
-                let after_sym = match od.after_classes {
-                    Some(cs) => classes_symbol(self.schema, self.alphabet, cs),
-                    None => empty,
-                };
-                if od.created() {
-                    // Pattern ∅^(step_idx−1)·ω, starting from the shared
-                    // pre-state. Inherit the never-created exemption
-                    // accrued before this step; the creation step itself
-                    // always changes the object.
-                    let exempt = match self.kind {
-                        PatternKind::All => false,
-                        PatternKind::ImmediateStart => step_idx > 1,
-                        PatternKind::Proper | PatternKind::Lazy => self.pre_exempt,
-                    };
-                    let new_state = dfa.step(pre_state_old, after_sym);
-                    if !exempt && !dfa.is_accepting(new_state) {
-                        violated = true;
-                        break;
-                    }
-                    let target =
-                        if exempt { Target::Exempt } else { Target::Key(new_state, after_sym) };
-                    moves.push(TouchedMove::Insert {
-                        oid: od.oid,
-                        record: ObjRecord {
-                            creation_step: step_idx,
-                            segments: vec![(after_sym, step_idx)],
-                            cohort: EXEMPT, // assigned on commit
-                        },
-                        target,
-                    });
-                } else {
-                    let cohort_id =
-                        state.records.get(&od.oid).expect("touched object is tracked").cohort;
-                    let old_root = state.find(cohort_id);
-                    let rec = &state.records[&od.oid];
-                    let before_sym = rec.current_role();
-                    let role_changed = after_sym != before_sym;
-                    let object_changed = role_changed || od.tuple_changed;
-                    let mut exempt = old_root == EXEMPT;
-                    if !exempt && step_idx >= 2 {
-                        exempt = match self.kind {
-                            PatternKind::All | PatternKind::ImmediateStart => false,
-                            PatternKind::Proper => !object_changed,
-                            PatternKind::Lazy => !role_changed,
-                        };
-                    }
-                    let target = if exempt {
-                        Target::Exempt
-                    } else {
-                        let new_state = dfa.step(state.cohorts[old_root as usize].state, after_sym);
-                        if !dfa.is_accepting(new_state) {
-                            violated = true;
-                            break;
-                        }
-                        Target::Key(new_state, after_sym)
-                    };
-                    *leaving.entry(old_root).or_insert(0) += 1;
-                    moves.push(TouchedMove::Move {
-                        oid: od.oid,
-                        segment: role_changed.then_some(after_sym),
-                        target,
-                    });
-                }
+        // 2. Touched objects and untouched cohorts, through the shared
+        //    batch machinery at k = 1: one staged, read-only pass
+        //    (nothing is written until the step is known admissible),
+        //    then a commit. This is the same code path the sharded
+        //    monitor runs per shard, so the engines cannot drift.
+        let pre_trace = [(pre_state_old, self.pre_exempt)];
+        let ctx = delta::BatchCtx {
+            schema: self.schema,
+            alphabet: self.alphabet,
+            dfa,
+            kind: self.kind,
+            steps0: self.steps,
+            k: 1,
+            pre_trace: &pre_trace,
+        };
+        let mut touched: BTreeMap<Oid, Vec<(usize, &migratory_lang::ObjectDelta)>> =
+            BTreeMap::new();
+        for od in delta.objects() {
+            if od.before.is_none() && od.after_classes.is_none() {
+                // Minted and deleted inside one application: never
+                // observable, covered by the never-created class.
+                continue;
             }
+            touched.entry(od.oid).or_default().push((1, od));
         }
-
-        // 3. Untouched cohorts: one dfa.step per cohort (O(|cohorts|) ≤
-        //    O(|Q| × |Ω|)). A cohort emptied by this step's touches is
-        //    skipped.
-        let fold_all_exempt =
-            step_idx >= 2 && matches!(self.kind, PatternKind::Proper | PatternKind::Lazy);
-        let mut stepped: Vec<(u32, u32)> = Vec::new(); // (root, new_state)
-        let mut emptied: Vec<u32> = Vec::new(); // roots with no members left
-        if !violated {
-            let Engine::Delta(state) = &self.engine else { unreachable!() };
-            for (&(cstate, role), &root) in &state.by_key {
-                let remaining =
-                    state.cohorts[root as usize].size - leaving.get(&root).copied().unwrap_or(0);
-                if remaining == 0 {
-                    if !fold_all_exempt {
-                        emptied.push(root);
-                    }
-                    continue;
-                }
-                if fold_all_exempt {
-                    // An untouched step neither changes these objects nor
-                    // their role sets: the whole cohort leaves the
-                    // enforced family unchecked.
-                    continue;
-                }
-                let new_state = dfa.step(cstate, role);
-                if !dfa.is_accepting(new_state) {
-                    violated = true;
-                    break;
-                }
-                stepped.push((root, new_state));
-            }
-        }
-
-        if violated {
-            // Rejection path: reproduce the reference engine's scan (all
-            // objects, ascending oid) so the reported violation is
-            // byte-identical to [`Monitor::new_reference`]'s, then roll
-            // the database back. O(objects), paid only on rejection.
-            let v = self.diagnose_violation(&delta, step_idx, pre_state_old);
-            delta.undo(&mut self.db);
-            return Err(EnforceError::Violation(v));
-        }
-
-        // Commit: write the staged step.
         let Engine::Delta(state) = &mut self.engine else { unreachable!() };
-        state.last_touched = delta.objects().len();
-        if fold_all_exempt {
-            // Every untouched object becomes exempt: fold all non-exempt
-            // cohorts into the sink. A cohort whose members all left this
-            // step has nothing pointing at it — recycle its slot instead
-            // of leaking a forwarder (cyclic Proper/Lazy workloads would
-            // otherwise grow one dead slot per application).
-            for (_, root) in state.by_key.drain() {
-                let leave = leaving.remove(&root).unwrap_or(0);
-                let untouched = state.cohorts[root as usize].size - leave;
-                state.cohorts[root as usize].size = 0;
-                if untouched == 0 {
-                    state.free.push(root);
-                } else {
-                    state.cohorts[root as usize].parent = EXEMPT;
-                    state.cohorts[EXEMPT as usize].size += untouched;
-                }
+        match state.stage_batch(&ctx, &touched) {
+            Ok(stage) => {
+                state.commit_batch(stage);
+                // `last_touched` counts every object of the change-set,
+                // including within-step blips the tracker never sees.
+                state.last_touched = delta.objects().len();
+                self.steps = step_idx;
+                self.pre_state = pre_state_new;
+                self.pre_exempt = pre_exempt_new;
+                Ok(())
             }
-            // Leftover entries are touched members leaving the sink
-            // itself; their moves below re-target them, so debit now.
-            for (root, n) in leaving.drain() {
-                debug_assert_eq!(root, EXEMPT);
-                state.cohorts[EXEMPT as usize].size -= n;
-            }
-        } else {
-            // Debit leavers, re-key stepped cohorts, merging collisions.
-            for (root, n) in leaving.drain() {
-                state.cohorts[root as usize].size -= n;
-            }
-            let mut new_keys: HashMap<(u32, u32), u32> = HashMap::with_capacity(state.by_key.len());
-            for &(root, new_state) in &stepped {
-                let role = state.cohorts[root as usize].last_role;
-                state.cohorts[root as usize].state = new_state;
-                match new_keys.entry((new_state, role)) {
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(root);
-                    }
-                    std::collections::hash_map::Entry::Occupied(e) => {
-                        // Two cohorts converged on one DFA state: merge.
-                        let survivor = *e.get();
-                        let sz = state.cohorts[root as usize].size;
-                        state.cohorts[root as usize].parent = survivor;
-                        state.cohorts[root as usize].size = 0;
-                        state.cohorts[survivor as usize].size += sz;
-                    }
-                }
-            }
-            // Cohorts not in `stepped` were emptied; drop their keys and
-            // recycle the slots (size 0 ⇒ no record reaches them through
-            // any forwarding chain).
-            state.by_key = new_keys;
-            for &root in &emptied {
-                debug_assert_eq!(state.cohorts[root as usize].size, 0);
-                state.free.push(root);
+            Err(()) => {
+                // Rejection path: reproduce the reference engine's scan
+                // (all objects, ascending oid) so the reported violation
+                // is byte-identical to [`Monitor::new_reference`]'s, then
+                // roll the database back. O(objects), paid only on
+                // rejection.
+                let v = self.diagnose_violation(&delta, step_idx, pre_state_old);
+                delta.undo(&mut self.db);
+                Err(EnforceError::Violation(v))
             }
         }
-        for mv in moves {
-            match mv {
-                TouchedMove::Insert { oid, mut record, target } => {
-                    let c = state.cohort_for(target);
-                    state.cohorts[c as usize].size += 1;
-                    record.cohort = c;
-                    state.records.insert(oid, record);
-                }
-                TouchedMove::Move { oid, segment, target } => {
-                    let c = state.cohort_for(target);
-                    state.cohorts[c as usize].size += 1;
-                    let rec = state.records.get_mut(&oid).expect("tracked");
-                    rec.cohort = c;
-                    if let Some(letter) = segment {
-                        rec.segments.push((letter, step_idx));
-                    }
-                }
-            }
-        }
-        if state.needs_compaction() {
-            state.compact();
-        }
-        self.steps = step_idx;
-        self.pre_state = pre_state_new;
-        self.pre_exempt = pre_exempt_new;
-        Ok(())
     }
 
     /// Rejection diagnostics: replay this step over **all** objects in
     /// ascending oid order — exactly the reference engine's scan — and
-    /// return the first violation. `self.db` still holds the post-state;
-    /// per-object pre-states come from the tracking records and `delta`.
+    /// return the first violation (see [`delta::diagnose_step`]).
+    /// `self.db` still holds the post-state; per-object pre-states come
+    /// from the tracking records and `delta`. O(objects), paid only on
+    /// rejection.
     fn diagnose_violation(&self, delta: &Delta, step_idx: usize, pre_state_old: u32) -> Violation {
         let Engine::Delta(state) = &self.engine else { unreachable!() };
-        let dfa = self.inventory.dfa();
-        let empty = self.alphabet.empty_symbol();
-        let touched: BTreeMap<Oid, &migratory_lang::ObjectDelta> =
-            delta.objects().iter().map(|od| (od.oid, od)).collect();
-
-        // Existing objects (every record predates this step).
-        for (&o, rec) in &state.records {
-            let root = state.find_ro(rec.cohort);
-            let (after_sym, role_changed, object_changed) = match touched.get(&o) {
-                Some(od) => {
-                    let after_sym = match od.after_classes {
-                        Some(cs) => self.symbol_of_classes(cs),
-                        None => empty,
-                    };
-                    let role_changed = after_sym != rec.current_role();
-                    (after_sym, role_changed, role_changed || od.tuple_changed)
-                }
-                None => (rec.current_role(), false, false),
-            };
-            let mut exempt = root == EXEMPT;
-            if !exempt && step_idx >= 2 {
-                exempt = match self.kind {
-                    PatternKind::All | PatternKind::ImmediateStart => false,
-                    PatternKind::Proper => !object_changed,
-                    PatternKind::Lazy => !role_changed,
-                };
-            }
-            if exempt {
-                continue;
-            }
-            let new_state = dfa.step(state.cohorts[root as usize].state, after_sym);
-            if !dfa.is_accepting(new_state) {
-                let mut pattern = rec.pattern_through(empty, step_idx - 1);
-                pattern.push(after_sym);
-                return Violation { oid: Some(o), pattern, letter: after_sym };
-            }
-        }
-
-        // Objects created by this step (their oids are larger than every
-        // tracked one, so this continues the ascending-oid scan).
-        for od in delta.objects() {
-            if !od.created() {
-                continue;
-            }
-            let after_sym = match od.after_classes {
-                Some(cs) => self.symbol_of_classes(cs),
-                None => empty,
-            };
-            let exempt = match self.kind {
-                PatternKind::All => false,
-                PatternKind::ImmediateStart => step_idx > 1,
-                PatternKind::Proper | PatternKind::Lazy => self.pre_exempt,
-            };
-            let new_state = dfa.step(pre_state_old, after_sym);
-            if !exempt && !dfa.is_accepting(new_state) {
-                let mut pattern = vec![empty; step_idx - 1];
-                pattern.push(after_sym);
-                return Violation { oid: Some(od.oid), pattern, letter: after_sym };
-            }
-        }
-        unreachable!("diagnose_violation called without a violating object")
+        let params = DiagParams {
+            schema: self.schema,
+            alphabet: self.alphabet,
+            dfa: self.inventory.dfa(),
+            kind: self.kind,
+            step_idx,
+            pre_state_old,
+            pre_exempt: self.pre_exempt,
+        };
+        diagnose_step(
+            &params,
+            state.records.iter().map(|(&o, rec)| {
+                let root = state.find_ro(rec.cohort);
+                (o, rec, root == EXEMPT, state.cohorts[root as usize].state)
+            }),
+            delta,
+        )
     }
 
     // -----------------------------------------------------------------
@@ -1025,7 +659,7 @@ mod tests {
     use crate::explore::{explore, ExploreConfig};
     use migratory_lang::parse_transactions;
     use migratory_model::schema::university_schema;
-    use migratory_model::Value;
+    use migratory_model::{RoleSet, Value};
 
     fn setup() -> (Schema, RoleAlphabet) {
         let s = university_schema();

@@ -1,0 +1,634 @@
+//! Sharded, batched concurrent admission.
+//!
+//! Lemma 3.5 is the paper's parallelism theorem: SL transactions commute
+//! with database restriction (`⟦T⟧(d|I) = (⟦T⟧(d))|I`), i.e. objects
+//! evolve **independently** — one object's migration pattern never
+//! depends on another object's state. Admission checking therefore
+//! parallelizes perfectly over any partition of the object population:
+//! the only cross-partition coordination the model requires is the
+//! shared step counter (every object reads a letter at every step).
+//!
+//! A [`ShardedMonitor`] exploits exactly that. It keeps one
+//! `DeltaState` tracking partition per shard, routed
+//!
+//! * by the schema's **weakly-connected role components** when it has
+//!   more than one — an object's classes stay inside a single component
+//!   for its whole life (Definition 2.2), so the route is stable; or
+//! * by **oid stripe** (`oid mod shards`) as the fallback for
+//!   single-component schemas — equally stable, since identifiers are
+//!   minted once and never reused.
+//!
+//! Admission stages every shard *read-only* — concurrently on
+//! [`std::thread::scope`] threads when the host has more than one
+//! processor — and commits only after all shards accept, so a rejected
+//! application never leaks tracking state.
+//!
+//! # Batch admission
+//!
+//! [`ShardedMonitor::try_apply_batch`] validates a whole block of
+//! transactions against **one cohort sweep per shard**: untouched
+//! cohorts are advanced `k` DFA letters in a single pass (sound because
+//! inventories are prefix-closed, so reachable non-accepting states are
+//! traps and endpoint checks subsume intermediate ones), while touched
+//! objects replay their exact interleaving of touch and gap steps. The
+//! per-application sweep/re-key/alloc overhead of the single-step engine
+//! is paid once per batch instead of once per transaction. On a
+//! violation the batch rolls back and replays sequentially, which keeps
+//! the longest-conforming-prefix semantics and the byte-identical
+//! [`Violation`] diagnostics of [`Monitor`](super::Monitor) /
+//! [`Monitor::new_reference`](super::Monitor::new_reference).
+
+use super::delta::{diagnose_step, BatchCtx, BatchStage, DeltaState, DiagParams, EXEMPT};
+use super::{EnforceError, StepPolicy, Violation};
+use crate::alphabet::RoleAlphabet;
+use crate::inventory::Inventory;
+use crate::pattern::{MigrationPattern, PatternKind};
+use migratory_lang::{apply_transaction_delta, Assignment, Delta, ObjectDelta, Transaction};
+use migratory_model::{Instance, Oid, Schema};
+use std::collections::BTreeMap;
+
+/// How objects are assigned to shards.
+#[derive(Clone, Debug)]
+enum Router {
+    /// One stable shard per weakly-connected role component (components
+    /// beyond the shard count wrap around round-robin).
+    Component { shard_of: Vec<usize> },
+    /// `oid mod n` striping — the fallback when the schema has a single
+    /// component.
+    OidStripe { n: u64 },
+}
+
+/// Point-in-time statistics of one shard (see
+/// [`ShardedMonitor::shard_stats`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// Objects tracked by this shard (live and deleted).
+    pub tracked_objects: usize,
+    /// Live non-exempt cohorts (distinct (DFA state, role) pairs).
+    pub live_cohorts: usize,
+    /// Objects folded into the exempt sink.
+    pub exempt_objects: usize,
+    /// Touched objects of the last admitted application or batch.
+    pub last_touched: usize,
+}
+
+/// A database guarded by a migration inventory, with admission tracking
+/// sharded across independent object partitions and a batch API.
+///
+/// Observationally identical to [`Monitor`](super::Monitor) (same
+/// accept/reject decisions, byte-identical [`Violation`]s, same
+/// database), with the tracking work partitioned per shard.
+///
+/// ```
+/// use migratory_core::enforce::ShardedMonitor;
+/// use migratory_core::{Inventory, PatternKind, RoleAlphabet};
+/// use migratory_lang::{parse_transactions, Assignment};
+/// use migratory_model::{schema::university_schema, Value};
+///
+/// let s = university_schema();
+/// let a = RoleAlphabet::new(&s, 0).unwrap();
+/// let inv = Inventory::parse_init(&s, &a, "∅* [PERSON]* [STUDENT]* ∅*").unwrap();
+/// let ts = parse_transactions(&s, r#"
+///     transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+///     transaction St(x) {
+///       specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS", FirstEnroll = 1 });
+///     }
+/// "#).unwrap();
+/// let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 4);
+/// let script: Vec<_> = (0..8)
+///     .map(|i| (ts.get("Mk").unwrap(), Assignment::new(vec![Value::str(&format!("{i}"))])))
+///     .collect();
+/// let batch: Vec<_> = script.iter().map(|(t, a)| (*t, a)).collect();
+/// let (committed, err) = m.try_apply_batch(batch);
+/// assert_eq!((committed, err), (8, None));
+/// assert_eq!(m.db().num_objects(), 8);
+/// ```
+#[derive(Clone)]
+pub struct ShardedMonitor<'a> {
+    schema: &'a Schema,
+    alphabet: &'a RoleAlphabet,
+    inventory: &'a Inventory,
+    kind: PatternKind,
+    policy: StepPolicy,
+    db: Instance,
+    shards: Vec<DeltaState>,
+    router: Router,
+    /// Stage shards on scoped threads (off when the host has one
+    /// processor — the batch amortization still applies, the thread
+    /// hand-off cost does not).
+    parallel: bool,
+    /// DFA state shared by all never-created objects (pattern ∅ⁿ).
+    pre_state: u32,
+    /// The never-created pattern has already left the enforced family.
+    pre_exempt: bool,
+    /// Number of letters emitted so far — **the** shared step counter,
+    /// the only state the shards coordinate through.
+    steps: usize,
+}
+
+impl<'a> ShardedMonitor<'a> {
+    /// A sharded monitor over the empty database. `shards` is the
+    /// requested partition count: schemas with several weakly-connected
+    /// components are routed by component (capped at the component
+    /// count); single-component schemas fall back to oid striping with
+    /// exactly `shards` stripes.
+    #[must_use]
+    pub fn new(
+        schema: &'a Schema,
+        alphabet: &'a RoleAlphabet,
+        inventory: &'a Inventory,
+        kind: PatternKind,
+        shards: usize,
+    ) -> ShardedMonitor<'a> {
+        let requested = shards.max(1);
+        let components = schema.num_components();
+        let (router, n) = if components > 1 {
+            let n = requested.min(components);
+            (Router::Component { shard_of: (0..components).map(|c| c % n).collect() }, n)
+        } else {
+            (Router::OidStripe { n: requested as u64 }, requested)
+        };
+        ShardedMonitor {
+            schema,
+            alphabet,
+            inventory,
+            kind,
+            policy: StepPolicy::default(),
+            db: Instance::empty(),
+            shards: (0..n).map(|_| DeltaState::new()).collect(),
+            router,
+            parallel: n > 1
+                && std::thread::available_parallelism().map_or(1, std::num::NonZero::get) > 1,
+            pre_state: inventory.dfa().start(),
+            // ∅ⁿ never starts with a non-∅ letter.
+            pre_exempt: kind == PatternKind::ImmediateStart,
+            steps: 0,
+        }
+    }
+
+    /// Choose when applications contribute letters (default:
+    /// [`StepPolicy::EveryApplication`]).
+    #[must_use]
+    pub fn with_policy(mut self, policy: StepPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Force staging on scoped threads on or off (defaults to on exactly
+    /// when the host has more than one processor and there is more than
+    /// one shard).
+    #[must_use]
+    pub fn with_parallel_staging(mut self, parallel: bool) -> Self {
+        self.parallel = parallel && self.shards.len() > 1;
+        self
+    }
+
+    /// The current database.
+    #[must_use]
+    pub fn db(&self) -> &Instance {
+        &self.db
+    }
+
+    /// Number of pattern letters emitted so far.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard tracking statistics.
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardStats {
+                shard,
+                tracked_objects: s.records.len(),
+                live_cohorts: s.by_key.len(),
+                exempt_objects: s.cohorts[EXEMPT as usize].size,
+                last_touched: s.last_touched,
+            })
+            .collect()
+    }
+
+    /// The recorded pattern of an object (present once it has occurred
+    /// in the database), reconstructed from its shard's run-length
+    /// encoding.
+    #[must_use]
+    pub fn pattern_of(&self, o: Oid) -> Option<MigrationPattern> {
+        self.shards
+            .iter()
+            .find_map(|s| s.records.get(&o))
+            .map(|r| r.pattern_through(self.alphabet.empty_symbol(), self.steps))
+    }
+
+    /// The shard an object is routed to. Stable across the object's
+    /// lifetime: components never change (Definition 2.2) and oids are
+    /// never reused.
+    fn route(&self, od: &ObjectDelta) -> usize {
+        match &self.router {
+            Router::Component { shard_of } => {
+                let cs = match &od.before {
+                    Some((cs, _)) => *cs,
+                    None => od.after_classes.expect("routed objects occur before or after"),
+                };
+                let c = cs.first().expect("memberships are non-empty");
+                shard_of[self.schema.component_of(c) as usize]
+            }
+            Router::OidStripe { n } => (od.oid.0 % n) as usize,
+        }
+    }
+
+    /// Apply `t[args]`, committing only if no enforced pattern leaves
+    /// the inventory. On violation the database is unchanged and the
+    /// first offending object (in the reference engine's ascending-oid
+    /// order) is reported.
+    pub fn try_apply(&mut self, t: &Transaction, args: &Assignment) -> Result<(), EnforceError> {
+        let delta = apply_transaction_delta(self.schema, &mut self.db, t, args)?;
+        if self.policy == StepPolicy::OnlyChanging && delta.is_identity() {
+            // Null application (Definition 4.6): no letter, nothing to
+            // undo.
+            return Ok(());
+        }
+        if self.admit_effective(&[&delta]).is_ok() {
+            return Ok(());
+        }
+        let v = self.diagnose_violation(&delta);
+        delta.undo(&mut self.db);
+        Err(EnforceError::Violation(v))
+    }
+
+    /// Apply a whole sequence one by one, stopping at the first
+    /// rejection; returns how many applications committed.
+    pub fn try_apply_all<'t>(
+        &mut self,
+        steps: impl IntoIterator<Item = (&'t Transaction, &'t Assignment)>,
+    ) -> (usize, Option<EnforceError>) {
+        let mut done = 0;
+        for (t, args) in steps {
+            match self.try_apply(t, args) {
+                Ok(()) => done += 1,
+                Err(e) => return (done, Some(e)),
+            }
+        }
+        (done, None)
+    }
+
+    /// Admit a block of transactions against **one cohort sweep per
+    /// shard**. Semantics are identical to [`Self::try_apply_all`] — the
+    /// longest conforming prefix commits, and the return value is the
+    /// committed count plus the error that stopped the batch (if any) —
+    /// but the conforming fast path validates all `k` letters in a
+    /// single staged pass. On a violation the whole block rolls back and
+    /// is replayed sequentially for exact prefix semantics and
+    /// byte-identical diagnostics; rejecting batches therefore cost one
+    /// extra staged pass over the conforming prefix.
+    pub fn try_apply_batch<'t>(
+        &mut self,
+        batch: impl IntoIterator<Item = (&'t Transaction, &'t Assignment)>,
+    ) -> (usize, Option<EnforceError>) {
+        let items: Vec<(&Transaction, &Assignment)> = batch.into_iter().collect();
+        // Optimistic in-place application; a failing transaction leaves
+        // the database untouched, so the applied prefix stays validatable.
+        let mut deltas: Vec<Delta> = Vec::with_capacity(items.len());
+        let mut lang_err: Option<EnforceError> = None;
+        for (t, args) in &items {
+            match apply_transaction_delta(self.schema, &mut self.db, t, args) {
+                Ok(d) => deltas.push(d),
+                Err(e) => {
+                    lang_err = Some(e.into());
+                    break;
+                }
+            }
+        }
+        let applied = deltas.len();
+        let effective: Vec<&Delta> = deltas
+            .iter()
+            .filter(|d| !(self.policy == StepPolicy::OnlyChanging && d.is_identity()))
+            .collect();
+        if effective.is_empty() || self.admit_effective(&effective).is_ok() {
+            return (applied, lang_err);
+        }
+        // Some letter in the block violates: roll the whole block back
+        // and fall back to sequential admission of the applied prefix.
+        for d in deltas.iter().rev() {
+            d.undo(&mut self.db);
+        }
+        let (done, err) = self.try_apply_all(items[..applied].iter().copied());
+        (done, err.or(lang_err))
+    }
+
+    /// Validate `k` effective letters across all shards and commit them
+    /// if every enforced pattern stays inside the inventory. `Err(())`
+    /// leaves monitor state (but not the database) untouched.
+    fn admit_effective(&mut self, effective: &[&Delta]) -> Result<(), ()> {
+        let k = effective.len();
+        let dfa = self.inventory.dfa();
+        let empty = self.alphabet.empty_symbol();
+
+        // The never-created objects read one more ∅ per letter (O(k)),
+        // exactly as the per-step engines do.
+        let mut pre_trace: Vec<(u32, bool)> = Vec::with_capacity(k);
+        let (mut ps, mut pe) = (self.pre_state, self.pre_exempt);
+        for j in 1..=k {
+            let idx = self.steps + j;
+            pre_trace.push((ps, pe));
+            if !pe && idx >= 2 && matches!(self.kind, PatternKind::Proper | PatternKind::Lazy) {
+                // A second ∅ neither changes the object nor its role set.
+                pe = true;
+            }
+            ps = dfa.step(ps, empty);
+            if !pe && !dfa.is_accepting(ps) {
+                return Err(());
+            }
+        }
+
+        // Partition touched objects by shard, keeping each object's
+        // touches in effective-step order.
+        let mut touched: Vec<BTreeMap<Oid, Vec<(usize, &ObjectDelta)>>> =
+            (0..self.shards.len()).map(|_| BTreeMap::new()).collect();
+        for (j, d) in effective.iter().enumerate() {
+            for od in d.objects() {
+                if od.before.is_none() && od.after_classes.is_none() {
+                    // Minted and deleted inside one application: never
+                    // observable, covered by the never-created class.
+                    continue;
+                }
+                let s = self.route(od);
+                touched[s].entry(od.oid).or_default().push((j + 1, od));
+            }
+        }
+
+        let ctx = BatchCtx {
+            schema: self.schema,
+            alphabet: self.alphabet,
+            dfa,
+            kind: self.kind,
+            steps0: self.steps,
+            k,
+            pre_trace: &pre_trace,
+        };
+        // Stage every shard read-only; concurrently when it pays. The
+        // slots are pre-filled and every task writes its own slot, so
+        // the placeholder never survives the scope.
+        let mut staged: Vec<Result<BatchStage, ()>> = self.shards.iter().map(|_| Err(())).collect();
+        if self.parallel {
+            std::thread::scope(|scope| {
+                for ((state, touched), slot) in
+                    self.shards.iter().zip(&touched).zip(staged.iter_mut())
+                {
+                    scope.spawn(|| *slot = state.stage_batch(&ctx, touched));
+                }
+            });
+        } else {
+            for ((state, touched), slot) in self.shards.iter().zip(&touched).zip(staged.iter_mut())
+            {
+                *slot = state.stage_batch(&ctx, touched);
+            }
+        }
+        let stages: Vec<BatchStage> = staged.into_iter().collect::<Result<_, _>>()?;
+
+        // Commit: every shard accepted, write the staged moves.
+        for (state, stage) in self.shards.iter_mut().zip(stages) {
+            state.commit_batch(stage);
+        }
+        self.steps += k;
+        self.pre_state = ps;
+        self.pre_exempt = pe;
+        Ok(())
+    }
+
+    /// Rejection diagnostics for a single application: check the
+    /// never-created class first, then replay the step over all shards'
+    /// records merged in ascending oid order — exactly the reference
+    /// engine's scan, so the reported [`Violation`] is byte-identical.
+    fn diagnose_violation(&self, delta: &Delta) -> Violation {
+        let dfa = self.inventory.dfa();
+        let empty = self.alphabet.empty_symbol();
+        let step_idx = self.steps + 1;
+        let mut pre_exempt_new = self.pre_exempt;
+        if !pre_exempt_new
+            && step_idx >= 2
+            && matches!(self.kind, PatternKind::Proper | PatternKind::Lazy)
+        {
+            pre_exempt_new = true;
+        }
+        if !pre_exempt_new && !dfa.is_accepting(dfa.step(self.pre_state, empty)) {
+            return Violation { oid: None, pattern: vec![empty; step_idx], letter: empty };
+        }
+        let mut merged: BTreeMap<Oid, (usize, &super::delta::ObjRecord)> = BTreeMap::new();
+        for (i, state) in self.shards.iter().enumerate() {
+            for (&o, rec) in &state.records {
+                merged.insert(o, (i, rec));
+            }
+        }
+        let params = DiagParams {
+            schema: self.schema,
+            alphabet: self.alphabet,
+            dfa,
+            kind: self.kind,
+            step_idx,
+            pre_state_old: self.pre_state,
+            pre_exempt: self.pre_exempt,
+        };
+        diagnose_step(
+            &params,
+            merged.iter().map(|(&o, &(i, rec))| {
+                let state = &self.shards[i];
+                let root = state.find_ro(rec.cohort);
+                (o, rec, root == EXEMPT, state.cohorts[root as usize].state)
+            }),
+            delta,
+        )
+    }
+
+    /// Whether this monitor routes objects by weakly-connected role
+    /// component (as opposed to the oid-stripe fallback).
+    #[must_use]
+    pub fn routes_by_component(&self) -> bool {
+        matches!(self.router, Router::Component { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::Monitor;
+    use super::*;
+    use migratory_lang::{parse_transactions, TransactionSchema};
+    use migratory_model::schema::university_schema;
+    use migratory_model::{SchemaBuilder, Value};
+
+    fn setup() -> (Schema, RoleAlphabet) {
+        let s = university_schema();
+        let a = RoleAlphabet::new(&s, 0).unwrap();
+        (s, a)
+    }
+
+    fn uni_transactions(s: &Schema) -> TransactionSchema {
+        parse_transactions(
+            s,
+            r#"
+            transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+            transaction St(x) {
+              specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS", FirstEnroll = 1 });
+            }
+            transaction UnSt(x) { generalize(STUDENT, { SSN = x }); }
+            transaction Rm(x) { delete(PERSON, { SSN = x }); }
+        "#,
+        )
+        .unwrap()
+    }
+
+    fn arg(v: &str) -> Assignment {
+        Assignment::new(vec![Value::str(v)])
+    }
+
+    #[test]
+    fn sharded_matches_single_engine_on_scripted_run() {
+        let (s, a) = setup();
+        let ts = uni_transactions(&s);
+        let inv =
+            crate::Inventory::parse_init(&s, &a, "∅* [PERSON]* [STUDENT]* [PERSON]* ∅*").unwrap();
+        let script: Vec<(&str, &str)> = vec![
+            ("Mk", "1"),
+            ("Mk", "2"),
+            ("St", "1"),
+            ("St", "2"),
+            ("UnSt", "1"),
+            ("St", "1"), // violates: [P][S][P][S]
+            ("Rm", "2"),
+        ];
+        for shards in [1usize, 2, 3, 5] {
+            for parallel in [false, true] {
+                let mut sharded = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, shards)
+                    .with_parallel_staging(parallel);
+                let mut single = Monitor::new(&s, &a, &inv, PatternKind::All);
+                for (name, key) in &script {
+                    let t = ts.get(name).unwrap();
+                    let args = arg(key);
+                    assert_eq!(
+                        sharded.try_apply(t, &args),
+                        single.try_apply(t, &args),
+                        "decision diverged at {name}({key}), {shards} shards"
+                    );
+                    assert_eq!(sharded.db(), single.db());
+                    assert_eq!(sharded.steps(), single.steps());
+                }
+                for o in 1..=3u64 {
+                    assert_eq!(sharded.pattern_of(Oid(o)), single.pattern_of(Oid(o)));
+                }
+                assert_eq!(sharded.num_shards(), shards);
+                assert!(!sharded.routes_by_component(), "university is one component");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_commits_longest_prefix_with_reference_violation() {
+        let (s, a) = setup();
+        let ts = uni_transactions(&s);
+        let inv =
+            crate::Inventory::parse_init(&s, &a, "∅* [PERSON]* [STUDENT]* [PERSON]* ∅*").unwrap();
+        let script = [("Mk", "1"), ("St", "1"), ("UnSt", "1"), ("St", "1"), ("Mk", "2")];
+        let assigns: Vec<Assignment> = script.iter().map(|(_, k)| arg(k)).collect();
+        let batch: Vec<(&Transaction, &Assignment)> = script
+            .iter()
+            .zip(&assigns)
+            .map(|((name, _), args)| (ts.get(name).unwrap(), args))
+            .collect();
+
+        let mut sharded = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 2);
+        let (done, err) = sharded.try_apply_batch(batch.clone());
+        let mut oracle = Monitor::new_reference(&s, &a, &inv, PatternKind::All);
+        let (odone, oerr) = oracle.try_apply_all(batch);
+        assert_eq!(done, odone);
+        assert_eq!(done, 3, "the re-specialize violates; Mk(2) is never attempted");
+        assert_eq!(err, oerr, "byte-identical violation");
+        assert_eq!(sharded.db(), oracle.db());
+        assert_eq!(sharded.steps(), 3);
+        assert!(!sharded.db().occurs(Oid(2)), "Mk(2) was not attempted after the rejection");
+
+        // The conforming remainder still admits as a batch afterwards.
+        let more = [("Rm", "1"), ("Mk", "9")];
+        let massigns: Vec<Assignment> = more.iter().map(|(_, k)| arg(k)).collect();
+        let mbatch: Vec<(&Transaction, &Assignment)> = more
+            .iter()
+            .zip(&massigns)
+            .map(|((name, _), args)| (ts.get(name).unwrap(), args))
+            .collect();
+        let (done2, err2) = sharded.try_apply_batch(mbatch);
+        assert_eq!((done2, err2), (2, None));
+        assert_eq!(sharded.steps(), 5);
+    }
+
+    #[test]
+    fn batch_of_noops_under_only_changing_emits_no_letter() {
+        let (s, a) = setup();
+        let ts = uni_transactions(&s);
+        let inv = crate::Inventory::parse_init(&s, &a, "∅* [PERSON]* ∅*").unwrap();
+        let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 2)
+            .with_policy(StepPolicy::OnlyChanging);
+        let mk = ts.get("Mk").unwrap();
+        let rm = ts.get("Rm").unwrap();
+        let a1 = arg("1");
+        let miss = arg("zzz");
+        let batch: Vec<(&Transaction, &Assignment)> =
+            vec![(rm, &miss), (mk, &a1), (rm, &miss), (rm, &miss)];
+        let (done, err) = m.try_apply_batch(batch);
+        assert_eq!((done, err), (4, None));
+        assert_eq!(m.steps(), 1, "three null applications contributed no letter");
+    }
+
+    #[test]
+    fn multi_component_schema_routes_by_component() {
+        // Four independent hierarchies → four shards, one per component.
+        let mut b = SchemaBuilder::new();
+        for r in 0..4 {
+            let root = b.class(&format!("R{r}"), &[&format!("K{r}")]).unwrap();
+            b.subclass(&format!("S{r}"), &[root], &[]).unwrap();
+        }
+        let s = b.build().unwrap();
+        assert_eq!(s.num_components(), 4);
+        let a = RoleAlphabet::new(&s, 0).unwrap();
+        let inv = crate::Inventory::parse_init(&s, &a, "∅* ([R0] ∪ [S0])* ∅*").unwrap();
+        let ts = parse_transactions(
+            &s,
+            r"
+            transaction Mk0(x) { create(R0, { K0 = x }); }
+            transaction Mk1(x) { create(R1, { K1 = x }); }
+            transaction Mk2(x) { create(R2, { K2 = x }); }
+            transaction Mk3(x) { create(R3, { K3 = x }); }
+        ",
+        )
+        .unwrap();
+        let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 8);
+        assert!(m.routes_by_component());
+        assert_eq!(m.num_shards(), 4, "capped at the component count");
+        let mut oracle = Monitor::new_reference(&s, &a, &inv, PatternKind::All);
+        for i in 0..12 {
+            let t = ts.get(&format!("Mk{}", i % 4)).unwrap();
+            let args = arg(&format!("k{i}"));
+            assert_eq!(m.try_apply(t, &args), oracle.try_apply(t, &args));
+            assert_eq!(m.db(), oracle.db());
+        }
+        let stats = m.shard_stats();
+        assert_eq!(stats.len(), 4);
+        for st in &stats {
+            assert_eq!(
+                st.tracked_objects, 3,
+                "objects spread evenly across component shards: {stats:?}"
+            );
+        }
+        for o in 1..=12u64 {
+            assert_eq!(m.pattern_of(Oid(o)), oracle.pattern_of(Oid(o)));
+        }
+    }
+}

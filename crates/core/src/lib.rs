@@ -7,14 +7,14 @@
 //!   patterns as words over the role-set alphabet Ω ([`alphabet`]), the
 //!   four families (all / immediate-start / proper / lazy), and regular
 //!   inventories as dynamic integrity constraints;
-//! * **Analysis** ([`separator`], [`graph`], [`analyze`]): Theorem 3.2(1)
+//! * **Analysis** ([`separator`], [`graph`], [`mod@analyze`]): Theorem 3.2(1)
 //!   — the hyperplane/separator construction turning any SL transaction
 //!   schema into a migration graph whose walks spell its pattern
 //!   families, each a regular language with an effectively constructed
 //!   regular expression;
-//! * **Synthesis** ([`synthesize`]): Lemma 3.4 / Theorem 3.2(2) — SL
+//! * **Synthesis** ([`mod@synthesize`]): Lemma 3.4 / Theorem 3.2(2) — SL
 //!   transactions characterizing any regular inventory;
-//! * **Decision procedures** ([`decide`]): Corollary 3.3 —
+//! * **Decision procedures** ([`mod@decide`]): Corollary 3.3 —
 //!   satisfies/generates/characterizes with counterexamples;
 //! * **Runtime enforcement** ([`enforce`]): the paper's motivating
 //!   application — a monitor admitting only updates whose object
@@ -28,12 +28,19 @@
 //!   |cohorts|) instead of O(|db| × run-length). The pre-optimization
 //!   rescan algorithm survives as `Monitor::new_reference`, the testing
 //!   oracle and benchmark baseline, and Corollary 3.3 still provides the
-//!   static certification fast path for provably conforming SL schemas;
+//!   static certification fast path for provably conforming SL schemas.
+//!   Because objects evolve independently (Lemma 3.5), tracking also
+//!   *shards*: `enforce::ShardedMonitor` partitions the population by
+//!   weakly-connected role component (oid stripes as fallback), stages
+//!   every shard's checks concurrently, and batch-admits whole blocks of
+//!   transactions against one cohort sweep per shard
+//!   (`try_apply_batch`), coordinating only through the shared step
+//!   counter;
 //! * **CSL expressiveness** ([`tm_compile`], [`cfg_compile`]): Theorem
 //!   4.3's Turing-machine simulation and Theorem 4.8's Greibach-normal-
 //!   form compiler, with scripted completeness drivers and fuzzable
 //!   soundness;
-//! * **Ground truth** ([`explore`]): Theorem 4.2's bounded r.e.
+//! * **Ground truth** ([`mod@explore`]): Theorem 4.2's bounded r.e.
 //!   enumeration of pattern families, the oracle everything else is
 //!   tested against.
 
@@ -60,7 +67,7 @@ pub use analyze::{
 };
 pub use cfg_compile::{compile_cfg, standard_cfg_schema, CfgCompiled};
 pub use decide::{decide, decide_with_families, Decision, Verdict};
-pub use enforce::{EnforceError, Monitor, StepPolicy, Violation};
+pub use enforce::{EnforceError, Monitor, ShardStats, ShardedMonitor, StepPolicy, Violation};
 pub use error::CoreError;
 pub use explore::{explore, ExploreConfig, PatternSets};
 pub use graph::MigrationGraph;

@@ -229,11 +229,12 @@ fn apply_atomic_rec<R: Recorder>(
 
 /// Whether the database satisfies a **ground** literal (Section 4):
 /// `d ⊨ P(Γ)` iff some object of `o(P)` satisfies Γ; `d ⊨ ¬P(Γ)` iff none
-/// does.
+/// does. Witness search is planned from Γ by [`Instance::sat_exists`] —
+/// an indexed point lookup when Γ has an equality atom, the class index
+/// otherwise — never a heap scan.
 #[must_use]
 pub fn satisfies_literal(db: &Instance, l: &Literal) -> bool {
-    let witness = db.objects_in(l.class).any(|o| l.gamma.satisfied_by(&db.tuple_of(o)));
-    witness == l.positive
+    db.sat_exists(l.class, &l.gamma) == l.positive
 }
 
 /// Apply a **ground** guarded update (Definition 4.3): the update fires

@@ -1,4 +1,5 @@
-//! Database instances (Definition 2.2 of the paper).
+//! Database instances (Definition 2.2 of the paper), stored behind an
+//! **indexed heap**.
 //!
 //! An instance of a schema `D` is a triple `d = (o, a, oᵢ)`:
 //!
@@ -13,22 +14,47 @@
 //!   objects are only ever minted from this counter, each abstract object
 //!   is created into the database **at most once**, as the model requires.
 //!
-//! The representation stores, per object, its class set (which is its role
-//! set `Rs(o, d)`) and its attribute tuple; `o(P)` is derived. `BTreeMap`s
-//! give deterministic iteration, which the canonical-database machinery of
-//! Theorem 3.2 relies on.
+//! # Storage layout
+//!
+//! The *heap* stores, per object, its class set (which is its role set
+//! `Rs(o, d)`) and its attribute tuple; `BTreeMap`s give deterministic
+//! `<ₒ`-ordered iteration, which the canonical-database machinery of
+//! Theorem 3.2 relies on. Two secondary indexes are derived from the heap
+//! and maintained **incrementally by every mutation path**
+//! ([`Instance::create`], [`Instance::delete_object`],
+//! [`Instance::add_classes`], [`Instance::remove_classes`],
+//! [`Instance::set_values`], [`Instance::put_object`]; the bulk
+//! constructors [`Instance::restrict`] and [`Instance::from_objects`]
+//! rebuild them wholesale):
+//!
+//! * the **class index** — `o(P)` materialized per class, behind
+//!   [`Instance::objects_in`];
+//! * the **value index** — the objects holding each `(attribute, value)`
+//!   pair, which turns the equality atoms of a selection condition into
+//!   point lookups.
+//!
+//! [`Instance::sat`] plans from the condition: it drives from the most
+//! selective indexed equality atom (falling back to the class index) and
+//! verifies the remaining atoms per candidate, so `Sat(Γ, d, P)` costs
+//! O(candidates · log |d|) instead of a full heap scan. The pre-index
+//! full scan survives as [`Instance::sat_scan`] — the semantic oracle for
+//! property tests and the benchmark baseline. Index/heap consistency is
+//! part of [`Instance::check_invariants`].
 
 use crate::bitset::ClassSet;
-use crate::condition::Condition;
+use crate::condition::{CmpOp, Condition, Term};
 use crate::error::ModelError;
-use crate::ids::{AttrId, ClassId, Oid};
+use crate::ids::{AttrId, ClassId, DenseId, Oid};
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A database instance `d = (o, a, oᵢ)`.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+///
+/// Equality, ordering and hashing are defined on the heap triple alone;
+/// the indexes are derived data and never observable through comparisons.
+#[derive(Clone)]
 pub struct Instance {
     /// Class membership per occurring object — always a non-empty set.
     membership: BTreeMap<Oid, ClassSet>,
@@ -36,6 +62,54 @@ pub struct Instance {
     attrs: BTreeMap<Oid, Tuple>,
     /// Numeric part of the next abstract object `oᵢ`.
     next: u64,
+    /// Class index: `o(P)` per dense class index (slots grow on demand).
+    class_index: Vec<BTreeSet<Oid>>,
+    /// Value index: objects holding each `(attribute, value)` pair.
+    /// Entries are removed when their set drains, so `len` of an entry is
+    /// an exact selectivity count.
+    value_index: BTreeMap<(AttrId, Value), BTreeSet<Oid>>,
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.membership == other.membership && self.attrs == other.attrs && self.next == other.next
+    }
+}
+
+impl Eq for Instance {}
+
+impl PartialOrd for Instance {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Instance {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (&self.membership, &self.attrs, self.next).cmp(&(
+            &other.membership,
+            &other.attrs,
+            other.next,
+        ))
+    }
+}
+
+impl std::hash::Hash for Instance {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.membership.hash(state);
+        self.attrs.hash(state);
+        self.next.hash(state);
+    }
+}
+
+impl std::fmt::Debug for Instance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Instance")
+            .field("membership", &self.membership)
+            .field("attrs", &self.attrs)
+            .field("next", &self.next)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for Instance {
@@ -49,7 +123,13 @@ impl Instance {
     /// migration pattern (Section 3).
     #[must_use]
     pub fn empty() -> Self {
-        Instance { membership: BTreeMap::new(), attrs: BTreeMap::new(), next: 1 }
+        Instance {
+            membership: BTreeMap::new(),
+            attrs: BTreeMap::new(),
+            next: 1,
+            class_index: Vec::new(),
+            value_index: BTreeMap::new(),
+        }
     }
 
     /// The next abstract object `oᵢ`.
@@ -106,15 +186,67 @@ impl Instance {
         self.membership.keys().copied()
     }
 
-    /// Iterate objects of class `P` (the set `o(P)`) in `<ₒ` order.
+    /// Iterate objects of class `P` (the set `o(P)`) in `<ₒ` order —
+    /// served from the class index, O(|o(P)|) instead of O(|d|).
     pub fn objects_in(&self, p: ClassId) -> impl Iterator<Item = Oid> + '_ {
-        self.membership.iter().filter(move |(_, cs)| cs.contains(p)).map(|(o, _)| *o)
+        self.class_index.get(p.index()).into_iter().flatten().copied()
+    }
+
+    /// Number of objects of class `P` (index lookup, O(1)).
+    #[must_use]
+    pub fn num_objects_in(&self, p: ClassId) -> usize {
+        self.class_index.get(p.index()).map_or(0, BTreeSet::len)
+    }
+
+    /// Number of objects holding the value `v` for attribute `a` (index
+    /// lookup — the planner's selectivity estimate, which is exact).
+    #[must_use]
+    pub fn num_objects_with(&self, a: AttrId, v: &Value) -> usize {
+        // Cheap key clone: `Value` is an integer, an `Arc<str>` or a tag.
+        self.value_index.get(&(a, v.clone())).map_or(0, BTreeSet::len)
     }
 
     /// `Sat(Γ, d, P)` — the objects of `o(P)` whose tuples satisfy the
-    /// **ground** condition `Γ` (Section 2).
+    /// **ground** condition `Γ` (Section 2), in `<ₒ` order.
+    ///
+    /// Planned from the condition: the driver is the most selective of
+    /// the indexed equality atoms and the class index; the remaining
+    /// atoms (and class membership, when driving from a value entry) are
+    /// verified per candidate. The heap is never scanned. Semantically
+    /// identical to [`Instance::sat_scan`].
     #[must_use]
     pub fn sat(&self, p: ClassId, gamma: &Condition) -> Vec<Oid> {
+        match self.plan(p, gamma) {
+            SatPlan::Empty => Vec::new(),
+            SatPlan::ValueEntry(set) => set
+                .iter()
+                .copied()
+                .filter(|&o| self.role_set(o).contains(p) && self.member_satisfies(o, gamma))
+                .collect(),
+            SatPlan::ClassEntry(set) => {
+                set.iter().copied().filter(|&o| self.member_satisfies(o, gamma)).collect()
+            }
+        }
+    }
+
+    /// Whether `Sat(Γ, d, P)` is non-empty — same planner as
+    /// [`Instance::sat`] with early exit, for guard-literal evaluation.
+    #[must_use]
+    pub fn sat_exists(&self, p: ClassId, gamma: &Condition) -> bool {
+        match self.plan(p, gamma) {
+            SatPlan::Empty => false,
+            SatPlan::ValueEntry(set) => {
+                set.iter().any(|&o| self.role_set(o).contains(p) && self.member_satisfies(o, gamma))
+            }
+            SatPlan::ClassEntry(set) => set.iter().any(|&o| self.member_satisfies(o, gamma)),
+        }
+    }
+
+    /// `Sat(Γ, d, P)` by full heap scan — the pre-index implementation,
+    /// kept verbatim as the semantic oracle for the index-backed
+    /// [`Instance::sat`] (property tests) and as the benchmark baseline.
+    #[must_use]
+    pub fn sat_scan(&self, p: ClassId, gamma: &Condition) -> Vec<Oid> {
         self.membership
             .iter()
             .filter(|(o, cs)| {
@@ -124,6 +256,48 @@ impl Instance {
             .collect()
     }
 
+    /// Choose the cheapest driver for `Sat(Γ, d, P)`.
+    fn plan<'s>(&'s self, p: ClassId, gamma: &Condition) -> SatPlan<'s> {
+        let class_entry = self.class_index.get(p.index());
+        let mut best: Option<&'s BTreeSet<Oid>> = None;
+        for atom in gamma.atoms() {
+            if atom.op != CmpOp::Eq {
+                continue;
+            }
+            let Term::Const(v) = &atom.term else { continue };
+            match self.value_index.get(&(atom.attr, v.clone())) {
+                // An equality atom nobody satisfies: Sat is empty, full stop.
+                None => return SatPlan::Empty,
+                Some(set) => {
+                    if best.is_none_or(|b| set.len() < b.len()) {
+                        best = Some(set);
+                    }
+                }
+            }
+        }
+        match (best, class_entry) {
+            (None, None) => SatPlan::Empty,
+            (None, Some(c)) => SatPlan::ClassEntry(c),
+            (Some(v), None) => {
+                // Value hits exist but the class has no members: empty —
+                // but the per-candidate class check handles it uniformly.
+                SatPlan::ValueEntry(v)
+            }
+            (Some(v), Some(c)) => {
+                if c.len() <= v.len() {
+                    SatPlan::ClassEntry(c)
+                } else {
+                    SatPlan::ValueEntry(v)
+                }
+            }
+        }
+    }
+
+    /// Whether occurring object `o`'s tuple satisfies ground `gamma`.
+    fn member_satisfies(&self, o: Oid, gamma: &Condition) -> bool {
+        gamma.satisfied_by(self.attrs.get(&o).unwrap_or(&Tuple::default()))
+    }
+
     /// All constants currently stored in the database.
     #[must_use]
     pub fn active_domain(&self) -> std::collections::BTreeSet<Value> {
@@ -131,9 +305,59 @@ impl Instance {
     }
 
     // ------------------------------------------------------------------
+    // Index maintenance primitives.
+    // ------------------------------------------------------------------
+
+    fn index_classes_add(&mut self, o: Oid, cs: ClassSet) {
+        for c in cs.iter() {
+            if self.class_index.len() <= c.index() {
+                self.class_index.resize_with(c.index() + 1, BTreeSet::new);
+            }
+            self.class_index[c.index()].insert(o);
+        }
+    }
+
+    fn index_classes_remove(&mut self, o: Oid, cs: ClassSet) {
+        for c in cs.iter() {
+            if let Some(set) = self.class_index.get_mut(c.index()) {
+                set.remove(&o);
+            }
+        }
+    }
+
+    fn index_value_add(&mut self, o: Oid, a: AttrId, v: &Value) {
+        self.value_index.entry((a, v.clone())).or_default().insert(o);
+    }
+
+    fn index_value_remove(&mut self, o: Oid, a: AttrId, v: &Value) {
+        if let std::collections::btree_map::Entry::Occupied(mut e) =
+            self.value_index.entry((a, v.clone()))
+        {
+            e.get_mut().remove(&o);
+            if e.get().is_empty() {
+                e.remove();
+            }
+        }
+    }
+
+    /// Drop every index entry of `o`'s current heap state.
+    fn deindex_object(&mut self, o: Oid) {
+        if let Some(&cs) = self.membership.get(&o) {
+            self.index_classes_remove(o, cs);
+        }
+        if let Some(t) = self.attrs.get(&o) {
+            let pairs: Vec<(AttrId, Value)> = t.iter().map(|(a, v)| (a, v.clone())).collect();
+            for (a, v) in pairs {
+                self.index_value_remove(o, a, &v);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Mutation primitives. These are the *mechanical* operations the
     // language layer's operational semantics (Definition 2.5) is built
-    // from; they do not themselves validate conditions.
+    // from; they do not themselves validate conditions. Every one keeps
+    // the class and value indexes exactly synchronized with the heap.
     // ------------------------------------------------------------------
 
     /// Create a new object with the given class memberships and attribute
@@ -142,6 +366,10 @@ impl Instance {
         debug_assert!(!classes.is_empty(), "created objects must belong to a class");
         let oid = Oid(self.next);
         self.next += 1;
+        self.index_classes_add(oid, classes);
+        for (&a, v) in &values {
+            self.index_value_add(oid, a, v);
+        }
         self.membership.insert(oid, classes);
         self.attrs.insert(oid, Tuple::from_pairs(values));
         oid
@@ -149,6 +377,7 @@ impl Instance {
 
     /// Remove an object entirely (class memberships and attribute values).
     pub fn delete_object(&mut self, o: Oid) {
+        self.deindex_object(o);
         self.membership.remove(&o);
         self.attrs.remove(&o);
     }
@@ -163,17 +392,21 @@ impl Instance {
         remove: ClassSet,
         clear_attrs: impl IntoIterator<Item = AttrId>,
     ) {
-        if let Some(cs) = self.membership.get_mut(&o) {
-            *cs = cs.difference(remove);
-            let emptied = cs.is_empty();
-            if let Some(t) = self.attrs.get_mut(&o) {
-                for a in clear_attrs {
-                    t.unset(a);
+        let Some(&cur) = self.membership.get(&o) else { return };
+        let dropped = cur.intersection(remove);
+        let rest = cur.difference(remove);
+        self.index_classes_remove(o, dropped);
+        self.membership.insert(o, rest);
+        if self.attrs.contains_key(&o) {
+            for a in clear_attrs {
+                let old = self.attrs.get_mut(&o).and_then(|t| t.unset(a));
+                if let Some(v) = old {
+                    self.index_value_remove(o, a, &v);
                 }
             }
-            if emptied {
-                self.delete_object(o);
-            }
+        }
+        if rest.is_empty() {
+            self.delete_object(o);
         }
     }
 
@@ -185,59 +418,106 @@ impl Instance {
         add: ClassSet,
         values: impl IntoIterator<Item = (AttrId, Value)>,
     ) {
-        if let Some(cs) = self.membership.get_mut(&o) {
-            *cs = cs.union(add);
-            let t = self.attrs.entry(o).or_default();
-            for (a, v) in values {
-                t.set(a, v);
-            }
+        let Some(&cur) = self.membership.get(&o) else { return };
+        self.index_classes_add(o, add.difference(cur));
+        self.membership.insert(o, cur.union(add));
+        for (a, v) in values {
+            self.set_value_indexed(o, a, v);
         }
     }
 
     /// Overwrite attribute values of `o`.
     pub fn set_values(&mut self, o: Oid, values: impl IntoIterator<Item = (AttrId, Value)>) {
         if self.membership.contains_key(&o) {
-            let t = self.attrs.entry(o).or_default();
             for (a, v) in values {
-                t.set(a, v);
+                self.set_value_indexed(o, a, v);
             }
         }
     }
 
+    /// Set one attribute value on the heap and both sides of the value
+    /// index. Writing back the stored value is a no-op.
+    fn set_value_indexed(&mut self, o: Oid, a: AttrId, v: Value) {
+        let t = self.attrs.entry(o).or_default();
+        match t.get(a) {
+            Some(old) if *old == v => return,
+            Some(old) => {
+                let old = old.clone();
+                t.set(a, v.clone());
+                self.index_value_remove(o, a, &old);
+            }
+            None => t.set(a, v.clone()),
+        }
+        self.index_value_add(o, a, &v);
+    }
+
     /// Restore an object's raw state — membership and attribute tuple —
     /// exactly as previously captured (the rollback primitive behind
-    /// `migratory_lang`'s transaction deltas). Does not validate against a
-    /// schema; callers restore states that were valid when captured.
+    /// `migratory_lang`'s transaction deltas). Any current state of `o`
+    /// is de-indexed first, so restoring over a live object keeps the
+    /// indexes exact. Does not validate against a schema; callers restore
+    /// states that were valid when captured.
     pub fn put_object(&mut self, o: Oid, classes: ClassSet, tuple: Tuple) {
         debug_assert!(!classes.is_empty(), "restored objects must belong to a class");
+        self.deindex_object(o);
+        self.index_classes_add(o, classes);
+        for (a, v) in tuple.iter() {
+            let v = v.clone();
+            self.index_value_add(o, a, &v);
+        }
         self.membership.insert(o, classes);
         self.attrs.insert(o, tuple);
     }
 
+    /// Build an instance from raw heap parts, deriving both indexes.
+    fn from_parts(
+        membership: BTreeMap<Oid, ClassSet>,
+        attrs: BTreeMap<Oid, Tuple>,
+        next: u64,
+    ) -> Instance {
+        let mut db = Instance {
+            membership,
+            attrs,
+            next,
+            class_index: Vec::new(),
+            value_index: BTreeMap::new(),
+        };
+        let members: Vec<(Oid, ClassSet)> = db.membership.iter().map(|(o, cs)| (*o, *cs)).collect();
+        for (o, cs) in members {
+            db.index_classes_add(o, cs);
+        }
+        let pairs: Vec<(Oid, AttrId, Value)> =
+            db.attrs.iter().flat_map(|(o, t)| t.iter().map(|(a, v)| (*o, a, v.clone()))).collect();
+        for (o, a, v) in pairs {
+            db.index_value_add(o, a, &v);
+        }
+        db
+    }
+
     /// The restriction `d|_I` of the database onto a set of objects
     /// (Section 3, before Lemma 3.5): keep only the membership and values
-    /// of objects in `I`; the `next` counter is preserved.
+    /// of objects in `I`; the `next` counter is preserved and the indexes
+    /// are rebuilt for the surviving objects.
     #[must_use]
     pub fn restrict(&self, objects: &[Oid]) -> Instance {
-        Instance {
-            membership: self
-                .membership
+        Instance::from_parts(
+            self.membership
                 .iter()
                 .filter(|(o, _)| objects.contains(o))
                 .map(|(o, cs)| (*o, *cs))
                 .collect(),
-            attrs: self
-                .attrs
+            self.attrs
                 .iter()
                 .filter(|(o, _)| objects.contains(o))
                 .map(|(o, t)| (*o, t.clone()))
                 .collect(),
-            next: self.next,
-        }
+            self.next,
+        )
     }
 
     /// Construct an instance directly (used by canonical-database builders
-    /// in the analyzer). `next` is set just above the largest object.
+    /// in the analyzer); the indexes are derived from the given objects.
+    /// `next` is set just above the largest object.
     #[must_use]
     pub fn from_objects(objects: impl IntoIterator<Item = (Oid, ClassSet, Tuple)>) -> Instance {
         let mut membership = BTreeMap::new();
@@ -248,12 +528,21 @@ impl Instance {
             membership.insert(o, cs);
             attrs.insert(o, t);
         }
-        Instance { membership, attrs, next: max + 1 }
+        Instance::from_parts(membership, attrs, max + 1)
     }
 
     /// Force the next-object counter (canonical databases only).
+    ///
+    /// # Panics
+    /// Panics if some occurring object is not `<ₒ`-smaller than `next`:
+    /// winding the counter back over live objects would let `create` mint
+    /// an identifier a second time, silently corrupting the heap and its
+    /// indexes (abstract objects are created **at most once**, Section 2).
     pub fn set_next(&mut self, next: u64) {
-        debug_assert!(self.membership.keys().all(|o| o.0 < next));
+        assert!(
+            self.membership.keys().all(|o| o.0 < next),
+            "set_next({next}) would recycle a live object identifier"
+        );
         self.next = next;
     }
 
@@ -264,7 +553,8 @@ impl Instance {
     /// 2. each object inside a single weakly-connected component;
     /// 3. `a` total: each object has a value for exactly the attributes of
     ///    the classes it belongs to;
-    /// 4. every occurring object `<ₒ`-smaller than `next`.
+    /// 4. every occurring object `<ₒ`-smaller than `next`;
+    /// 5. the class and value indexes agree exactly with the heap.
     pub fn check_invariants(&self, schema: &Schema) -> Result<(), ModelError> {
         for (&o, &cs) in &self.membership {
             if cs.is_empty() {
@@ -302,8 +592,65 @@ impl Instance {
                 )));
             }
         }
+        self.check_index_invariants()
+    }
+
+    /// Verify that both secondary indexes agree exactly with the heap
+    /// (every heap fact indexed, every index entry backed by the heap).
+    fn check_index_invariants(&self) -> Result<(), ModelError> {
+        let mut indexed_memberships = 0usize;
+        for (ci, set) in self.class_index.iter().enumerate() {
+            let c = ClassId::from_index(ci);
+            for &o in set {
+                if !self.role_set(o).contains(c) {
+                    return Err(ModelError::InvariantViolated(format!(
+                        "class index lists {o} under {c} but the heap disagrees"
+                    )));
+                }
+            }
+            indexed_memberships += set.len();
+        }
+        let heap_memberships: usize = self.membership.values().map(|cs| cs.len()).sum();
+        if indexed_memberships != heap_memberships {
+            return Err(ModelError::InvariantViolated(format!(
+                "class index covers {indexed_memberships} memberships, heap has {heap_memberships}"
+            )));
+        }
+        let mut indexed_values = 0usize;
+        for ((a, v), set) in &self.value_index {
+            if set.is_empty() {
+                return Err(ModelError::InvariantViolated(format!(
+                    "value index keeps a drained entry for ({a}, {v})"
+                )));
+            }
+            for o in set {
+                if self.value(*o, *a) != Some(v) {
+                    return Err(ModelError::InvariantViolated(format!(
+                        "value index lists {o} under ({a}, {v}) but the heap disagrees"
+                    )));
+                }
+            }
+            indexed_values += set.len();
+        }
+        let heap_values: usize = self.attrs.values().map(Tuple::len).sum();
+        if indexed_values != heap_values {
+            return Err(ModelError::InvariantViolated(format!(
+                "value index covers {indexed_values} values, heap has {heap_values}"
+            )));
+        }
         Ok(())
     }
+}
+
+/// The driver chosen by [`Instance::plan`] for a `Sat` evaluation.
+enum SatPlan<'s> {
+    /// Some equality atom matches no stored value: the result is empty.
+    Empty,
+    /// Drive from a value-index entry (class membership still checked per
+    /// candidate).
+    ValueEntry(&'s BTreeSet<Oid>),
+    /// Drive from the class index (condition checked per candidate).
+    ClassEntry(&'s BTreeSet<Oid>),
 }
 
 #[cfg(test)]
@@ -360,6 +707,36 @@ mod tests {
     }
 
     #[test]
+    fn sat_agrees_with_scan_oracle() {
+        let (schema, mut db) = sample();
+        let person = schema.class_id("PERSON").unwrap();
+        let student = schema.class_id("STUDENT").unwrap();
+        let ssn = schema.attr_id("SSN").unwrap();
+        let name = schema.attr_id("Name").unwrap();
+        let major = schema.attr_id("Major").unwrap();
+        let fe = schema.attr_id("FirstEnroll").unwrap();
+        db.add_classes(
+            Oid(2),
+            schema.up_closure_of(student),
+            [(major, Value::str("CS")), (fe, Value::int(1990))],
+        );
+        let conds = [
+            Condition::empty(),
+            Condition::from_atoms([Atom::eq_const(ssn, "1234")]),
+            Condition::from_atoms([Atom::eq_const(ssn, "nope")]),
+            Condition::from_atoms([Atom::ne_const(ssn, "1234")]),
+            Condition::from_atoms([Atom::eq_const(name, "Jim"), Atom::eq_const(major, "CS")]),
+            Condition::from_atoms([Atom::eq_const(ssn, "2345"), Atom::ne_const(name, "Jim")]),
+        ];
+        for p in [person, student] {
+            for g in &conds {
+                assert_eq!(db.sat(p, g), db.sat_scan(p, g), "sat vs scan on {g:?}");
+                assert_eq!(db.sat_exists(p, g), !db.sat_scan(p, g).is_empty());
+            }
+        }
+    }
+
+    #[test]
     fn add_remove_classes() {
         let (schema, mut db) = sample();
         let student = schema.class_id("STUDENT").unwrap();
@@ -372,11 +749,14 @@ mod tests {
         );
         db.check_invariants(&schema).unwrap();
         assert!(db.role_set(Oid(1)).contains(student));
+        assert_eq!(db.objects_in(student).collect::<Vec<_>>(), vec![Oid(1)]);
         // Removing STUDENT (and its attrs) restores a plain person.
         db.remove_classes(Oid(1), schema.down_closure_of(student), [major, fe]);
         db.check_invariants(&schema).unwrap();
         assert!(!db.role_set(Oid(1)).contains(student));
         assert!(db.value(Oid(1), major).is_none());
+        assert_eq!(db.num_objects_in(student), 0);
+        assert_eq!(db.num_objects_with(major, &Value::str("CS")), 0);
     }
 
     #[test]
@@ -388,15 +768,79 @@ mod tests {
         // next is NOT reused — abstract objects are created at most once.
         assert_eq!(db.next_oid(), Oid(3));
         db.check_invariants(&schema).unwrap();
+        let person = schema.class_id("PERSON").unwrap();
+        assert_eq!(db.objects_in(person).collect::<Vec<_>>(), vec![Oid(2)]);
     }
 
     #[test]
-    fn restriction_keeps_counter() {
-        let (_, db) = sample();
+    fn restriction_keeps_counter_and_rebuilds_indexes() {
+        let (schema, db) = sample();
         let r = db.restrict(&[Oid(2)]);
         assert_eq!(r.num_objects(), 1);
         assert!(r.occurs(Oid(2)) && !r.occurs(Oid(1)));
         assert_eq!(r.next_oid(), db.next_oid());
+        r.check_invariants(&schema).unwrap();
+        let person = schema.class_id("PERSON").unwrap();
+        let ssn = schema.attr_id("SSN").unwrap();
+        assert_eq!(r.objects_in(person).collect::<Vec<_>>(), vec![Oid(2)]);
+        // The restricted-away object's values are not indexed.
+        assert_eq!(r.num_objects_with(ssn, &Value::str("1234")), 0);
+        assert_eq!(r.num_objects_with(ssn, &Value::str("2345")), 1);
+    }
+
+    #[test]
+    fn from_objects_rebuilds_indexes() {
+        let (schema, db) = sample();
+        let rebuilt = Instance::from_objects(
+            db.objects().map(|o| (o, db.role_set(o), db.tuple_of(o))).collect::<Vec<_>>(),
+        );
+        rebuilt.check_invariants(&schema).unwrap();
+        let person = schema.class_id("PERSON").unwrap();
+        let ssn = schema.attr_id("SSN").unwrap();
+        assert_eq!(rebuilt.objects_in(person).count(), 2);
+        assert_eq!(
+            rebuilt.sat(person, &Condition::from_atoms([Atom::eq_const(ssn, "1234")])),
+            vec![Oid(1)]
+        );
+    }
+
+    #[test]
+    fn put_object_over_live_object_reindexes() {
+        let (schema, mut db) = sample();
+        let person = schema.class_id("PERSON").unwrap();
+        let ssn = schema.attr_id("SSN").unwrap();
+        let name = schema.attr_id("Name").unwrap();
+        // Overwrite o1 with a different tuple (the undo path restores
+        // captured states over whatever the transaction left behind).
+        db.put_object(
+            Oid(1),
+            ClassSet::singleton(person),
+            Tuple::from_pairs([(ssn, Value::str("9999")), (name, Value::str("John"))]),
+        );
+        db.check_invariants(&schema).unwrap();
+        assert_eq!(db.num_objects_with(ssn, &Value::str("1234")), 0, "old value de-indexed");
+        assert_eq!(
+            db.sat(person, &Condition::from_atoms([Atom::eq_const(ssn, "9999")])),
+            vec![Oid(1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "recycle")]
+    fn set_next_rejects_recycling_live_identifiers() {
+        let (_, mut db) = sample();
+        db.delete_object(Oid(2));
+        // o1 still occurs: winding the counter back to 1 would let
+        // `create` mint o1 a second time and corrupt the indexes.
+        db.set_next(1);
+    }
+
+    #[test]
+    fn set_next_to_fresh_range_is_fine() {
+        let (schema, mut db) = sample();
+        db.set_next(17);
+        assert_eq!(db.next_oid(), Oid(17));
+        db.check_invariants(&schema).unwrap();
     }
 
     #[test]
@@ -427,6 +871,16 @@ mod tests {
         let salary = schema.attr_id("Salary").unwrap();
         db.attrs.get_mut(&Oid(1)).unwrap().set(salary, Value::int(1));
         assert!(db.check_invariants(&schema).is_err());
+    }
+
+    #[test]
+    fn stale_index_entries_detected() {
+        let (schema, mut db) = sample();
+        // Heap mutated behind the indexes' back: both directions caught.
+        let ssn = schema.attr_id("SSN").unwrap();
+        db.attrs.get_mut(&Oid(1)).unwrap().set(ssn, Value::str("8888"));
+        let err = db.check_invariants(&schema).unwrap_err();
+        assert!(format!("{err:?}").contains("index"), "got {err:?}");
     }
 
     #[test]

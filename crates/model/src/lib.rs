@@ -14,6 +14,20 @@
 //! verbatim by [`Schema`] and [`Instance`], and Definition 3.1 / 4.5 by
 //! [`RoleSet`].
 //!
+//! ## Indexed storage
+//!
+//! [`Instance`] is an *indexed* store: besides the per-object heap it
+//! maintains a class-membership index (`o(P)` materialized, behind
+//! [`Instance::objects_in`]) and an attribute-value index (objects per
+//! `(attribute, value)` pair), both kept exactly consistent by every
+//! mutation path and audited by [`Instance::check_invariants`]. The
+//! selection semantics `Sat(Γ, d, P)` ([`Instance::sat`]) *plans* from
+//! the condition — most selective indexed equality atom first, class
+//! index as fallback — so point selects and guard-literal evaluation
+//! cost O(candidates · log |d|) instead of a heap scan; the scan
+//! survives as [`Instance::sat_scan`], the oracle for property tests and
+//! the benchmark baseline (`sat_heavy` in `BENCH_enforce.json`).
+//!
 //! ## Quick tour
 //!
 //! ```

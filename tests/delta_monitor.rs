@@ -9,7 +9,7 @@
 //! Randomness is a seeded [`StdRng`] (deterministic, no external fuzzer).
 
 use migratory::automata::Regex;
-use migratory::core::enforce::{EnforceError, Monitor, StepPolicy};
+use migratory::core::enforce::{EnforceError, Monitor, ShardedMonitor, StepPolicy};
 use migratory::core::{Inventory, PatternKind, RoleAlphabet};
 use migratory::lang::{apply_transaction_delta, Assignment, AtomicUpdate, Transaction};
 use migratory::model::{Atom, ClassId, Condition, Instance, Oid, Schema, SchemaBuilder};
@@ -264,4 +264,205 @@ fn noop_on_large_database_yields_empty_delta() {
         Some(1),
         "admit-path work tracks the touched set, not the database"
     );
+}
+
+/// Like [`random_schema`], but with 1–3 *extra* weakly-connected
+/// components (independent root hierarchies `R1`, `R2`, …), so the
+/// sharded monitor's component router gets exercised. The returned edges
+/// and the transactions below only migrate component-0 objects; extra
+/// components contribute create/delete/modify traffic whose role symbol
+/// is always ∅ for component 0's alphabet.
+fn random_multi_schema(rng: &mut StdRng) -> (Schema, Vec<(ClassId, ClassId)>, usize) {
+    let mut b = SchemaBuilder::new();
+    let root = b.class("C0", &["K", "A"]).expect("fresh root");
+    let mut classes = vec![root];
+    let mut edges = Vec::new();
+    for i in 0..rng.random_range(1usize..4) {
+        let parent = classes[rng.random_range(0..classes.len())];
+        let attr = format!("X{i}");
+        let c = b.subclass(&format!("C{}", i + 1), &[parent], &[&attr]).expect("fresh subclass");
+        classes.push(c);
+        edges.push((parent, c));
+    }
+    let extra = rng.random_range(1usize..4);
+    for r in 1..=extra {
+        b.class(&format!("R{r}"), &[&format!("RK{r}")]).expect("fresh extra root");
+    }
+    (b.build().expect("valid hierarchy"), edges, extra)
+}
+
+/// A random ground transaction that, with probability ~1/4, targets a
+/// random extra component instead of component 0.
+fn random_multi_transaction(
+    rng: &mut StdRng,
+    schema: &Schema,
+    edges: &[(ClassId, ClassId)],
+    extra: usize,
+) -> Transaction {
+    if extra > 0 && rng.random_range(0u32..4) == 0 {
+        let r = rng.random_range(1..extra + 1);
+        let root = schema.class_id(&format!("R{r}")).expect("extra root");
+        let k = schema.attr_id(&format!("RK{r}")).expect("extra key");
+        let key = format!("k{}", rng.random_range(0u32..3));
+        let update = match rng.random_range(0u32..3) {
+            0 => AtomicUpdate::Create {
+                class: root,
+                gamma: Condition::from_atoms([Atom::eq_const(k, key)]),
+            },
+            1 => AtomicUpdate::Delete {
+                class: root,
+                gamma: Condition::from_atoms([Atom::eq_const(k, key)]),
+            },
+            _ => AtomicUpdate::Modify {
+                class: root,
+                select: Condition::from_atoms([Atom::eq_const(k, key)]),
+                set: Condition::from_atoms([Atom::eq_const(
+                    k,
+                    format!("k{}", rng.random_range(0u32..3)),
+                )]),
+            },
+        };
+        Transaction::sl("other", &[], vec![update])
+    } else {
+        random_transaction(rng, schema, edges)
+    }
+}
+
+/// 100 random configurations: the sharded monitor (1–4 shards, random
+/// parallel staging, oid-stripe *and* component routing) driven in
+/// lockstep with the reference engine, one application at a time.
+#[test]
+fn sharded_monitor_equals_reference_engine_on_random_runs() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0011);
+    let mut rejections = 0usize;
+    let mut commits = 0usize;
+    let mut component_routed = 0usize;
+    for case in 0..100 {
+        let multi = rng.random_range(0u32..2) == 1;
+        let (schema, edges, extra) = if multi {
+            random_multi_schema(&mut rng)
+        } else {
+            let (s, e) = random_schema(&mut rng);
+            (s, e, 0)
+        };
+        let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+        let inv = random_inventory(&mut rng, &schema, &alphabet);
+        let kind = PatternKind::ALL[rng.random_range(0usize..4)];
+        let policy = if rng.random_range(0u32..2) == 0 {
+            StepPolicy::EveryApplication
+        } else {
+            StepPolicy::OnlyChanging
+        };
+        let shards = rng.random_range(1usize..5);
+        let parallel = rng.random_range(0u32..2) == 1;
+        let mut sharded = ShardedMonitor::new(&schema, &alphabet, &inv, kind, shards)
+            .with_policy(policy)
+            .with_parallel_staging(parallel);
+        component_routed += usize::from(sharded.routes_by_component());
+        let mut oracle = Monitor::new_reference(&schema, &alphabet, &inv, kind).with_policy(policy);
+        let no_args = Assignment::empty();
+        for step in 0..rng.random_range(4usize..20) {
+            let t = random_multi_transaction(&mut rng, &schema, &edges, extra);
+            let rs = sharded.try_apply(&t, &no_args);
+            let ro = oracle.try_apply(&t, &no_args);
+            assert_eq!(
+                rs, ro,
+                "case {case} step {step}: sharded({shards}) disagrees (kind {kind}, {policy:?})"
+            );
+            assert_eq!(sharded.db(), oracle.db(), "case {case} step {step}: db diverged");
+            assert_eq!(sharded.steps(), oracle.steps(), "case {case} step {step}");
+            match rs {
+                Ok(()) => commits += 1,
+                Err(EnforceError::Violation(_)) => rejections += 1,
+                Err(EnforceError::Lang(e)) => panic!("unexpected lang error {e}"),
+            }
+        }
+        for oid in 1..=sharded.db().next_oid().0 {
+            assert_eq!(
+                sharded.pattern_of(Oid(oid)),
+                oracle.pattern_of(Oid(oid)),
+                "case {case}: pattern of o{oid} diverged"
+            );
+        }
+    }
+    assert!(commits > 150, "only {commits} commits — workload too restrictive");
+    assert!(rejections > 150, "only {rejections} rejections — workload too permissive");
+    assert!(component_routed > 10, "component routing untested ({component_routed} cases)");
+}
+
+/// Random runs split into random-size blocks admitted through
+/// `try_apply_batch`, compared against the reference engine applying the
+/// same transactions one at a time: identical committed prefixes,
+/// byte-identical violations (including rejection order), identical
+/// databases, step counts and recorded patterns.
+#[test]
+fn sharded_batch_admission_equals_reference_engine() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0012);
+    let mut batch_rejections = 0usize;
+    let mut batch_commits = 0usize;
+    for case in 0..80 {
+        let multi = rng.random_range(0u32..2) == 1;
+        let (schema, edges, extra) = if multi {
+            random_multi_schema(&mut rng)
+        } else {
+            let (s, e) = random_schema(&mut rng);
+            (s, e, 0)
+        };
+        let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+        let inv = random_inventory(&mut rng, &schema, &alphabet);
+        let kind = PatternKind::ALL[rng.random_range(0usize..4)];
+        let policy = if rng.random_range(0u32..2) == 0 {
+            StepPolicy::EveryApplication
+        } else {
+            StepPolicy::OnlyChanging
+        };
+        let shards = rng.random_range(1usize..5);
+        let mut sharded = ShardedMonitor::new(&schema, &alphabet, &inv, kind, shards)
+            .with_policy(policy)
+            .with_parallel_staging(rng.random_range(0u32..2) == 1);
+        let mut oracle = Monitor::new_reference(&schema, &alphabet, &inv, kind).with_policy(policy);
+        let no_args = Assignment::empty();
+        let txns: Vec<Transaction> = (0..rng.random_range(6usize..24))
+            .map(|_| random_multi_transaction(&mut rng, &schema, &edges, extra))
+            .collect();
+        let mut pos = 0;
+        while pos < txns.len() {
+            let size = rng.random_range(1usize..(txns.len() - pos).min(5) + 1);
+            let block = &txns[pos..pos + size];
+            let (done, err) = sharded.try_apply_batch(block.iter().map(|t| (t, &no_args)));
+            // The oracle admits the block one transaction at a time,
+            // stopping at the first rejection — the semantics the batch
+            // API must reproduce.
+            let mut odone = 0usize;
+            let mut oerr = None;
+            for t in block {
+                match oracle.try_apply(t, &no_args) {
+                    Ok(()) => odone += 1,
+                    Err(e) => {
+                        oerr = Some(e);
+                        break;
+                    }
+                }
+            }
+            assert_eq!(
+                (done, &err),
+                (odone, &oerr),
+                "case {case} at {pos}: batch of {size} diverged (kind {kind}, {policy:?})"
+            );
+            assert_eq!(sharded.db(), oracle.db(), "case {case} at {pos}: db diverged");
+            assert_eq!(sharded.steps(), oracle.steps(), "case {case} at {pos}");
+            batch_commits += done;
+            batch_rejections += usize::from(err.is_some());
+            pos += size;
+        }
+        for oid in 1..=sharded.db().next_oid().0 {
+            assert_eq!(
+                sharded.pattern_of(Oid(oid)),
+                oracle.pattern_of(Oid(oid)),
+                "case {case}: pattern of o{oid} diverged"
+            );
+        }
+    }
+    assert!(batch_commits > 150, "only {batch_commits} commits");
+    assert!(batch_rejections > 80, "only {batch_rejections} rejected blocks");
 }

@@ -1,0 +1,263 @@
+//! Property tests for the indexed storage layer: the planned, index-backed
+//! `Sat` evaluation must agree with the naive full-scan oracle
+//! ([`Instance::sat_scan`]) on every database a random mutation history can
+//! produce, and every mutation path must leave the class/value indexes
+//! exactly consistent with the heap (verified by `check_invariants`, which
+//! now audits the indexes). Randomness is a seeded [`StdRng`]
+//! (deterministic, no external fuzzer), in the style of
+//! `tests/delta_monitor.rs`.
+
+use migratory::lang::{
+    apply_transaction_delta, satisfies_literal, Assignment, AtomicUpdate, Literal, Transaction,
+};
+use migratory::model::{
+    Atom, AttrId, ClassId, Condition, Instance, Oid, Schema, SchemaBuilder, Value,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A random single-component hierarchy: root `C0(K, A)` plus 1–4
+/// subclasses, each hanging off a random earlier class and owning one
+/// fresh attribute.
+fn random_schema(rng: &mut StdRng) -> (Schema, Vec<ClassId>) {
+    let mut b = SchemaBuilder::new();
+    let root = b.class("C0", &["K", "A"]).expect("fresh root");
+    let mut classes = vec![root];
+    for i in 0..rng.random_range(1usize..5) {
+        let parent = classes[rng.random_range(0..classes.len())];
+        let attr = format!("X{i}");
+        let c = b.subclass(&format!("C{}", i + 1), &[parent], &[&attr]).expect("fresh subclass");
+        classes.push(c);
+    }
+    (b.build().expect("valid hierarchy"), classes)
+}
+
+/// A random value from a small pool (collisions intended) plus a miss
+/// value that is never stored.
+fn random_value(rng: &mut StdRng) -> Value {
+    match rng.random_range(0u32..6) {
+        0 => Value::str("nope"),
+        1 | 2 => Value::int(i64::from(rng.random_range(0u32..3))),
+        _ => Value::str(&format!("v{}", rng.random_range(0u32..4))),
+    }
+}
+
+/// A random ground condition of 0–3 atoms over the schema's attributes —
+/// mixing indexed equalities, inequalities and guaranteed misses.
+fn random_condition(rng: &mut StdRng, schema: &Schema) -> Condition {
+    let attrs: Vec<AttrId> = schema.all_attrs().collect();
+    Condition::from_atoms((0..rng.random_range(0usize..4)).map(|_| {
+        let a = attrs[rng.random_range(0..attrs.len())];
+        if rng.random_range(0u32..3) == 0 {
+            Atom::ne_const(a, random_value(rng))
+        } else {
+            Atom::eq_const(a, random_value(rng))
+        }
+    }))
+}
+
+/// Tuple values for exactly the attributes a class set requires.
+fn values_for(
+    rng: &mut StdRng,
+    schema: &Schema,
+    cs: migratory::model::ClassSet,
+    already: &Instance,
+    o: Option<Oid>,
+) -> BTreeMap<AttrId, Value> {
+    let mut m = BTreeMap::new();
+    for a in schema.attrs_of_class_set(cs).iter() {
+        let missing = match o {
+            Some(o) => already.value(o, a).is_none(),
+            None => true,
+        };
+        if missing {
+            m.insert(a, random_value(rng));
+        }
+    }
+    m
+}
+
+/// One random mutation through a randomly chosen `Instance` primitive,
+/// keeping Definition 2.2 well-formedness.
+fn random_mutation(rng: &mut StdRng, schema: &Schema, classes: &[ClassId], db: &mut Instance) {
+    let existing: Vec<Oid> = db.objects().collect();
+    let pick = |rng: &mut StdRng, v: &[Oid]| v[rng.random_range(0..v.len())];
+    match rng.random_range(0u32..6) {
+        // create
+        0 | 1 => {
+            let c = classes[rng.random_range(0..classes.len())];
+            let cs = schema.up_closure_of(c);
+            let values = values_for(rng, schema, cs, db, None);
+            db.create(cs, values);
+        }
+        // delete
+        2 if !existing.is_empty() => db.delete_object(pick(rng, &existing)),
+        // specialize-style add_classes
+        3 if !existing.is_empty() => {
+            let o = pick(rng, &existing);
+            let c = classes[rng.random_range(0..classes.len())];
+            let add = schema.up_closure_of(c);
+            let merged = db.role_set(o).union(add);
+            let values = values_for(rng, schema, merged, db, Some(o));
+            db.add_classes(o, add, values);
+        }
+        // generalize-style remove_classes (non-root classes only, so the
+        // object keeps its root)
+        4 if !existing.is_empty() && classes.len() > 1 => {
+            let o = pick(rng, &existing);
+            let c = classes[1 + rng.random_range(0..classes.len() - 1)];
+            let remove = schema.down_closure_of(c);
+            let clear: Vec<AttrId> =
+                remove.iter().flat_map(|rc| schema.attrs_of(rc).iter().copied()).collect();
+            db.remove_classes(o, remove, clear);
+        }
+        // modify
+        _ if !existing.is_empty() => {
+            let o = pick(rng, &existing);
+            let defined: Vec<AttrId> = db.tuple_of(o).iter().map(|(a, _)| a).collect();
+            if !defined.is_empty() {
+                let a = defined[rng.random_range(0..defined.len())];
+                db.set_values(o, [(a, random_value(rng))]);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// The naive literal oracle: a full scan over the heap.
+fn literal_oracle(db: &Instance, l: &Literal) -> bool {
+    let witness = db
+        .objects()
+        .any(|o| db.role_set(o).contains(l.class) && l.gamma.satisfied_by(&db.tuple_of(o)));
+    witness == l.positive
+}
+
+/// Compare every query path against the scan oracle on the current
+/// database.
+fn assert_sat_agrees(rng: &mut StdRng, schema: &Schema, classes: &[ClassId], db: &Instance) {
+    for _ in 0..4 {
+        let p = classes[rng.random_range(0..classes.len())];
+        let gamma = random_condition(rng, schema);
+        let planned = db.sat(p, &gamma);
+        let scanned = db.sat_scan(p, &gamma);
+        assert_eq!(planned, scanned, "sat({p}, {gamma:?}) diverged from the scan oracle");
+        assert_eq!(db.sat_exists(p, &gamma), !scanned.is_empty(), "sat_exists({p}, {gamma:?})");
+        for positive in [true, false] {
+            let l = if positive {
+                Literal::pos(p, gamma.clone())
+            } else {
+                Literal::neg(p, gamma.clone())
+            };
+            assert_eq!(
+                satisfies_literal(db, &l),
+                literal_oracle(db, &l),
+                "literal {positive} {p} {gamma:?}"
+            );
+        }
+        // objects_in is the class index; the scan with ∅ condition is its
+        // oracle.
+        assert_eq!(
+            db.objects_in(p).collect::<Vec<_>>(),
+            db.sat_scan(p, &Condition::empty()),
+            "objects_in({p})"
+        );
+    }
+}
+
+/// 60 random mutation histories through the raw `Instance` primitives:
+/// after every mutation the indexes must pass `check_invariants` and all
+/// planned queries must agree with the full-scan oracle; `restrict` and
+/// `from_objects` must rebuild consistent indexes for random subsets.
+#[test]
+fn indexed_sat_agrees_with_scan_oracle_under_random_mutations() {
+    let mut rng = StdRng::seed_from_u64(0x1d3_0001);
+    for case in 0..60 {
+        let (schema, classes) = random_schema(&mut rng);
+        let mut db = Instance::empty();
+        for step in 0..rng.random_range(8usize..30) {
+            random_mutation(&mut rng, &schema, &classes, &mut db);
+            db.check_invariants(&schema)
+                .unwrap_or_else(|e| panic!("case {case} step {step}: {e:?}"));
+            assert_sat_agrees(&mut rng, &schema, &classes, &db);
+        }
+        // Restriction onto a random subset rebuilds the indexes.
+        let keep: Vec<Oid> = db.objects().filter(|_| rng.random_range(0u32..2) == 0).collect();
+        let restricted = db.restrict(&keep);
+        restricted.check_invariants(&schema).expect("restricted indexes consistent");
+        assert_eq!(restricted.num_objects(), keep.len());
+        assert_sat_agrees(&mut rng, &schema, &classes, &restricted);
+        // Rebuilding from raw objects yields index-consistent storage too.
+        let rebuilt = Instance::from_objects(
+            db.objects().map(|o| (o, db.role_set(o), db.tuple_of(o))).collect::<Vec<_>>(),
+        );
+        rebuilt.check_invariants(&schema).expect("from_objects indexes consistent");
+        assert_sat_agrees(&mut rng, &schema, &classes, &rebuilt);
+    }
+}
+
+/// The interpreter's mutation paths (including the delta recorder's
+/// `put_object`-based undo) must maintain the indexes too: apply random
+/// transactions, undo half of them, and keep checking invariants and the
+/// scan oracle.
+#[test]
+fn interpreter_and_undo_keep_indexes_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x1d3_0002);
+    for case in 0..40 {
+        let (schema, classes) = random_schema(&mut rng);
+        let root = classes[0];
+        let k = schema.attr_id("K").unwrap();
+        let a = schema.attr_id("A").unwrap();
+        let mut db = Instance::empty();
+        let no_args = Assignment::empty();
+        for step in 0..rng.random_range(6usize..20) {
+            let key = format!("k{}", rng.random_range(0u32..4));
+            let update = match rng.random_range(0u32..4) {
+                0 => AtomicUpdate::Create {
+                    class: root,
+                    gamma: Condition::from_atoms([Atom::eq_const(k, key), Atom::eq_const(a, "v")]),
+                },
+                1 => AtomicUpdate::Delete {
+                    class: root,
+                    gamma: Condition::from_atoms([Atom::eq_const(k, key)]),
+                },
+                2 => AtomicUpdate::Modify {
+                    class: root,
+                    select: Condition::from_atoms([Atom::eq_const(k, key)]),
+                    set: Condition::from_atoms([Atom::eq_const(a, random_value(&mut rng))]),
+                },
+                _ => {
+                    let c = classes[rng.random_range(0..classes.len())];
+                    let own: Vec<AttrId> = schema
+                        .up_closure_of(c)
+                        .iter()
+                        .flat_map(|cc| schema.attrs_of(cc).iter().copied())
+                        .filter(|&attr| attr != k && attr != a)
+                        .collect();
+                    AtomicUpdate::Specialize {
+                        from: root,
+                        to: c,
+                        select: Condition::from_atoms([Atom::eq_const(k, key)]),
+                        set: Condition::from_atoms(
+                            own.into_iter().map(|attr| Atom::eq_const(attr, "w")),
+                        ),
+                    }
+                }
+            };
+            let t = Transaction::sl("step", &[], vec![update]);
+            let before = db.clone();
+            let delta = apply_transaction_delta(&schema, &mut db, &t, &no_args)
+                .unwrap_or_else(|e| panic!("case {case} step {step}: {e}"));
+            db.check_invariants(&schema)
+                .unwrap_or_else(|e| panic!("case {case} step {step} post-apply: {e:?}"));
+            assert_sat_agrees(&mut rng, &schema, &classes, &db);
+            if rng.random_range(0u32..2) == 0 {
+                delta.undo(&mut db);
+                assert_eq!(db, before, "case {case} step {step}: undo mismatch");
+                db.check_invariants(&schema)
+                    .unwrap_or_else(|e| panic!("case {case} step {step} post-undo: {e:?}"));
+                assert_sat_agrees(&mut rng, &schema, &classes, &db);
+            }
+        }
+    }
+}
