@@ -1,0 +1,101 @@
+//! perf-persist: the durability layer's hot paths, small-scale.
+//!
+//! * `snapshot_encode` / `snapshot_decode` — checkpointing a populated
+//!   monitor and rebuilding it (index rebuild included);
+//! * `wal_append` — one group-committed record per single-object
+//!   application (the write-ahead cost a durable monitor adds);
+//! * `recover_vs_replay` — `Monitor::recover(snapshot, wal_tail)`
+//!   against re-running the full transaction history, on a 10k-object
+//!   store (the 10k–1M sweep with the acceptance numbers lives in the
+//!   `experiments` binary, id `persist`, which emits
+//!   `BENCH_persist.json`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use migratory_bench::{bulk_create, toggle_step, toggle_transactions, university};
+use migratory_core::enforce::{MemoryWal, Monitor, Snapshot};
+use migratory_core::{Inventory, PatternKind};
+use migratory_lang::Assignment;
+use std::sync::{Arc, Mutex};
+
+const N: usize = 10_000;
+const HISTORY: usize = 256;
+const TAIL: usize = 64;
+
+fn bench(c: &mut Criterion) {
+    let (schema, alphabet, _) = university();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* ([PERSON] ∪ [STUDENT])* ∅*").unwrap();
+    let ts = toggle_transactions(&schema);
+    let bulk = bulk_create(&schema, N);
+    let no_args = Assignment::empty();
+
+    // A populated durable monitor with a checkpoint and a WAL tail.
+    let wal = Arc::new(Mutex::new(MemoryWal::new()));
+    let mut live = Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(wal.clone());
+    live.try_apply(&bulk, &no_args).expect("bulk load conforms");
+    for i in 0..HISTORY {
+        let (name, args) = toggle_step(i, N);
+        live.try_apply(ts.get(name).unwrap(), &args).expect("toggle conforms");
+    }
+    let snap = live.snapshot();
+    wal.lock().unwrap().write_snapshot(&snap);
+    for i in HISTORY..HISTORY + TAIL {
+        let (name, args) = toggle_step(i, N);
+        live.try_apply(ts.get(name).unwrap(), &args).expect("toggle conforms");
+    }
+    let snap_bytes = snap.encode();
+    let tail = wal.lock().unwrap().records();
+
+    let mut group = c.benchmark_group("persist");
+    group.sample_size(10);
+
+    group.bench_function("snapshot_encode_10k", |b| b.iter(|| black_box(live.snapshot().encode())));
+    group.bench_function("snapshot_decode_10k", |b| {
+        b.iter(|| Snapshot::decode(black_box(&snap_bytes)).expect("decodes"))
+    });
+
+    group.bench_function("wal_append_per_app", |b| {
+        // Steady-state single-object toggles with the WAL attached; the
+        // delta over the volatile engine is the write-ahead append.
+        let sink = Arc::new(Mutex::new(MemoryWal::new()));
+        let mut m =
+            Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(sink.clone());
+        m.try_apply(&bulk, &no_args).expect("bulk load conforms");
+        let mut i = 0usize;
+        b.iter(|| {
+            let (name, args) = toggle_step(i, N);
+            i += 1;
+            m.try_apply(ts.get(name).unwrap(), &args).expect("toggle conforms")
+        });
+    });
+
+    group.bench_function("recover_10k", |b| {
+        b.iter(|| {
+            let snap = Snapshot::decode(&snap_bytes).expect("decodes");
+            Monitor::recover(
+                &schema,
+                &alphabet,
+                &inv,
+                PatternKind::All,
+                Some(snap),
+                tail.iter().cloned(),
+            )
+            .expect("recovers")
+            .steps()
+        })
+    });
+    group.bench_function("full_replay_10k", |b| {
+        b.iter(|| {
+            let mut m = Monitor::new(&schema, &alphabet, &inv, PatternKind::All);
+            m.try_apply(&bulk, &no_args).expect("bulk load conforms");
+            for i in 0..HISTORY + TAIL {
+                let (name, args) = toggle_step(i, N);
+                m.try_apply(ts.get(name).unwrap(), &args).expect("toggle conforms");
+            }
+            m.steps()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

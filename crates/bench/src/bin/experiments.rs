@@ -2,16 +2,19 @@
 //!
 //! Usage: `cargo run -p migratory-bench --bin experiments --release [-- <id>]`
 //! with ids: fig1-2, ex3.4, thm3.2, cor3.3, thm4.3, ex4.1, thm5.1,
-//! baseline, enforce, enforce-large, sat-heavy, batch-admit, smoke,
-//! flow, all (default).
+//! baseline, enforce, enforce-large, sat-heavy, batch-admit, persist,
+//! smoke, flow, all (default).
 //!
 //! `enforce-large` additionally writes `BENCH_enforce.json` (throughput /
 //! latency trajectory of the delta monitor vs the reference monitor,
 //! the indexed-vs-scan `sat_heavy` comparison, and the sharded
 //! `batch_admit` comparison, on 10k–1M-object databases) to the current
-//! directory. `sat-heavy` and `batch-admit` print their rows without
-//! touching the file; `smoke` runs tiny versions of both (the CI
-//! bench-smoke entry point).
+//! directory. `persist` writes `BENCH_persist.json` (time-to-recover
+//! from snapshot + WAL tail vs full history replay at 10k–1M objects,
+//! and queued-ingress vs direct batch admission throughput).
+//! `sat-heavy` and `batch-admit` print their rows without touching any
+//! file; `smoke` runs tiny versions of all of them (the CI bench-smoke
+//! entry point).
 
 use migratory_bench::*;
 use migratory_chomsky::turing::machines;
@@ -57,10 +60,21 @@ fn main() {
     if which == "batch-admit" {
         batch_admit_rows(&[(100_000, 1_024)]);
     }
+    if all || which == "persist" {
+        // History scales with the store: a checkpointed monitor recovers
+        // in O(snapshot + tail) no matter how long the run was, while
+        // "recovery by replay" pays for every letter ever admitted.
+        persist_row(
+            &[(10_000, 16_384, 512), (100_000, 32_768, 512), (1_000_000, 131_072, 512)],
+            &[(4_096, 16_384, 4)],
+        );
+    }
     if which == "smoke" {
         // Tiny versions of the new workloads — the CI bench-smoke entry.
         sat_heavy_rows(&[(2_000, 400, 50)]);
         batch_admit_rows(&[(2_000, 256)]);
+        recover_rows(&[(2_000, 200, 64)]);
+        ingress_rows(&[(512, 2_048, 4)]);
     }
     if all || which == "flow" {
         flow_families_row();
@@ -448,6 +462,250 @@ fn batch_admit_rows(configs: &[(usize, usize)]) -> String {
     format!(
         r#"  "batch_admit": {{
     "workload": "deep career-ladder inventory (∅* ([PERSON]+ [STUDENT]+)^32 ∅*) over a bulk-loaded store, climbers staggered across ~56 ladder depths; single-object toggles admitted one-by-one (PR 1 engine, one cohort sweep per application) vs in blocks (sharded monitor, one cohort sweep per shard per block)",
+    "sizes": [
+{}
+    ]
+  }}"#,
+        rows.join(",\n")
+    )
+}
+
+/// `persist`: the durability ablation — writes `BENCH_persist.json`
+/// with the `recover` (snapshot + WAL tail vs full history replay) and
+/// `ingress` (queued vs direct admission) comparisons.
+fn persist_row(recover_cfgs: &[(usize, usize, usize)], ingress_cfgs: &[(usize, usize, usize)]) {
+    let recover = recover_rows(recover_cfgs);
+    let ingress = ingress_rows(ingress_cfgs);
+    let json = format!(
+        r#"{{
+  "bench": "persist",
+{recover},
+{ingress}
+}}
+"#
+    );
+    std::fs::write("BENCH_persist.json", &json).expect("write BENCH_persist.json");
+    println!("  (wrote BENCH_persist.json)");
+    println!();
+}
+
+/// `recover`: bulk-load n objects, run `history` toggle letters with a
+/// WAL attached, checkpoint, run `tail` more letters, "crash", then
+/// time `Monitor::recover(snapshot, wal_tail)` against re-running the
+/// entire transaction history through a fresh monitor. Recovered state
+/// must be byte-identical (canonical snapshot encoding) to the crashed
+/// monitor's. `(objects, history, tail)` per config; returns the
+/// `recover` JSON fragment.
+fn recover_rows(configs: &[(usize, usize, usize)]) -> String {
+    use migratory_core::enforce::{MemoryWal, Monitor};
+    use std::sync::{Arc, Mutex};
+
+    println!("== perf-recover: snapshot + wal tail vs full history replay ==");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "objects", "letters", "snap MB", "encode ms", "recover ms", "replay ms", "speedup"
+    );
+    let mut rows = Vec::new();
+    for &(n, history, tail) in configs {
+        let (schema, alphabet, _) = university();
+        let inv =
+            Inventory::parse_init(&schema, &alphabet, "∅* ([PERSON] ∪ [STUDENT])* ∅*").unwrap();
+        let ts = toggle_transactions(&schema);
+        let bulk = bulk_create(&schema, n);
+        let no_args = Assignment::empty();
+
+        let wal = Arc::new(Mutex::new(MemoryWal::new()));
+        let mut live = Monitor::new(&schema, &alphabet, &inv, PatternKind::All)
+            .with_sink(wal.clone() as migratory_core::enforce::SharedSink);
+        live.try_apply(&bulk, &no_args).expect("bulk load conforms");
+        for i in 0..history {
+            let (name, args) = toggle_step(i, n);
+            live.try_apply(ts.get(name).unwrap(), &args).expect("toggle conforms");
+        }
+        let t0 = Instant::now();
+        let snap = live.snapshot();
+        let snap_bytes = snap.encode();
+        let encode_ms = t0.elapsed().as_secs_f64() * 1e3;
+        wal.lock().unwrap().write_snapshot(&snap);
+        for i in history..history + tail {
+            let (name, args) = toggle_step(i, n);
+            live.try_apply(ts.get(name).unwrap(), &args).expect("toggle conforms");
+        }
+        let crash_state = live.snapshot().encode();
+
+        // Crash: decode the checkpoint, replay only the WAL tail.
+        let t0 = Instant::now();
+        let (snap, blocks) = {
+            let w = wal.lock().unwrap();
+            (w.snapshot().expect("snapshot decodes"), w.records())
+        };
+        let recovered = Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, snap, blocks)
+            .expect("recovery succeeds");
+        let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            recovered.snapshot().encode(),
+            crash_state,
+            "recovered state must be byte-identical"
+        );
+
+        // The alternative: replay the full transaction history.
+        let t0 = Instant::now();
+        let mut replayed = Monitor::new(&schema, &alphabet, &inv, PatternKind::All);
+        replayed.try_apply(&bulk, &no_args).expect("bulk load conforms");
+        for i in 0..history + tail {
+            let (name, args) = toggle_step(i, n);
+            replayed.try_apply(ts.get(name).unwrap(), &args).expect("toggle conforms");
+        }
+        let replay_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(replayed.snapshot().encode(), crash_state, "replay is deterministic");
+
+        let letters = 1 + history + tail;
+        let speedup = replay_ms / recover_ms;
+        let mb = snap_bytes.len() as f64 / (1024.0 * 1024.0);
+        println!(
+            "{n:>10} {letters:>10} {mb:>12.2} {encode_ms:>12.2} {recover_ms:>12.2} {replay_ms:>12.2} {speedup:>8.1}×"
+        );
+        rows.push(format!(
+            r#"      {{
+        "objects": {n},
+        "letters": {letters},
+        "wal_tail_letters": {tail},
+        "snapshot_bytes": {},
+        "snapshot_encode_ms": {encode_ms:.2},
+        "recover_ms": {recover_ms:.2},
+        "full_replay_ms": {replay_ms:.2},
+        "speedup_vs_replay": {speedup:.1},
+        "byte_identical": true
+      }}"#,
+            snap_bytes.len()
+        ));
+    }
+    println!();
+    format!(
+        r#"  "recover": {{
+    "workload": "bulk-load n persons in one letter, toggle history with a WAL sink attached, checkpoint, toggle a tail, crash; Monitor::recover(snapshot, wal_tail) vs re-running every transaction through a fresh monitor; both must reproduce the crashed state byte-identically",
+    "sizes": [
+{}
+    ]
+  }}"#,
+        rows.join(",\n")
+    )
+}
+
+/// `ingress`: queued concurrent admission (`enforce::ingress`, per-shard
+/// lanes, emergent batching, group commit) vs direct single-caller
+/// batch admission on the four-component fleet workload.
+/// `(objects per component, ops, producers)` per config; returns the
+/// `ingress` JSON fragment.
+fn ingress_rows(configs: &[(usize, usize, usize)]) -> String {
+    use migratory_core::enforce::{ingress, IngressConfig, ShardedMonitor, StepPolicy, Wal};
+    use std::sync::{Arc, Mutex};
+
+    println!("== perf-ingress: queued concurrent admission vs direct batches ==");
+    println!(
+        "{:>10} {:>8} {:>10} {:>12} {:>12} {:>14} {:>7}",
+        "objects", "ops", "producers", "direct/s", "queued/s", "durable q/s", "blocks"
+    );
+    let mut rows = Vec::new();
+    for &(per, ops, producers) in configs {
+        let (schema, alphabet, ts) = fleet();
+        let inv = Inventory::parse_init(&schema, &alphabet, FLEET_INVENTORY).unwrap();
+        let day = fleet_ops(ops, per);
+        let load = |m: &mut ShardedMonitor<'_>| {
+            for (mk, prefix) in
+                [("BuyTruck", "t"), ("HireDriver", "d"), ("OpenRoute", "r"), ("BuildDepot", "p")]
+            {
+                let t = ts.get(mk).unwrap();
+                let bulk: Vec<(&migratory_lang::Transaction, Assignment)> = (0..per)
+                    .map(|i| {
+                        (
+                            t,
+                            Assignment::new(vec![migratory_model::Value::str(&format!(
+                                "{prefix}{i}"
+                            ))]),
+                        )
+                    })
+                    .collect();
+                let (done, err) = m.try_apply_batch(bulk.iter().map(|(t, a)| (*t, a)));
+                assert_eq!((done, err), (per, None), "bulk load conforms");
+            }
+        };
+
+        // (a) Direct: one caller feeding try_apply_batch blocks of 256.
+        let direct_rate = {
+            let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 4)
+                .with_policy(StepPolicy::OnlyChanging);
+            load(&mut m);
+            let t0 = Instant::now();
+            for chunk in day.chunks(256) {
+                let (done, err) =
+                    m.try_apply_batch(chunk.iter().map(|(name, a)| (ts.get(name).unwrap(), a)));
+                assert_eq!((done, err), (chunk.len(), None), "day conforms");
+            }
+            ops as f64 / t0.elapsed().as_secs_f64()
+        };
+
+        // (b/c) Queued: `producers` pipelining callers over per-shard
+        // lanes, volatile and WAL-durable.
+        let queued = |sink: Option<migratory_core::enforce::SharedSink>| -> (f64, usize) {
+            let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 4)
+                .with_policy(StepPolicy::OnlyChanging);
+            if let Some(s) = sink {
+                m = m.with_sink(s);
+            }
+            load(&mut m);
+            let cfg = IngressConfig { queue_capacity: 1024, max_block: 256 };
+            let t0 = Instant::now();
+            let ((), stats) = ingress::serve(&mut m, &cfg, |client| {
+                std::thread::scope(|scope| {
+                    for p in 0..producers {
+                        let day = &day;
+                        let ts = &ts;
+                        scope.spawn(move || {
+                            let tickets: Vec<_> = day
+                                .iter()
+                                .skip(p)
+                                .step_by(producers)
+                                .map(|(name, a)| client.post(ts.get(name).unwrap(), a.clone()))
+                                .collect();
+                            for t in tickets {
+                                t.wait().expect("day conforms");
+                            }
+                        });
+                    }
+                });
+            });
+            assert_eq!(stats.admitted, ops);
+            (ops as f64 / t0.elapsed().as_secs_f64(), stats.blocks)
+        };
+        let (queued_rate, blocks) = queued(None);
+        let wal_dir =
+            std::env::temp_dir().join(format!("migratory-bench-wal-{}-{per}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+        let wal = Wal::open(&wal_dir).expect("wal dir");
+        let (durable_rate, _) = queued(Some(Arc::new(Mutex::new(wal))));
+        let _ = std::fs::remove_dir_all(&wal_dir);
+
+        let objects = per * 4;
+        println!(
+            "{objects:>10} {ops:>8} {producers:>10} {direct_rate:>12.0} {queued_rate:>12.0} {durable_rate:>14.0} {blocks:>7}"
+        );
+        rows.push(format!(
+            r#"      {{
+        "objects": {objects},
+        "ops": {ops},
+        "producers": {producers},
+        "direct_batch_apps_per_sec": {direct_rate:.0},
+        "queued_apps_per_sec": {queued_rate:.0},
+        "queued_durable_apps_per_sec": {durable_rate:.0},
+        "queued_blocks": {blocks}
+      }}"#
+        ));
+    }
+    println!();
+    format!(
+        r#"  "ingress": {{
+    "workload": "four-component fleet; a day of single-object ops admitted (a) by one caller in direct 256-blocks, (b) by N pipelining producers through the bounded per-shard ingress lanes (emergent batching), (c) same with a file WAL attached (group commit per block)",
     "sizes": [
 {}
     ]

@@ -215,6 +215,71 @@ pub fn ladder_scripts(spread: usize, max_depth: usize, steps: usize) -> (Script,
     (setup, timed)
 }
 
+/// A four-component "fleet" schema (trucks / drivers / routes / depots,
+/// each root ⊲ one subclass) with create + toggle transactions per
+/// component — the multi-component workload behind the sharded-ingress
+/// and durability benches (and `examples/fleet_migration`). The
+/// inventory below constrains component 0; other components read ∅
+/// under its alphabet.
+#[must_use]
+pub fn fleet() -> (Schema, RoleAlphabet, TransactionSchema) {
+    let mut b = SchemaBuilder::new();
+    for (root, sub, key) in [
+        ("TRUCK", "IN_SERVICE", "Vin"),
+        ("DRIVER", "ON_SHIFT", "Badge"),
+        ("ROUTE", "ACTIVE", "RId"),
+        ("DEPOT", "OPEN", "DId"),
+    ] {
+        let r = b.class(root, &[key]).expect("fresh root");
+        b.subclass(sub, &[r], &[]).expect("fresh subclass");
+    }
+    let schema = b.build().expect("valid schema");
+    let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+    let ts = parse_transactions(
+        &schema,
+        r"
+        transaction BuyTruck(x)    { create(TRUCK, { Vin = x }); }
+        transaction Dispatch(x)    { specialize(TRUCK, IN_SERVICE, { Vin = x }, {}); }
+        transaction Park(x)        { generalize(IN_SERVICE, { Vin = x }); }
+        transaction HireDriver(x)  { create(DRIVER, { Badge = x }); }
+        transaction StartShift(x)  { specialize(DRIVER, ON_SHIFT, { Badge = x }, {}); }
+        transaction EndShift(x)    { generalize(ON_SHIFT, { Badge = x }); }
+        transaction OpenRoute(x)   { create(ROUTE, { RId = x }); }
+        transaction Activate(x)    { specialize(ROUTE, ACTIVE, { RId = x }, {}); }
+        transaction BuildDepot(x)  { create(DEPOT, { DId = x }); }
+        transaction OpenDepot(x)   { specialize(DEPOT, OPEN, { DId = x }, {}); }
+    ",
+    )
+    .expect("fleet transactions validate");
+    (schema, alphabet, ts)
+}
+
+/// The fleet inventory: trucks cycle between parked and in-service and
+/// may leave the fleet; other components are unconstrained (they read ∅
+/// under component 0's alphabet).
+pub const FLEET_INVENTORY: &str = "∅* ([TRUCK] ∪ [IN_SERVICE])* ∅*";
+
+/// A day of fleet operations: `n` single-object applications cycling
+/// through the four components (dispatch/park, shifts, activations,
+/// depot openings) over keys `t0…`, `d0…`, `r0…`, `p0…` modulo `per`.
+#[must_use]
+pub fn fleet_ops(n: usize, per: usize) -> Vec<(&'static str, Assignment)> {
+    (0..n)
+        .map(|i| {
+            let k = i / 8;
+            let (name, prefix) = match i % 8 {
+                0 => ("Dispatch", "t"),
+                1 => ("StartShift", "d"),
+                2 => ("Activate", "r"),
+                3 => ("OpenDepot", "p"),
+                4 => ("Park", "t"),
+                _ => ("EndShift", "d"),
+            };
+            (name, Assignment::new(vec![Value::str(&format!("{prefix}{}", k % per.max(1)))]))
+        })
+        .collect()
+}
+
 /// The pq synthesis host (Fig. 3 style: root R{A,B,C} with `k` leaf
 /// classes).
 #[must_use]

@@ -95,8 +95,13 @@ pub(crate) enum Target {
 pub(crate) struct DeltaState {
     pub(crate) records: BTreeMap<Oid, ObjRecord>,
     pub(crate) cohorts: Vec<Cohort>,
-    /// Root non-exempt cohorts, by (DFA state, last role symbol).
-    pub(crate) by_key: HashMap<(u32, u32), u32>,
+    /// Root non-exempt cohorts, by (DFA state, last role symbol). A
+    /// `BTreeMap` on purpose: cohort sweeps iterate this table, and
+    /// iteration order decides slot allocation and merge-survivor choice
+    /// — ordered iteration makes the whole engine **deterministic**,
+    /// which is what lets WAL recovery reproduce tracking state
+    /// byte-identically (see `enforce::wal`).
+    pub(crate) by_key: BTreeMap<(u32, u32), u32>,
     /// Cohort slots emptied by a step, reused before growing `cohorts`.
     /// Forwarding slots (merge / exemption-fold survivors with members
     /// still routed through them) cannot be freed eagerly; when they
@@ -240,7 +245,7 @@ impl DeltaState {
             }
             for &(j, od) in touches {
                 let idx = ctx.steps0 + j;
-                let after_sym = match od.after_classes {
+                let after_sym = match od.after_classes() {
                     Some(cs) => classes_symbol(ctx.schema, ctx.alphabet, cs),
                     None => empty,
                 };
@@ -376,7 +381,7 @@ impl DeltaState {
             // Every untouched object becomes exempt: fold all non-exempt
             // cohorts into the sink, recycling slots nobody routes
             // through.
-            for (_, root) in self.by_key.drain() {
+            for (_, root) in std::mem::take(&mut self.by_key) {
                 let leave = leaving.remove(&root).unwrap_or(0);
                 let untouched = self.cohorts[root as usize].size - leave;
                 self.cohorts[root as usize].size = 0;
@@ -397,15 +402,15 @@ impl DeltaState {
             for (root, n) in leaving.drain() {
                 self.cohorts[root as usize].size -= n;
             }
-            let mut new_keys: HashMap<(u32, u32), u32> = HashMap::with_capacity(self.by_key.len());
+            let mut new_keys: BTreeMap<(u32, u32), u32> = BTreeMap::new();
             for &(root, new_state) in &advanced {
                 let role = self.cohorts[root as usize].last_role;
                 self.cohorts[root as usize].state = new_state;
                 match new_keys.entry((new_state, role)) {
-                    std::collections::hash_map::Entry::Vacant(e) => {
+                    std::collections::btree_map::Entry::Vacant(e) => {
                         e.insert(root);
                     }
-                    std::collections::hash_map::Entry::Occupied(e) => {
+                    std::collections::btree_map::Entry::Occupied(e) => {
                         // Two cohorts converged on one DFA state: merge.
                         let survivor = *e.get();
                         let sz = self.cohorts[root as usize].size;
@@ -489,6 +494,74 @@ struct ChainState {
     start_root: u32,
 }
 
+/// Whether a change-set entry is visible to pattern tracking: an object
+/// that occurs before or after the step. Objects minted and deleted
+/// within one application are never observable (patterns read
+/// post-states only) and stay covered by the never-created class.
+pub(crate) fn tracked(od: &ObjectDelta) -> bool {
+    od.before.is_some() || od.after.is_some()
+}
+
+/// The never-created class's walk through `k` ∅ letters — the **single**
+/// implementation behind per-application admission, batched admission
+/// and WAL replay, which must agree exactly (recovery is byte-identical
+/// only if replay re-derives the same trace admission used).
+pub(crate) struct PreWalk {
+    /// `(state, exempt)` *before* each batch step `1..=k` — the
+    /// [`BatchCtx::pre_trace`] input.
+    pub(crate) trace: Vec<(u32, bool)>,
+    /// DFA state after the walk.
+    pub(crate) state: u32,
+    /// Exemption after the walk.
+    pub(crate) exempt: bool,
+    /// First 1-based step whose ∅ letter escapes the inventory, if any
+    /// (the walk stops there).
+    pub(crate) violation_at: Option<usize>,
+}
+
+pub(crate) fn never_created_walk(
+    dfa: &Dfa,
+    empty: u32,
+    kind: PatternKind,
+    state0: u32,
+    exempt0: bool,
+    steps0: usize,
+    k: usize,
+) -> PreWalk {
+    let mut trace = Vec::with_capacity(k);
+    let (mut state, mut exempt) = (state0, exempt0);
+    for j in 1..=k {
+        let idx = steps0 + j;
+        trace.push((state, exempt));
+        if !exempt && idx >= 2 && matches!(kind, PatternKind::Proper | PatternKind::Lazy) {
+            // A second ∅ neither changes the object nor its role set.
+            exempt = true;
+        }
+        state = dfa.step(state, empty);
+        if !exempt && !dfa.is_accepting(state) {
+            return PreWalk { trace, state, exempt, violation_at: Some(j) };
+        }
+    }
+    PreWalk { trace, state, exempt, violation_at: None }
+}
+
+/// Group a block's tracked change-set entries by object, each with its
+/// 1-based effective step — the [`DeltaState::stage_batch`] input
+/// (unrouted; the sharded monitor partitions per shard itself).
+pub(crate) fn touched_map<'d>(
+    deltas: &[&'d Delta],
+) -> BTreeMap<Oid, Vec<(usize, &'d ObjectDelta)>> {
+    let mut touched: BTreeMap<Oid, Vec<(usize, &'d ObjectDelta)>> = BTreeMap::new();
+    for (j, d) in deltas.iter().enumerate() {
+        for od in d.objects() {
+            if tracked(od) {
+                touched.entry(od.oid).or_default().push((j + 1, od));
+            }
+        }
+    }
+    touched
+}
+
 /// Immutable context of one staged batch, shared by every shard (and
 /// every staging thread).
 pub(crate) struct BatchCtx<'a> {
@@ -564,7 +637,7 @@ pub(crate) fn diagnose_step<'r>(
     for (o, rec, cohort_exempt, cohort_state) in records {
         let (after_sym, role_changed, object_changed) = match touched.get(&o) {
             Some(od) => {
-                let after_sym = match od.after_classes {
+                let after_sym = match od.after_classes() {
                     Some(cs) => classes_symbol(p.schema, p.alphabet, cs),
                     None => empty,
                 };
@@ -598,7 +671,7 @@ pub(crate) fn diagnose_step<'r>(
         if !od.created() {
             continue;
         }
-        let after_sym = match od.after_classes {
+        let after_sym = match od.after_classes() {
             Some(cs) => classes_symbol(p.schema, p.alphabet, cs),
             None => empty,
         };

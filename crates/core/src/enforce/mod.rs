@@ -75,11 +75,36 @@
 //! 3.3 makes `satisfies` decidable, so a schema can be **statically
 //! certified** once ([`Monitor::certify`]) and all runtime checks skipped
 //! thereafter — the ablation benchmarked in `bench_enforce`.
+//!
+//! # Durability and concurrent ingress
+//!
+//! The paper's migration constraints are histories, so the monitor's
+//! tracking state *is* the constraint — two further layers make it
+//! survive crashes and concurrent callers:
+//!
+//! * [`wal`] — a write-ahead log of committed [`Delta`] blocks plus
+//!   canonical snapshots of the cohort/RLE tracking state. Both front
+//!   ends accept a pluggable [`CommitSink`] ([`Monitor::with_sink`],
+//!   [`ShardedMonitor::with_sink`]; no-op when absent) that receives
+//!   each admitted block *before* tracking state commits, and both
+//!   recover from checkpoint + tail without replaying history
+//!   ([`Monitor::recover`], [`ShardedMonitor::recover`]) —
+//!   byte-identically, because every engine structure iterates in
+//!   canonical order.
+//! * [`ingress`] — bounded per-shard admission queues in front of a
+//!   [`ShardedMonitor`]: concurrent producers enqueue single
+//!   applications, an admission worker drains lanes into
+//!   [`ShardedMonitor::try_apply_batch`] blocks (emergent batching,
+//!   one group commit per block), violations reject only their own op.
 
 mod delta;
+pub mod ingress;
 pub mod sharded;
+pub mod wal;
 
+pub use ingress::{IngressConfig, IngressStats};
 pub use sharded::{ShardStats, ShardedMonitor};
+pub use wal::{CommitSink, MemoryWal, Snapshot, Wal, WalBlock, WalError, WalRecord};
 
 use crate::alphabet::RoleAlphabet;
 use crate::error::CoreError;
@@ -92,6 +117,13 @@ use migratory_lang::{
 };
 use migratory_model::{ClassSet, Instance, Oid, Schema};
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A shared, pluggable commit sink handle (see [`wal::CommitSink`]).
+/// `Arc<Mutex<…>>` so a monitor stays cloneable and sharded staging
+/// threads can be spawned while the sink is attached; the engines lock
+/// it exactly once per admitted block (group commit).
+pub type SharedSink = Arc<Mutex<dyn CommitSink>>;
 
 /// When a transaction application contributes a letter to the patterns.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -144,6 +176,10 @@ pub enum EnforceError {
     Violation(Violation),
     /// The transaction itself failed to apply (arity, validation).
     Lang(LangError),
+    /// The attached [`CommitSink`] refused the block: the write-ahead
+    /// append failed, so the application was rolled back — the log never
+    /// lags the engine. The database and tracking state are unchanged.
+    Durability(WalError),
 }
 
 impl std::fmt::Display for EnforceError {
@@ -153,6 +189,7 @@ impl std::fmt::Display for EnforceError {
                 write!(f, "inventory violation: pattern {:?} escapes 𝔏", v.pattern)
             }
             EnforceError::Lang(e) => write!(f, "{e}"),
+            EnforceError::Durability(e) => write!(f, "commit not durable, rolled back: {e}"),
         }
     }
 }
@@ -229,6 +266,9 @@ pub struct Monitor<'a> {
     policy: StepPolicy,
     db: Instance,
     engine: Engine,
+    /// Where committed blocks are logged before tracking state is
+    /// written (`None`: volatile monitor, zero overhead).
+    sink: Option<SharedSink>,
     /// DFA state shared by all never-created objects (pattern ∅ⁿ).
     pre_state: u32,
     /// The never-created pattern has already left the enforced family.
@@ -257,6 +297,7 @@ impl<'a> Monitor<'a> {
             policy: StepPolicy::default(),
             db: Instance::empty(),
             engine,
+            sink: None,
             pre_state: inventory.dfa().start(),
             // ∅ⁿ never starts with a non-∅ letter.
             pre_exempt: kind == PatternKind::ImmediateStart,
@@ -307,10 +348,52 @@ impl<'a> Monitor<'a> {
         self
     }
 
+    /// Attach a [`CommitSink`]: every admitted block is appended to the
+    /// sink *before* tracking state commits (write-ahead), and a sink
+    /// failure rolls the application back
+    /// ([`EnforceError::Durability`]). Requires the delta engine — the
+    /// reference engine has no delta to log.
+    #[must_use]
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        assert!(self.is_incremental(), "the reference engine cannot log deltas");
+        self.sink = Some(sink);
+        self
+    }
+
     /// The current database.
     #[must_use]
     pub fn db(&self) -> &Instance {
         &self.db
+    }
+
+    /// The schema this monitor enforces over.
+    #[must_use]
+    pub fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+
+    /// The role alphabet patterns are spelled in.
+    #[must_use]
+    pub fn alphabet(&self) -> &'a RoleAlphabet {
+        self.alphabet
+    }
+
+    /// The enforced inventory.
+    #[must_use]
+    pub fn inventory(&self) -> &'a Inventory {
+        self.inventory
+    }
+
+    /// The enforced pattern family.
+    #[must_use]
+    pub fn kind(&self) -> PatternKind {
+        self.kind
+    }
+
+    /// The letter-contribution policy.
+    #[must_use]
+    pub fn policy(&self) -> StepPolicy {
+        self.policy
     }
 
     /// Number of pattern letters emitted so far.
@@ -382,10 +465,216 @@ impl<'a> Monitor<'a> {
             crate::decide::decide(self.schema, self.alphabet, ts, self.inventory, self.kind)?;
         let holds = decision.satisfies.holds();
         if holds && !self.certified {
+            // Certification freezes tracking, so a durable monitor must
+            // record the event — recovery would otherwise replay
+            // unchecked post-certification blocks through the tracker.
+            // Write-ahead: if the marker cannot be logged, certification
+            // does not take effect.
+            if let Some(sink) = &self.sink {
+                sink.lock()
+                    .expect("sink poisoned")
+                    .certified(self.steps)
+                    .map_err(|e| CoreError::Durability(e.to_string()))?;
+            }
             self.certified = true;
             self.certified_at = Some(self.steps);
         }
         Ok(holds)
+    }
+
+    /// Append one block to the attached sink (one lock, one record —
+    /// the group-commit unit).
+    fn log_block(&self, deltas: &[&Delta]) -> Result<(), WalError> {
+        match &self.sink {
+            Some(sink) => sink.lock().expect("sink poisoned").committed(self.steps, deltas),
+            None => Ok(()),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Durability: snapshot + recovery (see [`wal`])
+    // -----------------------------------------------------------------
+
+    /// Checkpoint everything this monitor cannot rebuild from its
+    /// constructor arguments: database heap, cohort/RLE tracking state,
+    /// step and pre-state counters, policy and certification horizon.
+    /// The encoding is canonical — equal monitor states yield equal
+    /// [`Snapshot::encode`] bytes.
+    ///
+    /// # Panics
+    /// Panics on the reference engine, which this layer does not
+    /// persist.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let Engine::Delta(state) = &self.engine else {
+            panic!("snapshot requires the delta engine")
+        };
+        Snapshot {
+            steps: self.steps,
+            pre_state: self.pre_state,
+            pre_exempt: self.pre_exempt,
+            policy: self.policy,
+            certified: self.certified,
+            certified_at: self.certified_at,
+            db: self.db.clone(),
+            shards: vec![state.clone()],
+        }
+    }
+
+    /// Rebuild a monitor from a checkpoint plus the WAL tail written
+    /// after it — **without replaying history**: the snapshot restores
+    /// the tracking state directly and each tail block replays as one
+    /// [`Delta::redo`] + one cohort sweep (its original commit
+    /// granularity), so recovery costs O(snapshot + tail), never
+    /// O(run length).
+    ///
+    /// `snapshot: None` recovers from an empty monitor (a log that
+    /// predates the first checkpoint); the recovered policy then
+    /// defaults to [`StepPolicy::EveryApplication`] — logged blocks
+    /// hold only effective letters, so replay itself is
+    /// policy-independent.
+    ///
+    /// Records whose step offset predates the snapshot are skipped
+    /// (they are already folded into it); a gap or a non-admitting
+    /// block is reported as [`WalError::Mismatch`]. A
+    /// [`wal::WalRecord::Certified`] marker in the tail freezes
+    /// tracking exactly where the crashed monitor froze it. The
+    /// recovered monitor has no sink attached — reattach with
+    /// [`Monitor::with_sink`] to resume logging.
+    pub fn recover(
+        schema: &'a Schema,
+        alphabet: &'a RoleAlphabet,
+        inventory: &'a Inventory,
+        kind: PatternKind,
+        snapshot: Option<Snapshot>,
+        tail: impl IntoIterator<Item = wal::WalRecord>,
+    ) -> Result<Monitor<'a>, WalError> {
+        let mut m = match snapshot {
+            Some(snap) => {
+                let Snapshot {
+                    steps,
+                    pre_state,
+                    pre_exempt,
+                    policy,
+                    certified,
+                    certified_at,
+                    db,
+                    mut shards,
+                } = snap;
+                if shards.len() != 1 {
+                    return Err(WalError::Mismatch(format!(
+                        "snapshot has {} shards; a Monitor persists exactly one",
+                        shards.len()
+                    )));
+                }
+                let state = shards.pop().expect("one shard");
+                let mut m =
+                    Self::with_engine(schema, alphabet, inventory, kind, Engine::Delta(state));
+                m.db = db;
+                m.steps = steps;
+                m.pre_state = pre_state;
+                m.pre_exempt = pre_exempt;
+                m.policy = policy;
+                m.certified = certified;
+                m.certified_at = certified_at;
+                m
+            }
+            None => Self::new(schema, alphabet, inventory, kind),
+        };
+        for record in tail {
+            match record {
+                wal::WalRecord::Block(block) => {
+                    if block.steps0 < m.steps {
+                        continue; // already folded into the snapshot
+                    }
+                    if block.steps0 > m.steps {
+                        return Err(WalError::Mismatch(format!(
+                            "wal gap: next block starts at letter {}, monitor is at {}",
+                            block.steps0, m.steps
+                        )));
+                    }
+                    m.replay_block(&block.deltas)?;
+                }
+                wal::WalRecord::Certified { steps } => {
+                    if steps < m.steps {
+                        continue; // the snapshot already carries it
+                    }
+                    if steps > m.steps {
+                        return Err(WalError::Mismatch(format!(
+                            "wal gap: certification at letter {steps}, monitor is at {}",
+                            m.steps
+                        )));
+                    }
+                    if !m.certified {
+                        m.certified = true;
+                        m.certified_at = Some(steps);
+                    }
+                }
+            }
+        }
+        Ok(m)
+    }
+
+    /// Replay one logged block onto the recovered state: redo the
+    /// database change-sets, then run the same staged sweep + commit
+    /// the original admission ran (`k =` block length — for a single
+    /// monitor every logged block holds one delta). Admission already
+    /// proved the block conforming, so a failing stage means the log
+    /// and snapshot do not belong together.
+    fn replay_block(&mut self, deltas: &[Delta]) -> Result<(), WalError> {
+        for d in deltas {
+            d.redo(&mut self.db);
+        }
+        let k = deltas.len();
+        if k == 0 {
+            return Ok(());
+        }
+        if self.certified {
+            // Certified blocks were logged without tracking; replay
+            // mirrors that.
+            self.steps += k;
+            return Ok(());
+        }
+        let dfa = self.inventory.dfa();
+        let empty = self.alphabet.empty_symbol();
+        // The same shared walk and grouping the admission path ran —
+        // committed blocks were proved admissible, so a violation here
+        // means the log does not belong to this snapshot.
+        let pre = delta::never_created_walk(
+            dfa,
+            empty,
+            self.kind,
+            self.pre_state,
+            self.pre_exempt,
+            self.steps,
+            k,
+        );
+        if pre.violation_at.is_some() {
+            return Err(WalError::Mismatch("logged block does not admit".into()));
+        }
+        let refs: Vec<&Delta> = deltas.iter().collect();
+        let touched = delta::touched_map(&refs);
+        let ctx = delta::BatchCtx {
+            schema: self.schema,
+            alphabet: self.alphabet,
+            dfa,
+            kind: self.kind,
+            steps0: self.steps,
+            k,
+            pre_trace: &pre.trace,
+        };
+        let Engine::Delta(state) = &mut self.engine else { unreachable!() };
+        let stage = state
+            .stage_batch(&ctx, &touched)
+            .map_err(|()| WalError::Mismatch("logged block does not admit".into()))?;
+        state.commit_batch(stage);
+        if k == 1 {
+            state.last_touched = deltas[0].objects().len();
+        }
+        self.steps += k;
+        self.pre_state = pre.state;
+        self.pre_exempt = pre.exempt;
+        Ok(())
     }
 
     /// The role-set symbol of a raw class set (∅ when absent or outside
@@ -431,10 +720,20 @@ impl<'a> Monitor<'a> {
 
     fn try_apply_delta(&mut self, t: &Transaction, args: &Assignment) -> Result<(), EnforceError> {
         if self.certified {
-            // Certified fast path: no checks will run, so skip the
-            // before-image capture entirely — the raw interpreter cost is
-            // all that remains.
-            apply_transaction(self.schema, &mut self.db, t, args)?;
+            // Certified fast path: no checks will run. Without a sink,
+            // skip the before-image capture entirely — the raw
+            // interpreter cost is all that remains. A durable monitor
+            // still captures the delta (it must be logged), but runs no
+            // admission work on it.
+            if self.sink.is_some() {
+                let delta = apply_transaction_delta(self.schema, &mut self.db, t, args)?;
+                if let Err(e) = self.log_block(&[&delta]) {
+                    delta.undo(&mut self.db);
+                    return Err(EnforceError::Durability(e));
+                }
+            } else {
+                apply_transaction(self.schema, &mut self.db, t, args)?;
+            }
             self.steps += 1;
             return Ok(());
         }
@@ -450,18 +749,19 @@ impl<'a> Monitor<'a> {
         let empty = self.alphabet.empty_symbol();
         let step_idx = self.steps + 1; // 1-based index of this letter
 
-        // 1. The never-created objects read one more ∅ (O(1)).
-        let pre_state_old = self.pre_state;
-        let mut pre_exempt_new = self.pre_exempt;
-        if !pre_exempt_new
-            && step_idx >= 2
-            && matches!(self.kind, PatternKind::Proper | PatternKind::Lazy)
-        {
-            // A second ∅ neither changes the object nor its role set.
-            pre_exempt_new = true;
-        }
-        let pre_state_new = dfa.step(pre_state_old, empty);
-        if !pre_exempt_new && !dfa.is_accepting(pre_state_new) {
+        // 1. The never-created objects read one more ∅ (O(1)) — the
+        //    shared walk, so admission, batching and WAL replay cannot
+        //    drift.
+        let pre = delta::never_created_walk(
+            dfa,
+            empty,
+            self.kind,
+            self.pre_state,
+            self.pre_exempt,
+            self.steps,
+            1,
+        );
+        if pre.violation_at.is_some() {
             delta.undo(&mut self.db);
             return Err(EnforceError::Violation(Violation {
                 oid: None,
@@ -475,7 +775,6 @@ impl<'a> Monitor<'a> {
         //    (nothing is written until the step is known admissible),
         //    then a commit. This is the same code path the sharded
         //    monitor runs per shard, so the engines cannot drift.
-        let pre_trace = [(pre_state_old, self.pre_exempt)];
         let ctx = delta::BatchCtx {
             schema: self.schema,
             alphabet: self.alphabet,
@@ -483,28 +782,31 @@ impl<'a> Monitor<'a> {
             kind: self.kind,
             steps0: self.steps,
             k: 1,
-            pre_trace: &pre_trace,
+            pre_trace: &pre.trace,
         };
-        let mut touched: BTreeMap<Oid, Vec<(usize, &migratory_lang::ObjectDelta)>> =
-            BTreeMap::new();
-        for od in delta.objects() {
-            if od.before.is_none() && od.after_classes.is_none() {
-                // Minted and deleted inside one application: never
-                // observable, covered by the never-created class.
-                continue;
-            }
-            touched.entry(od.oid).or_default().push((1, od));
-        }
+        let touched = delta::touched_map(&[&delta]);
         let Engine::Delta(state) = &mut self.engine else { unreachable!() };
         match state.stage_batch(&ctx, &touched) {
             Ok(stage) => {
+                // Write-ahead: the block reaches the log after staging
+                // proved it admissible and before any tracking state is
+                // written; a sink failure aborts the whole application.
+                if let Some(sink) = &self.sink {
+                    if let Err(e) =
+                        sink.lock().expect("sink poisoned").committed(self.steps, &[&delta])
+                    {
+                        delta.undo(&mut self.db);
+                        return Err(EnforceError::Durability(e));
+                    }
+                }
+                let Engine::Delta(state) = &mut self.engine else { unreachable!() };
                 state.commit_batch(stage);
                 // `last_touched` counts every object of the change-set,
                 // including within-step blips the tracker never sees.
                 state.last_touched = delta.objects().len();
                 self.steps = step_idx;
-                self.pre_state = pre_state_new;
-                self.pre_exempt = pre_exempt_new;
+                self.pre_state = pre.state;
+                self.pre_exempt = pre.exempt;
                 Ok(())
             }
             Err(()) => {
@@ -513,7 +815,7 @@ impl<'a> Monitor<'a> {
                 // is byte-identical to [`Monitor::new_reference`]'s, then
                 // roll the database back. O(objects), paid only on
                 // rejection.
-                let v = self.diagnose_violation(&delta, step_idx, pre_state_old);
+                let v = self.diagnose_violation(&delta, step_idx, self.pre_state);
                 delta.undo(&mut self.db);
                 Err(EnforceError::Violation(v))
             }
@@ -709,6 +1011,7 @@ mod tests {
                 assert!(v.display(&a).contains("o1"));
             }
             EnforceError::Lang(e) => panic!("unexpected {e}"),
+            EnforceError::Durability(e) => panic!("unexpected {e}"),
         }
         // Rolled back: the object is still a plain person, 3 letters.
         assert_eq!(m.steps(), 3);
@@ -845,6 +1148,7 @@ mod tests {
                 assert_eq!(v.letter, a.empty_symbol());
             }
             EnforceError::Lang(e) => panic!("unexpected {e}"),
+            EnforceError::Durability(e) => panic!("unexpected {e}"),
         }
         // Under Proper the second trailing ∅ makes o1's pattern improper
         // (and ∅∅ exempts the never-created class too): admitted.
@@ -1158,6 +1462,7 @@ mod tests {
                 assert_eq!(v.letter, a.empty_symbol());
             }
             EnforceError::Lang(e) => panic!("unexpected {e}"),
+            EnforceError::Durability(e) => panic!("unexpected {e}"),
         }
         // Rejection rolled back: both databases agree and can continue.
         assert_eq!(fast.db(), oracle.db());

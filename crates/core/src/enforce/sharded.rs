@@ -39,13 +39,23 @@
 //! [`Monitor::new_reference`](super::Monitor::new_reference).
 
 use super::delta::{diagnose_step, BatchCtx, BatchStage, DeltaState, DiagParams, EXEMPT};
-use super::{EnforceError, StepPolicy, Violation};
+use super::wal::{Snapshot, WalError, WalRecord};
+use super::{EnforceError, SharedSink, StepPolicy, Violation};
 use crate::alphabet::RoleAlphabet;
 use crate::inventory::Inventory;
 use crate::pattern::{MigrationPattern, PatternKind};
 use migratory_lang::{apply_transaction_delta, Assignment, Delta, ObjectDelta, Transaction};
 use migratory_model::{Instance, Oid, Schema};
 use std::collections::BTreeMap;
+
+/// Why an admission block did not commit.
+enum AdmitFail {
+    /// Some letter violates the inventory (diagnose + roll back).
+    Violation,
+    /// The commit sink refused the block (roll back, nothing logged or
+    /// tracked).
+    Sink(WalError),
+}
 
 /// How objects are assigned to shards.
 #[derive(Clone, Debug)]
@@ -115,6 +125,9 @@ pub struct ShardedMonitor<'a> {
     db: Instance,
     shards: Vec<DeltaState>,
     router: Router,
+    /// Where committed blocks are logged before tracking state is
+    /// written (`None`: volatile monitor).
+    sink: Option<SharedSink>,
     /// Stage shards on scoped threads (off when the host has one
     /// processor — the batch amortization still applies, the thread
     /// hand-off cost does not).
@@ -159,6 +172,7 @@ impl<'a> ShardedMonitor<'a> {
             db: Instance::empty(),
             shards: (0..n).map(|_| DeltaState::new()).collect(),
             router,
+            sink: None,
             parallel: n > 1
                 && std::thread::available_parallelism().map_or(1, std::num::NonZero::get) > 1,
             pre_state: inventory.dfa().start(),
@@ -182,6 +196,17 @@ impl<'a> ShardedMonitor<'a> {
     #[must_use]
     pub fn with_parallel_staging(mut self, parallel: bool) -> Self {
         self.parallel = parallel && self.shards.len() > 1;
+        self
+    }
+
+    /// Attach a [`CommitSink`](super::CommitSink): every admitted block
+    /// is appended *before* any shard's tracking state commits
+    /// (write-ahead, one record per block — group commit), and a sink
+    /// failure rolls the whole block back
+    /// ([`EnforceError::Durability`]).
+    #[must_use]
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
         self
     }
 
@@ -238,7 +263,7 @@ impl<'a> ShardedMonitor<'a> {
             Router::Component { shard_of } => {
                 let cs = match &od.before {
                     Some((cs, _)) => *cs,
-                    None => od.after_classes.expect("routed objects occur before or after"),
+                    None => od.after_classes().expect("routed objects occur before or after"),
                 };
                 let c = cs.first().expect("memberships are non-empty");
                 shard_of[self.schema.component_of(c) as usize]
@@ -258,12 +283,18 @@ impl<'a> ShardedMonitor<'a> {
             // undo.
             return Ok(());
         }
-        if self.admit_effective(&[&delta]).is_ok() {
-            return Ok(());
+        match self.admit_effective(&[&delta]) {
+            Ok(()) => Ok(()),
+            Err(AdmitFail::Violation) => {
+                let v = self.diagnose_violation(&delta);
+                delta.undo(&mut self.db);
+                Err(EnforceError::Violation(v))
+            }
+            Err(AdmitFail::Sink(e)) => {
+                delta.undo(&mut self.db);
+                Err(EnforceError::Durability(e))
+            }
         }
-        let v = self.diagnose_violation(&delta);
-        delta.undo(&mut self.db);
-        Err(EnforceError::Violation(v))
     }
 
     /// Apply a whole sequence one by one, stopping at the first
@@ -314,52 +345,66 @@ impl<'a> ShardedMonitor<'a> {
             .iter()
             .filter(|d| !(self.policy == StepPolicy::OnlyChanging && d.is_identity()))
             .collect();
-        if effective.is_empty() || self.admit_effective(&effective).is_ok() {
+        if effective.is_empty() {
             return (applied, lang_err);
         }
-        // Some letter in the block violates: roll the whole block back
-        // and fall back to sequential admission of the applied prefix.
-        for d in deltas.iter().rev() {
-            d.undo(&mut self.db);
+        match self.admit_effective(&effective) {
+            Ok(()) => (applied, lang_err),
+            Err(AdmitFail::Violation) => {
+                // Some letter in the block violates: roll the whole
+                // block back and fall back to sequential admission of
+                // the applied prefix.
+                for d in deltas.iter().rev() {
+                    d.undo(&mut self.db);
+                }
+                let (done, err) = self.try_apply_all(items[..applied].iter().copied());
+                (done, err.or(lang_err))
+            }
+            Err(AdmitFail::Sink(e)) => {
+                // The log refused the block: nothing commits — with a
+                // failing sink a sequential replay could not make any
+                // application durable either.
+                for d in deltas.iter().rev() {
+                    d.undo(&mut self.db);
+                }
+                (0, Some(EnforceError::Durability(e)))
+            }
         }
-        let (done, err) = self.try_apply_all(items[..applied].iter().copied());
-        (done, err.or(lang_err))
     }
 
-    /// Validate `k` effective letters across all shards and commit them
-    /// if every enforced pattern stays inside the inventory. `Err(())`
-    /// leaves monitor state (but not the database) untouched.
-    fn admit_effective(&mut self, effective: &[&Delta]) -> Result<(), ()> {
+    /// Validate `k` effective letters across all shards, append the
+    /// block to the sink (if any), and commit if every enforced pattern
+    /// stays inside the inventory. `Err` leaves monitor state (but not
+    /// the database) untouched.
+    fn admit_effective(&mut self, effective: &[&Delta]) -> Result<(), AdmitFail> {
         let k = effective.len();
         let dfa = self.inventory.dfa();
         let empty = self.alphabet.empty_symbol();
 
-        // The never-created objects read one more ∅ per letter (O(k)),
-        // exactly as the per-step engines do.
-        let mut pre_trace: Vec<(u32, bool)> = Vec::with_capacity(k);
-        let (mut ps, mut pe) = (self.pre_state, self.pre_exempt);
-        for j in 1..=k {
-            let idx = self.steps + j;
-            pre_trace.push((ps, pe));
-            if !pe && idx >= 2 && matches!(self.kind, PatternKind::Proper | PatternKind::Lazy) {
-                // A second ∅ neither changes the object nor its role set.
-                pe = true;
-            }
-            ps = dfa.step(ps, empty);
-            if !pe && !dfa.is_accepting(ps) {
-                return Err(());
-            }
+        // The never-created objects read one more ∅ per letter (O(k)) —
+        // the shared walk, exactly as the per-step engine and WAL replay
+        // run it.
+        let pre = super::delta::never_created_walk(
+            dfa,
+            empty,
+            self.kind,
+            self.pre_state,
+            self.pre_exempt,
+            self.steps,
+            k,
+        );
+        if pre.violation_at.is_some() {
+            return Err(AdmitFail::Violation);
         }
 
         // Partition touched objects by shard, keeping each object's
-        // touches in effective-step order.
+        // touches in effective-step order (the sharded variant of
+        // `delta::touched_map`, same visibility filter).
         let mut touched: Vec<BTreeMap<Oid, Vec<(usize, &ObjectDelta)>>> =
             (0..self.shards.len()).map(|_| BTreeMap::new()).collect();
         for (j, d) in effective.iter().enumerate() {
             for od in d.objects() {
-                if od.before.is_none() && od.after_classes.is_none() {
-                    // Minted and deleted inside one application: never
-                    // observable, covered by the never-created class.
+                if !super::delta::tracked(od) {
                     continue;
                 }
                 let s = self.route(od);
@@ -374,7 +419,7 @@ impl<'a> ShardedMonitor<'a> {
             kind: self.kind,
             steps0: self.steps,
             k,
-            pre_trace: &pre_trace,
+            pre_trace: &pre.trace,
         };
         // Stage every shard read-only; concurrently when it pays. The
         // slots are pre-filled and every task writes its own slot, so
@@ -394,15 +439,26 @@ impl<'a> ShardedMonitor<'a> {
                 *slot = state.stage_batch(&ctx, touched);
             }
         }
-        let stages: Vec<BatchStage> = staged.into_iter().collect::<Result<_, _>>()?;
+        let stages: Vec<BatchStage> =
+            staged.into_iter().collect::<Result<_, _>>().map_err(|()| AdmitFail::Violation)?;
+
+        // Write-ahead: every shard staged the block as admissible, so it
+        // may be logged — one record for all `k` letters (group commit)
+        // — before any tracking state is written.
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("sink poisoned")
+                .committed(self.steps, effective)
+                .map_err(AdmitFail::Sink)?;
+        }
 
         // Commit: every shard accepted, write the staged moves.
         for (state, stage) in self.shards.iter_mut().zip(stages) {
             state.commit_batch(stage);
         }
         self.steps += k;
-        self.pre_state = ps;
-        self.pre_exempt = pe;
+        self.pre_state = pre.state;
+        self.pre_exempt = pre.exempt;
         Ok(())
     }
 
@@ -455,6 +511,126 @@ impl<'a> ShardedMonitor<'a> {
     #[must_use]
     pub fn routes_by_component(&self) -> bool {
         matches!(self.router, Router::Component { .. })
+    }
+
+    /// The schema this monitor enforces over.
+    pub(crate) fn schema(&self) -> &'a Schema {
+        self.schema
+    }
+
+    /// The component → shard table of a component-routed monitor
+    /// (`None` under oid striping). The ingress front end aligns its
+    /// admission lanes with this.
+    pub(crate) fn component_lanes(&self) -> Option<&[usize]> {
+        match &self.router {
+            Router::Component { shard_of } => Some(shard_of),
+            Router::OidStripe { .. } => None,
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Durability: snapshot + recovery (see [`wal`](super::wal))
+    // -----------------------------------------------------------------
+
+    /// Checkpoint the database heap, every shard's tracking state and
+    /// the shared counters. Canonical: equal monitor states yield equal
+    /// [`Snapshot::encode`] bytes.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            steps: self.steps,
+            pre_state: self.pre_state,
+            pre_exempt: self.pre_exempt,
+            policy: self.policy,
+            certified: false,
+            certified_at: None,
+            db: self.db.clone(),
+            shards: self.shards.clone(),
+        }
+    }
+
+    /// Rebuild a sharded monitor from a checkpoint plus the WAL tail
+    /// written after it, without replaying history. `shards` must
+    /// request the same partitioning the snapshot was taken under (the
+    /// router is re-derived from the schema; the snapshot carries one
+    /// tracking state per shard). Each tail block replays at its
+    /// original commit granularity — one cohort sweep per shard per
+    /// block — so the recovered tracking state is byte-identical to the
+    /// uncrashed monitor's. The recovered monitor has no sink attached.
+    pub fn recover(
+        schema: &'a Schema,
+        alphabet: &'a RoleAlphabet,
+        inventory: &'a Inventory,
+        kind: PatternKind,
+        shards: usize,
+        snapshot: Option<Snapshot>,
+        tail: impl IntoIterator<Item = WalRecord>,
+    ) -> Result<ShardedMonitor<'a>, WalError> {
+        let mut m = Self::new(schema, alphabet, inventory, kind, shards);
+        if let Some(snap) = snapshot {
+            let Snapshot {
+                steps,
+                pre_state,
+                pre_exempt,
+                policy,
+                certified,
+                certified_at: _,
+                db,
+                shards: states,
+            } = snap;
+            if certified {
+                return Err(WalError::Mismatch(
+                    "snapshot is certified — only the single Monitor certifies".into(),
+                ));
+            }
+            if states.len() != m.shards.len() {
+                return Err(WalError::Mismatch(format!(
+                    "snapshot has {} shards, this monitor partitions into {}",
+                    states.len(),
+                    m.shards.len()
+                )));
+            }
+            m.db = db;
+            m.shards = states;
+            m.steps = steps;
+            m.pre_state = pre_state;
+            m.pre_exempt = pre_exempt;
+            m.policy = policy;
+        }
+        for record in tail {
+            let block =
+                match record {
+                    WalRecord::Block(b) => b,
+                    WalRecord::Certified { .. } => return Err(WalError::Mismatch(
+                        "log carries a certification marker — only the single Monitor certifies"
+                            .into(),
+                    )),
+                };
+            if block.steps0 < m.steps {
+                continue; // already folded into the snapshot
+            }
+            if block.steps0 > m.steps {
+                return Err(WalError::Mismatch(format!(
+                    "wal gap: next block starts at letter {}, monitor is at {}",
+                    block.steps0, m.steps
+                )));
+            }
+            if block.deltas.is_empty() {
+                continue;
+            }
+            for d in &block.deltas {
+                d.redo(&mut m.db);
+            }
+            let refs: Vec<&Delta> = block.deltas.iter().collect();
+            match m.admit_effective(&refs) {
+                Ok(()) => {}
+                Err(AdmitFail::Violation) => {
+                    return Err(WalError::Mismatch("logged block does not admit".into()))
+                }
+                Err(AdmitFail::Sink(e)) => return Err(e),
+            }
+        }
+        Ok(m)
     }
 }
 

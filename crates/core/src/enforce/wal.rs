@@ -1,0 +1,824 @@
+//! Durability for the enforcement engine: a write-ahead log of committed
+//! [`Delta`] blocks plus snapshots of the cohort/RLE tracking state.
+//!
+//! # Why deltas are the right log record
+//!
+//! The paper's migration constraints are *histories*: the monitor's DFA
+//! tracking state **is** the constraint (losing it is losing which
+//! patterns have been consumed). A transaction application is not
+//! replayable from its syntax alone — `Sat` depends on the whole
+//! database — but its [`Delta`] change-set is exact and invertible, so a
+//! log of committed deltas replays with [`Delta::redo`] in O(touched)
+//! per record, independent of database size and with no interpreter in
+//! the loop.
+//!
+//! # Durability contract
+//!
+//! A monitor with an attached [`CommitSink`] writes **ahead**: a block
+//! of admitted letters reaches the sink after every shard has staged
+//! (so only admissible blocks are ever logged) and *before* any
+//! in-memory tracking state is written. If the sink fails, the database
+//! application is rolled back and the monitor is unchanged — the log
+//! never lags the engine. One sink call covers the whole block (`k`
+//! effective letters), so batched admission **group-commits**: one
+//! record, one flush, per block.
+//!
+//! Recovery ([`Monitor::recover`](super::Monitor::recover),
+//! [`ShardedMonitor::recover`](super::ShardedMonitor::recover)) loads
+//! the latest [`Snapshot`] and replays only the WAL tail past it —
+//! never the full history. Replay re-applies each block at its original
+//! commit granularity (one cohort sweep per logged block, mirroring the
+//! original admission), and because every engine structure iterates in
+//! canonical order (`BTreeMap`s throughout — see
+//! `DeltaState::by_key`), the recovered tracking state is
+//! **byte-identical** to the uncrashed monitor's: re-encoding both
+//! snapshots yields equal bytes. The randomized crash-point suite in
+//! `tests/wal_recovery.rs` checks exactly this at every prefix of
+//! random runs.
+//!
+//! # Prefix-closedness and torn tails
+//!
+//! Records are length-prefixed and checksummed; a crash mid-append
+//! leaves a torn final record, which [`Wal::load`] (and
+//! [`decode_records`]) silently drop. That is *correct*, not merely
+//! tolerated: inventories are prefix-closed (Definition 3.3), so the
+//! state reached by any prefix of a committed run is itself a legal
+//! monitor state — recovering "one block short" yields a monitor that
+//! was valid the instant before the lost commit, and whose caller never
+//! saw that commit acknowledged (the sink flush happens before
+//! admission returns).
+//!
+//! [`Delta`]: migratory_lang::Delta
+
+use super::delta::{Cohort, DeltaState, ObjRecord};
+use super::StepPolicy;
+use migratory_lang::Delta;
+use migratory_model::codec::{encode_u64, Reader};
+use migratory_model::{Instance, ModelError, Oid};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Errors of the durability layer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WalError {
+    /// An I/O failure from the backing store (message of the underlying
+    /// `std::io::Error`).
+    Io(String),
+    /// A snapshot or log payload is malformed.
+    Corrupt(String),
+    /// Snapshot and WAL tail disagree (wrong shard count, a step gap
+    /// between snapshot and first tail block, a block that does not
+    /// admit).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "wal i/o error: {e}"),
+            WalError::Corrupt(m) => write!(f, "wal corrupt: {m}"),
+            WalError::Mismatch(m) => write!(f, "wal mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<std::io::Error> for WalError {
+    fn from(e: std::io::Error) -> Self {
+        WalError::Io(e.to_string())
+    }
+}
+
+impl From<ModelError> for WalError {
+    fn from(e: ModelError) -> Self {
+        WalError::Corrupt(e.to_string())
+    }
+}
+
+/// Receiver of committed blocks — the pluggable seam between the
+/// admission engines and durable storage. The engines call
+/// [`CommitSink::committed`] once per admitted block, after staging
+/// succeeds and **before** tracking state is written; an `Err` aborts
+/// the commit (the application is rolled back). "No sink" is the no-op
+/// default — an in-memory monitor pays nothing for the seam.
+pub trait CommitSink: Send {
+    /// A block of `deltas` (the effective letters, in order) is about to
+    /// commit; `steps0` is the number of letters emitted before it.
+    fn committed(&mut self, steps0: usize, deltas: &[&Delta]) -> Result<(), WalError>;
+
+    /// The monitor certified its transaction schema at letter count
+    /// `steps` (Corollary 3.3): tracking freezes here and later blocks
+    /// are logged unchecked. Durable stores must record this — replay
+    /// is wrong without it — so the marker is written through the same
+    /// write-ahead discipline; an `Err` keeps the monitor uncertified.
+    fn certified(&mut self, steps: usize) -> Result<(), WalError>;
+}
+
+/// One committed block as read back from a log.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WalBlock {
+    /// Letters emitted before this block.
+    pub steps0: usize,
+    /// The block's effective deltas, in commit order.
+    pub deltas: Vec<Delta>,
+}
+
+/// One log record as read back from a log: a committed block, or the
+/// certification event (which freezes tracking from its step on).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WalRecord {
+    /// A committed block of effective letters.
+    Block(WalBlock),
+    /// [`Monitor::certify`](super::Monitor::certify) succeeded with the
+    /// monitor at this letter count.
+    Certified {
+        /// Letters emitted when certification took effect.
+        steps: usize,
+    },
+}
+
+impl WalRecord {
+    /// Letters this record contributes to the run.
+    #[must_use]
+    pub fn letters(&self) -> usize {
+        match self {
+            WalRecord::Block(b) => b.deltas.len(),
+            WalRecord::Certified { .. } => 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record framing
+// ---------------------------------------------------------------------
+
+/// IEEE CRC-32, table-driven.
+fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xedb8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    static TABLE: [u32; 256] = table();
+    let mut c = !0u32;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Record payload tags.
+const TAG_BLOCK: u8 = 0;
+const TAG_CERTIFY: u8 = 1;
+
+/// Append one framed record (`[len][crc][payload]`, little-endian
+/// prefixes) for a committed block.
+pub fn encode_record(out: &mut Vec<u8>, steps0: usize, deltas: &[&Delta]) {
+    let mut payload = Vec::new();
+    payload.push(TAG_BLOCK);
+    encode_u64(&mut payload, steps0 as u64);
+    encode_u64(&mut payload, deltas.len() as u64);
+    for d in deltas {
+        migratory_lang::encode_delta(&mut payload, d);
+    }
+    frame(out, &payload);
+}
+
+/// Append one framed certification-marker record.
+pub fn encode_certify_record(out: &mut Vec<u8>, steps: usize) {
+    let mut payload = Vec::new();
+    payload.push(TAG_CERTIFY);
+    encode_u64(&mut payload, steps as u64);
+    frame(out, &payload);
+}
+
+fn frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&u32::try_from(payload.len()).expect("record fits u32").to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Decode a log byte stream into records, stopping at the first torn or
+/// checksum-failing record (the crash-truncation semantics — see the
+/// module docs for why dropping the torn tail is sound).
+#[must_use]
+pub fn decode_records(mut bytes: &[u8]) -> Vec<WalRecord> {
+    let mut records = Vec::new();
+    loop {
+        let Some((head, rest)) = bytes.split_at_checked(8) else { return records };
+        let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(head[4..].try_into().expect("4 bytes"));
+        let Some((payload, rest)) = rest.split_at_checked(len) else { return records };
+        if crc32(payload) != crc {
+            return records;
+        }
+        let Ok(record) = decode_record(payload) else { return records };
+        records.push(record);
+        bytes = rest;
+    }
+}
+
+/// Byte length of the longest prefix of whole, checksum-valid records —
+/// where [`Wal::open`] truncates to before appending.
+fn valid_prefix_len(bytes: &[u8]) -> usize {
+    let mut pos = 0usize;
+    loop {
+        let rest = &bytes[pos..];
+        let Some((head, tail)) = rest.split_at_checked(8) else { return pos };
+        let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(head[4..].try_into().expect("4 bytes"));
+        let Some(payload) = tail.get(..len) else { return pos };
+        if crc32(payload) != crc || decode_record(payload).is_err() {
+            return pos;
+        }
+        pos += 8 + len;
+    }
+}
+
+fn decode_record(payload: &[u8]) -> Result<WalRecord, WalError> {
+    let mut r = Reader::new(payload);
+    let record = match r.byte()? {
+        TAG_BLOCK => {
+            let steps0 =
+                usize::try_from(r.u64()?).map_err(|_| WalError::Corrupt("steps0".into()))?;
+            let n = r.count()?;
+            let mut deltas = Vec::with_capacity(n);
+            for _ in 0..n {
+                deltas.push(
+                    migratory_lang::decode_delta(&mut r)
+                        .map_err(|e| WalError::Corrupt(e.to_string()))?,
+                );
+            }
+            WalRecord::Block(WalBlock { steps0, deltas })
+        }
+        TAG_CERTIFY => WalRecord::Certified {
+            steps: usize::try_from(r.u64()?).map_err(|_| WalError::Corrupt("steps".into()))?,
+        },
+        t => return Err(WalError::Corrupt(format!("unknown record tag {t}"))),
+    };
+    if !r.is_exhausted() {
+        return Err(WalError::Corrupt("trailing bytes in record".into()));
+    }
+    Ok(record)
+}
+
+// ---------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------
+
+const SNAP_MAGIC: &[u8; 6] = b"MGSNP1";
+
+/// A checkpoint of everything a monitor cannot rebuild from its
+/// constructor arguments: the database heap, the per-shard cohort/RLE
+/// tracking state, and the step/pre-state counters. Encoding is
+/// canonical, so snapshot bytes decide state equality — the recovery
+/// suite's "byte-identical" check is `encode()` equality.
+#[derive(Clone)]
+pub struct Snapshot {
+    pub(crate) steps: usize,
+    pub(crate) pre_state: u32,
+    pub(crate) pre_exempt: bool,
+    pub(crate) policy: StepPolicy,
+    pub(crate) certified: bool,
+    pub(crate) certified_at: Option<usize>,
+    pub(crate) db: Instance,
+    pub(crate) shards: Vec<DeltaState>,
+}
+
+impl Snapshot {
+    /// Letters emitted at the moment of the checkpoint. WAL blocks with
+    /// `steps0 <` this are already folded in and are skipped on
+    /// recovery.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The checkpointed database.
+    #[must_use]
+    pub fn db(&self) -> &Instance {
+        &self.db
+    }
+
+    /// Number of tracking shards (1 for the single
+    /// [`Monitor`](super::Monitor)).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Canonical binary encoding.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(SNAP_MAGIC);
+        encode_u64(&mut out, self.steps as u64);
+        encode_u64(&mut out, u64::from(self.pre_state));
+        let mut flags = 0u8;
+        if self.pre_exempt {
+            flags |= 1;
+        }
+        if self.policy == StepPolicy::OnlyChanging {
+            flags |= 2;
+        }
+        if self.certified {
+            flags |= 4;
+        }
+        if self.certified_at.is_some() {
+            flags |= 8;
+        }
+        out.push(flags);
+        if let Some(at) = self.certified_at {
+            encode_u64(&mut out, at as u64);
+        }
+        self.db.encode_snapshot(&mut out);
+        encode_u64(&mut out, self.shards.len() as u64);
+        for s in &self.shards {
+            encode_state(&mut out, s);
+        }
+        out
+    }
+
+    /// Decode [`Snapshot::encode`] bytes.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, WalError> {
+        if bytes.len() < SNAP_MAGIC.len() || &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+            return Err(WalError::Corrupt("bad snapshot magic".into()));
+        }
+        let mut r = Reader::new(&bytes[SNAP_MAGIC.len()..]);
+        let steps = usize::try_from(r.u64()?).map_err(|_| WalError::Corrupt("steps".into()))?;
+        let pre_state =
+            u32::try_from(r.u64()?).map_err(|_| WalError::Corrupt("pre_state".into()))?;
+        let flags = r.byte()?;
+        if flags & !0x0f != 0 {
+            return Err(WalError::Corrupt(format!("unknown snapshot flags {flags:#x}")));
+        }
+        let certified_at = if flags & 8 != 0 {
+            Some(usize::try_from(r.u64()?).map_err(|_| WalError::Corrupt("horizon".into()))?)
+        } else {
+            None
+        };
+        let db = Instance::decode_snapshot(&mut r)?;
+        let n = r.count()?;
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            shards.push(decode_state(&mut r)?);
+        }
+        if !r.is_exhausted() {
+            return Err(WalError::Corrupt("trailing bytes in snapshot".into()));
+        }
+        Ok(Snapshot {
+            steps,
+            pre_state,
+            pre_exempt: flags & 1 != 0,
+            policy: if flags & 2 != 0 {
+                StepPolicy::OnlyChanging
+            } else {
+                StepPolicy::EveryApplication
+            },
+            certified: flags & 4 != 0,
+            certified_at,
+            db,
+            shards,
+        })
+    }
+}
+
+/// Encode one shard's tracking state verbatim — slot table, key map,
+/// free list and all. The engine is deterministic (ordered iteration
+/// everywhere), so replay from a verbatim state reproduces slot
+/// assignment exactly; nothing needs canonicalizing beyond the ordered
+/// maps themselves.
+fn encode_state(out: &mut Vec<u8>, s: &DeltaState) {
+    encode_u64(out, s.records.len() as u64);
+    for (o, rec) in &s.records {
+        encode_u64(out, o.0);
+        encode_u64(out, rec.creation_step as u64);
+        encode_u64(out, u64::from(rec.cohort));
+        encode_u64(out, rec.segments.len() as u64);
+        for &(letter, from) in &rec.segments {
+            encode_u64(out, u64::from(letter));
+            encode_u64(out, from as u64);
+        }
+    }
+    encode_u64(out, s.cohorts.len() as u64);
+    for c in &s.cohorts {
+        encode_u64(out, u64::from(c.state));
+        encode_u64(out, u64::from(c.last_role));
+        encode_u64(out, c.size as u64);
+        encode_u64(out, u64::from(c.parent));
+    }
+    encode_u64(out, s.by_key.len() as u64);
+    for (&(state, role), &id) in &s.by_key {
+        encode_u64(out, u64::from(state));
+        encode_u64(out, u64::from(role));
+        encode_u64(out, u64::from(id));
+    }
+    encode_u64(out, s.free.len() as u64);
+    for &id in &s.free {
+        encode_u64(out, u64::from(id));
+    }
+    // `last_touched` is deliberately NOT encoded: it is a diagnostics
+    // counter that even unlogged null applications update, so it is not
+    // part of the durable (byte-compared) state.
+}
+
+fn u32_of(v: u64, what: &str) -> Result<u32, WalError> {
+    u32::try_from(v).map_err(|_| WalError::Corrupt(format!("{what} out of range")))
+}
+
+fn usize_of(v: u64, what: &str) -> Result<usize, WalError> {
+    usize::try_from(v).map_err(|_| WalError::Corrupt(format!("{what} out of range")))
+}
+
+fn decode_state(r: &mut Reader<'_>) -> Result<DeltaState, WalError> {
+    let n = r.count()?;
+    let mut entries: Vec<(Oid, ObjRecord)> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let o = Oid(r.u64()?);
+        if entries.last().is_some_and(|&(p, _)| o <= p) {
+            return Err(WalError::Corrupt("records out of oid order".into()));
+        }
+        let creation_step = usize_of(r.u64()?, "creation step")?;
+        let cohort = u32_of(r.u64()?, "cohort")?;
+        let m = r.count()?;
+        let mut segments = Vec::with_capacity(m);
+        for _ in 0..m {
+            let letter = u32_of(r.u64()?, "letter")?;
+            let from = usize_of(r.u64()?, "segment start")?;
+            segments.push((letter, from));
+        }
+        if segments.is_empty() {
+            return Err(WalError::Corrupt(format!("record {o} has no segments")));
+        }
+        entries.push((o, ObjRecord { creation_step, segments, cohort }));
+    }
+    // Ascending order verified above: the map bulk-builds.
+    let records: BTreeMap<Oid, ObjRecord> = entries.into_iter().collect();
+    let n = r.count()?;
+    let mut cohorts = Vec::with_capacity(n);
+    for _ in 0..n {
+        cohorts.push(Cohort {
+            state: u32_of(r.u64()?, "cohort state")?,
+            last_role: u32_of(r.u64()?, "cohort role")?,
+            size: usize_of(r.u64()?, "cohort size")?,
+            parent: u32_of(r.u64()?, "cohort parent")?,
+        });
+    }
+    if cohorts.is_empty() {
+        return Err(WalError::Corrupt("missing exempt sink cohort".into()));
+    }
+    let n = r.count()?;
+    let mut by_key = BTreeMap::new();
+    for _ in 0..n {
+        let state = u32_of(r.u64()?, "key state")?;
+        let role = u32_of(r.u64()?, "key role")?;
+        let id = u32_of(r.u64()?, "key cohort")?;
+        if (id as usize) >= cohorts.len() {
+            return Err(WalError::Corrupt("key maps to missing cohort".into()));
+        }
+        by_key.insert((state, role), id);
+    }
+    let n = r.count()?;
+    let mut free = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = u32_of(r.u64()?, "free slot")?;
+        if (id as usize) >= cohorts.len() {
+            return Err(WalError::Corrupt("free slot out of range".into()));
+        }
+        free.push(id);
+    }
+    for rec in records.values() {
+        if (rec.cohort as usize) >= cohorts.len() {
+            return Err(WalError::Corrupt("record points at missing cohort".into()));
+        }
+    }
+    Ok(DeltaState { records, cohorts, by_key, free, last_touched: 0 })
+}
+
+// ---------------------------------------------------------------------
+// Backing stores
+// ---------------------------------------------------------------------
+
+/// A directory-backed log: `wal.log` (appended records) plus
+/// `snapshot.bin` (the latest checkpoint, replaced atomically via
+/// temp-file rename). Writing a snapshot truncates the log — recovery
+/// never replays history the checkpoint already covers.
+pub struct Wal {
+    dir: PathBuf,
+    log: std::fs::File,
+    sync: bool,
+    buf: Vec<u8>,
+    /// End of the last whole record — the append position, and where a
+    /// failed append rolls back to.
+    end: u64,
+}
+
+impl Wal {
+    /// Open (creating if needed) the log directory for appending. A
+    /// torn tail left by a crash mid-append is truncated away first —
+    /// appending after garbage would hide every later record from
+    /// recovery (which stops at the first bad frame).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Wal, WalError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("wal.log");
+        let valid = match std::fs::read(&path) {
+            Ok(bytes) => valid_prefix_len(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+            Err(e) => return Err(e.into()),
+        };
+        let log = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
+        log.set_len(valid as u64)?;
+        Ok(Wal { dir, log, sync: false, buf: Vec::new(), end: valid as u64 })
+    }
+
+    /// Append the staged record in `buf`, rolling the file back to the
+    /// last whole record on any failure so a half-written frame never
+    /// poisons later appends.
+    fn append(&mut self) -> Result<(), WalError> {
+        let res = (|| -> Result<(), WalError> {
+            self.log.write_all(&self.buf)?;
+            self.log.flush()?;
+            if self.sync {
+                self.log.sync_data()?;
+            }
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                self.end += self.buf.len() as u64;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.log.set_len(self.end);
+                Err(e)
+            }
+        }
+    }
+
+    /// Whether to `fsync` after every group commit (default: off —
+    /// flushed-to-OS durability; turn on to survive power loss at the
+    /// cost of one `fdatasync` per block).
+    #[must_use]
+    pub fn with_sync(mut self, sync: bool) -> Wal {
+        self.sync = sync;
+        self
+    }
+
+    /// The backing directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Write `snap` as the new checkpoint (temp file + atomic rename),
+    /// then truncate the log: everything up to `snap.steps()` is now in
+    /// the snapshot, and recovery must not see it twice. (Block records
+    /// carry their step offset, so even a crash between rename and
+    /// truncate recovers correctly — pre-snapshot blocks are skipped by
+    /// step.)
+    ///
+    /// Ordering against power loss: the temp file is fsynced *before*
+    /// the rename and the directory *after* it, and only then is the
+    /// log truncated — the truncation can never reach disk ahead of the
+    /// snapshot bytes it makes load-bearing.
+    pub fn write_snapshot(&mut self, snap: &Snapshot) -> Result<(), WalError> {
+        let tmp = self.dir.join("snapshot.tmp");
+        let bytes = snap.encode();
+        let mut payload = Vec::with_capacity(bytes.len() + 8);
+        payload.extend_from_slice(&u32::try_from(bytes.len()).expect("fits").to_le_bytes());
+        payload.extend_from_slice(&crc32(&bytes).to_le_bytes());
+        payload.extend_from_slice(&bytes);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&payload)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.dir.join("snapshot.bin"))?;
+        // Persist the rename itself before dropping the records it
+        // supersedes (directory fsync; best-effort where unsupported).
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.log.set_len(0)?;
+        self.end = 0;
+        if self.sync {
+            self.log.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Read a directory's checkpoint and WAL tail. Returns `None` for
+    /// the snapshot when no checkpoint was ever written (recover from
+    /// the empty monitor, replaying every block). A torn final log
+    /// record is dropped; a torn snapshot is an error (snapshots are
+    /// written atomically, so a bad one is real corruption, not a
+    /// crash artifact).
+    pub fn load(dir: impl AsRef<Path>) -> Result<(Option<Snapshot>, Vec<WalRecord>), WalError> {
+        let dir = dir.as_ref();
+        let snap = match std::fs::read(dir.join("snapshot.bin")) {
+            Ok(bytes) => {
+                let Some((head, rest)) = bytes.split_at_checked(8) else {
+                    return Err(WalError::Corrupt("snapshot header truncated".into()));
+                };
+                let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
+                let crc = u32::from_le_bytes(head[4..].try_into().expect("4 bytes"));
+                let Some(payload) = rest.get(..len) else {
+                    return Err(WalError::Corrupt("snapshot truncated".into()));
+                };
+                if crc32(payload) != crc {
+                    return Err(WalError::Corrupt("snapshot checksum mismatch".into()));
+                }
+                Some(Snapshot::decode(payload)?)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e.into()),
+        };
+        let log = match std::fs::read(dir.join("wal.log")) {
+            Ok(bytes) => decode_records(&bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        Ok((snap, log))
+    }
+}
+
+impl CommitSink for Wal {
+    fn committed(&mut self, steps0: usize, deltas: &[&Delta]) -> Result<(), WalError> {
+        self.buf.clear();
+        encode_record(&mut self.buf, steps0, deltas);
+        self.append()
+    }
+
+    fn certified(&mut self, steps: usize) -> Result<(), WalError> {
+        self.buf.clear();
+        encode_certify_record(&mut self.buf, steps);
+        self.append()
+    }
+}
+
+/// An in-memory log holding the exact bytes a [`Wal`] would write —
+/// the property-test and benchmark double, byte-compatible with the
+/// file format (including torn-tail semantics via
+/// [`MemoryWal::records_up_to`]).
+#[derive(Default)]
+pub struct MemoryWal {
+    log: Vec<u8>,
+    snapshot: Option<Vec<u8>>,
+}
+
+impl MemoryWal {
+    /// An empty in-memory log.
+    #[must_use]
+    pub fn new() -> MemoryWal {
+        MemoryWal::default()
+    }
+
+    /// Size of the log in bytes.
+    #[must_use]
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Decode every complete record.
+    #[must_use]
+    pub fn records(&self) -> Vec<WalRecord> {
+        decode_records(&self.log)
+    }
+
+    /// Decode the records recoverable from the first `len` bytes — i.e.
+    /// after a crash that persisted only a prefix of the log.
+    #[must_use]
+    pub fn records_up_to(&self, len: usize) -> Vec<WalRecord> {
+        decode_records(&self.log[..len.min(self.log.len())])
+    }
+
+    /// Store `snap` as the checkpoint and truncate the log, mirroring
+    /// [`Wal::write_snapshot`].
+    pub fn write_snapshot(&mut self, snap: &Snapshot) {
+        self.snapshot = Some(snap.encode());
+        self.log.clear();
+    }
+
+    /// The stored checkpoint, decoded.
+    pub fn snapshot(&self) -> Result<Option<Snapshot>, WalError> {
+        self.snapshot.as_deref().map(Snapshot::decode).transpose()
+    }
+}
+
+impl CommitSink for MemoryWal {
+    fn committed(&mut self, steps0: usize, deltas: &[&Delta]) -> Result<(), WalError> {
+        encode_record(&mut self.log, steps0, deltas);
+        Ok(())
+    }
+
+    fn certified(&mut self, steps: usize) -> Result<(), WalError> {
+        encode_certify_record(&mut self.log, steps);
+        Ok(())
+    }
+}
+
+/// A sink that fails on command — exercises the abort-on-sink-error
+/// contract in tests.
+#[doc(hidden)]
+#[derive(Default)]
+pub struct FailingSink {
+    /// When true, every commit errors.
+    pub fail: bool,
+    /// Blocks accepted while `fail` was false.
+    pub accepted: usize,
+}
+
+impl CommitSink for FailingSink {
+    fn committed(&mut self, _steps0: usize, _deltas: &[&Delta]) -> Result<(), WalError> {
+        if self.fail {
+            return Err(WalError::Io("injected sink failure".into()));
+        }
+        self.accepted += 1;
+        Ok(())
+    }
+
+    fn certified(&mut self, _steps: usize) -> Result<(), WalError> {
+        if self.fail {
+            return Err(WalError::Io("injected sink failure".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn records_survive_round_trip_and_drop_torn_tail() {
+        let s = migratory_model::schema::university_schema();
+        let ts = migratory_lang::parse_transactions(
+            &s,
+            r#"transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }"#,
+        )
+        .unwrap();
+        let mut db = Instance::default();
+        let mk = ts.get("Mk").unwrap();
+        let deltas: Vec<Delta> = (0..3)
+            .map(|i| {
+                let args = migratory_lang::Assignment::new(vec![migratory_model::Value::str(
+                    &format!("{i}"),
+                )]);
+                migratory_lang::apply_transaction_delta(&s, &mut db, mk, &args).unwrap()
+            })
+            .collect();
+        let mut log = Vec::new();
+        encode_record(&mut log, 0, &[&deltas[0]]);
+        encode_record(&mut log, 1, &[&deltas[1], &deltas[2]]);
+        let full = decode_records(&log);
+        assert_eq!(full.len(), 2);
+        let WalRecord::Block(b0) = &full[0] else { panic!("block record") };
+        assert_eq!(b0.deltas, vec![deltas[0].clone()]);
+        let WalRecord::Block(b1) = &full[1] else { panic!("block record") };
+        assert_eq!((b1.steps0, b1.deltas.len(), full[1].letters()), (1, 2, 2));
+        // Certification markers frame through the same channel.
+        let mut with_cert = log.clone();
+        encode_certify_record(&mut with_cert, 3);
+        let all = decode_records(&with_cert);
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2], WalRecord::Certified { steps: 3 });
+        assert_eq!(all[2].letters(), 0);
+        // Every truncation point recovers a (possibly empty) prefix of
+        // whole blocks — never an error, never a partial block.
+        let first_len = {
+            let mut one = Vec::new();
+            encode_record(&mut one, 0, &[&deltas[0]]);
+            one.len()
+        };
+        for cut in 0..log.len() {
+            let got = decode_records(&log[..cut]);
+            let want = if cut >= first_len { 1 } else { 0 };
+            assert_eq!(got.len(), want, "cut at {cut}");
+        }
+        // A flipped payload byte fails the checksum and truncates there.
+        let mut bad = log.clone();
+        let idx = first_len + 10;
+        bad[idx] ^= 0xff;
+        assert_eq!(decode_records(&bad).len(), 1);
+    }
+}

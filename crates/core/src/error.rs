@@ -32,6 +32,9 @@ pub enum CoreError {
     BadComponent(u32),
     /// The analyzer exceeded its configured vertex budget.
     VertexBudgetExceeded(usize),
+    /// A durable monitor could not persist an enforcement event (e.g.
+    /// the certification marker); the event did not take effect.
+    Durability(String),
 }
 
 impl From<ModelError> for CoreError {
@@ -69,6 +72,7 @@ impl std::fmt::Display for CoreError {
             CoreError::VertexBudgetExceeded(n) => {
                 write!(f, "separator construction exceeded the vertex budget ({n})")
             }
+            CoreError::Durability(msg) => write!(f, "durability: {msg}"),
         }
     }
 }

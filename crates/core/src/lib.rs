@@ -35,7 +35,12 @@
 //!   every shard's checks concurrently, and batch-admits whole blocks of
 //!   transactions against one cohort sweep per shard
 //!   (`try_apply_batch`), coordinating only through the shared step
-//!   counter;
+//!   counter. Tracking state is **durable** on request: a write-ahead
+//!   log of committed transaction deltas plus canonical snapshots
+//!   (`enforce::wal`, group-committed per block) lets a monitor recover
+//!   byte-identical state after a crash without replaying history, and
+//!   a bounded per-shard ingress (`enforce::ingress`) admits concurrent
+//!   callers with backpressure;
 //! * **CSL expressiveness** ([`tm_compile`], [`cfg_compile`]): Theorem
 //!   4.3's Turing-machine simulation and Theorem 4.8's Greibach-normal-
 //!   form compiler, with scripted completeness drivers and fuzzable

@@ -65,9 +65,14 @@ pub struct ObjectDelta {
     /// Pre-state (class set and attribute tuple), `None` if the object did
     /// not occur before the application.
     pub before: Option<(ClassSet, Tuple)>,
-    /// Post-state class set, `None` if the object does not occur after the
-    /// application.
-    pub after_classes: Option<ClassSet>,
+    /// Post-state (class set and attribute tuple), `None` if the object
+    /// does not occur after the application. Carrying the full after-image
+    /// (not just the class set) makes the delta **exact in both
+    /// directions**: [`Delta::undo`] restores the pre-state from
+    /// `before`, [`Delta::redo`] replays the post-state from `after` —
+    /// which is what lets the write-ahead log re-apply committed
+    /// change-sets without re-running transactions.
+    pub after: Option<(ClassSet, Tuple)>,
     /// Whether the attribute tuple differs between pre- and post-state
     /// (creation and deletion count as changes).
     pub tuple_changed: bool,
@@ -80,23 +85,30 @@ impl ObjectDelta {
         self.before.as_ref().map(|(cs, _)| *cs).unwrap_or_default()
     }
 
+    /// Post-state class set, `None` if the object does not occur after
+    /// the application.
+    #[must_use]
+    pub fn after_classes(&self) -> Option<ClassSet> {
+        self.after.as_ref().map(|(cs, _)| *cs)
+    }
+
     /// The object was minted by this application (and still occurs).
     #[must_use]
     pub fn created(&self) -> bool {
-        self.before.is_none() && self.after_classes.is_some()
+        self.before.is_none() && self.after.is_some()
     }
 
     /// The object was removed by this application.
     #[must_use]
     pub fn deleted(&self) -> bool {
-        self.before.is_some() && self.after_classes.is_none()
+        self.before.is_some() && self.after.is_none()
     }
 
     /// The object's observable state is identical before and after (it was
     /// selected by some update that ended up writing back its own values).
     #[must_use]
     pub fn is_noop(&self) -> bool {
-        !self.tuple_changed && self.before.as_ref().map(|(cs, _)| *cs) == self.after_classes
+        !self.tuple_changed && self.before.as_ref().map(|(cs, _)| *cs) == self.after_classes()
     }
 }
 
@@ -110,9 +122,9 @@ impl ObjectDelta {
 /// independent of database size.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Delta {
-    old_next: u64,
-    new_next: u64,
-    objects: Vec<ObjectDelta>,
+    pub(crate) old_next: u64,
+    pub(crate) new_next: u64,
+    pub(crate) objects: Vec<ObjectDelta>,
 }
 
 impl Delta {
@@ -141,6 +153,21 @@ impl Delta {
             }
         }
         db.set_next(self.old_next);
+    }
+
+    /// Re-apply the change-set in place. `db` must be exactly the
+    /// pre-state this delta was produced on; afterwards it is
+    /// bit-identical to the post-state. The inverse of [`Delta::undo`],
+    /// and the recovery primitive behind the enforcement WAL: a logged
+    /// delta replays without re-running its transaction.
+    pub fn redo(&self, db: &mut Instance) {
+        for od in &self.objects {
+            match &od.after {
+                Some((cs, t)) => db.put_object(od.oid, *cs, t.clone()),
+                None => db.delete_object(od.oid),
+            }
+        }
+        db.set_next(self.new_next);
     }
 }
 
@@ -313,15 +340,15 @@ pub fn apply_transaction_delta(
         .touched
         .into_iter()
         .map(|(oid, before)| {
-            let after_classes = db.occurs(oid).then(|| db.role_set(oid));
-            let tuple_changed = match (&before, &after_classes) {
-                (Some((_, t_before)), Some(_)) => db.tuple_ref(oid) != Some(t_before),
+            let after = db.occurs(oid).then(|| (db.role_set(oid), db.tuple_of(oid)));
+            let tuple_changed = match (&before, &after) {
+                (Some((_, t_before)), Some((_, t_after))) => t_after != t_before,
                 (None, Some(_)) | (Some(_), None) => true,
                 // Minted and deleted within one application: never
                 // observable (patterns read post-states only).
                 (None, None) => false,
             };
-            ObjectDelta { oid, before, after_classes, tuple_changed }
+            ObjectDelta { oid, before, after, tuple_changed }
         })
         .collect();
     Ok(Delta { old_next, new_next: db.next_oid().0, objects })
@@ -694,17 +721,22 @@ mod tests {
         let [ann, bob, caz] = delta.objects() else { panic!("three objects") };
         assert_eq!(ann.oid, Oid(1));
         assert!(!ann.created() && !ann.deleted());
-        assert_ne!(Some(ann.before_classes()), ann.after_classes, "role set grew");
+        assert_ne!(Some(ann.before_classes()), ann.after_classes(), "role set grew");
         assert!(ann.tuple_changed);
         assert_eq!(bob.oid, Oid(2));
-        assert_eq!(Some(bob.before_classes()), bob.after_classes);
+        assert_eq!(Some(bob.before_classes()), bob.after_classes());
         assert!(bob.tuple_changed, "renamed");
         assert_eq!(caz.oid, Oid(3));
         assert!(caz.created() && caz.tuple_changed);
 
-        // Undo restores the pre-state bit for bit (counter included).
+        // Undo restores the pre-state bit for bit (counter included),
+        // redo replays the post-state — the delta is exact both ways.
+        let after = db.clone();
         delta.undo(&mut db);
         assert_eq!(db, before);
+        delta.redo(&mut db);
+        assert_eq!(db, after);
+        db.check_invariants(&u.s).unwrap();
     }
 
     #[test]

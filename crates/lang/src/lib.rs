@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod codec;
 pub mod error;
 pub mod interp;
 pub mod mig;
@@ -50,6 +51,7 @@ pub use ast::{
     con, var, Assignment, AtomicUpdate, GuardedUpdate, Language, Literal, Transaction,
     TransactionSchema,
 };
+pub use codec::{decode_delta, delta_from_text, delta_to_text, encode_delta};
 pub use error::LangError;
 pub use interp::{
     apply_atomic, apply_guarded, apply_transaction, apply_transaction_delta, run, run_trace,

@@ -48,6 +48,9 @@ pub enum ModelError {
         /// The attribute lacking a value.
         attr: AttrId,
     },
+    /// A binary-encoded payload (snapshot, delta, WAL record) is
+    /// truncated or malformed.
+    Corrupt(String),
     /// Text-format parse error.
     Parse {
         /// 1-based line of the offending token.
@@ -93,6 +96,7 @@ impl std::fmt::Display for ModelError {
             ModelError::MissingValue { oid, attr } => {
                 write!(f, "object o{oid} has no value for attribute {attr}")
             }
+            ModelError::Corrupt(msg) => write!(f, "corrupt encoding: {msg}"),
             ModelError::Parse { line, col, msg } => {
                 write!(f, "parse error at {line}:{col}: {msg}")
             }

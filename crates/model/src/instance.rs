@@ -467,31 +467,51 @@ impl Instance {
         }
         self.membership.insert(o, classes);
         self.attrs.insert(o, tuple);
+        // Schema-free half of `check_invariants` — the schema is not in
+        // scope here, but index/heap agreement is auditable and this is
+        // the rollback/restore primitive where drift would be fatal.
+        debug_assert!(self.check_index_invariants().is_ok(), "put_object desynced the indexes");
     }
 
-    /// Build an instance from raw heap parts, deriving both indexes.
+    /// Build an instance from raw heap parts, deriving both indexes in
+    /// bulk: entries are grouped in sorted order and the `BTree`
+    /// containers are built through their (bulk-building) `FromIterator`
+    /// — O(entries log entries) with small constants, which is what
+    /// keeps snapshot recovery far cheaper than replaying history.
     fn from_parts(
         membership: BTreeMap<Oid, ClassSet>,
         attrs: BTreeMap<Oid, Tuple>,
         next: u64,
     ) -> Instance {
-        let mut db = Instance {
-            membership,
-            attrs,
-            next,
-            class_index: Vec::new(),
-            value_index: BTreeMap::new(),
-        };
-        let members: Vec<(Oid, ClassSet)> = db.membership.iter().map(|(o, cs)| (*o, *cs)).collect();
-        for (o, cs) in members {
-            db.index_classes_add(o, cs);
+        // Class index: per class, oids arrive in ascending heap order.
+        let mut per_class: Vec<Vec<Oid>> = Vec::new();
+        for (&o, cs) in &membership {
+            for c in cs.iter() {
+                if per_class.len() <= c.index() {
+                    per_class.resize_with(c.index() + 1, Vec::new);
+                }
+                per_class[c.index()].push(o);
+            }
         }
-        let pairs: Vec<(Oid, AttrId, Value)> =
-            db.attrs.iter().flat_map(|(o, t)| t.iter().map(|(a, v)| (*o, a, v.clone()))).collect();
-        for (o, a, v) in pairs {
-            db.index_value_add(o, a, &v);
+        let class_index: Vec<BTreeSet<Oid>> =
+            per_class.into_iter().map(BTreeSet::from_iter).collect();
+        // Value index: sort all (key, oid) facts once, then group runs.
+        let mut pairs: Vec<((AttrId, Value), Oid)> = attrs
+            .iter()
+            .flat_map(|(&o, t)| t.iter().map(move |(a, v)| ((a, v.clone()), o)))
+            .collect();
+        pairs.sort_unstable();
+        let mut groups: Vec<((AttrId, Value), BTreeSet<Oid>)> = Vec::new();
+        for (key, o) in pairs {
+            match groups.last_mut() {
+                Some((k, set)) if *k == key => {
+                    set.insert(o);
+                }
+                _ => groups.push((key, BTreeSet::from([o]))),
+            }
         }
-        db
+        let value_index: BTreeMap<(AttrId, Value), BTreeSet<Oid>> = groups.into_iter().collect();
+        Instance { membership, attrs, next, class_index, value_index }
     }
 
     /// The restriction `d|_I` of the database onto a set of objects
@@ -500,7 +520,7 @@ impl Instance {
     /// are rebuilt for the surviving objects.
     #[must_use]
     pub fn restrict(&self, objects: &[Oid]) -> Instance {
-        Instance::from_parts(
+        let db = Instance::from_parts(
             self.membership
                 .iter()
                 .filter(|(o, _)| objects.contains(o))
@@ -512,7 +532,9 @@ impl Instance {
                 .map(|(o, t)| (*o, t.clone()))
                 .collect(),
             self.next,
-        )
+        );
+        debug_assert!(db.check_index_invariants().is_ok(), "restrict rebuilt stale indexes");
+        db
     }
 
     /// Construct an instance directly (used by canonical-database builders
@@ -539,11 +561,66 @@ impl Instance {
     /// an identifier a second time, silently corrupting the heap and its
     /// indexes (abstract objects are created **at most once**, Section 2).
     pub fn set_next(&mut self, next: u64) {
+        // Keys are ordered: the largest occurring object bounds them all,
+        // so the guard is O(log n) — it sits on the undo/redo hot paths.
         assert!(
-            self.membership.keys().all(|o| o.0 < next),
+            self.membership.last_key_value().is_none_or(|(o, _)| o.0 < next),
             "set_next({next}) would recycle a live object identifier"
         );
         self.next = next;
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot encoding (the persistence layer's checkpoint format).
+    // ------------------------------------------------------------------
+
+    /// Append a canonical binary snapshot of the heap triple `(o, a, oᵢ)`
+    /// to `out`. Only the heap is written — the class and value indexes
+    /// are derived data and are rebuilt by
+    /// [`Instance::decode_snapshot`] — so equal instances (which compare
+    /// on the heap alone) produce identical bytes.
+    pub fn encode_snapshot(&self, out: &mut Vec<u8>) {
+        crate::codec::encode_u64(out, self.next);
+        crate::codec::encode_u64(out, self.membership.len() as u64);
+        for (o, cs) in &self.membership {
+            crate::codec::encode_u64(out, o.0);
+            crate::codec::encode_idset(out, *cs);
+            let empty = Tuple::default();
+            let t = self.attrs.get(o).unwrap_or(&empty);
+            crate::codec::encode_tuple(out, t);
+        }
+    }
+
+    /// Rebuild an instance from [`Instance::encode_snapshot`] bytes,
+    /// deriving both secondary indexes from the decoded heap. The decoded
+    /// instance compares equal to the encoded one and passes
+    /// [`Instance::check_invariants`] whenever the original did.
+    pub fn decode_snapshot(r: &mut crate::codec::Reader<'_>) -> Result<Instance, ModelError> {
+        let next = r.u64()?;
+        let n = r.count()?;
+        let mut members: Vec<(Oid, ClassSet)> = Vec::with_capacity(n);
+        let mut tuples: Vec<(Oid, Tuple)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let o = Oid(r.u64()?);
+            // Canonical encodings are strictly ascending; requiring it
+            // rules out duplicates and lets the maps bulk-build below.
+            if members.last().is_some_and(|&(p, _)| o <= p) {
+                return Err(ModelError::Corrupt(format!("snapshot objects out of order at {o}")));
+            }
+            let cs: ClassSet = r.idset()?;
+            if cs.is_empty() {
+                return Err(ModelError::Corrupt(format!("snapshot object {o} has no classes")));
+            }
+            if o.0 >= next {
+                return Err(ModelError::Corrupt(format!(
+                    "snapshot object {o} is not below the next counter o{next}"
+                )));
+            }
+            let t = r.tuple()?;
+            members.push((o, cs));
+            tuples.push((o, t));
+        }
+        Ok(Instance::from_parts(members.into_iter().collect(), tuples.into_iter().collect(), next))
     }
 
     /// Check the well-formedness invariants of Definition 2.2 against a
@@ -881,6 +958,61 @@ mod tests {
         db.attrs.get_mut(&Oid(1)).unwrap().set(ssn, Value::str("8888"));
         let err = db.check_invariants(&schema).unwrap_err();
         assert!(format!("{err:?}").contains("index"), "got {err:?}");
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_rebuilds_indexes() {
+        let (schema, mut db) = sample();
+        let student = schema.class_id("STUDENT").unwrap();
+        let major = schema.attr_id("Major").unwrap();
+        let fe = schema.attr_id("FirstEnroll").unwrap();
+        db.add_classes(
+            Oid(2),
+            schema.up_closure_of(student),
+            [(major, Value::str("CS")), (fe, Value::int(1990))],
+        );
+        db.delete_object(Oid(1)); // next stays ahead of the live range
+        let mut bytes = Vec::new();
+        db.encode_snapshot(&mut bytes);
+        let loaded =
+            Instance::decode_snapshot(&mut crate::codec::Reader::new(&bytes)).expect("decodes");
+        assert_eq!(loaded, db, "heap triple round-trips");
+        // Regression: both secondary indexes must be rebuilt on load, not
+        // left empty — point selects and class scans answer from them.
+        loaded.check_invariants(&schema).expect("indexes rebuilt consistently");
+        assert_eq!(loaded.objects_in(student).collect::<Vec<_>>(), vec![Oid(2)]);
+        assert_eq!(loaded.num_objects_with(major, &Value::str("CS")), 1);
+        let ssn = schema.attr_id("SSN").unwrap();
+        assert_eq!(
+            loaded.sat(student, &Condition::from_atoms([Atom::eq_const(ssn, "2345")])),
+            vec![Oid(2)]
+        );
+        // Canonical: re-encoding the decoded instance is byte-identical.
+        let mut again = Vec::new();
+        loaded.encode_snapshot(&mut again);
+        assert_eq!(again, bytes);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_corruption() {
+        let (_, db) = sample();
+        let mut bytes = Vec::new();
+        db.encode_snapshot(&mut bytes);
+        // Every strict prefix is truncated input: error, never a panic.
+        for cut in 0..bytes.len() {
+            assert!(
+                Instance::decode_snapshot(&mut crate::codec::Reader::new(&bytes[..cut])).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+        // An object at/above the next counter is structurally corrupt.
+        let mut bad = Vec::new();
+        crate::codec::encode_u64(&mut bad, 1); // next = 1
+        crate::codec::encode_u64(&mut bad, 1); // one object
+        crate::codec::encode_u64(&mut bad, 5); // oid 5 ≥ next
+        crate::codec::encode_idset(&mut bad, ClassSet::singleton(ClassId::from_index(0)));
+        crate::codec::encode_tuple(&mut bad, &Tuple::new());
+        assert!(Instance::decode_snapshot(&mut crate::codec::Reader::new(&bad)).is_err());
     }
 
     #[test]

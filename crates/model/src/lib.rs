@@ -56,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod codec;
 pub mod condition;
 pub mod display;
 pub mod error;

@@ -92,6 +92,7 @@ fn main() {
                 println!("  ✗ {name:<12} REJECTED — {}", v.display(&alphabet));
             }
             Err(EnforceError::Lang(e)) => println!("  ! {name:<12} failed: {e}"),
+            Err(EnforceError::Durability(e)) => println!("  ! {name:<12} not logged: {e}"),
         }
     }
     println!(

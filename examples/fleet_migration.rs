@@ -1,5 +1,7 @@
 //! Fleet migration at scale: sharded, batched admission over a schema
-//! with four independent weakly-connected role components.
+//! with four independent weakly-connected role components — with an
+//! optional **durable mode** (write-ahead log + snapshots + crash
+//! recovery).
 //!
 //! A logistics operator runs four separate asset hierarchies — trucks,
 //! drivers, routes and depots — in one store. The components are
@@ -13,121 +15,236 @@
 //! through [`ShardedMonitor::try_apply_batch`], one cohort sweep per
 //! shard per block, and prints per-shard tracking statistics.
 //!
-//! Run with: `cargo run --release --example fleet_migration`
+//! ```text
+//! cargo run --release --example fleet_migration                  # volatile
+//! cargo run --release --example fleet_migration -- \
+//!     --durable DIR [--snapshot-every N] [--crash-after N]       # log to DIR
+//! cargo run --release --example fleet_migration -- \
+//!     --durable DIR --recover                                    # resume
+//! ```
+//!
+//! In durable mode every admitted block group-commits to `DIR/wal.log`
+//! before the monitor's tracking state moves, and every `N` blocks the
+//! monitor checkpoints (`DIR/snapshot.bin`, truncating the log).
+//! `--crash-after N` aborts the process mid-run after `N` day-blocks —
+//! simulating a crash with the WAL left at whatever prefix reached the
+//! OS. `--recover` rebuilds the monitor from checkpoint + WAL tail
+//! (**without** replaying the fleet's history), verifies the database
+//! invariants, prints recovery statistics and finishes the remaining
+//! work durably. The CI crash-recovery smoke job runs exactly this
+//! crash/recover pair.
 
-use migratory::core::enforce::{ShardedMonitor, StepPolicy};
-use migratory::core::{Inventory, PatternKind, RoleAlphabet};
-use migratory::lang::{parse_transactions, Assignment, Transaction};
-use migratory::model::{SchemaBuilder, Value};
+use migratory::core::enforce::{ingress, IngressConfig, ShardedMonitor, StepPolicy, Wal};
+use migratory::core::{Inventory, PatternKind};
+use migratory::lang::{Assignment, Transaction};
+use migratory::model::Value;
+use migratory_bench::{fleet, fleet_ops, FLEET_INVENTORY};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 const PER_COMPONENT: usize = 25_000;
 const BATCH: usize = 256;
 const BATCHES: usize = 8;
 
-fn main() {
-    // Four root hierarchies: TRUCK ⊲ IN_SERVICE, DRIVER ⊲ ON_SHIFT,
-    // ROUTE ⊲ ACTIVE, DEPOT ⊲ OPEN — each pair its own component.
-    let mut b = SchemaBuilder::new();
-    for (root, sub, key) in [
-        ("TRUCK", "IN_SERVICE", "Vin"),
-        ("DRIVER", "ON_SHIFT", "Badge"),
-        ("ROUTE", "ACTIVE", "RId"),
-        ("DEPOT", "OPEN", "DId"),
-    ] {
-        let r = b.class(root, &[key]).expect("fresh root");
-        b.subclass(sub, &[r], &[]).expect("fresh subclass");
-    }
-    let schema = b.build().expect("valid schema");
-    assert_eq!(schema.num_components(), 4);
+struct Options {
+    durable: Option<String>,
+    snapshot_every: usize,
+    crash_after: Option<usize>,
+    recover: bool,
+}
 
-    // The inventory constrains component 0 (trucks): a truck may cycle
-    // between parked ([TRUCK]) and in-service ([IN_SERVICE]) and finally
-    // leave the fleet. Other components read ∅ under this alphabet, so
-    // the leading/trailing ∅* admits them.
-    let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
-    let inventory = Inventory::parse_init(&schema, &alphabet, "∅* ([TRUCK] ∪ [IN_SERVICE])* ∅*")
-        .expect("inventory parses");
-
-    let ts = parse_transactions(
-        &schema,
-        r"
-        transaction BuyTruck(x)    { create(TRUCK, { Vin = x }); }
-        transaction Dispatch(x)    { specialize(TRUCK, IN_SERVICE, { Vin = x }, {}); }
-        transaction Park(x)        { generalize(IN_SERVICE, { Vin = x }); }
-        transaction HireDriver(x)  { create(DRIVER, { Badge = x }); }
-        transaction StartShift(x)  { specialize(DRIVER, ON_SHIFT, { Badge = x }, {}); }
-        transaction EndShift(x)    { generalize(ON_SHIFT, { Badge = x }); }
-        transaction OpenRoute(x)   { create(ROUTE, { RId = x }); }
-        transaction Activate(x)    { specialize(ROUTE, ACTIVE, { RId = x }, {}); }
-        transaction BuildDepot(x)  { create(DEPOT, { DId = x }); }
-        transaction OpenDepot(x)   { specialize(DEPOT, OPEN, { DId = x }, {}); }
-    ",
-    )
-    .expect("transactions validate");
-
-    let mut monitor = ShardedMonitor::new(&schema, &alphabet, &inventory, PatternKind::All, 4)
-        .with_policy(StepPolicy::OnlyChanging);
-    assert!(monitor.routes_by_component(), "four components → four shards");
-    println!(
-        "fleet_migration: {} shards (component-routed), batch size {BATCH}",
-        monitor.num_shards()
-    );
-
-    // Bulk load: 25k single-create applications per component, admitted
-    // in blocks — each application is one letter, so the load emits
-    // 100 000 letters.
-    let t0 = Instant::now();
-    for (mk, prefix) in
-        [("BuyTruck", "t"), ("HireDriver", "d"), ("OpenRoute", "r"), ("BuildDepot", "p")]
-    {
-        let t = ts.get(mk).expect("transaction exists");
-        let bulk = bulk_of(t, prefix, PER_COMPONENT);
-        let (done, err) = monitor.try_apply_batch(bulk.iter().map(|(t, a)| (*t, a)));
-        assert_eq!((done, err), (PER_COMPONENT, None), "bulk load conforms");
-    }
-    println!(
-        "loaded {} objects in {:.2?} ({} letters)",
-        monitor.db().num_objects(),
-        t0.elapsed(),
-        monitor.steps()
-    );
-
-    // A day of operations: blocks mixing all four components — truck
-    // dispatch/park cycles, driver shifts, route activations, depot
-    // openings — admitted batch-wise.
-    let day: Vec<(&str, String)> = (0..BATCHES * BATCH)
-        .map(|i| {
-            let k = i / 8;
-            match i % 8 {
-                0 => ("Dispatch", format!("t{}", k % PER_COMPONENT)),
-                1 => ("StartShift", format!("d{}", k % PER_COMPONENT)),
-                2 => ("Activate", format!("r{}", k % PER_COMPONENT)),
-                3 => ("OpenDepot", format!("p{}", k % PER_COMPONENT)),
-                4 => ("Park", format!("t{}", k % PER_COMPONENT)),
-                _ => ("EndShift", format!("d{}", k % PER_COMPONENT)),
+fn parse_args() -> Options {
+    let mut opts = Options { durable: None, snapshot_every: 4, crash_after: None, recover: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--durable" => opts.durable = Some(args.next().expect("--durable DIR")),
+            "--snapshot-every" => {
+                opts.snapshot_every =
+                    args.next().and_then(|v| v.parse().ok()).expect("--snapshot-every N")
             }
-        })
-        .collect();
-    let resolved: Vec<(&Transaction, Assignment)> = day
-        .iter()
-        .map(|(name, key)| {
-            (ts.get(name).expect("transaction"), Assignment::new(vec![Value::str(key)]))
-        })
-        .collect();
+            "--crash-after" => opts.crash_after = args.next().and_then(|v| v.parse().ok()),
+            "--recover" => opts.recover = true,
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    if (opts.recover || opts.crash_after.is_some()) && opts.durable.is_none() {
+        panic!("--recover/--crash-after require --durable DIR");
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    // The schema, transactions and day schedule are the shared fleet
+    // workload from migratory-bench (also behind the persist/ingress
+    // experiment rows), so example and benches cannot drift apart.
+    let (schema, alphabet, ts) = fleet();
+    assert_eq!(schema.num_components(), 4);
+    let inventory =
+        Inventory::parse_init(&schema, &alphabet, FLEET_INVENTORY).expect("inventory parses");
+
+    let mut monitor;
+    let mut blocks_done = 0usize; // day-blocks already durable before this run
+    if opts.recover {
+        let dir = opts.durable.as_deref().expect("checked in parse_args");
+        let t0 = Instant::now();
+        let (snap, tail) = Wal::load(dir).expect("load wal directory");
+        let snap_steps = snap.as_ref().map_or(0, |s| s.steps());
+        let tail_blocks = tail.len();
+        let tail_letters: usize =
+            tail.iter().map(migratory::core::enforce::WalRecord::letters).sum();
+        monitor = ShardedMonitor::recover(
+            &schema,
+            &alphabet,
+            &inventory,
+            PatternKind::All,
+            4,
+            snap,
+            tail,
+        )
+        .expect("recovery succeeds")
+        .with_policy(StepPolicy::OnlyChanging);
+        let dt = t0.elapsed();
+        monitor.db().check_invariants(&schema).expect("recovered database is well-formed");
+        let letters = monitor.steps();
+        println!("fleet_migration: RECOVERED from {dir} in {dt:.2?}");
+        println!(
+            "  checkpoint at {snap_steps} letters + {tail_blocks} wal blocks \
+             ({tail_letters} letters) = {letters} letters, {} objects — no history replayed",
+            monitor.db().num_objects()
+        );
+        // Everything the crashed run made durable is back; figure out
+        // how much of the day was already admitted.
+        let loaded_letters = 4 * PER_COMPONENT;
+        assert!(letters >= loaded_letters, "the bulk load was durable before the crash");
+        // Under OnlyChanging, 6 of every 8 day ops change the database
+        // (two EndShift repeats are null applications): 192 letters per
+        // 256-op block.
+        let letters_per_block = BATCH / 8 * 6;
+        assert_eq!((letters - loaded_letters) % letters_per_block, 0, "crash at block boundary");
+        blocks_done = (letters - loaded_letters) / letters_per_block;
+        println!("  resuming the day at block {blocks_done}/{BATCHES}");
+    } else {
+        monitor = ShardedMonitor::new(&schema, &alphabet, &inventory, PatternKind::All, 4)
+            .with_policy(StepPolicy::OnlyChanging);
+    }
+    assert!(monitor.routes_by_component(), "four components → four shards");
+
+    // Attach the log (fresh runs and recovered runs alike).
+    let wal = match opts.durable.as_deref() {
+        Some(dir) => {
+            let wal = Arc::new(Mutex::new(Wal::open(dir).expect("open wal directory")));
+            monitor = monitor.with_sink(wal.clone());
+            Some(wal)
+        }
+        None => None,
+    };
+    println!(
+        "fleet_migration: {} shards (component-routed), batch size {BATCH}{}",
+        monitor.num_shards(),
+        match &opts.durable {
+            Some(dir) => format!(", durable in {dir}"),
+            None => String::new(),
+        }
+    );
+
+    if !opts.recover {
+        // Bulk load: 25k single-create applications per component,
+        // admitted in blocks — each application is one letter.
+        let t0 = Instant::now();
+        for (mk, prefix) in
+            [("BuyTruck", "t"), ("HireDriver", "d"), ("OpenRoute", "r"), ("BuildDepot", "p")]
+        {
+            let t = ts.get(mk).expect("transaction exists");
+            let bulk = bulk_of(t, prefix, PER_COMPONENT);
+            let (done, err) = monitor.try_apply_batch(bulk.iter().map(|(t, a)| (*t, a)));
+            assert_eq!((done, err), (PER_COMPONENT, None), "bulk load conforms");
+        }
+        println!(
+            "loaded {} objects in {:.2?} ({} letters)",
+            monitor.db().num_objects(),
+            t0.elapsed(),
+            monitor.steps()
+        );
+        if let Some(wal) = &wal {
+            // Checkpoint the loaded fleet so recovery never replays it.
+            let t0 = Instant::now();
+            wal.lock().unwrap().write_snapshot(&monitor.snapshot()).expect("snapshot");
+            println!("checkpointed the loaded fleet in {:.2?}", t0.elapsed());
+        }
+    }
+
+    // A day of operations, admitted batch-wise; in durable mode every
+    // block group-commits to the WAL and every `snapshot_every` blocks
+    // the monitor checkpoints (truncating the log).
+    let day = fleet_ops(BATCHES * BATCH, PER_COMPONENT);
+    let resolved: Vec<(&Transaction, Assignment)> =
+        day.iter().map(|(name, args)| (ts.get(name).expect("transaction"), args.clone())).collect();
 
     let t0 = Instant::now();
     let mut admitted = 0usize;
-    for block in resolved.chunks(BATCH) {
+    for (i, block) in resolved.chunks(BATCH).enumerate().skip(blocks_done) {
+        if let Some(crash_at) = opts.crash_after {
+            if i >= crash_at {
+                println!(
+                    "simulated CRASH before block {i}/{BATCHES} — {} letters durable; \
+                     run again with `--durable … --recover`",
+                    monitor.steps()
+                );
+                // A real crash: no snapshot, no clean shutdown — the WAL
+                // is whatever reached the OS.
+                std::process::exit(0);
+            }
+        }
         let (done, err) = monitor.try_apply_batch(block.iter().map(|(t, a)| (*t, a)));
         assert!(err.is_none(), "the day's operations conform: {err:?}");
         admitted += done;
+        if let Some(wal) = &wal {
+            if (i + 1) % opts.snapshot_every == 0 {
+                wal.lock().unwrap().write_snapshot(&monitor.snapshot()).expect("snapshot");
+            }
+        }
     }
     let dt = t0.elapsed();
     println!(
         "admitted {admitted} applications in {} batches in {dt:.2?} ({:.0} apps/sec)",
-        BATCHES,
+        BATCHES - blocks_done,
         admitted as f64 / dt.as_secs_f64()
+    );
+
+    // An hour of concurrent traffic through the ingress lanes: four
+    // producer threads (one per asset class) pipelining single-object
+    // ops into the bounded per-shard queues.
+    let rush: Vec<(&Transaction, Assignment)> = resolved.iter().take(4 * BATCH).cloned().collect();
+    let t0 = Instant::now();
+    let cfg = IngressConfig { queue_capacity: 512, max_block: BATCH };
+    let ((), stats) = ingress::serve(&mut monitor, &cfg, |client| {
+        std::thread::scope(|scope| {
+            for p in 0..4 {
+                let rush = &rush;
+                scope.spawn(move || {
+                    let tickets: Vec<_> = rush
+                        .iter()
+                        .skip(p)
+                        .step_by(4)
+                        .map(|(t, a)| client.post(t, a.clone()))
+                        .collect();
+                    for t in tickets {
+                        t.wait().expect("rush hour conforms");
+                    }
+                });
+            }
+        });
+    });
+    println!(
+        "rush hour: {} ops from 4 producers over {} lanes in {:.2?} \
+         ({} blocks, max queue depth {})",
+        stats.submitted,
+        stats.lanes,
+        t0.elapsed(),
+        stats.blocks,
+        stats.max_queue_depth
     );
 
     println!("\nper-shard tracking statistics:");
@@ -143,6 +260,11 @@ fn main() {
     }
     let total: usize = monitor.shard_stats().iter().map(|s| s.tracked_objects).sum();
     assert_eq!(total, monitor.db().num_objects(), "every live object is tracked in some shard");
+    monitor.db().check_invariants(&schema).expect("database is well-formed");
+    if let Some(wal) = &wal {
+        wal.lock().unwrap().write_snapshot(&monitor.snapshot()).expect("final checkpoint");
+        println!("final checkpoint written");
+    }
     println!("\n{} letters emitted; database holds {} objects", monitor.steps(), total);
 }
 

@@ -239,6 +239,9 @@ pub fn cmd_enforce(
             Err(EnforceError::Lang(e)) => {
                 return Err(format!("applying {name}: {e}"));
             }
+            Err(EnforceError::Durability(e)) => {
+                return Err(format!("logging {name}: {e}"));
+            }
         }
     }
     out.push_str(&format!(

@@ -6,126 +6,22 @@
 //! accept/reject decision on every prefix, byte-identical [`Violation`]s,
 //! identical databases and identical recorded patterns — across random
 //! schemas, random inventories, all four pattern kinds and random runs.
-//! Randomness is a seeded [`StdRng`] (deterministic, no external fuzzer).
+//! Randomness is a seeded [`StdRng`] (deterministic, no external fuzzer);
+//! the schema/inventory/transaction generators live in `common` (shared
+//! with the WAL recovery suite).
 
-use migratory::automata::Regex;
+mod common;
+
+use common::{
+    random_inventory, random_multi_schema, random_multi_transaction, random_schema,
+    random_transaction,
+};
 use migratory::core::enforce::{EnforceError, Monitor, ShardedMonitor, StepPolicy};
 use migratory::core::{Inventory, PatternKind, RoleAlphabet};
 use migratory::lang::{apply_transaction_delta, Assignment, AtomicUpdate, Transaction};
-use migratory::model::{Atom, ClassId, Condition, Instance, Oid, Schema, SchemaBuilder};
+use migratory::model::{Atom, Condition, Instance, Oid};
 use rand::rngs::StdRng;
 use rand::{RngExt as _, SeedableRng};
-
-/// A random single-component hierarchy: root `C0(K, A)` plus 1–4
-/// subclasses, each hanging off a random earlier class and owning one
-/// fresh attribute.
-fn random_schema(rng: &mut StdRng) -> (Schema, Vec<(ClassId, ClassId)>) {
-    let mut b = SchemaBuilder::new();
-    let root = b.class("C0", &["K", "A"]).expect("fresh root");
-    let mut classes = vec![root];
-    let mut edges = Vec::new();
-    for i in 0..rng.random_range(1usize..5) {
-        let parent = classes[rng.random_range(0..classes.len())];
-        let attr = format!("X{i}");
-        let c = b.subclass(&format!("C{}", i + 1), &[parent], &[&attr]).expect("fresh subclass");
-        classes.push(c);
-        edges.push((parent, c));
-    }
-    (b.build().expect("valid hierarchy"), edges)
-}
-
-/// A random regular inventory over the component's role alphabet:
-/// `Init(·)` of a random regex, intersected with the well-formed shape —
-/// always a valid (possibly very restrictive) inventory.
-fn random_inventory(rng: &mut StdRng, schema: &Schema, alphabet: &RoleAlphabet) -> Inventory {
-    fn random_regex(rng: &mut StdRng, syms: u32, depth: usize) -> Regex {
-        if depth == 0 || rng.random_range(0u32..4) == 0 {
-            return Regex::Sym(rng.random_range(0..syms));
-        }
-        match rng.random_range(0u32..4) {
-            0 => Regex::concat([
-                random_regex(rng, syms, depth - 1),
-                random_regex(rng, syms, depth - 1),
-            ]),
-            1 => Regex::union([
-                random_regex(rng, syms, depth - 1),
-                random_regex(rng, syms, depth - 1),
-            ]),
-            2 => Regex::star(random_regex(rng, syms, depth - 1)),
-            _ => Regex::plus(random_regex(rng, syms, depth - 1)),
-        }
-    }
-    let r = random_regex(rng, alphabet.num_symbols(), 3);
-    // Embed in ∅* · r · ∅* half the time so runs have room to breathe.
-    let r = if rng.random_range(0u32..2) == 0 {
-        Regex::concat([
-            Regex::star(Regex::Sym(alphabet.empty_symbol())),
-            r,
-            Regex::star(Regex::Sym(alphabet.empty_symbol())),
-        ])
-    } else {
-        r
-    };
-    Inventory::init_of_regex(schema, alphabet, &r).expect("Init(regex) is an inventory")
-}
-
-/// A random ground transaction of 1–3 well-formed SL updates over a
-/// small key pool (collisions intended).
-fn random_transaction(
-    rng: &mut StdRng,
-    schema: &Schema,
-    edges: &[(ClassId, ClassId)],
-) -> Transaction {
-    let root = schema.class_id("C0").expect("root");
-    let k = schema.attr_id("K").expect("key attr");
-    let a = schema.attr_id("A").expect("root attr");
-    let key = |rng: &mut StdRng| format!("k{}", rng.random_range(0u32..4));
-    let n_updates = rng.random_range(1usize..4);
-    let updates = (0..n_updates)
-        .map(|_| match rng.random_range(0u32..5) {
-            0 => AtomicUpdate::Create {
-                class: root,
-                gamma: Condition::from_atoms([Atom::eq_const(k, key(rng)), Atom::eq_const(a, "v")]),
-            },
-            1 => AtomicUpdate::Delete {
-                class: root,
-                gamma: Condition::from_atoms([Atom::eq_const(k, key(rng))]),
-            },
-            2 => AtomicUpdate::Modify {
-                class: root,
-                select: Condition::from_atoms([Atom::eq_const(k, key(rng))]),
-                set: Condition::from_atoms([Atom::eq_const(
-                    a,
-                    format!("v{}", rng.random_range(0u32..3)),
-                )]),
-            },
-            3 if !edges.is_empty() => {
-                let (from, to) = edges[rng.random_range(0..edges.len())];
-                let own = schema.attrs_of(to).to_vec();
-                AtomicUpdate::Specialize {
-                    from,
-                    to,
-                    select: Condition::from_atoms([Atom::eq_const(k, key(rng))]),
-                    set: Condition::from_atoms(
-                        own.into_iter().map(|attr| Atom::eq_const(attr, "w")),
-                    ),
-                }
-            }
-            _ => {
-                let (_, child) = if edges.is_empty() {
-                    (root, root)
-                } else {
-                    edges[rng.random_range(0..edges.len())]
-                };
-                AtomicUpdate::Generalize {
-                    class: child,
-                    gamma: Condition::from_atoms([Atom::eq_const(k, key(rng))]),
-                }
-            }
-        })
-        .collect();
-    Transaction::sl("step", &[], updates)
-}
 
 /// 120 random (schema, inventory, kind, policy) configurations, each
 /// driven through a random run on both engines in lockstep.
@@ -162,6 +58,7 @@ fn delta_engine_equals_reference_engine_on_random_runs() {
                 Ok(()) => commits += 1,
                 Err(EnforceError::Violation(_)) => rejections += 1,
                 Err(EnforceError::Lang(e)) => panic!("unexpected lang error {e}"),
+                Err(EnforceError::Durability(e)) => panic!("unexpected wal error {e}"),
             }
         }
         // Recorded patterns agree for every object that ever existed.
@@ -266,68 +163,6 @@ fn noop_on_large_database_yields_empty_delta() {
     );
 }
 
-/// Like [`random_schema`], but with 1–3 *extra* weakly-connected
-/// components (independent root hierarchies `R1`, `R2`, …), so the
-/// sharded monitor's component router gets exercised. The returned edges
-/// and the transactions below only migrate component-0 objects; extra
-/// components contribute create/delete/modify traffic whose role symbol
-/// is always ∅ for component 0's alphabet.
-fn random_multi_schema(rng: &mut StdRng) -> (Schema, Vec<(ClassId, ClassId)>, usize) {
-    let mut b = SchemaBuilder::new();
-    let root = b.class("C0", &["K", "A"]).expect("fresh root");
-    let mut classes = vec![root];
-    let mut edges = Vec::new();
-    for i in 0..rng.random_range(1usize..4) {
-        let parent = classes[rng.random_range(0..classes.len())];
-        let attr = format!("X{i}");
-        let c = b.subclass(&format!("C{}", i + 1), &[parent], &[&attr]).expect("fresh subclass");
-        classes.push(c);
-        edges.push((parent, c));
-    }
-    let extra = rng.random_range(1usize..4);
-    for r in 1..=extra {
-        b.class(&format!("R{r}"), &[&format!("RK{r}")]).expect("fresh extra root");
-    }
-    (b.build().expect("valid hierarchy"), edges, extra)
-}
-
-/// A random ground transaction that, with probability ~1/4, targets a
-/// random extra component instead of component 0.
-fn random_multi_transaction(
-    rng: &mut StdRng,
-    schema: &Schema,
-    edges: &[(ClassId, ClassId)],
-    extra: usize,
-) -> Transaction {
-    if extra > 0 && rng.random_range(0u32..4) == 0 {
-        let r = rng.random_range(1..extra + 1);
-        let root = schema.class_id(&format!("R{r}")).expect("extra root");
-        let k = schema.attr_id(&format!("RK{r}")).expect("extra key");
-        let key = format!("k{}", rng.random_range(0u32..3));
-        let update = match rng.random_range(0u32..3) {
-            0 => AtomicUpdate::Create {
-                class: root,
-                gamma: Condition::from_atoms([Atom::eq_const(k, key)]),
-            },
-            1 => AtomicUpdate::Delete {
-                class: root,
-                gamma: Condition::from_atoms([Atom::eq_const(k, key)]),
-            },
-            _ => AtomicUpdate::Modify {
-                class: root,
-                select: Condition::from_atoms([Atom::eq_const(k, key)]),
-                set: Condition::from_atoms([Atom::eq_const(
-                    k,
-                    format!("k{}", rng.random_range(0u32..3)),
-                )]),
-            },
-        };
-        Transaction::sl("other", &[], vec![update])
-    } else {
-        random_transaction(rng, schema, edges)
-    }
-}
-
 /// 100 random configurations: the sharded monitor (1–4 shards, random
 /// parallel staging, oid-stripe *and* component routing) driven in
 /// lockstep with the reference engine, one application at a time.
@@ -375,6 +210,7 @@ fn sharded_monitor_equals_reference_engine_on_random_runs() {
                 Ok(()) => commits += 1,
                 Err(EnforceError::Violation(_)) => rejections += 1,
                 Err(EnforceError::Lang(e)) => panic!("unexpected lang error {e}"),
+                Err(EnforceError::Durability(e)) => panic!("unexpected wal error {e}"),
             }
         }
         for oid in 1..=sharded.db().next_oid().0 {

@@ -1,0 +1,501 @@
+//! Crash-point property suite for the enforcement WAL
+//! (`core::enforce::wal`).
+//!
+//! The durability contract under test: for a monitor with an attached
+//! log, crashing after **any** committed prefix and running
+//! `Monitor::recover(snapshot, wal_tail)` must reproduce the uncrashed
+//! monitor's state **byte-identically** — checked as equality of
+//! canonical [`Snapshot::encode`] bytes (database heap, cohort/RLE
+//! tracking state, counters), plus database equality and per-object
+//! pattern equality. Randomized over the same schema / inventory /
+//! transaction generators as the engine-equivalence suite (`common`),
+//! across all pattern kinds, both step policies, single and sharded
+//! monitors, per-application and batched admission, with snapshots
+//! taken at random points mid-run.
+
+mod common;
+
+use common::{random_inventory, random_multi_schema, random_multi_transaction, random_schema};
+use migratory::core::enforce::{
+    EnforceError, MemoryWal, Monitor, ShardedMonitor, StepPolicy, Wal, WalRecord,
+};
+use migratory::core::{Inventory, PatternKind, RoleAlphabet};
+use migratory::lang::{parse_transactions, Assignment, Transaction};
+use migratory::model::{Oid, Value};
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+use std::sync::{Arc, Mutex};
+
+/// Crash the run here: recover from the log double and require the
+/// recovered monitor to be byte-identical to the live one.
+fn assert_recovers_single(
+    live: &Monitor<'_>,
+    wal: &Arc<Mutex<MemoryWal>>,
+    all_records: &[WalRecord],
+    label: &str,
+) {
+    let (snap, blocks) = {
+        let w = wal.lock().unwrap();
+        (w.snapshot().expect("snapshot decodes"), w.records())
+    };
+    let recovered = Monitor::recover(
+        live.schema(),
+        live.alphabet(),
+        live.inventory(),
+        live.kind(),
+        snap.clone(),
+        blocks,
+    )
+    .unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"))
+    .with_policy(live.policy());
+    assert_eq!(
+        recovered.snapshot().encode(),
+        live.snapshot().encode(),
+        "{label}: tracking state not byte-identical after recovery"
+    );
+    assert_eq!(recovered.db(), live.db(), "{label}: database diverged");
+    assert_eq!(recovered.steps(), live.steps(), "{label}: letter counts diverged");
+    for oid in 1..=live.db().next_oid().0 {
+        assert_eq!(
+            recovered.pattern_of(Oid(oid)),
+            live.pattern_of(Oid(oid)),
+            "{label}: pattern of o{oid} diverged"
+        );
+    }
+    // Recovery must also skip already-snapshotted blocks by step offset
+    // (the crash-between-rename-and-truncate case): feeding the FULL
+    // block history alongside the snapshot changes nothing.
+    let again = Monitor::recover(
+        live.schema(),
+        live.alphabet(),
+        live.inventory(),
+        live.kind(),
+        snap,
+        all_records.to_vec(),
+    )
+    .unwrap_or_else(|e| panic!("{label}: full-history recovery failed: {e}"))
+    .with_policy(live.policy());
+    assert_eq!(
+        again.snapshot().encode(),
+        live.snapshot().encode(),
+        "{label}: pre-snapshot blocks were not skipped"
+    );
+}
+
+/// 60 random configurations, each crash-tested at every committed
+/// prefix of a random run, with a snapshot checkpoint at a random step.
+#[test]
+fn monitor_recovers_byte_identical_at_every_crash_point() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0021);
+    let (mut commits, mut rejections, mut pre_snapshot_crashes) = (0usize, 0usize, 0usize);
+    for case in 0..60 {
+        let (schema, edges) = random_schema(&mut rng);
+        let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+        let inv = random_inventory(&mut rng, &schema, &alphabet);
+        let kind = PatternKind::ALL[rng.random_range(0usize..4)];
+        let policy = if rng.random_range(0u32..2) == 0 {
+            StepPolicy::EveryApplication
+        } else {
+            StepPolicy::OnlyChanging
+        };
+        let wal = Arc::new(Mutex::new(MemoryWal::new()));
+        let mut live =
+            Monitor::new(&schema, &alphabet, &inv, kind).with_policy(policy).with_sink(wal.clone());
+        let no_args = Assignment::empty();
+        let run_len = rng.random_range(4usize..16);
+        let snapshot_at = rng.random_range(0usize..run_len);
+        // The full block history, preserved across the checkpoint's log
+        // truncation (exercises skip-by-step on recovery).
+        let mut pre_snapshot_records: Vec<WalRecord> = Vec::new();
+        for step in 0..run_len {
+            let t = common::random_transaction(&mut rng, &schema, &edges);
+            match live.try_apply(&t, &no_args) {
+                Ok(()) => commits += 1,
+                Err(EnforceError::Violation(_)) => rejections += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+            if step == snapshot_at {
+                pre_snapshot_records = wal.lock().unwrap().records();
+                let snap = live.snapshot();
+                wal.lock().unwrap().write_snapshot(&snap);
+            }
+            if wal.lock().unwrap().snapshot().unwrap().is_none() {
+                pre_snapshot_crashes += 1;
+            }
+            let all_records: Vec<WalRecord> =
+                pre_snapshot_records.iter().cloned().chain(wal.lock().unwrap().records()).collect();
+            assert_recovers_single(&live, &wal, &all_records, &format!("case {case} step {step}"));
+        }
+    }
+    assert!(commits > 150, "only {commits} commits — workload too restrictive");
+    assert!(rejections > 100, "only {rejections} rejections — workload too permissive");
+    assert!(pre_snapshot_crashes > 50, "crashes before the first checkpoint untested");
+}
+
+/// Sharded + batched: random batch admission with a sink, crash-checked
+/// after every block, snapshot at a random block boundary.
+#[test]
+fn sharded_batched_recovery_is_byte_identical() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0022);
+    let mut batch_commits = 0usize;
+    for case in 0..40 {
+        let multi = rng.random_range(0u32..2) == 1;
+        let (schema, edges, extra) = if multi {
+            random_multi_schema(&mut rng)
+        } else {
+            let (s, e) = random_schema(&mut rng);
+            (s, e, 0)
+        };
+        let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+        let inv = random_inventory(&mut rng, &schema, &alphabet);
+        let kind = PatternKind::ALL[rng.random_range(0usize..4)];
+        let policy = if rng.random_range(0u32..2) == 0 {
+            StepPolicy::EveryApplication
+        } else {
+            StepPolicy::OnlyChanging
+        };
+        let shards = rng.random_range(1usize..5);
+        let wal = Arc::new(Mutex::new(MemoryWal::new()));
+        let mut live = ShardedMonitor::new(&schema, &alphabet, &inv, kind, shards)
+            .with_policy(policy)
+            .with_parallel_staging(rng.random_range(0u32..2) == 1)
+            .with_sink(wal.clone());
+        let no_args = Assignment::empty();
+        let txns: Vec<Transaction> = (0..rng.random_range(6usize..20))
+            .map(|_| random_multi_transaction(&mut rng, &schema, &edges, extra))
+            .collect();
+        let snapshot_at_block = rng.random_range(0usize..4);
+        let mut pos = 0;
+        let mut block_no = 0usize;
+        while pos < txns.len() {
+            let size = rng.random_range(1usize..(txns.len() - pos).min(5) + 1);
+            let block = &txns[pos..pos + size];
+            let (done, _) = live.try_apply_batch(block.iter().map(|t| (t, &no_args)));
+            batch_commits += done;
+            pos += size;
+            if block_no == snapshot_at_block {
+                let snap = live.snapshot();
+                wal.lock().unwrap().write_snapshot(&snap);
+            }
+            block_no += 1;
+
+            let (snap, blocks) = {
+                let w = wal.lock().unwrap();
+                (w.snapshot().expect("snapshot decodes"), w.records())
+            };
+            let recovered =
+                ShardedMonitor::recover(&schema, &alphabet, &inv, kind, shards, snap, blocks)
+                    .unwrap_or_else(|e| panic!("case {case} block {block_no}: {e}"))
+                    .with_policy(policy);
+            assert_eq!(
+                recovered.snapshot().encode(),
+                live.snapshot().encode(),
+                "case {case} block {block_no}: shard states not byte-identical"
+            );
+            assert_eq!(recovered.db(), live.db());
+            assert_eq!(recovered.steps(), live.steps());
+            for oid in 1..=live.db().next_oid().0 {
+                assert_eq!(recovered.pattern_of(Oid(oid)), live.pattern_of(Oid(oid)));
+            }
+        }
+    }
+    assert!(batch_commits > 100, "only {batch_commits} batch commits");
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("migratory-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// File-backed torn-tail semantics: truncate `wal.log` at **every byte
+/// length** and require recovery to land exactly on a committed prefix
+/// of the run — never an error, never a half-applied block.
+#[test]
+fn file_wal_recovers_every_truncation_to_a_committed_prefix() {
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv =
+        Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* [STUDENT]* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"
+        transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+        transaction St(x) {
+          specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS", FirstEnroll = 1 });
+        }
+        transaction UnSt(x) { generalize(STUDENT, { SSN = x }); }
+        transaction Rm(x) { delete(PERSON, { SSN = x }); }
+    "#,
+    )
+    .unwrap();
+    let dir = temp_dir("torn");
+    let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap()));
+    let mut live = Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(wal.clone());
+
+    // Canonical state after each committed step, keyed by letter count.
+    let mut state_at: Vec<Vec<u8>> = vec![live.snapshot().encode()];
+    let script = [("Mk", "1"), ("St", "1"), ("Mk", "2"), ("UnSt", "1"), ("Rm", "2"), ("Rm", "1")];
+    for (name, key) in script {
+        let args = Assignment::new(vec![Value::str(key)]);
+        live.try_apply(ts.get(name).unwrap(), &args).unwrap();
+        state_at.push(live.snapshot().encode());
+    }
+    drop(wal); // flush + close the writer
+
+    let log = std::fs::read(dir.join("wal.log")).unwrap();
+    let mut prefixes_seen = std::collections::BTreeSet::new();
+    for cut in 0..=log.len() {
+        let blocks = migratory::core::enforce::wal::decode_records(&log[..cut]);
+        let steps: usize = blocks.iter().map(WalRecord::letters).sum();
+        let recovered = Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, None, blocks)
+            .unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        assert_eq!(recovered.steps(), steps);
+        assert_eq!(
+            recovered.snapshot().encode(),
+            state_at[steps],
+            "cut at {cut} bytes must recover the exact state after {steps} letters"
+        );
+        prefixes_seen.insert(steps);
+    }
+    assert_eq!(
+        prefixes_seen.into_iter().collect::<Vec<_>>(),
+        (0..=script.len()).collect::<Vec<_>>(),
+        "every committed prefix is reachable by some truncation"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `Wal::write_snapshot` + `Wal::load`: restart without replay — the
+/// checkpoint truncates the log, recovery folds snapshot + tail, and a
+/// recovered monitor can keep running (and keep logging) seamlessly.
+#[test]
+fn file_wal_snapshot_restart_resumes_mid_run() {
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* ([PERSON] ∪ [STUDENT])* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"
+        transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+        transaction St(x) {
+          specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS", FirstEnroll = 1 });
+        }
+        transaction UnSt(x) { generalize(STUDENT, { SSN = x }); }
+    "#,
+    )
+    .unwrap();
+    let dir = temp_dir("restart");
+    let key = |k: &str| Assignment::new(vec![Value::str(k)]);
+
+    let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap()));
+    let mut live = Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(wal.clone());
+    for k in ["a", "b", "c"] {
+        live.try_apply(ts.get("Mk").unwrap(), &key(k)).unwrap();
+    }
+    wal.lock().unwrap().write_snapshot(&live.snapshot()).unwrap();
+    assert_eq!(
+        std::fs::metadata(dir.join("wal.log")).unwrap().len(),
+        0,
+        "checkpoint truncates the log"
+    );
+    live.try_apply(ts.get("St").unwrap(), &key("a")).unwrap();
+    live.try_apply(ts.get("St").unwrap(), &key("b")).unwrap();
+    let crash_state = live.snapshot().encode();
+    drop((live, wal)); // "crash"
+
+    let (snap, tail) = Wal::load(&dir).unwrap();
+    let snap = snap.expect("checkpoint present");
+    assert_eq!(snap.steps(), 3);
+    assert_eq!(tail.len(), 2, "only the post-checkpoint tail remains");
+    let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap()));
+    let mut revived =
+        Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, Some(snap), tail)
+            .unwrap()
+            .with_sink(wal.clone());
+    assert_eq!(revived.snapshot().encode(), crash_state);
+    // The revived monitor keeps enforcing and keeps logging.
+    revived.try_apply(ts.get("UnSt").unwrap(), &key("a")).unwrap();
+    assert_eq!(revived.steps(), 6);
+    let (_, tail) = Wal::load(&dir).unwrap();
+    assert_eq!(tail.len(), 3, "the new letter was appended to the same log");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A failing sink aborts the commit atomically: nothing applied, nothing
+/// tracked, nothing logged — and the monitor resumes cleanly once the
+/// sink heals.
+#[test]
+fn sink_failure_rolls_back_and_heals() {
+    use migratory::core::enforce::wal::FailingSink;
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }"#,
+    )
+    .unwrap();
+    let sink = Arc::new(Mutex::new(FailingSink::default()));
+    let key = |k: &str| Assignment::new(vec![Value::str(k)]);
+
+    let mut m = Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(sink.clone());
+    m.try_apply(ts.get("Mk").unwrap(), &key("1")).unwrap();
+    sink.lock().unwrap().fail = true;
+    let before = m.snapshot().encode();
+    let err = m.try_apply(ts.get("Mk").unwrap(), &key("2")).unwrap_err();
+    assert!(matches!(err, EnforceError::Durability(_)), "got {err:?}");
+    assert_eq!(m.snapshot().encode(), before, "failed commit left state behind");
+    assert_eq!(m.db().num_objects(), 1);
+    sink.lock().unwrap().fail = false;
+    m.try_apply(ts.get("Mk").unwrap(), &key("2")).unwrap();
+    assert_eq!(m.db().num_objects(), 2);
+    assert_eq!(sink.lock().unwrap().accepted, 2);
+
+    // Sharded batch: a failing sink rejects the whole block atomically.
+    let sink = Arc::new(Mutex::new(FailingSink { fail: true, accepted: 0 }));
+    let mut sm =
+        ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 2).with_sink(sink.clone());
+    let assigns: Vec<Assignment> = (0..4).map(|i| key(&format!("{i}"))).collect();
+    let batch: Vec<(&Transaction, &Assignment)> =
+        assigns.iter().map(|a| (ts.get("Mk").unwrap(), a)).collect();
+    let (done, err) = sm.try_apply_batch(batch.clone());
+    assert_eq!(done, 0);
+    assert!(matches!(err, Some(EnforceError::Durability(_))));
+    assert_eq!(sm.db().num_objects(), 0, "block rolled back");
+    assert_eq!(sm.steps(), 0);
+    sink.lock().unwrap().fail = false;
+    let (done, err) = sm.try_apply_batch(batch);
+    assert_eq!((done, err), (4, None));
+}
+
+/// A durable certified monitor logs its (unchecked) applications and
+/// recovers from a post-certification checkpoint, patterns frozen at
+/// the certification horizon.
+#[test]
+fn certified_monitor_logs_and_recovers() {
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [STUDENT]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"
+        transaction T1(n, sv, t, mj) {
+          create(PERSON, { SSN = sv, Name = n });
+          specialize(PERSON, STUDENT, { SSN = sv }, { Major = mj, FirstEnroll = t });
+        }
+        transaction T4(sv) { delete(PERSON, { SSN = sv }); }
+    "#,
+    )
+    .unwrap();
+    let args = |k: &str| {
+        Assignment::new(vec![Value::str("ann"), Value::str(k), Value::int(1990), Value::str("CS")])
+    };
+    let wal = Arc::new(Mutex::new(MemoryWal::new()));
+    let mut live = Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(wal.clone());
+    live.try_apply(ts.get("T1").unwrap(), &args("1")).unwrap();
+    // Checkpoint BEFORE certification: the certification event reaches
+    // the log as its own write-ahead marker record, so recovery from
+    // this pre-certification snapshot must still freeze tracking at the
+    // right letter instead of replaying certified blocks as checked.
+    wal.lock().unwrap().write_snapshot(&live.snapshot());
+    assert!(live.certify(&ts).unwrap());
+    live.try_apply(ts.get("T1").unwrap(), &args("2")).unwrap();
+    live.try_apply(ts.get("T4").unwrap(), &Assignment::new(vec![Value::str("1")])).unwrap();
+    let (snap, records) = {
+        let w = wal.lock().unwrap();
+        (w.snapshot().unwrap().unwrap(), w.records())
+    };
+    assert_eq!(records.len(), 3, "two certified blocks plus the certification marker");
+    assert!(records.iter().any(|r| matches!(r, WalRecord::Certified { steps: 1 })));
+    let recovered =
+        Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, Some(snap), records).unwrap();
+    assert_eq!(recovered.snapshot().encode(), live.snapshot().encode());
+    assert_eq!(recovered.db(), live.db());
+    assert!(recovered.is_certified());
+    assert_eq!(recovered.steps(), 3);
+    assert_eq!(recovered.pattern_of(Oid(1)), live.pattern_of(Oid(1)));
+    assert_eq!(recovered.pattern_of(Oid(1)).unwrap().len(), 1, "frozen at certification");
+    assert!(recovered.pattern_of(Oid(2)).is_none(), "post-certification objects untracked");
+
+    // A failing sink vetoes certification itself (write-ahead marker).
+    use migratory::core::enforce::wal::FailingSink;
+    let sink = Arc::new(Mutex::new(FailingSink { fail: true, accepted: 0 }));
+    let mut m = Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(sink.clone());
+    assert!(m.certify(&ts).is_err(), "unloggable certification must not take effect");
+    assert!(!m.is_certified());
+    sink.lock().unwrap().fail = false;
+    assert!(m.certify(&ts).unwrap());
+    assert!(m.is_certified());
+}
+
+/// Re-opening a log with a torn tail must truncate it before appending:
+/// otherwise every post-reopen record hides behind the garbage and is
+/// silently lost on the next recovery.
+#[test]
+fn reopening_a_torn_log_truncates_before_appending() {
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }"#,
+    )
+    .unwrap();
+    let dir = temp_dir("torn-reopen");
+    let key = |k: &str| Assignment::new(vec![Value::str(k)]);
+    {
+        let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap()));
+        let mut m = Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(wal.clone());
+        m.try_apply(ts.get("Mk").unwrap(), &key("1")).unwrap();
+        m.try_apply(ts.get("Mk").unwrap(), &key("2")).unwrap();
+    }
+    // Crash mid-append: garbage half-record at the end of the log.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(dir.join("wal.log")).unwrap();
+        f.write_all(&[0x99, 0x03, 0x00, 0x00, 0xde, 0xad]).unwrap();
+    }
+    // Resume: the reopened log must drop the torn bytes, so the new
+    // letter lands right after the two good records.
+    {
+        let (snap, tail) = Wal::load(&dir).unwrap();
+        assert_eq!(tail.len(), 2, "torn tail dropped on load");
+        let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap()));
+        let mut m = Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, snap, tail)
+            .unwrap()
+            .with_sink(wal.clone());
+        m.try_apply(ts.get("Mk").unwrap(), &key("3")).unwrap();
+    }
+    let (snap, tail) = Wal::load(&dir).unwrap();
+    assert_eq!(tail.len(), 3, "the post-reopen record must be recoverable");
+    let m = Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, snap, tail).unwrap();
+    assert_eq!(m.steps(), 3);
+    assert_eq!(m.db().num_objects(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Gap detection: a tail that skips a block is refused rather than
+/// silently replayed out of order.
+#[test]
+fn recovery_rejects_wal_gaps() {
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }"#,
+    )
+    .unwrap();
+    let wal = Arc::new(Mutex::new(MemoryWal::new()));
+    let mut live = Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(wal.clone());
+    for k in ["1", "2", "3"] {
+        live.try_apply(ts.get("Mk").unwrap(), &Assignment::new(vec![Value::str(k)])).unwrap();
+    }
+    let mut blocks = wal.lock().unwrap().records();
+    blocks.remove(1); // lose the middle block
+    let err = Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, None, blocks)
+        .err()
+        .expect("gap must be detected");
+    assert!(err.to_string().contains("gap"), "got {err}");
+}
