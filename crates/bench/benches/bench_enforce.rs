@@ -202,7 +202,7 @@ fn bench(c: &mut Criterion) {
                 let mut m = sharded_proto.clone();
                 let (done, err) = m.try_apply_batch(script.iter().map(|(t, a)| (*t, a)));
                 assert_eq!((done, err), (script.len(), None));
-                m.steps()
+                m.letters_read()
             });
         });
     }

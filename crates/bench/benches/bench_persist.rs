@@ -83,6 +83,27 @@ fn bench(c: &mut Criterion) {
             .steps()
         })
     });
+    group.bench_function("incremental_checkpoint_capture_10k", |b| {
+        // The admission-path cost of the steady-state checkpoint: an
+        // O(dirty) capture (the toggles dirty a rotating window of
+        // objects), vs the O(db) snapshot_encode above.
+        let wal = Arc::new(Mutex::new(MemoryWal::new()));
+        let mut m = Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(wal.clone());
+        m.try_apply(&bulk, &no_args).expect("bulk load conforms");
+        let base = m.checkpoint_full();
+        wal.lock().unwrap().write_snapshot(&base);
+        let mut i = 0usize;
+        b.iter(|| {
+            for _ in 0..TAIL {
+                let (name, args) = toggle_step(i, N);
+                i += 1;
+                m.try_apply(ts.get(name).unwrap(), &args).expect("toggle conforms");
+            }
+            let delta = m.checkpoint_delta();
+            wal.lock().unwrap().write_checkpoint_delta(&delta);
+            delta.num_dirty_objects()
+        });
+    });
     group.bench_function("full_replay_10k", |b| {
         b.iter(|| {
             let mut m = Monitor::new(&schema, &alphabet, &inv, PatternKind::All);

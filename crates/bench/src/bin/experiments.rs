@@ -10,8 +10,10 @@
 //! the indexed-vs-scan `sat_heavy` comparison, and the sharded
 //! `batch_admit` comparison, on 10k–1M-object databases) to the current
 //! directory. `persist` writes `BENCH_persist.json` (time-to-recover
-//! from snapshot + WAL tail vs full history replay at 10k–1M objects,
-//! and queued-ingress vs direct batch admission throughput).
+//! from the checkpoint chain + WAL tail vs full history replay at
+//! 10k–1M objects, the admission-path checkpoint stall — O(dirty)
+//! incremental capture vs the old full-snapshot encode pause — and
+//! queued-ingress vs direct batch admission throughput).
 //! `sat-heavy` and `batch-admit` print their rows without touching any
 //! file; `smoke` runs tiny versions of all of them (the CI bench-smoke
 //! entry point).
@@ -433,7 +435,9 @@ fn batch_admit_rows(configs: &[(usize, usize)]) -> String {
                     assert_eq!((done, err), (block.len(), None), "toggle batch conforms");
                 }
                 let rate = steps as f64 / t0.elapsed().as_secs_f64();
-                assert_eq!(m.steps(), single_steps, "same letters on both engines");
+                // Single-component schema → oid striping: every stripe
+                // reads every letter, in lockstep with the single engine.
+                assert!(m.clocks().iter().all(|&c| c == single_steps), "same letters everywhere");
                 assert_eq!(m.db().num_objects(), single_objects);
                 let speedup = rate / single_rate;
                 println!(
@@ -489,21 +493,35 @@ fn persist_row(recover_cfgs: &[(usize, usize, usize)], ingress_cfgs: &[(usize, u
     println!();
 }
 
-/// `recover`: bulk-load n objects, run `history` toggle letters with a
-/// WAL attached, checkpoint, run `tail` more letters, "crash", then
-/// time `Monitor::recover(snapshot, wal_tail)` against re-running the
-/// entire transaction history through a fresh monitor. Recovered state
-/// must be byte-identical (canonical snapshot encoding) to the crashed
-/// monitor's. `(objects, history, tail)` per config; returns the
-/// `recover` JSON fragment.
+/// `recover`: bulk-load n objects into a file-WAL-backed monitor, take
+/// a **background** base checkpoint (the admission thread pays only the
+/// state capture + log rotation), run `history` toggle letters, take a
+/// **background incremental** checkpoint (O(dirty) capture), run `tail`
+/// more letters, "crash", then time `Wal::load` + `Monitor::recover`
+/// (folding the checkpoint chain and replaying only the tail) against
+/// re-running the entire transaction history through a fresh monitor.
+/// Recovered state must be byte-identical (canonical snapshot encoding)
+/// to the crashed monitor's. The headline durability number is
+/// `checkpoint_stall_ms`: the time the admission path is blocked to
+/// produce the steady-state (incremental) checkpoint that gates WAL
+/// truncation — formerly the full-snapshot encode pause.
+/// `(objects, history, tail)` per config; returns the `recover` JSON
+/// fragment.
 fn recover_rows(configs: &[(usize, usize, usize)]) -> String {
-    use migratory_core::enforce::{MemoryWal, Monitor};
+    use migratory_core::enforce::{CheckpointData, Monitor, Snapshotter, Wal};
     use std::sync::{Arc, Mutex};
 
-    println!("== perf-recover: snapshot + wal tail vs full history replay ==");
+    println!("== perf-recover: checkpoint chain + wal tail vs full history replay ==");
     println!(
-        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>9}",
-        "objects", "letters", "snap MB", "encode ms", "recover ms", "replay ms", "speedup"
+        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "objects",
+        "letters",
+        "snap MB",
+        "encode ms",
+        "ckpt stall",
+        "recover ms",
+        "replay ms",
+        "speedup"
     );
     let mut rows = Vec::new();
     for &(n, history, tail) in configs {
@@ -514,31 +532,60 @@ fn recover_rows(configs: &[(usize, usize, usize)]) -> String {
         let bulk = bulk_create(&schema, n);
         let no_args = Assignment::empty();
 
-        let wal = Arc::new(Mutex::new(MemoryWal::new()));
+        let dir = std::env::temp_dir()
+            .join(format!("migratory-bench-recover-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = Arc::new(Mutex::new(Wal::open(&dir).expect("wal dir")));
+        let mut snapshotter = Snapshotter::spawn();
         let mut live = Monitor::new(&schema, &alphabet, &inv, PatternKind::All)
             .with_sink(wal.clone() as migratory_core::enforce::SharedSink);
         live.try_apply(&bulk, &no_args).expect("bulk load conforms");
+        // Base checkpoint, backgrounded: the admission thread pays the
+        // full-state capture (clone) + log rotation, not the encode.
+        let snap = live.checkpoint_full();
+        let snap_bytes_len = {
+            // The old admission-path cost, for contrast: encoding the
+            // full snapshot inline.
+            let t0 = Instant::now();
+            let bytes = snap.encode();
+            let encode_ms = t0.elapsed().as_secs_f64() * 1e3;
+            (bytes.len(), encode_ms)
+        };
+        let (snap_bytes, encode_ms) = snap_bytes_len;
+        let job = wal
+            .lock()
+            .unwrap()
+            .begin_checkpoint(CheckpointData::Full(snap))
+            .expect("stage base checkpoint");
+        snapshotter.submit(job).expect("snapshotter accepts");
         for i in 0..history {
             let (name, args) = toggle_step(i, n);
             live.try_apply(ts.get(name).unwrap(), &args).expect("toggle conforms");
         }
+        // The steady-state checkpoint that gates WAL truncation: an
+        // O(dirty) capture + a log rotation on the admission path,
+        // encode/fsync/prune on the snapshotter thread.
         let t0 = Instant::now();
-        let snap = live.snapshot();
-        let snap_bytes = snap.encode();
-        let encode_ms = t0.elapsed().as_secs_f64() * 1e3;
-        wal.lock().unwrap().write_snapshot(&snap);
+        let delta = live.checkpoint_delta();
+        let dirty = delta.num_dirty_objects();
+        let job = wal
+            .lock()
+            .unwrap()
+            .begin_checkpoint(CheckpointData::Incremental(delta))
+            .expect("stage incremental checkpoint");
+        let stall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        snapshotter.submit(job).expect("snapshotter accepts");
         for i in history..history + tail {
             let (name, args) = toggle_step(i, n);
             live.try_apply(ts.get(name).unwrap(), &args).expect("toggle conforms");
         }
         let crash_state = live.snapshot().encode();
+        snapshotter.finish().expect("background checkpoints durable");
+        drop(wal); // crash
 
-        // Crash: decode the checkpoint, replay only the WAL tail.
+        // Recover: fold the checkpoint chain, replay only the WAL tail.
         let t0 = Instant::now();
-        let (snap, blocks) = {
-            let w = wal.lock().unwrap();
-            (w.snapshot().expect("snapshot decodes"), w.records())
-        };
+        let (snap, blocks) = Wal::load(&dir).expect("load wal directory");
         let recovered = Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, snap, blocks)
             .expect("recovery succeeds");
         let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
@@ -547,6 +594,7 @@ fn recover_rows(configs: &[(usize, usize, usize)]) -> String {
             crash_state,
             "recovered state must be byte-identical"
         );
+        let _ = std::fs::remove_dir_all(&dir);
 
         // The alternative: replay the full transaction history.
         let t0 = Instant::now();
@@ -561,29 +609,30 @@ fn recover_rows(configs: &[(usize, usize, usize)]) -> String {
 
         let letters = 1 + history + tail;
         let speedup = replay_ms / recover_ms;
-        let mb = snap_bytes.len() as f64 / (1024.0 * 1024.0);
+        let mb = snap_bytes as f64 / (1024.0 * 1024.0);
         println!(
-            "{n:>10} {letters:>10} {mb:>12.2} {encode_ms:>12.2} {recover_ms:>12.2} {replay_ms:>12.2} {speedup:>8.1}×"
+            "{n:>10} {letters:>10} {mb:>12.2} {encode_ms:>12.2} {stall_ms:>12.2} {recover_ms:>12.2} {replay_ms:>12.2} {speedup:>8.1}×"
         );
         rows.push(format!(
             r#"      {{
         "objects": {n},
         "letters": {letters},
         "wal_tail_letters": {tail},
-        "snapshot_bytes": {},
-        "snapshot_encode_ms": {encode_ms:.2},
+        "snapshot_bytes": {snap_bytes},
+        "full_snapshot_encode_ms": {encode_ms:.2},
+        "checkpoint_stall_ms": {stall_ms:.2},
+        "checkpoint_dirty_objects": {dirty},
         "recover_ms": {recover_ms:.2},
         "full_replay_ms": {replay_ms:.2},
         "speedup_vs_replay": {speedup:.1},
         "byte_identical": true
-      }}"#,
-            snap_bytes.len()
+      }}"#
         ));
     }
     println!();
     format!(
         r#"  "recover": {{
-    "workload": "bulk-load n persons in one letter, toggle history with a WAL sink attached, checkpoint, toggle a tail, crash; Monitor::recover(snapshot, wal_tail) vs re-running every transaction through a fresh monitor; both must reproduce the crashed state byte-identically",
+    "workload": "bulk-load n persons into a file-WAL monitor, background base checkpoint, toggle history, background O(dirty) incremental checkpoint (checkpoint_stall_ms = admission-path blockage; encode/fsync run on the Snapshotter thread), toggle a tail, crash; Wal::load + Monitor::recover (fold chain, replay tail) vs re-running every transaction through a fresh monitor; both must reproduce the crashed state byte-identically",
     "sizes": [
 {}
     ]

@@ -5,9 +5,18 @@
 //! shard of it for the [`ShardedMonitor`](super::ShardedMonitor). It
 //! owns the run-length-encoded per-object records and the cohort table
 //! (objects grouped by indistinguishable (DFA state, role symbol)
-//! pairs), and knows how to *stage* and *commit* admission steps:
+//! pairs), **and its own letter clock**: `steps` counts the letters
+//! this partition has read, and the never-created class's DFA walk
+//! (`pre_state`, `pre_exempt`) advances in the same shard-local time.
+//! Every step index stored in a record — creation steps, RLE segment
+//! starts — is a position on the owning partition's clock, so disjoint
+//! partitions share *no* mutable state at all (Lemma 3.5: objects
+//! evolve independently; under a component alphabet, objects of
+//! different components never read each other's letters). The single
+//! [`Monitor`](super::Monitor) is the one-partition case, where the
+//! shard-local clock *is* the paper's global step counter.
 //!
-//! steps through one staged, read-only pass
+//! Admission runs through one staged, read-only pass
 //! ([`DeltaState::stage_batch`]) and one write-back
 //! ([`DeltaState::commit_batch`]): `k` letters are validated against
 //! **one** cohort sweep, advancing each untouched cohort `k` DFA steps
@@ -23,6 +32,12 @@
 //! the sharded monitor stage all shards concurrently; commits are only
 //! applied once every shard has accepted.
 //!
+//! For incremental checkpoints (`enforce::wal`), the state also keeps a
+//! **dirty set**: the oids whose record or database state may have
+//! changed since the last checkpoint capture. [`DeltaState::compact`]
+//! rewrites every record's cohort slot, so it flips `all_dirty` and the
+//! next capture carries the full record table.
+//!
 //! [`diagnose_step`] reproduces the reference engine's whole-database,
 //! ascending-oid rejection scan over any record iterator, so single and
 //! sharded monitors report byte-identical [`Violation`]s.
@@ -33,7 +48,7 @@ use crate::pattern::{MigrationPattern, PatternKind};
 use migratory_automata::Dfa;
 use migratory_lang::{Delta, ObjectDelta};
 use migratory_model::{ClassSet, Oid, RoleSet, Schema};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The always-present cohort of exempt objects (never stepped, never
 /// checked).
@@ -111,13 +126,34 @@ pub(crate) struct DeltaState {
     pub(crate) free: Vec<u32>,
     /// Touched-object count of the last admitted application.
     pub(crate) last_touched: usize,
+    /// **The letter clock**: effective letters this partition has read.
+    /// Shard-local time — every step index in the records above is a
+    /// position on this clock.
+    pub(crate) steps: usize,
+    /// DFA state of the never-created objects of this partition (their
+    /// pattern is ∅^steps in shard-local time).
+    pub(crate) pre_state: u32,
+    /// The never-created pattern has already left the enforced family.
+    pub(crate) pre_exempt: bool,
+    /// Oids whose record and/or database state may have changed since
+    /// the last checkpoint capture (drained by
+    /// `checkpoint_delta`). Not part of the durable, byte-compared
+    /// state.
+    pub(crate) dirty: BTreeSet<Oid>,
+    /// Every record is dirty: set by [`DeltaState::compact`], which
+    /// rewrites cohort slots of records the batch never touched.
+    pub(crate) all_dirty: bool,
 }
 
 impl DeltaState {
-    pub(crate) fn new() -> DeltaState {
+    /// A fresh partition at letter clock 0, with the never-created walk
+    /// starting from the inventory DFA's start state.
+    pub(crate) fn new(pre_state: u32, pre_exempt: bool) -> DeltaState {
         DeltaState {
             // Slot 0 is the exempt sink.
             cohorts: vec![Cohort { state: 0, last_role: 0, size: 0, parent: EXEMPT }],
+            pre_state,
+            pre_exempt,
             ..DeltaState::default()
         }
     }
@@ -197,26 +233,49 @@ impl DeltaState {
             self.by_key.iter().filter_map(|(&k, root)| Some((k, *remap.get(root)?))).collect();
         self.cohorts = table;
         self.free.clear();
+        // Every record's cohort slot was rewritten: the next incremental
+        // checkpoint must carry the whole table.
+        self.all_dirty = true;
     }
 
     // -----------------------------------------------------------------
     // Batch staging
     // -----------------------------------------------------------------
 
-    /// Validate `ctx.k` effective letters over this partition's objects
-    /// in one pass: each touched object's interleaved touch/untouched
-    /// chain is replayed exactly, each untouched cohort is advanced `k`
-    /// DFA steps once. Read-only; returns `Err(())` on the first
+    /// Validate `k` effective letters over this partition's objects in
+    /// one pass, **in shard-local time**: the never-created class's walk
+    /// starts from this partition's own clock, each touched object's
+    /// interleaved touch/untouched chain is replayed exactly, and each
+    /// untouched cohort is advanced `k` DFA steps once. `touched` maps
+    /// each touched object to its `(local letter index, change)` pairs,
+    /// where local indices are 1-based positions among the `k` letters
+    /// *this partition* reads. Read-only; returns `Err(())` on the first
     /// violation (callers fall back to sequential admission for exact
     /// diagnostics) and the staged changes to
     /// [`commit_batch`](Self::commit_batch) otherwise.
     pub(crate) fn stage_batch(
         &self,
         ctx: &BatchCtx<'_>,
+        k: usize,
         touched: &BTreeMap<Oid, Vec<(usize, &ObjectDelta)>>,
     ) -> Result<BatchStage, ()> {
         let dfa = ctx.dfa;
         let empty = ctx.alphabet.empty_symbol();
+        // The never-created objects of this partition read one ∅ per
+        // letter, on this partition's own clock.
+        let pre = never_created_walk(
+            dfa,
+            empty,
+            ctx.kind,
+            self.pre_state,
+            self.pre_exempt,
+            self.steps,
+            k,
+        );
+        if pre.violation_at.is_some() {
+            return Err(());
+        }
+        let steps0 = self.steps;
         // Untouched objects under Proper/Lazy leave the enforced family
         // at their first untouched step; any record predating the batch
         // has global step index ≥ 2 for every batch step (records imply
@@ -244,7 +303,7 @@ impl DeltaState {
                 *leaving.entry(ch.start_root).or_insert(0) += 1;
             }
             for &(j, od) in touches {
-                let idx = ctx.steps0 + j;
+                let idx = steps0 + j;
                 let after_sym = match od.after_classes() {
                     Some(cs) => classes_symbol(ctx.schema, ctx.alphabet, cs),
                     None => empty,
@@ -254,7 +313,7 @@ impl DeltaState {
                         // Created at effective step j: starts from the
                         // never-created class's state before that step.
                         debug_assert!(od.created(), "untracked touched object must be a creation");
-                        let (pre_state, pre_exempt) = ctx.pre_trace[j - 1];
+                        let (pre_state, pre_exempt) = pre.trace[j - 1];
                         let exempt = match ctx.kind {
                             PatternKind::All => false,
                             PatternKind::ImmediateStart => idx > 1,
@@ -319,7 +378,7 @@ impl DeltaState {
             }
             let ch = chain.as_mut().expect("first touch created or found the object");
             // Trailing untouched steps through the end of the batch.
-            let tail = ctx.k - ch.synced;
+            let tail = k - ch.synced;
             if tail > 0 && !ch.exempt {
                 if fold_all {
                     ch.exempt = true;
@@ -361,22 +420,46 @@ impl DeltaState {
             if fold_all {
                 continue;
             }
-            let st = advance_many(dfa, cstate, role, ctx.k);
+            let st = advance_many(dfa, cstate, role, k);
             if !dfa.is_accepting(st) {
                 return Err(());
             }
             advanced.push((root, st));
         }
 
-        Ok(BatchStage { moves, leaving, advanced, emptied, fold_all, touched: touched.len() })
+        Ok(BatchStage {
+            moves,
+            leaving,
+            advanced,
+            emptied,
+            fold_all,
+            touched: touched.len(),
+            k,
+            pre_state: pre.state,
+            pre_exempt: pre.exempt,
+        })
     }
 
     /// Write a staged batch: debit leavers, advance or fold the untouched
-    /// cohorts, place every touched object. Mirrors the single-step
-    /// commit, generalized to `k` letters.
+    /// cohorts, place every touched object, and advance this partition's
+    /// letter clock by the staged `k`. Mirrors the single-step commit,
+    /// generalized to `k` letters.
     pub(crate) fn commit_batch(&mut self, stage: BatchStage) {
-        let BatchStage { moves, mut leaving, advanced, emptied, fold_all, touched } = stage;
+        let BatchStage {
+            moves,
+            mut leaving,
+            advanced,
+            emptied,
+            fold_all,
+            touched,
+            k,
+            pre_state,
+            pre_exempt,
+        } = stage;
         self.last_touched = touched;
+        self.steps += k;
+        self.pre_state = pre_state;
+        self.pre_exempt = pre_exempt;
         if fold_all {
             // Every untouched object becomes exempt: fold all non-exempt
             // cohorts into the sink, recycling slots nobody routes
@@ -433,6 +516,7 @@ impl DeltaState {
                     self.cohorts[c as usize].size += 1;
                     record.cohort = c;
                     self.records.insert(oid, record);
+                    self.dirty.insert(oid);
                 }
                 BatchMove::Move { oid, segments, target } => {
                     let c = self.cohort_for(target);
@@ -440,6 +524,7 @@ impl DeltaState {
                     let rec = self.records.get_mut(&oid).expect("tracked");
                     rec.cohort = c;
                     rec.segments.extend(segments);
+                    self.dirty.insert(oid);
                 }
             }
         }
@@ -507,8 +592,8 @@ pub(crate) fn tracked(od: &ObjectDelta) -> bool {
 /// and WAL replay, which must agree exactly (recovery is byte-identical
 /// only if replay re-derives the same trace admission used).
 pub(crate) struct PreWalk {
-    /// `(state, exempt)` *before* each batch step `1..=k` — the
-    /// [`BatchCtx::pre_trace`] input.
+    /// `(state, exempt)` *before* each batch step `1..=k`, indexed by
+    /// the partition-local letter.
     pub(crate) trace: Vec<(u32, bool)>,
     /// DFA state after the walk.
     pub(crate) state: u32,
@@ -563,19 +648,13 @@ pub(crate) fn touched_map<'d>(
 }
 
 /// Immutable context of one staged batch, shared by every shard (and
-/// every staging thread).
+/// every staging thread). Clock state is *not* here: each partition
+/// stages from its own letter clock.
 pub(crate) struct BatchCtx<'a> {
     pub(crate) schema: &'a Schema,
     pub(crate) alphabet: &'a RoleAlphabet,
     pub(crate) dfa: &'a Dfa,
     pub(crate) kind: PatternKind,
-    /// Letters emitted before the batch (the shared step counter).
-    pub(crate) steps0: usize,
-    /// Effective letters in the batch.
-    pub(crate) k: usize,
-    /// `(pre_state, pre_exempt)` of the never-created class *before*
-    /// each effective step `1..=k`.
-    pub(crate) pre_trace: &'a [(u32, bool)],
 }
 
 /// The staged outcome of [`DeltaState::stage_batch`].
@@ -587,6 +666,11 @@ pub(crate) struct BatchStage {
     emptied: Vec<u32>,
     fold_all: bool,
     touched: usize,
+    /// Letters the partition read — its clock advance on commit.
+    k: usize,
+    /// Never-created walk endpoint, written back on commit.
+    pre_state: u32,
+    pre_exempt: bool,
 }
 
 /// Final placement of one touched object after a staged batch.
@@ -606,27 +690,31 @@ pub(crate) fn classes_symbol(schema: &Schema, alphabet: &RoleAlphabet, cs: Class
         .unwrap_or_else(|| alphabet.empty_symbol())
 }
 
-/// Immutable inputs of a rejection-diagnostics scan.
+/// Immutable inputs of a rejection-diagnostics scan. Clock state is
+/// per record / per created object now that partitions carry their own
+/// letter clocks.
 pub(crate) struct DiagParams<'a> {
     pub(crate) schema: &'a Schema,
     pub(crate) alphabet: &'a RoleAlphabet,
     pub(crate) dfa: &'a Dfa,
     pub(crate) kind: PatternKind,
-    pub(crate) step_idx: usize,
-    pub(crate) pre_state_old: u32,
-    pub(crate) pre_exempt: bool,
 }
 
-/// Rejection diagnostics: replay one step over **all** objects in
-/// ascending oid order — exactly the reference engine's scan — and
-/// return the first violation. `records` yields every tracked object (in
-/// ascending oid order, merged across shards if need be) as
-/// `(oid, record, exempt, cohort state)`; the database already holds the
-/// post-state and `delta` maps touched objects to their changes.
-/// O(objects), paid only on rejection.
+/// Rejection diagnostics: replay one step over **all** letter-reading
+/// objects in ascending oid order — exactly the reference engine's scan
+/// over each partition's sub-run — and return the first violation.
+/// `records` yields every tracked object of every participating
+/// partition (in ascending oid order, merged across shards if need be)
+/// as `(oid, record, exempt, cohort state, shard-local step index of
+/// this letter)`; `created_ctx` returns the owning partition's
+/// `(pre_state, pre_exempt, step index)` for an object created by this
+/// step. The database already holds the post-state and `delta` maps
+/// touched objects to their changes. O(objects), paid only on
+/// rejection.
 pub(crate) fn diagnose_step<'r>(
     p: &DiagParams<'_>,
-    records: impl Iterator<Item = (Oid, &'r ObjRecord, bool, u32)>,
+    records: impl Iterator<Item = (Oid, &'r ObjRecord, bool, u32, usize)>,
+    created_ctx: impl Fn(&ObjectDelta) -> (u32, bool, usize),
     delta: &Delta,
 ) -> Violation {
     let empty = p.alphabet.empty_symbol();
@@ -634,7 +722,7 @@ pub(crate) fn diagnose_step<'r>(
         delta.objects().iter().map(|od| (od.oid, od)).collect();
 
     // Existing objects (every record predates this step).
-    for (o, rec, cohort_exempt, cohort_state) in records {
+    for (o, rec, cohort_exempt, cohort_state, step_idx) in records {
         let (after_sym, role_changed, object_changed) = match touched.get(&o) {
             Some(od) => {
                 let after_sym = match od.after_classes() {
@@ -647,7 +735,7 @@ pub(crate) fn diagnose_step<'r>(
             None => (rec.current_role(), false, false),
         };
         let mut exempt = cohort_exempt;
-        if !exempt && p.step_idx >= 2 {
+        if !exempt && step_idx >= 2 {
             exempt = match p.kind {
                 PatternKind::All | PatternKind::ImmediateStart => false,
                 PatternKind::Proper => !object_changed,
@@ -659,7 +747,7 @@ pub(crate) fn diagnose_step<'r>(
         }
         let new_state = p.dfa.step(cohort_state, after_sym);
         if !p.dfa.is_accepting(new_state) {
-            let mut pattern = rec.pattern_through(empty, p.step_idx - 1);
+            let mut pattern = rec.pattern_through(empty, step_idx - 1);
             pattern.push(after_sym);
             return Violation { oid: Some(o), pattern, letter: after_sym };
         }
@@ -671,18 +759,19 @@ pub(crate) fn diagnose_step<'r>(
         if !od.created() {
             continue;
         }
+        let (pre_state, pre_exempt, step_idx) = created_ctx(od);
         let after_sym = match od.after_classes() {
             Some(cs) => classes_symbol(p.schema, p.alphabet, cs),
             None => empty,
         };
         let exempt = match p.kind {
             PatternKind::All => false,
-            PatternKind::ImmediateStart => p.step_idx > 1,
-            PatternKind::Proper | PatternKind::Lazy => p.pre_exempt,
+            PatternKind::ImmediateStart => step_idx > 1,
+            PatternKind::Proper | PatternKind::Lazy => pre_exempt,
         };
-        let new_state = p.dfa.step(p.pre_state_old, after_sym);
+        let new_state = p.dfa.step(pre_state, after_sym);
         if !exempt && !p.dfa.is_accepting(new_state) {
-            let mut pattern = vec![empty; p.step_idx - 1];
+            let mut pattern = vec![empty; step_idx - 1];
             pattern.push(after_sym);
             return Violation { oid: Some(od.oid), pattern, letter: after_sym };
         }

@@ -20,10 +20,11 @@
 //! [`CommitSink`](super::CommitSink) is attached) the per-block WAL
 //! append amortize over more letters — a block is a **group commit**,
 //! one record and one flush for all its letters. Draining whole lanes
-//! keeps a block inside one shard's traffic, so disjoint components
-//! admit and log in independent blocks, interleaved only at block
-//! granularity (their objects never interact — Lemma 3.5; the shared
-//! step counter is the only cross-lane coupling).
+//! keeps a block inside one shard's traffic, and with per-shard letter
+//! clocks each lane's blocks advance **only its own shard** — disjoint
+//! components admit, log and checkpoint with no cross-lane coupling at
+//! all (their objects never interact — Lemma 3.5 — and no shared step
+//! counter exists any more).
 //!
 //! # Backpressure
 //!
@@ -43,11 +44,19 @@
 //! Ordering: each producer's ops are admitted in its own program order
 //! (`submit` is synchronous; `post` tickets enqueue in call order into
 //! one lane). No order is promised *between* producers — they are
-//! network-shaped concurrent callers.
+//! network-shaped concurrent callers. The violation re-queue preserves
+//! this: survivors of a rejected block go back to the **front** of
+//! their lane, in their original order, so they stay ahead of every op
+//! posted *after* the block was drained — including ops a producer
+//! pipelines in the window between the violator's ticket being
+//! answered and the survivors landing back in the lane. Per-producer
+//! FIFO order is therefore never inverted by a mid-block violation
+//! (regression-tested below by a pipelined chain whose every reorder
+//! is observable).
 
 use super::sharded::ShardedMonitor;
 use super::EnforceError;
-use migratory_lang::{Assignment, AtomicUpdate, Transaction};
+use migratory_lang::{Assignment, Transaction};
 use migratory_model::Schema;
 use std::collections::VecDeque;
 use std::sync::mpsc;
@@ -122,17 +131,13 @@ impl<'t> Shared<'t, '_> {
             return 0;
         }
         // An SL/CSL transaction names concrete classes; route by the
-        // first one. (Transactions spanning several components admit
-        // correctly from any lane — routing is a locality hint, the
-        // monitor checks every shard per block regardless.)
-        let class = t.steps.iter().map(|g| match g.update {
-            AtomicUpdate::Create { class, .. }
-            | AtomicUpdate::Delete { class, .. }
-            | AtomicUpdate::Modify { class, .. }
-            | AtomicUpdate::Generalize { class, .. } => class,
-            AtomicUpdate::Specialize { from, .. } => from,
-        });
-        match class.into_iter().next() {
+        // first one — the same anchor the sharded monitor's fallback
+        // routing uses ([`Transaction::first_named_class`]), so a
+        // lane's blocks advance exactly that lane's shard.
+        // (Transactions spanning several components admit correctly
+        // from any lane — routing is a locality hint, the monitor
+        // checks every touched shard per block regardless.)
+        match t.first_named_class() {
             Some(c) => self.lane_of_component[self.schema.component_of(c) as usize],
             None => 0,
         }
@@ -365,7 +370,7 @@ mod tests {
         assert_eq!(stats.rejected, 0);
         assert_eq!(stats.lanes, 3, "one lane per component shard");
         assert_eq!(m.db().num_objects(), 3 * PER);
-        assert_eq!(m.steps(), 3 * PER);
+        assert_eq!(m.clocks(), vec![PER, PER, PER], "each shard read only its own letters");
         // Group commit: blocks ≤ submissions, and every letter logged.
         let logged: usize = wal.lock().unwrap().records().iter().map(|r| r.letters()).sum();
         assert_eq!(logged, 3 * PER);
@@ -384,6 +389,144 @@ mod tests {
             serve(&mut m, &IngressConfig::default(), |_client| panic!("driver died"));
         }));
         assert!(result.is_err(), "the driver's panic must propagate");
+    }
+
+    /// Satellite regression: a mid-block violation re-queues the
+    /// surviving ops at the **front** of their lane, so a producer's
+    /// pipelined ops are never admitted out of program order — even
+    /// when more ops are posted after the block was drained (the racy
+    /// window between the violator's ticket answer and the re-queue).
+    /// Producer P's chain renames one object's key `v0 → v1 → … → vN`;
+    /// every link selects the previous key, so *any* reorder (or drop)
+    /// leaves the chain stuck at some `v_i` — observable in the final
+    /// database. Producer Q injects specialize/generalize pairs that
+    /// violate when they land adjacently in one block, forcing
+    /// re-queues underneath P's chain.
+    #[test]
+    fn requeue_preserves_per_producer_fifo_under_violations() {
+        let s = multi_schema();
+        let a = RoleAlphabet::new(&s, 0).unwrap();
+        // Specialization is forbidden outright: every `Up0` violates
+        // ([S0] ∉ [R0]*), deterministically, and rolls back without
+        // poisoning any state — the rejected object keeps reading
+        // conforming [R0] repeats.
+        let inv = Inventory::parse_init(&s, &a, "∅* [R0]* ∅*").unwrap();
+        let ts = parse_transactions(
+            &s,
+            r"
+            transaction Mk0(x)    { create(R0, { K0 = x }); }
+            transaction Up0(x)    { specialize(R0, S0, { K0 = x }, {}); }
+            transaction Ren0(x, y) { modify(R0, { K0 = x }, { K0 = y }); }
+        ",
+        )
+        .unwrap();
+        let key = |k: String| Assignment::new(vec![Value::str(&k)]);
+        const CHAIN: usize = 200;
+        const VIOLATORS: usize = 60;
+        let mut m = ShardedMonitor::new(&s, &a, &inv, crate::PatternKind::All, 3);
+        // Small blocks and a tight queue: violations land mid-block and
+        // producers keep posting while survivors are being re-queued.
+        let cfg = IngressConfig { queue_capacity: 8, max_block: 4 };
+        let ((), stats) = serve(&mut m, &cfg, |client| {
+            // The chain object.
+            client.submit(ts.get("Mk0").unwrap(), key("v0".into())).unwrap();
+            client.submit(ts.get("Mk0").unwrap(), key("q".into())).unwrap();
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    // P: every link must see its predecessor's write.
+                    let tickets: Vec<_> = (0..CHAIN)
+                        .map(|i| {
+                            client.post(
+                                ts.get("Ren0").unwrap(),
+                                Assignment::new(vec![
+                                    Value::str(&format!("v{i}")),
+                                    Value::str(&format!("v{}", i + 1)),
+                                ]),
+                            )
+                        })
+                        .collect();
+                    for t in tickets {
+                        t.wait().expect("chain links conform ([R0] repeats)");
+                    }
+                });
+                scope.spawn(|| {
+                    // Q: a stream of guaranteed violators into the same
+                    // lane — each rejection re-queues whatever P ops
+                    // were drained behind it.
+                    for _ in 0..VIOLATORS {
+                        let t = client.post(ts.get("Up0").unwrap(), key("q".into()));
+                        assert!(
+                            matches!(t.wait(), Err(EnforceError::Violation(_))),
+                            "specialization is forbidden by the inventory"
+                        );
+                    }
+                });
+            });
+        });
+        // The chain completed in order: the object's key walked the
+        // whole ladder. Any FIFO inversion strands it at an earlier
+        // link (the later rename selects a key that does not exist yet
+        // and silently misses).
+        use migratory_model::{Atom, Condition};
+        let r0 = s.class_id("R0").unwrap();
+        let k0 = s.attr_id("K0").unwrap();
+        let hit = m.db().sat(r0, &Condition::from_atoms([Atom::eq_const(k0, format!("v{CHAIN}"))]));
+        assert_eq!(hit.len(), 1, "the rename chain must complete in program order");
+        assert_eq!(stats.submitted, 2 + CHAIN + VIOLATORS);
+        assert_eq!(stats.rejected, VIOLATORS);
+        assert!(
+            stats.requeued > 0,
+            "no block was re-queued — the violation/requeue path went unexercised"
+        );
+    }
+
+    /// The small, scripted shape of the same property: block [violator,
+    /// survivor] drained together, a third op posted the moment the
+    /// violator's ticket resolves — the survivor must still be admitted
+    /// first (it was posted first). Looped to push the post through the
+    /// re-queue window.
+    #[test]
+    fn requeued_survivor_stays_ahead_of_later_posts() {
+        let s = multi_schema();
+        let a = RoleAlphabet::new(&s, 0).unwrap();
+        let inv = Inventory::parse_init(&s, &a, "∅* [R0]* ∅*").unwrap();
+        let ts = parse_transactions(
+            &s,
+            r"
+            transaction Mk0(x)   { create(R0, { K0 = x }); }
+            transaction Up0(x)   { specialize(R0, S0, { K0 = x }, {}); }
+        ",
+        )
+        .unwrap();
+        let key = |k: String| Assignment::new(vec![Value::str(&k)]);
+        for round in 0..50 {
+            let mut m = ShardedMonitor::new(&s, &a, &inv, crate::PatternKind::All, 3);
+            let cfg = IngressConfig { queue_capacity: 16, max_block: 4 };
+            let ((), _) = serve(&mut m, &cfg, |client| {
+                client.submit(ts.get("Mk0").unwrap(), key("y".into())).unwrap();
+                // A always violates; B usually shares its block and is
+                // re-queued.
+                let t_a = client.post(ts.get("Up0").unwrap(), key("y".into()));
+                let t_b = client.post(ts.get("Mk0").unwrap(), key("b".into()));
+                // The violator resolves as soon as its block was
+                // admitted — post C in the re-queue window.
+                assert!(matches!(t_a.wait(), Err(EnforceError::Violation(_))));
+                let t_c = client.post(ts.get("Mk0").unwrap(), key("c".into()));
+                t_b.wait().expect("survivor admits");
+                t_c.wait().expect("later post admits");
+            });
+            // B was posted before C: FIFO requires B's object to be
+            // minted first whenever both committed.
+            use migratory_model::{Atom, Condition};
+            let r0 = s.class_id("R0").unwrap();
+            let k0 = s.attr_id("K0").unwrap();
+            let oid_of =
+                |k: &str| m.db().sat(r0, &Condition::from_atoms([Atom::eq_const(k0, k)]))[0];
+            assert!(
+                oid_of("b") < oid_of("c"),
+                "round {round}: survivor B admitted after later-posted C"
+            );
+        }
     }
 
     #[test]

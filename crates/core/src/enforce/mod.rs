@@ -48,19 +48,28 @@
 //! a cloned database each step and is used by tests as the oracle and by
 //! `bench_enforce` as the baseline.
 //!
-//! # Module layout: sharding and batching
+//! # Module layout: sharding, batching, per-shard letter clocks
 //!
 //! The engine's state machinery (records, cohorts, staging/commit,
-//! diagnostics) lives in the private `delta` submodule, shared between
-//! two front ends: this file's single-partition [`Monitor`] and
-//! [`sharded::ShardedMonitor`], which partitions the object population
-//! by weakly-connected role component (oid stripes as fallback), stages
-//! all shards' checks concurrently on scoped threads, and admits whole
-//! *batches* of transactions against one cohort sweep per shard
+//! diagnostics, **and the letter clock**) lives in the private `delta`
+//! submodule, shared between two front ends: this file's
+//! single-partition [`Monitor`] and [`sharded::ShardedMonitor`], which
+//! partitions the object population by weakly-connected role component
+//! (oid stripes as fallback), stages participating shards' checks
+//! concurrently on scoped threads, and admits whole *batches* of
+//! transactions against one cohort sweep per participating shard
 //! ([`ShardedMonitor::try_apply_batch`]). Objects evolve independently
-//! (Lemma 3.5), so the shards coordinate only through the shared step
-//! counter; both front ends are observationally identical to the
-//! reference engine, byte-identical [`Violation`]s included.
+//! (Lemma 3.5) and, under a component alphabet, objects of different
+//! components never read each other's letters — so every partition
+//! carries its **own letter clock** and the shards share *no* mutable
+//! state at all: disjoint components stage, commit, checkpoint and
+//! recover fully independently. The single [`Monitor`] is the
+//! one-partition case (its shard-local clock *is* the paper's global
+//! step counter, surviving as the derived [`Monitor::steps`] view) and
+//! stays the k = 1 oracle: each shard of a [`sharded::ShardedMonitor`]
+//! is observationally identical to a `Monitor` fed exactly the
+//! subsequence of applications routed to it, byte-identical
+//! [`Violation`]s included.
 //!
 //! Enforcement is *kind-aware*: under [`PatternKind::Proper`] a pattern
 //! stops being constrained the moment a step leaves its object unchanged
@@ -82,15 +91,19 @@
 //! tracking state *is* the constraint — two further layers make it
 //! survive crashes and concurrent callers:
 //!
-//! * [`wal`] — a write-ahead log of committed [`Delta`] blocks plus
-//!   canonical snapshots of the cohort/RLE tracking state. Both front
+//! * [`wal`] — a write-ahead log of committed [`Delta`] blocks (each
+//!   carrying its participating shards' clock offsets and letter
+//!   assignments) plus a checkpoint chain: a full base [`Snapshot`] and
+//!   **incremental** [`CheckpointDelta`]s capturing only the dirtied
+//!   state, written by a background [`Snapshotter`] so the admission
+//!   path pays O(dirty), never the full-snapshot pause. Both front
 //!   ends accept a pluggable [`CommitSink`] ([`Monitor::with_sink`],
 //!   [`ShardedMonitor::with_sink`]; no-op when absent) that receives
 //!   each admitted block *before* tracking state commits, and both
-//!   recover from checkpoint + tail without replaying history
-//!   ([`Monitor::recover`], [`ShardedMonitor::recover`]) —
-//!   byte-identically, because every engine structure iterates in
-//!   canonical order.
+//!   recover from the folded chain + tail without replaying history
+//!   ([`Monitor::recover`], [`ShardedMonitor::recover`]), folding each
+//!   shard's sub-log at shard-local granularity — byte-identically,
+//!   because every engine structure iterates in canonical order.
 //! * [`ingress`] — bounded per-shard admission queues in front of a
 //!   [`ShardedMonitor`]: concurrent producers enqueue single
 //!   applications, an admission worker drains lanes into
@@ -104,7 +117,10 @@ pub mod wal;
 
 pub use ingress::{IngressConfig, IngressStats};
 pub use sharded::{ShardStats, ShardedMonitor};
-pub use wal::{CommitSink, MemoryWal, Snapshot, Wal, WalBlock, WalError, WalRecord};
+pub use wal::{
+    BlockRef, CheckpointData, CheckpointDelta, CheckpointJob, CommitSink, MemoryWal, ShardLetters,
+    Snapshot, Snapshotter, Wal, WalBlock, WalError, WalRecord,
+};
 
 use crate::alphabet::RoleAlphabet;
 use crate::error::CoreError;
@@ -269,11 +285,14 @@ pub struct Monitor<'a> {
     /// Where committed blocks are logged before tracking state is
     /// written (`None`: volatile monitor, zero overhead).
     sink: Option<SharedSink>,
-    /// DFA state shared by all never-created objects (pattern ∅ⁿ).
+    /// Reference-engine clock state (the delta engine's lives inside
+    /// its [`DeltaState`] — the monitor's single partition, whose
+    /// shard-local letter clock *is* the global step counter at k = 1).
     pre_state: u32,
-    /// The never-created pattern has already left the enforced family.
+    /// The never-created pattern has already left the enforced family
+    /// (reference engine).
     pre_exempt: bool,
-    /// Number of letters emitted so far (n).
+    /// Number of letters emitted so far (reference engine).
     steps: usize,
     certified: bool,
     /// Step count at the moment certification succeeded — the horizon at
@@ -316,7 +335,8 @@ impl<'a> Monitor<'a> {
         inventory: &'a Inventory,
         kind: PatternKind,
     ) -> Monitor<'a> {
-        Self::with_engine(schema, alphabet, inventory, kind, Engine::Delta(DeltaState::new()))
+        let state = DeltaState::new(inventory.dfa().start(), kind == PatternKind::ImmediateStart);
+        Self::with_engine(schema, alphabet, inventory, kind, Engine::Delta(state))
     }
 
     /// A monitor driven by the **reference** algorithm: every application
@@ -396,10 +416,16 @@ impl<'a> Monitor<'a> {
         self.policy
     }
 
-    /// Number of pattern letters emitted so far.
+    /// Number of pattern letters emitted so far. For the delta engine
+    /// this is a **derived view**: the single partition's shard-local
+    /// letter clock, which at k = 1 coincides with the paper's global
+    /// step counter.
     #[must_use]
     pub fn steps(&self) -> usize {
-        self.steps
+        match &self.engine {
+            Engine::Delta(d) => d.steps,
+            Engine::Reference { .. } => self.steps,
+        }
     }
 
     /// Whether the monitor runs in the certified fast path.
@@ -441,7 +467,7 @@ impl<'a> Monitor<'a> {
                 // Records stop advancing once certified: clamp the
                 // reconstruction horizon so certified steps do not
                 // fabricate repeat letters.
-                let horizon = self.certified_at.unwrap_or(self.steps);
+                let horizon = self.certified_at.unwrap_or(d.steps);
                 d.records.get(&o).map(|r| r.pattern_through(self.alphabet.empty_symbol(), horizon))
             }
             Engine::Reference { tracked } => tracked.get(&o).map(|t| t.history.clone()),
@@ -470,23 +496,32 @@ impl<'a> Monitor<'a> {
             // unchecked post-certification blocks through the tracker.
             // Write-ahead: if the marker cannot be logged, certification
             // does not take effect.
+            let at = self.steps();
             if let Some(sink) = &self.sink {
                 sink.lock()
                     .expect("sink poisoned")
-                    .certified(self.steps)
+                    .certified(at)
                     .map_err(|e| CoreError::Durability(e.to_string()))?;
             }
             self.certified = true;
-            self.certified_at = Some(self.steps);
+            self.certified_at = Some(at);
         }
         Ok(holds)
     }
 
     /// Append one block to the attached sink (one lock, one record —
-    /// the group-commit unit).
-    fn log_block(&self, deltas: &[&Delta]) -> Result<(), WalError> {
+    /// the group-commit unit). A single monitor is one partition:
+    /// every delta is a letter on shard 0's clock.
+    fn log_block(&self, steps0: usize, deltas: &[&Delta]) -> Result<(), WalError> {
         match &self.sink {
-            Some(sink) => sink.lock().expect("sink poisoned").committed(self.steps, deltas),
+            Some(sink) => {
+                let shards = [ShardLetters {
+                    shard: 0,
+                    steps0,
+                    letters: (0..deltas.len() as u32).collect(),
+                }];
+                sink.lock().expect("sink poisoned").committed(&BlockRef { deltas, shards: &shards })
+            }
             None => Ok(()),
         }
     }
@@ -496,9 +531,9 @@ impl<'a> Monitor<'a> {
     // -----------------------------------------------------------------
 
     /// Checkpoint everything this monitor cannot rebuild from its
-    /// constructor arguments: database heap, cohort/RLE tracking state,
-    /// step and pre-state counters, policy and certification horizon.
-    /// The encoding is canonical — equal monitor states yield equal
+    /// constructor arguments: database heap, cohort/RLE tracking state
+    /// with its letter clock, policy and certification horizon. The
+    /// encoding is canonical — equal monitor states yield equal
     /// [`Snapshot::encode`] bytes.
     ///
     /// # Panics
@@ -510,9 +545,6 @@ impl<'a> Monitor<'a> {
             panic!("snapshot requires the delta engine")
         };
         Snapshot {
-            steps: self.steps,
-            pre_state: self.pre_state,
-            pre_exempt: self.pre_exempt,
             policy: self.policy,
             certified: self.certified,
             certified_at: self.certified_at,
@@ -521,9 +553,51 @@ impl<'a> Monitor<'a> {
         }
     }
 
+    /// Capture a **full checkpoint** and reset the incremental dirty
+    /// tracking: the returned snapshot covers everything, so the next
+    /// [`Monitor::checkpoint_delta`] captures only changes made from
+    /// here on. Prefer this over [`Monitor::snapshot`] (a pure
+    /// observation that leaves the dirty set alone) when the snapshot
+    /// will be written as a base checkpoint.
+    ///
+    /// # Panics
+    /// Panics on the reference engine, which this layer does not
+    /// persist.
+    pub fn checkpoint_full(&mut self) -> Snapshot {
+        let snap = self.snapshot();
+        let Engine::Delta(state) = &mut self.engine else { unreachable!() };
+        state.dirty.clear();
+        state.all_dirty = false;
+        snap
+    }
+
+    /// Capture an **incremental checkpoint**: the objects and tracking
+    /// records dirtied since the last capture (or recovery), the cohort
+    /// tables and the letter clock — O(dirty), never O(db). Drains the
+    /// dirty set: the caller must make the returned increment durable
+    /// (or fall back to a full [`Monitor::checkpoint_full`]) before
+    /// capturing again, or the chain loses these changes.
+    ///
+    /// # Panics
+    /// Panics on the reference engine, which this layer does not
+    /// persist.
+    pub fn checkpoint_delta(&mut self) -> CheckpointDelta {
+        let Engine::Delta(state) = &mut self.engine else {
+            panic!("checkpoint requires the delta engine")
+        };
+        wal::capture_delta(
+            &self.db,
+            std::slice::from_mut(state),
+            self.policy,
+            self.certified,
+            self.certified_at,
+        )
+    }
+
     /// Rebuild a monitor from a checkpoint plus the WAL tail written
-    /// after it — **without replaying history**: the snapshot restores
-    /// the tracking state directly and each tail block replays as one
+    /// after it — **without replaying history**: the snapshot (the
+    /// folded checkpoint chain — see [`wal::Wal::load`]) restores the
+    /// tracking state directly and each tail block replays as one
     /// [`Delta::redo`] + one cohort sweep (its original commit
     /// granularity), so recovery costs O(snapshot + tail), never
     /// O(run length).
@@ -534,9 +608,10 @@ impl<'a> Monitor<'a> {
     /// hold only effective letters, so replay itself is
     /// policy-independent.
     ///
-    /// Records whose step offset predates the snapshot are skipped
-    /// (they are already folded into it); a gap or a non-admitting
-    /// block is reported as [`WalError::Mismatch`]. A
+    /// Records whose shard-0 clock offset predates the snapshot are
+    /// skipped (they are already folded into it — the
+    /// crash-between-checkpoint-and-prune window); a gap or a
+    /// non-admitting block is reported as [`WalError::Mismatch`]. A
     /// [`wal::WalRecord::Certified`] marker in the tail freezes
     /// tracking exactly where the crashed monitor froze it. The
     /// recovered monitor has no sink attached — reattach with
@@ -551,16 +626,7 @@ impl<'a> Monitor<'a> {
     ) -> Result<Monitor<'a>, WalError> {
         let mut m = match snapshot {
             Some(snap) => {
-                let Snapshot {
-                    steps,
-                    pre_state,
-                    pre_exempt,
-                    policy,
-                    certified,
-                    certified_at,
-                    db,
-                    mut shards,
-                } = snap;
+                let Snapshot { policy, certified, certified_at, db, mut shards } = snap;
                 if shards.len() != 1 {
                     return Err(WalError::Mismatch(format!(
                         "snapshot has {} shards; a Monitor persists exactly one",
@@ -571,9 +637,6 @@ impl<'a> Monitor<'a> {
                 let mut m =
                     Self::with_engine(schema, alphabet, inventory, kind, Engine::Delta(state));
                 m.db = db;
-                m.steps = steps;
-                m.pre_state = pre_state;
-                m.pre_exempt = pre_exempt;
                 m.policy = policy;
                 m.certified = certified;
                 m.certified_at = certified_at;
@@ -584,25 +647,31 @@ impl<'a> Monitor<'a> {
         for record in tail {
             match record {
                 wal::WalRecord::Block(block) => {
-                    if block.steps0 < m.steps {
+                    if block.shards.len() != 1 || block.shards[0].shard != 0 {
+                        return Err(WalError::Mismatch(
+                            "multi-shard block in a single monitor's log".into(),
+                        ));
+                    }
+                    let steps0 = block.shards[0].steps0;
+                    let at = m.steps();
+                    if steps0 < at {
                         continue; // already folded into the snapshot
                     }
-                    if block.steps0 > m.steps {
+                    if steps0 > at {
                         return Err(WalError::Mismatch(format!(
-                            "wal gap: next block starts at letter {}, monitor is at {}",
-                            block.steps0, m.steps
+                            "wal gap: next block starts at letter {steps0}, monitor is at {at}"
                         )));
                     }
                     m.replay_block(&block.deltas)?;
                 }
                 wal::WalRecord::Certified { steps } => {
-                    if steps < m.steps {
+                    let at = m.steps();
+                    if steps < at {
                         continue; // the snapshot already carries it
                     }
-                    if steps > m.steps {
+                    if steps > at {
                         return Err(WalError::Mismatch(format!(
-                            "wal gap: certification at letter {steps}, monitor is at {}",
-                            m.steps
+                            "wal gap: certification at letter {steps}, monitor is at {at}"
                         )));
                     }
                     if !m.certified {
@@ -629,51 +698,35 @@ impl<'a> Monitor<'a> {
         if k == 0 {
             return Ok(());
         }
+        let Engine::Delta(state) = &mut self.engine else { unreachable!() };
         if self.certified {
             // Certified blocks were logged without tracking; replay
-            // mirrors that.
-            self.steps += k;
+            // mirrors that. The touched objects still dirty the next
+            // incremental checkpoint (their heap state changed).
+            state.steps += k;
+            for d in deltas {
+                state.dirty.extend(d.objects().iter().map(|od| od.oid));
+            }
             return Ok(());
-        }
-        let dfa = self.inventory.dfa();
-        let empty = self.alphabet.empty_symbol();
-        // The same shared walk and grouping the admission path ran —
-        // committed blocks were proved admissible, so a violation here
-        // means the log does not belong to this snapshot.
-        let pre = delta::never_created_walk(
-            dfa,
-            empty,
-            self.kind,
-            self.pre_state,
-            self.pre_exempt,
-            self.steps,
-            k,
-        );
-        if pre.violation_at.is_some() {
-            return Err(WalError::Mismatch("logged block does not admit".into()));
         }
         let refs: Vec<&Delta> = deltas.iter().collect();
         let touched = delta::touched_map(&refs);
         let ctx = delta::BatchCtx {
             schema: self.schema,
             alphabet: self.alphabet,
-            dfa,
+            dfa: self.inventory.dfa(),
             kind: self.kind,
-            steps0: self.steps,
-            k,
-            pre_trace: &pre.trace,
         };
-        let Engine::Delta(state) = &mut self.engine else { unreachable!() };
+        // The same staged walk the admission path ran — committed
+        // blocks were proved admissible, so a violation here means the
+        // log does not belong to this snapshot.
         let stage = state
-            .stage_batch(&ctx, &touched)
+            .stage_batch(&ctx, k, &touched)
             .map_err(|()| WalError::Mismatch("logged block does not admit".into()))?;
         state.commit_batch(stage);
         if k == 1 {
             state.last_touched = deltas[0].objects().len();
         }
-        self.steps += k;
-        self.pre_state = pre.state;
-        self.pre_exempt = pre.exempt;
         Ok(())
     }
 
@@ -725,16 +778,23 @@ impl<'a> Monitor<'a> {
             // interpreter cost is all that remains. A durable monitor
             // still captures the delta (it must be logged), but runs no
             // admission work on it.
+            let steps0 = self.steps();
             if self.sink.is_some() {
                 let delta = apply_transaction_delta(self.schema, &mut self.db, t, args)?;
-                if let Err(e) = self.log_block(&[&delta]) {
+                if let Err(e) = self.log_block(steps0, &[&delta]) {
                     delta.undo(&mut self.db);
                     return Err(EnforceError::Durability(e));
                 }
+                let Engine::Delta(state) = &mut self.engine else { unreachable!() };
+                // The heap changed: the next incremental checkpoint
+                // must carry these objects even though tracking froze.
+                state.dirty.extend(delta.objects().iter().map(|od| od.oid));
+                state.steps += 1;
             } else {
                 apply_transaction(self.schema, &mut self.db, t, args)?;
+                let Engine::Delta(state) = &mut self.engine else { unreachable!() };
+                state.steps += 1;
             }
-            self.steps += 1;
             return Ok(());
         }
         let delta = apply_transaction_delta(self.schema, &mut self.db, t, args)?;
@@ -745,77 +805,46 @@ impl<'a> Monitor<'a> {
             state.last_touched = delta.objects().len();
             return Ok(());
         }
-        let dfa = self.inventory.dfa();
-        let empty = self.alphabet.empty_symbol();
-        let step_idx = self.steps + 1; // 1-based index of this letter
 
-        // 1. The never-created objects read one more ∅ (O(1)) — the
-        //    shared walk, so admission, batching and WAL replay cannot
-        //    drift.
-        let pre = delta::never_created_walk(
-            dfa,
-            empty,
-            self.kind,
-            self.pre_state,
-            self.pre_exempt,
-            self.steps,
-            1,
-        );
-        if pre.violation_at.is_some() {
-            delta.undo(&mut self.db);
-            return Err(EnforceError::Violation(Violation {
-                oid: None,
-                pattern: vec![empty; step_idx],
-                letter: empty,
-            }));
-        }
-
-        // 2. Touched objects and untouched cohorts, through the shared
-        //    batch machinery at k = 1: one staged, read-only pass
-        //    (nothing is written until the step is known admissible),
-        //    then a commit. This is the same code path the sharded
-        //    monitor runs per shard, so the engines cannot drift.
+        // One staged, read-only pass at k = 1 — the never-created ∅
+        // walk plus touched objects and untouched cohorts, all from the
+        // partition's own letter clock (nothing is written until the
+        // step is known admissible), then a commit. This is the same
+        // code path the sharded monitor runs per shard, so the engines
+        // cannot drift.
         let ctx = delta::BatchCtx {
             schema: self.schema,
             alphabet: self.alphabet,
-            dfa,
+            dfa: self.inventory.dfa(),
             kind: self.kind,
-            steps0: self.steps,
-            k: 1,
-            pre_trace: &pre.trace,
         };
         let touched = delta::touched_map(&[&delta]);
         let Engine::Delta(state) = &mut self.engine else { unreachable!() };
-        match state.stage_batch(&ctx, &touched) {
+        let steps0 = state.steps;
+        match state.stage_batch(&ctx, 1, &touched) {
             Ok(stage) => {
                 // Write-ahead: the block reaches the log after staging
                 // proved it admissible and before any tracking state is
                 // written; a sink failure aborts the whole application.
-                if let Some(sink) = &self.sink {
-                    if let Err(e) =
-                        sink.lock().expect("sink poisoned").committed(self.steps, &[&delta])
-                    {
-                        delta.undo(&mut self.db);
-                        return Err(EnforceError::Durability(e));
-                    }
+                if let Err(e) = self.log_block(steps0, &[&delta]) {
+                    delta.undo(&mut self.db);
+                    return Err(EnforceError::Durability(e));
                 }
                 let Engine::Delta(state) = &mut self.engine else { unreachable!() };
                 state.commit_batch(stage);
                 // `last_touched` counts every object of the change-set,
                 // including within-step blips the tracker never sees.
                 state.last_touched = delta.objects().len();
-                self.steps = step_idx;
-                self.pre_state = pre.state;
-                self.pre_exempt = pre.exempt;
                 Ok(())
             }
             Err(()) => {
                 // Rejection path: reproduce the reference engine's scan
-                // (all objects, ascending oid) so the reported violation
-                // is byte-identical to [`Monitor::new_reference`]'s, then
+                // (never-created class first, then all objects in
+                // ascending oid order) so the reported violation is
+                // byte-identical to [`Monitor::new_reference`]'s, then
                 // roll the database back. O(objects), paid only on
                 // rejection.
-                let v = self.diagnose_violation(&delta, step_idx, self.pre_state);
+                let v = self.diagnose_violation(&delta);
                 delta.undo(&mut self.db);
                 Err(EnforceError::Violation(v))
             }
@@ -828,23 +857,33 @@ impl<'a> Monitor<'a> {
     /// `self.db` still holds the post-state; per-object pre-states come
     /// from the tracking records and `delta`. O(objects), paid only on
     /// rejection.
-    fn diagnose_violation(&self, delta: &Delta, step_idx: usize, pre_state_old: u32) -> Violation {
+    fn diagnose_violation(&self, delta: &Delta) -> Violation {
         let Engine::Delta(state) = &self.engine else { unreachable!() };
-        let params = DiagParams {
-            schema: self.schema,
-            alphabet: self.alphabet,
-            dfa: self.inventory.dfa(),
-            kind: self.kind,
-            step_idx,
-            pre_state_old,
-            pre_exempt: self.pre_exempt,
-        };
+        let dfa = self.inventory.dfa();
+        let empty = self.alphabet.empty_symbol();
+        let step_idx = state.steps + 1;
+        // The reference engine checks the never-created class first.
+        let pre = delta::never_created_walk(
+            dfa,
+            empty,
+            self.kind,
+            state.pre_state,
+            state.pre_exempt,
+            state.steps,
+            1,
+        );
+        if pre.violation_at.is_some() {
+            return Violation { oid: None, pattern: vec![empty; step_idx], letter: empty };
+        }
+        let params =
+            DiagParams { schema: self.schema, alphabet: self.alphabet, dfa, kind: self.kind };
         diagnose_step(
             &params,
             state.records.iter().map(|(&o, rec)| {
                 let root = state.find_ro(rec.cohort);
-                (o, rec, root == EXEMPT, state.cohorts[root as usize].state)
+                (o, rec, root == EXEMPT, state.cohorts[root as usize].state, step_idx)
             }),
+            |_| (state.pre_state, state.pre_exempt, step_idx),
             delta,
         )
     }

@@ -1,12 +1,14 @@
-//! Sharded, batched concurrent admission.
+//! Sharded, batched concurrent admission with **per-shard letter
+//! clocks**.
 //!
 //! Lemma 3.5 is the paper's parallelism theorem: SL transactions commute
 //! with database restriction (`⟦T⟧(d|I) = (⟦T⟧(d))|I`), i.e. objects
 //! evolve **independently** — one object's migration pattern never
-//! depends on another object's state. Admission checking therefore
-//! parallelizes perfectly over any partition of the object population:
-//! the only cross-partition coordination the model requires is the
-//! shared step counter (every object reads a letter at every step).
+//! depends on another object's state. Under a component alphabet the
+//! independence is total: an object of one weakly-connected role
+//! component never reads another component's letters, so there is
+//! nothing left for disjoint components to coordinate through — not
+//! even a step counter.
 //!
 //! A [`ShardedMonitor`] exploits exactly that. It keeps one
 //! `DeltaState` tracking partition per shard, routed
@@ -18,28 +20,42 @@
 //!   single-component schemas — equally stable, since identifiers are
 //!   minted once and never reused.
 //!
-//! Admission stages every shard *read-only* — concurrently on
-//! [`std::thread::scope`] threads when the host has more than one
-//! processor — and commits only after all shards accept, so a rejected
-//! application never leaks tracking state.
+//! # Shard-local time
+//!
+//! Each shard carries its **own letter clock** (`enforce::delta`): a
+//! committed block advances only the clocks of the shards whose objects
+//! it touches (every shard, under oid striping — stripes split one
+//! component, whose objects all read every letter). A shard's run is
+//! therefore the subsequence of effective deltas routed to it, in
+//! shard-local time, and each shard is observationally identical to a
+//! single [`Monitor`](super::Monitor) fed exactly that subsequence —
+//! same accept/reject decisions, byte-identical
+//! [`Violation`]s, same recorded patterns (the randomized
+//! per-component-oracle suite in `tests/delta_monitor.rs` checks
+//! this). Disjoint components stage, commit, checkpoint and recover
+//! fully independently; there is no global step counter left to
+//! contend on, only a derived [`ShardedMonitor::clocks`] view.
+//!
+//! Admission stages every participating shard *read-only* —
+//! concurrently on [`std::thread::scope`] threads when the host has
+//! more than one processor — and commits only after all shards accept,
+//! so a rejected application never leaks tracking state.
 //!
 //! # Batch admission
 //!
 //! [`ShardedMonitor::try_apply_batch`] validates a whole block of
-//! transactions against **one cohort sweep per shard**: untouched
-//! cohorts are advanced `k` DFA letters in a single pass (sound because
-//! inventories are prefix-closed, so reachable non-accepting states are
-//! traps and endpoint checks subsume intermediate ones), while touched
-//! objects replay their exact interleaving of touch and gap steps. The
-//! per-application sweep/re-key/alloc overhead of the single-step engine
-//! is paid once per batch instead of once per transaction. On a
-//! violation the batch rolls back and replays sequentially, which keeps
-//! the longest-conforming-prefix semantics and the byte-identical
-//! [`Violation`] diagnostics of [`Monitor`](super::Monitor) /
-//! [`Monitor::new_reference`](super::Monitor::new_reference).
+//! transactions against **one cohort sweep per participating shard**:
+//! untouched cohorts are advanced `k_s` DFA letters in a single pass
+//! (sound because inventories are prefix-closed, so reachable
+//! non-accepting states are traps and endpoint checks subsume
+//! intermediate ones), while touched objects replay their exact
+//! interleaving of touch and gap steps. On a violation the batch rolls
+//! back and replays sequentially, which keeps the
+//! longest-conforming-prefix semantics and the per-shard-reference
+//! [`Violation`] diagnostics.
 
 use super::delta::{diagnose_step, BatchCtx, BatchStage, DeltaState, DiagParams, EXEMPT};
-use super::wal::{Snapshot, WalError, WalRecord};
+use super::wal::{self, BlockRef, CheckpointDelta, ShardLetters, Snapshot, WalError, WalRecord};
 use super::{EnforceError, SharedSink, StepPolicy, Violation};
 use crate::alphabet::RoleAlphabet;
 use crate::inventory::Inventory;
@@ -74,6 +90,8 @@ enum Router {
 pub struct ShardStats {
     /// Shard index.
     pub shard: usize,
+    /// The shard's letter clock (letters its objects have read).
+    pub clock: usize,
     /// Objects tracked by this shard (live and deleted).
     pub tracked_objects: usize,
     /// Live non-exempt cohorts (distinct (DFA state, role) pairs).
@@ -85,11 +103,13 @@ pub struct ShardStats {
 }
 
 /// A database guarded by a migration inventory, with admission tracking
-/// sharded across independent object partitions and a batch API.
+/// sharded across independent object partitions — each on its own
+/// letter clock — and a batch API.
 ///
-/// Observationally identical to [`Monitor`](super::Monitor) (same
-/// accept/reject decisions, byte-identical [`Violation`]s, same
-/// database), with the tracking work partitioned per shard.
+/// Each shard is observationally identical to a single
+/// [`Monitor`](super::Monitor) fed the subsequence of effective
+/// applications routed to it (same accept/reject decisions,
+/// byte-identical [`Violation`]s, same patterns in shard-local time).
 ///
 /// ```
 /// use migratory_core::enforce::ShardedMonitor;
@@ -123,6 +143,8 @@ pub struct ShardedMonitor<'a> {
     kind: PatternKind,
     policy: StepPolicy,
     db: Instance,
+    /// The tracking partitions — each with its **own letter clock**;
+    /// no shared counter exists.
     shards: Vec<DeltaState>,
     router: Router,
     /// Where committed blocks are logged before tracking state is
@@ -132,13 +154,6 @@ pub struct ShardedMonitor<'a> {
     /// processor — the batch amortization still applies, the thread
     /// hand-off cost does not).
     parallel: bool,
-    /// DFA state shared by all never-created objects (pattern ∅ⁿ).
-    pre_state: u32,
-    /// The never-created pattern has already left the enforced family.
-    pre_exempt: bool,
-    /// Number of letters emitted so far — **the** shared step counter,
-    /// the only state the shards coordinate through.
-    steps: usize,
 }
 
 impl<'a> ShardedMonitor<'a> {
@@ -163,6 +178,9 @@ impl<'a> ShardedMonitor<'a> {
         } else {
             (Router::OidStripe { n: requested as u64 }, requested)
         };
+        let start = inventory.dfa().start();
+        // ∅ⁿ never starts with a non-∅ letter.
+        let pre_exempt = kind == PatternKind::ImmediateStart;
         ShardedMonitor {
             schema,
             alphabet,
@@ -170,15 +188,11 @@ impl<'a> ShardedMonitor<'a> {
             kind,
             policy: StepPolicy::default(),
             db: Instance::empty(),
-            shards: (0..n).map(|_| DeltaState::new()).collect(),
+            shards: (0..n).map(|_| DeltaState::new(start, pre_exempt)).collect(),
             router,
             sink: None,
             parallel: n > 1
                 && std::thread::available_parallelism().map_or(1, std::num::NonZero::get) > 1,
-            pre_state: inventory.dfa().start(),
-            // ∅ⁿ never starts with a non-∅ letter.
-            pre_exempt: kind == PatternKind::ImmediateStart,
-            steps: 0,
         }
     }
 
@@ -216,10 +230,31 @@ impl<'a> ShardedMonitor<'a> {
         &self.db
     }
 
-    /// Number of pattern letters emitted so far.
+    /// One shard's letter clock: the number of effective letters its
+    /// objects have read, in shard-local time.
+    ///
+    /// # Panics
+    /// Panics when `shard` is out of range.
     #[must_use]
-    pub fn steps(&self) -> usize {
-        self.steps
+    pub fn clock(&self, shard: usize) -> usize {
+        self.shards[shard].steps
+    }
+
+    /// Every shard's letter clock. Under oid striping the stripes
+    /// advance in lockstep (they split one component, whose objects all
+    /// read every letter); under component routing the clocks are fully
+    /// independent.
+    #[must_use]
+    pub fn clocks(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.steps).collect()
+    }
+
+    /// Sum of the per-shard letter clocks — a monotone progress
+    /// measure. (A delta spanning several components counts once per
+    /// participating shard; disjoint-component workloads have none.)
+    #[must_use]
+    pub fn letters_read(&self) -> usize {
+        self.shards.iter().map(|s| s.steps).sum()
     }
 
     /// Number of shards.
@@ -236,6 +271,7 @@ impl<'a> ShardedMonitor<'a> {
             .enumerate()
             .map(|(shard, s)| ShardStats {
                 shard,
+                clock: s.steps,
                 tracked_objects: s.records.len(),
                 live_cohorts: s.by_key.len(),
                 exempt_objects: s.cohorts[EXEMPT as usize].size,
@@ -246,13 +282,12 @@ impl<'a> ShardedMonitor<'a> {
 
     /// The recorded pattern of an object (present once it has occurred
     /// in the database), reconstructed from its shard's run-length
-    /// encoding.
+    /// encoding through that shard's **own** clock.
     #[must_use]
     pub fn pattern_of(&self, o: Oid) -> Option<MigrationPattern> {
-        self.shards
-            .iter()
-            .find_map(|s| s.records.get(&o))
-            .map(|r| r.pattern_through(self.alphabet.empty_symbol(), self.steps))
+        self.shards.iter().find_map(|s| {
+            s.records.get(&o).map(|r| r.pattern_through(self.alphabet.empty_symbol(), s.steps))
+        })
     }
 
     /// The shard an object is routed to. Stable across the object's
@@ -272,9 +307,22 @@ impl<'a> ShardedMonitor<'a> {
         }
     }
 
+    /// The shard a transaction's letter lands on when its delta touches
+    /// no tracked object (an empty-selection or blip-only application
+    /// under [`StepPolicy::EveryApplication`]): the shard of the first
+    /// class the transaction names — the same rule
+    /// `enforce::ingress` uses to pick a lane.
+    fn fallback_shard(&self, t: &Transaction) -> usize {
+        let Router::Component { shard_of } = &self.router else { return 0 };
+        match t.first_named_class() {
+            Some(c) => shard_of[self.schema.component_of(c) as usize],
+            None => 0,
+        }
+    }
+
     /// Apply `t[args]`, committing only if no enforced pattern leaves
     /// the inventory. On violation the database is unchanged and the
-    /// first offending object (in the reference engine's ascending-oid
+    /// first offending object (in the shard-reference ascending-oid
     /// order) is reported.
     pub fn try_apply(&mut self, t: &Transaction, args: &Assignment) -> Result<(), EnforceError> {
         let delta = apply_transaction_delta(self.schema, &mut self.db, t, args)?;
@@ -283,10 +331,11 @@ impl<'a> ShardedMonitor<'a> {
             // undo.
             return Ok(());
         }
-        match self.admit_effective(&[&delta]) {
+        let fallback = self.fallback_shard(t);
+        match self.admit_effective(&[(fallback, &delta)]) {
             Ok(()) => Ok(()),
             Err(AdmitFail::Violation) => {
-                let v = self.diagnose_violation(&delta);
+                let v = self.diagnose_violation(&delta, fallback);
                 delta.undo(&mut self.db);
                 Err(EnforceError::Violation(v))
             }
@@ -314,14 +363,15 @@ impl<'a> ShardedMonitor<'a> {
     }
 
     /// Admit a block of transactions against **one cohort sweep per
-    /// shard**. Semantics are identical to [`Self::try_apply_all`] — the
-    /// longest conforming prefix commits, and the return value is the
-    /// committed count plus the error that stopped the batch (if any) —
-    /// but the conforming fast path validates all `k` letters in a
-    /// single staged pass. On a violation the whole block rolls back and
-    /// is replayed sequentially for exact prefix semantics and
-    /// byte-identical diagnostics; rejecting batches therefore cost one
-    /// extra staged pass over the conforming prefix.
+    /// participating shard**. Semantics are identical to
+    /// [`Self::try_apply_all`] — the longest conforming prefix commits,
+    /// and the return value is the committed count plus the error that
+    /// stopped the batch (if any) — but the conforming fast path
+    /// validates each shard's letters in a single staged pass. On a
+    /// violation the whole block rolls back and is replayed
+    /// sequentially for exact prefix semantics and byte-identical
+    /// diagnostics; rejecting batches therefore cost one extra staged
+    /// pass over the conforming prefix.
     pub fn try_apply_batch<'t>(
         &mut self,
         batch: impl IntoIterator<Item = (&'t Transaction, &'t Assignment)>,
@@ -341,9 +391,11 @@ impl<'a> ShardedMonitor<'a> {
             }
         }
         let applied = deltas.len();
-        let effective: Vec<&Delta> = deltas
+        let effective: Vec<(usize, &Delta)> = deltas
             .iter()
-            .filter(|d| !(self.policy == StepPolicy::OnlyChanging && d.is_identity()))
+            .zip(&items)
+            .filter(|(d, _)| !(self.policy == StepPolicy::OnlyChanging && d.is_identity()))
+            .map(|(d, (t, _))| (self.fallback_shard(t), d))
             .collect();
         if effective.is_empty() {
             return (applied, lang_err);
@@ -372,136 +424,177 @@ impl<'a> ShardedMonitor<'a> {
         }
     }
 
-    /// Validate `k` effective letters across all shards, append the
-    /// block to the sink (if any), and commit if every enforced pattern
-    /// stays inside the inventory. `Err` leaves monitor state (but not
-    /// the database) untouched.
-    fn admit_effective(&mut self, effective: &[&Delta]) -> Result<(), AdmitFail> {
-        let k = effective.len();
-        let dfa = self.inventory.dfa();
-        let empty = self.alphabet.empty_symbol();
-
-        // The never-created objects read one more ∅ per letter (O(k)) —
-        // the shared walk, exactly as the per-step engine and WAL replay
-        // run it.
-        let pre = super::delta::never_created_walk(
-            dfa,
-            empty,
-            self.kind,
-            self.pre_state,
-            self.pre_exempt,
-            self.steps,
-            k,
-        );
-        if pre.violation_at.is_some() {
-            return Err(AdmitFail::Violation);
-        }
-
-        // Partition touched objects by shard, keeping each object's
-        // touches in effective-step order (the sharded variant of
-        // `delta::touched_map`, same visibility filter).
-        let mut touched: Vec<BTreeMap<Oid, Vec<(usize, &ObjectDelta)>>> =
-            (0..self.shards.len()).map(|_| BTreeMap::new()).collect();
-        for (j, d) in effective.iter().enumerate() {
-            for od in d.objects() {
-                if !super::delta::tracked(od) {
-                    continue;
+    /// Per-shard letter assignment of an effective block: which shards
+    /// participate in each delta, and each touched object's
+    /// **shard-local** letter index. A delta is a letter for the shards
+    /// of the tracked objects it touches (its fallback shard when it
+    /// touches none); under oid striping every stripe reads every
+    /// letter — the stripes split one component.
+    #[allow(clippy::type_complexity)]
+    fn assign_letters<'d>(
+        &self,
+        effective: &[(usize, &'d Delta)],
+    ) -> (Vec<Vec<u32>>, Vec<BTreeMap<Oid, Vec<(usize, &'d ObjectDelta)>>>) {
+        let n = self.shards.len();
+        let mut letters: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut touched: Vec<BTreeMap<Oid, Vec<(usize, &ObjectDelta)>>> = vec![BTreeMap::new(); n];
+        let stripe = matches!(self.router, Router::OidStripe { .. });
+        let mut participating: Vec<usize> = Vec::new();
+        for (j, (fallback, d)) in effective.iter().enumerate() {
+            participating.clear();
+            if stripe {
+                participating.extend(0..n);
+            } else {
+                for od in d.objects() {
+                    if super::delta::tracked(od) {
+                        let s = self.route(od);
+                        if !participating.contains(&s) {
+                            participating.push(s);
+                        }
+                    }
                 }
-                let s = self.route(od);
-                touched[s].entry(od.oid).or_default().push((j + 1, od));
+                if participating.is_empty() {
+                    participating.push(*fallback);
+                }
+            }
+            for &s in &participating {
+                letters[s].push(j as u32);
+            }
+            for od in d.objects() {
+                if super::delta::tracked(od) {
+                    let s = self.route(od);
+                    touched[s].entry(od.oid).or_default().push((letters[s].len(), od));
+                }
             }
         }
+        (letters, touched)
+    }
 
+    /// Validate an effective block across its participating shards —
+    /// each from its **own letter clock** — append the block to the
+    /// sink (if any), and commit if every enforced pattern stays inside
+    /// the inventory. `Err` leaves monitor state (but not the database)
+    /// untouched.
+    fn admit_effective(&mut self, effective: &[(usize, &Delta)]) -> Result<(), AdmitFail> {
+        let (letters, touched) = self.assign_letters(effective);
         let ctx = BatchCtx {
             schema: self.schema,
             alphabet: self.alphabet,
-            dfa,
+            dfa: self.inventory.dfa(),
             kind: self.kind,
-            steps0: self.steps,
-            k,
-            pre_trace: &pre.trace,
         };
-        // Stage every shard read-only; concurrently when it pays. The
-        // slots are pre-filled and every task writes its own slot, so
-        // the placeholder never survives the scope.
-        let mut staged: Vec<Result<BatchStage, ()>> = self.shards.iter().map(|_| Err(())).collect();
+        // Stage every participating shard read-only (the staged pass
+        // includes the shard's never-created ∅ walk); concurrently when
+        // it pays. Non-participating shards stay untouched — their
+        // clocks do not move.
+        let mut staged: Vec<Result<Option<BatchStage>, ()>> =
+            self.shards.iter().map(|_| Ok(None)).collect();
         if self.parallel {
             std::thread::scope(|scope| {
-                for ((state, touched), slot) in
-                    self.shards.iter().zip(&touched).zip(staged.iter_mut())
+                for (((state, touched), letters), slot) in
+                    self.shards.iter().zip(&touched).zip(&letters).zip(staged.iter_mut())
                 {
-                    scope.spawn(|| *slot = state.stage_batch(&ctx, touched));
+                    if letters.is_empty() {
+                        continue;
+                    }
+                    let (ctx, k) = (&ctx, letters.len());
+                    scope.spawn(move || *slot = state.stage_batch(ctx, k, touched).map(Some));
                 }
             });
         } else {
-            for ((state, touched), slot) in self.shards.iter().zip(&touched).zip(staged.iter_mut())
+            for (((state, touched), letters), slot) in
+                self.shards.iter().zip(&touched).zip(&letters).zip(staged.iter_mut())
             {
-                *slot = state.stage_batch(&ctx, touched);
+                if !letters.is_empty() {
+                    *slot = state.stage_batch(&ctx, letters.len(), touched).map(Some);
+                }
             }
         }
-        let stages: Vec<BatchStage> =
+        let stages: Vec<Option<BatchStage>> =
             staged.into_iter().collect::<Result<_, _>>().map_err(|()| AdmitFail::Violation)?;
 
         // Write-ahead: every shard staged the block as admissible, so it
-        // may be logged — one record for all `k` letters (group commit)
-        // — before any tracking state is written.
+        // may be logged — one record for the whole block (group commit),
+        // carrying each participating shard's clock and letters —
+        // before any tracking state is written.
         if let Some(sink) = &self.sink {
+            let shard_letters: Vec<ShardLetters> = letters
+                .iter()
+                .enumerate()
+                .filter(|(_, l)| !l.is_empty())
+                .map(|(s, l)| ShardLetters {
+                    shard: s as u32,
+                    steps0: self.shards[s].steps,
+                    letters: l.clone(),
+                })
+                .collect();
+            let deltas: Vec<&Delta> = effective.iter().map(|&(_, d)| d).collect();
             sink.lock()
                 .expect("sink poisoned")
-                .committed(self.steps, effective)
+                .committed(&BlockRef { deltas: &deltas, shards: &shard_letters })
                 .map_err(AdmitFail::Sink)?;
         }
 
-        // Commit: every shard accepted, write the staged moves.
+        // Commit: every shard accepted, write the staged moves (each
+        // commit advances its shard's clock).
         for (state, stage) in self.shards.iter_mut().zip(stages) {
-            state.commit_batch(stage);
+            if let Some(stage) = stage {
+                state.commit_batch(stage);
+            }
         }
-        self.steps += k;
-        self.pre_state = pre.state;
-        self.pre_exempt = pre.exempt;
         Ok(())
     }
 
-    /// Rejection diagnostics for a single application: check the
-    /// never-created class first, then replay the step over all shards'
-    /// records merged in ascending oid order — exactly the reference
-    /// engine's scan, so the reported [`Violation`] is byte-identical.
-    fn diagnose_violation(&self, delta: &Delta) -> Violation {
+    /// Rejection diagnostics for a single application: for each
+    /// participating shard (ascending), check its never-created class
+    /// first, then replay the letter over the participating shards'
+    /// records merged in ascending oid order — exactly the scan a
+    /// reference monitor fed this shard's sub-run would make, so the
+    /// reported [`Violation`] is byte-identical to it.
+    fn diagnose_violation(&self, delta: &Delta, fallback: usize) -> Violation {
         let dfa = self.inventory.dfa();
         let empty = self.alphabet.empty_symbol();
-        let step_idx = self.steps + 1;
-        let mut pre_exempt_new = self.pre_exempt;
-        if !pre_exempt_new
-            && step_idx >= 2
-            && matches!(self.kind, PatternKind::Proper | PatternKind::Lazy)
-        {
-            pre_exempt_new = true;
-        }
-        if !pre_exempt_new && !dfa.is_accepting(dfa.step(self.pre_state, empty)) {
-            return Violation { oid: None, pattern: vec![empty; step_idx], letter: empty };
+        let (letters, _) = self.assign_letters(&[(fallback, delta)]);
+        for (s, l) in letters.iter().enumerate() {
+            if l.is_empty() {
+                continue;
+            }
+            let st = &self.shards[s];
+            let pre = super::delta::never_created_walk(
+                dfa,
+                empty,
+                self.kind,
+                st.pre_state,
+                st.pre_exempt,
+                st.steps,
+                1,
+            );
+            if pre.violation_at.is_some() {
+                return Violation { oid: None, pattern: vec![empty; st.steps + 1], letter: empty };
+            }
         }
         let mut merged: BTreeMap<Oid, (usize, &super::delta::ObjRecord)> = BTreeMap::new();
         for (i, state) in self.shards.iter().enumerate() {
+            if letters[i].is_empty() {
+                continue; // shard reads no letter: its objects are not checked
+            }
             for (&o, rec) in &state.records {
                 merged.insert(o, (i, rec));
             }
         }
-        let params = DiagParams {
-            schema: self.schema,
-            alphabet: self.alphabet,
-            dfa,
-            kind: self.kind,
-            step_idx,
-            pre_state_old: self.pre_state,
-            pre_exempt: self.pre_exempt,
-        };
+        let params =
+            DiagParams { schema: self.schema, alphabet: self.alphabet, dfa, kind: self.kind };
         diagnose_step(
             &params,
             merged.iter().map(|(&o, &(i, rec))| {
                 let state = &self.shards[i];
                 let root = state.find_ro(rec.cohort);
-                (o, rec, root == EXEMPT, state.cohorts[root as usize].state)
+                (o, rec, root == EXEMPT, state.cohorts[root as usize].state, state.steps + 1)
             }),
+            |od| {
+                let st = &self.shards[self.route(od)];
+                (st.pre_state, st.pre_exempt, st.steps + 1)
+            },
             delta,
         )
     }
@@ -532,15 +625,12 @@ impl<'a> ShardedMonitor<'a> {
     // Durability: snapshot + recovery (see [`wal`](super::wal))
     // -----------------------------------------------------------------
 
-    /// Checkpoint the database heap, every shard's tracking state and
-    /// the shared counters. Canonical: equal monitor states yield equal
-    /// [`Snapshot::encode`] bytes.
+    /// Checkpoint the database heap and every shard's tracking state
+    /// (each with its own letter clock). Canonical: equal monitor
+    /// states yield equal [`Snapshot::encode`] bytes.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
-            steps: self.steps,
-            pre_state: self.pre_state,
-            pre_exempt: self.pre_exempt,
             policy: self.policy,
             certified: false,
             certified_at: None,
@@ -549,14 +639,45 @@ impl<'a> ShardedMonitor<'a> {
         }
     }
 
-    /// Rebuild a sharded monitor from a checkpoint plus the WAL tail
-    /// written after it, without replaying history. `shards` must
-    /// request the same partitioning the snapshot was taken under (the
-    /// router is re-derived from the schema; the snapshot carries one
-    /// tracking state per shard). Each tail block replays at its
-    /// original commit granularity — one cohort sweep per shard per
-    /// block — so the recovered tracking state is byte-identical to the
-    /// uncrashed monitor's. The recovered monitor has no sink attached.
+    /// Capture a **full checkpoint** and reset the incremental dirty
+    /// tracking: the returned snapshot covers everything, so the next
+    /// [`ShardedMonitor::checkpoint_delta`] captures only changes made
+    /// from here on. Prefer this over [`ShardedMonitor::snapshot`] (a
+    /// pure observation that leaves the dirty sets alone) when the
+    /// snapshot will be written as a base checkpoint.
+    pub fn checkpoint_full(&mut self) -> Snapshot {
+        let snap = self.snapshot();
+        for s in &mut self.shards {
+            s.dirty.clear();
+            s.all_dirty = false;
+        }
+        snap
+    }
+
+    /// Capture an **incremental checkpoint**: the objects and tracking
+    /// records dirtied since the last capture (or recovery), each
+    /// shard's cohort tables and letter clock — O(dirty), never O(db).
+    /// Drains the dirty sets: the caller must make the returned
+    /// increment durable (or fall back to a full
+    /// [`ShardedMonitor::checkpoint_full`]) before capturing again, or
+    /// the chain loses these changes.
+    pub fn checkpoint_delta(&mut self) -> CheckpointDelta {
+        wal::capture_delta(&self.db, &mut self.shards, self.policy, false, None)
+    }
+
+    /// Rebuild a sharded monitor from a checkpoint (the folded chain —
+    /// see [`wal::Wal::load`]) plus the WAL tail written after it,
+    /// without replaying history. `shards` must request the same
+    /// partitioning the snapshot was taken under (the router is
+    /// re-derived from the schema; the snapshot carries one tracking
+    /// state per shard). Each tail block folds **per shard at
+    /// shard-local granularity**: a shard whose clock (from the
+    /// checkpoint) is already past the block skips it, a shard at
+    /// exactly the block's offset replays its letters with one cohort
+    /// sweep — so the recovered tracking state is byte-identical to the
+    /// uncrashed monitor's, and a crash between a checkpoint and its
+    /// log pruning can never double-apply a record. The recovered
+    /// monitor has no sink attached.
     pub fn recover(
         schema: &'a Schema,
         alphabet: &'a RoleAlphabet,
@@ -568,16 +689,7 @@ impl<'a> ShardedMonitor<'a> {
     ) -> Result<ShardedMonitor<'a>, WalError> {
         let mut m = Self::new(schema, alphabet, inventory, kind, shards);
         if let Some(snap) = snapshot {
-            let Snapshot {
-                steps,
-                pre_state,
-                pre_exempt,
-                policy,
-                certified,
-                certified_at: _,
-                db,
-                shards: states,
-            } = snap;
+            let Snapshot { policy, certified, certified_at: _, db, shards: states } = snap;
             if certified {
                 return Err(WalError::Mismatch(
                     "snapshot is certified — only the single Monitor certifies".into(),
@@ -592,9 +704,6 @@ impl<'a> ShardedMonitor<'a> {
             }
             m.db = db;
             m.shards = states;
-            m.steps = steps;
-            m.pre_state = pre_state;
-            m.pre_exempt = pre_exempt;
             m.policy = policy;
         }
         for record in tail {
@@ -606,31 +715,100 @@ impl<'a> ShardedMonitor<'a> {
                             .into(),
                     )),
                 };
-            if block.steps0 < m.steps {
-                continue; // already folded into the snapshot
-            }
-            if block.steps0 > m.steps {
-                return Err(WalError::Mismatch(format!(
-                    "wal gap: next block starts at letter {}, monitor is at {}",
-                    block.steps0, m.steps
-                )));
-            }
-            if block.deltas.is_empty() {
+            if block.deltas.is_empty() || block.shards.is_empty() {
                 continue;
+            }
+            // Per-shard fold: compare each participating shard's logged
+            // clock offset against its recovered clock.
+            let (mut skips, mut replays) = (0usize, 0usize);
+            for sl in &block.shards {
+                let Some(state) = m.shards.get(sl.shard as usize) else {
+                    return Err(WalError::Mismatch(format!(
+                        "logged block names shard {} of {}",
+                        sl.shard,
+                        m.shards.len()
+                    )));
+                };
+                match sl.steps0.cmp(&state.steps) {
+                    std::cmp::Ordering::Less => skips += 1,
+                    std::cmp::Ordering::Equal => replays += 1,
+                    std::cmp::Ordering::Greater => {
+                        return Err(WalError::Mismatch(format!(
+                            "wal gap: shard {} block starts at letter {}, shard is at {}",
+                            sl.shard, sl.steps0, state.steps
+                        )))
+                    }
+                }
+            }
+            if skips > 0 && replays > 0 {
+                // Checkpoints capture all shards at one commit boundary,
+                // so a block is folded for all its shards or none.
+                return Err(WalError::Mismatch(
+                    "logged block is half-folded into the checkpoint".into(),
+                ));
+            }
+            if replays == 0 {
+                continue; // fully covered by the checkpoint chain
             }
             for d in &block.deltas {
                 d.redo(&mut m.db);
             }
-            let refs: Vec<&Delta> = block.deltas.iter().collect();
-            match m.admit_effective(&refs) {
-                Ok(()) => {}
-                Err(AdmitFail::Violation) => {
-                    return Err(WalError::Mismatch("logged block does not admit".into()))
-                }
-                Err(AdmitFail::Sink(e)) => return Err(e),
-            }
+            m.replay_block(&block)?;
         }
         Ok(m)
+    }
+
+    /// Replay one logged block's tracking work: rebuild each
+    /// participating shard's touched map in shard-local letter indices
+    /// from the record's letter assignment, stage, and commit.
+    /// Admission already proved the block admissible, so a failing
+    /// stage (or a letter assignment that disagrees with routing) means
+    /// the log and snapshot do not belong together.
+    fn replay_block(&mut self, block: &wal::WalBlock) -> Result<(), WalError> {
+        // (delta index → shard-local letter index) per shard.
+        let mut local: Vec<BTreeMap<u32, usize>> = vec![BTreeMap::new(); self.shards.len()];
+        for sl in &block.shards {
+            for (pos, &j) in sl.letters.iter().enumerate() {
+                if j as usize >= block.deltas.len() {
+                    return Err(WalError::Mismatch("letter index out of range".into()));
+                }
+                local[sl.shard as usize].insert(j, pos + 1);
+            }
+        }
+        let mut touched: Vec<BTreeMap<Oid, Vec<(usize, &ObjectDelta)>>> =
+            vec![BTreeMap::new(); self.shards.len()];
+        for (j, d) in block.deltas.iter().enumerate() {
+            for od in d.objects() {
+                if !super::delta::tracked(od) {
+                    continue;
+                }
+                let s = self.route(od);
+                let Some(&lj) = local[s].get(&(j as u32)) else {
+                    return Err(WalError::Mismatch(
+                        "logged letter assignment disagrees with object routing".into(),
+                    ));
+                };
+                touched[s].entry(od.oid).or_default().push((lj, od));
+            }
+        }
+        let ctx = BatchCtx {
+            schema: self.schema,
+            alphabet: self.alphabet,
+            dfa: self.inventory.dfa(),
+            kind: self.kind,
+        };
+        let mut stages: Vec<(usize, BatchStage)> = Vec::with_capacity(block.shards.len());
+        for sl in &block.shards {
+            let s = sl.shard as usize;
+            let stage = self.shards[s]
+                .stage_batch(&ctx, sl.letters.len(), &touched[s])
+                .map_err(|()| WalError::Mismatch("logged block does not admit".into()))?;
+            stages.push((s, stage));
+        }
+        for (s, stage) in stages {
+            self.shards[s].commit_batch(stage);
+        }
+        Ok(())
     }
 }
 
@@ -669,6 +847,9 @@ mod tests {
 
     #[test]
     fn sharded_matches_single_engine_on_scripted_run() {
+        // Single-component schema: oid striping, every stripe reads
+        // every letter — the stripes advance in lockstep with the
+        // single engine's global clock.
         let (s, a) = setup();
         let ts = uni_transactions(&s);
         let inv =
@@ -696,7 +877,9 @@ mod tests {
                         "decision diverged at {name}({key}), {shards} shards"
                     );
                     assert_eq!(sharded.db(), single.db());
-                    assert_eq!(sharded.steps(), single.steps());
+                    for c in sharded.clocks() {
+                        assert_eq!(c, single.steps(), "stripes advance in lockstep");
+                    }
                 }
                 for o in 1..=3u64 {
                     assert_eq!(sharded.pattern_of(Oid(o)), single.pattern_of(Oid(o)));
@@ -729,7 +912,7 @@ mod tests {
         assert_eq!(done, 3, "the re-specialize violates; Mk(2) is never attempted");
         assert_eq!(err, oerr, "byte-identical violation");
         assert_eq!(sharded.db(), oracle.db());
-        assert_eq!(sharded.steps(), 3);
+        assert_eq!(sharded.clocks(), vec![3, 3]);
         assert!(!sharded.db().occurs(Oid(2)), "Mk(2) was not attempted after the rejection");
 
         // The conforming remainder still admits as a batch afterwards.
@@ -742,7 +925,7 @@ mod tests {
             .collect();
         let (done2, err2) = sharded.try_apply_batch(mbatch);
         assert_eq!((done2, err2), (2, None));
-        assert_eq!(sharded.steps(), 5);
+        assert_eq!(sharded.clocks(), vec![5, 5]);
     }
 
     #[test]
@@ -760,12 +943,15 @@ mod tests {
             vec![(rm, &miss), (mk, &a1), (rm, &miss), (rm, &miss)];
         let (done, err) = m.try_apply_batch(batch);
         assert_eq!((done, err), (4, None));
-        assert_eq!(m.steps(), 1, "three null applications contributed no letter");
+        assert_eq!(m.clocks(), vec![1, 1], "three null applications contributed no letter");
     }
 
     #[test]
-    fn multi_component_schema_routes_by_component() {
-        // Four independent hierarchies → four shards, one per component.
+    fn multi_component_schema_routes_by_component_with_independent_clocks() {
+        // Four independent hierarchies → four shards, one per
+        // component, each on its own letter clock: a shard behaves
+        // exactly like a single monitor fed only its component's
+        // applications.
         let mut b = SchemaBuilder::new();
         for r in 0..4 {
             let root = b.class(&format!("R{r}"), &[&format!("K{r}")]).unwrap();
@@ -788,13 +974,17 @@ mod tests {
         let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 8);
         assert!(m.routes_by_component());
         assert_eq!(m.num_shards(), 4, "capped at the component count");
-        let mut oracle = Monitor::new_reference(&s, &a, &inv, PatternKind::All);
+        // One per-component oracle, each fed only its component's
+        // applications — the sub-run a shard's clock counts.
+        let mut oracles: Vec<Monitor<'_>> =
+            (0..4).map(|_| Monitor::new_reference(&s, &a, &inv, PatternKind::All)).collect();
         for i in 0..12 {
-            let t = ts.get(&format!("Mk{}", i % 4)).unwrap();
+            let c = i % 4;
+            let t = ts.get(&format!("Mk{c}")).unwrap();
             let args = arg(&format!("k{i}"));
-            assert_eq!(m.try_apply(t, &args), oracle.try_apply(t, &args));
-            assert_eq!(m.db(), oracle.db());
+            assert_eq!(m.try_apply(t, &args), oracles[c].try_apply(t, &args));
         }
+        assert_eq!(m.clocks(), vec![3, 3, 3, 3], "each component read only its own letters");
         let stats = m.shard_stats();
         assert_eq!(stats.len(), 4);
         for st in &stats {
@@ -804,7 +994,16 @@ mod tests {
             );
         }
         for o in 1..=12u64 {
-            assert_eq!(m.pattern_of(Oid(o)), oracle.pattern_of(Oid(o)));
+            // Lemma 3.5's restriction bijection: the sharded run minted
+            // o as the ((o−1)/4 + 1)-th object of component (o−1) % 4,
+            // which is that oracle's local oid.
+            let c = ((o - 1) % 4) as usize;
+            let local = (o - 1) / 4 + 1;
+            assert_eq!(
+                m.pattern_of(Oid(o)),
+                oracles[c].pattern_of(Oid(local)),
+                "o{o}'s shard-local pattern must match component {c}'s oracle o{local}"
+            );
         }
     }
 }

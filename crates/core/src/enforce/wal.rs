@@ -1,5 +1,6 @@
 //! Durability for the enforcement engine: a write-ahead log of committed
-//! [`Delta`] blocks plus snapshots of the cohort/RLE tracking state.
+//! [`Delta`] blocks plus **incremental, per-shard checkpoints** of the
+//! cohort/RLE tracking state.
 //!
 //! # Why deltas are the right log record
 //!
@@ -12,6 +13,20 @@
 //! per record, independent of database size and with no interpreter in
 //! the loop.
 //!
+//! # Shard-local letter clocks
+//!
+//! Every partition of the object population carries its **own letter
+//! clock** (see `enforce::delta`), so a logged block no longer records
+//! one global step offset: a [`WalBlock`] carries, per participating
+//! shard, the shard-local clock before the block and *which* of the
+//! block's deltas are letters for that shard ([`ShardLetters`]).
+//! Recovery folds each shard's sub-log independently — a record is
+//! skipped for a shard whose clock (restored from the checkpoint chain)
+//! is already past it, and replayed at its original commit granularity
+//! otherwise. Gap detection is per shard. For the single
+//! [`Monitor`](super::Monitor) everything lives on shard 0 and the
+//! shard-local clock *is* the global step counter.
+//!
 //! # Durability contract
 //!
 //! A monitor with an attached [`CommitSink`] writes **ahead**: a block
@@ -19,22 +34,49 @@
 //! (so only admissible blocks are ever logged) and *before* any
 //! in-memory tracking state is written. If the sink fails, the database
 //! application is rolled back and the monitor is unchanged — the log
-//! never lags the engine. One sink call covers the whole block (`k`
-//! effective letters), so batched admission **group-commits**: one
-//! record, one flush, per block.
+//! never lags the engine. One sink call covers the whole block, so
+//! batched admission **group-commits**: one record, one flush, per
+//! block.
 //!
-//! Recovery ([`Monitor::recover`](super::Monitor::recover),
-//! [`ShardedMonitor::recover`](super::ShardedMonitor::recover)) loads
-//! the latest [`Snapshot`] and replays only the WAL tail past it —
-//! never the full history. Replay re-applies each block at its original
-//! commit granularity (one cohort sweep per logged block, mirroring the
-//! original admission), and because every engine structure iterates in
-//! canonical order (`BTreeMap`s throughout — see
-//! `DeltaState::by_key`), the recovered tracking state is
-//! **byte-identical** to the uncrashed monitor's: re-encoding both
-//! snapshots yields equal bytes. The randomized crash-point suite in
-//! `tests/wal_recovery.rs` checks exactly this at every prefix of
-//! random runs.
+//! # Incremental checkpoints and the background snapshotter
+//!
+//! A checkpoint no longer has to re-encode the world. The chain is:
+//!
+//! * a **base** [`Snapshot`] — the full database heap plus every
+//!   shard's tracking state, written atomically (`snapshot.bin`);
+//! * zero or more **increments** ([`CheckpointDelta`], `delta-N.bin`) —
+//!   only the objects and records dirtied since the previous
+//!   checkpoint, plus each shard's (small) cohort tables and clock.
+//!   Each increment is a consistent point-in-time capture; folding
+//!   base + increments with [`Snapshot::apply`] reproduces the full
+//!   state byte-identically.
+//!
+//! Capturing an increment ([`Monitor::checkpoint_delta`],
+//! [`ShardedMonitor::checkpoint_delta`]) costs O(dirty), not O(db) —
+//! that is the *only* work on the admission path.
+//! [`Wal::begin_checkpoint`] then rotates the live log (a rename) and
+//! returns a [`CheckpointJob`] whose encode/write/fsync/prune runs
+//! anywhere — inline, or handed to a [`Snapshotter`] thread so the
+//! admission path never pays the encoding pause. The log is segmented:
+//! rotation seals `wal.log` into `sealed-N.log`, and the job deletes
+//! sealed segments once the checkpoint that covers them is durable.
+//! WAL truncation cadence therefore no longer pays the full-snapshot
+//! pause.
+//!
+//! Crash-safety of the chain, point by point:
+//!
+//! * checkpoint files are written to `*.tmp`, fsynced, renamed, and the
+//!   directory fsynced — a stale temp file from a failed checkpoint is
+//!   ignored (and cleaned) by [`Wal::open`]/[`Wal::load`];
+//! * a crash after sealing the log but before the checkpoint lands
+//!   leaves `sealed-N.log` without `delta-N.bin`: its records simply
+//!   replay on top of the previous checkpoint;
+//! * a crash after the checkpoint lands but before segment pruning
+//!   leaves covered records on disk: recovery skips them **per shard by
+//!   step offset**, so they are never double-applied;
+//! * increments from before a newer base snapshot (stale sequence
+//!   numbers) are ignored; a gap *inside* the chain is real corruption
+//!   and reported as such.
 //!
 //! # Prefix-closedness and torn tails
 //!
@@ -45,19 +87,25 @@
 //! state reached by any prefix of a committed run is itself a legal
 //! monitor state — recovering "one block short" yields a monitor that
 //! was valid the instant before the lost commit, and whose caller never
-//! saw that commit acknowledged (the sink flush happens before
-//! admission returns).
+//! saw that commit acknowledged. The length header is **untrusted**: it
+//! is capped at [`MAX_RECORD_LEN`] before any buffer is sized from it —
+//! an oversized claim at the end of the log is torn-tail truncation, an
+//! oversized claim with the bytes actually present is reported as
+//! corruption instead of silently hiding every later record.
 //!
 //! [`Delta`]: migratory_lang::Delta
+//! [`Monitor::checkpoint_delta`]: super::Monitor::checkpoint_delta
+//! [`ShardedMonitor::checkpoint_delta`]: super::ShardedMonitor::checkpoint_delta
 
 use super::delta::{Cohort, DeltaState, ObjRecord};
 use super::StepPolicy;
 use migratory_lang::Delta;
-use migratory_model::codec::{encode_u64, Reader};
-use migratory_model::{Instance, ModelError, Oid};
+use migratory_model::codec::{encode_idset, encode_tuple, encode_u64, Reader};
+use migratory_model::{ClassSet, Instance, ModelError, Oid, Tuple};
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::mpsc;
 
 /// Errors of the durability layer.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -97,6 +145,30 @@ impl From<ModelError> for WalError {
     }
 }
 
+/// One shard's view of a committed block: where its letter clock stood
+/// before the block, and which of the block's deltas it read as
+/// letters.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardLetters {
+    /// Shard index.
+    pub shard: u32,
+    /// The shard's letter clock before the block.
+    pub steps0: usize,
+    /// Ascending indices into the block's deltas — the shard reads one
+    /// letter per entry, in order.
+    pub letters: Vec<u32>,
+}
+
+/// A committed block as handed to a [`CommitSink`]: the effective
+/// deltas plus each participating shard's clock and letter assignment.
+#[derive(Clone, Copy)]
+pub struct BlockRef<'a> {
+    /// The block's effective deltas, in commit order.
+    pub deltas: &'a [&'a Delta],
+    /// Participating shards, ascending by shard index.
+    pub shards: &'a [ShardLetters],
+}
+
 /// Receiver of committed blocks — the pluggable seam between the
 /// admission engines and durable storage. The engines call
 /// [`CommitSink::committed`] once per admitted block, after staging
@@ -104,9 +176,9 @@ impl From<ModelError> for WalError {
 /// the commit (the application is rolled back). "No sink" is the no-op
 /// default — an in-memory monitor pays nothing for the seam.
 pub trait CommitSink: Send {
-    /// A block of `deltas` (the effective letters, in order) is about to
-    /// commit; `steps0` is the number of letters emitted before it.
-    fn committed(&mut self, steps0: usize, deltas: &[&Delta]) -> Result<(), WalError>;
+    /// A block is about to commit; `block` carries the effective deltas
+    /// and every participating shard's clock + letter assignment.
+    fn committed(&mut self, block: &BlockRef<'_>) -> Result<(), WalError>;
 
     /// The monitor certified its transaction schema at letter count
     /// `steps` (Corollary 3.3): tracking freezes here and later blocks
@@ -119,10 +191,10 @@ pub trait CommitSink: Send {
 /// One committed block as read back from a log.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct WalBlock {
-    /// Letters emitted before this block.
-    pub steps0: usize,
     /// The block's effective deltas, in commit order.
     pub deltas: Vec<Delta>,
+    /// Participating shards: clock offsets and letter assignments.
+    pub shards: Vec<ShardLetters>,
 }
 
 /// One log record as read back from a log: a committed block, or the
@@ -132,7 +204,8 @@ pub enum WalRecord {
     /// A committed block of effective letters.
     Block(WalBlock),
     /// [`Monitor::certify`](super::Monitor::certify) succeeded with the
-    /// monitor at this letter count.
+    /// monitor at this letter count (shard 0's clock — only the single
+    /// monitor certifies).
     Certified {
         /// Letters emitted when certification took effect.
         steps: usize,
@@ -140,7 +213,7 @@ pub enum WalRecord {
 }
 
 impl WalRecord {
-    /// Letters this record contributes to the run.
+    /// Effective deltas this record carries.
     #[must_use]
     pub fn letters(&self) -> usize {
         match self {
@@ -183,17 +256,36 @@ fn crc32(bytes: &[u8]) -> u32 {
 const TAG_BLOCK: u8 = 0;
 const TAG_CERTIFY: u8 = 1;
 
+/// Hard cap on a framed record's claimed payload length (256 MiB). The
+/// 4-byte length header is **untrusted** input: without the cap, one
+/// corrupted byte can claim a multi-GiB record and drive allocation or
+/// file reads before the checksum is ever consulted. Real records are
+/// orders of magnitude smaller (a 1M-object bulk-load block encodes to
+/// a few tens of MiB).
+pub const MAX_RECORD_LEN: usize = 1 << 28;
+
 /// Append one framed record (`[len][crc][payload]`, little-endian
-/// prefixes) for a committed block.
-pub fn encode_record(out: &mut Vec<u8>, steps0: usize, deltas: &[&Delta]) {
+/// prefixes) for a committed block. Errs — leaving `out` untouched —
+/// when the block encodes past [`MAX_RECORD_LEN`]: the caller's commit
+/// rolls back cleanly (split the batch) instead of writing a record
+/// recovery would refuse.
+pub fn encode_record(out: &mut Vec<u8>, block: &BlockRef<'_>) -> Result<(), WalError> {
     let mut payload = Vec::new();
     payload.push(TAG_BLOCK);
-    encode_u64(&mut payload, steps0 as u64);
-    encode_u64(&mut payload, deltas.len() as u64);
-    for d in deltas {
+    encode_u64(&mut payload, block.deltas.len() as u64);
+    for d in block.deltas {
         migratory_lang::encode_delta(&mut payload, d);
     }
-    frame(out, &payload);
+    encode_u64(&mut payload, block.shards.len() as u64);
+    for sl in block.shards {
+        encode_u64(&mut payload, u64::from(sl.shard));
+        encode_u64(&mut payload, sl.steps0 as u64);
+        encode_u64(&mut payload, sl.letters.len() as u64);
+        for &i in &sl.letters {
+            encode_u64(&mut payload, u64::from(i));
+        }
+    }
+    frame(out, &payload)
 }
 
 /// Append one framed certification-marker record.
@@ -201,47 +293,76 @@ pub fn encode_certify_record(out: &mut Vec<u8>, steps: usize) {
     let mut payload = Vec::new();
     payload.push(TAG_CERTIFY);
     encode_u64(&mut payload, steps as u64);
-    frame(out, &payload);
+    frame(out, &payload).expect("a certification marker is a dozen bytes");
 }
 
-fn frame(out: &mut Vec<u8>, payload: &[u8]) {
+fn frame(out: &mut Vec<u8>, payload: &[u8]) -> Result<(), WalError> {
+    if payload.len() > MAX_RECORD_LEN {
+        return Err(WalError::Io(format!(
+            "block encodes to {} bytes, over the {MAX_RECORD_LEN}-byte record cap — \
+             split the batch",
+            payload.len()
+        )));
+    }
     out.extend_from_slice(&u32::try_from(payload.len()).expect("record fits u32").to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
+    Ok(())
 }
 
-/// Decode a log byte stream into records, stopping at the first torn or
-/// checksum-failing record (the crash-truncation semantics — see the
-/// module docs for why dropping the torn tail is sound).
-#[must_use]
-pub fn decode_records(mut bytes: &[u8]) -> Vec<WalRecord> {
+/// Decode a log byte stream into records. A torn final record — a
+/// truncated header, a length claim running past the end of the input,
+/// a checksum failure — ends the stream (the crash-truncation
+/// semantics; see the module docs for why dropping the torn tail is
+/// sound). A length claim over [`MAX_RECORD_LEN`] whose bytes *are*
+/// present cannot be a torn append and is reported as corruption
+/// instead of silently hiding every later record.
+pub fn decode_records(mut bytes: &[u8]) -> Result<Vec<WalRecord>, WalError> {
     let mut records = Vec::new();
     loop {
-        let Some((head, rest)) = bytes.split_at_checked(8) else { return records };
+        let Some((head, rest)) = bytes.split_at_checked(8) else { return Ok(records) };
         let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(head[4..].try_into().expect("4 bytes"));
-        let Some((payload, rest)) = rest.split_at_checked(len) else { return records };
-        if crc32(payload) != crc {
-            return records;
+        if len > MAX_RECORD_LEN {
+            if len > rest.len() {
+                return Ok(records); // indistinguishable from a torn append
+            }
+            return Err(WalError::Corrupt(format!(
+                "record length {len} exceeds the {MAX_RECORD_LEN}-byte cap"
+            )));
         }
-        let Ok(record) = decode_record(payload) else { return records };
+        let Some((payload, rest)) = rest.split_at_checked(len) else { return Ok(records) };
+        if crc32(payload) != crc {
+            return Ok(records);
+        }
+        let Ok(record) = decode_record(payload) else { return Ok(records) };
         records.push(record);
         bytes = rest;
     }
 }
 
 /// Byte length of the longest prefix of whole, checksum-valid records —
-/// where [`Wal::open`] truncates to before appending.
-fn valid_prefix_len(bytes: &[u8]) -> usize {
+/// where [`Wal::open`] truncates to before appending. Errors only on an
+/// over-cap length claim whose bytes are present (mid-log corruption —
+/// truncating there would silently drop valid later records).
+fn valid_prefix_len(bytes: &[u8]) -> Result<usize, WalError> {
     let mut pos = 0usize;
     loop {
         let rest = &bytes[pos..];
-        let Some((head, tail)) = rest.split_at_checked(8) else { return pos };
+        let Some((head, tail)) = rest.split_at_checked(8) else { return Ok(pos) };
         let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
         let crc = u32::from_le_bytes(head[4..].try_into().expect("4 bytes"));
-        let Some(payload) = tail.get(..len) else { return pos };
+        if len > MAX_RECORD_LEN {
+            if len > tail.len() {
+                return Ok(pos);
+            }
+            return Err(WalError::Corrupt(format!(
+                "record length {len} exceeds the {MAX_RECORD_LEN}-byte cap"
+            )));
+        }
+        let Some(payload) = tail.get(..len) else { return Ok(pos) };
         if crc32(payload) != crc || decode_record(payload).is_err() {
-            return pos;
+            return Ok(pos);
         }
         pos += 8 + len;
     }
@@ -251,8 +372,6 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord, WalError> {
     let mut r = Reader::new(payload);
     let record = match r.byte()? {
         TAG_BLOCK => {
-            let steps0 =
-                usize::try_from(r.u64()?).map_err(|_| WalError::Corrupt("steps0".into()))?;
             let n = r.count()?;
             let mut deltas = Vec::with_capacity(n);
             for _ in 0..n {
@@ -261,7 +380,32 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord, WalError> {
                         .map_err(|e| WalError::Corrupt(e.to_string()))?,
                 );
             }
-            WalRecord::Block(WalBlock { steps0, deltas })
+            let ns = r.count()?;
+            let mut shards = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                let shard = u32_of(r.u64()?, "shard")?;
+                let steps0 = usize_of(r.u64()?, "shard clock")?;
+                let nl = r.count()?;
+                let mut letters = Vec::with_capacity(nl);
+                for _ in 0..nl {
+                    let i = u32_of(r.u64()?, "letter index")?;
+                    if i as usize >= deltas.len() {
+                        return Err(WalError::Corrupt("letter index out of range".into()));
+                    }
+                    if letters.last().is_some_and(|&p| i <= p) {
+                        return Err(WalError::Corrupt("letter indices out of order".into()));
+                    }
+                    letters.push(i);
+                }
+                if letters.is_empty() {
+                    return Err(WalError::Corrupt("participating shard reads no letter".into()));
+                }
+                if shards.last().is_some_and(|p: &ShardLetters| shard <= p.shard) {
+                    return Err(WalError::Corrupt("shards out of order".into()));
+                }
+                shards.push(ShardLetters { shard, steps0, letters });
+            }
+            WalRecord::Block(WalBlock { deltas, shards })
         }
         TAG_CERTIFY => WalRecord::Certified {
             steps: usize::try_from(r.u64()?).map_err(|_| WalError::Corrupt("steps".into()))?,
@@ -275,21 +419,19 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord, WalError> {
 }
 
 // ---------------------------------------------------------------------
-// Snapshot
+// Snapshot (full checkpoint)
 // ---------------------------------------------------------------------
 
-const SNAP_MAGIC: &[u8; 6] = b"MGSNP1";
+const SNAP_MAGIC: &[u8; 6] = b"MGSNP2";
+const DELTA_MAGIC: &[u8; 6] = b"MGDLT1";
 
-/// A checkpoint of everything a monitor cannot rebuild from its
-/// constructor arguments: the database heap, the per-shard cohort/RLE
-/// tracking state, and the step/pre-state counters. Encoding is
+/// A full checkpoint of everything a monitor cannot rebuild from its
+/// constructor arguments: the database heap and the per-shard tracking
+/// states, each carrying its **own letter clock**. Encoding is
 /// canonical, so snapshot bytes decide state equality — the recovery
 /// suite's "byte-identical" check is `encode()` equality.
 #[derive(Clone)]
 pub struct Snapshot {
-    pub(crate) steps: usize,
-    pub(crate) pre_state: u32,
-    pub(crate) pre_exempt: bool,
     pub(crate) policy: StepPolicy,
     pub(crate) certified: bool,
     pub(crate) certified_at: Option<usize>,
@@ -298,12 +440,19 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Letters emitted at the moment of the checkpoint. WAL blocks with
-    /// `steps0 <` this are already folded in and are skipped on
-    /// recovery.
+    /// Sum of the per-shard letter clocks at the moment of the
+    /// checkpoint — a monotone progress measure (for a single
+    /// [`Monitor`](super::Monitor) it is exactly the global step
+    /// counter).
     #[must_use]
     pub fn steps(&self) -> usize {
-        self.steps
+        self.shards.iter().map(|s| s.steps).sum()
+    }
+
+    /// The per-shard letter clocks at the moment of the checkpoint.
+    #[must_use]
+    pub fn clocks(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.steps).collect()
     }
 
     /// The checkpointed database.
@@ -324,22 +473,7 @@ impl Snapshot {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(SNAP_MAGIC);
-        encode_u64(&mut out, self.steps as u64);
-        encode_u64(&mut out, u64::from(self.pre_state));
-        let mut flags = 0u8;
-        if self.pre_exempt {
-            flags |= 1;
-        }
-        if self.policy == StepPolicy::OnlyChanging {
-            flags |= 2;
-        }
-        if self.certified {
-            flags |= 4;
-        }
-        if self.certified_at.is_some() {
-            flags |= 8;
-        }
-        out.push(flags);
+        out.push(flags_byte(self.policy, self.certified, self.certified_at));
         if let Some(at) = self.certified_at {
             encode_u64(&mut out, at as u64);
         }
@@ -357,18 +491,7 @@ impl Snapshot {
             return Err(WalError::Corrupt("bad snapshot magic".into()));
         }
         let mut r = Reader::new(&bytes[SNAP_MAGIC.len()..]);
-        let steps = usize::try_from(r.u64()?).map_err(|_| WalError::Corrupt("steps".into()))?;
-        let pre_state =
-            u32::try_from(r.u64()?).map_err(|_| WalError::Corrupt("pre_state".into()))?;
-        let flags = r.byte()?;
-        if flags & !0x0f != 0 {
-            return Err(WalError::Corrupt(format!("unknown snapshot flags {flags:#x}")));
-        }
-        let certified_at = if flags & 8 != 0 {
-            Some(usize::try_from(r.u64()?).map_err(|_| WalError::Corrupt("horizon".into()))?)
-        } else {
-            None
-        };
+        let (policy, certified, certified_at) = decode_flags(&mut r)?;
         let db = Instance::decode_snapshot(&mut r)?;
         let n = r.count()?;
         let mut shards = Vec::with_capacity(n);
@@ -378,31 +501,307 @@ impl Snapshot {
         if !r.is_exhausted() {
             return Err(WalError::Corrupt("trailing bytes in snapshot".into()));
         }
-        Ok(Snapshot {
-            steps,
-            pre_state,
-            pre_exempt: flags & 1 != 0,
-            policy: if flags & 2 != 0 {
-                StepPolicy::OnlyChanging
+        Ok(Snapshot { policy, certified, certified_at, db, shards })
+    }
+
+    /// Fold one incremental checkpoint into this snapshot: replace the
+    /// dirtied objects and records, each shard's cohort tables and
+    /// clock, and the monitor flags. The increment is a consistent
+    /// capture taken *after* this snapshot's instant, so folding
+    /// base + increments in order reproduces the live state
+    /// byte-identically.
+    pub fn apply(&mut self, d: CheckpointDelta) -> Result<(), WalError> {
+        if d.shards.len() != self.shards.len() {
+            return Err(WalError::Mismatch(format!(
+                "increment has {} shards, snapshot has {}",
+                d.shards.len(),
+                self.shards.len()
+            )));
+        }
+        for (s, sd) in self.shards.iter_mut().zip(d.shards) {
+            if sd.steps < s.steps {
+                return Err(WalError::Mismatch(format!(
+                    "stale increment: shard clock {} behind snapshot clock {}",
+                    sd.steps, s.steps
+                )));
+            }
+            s.steps = sd.steps;
+            s.pre_state = sd.pre_state;
+            s.pre_exempt = sd.pre_exempt;
+            s.cohorts = sd.cohorts;
+            s.by_key = sd.by_key;
+            s.free = sd.free;
+            if sd.full {
+                s.records = sd.records;
             } else {
-                StepPolicy::EveryApplication
-            },
-            certified: flags & 4 != 0,
-            certified_at,
-            db,
-            shards,
-        })
+                for (o, rec) in sd.records {
+                    s.records.insert(o, rec);
+                }
+            }
+            for rec in s.records.values() {
+                if (rec.cohort as usize) >= s.cohorts.len() {
+                    return Err(WalError::Corrupt("record points at missing cohort".into()));
+                }
+            }
+        }
+        for (o, state) in d.objects {
+            match state {
+                Some((classes, tuple)) => self.db.put_object(o, classes, tuple),
+                None => {
+                    if self.db.occurs(o) {
+                        self.db.delete_object(o);
+                    }
+                }
+            }
+        }
+        self.db.set_next(d.next_oid);
+        self.policy = d.policy;
+        self.certified = d.certified;
+        self.certified_at = d.certified_at;
+        Ok(())
     }
 }
 
-/// Encode one shard's tracking state verbatim — slot table, key map,
-/// free list and all. The engine is deterministic (ordered iteration
-/// everywhere), so replay from a verbatim state reproduces slot
-/// assignment exactly; nothing needs canonicalizing beyond the ordered
-/// maps themselves.
+fn flags_byte(policy: StepPolicy, certified: bool, certified_at: Option<usize>) -> u8 {
+    let mut flags = 0u8;
+    if policy == StepPolicy::OnlyChanging {
+        flags |= 1;
+    }
+    if certified {
+        flags |= 2;
+    }
+    if certified_at.is_some() {
+        flags |= 4;
+    }
+    flags
+}
+
+fn decode_flags(r: &mut Reader<'_>) -> Result<(StepPolicy, bool, Option<usize>), WalError> {
+    let flags = r.byte()?;
+    if flags & !0x07 != 0 {
+        return Err(WalError::Corrupt(format!("unknown checkpoint flags {flags:#x}")));
+    }
+    let certified_at = if flags & 4 != 0 {
+        Some(usize::try_from(r.u64()?).map_err(|_| WalError::Corrupt("horizon".into()))?)
+    } else {
+        None
+    };
+    let policy =
+        if flags & 1 != 0 { StepPolicy::OnlyChanging } else { StepPolicy::EveryApplication };
+    Ok((policy, flags & 2 != 0, certified_at))
+}
+
+// ---------------------------------------------------------------------
+// Incremental checkpoints
+// ---------------------------------------------------------------------
+
+/// One shard's share of an incremental checkpoint.
+pub(crate) struct ShardDelta {
+    pub(crate) steps: usize,
+    pub(crate) pre_state: u32,
+    pub(crate) pre_exempt: bool,
+    /// `records` is the *complete* table (set after a compaction
+    /// rewrote every record's cohort slot); otherwise only the dirtied
+    /// records.
+    pub(crate) full: bool,
+    pub(crate) records: BTreeMap<Oid, ObjRecord>,
+    pub(crate) cohorts: Vec<Cohort>,
+    pub(crate) by_key: BTreeMap<(u32, u32), u32>,
+    pub(crate) free: Vec<u32>,
+}
+
+/// An incremental checkpoint: a consistent point-in-time capture of
+/// everything dirtied since the previous checkpoint — changed database
+/// objects, changed tracking records, and each shard's (small) cohort
+/// tables and letter clock. Produced by
+/// [`Monitor::checkpoint_delta`](super::Monitor::checkpoint_delta) /
+/// [`ShardedMonitor::checkpoint_delta`](super::ShardedMonitor::checkpoint_delta)
+/// in O(dirty); folded back with [`Snapshot::apply`].
+pub struct CheckpointDelta {
+    pub(crate) policy: StepPolicy,
+    pub(crate) certified: bool,
+    pub(crate) certified_at: Option<usize>,
+    pub(crate) next_oid: u64,
+    /// Dirtied objects: current heap state, or `None` when deleted.
+    pub(crate) objects: BTreeMap<Oid, Option<(ClassSet, Tuple)>>,
+    pub(crate) shards: Vec<ShardDelta>,
+}
+
+impl CheckpointDelta {
+    /// Objects this increment re-encodes — the capture cost is
+    /// proportional to this, never to the database size.
+    #[must_use]
+    pub fn num_dirty_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The per-shard letter clocks at the capture instant.
+    #[must_use]
+    pub fn clocks(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.steps).collect()
+    }
+
+    /// Canonical binary encoding.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(DELTA_MAGIC);
+        out.push(flags_byte(self.policy, self.certified, self.certified_at));
+        if let Some(at) = self.certified_at {
+            encode_u64(&mut out, at as u64);
+        }
+        encode_u64(&mut out, self.next_oid);
+        encode_u64(&mut out, self.objects.len() as u64);
+        for (o, state) in &self.objects {
+            encode_u64(&mut out, o.0);
+            match state {
+                Some((classes, tuple)) => {
+                    out.push(1);
+                    encode_idset(&mut out, *classes);
+                    encode_tuple(&mut out, tuple);
+                }
+                None => out.push(0),
+            }
+        }
+        encode_u64(&mut out, self.shards.len() as u64);
+        for s in &self.shards {
+            encode_u64(&mut out, s.steps as u64);
+            encode_u64(&mut out, u64::from(s.pre_state));
+            out.push(u8::from(s.pre_exempt) | (u8::from(s.full) << 1));
+            encode_record_map(&mut out, &s.records);
+            encode_cohort_tables(&mut out, &s.cohorts, &s.by_key, &s.free);
+        }
+        out
+    }
+
+    /// Decode [`CheckpointDelta::encode`] bytes.
+    pub fn decode(bytes: &[u8]) -> Result<CheckpointDelta, WalError> {
+        if bytes.len() < DELTA_MAGIC.len() || &bytes[..DELTA_MAGIC.len()] != DELTA_MAGIC {
+            return Err(WalError::Corrupt("bad checkpoint-delta magic".into()));
+        }
+        let mut r = Reader::new(&bytes[DELTA_MAGIC.len()..]);
+        let (policy, certified, certified_at) = decode_flags(&mut r)?;
+        let next_oid = r.u64()?;
+        let n = r.count()?;
+        let mut objects = BTreeMap::new();
+        for _ in 0..n {
+            let o = Oid(r.u64()?);
+            let state = match r.byte()? {
+                0 => None,
+                1 => {
+                    let classes: ClassSet = r.idset()?;
+                    if classes.is_empty() {
+                        return Err(WalError::Corrupt("object without classes".into()));
+                    }
+                    Some((classes, r.tuple()?))
+                }
+                t => return Err(WalError::Corrupt(format!("unknown object tag {t}"))),
+            };
+            objects.insert(o, state);
+        }
+        let n = r.count()?;
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            let steps = usize_of(r.u64()?, "shard clock")?;
+            let pre_state = u32_of(r.u64()?, "pre state")?;
+            let bits = r.byte()?;
+            if bits & !0x03 != 0 {
+                return Err(WalError::Corrupt("unknown shard-delta bits".into()));
+            }
+            let records = decode_record_map(&mut r)?;
+            let (cohorts, by_key, free) = decode_cohort_tables(&mut r)?;
+            for rec in records.values() {
+                if (rec.cohort as usize) >= cohorts.len() {
+                    return Err(WalError::Corrupt("record points at missing cohort".into()));
+                }
+            }
+            shards.push(ShardDelta {
+                steps,
+                pre_state,
+                pre_exempt: bits & 1 != 0,
+                full: bits & 2 != 0,
+                records,
+                cohorts,
+                by_key,
+                free,
+            });
+        }
+        if !r.is_exhausted() {
+            return Err(WalError::Corrupt("trailing bytes in checkpoint delta".into()));
+        }
+        Ok(CheckpointDelta { policy, certified, certified_at, next_oid, objects, shards })
+    }
+}
+
+/// Capture an incremental checkpoint from a database plus its tracking
+/// partitions, draining each partition's dirty set — the shared
+/// implementation behind
+/// [`Monitor::checkpoint_delta`](super::Monitor::checkpoint_delta) and
+/// [`ShardedMonitor::checkpoint_delta`](super::ShardedMonitor::checkpoint_delta).
+/// O(dirty): only dirtied objects are re-read from the heap, only
+/// dirtied records cloned (all of them after a compaction), plus the
+/// bounded cohort tables.
+pub(crate) fn capture_delta(
+    db: &Instance,
+    shards: &mut [DeltaState],
+    policy: StepPolicy,
+    certified: bool,
+    certified_at: Option<usize>,
+) -> CheckpointDelta {
+    let mut objects: BTreeMap<Oid, Option<(ClassSet, Tuple)>> = BTreeMap::new();
+    let mut out_shards = Vec::with_capacity(shards.len());
+    for s in shards.iter_mut() {
+        let dirty = std::mem::take(&mut s.dirty);
+        let full = std::mem::replace(&mut s.all_dirty, false);
+        for &o in &dirty {
+            objects
+                .entry(o)
+                .or_insert_with(|| db.occurs(o).then(|| (db.role_set(o), db.tuple_of(o))));
+        }
+        let records = if full {
+            s.records.clone()
+        } else {
+            dirty.iter().filter_map(|o| s.records.get(o).map(|r| (*o, r.clone()))).collect()
+        };
+        out_shards.push(ShardDelta {
+            steps: s.steps,
+            pre_state: s.pre_state,
+            pre_exempt: s.pre_exempt,
+            full,
+            records,
+            cohorts: s.cohorts.clone(),
+            by_key: s.by_key.clone(),
+            free: s.free.clone(),
+        });
+    }
+    CheckpointDelta {
+        policy,
+        certified,
+        certified_at,
+        next_oid: db.next_oid().0,
+        objects,
+        shards: out_shards,
+    }
+}
+
+/// Encode one shard's tracking state verbatim — clock, slot table, key
+/// map, free list and all. The engine is deterministic (ordered
+/// iteration everywhere), so replay from a verbatim state reproduces
+/// slot assignment exactly; nothing needs canonicalizing beyond the
+/// ordered maps themselves.
 fn encode_state(out: &mut Vec<u8>, s: &DeltaState) {
-    encode_u64(out, s.records.len() as u64);
-    for (o, rec) in &s.records {
+    encode_u64(out, s.steps as u64);
+    encode_u64(out, u64::from(s.pre_state));
+    out.push(u8::from(s.pre_exempt));
+    encode_record_map(out, &s.records);
+    encode_cohort_tables(out, &s.cohorts, &s.by_key, &s.free);
+    // `last_touched` and the dirty set are deliberately NOT encoded:
+    // diagnostics and checkpoint bookkeeping, not durable state.
+}
+
+fn encode_record_map(out: &mut Vec<u8>, records: &BTreeMap<Oid, ObjRecord>) {
+    encode_u64(out, records.len() as u64);
+    for (o, rec) in records {
         encode_u64(out, o.0);
         encode_u64(out, rec.creation_step as u64);
         encode_u64(out, u64::from(rec.cohort));
@@ -412,26 +811,31 @@ fn encode_state(out: &mut Vec<u8>, s: &DeltaState) {
             encode_u64(out, from as u64);
         }
     }
-    encode_u64(out, s.cohorts.len() as u64);
-    for c in &s.cohorts {
+}
+
+fn encode_cohort_tables(
+    out: &mut Vec<u8>,
+    cohorts: &[Cohort],
+    by_key: &BTreeMap<(u32, u32), u32>,
+    free: &[u32],
+) {
+    encode_u64(out, cohorts.len() as u64);
+    for c in cohorts {
         encode_u64(out, u64::from(c.state));
         encode_u64(out, u64::from(c.last_role));
         encode_u64(out, c.size as u64);
         encode_u64(out, u64::from(c.parent));
     }
-    encode_u64(out, s.by_key.len() as u64);
-    for (&(state, role), &id) in &s.by_key {
+    encode_u64(out, by_key.len() as u64);
+    for (&(state, role), &id) in by_key {
         encode_u64(out, u64::from(state));
         encode_u64(out, u64::from(role));
         encode_u64(out, u64::from(id));
     }
-    encode_u64(out, s.free.len() as u64);
-    for &id in &s.free {
+    encode_u64(out, free.len() as u64);
+    for &id in free {
         encode_u64(out, u64::from(id));
     }
-    // `last_touched` is deliberately NOT encoded: it is a diagnostics
-    // counter that even unlogged null applications update, so it is not
-    // part of the durable (byte-compared) state.
 }
 
 fn u32_of(v: u64, what: &str) -> Result<u32, WalError> {
@@ -442,7 +846,7 @@ fn usize_of(v: u64, what: &str) -> Result<usize, WalError> {
     usize::try_from(v).map_err(|_| WalError::Corrupt(format!("{what} out of range")))
 }
 
-fn decode_state(r: &mut Reader<'_>) -> Result<DeltaState, WalError> {
+fn decode_record_map(r: &mut Reader<'_>) -> Result<BTreeMap<Oid, ObjRecord>, WalError> {
     let n = r.count()?;
     let mut entries: Vec<(Oid, ObjRecord)> = Vec::with_capacity(n);
     for _ in 0..n {
@@ -465,7 +869,12 @@ fn decode_state(r: &mut Reader<'_>) -> Result<DeltaState, WalError> {
         entries.push((o, ObjRecord { creation_step, segments, cohort }));
     }
     // Ascending order verified above: the map bulk-builds.
-    let records: BTreeMap<Oid, ObjRecord> = entries.into_iter().collect();
+    Ok(entries.into_iter().collect())
+}
+
+type CohortTables = (Vec<Cohort>, BTreeMap<(u32, u32), u32>, Vec<u32>);
+
+fn decode_cohort_tables(r: &mut Reader<'_>) -> Result<CohortTables, WalError> {
     let n = r.count()?;
     let mut cohorts = Vec::with_capacity(n);
     for _ in 0..n {
@@ -499,22 +908,265 @@ fn decode_state(r: &mut Reader<'_>) -> Result<DeltaState, WalError> {
         }
         free.push(id);
     }
+    Ok((cohorts, by_key, free))
+}
+
+fn decode_state(r: &mut Reader<'_>) -> Result<DeltaState, WalError> {
+    let steps = usize_of(r.u64()?, "shard clock")?;
+    let pre_state = u32_of(r.u64()?, "pre state")?;
+    let pre_exempt = match r.byte()? {
+        0 => false,
+        1 => true,
+        b => return Err(WalError::Corrupt(format!("bad pre-exempt byte {b}"))),
+    };
+    let records = decode_record_map(r)?;
+    let (cohorts, by_key, free) = decode_cohort_tables(r)?;
     for rec in records.values() {
         if (rec.cohort as usize) >= cohorts.len() {
             return Err(WalError::Corrupt("record points at missing cohort".into()));
         }
     }
-    Ok(DeltaState { records, cohorts, by_key, free, last_touched: 0 })
+    Ok(DeltaState {
+        records,
+        cohorts,
+        by_key,
+        free,
+        steps,
+        pre_state,
+        pre_exempt,
+        ..DeltaState::default()
+    })
 }
 
 // ---------------------------------------------------------------------
 // Backing stores
 // ---------------------------------------------------------------------
 
-/// A directory-backed log: `wal.log` (appended records) plus
-/// `snapshot.bin` (the latest checkpoint, replaced atomically via
-/// temp-file rename). Writing a snapshot truncates the log — recovery
-/// never replays history the checkpoint already covers.
+const LIVE_LOG: &str = "wal.log";
+const BASE_FILE: &str = "snapshot.bin";
+
+fn sealed_name(seq: u64) -> String {
+    format!("sealed-{seq:08}.log")
+}
+
+fn delta_name(seq: u64) -> String {
+    format!("delta-{seq:08}.bin")
+}
+
+fn seq_of(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?.strip_suffix(suffix)?.parse().ok()
+}
+
+/// Frame a checkpoint payload (`[len][crc][seq + body]`; increments
+/// prepend the **parent** checkpoint sequence they chain onto to the
+/// body, so the chain survives sequence numbers swallowed by crashed
+/// jobs).
+fn frame_checkpoint(seq: u64, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(body.len() + 10);
+    encode_u64(&mut payload, seq);
+    payload.extend_from_slice(body);
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&u32::try_from(payload.len()).expect("fits u32").to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Unframe a checkpoint file into `(seq, body)`.
+fn unframe_checkpoint<'a>(bytes: &'a [u8], what: &str) -> Result<(u64, &'a [u8]), WalError> {
+    let Some((head, rest)) = bytes.split_at_checked(8) else {
+        return Err(WalError::Corrupt(format!("{what} header truncated")));
+    };
+    let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(head[4..].try_into().expect("4 bytes"));
+    let Some(payload) = rest.get(..len) else {
+        return Err(WalError::Corrupt(format!("{what} truncated")));
+    };
+    if crc32(payload) != crc {
+        return Err(WalError::Corrupt(format!("{what} checksum mismatch")));
+    }
+    let mut r = Reader::new(payload);
+    let seq = r.u64()?;
+    let body = &payload[payload.len() - r.remaining()..];
+    Ok((seq, body))
+}
+
+/// Read just the sequence number from a checkpoint file's frame prefix
+/// — `Wal::open` needs only this, and the base snapshot can be tens of
+/// MiB ([`Wal::load`] validates the full payload when it matters).
+fn peek_checkpoint_seq(path: &Path) -> Option<u64> {
+    use std::io::Read as _;
+    let mut f = std::fs::File::open(path).ok()?;
+    let mut buf = [0u8; 24];
+    let mut n = 0;
+    while n < buf.len() {
+        match f.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(m) => n += m,
+            Err(_) => return None,
+        }
+    }
+    if n < 9 {
+        return None;
+    }
+    Reader::new(&buf[8..n]).u64().ok()
+}
+
+/// The data of one checkpoint: a full base snapshot, or an increment
+/// over the previous checkpoint.
+pub enum CheckpointData {
+    /// A full [`Snapshot`] — becomes the new base; everything older is
+    /// pruned once it is durable.
+    Full(Snapshot),
+    /// An increment — folded onto the chain at load time.
+    Incremental(CheckpointDelta),
+}
+
+/// A staged checkpoint returned by [`Wal::begin_checkpoint`]: the
+/// captured state plus the bookkeeping to make it durable. `run` does
+/// the expensive part (encode, write, fsync, prune) and can execute
+/// anywhere — inline for a synchronous checkpoint, or on a
+/// [`Snapshotter`] thread to keep it off the admission path. Jobs of
+/// one [`Wal`] must run **in order** (a single `Snapshotter` does).
+#[must_use = "a checkpoint is not durable until the job runs"]
+pub struct CheckpointJob {
+    dir: PathBuf,
+    seq: u64,
+    /// The checkpoint this one chains onto (increments only): recorded
+    /// in the file so a sequence number swallowed by a crashed job is
+    /// not mistaken for a lost increment.
+    parent: u64,
+    data: CheckpointData,
+}
+
+impl CheckpointJob {
+    /// The checkpoint's sequence number in the chain.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Encode and durably write the checkpoint, then prune the log
+    /// segments (and, for a full snapshot, the increments) it covers.
+    pub fn run(self) -> Result<(), WalError> {
+        let (body, target) = match &self.data {
+            CheckpointData::Full(snap) => (snap.encode(), self.dir.join(BASE_FILE)),
+            CheckpointData::Incremental(delta) => {
+                let mut body = Vec::new();
+                encode_u64(&mut body, self.parent);
+                body.extend_from_slice(&delta.encode());
+                (body, self.dir.join(delta_name(self.seq)))
+            }
+        };
+        let framed = frame_checkpoint(self.seq, &body);
+        let tmp = self.dir.join(format!("checkpoint-{:08}.tmp", self.seq));
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&framed)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &target)?;
+        // Persist the rename itself before dropping the records it
+        // supersedes (directory fsync; best-effort where unsupported).
+        if let Ok(d) = std::fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        // Prune everything this checkpoint covers.
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let covered = seq_of(name, "sealed-", ".log").is_some_and(|s| s <= self.seq)
+                || (matches!(self.data, CheckpointData::Full(_))
+                    && seq_of(name, "delta-", ".bin").is_some_and(|s| s <= self.seq));
+            if covered {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A background checkpoint writer: a single worker thread running
+/// [`CheckpointJob`]s in submission order, so the admission path pays
+/// only the O(dirty) capture and the log rotation — never the encode
+/// and fsync. The first failing job stops the worker; later submissions
+/// and [`Snapshotter::finish`] surface the error.
+pub struct Snapshotter {
+    tx: Option<mpsc::Sender<CheckpointJob>>,
+    worker: Option<std::thread::JoinHandle<Result<(), WalError>>>,
+    /// First failure, surfaced by every later `submit`/`finish`.
+    error: Option<WalError>,
+}
+
+impl Snapshotter {
+    /// Spawn the worker thread.
+    #[must_use]
+    pub fn spawn() -> Snapshotter {
+        let (tx, rx) = mpsc::channel::<CheckpointJob>();
+        let worker = std::thread::Builder::new()
+            .name("migratory-snapshotter".into())
+            .spawn(move || {
+                for job in rx {
+                    job.run()?;
+                }
+                Ok(())
+            })
+            .expect("spawn snapshotter thread");
+        Snapshotter { tx: Some(tx), worker: Some(worker), error: None }
+    }
+
+    /// Queue a checkpoint job. Fails — and keeps failing, without
+    /// panicking — once an earlier job failed (the checkpoint chain
+    /// must not advance past a hole — write a full snapshot to
+    /// re-establish it).
+    pub fn submit(&mut self, job: CheckpointJob) -> Result<(), WalError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        match &self.tx {
+            Some(tx) if tx.send(job).is_ok() => Ok(()),
+            // Worker exited early (a job failed): join and surface it.
+            Some(_) => Err(self.join().expect_err("worker only exits early on failure")),
+            None => Err(WalError::Io("snapshotter already finished".into())),
+        }
+    }
+
+    /// Wait for every queued checkpoint to become durable.
+    pub fn finish(mut self) -> Result<(), WalError> {
+        self.join()
+    }
+
+    fn join(&mut self) -> Result<(), WalError> {
+        drop(self.tx.take());
+        if let Some(w) = self.worker.take() {
+            let outcome = match w.join() {
+                Ok(r) => r,
+                Err(_) => Err(WalError::Io("snapshotter thread panicked".into())),
+            };
+            if let Err(e) = outcome {
+                self.error = Some(e);
+            }
+        }
+        match &self.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for Snapshotter {
+    fn drop(&mut self) {
+        let _ = self.join();
+    }
+}
+
+/// A directory-backed log: a live `wal.log` (appended records), sealed
+/// segments rotated out by checkpoints, and a checkpoint chain — the
+/// latest full `snapshot.bin` plus `delta-N.bin` increments. Writing a
+/// checkpoint seals the live log; the checkpoint job prunes sealed
+/// segments once it is durable, so recovery never replays history the
+/// chain already covers.
 pub struct Wal {
     dir: PathBuf,
     log: std::fs::File,
@@ -523,25 +1175,82 @@ pub struct Wal {
     /// End of the last whole record — the append position, and where a
     /// failed append rolls back to.
     end: u64,
+    /// Next checkpoint sequence number (one past everything on disk,
+    /// sealed segments included — a crashed job's sequence is never
+    /// reused).
+    next_seq: u64,
+    /// The checkpoint the next increment chains onto: the last one
+    /// staged this session, or the last **durable** one found at open
+    /// (a sealed segment whose checkpoint never landed does not count —
+    /// its records replay instead).
+    chain_seq: u64,
+    /// A base snapshot exists or has been staged — increments may
+    /// chain onto it.
+    has_base: bool,
 }
 
 impl Wal {
     /// Open (creating if needed) the log directory for appending. A
     /// torn tail left by a crash mid-append is truncated away first —
     /// appending after garbage would hide every later record from
-    /// recovery (which stops at the first bad frame).
+    /// recovery (which stops at the first bad frame) — and stale
+    /// `*.tmp` checkpoint files from crashed checkpoint jobs are
+    /// removed.
     pub fn open(dir: impl AsRef<Path>) -> Result<Wal, WalError> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
-        let path = dir.join("wal.log");
+        let mut max_seq = 0u64;
+        let mut chain_seq = 0u64;
+        let mut has_base = false;
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                // A checkpoint job died mid-write; the chain never
+                // referenced this file.
+                let _ = std::fs::remove_file(entry.path());
+                continue;
+            }
+            if let Some(s) = seq_of(name, "sealed-", ".log") {
+                // A sealed segment's sequence must never be reused, but
+                // its checkpoint may have died before landing — only
+                // durable checkpoints enter the chain.
+                max_seq = max_seq.max(s);
+            }
+            if let Some(s) = seq_of(name, "delta-", ".bin") {
+                max_seq = max_seq.max(s);
+                chain_seq = chain_seq.max(s);
+            }
+            if name == BASE_FILE {
+                has_base = true;
+                // Only the frame's sequence prefix is needed here (the
+                // base can be tens of MiB); load() validates the full
+                // payload.
+                if let Some(s) = peek_checkpoint_seq(&entry.path()) {
+                    max_seq = max_seq.max(s);
+                    chain_seq = chain_seq.max(s);
+                }
+            }
+        }
+        let path = dir.join(LIVE_LOG);
         let valid = match std::fs::read(&path) {
-            Ok(bytes) => valid_prefix_len(&bytes),
+            Ok(bytes) => valid_prefix_len(&bytes)?,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
             Err(e) => return Err(e.into()),
         };
         let log = std::fs::OpenOptions::new().create(true).append(true).open(&path)?;
         log.set_len(valid as u64)?;
-        Ok(Wal { dir, log, sync: false, buf: Vec::new(), end: valid as u64 })
+        Ok(Wal {
+            dir,
+            log,
+            sync: false,
+            buf: Vec::new(),
+            end: valid as u64,
+            next_seq: max_seq + 1,
+            chain_seq,
+            has_base,
+        })
     }
 
     /// Append the staged record in `buf`, rolling the file back to the
@@ -583,82 +1292,152 @@ impl Wal {
         &self.dir
     }
 
-    /// Write `snap` as the new checkpoint (temp file + atomic rename),
-    /// then truncate the log: everything up to `snap.steps()` is now in
-    /// the snapshot, and recovery must not see it twice. (Block records
-    /// carry their step offset, so even a crash between rename and
-    /// truncate recovers correctly — pre-snapshot blocks are skipped by
-    /// step.)
-    ///
-    /// Ordering against power loss: the temp file is fsynced *before*
-    /// the rename and the directory *after* it, and only then is the
-    /// log truncated — the truncation can never reach disk ahead of the
-    /// snapshot bytes it makes load-bearing.
-    pub fn write_snapshot(&mut self, snap: &Snapshot) -> Result<(), WalError> {
-        let tmp = self.dir.join("snapshot.tmp");
-        let bytes = snap.encode();
-        let mut payload = Vec::with_capacity(bytes.len() + 8);
-        payload.extend_from_slice(&u32::try_from(bytes.len()).expect("fits").to_le_bytes());
-        payload.extend_from_slice(&crc32(&bytes).to_le_bytes());
-        payload.extend_from_slice(&bytes);
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&payload)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, self.dir.join("snapshot.bin"))?;
-        // Persist the rename itself before dropping the records it
-        // supersedes (directory fsync; best-effort where unsupported).
-        if let Ok(d) = std::fs::File::open(&self.dir) {
-            let _ = d.sync_all();
-        }
-        self.log.set_len(0)?;
-        self.end = 0;
-        if self.sync {
-            self.log.sync_data()?;
-        }
-        Ok(())
+    /// Whether a base snapshot exists (or has been staged) for
+    /// increments to chain onto. `false` on a fresh directory — and
+    /// after recovering from a crash that killed the base checkpoint
+    /// job itself: the caller must write a full checkpoint before the
+    /// first [`CheckpointData::Incremental`].
+    #[must_use]
+    pub fn has_base(&self) -> bool {
+        self.has_base
     }
 
-    /// Read a directory's checkpoint and WAL tail. Returns `None` for
-    /// the snapshot when no checkpoint was ever written (recover from
-    /// the empty monitor, replaying every block). A torn final log
-    /// record is dropped; a torn snapshot is an error (snapshots are
-    /// written atomically, so a bad one is real corruption, not a
-    /// crash artifact).
+    /// Stage a checkpoint: assign it the next sequence number and seal
+    /// the live log (a rename — the only admission-path cost besides
+    /// the caller's O(dirty) capture). The returned [`CheckpointJob`]
+    /// carries the expensive work; run it inline or hand it to a
+    /// [`Snapshotter`]. Until the job completes the previous chain
+    /// stays authoritative — a crash in between replays the sealed
+    /// segment instead.
+    ///
+    /// An [`CheckpointData::Incremental`] requires a base snapshot
+    /// (written or staged) to chain onto.
+    pub fn begin_checkpoint(&mut self, data: CheckpointData) -> Result<CheckpointJob, WalError> {
+        if matches!(data, CheckpointData::Incremental(_)) && !self.has_base {
+            return Err(WalError::Mismatch(
+                "incremental checkpoint without a base snapshot".into(),
+            ));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.end > 0 {
+            self.log.flush()?;
+            if self.sync {
+                self.log.sync_data()?;
+            }
+            std::fs::rename(self.dir.join(LIVE_LOG), self.dir.join(sealed_name(seq)))?;
+            self.log = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.dir.join(LIVE_LOG))?;
+            self.end = 0;
+        }
+        if matches!(data, CheckpointData::Full(_)) {
+            self.has_base = true;
+        }
+        // The increment chains onto the previous checkpoint (or, after
+        // a reopen, the last durable one — a sequence swallowed by a
+        // crashed job leaves a gap in the numbering, which the recorded
+        // parent link distinguishes from a genuinely lost increment).
+        let parent = std::mem::replace(&mut self.chain_seq, seq);
+        Ok(CheckpointJob { dir: self.dir.clone(), seq, parent, data })
+    }
+
+    /// Write `snap` as a new full checkpoint **synchronously**: stage
+    /// it and run the job inline. Equivalent to
+    /// `begin_checkpoint(Full)` + [`CheckpointJob::run`].
+    pub fn write_snapshot(&mut self, snap: &Snapshot) -> Result<(), WalError> {
+        self.begin_checkpoint(CheckpointData::Full(snap.clone()))?.run()
+    }
+
+    /// Read a directory's checkpoint chain and WAL tail: fold the base
+    /// snapshot and every increment after it, then decode the sealed
+    /// segments and the live log in order. Returns `None` for the
+    /// snapshot when no checkpoint was ever written (recover from the
+    /// empty monitor, replaying every record). Records already covered
+    /// by the chain are *not* filtered here — recovery skips them per
+    /// shard by step offset, which is what makes the
+    /// crash-between-checkpoint-and-prune window safe. A torn final
+    /// record per segment is dropped; a torn or checksum-failing
+    /// checkpoint file is an error (checkpoints are written atomically,
+    /// so a bad one is real corruption, not a crash artifact); an
+    /// increment older than the base is a stale leftover and ignored.
     pub fn load(dir: impl AsRef<Path>) -> Result<(Option<Snapshot>, Vec<WalRecord>), WalError> {
         let dir = dir.as_ref();
-        let snap = match std::fs::read(dir.join("snapshot.bin")) {
+        let (mut base_seq, mut snap) = (0u64, None);
+        match std::fs::read(dir.join(BASE_FILE)) {
             Ok(bytes) => {
-                let Some((head, rest)) = bytes.split_at_checked(8) else {
-                    return Err(WalError::Corrupt("snapshot header truncated".into()));
-                };
-                let len = u32::from_le_bytes(head[..4].try_into().expect("4 bytes")) as usize;
-                let crc = u32::from_le_bytes(head[4..].try_into().expect("4 bytes"));
-                let Some(payload) = rest.get(..len) else {
-                    return Err(WalError::Corrupt("snapshot truncated".into()));
-                };
-                if crc32(payload) != crc {
-                    return Err(WalError::Corrupt("snapshot checksum mismatch".into()));
-                }
-                Some(Snapshot::decode(payload)?)
+                let (seq, body) = unframe_checkpoint(&bytes, "snapshot")?;
+                base_seq = seq;
+                snap = Some(Snapshot::decode(body)?);
             }
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
-        };
-        let log = match std::fs::read(dir.join("wal.log")) {
-            Ok(bytes) => decode_records(&bytes),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        }
+        // Collect increments and sealed segments by sequence number.
+        let mut delta_seqs: Vec<u64> = Vec::new();
+        let mut sealed_seqs: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(s) = seq_of(name, "delta-", ".bin") {
+                delta_seqs.push(s);
+            } else if let Some(s) = seq_of(name, "sealed-", ".log") {
+                sealed_seqs.push(s);
+            }
+        }
+        delta_seqs.sort_unstable();
+        sealed_seqs.sort_unstable();
+        // Fold the chain by recorded parent links: sequence numbers may
+        // have holes (a crashed job's sealed segment keeps its number,
+        // and its records replay below), but each increment must chain
+        // onto exactly the previously folded checkpoint.
+        let mut chained = base_seq;
+        for &s in &delta_seqs {
+            if s <= base_seq {
+                continue; // stale increment from before the current base
+            }
+            let Some(base) = snap.as_mut() else {
+                return Err(WalError::Corrupt(format!("increment {s} without a base snapshot")));
+            };
+            let bytes = std::fs::read(dir.join(delta_name(s)))?;
+            let (seq, body) = unframe_checkpoint(&bytes, "checkpoint delta")?;
+            if seq != s {
+                return Err(WalError::Corrupt(format!(
+                    "increment file {s} carries sequence {seq}"
+                )));
+            }
+            let mut r = Reader::new(body);
+            let parent = r.u64()?;
+            let delta_bytes = &body[body.len() - r.remaining()..];
+            if parent != chained {
+                return Err(WalError::Corrupt(format!(
+                    "checkpoint chain broken: increment {s} chains onto {parent}, \
+                     last folded checkpoint is {chained}"
+                )));
+            }
+            base.apply(CheckpointDelta::decode(delta_bytes)?)?;
+            chained = s;
+        }
+        let mut records = Vec::new();
+        for &s in &sealed_seqs {
+            let bytes = std::fs::read(dir.join(sealed_name(s)))?;
+            records.extend(decode_records(&bytes)?);
+        }
+        match std::fs::read(dir.join(LIVE_LOG)) {
+            Ok(bytes) => records.extend(decode_records(&bytes)?),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
-        };
-        Ok((snap, log))
+        }
+        Ok((snap, records))
     }
 }
 
 impl CommitSink for Wal {
-    fn committed(&mut self, steps0: usize, deltas: &[&Delta]) -> Result<(), WalError> {
+    fn committed(&mut self, block: &BlockRef<'_>) -> Result<(), WalError> {
         self.buf.clear();
-        encode_record(&mut self.buf, steps0, deltas);
+        encode_record(&mut self.buf, block)?;
         self.append()
     }
 
@@ -672,11 +1451,13 @@ impl CommitSink for Wal {
 /// An in-memory log holding the exact bytes a [`Wal`] would write —
 /// the property-test and benchmark double, byte-compatible with the
 /// file format (including torn-tail semantics via
-/// [`MemoryWal::records_up_to`]).
+/// [`MemoryWal::records_up_to`], and the incremental checkpoint chain
+/// via [`MemoryWal::write_checkpoint_delta`]).
 #[derive(Default)]
 pub struct MemoryWal {
     log: Vec<u8>,
-    snapshot: Option<Vec<u8>>,
+    base: Option<Vec<u8>>,
+    deltas: Vec<Vec<u8>>,
 }
 
 impl MemoryWal {
@@ -695,33 +1476,52 @@ impl MemoryWal {
     /// Decode every complete record.
     #[must_use]
     pub fn records(&self) -> Vec<WalRecord> {
-        decode_records(&self.log)
+        decode_records(&self.log).expect("self-written log decodes")
     }
 
     /// Decode the records recoverable from the first `len` bytes — i.e.
     /// after a crash that persisted only a prefix of the log.
     #[must_use]
     pub fn records_up_to(&self, len: usize) -> Vec<WalRecord> {
-        decode_records(&self.log[..len.min(self.log.len())])
+        decode_records(&self.log[..len.min(self.log.len())]).expect("prefix decodes")
     }
 
-    /// Store `snap` as the checkpoint and truncate the log, mirroring
-    /// [`Wal::write_snapshot`].
+    /// Store `snap` as the new base checkpoint, dropping earlier
+    /// increments and truncating the log — mirroring a full
+    /// [`Wal::begin_checkpoint`] whose job has completed.
     pub fn write_snapshot(&mut self, snap: &Snapshot) {
-        self.snapshot = Some(snap.encode());
+        self.base = Some(snap.encode());
+        self.deltas.clear();
         self.log.clear();
     }
 
-    /// The stored checkpoint, decoded.
+    /// Append an incremental checkpoint to the chain and truncate the
+    /// log (the records it covers are "pruned").
+    ///
+    /// # Panics
+    /// Panics if no base snapshot was ever written (mirrors
+    /// [`Wal::begin_checkpoint`]'s error).
+    pub fn write_checkpoint_delta(&mut self, delta: &CheckpointDelta) {
+        assert!(self.base.is_some(), "incremental checkpoint without a base snapshot");
+        self.deltas.push(delta.encode());
+        self.log.clear();
+    }
+
+    /// The stored checkpoint chain, folded: base snapshot plus every
+    /// increment in order.
     pub fn snapshot(&self) -> Result<Option<Snapshot>, WalError> {
-        self.snapshot.as_deref().map(Snapshot::decode).transpose()
+        let Some(base) = &self.base else { return Ok(None) };
+        let mut snap = Snapshot::decode(base)?;
+        for bytes in &self.deltas {
+            snap.apply(CheckpointDelta::decode(bytes)?)?;
+        }
+        Ok(Some(snap))
     }
 }
 
 impl CommitSink for MemoryWal {
-    fn committed(&mut self, steps0: usize, deltas: &[&Delta]) -> Result<(), WalError> {
-        encode_record(&mut self.log, steps0, deltas);
-        Ok(())
+    fn committed(&mut self, block: &BlockRef<'_>) -> Result<(), WalError> {
+        encode_record(&mut self.log, block)
     }
 
     fn certified(&mut self, steps: usize) -> Result<(), WalError> {
@@ -742,7 +1542,7 @@ pub struct FailingSink {
 }
 
 impl CommitSink for FailingSink {
-    fn committed(&mut self, _steps0: usize, _deltas: &[&Delta]) -> Result<(), WalError> {
+    fn committed(&mut self, _block: &BlockRef<'_>) -> Result<(), WalError> {
         if self.fail {
             return Err(WalError::Io("injected sink failure".into()));
         }
@@ -769,6 +1569,10 @@ mod tests {
         assert_eq!(crc32(b""), 0);
     }
 
+    fn one_shard(steps0: usize, k: usize) -> Vec<ShardLetters> {
+        vec![ShardLetters { shard: 0, steps0, letters: (0..k as u32).collect() }]
+    }
+
     #[test]
     fn records_survive_round_trip_and_drop_torn_tail() {
         let s = migratory_model::schema::university_schema();
@@ -788,18 +1592,22 @@ mod tests {
             })
             .collect();
         let mut log = Vec::new();
-        encode_record(&mut log, 0, &[&deltas[0]]);
-        encode_record(&mut log, 1, &[&deltas[1], &deltas[2]]);
-        let full = decode_records(&log);
+        let s0 = one_shard(0, 1);
+        encode_record(&mut log, &BlockRef { deltas: &[&deltas[0]], shards: &s0 }).unwrap();
+        let s1 = one_shard(1, 2);
+        encode_record(&mut log, &BlockRef { deltas: &[&deltas[1], &deltas[2]], shards: &s1 })
+            .unwrap();
+        let full = decode_records(&log).unwrap();
         assert_eq!(full.len(), 2);
         let WalRecord::Block(b0) = &full[0] else { panic!("block record") };
         assert_eq!(b0.deltas, vec![deltas[0].clone()]);
+        assert_eq!(b0.shards, one_shard(0, 1));
         let WalRecord::Block(b1) = &full[1] else { panic!("block record") };
-        assert_eq!((b1.steps0, b1.deltas.len(), full[1].letters()), (1, 2, 2));
+        assert_eq!((b1.shards[0].steps0, b1.deltas.len(), full[1].letters()), (1, 2, 2));
         // Certification markers frame through the same channel.
         let mut with_cert = log.clone();
         encode_certify_record(&mut with_cert, 3);
-        let all = decode_records(&with_cert);
+        let all = decode_records(&with_cert).unwrap();
         assert_eq!(all.len(), 3);
         assert_eq!(all[2], WalRecord::Certified { steps: 3 });
         assert_eq!(all[2].letters(), 0);
@@ -807,18 +1615,43 @@ mod tests {
         // whole blocks — never an error, never a partial block.
         let first_len = {
             let mut one = Vec::new();
-            encode_record(&mut one, 0, &[&deltas[0]]);
+            encode_record(&mut one, &BlockRef { deltas: &[&deltas[0]], shards: &s0 }).unwrap();
             one.len()
         };
         for cut in 0..log.len() {
-            let got = decode_records(&log[..cut]);
-            let want = if cut >= first_len { 1 } else { 0 };
+            let got = decode_records(&log[..cut]).unwrap();
+            let want = usize::from(cut >= first_len);
             assert_eq!(got.len(), want, "cut at {cut}");
         }
         // A flipped payload byte fails the checksum and truncates there.
         let mut bad = log.clone();
         let idx = first_len + 10;
         bad[idx] ^= 0xff;
-        assert_eq!(decode_records(&bad).len(), 1);
+        assert_eq!(decode_records(&bad).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn oversized_length_claims_are_capped() {
+        let mut log = Vec::new();
+        encode_certify_record(&mut log, 7);
+        let good_len = log.len();
+        encode_certify_record(&mut log, 8);
+        // Corrupt the second record's length header to claim ~3.4 GiB.
+        log[good_len..good_len + 4].copy_from_slice(&0xccff_ffffu32.to_le_bytes());
+        // The claimed bytes are NOT present: torn-tail semantics, the
+        // first record survives, no multi-GiB buffer is ever sized.
+        let got = decode_records(&log).unwrap();
+        assert_eq!(got, vec![WalRecord::Certified { steps: 7 }]);
+        assert_eq!(valid_prefix_len(&log).unwrap(), good_len);
+        // With the claimed bytes present the claim cannot be a torn
+        // append: corruption, loudly (one byte over the cap keeps the
+        // test buffer as small as possible).
+        let over = u32::try_from(MAX_RECORD_LEN + 1).unwrap();
+        let mut padded = log[..good_len].to_vec();
+        padded.extend_from_slice(&over.to_le_bytes());
+        padded.extend_from_slice(&[0u8; 4]); // bogus crc, never consulted
+        padded.resize(good_len + 8 + MAX_RECORD_LEN + 1, 0);
+        assert!(matches!(decode_records(&padded), Err(WalError::Corrupt(_))));
+        assert!(matches!(valid_prefix_len(&padded), Err(WalError::Corrupt(_))));
     }
 }

@@ -261,6 +261,26 @@ impl Transaction {
         self.steps.iter().all(GuardedUpdate::is_ground)
     }
 
+    /// The first class this transaction's updates name (the source
+    /// class for a specialize), or `None` for the empty transaction.
+    /// This is the **routing anchor** shared by the enforcement stack:
+    /// `enforce::ingress` picks the admission lane with it and the
+    /// sharded monitor routes empty-delta letters with it — the two
+    /// must agree, so both call this one helper.
+    #[must_use]
+    pub fn first_named_class(&self) -> Option<ClassId> {
+        self.steps
+            .iter()
+            .map(|g| match g.update {
+                AtomicUpdate::Create { class, .. }
+                | AtomicUpdate::Delete { class, .. }
+                | AtomicUpdate::Modify { class, .. }
+                | AtomicUpdate::Generalize { class, .. } => class,
+                AtomicUpdate::Specialize { from, .. } => from,
+            })
+            .next()
+    }
+
     /// The language fragment this transaction lives in.
     #[must_use]
     pub fn language(&self) -> Language {

@@ -1,19 +1,21 @@
 //! Fleet migration at scale: sharded, batched admission over a schema
-//! with four independent weakly-connected role components — with an
-//! optional **durable mode** (write-ahead log + snapshots + crash
-//! recovery).
+//! with four independent weakly-connected role components — each on its
+//! **own letter clock** — with an optional **durable mode** (write-ahead
+//! log + background incremental checkpoints + crash recovery).
 //!
 //! A logistics operator runs four separate asset hierarchies — trucks,
 //! drivers, routes and depots — in one store. The components are
 //! weakly disconnected, so (Definition 2.2) no object ever crosses
 //! between them, and (Lemma 3.5) their objects evolve independently:
-//! the [`ShardedMonitor`] routes each component to its own shard and the
-//! only coordination between shards is the shared step counter.
+//! the [`ShardedMonitor`] routes each component to its own shard, and
+//! with per-shard letter clocks the shards share *no* mutable state —
+//! a truck operation advances only the truck shard's clock.
 //!
 //! The example bulk-loads 100 000 objects (25 000 per component), then
 //! admits a day of operations — blocks of single-object migrations —
 //! through [`ShardedMonitor::try_apply_batch`], one cohort sweep per
-//! shard per block, and prints per-shard tracking statistics.
+//! participating shard per block, and prints per-shard tracking
+//! statistics.
 //!
 //! ```text
 //! cargo run --release --example fleet_migration                  # volatile
@@ -24,17 +26,25 @@
 //! ```
 //!
 //! In durable mode every admitted block group-commits to `DIR/wal.log`
-//! before the monitor's tracking state moves, and every `N` blocks the
-//! monitor checkpoints (`DIR/snapshot.bin`, truncating the log).
-//! `--crash-after N` aborts the process mid-run after `N` day-blocks —
-//! simulating a crash with the WAL left at whatever prefix reached the
-//! OS. `--recover` rebuilds the monitor from checkpoint + WAL tail
-//! (**without** replaying the fleet's history), verifies the database
-//! invariants, prints recovery statistics and finishes the remaining
-//! work durably. The CI crash-recovery smoke job runs exactly this
-//! crash/recover pair.
+//! before the monitor's tracking state moves. Checkpoints are
+//! **incremental and backgrounded**: every `N` blocks the admission
+//! thread captures the dirtied state (O(dirty)) and seals the log (a
+//! rename), while a [`Snapshotter`] thread encodes and writes the
+//! checkpoint and prunes covered log segments — the admission path
+//! never pays the full-snapshot pause. `--crash-after N` aborts the
+//! process at the top of day-block `N` — immediately after a
+//! checkpoint was handed to the snapshotter when `N` is a multiple of
+//! `--snapshot-every`, so the crash lands **during an in-flight
+//! checkpoint** and recovery must cope with whatever prefix of the
+//! checkpoint job reached disk. `--recover` rebuilds the monitor from
+//! the checkpoint chain + WAL tail (**without** replaying the fleet's
+//! history), verifies the database invariants, prints recovery
+//! statistics and finishes the remaining work durably. The CI
+//! crash-recovery smoke job runs exactly this crash/recover pair.
 
-use migratory::core::enforce::{ingress, IngressConfig, ShardedMonitor, StepPolicy, Wal};
+use migratory::core::enforce::{
+    ingress, CheckpointData, IngressConfig, ShardedMonitor, Snapshotter, StepPolicy, Wal,
+};
 use migratory::core::{Inventory, PatternKind};
 use migratory::lang::{Assignment, Transaction};
 use migratory::model::Value;
@@ -45,6 +55,11 @@ use std::time::Instant;
 const PER_COMPONENT: usize = 25_000;
 const BATCH: usize = 256;
 const BATCHES: usize = 8;
+/// Letters each shard reads per 256-op day block (per 8-op cycle:
+/// Dispatch+Park the truck, StartShift+one effective EndShift for the
+/// driver, one route activation, one depot opening; the two repeat
+/// EndShifts are null applications under `OnlyChanging`).
+const LETTERS_PER_BLOCK: [usize; 4] = [64, 64, 32, 32];
 
 struct Options {
     durable: Option<String>,
@@ -90,7 +105,7 @@ fn main() {
         let dir = opts.durable.as_deref().expect("checked in parse_args");
         let t0 = Instant::now();
         let (snap, tail) = Wal::load(dir).expect("load wal directory");
-        let snap_steps = snap.as_ref().map_or(0, |s| s.steps());
+        let snap_clocks = snap.as_ref().map_or_else(Vec::new, |s| s.clocks());
         let tail_blocks = tail.len();
         let tail_letters: usize =
             tail.iter().map(migratory::core::enforce::WalRecord::letters).sum();
@@ -107,23 +122,31 @@ fn main() {
         .with_policy(StepPolicy::OnlyChanging);
         let dt = t0.elapsed();
         monitor.db().check_invariants(&schema).expect("recovered database is well-formed");
-        let letters = monitor.steps();
+        let clocks = monitor.clocks();
         println!("fleet_migration: RECOVERED from {dir} in {dt:.2?}");
         println!(
-            "  checkpoint at {snap_steps} letters + {tail_blocks} wal blocks \
-             ({tail_letters} letters) = {letters} letters, {} objects — no history replayed",
+            "  checkpoint chain at clocks {snap_clocks:?} + {tail_blocks} wal blocks \
+             ({tail_letters} deltas) = clocks {clocks:?}, {} objects — no history replayed",
             monitor.db().num_objects()
         );
         // Everything the crashed run made durable is back; figure out
-        // how much of the day was already admitted.
-        let loaded_letters = 4 * PER_COMPONENT;
-        assert!(letters >= loaded_letters, "the bulk load was durable before the crash");
-        // Under OnlyChanging, 6 of every 8 day ops change the database
-        // (two EndShift repeats are null applications): 192 letters per
-        // 256-op block.
-        let letters_per_block = BATCH / 8 * 6;
-        assert_eq!((letters - loaded_letters) % letters_per_block, 0, "crash at block boundary");
-        blocks_done = (letters - loaded_letters) / letters_per_block;
+        // how much of the day was already admitted from each shard's
+        // own clock (the bulk load put PER_COMPONENT letters on each).
+        for (s, &c) in clocks.iter().enumerate() {
+            assert!(c >= PER_COMPONENT, "shard {s}: the bulk load was durable before the crash");
+            let day = c - PER_COMPONENT;
+            // Clocks past the full day belong to the rush-hour phase of
+            // a run that crashed (or finished) after its day completed.
+            let blocks = (day / LETTERS_PER_BLOCK[s]).min(BATCHES);
+            if blocks < BATCHES {
+                assert_eq!(day % LETTERS_PER_BLOCK[s], 0, "shard {s}: crash at block boundary");
+            }
+            if s == 0 {
+                blocks_done = blocks;
+            } else {
+                assert_eq!(blocks, blocks_done, "shard {s}: shards crashed at the same block");
+            }
+        }
         println!("  resuming the day at block {blocks_done}/{BATCHES}");
     } else {
         monitor = ShardedMonitor::new(&schema, &alphabet, &inventory, PatternKind::All, 4)
@@ -131,7 +154,8 @@ fn main() {
     }
     assert!(monitor.routes_by_component(), "four components → four shards");
 
-    // Attach the log (fresh runs and recovered runs alike).
+    // Attach the log (fresh runs and recovered runs alike) and stand up
+    // the background snapshotter.
     let wal = match opts.durable.as_deref() {
         Some(dir) => {
             let wal = Arc::new(Mutex::new(Wal::open(dir).expect("open wal directory")));
@@ -140,8 +164,10 @@ fn main() {
         }
         None => None,
     };
+    let mut snapshotter = wal.as_ref().map(|_| Snapshotter::spawn());
     println!(
-        "fleet_migration: {} shards (component-routed), batch size {BATCH}{}",
+        "fleet_migration: {} shards (component-routed, independent letter clocks), batch size \
+         {BATCH}{}",
         monitor.num_shards(),
         match &opts.durable {
             Some(dir) => format!(", durable in {dir}"),
@@ -151,7 +177,8 @@ fn main() {
 
     if !opts.recover {
         // Bulk load: 25k single-create applications per component,
-        // admitted in blocks — each application is one letter.
+        // admitted in blocks — each application is one letter on its
+        // own component's clock.
         let t0 = Instant::now();
         for (mk, prefix) in
             [("BuyTruck", "t"), ("HireDriver", "d"), ("OpenRoute", "r"), ("BuildDepot", "p")]
@@ -162,60 +189,98 @@ fn main() {
             assert_eq!((done, err), (PER_COMPONENT, None), "bulk load conforms");
         }
         println!(
-            "loaded {} objects in {:.2?} ({} letters)",
+            "loaded {} objects in {:.2?} (clocks {:?})",
             monitor.db().num_objects(),
             t0.elapsed(),
-            monitor.steps()
+            monitor.clocks()
         );
-        if let Some(wal) = &wal {
-            // Checkpoint the loaded fleet so recovery never replays it.
+    }
+    if let (Some(wal), Some(snapshotter)) = (&wal, &mut snapshotter) {
+        // Base checkpoint of the loaded (or recovered) fleet, written
+        // in the background: the admission thread pays only the
+        // capture. A recovered run re-establishes the base when the
+        // crash killed the base checkpoint job itself — increments can
+        // only chain onto an existing base.
+        if !wal.lock().unwrap().has_base() {
             let t0 = Instant::now();
-            wal.lock().unwrap().write_snapshot(&monitor.snapshot()).expect("snapshot");
-            println!("checkpointed the loaded fleet in {:.2?}", t0.elapsed());
+            let job = wal
+                .lock()
+                .unwrap()
+                .begin_checkpoint(CheckpointData::Full(monitor.checkpoint_full()))
+                .expect("stage base checkpoint");
+            let stall = t0.elapsed();
+            snapshotter.submit(job).expect("snapshotter accepts");
+            println!("staged the base checkpoint in {stall:.2?} (encode/write backgrounded)");
         }
     }
 
     // A day of operations, admitted batch-wise; in durable mode every
     // block group-commits to the WAL and every `snapshot_every` blocks
-    // the monitor checkpoints (truncating the log).
+    // the admission thread captures an O(dirty) incremental checkpoint
+    // and hands it to the snapshotter (which prunes the covered log).
     let day = fleet_ops(BATCHES * BATCH, PER_COMPONENT);
     let resolved: Vec<(&Transaction, Assignment)> =
         day.iter().map(|(name, args)| (ts.get(name).expect("transaction"), args.clone())).collect();
 
     let t0 = Instant::now();
     let mut admitted = 0usize;
+    let mut max_stall = std::time::Duration::ZERO;
     for (i, block) in resolved.chunks(BATCH).enumerate().skip(blocks_done) {
         if let Some(crash_at) = opts.crash_after {
             if i >= crash_at {
                 println!(
-                    "simulated CRASH before block {i}/{BATCHES} — {} letters durable; \
+                    "simulated CRASH before block {i}/{BATCHES} — clocks {:?} durable{}; \
                      run again with `--durable … --recover`",
-                    monitor.steps()
+                    monitor.clocks(),
+                    if i % opts.snapshot_every == 0 && i > 0 {
+                        " (a checkpoint is in flight)"
+                    } else {
+                        ""
+                    }
                 );
-                // A real crash: no snapshot, no clean shutdown — the WAL
-                // is whatever reached the OS.
+                // A real crash: no clean shutdown — the WAL is whatever
+                // reached the OS, and the snapshotter thread dies
+                // mid-write if a checkpoint job is still running
+                // (std::process::exit runs no destructors).
                 std::process::exit(0);
             }
         }
         let (done, err) = monitor.try_apply_batch(block.iter().map(|(t, a)| (*t, a)));
         assert!(err.is_none(), "the day's operations conform: {err:?}");
         admitted += done;
-        if let Some(wal) = &wal {
+        if let (Some(wal), Some(snapshotter)) = (&wal, &mut snapshotter) {
             if (i + 1) % opts.snapshot_every == 0 {
-                wal.lock().unwrap().write_snapshot(&monitor.snapshot()).expect("snapshot");
+                // The admission-path stall: capture the dirtied state
+                // and seal the log. Encode + fsync + prune run on the
+                // snapshotter thread.
+                let t0 = Instant::now();
+                let delta = monitor.checkpoint_delta();
+                let job = wal
+                    .lock()
+                    .unwrap()
+                    .begin_checkpoint(CheckpointData::Incremental(delta))
+                    .expect("stage incremental checkpoint");
+                max_stall = max_stall.max(t0.elapsed());
+                snapshotter.submit(job).expect("snapshotter accepts");
             }
         }
     }
     let dt = t0.elapsed();
     println!(
-        "admitted {admitted} applications in {} batches in {dt:.2?} ({:.0} apps/sec)",
+        "admitted {admitted} applications in {} batches in {dt:.2?} ({:.0} apps/sec{})",
         BATCHES - blocks_done,
-        admitted as f64 / dt.as_secs_f64()
+        admitted as f64 / dt.as_secs_f64(),
+        if wal.is_some() {
+            format!(", max checkpoint stall {max_stall:.2?}")
+        } else {
+            String::new()
+        }
     );
 
     // An hour of concurrent traffic through the ingress lanes: four
     // producer threads (one per asset class) pipelining single-object
-    // ops into the bounded per-shard queues.
+    // ops into the bounded per-shard queues — each lane's blocks
+    // advance only its own shard's clock.
     let rush: Vec<(&Transaction, Assignment)> = resolved.iter().take(4 * BATCH).cloned().collect();
     let t0 = Instant::now();
     let cfg = IngressConfig { queue_capacity: 512, max_block: BATCH };
@@ -249,23 +314,38 @@ fn main() {
 
     println!("\nper-shard tracking statistics:");
     println!(
-        "{:>6} {:>16} {:>13} {:>15} {:>13}",
-        "shard", "tracked objects", "live cohorts", "exempt objects", "last touched"
+        "{:>6} {:>10} {:>16} {:>13} {:>15} {:>13}",
+        "shard", "clock", "tracked objects", "live cohorts", "exempt objects", "last touched"
     );
     for s in monitor.shard_stats() {
         println!(
-            "{:>6} {:>16} {:>13} {:>15} {:>13}",
-            s.shard, s.tracked_objects, s.live_cohorts, s.exempt_objects, s.last_touched
+            "{:>6} {:>10} {:>16} {:>13} {:>15} {:>13}",
+            s.shard, s.clock, s.tracked_objects, s.live_cohorts, s.exempt_objects, s.last_touched
         );
     }
     let total: usize = monitor.shard_stats().iter().map(|s| s.tracked_objects).sum();
     assert_eq!(total, monitor.db().num_objects(), "every live object is tracked in some shard");
     monitor.db().check_invariants(&schema).expect("database is well-formed");
+    if let Some(snapshotter) = snapshotter {
+        snapshotter.finish().expect("all background checkpoints durable");
+    }
     if let Some(wal) = &wal {
-        wal.lock().unwrap().write_snapshot(&monitor.snapshot()).expect("final checkpoint");
+        // Final incremental checkpoint, synchronous: the run is over.
+        let delta = monitor.checkpoint_delta();
+        wal.lock()
+            .unwrap()
+            .begin_checkpoint(CheckpointData::Incremental(delta))
+            .expect("stage final checkpoint")
+            .run()
+            .expect("final checkpoint");
         println!("final checkpoint written");
     }
-    println!("\n{} letters emitted; database holds {} objects", monitor.steps(), total);
+    println!(
+        "\nclocks {:?} ({} letters read); database holds {} objects",
+        monitor.clocks(),
+        monitor.letters_read(),
+        total
+    );
 }
 
 /// `n` single-create applications of `t` with keys `prefix0..prefixN`.

@@ -163,23 +163,17 @@ fn noop_on_large_database_yields_empty_delta() {
     );
 }
 
-/// 100 random configurations: the sharded monitor (1–4 shards, random
-/// parallel staging, oid-stripe *and* component routing) driven in
-/// lockstep with the reference engine, one application at a time.
+/// 100 random **single-component** configurations: oid striping splits
+/// one component, whose objects all read every letter, so the stripes
+/// advance in lockstep and the sharded monitor is observationally
+/// identical to the global-clock reference engine.
 #[test]
 fn sharded_monitor_equals_reference_engine_on_random_runs() {
     let mut rng = StdRng::seed_from_u64(0x5eed_0011);
     let mut rejections = 0usize;
     let mut commits = 0usize;
-    let mut component_routed = 0usize;
     for case in 0..100 {
-        let multi = rng.random_range(0u32..2) == 1;
-        let (schema, edges, extra) = if multi {
-            random_multi_schema(&mut rng)
-        } else {
-            let (s, e) = random_schema(&mut rng);
-            (s, e, 0)
-        };
+        let (schema, edges) = random_schema(&mut rng);
         let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
         let inv = random_inventory(&mut rng, &schema, &alphabet);
         let kind = PatternKind::ALL[rng.random_range(0usize..4)];
@@ -193,11 +187,10 @@ fn sharded_monitor_equals_reference_engine_on_random_runs() {
         let mut sharded = ShardedMonitor::new(&schema, &alphabet, &inv, kind, shards)
             .with_policy(policy)
             .with_parallel_staging(parallel);
-        component_routed += usize::from(sharded.routes_by_component());
         let mut oracle = Monitor::new_reference(&schema, &alphabet, &inv, kind).with_policy(policy);
         let no_args = Assignment::empty();
         for step in 0..rng.random_range(4usize..20) {
-            let t = random_multi_transaction(&mut rng, &schema, &edges, extra);
+            let t = random_transaction(&mut rng, &schema, &edges);
             let rs = sharded.try_apply(&t, &no_args);
             let ro = oracle.try_apply(&t, &no_args);
             assert_eq!(
@@ -205,7 +198,9 @@ fn sharded_monitor_equals_reference_engine_on_random_runs() {
                 "case {case} step {step}: sharded({shards}) disagrees (kind {kind}, {policy:?})"
             );
             assert_eq!(sharded.db(), oracle.db(), "case {case} step {step}: db diverged");
-            assert_eq!(sharded.steps(), oracle.steps(), "case {case} step {step}");
+            for c in sharded.clocks() {
+                assert_eq!(c, oracle.steps(), "case {case} step {step}: stripes not in lockstep");
+            }
             match rs {
                 Ok(()) => commits += 1,
                 Err(EnforceError::Violation(_)) => rejections += 1,
@@ -223,7 +218,174 @@ fn sharded_monitor_equals_reference_engine_on_random_runs() {
     }
     assert!(commits > 150, "only {commits} commits — workload too restrictive");
     assert!(rejections > 150, "only {rejections} rejections — workload too permissive");
-    assert!(component_routed > 10, "component routing untested ({component_routed} cases)");
+}
+
+/// The per-shard-clock equivalence harness: one reference [`Monitor`]
+/// per shard, each fed exactly the subsequence of applications routed
+/// to its shard — the restricted run of Lemma 3.5. Object identifiers
+/// are compared through the restriction's order bijection (the n-th
+/// object minted in a shard's sub-run on either side), which the
+/// harness tracks from the statically known create count of each SL
+/// transaction; patterns, letters, clocks and decisions must then be
+/// **byte-identical** per shard.
+struct ShardOracles<'a> {
+    oracles: Vec<Monitor<'a>>,
+    /// sharded-global oid → (shard, oracle-local oid).
+    map: std::collections::BTreeMap<u64, (usize, u64)>,
+}
+
+impl<'a> ShardOracles<'a> {
+    fn new(
+        schema: &'a migratory::model::Schema,
+        alphabet: &'a RoleAlphabet,
+        inv: &'a migratory::core::Inventory,
+        kind: PatternKind,
+        policy: StepPolicy,
+        shards: usize,
+    ) -> Self {
+        ShardOracles {
+            oracles: (0..shards)
+                .map(|_| Monitor::new_reference(schema, alphabet, inv, kind).with_policy(policy))
+                .collect(),
+            map: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// The shard a transaction routes to: component of its first named
+    /// class, modulo the shard count — the sharded monitor's rule.
+    fn shard_of(&self, schema: &migratory::model::Schema, t: &Transaction) -> usize {
+        match t.first_named_class() {
+            Some(c) => schema.component_of(c) as usize % self.oracles.len(),
+            None => 0,
+        }
+    }
+
+    /// Statically known oids an SL transaction mints (one per Create).
+    fn creates(t: &Transaction) -> u64 {
+        t.steps.iter().filter(|g| matches!(g.update, AtomicUpdate::Create { .. })).count() as u64
+    }
+
+    /// Feed one application to its shard's oracle and return the
+    /// decision with any violation oid mapped **back** into the sharded
+    /// monitor's oid space, so the caller can compare byte-for-byte.
+    /// `sharded_next` is the sharded monitor's oid counter before the
+    /// application.
+    fn apply(
+        &mut self,
+        schema: &migratory::model::Schema,
+        t: &Transaction,
+        args: &Assignment,
+        sharded_next: u64,
+    ) -> Result<(), EnforceError> {
+        let s = self.shard_of(schema, t);
+        let oracle_next = self.oracles[s].db().next_oid().0;
+        let r = self.oracles[s].try_apply(t, args);
+        if r.is_ok() {
+            for i in 0..Self::creates(t) {
+                self.map.insert(sharded_next + i, (s, oracle_next + i));
+            }
+        }
+        r.map_err(|e| match e {
+            EnforceError::Violation(mut v) => {
+                // Map the reported oid into the sharded monitor's space:
+                // either through the bijection, or — for an object the
+                // violating application itself tried to create — by
+                // offsetting from the two allocators.
+                v.oid = v.oid.map(|o| {
+                    if o.0 >= oracle_next {
+                        Oid(sharded_next + (o.0 - oracle_next))
+                    } else {
+                        let global = self
+                            .map
+                            .iter()
+                            .find(|(_, &(sh, local))| sh == s && local == o.0)
+                            .map(|(&g, _)| g)
+                            .expect("violating object was minted in this shard's sub-run");
+                        Oid(global)
+                    }
+                });
+                EnforceError::Violation(v)
+            }
+            other => other,
+        })
+    }
+
+    /// The shard-local pattern of a sharded-global oid, from the owning
+    /// shard's oracle.
+    fn pattern_of(&self, global: u64) -> Option<migratory::core::MigrationPattern> {
+        let &(s, local) = self.map.get(&global)?;
+        self.oracles[s].pattern_of(Oid(local))
+    }
+}
+
+/// 80 random **multi-component** configurations: the sharded monitor
+/// with per-shard letter clocks driven in lockstep with one reference
+/// monitor per shard, each fed only its shard's sub-run — decisions,
+/// violations (through the oid bijection), shard clocks and per-object
+/// patterns must all match, across kinds (exempt objects included) and
+/// both step policies.
+#[test]
+fn sharded_clocks_equal_per_shard_reference_oracles() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0013);
+    let (mut commits, mut rejections, mut cross_shard_steps) = (0usize, 0usize, 0usize);
+    for case in 0..80 {
+        let (schema, edges, extra) = random_multi_schema(&mut rng);
+        let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+        let inv = random_inventory(&mut rng, &schema, &alphabet);
+        let kind = PatternKind::ALL[rng.random_range(0usize..4)];
+        let policy = if rng.random_range(0u32..2) == 0 {
+            StepPolicy::EveryApplication
+        } else {
+            StepPolicy::OnlyChanging
+        };
+        let shards = rng.random_range(1usize..5).min(schema.num_components());
+        let mut sharded = ShardedMonitor::new(&schema, &alphabet, &inv, kind, shards)
+            .with_policy(policy)
+            .with_parallel_staging(rng.random_range(0u32..2) == 1);
+        assert!(sharded.routes_by_component());
+        assert_eq!(sharded.num_shards(), shards);
+        let mut oracles = ShardOracles::new(&schema, &alphabet, &inv, kind, policy, shards);
+        let no_args = Assignment::empty();
+        for step in 0..rng.random_range(4usize..20) {
+            let t = random_multi_transaction(&mut rng, &schema, &edges, extra);
+            let s = oracles.shard_of(&schema, &t);
+            cross_shard_steps += usize::from(s != 0);
+            let sharded_next = sharded.db().next_oid().0;
+            let rs = sharded.try_apply(&t, &no_args);
+            let ro = oracles.apply(&schema, &t, &no_args, sharded_next);
+            assert_eq!(
+                rs, ro,
+                "case {case} step {step}: shard {s} disagrees with its sub-run oracle \
+                 (kind {kind}, {policy:?}, {shards} shards)"
+            );
+            match rs {
+                Ok(()) => commits += 1,
+                Err(EnforceError::Violation(_)) => rejections += 1,
+                Err(EnforceError::Lang(e)) => panic!("unexpected lang error {e}"),
+                Err(EnforceError::Durability(e)) => panic!("unexpected wal error {e}"),
+            }
+            // Every shard's clock equals its oracle's global step count.
+            for (i, oracle) in oracles.oracles.iter().enumerate() {
+                assert_eq!(
+                    sharded.clock(i),
+                    oracle.steps(),
+                    "case {case} step {step}: shard {i}'s clock diverged from its sub-run"
+                );
+            }
+        }
+        // Shard-local patterns match the sub-run oracles' object by
+        // object (through the restriction bijection).
+        for oid in 1..=sharded.db().next_oid().0 {
+            assert_eq!(
+                sharded.pattern_of(Oid(oid)),
+                oracles.pattern_of(oid),
+                "case {case}: shard-local pattern of o{oid} diverged"
+            );
+        }
+    }
+    assert!(commits > 150, "only {commits} commits — workload too restrictive");
+    assert!(rejections > 100, "only {rejections} rejections — workload too permissive");
+    assert!(cross_shard_steps > 100, "non-zero shards untested ({cross_shard_steps} steps)");
 }
 
 /// Random runs split into random-size blocks admitted through
@@ -237,13 +399,7 @@ fn sharded_batch_admission_equals_reference_engine() {
     let mut batch_rejections = 0usize;
     let mut batch_commits = 0usize;
     for case in 0..80 {
-        let multi = rng.random_range(0u32..2) == 1;
-        let (schema, edges, extra) = if multi {
-            random_multi_schema(&mut rng)
-        } else {
-            let (s, e) = random_schema(&mut rng);
-            (s, e, 0)
-        };
+        let (schema, edges) = random_schema(&mut rng);
         let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
         let inv = random_inventory(&mut rng, &schema, &alphabet);
         let kind = PatternKind::ALL[rng.random_range(0usize..4)];
@@ -259,7 +415,7 @@ fn sharded_batch_admission_equals_reference_engine() {
         let mut oracle = Monitor::new_reference(&schema, &alphabet, &inv, kind).with_policy(policy);
         let no_args = Assignment::empty();
         let txns: Vec<Transaction> = (0..rng.random_range(6usize..24))
-            .map(|_| random_multi_transaction(&mut rng, &schema, &edges, extra))
+            .map(|_| random_transaction(&mut rng, &schema, &edges))
             .collect();
         let mut pos = 0;
         while pos < txns.len() {
@@ -286,7 +442,9 @@ fn sharded_batch_admission_equals_reference_engine() {
                 "case {case} at {pos}: batch of {size} diverged (kind {kind}, {policy:?})"
             );
             assert_eq!(sharded.db(), oracle.db(), "case {case} at {pos}: db diverged");
-            assert_eq!(sharded.steps(), oracle.steps(), "case {case} at {pos}");
+            for c in sharded.clocks() {
+                assert_eq!(c, oracle.steps(), "case {case} at {pos}: stripes not in lockstep");
+            }
             batch_commits += done;
             batch_rejections += usize::from(err.is_some());
             pos += size;
@@ -301,4 +459,81 @@ fn sharded_batch_admission_equals_reference_engine() {
     }
     assert!(batch_commits > 150, "only {batch_commits} commits");
     assert!(batch_rejections > 80, "only {batch_rejections} rejected blocks");
+}
+
+/// Batched admission over **multi-component** schemas against the
+/// per-shard oracle harness: a block advances each participating
+/// shard's clock by exactly its own letters, commits the longest
+/// conforming prefix, and matches each shard's sub-run oracle
+/// byte-for-byte (decisions, clocks, patterns).
+#[test]
+fn sharded_batch_admission_matches_per_shard_oracles() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0014);
+    let (mut batch_commits, mut batch_rejections) = (0usize, 0usize);
+    for case in 0..60 {
+        let (schema, edges, extra) = random_multi_schema(&mut rng);
+        let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+        let inv = random_inventory(&mut rng, &schema, &alphabet);
+        let kind = PatternKind::ALL[rng.random_range(0usize..4)];
+        let policy = if rng.random_range(0u32..2) == 0 {
+            StepPolicy::EveryApplication
+        } else {
+            StepPolicy::OnlyChanging
+        };
+        let shards = rng.random_range(1usize..5).min(schema.num_components());
+        let mut sharded = ShardedMonitor::new(&schema, &alphabet, &inv, kind, shards)
+            .with_policy(policy)
+            .with_parallel_staging(rng.random_range(0u32..2) == 1);
+        let mut oracles = ShardOracles::new(&schema, &alphabet, &inv, kind, policy, shards);
+        let no_args = Assignment::empty();
+        let txns: Vec<Transaction> = (0..rng.random_range(6usize..20))
+            .map(|_| random_multi_transaction(&mut rng, &schema, &edges, extra))
+            .collect();
+        let mut pos = 0;
+        while pos < txns.len() {
+            let size = rng.random_range(1usize..(txns.len() - pos).min(5) + 1);
+            let block = &txns[pos..pos + size];
+            // The sharded allocator before the block: rejected work
+            // restores it (Delta::undo), so the committed prefix's
+            // allocation is the static sequential one from here.
+            let mut next = sharded.db().next_oid().0;
+            let (done, err) = sharded.try_apply_batch(block.iter().map(|t| (t, &no_args)));
+            // Replicate longest-prefix semantics on the per-shard
+            // oracles, item by item in block order.
+            let mut odone = 0usize;
+            let mut oerr = None;
+            for t in block {
+                match oracles.apply(&schema, t, &no_args, next) {
+                    Ok(()) => {
+                        odone += 1;
+                        next += ShardOracles::creates(t);
+                    }
+                    Err(e) => {
+                        oerr = Some(e);
+                        break;
+                    }
+                }
+            }
+            assert_eq!(
+                (done, &err),
+                (odone, &oerr),
+                "case {case} at {pos}: batch of {size} diverged (kind {kind}, {policy:?})"
+            );
+            for (i, oracle) in oracles.oracles.iter().enumerate() {
+                assert_eq!(sharded.clock(i), oracle.steps(), "case {case} at {pos}: shard {i}");
+            }
+            batch_commits += done;
+            batch_rejections += usize::from(err.is_some());
+            pos += size;
+        }
+        for oid in 1..=sharded.db().next_oid().0 {
+            assert_eq!(
+                sharded.pattern_of(Oid(oid)),
+                oracles.pattern_of(oid),
+                "case {case}: shard-local pattern of o{oid} diverged"
+            );
+        }
+    }
+    assert!(batch_commits > 100, "only {batch_commits} commits");
+    assert!(batch_rejections > 40, "only {batch_rejections} rejected blocks");
 }

@@ -3,21 +3,27 @@
 //!
 //! The durability contract under test: for a monitor with an attached
 //! log, crashing after **any** committed prefix and running
-//! `Monitor::recover(snapshot, wal_tail)` must reproduce the uncrashed
-//! monitor's state **byte-identically** — checked as equality of
-//! canonical [`Snapshot::encode`] bytes (database heap, cohort/RLE
-//! tracking state, counters), plus database equality and per-object
-//! pattern equality. Randomized over the same schema / inventory /
-//! transaction generators as the engine-equivalence suite (`common`),
-//! across all pattern kinds, both step policies, single and sharded
-//! monitors, per-application and batched admission, with snapshots
-//! taken at random points mid-run.
+//! `Monitor::recover(folded checkpoint chain, wal_tail)` must reproduce
+//! the uncrashed monitor's state **byte-identically** — checked as
+//! equality of canonical [`Snapshot::encode`] bytes (database heap,
+//! cohort/RLE tracking state, per-shard letter clocks), plus database
+//! equality and per-object pattern equality. Randomized over the same
+//! schema / inventory / transaction generators as the
+//! engine-equivalence suite (`common`), across all pattern kinds, both
+//! step policies, single and sharded monitors, per-application and
+//! batched admission, with **full and incremental checkpoints** taken
+//! at random points mid-run. File-backed tests additionally cover the
+//! background snapshotter's crash windows: a checkpoint that sealed the
+//! log but never landed, a checkpoint that landed but never pruned
+//! (double-apply), stale temp files and stale increments from an older
+//! base, and corrupted record length headers.
 
 mod common;
 
 use common::{random_inventory, random_multi_schema, random_multi_transaction, random_schema};
 use migratory::core::enforce::{
-    EnforceError, MemoryWal, Monitor, ShardedMonitor, StepPolicy, Wal, WalRecord,
+    CheckpointData, EnforceError, MemoryWal, Monitor, ShardedMonitor, Snapshotter, StepPolicy, Wal,
+    WalError, WalRecord,
 };
 use migratory::core::{Inventory, PatternKind, RoleAlphabet};
 use migratory::lang::{parse_transactions, Assignment, Transaction};
@@ -36,7 +42,7 @@ fn assert_recovers_single(
 ) {
     let (snap, blocks) = {
         let w = wal.lock().unwrap();
-        (w.snapshot().expect("snapshot decodes"), w.records())
+        (w.snapshot().expect("checkpoint chain folds"), w.records())
     };
     let recovered = Monitor::recover(
         live.schema(),
@@ -62,9 +68,10 @@ fn assert_recovers_single(
             "{label}: pattern of o{oid} diverged"
         );
     }
-    // Recovery must also skip already-snapshotted blocks by step offset
-    // (the crash-between-rename-and-truncate case): feeding the FULL
-    // block history alongside the snapshot changes nothing.
+    // Recovery must also skip already-checkpointed blocks by per-shard
+    // step offset (the crash-between-checkpoint-and-prune case):
+    // feeding the FULL record history alongside the chain changes
+    // nothing.
     let again = Monitor::recover(
         live.schema(),
         live.alphabet(),
@@ -78,16 +85,18 @@ fn assert_recovers_single(
     assert_eq!(
         again.snapshot().encode(),
         live.snapshot().encode(),
-        "{label}: pre-snapshot blocks were not skipped"
+        "{label}: pre-checkpoint blocks were not skipped"
     );
 }
 
 /// 60 random configurations, each crash-tested at every committed
-/// prefix of a random run, with a snapshot checkpoint at a random step.
+/// prefix of a random run, with a random mix of full and incremental
+/// checkpoints along the way.
 #[test]
 fn monitor_recovers_byte_identical_at_every_crash_point() {
     let mut rng = StdRng::seed_from_u64(0x5eed_0021);
-    let (mut commits, mut rejections, mut pre_snapshot_crashes) = (0usize, 0usize, 0usize);
+    let (mut commits, mut rejections, mut pre_snapshot_crashes, mut increments) =
+        (0usize, 0usize, 0usize, 0usize);
     for case in 0..60 {
         let (schema, edges) = random_schema(&mut rng);
         let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
@@ -103,10 +112,10 @@ fn monitor_recovers_byte_identical_at_every_crash_point() {
             Monitor::new(&schema, &alphabet, &inv, kind).with_policy(policy).with_sink(wal.clone());
         let no_args = Assignment::empty();
         let run_len = rng.random_range(4usize..16);
-        let snapshot_at = rng.random_range(0usize..run_len);
-        // The full block history, preserved across the checkpoint's log
-        // truncation (exercises skip-by-step on recovery).
-        let mut pre_snapshot_records: Vec<WalRecord> = Vec::new();
+        // The full record history, preserved across the checkpoints'
+        // log truncations (exercises skip-by-clock on recovery).
+        let mut folded_records: Vec<WalRecord> = Vec::new();
+        let mut has_base = false;
         for step in 0..run_len {
             let t = common::random_transaction(&mut rng, &schema, &edges);
             match live.try_apply(&t, &no_args) {
@@ -114,30 +123,42 @@ fn monitor_recovers_byte_identical_at_every_crash_point() {
                 Err(EnforceError::Violation(_)) => rejections += 1,
                 Err(e) => panic!("unexpected {e}"),
             }
-            if step == snapshot_at {
-                pre_snapshot_records = wal.lock().unwrap().records();
-                let snap = live.snapshot();
-                wal.lock().unwrap().write_snapshot(&snap);
+            // Checkpoint with probability ~1/4: incremental when a base
+            // exists (2 of 3 times), full otherwise.
+            if rng.random_range(0u32..4) == 0 {
+                folded_records.extend(wal.lock().unwrap().records());
+                if has_base && rng.random_range(0u32..3) != 0 {
+                    let delta = live.checkpoint_delta();
+                    wal.lock().unwrap().write_checkpoint_delta(&delta);
+                    increments += 1;
+                } else {
+                    let snap = live.checkpoint_full();
+                    wal.lock().unwrap().write_snapshot(&snap);
+                    has_base = true;
+                }
             }
             if wal.lock().unwrap().snapshot().unwrap().is_none() {
                 pre_snapshot_crashes += 1;
             }
             let all_records: Vec<WalRecord> =
-                pre_snapshot_records.iter().cloned().chain(wal.lock().unwrap().records()).collect();
+                folded_records.iter().cloned().chain(wal.lock().unwrap().records()).collect();
             assert_recovers_single(&live, &wal, &all_records, &format!("case {case} step {step}"));
         }
     }
     assert!(commits > 150, "only {commits} commits — workload too restrictive");
     assert!(rejections > 100, "only {rejections} rejections — workload too permissive");
     assert!(pre_snapshot_crashes > 50, "crashes before the first checkpoint untested");
+    assert!(increments > 20, "only {increments} incremental checkpoints taken");
 }
 
-/// Sharded + batched: random batch admission with a sink, crash-checked
-/// after every block, snapshot at a random block boundary.
+/// Sharded + batched: random batch admission with a sink over single-
+/// and multi-component schemas (independent per-shard clocks!),
+/// crash-checked after every block, with full and incremental
+/// checkpoints at random block boundaries.
 #[test]
 fn sharded_batched_recovery_is_byte_identical() {
     let mut rng = StdRng::seed_from_u64(0x5eed_0022);
-    let mut batch_commits = 0usize;
+    let (mut batch_commits, mut increments) = (0usize, 0usize);
     for case in 0..40 {
         let multi = rng.random_range(0u32..2) == 1;
         let (schema, edges, extra) = if multi {
@@ -160,11 +181,12 @@ fn sharded_batched_recovery_is_byte_identical() {
             .with_policy(policy)
             .with_parallel_staging(rng.random_range(0u32..2) == 1)
             .with_sink(wal.clone());
+        let shards = live.num_shards();
         let no_args = Assignment::empty();
         let txns: Vec<Transaction> = (0..rng.random_range(6usize..20))
             .map(|_| random_multi_transaction(&mut rng, &schema, &edges, extra))
             .collect();
-        let snapshot_at_block = rng.random_range(0usize..4);
+        let mut has_base = false;
         let mut pos = 0;
         let mut block_no = 0usize;
         while pos < txns.len() {
@@ -173,15 +195,22 @@ fn sharded_batched_recovery_is_byte_identical() {
             let (done, _) = live.try_apply_batch(block.iter().map(|t| (t, &no_args)));
             batch_commits += done;
             pos += size;
-            if block_no == snapshot_at_block {
-                let snap = live.snapshot();
-                wal.lock().unwrap().write_snapshot(&snap);
+            if rng.random_range(0u32..3) == 0 {
+                if has_base && rng.random_range(0u32..3) != 0 {
+                    let delta = live.checkpoint_delta();
+                    wal.lock().unwrap().write_checkpoint_delta(&delta);
+                    increments += 1;
+                } else {
+                    let snap = live.checkpoint_full();
+                    wal.lock().unwrap().write_snapshot(&snap);
+                    has_base = true;
+                }
             }
             block_no += 1;
 
             let (snap, blocks) = {
                 let w = wal.lock().unwrap();
-                (w.snapshot().expect("snapshot decodes"), w.records())
+                (w.snapshot().expect("checkpoint chain folds"), w.records())
             };
             let recovered =
                 ShardedMonitor::recover(&schema, &alphabet, &inv, kind, shards, snap, blocks)
@@ -193,13 +222,14 @@ fn sharded_batched_recovery_is_byte_identical() {
                 "case {case} block {block_no}: shard states not byte-identical"
             );
             assert_eq!(recovered.db(), live.db());
-            assert_eq!(recovered.steps(), live.steps());
+            assert_eq!(recovered.clocks(), live.clocks());
             for oid in 1..=live.db().next_oid().0 {
                 assert_eq!(recovered.pattern_of(Oid(oid)), live.pattern_of(Oid(oid)));
             }
         }
     }
     assert!(batch_commits > 100, "only {batch_commits} batch commits");
+    assert!(increments > 10, "only {increments} incremental checkpoints taken");
 }
 
 fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -246,7 +276,8 @@ fn file_wal_recovers_every_truncation_to_a_committed_prefix() {
     let log = std::fs::read(dir.join("wal.log")).unwrap();
     let mut prefixes_seen = std::collections::BTreeSet::new();
     for cut in 0..=log.len() {
-        let blocks = migratory::core::enforce::wal::decode_records(&log[..cut]);
+        let blocks = migratory::core::enforce::wal::decode_records(&log[..cut])
+            .unwrap_or_else(|e| panic!("cut {cut}: {e}"));
         let steps: usize = blocks.iter().map(WalRecord::letters).sum();
         let recovered = Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, None, blocks)
             .unwrap_or_else(|e| panic!("cut {cut}: {e}"));
@@ -266,8 +297,75 @@ fn file_wal_recovers_every_truncation_to_a_committed_prefix() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-/// `Wal::write_snapshot` + `Wal::load`: restart without replay — the
-/// checkpoint truncates the log, recovery folds snapshot + tail, and a
+/// Corrupted length headers (the untrusted 4 bytes in front of every
+/// record): flipping arbitrary bytes of the log must never panic,
+/// allocate from the corrupt claim, or mis-handle the tail — decoding
+/// either lands on a valid record prefix or reports corruption, and
+/// `Wal::open` on an oversized tail claim truncates it like any other
+/// torn append.
+#[test]
+fn fuzzed_length_headers_never_break_decoding() {
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }"#,
+    )
+    .unwrap();
+    let dir = temp_dir("fuzz-len");
+    {
+        let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap()));
+        let mut m = Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(wal.clone());
+        for i in 0..8 {
+            m.try_apply(ts.get("Mk").unwrap(), &Assignment::new(vec![Value::str(&format!("{i}"))]))
+                .unwrap();
+        }
+    }
+    let log = std::fs::read(dir.join("wal.log")).unwrap();
+    let clean = migratory::core::enforce::wal::decode_records(&log).unwrap();
+    assert_eq!(clean.len(), 8);
+
+    let mut rng = StdRng::seed_from_u64(0x5eed_0040);
+    for _ in 0..500 {
+        let mut fuzzed = log.clone();
+        for _ in 0..rng.random_range(1usize..4) {
+            let i = rng.random_range(0..fuzzed.len());
+            fuzzed[i] ^= 1 << rng.random_range(0u32..8);
+        }
+        // Must return promptly — a prefix or an explicit corruption
+        // error — and never panic or size a buffer from a bogus claim.
+        match migratory::core::enforce::wal::decode_records(&fuzzed) {
+            Ok(records) => assert!(records.len() <= 8),
+            Err(WalError::Corrupt(_)) => {}
+            Err(e) => panic!("unexpected error class: {e}"),
+        }
+    }
+
+    // An oversized claim at the tail is torn-append truncation: the
+    // reopened log keeps every prior record and appends cleanly.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(dir.join("wal.log")).unwrap();
+        f.write_all(&0xffff_ffffu32.to_le_bytes()).unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe, 0xef, 0x01]).unwrap();
+    }
+    {
+        let (snap, tail) = Wal::load(&dir).unwrap();
+        assert_eq!(tail.len(), 8, "oversized tail claim dropped");
+        let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap()));
+        let mut m = Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, snap, tail)
+            .unwrap()
+            .with_sink(wal.clone());
+        m.try_apply(ts.get("Mk").unwrap(), &Assignment::new(vec![Value::str("9")])).unwrap();
+    }
+    let (_, tail) = Wal::load(&dir).unwrap();
+    assert_eq!(tail.len(), 9);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `Wal` checkpointing + `Wal::load`: restart without replay — the
+/// checkpoint seals the log, recovery folds chain + tail, and a
 /// recovered monitor can keep running (and keep logging) seamlessly.
 #[test]
 fn file_wal_snapshot_restart_resumes_mid_run() {
@@ -297,7 +395,7 @@ fn file_wal_snapshot_restart_resumes_mid_run() {
     assert_eq!(
         std::fs::metadata(dir.join("wal.log")).unwrap().len(),
         0,
-        "checkpoint truncates the log"
+        "checkpoint seals the live log"
     );
     live.try_apply(ts.get("St").unwrap(), &key("a")).unwrap();
     live.try_apply(ts.get("St").unwrap(), &key("b")).unwrap();
@@ -320,6 +418,331 @@ fn file_wal_snapshot_restart_resumes_mid_run() {
     let (_, tail) = Wal::load(&dir).unwrap();
     assert_eq!(tail.len(), 3, "the new letter was appended to the same log");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The background-checkpoint crash windows, one by one, on a live
+/// multi-component sharded run (shard clocks genuinely diverge, so the
+/// per-shard fold logic is what is under test):
+///
+/// 1. a stale `*.tmp` from a crashed checkpoint job is ignored;
+/// 2. crash after the log was sealed but before the checkpoint landed
+///    — the sealed segment replays;
+/// 3. crash after the checkpoint landed but before pruning — covered
+///    records are skipped per shard, never double-applied;
+/// 4. a stale increment from before a newer base is ignored.
+#[test]
+fn background_checkpoint_crash_windows_recover_byte_identically() {
+    let mut b = migratory::model::SchemaBuilder::new();
+    for r in 0..3 {
+        let root = b.class(&format!("R{r}"), &[&format!("K{r}")]).unwrap();
+        b.subclass(&format!("S{r}"), &[root], &[]).unwrap();
+    }
+    let schema = b.build().unwrap();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* ([R0] ∪ [S0])* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r"
+        transaction Mk0(x) { create(R0, { K0 = x }); }
+        transaction Up0(x) { specialize(R0, S0, { K0 = x }, {}); }
+        transaction Mk1(x) { create(R1, { K1 = x }); }
+        transaction Mk2(x) { create(R2, { K2 = x }); }
+    ",
+    )
+    .unwrap();
+    let key = |k: &str| Assignment::new(vec![Value::str(k)]);
+    let dir = temp_dir("ckpt-windows");
+    let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap()));
+    let mut live =
+        ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 3).with_sink(wal.clone());
+    let recover_and_check = |live: &ShardedMonitor<'_>, label: &str| {
+        let (snap, tail) = Wal::load(&dir).unwrap_or_else(|e| panic!("{label}: load: {e}"));
+        let recovered =
+            ShardedMonitor::recover(&schema, &alphabet, &inv, PatternKind::All, 3, snap, tail)
+                .unwrap_or_else(|e| panic!("{label}: recover: {e}"));
+        assert_eq!(
+            recovered.snapshot().encode(),
+            live.snapshot().encode(),
+            "{label}: not byte-identical"
+        );
+        assert_eq!(recovered.clocks(), live.clocks(), "{label}: clocks diverged");
+    };
+
+    // Uneven traffic: shard 0 races ahead of shards 1 and 2.
+    for i in 0..6 {
+        live.try_apply(ts.get("Mk0").unwrap(), &key(&format!("a{i}"))).unwrap();
+    }
+    live.try_apply(ts.get("Mk1").unwrap(), &key("b0")).unwrap();
+    assert_eq!(live.clocks(), vec![6, 1, 0]);
+
+    // Window 1: a stale tmp file from a crashed checkpoint job is
+    // invisible to load …
+    std::fs::write(dir.join("checkpoint-00000042.tmp"), b"half-written garbage").unwrap();
+    recover_and_check(&live, "stale tmp");
+    // … and swept by the next open (shown on a throwaway directory —
+    // this test's Wal is already open).
+    {
+        let d2 = temp_dir("ckpt-tmp-clean");
+        std::fs::create_dir_all(&d2).unwrap();
+        std::fs::write(d2.join("checkpoint-00000007.tmp"), b"garbage").unwrap();
+        let _w = Wal::open(&d2).unwrap();
+        assert!(!d2.join("checkpoint-00000007.tmp").exists(), "stale tmp cleaned by open");
+        let _ = std::fs::remove_dir_all(&d2);
+    }
+
+    // Base checkpoint (run inline so it is durable), then more uneven
+    // traffic on top.
+    let job =
+        wal.lock().unwrap().begin_checkpoint(CheckpointData::Full(live.checkpoint_full())).unwrap();
+    job.run().unwrap();
+    for i in 0..3 {
+        live.try_apply(ts.get("Up0").unwrap(), &key(&format!("a{i}"))).unwrap();
+        live.try_apply(ts.get("Mk2").unwrap(), &key(&format!("c{i}"))).unwrap();
+    }
+    assert_eq!(live.clocks(), vec![9, 1, 3]);
+
+    // Window 2: the admission thread sealed the log for an incremental
+    // checkpoint, then the process died before the job ran. The sealed
+    // segment must replay (per shard, at shard-local offsets).
+    let delta = live.checkpoint_delta();
+    let job = wal.lock().unwrap().begin_checkpoint(CheckpointData::Incremental(delta)).unwrap();
+    let sealed: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            name.starts_with("sealed-").then_some(name)
+        })
+        .collect();
+    assert_eq!(sealed.len(), 1, "the live log was sealed: {sealed:?}");
+    recover_and_check(&live, "sealed without checkpoint");
+
+    // Window 3: the checkpoint lands but the crash hits before pruning
+    // — the sealed segment sits beside the increment that covers it.
+    // Per-shard clock folding must skip its records exactly once.
+    let sealed_path = dir.join(&sealed[0]);
+    let sealed_bytes = std::fs::read(&sealed_path).unwrap();
+    job.run().unwrap();
+    assert!(!sealed_path.exists(), "the job pruned the covered segment");
+    std::fs::write(&sealed_path, &sealed_bytes).unwrap(); // resurrect: crash before prune
+    recover_and_check(&live, "checkpoint without prune (double-apply)");
+    std::fs::remove_file(&sealed_path).unwrap();
+
+    // Window 4: a newer base supersedes the increment; a crash before
+    // pruning leaves the stale increment around. It must be ignored.
+    let stale_delta = dir.join("delta-00000002.bin");
+    assert!(stale_delta.exists(), "the incremental checkpoint landed at seq 2");
+    let stale_bytes = std::fs::read(&stale_delta).unwrap();
+    live.try_apply(ts.get("Mk1").unwrap(), &key("b1")).unwrap();
+    let job =
+        wal.lock().unwrap().begin_checkpoint(CheckpointData::Full(live.checkpoint_full())).unwrap();
+    job.run().unwrap();
+    assert!(!stale_delta.exists(), "the new base pruned the old increment");
+    std::fs::write(&stale_delta, &stale_bytes).unwrap(); // resurrect: crash before prune
+    recover_and_check(&live, "stale increment beside a newer base");
+
+    // And the background path end-to-end: incremental checkpoints
+    // through a Snapshotter thread, crash-checked after it finishes.
+    let mut snapshotter = Snapshotter::spawn();
+    for i in 3..6 {
+        live.try_apply(ts.get("Mk2").unwrap(), &key(&format!("c{i}"))).unwrap();
+        let delta = live.checkpoint_delta();
+        let job = wal.lock().unwrap().begin_checkpoint(CheckpointData::Incremental(delta)).unwrap();
+        snapshotter.submit(job).unwrap();
+    }
+    snapshotter.finish().unwrap();
+    recover_and_check(&live, "snapshotter chain");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash that kills an in-flight **incremental** checkpoint job
+/// swallows its sequence number: the sealed segment exists, the
+/// increment never landed. The resumed run's later increments must not
+/// corrupt the chain — each increment records the checkpoint it chains
+/// onto, so the hole is recognized as a crashed job (whose records the
+/// later increment covers, via the replay-dirtied state), not as a
+/// lost increment.
+#[test]
+fn crashed_incremental_job_does_not_corrupt_the_chain() {
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }"#,
+    )
+    .unwrap();
+    let key = |k: &str| Assignment::new(vec![Value::str(k)]);
+    let dir = temp_dir("incr-crash");
+    {
+        let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap()));
+        let mut live =
+            Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(wal.clone());
+        live.try_apply(ts.get("Mk").unwrap(), &key("1")).unwrap();
+        let snap = live.checkpoint_full();
+        wal.lock().unwrap().write_snapshot(&snap).unwrap(); // base, seq 1
+        live.try_apply(ts.get("Mk").unwrap(), &key("2")).unwrap();
+        let delta = live.checkpoint_delta();
+        let job = wal.lock().unwrap().begin_checkpoint(CheckpointData::Incremental(delta)).unwrap();
+        assert_eq!(job.seq(), 2);
+        drop(job); // crash: sealed-2.log exists, delta-2.bin never lands
+    }
+    // Recover (first time — this always worked), then RESUME: more
+    // letters, another incremental checkpoint. Its job prunes the
+    // crashed job's sealed segment — which is safe, because recovery
+    // re-dirtied the replayed objects and this increment carries them.
+    let (snap, tail) = Wal::load(&dir).unwrap();
+    assert_eq!(tail.len(), 1, "the sealed segment replays");
+    let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap()));
+    let mut revived = Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, snap, tail)
+        .unwrap()
+        .with_sink(wal.clone());
+    revived.try_apply(ts.get("Mk").unwrap(), &key("3")).unwrap();
+    let delta = revived.checkpoint_delta();
+    let job = wal.lock().unwrap().begin_checkpoint(CheckpointData::Incremental(delta)).unwrap();
+    assert_eq!(job.seq(), 3, "the crashed job's sequence is never reused");
+    job.run().unwrap();
+    assert!(!dir.join("sealed-00000002.log").exists(), "covered segment pruned");
+    assert!(!dir.join("delta-00000002.bin").exists(), "the crashed increment never landed");
+    let crash_state = revived.snapshot().encode();
+    drop((revived, wal));
+
+    // The chain must still load — increment 3 declares it chains onto
+    // the base (seq 1), so the missing seq 2 is not a lost increment.
+    let (snap, tail) = Wal::load(&dir).unwrap();
+    assert!(tail.is_empty());
+    let recovered =
+        Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, snap, tail).unwrap();
+    assert_eq!(recovered.snapshot().encode(), crash_state, "o2 must survive the crashed job");
+    assert_eq!(recovered.db().num_objects(), 3);
+
+    // A *genuinely* missing increment is still detected: resurrect the
+    // situation where delta-3 chained onto delta-2 and delta-2 vanished.
+    let d3 = std::fs::read(dir.join("delta-00000003.bin")).unwrap();
+    std::fs::write(dir.join("delta-00000004.bin"), &d3).unwrap(); // wrong seq AND parent
+    let err = Wal::load(&dir).err().expect("chain inconsistency must be detected");
+    assert!(matches!(err, WalError::Corrupt(_)), "got {err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash can kill the **base** checkpoint job itself: the log was
+/// sealed, `snapshot.bin` never landed. Recovery replays the sealed
+/// segment from the empty monitor; a reopened `Wal` reports no base
+/// and refuses increments until a full checkpoint re-establishes the
+/// chain.
+#[test]
+fn crashed_base_checkpoint_job_recovers_and_reestablishes_base() {
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }"#,
+    )
+    .unwrap();
+    let key = |k: &str| Assignment::new(vec![Value::str(k)]);
+    let dir = temp_dir("base-crash");
+    let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap()));
+    let mut live = Monitor::new(&schema, &alphabet, &inv, PatternKind::All).with_sink(wal.clone());
+    for k in ["1", "2", "3"] {
+        live.try_apply(ts.get("Mk").unwrap(), &key(k)).unwrap();
+    }
+    let job =
+        wal.lock().unwrap().begin_checkpoint(CheckpointData::Full(live.checkpoint_full())).unwrap();
+    drop(job); // crash: the snapshotter died before the job ran
+    let crash_state = live.snapshot().encode();
+    drop((live, wal));
+
+    let (snap, tail) = Wal::load(&dir).unwrap();
+    assert!(snap.is_none(), "the base never landed");
+    assert_eq!(tail.len(), 3, "the sealed segment replays instead");
+    let mut revived =
+        Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, snap, tail).unwrap();
+    assert_eq!(revived.snapshot().encode(), crash_state);
+
+    // The reopened log knows the chain has no base: increments are
+    // refused until a full checkpoint re-establishes it.
+    let mut wal = Wal::open(&dir).unwrap();
+    assert!(!wal.has_base());
+    let delta = revived.checkpoint_delta();
+    assert!(
+        matches!(
+            wal.begin_checkpoint(CheckpointData::Incremental(delta)),
+            Err(WalError::Mismatch(_))
+        ),
+        "an increment must not chain onto a missing base"
+    );
+    wal.begin_checkpoint(CheckpointData::Full(revived.checkpoint_full())).unwrap().run().unwrap();
+    assert!(wal.has_base());
+    // The chain works again: run a letter through a reattached sink,
+    // take an increment, recover byte-identically.
+    let wal = Arc::new(Mutex::new(wal));
+    let mut revived = revived.with_sink(wal.clone());
+    revived.try_apply(ts.get("Mk").unwrap(), &key("4")).unwrap();
+    let delta = revived.checkpoint_delta();
+    wal.lock()
+        .unwrap()
+        .begin_checkpoint(CheckpointData::Incremental(delta))
+        .unwrap()
+        .run()
+        .unwrap();
+    drop(wal);
+    let (snap, tail) = Wal::load(&dir).unwrap();
+    assert!(tail.is_empty(), "the increment pruned the covered records");
+    let recovered =
+        Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, snap, tail).unwrap();
+    assert_eq!(recovered.snapshot().encode(), revived.snapshot().encode());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Compaction rewrites every record's cohort slot without touching the
+/// objects; the incremental-checkpoint chain must still fold
+/// byte-identically (the shard flips to a full record capture).
+#[test]
+fn incremental_checkpoints_survive_cohort_compaction() {
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* ([PERSON] ∪ [STUDENT])* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"
+        transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+        transaction St(x) {
+          specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS", FirstEnroll = 1 });
+        }
+        transaction UnSt(x) { generalize(STUDENT, { SSN = x }); }
+    "#,
+    )
+    .unwrap();
+    let key = |k: &str| Assignment::new(vec![Value::str(k)]);
+    for kind in [PatternKind::All, PatternKind::Proper, PatternKind::Lazy] {
+        let wal = Arc::new(Mutex::new(MemoryWal::new()));
+        let mut live = Monitor::new(&schema, &alphabet, &inv, kind).with_sink(wal.clone());
+        let keys = ["a", "b", "c"];
+        for k in keys {
+            live.try_apply(ts.get("Mk").unwrap(), &key(k)).unwrap();
+        }
+        wal.lock().unwrap().write_snapshot(&live.snapshot());
+        // Rotating toggles leave forwarder slots behind each fold/merge;
+        // 300 of them force compaction (slot table bounded by 65).
+        for i in 0..300 {
+            let t = if i % 2 == 0 { "St" } else { "UnSt" };
+            live.try_apply(ts.get(t).unwrap(), &key(keys[(i / 2) % keys.len()])).unwrap();
+            if i % 40 == 39 {
+                let delta = live.checkpoint_delta();
+                wal.lock().unwrap().write_checkpoint_delta(&delta);
+            }
+        }
+        let (snap, tail) = {
+            let w = wal.lock().unwrap();
+            (w.snapshot().unwrap(), w.records())
+        };
+        let recovered = Monitor::recover(&schema, &alphabet, &inv, kind, snap, tail).unwrap();
+        assert_eq!(
+            recovered.snapshot().encode(),
+            live.snapshot().encode(),
+            "chain across compaction not byte-identical under {kind}"
+        );
+    }
 }
 
 /// A failing sink aborts the commit atomically: nothing applied, nothing
@@ -363,7 +786,7 @@ fn sink_failure_rolls_back_and_heals() {
     assert_eq!(done, 0);
     assert!(matches!(err, Some(EnforceError::Durability(_))));
     assert_eq!(sm.db().num_objects(), 0, "block rolled back");
-    assert_eq!(sm.steps(), 0);
+    assert_eq!(sm.clocks(), vec![0, 0]);
     sink.lock().unwrap().fail = false;
     let (done, err) = sm.try_apply_batch(batch);
     assert_eq!((done, err), (4, None));
@@ -417,6 +840,20 @@ fn certified_monitor_logs_and_recovers() {
     assert_eq!(recovered.pattern_of(Oid(1)), live.pattern_of(Oid(1)));
     assert_eq!(recovered.pattern_of(Oid(1)).unwrap().len(), 1, "frozen at certification");
     assert!(recovered.pattern_of(Oid(2)).is_none(), "post-certification objects untracked");
+
+    // An incremental checkpoint taken while certified must carry the
+    // certified monitor's database changes (tracking is frozen but the
+    // heap moves).
+    let delta = live.checkpoint_delta();
+    wal.lock().unwrap().write_checkpoint_delta(&delta);
+    live.try_apply(ts.get("T1").unwrap(), &args("3")).unwrap();
+    let (snap, records) = {
+        let w = wal.lock().unwrap();
+        (w.snapshot().unwrap(), w.records())
+    };
+    let recovered =
+        Monitor::recover(&schema, &alphabet, &inv, PatternKind::All, snap, records).unwrap();
+    assert_eq!(recovered.snapshot().encode(), live.snapshot().encode());
 
     // A failing sink vetoes certification itself (write-ahead marker).
     use migratory::core::enforce::wal::FailingSink;
