@@ -69,7 +69,12 @@ fn main() {
         persist_row(
             &[(10_000, 16_384, 512), (100_000, 32_768, 512), (1_000_000, 131_072, 512)],
             &[(4_096, 16_384, 4)],
+            &[(4_096, 16_384)],
+            &[1, 4, 16],
         );
+    }
+    if which == "serve" {
+        serve_rows(&[(4_096, 16_384)], &[1, 4, 16]);
     }
     if which == "smoke" {
         // Tiny versions of the new workloads — the CI bench-smoke entry.
@@ -77,6 +82,7 @@ fn main() {
         batch_admit_rows(&[(2_000, 256)]);
         recover_rows(&[(2_000, 200, 64)]);
         ingress_rows(&[(512, 2_048, 4)]);
+        serve_rows(&[(256, 2_048)], &[1, 4]);
     }
     if all || which == "flow" {
         flow_families_row();
@@ -475,16 +481,24 @@ fn batch_admit_rows(configs: &[(usize, usize)]) -> String {
 }
 
 /// `persist`: the durability ablation — writes `BENCH_persist.json`
-/// with the `recover` (snapshot + WAL tail vs full history replay) and
-/// `ingress` (queued vs direct admission) comparisons.
-fn persist_row(recover_cfgs: &[(usize, usize, usize)], ingress_cfgs: &[(usize, usize, usize)]) {
+/// with the `recover` (snapshot + WAL tail vs full history replay),
+/// `ingress` (queued vs direct admission) and `serve` (admission over
+/// TCP vs in-process ingress) comparisons.
+fn persist_row(
+    recover_cfgs: &[(usize, usize, usize)],
+    ingress_cfgs: &[(usize, usize, usize)],
+    serve_cfgs: &[(usize, usize)],
+    serve_conns: &[usize],
+) {
     let recover = recover_rows(recover_cfgs);
     let ingress = ingress_rows(ingress_cfgs);
+    let serve = serve_rows(serve_cfgs, serve_conns);
     let json = format!(
         r#"{{
   "bench": "persist",
 {recover},
-{ingress}
+{ingress},
+{serve}
 }}
 "#
     );
@@ -755,6 +769,161 @@ fn ingress_rows(configs: &[(usize, usize, usize)]) -> String {
     format!(
         r#"  "ingress": {{
     "workload": "four-component fleet; a day of single-object ops admitted (a) by one caller in direct 256-blocks, (b) by N pipelining producers through the bounded per-shard ingress lanes (emergent batching), (c) same with a file WAL attached (group commit per block)",
+    "sizes": [
+{}
+    ]
+  }}"#,
+        rows.join(",\n")
+    )
+}
+
+/// `serve`: admission over the TCP wire front end (`enforce::net`,
+/// `migctl serve`'s engine) vs the in-process ingress — the cost of
+/// moving from linked callers to network-shaped callers that share
+/// nothing with the engine but the protocol. `(objects per component,
+/// ops)` per config; each config is measured at every connection count
+/// in `conn_counts` (pipelined clients, `migratory-bench`'s
+/// [`drive_tcp`] driver) plus one WAL-durable run at the middle
+/// connection count. Returns the `serve` JSON fragment.
+fn serve_rows(configs: &[(usize, usize)], conn_counts: &[usize]) -> String {
+    use migratory_core::enforce::{net, IngressConfig, ShardedMonitor, StepPolicy, Wal};
+    use std::net::TcpListener;
+    use std::sync::{mpsc, Arc, Mutex};
+
+    println!("== perf-serve: admission over TCP vs in-process ingress ==");
+    println!(
+        "{:>10} {:>8} {:>6} {:>12} {:>12} {:>14}",
+        "objects", "ops", "conns", "inproc/s", "tcp/s", "tcp durable/s"
+    );
+    let mut rows = Vec::new();
+    for &(per, ops) in configs {
+        let (schema, alphabet, ts) = fleet();
+        let inv = Inventory::parse_init(&schema, &alphabet, FLEET_INVENTORY).unwrap();
+        let day = fleet_ops(ops, per);
+        let load = |m: &mut ShardedMonitor<'_>| {
+            for (mk, prefix) in
+                [("BuyTruck", "t"), ("HireDriver", "d"), ("OpenRoute", "r"), ("BuildDepot", "p")]
+            {
+                let t = ts.get(mk).unwrap();
+                let bulk: Vec<(&migratory_lang::Transaction, Assignment)> = (0..per)
+                    .map(|i| {
+                        (
+                            t,
+                            Assignment::new(vec![migratory_model::Value::str(&format!(
+                                "{prefix}{i}"
+                            ))]),
+                        )
+                    })
+                    .collect();
+                let (done, err) = m.try_apply_batch(bulk.iter().map(|(t, a)| (*t, a)));
+                assert_eq!((done, err), (per, None), "bulk load conforms");
+            }
+        };
+        let cfg = IngressConfig { queue_capacity: 1024, max_block: 256 };
+
+        // (a) In-process baseline: 4 pipelining producer threads over
+        // the same lanes — the "callers link the crate" world.
+        let inproc_rate = {
+            let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 4)
+                .with_policy(StepPolicy::OnlyChanging);
+            load(&mut m);
+            let t0 = Instant::now();
+            let ((), stats) = migratory_core::enforce::ingress::serve(&mut m, &cfg, |client| {
+                std::thread::scope(|scope| {
+                    for p in 0..4 {
+                        let day = &day;
+                        let ts = &ts;
+                        scope.spawn(move || {
+                            let tickets: Vec<_> = day
+                                .iter()
+                                .skip(p)
+                                .step_by(4)
+                                .map(|(name, a)| client.post(ts.get(name).unwrap(), a.clone()))
+                                .collect();
+                            for t in tickets {
+                                t.wait().expect("day conforms");
+                            }
+                        });
+                    }
+                });
+            });
+            assert_eq!(stats.admitted, ops);
+            ops as f64 / t0.elapsed().as_secs_f64()
+        };
+
+        // (b) Over the wire, volatile and durable: stand the server up
+        // in-process on an ephemeral port, drive it with `connections`
+        // pipelined TCP clients, shut it down gracefully.
+        let serve_once = |connections: usize,
+                          wal: Option<Arc<Mutex<Wal>>>|
+         -> (f64, migratory_core::enforce::net::NetStats) {
+            let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+            let addr = listener.local_addr().expect("bound address");
+            let scripts = invoke_scripts(&day, connections);
+            let (ready_tx, ready_rx) = mpsc::channel();
+            std::thread::scope(|scope| {
+                let server = scope.spawn(|| {
+                    let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 4)
+                        .with_policy(StepPolicy::OnlyChanging);
+                    if let Some(wal) = wal {
+                        m = m.with_sink(wal);
+                    }
+                    load(&mut m);
+                    ready_tx.send(()).expect("driver listens");
+                    let config = net::ServerConfig { ingress: cfg, ..Default::default() };
+                    net::serve(listener, &mut m, &ts, &config, |_| {}).expect("serve")
+                });
+                ready_rx.recv().expect("server loads");
+                let t0 = Instant::now();
+                let stats = drive_tcp(addr, &scripts).expect("tcp drive");
+                let rate = ops as f64 / t0.elapsed().as_secs_f64();
+                assert_eq!(stats.ok, ops, "the whole day admits over the wire");
+                assert_eq!(shutdown_server(addr).expect("shutdown"), "ok draining");
+                (rate, server.join().expect("server thread"))
+            })
+        };
+
+        let mut tcp_rows = Vec::new();
+        let durable_conns = conn_counts[conn_counts.len() / 2];
+        let mut durable_rate = 0.0;
+        for &conns in conn_counts {
+            let (rate, nstats) = serve_once(conns, None);
+            assert_eq!(nstats.admitted, ops);
+            let d = if conns == durable_conns {
+                let wal_dir = std::env::temp_dir()
+                    .join(format!("migratory-bench-serve-{}-{per}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&wal_dir);
+                let wal = Arc::new(Mutex::new(Wal::open(&wal_dir).expect("wal dir")));
+                let (rate, _) = serve_once(conns, Some(wal));
+                let _ = std::fs::remove_dir_all(&wal_dir);
+                durable_rate = rate;
+                format!("{rate:>14.0}")
+            } else {
+                format!("{:>14}", "-")
+            };
+            println!("{:>10} {ops:>8} {conns:>6} {inproc_rate:>12.0} {rate:>12.0} {d}", per * 4);
+            tcp_rows.push(format!(
+                r#"          {{ "connections": {conns}, "apps_per_sec": {rate:.0} }}"#
+            ));
+        }
+        rows.push(format!(
+            r#"      {{
+        "objects": {},
+        "ops": {ops},
+        "inprocess_4producer_apps_per_sec": {inproc_rate:.0},
+        "tcp": [
+{}
+        ],
+        "tcp_durable_apps_per_sec": {{ "connections": {durable_conns}, "apps_per_sec": {durable_rate:.0} }}
+      }}"#,
+            per * 4,
+            tcp_rows.join(",\n")
+        ));
+    }
+    println!();
+    format!(
+        r#"  "serve": {{
+    "workload": "four-component fleet behind `enforce::net` on an ephemeral TCP port; a day of single-object ops sent as pipelined `invoke` lines by N concurrent connections (migratory-bench drive_tcp), every reply awaited; vs the same day through the in-process ingress with 4 pipelining producers; durable row = same with a file WAL group-committing every block",
     "sizes": [
 {}
     ]

@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod tcpdrive;
 pub mod workload;
 
+pub use tcpdrive::*;
 pub use workload::*;

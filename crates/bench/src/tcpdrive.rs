@@ -1,0 +1,125 @@
+//! A concurrent TCP client driver for the `migctl serve` wire protocol
+//! (`core::enforce::net`, `docs/PROTOCOL.md`).
+//!
+//! Each connection is driven by two threads — a writer pipelining the
+//! whole request script and a reader tallying reply lines — so the
+//! driver saturates the server the way a pipelined network caller
+//! would, without deadlocking on full socket buffers. Used by the
+//! `experiments serve` row (apps/sec over TCP at 1/4/16 connections)
+//! and the CI serve-smoke job.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Reply tallies of one [`drive_tcp`] run, summed over connections.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TcpDriveStats {
+    /// Replies whose first token was `ok`.
+    pub ok: usize,
+    /// Replies whose first token was `violation`.
+    pub violation: usize,
+    /// Replies whose first token was `error` (or anything else).
+    pub error: usize,
+}
+
+impl TcpDriveStats {
+    /// Total replies received.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.ok + self.violation + self.error
+    }
+}
+
+/// Drive one connection per script: connect, pipeline every request
+/// line, read one reply per request and tally its first token. Returns
+/// once every connection has received all its replies.
+///
+/// # Errors
+/// Fails on connect/write/read errors or a reply count short of the
+/// request count (server closed early).
+pub fn drive_tcp(
+    addr: impl ToSocketAddrs + Clone + Send + Sync,
+    scripts: &[Vec<String>],
+) -> std::io::Result<TcpDriveStats> {
+    let eof = || std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed early");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| {
+                let addr = addr.clone();
+                scope.spawn(move || -> std::io::Result<TcpDriveStats> {
+                    let conn = TcpStream::connect(addr)?;
+                    conn.set_nodelay(true)?;
+                    let mut writer = BufWriter::new(conn.try_clone()?);
+                    let reader = BufReader::new(conn);
+                    std::thread::scope(|inner| {
+                        inner.spawn(move || {
+                            for line in script {
+                                if writeln!(writer, "{line}").is_err() {
+                                    return;
+                                }
+                            }
+                            let _ = writer.flush();
+                        });
+                        let mut stats = TcpDriveStats::default();
+                        let mut lines = reader.lines();
+                        for _ in 0..script.len() {
+                            let reply = lines.next().ok_or_else(eof)??;
+                            match reply.split_whitespace().next() {
+                                Some("ok") => stats.ok += 1,
+                                Some("violation") => stats.violation += 1,
+                                _ => stats.error += 1,
+                            }
+                        }
+                        Ok(stats)
+                    })
+                })
+            })
+            .collect();
+        let mut total = TcpDriveStats::default();
+        for h in handles {
+            let s = h.join().expect("driver thread panicked")?;
+            total.ok += s.ok;
+            total.violation += s.violation;
+            total.error += s.error;
+        }
+        Ok(total)
+    })
+}
+
+/// Split `ops` round-robin into `connections` request scripts of
+/// `invoke Name(args…)` lines — the same striping the in-process
+/// ingress benches use for their producers.
+#[must_use]
+pub fn invoke_scripts(
+    ops: &[(&'static str, migratory_lang::Assignment)],
+    connections: usize,
+) -> Vec<Vec<String>> {
+    let fmt = |(name, args): &(&str, migratory_lang::Assignment)| {
+        let rendered: Vec<String> = args
+            .values()
+            .map(|v| match v {
+                migratory_model::Value::Int(i) => i.to_string(),
+                other => format!("\"{other}\""),
+            })
+            .collect();
+        format!("invoke {name}({})", rendered.join(", "))
+    };
+    (0..connections.max(1))
+        .map(|c| ops.iter().skip(c).step_by(connections.max(1)).map(fmt).collect())
+        .collect()
+}
+
+/// Ask a serving endpoint to drain and exit (the `shutdown` verb);
+/// returns the server's reply line.
+///
+/// # Errors
+/// Fails on connect/write/read errors.
+pub fn shutdown_server(addr: impl ToSocketAddrs) -> std::io::Result<String> {
+    let conn = TcpStream::connect(addr)?;
+    let mut writer = conn.try_clone()?;
+    writer.write_all(b"shutdown\n")?;
+    let mut reply = String::new();
+    BufReader::new(conn).read_line(&mut reply)?;
+    Ok(reply.trim().to_owned())
+}

@@ -53,6 +53,37 @@
 //! FIFO order is therefore never inverted by a mid-block violation
 //! (regression-tested below by a pipelined chain whose every reorder
 //! is observable).
+//!
+//! ```
+//! use migratory_core::enforce::{ingress, IngressConfig, ShardedMonitor};
+//! use migratory_core::{Inventory, PatternKind, RoleAlphabet};
+//! use migratory_lang::{parse_transactions, Assignment};
+//! use migratory_model::{schema::university_schema, Value};
+//!
+//! let s = university_schema();
+//! let a = RoleAlphabet::new(&s, 0).unwrap();
+//! let inv = Inventory::parse_init(&s, &a, "∅* [PERSON]* ∅*").unwrap();
+//! let ts = parse_transactions(&s, r#"
+//!     transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+//! "#).unwrap();
+//! let mk = ts.get("Mk").unwrap();
+//! let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 2);
+//! // Four concurrent producers, each pipelining eight creations.
+//! let ((), stats) = ingress::serve(&mut m, &IngressConfig::default(), |client| {
+//!     std::thread::scope(|scope| {
+//!         for p in 0..4 {
+//!             scope.spawn(move || {
+//!                 for i in 0..8 {
+//!                     let args = Assignment::new(vec![Value::str(&format!("{p}-{i}"))]);
+//!                     client.submit(mk, args).expect("creation conforms");
+//!                 }
+//!             });
+//!         }
+//!     });
+//! });
+//! assert_eq!((stats.admitted, stats.rejected), (32, 0));
+//! assert_eq!(m.db().num_objects(), 32);
+//! ```
 
 use super::sharded::ShardedMonitor;
 use super::EnforceError;
@@ -198,9 +229,35 @@ impl<'t> IngressClient<'t, '_, '_> {
 /// [`IngressStats`]. The monitor is borrowed for the duration — attach
 /// policy and [`CommitSink`](super::CommitSink) before serving; every
 /// admitted block then group-commits through it.
-pub fn serve<'t, R>(
-    monitor: &mut ShardedMonitor<'_>,
+///
+/// Close-and-answer: once the driver returns, no new work can arrive
+/// (every producer borrowed the client, which is gone), and the worker
+/// keeps draining until every lane is empty — so **every posted op is
+/// answered** before `serve` returns. That is the graceful-drain
+/// primitive the network front end (`enforce::net`) builds on.
+pub fn serve<'t, 'a, R>(
+    monitor: &mut ShardedMonitor<'a>,
     config: &IngressConfig,
+    drive: impl FnOnce(&IngressClient<'t, '_, '_>) -> R,
+) -> (R, IngressStats) {
+    serve_with(monitor, config, 0, |_| {}, drive)
+}
+
+/// [`serve`] with a periodic **maintenance hook**: every
+/// `maintenance_every` admitted blocks (0 = never) the admission worker
+/// calls `maintenance` with exclusive access to the monitor — after the
+/// block's tickets were answered, so the hook never adds latency to the
+/// ops that triggered it. This is how a long-running server runs
+/// incremental checkpoints *behind* live traffic: the hook captures an
+/// O(dirty) [`CheckpointDelta`](super::CheckpointDelta) and hands it to
+/// a background [`Snapshotter`](super::Snapshotter) while producers
+/// keep posting (their ops queue in the lanes for the duration of the
+/// capture).
+pub fn serve_with<'t, 'a, R>(
+    monitor: &mut ShardedMonitor<'a>,
+    config: &IngressConfig,
+    maintenance_every: usize,
+    mut maintenance: impl FnMut(&mut ShardedMonitor<'a>) + Send,
     drive: impl FnOnce(&IngressClient<'t, '_, '_>) -> R,
 ) -> (R, IngressStats) {
     let lanes = match monitor.component_lanes() {
@@ -222,7 +279,9 @@ pub fn serve<'t, R>(
     };
     let max_block = config.max_block.max(1);
     std::thread::scope(|scope| {
-        let worker = scope.spawn(|| admission_loop(monitor, &shared, max_block));
+        let worker = scope.spawn(|| {
+            admission_loop(monitor, &shared, max_block, maintenance_every, &mut maintenance)
+        });
         // Close on unwind too: if the driver panics, the scope joins the
         // worker before propagating, and a worker parked on `ready` with
         // `closed` unset would deadlock the join forever.
@@ -251,10 +310,12 @@ impl Drop for CloseGuard<'_, '_, '_> {
     }
 }
 
-fn admission_loop<'t>(
-    monitor: &mut ShardedMonitor<'_>,
+fn admission_loop<'t, 'a>(
+    monitor: &mut ShardedMonitor<'a>,
     shared: &Shared<'t, '_>,
     max_block: usize,
+    maintenance_every: usize,
+    maintenance: &mut (impl FnMut(&mut ShardedMonitor<'a>) + Send),
 ) -> IngressStats {
     let mut stats = IngressStats::default();
     let mut cursor = 0usize;
@@ -309,6 +370,13 @@ fn admission_loop<'t>(
             }
         } else {
             debug_assert_eq!(ops.len(), 0, "without an error every op commits");
+        }
+        // Maintenance rides the block cadence, after the tickets were
+        // answered: a checkpoint capture stalls future admissions (new
+        // ops queue in the lanes meanwhile), never the replies of the
+        // block that triggered it.
+        if maintenance_every > 0 && stats.blocks.is_multiple_of(maintenance_every) {
+            maintenance(monitor);
         }
     }
 }
@@ -375,6 +443,45 @@ mod tests {
         let logged: usize = wal.lock().unwrap().records().iter().map(|r| r.letters()).sum();
         assert_eq!(logged, 3 * PER);
         assert!(stats.blocks <= 3 * PER);
+    }
+
+    /// The maintenance hook fires on the block cadence, on the worker,
+    /// with exclusive monitor access — the primitive behind background
+    /// checkpoints under a live server.
+    #[test]
+    fn maintenance_hook_fires_every_n_blocks() {
+        let s = multi_schema();
+        let a = RoleAlphabet::new(&s, 0).unwrap();
+        let inv = Inventory::parse_init(&s, &a, "∅* ([R0] ∪ [S0])* ∅*").unwrap();
+        let ts = parse_transactions(&s, "transaction Mk0(x) { create(R0, { K0 = x }); }").unwrap();
+        let mk = ts.get("Mk0").unwrap();
+        let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
+        let mut calls = 0usize;
+        let mut clocks_seen = Vec::new();
+        let cfg = IngressConfig { queue_capacity: 4, max_block: 1 };
+        const OPS: usize = 24;
+        let ((), stats) = serve_with(
+            &mut m,
+            &cfg,
+            4,
+            |m| {
+                calls += 1;
+                clocks_seen.push(m.clock(0));
+            },
+            |client| {
+                for i in 0..OPS {
+                    client
+                        .submit(mk, Assignment::new(vec![Value::str(&format!("{i}"))]))
+                        .expect("creation conforms");
+                }
+            },
+        );
+        assert_eq!(stats.blocks, OPS, "max_block = 1: one block per op");
+        assert_eq!(calls, OPS / 4, "hook fires every 4 blocks");
+        assert!(
+            clocks_seen.windows(2).all(|w| w[0] < w[1]),
+            "each call sees strictly more committed letters: {clocks_seen:?}"
+        );
     }
 
     #[test]

@@ -109,9 +109,20 @@
 //!   applications, an admission worker drains lanes into
 //!   [`ShardedMonitor::try_apply_batch`] blocks (emergent batching,
 //!   one group commit per block), violations reject only their own op.
+//! * [`net`] — the wire front end: a TCP line-protocol server
+//!   (`migctl serve`) mapping each connection onto an ingress
+//!   producer, so admission requests arrive from parties that share
+//!   nothing with the engine but the protocol (`docs/PROTOCOL.md`).
+//!   Acknowledgement on the wire implies the write-ahead append
+//!   succeeded; shutdown drains close-and-answer.
+
+// The enforcement stack is the crate's production surface: every public
+// item must carry documentation (CI compiles with `-D warnings`).
+#![warn(missing_docs)]
 
 mod delta;
 pub mod ingress;
+pub mod net;
 pub mod sharded;
 pub mod wal;
 

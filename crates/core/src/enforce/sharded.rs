@@ -607,8 +607,34 @@ impl<'a> ShardedMonitor<'a> {
     }
 
     /// The schema this monitor enforces over.
-    pub(crate) fn schema(&self) -> &'a Schema {
+    #[must_use]
+    pub fn schema(&self) -> &'a Schema {
         self.schema
+    }
+
+    /// The role alphabet patterns are spelled in (what renders a
+    /// [`Violation`] via [`Violation::display`]).
+    #[must_use]
+    pub fn alphabet(&self) -> &'a RoleAlphabet {
+        self.alphabet
+    }
+
+    /// The enforced inventory.
+    #[must_use]
+    pub fn inventory(&self) -> &'a Inventory {
+        self.inventory
+    }
+
+    /// The enforced pattern family.
+    #[must_use]
+    pub fn kind(&self) -> PatternKind {
+        self.kind
+    }
+
+    /// The letter-contribution policy.
+    #[must_use]
+    pub fn policy(&self) -> StepPolicy {
+        self.policy
     }
 
     /// The component → shard table of a component-routed monitor

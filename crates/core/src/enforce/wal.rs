@@ -93,6 +93,32 @@
 //! oversized claim with the bytes actually present is reported as
 //! corruption instead of silently hiding every later record.
 //!
+//! ```
+//! use migratory_core::enforce::{MemoryWal, Monitor};
+//! use migratory_core::{Inventory, PatternKind, RoleAlphabet};
+//! use migratory_lang::{parse_transactions, Assignment};
+//! use migratory_model::{schema::university_schema, Value};
+//! use std::sync::{Arc, Mutex};
+//!
+//! let s = university_schema();
+//! let a = RoleAlphabet::new(&s, 0).unwrap();
+//! let inv = Inventory::parse_init(&s, &a, "∅* [PERSON]* ∅*").unwrap();
+//! let ts = parse_transactions(&s, r#"
+//!     transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+//! "#).unwrap();
+//! let wal = Arc::new(Mutex::new(MemoryWal::new()));
+//! // Write-ahead: each admitted block is logged before tracking moves.
+//! let mut m = Monitor::new(&s, &a, &inv, PatternKind::All).with_sink(wal.clone());
+//! let mk = ts.get("Mk").unwrap();
+//! m.try_apply(mk, &Assignment::new(vec![Value::str("1")])).unwrap();
+//! m.try_apply(mk, &Assignment::new(vec![Value::str("2")])).unwrap();
+//! // "Crash": rebuild from the log alone — byte-identical state.
+//! let records = wal.lock().unwrap().records();
+//! let r = Monitor::recover(&s, &a, &inv, PatternKind::All, None, records).unwrap();
+//! assert_eq!(r.snapshot().encode(), m.snapshot().encode());
+//! assert_eq!(r.db().num_objects(), 2);
+//! ```
+//!
 //! [`Delta`]: migratory_lang::Delta
 //! [`Monitor::checkpoint_delta`]: super::Monitor::checkpoint_delta
 //! [`ShardedMonitor::checkpoint_delta`]: super::ShardedMonitor::checkpoint_delta

@@ -41,6 +41,12 @@
 //! history), verifies the database invariants, prints recovery
 //! statistics and finishes the remaining work durably. The CI
 //! crash-recovery smoke job runs exactly this crash/recover pair.
+//!
+//! The rush-hour phase below drives the same `enforce::ingress` lanes
+//! that `migctl serve` puts behind a TCP socket — to run this scenario
+//! with callers that share nothing with the process but the wire
+//! protocol, see `migctl serve`/`migctl client` (`docs/PROTOCOL.md`)
+//! and the `experiments serve` bench row.
 
 use migratory::core::enforce::{
     ingress, CheckpointData, IngressConfig, ShardedMonitor, Snapshotter, StepPolicy, Wal,

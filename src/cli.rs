@@ -6,7 +6,10 @@
 //! it can be unit-tested without touching the filesystem; the binary in
 //! `src/bin/migctl.rs` only reads files and prints.
 
-use migratory_core::enforce::{EnforceError, Monitor};
+use migratory_core::enforce::{
+    net, CheckpointData, EnforceError, IngressConfig, Monitor, ShardedMonitor, Snapshotter,
+    StepPolicy, Wal,
+};
 use migratory_core::{
     analyze_families, decide_with_families, AnalyzeOptions, Inventory, PatternKind, RoleAlphabet,
     Verdict,
@@ -25,6 +28,10 @@ USAGE:
   migctl decide     <schema> <transactions> --inventory <regex> [--kind K] [--component N]
   migctl synthesize <schema> --inventory <regex> [--lazy] [--component N]
   migctl enforce    <schema> <transactions> --inventory <regex> --script <file> [--kind K]
+  migctl serve      <schema> <transactions> --inventory <regex> [--kind K] [--component N]
+                    [--addr HOST:PORT] [--shards N] [--policy P] [--queue N] [--max-block N]
+                    [--durable DIR] [--recover] [--checkpoint-every B]
+  migctl client     [--addr HOST:PORT] [--script <file>] [--shutdown]
   migctl help
 
   <schema>        a `schema Name { class … }` file
@@ -32,12 +39,21 @@ USAGE:
   <regex>         paper notation over role sets, e.g. \"∅* [PERSON]* [STUDENT]* ∅*\"
                   (Init — the prefix closure — is applied automatically)
   K               all | immediate-start | proper | lazy   (default: all)
+  P               every | changing   (default: every — Definition 3.4 vs 4.6 semantics)
   --script        lines of `Name(arg, …)` applications; `#` comments allowed
 
 families    prints the four pattern families of Theorem 3.2(1) as regexes
 decide      checks satisfies/generates of Corollary 3.3, with counterexamples
 synthesize  builds the SL schema characterizing the inventory (Lemma 3.4)
 enforce     replays a script under the runtime monitor, reporting rejections
+serve       admits transactions over TCP (docs/PROTOCOL.md) through the sharded
+            ingress; --durable DIR write-ahead-logs every block and runs
+            background incremental checkpoints every B blocks (default 16);
+            --recover resumes from DIR's checkpoint chain + WAL tail.
+            Runs until a client sends the `shutdown` verb.
+client      drives a serve endpoint: --script sends each line as an `invoke`
+            (pipelined, replies in order), --shutdown asks the server to drain;
+            with neither, forwards raw protocol lines from stdin
 ";
 
 /// Parse a `--kind` value.
@@ -63,7 +79,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            if name == "lazy" {
+            if matches!(name, "lazy" | "recover" | "shutdown") {
                 named.push((name.to_owned(), "true".to_owned()));
                 continue;
             }
@@ -89,6 +105,20 @@ impl Flags {
 
     fn kind(&self) -> Result<PatternKind, String> {
         self.get("kind").map_or(Ok(PatternKind::All), parse_kind)
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> Result<usize, String> {
+        self.get(name).map_or(Ok(default), |v| {
+            v.parse().map_err(|_| format!("--{name} takes a number, got `{v}`"))
+        })
+    }
+
+    fn policy(&self) -> Result<StepPolicy, String> {
+        match self.get("policy") {
+            None | Some("every") => Ok(StepPolicy::EveryApplication),
+            Some("changing" | "only-changing") => Ok(StepPolicy::OnlyChanging),
+            Some(other) => Err(format!("unknown policy `{other}` (every|changing)")),
+        }
     }
 }
 
@@ -176,7 +206,10 @@ pub fn cmd_synthesize(schema_src: &str, flags: &Flags) -> Result<String, String>
     Ok(out)
 }
 
-/// One parsed script application: transaction name and argument values.
+/// One parsed script application per line: transaction name and
+/// argument values. The per-line grammar is the wire protocol's
+/// `invoke` argument grammar ([`net::parse_invocation`]), so any
+/// `enforce` script replays over `migctl client` unchanged.
 pub fn parse_script(src: &str) -> Result<Vec<(String, Vec<Value>)>, String> {
     let mut out = Vec::new();
     for (lineno, raw) in src.lines().enumerate() {
@@ -184,30 +217,8 @@ pub fn parse_script(src: &str) -> Result<Vec<(String, Vec<Value>)>, String> {
         if line.is_empty() {
             continue;
         }
-        let err = |msg: &str| format!("script line {}: {msg}: `{line}`", lineno + 1);
-        let open = line.find('(').ok_or_else(|| err("expected `Name(args…)`"))?;
-        let close = line.rfind(')').ok_or_else(|| err("missing `)`"))?;
-        let name = line[..open].trim();
-        if name.is_empty() {
-            return Err(err("empty transaction name"));
-        }
-        let inner = &line[open + 1..close];
-        let mut args = Vec::new();
-        if !inner.trim().is_empty() {
-            for part in inner.split(',') {
-                let part = part.trim();
-                let v = if let Some(stripped) =
-                    part.strip_prefix('"').and_then(|p| p.strip_suffix('"'))
-                {
-                    Value::str(stripped)
-                } else if let Ok(i) = part.parse::<i64>() {
-                    Value::int(i)
-                } else {
-                    Value::str(part)
-                };
-                args.push(v);
-            }
-        }
+        let (name, args) =
+            net::parse_invocation(line).map_err(|e| format!("script line {}: {e}", lineno + 1))?;
         out.push((name.to_owned(), args));
     }
     Ok(out)
@@ -254,6 +265,233 @@ pub fn cmd_enforce(
     Ok(out)
 }
 
+/// Default `serve`/`client` endpoint.
+const DEFAULT_ADDR: &str = "127.0.0.1:4191";
+
+/// `migctl serve`: admit transactions over TCP through the sharded
+/// ingress — each connection is one admission producer, every reply is
+/// written only after its block committed (and, with `--durable`, was
+/// write-ahead logged). Prints the bound address eagerly (so scripts
+/// can connect) and returns a summary once a client's `shutdown`
+/// drained the server.
+pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String, String> {
+    use std::sync::{Arc, Mutex};
+
+    let (schema, alphabet) = load(schema_src, flags.component()?)?;
+    let ts = parse_transactions(&schema, tx_src).map_err(|e| format!("transactions: {e}"))?;
+    let inv = load_inventory(&schema, &alphabet, flags)?;
+    let kind = flags.kind()?;
+    let shards = flags.usize_or("shards", schema.num_components().max(1))?;
+    let queue = flags.usize_or("queue", 1024)?;
+    let max_block = flags.usize_or("max-block", 256)?;
+    let checkpoint_every = flags.usize_or("checkpoint-every", 16)?;
+    let durable = flags.get("durable");
+    let recover = flags.get("recover").is_some();
+    if recover && durable.is_none() {
+        return Err("--recover requires --durable DIR".to_owned());
+    }
+
+    // Build the monitor: fresh, or rebuilt from the checkpoint chain +
+    // WAL tail (no history replay). Recovery restores the policy the
+    // crashed server ran with; an explicit --policy still wins (it is
+    // also what recovers the flag when the crash predates the first
+    // checkpoint — logged blocks hold only effective letters, so the
+    // replay itself is policy-independent either way).
+    let mut monitor = if recover {
+        let dir = durable.expect("checked above");
+        let (snap, tail) = Wal::load(dir).map_err(|e| format!("loading {dir}: {e}"))?;
+        let clocks = snap.as_ref().map_or_else(Vec::new, migratory_core::enforce::Snapshot::clocks);
+        let mut m = ShardedMonitor::recover(&schema, &alphabet, &inv, kind, shards, snap, tail)
+            .map_err(|e| format!("recovering from {dir}: {e}"))?;
+        if flags.get("policy").is_some() {
+            m = m.with_policy(flags.policy()?);
+        }
+        println!(
+            "migctl serve: recovered from {dir} — checkpoint at clocks {clocks:?}, \
+             now at {:?}, {} objects (no history replayed)",
+            m.clocks(),
+            m.db().num_objects()
+        );
+        m
+    } else {
+        ShardedMonitor::new(&schema, &alphabet, &inv, kind, shards).with_policy(flags.policy()?)
+    };
+
+    // Durable mode: attach the write-ahead sink and stand up the
+    // background snapshotter; establish the base checkpoint if the
+    // directory has none (first run, or a crash killed the base job).
+    let wal = match durable {
+        Some(dir) => {
+            let wal = Arc::new(Mutex::new(Wal::open(dir).map_err(|e| format!("{dir}: {e}"))?));
+            monitor = monitor.with_sink(wal.clone());
+            Some(wal)
+        }
+        None => None,
+    };
+    let mut snapshotter = wal.as_ref().map(|_| Snapshotter::spawn());
+    if let (Some(wal), Some(snapshotter)) = (&wal, &mut snapshotter) {
+        if !wal.lock().expect("wal poisoned").has_base() {
+            let job = wal
+                .lock()
+                .expect("wal poisoned")
+                .begin_checkpoint(CheckpointData::Full(monitor.checkpoint_full()))
+                .map_err(|e| format!("base checkpoint: {e}"))?;
+            snapshotter.submit(job).map_err(|e| format!("base checkpoint: {e}"))?;
+        }
+    }
+
+    let addr = flags.get("addr").unwrap_or(DEFAULT_ADDR);
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "migctl serve: listening on {local} ({} shard(s), {} transaction(s){})",
+        monitor.num_shards(),
+        ts.len(),
+        match durable {
+            Some(dir) => format!(", durable in {dir}"),
+            None => String::new(),
+        }
+    );
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Serve until a client sends `shutdown`. The maintenance hook runs
+    // on the admission worker between blocks: an O(dirty) incremental
+    // capture handed to the snapshotter, which encodes, fsyncs and
+    // prunes covered WAL segments off the admission path.
+    let config = net::ServerConfig {
+        ingress: IngressConfig { queue_capacity: queue, max_block },
+        checkpoint_every: if wal.is_some() { checkpoint_every } else { 0 },
+        ..Default::default()
+    };
+    let maintenance_wal = wal.clone();
+    let snapshotter_slot = &mut snapshotter;
+    let stats = net::serve(listener, &mut monitor, &ts, &config, move |m| {
+        let (Some(wal), Some(snapshotter)) = (&maintenance_wal, snapshotter_slot.as_mut()) else {
+            return;
+        };
+        let delta = m.checkpoint_delta();
+        match wal.lock().expect("wal poisoned").begin_checkpoint(CheckpointData::Incremental(delta))
+        {
+            Ok(job) => {
+                if let Err(e) = snapshotter.submit(job) {
+                    eprintln!("migctl serve: background checkpoint failed: {e}");
+                }
+            }
+            Err(e) => eprintln!("migctl serve: could not stage checkpoint: {e}"),
+        }
+    })
+    .map_err(|e| format!("serving on {local}: {e}"))?;
+
+    // Drained: make the final state durable synchronously.
+    if let Some(snapshotter) = snapshotter {
+        snapshotter.finish().map_err(|e| format!("final background checkpoint: {e}"))?;
+    }
+    if let Some(wal) = &wal {
+        let delta = monitor.checkpoint_delta();
+        wal.lock()
+            .expect("wal poisoned")
+            .begin_checkpoint(CheckpointData::Incremental(delta))
+            .map_err(|e| format!("final checkpoint: {e}"))?
+            .run()
+            .map_err(|e| format!("final checkpoint: {e}"))?;
+    }
+    Ok(format!(
+        "drained: {} connection(s), {} request(s) — {} admitted, {} rejected, {} error(s)\n\
+         {} block(s) over {} lane(s); clocks {:?}; {} object(s) live{}\n",
+        stats.connections,
+        stats.requests,
+        stats.admitted,
+        stats.rejected,
+        stats.errors,
+        stats.ingress.blocks,
+        stats.ingress.lanes,
+        monitor.clocks(),
+        monitor.db().num_objects(),
+        if wal.is_some() { "; final checkpoint written" } else { "" },
+    ))
+}
+
+/// `migctl client`: drive a `migctl serve` endpoint. With `--script`,
+/// send each script line as a pipelined `invoke` (plus `shutdown` when
+/// `--shutdown` is given) and return every reply in order plus a tally;
+/// with `--shutdown` alone, just ask the server to drain; with
+/// neither, forward raw protocol lines from stdin, printing each reply.
+pub fn cmd_client(flags: &Flags, script: Option<&str>) -> Result<String, String> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let addr = flags.get("addr").unwrap_or(DEFAULT_ADDR);
+    let conn = std::net::TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let _ = conn.set_nodelay(true);
+    let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?)
+        .lines()
+        .map(|l| l.map_err(|e| format!("reading reply: {e}")));
+    let mut writer = std::io::BufWriter::new(conn);
+
+    if let Some(src) = script {
+        // Scripted: pipeline every request, then read the replies in
+        // order — a writer thread keeps sending while we read, so a
+        // long script cannot deadlock on full socket buffers.
+        let mut requests: Vec<String> = src
+            .lines()
+            .map(|raw| raw.split('#').next().unwrap_or("").trim())
+            .filter(|l| !l.is_empty())
+            .map(|l| format!("invoke {l}"))
+            .collect();
+        if flags.get("shutdown").is_some() {
+            requests.push("shutdown".to_owned());
+        }
+        let expected = requests.len();
+        let (mut ok, mut violation, mut error) = (0usize, 0usize, 0usize);
+        let mut out = String::new();
+        std::thread::scope(|scope| -> Result<(), String> {
+            scope.spawn(move || {
+                for r in &requests {
+                    if writeln!(writer, "{r}").is_err() {
+                        return;
+                    }
+                }
+                let _ = writer.flush();
+            });
+            for _ in 0..expected {
+                let reply = reader.next().ok_or("server closed before answering")??;
+                match reply.split_whitespace().next() {
+                    Some("ok") => ok += 1,
+                    Some("violation") => violation += 1,
+                    _ => error += 1,
+                }
+                out.push_str(&reply);
+                out.push('\n');
+            }
+            Ok(())
+        })?;
+        out.push_str(&format!("client: {ok} ok, {violation} violation(s), {error} error(s)\n"));
+        Ok(out)
+    } else if flags.get("shutdown").is_some() {
+        writeln!(writer, "shutdown").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let reply = reader.next().ok_or("server closed before answering")??;
+        Ok(format!("{reply}\n"))
+    } else {
+        // Interactive: forward raw protocol lines from stdin.
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            writeln!(writer, "{line}").map_err(|e| e.to_string())?;
+            writer.flush().map_err(|e| e.to_string())?;
+            let Some(reply) = reader.next() else { break };
+            println!("{}", reply?);
+            if line.trim() == "quit" {
+                break;
+            }
+        }
+        Ok(String::new())
+    }
+}
+
 /// Dispatch a full argument vector (excluding the binary name). Used by
 /// the binary with file contents read eagerly.
 pub fn dispatch(
@@ -289,6 +527,18 @@ pub fn dispatch(
             let script_path = flags.get("script").ok_or("missing --script <file>")?;
             let script = read(script_path)?;
             cmd_enforce(&schema, &tx, &script, &flags)
+        }
+        "serve" => {
+            let schema = read(&pos(0, "<schema> file")?)?;
+            let tx = read(&pos(1, "<transactions> file")?)?;
+            cmd_serve(&schema, &tx, &flags)
+        }
+        "client" => {
+            let script = match flags.get("script") {
+                Some(path) => Some(read(path)?),
+                None => None,
+            };
+            cmd_client(&flags, script.as_deref())
         }
         other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
     }
@@ -420,6 +670,41 @@ mod tests {
         )
         .unwrap();
         assert!(enforce.contains("committed 1 of 1"));
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        // --recover without --durable is refused before any socket work.
+        let f = flags(&[("inventory", "∅* [PERSON]* ∅*"), ("recover", "true")]);
+        let err = cmd_serve(SCHEMA, TX, &f).unwrap_err();
+        assert!(err.contains("--recover requires --durable"), "{err}");
+
+        // Unknown policies and non-numeric numbers are caught.
+        let f = flags(&[("inventory", "∅* [PERSON]* ∅*"), ("policy", "sometimes")]);
+        assert!(f.policy().is_err());
+        let f = flags(&[("shards", "many")]);
+        assert!(f.usize_or("shards", 4).is_err());
+        let f = flags(&[]);
+        assert_eq!(f.usize_or("shards", 4).unwrap(), 4);
+        assert_eq!(f.policy().unwrap(), StepPolicy::EveryApplication);
+        let f = flags(&[("policy", "changing")]);
+        assert_eq!(f.policy().unwrap(), StepPolicy::OnlyChanging);
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let parsed = parse_flags(&[
+            "s.mig".to_owned(),
+            "--recover".to_owned(),
+            "--durable".to_owned(),
+            "dir".to_owned(),
+            "--shutdown".to_owned(),
+        ])
+        .unwrap();
+        assert_eq!(parsed.positional, vec!["s.mig".to_owned()]);
+        assert_eq!(parsed.get("recover"), Some("true"));
+        assert_eq!(parsed.get("durable"), Some("dir"));
+        assert_eq!(parsed.get("shutdown"), Some("true"));
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //!   analysis, synthesis, and decision procedures;
 //! * [`behavior`] — inflow/script schemas and reachability;
 //! * [`cli`] — the `migctl` subcommands (families / decide / synthesize /
-//!   enforce) as unit-tested library functions.
+//!   enforce / serve / client) as unit-tested library functions.
 //!
 //! See `examples/` for runnable walkthroughs of the paper's figures.
 

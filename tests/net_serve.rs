@@ -1,0 +1,406 @@
+//! Server lifecycle tests for the wire front end (`core::enforce::net`,
+//! `migctl serve`/`client`):
+//!
+//! * concurrent clients with interleaved violations get correct
+//!   per-connection replies;
+//! * graceful drain answers every in-flight ticket before the socket
+//!   closes;
+//! * a kill → `--recover` → re-serve round trip is byte-identical
+//!   (driven through the real `migctl` binary over a real socket);
+//! * the worked session in `docs/PROTOCOL.md` is executed verbatim —
+//!   the protocol document cannot drift from the server.
+
+use migratory::core::enforce::net::{self, ServerConfig};
+use migratory::core::enforce::{ShardedMonitor, Wal};
+use migratory::core::{Inventory, PatternKind, RoleAlphabet};
+use migratory::lang::{parse_transactions, Assignment, TransactionSchema};
+use migratory::model::text::parse_schema;
+use migratory::model::Schema;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+// ---------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------
+
+/// A synchronous wire client: one reply read per request written.
+struct Client {
+    writer: TcpStream,
+    replies: std::io::Lines<BufReader<TcpStream>>,
+}
+
+impl Client {
+    fn connect(addr: impl std::net::ToSocketAddrs) -> Client {
+        let conn = TcpStream::connect(addr).expect("connect");
+        conn.set_nodelay(true).expect("nodelay");
+        Client { writer: conn.try_clone().expect("clone"), replies: BufReader::new(conn).lines() }
+    }
+
+    fn send(&mut self, req: &str) {
+        writeln!(self.writer, "{req}").expect("send");
+    }
+
+    fn recv(&mut self) -> String {
+        self.replies.next().expect("a reply per request").expect("read reply")
+    }
+
+    fn ask(&mut self, req: &str) -> String {
+        self.send(req);
+        self.recv()
+    }
+
+    /// Read every remaining line until the server closes the socket.
+    fn drain_to_eof(self) -> Vec<String> {
+        self.replies.map(|l| l.expect("read reply")).collect()
+    }
+}
+
+/// Three independent root classes (3 components → 3 shards/lanes).
+fn multi_schema() -> Schema {
+    parse_schema(
+        r"
+        schema Fleet {
+          class R0 { K0 }
+          class S0 isa R0 { }
+          class R1 { K1 }
+          class S1 isa R1 { }
+          class R2 { K2 }
+          class S2 isa R2 { }
+        }",
+    )
+    .expect("schema parses")
+}
+
+fn multi_transactions(s: &Schema) -> TransactionSchema {
+    parse_transactions(
+        s,
+        r"
+        transaction Mk0(x) { create(R0, { K0 = x }); }
+        transaction Up0(x) { specialize(R0, S0, { K0 = x }, {}); }
+        transaction Mk1(x) { create(R1, { K1 = x }); }
+        transaction Mk2(x) { create(R2, { K2 = x }); }
+    ",
+    )
+    .expect("transactions validate")
+}
+
+// ---------------------------------------------------------------------
+// Concurrent clients with interleaved violations
+// ---------------------------------------------------------------------
+
+/// Three concurrent connections — two streams of conforming creations
+/// in different components, one stream of guaranteed violators into the
+/// first component's lane — each synchronously checking every reply on
+/// its own connection. Violations interleave with admissions inside
+/// shared blocks, and no reply ever lands on the wrong connection.
+#[test]
+fn concurrent_clients_get_correct_per_connection_replies() {
+    let s = multi_schema();
+    let a = RoleAlphabet::new(&s, 0).unwrap();
+    // Specialization is forbidden: every Up0 violates, deterministically.
+    let inv = Inventory::parse_init(&s, &a, "∅* [R0]* ∅*").unwrap();
+    let ts = multi_transactions(&s);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    const PER: usize = 120;
+    let stats = std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
+            net::serve(listener, &mut m, &ts, &ServerConfig::default(), |_| {}).unwrap()
+        });
+        std::thread::scope(|clients| {
+            clients.spawn(|| {
+                let mut c = Client::connect(addr);
+                assert_eq!(c.ask("invoke Mk0(seed)"), "ok", "the violators' target object");
+                for i in 0..PER {
+                    assert_eq!(c.ask(&format!("invoke Mk0(a{i})")), "ok", "conforming create");
+                }
+            });
+            clients.spawn(|| {
+                let mut c = Client::connect(addr);
+                for i in 0..PER {
+                    assert_eq!(c.ask(&format!("invoke Mk1(b{i})")), "ok", "other component");
+                }
+            });
+            clients.spawn(|| {
+                let mut c = Client::connect(addr);
+                for _ in 0..PER / 2 {
+                    let reply = c.ask("invoke Up0(seed)");
+                    assert!(
+                        reply.starts_with("violation "),
+                        "specialization must be rejected: {reply}"
+                    );
+                    assert!(reply.contains("[S0]"), "diagnostic names the role set: {reply}");
+                }
+            });
+        });
+        let mut c = Client::connect(addr);
+        assert_eq!(c.ask("shutdown"), "ok draining");
+        server.join().unwrap()
+    });
+    assert_eq!(stats.connections, 4);
+    assert_eq!(stats.admitted, 1 + 2 * PER);
+    assert_eq!(stats.rejected, PER / 2);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.ingress.admitted, 1 + 2 * PER);
+    assert_eq!(stats.ingress.rejected, PER / 2);
+}
+
+// ---------------------------------------------------------------------
+// Graceful drain
+// ---------------------------------------------------------------------
+
+/// A client pipelines a whole burst and a `shutdown` in one write —
+/// every in-flight invoke must still be answered, in order, before the
+/// server closes the socket.
+#[test]
+fn graceful_drain_answers_all_inflight_tickets() {
+    let s = multi_schema();
+    let a = RoleAlphabet::new(&s, 0).unwrap();
+    let inv = Inventory::parse_init(&s, &a, "∅* [R0]* ∅*").unwrap();
+    let ts = multi_transactions(&s);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    const BURST: usize = 500;
+    let stats = std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            // A tiny block size so the burst spans many admission
+            // blocks and is genuinely in flight at shutdown.
+            let config = ServerConfig {
+                ingress: migratory::core::enforce::IngressConfig {
+                    queue_capacity: 64,
+                    max_block: 8,
+                },
+                ..Default::default()
+            };
+            let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
+            net::serve(listener, &mut m, &ts, &config, |_| {}).unwrap()
+        });
+        let mut c = Client::connect(addr);
+        let mut burst = String::new();
+        for i in 0..BURST {
+            burst.push_str(&format!("invoke Mk0(x{i})\n"));
+        }
+        burst.push_str("shutdown\n");
+        c.writer.write_all(burst.as_bytes()).unwrap();
+        let replies = c.drain_to_eof();
+        // Every request answered before EOF, in order: BURST oks, then
+        // the shutdown acknowledgement, then nothing.
+        assert_eq!(replies.len(), BURST + 1, "every in-flight ticket answered before close");
+        assert!(replies[..BURST].iter().all(|r| r == "ok"), "all creations admitted");
+        assert_eq!(replies[BURST], "ok draining");
+        server.join().unwrap()
+    });
+    assert_eq!(stats.admitted, BURST);
+    assert_eq!(stats.ingress.admitted, BURST, "the monitor committed them all");
+}
+
+// ---------------------------------------------------------------------
+// kill → --recover → re-serve, through the real binary
+// ---------------------------------------------------------------------
+
+const UNI_SCHEMA: &str = r#"
+schema Uni {
+  class PERSON { SSN, Name }
+  class STUDENT isa PERSON { Major }
+}
+"#;
+
+const UNI_TX: &str = r#"
+transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+transaction St(x) { specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS" }); }
+transaction Rm(x) { delete(PERSON, { SSN = x }); }
+"#;
+
+const UNI_INV: &str = "∅* [PERSON]* [STUDENT]* ∅*";
+
+/// Spawn `migctl serve` on an ephemeral port and return (child, addr).
+fn spawn_serve(dir: &std::path::Path, extra: &[&str]) -> (std::process::Child, String) {
+    let schema = dir.join("uni.mig");
+    let tx = dir.join("uni.sl");
+    std::fs::write(&schema, UNI_SCHEMA).unwrap();
+    std::fs::write(&tx, UNI_TX).unwrap();
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_migctl"))
+        .arg("serve")
+        .arg(&schema)
+        .arg(&tx)
+        .args(["--inventory", UNI_INV, "--addr", "127.0.0.1:0", "--shards", "2"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn migctl serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines.next().expect("serve prints its address").expect("read stdout");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest.split_whitespace().next().expect("an address").to_owned();
+        }
+    };
+    // Keep draining stdout so the server never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+/// What the acknowledged script must have produced: a fresh monitor fed
+/// exactly the acked applications, in order.
+fn expected_state(script: &[(&str, &str)]) -> Vec<u8> {
+    let schema = parse_schema(UNI_SCHEMA).unwrap();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, UNI_INV).unwrap();
+    let ts = parse_transactions(&schema, UNI_TX).unwrap();
+    let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 2);
+    for (name, key) in script {
+        m.try_apply(
+            ts.get(name).unwrap(),
+            &Assignment::new(vec![migratory::model::Value::str(key)]),
+        )
+        .expect("acked ops conform");
+    }
+    m.snapshot().encode()
+}
+
+/// Fold the WAL directory back into a monitor and return its canonical
+/// state bytes.
+fn recovered_state(dir: &std::path::Path) -> Vec<u8> {
+    let schema = parse_schema(UNI_SCHEMA).unwrap();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, UNI_INV).unwrap();
+    let (snap, tail) = Wal::load(dir).expect("load wal");
+    ShardedMonitor::recover(&schema, &alphabet, &inv, PatternKind::All, 2, snap, tail)
+        .expect("recover")
+        .snapshot()
+        .encode()
+}
+
+/// SIGKILL a serving `migctl` mid-stream, `--recover` into a second
+/// server, keep going, drain gracefully — after every stage the durable
+/// state must be byte-identical to a fresh monitor fed exactly the
+/// acknowledged applications.
+#[test]
+fn kill_recover_reserve_roundtrip_is_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("migratory-net-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal_dir = dir.join("wal");
+
+    // Stage 1: serve fresh, ack 40 creations + 8 specializations, kill
+    // without any shutdown courtesy.
+    let mut script: Vec<(&str, String)> = Vec::new();
+    let (mut child, addr) =
+        spawn_serve(&dir, &["--durable", wal_dir.to_str().unwrap(), "--checkpoint-every", "4"]);
+    {
+        let mut c = Client::connect(&*addr);
+        for i in 0..40 {
+            let key = format!("k{i}");
+            assert_eq!(c.ask(&format!("invoke Mk({key})")), "ok");
+            script.push(("Mk", key));
+        }
+        for i in 0..8 {
+            let key = format!("k{i}");
+            assert_eq!(c.ask(&format!("invoke St({key})")), "ok");
+            script.push(("St", key));
+        }
+    }
+    child.kill().expect("SIGKILL the server");
+    child.wait().expect("reap");
+
+    // Everything acknowledged before the kill is durable — and nothing
+    // else: the folded chain + tail equals a monitor fed exactly the
+    // acked script.
+    let script_refs: Vec<(&str, &str)> = script.iter().map(|(n, k)| (*n, k.as_str())).collect();
+    assert_eq!(
+        recovered_state(&wal_dir),
+        expected_state(&script_refs),
+        "stage 1: recovered state must be byte-identical to the acked history"
+    );
+
+    // Stage 2: re-serve with --recover, keep working, drain gracefully.
+    let (mut child, addr) = spawn_serve(
+        &dir,
+        &["--durable", wal_dir.to_str().unwrap(), "--recover", "--checkpoint-every", "4"],
+    );
+    {
+        let mut c = Client::connect(&*addr);
+        for i in 40..52 {
+            let key = format!("k{i}");
+            assert_eq!(c.ask(&format!("invoke Mk({key})")), "ok");
+            script.push(("Mk", key));
+        }
+        // The pre-crash history constrains the resumed run: o0 is a
+        // STUDENT, so deleting and re-creating under [PERSON]* after
+        // [STUDENT]* would violate — the monitor remembers.
+        let reply = c.ask("invoke Rm(k0)");
+        assert_eq!(reply, "ok");
+        script.push(("Rm", "k0".to_owned()));
+        assert_eq!(c.ask("shutdown"), "ok draining");
+    }
+    let status = child.wait().expect("server drains and exits");
+    assert!(status.success(), "graceful shutdown exits cleanly");
+
+    let script_refs: Vec<(&str, &str)> = script.iter().map(|(n, k)| (*n, k.as_str())).collect();
+    assert_eq!(
+        recovered_state(&wal_dir),
+        expected_state(&script_refs),
+        "stage 2: the re-served state must be byte-identical to the full acked history"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// docs/PROTOCOL.md conformance
+// ---------------------------------------------------------------------
+
+/// Extract the first fenced code block labelled `lang` from markdown.
+fn fenced_block(doc: &str, lang: &str) -> String {
+    let fence = format!("```{lang}\n");
+    let start =
+        doc.find(&fence).unwrap_or_else(|| panic!("docs/PROTOCOL.md has no ```{lang} block"))
+            + fence.len();
+    let end = doc[start..].find("```").expect("unterminated fence") + start;
+    doc[start..end].to_owned()
+}
+
+/// Execute the worked session of `docs/PROTOCOL.md` verbatim: the
+/// schema, transactions, inventory and every `>`/`<` exchange come from
+/// the document, so the spec cannot drift from the server.
+#[test]
+fn protocol_document_session_is_live() {
+    let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/PROTOCOL.md"))
+        .expect("docs/PROTOCOL.md exists");
+    let schema = parse_schema(&fenced_block(&doc, "schema")).expect("doc schema parses");
+    let ts = parse_transactions(&schema, &fenced_block(&doc, "transactions"))
+        .expect("doc transactions validate");
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, fenced_block(&doc, "inventory").trim())
+        .expect("doc inventory parses");
+    let session = fenced_block(&doc, "session");
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 2);
+            net::serve(listener, &mut m, &ts, &ServerConfig::default(), |_| {}).unwrap()
+        });
+        let mut c = Client::connect(addr);
+        let mut pending_request: Option<String> = None;
+        for line in session.lines() {
+            if let Some(req) = line.strip_prefix("> ") {
+                assert!(pending_request.is_none(), "two requests without a reply: {req}");
+                c.send(req);
+                pending_request = Some(req.to_owned());
+            } else if let Some(expected) = line.strip_prefix("< ") {
+                let req = pending_request.take().expect("a reply without a request");
+                let actual = c.recv();
+                assert_eq!(actual, expected, "reply to `{req}` drifted from docs/PROTOCOL.md");
+            }
+        }
+        assert!(pending_request.is_none(), "session ends with an unanswered request");
+        // `quit` ended the session's connection; stop the server.
+        let mut c = Client::connect(addr);
+        assert_eq!(c.ask("shutdown"), "ok draining");
+        server.join().unwrap();
+    });
+}
