@@ -1,0 +1,151 @@
+//! Operator-visible server health: the degraded read-only switch and
+//! the background-checkpoint status.
+//!
+//! One [`Health`] is shared (by reference, or `Arc` for detached
+//! threads) between the three parties that learn about durability
+//! failures first:
+//!
+//! * the **admission worker** (`enforce::ingress`) flips
+//!   [`Health::degrade`] when WAL appends keep failing past the retry
+//!   budget, and refuses new writes while [`Health::is_degraded`];
+//! * the **snapshotter** (`enforce::wal`) records every durable
+//!   checkpoint and the failure it eventually gave up on — so a stopped
+//!   checkpoint pipeline is visible, not silent;
+//! * the **wire front end** (`enforce::net`) renders both into the
+//!   `stats` reply and lets an operator clear the degraded flag with
+//!   the `rearm` verb once the fault is fixed.
+//!
+//! All methods take `&self` and tolerate lock poisoning: health
+//! reporting must keep working exactly when other threads are dying.
+
+use super::wal::WalError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Status of the background checkpoint pipeline (see
+/// [`Health::checkpoint`]).
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointHealth {
+    /// Checkpoints made durable since startup.
+    pub completed: usize,
+    /// Sequence number and completion instant of the newest durable
+    /// checkpoint.
+    pub last_ok: Option<(u64, Instant)>,
+    /// The failure a checkpoint job gave up on (retries exhausted, or a
+    /// staging error) — sticky until a full snapshot re-establishes the
+    /// chain, because recovery replays the uncovered log until then.
+    pub failed: Option<String>,
+}
+
+/// Live health state of one serving process (see the
+/// [module docs](self)).
+#[derive(Debug, Default)]
+pub struct Health {
+    degraded: AtomicBool,
+    reason: Mutex<String>,
+    checkpoint: Mutex<CheckpointHealth>,
+}
+
+impl Health {
+    /// Fresh, healthy state.
+    #[must_use]
+    pub fn new() -> Health {
+        Health::default()
+    }
+
+    /// Whether the server is in degraded read-only mode: invokes are
+    /// refused, read verbs still answer.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Enter degraded read-only mode, recording why. Idempotent; the
+    /// latest reason wins.
+    pub fn degrade(&self, reason: &str) {
+        reason.clone_into(&mut lock(&self.reason));
+        self.degraded.store(true, Ordering::SeqCst);
+    }
+
+    /// Operator action: leave degraded mode and admit writes again (the
+    /// wire `rearm` verb). Returns whether the server *was* degraded.
+    /// If the underlying fault persists, the next failing append
+    /// degrades the server again — re-arming is an assertion about the
+    /// hardware, not a bypass of the durability contract.
+    pub fn rearm(&self) -> bool {
+        self.degraded.swap(false, Ordering::SeqCst)
+    }
+
+    /// The reason recorded by the last [`Health::degrade`] (empty if
+    /// never degraded).
+    #[must_use]
+    pub fn reason(&self) -> String {
+        lock(&self.reason).clone()
+    }
+
+    /// Record a durable checkpoint.
+    pub fn checkpoint_ok(&self, seq: u64) {
+        let mut c = lock(&self.checkpoint);
+        c.completed += 1;
+        c.last_ok = Some((seq, Instant::now()));
+    }
+
+    /// Record a checkpoint failure the pipeline gave up on.
+    pub fn checkpoint_failed(&self, what: &WalError) {
+        lock(&self.checkpoint).failed = Some(what.to_string());
+    }
+
+    /// Snapshot of the checkpoint status.
+    #[must_use]
+    pub fn checkpoint(&self) -> CheckpointHealth {
+        lock(&self.checkpoint).clone()
+    }
+
+    /// The `last_checkpoint=` token of the wire `stats` reply: `none`
+    /// (no checkpoint finished yet), `ok:seq=N:age=Ss`, or `failed`
+    /// (deterministic spelling, so smoke tests can grep it).
+    #[must_use]
+    pub fn checkpoint_token(&self) -> String {
+        let c = lock(&self.checkpoint);
+        match (&c.failed, &c.last_ok) {
+            (Some(_), _) => "failed".to_owned(),
+            (None, Some((seq, at))) => format!("ok:seq={seq}:age={}s", at.elapsed().as_secs()),
+            (None, None) => "none".to_owned(),
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrade_rearm_cycle() {
+        let h = Health::new();
+        assert!(!h.is_degraded());
+        assert!(!h.rearm(), "re-arming a healthy server is a no-op");
+        h.degrade("disk on fire");
+        assert!(h.is_degraded());
+        assert_eq!(h.reason(), "disk on fire");
+        assert!(h.rearm());
+        assert!(!h.is_degraded());
+        assert_eq!(h.reason(), "disk on fire", "the last reason stays readable");
+    }
+
+    #[test]
+    fn checkpoint_status_tokens() {
+        let h = Health::new();
+        assert_eq!(h.checkpoint_token(), "none");
+        h.checkpoint_ok(3);
+        assert!(h.checkpoint_token().starts_with("ok:seq=3:age="), "{}", h.checkpoint_token());
+        assert_eq!(h.checkpoint().completed, 1);
+        h.checkpoint_failed(&WalError::Io("sync failed".into()));
+        assert_eq!(h.checkpoint_token(), "failed");
+        assert!(h.checkpoint().failed.unwrap().contains("sync failed"));
+    }
+}

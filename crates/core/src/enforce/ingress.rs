@@ -85,6 +85,7 @@
 //! assert_eq!(m.db().num_objects(), 32);
 //! ```
 
+use super::health::Health;
 use super::sharded::ShardedMonitor;
 use super::EnforceError;
 use migratory_lang::{Assignment, Transaction};
@@ -92,6 +93,7 @@ use migratory_model::Schema;
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// Tuning knobs of [`serve`].
 #[derive(Clone, Copy, Debug)]
@@ -107,6 +109,25 @@ pub struct IngressConfig {
 impl Default for IngressConfig {
     fn default() -> Self {
         IngressConfig { queue_capacity: 1024, max_block: 256 }
+    }
+}
+
+/// How the admission worker treats a failing write-ahead append (see
+/// [`serve_guarded`]): transient errors are retried with bounded linear
+/// backoff; exhausting the budget flips the server into degraded
+/// read-only mode ([`Health::degrade`]) instead of erroring op after op
+/// against a dead disk — or worse, acking non-durable work.
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityPolicy {
+    /// Retries per block after a failed append before degrading.
+    pub retries: u32,
+    /// Base backoff: the n-th retry sleeps `n × backoff` first.
+    pub backoff: Duration,
+}
+
+impl Default for DurabilityPolicy {
+    fn default() -> Self {
+        DurabilityPolicy { retries: 4, backoff: Duration::from_millis(20) }
     }
 }
 
@@ -128,6 +149,11 @@ pub struct IngressStats {
     pub lanes: usize,
     /// High-water queue depth across lanes.
     pub max_queue_depth: usize,
+    /// Ops refused because the server was in degraded read-only mode.
+    pub refused: usize,
+    /// Write-ahead append retries (transient durability faults absorbed
+    /// by the [`DurabilityPolicy`]).
+    pub retries: usize,
 }
 
 struct Op<'t> {
@@ -257,6 +283,36 @@ pub fn serve_with<'t, 'a, R>(
     monitor: &mut ShardedMonitor<'a>,
     config: &IngressConfig,
     maintenance_every: usize,
+    maintenance: impl FnMut(&mut ShardedMonitor<'a>) + Send,
+    drive: impl FnOnce(&IngressClient<'t, '_, '_>) -> R,
+) -> (R, IngressStats) {
+    let health = Health::new();
+    serve_guarded(
+        monitor,
+        config,
+        &DurabilityPolicy::default(),
+        &health,
+        maintenance_every,
+        maintenance,
+        drive,
+    )
+}
+
+/// The full-fat ingress: [`serve_with`] plus an explicit
+/// [`DurabilityPolicy`] and a shared [`Health`]. The admission worker
+/// retries a block whose write-ahead append failed (nothing past the
+/// committed prefix reached the log — the rollback contract of
+/// [`ShardedMonitor::try_apply_batch`] makes the retry safe), and when
+/// the budget is exhausted it degrades the server: every queued and
+/// future op is answered [`EnforceError::Degraded`] without touching
+/// the engine, until [`Health::rearm`] — reads stay up, writes refuse
+/// fast, and nothing is ever acked that is not on disk.
+pub fn serve_guarded<'t, 'a, R>(
+    monitor: &mut ShardedMonitor<'a>,
+    config: &IngressConfig,
+    policy: &DurabilityPolicy,
+    health: &Health,
+    maintenance_every: usize,
     mut maintenance: impl FnMut(&mut ShardedMonitor<'a>) + Send,
     drive: impl FnOnce(&IngressClient<'t, '_, '_>) -> R,
 ) -> (R, IngressStats) {
@@ -280,7 +336,15 @@ pub fn serve_with<'t, 'a, R>(
     let max_block = config.max_block.max(1);
     std::thread::scope(|scope| {
         let worker = scope.spawn(|| {
-            admission_loop(monitor, &shared, max_block, maintenance_every, &mut maintenance)
+            admission_loop(
+                monitor,
+                &shared,
+                max_block,
+                policy,
+                health,
+                maintenance_every,
+                &mut maintenance,
+            )
         });
         // Close on unwind too: if the driver panics, the scope joins the
         // worker before propagating, and a worker parked on `ready` with
@@ -314,6 +378,8 @@ fn admission_loop<'t, 'a>(
     monitor: &mut ShardedMonitor<'a>,
     shared: &Shared<'t, '_>,
     max_block: usize,
+    policy: &DurabilityPolicy,
+    health: &Health,
     maintenance_every: usize,
     maintenance: &mut (impl FnMut(&mut ShardedMonitor<'a>) + Send),
 ) -> IngressStats {
@@ -347,29 +413,71 @@ fn admission_loop<'t, 'a>(
 
         // Admit the block; longest conforming prefix commits.
         stats.blocks += 1;
-        let (done, err) = monitor.try_apply_batch(block.iter().map(|op| (op.t, &op.args)));
-        stats.admitted += done;
-        let mut ops = block.into_iter();
-        for op in ops.by_ref().take(done) {
-            let _ = op.reply.send(Ok(()));
-        }
-        if let Some(e) = err {
-            stats.rejected += 1;
-            if let Some(op) = ops.next() {
-                let _ = op.reply.send(Err(e));
+        if health.is_degraded() {
+            // Degraded read-only mode: refuse before touching the
+            // engine. Lanes keep draining so every producer is answered
+            // promptly instead of backing up against a dead disk.
+            let reason = health.reason();
+            stats.refused += block.len();
+            for op in block {
+                let _ = op.reply.send(Err(EnforceError::Degraded(reason.clone())));
             }
-            // Ops behind the violator were rolled back unattempted:
-            // back to the front of their lane, order preserved.
-            let rest: Vec<Op<'t>> = ops.collect();
-            if !rest.is_empty() {
-                stats.requeued += rest.len();
-                let mut st = shared.state.lock().expect("ingress poisoned");
-                for op in rest.into_iter().rev() {
-                    st.lanes[lane].push_front(op);
+            continue;
+        }
+        let mut ops = block;
+        let mut attempts = 0u32;
+        loop {
+            let (done, err) = monitor.try_apply_batch(ops.iter().map(|op| (op.t, &op.args)));
+            stats.admitted += done;
+            let mut rest = ops.into_iter();
+            for op in rest.by_ref().take(done) {
+                let _ = op.reply.send(Ok(()));
+            }
+            match err {
+                None => {
+                    debug_assert_eq!(rest.len(), 0, "without an error every op commits");
+                    break;
+                }
+                // The write-ahead append refused the block: nothing past
+                // `done` reached the log and every survivor was rolled
+                // back, so re-admitting them is safe. Retry with bounded
+                // backoff; an exhausted budget degrades the server.
+                Some(EnforceError::Durability(e)) => {
+                    let rest: Vec<Op<'t>> = rest.collect();
+                    if attempts < policy.retries {
+                        attempts += 1;
+                        stats.retries += 1;
+                        std::thread::sleep(policy.backoff.saturating_mul(attempts));
+                        ops = rest;
+                        continue;
+                    }
+                    let reason = format!("write-ahead append failed after {attempts} retries: {e}");
+                    health.degrade(&reason);
+                    stats.refused += rest.len();
+                    for op in rest {
+                        let _ = op.reply.send(Err(EnforceError::Degraded(reason.clone())));
+                    }
+                    break;
+                }
+                Some(e) => {
+                    stats.rejected += 1;
+                    if let Some(op) = rest.next() {
+                        let _ = op.reply.send(Err(e));
+                    }
+                    // Ops behind the violator were rolled back
+                    // unattempted: back to the front of their lane,
+                    // order preserved.
+                    let rest: Vec<Op<'t>> = rest.collect();
+                    if !rest.is_empty() {
+                        stats.requeued += rest.len();
+                        let mut st = shared.state.lock().expect("ingress poisoned");
+                        for op in rest.into_iter().rev() {
+                            st.lanes[lane].push_front(op);
+                        }
+                    }
+                    break;
                 }
             }
-        } else {
-            debug_assert_eq!(ops.len(), 0, "without an error every op commits");
         }
         // Maintenance rides the block cadence, after the tickets were
         // answered: a checkpoint capture stalls future admissions (new

@@ -121,12 +121,16 @@
 #![warn(missing_docs)]
 
 mod delta;
+pub mod faults;
+pub mod health;
 pub mod ingress;
 pub mod net;
 pub mod sharded;
 pub mod wal;
 
-pub use ingress::{IngressConfig, IngressStats};
+pub use faults::{FaultKind, FaultSite, IoFaults};
+pub use health::{CheckpointHealth, Health};
+pub use ingress::{DurabilityPolicy, IngressConfig, IngressStats};
 pub use sharded::{ShardStats, ShardedMonitor};
 pub use wal::{
     BlockRef, CheckpointData, CheckpointDelta, CheckpointJob, CommitSink, MemoryWal, ShardLetters,
@@ -207,6 +211,11 @@ pub enum EnforceError {
     /// append failed, so the application was rolled back — the log never
     /// lags the engine. The database and tracking state are unchanged.
     Durability(WalError),
+    /// The server is in degraded read-only mode (persistent durability
+    /// failure; see [`Health`]): the op was refused *before* any apply,
+    /// nothing changed. Carries the reason recorded when the server
+    /// degraded. An operator fixes the fault and re-arms (`rearm`).
+    Degraded(String),
 }
 
 impl std::fmt::Display for EnforceError {
@@ -217,6 +226,7 @@ impl std::fmt::Display for EnforceError {
             }
             EnforceError::Lang(e) => write!(f, "{e}"),
             EnforceError::Durability(e) => write!(f, "commit not durable, rolled back: {e}"),
+            EnforceError::Degraded(reason) => write!(f, "degraded (read-only): {reason}"),
         }
     }
 }
@@ -510,7 +520,7 @@ impl<'a> Monitor<'a> {
             let at = self.steps();
             if let Some(sink) = &self.sink {
                 sink.lock()
-                    .expect("sink poisoned")
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
                     .certified(at)
                     .map_err(|e| CoreError::Durability(e.to_string()))?;
             }
@@ -531,7 +541,9 @@ impl<'a> Monitor<'a> {
                     steps0,
                     letters: (0..deltas.len() as u32).collect(),
                 }];
-                sink.lock().expect("sink poisoned").committed(&BlockRef { deltas, shards: &shards })
+                sink.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .committed(&BlockRef { deltas, shards: &shards })
             }
             None => Ok(()),
         }
@@ -1062,6 +1074,7 @@ mod tests {
             }
             EnforceError::Lang(e) => panic!("unexpected {e}"),
             EnforceError::Durability(e) => panic!("unexpected {e}"),
+            EnforceError::Degraded(e) => panic!("unexpected {e}"),
         }
         // Rolled back: the object is still a plain person, 3 letters.
         assert_eq!(m.steps(), 3);
@@ -1199,6 +1212,7 @@ mod tests {
             }
             EnforceError::Lang(e) => panic!("unexpected {e}"),
             EnforceError::Durability(e) => panic!("unexpected {e}"),
+            EnforceError::Degraded(e) => panic!("unexpected {e}"),
         }
         // Under Proper the second trailing ∅ makes o1's pattern improper
         // (and ∅∅ exempts the never-created class too): admitted.
@@ -1513,6 +1527,7 @@ mod tests {
             }
             EnforceError::Lang(e) => panic!("unexpected {e}"),
             EnforceError::Durability(e) => panic!("unexpected {e}"),
+            EnforceError::Degraded(e) => panic!("unexpected {e}"),
         }
         // Rejection rolled back: both databases agree and can continue.
         assert_eq!(fast.db(), oracle.db());

@@ -12,7 +12,7 @@
 //!
 //! # Shape
 //!
-//! [`serve`] wraps [`ingress::serve_with`]: the admission worker owns
+//! [`serve`] wraps [`ingress::serve_guarded`]: the admission worker owns
 //! the [`ShardedMonitor`]; the driver is an
 //! accept loop that spawns a **reader** and a **writer** thread per
 //! connection. The reader parses requests and, for `invoke`, posts the
@@ -47,6 +47,21 @@
 //!   reader's `post`, which stops the connection's socket reads, which
 //!   fills the client's TCP window: producers can never outrun the
 //!   monitor, no matter how fast they write.
+//!
+//! # Supervision and degraded mode
+//!
+//! Connections are supervised ([`ServerConfig`]): an optional idle read
+//! timeout reaps silent peers, per-connection byte/op quotas bound what
+//! one peer can consume, a max-connections cap refuses excess sockets
+//! at accept, and an optional shared-secret token gates every verb
+//! behind an `auth` handshake. Durability failures degrade service
+//! instead of lying: when the write-ahead append keeps failing past the
+//! [`DurabilityPolicy`] budget, the shared [`Health`] flips the server
+//! into degraded read-only mode — `invoke` answers
+//! `error degraded (read-only): …`, `stats` reports `degraded=yes` plus
+//! the background-checkpoint status, and an operator re-arms with the
+//! `rearm` verb once the fault is fixed (see
+//! `docs/PROTOCOL.md` § Limits, timeouts, and degraded mode).
 //!
 //! # Durability behind the server
 //!
@@ -90,7 +105,8 @@
 //! assert_eq!(stats.admitted, 1);
 //! ```
 
-use super::ingress::{self, IngressClient, IngressConfig, IngressStats, Ticket};
+use super::health::Health;
+use super::ingress::{self, DurabilityPolicy, IngressClient, IngressConfig, IngressStats, Ticket};
 use super::sharded::ShardedMonitor;
 use super::EnforceError;
 use crate::alphabet::RoleAlphabet;
@@ -99,11 +115,11 @@ use migratory_model::Value;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Tuning knobs of [`serve`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// The admission-lane configuration behind the socket front end.
     pub ingress: IngressConfig,
@@ -113,11 +129,40 @@ pub struct ServerConfig {
     /// Per-connection reply pipeline depth: how many requests a reader
     /// may run ahead of its writer before socket reads stall.
     pub pipeline: usize,
+    /// Idle read timeout: a connection that sends nothing for this long
+    /// is answered `error idle timeout …` and closed. `None` waits
+    /// forever (the pre-supervision behaviour).
+    pub idle_timeout: Option<Duration>,
+    /// Per-connection byte quota over all request lines (0 = unlimited);
+    /// exceeding it tears the connection down after one error reply.
+    pub max_conn_bytes: u64,
+    /// Per-connection request quota (0 = unlimited); exceeding it tears
+    /// the connection down after one error reply.
+    pub max_conn_ops: u64,
+    /// Live-connection cap (0 = unlimited): excess sockets are answered
+    /// `error server at connection capacity …` and closed at accept.
+    pub max_connections: usize,
+    /// Shared-secret token: when set, a connection's first request must
+    /// be `auth <token>` — anything else is refused and disconnects.
+    pub auth: Option<String>,
+    /// How the admission worker treats failing write-ahead appends
+    /// (retry budget, then degraded read-only mode).
+    pub durability: DurabilityPolicy,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { ingress: IngressConfig::default(), checkpoint_every: 0, pipeline: 512 }
+        ServerConfig {
+            ingress: IngressConfig::default(),
+            checkpoint_every: 0,
+            pipeline: 512,
+            idle_timeout: None,
+            max_conn_bytes: 0,
+            max_conn_ops: 0,
+            max_connections: 0,
+            auth: None,
+            durability: DurabilityPolicy::default(),
+        }
     }
 }
 
@@ -191,7 +236,7 @@ enum Reply {
 }
 
 /// State shared by the accept loop and every connection thread.
-struct ServerShared {
+struct ServerShared<'h> {
     /// Set by the `shutdown` verb: stop accepting, drain, exit.
     shutdown: AtomicBool,
     /// One clone per **live** connection (keyed by connection id), so
@@ -209,20 +254,35 @@ struct ServerShared {
     schema_line: String,
     /// Admission lanes behind the server (for the `stats` reply).
     lanes: usize,
+    /// Degraded-mode flag and checkpoint status, shared with the
+    /// admission worker and (via the caller) the snapshotter.
+    health: &'h Health,
 }
 
-impl ServerShared {
+impl ServerShared<'_> {
     fn stats_line(&self) -> String {
         format!(
-            "ok stats requests={} admitted={} rejected={} errors={} connections={} lanes={}",
+            "ok stats requests={} admitted={} rejected={} errors={} connections={} lanes={} \
+             degraded={} last_checkpoint={}",
             self.requests.load(Ordering::SeqCst),
             self.admitted.load(Ordering::SeqCst),
             self.rejected.load(Ordering::SeqCst),
             self.errors.load(Ordering::SeqCst),
             self.connections.load(Ordering::SeqCst),
             self.lanes,
+            if self.health.is_degraded() { "yes" } else { "no" },
+            self.health.checkpoint_token(),
         )
     }
+}
+
+/// Poison-tolerant lock on the connection registry: a panicking sibling
+/// thread must not take every other connection's teardown path (or the
+/// graceful drain) down with it.
+fn lock_conns<'a>(
+    shared: &'a ServerShared<'_>,
+) -> std::sync::MutexGuard<'a, std::collections::HashMap<usize, TcpStream>> {
+    shared.conns.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Serve the wire protocol on `listener` until a client sends
@@ -246,6 +306,29 @@ pub fn serve<'a, 't>(
     config: &ServerConfig,
     maintenance: impl FnMut(&mut ShardedMonitor<'a>) + Send,
 ) -> std::io::Result<NetStats> {
+    let health = Health::new();
+    serve_guarded(listener, monitor, ts, config, &health, maintenance)
+}
+
+/// [`serve`] with a caller-owned [`Health`]: the admission worker
+/// degrades it on persistent write-ahead failure, the `stats` verb and
+/// `rearm` verb read and clear it, and the caller can share the same
+/// handle with a [`Snapshotter`](super::Snapshotter) (via
+/// [`Snapshotter::spawn_with`](super::Snapshotter::spawn_with)) so
+/// checkpoint failures surface in the same place — this is what
+/// `migctl serve` does.
+///
+/// # Errors
+/// Propagates the listener's fatal I/O errors (per-connection I/O
+/// errors only end that connection).
+pub fn serve_guarded<'a, 't>(
+    listener: TcpListener,
+    monitor: &mut ShardedMonitor<'a>,
+    ts: &'t TransactionSchema,
+    config: &ServerConfig,
+    health: &Health,
+    maintenance: impl FnMut(&mut ShardedMonitor<'a>) + Send,
+) -> std::io::Result<NetStats> {
     listener.set_nonblocking(true)?;
     let alphabet = monitor.alphabet();
     let mut schema_line = format!(
@@ -266,14 +349,16 @@ pub fn serve<'a, 't>(
         errors: AtomicUsize::new(0),
         schema_line,
         lanes: if monitor.routes_by_component() { monitor.num_shards() } else { 1 },
+        health,
     };
-    let pipeline = config.pipeline.max(1);
-    let (accept_result, ingress_stats) = ingress::serve_with(
+    let (accept_result, ingress_stats) = ingress::serve_guarded(
         monitor,
         &config.ingress,
+        &config.durability,
+        health,
         config.checkpoint_every,
         maintenance,
-        |client| accept_loop(&listener, client, ts, alphabet, &shared, pipeline),
+        |client| accept_loop(&listener, client, ts, alphabet, &shared, config),
     );
     accept_result?;
     Ok(NetStats {
@@ -301,9 +386,10 @@ fn accept_loop<'t>(
     client: &IngressClient<'t, '_, '_>,
     ts: &'t TransactionSchema,
     alphabet: &RoleAlphabet,
-    shared: &ServerShared,
-    pipeline: usize,
+    shared: &ServerShared<'_>,
+    config: &ServerConfig,
 ) -> std::io::Result<()> {
+    let pipeline = config.pipeline.max(1);
     let mut result = Ok(());
     std::thread::scope(|scope| {
         while !shared.shutdown.load(Ordering::SeqCst) {
@@ -311,14 +397,30 @@ fn accept_loop<'t>(
                 Ok((stream, _)) => {
                     let _ = stream.set_nodelay(true);
                     let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                    if config.max_connections > 0
+                        && lock_conns(shared).len() >= config.max_connections
+                    {
+                        // Over the cap: one error line, then close. The
+                        // registry holds exactly the live connections
+                        // (writers remove their entry on exit), so the
+                        // cap frees up as peers disconnect.
+                        let mut s = &stream;
+                        let _ = writeln!(
+                            s,
+                            "error server at connection capacity ({})",
+                            config.max_connections
+                        );
+                        let _ = stream.shutdown(Shutdown::Both);
+                        continue;
+                    }
                     let id = shared.connections.fetch_add(1, Ordering::SeqCst);
                     let Ok(read_half) = stream.try_clone() else { continue };
                     if let Ok(clone) = stream.try_clone() {
-                        shared.conns.lock().expect("conn registry poisoned").insert(id, clone);
+                        lock_conns(shared).insert(id, clone);
                     }
                     let (tx, rx) = mpsc::sync_channel::<Reply>(pipeline);
                     scope.spawn(move || writer_loop(&rx, stream, alphabet, shared, id));
-                    scope.spawn(move || reader_loop(read_half, &tx, client, ts, shared));
+                    scope.spawn(move || reader_loop(read_half, &tx, client, ts, shared, config));
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(ACCEPT_POLL);
@@ -335,7 +437,7 @@ fn accept_loop<'t>(
         // EOF; the writers then flush whatever tickets are still in
         // flight (the admission worker answers every posted op before
         // the ingress closes), and the scope joins them all.
-        for (_, conn) in shared.conns.lock().expect("conn registry poisoned").drain() {
+        for (_, conn) in lock_conns(shared).drain() {
             let _ = conn.shutdown(Shutdown::Read);
         }
     });
@@ -352,15 +454,40 @@ fn reader_loop<'t>(
     tx: &mpsc::SyncSender<Reply>,
     client: &IngressClient<'t, '_, '_>,
     ts: &'t TransactionSchema,
-    shared: &ServerShared,
+    shared: &ServerShared<'_>,
+    config: &ServerConfig,
 ) {
+    // Supervision state: the idle timeout turns a blocked read into a
+    // `WouldBlock`/`TimedOut` error; byte and op counters are cumulative
+    // over the connection's lifetime.
+    if config.idle_timeout.is_some() {
+        let _ = stream.set_read_timeout(config.idle_timeout);
+    }
+    let mut authed = config.auth.is_none();
+    let mut bytes: u64 = 0;
+    let mut ops: u64 = 0;
     let mut reader = std::io::Read::take(BufReader::new(stream), MAX_LINE);
     let mut buf = String::new();
     loop {
         buf.clear();
         reader.set_limit(MAX_LINE);
         match reader.read_line(&mut buf) {
-            Ok(0) | Err(_) => break, // EOF (or a dead socket): drain and close
+            Ok(0) => break, // EOF: drain and close
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // The idle timeout fired: reap the silent peer with one
+                // error reply. In-flight tickets drain as usual.
+                let secs = config.idle_timeout.unwrap_or_default().as_secs_f64();
+                let _ = tx.send(Reply::Ready(format!(
+                    "error idle timeout after {secs}s without a request; closing"
+                )));
+                break;
+            }
+            Err(_) => break, // dead socket or non-UTF-8 bytes: drain and close
             Ok(_) if !buf.ends_with('\n') && reader.limit() == 0 => {
                 // The cap was hit mid-line: a protocol error (or abuse),
                 // not a request. Answer once and close the connection.
@@ -370,15 +497,46 @@ fn reader_loop<'t>(
             }
             Ok(_) => {}
         }
+        bytes += buf.len() as u64;
+        if config.max_conn_bytes > 0 && bytes > config.max_conn_bytes {
+            let _ = tx.send(Reply::Ready(format!(
+                "error connection byte quota exceeded ({} bytes); closing",
+                config.max_conn_bytes
+            )));
+            break;
+        }
         let line = buf.trim();
         if line.is_empty() || line.starts_with('#') {
             continue; // blank lines and comments get no reply
         }
         shared.requests.fetch_add(1, Ordering::SeqCst);
+        ops += 1;
+        if config.max_conn_ops > 0 && ops > config.max_conn_ops {
+            let _ = tx.send(Reply::Ready(format!(
+                "error connection request quota exceeded ({} requests); closing",
+                config.max_conn_ops
+            )));
+            break;
+        }
         let (verb, rest) = match line.split_once(char::is_whitespace) {
             Some((v, r)) => (v, r.trim()),
             None => (line, ""),
         };
+        if !authed {
+            // Nothing but the correct handshake is served before auth —
+            // not even error details that would confirm verb names.
+            if verb == "auth" && config.auth.as_deref() == Some(rest) {
+                authed = true;
+                if tx.send(Reply::Ready("ok authed".to_owned())).is_err() {
+                    break;
+                }
+                continue;
+            }
+            let _ = tx.send(Reply::Ready(
+                "error authentication required (send `auth <token>` first)".to_owned(),
+            ));
+            break;
+        }
         let reply = match verb {
             "invoke" => match parse_invocation(rest) {
                 Ok((name, args)) => match ts.get(name) {
@@ -390,6 +548,15 @@ fn reader_loop<'t>(
             "schema" => Reply::Ready(shared.schema_line.clone()),
             "stats" => Reply::Stats,
             "ping" => Reply::Ready("ok pong".to_owned()),
+            // Re-authenticating (or authing with no token configured) is
+            // a harmless no-op, so scripts can always send it first.
+            "auth" => Reply::Ready("ok authed".to_owned()),
+            "rearm" => {
+                // Operator action: leave degraded read-only mode. If the
+                // fault persists, the next failing append re-degrades.
+                shared.health.rearm();
+                Reply::Ready("ok armed".to_owned())
+            }
             "quit" => {
                 let _ = tx.send(Reply::Ready("ok bye".to_owned()));
                 break;
@@ -399,7 +566,7 @@ fn reader_loop<'t>(
                 Reply::Ready("ok draining".to_owned())
             }
             other => Reply::Ready(format!(
-                "error unknown verb `{other}` (invoke|schema|stats|ping|quit|shutdown)"
+                "error unknown verb `{other}` (invoke|schema|stats|ping|auth|rearm|quit|shutdown)"
             )),
         };
         if tx.send(reply).is_err() {
@@ -412,7 +579,7 @@ fn writer_loop(
     rx: &mpsc::Receiver<Reply>,
     stream: TcpStream,
     alphabet: &RoleAlphabet,
-    shared: &ServerShared,
+    shared: &ServerShared<'_>,
     id: usize,
 ) {
     let mut w = BufWriter::new(stream);
@@ -437,7 +604,7 @@ fn writer_loop(
     // The connection is over (quit, EOF or socket error): drop the
     // registry clone so the socket actually closes and the client
     // reads EOF — the server itself keeps running.
-    shared.conns.lock().expect("conn registry poisoned").remove(&id);
+    lock_conns(shared).remove(&id);
     // If the socket died early, still resolve every remaining ticket so
     // the admission counters stay truthful and nothing is left pending.
     while let Ok(reply) = rx.recv() {
@@ -449,7 +616,7 @@ fn writer_loop(
 
 /// Resolve an admission outcome into counters and the reply's first
 /// token + body.
-fn count(outcome: Result<(), EnforceError>, shared: &ServerShared) -> Result<(), EnforceError> {
+fn count(outcome: Result<(), EnforceError>, shared: &ServerShared<'_>) -> Result<(), EnforceError> {
     match &outcome {
         Ok(()) => shared.admitted.fetch_add(1, Ordering::SeqCst),
         Err(EnforceError::Violation(_)) => shared.rejected.fetch_add(1, Ordering::SeqCst),
@@ -462,7 +629,7 @@ fn write_reply(
     w: &mut BufWriter<TcpStream>,
     reply: Reply,
     alphabet: &RoleAlphabet,
-    shared: &ServerShared,
+    shared: &ServerShared<'_>,
 ) -> std::io::Result<()> {
     match reply {
         Reply::Ready(line) => {

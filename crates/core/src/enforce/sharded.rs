@@ -529,8 +529,11 @@ impl<'a> ShardedMonitor<'a> {
                 })
                 .collect();
             let deltas: Vec<&Delta> = effective.iter().map(|&(_, d)| d).collect();
+            // Poison tolerance: a sink panic on another thread must read
+            // as a durability failure (rollback, retry/degrade policy),
+            // not cascade into an admission-worker panic.
             sink.lock()
-                .expect("sink poisoned")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .committed(&BlockRef { deltas: &deltas, shards: &shard_letters })
                 .map_err(AdmitFail::Sink)?;
         }
@@ -689,6 +692,27 @@ impl<'a> ShardedMonitor<'a> {
     /// the chain loses these changes.
     pub fn checkpoint_delta(&mut self) -> CheckpointDelta {
         wal::capture_delta(&self.db, &mut self.shards, self.policy, false, None)
+    }
+
+    /// Undo a [`ShardedMonitor::checkpoint_delta`] whose increment could
+    /// **not** be made durable (checkpoint staging failed): re-mark the
+    /// increment's oids (from [`CheckpointDelta::oids`], captured before
+    /// staging — tombstones included) and flip every shard fully dirty,
+    /// so the next capture re-covers everything the lost delta held.
+    /// Without this, a later successful checkpoint would prune WAL
+    /// segments whose effects live in no delta — silent data loss on
+    /// recovery. One full-record capture is the price of a failed
+    /// staging, not of the steady state.
+    pub fn restore_dirty(&mut self, oids: &[Oid]) {
+        // Any shard's dirty set works for the object table: captures
+        // read the (global) database by oid; per-shard records ride on
+        // `all_dirty` below.
+        if let Some(s) = self.shards.first_mut() {
+            s.dirty.extend(oids.iter().copied());
+        }
+        for s in &mut self.shards {
+            s.all_dirty = true;
+        }
     }
 
     /// Rebuild a sharded monitor from a checkpoint (the folded chain —

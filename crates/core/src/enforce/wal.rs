@@ -124,6 +124,8 @@
 //! [`ShardedMonitor::checkpoint_delta`]: super::ShardedMonitor::checkpoint_delta
 
 use super::delta::{Cohort, DeltaState, ObjRecord};
+use super::faults::{FaultSite, IoFaults};
+use super::health::Health;
 use super::StepPolicy;
 use migratory_lang::Delta;
 use migratory_model::codec::{encode_idset, encode_tuple, encode_u64, Reader};
@@ -131,7 +133,8 @@ use migratory_model::{ClassSet, Instance, ModelError, Oid, Tuple};
 use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// Errors of the durability layer.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -661,6 +664,16 @@ impl CheckpointDelta {
         self.objects.len()
     }
 
+    /// The oids this increment touches, deletion tombstones included.
+    /// Capture these **before** staging the delta: if
+    /// [`Wal::begin_checkpoint`] fails, hand them back via
+    /// [`ShardedMonitor::restore_dirty`](super::ShardedMonitor::restore_dirty)
+    /// so the next capture re-covers them and the chain has no hole.
+    #[must_use]
+    pub fn oids(&self) -> Vec<Oid> {
+        self.objects.keys().copied().collect()
+    }
+
     /// The per-shard letter clocks at the capture instant.
     #[must_use]
     pub fn clocks(&self) -> Vec<usize> {
@@ -1063,6 +1076,7 @@ pub struct CheckpointJob {
     /// not mistaken for a lost increment.
     parent: u64,
     data: CheckpointData,
+    faults: IoFaults,
 }
 
 impl CheckpointJob {
@@ -1074,7 +1088,10 @@ impl CheckpointJob {
 
     /// Encode and durably write the checkpoint, then prune the log
     /// segments (and, for a full snapshot, the increments) it covers.
-    pub fn run(self) -> Result<(), WalError> {
+    /// Takes `&self` so a failed run can be retried: every step is
+    /// idempotent (`create` truncates the temp file, the rename and the
+    /// prunes re-apply cleanly).
+    pub fn run(&self) -> Result<(), WalError> {
         let (body, target) = match &self.data {
             CheckpointData::Full(snap) => (snap.encode(), self.dir.join(BASE_FILE)),
             CheckpointData::Incremental(delta) => {
@@ -1087,10 +1104,13 @@ impl CheckpointJob {
         let framed = frame_checkpoint(self.seq, &body);
         let tmp = self.dir.join(format!("checkpoint-{:08}.tmp", self.seq));
         {
+            self.faults.check(FaultSite::CheckpointWrite)?;
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(&framed)?;
+            self.faults.check(FaultSite::CheckpointSync)?;
             f.sync_all()?;
         }
+        self.faults.check(FaultSite::CheckpointRename)?;
         std::fs::rename(&tmp, &target)?;
         // Persist the rename itself before dropping the records it
         // supersedes (directory fsync; best-effort where unsupported).
@@ -1098,6 +1118,7 @@ impl CheckpointJob {
             let _ = d.sync_all();
         }
         // Prune everything this checkpoint covers.
+        self.faults.check(FaultSite::CheckpointPrune)?;
         for entry in std::fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name();
@@ -1126,15 +1147,49 @@ pub struct Snapshotter {
 }
 
 impl Snapshotter {
-    /// Spawn the worker thread.
+    /// Spawn the worker thread with no retries and no health reporting:
+    /// `spawn_with(0, Duration::ZERO, None)`.
     #[must_use]
     pub fn spawn() -> Snapshotter {
+        Snapshotter::spawn_with(0, Duration::ZERO, None)
+    }
+
+    /// Spawn the worker thread with a retry budget and optional health
+    /// reporting. A failing job is re-run up to `retries` times (the
+    /// n-th retry sleeps `n × backoff` first — [`CheckpointJob::run`]
+    /// is idempotent); success is recorded in `health` as the last
+    /// durable checkpoint. Exhausting the budget records the failure in
+    /// `health` and stops the worker as before — the chain must not
+    /// advance past a hole — but now the stop is *visible*: the `stats`
+    /// verb reports `last_checkpoint=failed` instead of nothing.
+    #[must_use]
+    pub fn spawn_with(retries: u32, backoff: Duration, health: Option<Arc<Health>>) -> Snapshotter {
         let (tx, rx) = mpsc::channel::<CheckpointJob>();
         let worker = std::thread::Builder::new()
             .name("migratory-snapshotter".into())
             .spawn(move || {
                 for job in rx {
-                    job.run()?;
+                    let mut attempt = 0u32;
+                    loop {
+                        match job.run() {
+                            Ok(()) => {
+                                if let Some(h) = &health {
+                                    h.checkpoint_ok(job.seq());
+                                }
+                                break;
+                            }
+                            Err(_) if attempt < retries => {
+                                attempt += 1;
+                                std::thread::sleep(backoff.saturating_mul(attempt));
+                            }
+                            Err(e) => {
+                                if let Some(h) = &health {
+                                    h.checkpoint_failed(&e);
+                                }
+                                return Err(e);
+                            }
+                        }
+                    }
                 }
                 Ok(())
             })
@@ -1213,6 +1268,9 @@ pub struct Wal {
     /// A base snapshot exists or has been staged — increments may
     /// chain onto it.
     has_base: bool,
+    /// Injectable error schedule; default is a no-op (see
+    /// [`Wal::with_faults`]).
+    faults: IoFaults,
 }
 
 impl Wal {
@@ -1276,6 +1334,7 @@ impl Wal {
             next_seq: max_seq + 1,
             chain_seq,
             has_base,
+            faults: IoFaults::default(),
         })
     }
 
@@ -1284,9 +1343,11 @@ impl Wal {
     /// poisons later appends.
     fn append(&mut self) -> Result<(), WalError> {
         let res = (|| -> Result<(), WalError> {
+            self.faults.check(FaultSite::AppendWrite)?;
             self.log.write_all(&self.buf)?;
             self.log.flush()?;
             if self.sync {
+                self.faults.check(FaultSite::AppendSync)?;
                 self.log.sync_data()?;
             }
             Ok(())
@@ -1309,6 +1370,16 @@ impl Wal {
     #[must_use]
     pub fn with_sync(mut self, sync: bool) -> Wal {
         self.sync = sync;
+        self
+    }
+
+    /// Attach an [`IoFaults`] error schedule: every append, seal and
+    /// checkpoint of this log (and of the [`CheckpointJob`]s it stages)
+    /// consults the plan before touching the disk. The default plan
+    /// never fires.
+    #[must_use]
+    pub fn with_faults(mut self, faults: IoFaults) -> Wal {
+        self.faults = faults;
         self
     }
 
@@ -1351,6 +1422,7 @@ impl Wal {
             if self.sync {
                 self.log.sync_data()?;
             }
+            self.faults.check(FaultSite::SealRename)?;
             std::fs::rename(self.dir.join(LIVE_LOG), self.dir.join(sealed_name(seq)))?;
             self.log = std::fs::OpenOptions::new()
                 .create(true)
@@ -1366,7 +1438,7 @@ impl Wal {
         // crashed job leaves a gap in the numbering, which the recorded
         // parent link distinguishes from a genuinely lost increment).
         let parent = std::mem::replace(&mut self.chain_seq, seq);
-        Ok(CheckpointJob { dir: self.dir.clone(), seq, parent, data })
+        Ok(CheckpointJob { dir: self.dir.clone(), seq, parent, data, faults: self.faults.clone() })
     }
 
     /// Write `snap` as a new full checkpoint **synchronously**: stage
@@ -1484,6 +1556,7 @@ pub struct MemoryWal {
     log: Vec<u8>,
     base: Option<Vec<u8>>,
     deltas: Vec<Vec<u8>>,
+    faults: IoFaults,
 }
 
 impl MemoryWal {
@@ -1491,6 +1564,16 @@ impl MemoryWal {
     #[must_use]
     pub fn new() -> MemoryWal {
         MemoryWal::default()
+    }
+
+    /// Attach an [`IoFaults`] error schedule: `committed`/`certified`
+    /// consult the [`FaultSite::AppendWrite`] site before encoding,
+    /// mirroring the file-backed [`Wal`] — so ingress-level failure
+    /// policies are testable without a real disk.
+    #[must_use]
+    pub fn with_faults(mut self, faults: IoFaults) -> MemoryWal {
+        self.faults = faults;
+        self
     }
 
     /// Size of the log in bytes.
@@ -1547,10 +1630,12 @@ impl MemoryWal {
 
 impl CommitSink for MemoryWal {
     fn committed(&mut self, block: &BlockRef<'_>) -> Result<(), WalError> {
+        self.faults.check(FaultSite::AppendWrite)?;
         encode_record(&mut self.log, block)
     }
 
     fn certified(&mut self, steps: usize) -> Result<(), WalError> {
+        self.faults.check(FaultSite::AppendWrite)?;
         encode_certify_record(&mut self.log, steps);
         Ok(())
     }

@@ -7,8 +7,8 @@
 //! `src/bin/migctl.rs` only reads files and prints.
 
 use migratory_core::enforce::{
-    net, CheckpointData, EnforceError, IngressConfig, Monitor, ShardedMonitor, Snapshotter,
-    StepPolicy, Wal,
+    net, CheckpointData, DurabilityPolicy, EnforceError, Health, IngressConfig, IoFaults, Monitor,
+    ShardedMonitor, Snapshotter, StepPolicy, Wal,
 };
 use migratory_core::{
     analyze_families, decide_with_families, AnalyzeOptions, Inventory, PatternKind, RoleAlphabet,
@@ -31,7 +31,10 @@ USAGE:
   migctl serve      <schema> <transactions> --inventory <regex> [--kind K] [--component N]
                     [--addr HOST:PORT] [--shards N] [--policy P] [--queue N] [--max-block N]
                     [--durable DIR] [--recover] [--checkpoint-every B]
-  migctl client     [--addr HOST:PORT] [--script <file>] [--shutdown]
+                    [--retries N] [--retry-backoff-ms MS] [--inject PLAN]
+                    [--idle-timeout SECS] [--max-conn-bytes N] [--max-conn-ops N]
+                    [--max-connections N] [--auth TOKEN]
+  migctl client     [--addr HOST:PORT] [--script <file>] [--shutdown] [--auth TOKEN]
   migctl help
 
   <schema>        a `schema Name { class … }` file
@@ -50,10 +53,20 @@ serve       admits transactions over TCP (docs/PROTOCOL.md) through the sharded
             ingress; --durable DIR write-ahead-logs every block and runs
             background incremental checkpoints every B blocks (default 16);
             --recover resumes from DIR's checkpoint chain + WAL tail.
+            Failing appends/checkpoints retry --retries times (default 4) with
+            --retry-backoff-ms linear backoff (default 20); persistent failure
+            degrades the server to read-only until an operator sends `rearm`.
+            Connection supervision: --idle-timeout reaps silent peers,
+            --max-conn-bytes/--max-conn-ops bound one connection's traffic,
+            --max-connections caps live sockets, --auth requires a shared-secret
+            `auth TOKEN` handshake. --inject PLAN schedules deterministic I/O
+            faults for testing (comma-separated site@N[:K|:persistent]; sites
+            append|sync|seal|ckpt-write|ckpt-sync|ckpt-rename|ckpt-prune).
             Runs until a client sends the `shutdown` verb.
 client      drives a serve endpoint: --script sends each line as an `invoke`
-            (pipelined, replies in order), --shutdown asks the server to drain;
-            with neither, forwards raw protocol lines from stdin
+            (pipelined, replies in order), --shutdown asks the server to drain,
+            --auth performs the handshake first; with neither script nor
+            shutdown, forwards raw protocol lines from stdin
 ";
 
 /// Parse a `--kind` value.
@@ -253,6 +266,9 @@ pub fn cmd_enforce(
             Err(EnforceError::Durability(e)) => {
                 return Err(format!("logging {name}: {e}"));
             }
+            Err(EnforceError::Degraded(e)) => {
+                return Err(format!("applying {name}: {e}"));
+            }
         }
     }
     out.push_str(&format!(
@@ -285,11 +301,27 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
     let queue = flags.usize_or("queue", 1024)?;
     let max_block = flags.usize_or("max-block", 256)?;
     let checkpoint_every = flags.usize_or("checkpoint-every", 16)?;
+    let retries = flags.usize_or("retries", 4)?;
+    let backoff = std::time::Duration::from_millis(flags.usize_or("retry-backoff-ms", 20)? as u64);
+    let idle_timeout = flags.usize_or("idle-timeout", 0)?;
+    let max_conn_bytes = flags.usize_or("max-conn-bytes", 0)?;
+    let max_conn_ops = flags.usize_or("max-conn-ops", 0)?;
+    let max_connections = flags.usize_or("max-connections", 0)?;
+    let auth = flags.get("auth").map(str::to_owned);
     let durable = flags.get("durable");
     let recover = flags.get("recover").is_some();
     if recover && durable.is_none() {
         return Err("--recover requires --durable DIR".to_owned());
     }
+    let faults = match flags.get("inject") {
+        Some(plan) => {
+            if durable.is_none() {
+                return Err("--inject requires --durable DIR (faults target the WAL)".to_owned());
+            }
+            Some(IoFaults::parse(plan).map_err(|e| format!("--inject: {e}"))?)
+        }
+        None => None,
+    };
 
     // Build the monitor: fresh, or rebuilt from the checkpoint chain +
     // WAL tail (no history replay). Recovery restores the policy the
@@ -322,13 +354,20 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
     // directory has none (first run, or a crash killed the base job).
     let wal = match durable {
         Some(dir) => {
-            let wal = Arc::new(Mutex::new(Wal::open(dir).map_err(|e| format!("{dir}: {e}"))?));
+            let mut w = Wal::open(dir).map_err(|e| format!("{dir}: {e}"))?;
+            if let Some(faults) = &faults {
+                w = w.with_faults(faults.clone());
+            }
+            let wal = Arc::new(Mutex::new(w));
             monitor = monitor.with_sink(wal.clone());
             Some(wal)
         }
         None => None,
     };
-    let mut snapshotter = wal.as_ref().map(|_| Snapshotter::spawn());
+    let health = Arc::new(Health::new());
+    let mut snapshotter = wal
+        .as_ref()
+        .map(|_| Snapshotter::spawn_with(retries as u32, backoff, Some(health.clone())));
     if let (Some(wal), Some(snapshotter)) = (&wal, &mut snapshotter) {
         if !wal.lock().expect("wal poisoned").has_base() {
             let job = wal
@@ -362,23 +401,39 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
     let config = net::ServerConfig {
         ingress: IngressConfig { queue_capacity: queue, max_block },
         checkpoint_every: if wal.is_some() { checkpoint_every } else { 0 },
+        idle_timeout: (idle_timeout > 0)
+            .then(|| std::time::Duration::from_secs(idle_timeout as u64)),
+        max_conn_bytes: max_conn_bytes as u64,
+        max_conn_ops: max_conn_ops as u64,
+        max_connections,
+        auth,
+        durability: DurabilityPolicy { retries: retries as u32, backoff },
         ..Default::default()
     };
     let maintenance_wal = wal.clone();
+    let maintenance_health = health.clone();
     let snapshotter_slot = &mut snapshotter;
-    let stats = net::serve(listener, &mut monitor, &ts, &config, move |m| {
+    let stats = net::serve_guarded(listener, &mut monitor, &ts, &config, &health, move |m| {
         let (Some(wal), Some(snapshotter)) = (&maintenance_wal, snapshotter_slot.as_mut()) else {
             return;
         };
         let delta = m.checkpoint_delta();
+        let touched = delta.oids();
         match wal.lock().expect("wal poisoned").begin_checkpoint(CheckpointData::Incremental(delta))
         {
             Ok(job) => {
                 if let Err(e) = snapshotter.submit(job) {
+                    maintenance_health.checkpoint_failed(&e);
                     eprintln!("migctl serve: background checkpoint failed: {e}");
                 }
             }
-            Err(e) => eprintln!("migctl serve: could not stage checkpoint: {e}"),
+            Err(e) => {
+                // The drained delta never reached the chain: restore the
+                // dirty tracking so the next cadence re-captures it.
+                m.restore_dirty(&touched);
+                maintenance_health.checkpoint_failed(&e);
+                eprintln!("migctl serve: could not stage checkpoint: {e}");
+            }
         }
     })
     .map_err(|e| format!("serving on {local}: {e}"))?;
@@ -396,9 +451,20 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
             .run()
             .map_err(|e| format!("final checkpoint: {e}"))?;
     }
+    let mut notes = String::new();
+    if health.is_degraded() {
+        notes.push_str(&format!(
+            "\nserver was DEGRADED (read-only) at shutdown: {}",
+            health.reason()
+        ));
+    }
+    if let Some(what) = health.checkpoint().failed {
+        notes.push_str(&format!("\nbackground checkpointing had failed: {what}"));
+    }
     Ok(format!(
         "drained: {} connection(s), {} request(s) — {} admitted, {} rejected, {} error(s)\n\
-         {} block(s) over {} lane(s); clocks {:?}; {} object(s) live{}\n",
+         {} block(s) over {} lane(s); {} refused while degraded, {} append retry(ies); \
+         clocks {:?}; {} object(s) live{}{}\n",
         stats.connections,
         stats.requests,
         stats.admitted,
@@ -406,9 +472,12 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
         stats.errors,
         stats.ingress.blocks,
         stats.ingress.lanes,
+        stats.ingress.refused,
+        stats.ingress.retries,
         monitor.clocks(),
         monitor.db().num_objects(),
         if wal.is_some() { "; final checkpoint written" } else { "" },
+        notes,
     ))
 }
 
@@ -427,6 +496,18 @@ pub fn cmd_client(flags: &Flags, script: Option<&str>) -> Result<String, String>
         .lines()
         .map(|l| l.map_err(|e| format!("reading reply: {e}")));
     let mut writer = std::io::BufWriter::new(conn);
+
+    // Shared-secret handshake first: everything but `auth` is refused
+    // until the server has seen the token, so send it eagerly and fail
+    // fast on a bad secret before pipelining real work.
+    if let Some(token) = flags.get("auth") {
+        writeln!(writer, "auth {token}").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let reply = reader.next().ok_or("server closed before answering auth")??;
+        if reply.split_whitespace().next() != Some("ok") {
+            return Err(format!("auth failed: {reply}"));
+        }
+    }
 
     if let Some(src) = script {
         // Scripted: pipeline every request, then read the replies in

@@ -59,6 +59,7 @@ fn delta_engine_equals_reference_engine_on_random_runs() {
                 Err(EnforceError::Violation(_)) => rejections += 1,
                 Err(EnforceError::Lang(e)) => panic!("unexpected lang error {e}"),
                 Err(EnforceError::Durability(e)) => panic!("unexpected wal error {e}"),
+                Err(EnforceError::Degraded(e)) => panic!("unexpected degraded state {e}"),
             }
         }
         // Recorded patterns agree for every object that ever existed.
@@ -206,6 +207,7 @@ fn sharded_monitor_equals_reference_engine_on_random_runs() {
                 Err(EnforceError::Violation(_)) => rejections += 1,
                 Err(EnforceError::Lang(e)) => panic!("unexpected lang error {e}"),
                 Err(EnforceError::Durability(e)) => panic!("unexpected wal error {e}"),
+                Err(EnforceError::Degraded(e)) => panic!("unexpected degraded state {e}"),
             }
         }
         for oid in 1..=sharded.db().next_oid().0 {
@@ -363,6 +365,7 @@ fn sharded_clocks_equal_per_shard_reference_oracles() {
                 Err(EnforceError::Violation(_)) => rejections += 1,
                 Err(EnforceError::Lang(e)) => panic!("unexpected lang error {e}"),
                 Err(EnforceError::Durability(e)) => panic!("unexpected wal error {e}"),
+                Err(EnforceError::Degraded(e)) => panic!("unexpected degraded state {e}"),
             }
             // Every shard's clock equals its oracle's global step count.
             for (i, oracle) in oracles.oracles.iter().enumerate() {

@@ -1,0 +1,290 @@
+//! The fault matrix: every injectable I/O site × {transient, persistent},
+//! exercised under pipelined load through the real admission path
+//! (`enforce::ingress::serve_guarded` with a real on-disk [`Wal`]).
+//!
+//! The invariants this file locks down:
+//!
+//! * **No lying acks.** In durable mode, `ok` is never sent for an op
+//!   whose block did not reach the WAL — after every injected failure,
+//!   folding the directory back equals a fresh monitor fed exactly the
+//!   acked ops, byte for byte (the uncrashed oracle).
+//! * **Transient faults are absorbed.** A fault that clears within the
+//!   retry budget costs retries, never acks and never degrades.
+//! * **Persistent append faults degrade, visibly.** The server flips to
+//!   read-only, refuses loudly, and resumes after the operator clears
+//!   the fault and re-arms — with the resumed acks durable too.
+//! * **Checkpoint faults never block admission.** A dead checkpoint
+//!   pipeline surfaces in [`Health`], while appends (and therefore
+//!   acks) keep flowing, and recovery still replays the uncovered log.
+
+use migratory::core::enforce::{
+    ingress, CheckpointData, DurabilityPolicy, EnforceError, FaultKind, FaultSite, Health,
+    IngressConfig, IoFaults, ShardedMonitor, Snapshotter, Wal,
+};
+use migratory::core::{Inventory, PatternKind, RoleAlphabet};
+use migratory::lang::{parse_transactions, Assignment};
+use migratory::model::text::parse_schema;
+use migratory::model::Value;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const SCHEMA: &str = r"
+schema Uni {
+  class PERSON { SSN }
+  class STUDENT isa PERSON { }
+}";
+const TX: &str = "transaction Mk(x) { create(PERSON, { SSN = x }); }";
+const INV: &str = "∅* [PERSON]* ∅*";
+const SHARDS: usize = 2;
+
+/// What a run of one matrix cell observed.
+struct Outcome {
+    /// Keys whose ops were acknowledged `ok`, in admission order.
+    acked: Vec<String>,
+    /// Ops refused with `EnforceError::Degraded`.
+    refused: usize,
+    /// Whether the server entered degraded mode at any point.
+    degraded: bool,
+    /// Append retries spent by the admission worker.
+    retries: usize,
+    /// The sticky checkpoint failure, if the pipeline recorded one.
+    checkpoint_failed: Option<String>,
+    /// Result of `Snapshotter::finish` (Err = the worker gave up).
+    finish_failed: bool,
+}
+
+/// A fresh monitor fed exactly `acked`, in order — the uncrashed oracle.
+fn oracle(acked: &[String]) -> Vec<u8> {
+    let schema = parse_schema(SCHEMA).unwrap();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, INV).unwrap();
+    let ts = parse_transactions(&schema, TX).unwrap();
+    let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, SHARDS);
+    for key in acked {
+        m.try_apply(ts.get("Mk").unwrap(), &Assignment::new(vec![Value::str(key)]))
+            .expect("acked ops conform");
+    }
+    m.snapshot().encode()
+}
+
+/// Fold the WAL directory back and return the canonical state bytes.
+fn recovered(dir: &std::path::Path) -> Vec<u8> {
+    let schema = parse_schema(SCHEMA).unwrap();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, INV).unwrap();
+    let (snap, tail) = Wal::load(dir).expect("load survives any injected failure");
+    ShardedMonitor::recover(&schema, &alphabet, &inv, PatternKind::All, SHARDS, snap, tail)
+        .expect("recover")
+        .snapshot()
+        .encode()
+}
+
+/// Run one matrix cell: serve 16 pipelined creations (one per block,
+/// so WAL calls are deterministic) with `site` scheduled to fail from
+/// its `from_nth`-th call on, incremental checkpoints every 2 blocks,
+/// an append retry budget of 2 and a checkpoint retry budget of 3. If
+/// the run degrades, clear the fault, re-arm, and push 4 more ops.
+fn run_case(dir: &std::path::Path, site: FaultSite, from_nth: u64, kind: FaultKind) -> Outcome {
+    let schema = parse_schema(SCHEMA).unwrap();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, INV).unwrap();
+    let ts = parse_transactions(&schema, TX).unwrap();
+    let mut monitor = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, SHARDS);
+
+    let faults = IoFaults::new().fail(site, from_nth, kind);
+    let wal = Wal::open(dir).unwrap().with_sync(true).with_faults(faults.clone());
+    let wal = Arc::new(Mutex::new(wal));
+    monitor = monitor.with_sink(wal.clone());
+    let health = Arc::new(Health::new());
+    let mut snapshotter =
+        Snapshotter::spawn_with(3, Duration::from_millis(1), Some(health.clone()));
+    let base = wal
+        .lock()
+        .unwrap()
+        .begin_checkpoint(CheckpointData::Full(monitor.checkpoint_full()))
+        .expect("staging the base checkpoint does no I/O");
+    snapshotter.submit(base).unwrap();
+
+    let policy = DurabilityPolicy { retries: 2, backoff: Duration::from_millis(1) };
+    let config = IngressConfig { queue_capacity: 64, max_block: 1 };
+    let maintenance_wal = wal.clone();
+    let maintenance_health = health.clone();
+    let snapshotter_slot = &mut snapshotter;
+    let ((acked, refused, degraded), stats) = ingress::serve_guarded(
+        &mut monitor,
+        &config,
+        &policy,
+        &health,
+        2,
+        move |m| {
+            let delta = m.checkpoint_delta();
+            let touched = delta.oids();
+            match maintenance_wal
+                .lock()
+                .unwrap()
+                .begin_checkpoint(CheckpointData::Incremental(delta))
+            {
+                Ok(job) => {
+                    if let Err(e) = snapshotter_slot.submit(job) {
+                        maintenance_health.checkpoint_failed(&e);
+                    }
+                }
+                Err(e) => {
+                    // The drained delta never reached the chain: restore
+                    // the dirty tracking or the next prune loses it.
+                    m.restore_dirty(&touched);
+                    maintenance_health.checkpoint_failed(&e);
+                }
+            }
+        },
+        |client| {
+            let mk = ts.get("Mk").unwrap();
+            let post = |k: &str| client.post(mk, Assignment::new(vec![Value::str(k)]));
+            let mut acked = Vec::new();
+            let mut refused = 0usize;
+            for batch in 0..4 {
+                // Pipelined: a whole window is in flight before the
+                // first reply is read.
+                let keys: Vec<String> = (0..4).map(|i| format!("k{batch}{i}")).collect();
+                let tickets: Vec<_> = keys.iter().map(|k| post(k)).collect();
+                for (key, ticket) in keys.iter().zip(tickets) {
+                    match ticket.wait() {
+                        Ok(()) => acked.push(key.clone()),
+                        Err(EnforceError::Degraded(_)) => refused += 1,
+                        Err(e) => panic!("injected faults surface as ok or degraded, got {e}"),
+                    }
+                }
+            }
+            // Operator story: a degraded server resumes after the fault
+            // is cleared ("disk replaced") and the flag re-armed — and
+            // the resumed acks must be just as durable.
+            let degraded = health.is_degraded();
+            if degraded {
+                faults.clear();
+                assert!(health.rearm(), "the degraded flag was set");
+                for i in 0..4 {
+                    let key = format!("r{i}");
+                    post(&key).wait().expect("a re-armed server admits again");
+                    acked.push(key);
+                }
+            }
+            (acked, refused, degraded)
+        },
+    );
+    let finish_failed = snapshotter.finish().is_err();
+    drop(monitor);
+    Outcome {
+        acked,
+        refused,
+        degraded,
+        retries: stats.retries,
+        checkpoint_failed: health.checkpoint().failed,
+        finish_failed,
+    }
+}
+
+/// One scratch directory per cell, torn down on success.
+fn with_dir(name: &str, f: impl FnOnce(&std::path::Path)) {
+    let dir = std::env::temp_dir().join(format!("migratory-faults-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    f(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Append-path sites fail the op's own WAL call; checkpoint-path sites
+/// fail the background pipeline. Each has its own contract.
+fn is_append_site(site: FaultSite) -> bool {
+    matches!(site, FaultSite::AppendWrite | FaultSite::AppendSync)
+}
+
+#[test]
+fn every_site_transient_is_absorbed_and_byte_identical() {
+    for site in FaultSite::ALL {
+        // Append calls are per-op (from the 6th op); checkpoint calls
+        // are per-job (from the 2nd job, so the base succeeds).
+        let from_nth = if is_append_site(site) { 6 } else { 2 };
+        with_dir(&format!("t-{site}"), |dir| {
+            let out = run_case(dir, site, from_nth, FaultKind::Transient(1));
+            assert_eq!(out.acked.len(), 16, "{site}: a transient fault loses no ops");
+            assert_eq!(out.refused, 0, "{site}: a transient fault refuses nothing");
+            assert!(!out.degraded, "{site}: a transient fault never degrades");
+            if is_append_site(site) {
+                assert!(out.retries >= 1, "{site}: the absorbed failure cost a retry");
+                assert!(out.checkpoint_failed.is_none(), "{site}: checkpoints unaffected");
+                assert!(!out.finish_failed, "{site}: the snapshotter outlives the fault");
+            }
+            // Staging faults (seal) are recorded even when the next
+            // cadence succeeds; job-side faults are retried invisibly.
+            if matches!(
+                site,
+                FaultSite::CheckpointWrite
+                    | FaultSite::CheckpointSync
+                    | FaultSite::CheckpointRename
+                    | FaultSite::CheckpointPrune
+            ) {
+                assert!(out.checkpoint_failed.is_none(), "{site}: absorbed by the job retry");
+                assert!(!out.finish_failed, "{site}: the snapshotter outlives the fault");
+            }
+            assert_eq!(
+                recovered(dir),
+                oracle(&out.acked),
+                "{site}: recovery must be byte-identical to the acked history"
+            );
+        });
+    }
+}
+
+#[test]
+fn persistent_append_faults_degrade_then_resume_byte_identical() {
+    for site in [FaultSite::AppendWrite, FaultSite::AppendSync] {
+        with_dir(&format!("p-{site}"), |dir| {
+            let out = run_case(dir, site, 6, FaultKind::Persistent);
+            // Ops 1–5 appended; op 6 exhausted its 2 retries and
+            // degraded the server; ops 6–16 were refused; the 4
+            // post-re-arm ops were admitted again.
+            assert!(out.degraded, "{site}: a persistent append fault degrades");
+            assert_eq!(out.acked.len(), 5 + 4, "{site}: acked = pre-fault + post-re-arm");
+            assert_eq!(out.refused, 11, "{site}: everything in between refused loudly");
+            assert_eq!(out.retries, 2, "{site}: the budget was spent before degrading");
+            assert!(out.checkpoint_failed.is_none(), "{site}: checkpoints unaffected");
+            assert_eq!(
+                recovered(dir),
+                oracle(&out.acked),
+                "{site}: refusals leave no trace; resumed acks are durable"
+            );
+        });
+    }
+}
+
+#[test]
+fn persistent_checkpoint_faults_surface_without_blocking_admission() {
+    for site in [
+        FaultSite::SealRename,
+        FaultSite::CheckpointWrite,
+        FaultSite::CheckpointSync,
+        FaultSite::CheckpointRename,
+        FaultSite::CheckpointPrune,
+    ] {
+        with_dir(&format!("p-{site}"), |dir| {
+            let out = run_case(dir, site, 2, FaultKind::Persistent);
+            assert_eq!(out.acked.len(), 16, "{site}: checkpoint faults never refuse writes");
+            assert_eq!(out.refused, 0, "{site}: admission is not the checkpoint pipeline");
+            assert!(!out.degraded, "{site}: degraded mode is for the append path");
+            assert!(
+                out.checkpoint_failed.is_some(),
+                "{site}: a dead checkpoint pipeline is visible, not silent"
+            );
+            if !matches!(site, FaultSite::SealRename) {
+                // The worker exhausted its retries and stopped; seal
+                // faults fail at staging, so the worker never sees them.
+                assert!(out.finish_failed, "{site}: finish reports the job the worker gave up on");
+            }
+            assert_eq!(
+                recovered(dir),
+                oracle(&out.acked),
+                "{site}: the uncovered log replays — nothing acked is lost"
+            );
+        });
+    }
+}

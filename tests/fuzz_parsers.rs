@@ -124,6 +124,125 @@ fn schema_text_roundtrip() {
     assert_eq!(ts.transactions(), back.transactions());
 }
 
+// ---------------------------------------------------------------------
+// Wire grammar (`enforce::net`)
+// ---------------------------------------------------------------------
+
+use migratory::core::enforce::net::{self, ServerConfig};
+use migratory::core::enforce::ShardedMonitor;
+use migratory::core::{Inventory, PatternKind};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The wire argument grammar returns `Err`, never panics.
+    #[test]
+    fn invocation_parser_never_panics(src in soup()) {
+        let _ = net::parse_invocation(&src);
+    }
+
+    /// Byte-level mutations of valid invocations never panic either —
+    /// the grammar must be byte-hostile, not just token-hostile.
+    #[test]
+    fn mutated_invocations_never_panic(
+        pick in 0usize..4,
+        flips in proptest::collection::vec((0usize..64, 0u16..256), 0..8),
+    ) {
+        const VALID: [&str; 4] = [
+            r#"Mk(k1, "a name")"#,
+            r#"St("quoted, with comma", 42)"#,
+            "Rm(-17)",
+            "Up(a, b, c, d)",
+        ];
+        let mut bytes = VALID[pick].as_bytes().to_vec();
+        for (idx, b) in flips {
+            let i = idx % bytes.len();
+            bytes[i] = u8::try_from(b).expect("strategy range fits a byte");
+        }
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = net::parse_invocation(&line);
+    }
+}
+
+/// Garbage over a live socket: every reply's first token is
+/// `ok`/`violation`/`error`, a hostile connection never takes the
+/// server down, and a fresh connection still gets clean service
+/// afterwards. (CI runs this as its wire-fuzz smoke.)
+#[test]
+fn wire_soup_never_kills_the_server() {
+    use std::io::{BufRead, BufReader, Write};
+    let schema = university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }"#,
+    )
+    .unwrap();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 2);
+            net::serve(listener, &mut m, &ts, &ServerConfig::default(), |_| {}).unwrap()
+        });
+        // A deterministic pile of hostile lines: truncations, splices,
+        // reversals and byte noise around valid requests. None may start
+        // with `quit`/`shutdown` — those would end the run early.
+        let valid = ["invoke Mk(k)", "stats", "ping", "schema", r#"invoke Mk("q uo")"#];
+        let mut lines: Vec<String> = Vec::new();
+        for (i, v) in valid.iter().enumerate() {
+            for cut in [1, v.len() / 2, v.len() - 1] {
+                lines.push(v[..cut].to_owned());
+            }
+            lines.push(format!("{v}{v}"));
+            lines.push(v.replace('(', "))((").replace(' ', "\t"));
+            let mut twisted: Vec<u8> = v.bytes().rev().collect();
+            let at = i % twisted.len();
+            twisted[at] = 0xff_u8.wrapping_sub(i as u8);
+            lines.push(String::from_utf8_lossy(&twisted).into_owned());
+        }
+        lines.extend(
+            ["∅∪λ %!<>;;", "invoke", "invoke ", "auth", "rearm extra junk", "invoke Mk("]
+                .map(str::to_owned),
+        );
+        let hostile = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = hostile.try_clone().unwrap();
+        let mut replies = BufReader::new(hostile).lines();
+        for line in &lines {
+            let head = line.trim_start();
+            assert!(
+                !head.starts_with("quit") && !head.starts_with("shutdown"),
+                "corpus bug: `{line}` would end the session"
+            );
+            writeln!(writer, "{line}").unwrap();
+            if head.is_empty() || head.starts_with('#') {
+                continue; // blanks and comments get no reply
+            }
+            let reply = replies.next().expect("a reply per request").expect("replies are UTF-8");
+            let first = reply.split_whitespace().next().unwrap_or("");
+            assert!(
+                matches!(first, "ok" | "violation" | "error"),
+                "unexpected reply `{reply}` to `{line}`"
+            );
+        }
+        // Raw non-UTF-8 bytes end this connection cleanly…
+        writer.write_all(&[0xc3, 0x28, 0xff, 0xfe, b'\n']).unwrap();
+        writer.flush().unwrap();
+        drop(writer);
+        for _ in replies {} // drain to EOF: the server closed, not crashed
+                            // …and a fresh connection still gets clean service.
+        let fresh = std::net::TcpStream::connect(addr).unwrap();
+        let mut w = fresh.try_clone().unwrap();
+        let mut r = BufReader::new(fresh).lines();
+        writeln!(w, "ping").unwrap();
+        assert_eq!(r.next().unwrap().unwrap(), "ok pong");
+        writeln!(w, "shutdown").unwrap();
+        assert_eq!(r.next().unwrap().unwrap(), "ok draining");
+        server.join().unwrap();
+    });
+}
+
 /// Error values (not panics) for representative malformed inputs, each
 /// with a position or message a user can act on.
 #[test]

@@ -349,6 +349,255 @@ fn kill_recover_reserve_roundtrip_is_byte_identical() {
 }
 
 // ---------------------------------------------------------------------
+// Connection supervision: idle timeout, quotas, cap, auth
+// ---------------------------------------------------------------------
+
+/// A stalled peer is reaped by the idle timeout with one error reply,
+/// while a concurrent well-behaved connection's FIFO is undisturbed.
+#[test]
+fn idle_timeout_reaps_stalled_peer_without_disturbing_others() {
+    let s = multi_schema();
+    let a = RoleAlphabet::new(&s, 0).unwrap();
+    let inv = Inventory::parse_init(&s, &a, "∅* [R0]* ∅*").unwrap();
+    let ts = multi_transactions(&s);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stats = std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let config = ServerConfig {
+                idle_timeout: Some(std::time::Duration::from_millis(150)),
+                ..Default::default()
+            };
+            let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
+            net::serve(listener, &mut m, &ts, &config, |_| {}).unwrap()
+        });
+        let stalled = Client::connect(addr);
+        let mut active = Client::connect(addr);
+        // The active connection works, in order, for well past the idle
+        // timeout — each of its requests resets its own clock.
+        for i in 0..30 {
+            assert_eq!(active.ask(&format!("invoke Mk0(a{i})")), "ok", "survivor keeps FIFO");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let replies = stalled.drain_to_eof();
+        assert_eq!(replies.len(), 1, "one reaping error, then EOF: {replies:?}");
+        assert!(
+            replies[0].starts_with("error idle timeout after"),
+            "the peer is told why: {}",
+            replies[0]
+        );
+        assert_eq!(active.ask("invoke Mk0(tail)"), "ok", "survivor unaffected by the reap");
+        assert_eq!(active.ask("shutdown"), "ok draining");
+        server.join().unwrap()
+    });
+    assert_eq!(stats.admitted, 31);
+    assert_eq!(stats.errors, 1, "the reap is the only error");
+}
+
+/// A peer that exceeds its request quota mid-pipeline gets every
+/// already-read request answered in order, then one quota error, then
+/// EOF — and a fresh connection starts with a fresh quota.
+#[test]
+fn op_quota_tears_down_peer_with_inflight_answered() {
+    let s = multi_schema();
+    let a = RoleAlphabet::new(&s, 0).unwrap();
+    let inv = Inventory::parse_init(&s, &a, "∅* [R0]* ∅*").unwrap();
+    let ts = multi_transactions(&s);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let config = ServerConfig { max_conn_ops: 3, ..Default::default() };
+            let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
+            net::serve(listener, &mut m, &ts, &config, |_| {}).unwrap()
+        });
+        let mut c = Client::connect(addr);
+        let mut burst = String::new();
+        for i in 0..6 {
+            burst.push_str(&format!("invoke Mk0(q{i})\n"));
+        }
+        c.writer.write_all(burst.as_bytes()).unwrap();
+        let replies = c.drain_to_eof();
+        assert_eq!(replies.len(), 4, "3 in-flight answers + the quota error: {replies:?}");
+        assert!(replies[..3].iter().all(|r| r == "ok"), "in-flight tickets answered: {replies:?}");
+        assert_eq!(replies[3], "error connection request quota exceeded (3 requests); closing");
+        let mut c2 = Client::connect(addr);
+        assert_eq!(c2.ask("invoke Mk0(fresh)"), "ok", "quotas are per-connection");
+        assert_eq!(c2.ask("shutdown"), "ok draining");
+        server.join().unwrap();
+    });
+}
+
+/// Same teardown contract for the byte quota: the line that crosses the
+/// budget is refused, everything read before it was answered.
+#[test]
+fn byte_quota_tears_down_peer_with_inflight_answered() {
+    let s = multi_schema();
+    let a = RoleAlphabet::new(&s, 0).unwrap();
+    let inv = Inventory::parse_init(&s, &a, "∅* [R0]* ∅*").unwrap();
+    let ts = multi_transactions(&s);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            // Each "invoke Mk0(bN)\n" line is 15 bytes: 4 fit in 64,
+            // the 5th crosses the budget.
+            let config = ServerConfig { max_conn_bytes: 64, ..Default::default() };
+            let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
+            net::serve(listener, &mut m, &ts, &config, |_| {}).unwrap()
+        });
+        let mut c = Client::connect(addr);
+        let mut burst = String::new();
+        for i in 0..6 {
+            burst.push_str(&format!("invoke Mk0(b{i})\n"));
+        }
+        c.writer.write_all(burst.as_bytes()).unwrap();
+        let replies = c.drain_to_eof();
+        assert_eq!(replies.len(), 5, "4 in-flight answers + the quota error: {replies:?}");
+        assert!(replies[..4].iter().all(|r| r == "ok"), "in-flight tickets answered: {replies:?}");
+        assert_eq!(replies[4], "error connection byte quota exceeded (64 bytes); closing");
+        let mut c2 = Client::connect(addr);
+        assert_eq!(c2.ask("shutdown"), "ok draining");
+        server.join().unwrap();
+    });
+}
+
+/// Excess sockets beyond the connection cap are refused at accept with
+/// one error line; the live connection is untouched.
+#[test]
+fn connection_cap_refuses_excess_sockets() {
+    let s = multi_schema();
+    let a = RoleAlphabet::new(&s, 0).unwrap();
+    let inv = Inventory::parse_init(&s, &a, "∅* [R0]* ∅*").unwrap();
+    let ts = multi_transactions(&s);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let config = ServerConfig { max_connections: 1, ..Default::default() };
+            let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
+            net::serve(listener, &mut m, &ts, &config, |_| {}).unwrap()
+        });
+        let mut keeper = Client::connect(addr);
+        // A round trip guarantees the keeper is registered before the
+        // excess socket races it to the accept loop.
+        assert_eq!(keeper.ask("ping"), "ok pong");
+        let extra = Client::connect(addr);
+        let replies = extra.drain_to_eof();
+        assert_eq!(replies, vec!["error server at connection capacity (1)".to_owned()]);
+        assert_eq!(keeper.ask("invoke Mk0(kept)"), "ok", "the live connection is untouched");
+        assert_eq!(keeper.ask("shutdown"), "ok draining");
+        server.join().unwrap();
+    });
+}
+
+/// With a shared secret configured, nothing but the correct handshake
+/// is served — wrong verb and wrong token both disconnect after one
+/// uninformative error; the right token unlocks every verb.
+#[test]
+fn auth_gate_refuses_until_handshake() {
+    let s = multi_schema();
+    let a = RoleAlphabet::new(&s, 0).unwrap();
+    let inv = Inventory::parse_init(&s, &a, "∅* [R0]* ∅*").unwrap();
+    let ts = multi_transactions(&s);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let config = ServerConfig { auth: Some("sesame".to_owned()), ..Default::default() };
+            let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
+            net::serve(listener, &mut m, &ts, &config, |_| {}).unwrap()
+        });
+        let mut c = Client::connect(addr);
+        c.send("invoke Mk0(x)");
+        let replies = c.drain_to_eof();
+        assert_eq!(
+            replies,
+            vec!["error authentication required (send `auth <token>` first)".to_owned()],
+            "an unauthed verb is refused and disconnected"
+        );
+        let mut c = Client::connect(addr);
+        c.send("auth wrong");
+        let replies = c.drain_to_eof();
+        assert_eq!(replies.len(), 1, "{replies:?}");
+        assert!(
+            replies[0].starts_with("error authentication required"),
+            "a wrong token gets the same uninformative refusal: {}",
+            replies[0]
+        );
+        let mut c = Client::connect(addr);
+        assert_eq!(c.ask("auth sesame"), "ok authed");
+        assert_eq!(c.ask("ping"), "ok pong");
+        assert_eq!(c.ask("invoke Mk0(in)"), "ok");
+        assert_eq!(c.ask("auth sesame"), "ok authed", "re-auth is a harmless no-op");
+        assert_eq!(c.ask("shutdown"), "ok draining");
+        server.join().unwrap();
+    });
+}
+
+// ---------------------------------------------------------------------
+// Degraded read-only mode over the wire, through the real binary
+// ---------------------------------------------------------------------
+
+/// Persistent write-ahead failure mid-stream degrades the server to
+/// read-only over the wire: acked work stays durable, later writes are
+/// refused loudly, `stats` reports it, `rearm` clears it, and recovery
+/// is byte-identical to exactly the acked prefix.
+#[test]
+fn persistent_append_failure_degrades_to_read_only() {
+    let dir = std::env::temp_dir().join(format!("migratory-degraded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal_dir = dir.join("wal");
+    let (mut child, addr) = spawn_serve(
+        &dir,
+        &[
+            "--durable",
+            wal_dir.to_str().unwrap(),
+            "--max-block",
+            "1", // one op per block: WAL appends are deterministic
+            "--retries",
+            "1",
+            "--retry-backoff-ms",
+            "1",
+            "--inject",
+            "append@4:persistent",
+        ],
+    );
+    let mut script: Vec<(&str, String)> = Vec::new();
+    {
+        let mut c = Client::connect(&*addr);
+        for i in 0..3 {
+            let key = format!("k{i}");
+            assert_eq!(c.ask(&format!("invoke Mk({key})")), "ok");
+            script.push(("Mk", key));
+        }
+        // Append #4 fails and so does its one retry: the server refuses
+        // rather than ack what never reached the log.
+        let reply = c.ask("invoke Mk(k3)");
+        assert!(reply.starts_with("error degraded (read-only):"), "{reply}");
+        let reply = c.ask("invoke Mk(k4)");
+        assert!(reply.starts_with("error degraded (read-only):"), "refused fast: {reply}");
+        let st = c.ask("stats");
+        assert!(st.contains("degraded=yes"), "stats surface the state: {st}");
+        assert_eq!(c.ask("ping"), "ok pong", "read verbs still answer");
+        assert_eq!(c.ask("rearm"), "ok armed");
+        let st = c.ask("stats");
+        assert!(st.contains("degraded=no"), "re-armed: {st}");
+        assert_eq!(c.ask("shutdown"), "ok draining");
+    }
+    let status = child.wait().expect("server drains and exits");
+    assert!(status.success(), "a degraded run still drains cleanly");
+    let script_refs: Vec<(&str, &str)> = script.iter().map(|(n, k)| (*n, k.as_str())).collect();
+    assert_eq!(
+        recovered_state(&wal_dir),
+        expected_state(&script_refs),
+        "the degraded refusals left no trace — only acked ops are durable"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
 // docs/PROTOCOL.md conformance
 // ---------------------------------------------------------------------
 
