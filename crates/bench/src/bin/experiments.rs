@@ -69,12 +69,12 @@ fn main() {
         persist_row(
             &[(10_000, 16_384, 512), (100_000, 32_768, 512), (1_000_000, 131_072, 512)],
             &[(4_096, 16_384, 4)],
-            &[(4_096, 16_384)],
-            &[1, 4, 16],
+            &[(4_096, 65_536)],
+            &[1, 16, 256, 1_024],
         );
     }
     if which == "serve" {
-        serve_rows(&[(4_096, 16_384)], &[1, 4, 16]);
+        serve_rows(&[(4_096, 65_536)], &[1, 16, 256, 1_024]);
     }
     if which == "smoke" {
         // Tiny versions of the new workloads — the CI bench-smoke entry.
@@ -782,8 +782,9 @@ fn ingress_rows(configs: &[(usize, usize, usize)]) -> String {
 /// moving from linked callers to network-shaped callers that share
 /// nothing with the engine but the protocol. `(objects per component,
 /// ops)` per config; each config is measured at every connection count
-/// in `conn_counts` (pipelined clients, `migratory-bench`'s
-/// [`drive_tcp`] driver) plus one WAL-durable run at the middle
+/// in `conn_counts`, in both wire dialects (text `invoke` lines and
+/// length-prefixed binary frames, `migratory-bench`'s epoll-multiplexed
+/// [`drive_tcp_mux`] driver), plus one WAL-durable run at the middle
 /// connection count. Returns the `serve` JSON fragment.
 fn serve_rows(configs: &[(usize, usize)], conn_counts: &[usize]) -> String {
     use migratory_core::enforce::{net, IngressConfig, ShardedMonitor, StepPolicy, Wal};
@@ -792,8 +793,8 @@ fn serve_rows(configs: &[(usize, usize)], conn_counts: &[usize]) -> String {
 
     println!("== perf-serve: admission over TCP vs in-process ingress ==");
     println!(
-        "{:>10} {:>8} {:>6} {:>12} {:>12} {:>14}",
-        "objects", "ops", "conns", "inproc/s", "tcp/s", "tcp durable/s"
+        "{:>10} {:>8} {:>6} {:>12} {:>12} {:>12} {:>14}",
+        "objects", "ops", "conns", "inproc/s", "tcp/s", "tcp bin/s", "tcp durable/s"
     );
     let mut rows = Vec::new();
     for &(per, ops) in configs {
@@ -853,13 +854,29 @@ fn serve_rows(configs: &[(usize, usize)], conn_counts: &[usize]) -> String {
 
         // (b) Over the wire, volatile and durable: stand the server up
         // in-process on an ephemeral port, drive it with `connections`
-        // pipelined TCP clients, shut it down gracefully.
+        // multiplexed nonblocking TCP clients in either dialect, shut
+        // it down gracefully.
         let serve_once = |connections: usize,
+                          binary: bool,
                           wal: Option<Arc<Mutex<Wal>>>|
          -> (f64, migratory_core::enforce::net::NetStats) {
             let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+            // Deepen the accept backlog before the driver exists:
+            // `serve` re-arms it too, but on one core the connect burst
+            // can outrun the server thread's first instruction, and any
+            // SYN the default 128-deep queue drops costs a full second
+            // of retransmit — the difference between a sweep that is
+            // flat to 1024 connections and one that collapses.
+            {
+                use std::os::fd::AsRawFd;
+                polling::set_backlog(listener.as_raw_fd(), 4096).expect("re-listen");
+            }
             let addr = listener.local_addr().expect("bound address");
-            let scripts = invoke_scripts(&day, connections);
+            let scripts = if binary {
+                mux_binary_scripts(&day, connections)
+            } else {
+                mux_text_scripts(&day, connections)
+            };
             let (ready_tx, ready_rx) = mpsc::channel();
             std::thread::scope(|scope| {
                 let server = scope.spawn(|| {
@@ -875,7 +892,7 @@ fn serve_rows(configs: &[(usize, usize)], conn_counts: &[usize]) -> String {
                 });
                 ready_rx.recv().expect("server loads");
                 let t0 = Instant::now();
-                let stats = drive_tcp(addr, &scripts).expect("tcp drive");
+                let stats = drive_tcp_mux(addr, &scripts).expect("tcp drive");
                 let rate = ops as f64 / t0.elapsed().as_secs_f64();
                 assert_eq!(stats.ok, ops, "the whole day admits over the wire");
                 assert_eq!(shutdown_server(addr).expect("shutdown"), "ok draining");
@@ -887,23 +904,28 @@ fn serve_rows(configs: &[(usize, usize)], conn_counts: &[usize]) -> String {
         let durable_conns = conn_counts[conn_counts.len() / 2];
         let mut durable_rate = 0.0;
         for &conns in conn_counts {
-            let (rate, nstats) = serve_once(conns, None);
+            let (rate, nstats) = serve_once(conns, false, None);
             assert_eq!(nstats.admitted, ops);
+            let (binary_rate, bstats) = serve_once(conns, true, None);
+            assert_eq!(bstats.admitted, ops);
             let d = if conns == durable_conns {
                 let wal_dir = std::env::temp_dir()
                     .join(format!("migratory-bench-serve-{}-{per}", std::process::id()));
                 let _ = std::fs::remove_dir_all(&wal_dir);
                 let wal = Arc::new(Mutex::new(Wal::open(&wal_dir).expect("wal dir")));
-                let (rate, _) = serve_once(conns, Some(wal));
+                let (rate, _) = serve_once(conns, false, Some(wal));
                 let _ = std::fs::remove_dir_all(&wal_dir);
                 durable_rate = rate;
                 format!("{rate:>14.0}")
             } else {
                 format!("{:>14}", "-")
             };
-            println!("{:>10} {ops:>8} {conns:>6} {inproc_rate:>12.0} {rate:>12.0} {d}", per * 4);
+            println!(
+                "{:>10} {ops:>8} {conns:>6} {inproc_rate:>12.0} {rate:>12.0} {binary_rate:>12.0} {d}",
+                per * 4
+            );
             tcp_rows.push(format!(
-                r#"          {{ "connections": {conns}, "apps_per_sec": {rate:.0} }}"#
+                r#"          {{ "connections": {conns}, "apps_per_sec": {rate:.0}, "binary_apps_per_sec": {binary_rate:.0} }}"#
             ));
         }
         rows.push(format!(
@@ -923,7 +945,7 @@ fn serve_rows(configs: &[(usize, usize)], conn_counts: &[usize]) -> String {
     println!();
     format!(
         r#"  "serve": {{
-    "workload": "four-component fleet behind `enforce::net` on an ephemeral TCP port; a day of single-object ops sent as pipelined `invoke` lines by N concurrent connections (migratory-bench drive_tcp), every reply awaited; vs the same day through the in-process ingress with 4 pipelining producers; durable row = same with a file WAL group-committing every block",
+    "workload": "four-component fleet behind `enforce::net` on an ephemeral TCP port; a day of single-object ops pipelined by N concurrent connections from one epoll-multiplexed driver (migratory-bench drive_tcp_mux), every reply awaited — apps_per_sec = text `invoke` lines, binary_apps_per_sec = length-prefixed binary frames; vs the same day through the in-process ingress with 4 pipelining producers; durable row = text dialect with a file WAL group-committing every block",
     "sizes": [
 {}
     ]

@@ -156,10 +156,36 @@ pub struct IngressStats {
     pub retries: usize,
 }
 
+/// A boxed one-shot completion callback: how an event-driven caller
+/// (the `enforce::net` poll loop) receives an op's outcome without
+/// parking a thread on a channel. Invoked exactly once, on the
+/// admission worker, after the op's block committed (durably, when a
+/// sink is attached) or was rejected — so keep it cheap: stash the
+/// outcome and wake the owning event thread.
+pub type Completion<'t> = Box<dyn FnOnce(Result<(), EnforceError>) + Send + 't>;
+
+/// How an op's outcome travels back to its producer.
+enum Answer<'t> {
+    /// A synchronous caller parked on a [`Ticket`].
+    Chan(mpsc::Sender<Result<(), EnforceError>>),
+    /// An event-driven caller's completion callback.
+    Done(Completion<'t>),
+}
+
+impl<'t> Answer<'t> {
+    fn answer(self, outcome: Result<(), EnforceError>) {
+        match self {
+            // A producer that dropped its ticket simply doesn't care.
+            Answer::Chan(tx) => drop(tx.send(outcome)),
+            Answer::Done(f) => f(outcome),
+        }
+    }
+}
+
 struct Op<'t> {
     t: &'t Transaction,
     args: Assignment,
-    reply: mpsc::Sender<Result<(), EnforceError>>,
+    reply: Answer<'t>,
 }
 
 struct State<'t> {
@@ -176,6 +202,11 @@ struct Shared<'t, 's> {
     ready: Condvar,
     /// Producer wake-up: a lane was drained below capacity.
     space: Condvar,
+    /// Non-parking producers ([`IngressClient::on_space`]): invoked by
+    /// the worker whenever `space` is signalled, so an event loop whose
+    /// [`IngressClient::try_post_done`] was refused learns that a retry
+    /// may now succeed without dedicating a thread to the wait.
+    space_listeners: Mutex<Vec<Box<dyn Fn() + Send + Sync + 't>>>,
     capacity: usize,
     schema: &'s Schema,
     /// Component → lane (empty: everything to lane 0).
@@ -211,6 +242,32 @@ impl<'t> Shared<'t, '_> {
         st.max_queue_depth = st.max_queue_depth.max(st.lanes[lane].len());
         self.ready.notify_one();
     }
+
+    /// Non-blocking [`Shared::enqueue`]: `Err` hands the op back when
+    /// its lane is at capacity.
+    fn try_enqueue(&self, op: Op<'t>) -> Result<(), Op<'t>> {
+        let lane = self.lane_of(op.t);
+        let mut st = self.state.lock().expect("ingress poisoned");
+        if st.lanes[lane].len() >= self.capacity {
+            return Err(op);
+        }
+        st.lanes[lane].push_back(op);
+        st.submitted += 1;
+        st.max_queue_depth = st.max_queue_depth.max(st.lanes[lane].len());
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Wake parked producers and fire the registered space listeners:
+    /// called by the worker each time it drains a block out of a lane.
+    fn notify_space(&self) {
+        self.space.notify_all();
+        let listeners = self.space_listeners.lock().expect("ingress poisoned");
+        for f in listeners.iter() {
+            f();
+        }
+    }
 }
 
 /// A handle for feeding the ingress. `Sync`: share one reference across
@@ -237,9 +294,37 @@ impl<'t> IngressClient<'t, '_, '_> {
     /// Blocks only for lane capacity (backpressure), so one producer
     /// can pipeline many ops into a single admitted block.
     pub fn post(&self, t: &'t Transaction, args: Assignment) -> Ticket {
-        let (reply, rx) = mpsc::channel();
-        self.shared.enqueue(Op { t, args, reply });
+        let (tx, rx) = mpsc::channel();
+        self.shared.enqueue(Op { t, args, reply: Answer::Chan(tx) });
         Ticket { rx }
+    }
+
+    /// Non-blocking [`IngressClient::post`] for event-driven callers: on
+    /// success the op is queued and `done` will be invoked exactly once
+    /// (on the admission worker) with its outcome; when the op's lane is
+    /// at capacity the pieces are handed back unqueued so the caller can
+    /// park them and retry after an [`IngressClient::on_space`] wakeup —
+    /// backpressure without a blocked thread.
+    pub fn try_post_done(
+        &self,
+        t: &'t Transaction,
+        args: Assignment,
+        done: Completion<'t>,
+    ) -> Result<(), (Assignment, Completion<'t>)> {
+        self.shared.try_enqueue(Op { t, args, reply: Answer::Done(done) }).map_err(|op| {
+            match op.reply {
+                Answer::Done(done) => (op.args, done),
+                Answer::Chan(_) => unreachable!("constructed with Answer::Done above"),
+            }
+        })
+    }
+
+    /// Register a persistent lane-space listener, fired by the admission
+    /// worker each time it drains a block (i.e. whenever a refused
+    /// [`IngressClient::try_post_done`] may now succeed). Listeners run
+    /// on the worker thread: keep them to a wakeup signal.
+    pub fn on_space(&self, f: impl Fn() + Send + Sync + 't) {
+        self.shared.space_listeners.lock().expect("ingress poisoned").push(Box::new(f));
     }
 
     /// Enqueue an application and wait for its outcome: `Ok` once the
@@ -329,6 +414,7 @@ pub fn serve_guarded<'t, 'a, R>(
         }),
         ready: Condvar::new(),
         space: Condvar::new(),
+        space_listeners: Mutex::new(Vec::new()),
         capacity: config.queue_capacity.max(1),
         schema: monitor.schema(),
         lane_of_component: monitor.component_lanes().map(<[usize]>::to_vec).unwrap_or_default(),
@@ -408,7 +494,7 @@ fn admission_loop<'t, 'a>(
             let block: Vec<Op<'t>> = st.lanes[lane].drain(..take).collect();
             (lane, block)
         };
-        shared.space.notify_all();
+        shared.notify_space();
         cursor = lane + 1;
 
         // Admit the block; longest conforming prefix commits.
@@ -420,7 +506,7 @@ fn admission_loop<'t, 'a>(
             let reason = health.reason();
             stats.refused += block.len();
             for op in block {
-                let _ = op.reply.send(Err(EnforceError::Degraded(reason.clone())));
+                op.reply.answer(Err(EnforceError::Degraded(reason.clone())));
             }
             continue;
         }
@@ -431,7 +517,7 @@ fn admission_loop<'t, 'a>(
             stats.admitted += done;
             let mut rest = ops.into_iter();
             for op in rest.by_ref().take(done) {
-                let _ = op.reply.send(Ok(()));
+                op.reply.answer(Ok(()));
             }
             match err {
                 None => {
@@ -455,14 +541,14 @@ fn admission_loop<'t, 'a>(
                     health.degrade(&reason);
                     stats.refused += rest.len();
                     for op in rest {
-                        let _ = op.reply.send(Err(EnforceError::Degraded(reason.clone())));
+                        op.reply.answer(Err(EnforceError::Degraded(reason.clone())));
                     }
                     break;
                 }
                 Some(e) => {
                     stats.rejected += 1;
                     if let Some(op) = rest.next() {
-                        let _ = op.reply.send(Err(e));
+                        op.reply.answer(Err(e));
                     }
                     // Ops behind the violator were rolled back
                     // unattempted: back to the front of their lane,
@@ -742,6 +828,75 @@ mod tests {
                 "round {round}: survivor B admitted after later-posted C"
             );
         }
+    }
+
+    /// The event-loop admission surface: `try_post_done` refuses (rather
+    /// than blocks) on a full lane, hands the pieces back, and a
+    /// registered `on_space` listener fires once the worker frees lane
+    /// space so the caller knows to retry. Deterministic by parking the
+    /// worker inside the first op's completion callback.
+    #[test]
+    fn try_post_done_refuses_on_full_lane_and_space_listener_fires() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let s = multi_schema();
+        let a = RoleAlphabet::new(&s, 0).unwrap();
+        let inv = Inventory::parse_init(&s, &a, "∅* [R0]* ∅*").unwrap();
+        let ts = parse_transactions(&s, "transaction Mk0(x) { create(R0, { K0 = x }); }").unwrap();
+        let mk = ts.get("Mk0").unwrap();
+        let key = |k: &str| Assignment::new(vec![Value::str(k)]);
+        let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
+        let cfg = IngressConfig { queue_capacity: 1, max_block: 1 };
+        let space_wakeups = AtomicUsize::new(0);
+        let outcomes = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let ((), stats) = serve(&mut m, &cfg, |client| {
+            client.on_space(|| {
+                space_wakeups.fetch_add(1, Ordering::SeqCst);
+            });
+            let (gate_tx, gate_rx) = std::sync::mpsc::channel::<()>();
+            let (parked_tx, parked_rx) = std::sync::mpsc::channel::<()>();
+            let log = |tag: &'static str| {
+                let outcomes = outcomes.clone();
+                move |r: Result<(), EnforceError>| {
+                    r.expect("creation conforms");
+                    outcomes.lock().unwrap().push(tag);
+                }
+            };
+            // A's completion parks the admission worker until released,
+            // so the lane state below is deterministic.
+            let a_done = {
+                let outcomes = outcomes.clone();
+                Box::new(move |r: Result<(), EnforceError>| {
+                    r.expect("creation conforms");
+                    outcomes.lock().unwrap().push("a");
+                    parked_tx.send(()).unwrap();
+                    gate_rx.recv().unwrap();
+                })
+            };
+            client.try_post_done(mk, key("a"), a_done).ok().expect("empty lane accepts");
+            parked_rx.recv().unwrap(); // worker is now parked in a's callback
+            client.try_post_done(mk, key("b"), Box::new(log("b"))).ok().expect("lane has space");
+            let (args, done) = client
+                .try_post_done(mk, key("c"), Box::new(log("c")))
+                .expect_err("lane at capacity must refuse, not block");
+            let before = space_wakeups.load(Ordering::SeqCst);
+            gate_tx.send(()).unwrap(); // release the worker
+                                       // The worker drains b, firing the space listener; retry c
+                                       // until its lane has room again.
+            let mut retry = Some((args, done));
+            while let Some((args, done)) = retry.take() {
+                if let Err(back) = client.try_post_done(mk, args, done) {
+                    retry = Some(back);
+                    std::thread::yield_now();
+                }
+            }
+            // Listener fired at least once more while draining.
+            while space_wakeups.load(Ordering::SeqCst) <= before {
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(*outcomes.lock().unwrap(), ["a", "b", "c"], "per-producer FIFO held");
+        assert!(space_wakeups.load(Ordering::SeqCst) >= 1);
     }
 
     #[test]

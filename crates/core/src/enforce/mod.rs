@@ -130,7 +130,7 @@ pub mod wal;
 
 pub use faults::{FaultKind, FaultSite, IoFaults};
 pub use health::{CheckpointHealth, Health};
-pub use ingress::{DurabilityPolicy, IngressConfig, IngressStats};
+pub use ingress::{Completion, DurabilityPolicy, IngressConfig, IngressStats};
 pub use sharded::{ShardStats, ShardedMonitor};
 pub use wal::{
     BlockRef, CheckpointData, CheckpointDelta, CheckpointJob, CommitSink, MemoryWal, ShardLetters,

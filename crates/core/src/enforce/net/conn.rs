@@ -1,0 +1,504 @@
+//! Per-connection state machine: nonblocking read/write buffers,
+//! incremental request extraction (both dialects), and the seq-numbered
+//! reply slot queue that keeps replies in request order while admission
+//! outcomes arrive asynchronously.
+//!
+//! A connection owns no thread. The event loop (`super::event`) polls
+//! its socket, feeds bytes in with [`Conn::fill_read_buffer`], pulls
+//! requests out with [`Conn::extract`], parks at most one parsed-but-
+//! unposted invoke in [`Conn::pending`] when its admission lane is full
+//! (backpressure as poll-interest suppression: a connection with a
+//! pending post stops reading), and flushes the **ready prefix** of the
+//! slot queue to the write buffer — so replies never overtake each
+//! other within a connection, exactly the old reader/writer pair's
+//! FIFO-channel guarantee, without the two threads.
+
+use super::frame;
+use super::MAX_LINE;
+use crate::enforce::ingress::Completion;
+use migratory_lang::{Assignment, Transaction};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// Write-buffer high-water mark: a connection whose unsent replies
+/// exceed this stops having requests extracted (and its socket read) —
+/// a peer that pipelines requests but never reads its replies stalls
+/// itself, not the server.
+pub(super) const WRITE_HIGH: usize = 256 * 1024;
+
+/// Socket read chunk size.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Reads absorbed per readiness event before yielding to other
+/// connections (level-triggered poll re-reports leftover data).
+const READ_BUDGET: usize = 4;
+
+/// One reply slot, FIFO per connection.
+pub(super) enum Slot {
+    /// An `invoke` whose admission outcome has not arrived yet; `binary`
+    /// records the request's dialect so the reply matches it.
+    Waiting {
+        /// Reply in the binary dialect (the request was a frame).
+        binary: bool,
+    },
+    /// Reply bytes ready to flush (text line or encoded frame).
+    Ready(Vec<u8>),
+    /// A `stats` request: formatted at *flush* time, after every earlier
+    /// slot of this connection resolved — so a synchronously driven
+    /// connection reads its own counters deterministically.
+    Stats,
+}
+
+/// A parsed invoke the admission lane refused (lane full): retried by
+/// the event loop after an ingress space wakeup.
+pub(super) struct Pending<'t> {
+    /// The transaction to post.
+    pub t: &'t Transaction,
+    /// Its argument assignment.
+    pub args: Assignment,
+    /// The completion callback handed back by the refused post.
+    pub done: Completion<'t>,
+}
+
+/// One request extracted from the read buffer.
+pub(super) enum Request {
+    /// A complete text line (raw, newline stripped, not yet trimmed).
+    Line(String),
+    /// A complete binary frame: kind and payload.
+    Frame(u8, Vec<u8>),
+}
+
+/// Result of one [`Conn::extract`] call.
+pub(super) enum Extracted {
+    /// No complete request buffered; read more.
+    None,
+    /// One request, and the wire bytes it consumed (for byte quotas).
+    Some(Request, u64),
+    /// A text line crossed [`MAX_LINE`] without a newline — refused
+    /// during accumulation, not after a full read.
+    LineTooLong,
+    /// A frame header declared a payload beyond the cap — refused as
+    /// soon as the header parsed, before any payload accumulated.
+    FrameOversized(u32),
+    /// A complete text line was not valid UTF-8: silent teardown (the
+    /// old reader's behaviour for undecodable bytes).
+    BadUtf8,
+}
+
+/// Result of one socket read burst.
+pub(super) enum ReadOutcome {
+    /// Bytes may have arrived; the socket is still open.
+    Progress,
+    /// Orderly EOF from the peer.
+    Eof,
+    /// The socket is dead (reset, I/O error).
+    Dead,
+}
+
+/// Per-connection state owned by exactly one event thread.
+pub(super) struct Conn<'t> {
+    /// The nonblocking socket.
+    pub stream: TcpStream,
+    /// Server-wide connection id (routes completions back here).
+    pub id: u64,
+    /// Auth handshake passed (or no token configured).
+    pub authed: bool,
+    /// Still extracting requests; cleared by `quit`, teardown, EOF and
+    /// drain.
+    pub read_open: bool,
+    /// Close the socket once every slot resolved and flushed.
+    pub close_after_flush: bool,
+    /// The socket failed: drop the connection without further I/O.
+    pub dead: bool,
+    /// Last moment traffic moved in either direction (idle-timeout
+    /// clock): bytes received, or replies accepted by the peer.
+    pub last_rx: Instant,
+    /// Set while unsent reply bytes exist: the moment the current write
+    /// stall began (write-stall reaping clock).
+    pub write_stalled_since: Option<Instant>,
+    /// Force-close deadline once draining.
+    pub drain_deadline: Option<Instant>,
+    /// Cumulative request wire bytes (quota clock).
+    pub bytes: u64,
+    /// Cumulative parsed requests (quota clock).
+    pub ops: u64,
+    /// At most one lane-refused invoke awaiting ingress space.
+    pub pending: Option<Pending<'t>>,
+    /// Something happened to this connection since its last pump (bytes
+    /// read, a completion filled a slot, a space signal arrived while an
+    /// op was parked, the socket became writable): the event loop pumps
+    /// only dirty connections, so a quiescent one costs nothing per
+    /// iteration.
+    pub dirty: bool,
+    /// The readiness interest this socket is currently registered for
+    /// with the event thread's epoll instance. The loop reconciles it
+    /// against the connection's wants after every pump, so `epoll_ctl`
+    /// is called only when interest actually changes — a connection that
+    /// stays in steady-state read mode costs no syscalls per iteration.
+    pub interest: u32,
+    /// Reply slots in request order; front is the next reply to write.
+    pub slots: VecDeque<Slot>,
+    /// Sequence number of the front slot (completions address slots by
+    /// the sequence assigned at request parse).
+    pub seq_base: u64,
+    rbuf: Vec<u8>,
+    rpos: usize,
+    wbuf: Vec<u8>,
+    wpos: usize,
+}
+
+impl<'t> Conn<'t> {
+    pub(super) fn new(stream: TcpStream, id: u64, authed: bool) -> Conn<'t> {
+        let now = Instant::now();
+        Conn {
+            stream,
+            id,
+            authed,
+            read_open: true,
+            close_after_flush: false,
+            dead: false,
+            last_rx: now,
+            write_stalled_since: None,
+            drain_deadline: None,
+            bytes: 0,
+            ops: 0,
+            pending: None,
+            dirty: true,
+            interest: 0,
+            slots: VecDeque::new(),
+            seq_base: 0,
+            rbuf: Vec::new(),
+            rpos: 0,
+            wbuf: Vec::new(),
+            wpos: 0,
+        }
+    }
+
+    /// Absorb readable socket bytes into the read buffer (bounded burst;
+    /// level-triggered poll re-reports any leftover).
+    pub(super) fn fill_read_buffer(&mut self) -> ReadOutcome {
+        let mut chunk = [0u8; READ_CHUNK];
+        for _ in 0..READ_BUDGET {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return ReadOutcome::Eof,
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&chunk[..n]);
+                    self.last_rx = Instant::now();
+                    if n < chunk.len() {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Dead,
+            }
+        }
+        ReadOutcome::Progress
+    }
+
+    /// Pull the next complete request off the read buffer. The dialect
+    /// is decided per request by its first byte: [`frame::MAGIC`] (a
+    /// UTF-8 continuation byte no text line can start with) selects the
+    /// binary dialect, anything else the text dialect.
+    pub(super) fn extract(&mut self) -> Extracted {
+        let buf = &self.rbuf[self.rpos..];
+        let Some(&first) = buf.first() else { return Extracted::None };
+        if first == frame::MAGIC {
+            return match frame::scan(buf) {
+                frame::Scan::Incomplete => Extracted::None,
+                frame::Scan::Oversized(len) => Extracted::FrameOversized(len),
+                frame::Scan::Frame { kind, payload_len } => {
+                    let start = self.rpos + frame::HEADER_LEN;
+                    let payload = self.rbuf[start..start + payload_len].to_vec();
+                    let wire = (frame::HEADER_LEN + payload_len) as u64;
+                    self.rpos += wire as usize;
+                    Extracted::Some(Request::Frame(kind, payload), wire)
+                }
+            };
+        }
+        // Text: one newline-terminated line, capped *during*
+        // accumulation — a cap's worth of bytes without a newline is
+        // refused now, not after the line completes.
+        let horizon = buf.len().min(MAX_LINE as usize);
+        match buf[..horizon].iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                let raw = &buf[..nl];
+                let wire = (nl + 1) as u64;
+                let Ok(text) = std::str::from_utf8(raw) else {
+                    return Extracted::BadUtf8;
+                };
+                let line = text.strip_suffix('\r').unwrap_or(text).to_owned();
+                self.rpos += wire as usize;
+                Extracted::Some(Request::Line(line), wire)
+            }
+            None if buf.len() >= MAX_LINE as usize => Extracted::LineTooLong,
+            None => Extracted::None,
+        }
+    }
+
+    /// Reclaim consumed read-buffer bytes (called once per event-loop
+    /// iteration, not per request, to keep extraction O(request)).
+    pub(super) fn compact(&mut self) {
+        if self.rpos == 0 {
+            return;
+        }
+        if self.rpos == self.rbuf.len() {
+            self.rbuf.clear();
+        } else {
+            self.rbuf.drain(..self.rpos);
+        }
+        self.rpos = 0;
+    }
+
+    /// Append a slot; returns the sequence number completions use to
+    /// address it.
+    pub(super) fn push_slot(&mut self, slot: Slot) -> u64 {
+        let seq = self.seq_base + self.slots.len() as u64;
+        self.slots.push_back(slot);
+        seq
+    }
+
+    /// Resolve a waiting slot with its reply bytes. Whether the slot's
+    /// request was binary is returned so the caller can encode; the
+    /// caller then calls [`Conn::fill_slot`].
+    pub(super) fn waiting_dialect(&self, seq: u64) -> Option<bool> {
+        let idx = usize::try_from(seq.checked_sub(self.seq_base)?).ok()?;
+        match self.slots.get(idx) {
+            Some(Slot::Waiting { binary }) => Some(*binary),
+            _ => None,
+        }
+    }
+
+    /// Replace the waiting slot `seq` with ready reply bytes.
+    pub(super) fn fill_slot(&mut self, seq: u64, bytes: Vec<u8>) {
+        let idx = (seq - self.seq_base) as usize;
+        debug_assert!(matches!(self.slots[idx], Slot::Waiting { .. }));
+        self.slots[idx] = Slot::Ready(bytes);
+    }
+
+    /// Move the ready prefix of the slot queue into the write buffer;
+    /// `stats_line` formats a `stats` reply at its flush moment.
+    pub(super) fn flush_slots(&mut self, stats_line: impl Fn() -> String) {
+        while let Some(front) = self.slots.front() {
+            match front {
+                Slot::Waiting { .. } => break,
+                Slot::Ready(_) => {
+                    let Some(Slot::Ready(bytes)) = self.slots.pop_front() else { unreachable!() };
+                    self.wbuf.extend_from_slice(&bytes);
+                }
+                Slot::Stats => {
+                    self.slots.pop_front();
+                    self.wbuf.extend_from_slice(stats_line().as_bytes());
+                    self.wbuf.push(b'\n');
+                }
+            }
+            self.seq_base += 1;
+        }
+    }
+
+    /// Unsent reply bytes.
+    pub(super) fn unsent(&self) -> usize {
+        self.wbuf.len() - self.wpos
+    }
+
+    /// Nonblocking write of buffered replies; tracks write-stall time
+    /// and marks the connection dead on socket error.
+    pub(super) fn try_write(&mut self) {
+        while self.wpos < self.wbuf.len() {
+            match self.stream.write(&self.wbuf[self.wpos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => {
+                    self.wpos += n;
+                    self.write_stalled_since = None;
+                    self.last_rx = Instant::now();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        if self.wpos == self.wbuf.len() {
+            self.wbuf.clear();
+            self.wpos = 0;
+            self.write_stalled_since = None;
+        } else if self.write_stalled_since.is_none() {
+            self.write_stalled_since = Some(Instant::now());
+        }
+    }
+
+    /// Whether the event loop should poll this socket for readability:
+    /// suppressed while a pending post awaits lane space, while the
+    /// reply pipeline is at depth, and while the write buffer is above
+    /// its high-water mark — composed backpressure as poll-interest
+    /// suppression.
+    pub(super) fn wants_read(&self, pipeline: usize) -> bool {
+        self.read_open
+            && self.pending.is_none()
+            && self.slots.len() < pipeline
+            && self.unsent() < WRITE_HIGH
+    }
+
+    /// Whether buffered replies await a writable socket.
+    pub(super) fn wants_write(&self) -> bool {
+        self.unsent() > 0
+    }
+
+    /// Whether request extraction may proceed (same gates as
+    /// [`Conn::wants_read`] — data already buffered still waits).
+    pub(super) fn may_extract(&self, pipeline: usize) -> bool {
+        self.wants_read(pipeline)
+    }
+
+    /// Answer-and-close: append a final reply (when given), stop
+    /// extracting, and close once everything in flight has flushed.
+    pub(super) fn teardown(&mut self, reply: Option<Vec<u8>>) {
+        if let Some(bytes) = reply {
+            self.push_slot(Slot::Ready(bytes));
+        }
+        self.read_open = false;
+        self.close_after_flush = true;
+    }
+
+    /// Enter graceful drain: no more requests, answer what is in
+    /// flight, force-close at `deadline` if the peer will not read.
+    pub(super) fn begin_drain(&mut self, deadline: Instant) {
+        self.read_open = false;
+        self.close_after_flush = true;
+        self.drain_deadline = Some(deadline);
+    }
+
+    /// Whether everything in flight has been answered and flushed, so a
+    /// close-marked connection can actually close.
+    pub(super) fn finished(&self) -> bool {
+        self.close_after_flush
+            && self.pending.is_none()
+            && self.slots.is_empty()
+            && self.unsent() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn test_conn() -> (Conn<'static>, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let peer = TcpStream::connect(addr).unwrap();
+        let (stream, _) = listener.accept().unwrap();
+        (Conn::new(stream, 0, true), peer)
+    }
+
+    /// Feed bytes directly into the read buffer (unit tests bypass the
+    /// socket).
+    fn feed(conn: &mut Conn<'_>, bytes: &[u8]) {
+        conn.rbuf.extend_from_slice(bytes);
+    }
+
+    #[test]
+    fn lines_and_frames_extract_across_arbitrary_split_boundaries() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"invoke Mk(1)\r\n");
+        frame::encode_invoke_frame(&mut wire, "Mk", &[migratory_model::Value::int(2)]);
+        wire.extend_from_slice(b"stats\n");
+        for cut in 0..=wire.len() {
+            let (mut conn, _peer) = test_conn();
+            feed(&mut conn, &wire[..cut]);
+            let mut got = Vec::new();
+            loop {
+                match conn.extract() {
+                    Extracted::Some(Request::Line(l), _) => got.push(format!("line:{l}")),
+                    Extracted::Some(Request::Frame(k, p), _) => {
+                        got.push(format!("frame:{k}:{}", p.len()));
+                    }
+                    Extracted::None => break,
+                    _ => panic!("clean wire bytes never error"),
+                }
+            }
+            feed(&mut conn, &wire[cut..]);
+            loop {
+                match conn.extract() {
+                    Extracted::Some(Request::Line(l), _) => got.push(format!("line:{l}")),
+                    Extracted::Some(Request::Frame(k, p), _) => {
+                        got.push(format!("frame:{k}:{}", p.len()));
+                    }
+                    Extracted::None => break,
+                    _ => panic!("clean wire bytes never error"),
+                }
+            }
+            conn.compact();
+            assert_eq!(got.len(), 3, "split at {cut}: {got:?}");
+            assert_eq!(got[0], "line:invoke Mk(1)");
+            assert!(got[1].starts_with(&format!("frame:{}:", frame::REQ_INVOKE)));
+            assert_eq!(got[2], "line:stats");
+        }
+    }
+
+    #[test]
+    fn overlong_line_is_refused_during_accumulation() {
+        let (mut conn, _peer) = test_conn();
+        // Exactly the cap, no newline yet: refused immediately — the
+        // peer could stream forever otherwise.
+        feed(&mut conn, &vec![b'x'; MAX_LINE as usize]);
+        assert!(matches!(conn.extract(), Extracted::LineTooLong));
+        // One byte under the cap is still awaiting its newline…
+        let (mut conn, _peer) = test_conn();
+        feed(&mut conn, &vec![b'x'; MAX_LINE as usize - 1]);
+        assert!(matches!(conn.extract(), Extracted::None));
+        // …and the newline completes it: a line of cap-1 bytes + `\n`
+        // totals MAX_LINE wire bytes, the longest accepted request.
+        feed(&mut conn, b"\n");
+        match conn.extract() {
+            Extracted::Some(Request::Line(l), wire) => {
+                assert_eq!(wire, MAX_LINE);
+                assert_eq!(l.len(), MAX_LINE as usize - 1);
+            }
+            _ => panic!("a cap-sized line is accepted"),
+        }
+    }
+
+    #[test]
+    fn oversized_frame_header_refused_before_payload_arrives() {
+        let (mut conn, _peer) = test_conn();
+        let mut header = vec![frame::MAGIC, frame::REQ_INVOKE];
+        header.extend_from_slice(&(frame::MAX_PAYLOAD + 1).to_le_bytes());
+        feed(&mut conn, &header);
+        // Six header bytes and not one payload byte: already refused.
+        assert!(matches!(conn.extract(), Extracted::FrameOversized(_)));
+    }
+
+    #[test]
+    fn non_utf8_line_reports_bad_utf8() {
+        let (mut conn, _peer) = test_conn();
+        feed(&mut conn, &[0xc3, 0x28, 0xff, 0xfe, b'\n']);
+        assert!(matches!(conn.extract(), Extracted::BadUtf8));
+    }
+
+    #[test]
+    fn reply_slots_flush_in_request_order_only() {
+        let (mut conn, _peer) = test_conn();
+        let s0 = conn.push_slot(Slot::Waiting { binary: false });
+        let s1 = conn.push_slot(Slot::Waiting { binary: true });
+        conn.push_slot(Slot::Stats);
+        // Out-of-order completion: slot 1 resolves first, but nothing
+        // flushes past the still-waiting slot 0.
+        assert_eq!(conn.waiting_dialect(s1), Some(true));
+        conn.fill_slot(s1, b"second".to_vec());
+        conn.flush_slots(|| unreachable!("stats cannot flush yet"));
+        assert_eq!(conn.unsent(), 0);
+        conn.fill_slot(s0, b"first|".to_vec());
+        conn.flush_slots(|| "ok stats".to_owned());
+        assert_eq!(conn.unsent(), b"first|secondok stats\n".len());
+        assert_eq!(conn.seq_base, 3);
+        assert!(conn.slots.is_empty());
+    }
+}

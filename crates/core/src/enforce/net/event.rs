@@ -1,0 +1,908 @@
+//! The poll-based event core: a fixed handful of I/O threads multiplex
+//! every client socket.
+//!
+//! Each event thread owns a disjoint set of connections (assigned round
+//! robin at accept) plus an **inbox** — a mutex-protected mailbox paired
+//! with a self-pipe [`Waker`] that makes `poll(2)` return when something
+//! lands in it. Three kinds of mail arrive:
+//!
+//! * **Connection handoffs** from thread 0's accept handling.
+//! * **Admission completions**: the ingress worker runs each `invoke`'s
+//!   [`Completion`] callback, which counts the outcome and mails it to
+//!   the owning thread (`conn`, `seq`) so the reply lands in the right
+//!   slot of the right connection.
+//! * **Space signals**: the worker drained a block, so a connection
+//!   parked on a full admission lane may retry its post.
+//!
+//! The loop per thread: drain the inbox, apply completions, pump the
+//! **dirty** connections (retry parked posts, extract + dispatch
+//! requests, flush ready replies, write), reap expired deadlines, then
+//! `poll` the sockets whose interest survives the backpressure gates
+//! ([`Conn::wants_read`]). Per-iteration work is proportional to what
+//! actually happened: a connection nothing happened to is neither
+//! pumped nor polled (one parked on admission mail leaves the poll set
+//! entirely), and a burst of completions coalesces into one wakeup.
+//! Thread count is O(`io_threads` + shards) — independent of the number
+//! of connections, which is the point.
+
+use super::conn::{Conn, Extracted, Pending, ReadOutcome, Request, Slot};
+use super::frame;
+use super::{parse_invocation, stats_line, ServerConfig, ServerShared, MAX_LINE};
+use crate::alphabet::RoleAlphabet;
+use crate::enforce::ingress::{Completion, IngressClient};
+use crate::enforce::EnforceError;
+use migratory_lang::{Assignment, Transaction, TransactionSchema};
+use polling::{Epoll, EpollEvent, Waker, EPOLLIN, EPOLLOUT};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// How long a connection's unsent replies may sit without the peer
+/// accepting a byte before the connection is declared dead — the
+/// nonblocking replacement for the old per-socket write timeout.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long a draining connection gets to read its final replies before
+/// it is force-closed.
+const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A completed admission outcome on its way back to the owning event
+/// thread.
+pub(super) struct Done {
+    conn: u64,
+    seq: u64,
+    outcome: Result<(), EnforceError>,
+}
+
+#[derive(Default)]
+struct InboxQ {
+    dones: Vec<Done>,
+    conns: Vec<(u64, TcpStream)>,
+    space: bool,
+    /// A waker byte is already owed for this mail: further pushes before
+    /// the owner's next `take` skip the pipe write, so a burst of
+    /// completions costs one wakeup, not one syscall each.
+    signaled: bool,
+}
+
+/// One event thread's mailbox: cross-thread deliveries plus the waker
+/// that interrupts its `poll`.
+pub(super) struct Inbox {
+    q: Mutex<InboxQ>,
+    waker: Waker,
+}
+
+/// Poison-tolerant mailbox lock: a panicking sibling must not take the
+/// other event threads (and the graceful drain) down with it.
+fn lock_q(inbox: &Inbox) -> std::sync::MutexGuard<'_, InboxQ> {
+    inbox.q.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Inbox {
+    /// Deliver mail under the lock and wake the owner unless a wake is
+    /// already owed (coalesced wakeups).
+    fn push(&self, deliver: impl FnOnce(&mut InboxQ)) {
+        let mut q = lock_q(self);
+        deliver(&mut q);
+        let wake = !std::mem::replace(&mut q.signaled, true);
+        drop(q);
+        if wake {
+            self.waker.wake();
+        }
+    }
+
+    fn push_done(&self, d: Done) {
+        self.push(|q| q.dones.push(d));
+    }
+
+    fn push_conn(&self, id: u64, stream: TcpStream) {
+        self.push(|q| q.conns.push((id, stream)));
+    }
+
+    fn signal_space(&self) {
+        self.push(|q| q.space = true);
+    }
+
+    fn take(&self) -> InboxQ {
+        // Drain the pipe *before* taking the queue: a producer racing in
+        // between leaves at worst a spurious wake byte behind, never a
+        // push without one. `mem::take` resets `signaled`, re-arming the
+        // next producer's wake.
+        self.waker.drain();
+        std::mem::take(&mut *lock_q(self))
+    }
+}
+
+/// State shared by every event thread and (via `Arc` clones inside
+/// completion callbacks) the admission worker. `'static` on purpose:
+/// completions may outlive the event threads — a force-closed
+/// connection's outcomes still count, they just have nowhere to go.
+pub(super) struct EventShared {
+    pub(super) inboxes: Vec<Inbox>,
+    /// Set by the `shutdown` verb (or a fatal listener error): stop
+    /// accepting, drain every connection, exit.
+    pub(super) shutdown: AtomicBool,
+    /// Set by thread 0 at its drain transition: no further connection
+    /// handoffs will ever be mailed, so sibling threads may exit once
+    /// their own connections and inbox are empty.
+    accept_done: AtomicBool,
+    /// Currently open connections (the accept-time capacity gate).
+    live: AtomicUsize,
+    pub(super) connections: AtomicUsize,
+    pub(super) requests: AtomicUsize,
+    pub(super) admitted: AtomicUsize,
+    pub(super) rejected: AtomicUsize,
+    pub(super) errors: AtomicUsize,
+    next_conn_id: AtomicU64,
+}
+
+impl EventShared {
+    pub(super) fn new(threads: usize) -> std::io::Result<Arc<EventShared>> {
+        let mut inboxes = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            inboxes.push(Inbox { q: Mutex::new(InboxQ::default()), waker: Waker::new()? });
+        }
+        Ok(Arc::new(EventShared {
+            inboxes,
+            shutdown: AtomicBool::new(false),
+            accept_done: AtomicBool::new(false),
+            live: AtomicUsize::new(0),
+            connections: AtomicUsize::new(0),
+            requests: AtomicUsize::new(0),
+            admitted: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            errors: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(0),
+        }))
+    }
+
+    fn wake_all(&self) {
+        for inbox in &self.inboxes {
+            inbox.waker.wake();
+        }
+    }
+}
+
+/// Count an error reply (uniformly, at slot creation) and encode it in
+/// the request's dialect: `error <msg>\n` or a [`frame::REP_ERROR`]
+/// frame carrying `<msg>`.
+fn error_reply(ev: &EventShared, binary: bool, msg: &str) -> Vec<u8> {
+    ev.errors.fetch_add(1, Ordering::SeqCst);
+    if binary {
+        let mut out = Vec::new();
+        frame::encode(&mut out, frame::REP_ERROR, msg.as_bytes());
+        out
+    } else {
+        format!("error {msg}\n").into_bytes()
+    }
+}
+
+/// Encode an admission outcome in the request's dialect. Counting
+/// already happened in the completion callback — this only formats.
+fn outcome_reply(
+    outcome: &Result<(), EnforceError>,
+    binary: bool,
+    alphabet: &RoleAlphabet,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    match outcome {
+        Ok(()) => {
+            if binary {
+                frame::encode(&mut out, frame::REP_OK, b"");
+            } else {
+                out.extend_from_slice(b"ok\n");
+            }
+        }
+        Err(EnforceError::Violation(v)) => {
+            let diag = v.display(alphabet).to_string();
+            if binary {
+                frame::encode(&mut out, frame::REP_VIOLATION, diag.as_bytes());
+            } else {
+                out.extend_from_slice(format!("violation {diag}\n").as_bytes());
+            }
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            if binary {
+                frame::encode(&mut out, frame::REP_ERROR, msg.as_bytes());
+            } else {
+                out.extend_from_slice(format!("error {msg}\n").as_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Build an `invoke`'s completion callback: count the outcome (here, on
+/// the admission worker, so the counters stay truthful even if the
+/// connection died meanwhile) and mail it to the owning event thread.
+fn completion<'t>(ev: &Arc<EventShared>, owner: usize, conn: u64, seq: u64) -> Completion<'t> {
+    let ev = Arc::clone(ev);
+    Box::new(move |outcome| {
+        match &outcome {
+            Ok(()) => ev.admitted.fetch_add(1, Ordering::SeqCst),
+            Err(EnforceError::Violation(_)) => ev.rejected.fetch_add(1, Ordering::SeqCst),
+            Err(_) => ev.errors.fetch_add(1, Ordering::SeqCst),
+        };
+        ev.inboxes[owner].push_done(Done { conn, seq, outcome });
+    })
+}
+
+/// Run the event core: the calling thread becomes event thread 0 (which
+/// also owns the listener); threads `1..io_threads` are spawned for the
+/// duration. Returns once every thread drained — i.e. after `shutdown`
+/// (or a fatal listener error, which is returned after the drain).
+pub(super) fn run<'t>(
+    listener: &TcpListener,
+    client: &IngressClient<'t, '_, '_>,
+    ts: &'t TransactionSchema,
+    alphabet: &RoleAlphabet,
+    shared: &ServerShared<'_>,
+    config: &ServerConfig,
+    ev: &Arc<EventShared>,
+) -> std::io::Result<()> {
+    for i in 0..ev.inboxes.len() {
+        let ev = Arc::clone(ev);
+        client.on_space(move || ev.inboxes[i].signal_space());
+    }
+    std::thread::scope(|scope| {
+        for me in 1..ev.inboxes.len() {
+            let ev = Arc::clone(ev);
+            scope.spawn(move || event_thread(me, &ev, None, client, ts, alphabet, shared, config));
+        }
+        event_thread(0, ev, Some(listener), client, ts, alphabet, shared, config)
+    })
+}
+
+/// The readiness interest a connection wants right now: readable while
+/// it can absorb more requests, writable while replies are queued. The
+/// same derivation is used at registration and at every reconcile, so
+/// the kernel's view never drifts from the connection's.
+fn interest_of(c: &Conn<'_>, pipeline: usize) -> u32 {
+    let mut want = 0;
+    if c.wants_read(pipeline) {
+        want |= EPOLLIN;
+    }
+    if c.wants_write() {
+        want |= EPOLLOUT;
+    }
+    want
+}
+
+/// Register a connection's socket with the event thread's epoll
+/// instance under its connection id. A connection whose interest is
+/// currently empty stays registered with zero events — parked on inbox
+/// mail, invisible to `epoll_wait` — and closing the socket later
+/// deregisters it implicitly.
+fn register(ep: &Epoll, c: &mut Conn<'_>, pipeline: usize) -> std::io::Result<()> {
+    let want = interest_of(c, pipeline);
+    ep.add(c.stream.as_raw_fd(), want, c.id)?;
+    c.interest = want;
+    Ok(())
+}
+
+/// Accept until the listener runs dry; returns the listener's fatal
+/// error, if any (per-connection failures only skip that socket).
+#[allow(clippy::too_many_arguments)]
+fn accept_burst<'t>(
+    listener: &TcpListener,
+    me: usize,
+    conns: &mut HashMap<u64, Conn<'t>>,
+    ep: &Epoll,
+    pipeline: usize,
+    ev: &Arc<EventShared>,
+    config: &ServerConfig,
+) -> std::io::Result<()> {
+    let threads = ev.inboxes.len();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                if config.max_connections > 0
+                    && ev.live.load(Ordering::SeqCst) >= config.max_connections
+                {
+                    // Over the cap: one error line, then close. `live`
+                    // counts exactly the open connections, so the cap
+                    // frees up as peers disconnect. (Refusals are not
+                    // counted anywhere — the socket never becomes a
+                    // connection.)
+                    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                    let mut s = &stream;
+                    let _ = writeln!(
+                        s,
+                        "error server at connection capacity ({})",
+                        config.max_connections
+                    );
+                    let _ = stream.shutdown(Shutdown::Both);
+                    continue;
+                }
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                ev.live.fetch_add(1, Ordering::SeqCst);
+                ev.connections.fetch_add(1, Ordering::SeqCst);
+                let id = ev.next_conn_id.fetch_add(1, Ordering::SeqCst);
+                let target = (id as usize) % threads;
+                if target == me {
+                    let mut c = Conn::new(stream, id, config.auth.is_none());
+                    if register(ep, &mut c, pipeline).is_err() {
+                        // Registration failure (fd table churn): the
+                        // socket can never be polled, so drop it as if
+                        // the accept had failed.
+                        ev.live.fetch_sub(1, Ordering::SeqCst);
+                        continue;
+                    }
+                    conns.insert(id, c);
+                } else {
+                    ev.inboxes[target].push_conn(id, stream);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Post an `invoke` (or park it as the connection's pending op when its
+/// lane is full — which suppresses the connection's read interest until
+/// a space signal lets the retry through).
+fn post_invoke<'t>(
+    c: &mut Conn<'t>,
+    t: &'t Transaction,
+    args: Assignment,
+    binary: bool,
+    me: usize,
+    ev: &Arc<EventShared>,
+    client: &IngressClient<'t, '_, '_>,
+) {
+    let seq = c.push_slot(Slot::Waiting { binary });
+    let done = completion(ev, me, c.id, seq);
+    if let Err((args, done)) = client.try_post_done(t, args, done) {
+        c.pending = Some(Pending { t, args, done });
+    }
+}
+
+/// Dispatch one extracted request. Returns `false` when extraction on
+/// this connection must stop (quit, shutdown, teardown).
+#[allow(clippy::too_many_arguments)]
+fn dispatch<'t>(
+    c: &mut Conn<'t>,
+    req: Request,
+    wire: u64,
+    me: usize,
+    ev: &Arc<EventShared>,
+    client: &IngressClient<'t, '_, '_>,
+    ts: &'t TransactionSchema,
+    shared: &ServerShared<'_>,
+    config: &ServerConfig,
+) -> bool {
+    let binary = matches!(req, Request::Frame(..));
+    c.bytes += wire;
+    if config.max_conn_bytes > 0 && c.bytes > config.max_conn_bytes {
+        let msg =
+            format!("connection byte quota exceeded ({} bytes); closing", config.max_conn_bytes);
+        c.teardown(Some(error_reply(ev, binary, &msg)));
+        return false;
+    }
+    // Blank lines and comments get no reply (text dialect only — every
+    // frame is a request).
+    if let Request::Line(ref l) = req {
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('#') {
+            return true;
+        }
+    }
+    ev.requests.fetch_add(1, Ordering::SeqCst);
+    c.ops += 1;
+    if config.max_conn_ops > 0 && c.ops > config.max_conn_ops {
+        let msg = format!(
+            "connection request quota exceeded ({} requests); closing",
+            config.max_conn_ops
+        );
+        c.teardown(Some(error_reply(ev, binary, &msg)));
+        return false;
+    }
+    if !c.authed {
+        // Nothing but the correct (text) handshake is served before
+        // auth — not even error details that would confirm verb names,
+        // and no binary traffic at all.
+        if let Request::Line(ref l) = req {
+            let line = l.trim();
+            let (verb, rest) = match line.split_once(char::is_whitespace) {
+                Some((v, r)) => (v, r.trim()),
+                None => (line, ""),
+            };
+            if verb == "auth" && config.auth.as_deref() == Some(rest) {
+                c.authed = true;
+                c.push_slot(Slot::Ready(b"ok authed\n".to_vec()));
+                return true;
+            }
+        }
+        c.teardown(Some(error_reply(
+            ev,
+            binary,
+            "authentication required (send `auth <token>` first)",
+        )));
+        return false;
+    }
+    match req {
+        Request::Line(line) => dispatch_verb(c, line.trim(), me, ev, client, ts, shared),
+        Request::Frame(kind, payload) => {
+            dispatch_frame(c, kind, &payload, me, ev, client, ts);
+            true
+        }
+    }
+}
+
+fn dispatch_verb<'t>(
+    c: &mut Conn<'t>,
+    line: &str,
+    me: usize,
+    ev: &Arc<EventShared>,
+    client: &IngressClient<'t, '_, '_>,
+    ts: &'t TransactionSchema,
+    shared: &ServerShared<'_>,
+) -> bool {
+    let (verb, rest) = match line.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (line, ""),
+    };
+    match verb {
+        "invoke" => match parse_invocation(rest) {
+            Ok((name, args)) => match ts.get(name) {
+                Some(t) => post_invoke(c, t, Assignment::new(args), false, me, ev, client),
+                None => {
+                    let r = error_reply(ev, false, &format!("unknown transaction `{name}`"));
+                    c.push_slot(Slot::Ready(r));
+                }
+            },
+            Err(e) => {
+                let r = error_reply(ev, false, &e);
+                c.push_slot(Slot::Ready(r));
+            }
+        },
+        "schema" => {
+            c.push_slot(Slot::Ready(format!("{}\n", shared.schema_line).into_bytes()));
+        }
+        "stats" => {
+            c.push_slot(Slot::Stats);
+        }
+        "ping" => {
+            c.push_slot(Slot::Ready(b"ok pong\n".to_vec()));
+        }
+        // Re-authenticating (or authing with no token configured) is a
+        // harmless no-op, so scripts can always send it first.
+        "auth" => {
+            c.push_slot(Slot::Ready(b"ok authed\n".to_vec()));
+        }
+        "rearm" => {
+            // Operator action: leave degraded read-only mode. If the
+            // fault persists, the next failing append re-degrades.
+            shared.health.rearm();
+            c.push_slot(Slot::Ready(b"ok armed\n".to_vec()));
+        }
+        "quit" => {
+            c.teardown(Some(b"ok bye\n".to_vec()));
+            return false;
+        }
+        "shutdown" => {
+            c.push_slot(Slot::Ready(b"ok draining\n".to_vec()));
+            c.read_open = false;
+            ev.shutdown.store(true, Ordering::SeqCst);
+            ev.wake_all();
+            return false;
+        }
+        other => {
+            let r = error_reply(
+                ev,
+                false,
+                &format!(
+                    "unknown verb `{other}` (invoke|schema|stats|ping|auth|rearm|quit|shutdown)"
+                ),
+            );
+            c.push_slot(Slot::Ready(r));
+        }
+    }
+    true
+}
+
+fn dispatch_frame<'t>(
+    c: &mut Conn<'t>,
+    kind: u8,
+    payload: &[u8],
+    me: usize,
+    ev: &Arc<EventShared>,
+    client: &IngressClient<'t, '_, '_>,
+    ts: &'t TransactionSchema,
+) {
+    match kind {
+        frame::REQ_INVOKE => {
+            let mut r = migratory_model::codec::Reader::new(payload);
+            match migratory_lang::codec::decode_invoke(&mut r) {
+                Ok((name, args)) if r.is_exhausted() => match ts.get(&name) {
+                    Some(t) => post_invoke(c, t, Assignment::new(args), true, me, ev, client),
+                    None => {
+                        let rep = error_reply(ev, true, &format!("unknown transaction `{name}`"));
+                        c.push_slot(Slot::Ready(rep));
+                    }
+                },
+                Ok(_) => {
+                    let rep = error_reply(ev, true, "trailing bytes after invoke payload");
+                    c.push_slot(Slot::Ready(rep));
+                }
+                Err(e) => {
+                    let rep = error_reply(ev, true, &e.to_string());
+                    c.push_slot(Slot::Ready(rep));
+                }
+            }
+        }
+        other => {
+            let rep = error_reply(
+                ev,
+                true,
+                &format!(
+                    "unknown frame kind {other:#04x} (expected invoke {:#04x})",
+                    frame::REQ_INVOKE
+                ),
+            );
+            c.push_slot(Slot::Ready(rep));
+        }
+    }
+}
+
+/// Drive one connection as far as it will go: retry a parked post,
+/// extract and dispatch buffered requests, flush resolved replies,
+/// write. Loops while progress is made, because writing can re-open the
+/// extraction gate (write-buffer high-water mark) for bytes that are
+/// already buffered and would otherwise never see a poll event.
+#[allow(clippy::too_many_arguments)]
+fn pump<'t>(
+    c: &mut Conn<'t>,
+    me: usize,
+    ev: &Arc<EventShared>,
+    client: &IngressClient<'t, '_, '_>,
+    ts: &'t TransactionSchema,
+    shared: &ServerShared<'_>,
+    config: &ServerConfig,
+    pipeline: usize,
+) {
+    loop {
+        if c.dead {
+            return;
+        }
+        if let Some(p) = c.pending.take() {
+            if let Err((args, done)) = client.try_post_done(p.t, p.args, p.done) {
+                c.pending = Some(Pending { t: p.t, args, done });
+            }
+        }
+        let mut dispatched = false;
+        while c.may_extract(pipeline) {
+            match c.extract() {
+                Extracted::None => break,
+                Extracted::Some(req, wire) => {
+                    dispatched = true;
+                    if !dispatch(c, req, wire, me, ev, client, ts, shared, config) {
+                        break;
+                    }
+                }
+                Extracted::LineTooLong => {
+                    let r =
+                        error_reply(ev, false, &format!("request line exceeds {MAX_LINE} bytes"));
+                    c.teardown(Some(r));
+                    break;
+                }
+                Extracted::FrameOversized(len) => {
+                    let msg = format!("frame length {len} exceeds {} bytes", frame::MAX_PAYLOAD);
+                    let r = error_reply(ev, true, &msg);
+                    c.teardown(Some(r));
+                    break;
+                }
+                Extracted::BadUtf8 => {
+                    // Undecodable text bytes: drain in-flight replies,
+                    // then close, with no reply for the garbage — the
+                    // old reader's silent-teardown behaviour.
+                    c.teardown(None);
+                    break;
+                }
+            }
+        }
+        c.compact();
+        c.flush_slots(|| stats_line(ev, shared));
+        let unsent_before = c.unsent();
+        if c.wants_write() {
+            c.try_write();
+        }
+        let wrote = c.unsent() < unsent_before;
+        if !dispatched && !wrote {
+            return;
+        }
+    }
+}
+
+/// One event thread. `listener` is `Some` only for thread 0. The
+/// `Result` carries a fatal listener error (reported after the drain).
+#[allow(clippy::too_many_arguments)]
+fn event_thread<'t>(
+    me: usize,
+    ev: &Arc<EventShared>,
+    listener: Option<&TcpListener>,
+    client: &IngressClient<'t, '_, '_>,
+    ts: &'t TransactionSchema,
+    alphabet: &RoleAlphabet,
+    shared: &ServerShared<'_>,
+    config: &ServerConfig,
+) -> std::io::Result<()> {
+    let pipeline = config.pipeline.max(1);
+    let mut conns: HashMap<u64, Conn<'t>> = HashMap::new();
+    let mut draining = false;
+    let mut fatal: Option<std::io::Error> = None;
+    let mut gone: Vec<u64> = Vec::new();
+    // Nearest deadline seen by the previous pre-wait scan: the reaping
+    // scan runs only when it can actually have expired, so a loop woken
+    // by mail does no per-connection deadline work at all.
+    let mut nearest: Option<Instant> = None;
+    // The epoll instance holding this thread's whole interest set. The
+    // waker and (on thread 0) the listener are registered once under
+    // sentinel tokens above the connection-id space; connections are
+    // added at accept/handoff and drop out when their socket closes.
+    // `epoll_wait` then costs O(ready), not O(connections) — the poll(2)
+    // loop this replaces re-scanned every registered fd per call, which
+    // dominated the server's time at four-digit connection counts.
+    let ep = Epoll::new().expect("epoll_create1 failed");
+    const TOK_WAKER: u64 = u64::MAX;
+    const TOK_LISTEN: u64 = u64::MAX - 1;
+    ep.add(ev.inboxes[me].waker.fd(), EPOLLIN, TOK_WAKER).expect("epoll: register waker");
+    let mut listening = false;
+    if let Some(l) = listener {
+        ep.add(l.as_raw_fd(), EPOLLIN, TOK_LISTEN).expect("epoll: register listener");
+        listening = true;
+    }
+    let mut events = vec![EpollEvent::zeroed(); 1024];
+    loop {
+        let mail = ev.inboxes[me].take();
+        // Drain transition: first iteration after `shutdown` was set.
+        // Thread 0 reaches it only after its last accept burst, so its
+        // `accept_done` store means no further handoffs will ever be
+        // mailed (and SeqCst makes the ones already sent visible to any
+        // sibling's inbox take that follows an `accept_done` load).
+        if ev.shutdown.load(Ordering::SeqCst) && !draining {
+            draining = true;
+            let deadline = Instant::now() + DRAIN_TIMEOUT;
+            for c in conns.values_mut() {
+                c.begin_drain(deadline);
+                c.dirty = true;
+            }
+            if listening {
+                if let Some(l) = listener {
+                    let _ = ep.delete(l.as_raw_fd());
+                }
+                listening = false;
+            }
+            if me == 0 {
+                // Siblings that reached their own drain transition
+                // before this store are parked in poll waiting for it:
+                // wake them so they re-run their exit check.
+                ev.accept_done.store(true, Ordering::SeqCst);
+                ev.wake_all();
+            }
+        }
+        for (id, stream) in mail.conns {
+            let mut c = Conn::new(stream, id, config.auth.is_none());
+            if draining {
+                c.begin_drain(Instant::now() + DRAIN_TIMEOUT);
+            }
+            if register(&ep, &mut c, pipeline).is_err() {
+                ev.live.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            conns.insert(id, c);
+        }
+        for d in mail.dones {
+            // A completion for a connection that died meanwhile was
+            // already counted by the callback; nothing else to do.
+            if let Some(c) = conns.get_mut(&d.conn) {
+                if let Some(binary) = c.waiting_dialect(d.seq) {
+                    c.fill_slot(d.seq, outcome_reply(&d.outcome, binary, alphabet));
+                    c.dirty = true;
+                }
+            }
+        }
+        if mail.space {
+            // The worker drained a block: parked posts may retry.
+            for c in conns.values_mut() {
+                if c.pending.is_some() {
+                    c.dirty = true;
+                }
+            }
+        }
+        // Deadline reaping before the pump, so a freshly created idle
+        // reply flushes in the same iteration. Skipped entirely unless
+        // the nearest deadline the last poll-set build saw has expired.
+        if nearest.is_some_and(|d| Instant::now() >= d) {
+            let now = Instant::now();
+            for c in conns.values_mut() {
+                if !draining && c.read_open {
+                    if let Some(t) = config.idle_timeout {
+                        if now >= c.last_rx + t {
+                            let secs = t.as_secs_f64();
+                            let msg =
+                                format!("idle timeout after {secs}s without a request; closing");
+                            let r = error_reply(ev, false, &msg);
+                            c.teardown(Some(r));
+                            c.dirty = true;
+                        }
+                    }
+                }
+                if let Some(since) = c.write_stalled_since {
+                    if now >= since + WRITE_TIMEOUT {
+                        c.dead = true;
+                        c.dirty = true;
+                    }
+                }
+                if let Some(d) = c.drain_deadline {
+                    if now >= d {
+                        c.dead = true;
+                        c.dirty = true;
+                    }
+                }
+            }
+        }
+        // Pump only the connections something happened to; collect the
+        // ones that ended so the pass stays O(dirty), not O(all).
+        gone.clear();
+        for (id, c) in conns.iter_mut() {
+            if !c.dirty {
+                continue;
+            }
+            c.dirty = false;
+            pump(c, me, ev, client, ts, shared, config, pipeline);
+            if c.dead || c.finished() {
+                gone.push(*id);
+                continue;
+            }
+            // Reconcile the kernel's interest with the connection's.
+            // Only pumped connections can have changed their wants
+            // (every want-changing event marks the connection dirty),
+            // so this is the single point where `epoll_ctl` happens —
+            // and only when the interest actually moved.
+            let want = interest_of(c, pipeline);
+            if want != c.interest {
+                if ep.modify(c.stream.as_raw_fd(), want, *id).is_err() {
+                    c.dead = true;
+                    gone.push(*id);
+                } else {
+                    c.interest = want;
+                }
+            }
+        }
+        for id in gone.drain(..) {
+            if let Some(mut c) = conns.remove(&id) {
+                ev.live.fetch_sub(1, Ordering::SeqCst);
+                // A parsed-but-unposted invoke still gets one posting
+                // attempt so its outcome is counted like the old
+                // writer's drained tickets; if the lane is still full
+                // the op is dropped with the connection.
+                if let Some(p) = c.pending.take() {
+                    let _ = client.try_post_done(p.t, p.args, p.done);
+                }
+            }
+        }
+        if draining && conns.is_empty() && ev.accept_done.load(Ordering::SeqCst) {
+            // One final take after observing `accept_done`: a handoff
+            // mailed before thread 0's transition may still be parked
+            // here. Completions need no processing (already counted).
+            let last = ev.inboxes[me].take();
+            if last.conns.is_empty() {
+                break;
+            }
+            for (id, stream) in last.conns {
+                let mut c = Conn::new(stream, id, config.auth.is_none());
+                c.begin_drain(Instant::now() + DRAIN_TIMEOUT);
+                if register(&ep, &mut c, pipeline).is_err() {
+                    ev.live.fetch_sub(1, Ordering::SeqCst);
+                    continue;
+                }
+                conns.insert(id, c);
+            }
+            continue;
+        }
+        // Pre-wait scan: track the nearest deadline, which both bounds
+        // the wait and gates the next iteration's reaping scan. (The
+        // interest set itself lives in the kernel now — registered at
+        // accept, reconciled after each pump — so unlike the poll(2)
+        // incarnation of this loop, nothing per-connection is rebuilt
+        // here.) A connection with empty interest is parked on inbox
+        // mail (a completion or a space signal) and invisible to
+        // `epoll_wait` — its socket errors surface on the write attempt
+        // its next pump makes — so a thousand quiescent connections add
+        // nothing to the wait.
+        nearest = None;
+        let consider = |nearest: &mut Option<Instant>, d: Instant| {
+            *nearest = Some(match *nearest {
+                Some(cur) => cur.min(d),
+                None => d,
+            });
+        };
+        for c in conns.values() {
+            if !draining && c.read_open {
+                if let Some(t) = config.idle_timeout {
+                    consider(&mut nearest, c.last_rx + t);
+                }
+            }
+            if let Some(s) = c.write_stalled_since {
+                consider(&mut nearest, s + WRITE_TIMEOUT);
+            }
+            if let Some(d) = c.drain_deadline {
+                consider(&mut nearest, d);
+            }
+        }
+        let timeout_ms = match nearest {
+            None => -1,
+            Some(d) => {
+                let ms = d.saturating_duration_since(Instant::now()).as_millis().min(60_000);
+                i32::try_from(ms).unwrap_or(60_000) + 1
+            }
+        };
+        let n = ep.wait(&mut events, timeout_ms).expect("epoll_wait failed");
+        if n == 0 {
+            continue;
+        }
+        for &e in &events[..n] {
+            match e.token() {
+                // Waker bytes are drained by the `take` at the loop
+                // top; the event only needed to end the wait.
+                TOK_WAKER => {}
+                TOK_LISTEN => {
+                    if !listening {
+                        continue;
+                    }
+                    let Some(l) = listener else { continue };
+                    if let Err(e) = accept_burst(l, me, &mut conns, &ep, pipeline, ev, config) {
+                        // Fatal listener error: stop accepting, drain
+                        // what was accepted, report after.
+                        fatal = Some(e);
+                        let _ = ep.delete(l.as_raw_fd());
+                        listening = false;
+                        ev.shutdown.store(true, Ordering::SeqCst);
+                        ev.wake_all();
+                    }
+                }
+                id => {
+                    let Some(c) = conns.get_mut(&id) else { continue };
+                    if e.failed() {
+                        // Error or hangup on both directions; any
+                        // unflushed reply is undeliverable.
+                        c.dead = true;
+                        c.dirty = true;
+                        continue;
+                    }
+                    if e.ready(EPOLLIN) && c.read_open {
+                        c.dirty = true;
+                        match c.fill_read_buffer() {
+                            ReadOutcome::Progress => {}
+                            // Orderly EOF: answer what is in flight,
+                            // then close — the old reader's
+                            // drain-and-close on EOF.
+                            ReadOutcome::Eof => c.teardown(None),
+                            ReadOutcome::Dead => c.dead = true,
+                        }
+                    }
+                    if e.ready(EPOLLOUT) {
+                        // The socket drained: the next iteration's
+                        // pump writes.
+                        c.dirty = true;
+                    }
+                }
+            }
+        }
+    }
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}

@@ -25,7 +25,9 @@
 
 use crate::error::LangError;
 use crate::interp::{Delta, ObjectDelta};
-use migratory_model::codec::{encode_idset, encode_tuple, encode_u64, Reader as ByteReader};
+use migratory_model::codec::{
+    encode_idset, encode_str, encode_tuple, encode_u64, encode_value, Reader as ByteReader,
+};
 use migratory_model::{ClassSet, ModelError, Oid, Tuple, Value};
 use std::fmt::Write as _;
 
@@ -107,6 +109,41 @@ pub fn decode_delta(r: &mut ByteReader<'_>) -> Result<Delta, LangError> {
         objects.push(ObjectDelta { oid, before, after, tuple_changed: flags & TUPLE_CHANGED != 0 });
     }
     Ok(Delta { old_next, new_next, objects })
+}
+
+// ---------------------------------------------------------------------
+// Invocation payloads (binary wire dialect)
+// ---------------------------------------------------------------------
+
+/// Append the binary encoding of one transaction invocation — the
+/// payload of an `invoke` frame on the binary wire dialect: the
+/// transaction name ([`encode_str`]), the argument count
+/// ([`encode_u64`]), then each argument ([`encode_value`]).
+pub fn encode_invoke(out: &mut Vec<u8>, name: &str, args: &[Value]) {
+    encode_str(out, name);
+    encode_u64(out, args.len() as u64);
+    for v in args {
+        encode_value(out, v);
+    }
+}
+
+/// Decode one invocation payload (the inverse of [`encode_invoke`]).
+///
+/// Total over arbitrary bytes: truncation, a length-inflated argument
+/// count, or a malformed value yields a [`LangError`], never a panic —
+/// the [`ByteReader`] count primitive is bounds-checked against the
+/// remaining input.
+pub fn decode_invoke(r: &mut ByteReader<'_>) -> Result<(String, Vec<Value>), LangError> {
+    let name = r.str()?.to_owned();
+    if name.is_empty() {
+        return Err(corrupt("empty transaction name"));
+    }
+    let n = r.count()?;
+    let mut args = Vec::with_capacity(n);
+    for _ in 0..n {
+        args.push(r.value()?);
+    }
+    Ok((name, args))
 }
 
 // ---------------------------------------------------------------------
@@ -471,6 +508,42 @@ mod tests {
         ] {
             assert!(delta_from_text(bad).is_err(), "`{bad}` parsed");
         }
+    }
+
+    #[test]
+    fn invoke_payload_round_trips() {
+        let args = vec![
+            Value::Int(-17),
+            Value::str("a \"quoted\" name\nwith newline"),
+            Value::Fresh(9),
+            Value::Int(i64::MIN),
+        ];
+        let mut bytes = Vec::new();
+        encode_invoke(&mut bytes, "Promote", &args);
+        let mut r = ByteReader::new(&bytes);
+        let (name, back) = decode_invoke(&mut r).unwrap();
+        assert!(r.is_exhausted(), "self-delimiting");
+        assert_eq!(name, "Promote");
+        assert_eq!(back, args);
+    }
+
+    #[test]
+    fn invoke_payload_rejects_corruption() {
+        let mut bytes = Vec::new();
+        encode_invoke(&mut bytes, "Mk", &[Value::Int(1), Value::str("x")]);
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(decode_invoke(&mut r).is_err(), "prefix of {cut} bytes decoded");
+        }
+        // An empty transaction name is structurally invalid.
+        let mut empty = Vec::new();
+        encode_invoke(&mut empty, "", &[]);
+        assert!(decode_invoke(&mut ByteReader::new(&empty)).is_err());
+        // A count far beyond the remaining input is refused, not allocated.
+        let mut inflated = Vec::new();
+        encode_str(&mut inflated, "Mk");
+        encode_u64(&mut inflated, u64::MAX);
+        assert!(decode_invoke(&mut ByteReader::new(&inflated)).is_err());
     }
 
     #[test]

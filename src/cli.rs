@@ -33,8 +33,9 @@ USAGE:
                     [--durable DIR] [--recover] [--checkpoint-every B]
                     [--retries N] [--retry-backoff-ms MS] [--inject PLAN]
                     [--idle-timeout SECS] [--max-conn-bytes N] [--max-conn-ops N]
-                    [--max-connections N] [--auth TOKEN]
+                    [--max-connections N] [--auth TOKEN] [--io-threads N]
   migctl client     [--addr HOST:PORT] [--script <file>] [--shutdown] [--auth TOKEN]
+                    [--binary]
   migctl help
 
   <schema>        a `schema Name { class … }` file
@@ -59,14 +60,18 @@ serve       admits transactions over TCP (docs/PROTOCOL.md) through the sharded
             Connection supervision: --idle-timeout reaps silent peers,
             --max-conn-bytes/--max-conn-ops bound one connection's traffic,
             --max-connections caps live sockets, --auth requires a shared-secret
-            `auth TOKEN` handshake. --inject PLAN schedules deterministic I/O
+            `auth TOKEN` handshake. --io-threads sizes the poll-based event
+            core that multiplexes every connection (default 2).
+            --inject PLAN schedules deterministic I/O
             faults for testing (comma-separated site@N[:K|:persistent]; sites
             append|sync|seal|ckpt-write|ckpt-sync|ckpt-rename|ckpt-prune).
             Runs until a client sends the `shutdown` verb.
 client      drives a serve endpoint: --script sends each line as an `invoke`
             (pipelined, replies in order), --shutdown asks the server to drain,
             --auth performs the handshake first; with neither script nor
-            shutdown, forwards raw protocol lines from stdin
+            shutdown, forwards raw protocol lines from stdin. --binary sends
+            script invocations as length-prefixed binary frames
+            (docs/PROTOCOL.md § Binary framing) instead of text lines
 ";
 
 /// Parse a `--kind` value.
@@ -92,7 +97,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
-            if matches!(name, "lazy" | "recover" | "shutdown") {
+            if matches!(name, "lazy" | "recover" | "shutdown" | "binary") {
                 named.push((name.to_owned(), "true".to_owned()));
                 continue;
             }
@@ -307,6 +312,7 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
     let max_conn_bytes = flags.usize_or("max-conn-bytes", 0)?;
     let max_conn_ops = flags.usize_or("max-conn-ops", 0)?;
     let max_connections = flags.usize_or("max-connections", 0)?;
+    let io_threads = flags.usize_or("io-threads", 2)?.max(1);
     let auth = flags.get("auth").map(str::to_owned);
     let durable = flags.get("durable");
     let recover = flags.get("recover").is_some();
@@ -407,6 +413,7 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
         max_conn_ops: max_conn_ops as u64,
         max_connections,
         auth,
+        io_threads,
         durability: DurabilityPolicy { retries: retries as u32, backoff },
         ..Default::default()
     };
@@ -489,12 +496,26 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
 pub fn cmd_client(flags: &Flags, script: Option<&str>) -> Result<String, String> {
     use std::io::{BufRead, BufReader, Write};
 
+    /// One reply line, newline-stripped; EOF is an error (replies are
+    /// owed for every request, even across a graceful drain).
+    fn read_reply_line(r: &mut impl BufRead) -> Result<String, String> {
+        let mut line = String::new();
+        match r.read_line(&mut line) {
+            Ok(0) => Err("server closed before answering".to_owned()),
+            Ok(_) => {
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                Ok(line)
+            }
+            Err(e) => Err(format!("reading reply: {e}")),
+        }
+    }
+
     let addr = flags.get("addr").unwrap_or(DEFAULT_ADDR);
     let conn = std::net::TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
     let _ = conn.set_nodelay(true);
-    let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?)
-        .lines()
-        .map(|l| l.map_err(|e| format!("reading reply: {e}")));
+    let mut reader = BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
     let mut writer = std::io::BufWriter::new(conn);
 
     // Shared-secret handshake first: everything but `auth` is refused
@@ -503,7 +524,7 @@ pub fn cmd_client(flags: &Flags, script: Option<&str>) -> Result<String, String>
     if let Some(token) = flags.get("auth") {
         writeln!(writer, "auth {token}").map_err(|e| e.to_string())?;
         writer.flush().map_err(|e| e.to_string())?;
-        let reply = reader.next().ok_or("server closed before answering auth")??;
+        let reply = read_reply_line(&mut reader)?;
         if reply.split_whitespace().next() != Some("ok") {
             return Err(format!("auth failed: {reply}"));
         }
@@ -512,30 +533,52 @@ pub fn cmd_client(flags: &Flags, script: Option<&str>) -> Result<String, String>
     if let Some(src) = script {
         // Scripted: pipeline every request, then read the replies in
         // order — a writer thread keeps sending while we read, so a
-        // long script cannot deadlock on full socket buffers.
-        let mut requests: Vec<String> = src
+        // long script cannot deadlock on full socket buffers. The whole
+        // request stream is encoded up front: text `invoke` lines, or
+        // with --binary one REQ_INVOKE frame per script line. `shutdown`
+        // stays a text verb in either dialect, and its reply a text
+        // line — replies always answer in their request's dialect.
+        let binary = flags.get("binary").is_some();
+        let shutdown = flags.get("shutdown").is_some();
+        let lines: Vec<&str> = src
             .lines()
             .map(|raw| raw.split('#').next().unwrap_or("").trim())
             .filter(|l| !l.is_empty())
-            .map(|l| format!("invoke {l}"))
             .collect();
-        if flags.get("shutdown").is_some() {
-            requests.push("shutdown".to_owned());
+        let mut bytes = Vec::new();
+        for (i, l) in lines.iter().enumerate() {
+            if binary {
+                let (name, args) =
+                    net::parse_invocation(l).map_err(|e| format!("script line {}: {e}", i + 1))?;
+                net::frame::encode_invoke_frame(&mut bytes, name, &args);
+            } else {
+                bytes.extend_from_slice(format!("invoke {l}\n").as_bytes());
+            }
         }
-        let expected = requests.len();
+        if shutdown {
+            bytes.extend_from_slice(b"shutdown\n");
+        }
+        let expected = lines.len() + usize::from(shutdown);
         let (mut ok, mut violation, mut error) = (0usize, 0usize, 0usize);
         let mut out = String::new();
         std::thread::scope(|scope| -> Result<(), String> {
             scope.spawn(move || {
-                for r in &requests {
-                    if writeln!(writer, "{r}").is_err() {
-                        return;
-                    }
-                }
-                let _ = writer.flush();
+                let _ = writer.write_all(&bytes).and_then(|()| writer.flush());
             });
-            for _ in 0..expected {
-                let reply = reader.next().ok_or("server closed before answering")??;
+            for i in 0..expected {
+                let text_reply = !binary || (shutdown && i == lines.len());
+                let reply = if text_reply {
+                    read_reply_line(&mut reader)?
+                } else {
+                    let (kind, payload) = net::frame::read_frame(&mut reader)
+                        .map_err(|e| format!("reading reply frame: {e}"))?;
+                    let text = String::from_utf8_lossy(&payload);
+                    match kind {
+                        net::frame::REP_OK => "ok".to_owned(),
+                        net::frame::REP_VIOLATION => format!("violation {text}"),
+                        _ => format!("error {text}"),
+                    }
+                };
                 match reply.split_whitespace().next() {
                     Some("ok") => ok += 1,
                     Some("violation") => violation += 1,
@@ -551,7 +594,7 @@ pub fn cmd_client(flags: &Flags, script: Option<&str>) -> Result<String, String>
     } else if flags.get("shutdown").is_some() {
         writeln!(writer, "shutdown").map_err(|e| e.to_string())?;
         writer.flush().map_err(|e| e.to_string())?;
-        let reply = reader.next().ok_or("server closed before answering")??;
+        let reply = read_reply_line(&mut reader)?;
         Ok(format!("{reply}\n"))
     } else {
         // Interactive: forward raw protocol lines from stdin.
@@ -563,8 +606,8 @@ pub fn cmd_client(flags: &Flags, script: Option<&str>) -> Result<String, String>
             }
             writeln!(writer, "{line}").map_err(|e| e.to_string())?;
             writer.flush().map_err(|e| e.to_string())?;
-            let Some(reply) = reader.next() else { break };
-            println!("{}", reply?);
+            let Ok(reply) = read_reply_line(&mut reader) else { break };
+            println!("{reply}");
             if line.trim() == "quit" {
                 break;
             }

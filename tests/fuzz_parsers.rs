@@ -243,6 +243,145 @@ fn wire_soup_never_kills_the_server() {
     });
 }
 
+// ---------------------------------------------------------------------
+// Binary framing (`enforce::net::frame`)
+// ---------------------------------------------------------------------
+
+use migratory::core::enforce::net::frame;
+use migratory::model::Value;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The frame scanner is total: any byte soup behind the magic byte
+    /// yields `Incomplete`, `Oversized` or a bounded frame — never a
+    /// panic, and never a frame larger than the buffer or the cap. The
+    /// blocking client-side reader must be as hostile-input-proof.
+    #[test]
+    fn frame_scanner_never_panics(soup in proptest::collection::vec(0u16..256, 0..64)) {
+        let mut bytes = vec![frame::MAGIC];
+        bytes.extend(soup.iter().map(|&b| u8::try_from(b).expect("strategy range fits a byte")));
+        match frame::scan(&bytes) {
+            frame::Scan::Frame { payload_len, .. } => {
+                prop_assert!(frame::HEADER_LEN + payload_len <= bytes.len());
+                prop_assert!(payload_len as u64 <= u64::from(frame::MAX_PAYLOAD));
+            }
+            frame::Scan::Oversized(len) => prop_assert!(len > frame::MAX_PAYLOAD),
+            frame::Scan::Incomplete => {}
+        }
+        let _ = frame::read_frame(&mut &bytes[..]);
+    }
+
+    /// Every truncation of a valid frame scans `Incomplete` (the
+    /// incremental accumulator keeps waiting), and byte-mutating the
+    /// frame behind its magic byte panics neither the scanner nor the
+    /// payload decoder.
+    #[test]
+    fn mutated_frames_never_panic(
+        flips in proptest::collection::vec((1usize..256, 0u16..256), 0..8),
+        cut in 1usize..256,
+    ) {
+        let mut bytes = Vec::new();
+        frame::encode_invoke_frame(&mut bytes, "Mk", &[Value::int(7), Value::str("a name")]);
+        let cut = cut % bytes.len();
+        if cut > 0 {
+            prop_assert_eq!(frame::scan(&bytes[..cut]), frame::Scan::Incomplete);
+        }
+        for (idx, b) in flips {
+            let i = 1 + idx % (bytes.len() - 1);
+            bytes[i] = u8::try_from(b).expect("strategy range fits a byte");
+        }
+        if let frame::Scan::Frame { payload_len, .. } = frame::scan(&bytes) {
+            let payload = &bytes[frame::HEADER_LEN..frame::HEADER_LEN + payload_len];
+            let mut r = migratory::model::codec::Reader::new(payload);
+            let _ = migratory::lang::codec::decode_invoke(&mut r);
+        }
+    }
+}
+
+/// Hostile binary frames and text lines interleaved on one socket: each
+/// request is answered in its own dialect, malformed payloads get
+/// binary errors without ending the session, an oversized length prefix
+/// tears down only its own connection — and the server keeps serving.
+/// (CI runs this as the frame half of its wire-fuzz smoke.)
+#[test]
+fn mixed_dialect_soup_never_kills_the_server() {
+    use std::io::{BufRead, BufReader, Read as _, Write};
+    let schema = university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }"#,
+    )
+    .unwrap();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 2);
+            net::serve(listener, &mut m, &ts, &ServerConfig::default(), |_| {}).unwrap()
+        });
+        // One pipelined burst interleaving both dialects, hostile frames
+        // included. Replies come back in order, each in its request's
+        // dialect.
+        let mut req = Vec::new();
+        req.extend_from_slice(b"ping\n");
+        frame::encode_invoke_frame(&mut req, "Mk", &[Value::int(1)]);
+        frame::encode(&mut req, 0x7f, b"???"); // unknown kind
+        frame::encode(&mut req, frame::REQ_INVOKE, &[0xff, 0xff, 0x00]); // undecodable payload
+        frame::encode_invoke_frame(&mut req, "Nope", &[]); // unknown transaction
+        req.extend_from_slice(b"invoke Mk(2)\n");
+        let conn = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = conn.try_clone().unwrap();
+        let mut reader = BufReader::new(conn);
+        writer.write_all(&req).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ok pong\n");
+        let (kind, payload) = frame::read_frame(&mut reader).unwrap();
+        assert_eq!((kind, payload.len()), (frame::REP_OK, 0), "valid frame is admitted");
+        let (kind, payload) = frame::read_frame(&mut reader).unwrap();
+        assert_eq!(kind, frame::REP_ERROR);
+        assert!(
+            String::from_utf8_lossy(&payload).contains("unknown frame kind"),
+            "got {:?}",
+            String::from_utf8_lossy(&payload)
+        );
+        let (kind, _) = frame::read_frame(&mut reader).unwrap();
+        assert_eq!(kind, frame::REP_ERROR, "undecodable payload errors in-dialect");
+        let (kind, payload) = frame::read_frame(&mut reader).unwrap();
+        assert_eq!(kind, frame::REP_ERROR);
+        assert!(String::from_utf8_lossy(&payload).contains("unknown transaction"));
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line, "ok\n", "the session survives every hostile frame above");
+        // An oversized length prefix is refused at the header — a binary
+        // error reply, then teardown, before any payload accumulates.
+        let mut bad = vec![frame::MAGIC, frame::REQ_INVOKE];
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        writer.write_all(&bad).unwrap();
+        writer.flush().unwrap();
+        let (kind, payload) = frame::read_frame(&mut reader).unwrap();
+        assert_eq!(kind, frame::REP_ERROR);
+        assert!(String::from_utf8_lossy(&payload).contains("exceeds"));
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server closed the hostile connection");
+        // …and a fresh connection still gets clean service.
+        let fresh = std::net::TcpStream::connect(addr).unwrap();
+        let mut w = fresh.try_clone().unwrap();
+        let mut r = BufReader::new(fresh).lines();
+        writeln!(w, "ping").unwrap();
+        assert_eq!(r.next().unwrap().unwrap(), "ok pong");
+        writeln!(w, "shutdown").unwrap();
+        assert_eq!(r.next().unwrap().unwrap(), "ok draining");
+        let stats = server.join().unwrap();
+        assert_eq!(stats.admitted, 2, "Mk(1) binary + Mk(2) text");
+        assert_eq!(stats.connections, 2);
+    });
+}
+
 /// Error values (not panics) for representative malformed inputs, each
 /// with a position or message a user can act on.
 #[test]

@@ -1,0 +1,226 @@
+//! Partial-I/O edge cases for the event-driven wire front end, driven
+//! through the real `migctl` binary over real sockets:
+//!
+//! * text lines and binary frames sliced across arbitrary TCP read
+//!   boundaries reassemble into exactly the same replies;
+//! * a slow reader forces the server to buffer replies (write
+//!   backpressure) without losing, duplicating or reordering any;
+//! * graceful `shutdown` answers every complete in-flight request and
+//!   closes connections whose last frame never finished arriving.
+
+use migratory::core::enforce::net::frame;
+use migratory::model::Value;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+const UNI_SCHEMA: &str = r#"
+schema Uni {
+  class PERSON { SSN, Name }
+  class STUDENT isa PERSON { Major }
+}
+"#;
+
+const UNI_TX: &str = r#"
+transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+transaction St(x) { specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS" }); }
+transaction Rm(x) { delete(PERSON, { SSN = x }); }
+"#;
+
+// Specialization is forbidden: every St on a live PERSON violates,
+// deterministically.
+const UNI_INV: &str = "∅* [PERSON]* ∅*";
+
+/// Spawn `migctl serve` on an ephemeral port and return (child, addr).
+fn spawn_serve(tag: &str, extra: &[&str]) -> (std::process::Child, String) {
+    let dir =
+        std::env::temp_dir().join(format!("migratory-partial-io-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let schema = dir.join("uni.mig");
+    let tx = dir.join("uni.sl");
+    std::fs::write(&schema, UNI_SCHEMA).unwrap();
+    std::fs::write(&tx, UNI_TX).unwrap();
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_migctl"))
+        .arg("serve")
+        .arg(&schema)
+        .arg(&tx)
+        .args(["--inventory", UNI_INV, "--addr", "127.0.0.1:0", "--shards", "2"])
+        .args(extra)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn migctl serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines.next().expect("serve prints its address").expect("read stdout");
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            break rest.split_whitespace().next().expect("an address").to_owned();
+        }
+    };
+    // Keep draining stdout so the server never blocks on a full pipe.
+    std::thread::spawn(move || for _ in lines {});
+    (child, addr)
+}
+
+fn connect(addr: &str) -> TcpStream {
+    let conn = TcpStream::connect(addr).expect("connect");
+    conn.set_nodelay(true).expect("nodelay");
+    conn
+}
+
+fn read_line(r: &mut impl BufRead) -> String {
+    let mut line = String::new();
+    r.read_line(&mut line).expect("read reply line");
+    assert!(line.ends_with('\n'), "server closed mid-line: {line:?}");
+    line.pop();
+    line
+}
+
+/// One mixed-dialect request stream delivered byte-by-byte and in every
+/// small chunk size: the server's incremental accumulator must
+/// reassemble identical replies no matter where TCP cuts the stream.
+#[test]
+fn requests_split_across_arbitrary_read_boundaries_reassemble() {
+    let (mut child, addr) = spawn_serve("split", &[]);
+
+    // The stream interleaves dialects and ends with a text ping so the
+    // final reply is unambiguous. Keys are distinct per round: every Mk
+    // is admitted, and the frame-dialect St targets the PERSON the text
+    // line just created — per-connection FIFO makes it a deterministic
+    // violation.
+    let build = |round: usize| -> Vec<u8> {
+        let mut req = Vec::new();
+        req.extend_from_slice(b"ping\n");
+        frame::encode_invoke_frame(&mut req, "Mk", &[Value::str(&format!("b{round}"))]);
+        req.extend_from_slice(format!("invoke Mk(t{round})\n").as_bytes());
+        frame::encode_invoke_frame(&mut req, "St", &[Value::str(&format!("t{round}"))]);
+        req.extend_from_slice(b"ping\n");
+        req
+    };
+    let check_replies = |reader: &mut BufReader<TcpStream>, chunk: usize| {
+        assert_eq!(read_line(reader), "ok pong", "chunk size {chunk}");
+        let (kind, payload) = frame::read_frame(reader).expect("binary Mk reply");
+        assert_eq!((kind, payload.len()), (frame::REP_OK, 0), "chunk size {chunk}");
+        assert_eq!(read_line(reader), "ok", "chunk size {chunk}");
+        let (kind, payload) = frame::read_frame(reader).expect("binary St reply");
+        assert_eq!(kind, frame::REP_VIOLATION, "chunk size {chunk}");
+        assert!(!payload.is_empty(), "violation diagnostics name the offense");
+        assert_eq!(read_line(reader), "ok pong", "chunk size {chunk}");
+    };
+
+    for (round, chunk) in [1usize, 2, 3, 5, 7, 11].into_iter().enumerate() {
+        let conn = connect(&addr);
+        let mut writer = conn.try_clone().unwrap();
+        let mut reader = BufReader::new(conn);
+        let req = build(round);
+        for piece in req.chunks(chunk) {
+            writer.write_all(piece).unwrap();
+            writer.flush().unwrap();
+        }
+        check_replies(&mut reader, chunk);
+    }
+
+    let mut c = connect(&addr);
+    c.write_all(b"shutdown\n").unwrap();
+    assert_eq!(read_line(&mut BufReader::new(c)), "ok draining");
+    assert!(child.wait().expect("reap").success());
+}
+
+/// A client that pipelines thousands of requests and only then starts
+/// reading: the reply stream backs up into the server's write buffers,
+/// and once the reader catches up every reply is present, in order,
+/// none duplicated. A second connection stays responsive throughout —
+/// one stalled peer must not block the event loop.
+#[test]
+fn slow_reader_backpressure_loses_no_replies() {
+    const N: usize = 4000;
+    let (mut child, addr) = spawn_serve("slow", &[]);
+    let conn = connect(&addr);
+    let mut writer = conn.try_clone().unwrap();
+    let mut reader = BufReader::new(conn);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            // ~90 bytes of reply per request — hundreds of KiB of owed
+            // replies, far past any socket buffer, while we read nothing.
+            let mut req = Vec::new();
+            for i in 0..N {
+                req.extend_from_slice(format!("bogus-{i}\n").as_bytes());
+            }
+            writer.write_all(&req).unwrap();
+            writer.flush().unwrap();
+        });
+        // Let the pile build up before draining a single reply.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let probe = connect(&addr);
+        let mut probe_writer = probe.try_clone().unwrap();
+        let mut probe_reader = BufReader::new(probe);
+        probe_writer.write_all(b"ping\n").unwrap();
+        assert_eq!(read_line(&mut probe_reader), "ok pong", "event loop still live while stalled");
+        for i in 0..N {
+            let reply = read_line(&mut reader);
+            assert!(
+                reply.starts_with("error unknown verb `bogus-")
+                    && reply.contains(&format!("`bogus-{i}`")),
+                "reply {i} out of order or corrupted: {reply}"
+            );
+        }
+        probe_writer.write_all(b"shutdown\n").unwrap();
+        assert_eq!(read_line(&mut probe_reader), "ok draining");
+    });
+    assert!(child.wait().expect("reap").success());
+}
+
+/// Graceful drain with a frame half-buffered: requests that arrived
+/// whole are answered before the socket closes; the connection whose
+/// final frame never finished is closed without inventing a reply for
+/// the fragment — and the server still exits cleanly.
+#[test]
+fn shutdown_answers_complete_requests_and_drops_half_buffered_frames() {
+    let (mut child, addr) = spawn_serve("drain", &[]);
+
+    let conn = connect(&addr);
+    let mut writer = conn.try_clone().unwrap();
+    let mut reader = BufReader::new(conn);
+
+    // One complete binary invoke, acknowledged — it is in no sense
+    // "in flight" when the drain starts.
+    let mut req = Vec::new();
+    frame::encode_invoke_frame(&mut req, "Mk", &[Value::str("whole")]);
+    writer.write_all(&req).unwrap();
+    let (kind, _) = frame::read_frame(&mut reader).expect("admitted");
+    assert_eq!(kind, frame::REP_OK);
+
+    // Then a frame whose payload never finishes arriving, plus a text
+    // line missing its newline: both half-buffered at drain time.
+    let mut partial = Vec::new();
+    frame::encode_invoke_frame(&mut partial, "Mk", &[Value::str("never-finishes")]);
+    partial.truncate(partial.len() - 3);
+    writer.write_all(&partial).unwrap();
+    writer.flush().unwrap();
+
+    let half_line = connect(&addr);
+    let mut hl_writer = half_line.try_clone().unwrap();
+    let mut hl_reader = BufReader::new(half_line);
+    hl_writer.write_all(b"invoke Mk(half").unwrap();
+    hl_writer.flush().unwrap();
+
+    // Drain from a third connection.
+    let ctl = connect(&addr);
+    let mut ctl_writer = ctl.try_clone().unwrap();
+    let mut ctl_reader = BufReader::new(ctl);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    ctl_writer.write_all(b"shutdown\n").unwrap();
+    assert_eq!(read_line(&mut ctl_reader), "ok draining");
+
+    // Both half-buffered connections close without any further reply —
+    // the fragments are dropped, not answered, not hung on.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("drain to EOF");
+    assert!(rest.is_empty(), "no reply owed for a fragment, got {rest:?}");
+    let mut rest = Vec::new();
+    hl_reader.read_to_end(&mut rest).expect("drain to EOF");
+    assert!(rest.is_empty(), "no reply owed for a half line, got {rest:?}");
+
+    assert!(child.wait().expect("reap").success());
+}

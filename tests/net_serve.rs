@@ -108,10 +108,16 @@ fn concurrent_clients_get_correct_per_connection_replies() {
             let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
             net::serve(listener, &mut m, &ts, &ServerConfig::default(), |_| {}).unwrap()
         });
+        // The protocol promises no ordering *between* connections, so
+        // the violating client must not start until the seed object's
+        // create is acknowledged — an `Up0` racing ahead of `Mk0(seed)`
+        // would match nothing and be a legitimate no-op `ok`.
+        let seeded = &std::sync::atomic::AtomicBool::new(false);
         std::thread::scope(|clients| {
             clients.spawn(|| {
                 let mut c = Client::connect(addr);
                 assert_eq!(c.ask("invoke Mk0(seed)"), "ok", "the violators' target object");
+                seeded.store(true, std::sync::atomic::Ordering::SeqCst);
                 for i in 0..PER {
                     assert_eq!(c.ask(&format!("invoke Mk0(a{i})")), "ok", "conforming create");
                 }
@@ -124,6 +130,9 @@ fn concurrent_clients_get_correct_per_connection_replies() {
             });
             clients.spawn(|| {
                 let mut c = Client::connect(addr);
+                while !seeded.load(std::sync::atomic::Ordering::SeqCst) {
+                    std::thread::yield_now();
+                }
                 for _ in 0..PER / 2 {
                     let reply = c.ask("invoke Up0(seed)");
                     assert!(
@@ -609,6 +618,38 @@ fn fenced_block(doc: &str, lang: &str) -> String {
             + fence.len();
     let end = doc[start..].find("```").expect("unterminated fence") + start;
     doc[start..end].to_owned()
+}
+
+/// Every constant § Binary framing of `docs/PROTOCOL.md` states —
+/// magic, header size, payload cap, request and reply kinds, the
+/// oversized-frame refusal — is derived here from
+/// `enforce::net::frame` itself, so the normative spec cannot drift
+/// from the codec.
+#[test]
+fn binary_framing_spec_matches_the_implementation() {
+    use migratory::core::enforce::net::frame;
+    let doc = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/docs/PROTOCOL.md"))
+        .expect("docs/PROTOCOL.md exists");
+    let start = doc.find("## Binary framing").expect("doc has a Binary framing section");
+    let spec = &doc[start..];
+    let spec = &spec[..spec[3..].find("\n## ").map_or(spec.len(), |i| i + 3)];
+    let claims = [
+        format!("always {:#04X}", frame::MAGIC),
+        format!("{}-byte header", frame::HEADER_LEN),
+        format!("capped at **{}**", frame::MAX_PAYLOAD),
+        format!("exceeds {} bytes", frame::MAX_PAYLOAD),
+        format!("**`{:#04x}` (invoke)**", frame::REQ_INVOKE),
+        format!("**`{:#04x}`** = `ok`", frame::REP_OK),
+        format!("**`{:#04x}`** = `violation`", frame::REP_VIOLATION),
+        format!("**`{:#04x}`** = `error`", frame::REP_ERROR),
+    ];
+    for claim in &claims {
+        assert!(
+            spec.contains(claim.as_str()),
+            "docs/PROTOCOL.md § Binary framing drifted from enforce::net::frame: \
+             expected the section to state `{claim}`"
+        );
+    }
 }
 
 /// Execute the worked session of `docs/PROTOCOL.md` verbatim: the
