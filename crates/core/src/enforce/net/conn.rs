@@ -105,9 +105,21 @@ pub(super) struct Conn<'t> {
     pub id: u64,
     /// Auth handshake passed (or no token configured).
     pub authed: bool,
-    /// Still extracting requests; cleared by `quit`, teardown, EOF and
+    /// Still extracting requests; cleared by `quit`, teardown and
     /// drain.
     pub read_open: bool,
+    /// The peer half-closed (orderly FIN): no further bytes will ever
+    /// arrive, but requests already buffered still extract — a client
+    /// that pipelines and then `shutdown(SHUT_WR)`s is owed every
+    /// reply. Set by [`Conn::fill_read_buffer`]; the pump tears the
+    /// connection down once the read buffer can yield nothing more.
+    pub eof: bool,
+    /// Dialect of the most recent request (text until the first one):
+    /// server-initiated errors with no request to answer — the
+    /// idle-timeout reap — are encoded in it, so a binary client
+    /// blocked in `read_frame` gets a decodable frame, not bytes that
+    /// fail its magic check.
+    pub last_binary: bool,
     /// Close the socket once every slot resolved and flushed.
     pub close_after_flush: bool,
     /// The socket failed: drop the connection without further I/O.
@@ -157,6 +169,8 @@ impl<'t> Conn<'t> {
             id,
             authed,
             read_open: true,
+            eof: false,
+            last_binary: false,
             close_after_flush: false,
             dead: false,
             last_rx: now,
@@ -178,11 +192,19 @@ impl<'t> Conn<'t> {
 
     /// Absorb readable socket bytes into the read buffer (bounded burst;
     /// level-triggered poll re-reports any leftover).
+    ///
+    /// EOF sets [`Conn::eof`] rather than discarding anything: bytes
+    /// buffered by earlier reads of the same burst (a pipeline that is
+    /// an exact multiple of the chunk size, followed by FIN) are still
+    /// there for extraction.
     pub(super) fn fill_read_buffer(&mut self) -> ReadOutcome {
         let mut chunk = [0u8; READ_CHUNK];
         for _ in 0..READ_BUDGET {
             match self.stream.read(&mut chunk) {
-                Ok(0) => return ReadOutcome::Eof,
+                Ok(0) => {
+                    self.eof = true;
+                    return ReadOutcome::Eof;
+                }
                 Ok(n) => {
                     self.rbuf.extend_from_slice(&chunk[..n]);
                     self.last_rx = Instant::now();
@@ -338,12 +360,10 @@ impl<'t> Conn<'t> {
     /// suppressed while a pending post awaits lane space, while the
     /// reply pipeline is at depth, and while the write buffer is above
     /// its high-water mark — composed backpressure as poll-interest
-    /// suppression.
+    /// suppression — and permanently once the peer half-closed (a
+    /// FIN'd socket stays level-triggered readable forever).
     pub(super) fn wants_read(&self, pipeline: usize) -> bool {
-        self.read_open
-            && self.pending.is_none()
-            && self.slots.len() < pipeline
-            && self.unsent() < WRITE_HIGH
+        !self.eof && self.may_extract(pipeline)
     }
 
     /// Whether buffered replies await a writable socket.
@@ -351,10 +371,15 @@ impl<'t> Conn<'t> {
         self.unsent() > 0
     }
 
-    /// Whether request extraction may proceed (same gates as
-    /// [`Conn::wants_read`] — data already buffered still waits).
+    /// Whether request extraction may proceed: the same backpressure
+    /// gates as [`Conn::wants_read`], except that EOF does **not**
+    /// close the gate — requests fully buffered before the peer's FIN
+    /// still extract and get their replies.
     pub(super) fn may_extract(&self, pipeline: usize) -> bool {
-        self.wants_read(pipeline)
+        self.read_open
+            && self.pending.is_none()
+            && self.slots.len() < pipeline
+            && self.unsent() < WRITE_HIGH
     }
 
     /// Answer-and-close: append a final reply (when given), stop
@@ -481,6 +506,35 @@ mod tests {
         let (mut conn, _peer) = test_conn();
         feed(&mut conn, &[0xc3, 0x28, 0xff, 0xfe, b'\n']);
         assert!(matches!(conn.extract(), Extracted::BadUtf8));
+    }
+
+    #[test]
+    fn eof_preserves_buffered_requests_for_extraction() {
+        use std::io::Write as _;
+        let (mut conn, peer) = test_conn();
+        // A pipeline that is an exact multiple of READ_CHUNK — one
+        // 16 KiB comment line — followed by a ping and an immediate
+        // half-close: the FIN can land in the same read burst as the
+        // final bytes.
+        let mut wire = vec![b'#'; 16 * 1024 - 1];
+        *wire.last_mut().unwrap() = b'\n';
+        wire.extend_from_slice(b"ping\n");
+        (&peer).write_all(&wire).unwrap();
+        peer.shutdown(std::net::Shutdown::Write).unwrap();
+        while !conn.eof {
+            assert!(!matches!(conn.fill_read_buffer(), ReadOutcome::Dead));
+        }
+        // EOF closes the socket's read interest, not the extraction
+        // gate: everything buffered before the FIN still comes out.
+        assert!(conn.may_extract(8));
+        assert!(!conn.wants_read(8));
+        let mut lines = Vec::new();
+        while let Extracted::Some(Request::Line(l), _) = conn.extract() {
+            lines.push(l);
+        }
+        assert_eq!(lines.len(), 2, "both pre-FIN requests extract");
+        assert_eq!(lines[1], "ping");
+        assert!(matches!(conn.extract(), Extracted::None));
     }
 
     #[test]

@@ -167,6 +167,33 @@ impl EventShared {
     }
 }
 
+/// Constant-time shared-secret comparison: fold both sides through
+/// fixed-width multi-lane FNV-1a digests and compare every lane
+/// unconditionally. A plain `==` returns at the first mismatching
+/// byte, so a network attacker can binary-search the token one prefix
+/// byte at a time from reply latency; digesting first makes the work
+/// depend only on the *lengths* (the attacker already knows their own,
+/// and the secret's contributes a constant offset that per-guess
+/// timing cannot probe incrementally).
+fn token_eq(expected: &str, got: &str) -> bool {
+    fn digest(s: &str) -> [u64; 4] {
+        let mut lanes = [0xcbf2_9ce4_8422_2325u64; 4];
+        for (i, b) in s.bytes().enumerate() {
+            lanes[i & 3] ^= u64::from(b);
+            lanes[i & 3] = lanes[i & 3].wrapping_mul(0x100_0000_01b3);
+        }
+        // Fold the length in so per-lane byte streams alone cannot
+        // collide two strings of different lengths.
+        for lane in &mut lanes {
+            *lane ^= s.len() as u64;
+            *lane = lane.wrapping_mul(0x100_0000_01b3);
+        }
+        lanes
+    }
+    let (a, b) = (digest(expected), digest(got));
+    (0..4).fold(0u64, |acc, i| acc | (a[i] ^ b[i])) == 0
+}
+
 /// Count an error reply (uniformly, at slot creation) and encode it in
 /// the request's dialect: `error <msg>\n` or a [`frame::REP_ERROR`]
 /// frame carrying `<msg>`.
@@ -382,6 +409,7 @@ fn dispatch<'t>(
     config: &ServerConfig,
 ) -> bool {
     let binary = matches!(req, Request::Frame(..));
+    c.last_binary = binary;
     c.bytes += wire;
     if config.max_conn_bytes > 0 && c.bytes > config.max_conn_bytes {
         let msg =
@@ -417,7 +445,7 @@ fn dispatch<'t>(
                 Some((v, r)) => (v, r.trim()),
                 None => (line, ""),
             };
-            if verb == "auth" && config.auth.as_deref() == Some(rest) {
+            if verb == "auth" && config.auth.as_deref().is_some_and(|tok| token_eq(tok, rest)) {
                 c.authed = true;
                 c.push_slot(Slot::Ready(b"ok authed\n".to_vec()));
                 return true;
@@ -581,9 +609,13 @@ fn pump<'t>(
             }
         }
         let mut dispatched = false;
+        let mut drained = false;
         while c.may_extract(pipeline) {
             match c.extract() {
-                Extracted::None => break,
+                Extracted::None => {
+                    drained = true;
+                    break;
+                }
                 Extracted::Some(req, wire) => {
                     dispatched = true;
                     if !dispatch(c, req, wire, me, ev, client, ts, shared, config) {
@@ -610,6 +642,16 @@ fn pump<'t>(
                     break;
                 }
             }
+        }
+        // Peer half-closed and the buffer is extracted dry (a trailing
+        // fragment can never complete): answer what is in flight, then
+        // close — the drain-and-close the old reader did on EOF, but
+        // only after every fully buffered request got its reply. When
+        // the extraction loop stopped at a backpressure gate instead,
+        // the buffer may still yield requests once the gate reopens, so
+        // the teardown waits for a later pump.
+        if drained && c.eof && c.read_open {
+            c.teardown(None);
         }
         c.compact();
         c.flush_slots(|| stats_line(ev, shared));
@@ -732,7 +774,11 @@ fn event_thread<'t>(
                             let secs = t.as_secs_f64();
                             let msg =
                                 format!("idle timeout after {secs}s without a request; closing");
-                            let r = error_reply(ev, false, &msg);
+                            // Unsolicited (no request to answer): use
+                            // the connection's last-seen dialect so a
+                            // binary client parked in `read_frame`
+                            // receives a decodable frame.
+                            let r = error_reply(ev, c.last_binary, &msg);
                             c.teardown(Some(r));
                             c.dirty = true;
                         }
@@ -881,14 +927,16 @@ fn event_thread<'t>(
                         c.dirty = true;
                         continue;
                     }
-                    if e.ready(EPOLLIN) && c.read_open {
+                    if e.ready(EPOLLIN) && c.read_open && !c.eof {
                         c.dirty = true;
                         match c.fill_read_buffer() {
                             ReadOutcome::Progress => {}
-                            // Orderly EOF: answer what is in flight,
-                            // then close — the old reader's
-                            // drain-and-close on EOF.
-                            ReadOutcome::Eof => c.teardown(None),
+                            // Orderly EOF: `fill_read_buffer` set the
+                            // eof flag; the pump keeps extracting what
+                            // is already buffered and closes once the
+                            // buffer runs dry — a half-closing
+                            // pipeliner is owed every reply.
+                            ReadOutcome::Eof => {}
                             ReadOutcome::Dead => c.dead = true,
                         }
                     }
@@ -904,5 +952,30 @@ fn event_thread<'t>(
     match fatal {
         Some(e) => Err(e),
         None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::token_eq;
+
+    #[test]
+    fn token_eq_agrees_with_equality() {
+        assert!(token_eq("secret", "secret"));
+        assert!(token_eq("", ""));
+        assert!(!token_eq("secret", ""));
+        assert!(!token_eq("secret", "secre"));
+        assert!(!token_eq("secret", "secrets"));
+        assert!(!token_eq("secret", "tercse"));
+        assert!(!token_eq("aaaa", "aaab"));
+        // Exhaustive one-byte space: no digest collisions among the
+        // shortest tokens.
+        for a in 0u8..=255 {
+            for b in 0u8..=255 {
+                let (sa, sb) = ([a], [b]);
+                let (sa, sb) = (String::from_utf8_lossy(&sa), String::from_utf8_lossy(&sb));
+                assert_eq!(token_eq(&sa, &sb), sa == sb);
+            }
+        }
     }
 }

@@ -2,10 +2,16 @@
 //!
 //! The build environment has no network access, so instead of pulling a
 //! readiness-polling crate from crates.io this workspace vendors the tiny
-//! slice of functionality it actually needs: a safe wrapper over `poll(2)`
-//! and a self-pipe [`Waker`] for cross-thread wakeups. Both are raw FFI
-//! bindings to symbols `std` already links on every supported platform
-//! (libc on Linux), so no new link-time dependency is introduced.
+//! slice of functionality it actually needs: a safe wrapper over `poll(2)`,
+//! an [`Epoll`] wrapper, and a self-pipe [`Waker`] for cross-thread
+//! wakeups. All are raw FFI bindings to symbols `std` already links
+//! (libc), so no new link-time dependency is introduced.
+//!
+//! **Linux-only.** The epoll bindings, and the `O_NONBLOCK`/`fcntl`
+//! constants baked in below, are the Linux ABI; the crate refuses to
+//! build elsewhere rather than miscompile silently. A port to another
+//! Unix would keep [`PollFd`]/[`wait`] and reimplement [`Epoll`] over
+//! `kqueue` (or fall back to `poll(2)`).
 //!
 //! The API is intentionally minimal and level-triggered:
 //!
@@ -24,6 +30,12 @@
 //!   when it fires.
 
 use std::io;
+
+#[cfg(not(target_os = "linux"))]
+compile_error!(
+    "the vendored `polling` shim binds the Linux syscall ABI (epoll, Linux fcntl/O_NONBLOCK \
+     constants); port Epoll to this target's readiness API before building"
+);
 
 // The symbols below come from the platform C library that `std` links
 // anyway; binding them directly keeps this crate dependency-free.
@@ -120,14 +132,29 @@ const EPOLL_CTL_DEL: i32 = 2;
 const EPOLL_CTL_MOD: i32 = 3;
 
 /// One `struct epoll_event`: readiness bits plus the caller's 64-bit
-/// token identifying the descriptor. Packed because the kernel ABI is
-/// (on x86-64, the only layout Linux ever shipped for it).
-#[repr(C, packed)]
+/// token identifying the descriptor. The kernel packs this struct on
+/// x86-64 only (`include/uapi/linux/eventpoll.h` guards the packing
+/// with `__x86_64__`); every other architecture uses the natural C
+/// layout — 4-byte `events`, 4 bytes of padding, 8-byte `data`, 16
+/// bytes total. Mirroring that split exactly matters: with the wrong
+/// layout `epoll_wait` writes 16-byte entries into a buffer sized for
+/// 12-byte ones (heap corruption) and `epoll_ctl` reads a garbled
+/// token.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
 #[derive(Clone, Copy, Debug)]
 pub struct EpollEvent {
     events: u32,
     token: u64,
 }
+
+// Pin the struct to the kernel ABI size for the target at compile
+// time: 12 bytes packed on x86-64, 16 bytes naturally aligned
+// everywhere else.
+const _: () = assert!(
+    std::mem::size_of::<EpollEvent>() == if cfg!(target_arch = "x86_64") { 12 } else { 16 },
+    "EpollEvent layout does not match the kernel's epoll_event ABI for this architecture"
+);
 
 impl EpollEvent {
     /// An empty slot for a wait buffer.

@@ -171,6 +171,42 @@ fn slow_reader_backpressure_loses_no_replies() {
     assert!(child.wait().expect("reap").success());
 }
 
+/// A client that pipelines a burst of requests and immediately
+/// half-closes (`shutdown(SHUT_WR)`) is still owed every reply: the
+/// FIN can arrive in the same read burst as the final request bytes,
+/// and nothing already buffered may be discarded. The server answers
+/// all of it, in order, then closes.
+#[test]
+fn half_close_after_pipeline_still_answers_every_request() {
+    const N: usize = 500;
+    let (mut child, addr) = spawn_serve("halfclose", &[]);
+    let conn = connect(&addr);
+    let writer = conn.try_clone().unwrap();
+    let mut reader = BufReader::new(conn);
+    let mut req = Vec::new();
+    for i in 0..N {
+        req.extend_from_slice(format!("invoke Mk(h{i})\n").as_bytes());
+    }
+    frame::encode_invoke_frame(&mut req, "Mk", &[Value::str("h-last")]);
+    (&writer).write_all(&req).unwrap();
+    writer.shutdown(std::net::Shutdown::Write).unwrap();
+    for i in 0..N {
+        assert_eq!(read_line(&mut reader), "ok", "reply {i} after half-close");
+    }
+    let (kind, _) = frame::read_frame(&mut reader).expect("binary reply after half-close");
+    assert_eq!(kind, frame::REP_OK);
+    // Every reply delivered, then an orderly EOF — nothing dropped,
+    // nothing extra.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).expect("drain to EOF");
+    assert!(rest.is_empty(), "exactly one reply per request, got {rest:?}");
+
+    let mut c = connect(&addr);
+    c.write_all(b"shutdown\n").unwrap();
+    assert_eq!(read_line(&mut BufReader::new(c)), "ok draining");
+    assert!(child.wait().expect("reap").success());
+}
+
 /// Graceful drain with a frame half-buffered: requests that arrived
 /// whole are answered before the socket closes; the connection whose
 /// final frame never finished is closed without inventing a reply for

@@ -403,6 +403,47 @@ fn idle_timeout_reaps_stalled_peer_without_disturbing_others() {
     assert_eq!(stats.errors, 1, "the reap is the only error");
 }
 
+/// A stalled *binary-dialect* peer is reaped in its own dialect: the
+/// unsolicited idle-timeout error arrives as a decodable error frame,
+/// not a text line that would fail the client's magic-byte check.
+#[test]
+fn idle_timeout_reaps_binary_peer_in_binary_dialect() {
+    use migratory::core::enforce::net::frame;
+    let s = multi_schema();
+    let a = RoleAlphabet::new(&s, 0).unwrap();
+    let inv = Inventory::parse_init(&s, &a, "∅* [R0]* ∅*").unwrap();
+    let ts = multi_transactions(&s);
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let config = ServerConfig {
+                idle_timeout: Some(std::time::Duration::from_millis(150)),
+                ..Default::default()
+            };
+            let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
+            net::serve(listener, &mut m, &ts, &config, |_| {}).unwrap()
+        });
+        let stalled = TcpStream::connect(addr).unwrap();
+        let mut req = Vec::new();
+        frame::encode_invoke_frame(&mut req, "Mk0", &[migratory::model::Value::str("bin")]);
+        (&stalled).write_all(&req).unwrap();
+        let mut reader = BufReader::new(stalled);
+        let (kind, _) = frame::read_frame(&mut reader).expect("binary ok");
+        assert_eq!(kind, frame::REP_OK);
+        // Stall past the idle timeout: the reap must speak frames too.
+        let (kind, payload) = frame::read_frame(&mut reader).expect("reap arrives as a frame");
+        assert_eq!(kind, frame::REP_ERROR);
+        assert!(
+            String::from_utf8_lossy(&payload).starts_with("idle timeout after"),
+            "the peer is told why: {payload:?}"
+        );
+        let mut ctl = Client::connect(addr);
+        assert_eq!(ctl.ask("shutdown"), "ok draining");
+        server.join().unwrap()
+    });
+}
+
 /// A peer that exceeds its request quota mid-pipeline gets every
 /// already-read request answered in order, then one quota error, then
 /// EOF — and a fresh connection starts with a fresh quota.
