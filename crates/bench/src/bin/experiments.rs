@@ -3,7 +3,7 @@
 //! Usage: `cargo run -p migratory-bench --bin experiments --release [-- <id>]`
 //! with ids: fig1-2, ex3.4, thm3.2, cor3.3, thm4.3, ex4.1, thm5.1,
 //! baseline, enforce, enforce-large, sat-heavy, batch-admit, persist,
-//! smoke, flow, all (default).
+//! serve, smoke, tail-smoke, flow, all (default).
 //!
 //! `enforce-large` additionally writes `BENCH_enforce.json` (throughput /
 //! latency trajectory of the delta monitor vs the reference monitor,
@@ -75,6 +75,9 @@ fn main() {
     }
     if which == "serve" {
         serve_rows(&[(4_096, 65_536)], &[1, 16, 256, 1_024]);
+    }
+    if which == "tail-smoke" {
+        tail_smoke();
     }
     if which == "smoke" {
         // Tiny versions of the new workloads — the CI bench-smoke entry.
@@ -174,8 +177,8 @@ fn enforce_large_row() {
         [(10_000, 400, 100), (100_000, 400, 60), (1_000_000, 200, 5)];
     let mut rows: Vec<String> = Vec::new();
     println!(
-        "{:>10} {:>12} {:>12} {:>12} {:>9} {:>10} {:>10}",
-        "objects", "raw/s", "delta/s", "ref/s", "speedup", "p50 (µs)", "p95 (µs)"
+        "{:>10} {:>12} {:>12} {:>12} {:>9} {:>10} {:>10} {:>11}",
+        "objects", "raw/s", "delta/s", "ref/s", "speedup", "p50 (µs)", "p99 (µs)", "p99.9 (µs)"
     );
     for &(n, steps_new, steps_ref) in &configs {
         let (schema, alphabet, _) = university();
@@ -196,6 +199,10 @@ fn enforce_large_row() {
                 .unwrap();
         }
         let raw_rate = steps_new as f64 / t0.elapsed().as_secs_f64();
+        // Free the raw-path instance before timing (b): holding a dead
+        // 1M-object heap across the bulk load inflates its allocation
+        // costs ~2× and measures memory pressure, not the load path.
+        drop(db);
 
         // (b) Delta/cohort monitor with per-step latencies.
         let mut m = Monitor::new(&schema, &alphabet, &inv, PatternKind::All);
@@ -220,7 +227,7 @@ fn enforce_large_row() {
         let mut sorted = lat.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let pct = |p: f64| sorted[(p * (sorted.len() - 1) as f64).round() as usize];
-        let (p50, p95, pmax) = (pct(0.50), pct(0.95), sorted[sorted.len() - 1]);
+        let (p50, p99, p999) = (pct(0.50), pct(0.99), pct(0.999));
 
         // (c) Reference monitor (fewer steps: each one is O(|db|)).
         let mut r = Monitor::new_reference(&schema, &alphabet, &inv, PatternKind::All);
@@ -234,7 +241,7 @@ fn enforce_large_row() {
 
         let speedup = delta_rate / ref_rate;
         println!(
-            "{n:>10} {raw_rate:>12.0} {delta_rate:>12.0} {ref_rate:>12.1} {speedup:>8.1}× {p50:>10.1} {p95:>10.1}"
+            "{n:>10} {raw_rate:>12.0} {delta_rate:>12.0} {ref_rate:>12.1} {speedup:>8.1}× {p50:>10.1} {p99:>10.1} {p999:>11.1}"
         );
         let fmt_list =
             |v: &[f64]| v.iter().map(|x| format!("{x:.1}")).collect::<Vec<_>>().join(", ");
@@ -246,7 +253,7 @@ fn enforce_large_row() {
       "delta": {{
         "steps": {steps_new},
         "apps_per_sec": {delta_rate:.1},
-        "latency_us": {{ "p50": {p50:.1}, "p95": {p95:.1}, "max": {pmax:.1} }},
+        "latency_us": {{ "p50": {p50:.1}, "p99": {p99:.1}, "p99.9": {p999:.1} }},
         "throughput_trajectory_apps_per_sec": [{}],
         "touched_per_step": 1
       }},
@@ -527,12 +534,13 @@ fn recover_rows(configs: &[(usize, usize, usize)]) -> String {
 
     println!("== perf-recover: checkpoint chain + wal tail vs full history replay ==");
     println!(
-        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "{:>10} {:>10} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>9}",
         "objects",
         "letters",
         "snap MB",
         "encode ms",
         "ckpt stall",
+        "seal ms",
         "recover ms",
         "replay ms",
         "speedup"
@@ -582,12 +590,15 @@ fn recover_rows(configs: &[(usize, usize, usize)]) -> String {
         let t0 = Instant::now();
         let delta = live.checkpoint_delta();
         let dirty = delta.num_dirty_objects();
+        let capture_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
         let job = wal
             .lock()
             .unwrap()
             .begin_checkpoint(CheckpointData::Incremental(delta))
             .expect("stage incremental checkpoint");
-        let stall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let seal_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let stall_ms = capture_ms + seal_ms;
         snapshotter.submit(job).expect("snapshotter accepts");
         for i in history..history + tail {
             let (name, args) = toggle_step(i, n);
@@ -625,7 +636,7 @@ fn recover_rows(configs: &[(usize, usize, usize)]) -> String {
         let speedup = replay_ms / recover_ms;
         let mb = snap_bytes as f64 / (1024.0 * 1024.0);
         println!(
-            "{n:>10} {letters:>10} {mb:>12.2} {encode_ms:>12.2} {stall_ms:>12.2} {recover_ms:>12.2} {replay_ms:>12.2} {speedup:>8.1}×"
+            "{n:>10} {letters:>10} {mb:>12.2} {encode_ms:>12.2} {stall_ms:>12.2} {seal_ms:>12.3} {recover_ms:>12.2} {replay_ms:>12.2} {speedup:>8.1}×"
         );
         rows.push(format!(
             r#"      {{
@@ -635,6 +646,8 @@ fn recover_rows(configs: &[(usize, usize, usize)]) -> String {
         "snapshot_bytes": {snap_bytes},
         "full_snapshot_encode_ms": {encode_ms:.2},
         "checkpoint_stall_ms": {stall_ms:.2},
+        "checkpoint_capture_ms": {capture_ms:.2},
+        "checkpoint_seal_ms": {seal_ms:.3},
         "checkpoint_dirty_objects": {dirty},
         "recover_ms": {recover_ms:.2},
         "full_replay_ms": {replay_ms:.2},
@@ -646,7 +659,7 @@ fn recover_rows(configs: &[(usize, usize, usize)]) -> String {
     println!();
     format!(
         r#"  "recover": {{
-    "workload": "bulk-load n persons into a file-WAL monitor, background base checkpoint, toggle history, background O(dirty) incremental checkpoint (checkpoint_stall_ms = admission-path blockage; encode/fsync run on the Snapshotter thread), toggle a tail, crash; Wal::load + Monitor::recover (fold chain, replay tail) vs re-running every transaction through a fresh monitor; both must reproduce the crashed state byte-identically",
+    "workload": "bulk-load n persons into a file-WAL monitor, background base checkpoint, toggle history, background O(dirty) incremental checkpoint (checkpoint_stall_ms = admission-path blockage = capture_ms, the O(dirty) state clone, + seal_ms, the begin_checkpoint log rotation, amortized by the pre-created spare segment; encode/fsync run on the Snapshotter thread), toggle a tail, crash; Wal::load + Monitor::recover (fold chain, replay tail) vs re-running every transaction through a fresh monitor; both must reproduce the crashed state byte-identically",
     "sizes": [
 {}
     ]
@@ -661,13 +674,23 @@ fn recover_rows(configs: &[(usize, usize, usize)]) -> String {
 /// `(objects per component, ops, producers)` per config; returns the
 /// `ingress` JSON fragment.
 fn ingress_rows(configs: &[(usize, usize, usize)]) -> String {
-    use migratory_core::enforce::{ingress, IngressConfig, ShardedMonitor, StepPolicy, Wal};
+    use migratory_core::enforce::{
+        ingress, AdmissionMetrics, DurabilityPolicy, FsyncPolicy, Health, Histogram, IngressConfig,
+        ShardedMonitor, StepPolicy, Wal,
+    };
     use std::sync::{Arc, Mutex};
 
     println!("== perf-ingress: queued concurrent admission vs direct batches ==");
     println!(
-        "{:>10} {:>8} {:>10} {:>12} {:>12} {:>14} {:>7}",
-        "objects", "ops", "producers", "direct/s", "queued/s", "durable q/s", "blocks"
+        "{:>10} {:>8} {:>10} {:>12} {:>12} {:>14} {:>14} {:>7}",
+        "objects",
+        "ops",
+        "producers",
+        "direct/s",
+        "queued/s",
+        "durable q/s",
+        "pipelined/s",
+        "blocks"
     );
     let mut rows = Vec::new();
     for &(per, ops, producers) in configs {
@@ -749,9 +772,80 @@ fn ingress_rows(configs: &[(usize, usize, usize)]) -> String {
         let (durable_rate, _) = queued(Some(Arc::new(Mutex::new(wal))));
         let _ = std::fs::remove_dir_all(&wal_dir);
 
+        // (d) Pipelined group commit: same producers, but the WAL
+        // append + one-fsync-per-batch run on the committer thread and
+        // acks are released only once durable (`FsyncPolicy::Batch`).
+        // The (c) run above is the before-shape: append + sync inline
+        // on the admission worker, serialized into every block.
+        let (pipelined_rate, p50, p99, p999, amortization) = {
+            let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 4)
+                .with_policy(StepPolicy::OnlyChanging);
+            load(&mut m);
+            let pipe_dir = std::env::temp_dir()
+                .join(format!("migratory-bench-pipe-{}-{per}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&pipe_dir);
+            let wal = Arc::new(Mutex::new(
+                Wal::open(&pipe_dir).expect("wal dir").with_fsync(FsyncPolicy::Batch),
+            ));
+            let metrics = AdmissionMetrics::new(4);
+            let health = Health::new();
+            let cfg = IngressConfig { queue_capacity: 1024, max_block: 256 };
+            let t0 = Instant::now();
+            let ((), stats) = ingress::serve_pipelined(
+                &mut m,
+                &cfg,
+                &DurabilityPolicy::default(),
+                &health,
+                wal,
+                Some(&metrics),
+                0,
+                |_| {},
+                |client| {
+                    std::thread::scope(|scope| {
+                        for p in 0..producers {
+                            let day = &day;
+                            let ts = &ts;
+                            scope.spawn(move || {
+                                let tickets: Vec<_> = day
+                                    .iter()
+                                    .skip(p)
+                                    .step_by(producers)
+                                    .map(|(name, a)| client.post(ts.get(name).unwrap(), a.clone()))
+                                    .collect();
+                                for t in tickets {
+                                    t.wait().expect("day conforms");
+                                }
+                            });
+                        }
+                    });
+                },
+            );
+            assert_eq!(stats.admitted, ops);
+            let rate = ops as f64 / t0.elapsed().as_secs_f64();
+            let _ = std::fs::remove_dir_all(&pipe_dir);
+            let agg = Histogram::new();
+            for h in &metrics.commit_latency_us {
+                agg.merge(h);
+            }
+            let batches = metrics.fsync_batch.count().max(1);
+            #[allow(clippy::cast_precision_loss)]
+            let amortization = metrics.fsync_batch.sum() as f64 / batches as f64;
+            (
+                rate,
+                agg.quantile_bound(0.50),
+                agg.quantile_bound(0.99),
+                agg.quantile_bound(0.999),
+                amortization,
+            )
+        };
+
         let objects = per * 4;
         println!(
-            "{objects:>10} {ops:>8} {producers:>10} {direct_rate:>12.0} {queued_rate:>12.0} {durable_rate:>14.0} {blocks:>7}"
+            "{objects:>10} {ops:>8} {producers:>10} {direct_rate:>12.0} {queued_rate:>12.0} {durable_rate:>14.0} {pipelined_rate:>14.0} {blocks:>7}"
+        );
+        println!(
+            "  pipelined commit latency ≤ p50 {p50}µs / p99 {p99}µs / p99.9 {p999}µs, \
+             {amortization:.1} block(s)/sync"
         );
         rows.push(format!(
             r#"      {{
@@ -761,6 +855,9 @@ fn ingress_rows(configs: &[(usize, usize, usize)]) -> String {
         "direct_batch_apps_per_sec": {direct_rate:.0},
         "queued_apps_per_sec": {queued_rate:.0},
         "queued_durable_apps_per_sec": {durable_rate:.0},
+        "pipelined_durable_apps_per_sec": {pipelined_rate:.0},
+        "pipelined_blocks_per_sync": {amortization:.1},
+        "pipelined_commit_latency_us": {{ "p50": {p50}, "p99": {p99}, "p99.9": {p999} }},
         "queued_blocks": {blocks}
       }}"#
         ));
@@ -768,7 +865,7 @@ fn ingress_rows(configs: &[(usize, usize, usize)]) -> String {
     println!();
     format!(
         r#"  "ingress": {{
-    "workload": "four-component fleet; a day of single-object ops admitted (a) by one caller in direct 256-blocks, (b) by N pipelining producers through the bounded per-shard ingress lanes (emergent batching), (c) same with a file WAL attached (group commit per block)",
+    "workload": "four-component fleet; a day of single-object ops admitted (a) by one caller in direct 256-blocks, (b) by N pipelining producers through the bounded per-shard ingress lanes (emergent batching), (c) same with a file WAL appended + synced inline on the admission worker, (d) same WAL behind the two-stage pipeline (committer thread, one fsync per batch, acks after durability; commit_latency_us = drain-to-durable-release, log2 bucket upper bounds)",
     "sizes": [
 {}
     ]
@@ -787,14 +884,17 @@ fn ingress_rows(configs: &[(usize, usize, usize)]) -> String {
 /// [`drive_tcp_mux`] driver), plus one WAL-durable run at the middle
 /// connection count. Returns the `serve` JSON fragment.
 fn serve_rows(configs: &[(usize, usize)], conn_counts: &[usize]) -> String {
-    use migratory_core::enforce::{net, IngressConfig, ShardedMonitor, StepPolicy, Wal};
+    use migratory_core::enforce::{
+        net, AdmissionMetrics, FsyncPolicy, Histogram, IngressConfig, ShardedMonitor, StepPolicy,
+        Wal,
+    };
     use std::net::TcpListener;
     use std::sync::{mpsc, Arc, Mutex};
 
     println!("== perf-serve: admission over TCP vs in-process ingress ==");
     println!(
-        "{:>10} {:>8} {:>6} {:>12} {:>12} {:>12} {:>14}",
-        "objects", "ops", "conns", "inproc/s", "tcp/s", "tcp bin/s", "tcp durable/s"
+        "{:>10} {:>8} {:>6} {:>12} {:>12} {:>12}",
+        "objects", "ops", "conns", "inproc/s", "tcp/s", "tcp bin/s"
     );
     let mut rows = Vec::new();
     for &(per, ops) in configs {
@@ -855,10 +955,13 @@ fn serve_rows(configs: &[(usize, usize)], conn_counts: &[usize]) -> String {
         // (b) Over the wire, volatile and durable: stand the server up
         // in-process on an ephemeral port, drive it with `connections`
         // multiplexed nonblocking TCP clients in either dialect, shut
-        // it down gracefully.
+        // it down gracefully. A durable run hands the WAL to the
+        // server config, which routes admission through the two-stage
+        // pipeline (committer thread, one fsync per batch under
+        // `FsyncPolicy::Batch`) and stamps the shared metrics.
         let serve_once = |connections: usize,
                           binary: bool,
-                          wal: Option<Arc<Mutex<Wal>>>|
+                          durable: Option<(Arc<Mutex<Wal>>, Arc<AdmissionMetrics>)>|
          -> (f64, migratory_core::enforce::net::NetStats) {
             let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
             // Deepen the accept backlog before the driver exists:
@@ -882,12 +985,14 @@ fn serve_rows(configs: &[(usize, usize)], conn_counts: &[usize]) -> String {
                 let server = scope.spawn(|| {
                     let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 4)
                         .with_policy(StepPolicy::OnlyChanging);
-                    if let Some(wal) = wal {
-                        m = m.with_sink(wal);
-                    }
                     load(&mut m);
                     ready_tx.send(()).expect("driver listens");
-                    let config = net::ServerConfig { ingress: cfg, ..Default::default() };
+                    let (wal, metrics) = match durable {
+                        Some((w, mx)) => (Some(w), Some(mx)),
+                        None => (None, None),
+                    };
+                    let config =
+                        net::ServerConfig { ingress: cfg, wal, metrics, ..Default::default() };
                     net::serve(listener, &mut m, &ts, &config, |_| {}).expect("serve")
                 });
                 ready_rx.recv().expect("server loads");
@@ -902,30 +1007,54 @@ fn serve_rows(configs: &[(usize, usize)], conn_counts: &[usize]) -> String {
 
         let mut tcp_rows = Vec::new();
         let durable_conns = conn_counts[conn_counts.len() / 2];
-        let mut durable_rate = 0.0;
         for &conns in conn_counts {
             let (rate, nstats) = serve_once(conns, false, None);
             assert_eq!(nstats.admitted, ops);
             let (binary_rate, bstats) = serve_once(conns, true, None);
             assert_eq!(bstats.admitted, ops);
-            let d = if conns == durable_conns {
-                let wal_dir = std::env::temp_dir()
-                    .join(format!("migratory-bench-serve-{}-{per}", std::process::id()));
-                let _ = std::fs::remove_dir_all(&wal_dir);
-                let wal = Arc::new(Mutex::new(Wal::open(&wal_dir).expect("wal dir")));
-                let (rate, _) = serve_once(conns, false, Some(wal));
-                let _ = std::fs::remove_dir_all(&wal_dir);
-                durable_rate = rate;
-                format!("{rate:>14.0}")
-            } else {
-                format!("{:>14}", "-")
-            };
             println!(
-                "{:>10} {ops:>8} {conns:>6} {inproc_rate:>12.0} {rate:>12.0} {binary_rate:>12.0} {d}",
+                "{:>10} {ops:>8} {conns:>6} {inproc_rate:>12.0} {rate:>12.0} {binary_rate:>12.0}",
                 per * 4
             );
             tcp_rows.push(format!(
                 r#"          {{ "connections": {conns}, "apps_per_sec": {rate:.0}, "binary_apps_per_sec": {binary_rate:.0} }}"#
+            ));
+        }
+
+        // Durable runs through the two-stage pipeline at the middle
+        // connection count, one per fsync policy: `batch` (one
+        // fdatasync per committer batch — the group-commit headline)
+        // vs `always` (one per record — the price of the old
+        // sync-per-block shape). Admission latency percentiles come
+        // from the server-side commit histograms (drain → durable
+        // release), not from client timestamps: the driver pipelines
+        // everything up front, so client-side timing would measure its
+        // own queueing.
+        let mut durable_rows = Vec::new();
+        for policy in [FsyncPolicy::Batch, FsyncPolicy::Always] {
+            let wal_dir = std::env::temp_dir()
+                .join(format!("migratory-bench-serve-{}-{per}-{policy}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&wal_dir);
+            let wal =
+                Arc::new(Mutex::new(Wal::open(&wal_dir).expect("wal dir").with_fsync(policy)));
+            let metrics = Arc::new(AdmissionMetrics::new(4));
+            let (rate, _) = serve_once(durable_conns, false, Some((wal, metrics.clone())));
+            let _ = std::fs::remove_dir_all(&wal_dir);
+            let agg = Histogram::new();
+            for h in &metrics.commit_latency_us {
+                agg.merge(h);
+            }
+            let (p50, p99, p999) =
+                (agg.quantile_bound(0.50), agg.quantile_bound(0.99), agg.quantile_bound(0.999));
+            let batches = metrics.fsync_batch.count().max(1);
+            #[allow(clippy::cast_precision_loss)]
+            let amortization = metrics.fsync_batch.sum() as f64 / batches as f64;
+            println!(
+                "  durable fsync={policy} @ {durable_conns} conns: {rate:.0}/s, commit latency \
+                 ≤ p50 {p50}µs / p99 {p99}µs / p99.9 {p999}µs, {amortization:.1} block(s)/sync"
+            );
+            durable_rows.push(format!(
+                r#"          {{ "fsync": "{policy}", "connections": {durable_conns}, "apps_per_sec": {rate:.0}, "blocks_per_sync": {amortization:.1}, "commit_latency_us": {{ "p50": {p50}, "p99": {p99}, "p99.9": {p999} }} }}"#
             ));
         }
         rows.push(format!(
@@ -936,22 +1065,139 @@ fn serve_rows(configs: &[(usize, usize)], conn_counts: &[usize]) -> String {
         "tcp": [
 {}
         ],
-        "tcp_durable_apps_per_sec": {{ "connections": {durable_conns}, "apps_per_sec": {durable_rate:.0} }}
+        "tcp_durable": [
+{}
+        ]
       }}"#,
             per * 4,
-            tcp_rows.join(",\n")
+            tcp_rows.join(",\n"),
+            durable_rows.join(",\n")
         ));
     }
     println!();
     format!(
         r#"  "serve": {{
-    "workload": "four-component fleet behind `enforce::net` on an ephemeral TCP port; a day of single-object ops pipelined by N concurrent connections from one epoll-multiplexed driver (migratory-bench drive_tcp_mux), every reply awaited — apps_per_sec = text `invoke` lines, binary_apps_per_sec = length-prefixed binary frames; vs the same day through the in-process ingress with 4 pipelining producers; durable row = text dialect with a file WAL group-committing every block",
+    "workload": "four-component fleet behind `enforce::net` on an ephemeral TCP port; a day of single-object ops pipelined by N concurrent connections from one epoll-multiplexed driver (migratory-bench drive_tcp_mux), every reply awaited — apps_per_sec = text `invoke` lines, binary_apps_per_sec = length-prefixed binary frames; vs the same day through the in-process ingress with 4 pipelining producers; tcp_durable rows = text dialect through the two-stage pipeline (admission worker + committer thread), acks released only after the batch fsync; commit_latency_us = server-side drain-to-durable-release histograms (log2 bucket upper bounds)",
     "sizes": [
 {}
     ]
   }}"#,
         rows.join(",\n")
     )
+}
+
+/// `tail-smoke`: the CI tail-latency regression gate. Runs a fixed
+/// small fleet day over TCP through the two-stage durable pipeline
+/// (`FsyncPolicy::Batch`, the `--fsync batch` server shape), reads the
+/// committed baseline from `ci/tail_baseline.json`, and exits nonzero
+/// when the measured p99.9 commit latency exceeds 3× the baseline.
+/// The budget is intentionally generous: quantiles are log2 bucket
+/// upper bounds, so 3× only trips when the tail moves by at least two
+/// buckets — machine noise does not, a reintroduced inline fsync or a
+/// serialized committer does.
+fn tail_smoke() {
+    use migratory_core::enforce::{
+        net, AdmissionMetrics, FsyncPolicy, Histogram, IngressConfig, ShardedMonitor, StepPolicy,
+        Wal,
+    };
+    use std::net::TcpListener;
+    use std::sync::{mpsc, Arc, Mutex};
+
+    const PER: usize = 256;
+    const OPS: usize = 8192;
+    const CONNS: usize = 4;
+    println!("== tail-smoke: p99.9 commit-latency regression gate ==");
+    let (schema, alphabet, ts) = fleet();
+    let inv = Inventory::parse_init(&schema, &alphabet, FLEET_INVENTORY).unwrap();
+    let day = fleet_ops(OPS, PER);
+    let scripts = mux_text_scripts(&day, CONNS);
+    let wal_dir = std::env::temp_dir().join(format!("migratory-tail-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let wal =
+        Arc::new(Mutex::new(Wal::open(&wal_dir).expect("wal dir").with_fsync(FsyncPolicy::Batch)));
+    let metrics = Arc::new(AdmissionMetrics::new(4));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral port");
+    let addr = listener.local_addr().expect("bound address");
+    let (ready_tx, ready_rx) = mpsc::channel();
+    let config = net::ServerConfig {
+        ingress: IngressConfig { queue_capacity: 1024, max_block: 256 },
+        wal: Some(wal.clone()),
+        metrics: Some(metrics.clone()),
+        ..Default::default()
+    };
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 4)
+                .with_policy(StepPolicy::OnlyChanging);
+            for (mk, prefix) in
+                [("BuyTruck", "t"), ("HireDriver", "d"), ("OpenRoute", "r"), ("BuildDepot", "p")]
+            {
+                let t = ts.get(mk).unwrap();
+                let bulk: Vec<(&migratory_lang::Transaction, Assignment)> = (0..PER)
+                    .map(|i| {
+                        (
+                            t,
+                            Assignment::new(vec![migratory_model::Value::str(&format!(
+                                "{prefix}{i}"
+                            ))]),
+                        )
+                    })
+                    .collect();
+                let (done, err) = m.try_apply_batch(bulk.iter().map(|(t, a)| (*t, a)));
+                assert_eq!((done, err), (PER, None), "bulk load conforms");
+            }
+            ready_tx.send(()).expect("driver listens");
+            net::serve(listener, &mut m, &ts, &config, |_| {}).expect("serve")
+        });
+        ready_rx.recv().expect("server loads");
+        let stats = drive_tcp_mux(addr, &scripts).expect("tcp drive");
+        assert_eq!(stats.ok, OPS, "the whole day admits over the wire");
+        assert_eq!(shutdown_server(addr).expect("shutdown"), "ok draining");
+        server.join().expect("server thread")
+    });
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let agg = Histogram::new();
+    for h in &metrics.commit_latency_us {
+        agg.merge(h);
+    }
+    // One sample per admitted block (every op in a block observes its
+    // block's drain-to-durable-release latency); max_block = 256 floors
+    // the block count.
+    assert!(agg.count() >= (OPS / 256) as u64, "commit histograms were stamped: {}", agg.count());
+    let p999 = agg.quantile_bound(0.999);
+    let baseline = read_tail_baseline("ci/tail_baseline.json");
+    println!(
+        "  p99.9 commit latency ≤ {p999}µs over {} samples (committed baseline {baseline}µs, \
+         budget 3×)",
+        agg.count()
+    );
+    if p999 > baseline.saturating_mul(3) {
+        eprintln!(
+            "tail-smoke FAILED: p99.9 commit latency ≤ {p999}µs exceeds 3× the committed \
+             baseline ({baseline}µs) — the durable ack tail regressed"
+        );
+        std::process::exit(1);
+    }
+    println!("  tail-smoke OK");
+    println!();
+}
+
+/// Parse `"commit_latency_p999_us": <n>` out of the committed baseline
+/// file (no JSON dependency in the workspace — the key is extracted
+/// textually).
+fn read_tail_baseline(path: &str) -> u64 {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read {path}: {e} (run from the repository root)"));
+    let key = "\"commit_latency_p999_us\":";
+    let at = text.find(key).unwrap_or_else(|| panic!("{path} lacks {key}"));
+    text[at + key.len()..]
+        .trim_start()
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("baseline is a bare integer")
 }
 
 fn flow_families_row() {

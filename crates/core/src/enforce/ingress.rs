@@ -86,14 +86,17 @@
 //! ```
 
 use super::health::Health;
+use super::metrics::AdmissionMetrics;
 use super::sharded::ShardedMonitor;
+use super::wal::{self, Wal, WalError};
 use super::EnforceError;
 use migratory_lang::{Assignment, Transaction};
 use migratory_model::Schema;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of [`serve`].
 #[derive(Clone, Copy, Debug)]
@@ -213,7 +216,28 @@ struct Shared<'t, 's> {
     lane_of_component: Vec<usize>,
 }
 
-impl<'t> Shared<'t, '_> {
+impl<'t, 's> Shared<'t, 's> {
+    fn new(monitor: &ShardedMonitor<'s>, config: &IngressConfig) -> Shared<'t, 's> {
+        let lanes = match monitor.component_lanes() {
+            Some(_) => monitor.num_shards(),
+            None => 1,
+        };
+        Shared {
+            state: Mutex::new(State {
+                lanes: (0..lanes).map(|_| VecDeque::new()).collect(),
+                closed: false,
+                submitted: 0,
+                max_queue_depth: 0,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            space_listeners: Mutex::new(Vec::new()),
+            capacity: config.queue_capacity.max(1),
+            schema: monitor.schema(),
+            lane_of_component: monitor.component_lanes().map(<[usize]>::to_vec).unwrap_or_default(),
+        }
+    }
+
     fn lane_of(&self, t: &Transaction) -> usize {
         if self.lane_of_component.is_empty() {
             return 0;
@@ -401,24 +425,7 @@ pub fn serve_guarded<'t, 'a, R>(
     mut maintenance: impl FnMut(&mut ShardedMonitor<'a>) + Send,
     drive: impl FnOnce(&IngressClient<'t, '_, '_>) -> R,
 ) -> (R, IngressStats) {
-    let lanes = match monitor.component_lanes() {
-        Some(_) => monitor.num_shards(),
-        None => 1,
-    };
-    let shared = Shared {
-        state: Mutex::new(State {
-            lanes: (0..lanes).map(|_| VecDeque::new()).collect(),
-            closed: false,
-            submitted: 0,
-            max_queue_depth: 0,
-        }),
-        ready: Condvar::new(),
-        space: Condvar::new(),
-        space_listeners: Mutex::new(Vec::new()),
-        capacity: config.queue_capacity.max(1),
-        schema: monitor.schema(),
-        lane_of_component: monitor.component_lanes().map(<[usize]>::to_vec).unwrap_or_default(),
-    };
+    let shared = Shared::new(monitor, config);
     let max_block = config.max_block.max(1);
     std::thread::scope(|scope| {
         let worker = scope.spawn(|| {
@@ -573,6 +580,476 @@ fn admission_loop<'t, 'a>(
             maintenance(monitor);
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Pipelined group commit (two-stage admission)
+// ---------------------------------------------------------------------
+
+/// Poison-tolerant lock: a panic on the other side of the pipeline must
+/// surface as that thread's join error, not cascade into a second
+/// panic here.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The pipelined ingress's commit sink: instead of appending (and
+/// syncing) on the admission worker, each admitted block's framed
+/// record bytes are accumulated here — synchronously, inside
+/// `try_apply_batch` — and the worker hands the buffer to the
+/// committer thread after tracking commits. Encoding is the only
+/// fallible step (a block past the record cap), so the admission path
+/// itself can no longer block on the disk.
+struct StagedSink {
+    staged: Arc<Mutex<Vec<u8>>>,
+}
+
+impl wal::CommitSink for StagedSink {
+    fn committed(&mut self, block: &wal::BlockRef<'_>) -> Result<(), WalError> {
+        // `encode_record` leaves the buffer untouched on `Err`, so a
+        // refused oversized block never poisons neighbouring records.
+        wal::encode_record(&mut lock(&self.staged), block)
+    }
+
+    fn certified(&mut self, steps: usize) -> Result<(), WalError> {
+        wal::encode_certify_record(&mut lock(&self.staged), steps);
+        Ok(())
+    }
+}
+
+/// Worker → committer hand-off. One channel with one producer (the
+/// admission worker), so message order **is** commit order.
+enum Msg<'t> {
+    /// An admitted block: its framed record bytes (several records when
+    /// a violation replay split the block) and the tickets to release
+    /// once the bytes are durable.
+    Commit { bytes: Vec<u8>, answers: Vec<Answer<'t>>, lane: usize, t0: Instant },
+    /// Barrier: reply once everything before it was appended and synced
+    /// (or refused). `false` means a durability failure broke the
+    /// pipeline and the worker must not checkpoint the monitor's
+    /// tracking state as-is.
+    Flush(mpsc::Sender<bool>),
+    /// The worker resynchronized the monitor against the durable log:
+    /// resume committing.
+    Reset,
+}
+
+/// State shared between the pipelined admission worker, its committer
+/// thread and the staging sink.
+struct Pipeline<'w> {
+    wal: Arc<Mutex<Wal>>,
+    health: &'w Health,
+    policy: DurabilityPolicy,
+    metrics: Option<&'w AdmissionMetrics>,
+    /// The [`StagedSink`] buffer the worker drains after each
+    /// `try_apply_batch`.
+    staged: Arc<Mutex<Vec<u8>>>,
+    /// Set by the committer when a failure dropped appended-but-unsynced
+    /// records: monitor tracking ran ahead of the durable log and must
+    /// be wound back before the next commit.
+    needs_resync: AtomicBool,
+    /// Ops refused on the committer (merged into
+    /// [`IngressStats::refused`] on exit).
+    refused: AtomicUsize,
+    /// Append/sync retries absorbed on the committer (merged into
+    /// [`IngressStats::retries`]).
+    retries: AtomicUsize,
+}
+
+impl Pipeline<'_> {
+    /// Run a WAL operation under the retry budget: transient faults are
+    /// absorbed with bounded linear backoff. The lock is released
+    /// across each backoff sleep — the worker may need it meanwhile.
+    fn retry(&self, mut op: impl FnMut(&mut Wal) -> Result<(), WalError>) -> Result<(), WalError> {
+        let mut attempts = 0u32;
+        loop {
+            match op(&mut lock(&self.wal)) {
+                Ok(()) => return Ok(()),
+                Err(_) if attempts < self.policy.retries => {
+                    attempts += 1;
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(self.policy.backoff.saturating_mul(attempts));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Answer every ticket `Degraded` and count the refusals.
+    fn refuse(&self, answers: Vec<Answer<'_>>, reason: &str) {
+        self.refused.fetch_add(answers.len(), Ordering::Relaxed);
+        for a in answers {
+            a.answer(Err(EnforceError::Degraded(reason.to_owned())));
+        }
+    }
+
+    /// A durability failure on the committer: truncate the unsynced log
+    /// suffix (acks for those records were never released, so a reopen
+    /// must not replay them), degrade, flag the worker to resync — the
+    /// monitor committed tracking for every forwarded block, so it now
+    /// runs ahead of the durable log — and answer every affected
+    /// ticket.
+    fn fail_batch<'t>(
+        &self,
+        e: &WalError,
+        site: &str,
+        appended: &mut Vec<(Vec<Answer<'t>>, usize, Instant)>,
+        also: Vec<Answer<'t>>,
+    ) {
+        let reason =
+            format!("write-ahead {site} failed after {} retries: {e}", self.policy.retries);
+        lock(&self.wal).rollback_unsynced();
+        self.needs_resync.store(true, Ordering::SeqCst);
+        self.health.degrade(&reason);
+        for (answers, _, _) in appended.drain(..) {
+            self.refuse(answers, &reason);
+        }
+        self.refuse(also, &reason);
+    }
+}
+
+/// The committer thread: drain the channel greedily, append every
+/// pending block, issue **one** `fdatasync` for the whole batch (under
+/// [`FsyncPolicy::Batch`](super::FsyncPolicy::Batch); per record under
+/// `Always`, never under `Off`), and only then release the batch's
+/// tickets — group commit, with the sync latency overlapping the
+/// worker's staging of the next blocks. The degraded-mode retry
+/// semantics live here now: an exhausted append or sync rolls the
+/// unsynced suffix back, degrades the server, and answers every
+/// affected ticket `Degraded`.
+fn committer_loop<'t>(pipe: &Pipeline<'_>, rx: &mpsc::Receiver<Msg<'t>>) {
+    let mut broken = pipe.health.is_degraded();
+    while let Ok(first) = rx.recv() {
+        let mut msgs = vec![first];
+        while let Ok(m) = rx.try_recv() {
+            msgs.push(m);
+        }
+        // Blocks appended this round, awaiting the batch sync.
+        let mut appended: Vec<(Vec<Answer<'t>>, usize, Instant)> = Vec::new();
+        let mut flushes: Vec<mpsc::Sender<bool>> = Vec::new();
+        for msg in msgs {
+            match msg {
+                Msg::Reset => broken = false,
+                Msg::Flush(reply) => flushes.push(reply),
+                Msg::Commit { bytes, answers, lane, t0 } => {
+                    if broken {
+                        pipe.refuse(answers, &pipe.health.reason());
+                    } else {
+                        match pipe.retry(|w| w.append_bytes(&bytes)) {
+                            Ok(()) => appended.push((answers, lane, t0)),
+                            Err(e) => {
+                                broken = true;
+                                pipe.fail_batch(&e, "append", &mut appended, answers);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !appended.is_empty() {
+            match pipe.retry(Wal::sync) {
+                Ok(()) => {
+                    if let Some(m) = pipe.metrics {
+                        m.fsync_batch.record(appended.len() as u64);
+                    }
+                    for (answers, lane, t0) in appended {
+                        if let Some(h) = pipe.metrics.and_then(|m| m.commit_latency_us.get(lane)) {
+                            h.record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                        }
+                        for a in answers {
+                            a.answer(Ok(()));
+                        }
+                    }
+                }
+                Err(e) => {
+                    broken = true;
+                    pipe.fail_batch(&e, "sync", &mut appended, Vec::new());
+                }
+            }
+        }
+        // Answered after the batch: everything posted before the
+        // barrier is durable (the reply may over-cover later commits of
+        // the same batch — harmless).
+        for reply in flushes {
+            let _ = reply.send(!broken);
+        }
+    }
+}
+
+/// Rebuild the monitor from the durable image (checkpoint chain + log
+/// tail), in place. `false` re-degrades and leaves the resync pending:
+/// a log that cannot even be read back is operator territory.
+fn try_resync(monitor: &mut ShardedMonitor<'_>, pipe: &Pipeline<'_>) -> bool {
+    let dir = lock(&pipe.wal).dir().to_path_buf();
+    match Wal::load(&dir).and_then(|(snap, tail)| monitor.resync(snap, tail)) {
+        Ok(()) => true,
+        Err(e) => {
+            pipe.needs_resync.store(true, Ordering::SeqCst);
+            pipe.health.degrade(&format!("resync against the durable log failed: {e}"));
+            false
+        }
+    }
+}
+
+/// Send a flush barrier and wait it out. `true` when the committer is
+/// healthy (everything prior durable); `false` on a broken pipeline or
+/// a committer that already exited.
+fn flush_committer(tx: &mpsc::Sender<Msg<'_>>) -> bool {
+    let (ftx, frx) = mpsc::channel();
+    tx.send(Msg::Flush(ftx)).is_ok() && frx.recv() == Ok(true)
+}
+
+/// The two-stage admission loop behind [`serve_pipelined`]: drains and
+/// admits exactly like [`admission_loop`], but instead of acking
+/// admitted ops it forwards each block's staged record bytes plus its
+/// tickets to the committer, which releases them only once durable.
+/// Violations and language errors carry no state change and are still
+/// answered directly here.
+fn pipelined_loop<'t, 'a>(
+    monitor: &mut ShardedMonitor<'a>,
+    shared: &Shared<'t, '_>,
+    max_block: usize,
+    maintenance_every: usize,
+    maintenance: &mut (impl FnMut(&mut ShardedMonitor<'a>) + Send),
+    pipe: &Pipeline<'_>,
+    tx: &mpsc::Sender<Msg<'t>>,
+) -> IngressStats {
+    let mut stats = IngressStats::default();
+    let mut cursor = 0usize;
+    loop {
+        // Pull the next block: round-robin over non-empty lanes.
+        let (lane, block) = {
+            let mut st = shared.state.lock().expect("ingress poisoned");
+            let (lane, closed) = loop {
+                let n = st.lanes.len();
+                match (0..n).map(|i| (cursor + i) % n).find(|&l| !st.lanes[l].is_empty()) {
+                    Some(l) => break (Some(l), st.closed),
+                    None if st.closed => break (None, true),
+                    None => st = shared.ready.wait(st).expect("ingress poisoned"),
+                }
+            };
+            let Some(lane) = lane else {
+                stats.lanes = st.lanes.len();
+                stats.submitted = st.submitted;
+                stats.max_queue_depth = st.max_queue_depth;
+                debug_assert!(closed);
+                drop(st);
+                // Drain barrier: every forwarded ticket must be
+                // answered (durable or refused) before serve returns.
+                let _ = flush_committer(tx);
+                // Resolve a pending divergence even in degraded mode,
+                // so the caller's final checkpoint snapshots exactly
+                // the durable state.
+                if pipe.needs_resync.swap(false, Ordering::SeqCst) {
+                    try_resync(monitor, pipe);
+                }
+                return stats;
+            };
+            if let Some(h) = pipe.metrics.and_then(|m| m.queue_depth.get(lane)) {
+                h.record(st.lanes[lane].len() as u64);
+            }
+            let take = st.lanes[lane].len().min(max_block);
+            let block: Vec<Op<'t>> = st.lanes[lane].drain(..take).collect();
+            (lane, block)
+        };
+        shared.notify_space();
+        cursor = lane + 1;
+        stats.blocks += 1;
+
+        // Healthy again after a committer failure (`rearm`): wind the
+        // monitor back to the durable log before admitting on top of
+        // it — tracking committed blocks whose records were dropped.
+        if pipe.needs_resync.load(Ordering::SeqCst) && !pipe.health.is_degraded() {
+            let _ = flush_committer(tx);
+            if pipe.needs_resync.swap(false, Ordering::SeqCst) && try_resync(monitor, pipe) {
+                let _ = tx.send(Msg::Reset);
+            }
+        }
+
+        if pipe.health.is_degraded() {
+            // Degraded read-only mode: refuse before touching the
+            // engine, exactly like the synchronous path.
+            let reason = pipe.health.reason();
+            stats.refused += block.len();
+            for op in block {
+                op.reply.answer(Err(EnforceError::Degraded(reason.clone())));
+            }
+            continue;
+        }
+
+        let t0 = Instant::now();
+        let mut ops = block;
+        let mut attempts = 0u32;
+        loop {
+            let (done, err) = monitor.try_apply_batch(ops.iter().map(|op| (op.t, &op.args)));
+            stats.admitted += done;
+            let mut rest = ops.into_iter();
+            let answers: Vec<Answer<'t>> = rest.by_ref().take(done).map(|op| op.reply).collect();
+            let bytes = std::mem::take(&mut *lock(&pipe.staged));
+            if !answers.is_empty() || !bytes.is_empty() {
+                if let Some(h) = pipe.metrics.and_then(|m| m.block_size.get(lane)) {
+                    h.record(done as u64);
+                }
+                // The committer owns these acks now: released only once
+                // the bytes are durable under the configured policy.
+                tx.send(Msg::Commit { bytes, answers, lane, t0 })
+                    .expect("committer outlives the worker");
+            }
+            match err {
+                None => {
+                    debug_assert_eq!(rest.len(), 0, "without an error every op commits");
+                    break;
+                }
+                // With the staging sink the only admission-path
+                // durability failure left is a block encoding past the
+                // record cap; keep the synchronous path's retry/degrade
+                // contract for it.
+                Some(EnforceError::Durability(e)) => {
+                    let rest: Vec<Op<'t>> = rest.collect();
+                    if attempts < pipe.policy.retries {
+                        attempts += 1;
+                        stats.retries += 1;
+                        std::thread::sleep(pipe.policy.backoff.saturating_mul(attempts));
+                        ops = rest;
+                        continue;
+                    }
+                    let reason =
+                        format!("write-ahead staging failed after {attempts} retries: {e}");
+                    pipe.health.degrade(&reason);
+                    stats.refused += rest.len();
+                    for op in rest {
+                        op.reply.answer(Err(EnforceError::Degraded(reason.clone())));
+                    }
+                    break;
+                }
+                Some(e) => {
+                    stats.rejected += 1;
+                    if let Some(op) = rest.next() {
+                        op.reply.answer(Err(e));
+                    }
+                    // Ops behind the violator were rolled back
+                    // unattempted: back to the front of their lane,
+                    // order preserved.
+                    let rest: Vec<Op<'t>> = rest.collect();
+                    if !rest.is_empty() {
+                        stats.requeued += rest.len();
+                        let mut st = shared.state.lock().expect("ingress poisoned");
+                        for op in rest.into_iter().rev() {
+                            st.lanes[lane].push_front(op);
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        // Maintenance rides the block cadence, but behind a flush
+        // barrier: a checkpoint must neither capture tracking state
+        // whose records a broken committer dropped, nor seal a log
+        // whose unsynced tail the checkpoint claims to cover.
+        if maintenance_every > 0
+            && stats.blocks.is_multiple_of(maintenance_every)
+            && flush_committer(tx)
+        {
+            let m0 = Instant::now();
+            maintenance(monitor);
+            if let Some(m) = pipe.metrics {
+                m.checkpoint_stall_us
+                    .record(u64::try_from(m0.elapsed().as_micros()).unwrap_or(u64::MAX));
+            }
+        }
+    }
+}
+
+/// [`serve_guarded`] with **pipelined group commit**: the tentpole
+/// two-stage admission pipeline.
+///
+/// The admission worker stages and commits tracking exactly as the
+/// synchronous path does, but instead of appending and syncing inline
+/// (one disk round-trip serialized into every block) it hands each
+/// admitted block's framed record bytes to a dedicated **committer
+/// thread** over a channel. The committer batches whatever has
+/// accumulated, appends it, issues **one** `fdatasync` per batch
+/// ([`FsyncPolicy::Batch`](super::FsyncPolicy::Batch)), and only then
+/// releases the batch's tickets — so an ack still strictly implies
+/// durability under the configured policy, but the fsync latency
+/// overlaps the staging of the next blocks instead of stalling it.
+///
+/// The retry/degrade semantics of [`serve_guarded`] move to the
+/// committer. Because tracking now commits *before* durability, a
+/// committer failure leaves the monitor ahead of the (truncated) log;
+/// the worker repairs this by **resynchronizing** the monitor from the
+/// checkpoint chain + log tail at the first healthy block after
+/// [`Health::rearm`] (and at drain-out), so recovery's byte-identity
+/// contract is preserved at every fault site.
+///
+/// `wal` is the shared write-ahead log the committer appends to — the
+/// same handle the maintenance hook checkpoints through. The monitor's
+/// sink is replaced by the pipeline's staging sink for the duration
+/// and restored on exit. `metrics`, when given, is stamped with queue
+/// depths, block sizes, commit latencies, fsync batch sizes and
+/// checkpoint stalls.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_pipelined<'t, 'a, R>(
+    monitor: &mut ShardedMonitor<'a>,
+    config: &IngressConfig,
+    policy: &DurabilityPolicy,
+    health: &Health,
+    wal: Arc<Mutex<Wal>>,
+    metrics: Option<&AdmissionMetrics>,
+    maintenance_every: usize,
+    mut maintenance: impl FnMut(&mut ShardedMonitor<'a>) + Send,
+    drive: impl FnOnce(&IngressClient<'t, '_, '_>) -> R,
+) -> (R, IngressStats) {
+    let staged: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+    let previous =
+        monitor.set_sink(Some(Arc::new(Mutex::new(StagedSink { staged: staged.clone() }))));
+    let pipe = Pipeline {
+        wal,
+        health,
+        policy: *policy,
+        metrics,
+        staged,
+        needs_resync: AtomicBool::new(false),
+        refused: AtomicUsize::new(0),
+        retries: AtomicUsize::new(0),
+    };
+    let shared = Shared::new(monitor, config);
+    let max_block = config.max_block.max(1);
+    let (tx, rx) = mpsc::channel::<Msg<'t>>();
+    let (out, mut stats) = std::thread::scope(|scope| {
+        let pipe_ref = &pipe;
+        let committer = scope.spawn(move || committer_loop(pipe_ref, &rx));
+        let worker = {
+            let (shared, worker_tx) = (&shared, tx.clone());
+            let maintenance = &mut maintenance;
+            let monitor = &mut *monitor;
+            scope.spawn(move || {
+                pipelined_loop(
+                    monitor,
+                    shared,
+                    max_block,
+                    maintenance_every,
+                    maintenance,
+                    pipe_ref,
+                    &worker_tx,
+                )
+            })
+        };
+        let guard = CloseGuard(&shared);
+        let out = drive(&IngressClient { shared: &shared });
+        drop(guard);
+        let stats = worker.join().expect("admission worker panicked");
+        // The worker's sender is gone; dropping ours closes the channel
+        // and the committer (which answered everything pending at the
+        // worker's final flush) exits.
+        drop(tx);
+        committer.join().expect("committer thread panicked");
+        (out, stats)
+    });
+    monitor.set_sink(previous);
+    stats.refused += pipe.refused.load(Ordering::SeqCst);
+    stats.retries += pipe.retries.load(Ordering::SeqCst);
+    (out, stats)
 }
 
 #[cfg(test)]
@@ -897,6 +1374,126 @@ mod tests {
         assert_eq!(stats.admitted, 3);
         assert_eq!(*outcomes.lock().unwrap(), ["a", "b", "c"], "per-producer FIFO held");
         assert!(space_wakeups.load(Ordering::SeqCst) >= 1);
+    }
+
+    fn pipelined_temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("migratory-pipelined-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The tentpole smoke: pipelined group commit admits everything the
+    /// synchronous path would, acks only after durability, and what the
+    /// log holds recovers byte-identically to the served monitor.
+    #[test]
+    fn pipelined_serve_acks_durably_and_recovers_byte_identically() {
+        use crate::enforce::{FsyncPolicy, Wal};
+        let s = multi_schema();
+        let a = RoleAlphabet::new(&s, 0).unwrap();
+        let inv = Inventory::parse_init(&s, &a, "∅* ([R0] ∪ [S0])* ∅*").unwrap();
+        let ts = parse_transactions(
+            &s,
+            r"
+            transaction Mk0(x) { create(R0, { K0 = x }); }
+            transaction Mk1(x) { create(R1, { K1 = x }); }
+            transaction Mk2(x) { create(R2, { K2 = x }); }
+        ",
+        )
+        .unwrap();
+        let dir = pipelined_temp_dir("smoke");
+        let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap().with_fsync(FsyncPolicy::Batch)));
+        let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
+        let health = Health::new();
+        let cfg = IngressConfig { queue_capacity: 8, max_block: 16 };
+        const PER: usize = 40;
+        let ((), stats) = serve_pipelined(
+            &mut m,
+            &cfg,
+            &DurabilityPolicy::default(),
+            &health,
+            wal.clone(),
+            None,
+            0,
+            |_| {},
+            |client| {
+                std::thread::scope(|scope| {
+                    for name in ["Mk0", "Mk1", "Mk2"] {
+                        let t = ts.get(name).unwrap();
+                        scope.spawn(move || {
+                            for i in 0..PER {
+                                let args =
+                                    Assignment::new(vec![Value::str(&format!("{name}-{i}"))]);
+                                client.submit(t, args).expect("creation conforms");
+                            }
+                        });
+                    }
+                });
+            },
+        );
+        assert_eq!((stats.admitted, stats.rejected, stats.refused), (3 * PER, 0, 0));
+        assert_eq!(m.db().num_objects(), 3 * PER);
+        // Every acked op is on disk: the recovered monitor is
+        // byte-identical to the served one.
+        {
+            let w = wal.lock().unwrap();
+            assert_eq!(w.synced_len(), w.dir().join("wal.log").metadata().unwrap().len());
+        }
+        let (snap, tail) = Wal::load(&dir).unwrap();
+        let r = ShardedMonitor::recover(&s, &a, &inv, PatternKind::All, 3, snap, tail).unwrap();
+        assert_eq!(r.db(), m.db());
+        assert_eq!(r.clocks(), m.clocks());
+        assert_eq!(r.snapshot().encode(), m.snapshot().encode());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Violations are answered on the worker (no state change → no
+    /// durability requirement) while admitted neighbours flow through
+    /// the committer; the re-queue discipline is unchanged.
+    #[test]
+    fn pipelined_violation_rejects_and_requeues_like_the_sync_path() {
+        use crate::enforce::{FsyncPolicy, Wal};
+        let s = multi_schema();
+        let a = RoleAlphabet::new(&s, 0).unwrap();
+        let inv = Inventory::parse_init(&s, &a, "∅* [R0]* [S0] ∅*").unwrap();
+        let ts = parse_transactions(
+            &s,
+            r"
+            transaction Mk0(x) { create(R0, { K0 = x }); }
+            transaction Up0(x) { specialize(R0, S0, { K0 = x }, {}); }
+        ",
+        )
+        .unwrap();
+        let dir = pipelined_temp_dir("violation");
+        let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap().with_fsync(FsyncPolicy::Batch)));
+        let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 3);
+        let health = Health::new();
+        let mk0 = ts.get("Mk0").unwrap();
+        let up0 = ts.get("Up0").unwrap();
+        let key = |k: &str| Assignment::new(vec![Value::str(k)]);
+        let ((), stats) = serve_pipelined(
+            &mut m,
+            &IngressConfig::default(),
+            &DurabilityPolicy::default(),
+            &health,
+            wal,
+            None,
+            0,
+            |_| {},
+            |client| {
+                let t1 = client.post(mk0, key("x"));
+                let t2 = client.post(up0, key("x"));
+                let t3 = client.post(up0, key("x"));
+                let t4 = client.post(mk0, key("y"));
+                assert!(t1.wait().is_ok());
+                assert!(t2.wait().is_ok());
+                assert!(matches!(t3.wait(), Err(EnforceError::Violation(_))));
+                assert!(t4.wait().is_err(), "y's creation gives x a second [S0] letter");
+            },
+        );
+        assert_eq!((stats.admitted, stats.rejected), (2, 2));
+        assert_eq!(m.db().num_objects(), 1, "only x exists; y was rejected");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -124,6 +124,7 @@ mod delta;
 pub mod faults;
 pub mod health;
 pub mod ingress;
+pub mod metrics;
 pub mod net;
 pub mod sharded;
 pub mod wal;
@@ -131,10 +132,11 @@ pub mod wal;
 pub use faults::{FaultKind, FaultSite, IoFaults};
 pub use health::{CheckpointHealth, Health};
 pub use ingress::{Completion, DurabilityPolicy, IngressConfig, IngressStats};
+pub use metrics::{AdmissionMetrics, Histogram};
 pub use sharded::{ShardStats, ShardedMonitor};
 pub use wal::{
-    BlockRef, CheckpointData, CheckpointDelta, CheckpointJob, CommitSink, MemoryWal, ShardLetters,
-    Snapshot, Snapshotter, Wal, WalBlock, WalError, WalRecord,
+    BlockRef, CheckpointData, CheckpointDelta, CheckpointJob, CommitSink, FsyncPolicy, MemoryWal,
+    ShardLetters, Snapshot, Snapshotter, Wal, WalBlock, WalError, WalRecord,
 };
 
 use crate::alphabet::RoleAlphabet;
@@ -143,12 +145,40 @@ use crate::inventory::Inventory;
 use crate::pattern::{MigrationPattern, PatternKind};
 use delta::{classes_symbol, diagnose_step, DeltaState, DiagParams, EXEMPT};
 use migratory_lang::{
-    apply_transaction, apply_transaction_delta, run, Assignment, Delta, LangError, Transaction,
-    TransactionSchema,
+    apply_bulk_creates, apply_transaction, apply_transaction_delta, run, Assignment, Delta,
+    LangError, ObjectDelta, Transaction, TransactionSchema,
 };
 use migratory_model::{ClassSet, Instance, Oid, Schema};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+
+/// Transactions with at least this many steps are probed for the
+/// create-only bulk-load fast path
+/// ([`migratory_lang::apply_bulk_creates`]). Below it, the general
+/// interpreter's per-object inserts are cheaper than the bulk path's
+/// sorted-merge rebuild of the heap maps (`BTreeMap::append` is
+/// O(existing + new) regardless of batch size).
+pub(crate) const BULK_APPLY_THRESHOLD: usize = 4096;
+
+/// Apply `t[args]` to `db` and return the exact change-set, routing
+/// large create-only transactions through the bulk loader — parallel
+/// chunked condition evaluation plus one sorted-merge into the heap and
+/// indexes. The produced [`Delta`] (and database post-state) is
+/// identical to [`apply_transaction_delta`]'s, so everything downstream
+/// (tracking, WAL encoding, rollback) is unaffected by the routing.
+pub(crate) fn apply_delta_bulk(
+    schema: &Schema,
+    db: &mut Instance,
+    t: &Transaction,
+    args: &Assignment,
+) -> Result<Delta, LangError> {
+    if t.steps.len() >= BULK_APPLY_THRESHOLD {
+        if let Some(bulk) = apply_bulk_creates(schema, db, t, args) {
+            return bulk;
+        }
+    }
+    apply_transaction_delta(schema, db, t, args)
+}
 
 /// A shared, pluggable commit sink handle (see [`wal::CommitSink`]).
 /// `Arc<Mutex<…>>` so a monitor stays cloneable and sharded staging
@@ -803,7 +833,7 @@ impl<'a> Monitor<'a> {
             // admission work on it.
             let steps0 = self.steps();
             if self.sink.is_some() {
-                let delta = apply_transaction_delta(self.schema, &mut self.db, t, args)?;
+                let delta = apply_delta_bulk(self.schema, &mut self.db, t, args)?;
                 if let Err(e) = self.log_block(steps0, &[&delta]) {
                     delta.undo(&mut self.db);
                     return Err(EnforceError::Durability(e));
@@ -820,7 +850,7 @@ impl<'a> Monitor<'a> {
             }
             return Ok(());
         }
-        let delta = apply_transaction_delta(self.schema, &mut self.db, t, args)?;
+        let delta = apply_delta_bulk(self.schema, &mut self.db, t, args)?;
         if self.policy == StepPolicy::OnlyChanging && delta.is_identity() {
             // Null application (Definition 4.6): no letter, and the
             // database is bit-identical — nothing to undo.
@@ -841,6 +871,33 @@ impl<'a> Monitor<'a> {
             dfa: self.inventory.dfa(),
             kind: self.kind,
         };
+        // Bulk-creation fast path: a big all-creations letter stages
+        // without the per-object touched map (uniform creation context,
+        // one DFA step per distinct role symbol, sorted record append).
+        // Byte-identical to the generic path below — WAL replay goes
+        // through `stage_batch` and recovery compares snapshot bytes.
+        if delta.objects().len() >= BULK_APPLY_THRESHOLD
+            && delta.objects().iter().all(ObjectDelta::created)
+        {
+            let Engine::Delta(state) = &self.engine else { unreachable!() };
+            let steps0 = state.steps;
+            return match state.stage_bulk_creates(&ctx, delta.objects().iter()) {
+                Ok(stage) => {
+                    if let Err(e) = self.log_block(steps0, &[&delta]) {
+                        delta.undo(&mut self.db);
+                        return Err(EnforceError::Durability(e));
+                    }
+                    let Engine::Delta(state) = &mut self.engine else { unreachable!() };
+                    state.commit_bulk_creates(stage);
+                    Ok(())
+                }
+                Err(()) => {
+                    let v = self.diagnose_violation(&delta);
+                    delta.undo(&mut self.db);
+                    Err(EnforceError::Violation(v))
+                }
+            };
+        }
         let touched = delta::touched_map(&[&delta]);
         let Engine::Delta(state) = &mut self.engine else { unreachable!() };
         let steps0 = state.steps;
@@ -1082,6 +1139,117 @@ mod tests {
         // The run can continue down a permitted branch.
         m.try_apply(ts.get("Rm").unwrap(), &x).unwrap();
         assert_eq!(m.db().num_objects(), 0);
+    }
+
+    #[test]
+    fn bulk_create_staging_matches_generic_staging() {
+        // The bulk-load fast path must produce tracking state *equal* to
+        // the generic `stage_batch`/`commit_batch` path — WAL replay runs
+        // the generic path and recovery compares snapshot bytes.
+        use migratory_lang::{apply_transaction_delta, AtomicUpdate};
+        use migratory_model::{Atom, Condition};
+        let (s, a) = setup();
+        let ts = uni_transactions(&s);
+        let person = s.class_id("PERSON").unwrap();
+        let student = s.class_id("STUDENT").unwrap();
+        let ssn = s.attr_id("SSN").unwrap();
+        // Mixed classes: the bulk stage must group by role symbol and
+        // allocate cohorts in the generic first-occurrence order.
+        let mixed: Vec<AtomicUpdate> = (0..40)
+            .map(|i| AtomicUpdate::Create {
+                class: if i % 3 == 0 { student } else { person },
+                gamma: Condition::from_atoms([Atom::eq_const(ssn, format!("b{i}"))]),
+            })
+            .collect();
+        let bulk = Transaction::sl("B", &[], mixed);
+        let none = Assignment::empty();
+        for kind in
+            [PatternKind::All, PatternKind::ImmediateStart, PatternKind::Proper, PatternKind::Lazy]
+        {
+            let inv = Inventory::parse_init(&s, &a, "∅* ([PERSON] ∪ [STUDENT])* ∅*").unwrap();
+            let mut m = Monitor::new(&s, &a, &inv, kind);
+            // Seed regular letters so cohorts and the ∅ walk are mid-run.
+            m.try_apply(ts.get("Mk").unwrap(), &arg("1")).unwrap();
+            m.try_apply(ts.get("St").unwrap(), &arg("1")).unwrap();
+            m.try_apply(ts.get("Mk").unwrap(), &arg("2")).unwrap();
+            let mut dbx = m.db().clone();
+            let d = apply_transaction_delta(&s, &mut dbx, &bulk, &none).unwrap();
+            let ctx = delta::BatchCtx { schema: &s, alphabet: &a, dfa: inv.dfa(), kind };
+            let Engine::Delta(state) = &m.engine else { unreachable!() };
+            let generic = {
+                let mut st = state.clone();
+                let touched = delta::touched_map(&[&d]);
+                let stage = st.stage_batch(&ctx, 1, &touched).expect("conforming");
+                st.commit_batch(stage);
+                st
+            };
+            let bulked = {
+                let mut st = state.clone();
+                let stage = st.stage_bulk_creates(&ctx, d.objects().iter()).expect("conforming");
+                st.commit_bulk_creates(stage);
+                st
+            };
+            assert!(
+                generic == bulked,
+                "bulk staging diverged from the generic path under {kind:?}"
+            );
+        }
+        // Both paths agree on rejection too: [PERSON] creations against
+        // an inventory admitting only [STUDENT] letters (exemption never
+        // saves a creation under All).
+        let inv = Inventory::parse_init(&s, &a, "∅* [STUDENT]* ∅*").unwrap();
+        let m = Monitor::new(&s, &a, &inv, PatternKind::All);
+        let mut dbx = m.db().clone();
+        let d = apply_transaction_delta(&s, &mut dbx, &bulk, &none).unwrap();
+        let ctx =
+            delta::BatchCtx { schema: &s, alphabet: &a, dfa: inv.dfa(), kind: PatternKind::All };
+        let Engine::Delta(state) = &m.engine else { unreachable!() };
+        assert!(state.stage_batch(&ctx, 1, &delta::touched_map(&[&d])).is_err());
+        assert!(state.stage_bulk_creates(&ctx, d.objects().iter()).is_err());
+    }
+
+    #[test]
+    fn bulk_threshold_violation_matches_reference() {
+        // Above the routing threshold the public path takes the bulk
+        // loader end to end; a violating load must report the reference
+        // engine's exact Violation and leave the database untouched.
+        use migratory_lang::AtomicUpdate;
+        use migratory_model::{Atom, Condition};
+        let (s, a) = setup();
+        let person = s.class_id("PERSON").unwrap();
+        let ssn = s.attr_id("SSN").unwrap();
+        let n = BULK_APPLY_THRESHOLD + 10;
+        let updates: Vec<AtomicUpdate> = (0..n)
+            .map(|i| AtomicUpdate::Create {
+                class: person,
+                gamma: Condition::from_atoms([Atom::eq_const(ssn, format!("v{i}"))]),
+            })
+            .collect();
+        let bulk = Transaction::sl("B", &[], updates);
+        let none = Assignment::empty();
+        // [PERSON] creations against an inventory admitting only
+        // [STUDENT] letters: every created object violates; the report
+        // must name the first in oid order, exactly as the reference
+        // engine does.
+        let inv = Inventory::parse_init(&s, &a, "∅* [STUDENT]* ∅*").unwrap();
+        let mut md = Monitor::new(&s, &a, &inv, PatternKind::All);
+        let mut mr = Monitor::new_reference(&s, &a, &inv, PatternKind::All);
+        let (ed, er) =
+            (md.try_apply(&bulk, &none).unwrap_err(), mr.try_apply(&bulk, &none).unwrap_err());
+        match (ed, er) {
+            (EnforceError::Violation(vd), EnforceError::Violation(vr)) => assert_eq!(vd, vr),
+            other => panic!("expected violations, got {other:?}"),
+        }
+        assert_eq!(md.db().num_objects(), 0, "violating bulk load must roll back");
+        // The same load against a permitting inventory admits through
+        // the bulk path and matches the reference database.
+        let inv = Inventory::parse_init(&s, &a, "∅* [PERSON]* ∅*").unwrap();
+        let mut md = Monitor::new(&s, &a, &inv, PatternKind::All);
+        let mut mr = Monitor::new_reference(&s, &a, &inv, PatternKind::All);
+        md.try_apply(&bulk, &none).unwrap();
+        mr.try_apply(&bulk, &none).unwrap();
+        assert_eq!(md.db().num_objects(), n);
+        assert_eq!(md.db(), mr.db());
     }
 
     #[test]

@@ -48,7 +48,11 @@ pub(super) enum Slot {
     /// A `stats` request: formatted at *flush* time, after every earlier
     /// slot of this connection resolved — so a synchronously driven
     /// connection reads its own counters deterministically.
-    Stats,
+    Stats {
+        /// `stats prom` — reply with the length-prefixed Prometheus
+        /// exposition instead of the flat one-line form.
+        prom: bool,
+    },
 }
 
 /// A parsed invoke the admission lane refused (lane full): retried by
@@ -301,8 +305,10 @@ impl<'t> Conn<'t> {
     }
 
     /// Move the ready prefix of the slot queue into the write buffer;
-    /// `stats_line` formats a `stats` reply at its flush moment.
-    pub(super) fn flush_slots(&mut self, stats_line: impl Fn() -> String) {
+    /// `stats_reply` formats a `stats` reply (flat or Prometheus, per
+    /// the slot's `prom` flag) at its flush moment. The returned bytes
+    /// are written verbatim — the formatter owns the framing.
+    pub(super) fn flush_slots(&mut self, stats_reply: impl Fn(bool) -> Vec<u8>) {
         while let Some(front) = self.slots.front() {
             match front {
                 Slot::Waiting { .. } => break,
@@ -310,10 +316,10 @@ impl<'t> Conn<'t> {
                     let Some(Slot::Ready(bytes)) = self.slots.pop_front() else { unreachable!() };
                     self.wbuf.extend_from_slice(&bytes);
                 }
-                Slot::Stats => {
+                Slot::Stats { prom } => {
+                    let prom = *prom;
                     self.slots.pop_front();
-                    self.wbuf.extend_from_slice(stats_line().as_bytes());
-                    self.wbuf.push(b'\n');
+                    self.wbuf.extend_from_slice(&stats_reply(prom));
                 }
             }
             self.seq_base += 1;
@@ -542,15 +548,18 @@ mod tests {
         let (mut conn, _peer) = test_conn();
         let s0 = conn.push_slot(Slot::Waiting { binary: false });
         let s1 = conn.push_slot(Slot::Waiting { binary: true });
-        conn.push_slot(Slot::Stats);
+        conn.push_slot(Slot::Stats { prom: false });
         // Out-of-order completion: slot 1 resolves first, but nothing
         // flushes past the still-waiting slot 0.
         assert_eq!(conn.waiting_dialect(s1), Some(true));
         conn.fill_slot(s1, b"second".to_vec());
-        conn.flush_slots(|| unreachable!("stats cannot flush yet"));
+        conn.flush_slots(|_| unreachable!("stats cannot flush yet"));
         assert_eq!(conn.unsent(), 0);
         conn.fill_slot(s0, b"first|".to_vec());
-        conn.flush_slots(|| "ok stats".to_owned());
+        conn.flush_slots(|prom| {
+            assert!(!prom);
+            b"ok stats\n".to_vec()
+        });
         assert_eq!(conn.unsent(), b"first|secondok stats\n".len());
         assert_eq!(conn.seq_base, 3);
         assert!(conn.slots.is_empty());

@@ -27,7 +27,7 @@
 
 use super::conn::{Conn, Extracted, Pending, ReadOutcome, Request, Slot};
 use super::frame;
-use super::{parse_invocation, stats_line, ServerConfig, ServerShared, MAX_LINE};
+use super::{parse_invocation, stats_reply, ServerConfig, ServerShared, MAX_LINE};
 use crate::alphabet::RoleAlphabet;
 use crate::enforce::ingress::{Completion, IngressClient};
 use crate::enforce::EnforceError;
@@ -498,7 +498,17 @@ fn dispatch_verb<'t>(
             c.push_slot(Slot::Ready(format!("{}\n", shared.schema_line).into_bytes()));
         }
         "stats" => {
-            c.push_slot(Slot::Stats);
+            // `stats` is the flat test-locked line; `stats prom` is the
+            // Prometheus exposition, length-prefixed. Anything else
+            // after the verb is an error rather than silently flat.
+            let slot = match rest {
+                "" => Slot::Stats { prom: false },
+                "prom" => Slot::Stats { prom: true },
+                other => {
+                    Slot::Ready(error_reply(ev, false, &format!("unknown stats form `{other}`")))
+                }
+            };
+            c.push_slot(slot);
         }
         "ping" => {
             c.push_slot(Slot::Ready(b"ok pong\n".to_vec()));
@@ -654,7 +664,7 @@ fn pump<'t>(
             c.teardown(None);
         }
         c.compact();
-        c.flush_slots(|| stats_line(ev, shared));
+        c.flush_slots(|prom| stats_reply(ev, shared, prom));
         let unsent_before = c.unsent();
         if c.wants_write() {
             c.try_write();

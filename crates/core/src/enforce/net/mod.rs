@@ -125,16 +125,19 @@ pub mod frame;
 
 use super::health::Health;
 use super::ingress::{self, DurabilityPolicy, IngressConfig, IngressStats};
+use super::metrics::AdmissionMetrics;
 use super::sharded::ShardedMonitor;
+use super::wal::Wal;
 use migratory_lang::TransactionSchema;
 use migratory_model::Value;
 use std::net::TcpListener;
 use std::os::fd::AsRawFd;
 use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Tuning knobs of [`serve`].
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServerConfig {
     /// The admission-lane configuration behind the socket front end.
     pub ingress: IngressConfig,
@@ -167,6 +170,38 @@ pub struct ServerConfig {
     /// How the admission worker treats failing write-ahead appends
     /// (retry budget, then degraded read-only mode).
     pub durability: DurabilityPolicy,
+    /// Write-ahead log handle for the pipelined committer. When set,
+    /// the server runs the two-stage admission pipeline
+    /// ([`ingress::serve_pipelined`]): the admission worker stages
+    /// records and a dedicated committer thread appends, issues one
+    /// fsync per batch (per [`Wal::fsync_policy`]), and only then
+    /// releases the acks. When `None`, the monitor's own
+    /// [`CommitSink`](super::CommitSink) (if any) runs synchronously on
+    /// the admission worker, as before.
+    pub wal: Option<Arc<Mutex<Wal>>>,
+    /// Admission-latency histograms, shared with the `stats prom` verb.
+    pub metrics: Option<Arc<AdmissionMetrics>>,
+}
+
+impl std::fmt::Debug for ServerConfig {
+    // Manual impl: `Wal` owns raw file handles and has no `Debug`;
+    // show presence only.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("ingress", &self.ingress)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("io_threads", &self.io_threads)
+            .field("pipeline", &self.pipeline)
+            .field("idle_timeout", &self.idle_timeout)
+            .field("max_conn_bytes", &self.max_conn_bytes)
+            .field("max_conn_ops", &self.max_conn_ops)
+            .field("max_connections", &self.max_connections)
+            .field("auth", &self.auth.as_ref().map(|_| "<redacted>"))
+            .field("durability", &self.durability)
+            .field("wal", &self.wal.is_some())
+            .field("metrics", &self.metrics.is_some())
+            .finish()
+    }
 }
 
 impl Default for ServerConfig {
@@ -182,6 +217,8 @@ impl Default for ServerConfig {
             max_connections: 0,
             auth: None,
             durability: DurabilityPolicy::default(),
+            wal: None,
+            metrics: None,
         }
     }
 }
@@ -257,6 +294,10 @@ struct ServerShared<'h> {
     /// Degraded-mode flag and checkpoint status, shared with the
     /// admission worker and (via the caller) the snapshotter.
     health: &'h Health,
+    /// Admission histograms for the `stats prom` verb (absent when the
+    /// server was configured without them — `stats prom` then returns
+    /// an empty payload).
+    metrics: Option<Arc<AdmissionMetrics>>,
 }
 
 /// The `stats` verb's reply, formatted at the requesting connection's
@@ -274,6 +315,25 @@ fn stats_line(ev: &event::EventShared, shared: &ServerShared<'_>) -> String {
         if shared.health.is_degraded() { "yes" } else { "no" },
         shared.health.checkpoint_token(),
     )
+}
+
+/// The complete reply bytes of a `stats` request, formatted at the
+/// requesting connection's flush moment. `prom` selects the Prometheus
+/// text exposition (framed `ok prom <len>\n<payload>` so the reader
+/// knows where the multi-line payload ends); plain `stats` keeps its
+/// flat single-line form byte-for-byte.
+fn stats_reply(ev: &event::EventShared, shared: &ServerShared<'_>, prom: bool) -> Vec<u8> {
+    if prom {
+        let body =
+            shared.metrics.as_deref().map(AdmissionMetrics::render_prometheus).unwrap_or_default();
+        let mut out = format!("ok prom {}\n", body.len()).into_bytes();
+        out.extend_from_slice(body.as_bytes());
+        out
+    } else {
+        let mut line = stats_line(ev, shared).into_bytes();
+        line.push(b'\n');
+        line
+    }
 }
 
 /// Serve the wire protocol on `listener` until a client sends
@@ -339,17 +399,31 @@ pub fn serve_guarded<'a, 't>(
         schema_line,
         lanes: if monitor.routes_by_component() { monitor.num_shards() } else { 1 },
         health,
+        metrics: config.metrics.clone(),
     };
     let ev = event::EventShared::new(config.io_threads.max(1))?;
-    let (run_result, ingress_stats) = ingress::serve_guarded(
-        monitor,
-        &config.ingress,
-        &config.durability,
-        health,
-        config.checkpoint_every,
-        maintenance,
-        |client| event::run(&listener, client, ts, alphabet, &shared, config, &ev),
-    );
+    let (run_result, ingress_stats) = match config.wal.clone() {
+        Some(wal) => ingress::serve_pipelined(
+            monitor,
+            &config.ingress,
+            &config.durability,
+            health,
+            wal,
+            config.metrics.as_deref(),
+            config.checkpoint_every,
+            maintenance,
+            |client| event::run(&listener, client, ts, alphabet, &shared, config, &ev),
+        ),
+        None => ingress::serve_guarded(
+            monitor,
+            &config.ingress,
+            &config.durability,
+            health,
+            config.checkpoint_every,
+            maintenance,
+            |client| event::run(&listener, client, ts, alphabet, &shared, config, &ev),
+        ),
+    };
     run_result?;
     Ok(NetStats {
         connections: ev.connections.load(Ordering::SeqCst),
@@ -576,6 +650,73 @@ mod tests {
         });
         assert_eq!((stats.admitted, stats.rejected, stats.errors), (2, 1, 1));
         assert_eq!(stats.requests, 6);
+    }
+
+    /// The durable pipeline behind the socket front end: acks arrive
+    /// only after the committer synced, `stats prom` exposes the
+    /// admission histograms length-prefixed, the flat `stats` line is
+    /// untouched, and the log alone recovers every acked op.
+    #[test]
+    fn durable_pipeline_serves_and_answers_stats_prom() {
+        use crate::enforce::{FsyncPolicy, Wal};
+        use std::io::Read;
+        let s = multi_schema();
+        let a = RoleAlphabet::new(&s, 0).unwrap();
+        let inv = Inventory::parse_init(&s, &a, "∅* [R0]* ∅*").unwrap();
+        let ts = parse_transactions(&s, "transaction Mk0(x) { create(R0, { K0 = x }); }").unwrap();
+        let dir = std::env::temp_dir().join(format!("migratory-net-prom-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap().with_fsync(FsyncPolicy::Batch)));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let metrics = Arc::new(AdmissionMetrics::new(2));
+        let config = ServerConfig {
+            wal: Some(wal.clone()),
+            metrics: Some(metrics.clone()),
+            ..ServerConfig::default()
+        };
+        let stats = std::thread::scope(|scope| {
+            let server = scope.spawn(|| {
+                let mut m = ShardedMonitor::new(&s, &a, &inv, PatternKind::All, 2);
+                serve(listener, &mut m, &ts, &config, |_| {}).unwrap()
+            });
+            let conn = TcpStream::connect(addr).unwrap();
+            let mut w = conn.try_clone().unwrap();
+            let mut r = BufReader::new(conn);
+            let mut line = String::new();
+            w.write_all(b"invoke Mk0(a)\ninvoke Mk0(b)\nstats prom\n").unwrap();
+            for _ in 0..2 {
+                line.clear();
+                r.read_line(&mut line).unwrap();
+                assert_eq!(line, "ok\n");
+            }
+            line.clear();
+            r.read_line(&mut line).unwrap();
+            let len: usize = line.strip_prefix("ok prom ").expect(&line).trim().parse().unwrap();
+            let mut payload = vec![0u8; len];
+            r.read_exact(&mut payload).unwrap();
+            let text = String::from_utf8(payload).unwrap();
+            assert!(text.contains("# TYPE migratory_commit_latency_us histogram"), "{text}");
+            assert!(text.contains("migratory_fsync_batch_count"), "{text}");
+            // The flat form is byte-compatible with the pre-pipeline
+            // server (scripts and tests parse it).
+            w.write_all(b"stats\nshutdown\n").unwrap();
+            line.clear();
+            r.read_line(&mut line).unwrap();
+            assert!(line.starts_with("ok stats requests="), "{line}");
+            line.clear();
+            r.read_line(&mut line).unwrap();
+            assert_eq!(line, "ok draining\n");
+            server.join().unwrap()
+        });
+        assert_eq!(stats.admitted, 2);
+        assert!(metrics.fsync_batch.count() >= 1, "committer stamped its batches");
+        assert!(metrics.commit_latency_us.iter().map(|h| h.count()).sum::<u64>() >= 1);
+        // Acked ⇒ durable: the log alone rebuilds both objects.
+        let (snap, tail) = Wal::load(&dir).unwrap();
+        let m = ShardedMonitor::recover(&s, &a, &inv, PatternKind::All, 2, snap, tail).unwrap();
+        assert_eq!(m.db().num_objects(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Read every remaining line until EOF (test helper).

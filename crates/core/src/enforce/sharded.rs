@@ -54,13 +54,15 @@
 //! longest-conforming-prefix semantics and the per-shard-reference
 //! [`Violation`] diagnostics.
 
-use super::delta::{diagnose_step, BatchCtx, BatchStage, DeltaState, DiagParams, EXEMPT};
+use super::delta::{
+    diagnose_step, BatchCtx, BatchStage, BulkCreateStage, DeltaState, DiagParams, EXEMPT,
+};
 use super::wal::{self, BlockRef, CheckpointDelta, ShardLetters, Snapshot, WalError, WalRecord};
 use super::{EnforceError, SharedSink, StepPolicy, Violation};
 use crate::alphabet::RoleAlphabet;
 use crate::inventory::Inventory;
 use crate::pattern::{MigrationPattern, PatternKind};
-use migratory_lang::{apply_transaction_delta, Assignment, Delta, ObjectDelta, Transaction};
+use migratory_lang::{Assignment, Delta, LangError, ObjectDelta, Transaction};
 use migratory_model::{Instance, Oid, Schema};
 use std::collections::BTreeMap;
 
@@ -224,6 +226,14 @@ impl<'a> ShardedMonitor<'a> {
         self
     }
 
+    /// Swap the commit sink in place, returning the previous one. The
+    /// pipelined ingress ([`super::ingress::serve_pipelined`]) installs
+    /// its staging sink for the duration of a serve and restores the
+    /// caller's sink on exit.
+    pub(crate) fn set_sink(&mut self, sink: Option<SharedSink>) -> Option<SharedSink> {
+        std::mem::replace(&mut self.sink, sink)
+    }
+
     /// The current database.
     #[must_use]
     pub fn db(&self) -> &Instance {
@@ -325,7 +335,7 @@ impl<'a> ShardedMonitor<'a> {
     /// first offending object (in the shard-reference ascending-oid
     /// order) is reported.
     pub fn try_apply(&mut self, t: &Transaction, args: &Assignment) -> Result<(), EnforceError> {
-        let delta = apply_transaction_delta(self.schema, &mut self.db, t, args)?;
+        let delta = self.apply_delta(t, args)?;
         if self.policy == StepPolicy::OnlyChanging && delta.is_identity() {
             // Null application (Definition 4.6): no letter, nothing to
             // undo.
@@ -344,6 +354,16 @@ impl<'a> ShardedMonitor<'a> {
                 Err(EnforceError::Durability(e))
             }
         }
+    }
+
+    /// Apply `t[args]` to the database and return its exact change-set,
+    /// routing transactions above [`super::BULK_APPLY_THRESHOLD`]
+    /// create-only steps through the bulk loader (see
+    /// [`super::apply_delta_bulk`]). The delta — and everything
+    /// downstream of it (tracking, WAL encoding, rollback) — is
+    /// identical either way.
+    fn apply_delta(&mut self, t: &Transaction, args: &Assignment) -> Result<Delta, LangError> {
+        super::apply_delta_bulk(self.schema, &mut self.db, t, args)
     }
 
     /// Apply a whole sequence one by one, stopping at the first
@@ -382,7 +402,7 @@ impl<'a> ShardedMonitor<'a> {
         let mut deltas: Vec<Delta> = Vec::with_capacity(items.len());
         let mut lang_err: Option<EnforceError> = None;
         for (t, args) in &items {
-            match apply_transaction_delta(self.schema, &mut self.db, t, args) {
+            match self.apply_delta(t, args) {
                 Ok(d) => deltas.push(d),
                 Err(e) => {
                     lang_err = Some(e.into());
@@ -476,6 +496,16 @@ impl<'a> ShardedMonitor<'a> {
     /// the inventory. `Err` leaves monitor state (but not the database)
     /// untouched.
     fn admit_effective(&mut self, effective: &[(usize, &Delta)]) -> Result<(), AdmitFail> {
+        // A lone all-creations letter above the bulk threshold takes the
+        // bulk-staging path: same participation rule, same WAL record,
+        // byte-identical tracking state, no per-object touched map.
+        if let [(fallback, d)] = *effective {
+            if d.objects().len() >= super::BULK_APPLY_THRESHOLD
+                && d.objects().iter().all(ObjectDelta::created)
+            {
+                return self.admit_bulk_creates(fallback, d);
+            }
+        }
         let (letters, touched) = self.assign_letters(effective);
         let ctx = BatchCtx {
             schema: self.schema,
@@ -543,6 +573,91 @@ impl<'a> ShardedMonitor<'a> {
         for (state, stage) in self.shards.iter_mut().zip(stages) {
             if let Some(stage) = stage {
                 state.commit_batch(stage);
+            }
+        }
+        Ok(())
+    }
+
+    /// Bulk-creation admission of one all-creations letter: partition
+    /// the created objects per shard (ascending oid order is preserved),
+    /// stage each participating shard through
+    /// [`DeltaState::stage_bulk_creates`] — concurrently when it pays —
+    /// log the block, and commit. Produces the same WAL record and the
+    /// same per-shard tracking state as the generic
+    /// [`Self::admit_effective`] path, byte for byte.
+    fn admit_bulk_creates(&mut self, fallback: usize, d: &Delta) -> Result<(), AdmitFail> {
+        let n = self.shards.len();
+        let mut routed: Vec<Vec<&ObjectDelta>> = vec![Vec::new(); n];
+        for od in d.objects() {
+            routed[self.route(od)].push(od);
+        }
+        // Under oid striping every stripe reads every letter; under
+        // component routing only the shards of the touched objects do
+        // (the fallback shard when the delta somehow touches none).
+        let participating: Vec<bool> = match &self.router {
+            Router::OidStripe { .. } => vec![true; n],
+            Router::Component { .. } => {
+                let mut p: Vec<bool> = routed.iter().map(|r| !r.is_empty()).collect();
+                if !p.contains(&true) {
+                    p[fallback] = true;
+                }
+                p
+            }
+        };
+        let ctx = BatchCtx {
+            schema: self.schema,
+            alphabet: self.alphabet,
+            dfa: self.inventory.dfa(),
+            kind: self.kind,
+        };
+        let mut staged: Vec<Result<Option<BulkCreateStage>, ()>> =
+            self.shards.iter().map(|_| Ok(None)).collect();
+        if self.parallel {
+            std::thread::scope(|scope| {
+                for (((state, routed), &part), slot) in
+                    self.shards.iter().zip(&routed).zip(&participating).zip(staged.iter_mut())
+                {
+                    if !part {
+                        continue;
+                    }
+                    let ctx = &ctx;
+                    scope.spawn(move || {
+                        *slot = state.stage_bulk_creates(ctx, routed.iter().copied()).map(Some);
+                    });
+                }
+            });
+        } else {
+            for (((state, routed), &part), slot) in
+                self.shards.iter().zip(&routed).zip(&participating).zip(staged.iter_mut())
+            {
+                if part {
+                    *slot = state.stage_bulk_creates(&ctx, routed.iter().copied()).map(Some);
+                }
+            }
+        }
+        let stages: Vec<Option<BulkCreateStage>> =
+            staged.into_iter().collect::<Result<_, _>>().map_err(|()| AdmitFail::Violation)?;
+
+        if let Some(sink) = &self.sink {
+            let shard_letters: Vec<ShardLetters> = participating
+                .iter()
+                .enumerate()
+                .filter(|&(_, &p)| p)
+                .map(|(s, _)| ShardLetters {
+                    shard: s as u32,
+                    steps0: self.shards[s].steps,
+                    letters: vec![0],
+                })
+                .collect();
+            sink.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .committed(&BlockRef { deltas: &[d], shards: &shard_letters })
+                .map_err(AdmitFail::Sink)?;
+        }
+
+        for (state, stage) in self.shards.iter_mut().zip(stages) {
+            if let Some(stage) = stage {
+                state.commit_bulk_creates(stage);
             }
         }
         Ok(())
@@ -806,6 +921,40 @@ impl<'a> ShardedMonitor<'a> {
             m.replay_block(&block)?;
         }
         Ok(m)
+    }
+
+    /// Rebuild **this** monitor's database and tracking state from a
+    /// durable image ([`Wal::load`](super::Wal::load) output), in
+    /// place — [`ShardedMonitor::recover`] as a method, preserving the
+    /// router, staging mode and attached sink. The pipelined ingress
+    /// calls this after a durability failure dropped appended-but-
+    /// unsynced blocks: tracking state that ran ahead of the truncated
+    /// log must be wound back to exactly the durable prefix, or the
+    /// next logged block would leave an unrecoverable per-shard clock
+    /// gap. On `Err` the monitor is unchanged.
+    pub fn resync(
+        &mut self,
+        snapshot: Option<Snapshot>,
+        tail: impl IntoIterator<Item = WalRecord>,
+    ) -> Result<(), WalError> {
+        let had_snapshot = snapshot.is_some();
+        let fresh = Self::recover(
+            self.schema,
+            self.alphabet,
+            self.inventory,
+            self.kind,
+            self.shards.len(),
+            snapshot,
+            tail,
+        )?;
+        self.db = fresh.db;
+        self.shards = fresh.shards;
+        if had_snapshot {
+            // No checkpoint yet: keep the configured policy (recovery
+            // from the empty monitor cannot know it).
+            self.policy = fresh.policy;
+        }
+        Ok(())
     }
 
     /// Replay one logged block's tracking work: rebuild each

@@ -174,6 +174,55 @@ impl From<ModelError> for WalError {
     }
 }
 
+/// When the log issues `fdatasync` — the meaning of an `ok` ack.
+///
+/// * [`FsyncPolicy::Off`] — never: an ack means the record reached the
+///   OS page cache (survives a process crash, not power loss).
+/// * [`FsyncPolicy::Batch`] — once per committer batch: acks are
+///   released only after the `fdatasync` covering their records
+///   returns, so an ack survives power loss, and one sync is amortized
+///   over every block that arrived while the previous sync was in
+///   flight (group commit).
+/// * [`FsyncPolicy::Always`] — once per appended record: the strictest
+///   (and slowest) policy; acks survive power loss with no batching
+///   window at all.
+///
+/// `Batch` and `Always` give the *same* guarantee per acked op; they
+/// differ only in how many ops share one disk round-trip.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FsyncPolicy {
+    /// Never `fdatasync` on the append path (flushed-to-OS acks).
+    #[default]
+    Off,
+    /// One `fdatasync` per committer batch, acks released after it.
+    Batch,
+    /// One `fdatasync` per record.
+    Always,
+}
+
+impl FsyncPolicy {
+    /// Parse the CLI spelling (`off` | `batch` | `always`).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "off" => Some(FsyncPolicy::Off),
+            "batch" => Some(FsyncPolicy::Batch),
+            "always" => Some(FsyncPolicy::Always),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsyncPolicy::Off => "off",
+            FsyncPolicy::Batch => "batch",
+            FsyncPolicy::Always => "always",
+        })
+    }
+}
+
 /// One shard's view of a committed block: where its letter clock stood
 /// before the block, and which of the block's deltas it read as
 /// letters.
@@ -983,6 +1032,13 @@ fn decode_state(r: &mut Reader<'_>) -> Result<DeltaState, WalError> {
 
 const LIVE_LOG: &str = "wal.log";
 const BASE_FILE: &str = "snapshot.bin";
+/// A pre-created empty segment the next seal renames into place, so
+/// the admission path pays two renames instead of a file creation
+/// (which journals directory metadata synchronously on some
+/// filesystems). Always empty; replenished off-path by the checkpoint
+/// job. The name deliberately matches no recovery pattern — `load` and
+/// `open` ignore it.
+const SPARE_LOG: &str = "wal-next.log";
 
 fn sealed_name(seq: u64) -> String {
     format!("sealed-{seq:08}.log")
@@ -1130,6 +1186,9 @@ impl CheckpointJob {
                 std::fs::remove_file(entry.path())?;
             }
         }
+        // Replenish the spare segment off the admission path (best
+        // effort — the next seal falls back to creating one inline).
+        let _ = std::fs::File::create(self.dir.join(SPARE_LOG));
         Ok(())
     }
 }
@@ -1251,11 +1310,17 @@ impl Drop for Snapshotter {
 pub struct Wal {
     dir: PathBuf,
     log: std::fs::File,
-    sync: bool,
+    policy: FsyncPolicy,
     buf: Vec<u8>,
     /// End of the last whole record — the append position, and where a
     /// failed append rolls back to.
     end: u64,
+    /// End of the durable prefix: everything at or below this offset
+    /// has been covered by a successful `fdatasync` (or was on disk at
+    /// open). Under [`FsyncPolicy::Off`] it tracks `end` — "as durable
+    /// as the policy promises". [`Wal::rollback_unsynced`] truncates
+    /// back to this horizon when a batched sync fails for good.
+    synced: u64,
     /// Next checkpoint sequence number (one past everything on disk,
     /// sealed segments included — a crashed job's sequence is never
     /// reused).
@@ -1328,9 +1393,10 @@ impl Wal {
         Ok(Wal {
             dir,
             log,
-            sync: false,
+            policy: FsyncPolicy::Off,
             buf: Vec::new(),
             end: valid as u64,
+            synced: valid as u64,
             next_seq: max_seq + 1,
             chain_seq,
             has_base,
@@ -1340,13 +1406,16 @@ impl Wal {
 
     /// Append the staged record in `buf`, rolling the file back to the
     /// last whole record on any failure so a half-written frame never
-    /// poisons later appends.
+    /// poisons later appends. This is the **synchronous** sink path
+    /// (one caller, acked on return), so any policy stricter than
+    /// [`FsyncPolicy::Off`] syncs per record — there is no later batch
+    /// boundary that could cover the ack.
     fn append(&mut self) -> Result<(), WalError> {
         let res = (|| -> Result<(), WalError> {
             self.faults.check(FaultSite::AppendWrite)?;
             self.log.write_all(&self.buf)?;
             self.log.flush()?;
-            if self.sync {
+            if self.policy != FsyncPolicy::Off {
                 self.faults.check(FaultSite::AppendSync)?;
                 self.log.sync_data()?;
             }
@@ -1355,6 +1424,7 @@ impl Wal {
         match res {
             Ok(()) => {
                 self.end += self.buf.len() as u64;
+                self.synced = self.end;
                 Ok(())
             }
             Err(e) => {
@@ -1364,13 +1434,89 @@ impl Wal {
         }
     }
 
+    /// Append pre-framed record bytes **without** syncing (unless the
+    /// policy is [`FsyncPolicy::Always`]) — the committer thread's
+    /// write half of group commit. On failure the file is rolled back
+    /// to the last whole record; on success the bytes are appended but
+    /// *not durable* until the next [`Wal::sync`] returns.
+    pub fn append_bytes(&mut self, bytes: &[u8]) -> Result<(), WalError> {
+        let res = (|| -> Result<(), WalError> {
+            self.faults.check(FaultSite::AppendWrite)?;
+            self.log.write_all(bytes)?;
+            self.log.flush()?;
+            if self.policy == FsyncPolicy::Always {
+                self.faults.check(FaultSite::AppendSync)?;
+                self.log.sync_data()?;
+            }
+            Ok(())
+        })();
+        match res {
+            Ok(()) => {
+                self.end += bytes.len() as u64;
+                if self.policy == FsyncPolicy::Always {
+                    self.synced = self.end;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.log.set_len(self.end);
+                Err(e)
+            }
+        }
+    }
+
+    /// Make every appended record durable: one `fdatasync` covering
+    /// everything since the last sync — the committer's batch boundary.
+    /// Under [`FsyncPolicy::Off`] this is a no-op that still advances
+    /// the durable horizon (the policy's contract is flushed-to-OS).
+    pub fn sync(&mut self) -> Result<(), WalError> {
+        if self.policy != FsyncPolicy::Off && self.synced != self.end {
+            self.faults.check(FaultSite::AppendSync)?;
+            self.log.sync_data()?;
+        }
+        self.synced = self.end;
+        Ok(())
+    }
+
+    /// Truncate appended-but-never-synced records after a failed batch
+    /// sync, so a later reopen cannot replay blocks whose acks were
+    /// never released. Returns the bytes discarded.
+    pub fn rollback_unsynced(&mut self) -> u64 {
+        let lost = self.end.saturating_sub(self.synced);
+        if lost > 0 {
+            let _ = self.log.set_len(self.synced);
+            self.end = self.synced;
+        }
+        lost
+    }
+
+    /// End of the durable prefix, in bytes (diagnostics/tests).
+    #[must_use]
+    pub fn synced_len(&self) -> u64 {
+        self.synced
+    }
+
     /// Whether to `fsync` after every group commit (default: off —
     /// flushed-to-OS durability; turn on to survive power loss at the
-    /// cost of one `fdatasync` per block).
+    /// cost of one `fdatasync` per block). Compatibility spelling of
+    /// [`Wal::with_fsync`]: `true` is [`FsyncPolicy::Always`], `false`
+    /// is [`FsyncPolicy::Off`].
     #[must_use]
-    pub fn with_sync(mut self, sync: bool) -> Wal {
-        self.sync = sync;
+    pub fn with_sync(self, sync: bool) -> Wal {
+        self.with_fsync(if sync { FsyncPolicy::Always } else { FsyncPolicy::Off })
+    }
+
+    /// Set the [`FsyncPolicy`] (default [`FsyncPolicy::Off`]).
+    #[must_use]
+    pub fn with_fsync(mut self, policy: FsyncPolicy) -> Wal {
+        self.policy = policy;
         self
+    }
+
+    /// The configured [`FsyncPolicy`].
+    #[must_use]
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.policy
     }
 
     /// Attach an [`IoFaults`] error schedule: every append, seal and
@@ -1419,16 +1565,19 @@ impl Wal {
         self.next_seq += 1;
         if self.end > 0 {
             self.log.flush()?;
-            if self.sync {
+            if self.policy != FsyncPolicy::Off {
                 self.log.sync_data()?;
             }
             self.faults.check(FaultSite::SealRename)?;
-            std::fs::rename(self.dir.join(LIVE_LOG), self.dir.join(sealed_name(seq)))?;
-            self.log = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(self.dir.join(LIVE_LOG))?;
+            let live = self.dir.join(LIVE_LOG);
+            std::fs::rename(&live, self.dir.join(sealed_name(seq)))?;
+            // Install the pre-created spare segment if the checkpoint
+            // job has replenished one (always empty); fall back to
+            // creating in place on the first seal.
+            let _ = std::fs::rename(self.dir.join(SPARE_LOG), &live);
+            self.log = std::fs::OpenOptions::new().create(true).append(true).open(&live)?;
             self.end = 0;
+            self.synced = 0;
         }
         if matches!(data, CheckpointData::Full(_)) {
             self.has_base = true;

@@ -8,15 +8,20 @@
 use crate::bitset::AttrSet;
 use crate::ids::AttrId;
 use crate::value::Value;
-use std::collections::BTreeMap;
 
 /// A (partial) tuple: a finite mapping from attributes to constants.
 ///
 /// "Total over S" is a property relative to an attribute set; use
 /// [`Tuple::is_total_over`] to check it.
+///
+/// Stored as a vector sorted by attribute with unique keys: tuples are
+/// tiny (a handful of attributes), so one exactly-sized allocation
+/// beats a tree node per tuple — bulk loads allocate millions of
+/// these. Iteration order, `Eq`, `Ord`, and the codec byte format are
+/// identical to the former map representation (ascending attribute).
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Tuple {
-    values: BTreeMap<AttrId, Value>,
+    values: Vec<(AttrId, Value)>,
 }
 
 impl Tuple {
@@ -26,26 +31,38 @@ impl Tuple {
         Self::default()
     }
 
-    /// Build from pairs.
+    /// Build from pairs. A repeated attribute keeps the last value.
     #[must_use]
     pub fn from_pairs(pairs: impl IntoIterator<Item = (AttrId, Value)>) -> Self {
-        Tuple { values: pairs.into_iter().collect() }
+        let mut values: Vec<(AttrId, Value)> = pairs.into_iter().collect();
+        values.sort_by_key(|&(a, _)| a); // stable: ties stay in insertion order
+        values.reverse(); // last insertion first within each key run
+        values.dedup_by_key(|&mut (a, _)| a); // keeps the first of each run
+        values.reverse();
+        Tuple { values }
+    }
+
+    fn index_of(&self, a: AttrId) -> Result<usize, usize> {
+        self.values.binary_search_by_key(&a, |&(k, _)| k)
     }
 
     /// The value of attribute `a`, if present.
     #[must_use]
     pub fn get(&self, a: AttrId) -> Option<&Value> {
-        self.values.get(&a)
+        self.index_of(a).ok().map(|i| &self.values[i].1)
     }
 
     /// Set the value of attribute `a`.
     pub fn set(&mut self, a: AttrId, v: Value) {
-        self.values.insert(a, v);
+        match self.index_of(a) {
+            Ok(i) => self.values[i].1 = v,
+            Err(i) => self.values.insert(i, (a, v)),
+        }
     }
 
     /// Remove the value of attribute `a`, returning it if present.
     pub fn unset(&mut self, a: AttrId) -> Option<Value> {
-        self.values.remove(&a)
+        self.index_of(a).ok().map(|i| self.values.remove(i).1)
     }
 
     /// Number of attributes with a value.
@@ -69,17 +86,18 @@ impl Tuple {
     /// every attribute of `s`).
     #[must_use]
     pub fn is_total_over(&self, s: AttrSet) -> bool {
-        s.iter().all(|a| self.values.contains_key(&a))
+        s.iter().all(|a| self.index_of(a).is_ok())
     }
 
     /// The projection of this tuple onto `s`.
     #[must_use]
     pub fn project(&self, s: AttrSet) -> Tuple {
+        // Filtering preserves sortedness and uniqueness.
         Tuple {
             values: self
                 .values
                 .iter()
-                .filter(|(a, _)| s.contains(**a))
+                .filter(|(a, _)| s.contains(*a))
                 .map(|(a, v)| (*a, v.clone()))
                 .collect(),
         }
@@ -88,7 +106,7 @@ impl Tuple {
     /// The attributes on which this tuple is defined.
     #[must_use]
     pub fn domain(&self) -> AttrSet {
-        self.values.keys().copied().collect()
+        self.values.iter().map(|&(a, _)| a).collect()
     }
 }
 

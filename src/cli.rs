@@ -7,8 +7,8 @@
 //! `src/bin/migctl.rs` only reads files and prints.
 
 use migratory_core::enforce::{
-    net, CheckpointData, DurabilityPolicy, EnforceError, Health, IngressConfig, IoFaults, Monitor,
-    ShardedMonitor, Snapshotter, StepPolicy, Wal,
+    net, AdmissionMetrics, CheckpointData, DurabilityPolicy, EnforceError, FsyncPolicy, Health,
+    IngressConfig, IoFaults, Monitor, ShardedMonitor, Snapshotter, StepPolicy, Wal,
 };
 use migratory_core::{
     analyze_families, decide_with_families, AnalyzeOptions, Inventory, PatternKind, RoleAlphabet,
@@ -30,7 +30,7 @@ USAGE:
   migctl enforce    <schema> <transactions> --inventory <regex> --script <file> [--kind K]
   migctl serve      <schema> <transactions> --inventory <regex> [--kind K] [--component N]
                     [--addr HOST:PORT] [--shards N] [--policy P] [--queue N] [--max-block N]
-                    [--durable DIR] [--recover] [--checkpoint-every B]
+                    [--durable DIR] [--fsync batch|always|off] [--recover] [--checkpoint-every B]
                     [--retries N] [--retry-backoff-ms MS] [--inject PLAN]
                     [--idle-timeout SECS] [--max-conn-bytes N] [--max-conn-ops N]
                     [--max-connections N] [--auth TOKEN] [--io-threads N]
@@ -51,9 +51,14 @@ decide      checks satisfies/generates of Corollary 3.3, with counterexamples
 synthesize  builds the SL schema characterizing the inventory (Lemma 3.4)
 enforce     replays a script under the runtime monitor, reporting rejections
 serve       admits transactions over TCP (docs/PROTOCOL.md) through the sharded
-            ingress; --durable DIR write-ahead-logs every block and runs
-            background incremental checkpoints every B blocks (default 16);
-            --recover resumes from DIR's checkpoint chain + WAL tail.
+            ingress; --durable DIR write-ahead-logs every block through a
+            pipelined committer thread (group commit) and runs background
+            incremental checkpoints every B blocks (default 16); --fsync sets
+            what an `ok` ack means: `batch` (default — one fdatasync per
+            committer batch, acks survive power loss), `always` (one fdatasync
+            per record), `off` (flushed to the OS only: acks survive a process
+            crash, not power loss). --recover resumes from DIR's checkpoint
+            chain + WAL tail.
             Failing appends/checkpoints retry --retries times (default 4) with
             --retry-backoff-ms linear backoff (default 20); persistent failure
             degrades the server to read-only until an operator sends `rearm`.
@@ -319,6 +324,18 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
     if recover && durable.is_none() {
         return Err("--recover requires --durable DIR".to_owned());
     }
+    let fsync = match flags.get("fsync") {
+        Some(v) => {
+            if durable.is_none() {
+                return Err("--fsync requires --durable DIR".to_owned());
+            }
+            FsyncPolicy::parse(v)
+                .ok_or_else(|| format!("unknown --fsync mode `{v}` (batch|always|off)"))?
+        }
+        // Durable serving defaults to group commit: acks survive power
+        // loss, and the committer amortizes the fdatasync cost.
+        None => FsyncPolicy::Batch,
+    };
     let faults = match flags.get("inject") {
         Some(plan) => {
             if durable.is_none() {
@@ -355,21 +372,23 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
         ShardedMonitor::new(&schema, &alphabet, &inv, kind, shards).with_policy(flags.policy()?)
     };
 
-    // Durable mode: attach the write-ahead sink and stand up the
-    // background snapshotter; establish the base checkpoint if the
-    // directory has none (first run, or a crash killed the base job).
+    // Durable mode: open the log for the pipelined committer and stand
+    // up the background snapshotter; establish the base checkpoint if
+    // the directory has none (first run, or a crash killed the base
+    // job). The server routes admission through the two-stage pipeline
+    // (`serve_pipelined`): the worker stages records, the committer
+    // appends, fsyncs per `--fsync`, and releases the acks.
     let wal = match durable {
         Some(dir) => {
             let mut w = Wal::open(dir).map_err(|e| format!("{dir}: {e}"))?;
             if let Some(faults) = &faults {
                 w = w.with_faults(faults.clone());
             }
-            let wal = Arc::new(Mutex::new(w));
-            monitor = monitor.with_sink(wal.clone());
-            Some(wal)
+            Some(Arc::new(Mutex::new(w.with_fsync(fsync))))
         }
         None => None,
     };
+    let metrics = Arc::new(AdmissionMetrics::new(monitor.num_shards()));
     let health = Arc::new(Health::new());
     let mut snapshotter = wal
         .as_ref()
@@ -393,7 +412,7 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
         monitor.num_shards(),
         ts.len(),
         match durable {
-            Some(dir) => format!(", durable in {dir}"),
+            Some(dir) => format!(", durable in {dir}, fsync {fsync}"),
             None => String::new(),
         }
     );
@@ -415,6 +434,8 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
         auth,
         io_threads,
         durability: DurabilityPolicy { retries: retries as u32, backoff },
+        wal: wal.clone(),
+        metrics: Some(metrics.clone()),
         ..Default::default()
     };
     let maintenance_wal = wal.clone();
@@ -458,7 +479,26 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
             .run()
             .map_err(|e| format!("final checkpoint: {e}"))?;
     }
-    let mut notes = String::new();
+    // Tail-latency recap from the admission histograms (log2-granular
+    // upper bounds, hence "≤"): the worst lane at each quantile.
+    let latency = if wal.is_some() && metrics.fsync_batch.count() > 0 {
+        let q = |p: f64| {
+            metrics.commit_latency_us.iter().map(|h| h.quantile_bound(p)).max().unwrap_or(0)
+        };
+        let batches = metrics.fsync_batch.count();
+        #[allow(clippy::cast_precision_loss)]
+        let amortization = metrics.fsync_batch.sum() as f64 / batches as f64;
+        format!(
+            "\ncommit latency ≤ p50 {}µs / p99 {}µs / p99.9 {}µs; \
+             {batches} fsync batch(es), {amortization:.1} block(s)/sync",
+            q(0.5),
+            q(0.99),
+            q(0.999),
+        )
+    } else {
+        String::new()
+    };
+    let mut notes = latency;
     if health.is_degraded() {
         notes.push_str(&format!(
             "\nserver was DEGRADED (read-only) at shutdown: {}",
@@ -802,6 +842,19 @@ mod tests {
         let f = flags(&[("inventory", "∅* [PERSON]* ∅*"), ("recover", "true")]);
         let err = cmd_serve(SCHEMA, TX, &f).unwrap_err();
         assert!(err.contains("--recover requires --durable"), "{err}");
+
+        // --fsync only means something with a write-ahead log, and only
+        // the three documented spellings parse.
+        let f = flags(&[("inventory", "∅* [PERSON]* ∅*"), ("fsync", "batch")]);
+        let err = cmd_serve(SCHEMA, TX, &f).unwrap_err();
+        assert!(err.contains("--fsync requires --durable"), "{err}");
+        let f = flags(&[
+            ("inventory", "∅* [PERSON]* ∅*"),
+            ("durable", "/nonexistent-dir-for-flag-test"),
+            ("fsync", "sometimes"),
+        ]);
+        let err = cmd_serve(SCHEMA, TX, &f).unwrap_err();
+        assert!(err.contains("unknown --fsync mode"), "{err}");
 
         // Unknown policies and non-numeric numbers are caught.
         let f = flags(&[("inventory", "∅* [PERSON]* ∅*"), ("policy", "sometimes")]);

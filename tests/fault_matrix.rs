@@ -18,8 +18,8 @@
 //!   acks) keep flowing, and recovery still replays the uncovered log.
 
 use migratory::core::enforce::{
-    ingress, CheckpointData, DurabilityPolicy, EnforceError, FaultKind, FaultSite, Health,
-    IngressConfig, IoFaults, ShardedMonitor, Snapshotter, Wal,
+    ingress, CheckpointData, DurabilityPolicy, EnforceError, FaultKind, FaultSite, FsyncPolicy,
+    Health, IngressConfig, IoFaults, ShardedMonitor, Snapshotter, Wal,
 };
 use migratory::core::{Inventory, PatternKind, RoleAlphabet};
 use migratory::lang::{parse_transactions, Assignment};
@@ -183,6 +183,110 @@ fn run_case(dir: &std::path::Path, site: FaultSite, from_nth: u64, kind: FaultKi
     }
 }
 
+/// [`run_case`] through the two-stage pipeline
+/// (`ingress::serve_pipelined`): the committer thread owns every WAL
+/// call, acks are released only after its batch fsync, and a degraded
+/// server resyncs its tracking against the durable log when the
+/// operator re-arms. The driver posts serially (one op in flight) so
+/// the committer's WAL call sequence is deterministic — append/sync
+/// call N belongs to op N — and every cell's counts are exact.
+fn run_case_pipelined(
+    dir: &std::path::Path,
+    site: FaultSite,
+    from_nth: u64,
+    kind: FaultKind,
+) -> Outcome {
+    let schema = parse_schema(SCHEMA).unwrap();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, INV).unwrap();
+    let ts = parse_transactions(&schema, TX).unwrap();
+    let mut monitor = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, SHARDS);
+
+    let faults = IoFaults::new().fail(site, from_nth, kind);
+    let wal = Wal::open(dir).unwrap().with_fsync(FsyncPolicy::Batch).with_faults(faults.clone());
+    let wal = Arc::new(Mutex::new(wal));
+    let health = Arc::new(Health::new());
+    let mut snapshotter =
+        Snapshotter::spawn_with(3, Duration::from_millis(1), Some(health.clone()));
+    let base = wal
+        .lock()
+        .unwrap()
+        .begin_checkpoint(CheckpointData::Full(monitor.checkpoint_full()))
+        .expect("staging the base checkpoint does no I/O");
+    snapshotter.submit(base).unwrap();
+
+    let policy = DurabilityPolicy { retries: 2, backoff: Duration::from_millis(1) };
+    let config = IngressConfig { queue_capacity: 64, max_block: 1 };
+    let maintenance_wal = wal.clone();
+    let maintenance_health = health.clone();
+    let snapshotter_slot = &mut snapshotter;
+    let ((acked, refused, degraded), stats) = ingress::serve_pipelined(
+        &mut monitor,
+        &config,
+        &policy,
+        &health,
+        wal.clone(),
+        None,
+        2,
+        move |m| {
+            let delta = m.checkpoint_delta();
+            let touched = delta.oids();
+            match maintenance_wal
+                .lock()
+                .unwrap()
+                .begin_checkpoint(CheckpointData::Incremental(delta))
+            {
+                Ok(job) => {
+                    if let Err(e) = snapshotter_slot.submit(job) {
+                        maintenance_health.checkpoint_failed(&e);
+                    }
+                }
+                Err(e) => {
+                    m.restore_dirty(&touched);
+                    maintenance_health.checkpoint_failed(&e);
+                }
+            }
+        },
+        |client| {
+            let mk = ts.get("Mk").unwrap();
+            let mut acked = Vec::new();
+            let mut refused = 0usize;
+            for i in 0..16 {
+                let key = format!("k{i:02}");
+                match client.post(mk, Assignment::new(vec![Value::str(&key)])).wait() {
+                    Ok(()) => acked.push(key),
+                    Err(EnforceError::Degraded(_)) => refused += 1,
+                    Err(e) => panic!("injected faults surface as ok or degraded, got {e}"),
+                }
+            }
+            let degraded = health.is_degraded();
+            if degraded {
+                faults.clear();
+                assert!(health.rearm(), "the degraded flag was set");
+                for i in 0..4 {
+                    let key = format!("r{i}");
+                    client
+                        .post(mk, Assignment::new(vec![Value::str(&key)]))
+                        .wait()
+                        .expect("a re-armed pipelined server resyncs and admits again");
+                    acked.push(key);
+                }
+            }
+            (acked, refused, degraded)
+        },
+    );
+    let finish_failed = snapshotter.finish().is_err();
+    drop(monitor);
+    Outcome {
+        acked,
+        refused,
+        degraded,
+        retries: stats.retries,
+        checkpoint_failed: health.checkpoint().failed,
+        finish_failed,
+    }
+}
+
 /// One scratch directory per cell, torn down on success.
 fn with_dir(name: &str, f: impl FnOnce(&std::path::Path)) {
     let dir = std::env::temp_dir().join(format!("migratory-faults-{}-{name}", std::process::id()));
@@ -280,6 +384,80 @@ fn persistent_checkpoint_faults_surface_without_blocking_admission() {
                 // faults fail at staging, so the worker never sees them.
                 assert!(out.finish_failed, "{site}: finish reports the job the worker gave up on");
             }
+            assert_eq!(
+                recovered(dir),
+                oracle(&out.acked),
+                "{site}: the uncovered log replays — nothing acked is lost"
+            );
+        });
+    }
+}
+
+#[test]
+fn pipelined_every_site_transient_is_absorbed_and_byte_identical() {
+    for site in FaultSite::ALL {
+        let from_nth = if is_append_site(site) { 6 } else { 2 };
+        with_dir(&format!("pt-{site}"), |dir| {
+            let out = run_case_pipelined(dir, site, from_nth, FaultKind::Transient(1));
+            assert_eq!(out.acked.len(), 16, "{site}: a transient fault loses no ops");
+            assert_eq!(out.refused, 0, "{site}: a transient fault refuses nothing");
+            assert!(!out.degraded, "{site}: a transient fault never degrades");
+            if is_append_site(site) {
+                assert!(out.retries >= 1, "{site}: the committer absorbed it with a retry");
+                assert!(out.checkpoint_failed.is_none(), "{site}: checkpoints unaffected");
+                assert!(!out.finish_failed, "{site}: the snapshotter outlives the fault");
+            }
+            assert_eq!(
+                recovered(dir),
+                oracle(&out.acked),
+                "{site}: pipelined recovery must be byte-identical to the acked history"
+            );
+        });
+    }
+}
+
+#[test]
+fn pipelined_persistent_append_faults_degrade_then_resync_byte_identical() {
+    // Under `--fsync batch` both sites sit on the committer thread: the
+    // append (write) or the batch fdatasync. Either way the batch's
+    // tickets are refused — never acked — the worker's run-ahead
+    // tracking is wound back to the durable prefix on re-arm, and the
+    // resumed acks land on a log that replays exactly the acked set.
+    for site in [FaultSite::AppendWrite, FaultSite::AppendSync] {
+        with_dir(&format!("pp-{site}"), |dir| {
+            let out = run_case_pipelined(dir, site, 6, FaultKind::Persistent);
+            assert!(out.degraded, "{site}: a persistent committer fault degrades");
+            assert_eq!(out.acked.len(), 5 + 4, "{site}: acked = pre-fault + post-re-arm");
+            assert_eq!(out.refused, 11, "{site}: everything in between refused loudly");
+            assert_eq!(out.retries, 2, "{site}: the budget was spent before degrading");
+            assert!(out.checkpoint_failed.is_none(), "{site}: checkpoints unaffected");
+            assert_eq!(
+                recovered(dir),
+                oracle(&out.acked),
+                "{site}: the re-armed server resynced to the durable prefix"
+            );
+        });
+    }
+}
+
+#[test]
+fn pipelined_persistent_checkpoint_faults_do_not_block_the_committer() {
+    for site in [
+        FaultSite::SealRename,
+        FaultSite::CheckpointWrite,
+        FaultSite::CheckpointSync,
+        FaultSite::CheckpointRename,
+        FaultSite::CheckpointPrune,
+    ] {
+        with_dir(&format!("pc-{site}"), |dir| {
+            let out = run_case_pipelined(dir, site, 2, FaultKind::Persistent);
+            assert_eq!(out.acked.len(), 16, "{site}: checkpoint faults never refuse writes");
+            assert_eq!(out.refused, 0, "{site}: admission is not the checkpoint pipeline");
+            assert!(!out.degraded, "{site}: degraded mode is for the append path");
+            assert!(
+                out.checkpoint_failed.is_some(),
+                "{site}: a dead checkpoint pipeline is visible, not silent"
+            );
             assert_eq!(
                 recovered(dir),
                 oracle(&out.acked),

@@ -297,6 +297,79 @@ fn file_wal_recovers_every_truncation_to_a_committed_prefix() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The `--fsync batch` ack contract under the pipelined committer: the
+/// instant an ack is released, the op's record is already inside the
+/// WAL's durable horizon — so a `kill -9` at ANY later moment
+/// (modelled as truncating the log to the horizon observed at ack
+/// time; everything past a returned fdatasync survives a crash) can
+/// never lose an acked op. Would fail loudly if acks ever raced ahead
+/// of the batch fsync.
+#[test]
+fn pipelined_batch_acks_survive_any_crash_after_the_ack() {
+    use migratory::core::enforce::{ingress, DurabilityPolicy, FsyncPolicy, Health, IngressConfig};
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }"#,
+    )
+    .unwrap();
+    let dir = temp_dir("batch-ack");
+    let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap().with_fsync(FsyncPolicy::Batch)));
+    let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 2);
+    let health = Health::new();
+    const N: usize = 24;
+    // Serve serially; after each ack, read the durable horizon the
+    // committer had published by that instant (it only grows, so any
+    // later crash point is ≥ this cut).
+    let (horizons, stats) = ingress::serve_pipelined(
+        &mut m,
+        &IngressConfig { queue_capacity: 8, max_block: 4 },
+        &DurabilityPolicy::default(),
+        &health,
+        wal.clone(),
+        None,
+        0,
+        |_| {},
+        |client| {
+            let mk = ts.get("Mk").unwrap();
+            (0..N)
+                .map(|i| {
+                    client
+                        .post(mk, Assignment::new(vec![Value::str(&format!("s{i}"))]))
+                        .wait()
+                        .expect("creations conform");
+                    wal.lock().unwrap().synced_len()
+                })
+                .collect::<Vec<u64>>()
+        },
+    );
+    assert_eq!(stats.admitted, N);
+    let log = std::fs::read(dir.join("wal.log")).unwrap();
+    for (i, h) in horizons.iter().enumerate() {
+        let cut = usize::try_from(*h).unwrap();
+        assert!(cut <= log.len(), "the horizon never outruns the file");
+        let blocks = migratory::core::enforce::wal::decode_records(&log[..cut])
+            .unwrap_or_else(|e| panic!("ack {i}: horizon {cut} is a whole-record boundary: {e}"));
+        let r =
+            ShardedMonitor::recover(&schema, &alphabet, &inv, PatternKind::All, 2, None, blocks)
+                .unwrap_or_else(|e| panic!("ack {i}: {e}"));
+        assert!(
+            r.db().num_objects() > i,
+            "crash right after ack {i} (cut {cut}) must keep all {} acked op(s), found {}",
+            i + 1,
+            r.db().num_objects()
+        );
+    }
+    // And the full log reproduces the served monitor byte-identically.
+    let (snap, tail) = Wal::load(&dir).unwrap();
+    let r =
+        ShardedMonitor::recover(&schema, &alphabet, &inv, PatternKind::All, 2, snap, tail).unwrap();
+    assert_eq!(r.snapshot().encode(), m.snapshot().encode());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Corrupted length headers (the untrusted 4 bytes in front of every
 /// record): flipping arbitrary bytes of the log must never panic,
 /// allocate from the corrupt claim, or mis-handle the tail — decoding
@@ -935,4 +1008,95 @@ fn recovery_rejects_wal_gaps() {
         .err()
         .expect("gap must be detected");
     assert!(err.to_string().contains("gap"), "got {err}");
+}
+
+/// The bulk-load fast path (create-only transactions above the routing
+/// threshold stage without a per-object touched map) must stay on the
+/// durability contract: WAL **replay** runs the generic staging path,
+/// so a recovered monitor is byte-identical only if the two paths
+/// produce the same tracking state. Load above the threshold, mix in
+/// regular follow-up letters, and crash-check single and sharded
+/// monitors over a folding (Proper) and a non-folding (All) kind.
+#[test]
+fn bulk_load_recovery_is_byte_identical() {
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(
+        &schema,
+        &alphabet,
+        "\u{2205}* ([PERSON] \u{222a} [STUDENT])* \u{2205}*",
+    )
+    .unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"
+        transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+        transaction St(x) {
+          specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS", FirstEnroll = 1 });
+        }
+        "#,
+    )
+    .unwrap();
+    // Above the bulk threshold (4096).
+    let bulk = {
+        use migratory::lang::AtomicUpdate;
+        use migratory::model::{Atom, Condition};
+        let person = schema.class_id("PERSON").unwrap();
+        let ssn = schema.attr_id("SSN").unwrap();
+        let updates: Vec<AtomicUpdate> = (0..4200)
+            .map(|i| AtomicUpdate::Create {
+                class: person,
+                gamma: Condition::from_atoms([Atom::eq_const(ssn, format!("b{i}"))]),
+            })
+            .collect();
+        Transaction::sl("BulkLoad", &[], updates)
+    };
+    let no_args = Assignment::empty();
+    // (kind, shard count): 0 shards = single monitor.
+    for (kind, shards) in
+        [(PatternKind::All, 0usize), (PatternKind::All, 3), (PatternKind::Proper, 2)]
+    {
+        let wal = Arc::new(Mutex::new(MemoryWal::new()));
+        let seed = Assignment::new(vec![Value::str("seed")]);
+        let follow = Assignment::new(vec![Value::str("b7")]);
+        let (live_bytes, live_db, recovered) = if shards == 0 {
+            let mut live = Monitor::new(&schema, &alphabet, &inv, kind).with_sink(wal.clone());
+            live.try_apply(ts.get("Mk").unwrap(), &seed).unwrap();
+            live.try_apply(&bulk, &no_args).unwrap();
+            live.try_apply(ts.get("St").unwrap(), &follow).unwrap();
+            let r = Monitor::recover(
+                &schema,
+                &alphabet,
+                &inv,
+                kind,
+                None,
+                wal.lock().unwrap().records(),
+            )
+            .unwrap_or_else(|e| panic!("{kind:?}: recovery failed: {e}"));
+            (live.snapshot().encode(), live.db().clone(), (r.snapshot().encode(), r.db().clone()))
+        } else {
+            let mut live =
+                ShardedMonitor::new(&schema, &alphabet, &inv, kind, shards).with_sink(wal.clone());
+            live.try_apply(ts.get("Mk").unwrap(), &seed).unwrap();
+            live.try_apply(&bulk, &no_args).unwrap();
+            live.try_apply(ts.get("St").unwrap(), &follow).unwrap();
+            let r = ShardedMonitor::recover(
+                &schema,
+                &alphabet,
+                &inv,
+                kind,
+                shards,
+                None,
+                wal.lock().unwrap().records(),
+            )
+            .unwrap_or_else(|e| panic!("{kind:?}/{shards}: recovery failed: {e}"));
+            assert_eq!(r.clocks(), live.clocks());
+            (live.snapshot().encode(), live.db().clone(), (r.snapshot().encode(), r.db().clone()))
+        };
+        assert_eq!(
+            recovered.0, live_bytes,
+            "{kind:?}/{shards} shards: bulk load not byte-identical after replay"
+        );
+        assert_eq!(recovered.1, live_db, "{kind:?}/{shards} shards: database diverged");
+    }
 }
