@@ -48,7 +48,7 @@ use crate::pattern::{MigrationPattern, PatternKind};
 use migratory_automata::Dfa;
 use migratory_lang::{Delta, ObjectDelta};
 use migratory_model::{ClassSet, Oid, RoleSet, Schema};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// The always-present cohort of exempt objects (never stepped, never
 /// checked).
@@ -739,6 +739,164 @@ impl DeltaState {
     }
 }
 
+// ---------------------------------------------------------------------
+// Constraint evolution (redefine)
+// ---------------------------------------------------------------------
+
+/// Fate of the enforced histories ending at one old-DFA state under a
+/// redefinition.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum CohortFate {
+    /// Every enforced history ending at this old state lands at exactly
+    /// this accepting new-DFA state — the cohort migrates wholesale.
+    Viable(u32),
+    /// Histories ending here either diverge under the new DFA or all
+    /// leave it: the cohort is residue, handled per policy.
+    Residue,
+}
+
+/// The product-construction viability analysis behind `redefine`: walk
+/// the product of the old DFA with the new one over every path the old
+/// DFA certifies (enforced histories visit only accepting old states —
+/// the inventory is prefix-closed), recording per old state the set of
+/// new-DFA states such histories could be in (`None` = already outside
+/// the new language, a trap). A cohort keyed on old state `q` is viable
+/// iff that set is a single accepting new state: then *every* history
+/// the cohort compresses provably remaps there, without reading one
+/// object record. O(|Q_old| × |Q_new| × |Σ|), independent of the
+/// database size.
+pub(crate) fn viability_map(old: &Dfa, new: &Dfa) -> Vec<CohortFate> {
+    let ns = old.num_symbols();
+    let nq_old = old.num_states();
+    let dead = new.num_states() as u32; // sentinel for "left the new language"
+    let width = dead as usize + 1;
+    let mut seen = vec![false; nq_old * width];
+    let mut sets: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); nq_old];
+    let start_new = if new.is_accepting(new.start()) { new.start() } else { dead };
+    let mut queue: VecDeque<(u32, u32)> = VecDeque::new();
+    seen[old.start() as usize * width + start_new as usize] = true;
+    sets[old.start() as usize].insert(start_new);
+    queue.push_back((old.start(), start_new));
+    while let Some((qo, qn)) = queue.pop_front() {
+        for s in 0..ns {
+            let qo2 = old.step(qo, s);
+            if !old.is_accepting(qo2) {
+                // No enforced history ever reaches a non-accepting old
+                // state: admission checks every step.
+                continue;
+            }
+            let qn2 = if qn == dead {
+                dead
+            } else {
+                let t = new.step(qn, s);
+                if new.is_accepting(t) {
+                    t
+                } else {
+                    dead
+                }
+            };
+            let idx = qo2 as usize * width + qn2 as usize;
+            if !seen[idx] {
+                seen[idx] = true;
+                sets[qo2 as usize].insert(qn2);
+                queue.push_back((qo2, qn2));
+            }
+        }
+    }
+    sets.into_iter()
+        .map(|s| match (s.len(), s.first().copied()) {
+            (1, Some(q)) if q != dead => CohortFate::Viable(q),
+            _ => CohortFate::Residue,
+        })
+        .collect()
+}
+
+impl DeltaState {
+    /// Read-only redefinition viability of this partition's never-created
+    /// class: its pattern is ∅^steps in shard-local time, so re-derive the
+    /// walk on the new DFA. `Err(steps)` when the walk leaves the new
+    /// language while still enforced — the whole redefinition must be
+    /// refused (future creations derive from this walk; it cannot be
+    /// quarantined). O(min(steps, |Q_new|)) via the cycle cut.
+    pub(crate) fn redefine_pre_walk(&self, new_dfa: &Dfa, empty: u32) -> Result<u32, usize> {
+        let st = advance_many(new_dfa, new_dfa.start(), empty, self.steps);
+        // Endpoint check ≡ per-step checks: reachable non-accepting
+        // states of a prefix-closed language's DFA are traps.
+        if !self.pre_exempt && !new_dfa.is_accepting(st) {
+            return Err(self.steps);
+        }
+        Ok(st)
+    }
+
+    /// Apply a checked redefinition to this partition in O(|cohorts|):
+    /// rewrite each root cohort's DFA state per its [`CohortFate`],
+    /// re-key the table (merging cohorts that converge on one new
+    /// state), fold residue into the exempt sink — or, under
+    /// `certify-and-reset` (`reset`), grandfather the residue's old
+    /// history and restart its walk at `δ_new(start, role)` when that
+    /// state is accepting. Object records are **never** touched; their
+    /// cohort slots keep forwarding through the same roots. Returns
+    /// `(residue, quarantined)` object counts.
+    pub(crate) fn apply_redefine(
+        &mut self,
+        fates: &[CohortFate],
+        new_dfa: &Dfa,
+        new_pre: u32,
+        reset: bool,
+    ) -> (usize, usize) {
+        self.pre_state = new_pre;
+        let (mut residue, mut quarantined) = (0usize, 0usize);
+        let mut new_keys: BTreeMap<(u32, u32), u32> = BTreeMap::new();
+        for ((old_state, role), root) in std::mem::take(&mut self.by_key) {
+            let size = self.cohorts[root as usize].size;
+            if size == 0 {
+                self.free.push(root);
+                continue;
+            }
+            let fate = fates.get(old_state as usize).copied().unwrap_or(CohortFate::Residue);
+            let target = match fate {
+                CohortFate::Viable(q) => Some(q),
+                CohortFate::Residue => {
+                    residue += size;
+                    if reset {
+                        let q = new_dfa.step(new_dfa.start(), role);
+                        new_dfa.is_accepting(q).then_some(q)
+                    } else {
+                        None
+                    }
+                }
+            };
+            match target {
+                None => {
+                    quarantined += size;
+                    self.cohorts[root as usize].parent = EXEMPT;
+                    self.cohorts[root as usize].size = 0;
+                    self.cohorts[EXEMPT as usize].size += size;
+                }
+                Some(q) => {
+                    self.cohorts[root as usize].state = q;
+                    match new_keys.entry((q, role)) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(root);
+                        }
+                        std::collections::btree_map::Entry::Occupied(e) => {
+                            let survivor = *e.get();
+                            self.cohorts[root as usize].parent = survivor;
+                            self.cohorts[root as usize].size = 0;
+                            self.cohorts[survivor as usize].size += size;
+                        }
+                    }
+                }
+            }
+        }
+        self.by_key = new_keys;
+        if self.needs_compaction() {
+            self.compact();
+        }
+        (residue, quarantined)
+    }
+}
+
 /// Advance `state` by `m` repetitions of `letter` in O(min(m, |Q|)):
 /// repeating one letter must enter a cycle within |Q| steps, so the walk
 /// is cut short with modular arithmetic once a state repeats (detected
@@ -921,6 +1079,10 @@ pub(crate) struct DiagParams<'a> {
     pub(crate) alphabet: &'a RoleAlphabet,
     pub(crate) dfa: &'a Dfa,
     pub(crate) kind: PatternKind,
+    /// Constraint epoch the rejection is produced under — stamped into
+    /// every [`Violation`] so operators can tell pre- from
+    /// post-redefinition rejections.
+    pub(crate) epoch: u64,
 }
 
 /// Rejection diagnostics: replay one step over **all** letter-reading
@@ -972,7 +1134,7 @@ pub(crate) fn diagnose_step<'r>(
         if !p.dfa.is_accepting(new_state) {
             let mut pattern = rec.pattern_through(empty, step_idx - 1);
             pattern.push(after_sym);
-            return Violation { oid: Some(o), pattern, letter: after_sym };
+            return Violation { oid: Some(o), pattern, letter: after_sym, epoch: p.epoch };
         }
     }
 
@@ -996,7 +1158,7 @@ pub(crate) fn diagnose_step<'r>(
         if !exempt && !p.dfa.is_accepting(new_state) {
             let mut pattern = vec![empty; step_idx - 1];
             pattern.push(after_sym);
-            return Violation { oid: Some(od.oid), pattern, letter: after_sym };
+            return Violation { oid: Some(od.oid), pattern, letter: after_sym, epoch: p.epoch };
         }
     }
     unreachable!("diagnose_step called without a violating object")

@@ -89,7 +89,7 @@ use super::health::Health;
 use super::metrics::AdmissionMetrics;
 use super::sharded::ShardedMonitor;
 use super::wal::{self, Wal, WalError};
-use super::EnforceError;
+use super::{EnforceError, ResiduePolicy};
 use migratory_lang::{Assignment, Transaction};
 use migratory_model::Schema;
 use std::collections::VecDeque;
@@ -191,16 +191,46 @@ struct Op<'t> {
     reply: Answer<'t>,
 }
 
-struct State<'t> {
+/// An administrative **barrier operation** (see
+/// [`IngressClient::post_admin`]): runs on the admission worker with
+/// exclusive access to the monitor, strictly between admitted blocks —
+/// every op admitted before it has had its ticket answered (and, under
+/// the pipelined committer, made durable) first. `Err(reason)` hands
+/// over a degraded or broken pipeline instead of the monitor: answer
+/// your caller with the refusal, touch nothing. Return the second-half
+/// completion that releases the caller's reply.
+pub type AdminOp<'t, 's> =
+    Box<dyn FnOnce(Result<&mut ShardedMonitor<'s>, String>) -> AdminDone + Send + 't>;
+
+/// Second half of an [`AdminOp`]: invoked by the worker once whatever
+/// the op staged through the monitor's sink is durable (`true`), or
+/// after the pipeline broke before it could be (`false` — tracking will
+/// be wound back to the durable log, so the caller must be told the op
+/// did not take). Release the caller's reply here, never earlier.
+pub type AdminDone = Box<dyn FnOnce(bool) + Send>;
+
+struct State<'t, 's> {
     lanes: Vec<VecDeque<Op<'t>>>,
+    /// Administrative barrier ops, drained ahead of the lanes.
+    admin: VecDeque<AdminOp<'t, 's>>,
     /// Set once the driver returns: drain what is queued, then exit.
     closed: bool,
     submitted: usize,
     max_queue_depth: usize,
 }
 
+/// One unit of work pulled by the admission worker.
+enum Work<'t, 's> {
+    /// An administrative barrier op (runs before any queued block).
+    Admin(AdminOp<'t, 's>),
+    /// A drained block from one lane.
+    Block(usize, Vec<Op<'t>>),
+    /// Closed and empty: exit.
+    Drained,
+}
+
 struct Shared<'t, 's> {
-    state: Mutex<State<'t>>,
+    state: Mutex<State<'t, 's>>,
     /// Worker wake-up: an op arrived or the ingress closed.
     ready: Condvar,
     /// Producer wake-up: a lane was drained below capacity.
@@ -225,6 +255,7 @@ impl<'t, 's> Shared<'t, 's> {
         Shared {
             state: Mutex::new(State {
                 lanes: (0..lanes).map(|_| VecDeque::new()).collect(),
+                admin: VecDeque::new(),
                 closed: false,
                 submitted: 0,
                 max_queue_depth: 0,
@@ -292,6 +323,43 @@ impl<'t, 's> Shared<'t, 's> {
             f();
         }
     }
+
+    /// Pull the admission worker's next unit of work: a pending admin
+    /// op (a barrier — served ahead of the lanes), else one block
+    /// round-robin over non-empty lanes, else park until either
+    /// arrives. `Drained` fills the final stats fields on the way out.
+    fn next_work(
+        &self,
+        cursor: usize,
+        max_block: usize,
+        stats: &mut IngressStats,
+        metrics: Option<&AdmissionMetrics>,
+    ) -> Work<'t, 's> {
+        let mut st = self.state.lock().expect("ingress poisoned");
+        loop {
+            if let Some(op) = st.admin.pop_front() {
+                return Work::Admin(op);
+            }
+            let n = st.lanes.len();
+            match (0..n).map(|i| (cursor + i) % n).find(|&l| !st.lanes[l].is_empty()) {
+                Some(lane) => {
+                    if let Some(h) = metrics.and_then(|m| m.queue_depth.get(lane)) {
+                        h.record(st.lanes[lane].len() as u64);
+                    }
+                    let take = st.lanes[lane].len().min(max_block);
+                    let block: Vec<Op<'t>> = st.lanes[lane].drain(..take).collect();
+                    return Work::Block(lane, block);
+                }
+                None if st.closed => {
+                    stats.lanes = st.lanes.len();
+                    stats.submitted = st.submitted;
+                    stats.max_queue_depth = st.max_queue_depth;
+                    return Work::Drained;
+                }
+                None => st = self.ready.wait(st).expect("ingress poisoned"),
+            }
+        }
+    }
 }
 
 /// A handle for feeding the ingress. `Sync`: share one reference across
@@ -355,6 +423,24 @@ impl<'t> IngressClient<'t, '_, '_> {
     /// op's block committed (and, with a sink attached, was logged).
     pub fn submit(&self, t: &'t Transaction, args: Assignment) -> Result<(), EnforceError> {
         self.post(t, args).wait()
+    }
+}
+
+impl<'t, 's> IngressClient<'t, 's, '_> {
+    /// Post an administrative **barrier op** — the seam the `redefine`
+    /// verb (online constraint evolution) runs through. The op jumps
+    /// ahead of the lanes: the worker serves it between blocks, with
+    /// exclusive monitor access, after every previously admitted op's
+    /// ticket was answered — and under the pipelined committer, after
+    /// everything previously forwarded is durable (a flush barrier runs
+    /// first, and whatever the op stages through the monitor's sink is
+    /// flushed again before its [`AdminDone`] is invoked). Never blocks:
+    /// admin ops are rare and unbounded by lane capacity.
+    pub fn post_admin(&self, op: AdminOp<'t, 's>) {
+        let mut st = self.shared.state.lock().expect("ingress poisoned");
+        st.admin.push_back(op);
+        drop(st);
+        self.shared.ready.notify_one();
     }
 }
 
@@ -469,7 +555,7 @@ impl Drop for CloseGuard<'_, '_, '_> {
 
 fn admission_loop<'t, 'a>(
     monitor: &mut ShardedMonitor<'a>,
-    shared: &Shared<'t, '_>,
+    shared: &Shared<'t, 'a>,
     max_block: usize,
     policy: &DurabilityPolicy,
     health: &Health,
@@ -479,27 +565,19 @@ fn admission_loop<'t, 'a>(
     let mut stats = IngressStats::default();
     let mut cursor = 0usize;
     loop {
-        // Pull the next block: round-robin over non-empty lanes.
-        let (lane, block) = {
-            let mut st = shared.state.lock().expect("ingress poisoned");
-            let (lane, closed) = loop {
-                let n = st.lanes.len();
-                match (0..n).map(|i| (cursor + i) % n).find(|&l| !st.lanes[l].is_empty()) {
-                    Some(l) => break (Some(l), st.closed),
-                    None if st.closed => break (None, true),
-                    None => st = shared.ready.wait(st).expect("ingress poisoned"),
-                }
-            };
-            let Some(lane) = lane else {
-                stats.lanes = st.lanes.len();
-                stats.submitted = st.submitted;
-                stats.max_queue_depth = st.max_queue_depth;
-                debug_assert!(closed);
-                return stats;
-            };
-            let take = st.lanes[lane].len().min(max_block);
-            let block: Vec<Op<'t>> = st.lanes[lane].drain(..take).collect();
-            (lane, block)
+        let (lane, block) = match shared.next_work(cursor, max_block, &mut stats, None) {
+            Work::Drained => return stats,
+            Work::Admin(op) => {
+                // Barrier op between blocks: the previous block's
+                // tickets were answered (synchronously — the sink, if
+                // any, appended and synced inside `try_apply_batch`), so
+                // the op sees a quiescent, durable-consistent monitor.
+                let done =
+                    if health.is_degraded() { op(Err(health.reason())) } else { op(Ok(monitor)) };
+                done(true);
+                continue;
+            }
+            Work::Block(lane, block) => (lane, block),
         };
         shared.notify_space();
         cursor = lane + 1;
@@ -614,6 +692,16 @@ impl wal::CommitSink for StagedSink {
     fn certified(&mut self, steps: usize) -> Result<(), WalError> {
         wal::encode_certify_record(&mut lock(&self.staged), steps);
         Ok(())
+    }
+
+    fn redefined(
+        &mut self,
+        epoch: u64,
+        policy: ResiduePolicy,
+        shards: &[(u32, usize)],
+        inventory: &[u8],
+    ) -> Result<(), WalError> {
+        wal::encode_redefine_record(&mut lock(&self.staged), epoch, policy, shards, inventory)
     }
 }
 
@@ -807,7 +895,7 @@ fn flush_committer(tx: &mpsc::Sender<Msg<'_>>) -> bool {
 /// answered directly here.
 fn pipelined_loop<'t, 'a>(
     monitor: &mut ShardedMonitor<'a>,
-    shared: &Shared<'t, '_>,
+    shared: &Shared<'t, 'a>,
     max_block: usize,
     maintenance_every: usize,
     maintenance: &mut (impl FnMut(&mut ShardedMonitor<'a>) + Send),
@@ -817,23 +905,8 @@ fn pipelined_loop<'t, 'a>(
     let mut stats = IngressStats::default();
     let mut cursor = 0usize;
     loop {
-        // Pull the next block: round-robin over non-empty lanes.
-        let (lane, block) = {
-            let mut st = shared.state.lock().expect("ingress poisoned");
-            let (lane, closed) = loop {
-                let n = st.lanes.len();
-                match (0..n).map(|i| (cursor + i) % n).find(|&l| !st.lanes[l].is_empty()) {
-                    Some(l) => break (Some(l), st.closed),
-                    None if st.closed => break (None, true),
-                    None => st = shared.ready.wait(st).expect("ingress poisoned"),
-                }
-            };
-            let Some(lane) = lane else {
-                stats.lanes = st.lanes.len();
-                stats.submitted = st.submitted;
-                stats.max_queue_depth = st.max_queue_depth;
-                debug_assert!(closed);
-                drop(st);
+        let (lane, block) = match shared.next_work(cursor, max_block, &mut stats, pipe.metrics) {
+            Work::Drained => {
                 // Drain barrier: every forwarded ticket must be
                 // answered (durable or refused) before serve returns.
                 let _ = flush_committer(tx);
@@ -844,13 +917,48 @@ fn pipelined_loop<'t, 'a>(
                     try_resync(monitor, pipe);
                 }
                 return stats;
-            };
-            if let Some(h) = pipe.metrics.and_then(|m| m.queue_depth.get(lane)) {
-                h.record(st.lanes[lane].len() as u64);
             }
-            let take = st.lanes[lane].len().min(max_block);
-            let block: Vec<Op<'t>> = st.lanes[lane].drain(..take).collect();
-            (lane, block)
+            Work::Admin(op) => {
+                // Barrier: everything forwarded before the op must be
+                // durable (its tickets answered by the committer) before
+                // the op sees the monitor — and a monitor that ran ahead
+                // of a broken log is wound back first, so the op never
+                // builds on tracking the durable image contradicts.
+                let flushed = flush_committer(tx);
+                if pipe.needs_resync.load(Ordering::SeqCst)
+                    && !pipe.health.is_degraded()
+                    && pipe.needs_resync.swap(false, Ordering::SeqCst)
+                    && try_resync(monitor, pipe)
+                {
+                    let _ = tx.send(Msg::Reset);
+                }
+                if flushed && !pipe.health.is_degraded() {
+                    let done = op(Ok(monitor));
+                    // Whatever the op staged through the sink rides the
+                    // committer like a block with no tickets; its reply
+                    // is released only once the record is durable.
+                    let bytes = std::mem::take(&mut *lock(&pipe.staged));
+                    if !bytes.is_empty() {
+                        tx.send(Msg::Commit {
+                            bytes,
+                            answers: Vec::new(),
+                            lane: 0,
+                            t0: Instant::now(),
+                        })
+                        .expect("committer outlives the worker");
+                    }
+                    done(flush_committer(tx));
+                } else {
+                    let reason = if pipe.health.is_degraded() {
+                        pipe.health.reason()
+                    } else {
+                        "write-ahead committer unavailable".to_owned()
+                    };
+                    op(Err(reason))(true);
+                }
+                continue;
+            }
+            Work::Block(lane, block) => (lane, block),
         };
         shared.notify_space();
         cursor = lane + 1;

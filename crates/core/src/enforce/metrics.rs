@@ -162,6 +162,15 @@ pub struct AdmissionMetrics {
     /// hook (checkpoint capture + log seal) — the stall every queued op
     /// behind it observes.
     pub checkpoint_stall_us: Histogram,
+    /// Current constraint-inventory epoch (gauge; bumped by each
+    /// durable `redefine`).
+    pub epoch: AtomicU64,
+    /// Online redefinitions applied over the monitor's history
+    /// (counter).
+    pub redefine_total: AtomicU64,
+    /// Objects quarantined across every redefinition (gauge — residue
+    /// whose consumed history the new inventory cannot absorb).
+    pub quarantined_objects: AtomicU64,
 }
 
 impl AdmissionMetrics {
@@ -176,6 +185,9 @@ impl AdmissionMetrics {
             commit_latency_us: mk(),
             fsync_batch: Histogram::new(),
             checkpoint_stall_us: Histogram::new(),
+            epoch: AtomicU64::new(0),
+            redefine_total: AtomicU64::new(0),
+            quarantined_objects: AtomicU64::new(0),
         }
     }
 
@@ -212,6 +224,24 @@ impl AdmissionMetrics {
         ] {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
             h.render(&mut out, name, None);
+        }
+        for (name, kind, help, v) in [
+            ("migratory_epoch", "gauge", "current constraint-inventory epoch", &self.epoch),
+            (
+                "migratory_redefine_total",
+                "counter",
+                "online inventory redefinitions applied",
+                &self.redefine_total,
+            ),
+            (
+                "migratory_quarantined_objects",
+                "gauge",
+                "objects quarantined across every redefinition",
+                &self.quarantined_objects,
+            ),
+        ] {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+            out.push_str(&format!("{name} {}\n", v.load(Ordering::Relaxed)));
         }
         out
     }

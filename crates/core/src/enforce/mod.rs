@@ -135,8 +135,8 @@ pub use ingress::{Completion, DurabilityPolicy, IngressConfig, IngressStats};
 pub use metrics::{AdmissionMetrics, Histogram};
 pub use sharded::{ShardStats, ShardedMonitor};
 pub use wal::{
-    BlockRef, CheckpointData, CheckpointDelta, CheckpointJob, CommitSink, FsyncPolicy, MemoryWal,
-    ShardLetters, Snapshot, Snapshotter, Wal, WalBlock, WalError, WalRecord,
+    BlockRef, CheckpointData, CheckpointDelta, CheckpointJob, CommitSink, Evolution, FsyncPolicy,
+    MemoryWal, ShardLetters, Snapshot, Snapshotter, Wal, WalBlock, WalError, WalRecord,
 };
 
 use crate::alphabet::RoleAlphabet;
@@ -210,6 +210,10 @@ pub struct Violation {
     pub pattern: MigrationPattern,
     /// The letter (role-set symbol) that escaped the inventory.
     pub letter: u32,
+    /// The constraint epoch the rejection was produced under (0 until
+    /// the first [`Monitor::redefine`]): operators can tell pre- from
+    /// post-redefinition rejections apart.
+    pub epoch: u64,
 }
 
 impl Violation {
@@ -221,10 +225,11 @@ impl Violation {
             None => "never-created objects".to_owned(),
         };
         format!(
-            "{} would follow the pattern {} ∉ 𝔏 (offending role set {})",
+            "{} would follow the pattern {} ∉ 𝔏 (offending role set {}) [epoch {}]",
             who,
             alphabet.display_word(&self.pattern),
             alphabet.name(self.letter),
+            self.epoch,
         )
     }
 }
@@ -246,6 +251,11 @@ pub enum EnforceError {
     /// nothing changed. Carries the reason recorded when the server
     /// degraded. An operator fixes the fault and re-arms (`rearm`).
     Degraded(String),
+    /// A [`Monitor::redefine`] was refused — the new inventory is
+    /// invalid for this monitor (alphabet mismatch, certified or
+    /// reference monitor, or the never-created class's ∅-walk leaves the
+    /// new language). Nothing changed; the epoch did not advance.
+    Redefine(String),
 }
 
 impl std::fmt::Display for EnforceError {
@@ -257,8 +267,79 @@ impl std::fmt::Display for EnforceError {
             EnforceError::Lang(e) => write!(f, "{e}"),
             EnforceError::Durability(e) => write!(f, "commit not durable, rolled back: {e}"),
             EnforceError::Degraded(reason) => write!(f, "degraded (read-only): {reason}"),
+            EnforceError::Redefine(reason) => write!(f, "redefine refused: {reason}"),
         }
     }
+}
+
+/// What happens to **residue** — objects whose consumed history is not
+/// provably viable under a redefined inventory (see
+/// [`Monitor::redefine`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ResiduePolicy {
+    /// Quarantine: fold residue cohorts into the exempt sink. The
+    /// objects stay in the database but are never pattern-checked again;
+    /// `stats` counts them as `quarantined_objects`.
+    #[default]
+    Quarantine,
+    /// Certify-and-reset: grandfather the residue's old history and
+    /// restart its tracking walk at `δ_new(start, current role)`; only
+    /// objects whose restart state is non-accepting fall back to
+    /// quarantine.
+    CertifyAndReset,
+}
+
+impl ResiduePolicy {
+    /// Parse the wire token (`quarantine` | `certify-and-reset`).
+    pub fn parse(s: &str) -> Result<ResiduePolicy, String> {
+        match s {
+            "quarantine" => Ok(ResiduePolicy::Quarantine),
+            "certify-and-reset" => Ok(ResiduePolicy::CertifyAndReset),
+            other => {
+                Err(format!("unknown residue policy `{other}` (quarantine|certify-and-reset)"))
+            }
+        }
+    }
+
+    /// The stable wire byte persisted in WAL records and snapshots.
+    #[must_use]
+    pub fn as_byte(self) -> u8 {
+        match self {
+            ResiduePolicy::Quarantine => 0,
+            ResiduePolicy::CertifyAndReset => 1,
+        }
+    }
+
+    /// Decode [`ResiduePolicy::as_byte`].
+    pub fn from_byte(b: u8) -> Result<ResiduePolicy, String> {
+        match b {
+            0 => Ok(ResiduePolicy::Quarantine),
+            1 => Ok(ResiduePolicy::CertifyAndReset),
+            other => Err(format!("unknown residue policy byte {other}")),
+        }
+    }
+}
+
+impl std::fmt::Display for ResiduePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ResiduePolicy::Quarantine => "quarantine",
+            ResiduePolicy::CertifyAndReset => "certify-and-reset",
+        })
+    }
+}
+
+/// The outcome of an admitted [`Monitor::redefine`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RedefineOutcome {
+    /// The new constraint epoch (old epoch + 1).
+    pub epoch: u64,
+    /// Objects whose consumed history was not provably viable under the
+    /// new automaton — handled per [`ResiduePolicy`].
+    pub residue: usize,
+    /// Of the residue, how many were folded into the exempt quarantine
+    /// cohort by this redefinition.
+    pub quarantined: usize,
 }
 
 impl std::error::Error for EnforceError {}
@@ -328,7 +409,9 @@ enum Engine {
 pub struct Monitor<'a> {
     schema: &'a Schema,
     alphabet: &'a RoleAlphabet,
-    inventory: &'a Inventory,
+    /// Owned: [`Monitor::redefine`] swaps it under a live monitor. The
+    /// constructors clone the caller's inventory (epoch 0).
+    inventory: Inventory,
     kind: PatternKind,
     policy: StepPolicy,
     db: Instance,
@@ -349,20 +432,29 @@ pub struct Monitor<'a> {
     /// Step count at the moment certification succeeded — the horizon at
     /// which pattern tracking froze.
     certified_at: Option<usize>,
+    /// Constraint epoch: 0 at construction, +1 per admitted
+    /// [`Monitor::redefine`].
+    epoch: u64,
+    /// Admitted redefinitions over the monitor's whole history
+    /// (including recovered ones).
+    redefine_total: u64,
+    /// Objects folded into the exempt quarantine cohort by
+    /// redefinitions, cumulative.
+    quarantined_total: u64,
 }
 
 impl<'a> Monitor<'a> {
     fn with_engine(
         schema: &'a Schema,
         alphabet: &'a RoleAlphabet,
-        inventory: &'a Inventory,
+        inventory: &Inventory,
         kind: PatternKind,
         engine: Engine,
     ) -> Monitor<'a> {
         Monitor {
             schema,
             alphabet,
-            inventory,
+            inventory: inventory.clone(),
             kind,
             policy: StepPolicy::default(),
             db: Instance::empty(),
@@ -374,6 +466,9 @@ impl<'a> Monitor<'a> {
             steps: 0,
             certified: false,
             certified_at: None,
+            epoch: 0,
+            redefine_total: 0,
+            quarantined_total: 0,
         }
     }
 
@@ -383,7 +478,7 @@ impl<'a> Monitor<'a> {
     pub fn new(
         schema: &'a Schema,
         alphabet: &'a RoleAlphabet,
-        inventory: &'a Inventory,
+        inventory: &Inventory,
         kind: PatternKind,
     ) -> Monitor<'a> {
         let state = DeltaState::new(inventory.dfa().start(), kind == PatternKind::ImmediateStart);
@@ -399,7 +494,7 @@ impl<'a> Monitor<'a> {
     pub fn new_reference(
         schema: &'a Schema,
         alphabet: &'a RoleAlphabet,
-        inventory: &'a Inventory,
+        inventory: &Inventory,
         kind: PatternKind,
     ) -> Monitor<'a> {
         Self::with_engine(
@@ -449,10 +544,29 @@ impl<'a> Monitor<'a> {
         self.alphabet
     }
 
-    /// The enforced inventory.
+    /// The enforced inventory (of the **current** epoch).
     #[must_use]
-    pub fn inventory(&self) -> &'a Inventory {
-        self.inventory
+    pub fn inventory(&self) -> &Inventory {
+        &self.inventory
+    }
+
+    /// The current constraint epoch (0 until the first
+    /// [`Monitor::redefine`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Admitted redefinitions over the monitor's whole history.
+    #[must_use]
+    pub fn redefine_total(&self) -> u64 {
+        self.redefine_total
+    }
+
+    /// Objects quarantined by redefinitions, cumulative.
+    #[must_use]
+    pub fn quarantined_total(&self) -> u64 {
+        self.quarantined_total
     }
 
     /// The enforced pattern family.
@@ -539,7 +653,7 @@ impl<'a> Monitor<'a> {
     /// fresh monitor.
     pub fn certify(&mut self, ts: &TransactionSchema) -> Result<bool, CoreError> {
         let decision =
-            crate::decide::decide(self.schema, self.alphabet, ts, self.inventory, self.kind)?;
+            crate::decide::decide(self.schema, self.alphabet, ts, &self.inventory, self.kind)?;
         let holds = decision.satisfies.holds();
         if holds && !self.certified {
             // Certification freezes tracking, so a durable monitor must
@@ -558,6 +672,82 @@ impl<'a> Monitor<'a> {
             self.certified_at = Some(at);
         }
         Ok(holds)
+    }
+
+    /// Redefine the enforced inventory **online**, bumping the
+    /// constraint epoch — the paper's dynamic constraints made dynamic
+    /// themselves.
+    ///
+    /// The viability of consumed history is decided per *cohort*, never
+    /// per object: a product construction walks the old DFA × new DFA
+    /// over every path the old DFA certifies
+    /// ([`delta::viability_map`]); a cohort is viable iff all enforced
+    /// histories ending in its old state land in exactly one accepting
+    /// new state. Viable cohorts remap wholesale; the residue is
+    /// quarantined or reset per `policy`. Total cost O(|Q_old| ×
+    /// |Q_new| × |Σ| + |cohorts|) — independent of the database size.
+    ///
+    /// Durability: when a sink is attached the redefinition is
+    /// write-ahead logged (epoch bump + canonical inventory encoding +
+    /// the partition clock) *before* any tracking state changes;
+    /// [`Monitor::recover`] replays it at the exact clock position.
+    ///
+    /// Refused (with [`EnforceError::Redefine`], nothing changed) on the
+    /// reference engine, on a certified monitor (tracking is frozen), on
+    /// an alphabet mismatch, and when the never-created class's ∅-walk
+    /// leaves the new language while still enforced.
+    pub fn redefine(
+        &mut self,
+        new_inventory: &Inventory,
+        policy: ResiduePolicy,
+    ) -> Result<RedefineOutcome, EnforceError> {
+        let Engine::Delta(_) = &self.engine else {
+            return Err(EnforceError::Redefine(
+                "the reference engine does not support online redefinition".into(),
+            ));
+        };
+        if self.certified {
+            return Err(EnforceError::Redefine(
+                "monitor is certified: tracking is frozen, redefine needs a fresh monitor".into(),
+            ));
+        }
+        let new_dfa = new_inventory.dfa();
+        if new_dfa.num_symbols() != self.alphabet.num_symbols() {
+            return Err(EnforceError::Redefine(format!(
+                "inventory alphabet has {} symbols, monitor's has {}",
+                new_dfa.num_symbols(),
+                self.alphabet.num_symbols()
+            )));
+        }
+        let empty = self.alphabet.empty_symbol();
+        let fates = delta::viability_map(self.inventory.dfa(), new_dfa);
+        let Engine::Delta(state) = &self.engine else { unreachable!() };
+        let new_pre = state.redefine_pre_walk(new_dfa, empty).map_err(|steps| {
+            EnforceError::Redefine(format!(
+                "the never-created class's pattern ∅^{steps} leaves the new inventory"
+            ))
+        })?;
+        let steps0 = state.steps;
+        // Write-ahead: the record reaches the log before any tracking
+        // state is touched; a sink failure aborts with nothing changed.
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .redefined(self.epoch + 1, policy, &[(0, steps0)], &new_inventory.encode())
+                .map_err(EnforceError::Durability)?;
+        }
+        let Engine::Delta(state) = &mut self.engine else { unreachable!() };
+        let (residue, quarantined) = state.apply_redefine(
+            &fates,
+            new_dfa,
+            new_pre,
+            policy == ResiduePolicy::CertifyAndReset,
+        );
+        self.inventory = new_inventory.clone();
+        self.epoch += 1;
+        self.redefine_total += 1;
+        self.quarantined_total += quarantined as u64;
+        Ok(RedefineOutcome { epoch: self.epoch, residue, quarantined })
     }
 
     /// Append one block to the attached sink (one lock, one record —
@@ -601,8 +791,19 @@ impl<'a> Monitor<'a> {
             policy: self.policy,
             certified: self.certified,
             certified_at: self.certified_at,
+            evolution: self.evolution(),
             db: self.db.clone(),
             shards: vec![state.clone()],
+        }
+    }
+
+    /// The constraint-evolution state persisted with every checkpoint.
+    fn evolution(&self) -> wal::Evolution {
+        wal::Evolution {
+            epoch: self.epoch,
+            redefine_total: self.redefine_total,
+            quarantined_total: self.quarantined_total,
+            inventory: Some(self.inventory.encode()),
         }
     }
 
@@ -635,6 +836,7 @@ impl<'a> Monitor<'a> {
     /// Panics on the reference engine, which this layer does not
     /// persist.
     pub fn checkpoint_delta(&mut self) -> CheckpointDelta {
+        let evolution = self.evolution();
         let Engine::Delta(state) = &mut self.engine else {
             panic!("checkpoint requires the delta engine")
         };
@@ -644,6 +846,7 @@ impl<'a> Monitor<'a> {
             self.policy,
             self.certified,
             self.certified_at,
+            evolution,
         )
     }
 
@@ -672,14 +875,14 @@ impl<'a> Monitor<'a> {
     pub fn recover(
         schema: &'a Schema,
         alphabet: &'a RoleAlphabet,
-        inventory: &'a Inventory,
+        inventory: &Inventory,
         kind: PatternKind,
         snapshot: Option<Snapshot>,
         tail: impl IntoIterator<Item = wal::WalRecord>,
     ) -> Result<Monitor<'a>, WalError> {
         let mut m = match snapshot {
             Some(snap) => {
-                let Snapshot { policy, certified, certified_at, db, mut shards } = snap;
+                let Snapshot { policy, certified, certified_at, evolution, db, mut shards } = snap;
                 if shards.len() != 1 {
                     return Err(WalError::Mismatch(format!(
                         "snapshot has {} shards; a Monitor persists exactly one",
@@ -693,6 +896,17 @@ impl<'a> Monitor<'a> {
                 m.policy = policy;
                 m.certified = certified;
                 m.certified_at = certified_at;
+                // A v3 checkpoint carries the inventory of its epoch;
+                // pre-evolution (v2) checkpoints fall back to the
+                // constructor's inventory at epoch 0.
+                if let Some(bytes) = &evolution.inventory {
+                    m.inventory = Inventory::decode(alphabet, bytes).map_err(|e| {
+                        WalError::Mismatch(format!("snapshot inventory does not decode: {e}"))
+                    })?;
+                }
+                m.epoch = evolution.epoch;
+                m.redefine_total = evolution.redefine_total;
+                m.quarantined_total = evolution.quarantined_total;
                 m
             }
             None => Self::new(schema, alphabet, inventory, kind),
@@ -731,6 +945,39 @@ impl<'a> Monitor<'a> {
                         m.certified = true;
                         m.certified_at = Some(steps);
                     }
+                }
+                wal::WalRecord::Redefined { epoch, policy, shards, inventory } => {
+                    if epoch <= m.epoch {
+                        continue; // already folded into the snapshot
+                    }
+                    if epoch != m.epoch + 1 {
+                        return Err(WalError::Mismatch(format!(
+                            "wal gap: redefinition to epoch {epoch}, monitor is at {}",
+                            m.epoch
+                        )));
+                    }
+                    if shards.len() != 1 || shards[0].0 != 0 {
+                        return Err(WalError::Mismatch(
+                            "multi-shard redefinition in a single monitor's log".into(),
+                        ));
+                    }
+                    let at = m.steps();
+                    if shards[0].1 != at {
+                        return Err(WalError::Mismatch(format!(
+                            "wal gap: redefinition at letter {}, monitor is at {at}",
+                            shards[0].1
+                        )));
+                    }
+                    let new_inv = Inventory::decode(alphabet, &inventory).map_err(|e| {
+                        WalError::Mismatch(format!("redefine record inventory: {e}"))
+                    })?;
+                    // Replay through the same code path admission ran —
+                    // the recovered monitor has no sink, so nothing is
+                    // re-logged. Epoch, totals and tracking remap advance
+                    // exactly as they did live.
+                    m.redefine(&new_inv, policy).map_err(|e| {
+                        WalError::Mismatch(format!("logged redefinition does not admit: {e}"))
+                    })?;
                 }
             }
         }
@@ -953,10 +1200,20 @@ impl<'a> Monitor<'a> {
             1,
         );
         if pre.violation_at.is_some() {
-            return Violation { oid: None, pattern: vec![empty; step_idx], letter: empty };
+            return Violation {
+                oid: None,
+                pattern: vec![empty; step_idx],
+                letter: empty,
+                epoch: self.epoch,
+            };
         }
-        let params =
-            DiagParams { schema: self.schema, alphabet: self.alphabet, dfa, kind: self.kind };
+        let params = DiagParams {
+            schema: self.schema,
+            alphabet: self.alphabet,
+            dfa,
+            kind: self.kind,
+            epoch: self.epoch,
+        };
         diagnose_step(
             &params,
             state.records.iter().map(|(&o, rec)| {
@@ -1006,6 +1263,7 @@ impl<'a> Monitor<'a> {
                 oid: None,
                 pattern: vec![empty; step_idx],
                 letter: empty,
+                epoch: self.epoch,
             }));
         }
 
@@ -1030,7 +1288,12 @@ impl<'a> Monitor<'a> {
             if !exempt && !dfa.is_accepting(state) {
                 let mut pattern = tr.history.clone();
                 pattern.push(letter);
-                return Err(EnforceError::Violation(Violation { oid: Some(o), pattern, letter }));
+                return Err(EnforceError::Violation(Violation {
+                    oid: Some(o),
+                    pattern,
+                    letter,
+                    epoch: self.epoch,
+                }));
             }
             let mut history = tr.history.clone();
             history.push(letter);
@@ -1055,7 +1318,12 @@ impl<'a> Monitor<'a> {
             if !exempt && !dfa.is_accepting(state) {
                 let mut pattern = vec![empty; step_idx - 1];
                 pattern.push(letter);
-                return Err(EnforceError::Violation(Violation { oid: Some(o), pattern, letter }));
+                return Err(EnforceError::Violation(Violation {
+                    oid: Some(o),
+                    pattern,
+                    letter,
+                    epoch: self.epoch,
+                }));
             }
             let mut history = vec![empty; step_idx - 1];
             history.push(letter);
@@ -1132,6 +1400,7 @@ mod tests {
             EnforceError::Lang(e) => panic!("unexpected {e}"),
             EnforceError::Durability(e) => panic!("unexpected {e}"),
             EnforceError::Degraded(e) => panic!("unexpected {e}"),
+            EnforceError::Redefine(e) => panic!("unexpected {e}"),
         }
         // Rolled back: the object is still a plain person, 3 letters.
         assert_eq!(m.steps(), 3);
@@ -1381,6 +1650,7 @@ mod tests {
             EnforceError::Lang(e) => panic!("unexpected {e}"),
             EnforceError::Durability(e) => panic!("unexpected {e}"),
             EnforceError::Degraded(e) => panic!("unexpected {e}"),
+            EnforceError::Redefine(e) => panic!("unexpected {e}"),
         }
         // Under Proper the second trailing ∅ makes o1's pattern improper
         // (and ∅∅ exempts the never-created class too): admitted.
@@ -1696,6 +1966,7 @@ mod tests {
             EnforceError::Lang(e) => panic!("unexpected {e}"),
             EnforceError::Durability(e) => panic!("unexpected {e}"),
             EnforceError::Degraded(e) => panic!("unexpected {e}"),
+            EnforceError::Redefine(e) => panic!("unexpected {e}"),
         }
         // Rejection rolled back: both databases agree and can continue.
         assert_eq!(fast.db(), oracle.db());

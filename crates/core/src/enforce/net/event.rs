@@ -30,7 +30,8 @@ use super::frame;
 use super::{parse_invocation, stats_reply, ServerConfig, ServerShared, MAX_LINE};
 use crate::alphabet::RoleAlphabet;
 use crate::enforce::ingress::{Completion, IngressClient};
-use crate::enforce::EnforceError;
+use crate::enforce::{EnforceError, ResiduePolicy};
+use crate::Inventory;
 use migratory_lang::{Assignment, Transaction, TransactionSchema};
 use polling::{Epoll, EpollEvent, Waker, EPOLLIN, EPOLLOUT};
 use std::collections::HashMap;
@@ -50,12 +51,22 @@ const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
 /// it is force-closed.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// What fills a waiting reply slot when its mail arrives.
+pub(super) enum Reply {
+    /// An `invoke` admission outcome: rendered in the slot's dialect at
+    /// delivery (the violation diagnostic needs the alphabet).
+    Outcome(Result<(), EnforceError>),
+    /// Pre-rendered reply bytes (admin ops — `redefine` — render on the
+    /// admission worker, where the dialect is already captured).
+    Bytes(Vec<u8>),
+}
+
 /// A completed admission outcome on its way back to the owning event
 /// thread.
 pub(super) struct Done {
     conn: u64,
     seq: u64,
-    outcome: Result<(), EnforceError>,
+    reply: Reply,
 }
 
 #[derive(Default)]
@@ -255,7 +266,7 @@ fn completion<'t>(ev: &Arc<EventShared>, owner: usize, conn: u64, seq: u64) -> C
             Err(EnforceError::Violation(_)) => ev.rejected.fetch_add(1, Ordering::SeqCst),
             Err(_) => ev.errors.fetch_add(1, Ordering::SeqCst),
         };
-        ev.inboxes[owner].push_done(Done { conn, seq, outcome });
+        ev.inboxes[owner].push_done(Done { conn, seq, reply: Reply::Outcome(outcome) });
     })
 }
 
@@ -394,6 +405,87 @@ fn post_invoke<'t>(
     }
 }
 
+/// Post a `redefine` as an admin barrier op. The new-inventory source
+/// is parsed here on the event thread (a hostile payload is refused
+/// before it ever touches the admission worker); the op itself runs on
+/// the worker with exclusive monitor access, and the reply — rendered
+/// in the request's dialect — is mailed back only once the verdict is
+/// known *and* the write-ahead record is durable (or the attempt was
+/// refused/rolled back).
+#[allow(clippy::too_many_arguments)]
+fn post_redefine<'t>(
+    c: &mut Conn<'t>,
+    policy: ResiduePolicy,
+    source: &str,
+    binary: bool,
+    me: usize,
+    ev: &Arc<EventShared>,
+    client: &IngressClient<'t, '_, '_>,
+    shared: &ServerShared<'_>,
+) {
+    let inv = match Inventory::parse_init(shared.schema, shared.alphabet, source) {
+        Ok(inv) => inv,
+        Err(e) => {
+            let r = error_reply(ev, binary, &format!("redefine refused: {e}"));
+            c.push_slot(Slot::Ready(r));
+            return;
+        }
+    };
+    let seq = c.push_slot(Slot::Waiting { binary });
+    let (conn, owner) = (c.id, me);
+    let ev = Arc::clone(ev);
+    let evo = Arc::clone(&shared.evo);
+    let metrics = shared.metrics.clone();
+    client.post_admin(Box::new(move |gate| {
+        // Phase 1, on the admission worker between blocks: apply (or
+        // learn why not). Totals are read while the monitor is still
+        // exclusively ours — the durable flag arrives later.
+        let attempt = match gate {
+            Ok(m) => {
+                let result = m.redefine(&inv, policy);
+                let totals = (m.epoch(), m.redefine_total(), m.quarantined_total());
+                Ok((result, totals))
+            }
+            Err(reason) => Err(reason),
+        };
+        Box::new(move |durable: bool| {
+            let bytes = match attempt {
+                Ok((Ok(out), totals)) if durable => {
+                    evo.epoch.store(totals.0, Ordering::SeqCst);
+                    evo.redefines.store(totals.1, Ordering::SeqCst);
+                    evo.quarantined.store(totals.2, Ordering::SeqCst);
+                    if let Some(m) = metrics.as_deref() {
+                        m.epoch.store(totals.0, Ordering::Relaxed);
+                        m.redefine_total.store(totals.1, Ordering::Relaxed);
+                        m.quarantined_objects.store(totals.2, Ordering::Relaxed);
+                    }
+                    let msg = format!("epoch={} residue={}", out.epoch, out.residue);
+                    if binary {
+                        let mut rep = Vec::new();
+                        frame::encode(&mut rep, frame::REP_OK, msg.as_bytes());
+                        rep
+                    } else {
+                        format!("ok {msg}\n").into_bytes()
+                    }
+                }
+                // The record never became durable: the worker winds the
+                // monitor back to the durable image before admitting
+                // anything else, so the epoch this op minted is gone.
+                Ok((Ok(_), _)) => error_reply(
+                    &ev,
+                    binary,
+                    "redefinition rolled back: write-ahead log degraded before it became durable",
+                ),
+                Ok((Err(e), _)) => error_reply(&ev, binary, &e.to_string()),
+                Err(reason) => {
+                    error_reply(&ev, binary, &EnforceError::Degraded(reason).to_string())
+                }
+            };
+            ev.inboxes[owner].push_done(Done { conn, seq, reply: Reply::Bytes(bytes) });
+        })
+    }));
+}
+
 /// Dispatch one extracted request. Returns `false` when extraction on
 /// this connection must stop (quit, shutdown, teardown).
 #[allow(clippy::too_many_arguments)]
@@ -461,7 +553,7 @@ fn dispatch<'t>(
     match req {
         Request::Line(line) => dispatch_verb(c, line.trim(), me, ev, client, ts, shared),
         Request::Frame(kind, payload) => {
-            dispatch_frame(c, kind, &payload, me, ev, client, ts);
+            dispatch_frame(c, kind, &payload, me, ev, client, ts, shared);
             true
         }
     }
@@ -518,6 +610,30 @@ fn dispatch_verb<'t>(
         "auth" => {
             c.push_slot(Slot::Ready(b"ok authed\n".to_vec()));
         }
+        "redefine" => {
+            // `redefine <quarantine|certify-and-reset> <inventory src>`:
+            // policy token first, the rest of the line is the source.
+            let (policy, src) = match rest.split_once(char::is_whitespace) {
+                Some((p, s)) => (p, s.trim()),
+                None => (rest, ""),
+            };
+            if policy.is_empty() || src.is_empty() {
+                let r = error_reply(
+                    ev,
+                    false,
+                    "usage: redefine <quarantine|certify-and-reset> <inventory source>",
+                );
+                c.push_slot(Slot::Ready(r));
+            } else {
+                match ResiduePolicy::parse(policy) {
+                    Ok(p) => post_redefine(c, p, src, false, me, ev, client, shared),
+                    Err(e) => {
+                        let r = error_reply(ev, false, &format!("redefine refused: {e}"));
+                        c.push_slot(Slot::Ready(r));
+                    }
+                }
+            }
+        }
         "rearm" => {
             // Operator action: leave degraded read-only mode. If the
             // fault persists, the next failing append re-degrades.
@@ -540,7 +656,8 @@ fn dispatch_verb<'t>(
                 ev,
                 false,
                 &format!(
-                    "unknown verb `{other}` (invoke|schema|stats|ping|auth|rearm|quit|shutdown)"
+                    "unknown verb `{other}` \
+                     (invoke|schema|stats|ping|auth|redefine|rearm|quit|shutdown)"
                 ),
             );
             c.push_slot(Slot::Ready(r));
@@ -549,6 +666,7 @@ fn dispatch_verb<'t>(
     true
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dispatch_frame<'t>(
     c: &mut Conn<'t>,
     kind: u8,
@@ -557,6 +675,7 @@ fn dispatch_frame<'t>(
     ev: &Arc<EventShared>,
     client: &IngressClient<'t, '_, '_>,
     ts: &'t TransactionSchema,
+    shared: &ServerShared<'_>,
 ) {
     match kind {
         frame::REQ_INVOKE => {
@@ -579,13 +698,31 @@ fn dispatch_frame<'t>(
                 }
             }
         }
+        frame::REQ_REDEFINE => match payload.split_first() {
+            None => {
+                let rep = error_reply(ev, true, "empty redefine payload");
+                c.push_slot(Slot::Ready(rep));
+            }
+            Some((pb, src)) => match (ResiduePolicy::from_byte(*pb), std::str::from_utf8(src)) {
+                (Err(e), _) => {
+                    let rep = error_reply(ev, true, &format!("redefine refused: {e}"));
+                    c.push_slot(Slot::Ready(rep));
+                }
+                (Ok(_), Err(_)) => {
+                    let rep = error_reply(ev, true, "redefine payload is not UTF-8");
+                    c.push_slot(Slot::Ready(rep));
+                }
+                (Ok(p), Ok(src)) => post_redefine(c, p, src, true, me, ev, client, shared),
+            },
+        },
         other => {
             let rep = error_reply(
                 ev,
                 true,
                 &format!(
-                    "unknown frame kind {other:#04x} (expected invoke {:#04x})",
-                    frame::REQ_INVOKE
+                    "unknown frame kind {other:#04x} (expected invoke {:#04x} or redefine {:#04x})",
+                    frame::REQ_INVOKE,
+                    frame::REQ_REDEFINE
                 ),
             );
             c.push_slot(Slot::Ready(rep));
@@ -759,7 +896,11 @@ fn event_thread<'t>(
             // already counted by the callback; nothing else to do.
             if let Some(c) = conns.get_mut(&d.conn) {
                 if let Some(binary) = c.waiting_dialect(d.seq) {
-                    c.fill_slot(d.seq, outcome_reply(&d.outcome, binary, alphabet));
+                    let bytes = match d.reply {
+                        Reply::Outcome(o) => outcome_reply(&o, binary, alphabet),
+                        Reply::Bytes(b) => b,
+                    };
+                    c.fill_slot(d.seq, bytes);
                     c.dirty = true;
                 }
             }

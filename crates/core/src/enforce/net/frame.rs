@@ -37,6 +37,14 @@ pub const MAGIC: u8 = 0xB5;
 /// [`migratory_lang::codec::encode_invoke`] bytes.
 pub const REQ_INVOKE: u8 = 0x01;
 
+/// Request frame: redefine the constraint inventory online. Payload is
+/// one residue-policy byte
+/// ([`ResiduePolicy::as_byte`](crate::enforce::ResiduePolicy::as_byte))
+/// followed by the new inventory in migratory-lang source form (UTF-8,
+/// the rest of the payload). Answered [`REP_OK`] with payload
+/// `epoch=<N> residue=<K>`, or [`REP_ERROR`] with the refusal.
+pub const REQ_REDEFINE: u8 = 0x02;
+
 /// Reply frame: the invocation was admitted (durably, when a sink is
 /// attached). Empty payload.
 pub const REP_OK: u8 = 0x81;
@@ -117,6 +125,19 @@ pub fn encode_invoke_frame(out: &mut Vec<u8>, name: &str, args: &[Value]) {
     let mut payload = Vec::new();
     migratory_lang::codec::encode_invoke(&mut payload, name, args);
     encode(out, REQ_INVOKE, &payload);
+}
+
+/// Append one [`REQ_REDEFINE`] frame to `out` — the client-side encoder
+/// used by `migctl client --binary` script lines and the fuzz suite.
+pub fn encode_redefine_frame(
+    out: &mut Vec<u8>,
+    policy: crate::enforce::ResiduePolicy,
+    source: &str,
+) {
+    let mut payload = Vec::with_capacity(1 + source.len());
+    payload.push(policy.as_byte());
+    payload.extend_from_slice(source.as_bytes());
+    encode(out, REQ_REDEFINE, &payload);
 }
 
 /// Blocking client-side helper: read exactly one frame off `r`.

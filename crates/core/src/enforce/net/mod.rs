@@ -128,11 +128,12 @@ use super::ingress::{self, DurabilityPolicy, IngressConfig, IngressStats};
 use super::metrics::AdmissionMetrics;
 use super::sharded::ShardedMonitor;
 use super::wal::Wal;
+use crate::alphabet::RoleAlphabet;
 use migratory_lang::TransactionSchema;
-use migratory_model::Value;
+use migratory_model::{Schema, Value};
 use std::net::TcpListener;
 use std::os::fd::AsRawFd;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -285,7 +286,21 @@ pub fn parse_invocation(line: &str) -> Result<(&str, Vec<Value>), String> {
     Ok((name, args))
 }
 
-/// Immutable per-server state shared by every event thread.
+/// Constraint-evolution gauges: read by the `stats` verb on the event
+/// threads, stored by the `redefine` admin op on the admission worker
+/// once its record is durable, and mirrored into the Prometheus
+/// metrics when those are configured. Seeded from the monitor at serve
+/// time, so a recovered server reports its recovered epoch.
+pub(super) struct EvolutionGauges {
+    /// Current inventory epoch.
+    pub(super) epoch: AtomicU64,
+    /// Redefinitions applied over the monitor's history.
+    pub(super) redefines: AtomicU64,
+    /// Objects quarantined across every redefinition.
+    pub(super) quarantined: AtomicU64,
+}
+
+/// Per-server state shared by every event thread.
 struct ServerShared<'h> {
     /// Precomputed `schema` reply (the schema is immutable).
     schema_line: String,
@@ -298,6 +313,14 @@ struct ServerShared<'h> {
     /// server was configured without them — `stats prom` then returns
     /// an empty payload).
     metrics: Option<Arc<AdmissionMetrics>>,
+    /// The schema behind the monitor: the `redefine` verb parses its
+    /// new-inventory source against it on the event thread.
+    schema: &'h Schema,
+    /// The role alphabet the inventory source is parsed over.
+    alphabet: &'h RoleAlphabet,
+    /// Evolution gauges for the `stats` line (`Arc`: the redefine admin
+    /// op's completion outlives the event threads' borrows).
+    evo: Arc<EvolutionGauges>,
 }
 
 /// The `stats` verb's reply, formatted at the requesting connection's
@@ -305,7 +328,7 @@ struct ServerShared<'h> {
 fn stats_line(ev: &event::EventShared, shared: &ServerShared<'_>) -> String {
     format!(
         "ok stats requests={} admitted={} rejected={} errors={} connections={} lanes={} \
-         degraded={} last_checkpoint={}",
+         degraded={} last_checkpoint={} epoch={} redefines={} quarantined={}",
         ev.requests.load(Ordering::SeqCst),
         ev.admitted.load(Ordering::SeqCst),
         ev.rejected.load(Ordering::SeqCst),
@@ -314,6 +337,9 @@ fn stats_line(ev: &event::EventShared, shared: &ServerShared<'_>) -> String {
         shared.lanes,
         if shared.health.is_degraded() { "yes" } else { "no" },
         shared.health.checkpoint_token(),
+        shared.evo.epoch.load(Ordering::SeqCst),
+        shared.evo.redefines.load(Ordering::SeqCst),
+        shared.evo.quarantined.load(Ordering::SeqCst),
     )
 }
 
@@ -395,11 +421,24 @@ pub fn serve_guarded<'a, 't>(
     for t in ts.transactions() {
         schema_line.push_str(&format!(" {}/{}", t.name, t.params.len()));
     }
+    let evo = Arc::new(EvolutionGauges {
+        epoch: AtomicU64::new(monitor.epoch()),
+        redefines: AtomicU64::new(monitor.redefine_total()),
+        quarantined: AtomicU64::new(monitor.quarantined_total()),
+    });
+    if let Some(m) = config.metrics.as_deref() {
+        m.epoch.store(monitor.epoch(), Ordering::SeqCst);
+        m.redefine_total.store(monitor.redefine_total(), Ordering::SeqCst);
+        m.quarantined_objects.store(monitor.quarantined_total(), Ordering::SeqCst);
+    }
     let shared = ServerShared {
         schema_line,
         lanes: if monitor.routes_by_component() { monitor.num_shards() } else { 1 },
         health,
         metrics: config.metrics.clone(),
+        schema: monitor.schema(),
+        alphabet,
+        evo,
     };
     let ev = event::EventShared::new(config.io_threads.max(1))?;
     let (run_result, ingress_stats) = match config.wal.clone() {

@@ -58,7 +58,7 @@ use super::delta::{
     diagnose_step, BatchCtx, BatchStage, BulkCreateStage, DeltaState, DiagParams, EXEMPT,
 };
 use super::wal::{self, BlockRef, CheckpointDelta, ShardLetters, Snapshot, WalError, WalRecord};
-use super::{EnforceError, SharedSink, StepPolicy, Violation};
+use super::{EnforceError, RedefineOutcome, ResiduePolicy, SharedSink, StepPolicy, Violation};
 use crate::alphabet::RoleAlphabet;
 use crate::inventory::Inventory;
 use crate::pattern::{MigrationPattern, PatternKind};
@@ -141,9 +141,22 @@ pub struct ShardStats {
 pub struct ShardedMonitor<'a> {
     schema: &'a Schema,
     alphabet: &'a RoleAlphabet,
-    inventory: &'a Inventory,
+    /// Owned: [`ShardedMonitor::redefine`] swaps it under a live
+    /// monitor.
+    inventory: Inventory,
+    /// The constructor's (epoch-0) inventory — what a from-scratch
+    /// replay of the durable image starts from
+    /// ([`ShardedMonitor::resync`]).
+    base_inventory: Inventory,
     kind: PatternKind,
     policy: StepPolicy,
+    /// Constraint-evolution epoch: 0 until the first redefinition, +1
+    /// per admitted [`ShardedMonitor::redefine`].
+    epoch: u64,
+    /// Admitted redefinitions, cumulative.
+    redefine_total: u64,
+    /// Objects quarantined by redefinitions, cumulative.
+    quarantined_total: u64,
     db: Instance,
     /// The tracking partitions — each with its **own letter clock**;
     /// no shared counter exists.
@@ -168,7 +181,7 @@ impl<'a> ShardedMonitor<'a> {
     pub fn new(
         schema: &'a Schema,
         alphabet: &'a RoleAlphabet,
-        inventory: &'a Inventory,
+        inventory: &Inventory,
         kind: PatternKind,
         shards: usize,
     ) -> ShardedMonitor<'a> {
@@ -186,9 +199,13 @@ impl<'a> ShardedMonitor<'a> {
         ShardedMonitor {
             schema,
             alphabet,
-            inventory,
+            inventory: inventory.clone(),
+            base_inventory: inventory.clone(),
             kind,
             policy: StepPolicy::default(),
+            epoch: 0,
+            redefine_total: 0,
+            quarantined_total: 0,
             db: Instance::empty(),
             shards: (0..n).map(|_| DeltaState::new(start, pre_exempt)).collect(),
             router,
@@ -444,6 +461,68 @@ impl<'a> ShardedMonitor<'a> {
         }
     }
 
+    /// Redefine the inventory online: swap in `new_inventory`
+    /// atomically across **every** shard (the automaton is global —
+    /// each partition's cohorts are re-keyed under the new DFA), at
+    /// whatever point each shard's own letter clock has reached. The
+    /// viability split is the same product construction as
+    /// [`Monitor::redefine`](super::Monitor::redefine), computed once
+    /// and applied per shard in O(|cohorts|) — never O(|db|). Every
+    /// shard's never-created walk is checked *before* any shard
+    /// mutates, and the [`WalRecord::Redefined`] record (carrying every
+    /// shard's clock) is written **ahead** of the swap; a refusal or
+    /// sink failure leaves the old inventory in force on all shards.
+    pub fn redefine(
+        &mut self,
+        new_inventory: &Inventory,
+        policy: ResiduePolicy,
+    ) -> Result<RedefineOutcome, EnforceError> {
+        let new_dfa = new_inventory.dfa();
+        if new_dfa.num_symbols() != self.alphabet.num_symbols() {
+            return Err(EnforceError::Redefine(format!(
+                "inventory alphabet has {} symbols, monitor's has {}",
+                new_dfa.num_symbols(),
+                self.alphabet.num_symbols()
+            )));
+        }
+        let empty = self.alphabet.empty_symbol();
+        let fates = super::delta::viability_map(self.inventory.dfa(), new_dfa);
+        // All-shards-or-nothing: every shard's ∅ walk must survive the
+        // new automaton before any shard is touched.
+        let mut pre_walks = Vec::with_capacity(self.shards.len());
+        for (i, state) in self.shards.iter().enumerate() {
+            let pre = state.redefine_pre_walk(new_dfa, empty).map_err(|steps| {
+                EnforceError::Redefine(format!(
+                    "shard {i}: the never-created class's pattern ∅^{steps} \
+                     leaves the new inventory"
+                ))
+            })?;
+            pre_walks.push(pre);
+        }
+        // Write-ahead: one record with every shard's clock at the swap
+        // instant reaches the log before any tracking state moves.
+        if let Some(sink) = &self.sink {
+            let clocks: Vec<(u32, usize)> =
+                self.shards.iter().enumerate().map(|(i, s)| (i as u32, s.steps)).collect();
+            sink.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .redefined(self.epoch + 1, policy, &clocks, &new_inventory.encode())
+                .map_err(EnforceError::Durability)?;
+        }
+        let reset = policy == ResiduePolicy::CertifyAndReset;
+        let (mut residue, mut quarantined) = (0usize, 0usize);
+        for (state, new_pre) in self.shards.iter_mut().zip(pre_walks) {
+            let (r, q) = state.apply_redefine(&fates, new_dfa, new_pre, reset);
+            residue += r;
+            quarantined += q;
+        }
+        self.inventory = new_inventory.clone();
+        self.epoch += 1;
+        self.redefine_total += 1;
+        self.quarantined_total += quarantined as u64;
+        Ok(RedefineOutcome { epoch: self.epoch, residue, quarantined })
+    }
+
     /// Per-shard letter assignment of an effective block: which shards
     /// participate in each delta, and each touched object's
     /// **shard-local** letter index. A delta is a letter for the shards
@@ -688,7 +767,12 @@ impl<'a> ShardedMonitor<'a> {
                 1,
             );
             if pre.violation_at.is_some() {
-                return Violation { oid: None, pattern: vec![empty; st.steps + 1], letter: empty };
+                return Violation {
+                    oid: None,
+                    pattern: vec![empty; st.steps + 1],
+                    letter: empty,
+                    epoch: self.epoch,
+                };
             }
         }
         let mut merged: BTreeMap<Oid, (usize, &super::delta::ObjRecord)> = BTreeMap::new();
@@ -700,8 +784,13 @@ impl<'a> ShardedMonitor<'a> {
                 merged.insert(o, (i, rec));
             }
         }
-        let params =
-            DiagParams { schema: self.schema, alphabet: self.alphabet, dfa, kind: self.kind };
+        let params = DiagParams {
+            schema: self.schema,
+            alphabet: self.alphabet,
+            dfa,
+            kind: self.kind,
+            epoch: self.epoch,
+        };
         diagnose_step(
             &params,
             merged.iter().map(|(&o, &(i, rec))| {
@@ -737,10 +826,28 @@ impl<'a> ShardedMonitor<'a> {
         self.alphabet
     }
 
-    /// The enforced inventory.
+    /// The enforced inventory (the current epoch's automaton).
     #[must_use]
-    pub fn inventory(&self) -> &'a Inventory {
-        self.inventory
+    pub fn inventory(&self) -> &Inventory {
+        &self.inventory
+    }
+
+    /// The constraint-evolution epoch: 0 until the first redefinition.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Admitted redefinitions, cumulative.
+    #[must_use]
+    pub fn redefine_total(&self) -> u64 {
+        self.redefine_total
+    }
+
+    /// Objects quarantined by redefinitions, cumulative.
+    #[must_use]
+    pub fn quarantined_total(&self) -> u64 {
+        self.quarantined_total
     }
 
     /// The enforced pattern family.
@@ -778,8 +885,19 @@ impl<'a> ShardedMonitor<'a> {
             policy: self.policy,
             certified: false,
             certified_at: None,
+            evolution: self.evolution(),
             db: self.db.clone(),
             shards: self.shards.clone(),
+        }
+    }
+
+    /// The constraint-evolution state a checkpoint carries.
+    fn evolution(&self) -> wal::Evolution {
+        wal::Evolution {
+            epoch: self.epoch,
+            redefine_total: self.redefine_total,
+            quarantined_total: self.quarantined_total,
+            inventory: Some(self.inventory.encode()),
         }
     }
 
@@ -806,7 +924,8 @@ impl<'a> ShardedMonitor<'a> {
     /// [`ShardedMonitor::checkpoint_full`]) before capturing again, or
     /// the chain loses these changes.
     pub fn checkpoint_delta(&mut self) -> CheckpointDelta {
-        wal::capture_delta(&self.db, &mut self.shards, self.policy, false, None)
+        let evolution = self.evolution();
+        wal::capture_delta(&self.db, &mut self.shards, self.policy, false, None, evolution)
     }
 
     /// Undo a [`ShardedMonitor::checkpoint_delta`] whose increment could
@@ -846,7 +965,7 @@ impl<'a> ShardedMonitor<'a> {
     pub fn recover(
         schema: &'a Schema,
         alphabet: &'a RoleAlphabet,
-        inventory: &'a Inventory,
+        inventory: &Inventory,
         kind: PatternKind,
         shards: usize,
         snapshot: Option<Snapshot>,
@@ -854,7 +973,8 @@ impl<'a> ShardedMonitor<'a> {
     ) -> Result<ShardedMonitor<'a>, WalError> {
         let mut m = Self::new(schema, alphabet, inventory, kind, shards);
         if let Some(snap) = snapshot {
-            let Snapshot { policy, certified, certified_at: _, db, shards: states } = snap;
+            let Snapshot { policy, certified, certified_at: _, evolution, db, shards: states } =
+                snap;
             if certified {
                 return Err(WalError::Mismatch(
                     "snapshot is certified — only the single Monitor certifies".into(),
@@ -870,6 +990,16 @@ impl<'a> ShardedMonitor<'a> {
             m.db = db;
             m.shards = states;
             m.policy = policy;
+            // Pre-v3 snapshots carry no inventory: the constructor's
+            // inventory (epoch 0) stays in force.
+            if let Some(bytes) = &evolution.inventory {
+                m.inventory = Inventory::decode(alphabet, bytes).map_err(|e| {
+                    WalError::Mismatch(format!("snapshot inventory does not decode: {e}"))
+                })?;
+            }
+            m.epoch = evolution.epoch;
+            m.redefine_total = evolution.redefine_total;
+            m.quarantined_total = evolution.quarantined_total;
         }
         for record in tail {
             let block =
@@ -879,6 +1009,49 @@ impl<'a> ShardedMonitor<'a> {
                         "log carries a certification marker — only the single Monitor certifies"
                             .into(),
                     )),
+                    WalRecord::Redefined { epoch, policy, shards, inventory } => {
+                        if epoch <= m.epoch {
+                            continue; // covered by the checkpoint chain
+                        }
+                        if epoch != m.epoch + 1 {
+                            return Err(WalError::Mismatch(format!(
+                                "wal gap: redefinition to epoch {epoch}, monitor is at {}",
+                                m.epoch
+                            )));
+                        }
+                        if shards.len() != m.shards.len() {
+                            return Err(WalError::Mismatch(format!(
+                                "redefinition names {} shards, this monitor partitions into {}",
+                                shards.len(),
+                                m.shards.len()
+                            )));
+                        }
+                        for &(sh, at) in &shards {
+                            let Some(state) = m.shards.get(sh as usize) else {
+                                return Err(WalError::Mismatch(format!(
+                                    "redefinition names shard {sh} of {}",
+                                    m.shards.len()
+                                )));
+                            };
+                            if at != state.steps {
+                                return Err(WalError::Mismatch(format!(
+                                    "wal gap: redefinition at shard {sh} letter {at}, \
+                                     shard is at {}",
+                                    state.steps
+                                )));
+                            }
+                        }
+                        let new_inv = Inventory::decode(alphabet, &inventory).map_err(|e| {
+                            WalError::Mismatch(format!("redefine record inventory: {e}"))
+                        })?;
+                        // Deterministic replay: same viability map, same
+                        // per-shard split, no sink attached — nothing is
+                        // re-logged.
+                        m.redefine(&new_inv, policy).map_err(|e| {
+                            WalError::Mismatch(format!("logged redefinition does not admit: {e}"))
+                        })?;
+                        continue;
+                    }
                 };
             if block.deltas.is_empty() || block.shards.is_empty() {
                 continue;
@@ -941,7 +1114,7 @@ impl<'a> ShardedMonitor<'a> {
         let fresh = Self::recover(
             self.schema,
             self.alphabet,
-            self.inventory,
+            &self.base_inventory,
             self.kind,
             self.shards.len(),
             snapshot,
@@ -949,6 +1122,10 @@ impl<'a> ShardedMonitor<'a> {
         )?;
         self.db = fresh.db;
         self.shards = fresh.shards;
+        self.inventory = fresh.inventory;
+        self.epoch = fresh.epoch;
+        self.redefine_total = fresh.redefine_total;
+        self.quarantined_total = fresh.quarantined_total;
         if had_snapshot {
             // No checkpoint yet: keep the configured policy (recovery
             // from the empty monitor cannot know it).

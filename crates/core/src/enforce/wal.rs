@@ -126,7 +126,7 @@
 use super::delta::{Cohort, DeltaState, ObjRecord};
 use super::faults::{FaultSite, IoFaults};
 use super::health::Health;
-use super::StepPolicy;
+use super::{ResiduePolicy, StepPolicy};
 use migratory_lang::Delta;
 use migratory_model::codec::{encode_idset, encode_tuple, encode_u64, Reader};
 use migratory_model::{ClassSet, Instance, ModelError, Oid, Tuple};
@@ -264,6 +264,21 @@ pub trait CommitSink: Send {
     /// is wrong without it — so the marker is written through the same
     /// write-ahead discipline; an `Err` keeps the monitor uncertified.
     fn certified(&mut self, steps: usize) -> Result<(), WalError>;
+
+    /// The monitor is about to redefine its inventory: `epoch` is the
+    /// epoch the redefinition *moves to*, `shards` carries each
+    /// participating shard's letter clock at the instant of the swap,
+    /// and `inventory` is the canonical
+    /// [`Inventory::encode`](crate::Inventory::encode) bytes of the new
+    /// automaton. Written **ahead** of the tracking swap, like every
+    /// other record — an `Err` leaves the old inventory in force.
+    fn redefined(
+        &mut self,
+        epoch: u64,
+        policy: ResiduePolicy,
+        shards: &[(u32, usize)],
+        inventory: &[u8],
+    ) -> Result<(), WalError>;
 }
 
 /// One committed block as read back from a log.
@@ -288,6 +303,23 @@ pub enum WalRecord {
         /// Letters emitted when certification took effect.
         steps: usize,
     },
+    /// The inventory was redefined online
+    /// ([`Monitor::redefine`](super::Monitor::redefine)): the epoch the
+    /// monitor moved to, the residue policy, every participating
+    /// shard's letter clock at the swap instant, and the canonical
+    /// encoding of the new automaton. Replay re-runs the same
+    /// deterministic viability split at the same clock positions.
+    Redefined {
+        /// The epoch this redefinition moves to (previous epoch + 1).
+        epoch: u64,
+        /// How non-viable residue was handled.
+        policy: ResiduePolicy,
+        /// `(shard, letter clock)` pairs, ascending by shard index.
+        shards: Vec<(u32, usize)>,
+        /// [`Inventory::encode`](crate::Inventory::encode) bytes of the
+        /// new automaton.
+        inventory: Vec<u8>,
+    },
 }
 
 impl WalRecord {
@@ -296,7 +328,7 @@ impl WalRecord {
     pub fn letters(&self) -> usize {
         match self {
             WalRecord::Block(b) => b.deltas.len(),
-            WalRecord::Certified { .. } => 0,
+            WalRecord::Certified { .. } | WalRecord::Redefined { .. } => 0,
         }
     }
 }
@@ -333,6 +365,7 @@ fn crc32(bytes: &[u8]) -> u32 {
 /// Record payload tags.
 const TAG_BLOCK: u8 = 0;
 const TAG_CERTIFY: u8 = 1;
+const TAG_REDEFINE: u8 = 2;
 
 /// Hard cap on a framed record's claimed payload length (256 MiB). The
 /// 4-byte length header is **untrusted** input: without the cap, one
@@ -372,6 +405,30 @@ pub fn encode_certify_record(out: &mut Vec<u8>, steps: usize) {
     payload.push(TAG_CERTIFY);
     encode_u64(&mut payload, steps as u64);
     frame(out, &payload).expect("a certification marker is a dozen bytes");
+}
+
+/// Append one framed redefinition record: the epoch moved to, the
+/// residue policy, each participating shard's letter clock at the swap
+/// instant, and the canonical new-inventory encoding.
+pub fn encode_redefine_record(
+    out: &mut Vec<u8>,
+    epoch: u64,
+    policy: ResiduePolicy,
+    shards: &[(u32, usize)],
+    inventory: &[u8],
+) -> Result<(), WalError> {
+    let mut payload = Vec::new();
+    payload.push(TAG_REDEFINE);
+    encode_u64(&mut payload, epoch);
+    payload.push(policy.as_byte());
+    encode_u64(&mut payload, shards.len() as u64);
+    for &(shard, steps) in shards {
+        encode_u64(&mut payload, u64::from(shard));
+        encode_u64(&mut payload, steps as u64);
+    }
+    encode_u64(&mut payload, inventory.len() as u64);
+    payload.extend_from_slice(inventory);
+    frame(out, &payload)
 }
 
 fn frame(out: &mut Vec<u8>, payload: &[u8]) -> Result<(), WalError> {
@@ -488,6 +545,25 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord, WalError> {
         TAG_CERTIFY => WalRecord::Certified {
             steps: usize::try_from(r.u64()?).map_err(|_| WalError::Corrupt("steps".into()))?,
         },
+        TAG_REDEFINE => {
+            let epoch = r.u64()?;
+            let policy = ResiduePolicy::from_byte(r.byte()?).map_err(WalError::Corrupt)?;
+            let n = r.count()?;
+            let mut shards: Vec<(u32, usize)> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let shard = u32_of(r.u64()?, "shard")?;
+                let steps = usize_of(r.u64()?, "shard clock")?;
+                if shards.last().is_some_and(|&(p, _)| shard <= p) {
+                    return Err(WalError::Corrupt("shards out of order".into()));
+                }
+                shards.push((shard, steps));
+            }
+            if shards.is_empty() {
+                return Err(WalError::Corrupt("redefinition touches no shard".into()));
+            }
+            let inventory = read_blob(&mut r)?;
+            WalRecord::Redefined { epoch, policy, shards, inventory }
+        }
         t => return Err(WalError::Corrupt(format!("unknown record tag {t}"))),
     };
     if !r.is_exhausted() {
@@ -500,12 +576,68 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord, WalError> {
 // Snapshot (full checkpoint)
 // ---------------------------------------------------------------------
 
-const SNAP_MAGIC: &[u8; 6] = b"MGSNP2";
-const DELTA_MAGIC: &[u8; 6] = b"MGDLT1";
+/// Current snapshot format (v3: adds the [`Evolution`] block). v2
+/// snapshots still decode — they predate online redefinition, so their
+/// evolution state is [`Evolution::default`].
+const SNAP_MAGIC: &[u8; 6] = b"MGSNP3";
+const SNAP_MAGIC_V2: &[u8; 6] = b"MGSNP2";
+/// Current incremental-checkpoint format (v2: adds the [`Evolution`]
+/// block). v1 increments still decode with a default evolution.
+const DELTA_MAGIC: &[u8; 6] = b"MGDLT2";
+const DELTA_MAGIC_V1: &[u8; 6] = b"MGDLT1";
+
+/// The constraint-evolution state a checkpoint carries: the epoch
+/// clock, the lifetime counters behind `stats`, and the canonical
+/// encoding of the inventory in force. Always captured whole (it is a
+/// few dozen bytes plus the automaton) — an increment covering a
+/// pruned segment that contained a redefinition record would otherwise
+/// lose the upgrade.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Evolution {
+    /// The epoch in force at the capture instant (0 = never redefined).
+    pub epoch: u64,
+    /// Lifetime count of admitted redefinitions.
+    pub redefine_total: u64,
+    /// Lifetime count of objects quarantined by redefinitions.
+    pub quarantined_total: u64,
+    /// [`Inventory::encode`](crate::Inventory::encode) bytes of the
+    /// inventory in force; `None` only for pre-v3 snapshots (recovery
+    /// falls back to the constructor inventory).
+    pub inventory: Option<Vec<u8>>,
+}
+
+impl Evolution {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_u64(out, self.epoch);
+        encode_u64(out, self.redefine_total);
+        encode_u64(out, self.quarantined_total);
+        match &self.inventory {
+            Some(bytes) => {
+                out.push(1);
+                encode_u64(out, bytes.len() as u64);
+                out.extend_from_slice(bytes);
+            }
+            None => out.push(0),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Evolution, WalError> {
+        let epoch = r.u64()?;
+        let redefine_total = r.u64()?;
+        let quarantined_total = r.u64()?;
+        let inventory = match r.byte()? {
+            0 => None,
+            1 => Some(read_blob(r)?),
+            t => return Err(WalError::Corrupt(format!("unknown inventory tag {t}"))),
+        };
+        Ok(Evolution { epoch, redefine_total, quarantined_total, inventory })
+    }
+}
 
 /// A full checkpoint of everything a monitor cannot rebuild from its
-/// constructor arguments: the database heap and the per-shard tracking
-/// states, each carrying its **own letter clock**. Encoding is
+/// constructor arguments: the database heap, the per-shard tracking
+/// states (each carrying its **own letter clock**), and the
+/// constraint-evolution state (epoch + inventory in force). Encoding is
 /// canonical, so snapshot bytes decide state equality — the recovery
 /// suite's "byte-identical" check is `encode()` equality.
 #[derive(Clone)]
@@ -513,6 +645,7 @@ pub struct Snapshot {
     pub(crate) policy: StepPolicy,
     pub(crate) certified: bool,
     pub(crate) certified_at: Option<usize>,
+    pub(crate) evolution: Evolution,
     pub(crate) db: Instance,
     pub(crate) shards: Vec<DeltaState>,
 }
@@ -546,7 +679,13 @@ impl Snapshot {
         self.shards.len()
     }
 
-    /// Canonical binary encoding.
+    /// The constraint-evolution state at the capture instant.
+    #[must_use]
+    pub fn evolution(&self) -> &Evolution {
+        &self.evolution
+    }
+
+    /// Canonical binary encoding (current format, v3).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -555,6 +694,7 @@ impl Snapshot {
         if let Some(at) = self.certified_at {
             encode_u64(&mut out, at as u64);
         }
+        self.evolution.encode(&mut out);
         self.db.encode_snapshot(&mut out);
         encode_u64(&mut out, self.shards.len() as u64);
         for s in &self.shards {
@@ -563,13 +703,18 @@ impl Snapshot {
         out
     }
 
-    /// Decode [`Snapshot::encode`] bytes.
+    /// Decode [`Snapshot::encode`] bytes — the current v3 format, or a
+    /// pre-evolution v2 snapshot (epoch 0, no stored inventory).
     pub fn decode(bytes: &[u8]) -> Result<Snapshot, WalError> {
-        if bytes.len() < SNAP_MAGIC.len() || &bytes[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        let v3 = bytes.len() >= SNAP_MAGIC.len() && &bytes[..SNAP_MAGIC.len()] == SNAP_MAGIC;
+        let v2 =
+            bytes.len() >= SNAP_MAGIC_V2.len() && &bytes[..SNAP_MAGIC_V2.len()] == SNAP_MAGIC_V2;
+        if !v3 && !v2 {
             return Err(WalError::Corrupt("bad snapshot magic".into()));
         }
         let mut r = Reader::new(&bytes[SNAP_MAGIC.len()..]);
         let (policy, certified, certified_at) = decode_flags(&mut r)?;
+        let evolution = if v3 { Evolution::decode(&mut r)? } else { Evolution::default() };
         let db = Instance::decode_snapshot(&mut r)?;
         let n = r.count()?;
         let mut shards = Vec::with_capacity(n);
@@ -579,7 +724,7 @@ impl Snapshot {
         if !r.is_exhausted() {
             return Err(WalError::Corrupt("trailing bytes in snapshot".into()));
         }
-        Ok(Snapshot { policy, certified, certified_at, db, shards })
+        Ok(Snapshot { policy, certified, certified_at, evolution, db, shards })
     }
 
     /// Fold one incremental checkpoint into this snapshot: replace the
@@ -636,6 +781,18 @@ impl Snapshot {
         self.policy = d.policy;
         self.certified = d.certified;
         self.certified_at = d.certified_at;
+        if d.evolution.epoch < self.evolution.epoch {
+            return Err(WalError::Mismatch(format!(
+                "stale increment: epoch {} behind snapshot epoch {}",
+                d.evolution.epoch, self.evolution.epoch
+            )));
+        }
+        // Pre-evolution (v1) increments carry no inventory; they can
+        // only come from epoch-0 history, so keeping the base's
+        // evolution state is exact.
+        if d.evolution.inventory.is_some() || d.evolution != Evolution::default() {
+            self.evolution = d.evolution;
+        }
         Ok(())
     }
 }
@@ -699,6 +856,10 @@ pub struct CheckpointDelta {
     pub(crate) policy: StepPolicy,
     pub(crate) certified: bool,
     pub(crate) certified_at: Option<usize>,
+    /// Always the complete evolution state, never a diff: an increment
+    /// can cover (and prune) a sealed segment holding a redefinition
+    /// record, so the chain itself must carry the upgrade.
+    pub(crate) evolution: Evolution,
     pub(crate) next_oid: u64,
     /// Dirtied objects: current heap state, or `None` when deleted.
     pub(crate) objects: BTreeMap<Oid, Option<(ClassSet, Tuple)>>,
@@ -729,7 +890,7 @@ impl CheckpointDelta {
         self.shards.iter().map(|s| s.steps).collect()
     }
 
-    /// Canonical binary encoding.
+    /// Canonical binary encoding (current format, v2).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -738,6 +899,7 @@ impl CheckpointDelta {
         if let Some(at) = self.certified_at {
             encode_u64(&mut out, at as u64);
         }
+        self.evolution.encode(&mut out);
         encode_u64(&mut out, self.next_oid);
         encode_u64(&mut out, self.objects.len() as u64);
         for (o, state) in &self.objects {
@@ -762,13 +924,18 @@ impl CheckpointDelta {
         out
     }
 
-    /// Decode [`CheckpointDelta::encode`] bytes.
+    /// Decode [`CheckpointDelta::encode`] bytes — the current v2
+    /// format, or a pre-evolution v1 increment.
     pub fn decode(bytes: &[u8]) -> Result<CheckpointDelta, WalError> {
-        if bytes.len() < DELTA_MAGIC.len() || &bytes[..DELTA_MAGIC.len()] != DELTA_MAGIC {
+        let v2 = bytes.len() >= DELTA_MAGIC.len() && &bytes[..DELTA_MAGIC.len()] == DELTA_MAGIC;
+        let v1 =
+            bytes.len() >= DELTA_MAGIC_V1.len() && &bytes[..DELTA_MAGIC_V1.len()] == DELTA_MAGIC_V1;
+        if !v2 && !v1 {
             return Err(WalError::Corrupt("bad checkpoint-delta magic".into()));
         }
         let mut r = Reader::new(&bytes[DELTA_MAGIC.len()..]);
         let (policy, certified, certified_at) = decode_flags(&mut r)?;
+        let evolution = if v2 { Evolution::decode(&mut r)? } else { Evolution::default() };
         let next_oid = r.u64()?;
         let n = r.count()?;
         let mut objects = BTreeMap::new();
@@ -817,7 +984,15 @@ impl CheckpointDelta {
         if !r.is_exhausted() {
             return Err(WalError::Corrupt("trailing bytes in checkpoint delta".into()));
         }
-        Ok(CheckpointDelta { policy, certified, certified_at, next_oid, objects, shards })
+        Ok(CheckpointDelta {
+            policy,
+            certified,
+            certified_at,
+            evolution,
+            next_oid,
+            objects,
+            shards,
+        })
     }
 }
 
@@ -835,6 +1010,7 @@ pub(crate) fn capture_delta(
     policy: StepPolicy,
     certified: bool,
     certified_at: Option<usize>,
+    evolution: Evolution,
 ) -> CheckpointDelta {
     let mut objects: BTreeMap<Oid, Option<(ClassSet, Tuple)>> = BTreeMap::new();
     let mut out_shards = Vec::with_capacity(shards.len());
@@ -866,6 +1042,7 @@ pub(crate) fn capture_delta(
         policy,
         certified,
         certified_at,
+        evolution,
         next_oid: db.next_oid().0,
         objects,
         shards: out_shards,
@@ -928,6 +1105,17 @@ fn encode_cohort_tables(
 
 fn u32_of(v: u64, what: &str) -> Result<u32, WalError> {
     u32::try_from(v).map_err(|_| WalError::Corrupt(format!("{what} out of range")))
+}
+
+/// Read a length-prefixed byte blob (the length is bounds-checked
+/// against the remaining input by [`Reader::count`]).
+fn read_blob(r: &mut Reader<'_>) -> Result<Vec<u8>, WalError> {
+    let len = r.count()?;
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(r.byte()?);
+    }
+    Ok(out)
 }
 
 fn usize_of(v: u64, what: &str) -> Result<usize, WalError> {
@@ -1693,6 +1881,18 @@ impl CommitSink for Wal {
         encode_certify_record(&mut self.buf, steps);
         self.append()
     }
+
+    fn redefined(
+        &mut self,
+        epoch: u64,
+        policy: ResiduePolicy,
+        shards: &[(u32, usize)],
+        inventory: &[u8],
+    ) -> Result<(), WalError> {
+        self.buf.clear();
+        encode_redefine_record(&mut self.buf, epoch, policy, shards, inventory)?;
+        self.append()
+    }
 }
 
 /// An in-memory log holding the exact bytes a [`Wal`] would write —
@@ -1788,6 +1988,17 @@ impl CommitSink for MemoryWal {
         encode_certify_record(&mut self.log, steps);
         Ok(())
     }
+
+    fn redefined(
+        &mut self,
+        epoch: u64,
+        policy: ResiduePolicy,
+        shards: &[(u32, usize)],
+        inventory: &[u8],
+    ) -> Result<(), WalError> {
+        self.faults.check(FaultSite::AppendWrite)?;
+        encode_redefine_record(&mut self.log, epoch, policy, shards, inventory)
+    }
 }
 
 /// A sink that fails on command — exercises the abort-on-sink-error
@@ -1811,6 +2022,19 @@ impl CommitSink for FailingSink {
     }
 
     fn certified(&mut self, _steps: usize) -> Result<(), WalError> {
+        if self.fail {
+            return Err(WalError::Io("injected sink failure".into()));
+        }
+        Ok(())
+    }
+
+    fn redefined(
+        &mut self,
+        _epoch: u64,
+        _policy: ResiduePolicy,
+        _shards: &[(u32, usize)],
+        _inventory: &[u8],
+    ) -> Result<(), WalError> {
         if self.fail {
             return Err(WalError::Io("injected sink failure".into()));
         }

@@ -79,6 +79,78 @@ impl Inventory {
     pub fn to_regex(&self) -> Regex {
         migratory_automata::dfa_to_regex(&self.dfa)
     }
+
+    /// Canonical byte encoding of the inventory.
+    ///
+    /// The stored DFA is always minimized, and [`Dfa::minimize`] renumbers
+    /// states canonically (BFS order), so two inventories denote the same
+    /// language iff their encodings are byte-identical. This is the form
+    /// persisted in WAL redefine records and v3 snapshots.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let dfa = &self.dfa;
+        let ns = dfa.num_symbols();
+        let nq = dfa.num_states() as u32;
+        let mut out = Vec::with_capacity(12 + nq as usize * (ns as usize * 4 + 1));
+        out.extend_from_slice(&ns.to_le_bytes());
+        out.extend_from_slice(&nq.to_le_bytes());
+        out.extend_from_slice(&dfa.start().to_le_bytes());
+        for q in 0..nq {
+            out.push(u8::from(dfa.is_accepting(q)));
+            for s in 0..ns {
+                out.extend_from_slice(&dfa.step(q, s).to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode an inventory previously produced by [`Inventory::encode`].
+    ///
+    /// Revalidates Definition 3.3 (shape + prefix closure) and re-minimizes,
+    /// so hostile or corrupted bytes are rejected rather than trusted, and the
+    /// decoded inventory encodes byte-identically to the original.
+    pub fn decode(alphabet: &RoleAlphabet, bytes: &[u8]) -> Result<Inventory, CoreError> {
+        let bad = |m: &str| CoreError::UnsupportedRegex(format!("inventory encoding: {m}"));
+        let u32_at = |b: &[u8], i: usize| u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+        if bytes.len() < 12 {
+            return Err(bad("truncated header"));
+        }
+        let ns = u32_at(bytes, 0);
+        let nq = u32_at(bytes, 4);
+        let start = u32_at(bytes, 8);
+        if ns != alphabet.num_symbols() {
+            return Err(bad("alphabet size mismatch"));
+        }
+        if nq == 0 || nq > 1 << 20 {
+            return Err(bad("implausible state count"));
+        }
+        if start >= nq {
+            return Err(bad("start state out of range"));
+        }
+        let row = ns as usize * 4 + 1;
+        if bytes.len() != 12 + nq as usize * row {
+            return Err(bad("length does not match state count"));
+        }
+        let mut accept = Vec::with_capacity(nq as usize);
+        let mut trans = Vec::with_capacity(nq as usize * ns as usize);
+        for q in 0..nq as usize {
+            let base = 12 + q * row;
+            match bytes[base] {
+                0 => accept.push(false),
+                1 => accept.push(true),
+                _ => return Err(bad("accept flag must be 0 or 1")),
+            }
+            for s in 0..ns as usize {
+                let t = u32_at(bytes, base + 1 + s * 4);
+                if t >= nq {
+                    return Err(bad("transition target out of range"));
+                }
+                trans.push(t);
+            }
+        }
+        let dfa = Dfa::from_parts(ns, trans, accept, start);
+        Self::from_dfa(alphabet, dfa)
+    }
 }
 
 /// The DFA of well-formed pattern words `∅*Ω₊*∅*`.
@@ -176,6 +248,26 @@ mod tests {
         assert!(inv.contains(&[p, q]), "a prefix — the next operation may be pending");
         assert!(!inv.contains(&[q]), "q may not run before p");
         assert!(!inv.contains(&[p, sct]));
+    }
+
+    #[test]
+    fn encoding_is_canonical_and_roundtrips() {
+        let (s, a) = setup();
+        let inv = Inventory::parse_init(&s, &a, "∅* [PERSON]* [STUDENT]* ∅*").unwrap();
+        let bytes = inv.encode();
+        let back = Inventory::decode(&a, &bytes).unwrap();
+        assert_eq!(back.encode(), bytes, "decode∘encode is the identity on bytes");
+        // A differently-written expression for the same language encodes
+        // identically (minimization is canonical).
+        let same =
+            Inventory::parse_init(&s, &a, "∅* ∅* [PERSON]* [PERSON]* [STUDENT]* ∅*").unwrap();
+        assert_eq!(same.encode(), bytes);
+        // Hostile bytes are rejected, never trusted.
+        assert!(Inventory::decode(&a, &[]).is_err());
+        assert!(Inventory::decode(&a, &bytes[..bytes.len() - 1]).is_err());
+        let mut huge = bytes.clone();
+        huge[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(Inventory::decode(&a, &huge).is_err());
     }
 
     #[test]

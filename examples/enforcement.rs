@@ -93,7 +93,9 @@ fn main() {
             }
             Err(EnforceError::Lang(e)) => println!("  ! {name:<12} failed: {e}"),
             Err(EnforceError::Durability(e)) => println!("  ! {name:<12} not logged: {e}"),
-            Err(EnforceError::Degraded(e)) => println!("  ! {name:<12} refused: {e}"),
+            Err(EnforceError::Degraded(e) | EnforceError::Redefine(e)) => {
+                println!("  ! {name:<12} refused: {e}");
+            }
         }
     }
     println!(

@@ -8,7 +8,7 @@
 
 use migratory_core::enforce::{
     net, AdmissionMetrics, CheckpointData, DurabilityPolicy, EnforceError, FsyncPolicy, Health,
-    IngressConfig, IoFaults, Monitor, ShardedMonitor, Snapshotter, StepPolicy, Wal,
+    IngressConfig, IoFaults, Monitor, ResiduePolicy, ShardedMonitor, Snapshotter, StepPolicy, Wal,
 };
 use migratory_core::{
     analyze_families, decide_with_families, AnalyzeOptions, Inventory, PatternKind, RoleAlphabet,
@@ -44,12 +44,16 @@ USAGE:
                   (Init — the prefix closure — is applied automatically)
   K               all | immediate-start | proper | lazy   (default: all)
   P               every | changing   (default: every — Definition 3.4 vs 4.6 semantics)
-  --script        lines of `Name(arg, …)` applications; `#` comments allowed
+  --script        lines of `Name(arg, …)` applications; `#` comments allowed;
+                  admin lines `redefine <policy> <regex>`, `rearm`, `stats`,
+                  `stats prom`, `ping` ride along (policy: quarantine |
+                  certify-and-reset)
 
 families    prints the four pattern families of Theorem 3.2(1) as regexes
 decide      checks satisfies/generates of Corollary 3.3, with counterexamples
 synthesize  builds the SL schema characterizing the inventory (Lemma 3.4)
-enforce     replays a script under the runtime monitor, reporting rejections
+enforce     replays a script under the runtime monitor, reporting rejections;
+            a `redefine` script line swaps the inventory mid-replay (epoch +1)
 serve       admits transactions over TCP (docs/PROTOCOL.md) through the sharded
             ingress; --durable DIR write-ahead-logs every block through a
             pipelined committer thread (group commit) and runs background
@@ -72,11 +76,13 @@ serve       admits transactions over TCP (docs/PROTOCOL.md) through the sharded
             append|sync|seal|ckpt-write|ckpt-sync|ckpt-rename|ckpt-prune).
             Runs until a client sends the `shutdown` verb.
 client      drives a serve endpoint: --script sends each line as an `invoke`
-            (pipelined, replies in order), --shutdown asks the server to drain,
-            --auth performs the handshake first; with neither script nor
-            shutdown, forwards raw protocol lines from stdin. --binary sends
-            script invocations as length-prefixed binary frames
-            (docs/PROTOCOL.md § Binary framing) instead of text lines
+            (pipelined, replies in order; admin lines — redefine, rearm,
+            stats [prom], ping — are forwarded as protocol requests),
+            --shutdown asks the server to drain, --auth performs the handshake
+            first; with neither script nor shutdown, forwards raw protocol
+            lines from stdin. --binary sends script invocations (and redefine)
+            as length-prefixed binary frames (docs/PROTOCOL.md § Binary
+            framing) instead of text lines
 ";
 
 /// Parse a `--kind` value.
@@ -229,20 +235,63 @@ pub fn cmd_synthesize(schema_src: &str, flags: &Flags) -> Result<String, String>
     Ok(out)
 }
 
-/// One parsed script application per line: transaction name and
-/// argument values. The per-line grammar is the wire protocol's
-/// `invoke` argument grammar ([`net::parse_invocation`]), so any
-/// `enforce` script replays over `migctl client` unchanged.
-pub fn parse_script(src: &str) -> Result<Vec<(String, Vec<Value>)>, String> {
+/// One parsed script line. Most lines are transaction applications in
+/// the wire protocol's `invoke` argument grammar
+/// ([`net::parse_invocation`]), so any `enforce` script replays over
+/// `migctl client` unchanged; a line whose first token is an admin verb
+/// (`redefine`, `rearm`, `stats`, `ping`) is a protocol admin request
+/// instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScriptLine {
+    /// `Name(args…)`: invoke the named transaction.
+    Invoke(String, Vec<Value>),
+    /// `redefine <quarantine|certify-and-reset> <inventory regex>`:
+    /// swap the constraint inventory at this point of the script.
+    Redefine(ResiduePolicy, String),
+    /// A serve-side admin line forwarded verbatim: `rearm`, `stats`,
+    /// `stats prom`, or `ping`.
+    Admin(String),
+}
+
+/// Parse a script: one [`ScriptLine`] per non-blank line, `#` comments
+/// allowed. Admin verbs are validated here (policy token, argument
+/// arity) so a typo fails with its line number instead of a mid-run
+/// server error.
+pub fn parse_script(src: &str) -> Result<Vec<ScriptLine>, String> {
     let mut out = Vec::new();
     for (lineno, raw) in src.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
-        let (name, args) =
-            net::parse_invocation(line).map_err(|e| format!("script line {}: {e}", lineno + 1))?;
-        out.push((name.to_owned(), args));
+        let err = |e: String| format!("script line {}: {e}", lineno + 1);
+        let (verb, rest) = match line.split_once(char::is_whitespace) {
+            Some((v, r)) => (v, r.trim()),
+            None => (line, ""),
+        };
+        out.push(match verb {
+            "redefine" => {
+                let (ptok, regex) = rest
+                    .split_once(char::is_whitespace)
+                    .map(|(p, r)| (p, r.trim()))
+                    .filter(|(_, r)| !r.is_empty())
+                    .ok_or_else(|| {
+                        err("redefine needs <quarantine|certify-and-reset> <inventory regex>"
+                            .to_owned())
+                    })?;
+                let policy = ResiduePolicy::parse(ptok).map_err(err)?;
+                ScriptLine::Redefine(policy, regex.to_owned())
+            }
+            "rearm" | "ping" if rest.is_empty() => ScriptLine::Admin(verb.to_owned()),
+            "rearm" | "ping" => return Err(err(format!("{verb} takes no arguments"))),
+            "stats" if rest.is_empty() => ScriptLine::Admin("stats".to_owned()),
+            "stats" if rest == "prom" => ScriptLine::Admin("stats prom".to_owned()),
+            "stats" => return Err(err(format!("unknown stats form `{rest}`"))),
+            _ => {
+                let (name, args) = net::parse_invocation(line).map_err(err)?;
+                ScriptLine::Invoke(name.to_owned(), args)
+            }
+        });
     }
     Ok(out)
 }
@@ -261,8 +310,27 @@ pub fn cmd_enforce(
     let script = parse_script(script_src)?;
     let mut m = Monitor::new(&schema, &alphabet, &inv, kind);
     let mut out = String::new();
-    let mut rejected = 0usize;
-    for (name, args) in &script {
+    let (mut invoked, mut rejected) = (0usize, 0usize);
+    for line in &script {
+        let (name, args) = match line {
+            ScriptLine::Invoke(name, args) => (name, args),
+            ScriptLine::Redefine(policy, regex) => {
+                let next = Inventory::parse_init(&schema, &alphabet, regex)
+                    .map_err(|e| format!("redefine inventory: {e}"))?;
+                match m.redefine(&next, *policy) {
+                    Ok(o) => out.push_str(&format!(
+                        "↻ redefine — epoch {}, residue {} ({} quarantined)\n",
+                        o.epoch, o.residue, o.quarantined
+                    )),
+                    Err(e) => return Err(format!("{e}")),
+                }
+                continue;
+            }
+            ScriptLine::Admin(v) => {
+                return Err(format!("`{v}` drives a live server — use `migctl client --script`"));
+            }
+        };
+        invoked += 1;
         let t = ts.get(name).ok_or_else(|| format!("unknown transaction `{name}`"))?;
         match m.try_apply(t, &Assignment::new(args.clone())) {
             Ok(()) => out.push_str(&format!("✓ {name}\n")),
@@ -276,15 +344,15 @@ pub fn cmd_enforce(
             Err(EnforceError::Durability(e)) => {
                 return Err(format!("logging {name}: {e}"));
             }
-            Err(EnforceError::Degraded(e)) => {
+            Err(e @ (EnforceError::Degraded(_) | EnforceError::Redefine(_))) => {
                 return Err(format!("applying {name}: {e}"));
             }
         }
     }
     out.push_str(&format!(
         "committed {} of {} applications ({} rejected); {} object(s) live\n",
-        script.len() - rejected,
-        script.len(),
+        invoked - rejected,
+        invoked,
         rejected,
         m.db().num_objects()
     ));
@@ -529,10 +597,12 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
 }
 
 /// `migctl client`: drive a `migctl serve` endpoint. With `--script`,
-/// send each script line as a pipelined `invoke` (plus `shutdown` when
-/// `--shutdown` is given) and return every reply in order plus a tally;
-/// with `--shutdown` alone, just ask the server to drain; with
-/// neither, forward raw protocol lines from stdin, printing each reply.
+/// send each script line as a pipelined `invoke` — admin lines
+/// (`redefine`, `rearm`, `stats [prom]`, `ping`) go out as protocol
+/// requests instead — plus `shutdown` when `--shutdown` is given, and
+/// return every reply in order plus a tally; with `--shutdown` alone,
+/// just ask the server to drain; with neither, forward raw protocol
+/// lines from stdin, printing each reply.
 pub fn cmd_client(flags: &Flags, script: Option<&str>) -> Result<String, String> {
     use std::io::{BufRead, BufReader, Write};
 
@@ -575,9 +645,20 @@ pub fn cmd_client(flags: &Flags, script: Option<&str>) -> Result<String, String>
         // order — a writer thread keeps sending while we read, so a
         // long script cannot deadlock on full socket buffers. The whole
         // request stream is encoded up front: text `invoke` lines, or
-        // with --binary one REQ_INVOKE frame per script line. `shutdown`
-        // stays a text verb in either dialect, and its reply a text
-        // line — replies always answer in their request's dialect.
+        // with --binary one REQ_INVOKE frame per script line. Admin
+        // verbs (`redefine`, `rearm`, `stats [prom]`, `ping`) ride
+        // along: `redefine` becomes a REQ_REDEFINE frame under
+        // --binary, the rest stay text lines in either dialect (like
+        // `shutdown`), and replies always answer in their request's
+        // dialect — so the reader tracks what each request expects.
+        #[derive(Clone, Copy)]
+        enum Expect {
+            Text,
+            Frame,
+            /// `stats prom`: an `ok prom <len>` header line followed by
+            /// `len` payload bytes.
+            Prom,
+        }
         let binary = flags.get("binary").is_some();
         let shutdown = flags.get("shutdown").is_some();
         let lines: Vec<&str> = src
@@ -586,37 +667,87 @@ pub fn cmd_client(flags: &Flags, script: Option<&str>) -> Result<String, String>
             .filter(|l| !l.is_empty())
             .collect();
         let mut bytes = Vec::new();
+        let mut expects = Vec::with_capacity(lines.len() + 1);
         for (i, l) in lines.iter().enumerate() {
-            if binary {
-                let (name, args) =
-                    net::parse_invocation(l).map_err(|e| format!("script line {}: {e}", i + 1))?;
-                net::frame::encode_invoke_frame(&mut bytes, name, &args);
-            } else {
-                bytes.extend_from_slice(format!("invoke {l}\n").as_bytes());
+            let err = |e: String| format!("script line {}: {e}", i + 1);
+            let (verb, rest) = match l.split_once(char::is_whitespace) {
+                Some((v, r)) => (v, r.trim()),
+                None => (*l, ""),
+            };
+            match verb {
+                "redefine" if binary => {
+                    let (ptok, regex) = rest
+                        .split_once(char::is_whitespace)
+                        .map(|(p, r)| (p, r.trim()))
+                        .ok_or_else(|| {
+                            err("redefine needs <policy> <inventory regex>".to_owned())
+                        })?;
+                    let policy = ResiduePolicy::parse(ptok).map_err(err)?;
+                    net::frame::encode_redefine_frame(&mut bytes, policy, regex);
+                    expects.push(Expect::Frame);
+                }
+                "redefine" | "rearm" | "ping" | "stats" => {
+                    bytes.extend_from_slice(format!("{l}\n").as_bytes());
+                    expects.push(if verb == "stats" && rest == "prom" {
+                        Expect::Prom
+                    } else {
+                        Expect::Text
+                    });
+                }
+                _ if binary => {
+                    let (name, args) = net::parse_invocation(l).map_err(err)?;
+                    net::frame::encode_invoke_frame(&mut bytes, name, &args);
+                    expects.push(Expect::Frame);
+                }
+                _ => {
+                    bytes.extend_from_slice(format!("invoke {l}\n").as_bytes());
+                    expects.push(Expect::Text);
+                }
             }
         }
         if shutdown {
             bytes.extend_from_slice(b"shutdown\n");
+            expects.push(Expect::Text);
         }
-        let expected = lines.len() + usize::from(shutdown);
         let (mut ok, mut violation, mut error) = (0usize, 0usize, 0usize);
         let mut out = String::new();
         std::thread::scope(|scope| -> Result<(), String> {
             scope.spawn(move || {
                 let _ = writer.write_all(&bytes).and_then(|()| writer.flush());
             });
-            for i in 0..expected {
-                let text_reply = !binary || (shutdown && i == lines.len());
-                let reply = if text_reply {
-                    read_reply_line(&mut reader)?
-                } else {
-                    let (kind, payload) = net::frame::read_frame(&mut reader)
-                        .map_err(|e| format!("reading reply frame: {e}"))?;
-                    let text = String::from_utf8_lossy(&payload);
-                    match kind {
-                        net::frame::REP_OK => "ok".to_owned(),
-                        net::frame::REP_VIOLATION => format!("violation {text}"),
-                        _ => format!("error {text}"),
+            for expect in &expects {
+                let reply = match expect {
+                    Expect::Text => read_reply_line(&mut reader)?,
+                    Expect::Frame => {
+                        let (kind, payload) = net::frame::read_frame(&mut reader)
+                            .map_err(|e| format!("reading reply frame: {e}"))?;
+                        let text = String::from_utf8_lossy(&payload);
+                        match kind {
+                            net::frame::REP_OK if payload.is_empty() => "ok".to_owned(),
+                            net::frame::REP_OK => format!("ok {text}"),
+                            net::frame::REP_VIOLATION => format!("violation {text}"),
+                            _ => format!("error {text}"),
+                        }
+                    }
+                    Expect::Prom => {
+                        // An errored `stats prom` (quota, degraded
+                        // handshake) answers a plain line instead of
+                        // the framed header; pass it through.
+                        let header = read_reply_line(&mut reader)?;
+                        match header
+                            .strip_prefix("ok prom ")
+                            .and_then(|len| len.parse::<usize>().ok())
+                        {
+                            Some(len) => {
+                                use std::io::Read as _;
+                                let mut payload = vec![0u8; len];
+                                reader
+                                    .read_exact(&mut payload)
+                                    .map_err(|e| format!("reading prom payload: {e}"))?;
+                                format!("{header}\n{}", String::from_utf8_lossy(&payload))
+                            }
+                            None => header,
+                        }
                     }
                 };
                 match reply.split_whitespace().next() {
@@ -625,7 +756,9 @@ pub fn cmd_client(flags: &Flags, script: Option<&str>) -> Result<String, String>
                     _ => error += 1,
                 }
                 out.push_str(&reply);
-                out.push('\n');
+                if !reply.ends_with('\n') {
+                    out.push('\n');
+                }
             }
             Ok(())
         })?;
@@ -784,11 +917,39 @@ mod tests {
         "#;
         let parsed = parse_script(script).unwrap();
         assert_eq!(parsed.len(), 4);
-        assert_eq!(parsed[0], ("Mk".to_owned(), vec![Value::int(1)]));
-        assert_eq!(parsed[1].1, vec![Value::str("two words")]);
-        assert_eq!(parsed[3].1, vec![Value::str("notanumber")]);
+        assert_eq!(parsed[0], ScriptLine::Invoke("Mk".to_owned(), vec![Value::int(1)]));
+        assert_eq!(parsed[1], ScriptLine::Invoke("Mk".to_owned(), vec![Value::str("two words")]));
+        assert_eq!(parsed[3], ScriptLine::Invoke("Rm".to_owned(), vec![Value::str("notanumber")]));
         assert!(parse_script("Mk 1").is_err());
         assert!(parse_script("(1)").is_err());
+    }
+
+    #[test]
+    fn script_parsing_accepts_admin_verbs() {
+        let script = "
+            Mk(1)
+            redefine quarantine ∅* [PERSON]* ∅*   # tighten online
+            rearm
+            stats
+            stats prom
+            ping
+        ";
+        let parsed = parse_script(script).unwrap();
+        assert_eq!(parsed.len(), 6);
+        assert_eq!(
+            parsed[1],
+            ScriptLine::Redefine(ResiduePolicy::Quarantine, "∅* [PERSON]* ∅*".to_owned())
+        );
+        assert_eq!(parsed[2], ScriptLine::Admin("rearm".to_owned()));
+        assert_eq!(parsed[3], ScriptLine::Admin("stats".to_owned()));
+        assert_eq!(parsed[4], ScriptLine::Admin("stats prom".to_owned()));
+        assert_eq!(parsed[5], ScriptLine::Admin("ping".to_owned()));
+        // Validation happens at parse time, with line numbers.
+        let err = parse_script("redefine sometimes ∅*").unwrap_err();
+        assert!(err.starts_with("script line 1:"), "{err}");
+        assert!(parse_script("redefine quarantine").is_err());
+        assert!(parse_script("rearm now").is_err());
+        assert!(parse_script("stats loudly").is_err());
     }
 
     #[test]
@@ -800,6 +961,31 @@ mod tests {
         assert!(out.contains("✗ St"), "{out}");
         assert!(out.contains("✓ Rm"));
         assert!(out.contains("committed 2 of 3"), "{out}");
+    }
+
+    #[test]
+    fn enforce_redefines_mid_script() {
+        // The permissive inventory admits the specialization; after the
+        // mid-script redefine to PERSON-only, the same step violates —
+        // and the violation quotes the post-redefine epoch.
+        let f = flags(&[("inventory", "∅* [PERSON]* [STUDENT]* [PERSON]* ∅*")]);
+        let script = "
+            Mk(1)
+            St(1)
+            redefine quarantine ∅* [PERSON]* ∅*
+            Mk(2)
+            St(2)
+        ";
+        let out = cmd_enforce(SCHEMA, TX, script, &f).unwrap();
+        assert!(out.contains("✓ St"), "{out}");
+        assert!(out.contains("↻ redefine — epoch 1, residue 1 (1 quarantined)"), "{out}");
+        assert!(out.contains("✗ St — "), "{out}");
+        assert!(out.contains("[epoch 1]"), "{out}");
+        assert!(out.contains("committed 3 of 4"), "{out}");
+
+        // Serve-only admin verbs are refused offline.
+        let err = cmd_enforce(SCHEMA, TX, "rearm\n", &f).unwrap_err();
+        assert!(err.contains("live server"), "{err}");
     }
 
     #[test]

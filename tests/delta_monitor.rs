@@ -60,6 +60,7 @@ fn delta_engine_equals_reference_engine_on_random_runs() {
                 Err(EnforceError::Lang(e)) => panic!("unexpected lang error {e}"),
                 Err(EnforceError::Durability(e)) => panic!("unexpected wal error {e}"),
                 Err(EnforceError::Degraded(e)) => panic!("unexpected degraded state {e}"),
+                Err(EnforceError::Redefine(e)) => panic!("unexpected redefine error {e}"),
             }
         }
         // Recorded patterns agree for every object that ever existed.
@@ -208,6 +209,7 @@ fn sharded_monitor_equals_reference_engine_on_random_runs() {
                 Err(EnforceError::Lang(e)) => panic!("unexpected lang error {e}"),
                 Err(EnforceError::Durability(e)) => panic!("unexpected wal error {e}"),
                 Err(EnforceError::Degraded(e)) => panic!("unexpected degraded state {e}"),
+                Err(EnforceError::Redefine(e)) => panic!("unexpected redefine error {e}"),
             }
         }
         for oid in 1..=sharded.db().next_oid().0 {
@@ -366,6 +368,7 @@ fn sharded_clocks_equal_per_shard_reference_oracles() {
                 Err(EnforceError::Lang(e)) => panic!("unexpected lang error {e}"),
                 Err(EnforceError::Durability(e)) => panic!("unexpected wal error {e}"),
                 Err(EnforceError::Degraded(e)) => panic!("unexpected degraded state {e}"),
+                Err(EnforceError::Redefine(e)) => panic!("unexpected redefine error {e}"),
             }
             // Every shard's clock equals its oracle's global step count.
             for (i, oracle) in oracles.oracles.iter().enumerate() {
@@ -539,4 +542,381 @@ fn sharded_batch_admission_matches_per_shard_oracles() {
     }
     assert!(batch_commits > 100, "only {batch_commits} commits");
     assert!(batch_rejections > 40, "only {batch_rejections} rejected blocks");
+}
+
+// ---------------------------------------------------------------------
+// Constraint evolution (`Monitor::redefine`) equivalence suites
+// ---------------------------------------------------------------------
+
+use migratory::automata::Regex;
+use migratory::core::enforce::ResiduePolicy;
+
+/// Rewrites an oracle's decision into the monitor's current epoch so
+/// post-redefinition rejections can be compared byte-for-byte against
+/// an oracle that never redefined (violations are identical except for
+/// the epoch stamp).
+fn at_epoch(r: Result<(), EnforceError>, epoch: u64) -> Result<(), EnforceError> {
+    r.map_err(|e| match e {
+        EnforceError::Violation(mut v) => {
+            v.epoch = epoch;
+            EnforceError::Violation(v)
+        }
+        other => other,
+    })
+}
+
+/// 80 random runs with identity redefinitions sprinkled at random
+/// points: redefining to the *same* inventory must bump the epoch and
+/// produce zero residue, and the monitor must stay byte-identical
+/// (decisions, databases, step counts, recorded patterns) to a
+/// reference oracle that never redefined — modulo the epoch stamp on
+/// violations.
+#[test]
+fn identity_redefine_is_observationally_invisible() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0021);
+    let (mut commits, mut rejections, mut redefines) = (0usize, 0usize, 0usize);
+    for case in 0..80 {
+        let (schema, edges) = random_schema(&mut rng);
+        let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+        let inv = random_inventory(&mut rng, &schema, &alphabet);
+        let kind = PatternKind::ALL[rng.random_range(0usize..4)];
+        let policy = if rng.random_range(0u32..2) == 0 {
+            StepPolicy::EveryApplication
+        } else {
+            StepPolicy::OnlyChanging
+        };
+        let mut fast = Monitor::new(&schema, &alphabet, &inv, kind).with_policy(policy);
+        let mut oracle = Monitor::new_reference(&schema, &alphabet, &inv, kind).with_policy(policy);
+        let no_args = Assignment::empty();
+        for step in 0..rng.random_range(6usize..24) {
+            if rng.random_range(0u32..5) == 0 {
+                let residue_policy = if rng.random_range(0u32..2) == 0 {
+                    ResiduePolicy::Quarantine
+                } else {
+                    ResiduePolicy::CertifyAndReset
+                };
+                let before = fast.epoch();
+                let out = fast
+                    .redefine(&inv.clone(), residue_policy)
+                    .expect("identity redefinition is always viable");
+                assert_eq!(out.epoch, before + 1, "case {case}: epoch must bump");
+                assert_eq!(out.residue, 0, "case {case}: identity redefine has no residue");
+                assert_eq!(
+                    out.quarantined, 0,
+                    "case {case}: identity redefine quarantines nothing"
+                );
+                assert_eq!(fast.epoch(), before + 1);
+                redefines += 1;
+            }
+            let t = random_transaction(&mut rng, &schema, &edges);
+            let rf = fast.try_apply(&t, &no_args);
+            let ro = at_epoch(oracle.try_apply(&t, &no_args), fast.epoch());
+            assert_eq!(
+                rf, ro,
+                "case {case} step {step}: engines disagree after identity redefines \
+                 (kind {kind}, policy {policy:?})"
+            );
+            assert_eq!(fast.db(), oracle.db(), "case {case} step {step}: db diverged");
+            assert_eq!(fast.steps(), oracle.steps(), "case {case} step {step}");
+            match rf {
+                Ok(()) => commits += 1,
+                Err(EnforceError::Violation(_)) => rejections += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        for oid in 1..=fast.db().next_oid().0 {
+            assert_eq!(
+                fast.pattern_of(Oid(oid)),
+                oracle.pattern_of(Oid(oid)),
+                "case {case}: pattern of o{oid} diverged"
+            );
+        }
+        assert_eq!(fast.quarantined_total(), 0, "case {case}");
+    }
+    assert!(commits > 150, "only {commits} commits — workload too restrictive");
+    assert!(rejections > 150, "only {rejections} rejections — workload too permissive");
+    assert!(redefines > 40, "only {redefines} identity redefinitions exercised");
+}
+
+/// 100 random runs where the monitor consumes a random amount of
+/// pre-creation history under inventory A, then redefines to an
+/// unrelated random inventory B: the redefined monitor must be
+/// byte-identical — decisions, violations (modulo epoch stamp),
+/// databases, clocks, patterns — to a **fresh monitor born with B**
+/// that replayed the same (entirely viable, object-free) history. The
+/// paper's clean-slate semantics: a redefinition is a fresh constraint
+/// whose clock started at the old monitor's first step.
+#[test]
+fn redefine_equals_fresh_monitor_replaying_viable_history() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0022);
+    let (mut commits, mut rejections) = (0usize, 0usize);
+    for case in 0..100 {
+        let (schema, edges) = random_schema(&mut rng);
+        let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+        let empty = Regex::star(Regex::Sym(alphabet.empty_symbol()));
+        // Both inventories tolerate arbitrary pre-creation ∅ history, so
+        // the consumed prefix is viable under B by construction and the
+        // redefinition must be admitted.
+        // Build Init(∅* · r · ∅*) explicitly for both inventories.
+        let mk = |rng: &mut StdRng| {
+            fn rr(rng: &mut StdRng, syms: u32, depth: usize) -> Regex {
+                if depth == 0 || rng.random_range(0u32..4) == 0 {
+                    return Regex::Sym(rng.random_range(0..syms));
+                }
+                match rng.random_range(0u32..4) {
+                    0 => Regex::concat([rr(rng, syms, depth - 1), rr(rng, syms, depth - 1)]),
+                    1 => Regex::union([rr(rng, syms, depth - 1), rr(rng, syms, depth - 1)]),
+                    2 => Regex::star(rr(rng, syms, depth - 1)),
+                    _ => Regex::plus(rr(rng, syms, depth - 1)),
+                }
+            }
+            rr(rng, alphabet.num_symbols(), 3)
+        };
+        let inv_a = Inventory::init_of_regex(
+            &schema,
+            &alphabet,
+            &Regex::concat([empty.clone(), mk(&mut rng), empty.clone()]),
+        )
+        .expect("Init(regex) is an inventory");
+        let inv_b = Inventory::init_of_regex(
+            &schema,
+            &alphabet,
+            &Regex::concat([empty.clone(), mk(&mut rng), empty.clone()]),
+        )
+        .expect("Init(regex) is an inventory");
+        let kind = PatternKind::ALL[rng.random_range(0usize..4)];
+        let mut m = Monitor::new(&schema, &alphabet, &inv_a, kind)
+            .with_policy(StepPolicy::EveryApplication);
+        // Pre-creation history: admitted letter steps that touch no
+        // object (an unmatched delete is a letter under
+        // EveryApplication). ∅^k is a prefix of both languages.
+        let root = schema.class_id("C0").expect("root");
+        let k = schema.attr_id("K").expect("key attr");
+        let pad = Transaction::sl(
+            "pad",
+            &[],
+            vec![AtomicUpdate::Delete {
+                class: root,
+                gamma: Condition::from_atoms([Atom::eq_const(k, "no-such-key")]),
+            }],
+        );
+        let no_args = Assignment::empty();
+        let steps0 = rng.random_range(0usize..8);
+        for _ in 0..steps0 {
+            m.try_apply(&pad, &no_args).expect("∅ prefix is viable under A");
+        }
+        let residue_policy = if rng.random_range(0u32..2) == 0 {
+            ResiduePolicy::Quarantine
+        } else {
+            ResiduePolicy::CertifyAndReset
+        };
+        let out = m.redefine(&inv_b, residue_policy).expect("∅ history is viable under B");
+        assert_eq!(out.epoch, 1, "case {case}");
+        assert_eq!((out.residue, out.quarantined), (0, 0), "case {case}: no objects yet");
+        // The oracle: a monitor born with B, replaying the same viable
+        // history from scratch.
+        let mut fresh = Monitor::new(&schema, &alphabet, &inv_b, kind)
+            .with_policy(StepPolicy::EveryApplication);
+        for _ in 0..steps0 {
+            fresh.try_apply(&pad, &no_args).expect("∅ prefix is viable under B");
+        }
+        assert_eq!(m.steps(), fresh.steps(), "case {case}: clocks diverged on replay");
+        for step in 0..rng.random_range(6usize..20) {
+            let t = random_transaction(&mut rng, &schema, &edges);
+            let rm = m.try_apply(&t, &no_args);
+            let rf = at_epoch(fresh.try_apply(&t, &no_args), m.epoch());
+            assert_eq!(
+                rm, rf,
+                "case {case} step {step}: redefined monitor diverged from fresh \
+                 monitor (kind {kind}, {residue_policy})"
+            );
+            assert_eq!(m.db(), fresh.db(), "case {case} step {step}: db diverged");
+            assert_eq!(m.steps(), fresh.steps(), "case {case} step {step}");
+            match rm {
+                Ok(()) => commits += 1,
+                Err(EnforceError::Violation(_)) => rejections += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        for oid in 1..=m.db().next_oid().0 {
+            assert_eq!(
+                m.pattern_of(Oid(oid)),
+                fresh.pattern_of(Oid(oid)),
+                "case {case}: pattern of o{oid} diverged"
+            );
+        }
+    }
+    assert!(commits > 200, "only {commits} commits — workload too restrictive");
+    assert!(rejections > 100, "only {rejections} rejections — workload too permissive");
+}
+
+/// 80 random runs redefining at a random point on a [`ShardedMonitor`]
+/// and a plain delta [`Monitor`] in lockstep: same outcome (epoch,
+/// residue, quarantine split under both policies) or same refusal, and
+/// byte-identical behavior afterwards — the sharded all-shards-or-
+/// nothing swap is observationally the single-partition redefine.
+#[test]
+fn sharded_redefine_equals_single_monitor_redefine() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0023);
+    let (mut commits, mut rejections, mut admitted_redefs, mut refusals) =
+        (0usize, 0usize, 0usize, 0usize);
+    for case in 0..80 {
+        let (schema, edges) = random_schema(&mut rng);
+        let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+        let inv_a = random_inventory(&mut rng, &schema, &alphabet);
+        let inv_b = random_inventory(&mut rng, &schema, &alphabet);
+        let kind = PatternKind::ALL[rng.random_range(0usize..4)];
+        let policy = if rng.random_range(0u32..2) == 0 {
+            StepPolicy::EveryApplication
+        } else {
+            StepPolicy::OnlyChanging
+        };
+        let shards = rng.random_range(1usize..5);
+        let mut sharded = ShardedMonitor::new(&schema, &alphabet, &inv_a, kind, shards)
+            .with_policy(policy)
+            .with_parallel_staging(rng.random_range(0u32..2) == 1);
+        let mut single = Monitor::new(&schema, &alphabet, &inv_a, kind).with_policy(policy);
+        let no_args = Assignment::empty();
+        let run_len = rng.random_range(6usize..20);
+        let redefine_at = rng.random_range(0..run_len);
+        let residue_policy = if rng.random_range(0u32..2) == 0 {
+            ResiduePolicy::Quarantine
+        } else {
+            ResiduePolicy::CertifyAndReset
+        };
+        for step in 0..run_len {
+            if step == redefine_at {
+                let rs = sharded.redefine(&inv_b, residue_policy);
+                let rm = single.redefine(&inv_b, residue_policy);
+                match (rs, rm) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a, b, "case {case}: redefine outcomes diverged");
+                        admitted_redefs += 1;
+                    }
+                    (Err(EnforceError::Redefine(_)), Err(EnforceError::Redefine(_))) => {
+                        refusals += 1;
+                    }
+                    (a, b) => panic!("case {case}: redefine split-brain: {a:?} vs {b:?}"),
+                }
+                assert_eq!(sharded.epoch(), single.epoch(), "case {case}");
+                assert_eq!(sharded.redefine_total(), single.redefine_total(), "case {case}");
+                assert_eq!(sharded.quarantined_total(), single.quarantined_total(), "case {case}");
+            }
+            let t = random_transaction(&mut rng, &schema, &edges);
+            let rs = sharded.try_apply(&t, &no_args);
+            let rm = single.try_apply(&t, &no_args);
+            assert_eq!(
+                rs, rm,
+                "case {case} step {step}: sharded({shards}) diverged after redefine \
+                 (kind {kind}, {policy:?}, {residue_policy})"
+            );
+            assert_eq!(sharded.db(), single.db(), "case {case} step {step}: db diverged");
+            for c in sharded.clocks() {
+                assert_eq!(c, single.steps(), "case {case} step {step}: stripes not in lockstep");
+            }
+            match rs {
+                Ok(()) => commits += 1,
+                Err(EnforceError::Violation(_)) => rejections += 1,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        for oid in 1..=sharded.db().next_oid().0 {
+            assert_eq!(
+                sharded.pattern_of(Oid(oid)),
+                single.pattern_of(Oid(oid)),
+                "case {case}: pattern of o{oid} diverged"
+            );
+        }
+    }
+    assert!(commits > 100, "only {commits} commits — workload too restrictive");
+    assert!(rejections > 100, "only {rejections} rejections — workload too permissive");
+    assert!(admitted_redefs > 30, "only {admitted_redefs} admitted redefinitions");
+    assert_eq!(admitted_redefs + refusals, 80, "every case redefines exactly once");
+}
+
+/// A refused redefinition changes nothing: after the never-created
+/// class's consumed ∅-walk leaves the candidate inventory, the monitor
+/// must keep enforcing the old inventory byte-identically, at epoch 0.
+/// Also pins the refusal modes that need no traffic: the reference
+/// engine and alphabet mismatches.
+#[test]
+fn refused_redefine_leaves_the_monitor_untouched() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0024);
+    let mut refused = 0usize;
+    for case in 0..40 {
+        let (schema, edges) = random_schema(&mut rng);
+        let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+        let empty = Regex::star(Regex::Sym(alphabet.empty_symbol()));
+        let inv_a = Inventory::init_of_regex(
+            &schema,
+            &alphabet,
+            &Regex::concat([
+                empty.clone(),
+                Regex::star(Regex::Sym(rng.random_range(0..alphabet.num_symbols()))),
+                empty,
+            ]),
+        )
+        .expect("inventory");
+        // A language whose words all start with a non-∅ role: once the
+        // monitor has consumed one enforced ∅ step, ∅^k is no prefix of
+        // the candidate and the pre-walk must refuse.
+        let role = (0..alphabet.num_symbols())
+            .find(|&s| s != alphabet.empty_symbol())
+            .expect("some non-empty role set");
+        let inv_b =
+            Inventory::init_of_regex(&schema, &alphabet, &Regex::Sym(role)).expect("inventory");
+        let mut m = Monitor::new(&schema, &alphabet, &inv_a, PatternKind::All)
+            .with_policy(StepPolicy::EveryApplication);
+        let mut oracle = Monitor::new_reference(&schema, &alphabet, &inv_a, PatternKind::All)
+            .with_policy(StepPolicy::EveryApplication);
+        let root = schema.class_id("C0").expect("root");
+        let k = schema.attr_id("K").expect("key attr");
+        let pad = Transaction::sl(
+            "pad",
+            &[],
+            vec![AtomicUpdate::Delete {
+                class: root,
+                gamma: Condition::from_atoms([Atom::eq_const(k, "no-such-key")]),
+            }],
+        );
+        let no_args = Assignment::empty();
+        for _ in 0..rng.random_range(1usize..5) {
+            m.try_apply(&pad, &no_args).expect("∅ prefix viable under A");
+            oracle.try_apply(&pad, &no_args).expect("∅ prefix viable under A");
+        }
+        match m.redefine(&inv_b, ResiduePolicy::Quarantine) {
+            Err(EnforceError::Redefine(msg)) => {
+                assert!(
+                    msg.contains("leaves the new inventory"),
+                    "case {case}: unexpected refusal: {msg}"
+                );
+                refused += 1;
+            }
+            other => panic!("case {case}: expected pre-walk refusal, got {other:?}"),
+        }
+        assert_eq!(m.epoch(), 0, "case {case}: refusal must not bump the epoch");
+        assert_eq!(m.redefine_total(), 0, "case {case}");
+        for step in 0..rng.random_range(4usize..12) {
+            let t = random_transaction(&mut rng, &schema, &edges);
+            assert_eq!(
+                m.try_apply(&t, &no_args),
+                oracle.try_apply(&t, &no_args),
+                "case {case} step {step}: refused redefine perturbed the monitor"
+            );
+            assert_eq!(m.db(), oracle.db(), "case {case} step {step}");
+        }
+    }
+    assert_eq!(refused, 40);
+
+    // Refusals that need no traffic at all.
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let mut reference = Monitor::new_reference(&schema, &alphabet, &inv, PatternKind::All);
+    match reference.redefine(&inv.clone(), ResiduePolicy::Quarantine) {
+        Err(EnforceError::Redefine(msg)) => {
+            assert!(msg.contains("reference engine"), "got: {msg}");
+        }
+        other => panic!("expected reference-engine refusal, got {other:?}"),
+    }
 }

@@ -403,3 +403,173 @@ fn malformed_inputs_report_errors() {
         assert!(!err.to_string().is_empty());
     }
 }
+
+// ---------------------------------------------------------------------
+// Constraint evolution (`redefine`) payloads, both dialects
+// ---------------------------------------------------------------------
+
+use migratory::core::enforce::ResiduePolicy;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The inventory source parser behind `redefine` is total: any soup
+    /// yields `Err`, never a panic. (This is the exact server-side parse
+    /// of a text `redefine` line's source operand.)
+    #[test]
+    fn inventory_parser_never_panics(src in soup()) {
+        let schema = university_schema();
+        let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+        let _ = Inventory::parse_init(&schema, &alphabet, &src);
+    }
+
+    /// The binary `redefine` payload decode chain — policy byte, UTF-8
+    /// check, inventory parse — never panics on arbitrary payloads.
+    #[test]
+    fn binary_redefine_payload_never_panics(
+        payload in proptest::collection::vec(0u16..256, 0..256),
+    ) {
+        let schema = university_schema();
+        let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+        let bytes: Vec<u8> =
+            payload.iter().map(|&b| u8::try_from(b).expect("strategy range fits a byte")).collect();
+        if let Some((pb, src)) = bytes.split_first() {
+            let _ = ResiduePolicy::from_byte(*pb);
+            if let Ok(text) = std::str::from_utf8(src) {
+                let _ = Inventory::parse_init(&schema, &alphabet, text);
+            }
+        }
+    }
+}
+
+/// Hostile `redefine` payloads in both dialects against a live server:
+/// malformed verbs, unknown policies, unparsable and oversized
+/// inventory sources, non-UTF-8 and truncated binary frames — every
+/// one refused in its own dialect, none degrading the server, and
+/// well-formed redefinitions still admitted afterwards.
+#[test]
+fn redefine_soup_never_kills_the_server() {
+    use std::io::{BufRead, BufReader, Read as _, Write};
+    let schema = university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }"#,
+    )
+    .unwrap();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| {
+            let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 2);
+            net::serve(listener, &mut m, &ts, &ServerConfig::default(), |_| {}).unwrap()
+        });
+        let conn = std::net::TcpStream::connect(addr).unwrap();
+        let mut writer = conn.try_clone().unwrap();
+        let mut reader = BufReader::new(conn);
+        let text = |w: &mut std::net::TcpStream, r: &mut BufReader<_>, line: &str| {
+            writeln!(w, "{line}").unwrap();
+            let mut reply = String::new();
+            r.read_line(&mut reply).unwrap();
+            reply
+        };
+        // Text dialect: every malformed form is an `error`, never a
+        // dropped connection.
+        let big_class = format!("[{}]*", "A".repeat(4096));
+        for (line, expect) in [
+            ("redefine".to_owned(), "usage: redefine"),
+            ("redefine quarantine".to_owned(), "usage: redefine"),
+            ("redefine sideways ∅*".to_owned(), "unknown residue policy"),
+            ("redefine quarantine ((((".to_owned(), "redefine refused"),
+            ("redefine quarantine [NOSUCHCLASS]*".to_owned(), "redefine refused"),
+            (format!("redefine quarantine {big_class}"), "redefine refused"),
+        ] {
+            let reply = text(&mut writer, &mut reader, &line);
+            assert!(reply.starts_with("error "), "`{line}` got `{reply}`");
+            assert!(reply.contains(expect), "`{line}` got `{reply}`");
+        }
+        // The server still serves and still admits a valid redefinition.
+        assert_eq!(text(&mut writer, &mut reader, "invoke Mk(1)"), "ok\n");
+        assert_eq!(
+            text(&mut writer, &mut reader, "redefine certify-and-reset ∅* [PERSON]* ∅*"),
+            "ok epoch=1 residue=0\n"
+        );
+        // Binary dialect: malformed payloads get binary errors on the
+        // same (mixed-dialect) connection.
+        let frame_err = |w: &mut std::net::TcpStream,
+                         r: &mut BufReader<std::net::TcpStream>,
+                         payload: &[u8],
+                         expect: &str| {
+            let mut req = Vec::new();
+            frame::encode(&mut req, frame::REQ_REDEFINE, payload);
+            w.write_all(&req).unwrap();
+            let (kind, reply) = frame::read_frame(r).unwrap();
+            let reply = String::from_utf8_lossy(&reply).into_owned();
+            assert_eq!(kind, frame::REP_ERROR, "payload {payload:?} got `{reply}`");
+            assert!(reply.contains(expect), "payload {payload:?} got `{reply}`");
+        };
+        frame_err(&mut writer, &mut reader, b"", "empty redefine payload");
+        frame_err(&mut writer, &mut reader, &[9, b'*'], "unknown residue policy");
+        frame_err(&mut writer, &mut reader, &[0, 0xc3, 0x28, 0xff], "UTF-8");
+        frame_err(
+            &mut writer,
+            &mut reader,
+            "\u{0}\u{2205}* [PERSON".as_bytes(),
+            "redefine refused",
+        );
+        let huge = format!("\u{1}[{}]*", "B".repeat(60_000));
+        frame_err(&mut writer, &mut reader, huge.as_bytes(), "redefine refused");
+        // A well-formed binary redefinition is still admitted.
+        let mut req = Vec::new();
+        frame::encode_redefine_frame(
+            &mut req,
+            ResiduePolicy::Quarantine,
+            "∅* ([PERSON] ∪ [STUDENT])* ∅*",
+        );
+        writer.write_all(&req).unwrap();
+        let (kind, reply) = frame::read_frame(&mut reader).unwrap();
+        assert_eq!(kind, frame::REP_OK);
+        assert_eq!(String::from_utf8_lossy(&reply), "epoch=2 residue=0");
+        assert_eq!(text(&mut writer, &mut reader, "invoke Mk(2)"), "ok\n");
+        let stats = text(&mut writer, &mut reader, "stats");
+        assert!(stats.contains("degraded=no"), "hostile payloads degraded the server: {stats}");
+        assert!(stats.contains("epoch=2 redefines=2 quarantined=0"), "{stats}");
+        // A truncated binary redefine frame never dispatches: half-close
+        // with an incomplete frame buffered tears down only this
+        // connection.
+        let mut partial = Vec::new();
+        frame::encode_redefine_frame(&mut partial, ResiduePolicy::Quarantine, "∅* [PERSON]* ∅*");
+        writer.write_all(&partial[..partial.len() - 5]).unwrap();
+        writer.flush().unwrap();
+        writer.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "truncated frame must not produce a reply");
+        // An oversized redefine length prefix is refused at the header.
+        let over = std::net::TcpStream::connect(addr).unwrap();
+        let mut ow = over.try_clone().unwrap();
+        let mut or = BufReader::new(over);
+        let mut bad = vec![frame::MAGIC, frame::REQ_REDEFINE];
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        ow.write_all(&bad).unwrap();
+        ow.flush().unwrap();
+        let (kind, reply) = frame::read_frame(&mut or).unwrap();
+        assert_eq!(kind, frame::REP_ERROR);
+        assert!(String::from_utf8_lossy(&reply).contains("exceeds"));
+        let mut rest = Vec::new();
+        or.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server closed the oversized connection");
+        // …and a fresh connection still gets clean service at epoch 2.
+        let fresh = std::net::TcpStream::connect(addr).unwrap();
+        let mut w = fresh.try_clone().unwrap();
+        let mut r = BufReader::new(fresh).lines();
+        writeln!(w, "ping").unwrap();
+        assert_eq!(r.next().unwrap().unwrap(), "ok pong");
+        writeln!(w, "shutdown").unwrap();
+        assert_eq!(r.next().unwrap().unwrap(), "ok draining");
+        let stats = server.join().unwrap();
+        assert_eq!(stats.admitted, 2, "Mk(1) text + Mk(2) text");
+        assert_eq!(stats.connections, 3);
+    });
+}

@@ -11,7 +11,7 @@
 //!   the protocol document cannot drift from the server.
 
 use migratory::core::enforce::net::{self, ServerConfig};
-use migratory::core::enforce::{ShardedMonitor, Wal};
+use migratory::core::enforce::{ResiduePolicy, ShardedMonitor, Wal};
 use migratory::core::{Inventory, PatternKind, RoleAlphabet};
 use migratory::lang::{parse_transactions, Assignment, TransactionSchema};
 use migratory::model::text::parse_schema;
@@ -643,6 +643,146 @@ fn persistent_append_failure_degrades_to_read_only() {
         recovered_state(&wal_dir),
         expected_state(&script_refs),
         "the degraded refusals left no trace — only acked ops are durable"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Online redefinition under live traffic, through the real binary
+// ---------------------------------------------------------------------
+
+/// The tightened inventory a mid-stream `redefine` swaps in: students
+/// are no longer admissible, so every pre-existing STUDENT cohort is
+/// residue.
+const UNI_NEXT_INV: &str = "∅* [PERSON]* ∅*";
+
+/// What the acked script must have produced when a redefinition sits
+/// between its two halves: a fresh monitor fed the pre-redefine ops,
+/// redefined under quarantine, then fed the post-redefine ops.
+fn expected_redefined_state(pre: &[(&str, &str)], post: &[(&str, &str)]) -> Vec<u8> {
+    let schema = parse_schema(UNI_SCHEMA).unwrap();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let inv = Inventory::parse_init(&schema, &alphabet, UNI_INV).unwrap();
+    let next = Inventory::parse_init(&schema, &alphabet, UNI_NEXT_INV).unwrap();
+    let ts = parse_transactions(&schema, UNI_TX).unwrap();
+    let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 2);
+    for (name, key) in pre {
+        m.try_apply(
+            ts.get(name).unwrap(),
+            &Assignment::new(vec![migratory::model::Value::str(key)]),
+        )
+        .expect("acked pre-redefine ops conform");
+    }
+    let out = m.redefine(&next, ResiduePolicy::Quarantine).expect("the oracle redefinition admits");
+    assert_eq!((out.epoch, out.residue, out.quarantined), (1, 2, 2), "two students are residue");
+    for (name, key) in post {
+        m.try_apply(
+            ts.get(name).unwrap(),
+            &Assignment::new(vec![migratory::model::Value::str(key)]),
+        )
+        .expect("acked post-redefine ops conform");
+    }
+    m.snapshot().encode()
+}
+
+/// The tentpole end to end, through the real binary: serve durably,
+/// push mixed traffic, `redefine` mid-stream (residue quoted on the
+/// wire), keep going under the new constraint, SIGKILL, `--recover`
+/// into a second server that resumes at the swapped epoch — with the
+/// post-upgrade violation stamped by the new automaton — and after a
+/// graceful drain the durable state is byte-identical to an oracle that
+/// replayed exactly the acked ops around an in-memory redefinition.
+#[test]
+fn redefine_under_live_traffic_survives_kill_and_recover() {
+    let dir = std::env::temp_dir().join(format!("migratory-net-redefine-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal_dir = dir.join("wal");
+
+    // Stage 1: serve fresh; six persons, two of whom become students
+    // (conforming under the base inventory), then tighten the
+    // inventory online and keep working under epoch 1.
+    let mut pre: Vec<(&str, String)> = Vec::new();
+    let mut post: Vec<(&str, String)> = Vec::new();
+    let (mut child, addr) =
+        spawn_serve(&dir, &["--durable", wal_dir.to_str().unwrap(), "--checkpoint-every", "4"]);
+    {
+        let mut c = Client::connect(&*addr);
+        for i in 0..6 {
+            let key = format!("k{i}");
+            assert_eq!(c.ask(&format!("invoke Mk({key})")), "ok");
+            pre.push(("Mk", key));
+        }
+        for i in 0..2 {
+            let key = format!("k{i}");
+            assert_eq!(c.ask(&format!("invoke St({key})")), "ok");
+            pre.push(("St", key));
+        }
+        // The barrier op itself: both student cohorts are residue and,
+        // under quarantine, exempt from further checking.
+        assert_eq!(c.ask(&format!("redefine quarantine {UNI_NEXT_INV}")), "ok epoch=1 residue=2");
+        // Specializing a plain person now violates — and the diagnostic
+        // is stamped with the post-swap epoch.
+        let reply = c.ask("invoke St(k2)");
+        assert!(reply.starts_with("violation "), "students are outlawed at epoch 1: {reply}");
+        assert!(reply.contains("[STUDENT]"), "diagnostic names the offending role: {reply}");
+        assert!(reply.ends_with("[epoch 1]"), "diagnostic quotes the new automaton: {reply}");
+        // Conforming traffic keeps flowing under the new constraint.
+        for i in 6..8 {
+            let key = format!("k{i}");
+            assert_eq!(c.ask(&format!("invoke Mk({key})")), "ok");
+            post.push(("Mk", key));
+        }
+        let st = c.ask("stats");
+        assert!(
+            st.ends_with("epoch=1 redefines=1 quarantined=2"),
+            "stats surface the evolution state: {st}"
+        );
+    }
+    child.kill().expect("SIGKILL the server");
+    child.wait().expect("reap");
+
+    // The redefinition was logged write-ahead: folding the log into a
+    // monitor seeded with the *base* inventory replays the swap and is
+    // byte-identical to the oracle.
+    let pre_refs: Vec<(&str, &str)> = pre.iter().map(|(n, k)| (*n, k.as_str())).collect();
+    let post_refs: Vec<(&str, &str)> = post.iter().map(|(n, k)| (*n, k.as_str())).collect();
+    assert_eq!(
+        recovered_state(&wal_dir),
+        expected_redefined_state(&pre_refs, &post_refs),
+        "stage 1: the killed server's log replays the redefinition byte-identically"
+    );
+
+    // Stage 2: `--recover` hands the *base* inventory to a second
+    // server; the log brings it to epoch 1, where the new constraint
+    // keeps being enforced.
+    let (mut child, addr) = spawn_serve(
+        &dir,
+        &["--durable", wal_dir.to_str().unwrap(), "--recover", "--checkpoint-every", "4"],
+    );
+    {
+        let mut c = Client::connect(&*addr);
+        let st = c.ask("stats");
+        assert!(
+            st.ends_with("epoch=1 redefines=1 quarantined=2"),
+            "the recovered server resumes at the swapped epoch: {st}"
+        );
+        let reply = c.ask("invoke St(k3)");
+        assert!(reply.starts_with("violation "), "epoch 1 survived the crash: {reply}");
+        assert!(reply.ends_with("[epoch 1]"), "post-recovery diagnostics quote epoch 1: {reply}");
+        let key = "k8".to_owned();
+        assert_eq!(c.ask(&format!("invoke Mk({key})")), "ok");
+        post.push(("Mk", key));
+        assert_eq!(c.ask("shutdown"), "ok draining");
+    }
+    let status = child.wait().expect("server drains and exits");
+    assert!(status.success(), "graceful shutdown exits cleanly");
+
+    let post_refs: Vec<(&str, &str)> = post.iter().map(|(n, k)| (*n, k.as_str())).collect();
+    assert_eq!(
+        recovered_state(&wal_dir),
+        expected_redefined_state(&pre_refs, &post_refs),
+        "stage 2: the full acked history around the redefinition is byte-identical"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1100,3 +1100,436 @@ fn bulk_load_recovery_is_byte_identical() {
         assert_eq!(recovered.1, live_db, "{kind:?}/{shards} shards: database diverged");
     }
 }
+
+// ---------------------------------------------------------------------
+// Constraint evolution (`RedefineRecord`) crash suites
+// ---------------------------------------------------------------------
+
+use migratory::core::enforce::wal::BlockRef;
+use migratory::core::enforce::ResiduePolicy;
+
+/// Like [`assert_recovers_single`], but recovery is seeded with the
+/// **base** (epoch-0) inventory: when the tail spans a `Redefined`
+/// record, replay itself must reproduce the inventory swap — feeding
+/// recovery the live monitor's *current* inventory would hide a broken
+/// record.
+fn assert_recovers_single_from_base(
+    live: &Monitor<'_>,
+    base: &Inventory,
+    wal: &Arc<Mutex<MemoryWal>>,
+    all_records: &[WalRecord],
+    label: &str,
+) {
+    let (snap, blocks) = {
+        let w = wal.lock().unwrap();
+        (w.snapshot().expect("checkpoint chain folds"), w.records())
+    };
+    let recovered =
+        Monitor::recover(live.schema(), live.alphabet(), base, live.kind(), snap.clone(), blocks)
+            .unwrap_or_else(|e| panic!("{label}: recovery failed: {e}"))
+            .with_policy(live.policy());
+    assert_eq!(
+        recovered.snapshot().encode(),
+        live.snapshot().encode(),
+        "{label}: tracking state not byte-identical after recovery"
+    );
+    assert_eq!(recovered.db(), live.db(), "{label}: database diverged");
+    assert_eq!(recovered.steps(), live.steps(), "{label}: letter counts diverged");
+    assert_eq!(recovered.epoch(), live.epoch(), "{label}: epoch diverged");
+    assert_eq!(recovered.redefine_total(), live.redefine_total(), "{label}");
+    assert_eq!(recovered.quarantined_total(), live.quarantined_total(), "{label}");
+    assert_eq!(
+        recovered.inventory().encode(),
+        live.inventory().encode(),
+        "{label}: recovered inventory diverged"
+    );
+    for oid in 1..=live.db().next_oid().0 {
+        assert_eq!(
+            recovered.pattern_of(Oid(oid)),
+            live.pattern_of(Oid(oid)),
+            "{label}: pattern of o{oid} diverged"
+        );
+    }
+    // Full-history replay must skip folded blocks AND folded
+    // redefinitions (epoch-stamped skip, the checkpoint-without-prune
+    // window).
+    let again = Monitor::recover(
+        live.schema(),
+        live.alphabet(),
+        base,
+        live.kind(),
+        snap,
+        all_records.to_vec(),
+    )
+    .unwrap_or_else(|e| panic!("{label}: full-history recovery failed: {e}"))
+    .with_policy(live.policy());
+    assert_eq!(
+        again.snapshot().encode(),
+        live.snapshot().encode(),
+        "{label}: pre-checkpoint records were not skipped"
+    );
+}
+
+/// 50 random configurations with **redefinitions sprinkled mid-run**,
+/// crash-tested at every committed prefix: a log spanning any number of
+/// `Redefined` records (interleaved with blocks, full and incremental
+/// checkpoints) recovers byte-identically from the epoch-0 inventory —
+/// epoch, totals, swapped automaton, quarantined cohorts and all.
+#[test]
+fn redefined_monitor_recovers_byte_identical_at_every_crash_point() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0051);
+    let (mut commits, mut redefines, mut post_redefine_crashes, mut increments) =
+        (0usize, 0usize, 0usize, 0usize);
+    for case in 0..50 {
+        let (schema, edges) = random_schema(&mut rng);
+        let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+        let base = random_inventory(&mut rng, &schema, &alphabet);
+        let kind = PatternKind::ALL[rng.random_range(0usize..4)];
+        let policy = if rng.random_range(0u32..2) == 0 {
+            StepPolicy::EveryApplication
+        } else {
+            StepPolicy::OnlyChanging
+        };
+        let wal = Arc::new(Mutex::new(MemoryWal::new()));
+        let mut live = Monitor::new(&schema, &alphabet, &base, kind)
+            .with_policy(policy)
+            .with_sink(wal.clone());
+        let no_args = Assignment::empty();
+        let mut folded_records: Vec<WalRecord> = Vec::new();
+        let mut has_base = false;
+        for step in 0..rng.random_range(6usize..16) {
+            // Redefine with probability ~1/4 (refusals are fine — they
+            // must leave the log untouched and recovery unaffected).
+            if rng.random_range(0u32..4) == 0 {
+                let next = random_inventory(&mut rng, &schema, &alphabet);
+                let residue_policy = if rng.random_range(0u32..2) == 0 {
+                    ResiduePolicy::Quarantine
+                } else {
+                    ResiduePolicy::CertifyAndReset
+                };
+                match live.redefine(&next, residue_policy) {
+                    Ok(out) => {
+                        assert_eq!(out.epoch, live.epoch(), "case {case}");
+                        redefines += 1;
+                    }
+                    Err(EnforceError::Redefine(_)) => {}
+                    Err(e) => panic!("case {case}: unexpected {e}"),
+                }
+            }
+            let t = common::random_transaction(&mut rng, &schema, &edges);
+            match live.try_apply(&t, &no_args) {
+                Ok(()) => commits += 1,
+                Err(EnforceError::Violation(_)) => {}
+                Err(e) => panic!("unexpected {e}"),
+            }
+            if rng.random_range(0u32..4) == 0 {
+                folded_records.extend(wal.lock().unwrap().records());
+                if has_base && rng.random_range(0u32..3) != 0 {
+                    let delta = live.checkpoint_delta();
+                    wal.lock().unwrap().write_checkpoint_delta(&delta);
+                    increments += 1;
+                } else {
+                    let snap = live.checkpoint_full();
+                    wal.lock().unwrap().write_snapshot(&snap);
+                    has_base = true;
+                }
+            }
+            post_redefine_crashes += usize::from(live.epoch() > 0);
+            let all_records: Vec<WalRecord> =
+                folded_records.iter().cloned().chain(wal.lock().unwrap().records()).collect();
+            assert_recovers_single_from_base(
+                &live,
+                &base,
+                &wal,
+                &all_records,
+                &format!("case {case} step {step}"),
+            );
+        }
+    }
+    assert!(commits > 150, "only {commits} commits — workload too restrictive");
+    assert!(redefines > 30, "only {redefines} admitted redefinitions — suite not exercised");
+    assert!(post_redefine_crashes > 100, "crashes after a redefinition untested");
+    assert!(increments > 15, "only {increments} incremental checkpoints taken");
+}
+
+/// Sharded + batched + redefined: random batch admission with redefines
+/// at random block boundaries over single- and multi-component schemas
+/// (independent per-shard clocks — the `Redefined` record carries every
+/// shard's clock), crash-checked after every block from the epoch-0
+/// inventory.
+#[test]
+fn sharded_redefined_recovery_is_byte_identical() {
+    let mut rng = StdRng::seed_from_u64(0x5eed_0052);
+    let (mut batch_commits, mut redefines) = (0usize, 0usize);
+    for case in 0..40 {
+        let multi = rng.random_range(0u32..2) == 1;
+        let (schema, edges, extra) = if multi {
+            random_multi_schema(&mut rng)
+        } else {
+            let (s, e) = random_schema(&mut rng);
+            (s, e, 0)
+        };
+        let alphabet = RoleAlphabet::new(&schema, 0).expect("component 0");
+        let base = random_inventory(&mut rng, &schema, &alphabet);
+        let kind = PatternKind::ALL[rng.random_range(0usize..4)];
+        let policy = if rng.random_range(0u32..2) == 0 {
+            StepPolicy::EveryApplication
+        } else {
+            StepPolicy::OnlyChanging
+        };
+        let shards = rng.random_range(1usize..5);
+        let wal = Arc::new(Mutex::new(MemoryWal::new()));
+        let mut live = ShardedMonitor::new(&schema, &alphabet, &base, kind, shards)
+            .with_policy(policy)
+            .with_parallel_staging(rng.random_range(0u32..2) == 1)
+            .with_sink(wal.clone());
+        let shards = live.num_shards();
+        let no_args = Assignment::empty();
+        let txns: Vec<Transaction> = (0..rng.random_range(6usize..18))
+            .map(|_| random_multi_transaction(&mut rng, &schema, &edges, extra))
+            .collect();
+        let mut has_base = false;
+        let mut pos = 0;
+        let mut block_no = 0usize;
+        while pos < txns.len() {
+            if rng.random_range(0u32..4) == 0 {
+                let next = random_inventory(&mut rng, &schema, &alphabet);
+                let residue_policy = if rng.random_range(0u32..2) == 0 {
+                    ResiduePolicy::Quarantine
+                } else {
+                    ResiduePolicy::CertifyAndReset
+                };
+                match live.redefine(&next, residue_policy) {
+                    Ok(_) => redefines += 1,
+                    Err(EnforceError::Redefine(_)) => {}
+                    Err(e) => panic!("case {case}: unexpected {e}"),
+                }
+            }
+            let size = rng.random_range(1usize..(txns.len() - pos).min(5) + 1);
+            let block = &txns[pos..pos + size];
+            let (done, _) = live.try_apply_batch(block.iter().map(|t| (t, &no_args)));
+            batch_commits += done;
+            pos += size;
+            if rng.random_range(0u32..3) == 0 {
+                if has_base && rng.random_range(0u32..3) != 0 {
+                    let delta = live.checkpoint_delta();
+                    wal.lock().unwrap().write_checkpoint_delta(&delta);
+                } else {
+                    let snap = live.checkpoint_full();
+                    wal.lock().unwrap().write_snapshot(&snap);
+                    has_base = true;
+                }
+            }
+            block_no += 1;
+            let (snap, blocks) = {
+                let w = wal.lock().unwrap();
+                (w.snapshot().expect("checkpoint chain folds"), w.records())
+            };
+            let recovered =
+                ShardedMonitor::recover(&schema, &alphabet, &base, kind, shards, snap, blocks)
+                    .unwrap_or_else(|e| panic!("case {case} block {block_no}: {e}"))
+                    .with_policy(policy);
+            assert_eq!(
+                recovered.snapshot().encode(),
+                live.snapshot().encode(),
+                "case {case} block {block_no}: shard states not byte-identical"
+            );
+            assert_eq!(recovered.db(), live.db());
+            assert_eq!(recovered.clocks(), live.clocks());
+            assert_eq!(recovered.epoch(), live.epoch());
+            assert_eq!(recovered.quarantined_total(), live.quarantined_total());
+            for oid in 1..=live.db().next_oid().0 {
+                assert_eq!(recovered.pattern_of(Oid(oid)), live.pattern_of(Oid(oid)));
+            }
+        }
+    }
+    assert!(batch_commits > 100, "only {batch_commits} batch commits");
+    assert!(redefines > 20, "only {redefines} admitted redefinitions — suite not exercised");
+}
+
+/// File-backed torn-tail semantics across a `RedefineRecord`: truncate
+/// `wal.log` at **every byte length** of a run whose log contains a
+/// mid-stream redefinition, and require recovery (from the epoch-0
+/// inventory) to land exactly on a committed record prefix — before,
+/// on, or after the redefinition, never half of it.
+#[test]
+fn file_wal_truncation_across_a_redefine_record_recovers_every_prefix() {
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let base =
+        Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* [STUDENT]* [PERSON]* ∅*").unwrap();
+    let next = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"
+        transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+        transaction St(x) {
+          specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS", FirstEnroll = 1 });
+        }
+        transaction UnSt(x) { generalize(STUDENT, { SSN = x }); }
+        transaction Rm(x) { delete(PERSON, { SSN = x }); }
+    "#,
+    )
+    .unwrap();
+    let dir = temp_dir("torn-redefine");
+    let wal = Arc::new(Mutex::new(Wal::open(&dir).unwrap()));
+    let mut live = Monitor::new(&schema, &alphabet, &base, PatternKind::All).with_sink(wal.clone());
+
+    // Canonical state after each appended record (blocks AND the
+    // redefinition — a zero-letter record, so keying by record count,
+    // not letter count, is what distinguishes pre- from post-swap).
+    let mut state_at: Vec<Vec<u8>> = vec![live.snapshot().encode()];
+    let key = |k: &str| Assignment::new(vec![Value::str(k)]);
+    for (name, k) in [("Mk", "1"), ("St", "1"), ("Mk", "2"), ("UnSt", "1")] {
+        live.try_apply(ts.get(name).unwrap(), &key(k)).unwrap();
+        state_at.push(live.snapshot().encode());
+    }
+    let out = live.redefine(&next, ResiduePolicy::Quarantine).unwrap();
+    assert_eq!(out.epoch, 1);
+    state_at.push(live.snapshot().encode());
+    for (name, k) in [("Mk", "3"), ("Rm", "2"), ("Rm", "3")] {
+        live.try_apply(ts.get(name).unwrap(), &key(k)).unwrap();
+        state_at.push(live.snapshot().encode());
+    }
+    let live_state = live.snapshot().encode();
+    drop(wal); // flush + close the writer
+    drop(live);
+
+    let log = std::fs::read(dir.join("wal.log")).unwrap();
+    let mut prefixes_seen = std::collections::BTreeSet::new();
+    for cut in 0..=log.len() {
+        let records = migratory::core::enforce::wal::decode_records(&log[..cut])
+            .unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        let n = records.len();
+        let recovered =
+            Monitor::recover(&schema, &alphabet, &base, PatternKind::All, None, records)
+                .unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+        assert_eq!(
+            recovered.snapshot().encode(),
+            state_at[n],
+            "cut at {cut} bytes must recover the exact state after {n} records"
+        );
+        assert_eq!(recovered.epoch(), u64::from(n >= 5), "cut {cut}: epoch swaps at record 5");
+        prefixes_seen.insert(n);
+    }
+    assert_eq!(
+        prefixes_seen.into_iter().collect::<Vec<_>>(),
+        (0..=state_at.len() - 1).collect::<Vec<_>>(),
+        "every record prefix is reachable by some truncation"
+    );
+    // The full log lands on the live state.
+    let (snap, tail) = Wal::load(&dir).unwrap();
+    let recovered =
+        Monitor::recover(&schema, &alphabet, &base, PatternKind::All, snap, tail).unwrap();
+    assert_eq!(recovered.snapshot().encode(), live_state);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A sink that appends every record to an inner [`MemoryWal`] but
+/// **reports failure for the redefinition record after writing it** —
+/// the exact crash window between the write-ahead append and the
+/// in-memory tracking swap.
+struct DieAfterRedefineAppend {
+    inner: MemoryWal,
+    armed: bool,
+}
+
+impl migratory::core::enforce::wal::CommitSink for DieAfterRedefineAppend {
+    fn committed(&mut self, block: &BlockRef<'_>) -> Result<(), WalError> {
+        self.inner.committed(block)
+    }
+    fn certified(&mut self, steps: usize) -> Result<(), WalError> {
+        self.inner.certified(steps)
+    }
+    fn redefined(
+        &mut self,
+        epoch: u64,
+        policy: ResiduePolicy,
+        shards: &[(u32, usize)],
+        inventory: &[u8],
+    ) -> Result<(), WalError> {
+        self.inner.redefined(epoch, policy, shards, inventory)?;
+        if self.armed {
+            return Err(WalError::Corrupt("crash after the record append".into()));
+        }
+        Ok(())
+    }
+}
+
+/// The crash window **between the `RedefineRecord` append and the
+/// tracking swap**: the record is durable, the swap never happened. The
+/// live monitor must report the failure and keep enforcing the OLD
+/// inventory at epoch 0 — while recovery from the log replays the
+/// record and lands on the post-swap state, byte-identical to a monitor
+/// whose redefinition completed.
+#[test]
+fn crash_between_redefine_append_and_swap_replays_the_redefinition() {
+    let schema = migratory::model::schema::university_schema();
+    let alphabet = RoleAlphabet::new(&schema, 0).unwrap();
+    let base =
+        Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* [STUDENT]* [PERSON]* ∅*").unwrap();
+    let next = Inventory::parse_init(&schema, &alphabet, "∅* [PERSON]* ∅*").unwrap();
+    let ts = parse_transactions(
+        &schema,
+        r#"
+        transaction Mk(x) { create(PERSON, { SSN = x, Name = "n" }); }
+        transaction St(x) {
+          specialize(PERSON, STUDENT, { SSN = x }, { Major = "CS", FirstEnroll = 1 });
+        }
+    "#,
+    )
+    .unwrap();
+    let key = |k: &str| Assignment::new(vec![Value::str(k)]);
+    let sink =
+        Arc::new(Mutex::new(DieAfterRedefineAppend { inner: MemoryWal::new(), armed: false }));
+    let mut live =
+        Monitor::new(&schema, &alphabet, &base, PatternKind::All).with_sink(sink.clone());
+    // An oracle that runs the same history with the swap completing.
+    let mut oracle = Monitor::new(&schema, &alphabet, &base, PatternKind::All);
+    for (name, k) in [("Mk", "1"), ("St", "1"), ("Mk", "2")] {
+        live.try_apply(ts.get(name).unwrap(), &key(k)).unwrap();
+        oracle.try_apply(ts.get(name).unwrap(), &key(k)).unwrap();
+    }
+    sink.lock().unwrap().armed = true;
+    let err = live.redefine(&next, ResiduePolicy::Quarantine).unwrap_err();
+    assert!(matches!(err, EnforceError::Durability(_)), "got {err:?}");
+    // The live monitor never swapped: old inventory, epoch 0 — a
+    // [STUDENT] specialization on o2 is still legal.
+    assert_eq!(live.epoch(), 0);
+    assert_eq!(live.redefine_total(), 0);
+    sink.lock().unwrap().armed = false;
+    live.try_apply(ts.get("St").unwrap(), &key("2")).unwrap();
+
+    // …but the record IS in the log: recovery up to the redefinition
+    // replays the swap, byte-identical to the oracle completing it.
+    let records = sink.lock().unwrap().inner.records();
+    assert_eq!(records.len(), 5, "three blocks, the redefinition, the post-crash block");
+    let upto_redefine: Vec<WalRecord> = records[..4].to_vec();
+    let out = oracle.redefine(&next, ResiduePolicy::Quarantine).unwrap();
+    assert_eq!((out.epoch, out.residue, out.quarantined), (1, 1, 1), "o1 is [PERSON][STUDENT]");
+    let recovered =
+        Monitor::recover(&schema, &alphabet, &base, PatternKind::All, None, upto_redefine).unwrap();
+    assert_eq!(recovered.epoch(), 1, "the durable record replays");
+    assert_eq!(recovered.snapshot().encode(), oracle.snapshot().encode());
+    assert_eq!(recovered.quarantined_total(), 1);
+    // Post-swap, the recovered monitor enforces the NEW inventory: the
+    // same [STUDENT] specialization the live (unswapped) monitor
+    // admitted is now a violation quoting the new epoch.
+    let mut recovered = recovered;
+    match recovered.try_apply(ts.get("St").unwrap(), &key("2")) {
+        Err(EnforceError::Violation(v)) => {
+            assert_eq!(v.epoch, 1, "violation quotes the post-swap epoch");
+            assert!(v.display(&alphabet).ends_with("[epoch 1]"), "{}", v.display(&alphabet));
+        }
+        other => panic!("expected a violation under the new inventory, got {other:?}"),
+    }
+    // The full log (redefinition + the block the unswapped live monitor
+    // admitted after it) does NOT recover: the post-crash block was
+    // admitted under the old automaton and no longer admits — the log
+    // records a history the swapped monitor refuses, which recovery
+    // must surface as a mismatch rather than silently accept.
+    let err = Monitor::recover(&schema, &alphabet, &base, PatternKind::All, None, records)
+        .err()
+        .expect("divergent post-crash history must be detected");
+    assert!(matches!(err, WalError::Mismatch(_)), "got {err}");
+}
