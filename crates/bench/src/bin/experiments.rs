@@ -3,7 +3,7 @@
 //! Usage: `cargo run -p migratory-bench --bin experiments --release [-- <id>]`
 //! with ids: fig1-2, ex3.4, thm3.2, cor3.3, thm4.3, ex4.1, thm5.1,
 //! baseline, enforce, enforce-large, sat-heavy, batch-admit, persist,
-//! serve, smoke, tail-smoke, flow, all (default).
+//! repl, serve, smoke, tail-smoke, flow, all (default).
 //!
 //! `enforce-large` additionally writes `BENCH_enforce.json` (throughput /
 //! latency trajectory of the delta monitor vs the reference monitor,
@@ -72,9 +72,14 @@ fn main() {
         persist_row(
             &[(10_000, 16_384, 512), (100_000, 32_768, 512), (1_000_000, 131_072, 512)],
             &[(4_096, 16_384, 4)],
+            &[(250_000, 16_384, 4)],
             &[(4_096, 65_536)],
             &[1, 16, 256, 1_024],
         );
+    }
+    if which == "repl" {
+        // Prints the BENCH_persist.json `repl` fragment for splicing.
+        println!("{}", repl_rows(&[(250_000, 16_384, 4)]));
     }
     if which == "serve" {
         serve_rows(&[(4_096, 65_536)], &[1, 16, 256, 1_024]);
@@ -89,6 +94,7 @@ fn main() {
         redefine_latency_rows(&[(2_000, 16)]);
         recover_rows(&[(2_000, 200, 64)]);
         ingress_rows(&[(512, 2_048, 4)]);
+        repl_rows(&[(512, 2_048, 4)]);
         serve_rows(&[(256, 2_048)], &[1, 4]);
     }
     if all || which == "flow" {
@@ -601,17 +607,20 @@ fn redefine_latency_rows(configs: &[(usize, usize)]) -> String {
 fn persist_row(
     recover_cfgs: &[(usize, usize, usize)],
     ingress_cfgs: &[(usize, usize, usize)],
+    repl_cfgs: &[(usize, usize, usize)],
     serve_cfgs: &[(usize, usize)],
     serve_conns: &[usize],
 ) {
     let recover = recover_rows(recover_cfgs);
     let ingress = ingress_rows(ingress_cfgs);
+    let repl = repl_rows(repl_cfgs);
     let serve = serve_rows(serve_cfgs, serve_conns);
     let json = format!(
         r#"{{
   "bench": "persist",
 {recover},
 {ingress},
+{repl},
 {serve}
 }}
 "#
@@ -973,6 +982,242 @@ fn ingress_rows(configs: &[(usize, usize, usize)]) -> String {
     format!(
         r#"  "ingress": {{
     "workload": "four-component fleet; a day of single-object ops admitted (a) by one caller in direct 256-blocks, (b) by N pipelining producers through the bounded per-shard ingress lanes (emergent batching), (c) same with a file WAL appended + synced inline on the admission worker, (d) same WAL behind the two-stage pipeline (committer thread, one fsync per batch, acks after durability; commit_latency_us = drain-to-durable-release, log2 bucket upper bounds)",
+    "sizes": [
+{}
+    ]
+  }}"#,
+        rows.join(",\n")
+    )
+}
+
+/// `repl`: the ack-policy dial — the same pipelined fleet day, with a
+/// live replica attached over loopback TCP (snapshot bootstrap, then
+/// every committed batch teed down the socket). `ack-on-local-fsync`
+/// ships asynchronously (an ok promises the local fsync only, the
+/// replica trails by its apply lag); `ack-on-replica-1` holds each
+/// batch's tickets until the standby has applied the bytes and made
+/// them durable in its own WAL — the ok now covers the survivor, and
+/// the round trip shows up in `ship_wait_us`. Both runs end with the
+/// replica's live state byte-identical to the primary's.
+/// `(objects per component, ops, producers)` per config; returns the
+/// `repl` JSON fragment.
+fn repl_rows(configs: &[(usize, usize, usize)]) -> String {
+    use migratory_core::enforce::repl::{acceptor, puller};
+    use migratory_core::enforce::{
+        ingress, AckPolicy, AdmissionMetrics, DurabilityPolicy, FsyncPolicy, Health, Histogram,
+        IngressConfig, ReplicaCtl, Replicator, ShardedMonitor, StepPolicy, Wal,
+    };
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    println!("== perf-repl: the replication ack-policy dial ==");
+    println!(
+        "{:>10} {:>8} {:>10} {:>14} {:>14}",
+        "objects", "ops", "producers", "local-fsync/s", "replica-1/s"
+    );
+
+    struct Run {
+        rate: f64,
+        commit_p50: u64,
+        ship_p50: u64,
+    }
+    let run = |per: usize, ops: usize, producers: usize, policy: AckPolicy, tag: &str| -> Run {
+        let (schema, alphabet, ts) = fleet();
+        let inv = Inventory::parse_init(&schema, &alphabet, FLEET_INVENTORY).unwrap();
+        let day = fleet_ops(ops + 1, per);
+        let (warm, day) = day.split_first().expect("day is non-empty");
+        let pid = std::process::id();
+        let dir_p = std::env::temp_dir().join(format!("migratory-bench-repl-p-{pid}-{per}-{tag}"));
+        let dir_r = std::env::temp_dir().join(format!("migratory-bench-repl-r-{pid}-{per}-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir_p);
+        let _ = std::fs::remove_dir_all(&dir_r);
+        let wal_p = Arc::new(Mutex::new(
+            Wal::open(&dir_p).expect("primary wal").with_fsync(FsyncPolicy::Batch),
+        ));
+        let wal_r = Arc::new(Mutex::new(
+            Wal::open(&dir_r).expect("replica wal").with_fsync(FsyncPolicy::Batch),
+        ));
+        let metrics = Arc::new(AdmissionMetrics::new(4));
+        let repl = Arc::new(
+            Replicator::bind("127.0.0.1:0")
+                .expect("bind replicator")
+                .with_policy(policy)
+                .with_ack_timeout(Duration::from_secs(60))
+                .with_metrics(metrics.clone()),
+        );
+        let repl_addr = repl.local_addr().to_string();
+        let ctl = Arc::new(ReplicaCtl::new(&repl_addr));
+        let stop_accept = AtomicBool::new(false);
+        let cfg = IngressConfig { queue_capacity: 1024, max_block: 256 };
+        let elapsed = Mutex::new(0f64);
+
+        let (primary_snap, replica_snap) = std::thread::scope(|scope| {
+            let replica = scope.spawn(|| {
+                let mut m = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 4)
+                    .with_policy(StepPolicy::OnlyChanging);
+                let health = Health::new();
+                ingress::serve_pipelined(
+                    &mut m,
+                    &cfg,
+                    &DurabilityPolicy::default(),
+                    &health,
+                    wal_r.clone(),
+                    None,
+                    0,
+                    |_| {},
+                    |client| {
+                        std::thread::scope(|ps| {
+                            ps.spawn(|| puller(&repl_addr, &ctl, &wal_r, client, None));
+                            while !ctl.stopped() {
+                                std::thread::sleep(Duration::from_millis(5));
+                            }
+                        });
+                    },
+                );
+                assert!(!health.is_degraded(), "replica degraded: {}", health.reason());
+                m.snapshot().encode()
+            });
+
+            // The primary: bulk-load the fleet, base-checkpoint it (the
+            // bootstrap snapshot ships from a barrier, so the replica
+            // starts from exactly this state), then run the day.
+            let mut pm = ShardedMonitor::new(&schema, &alphabet, &inv, PatternKind::All, 4)
+                .with_policy(StepPolicy::OnlyChanging);
+            for (mk, prefix) in
+                [("BuyTruck", "t"), ("HireDriver", "d"), ("OpenRoute", "r"), ("BuildDepot", "p")]
+            {
+                let t = ts.get(mk).unwrap();
+                let bulk: Vec<(&migratory_lang::Transaction, Assignment)> = (0..per)
+                    .map(|i| {
+                        (
+                            t,
+                            Assignment::new(vec![migratory_model::Value::str(&format!(
+                                "{prefix}{i}"
+                            ))]),
+                        )
+                    })
+                    .collect();
+                let (done, err) = pm.try_apply_batch(bulk.iter().map(|(t, a)| (*t, a)));
+                assert_eq!((done, err), (per, None), "bulk load conforms");
+            }
+            wal_p.lock().unwrap().write_snapshot(&pm.checkpoint_full()).expect("base checkpoint");
+            let health = Health::new();
+            ingress::serve_pipelined_repl(
+                &mut pm,
+                &cfg,
+                &DurabilityPolicy::default(),
+                &health,
+                wal_p.clone(),
+                Some(&*metrics),
+                Some(repl.clone()),
+                0,
+                |_| {},
+                |client| {
+                    std::thread::scope(|ps| {
+                        ps.spawn(|| acceptor(&repl, client, &stop_accept));
+                        while repl.live_replicas() < 1 {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        // Warm-up: one op through the full tee, then
+                        // drain the standby to the shipped horizon —
+                        // the timed day below sees a warm, attached
+                        // replica, not its bootstrap snapshot fold.
+                        // (That fold is the warm-up batch's wait; it
+                        // owns the histograms' max, so the row reports
+                        // the p50 bound only.)
+                        client
+                            .post(ts.get(warm.0).unwrap(), warm.1.clone())
+                            .wait()
+                            .expect("warm-up conforms");
+                        while ctl.stream_horizon() < repl.horizon() {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        let t0 = Instant::now();
+                        std::thread::scope(|drivers| {
+                            for p in 0..producers {
+                                let (day, ts) = (&day, &ts);
+                                drivers.spawn(move || {
+                                    let tickets: Vec<_> = day
+                                        .iter()
+                                        .skip(p)
+                                        .step_by(producers)
+                                        .map(|(name, a)| {
+                                            client.post(ts.get(name).unwrap(), a.clone())
+                                        })
+                                        .collect();
+                                    for t in tickets {
+                                        t.wait().expect("day conforms");
+                                    }
+                                });
+                            }
+                        });
+                        *elapsed.lock().unwrap() = t0.elapsed().as_secs_f64();
+                        // Let the standby drain to the shipped horizon
+                        // (a no-op under replica-1, where every ack
+                        // already covered it) so both live states can
+                        // be compared byte for byte.
+                        while ctl.stream_horizon() < repl.horizon() {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        ctl.request_stop();
+                        stop_accept.store(true, Ordering::SeqCst);
+                    });
+                },
+            );
+            repl.close();
+            assert!(!health.is_degraded(), "primary degraded: {}", health.reason());
+            (pm.snapshot().encode(), replica.join().expect("replica thread"))
+        });
+        assert_eq!(primary_snap, replica_snap, "replica trails into byte-identity");
+        let _ = std::fs::remove_dir_all(&dir_p);
+        let _ = std::fs::remove_dir_all(&dir_r);
+
+        let commit = Histogram::new();
+        for h in &metrics.commit_latency_us {
+            commit.merge(h);
+        }
+        let secs = *elapsed.lock().unwrap();
+        Run {
+            rate: ops as f64 / secs,
+            commit_p50: commit.quantile_bound(0.50),
+            ship_p50: metrics.repl_ship_wait_us.quantile_bound(0.50),
+        }
+    };
+
+    let mut rows = Vec::new();
+    for &(per, ops, producers) in configs {
+        let local = run(per, ops, producers, AckPolicy::LocalFsync, "local");
+        let replica1 = run(per, ops, producers, AckPolicy::ReplicaK(1), "replica1");
+        let objects = per * 4;
+        println!(
+            "{objects:>10} {ops:>8} {producers:>10} {:>14.0} {:>14.0}",
+            local.rate, replica1.rate
+        );
+        println!(
+            "  replica-1 batch commit latency ≤ p50 {}µs (ship wait ≤ p50 {}µs)",
+            replica1.commit_p50, replica1.ship_p50
+        );
+        rows.push(format!(
+            r#"      {{
+        "objects": {objects},
+        "ops": {ops},
+        "producers": {producers},
+        "ack_local_fsync": {{ "apps_per_sec": {:.0}, "commit_latency_us_p50": {} }},
+        "ack_replica_1": {{ "apps_per_sec": {:.0}, "commit_latency_us_p50": {}, "ship_wait_us_p50": {} }},
+        "replica_byte_identical": true
+      }}"#,
+            local.rate,
+            local.commit_p50,
+            replica1.rate,
+            replica1.commit_p50,
+            replica1.ship_p50,
+        ));
+    }
+    println!();
+    format!(
+        r#"  "repl": {{
+    "workload": "four-component fleet behind the pipelined committer with a live replica attached over loopback TCP (snapshot bootstrap at a barrier, committed batches teed down the socket); a day of single-object ops from N pipelining producers, acked under ack-on-local-fsync (tee is asynchronous, ok promises the local fsync only) vs ack-on-replica-1 (tickets held until the standby applied the batch and made it durable in its own WAL; ship_wait_us = committer-side wait for the cumulative ack horizon, log2 bucket upper bound; p50 only — the dial's cost amortizes across a handful of emergent megabatches, so tails are single-sample noise and the warm-up batch, which pays the standby's bootstrap fold, owns the max); timed after a warm-up op + drain to the shipped horizon, and both runs end with the standby byte-identical to the primary",
     "sizes": [
 {}
     ]

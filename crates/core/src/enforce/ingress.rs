@@ -211,8 +211,10 @@ pub type AdminDone = Box<dyn FnOnce(bool) + Send>;
 
 struct State<'t, 's> {
     lanes: Vec<VecDeque<Op<'t>>>,
-    /// Administrative barrier ops, drained ahead of the lanes.
-    admin: VecDeque<AdminOp<'t, 's>>,
+    /// Administrative barrier ops, drained ahead of the lanes. The flag
+    /// marks **read-only** ops ([`IngressClient::post_admin_read`]):
+    /// served without a flush barrier and even in degraded mode.
+    admin: VecDeque<(AdminOp<'t, 's>, bool)>,
     /// Set once the driver returns: drain what is queued, then exit.
     closed: bool,
     submitted: usize,
@@ -221,8 +223,9 @@ struct State<'t, 's> {
 
 /// One unit of work pulled by the admission worker.
 enum Work<'t, 's> {
-    /// An administrative barrier op (runs before any queued block).
-    Admin(AdminOp<'t, 's>),
+    /// An administrative barrier op (runs before any queued block);
+    /// `true` marks a read-only op.
+    Admin(AdminOp<'t, 's>, bool),
     /// A drained block from one lane.
     Block(usize, Vec<Op<'t>>),
     /// Closed and empty: exit.
@@ -337,8 +340,8 @@ impl<'t, 's> Shared<'t, 's> {
     ) -> Work<'t, 's> {
         let mut st = self.state.lock().expect("ingress poisoned");
         loop {
-            if let Some(op) = st.admin.pop_front() {
-                return Work::Admin(op);
+            if let Some((op, read_only)) = st.admin.pop_front() {
+                return Work::Admin(op, read_only);
             }
             let n = st.lanes.len();
             match (0..n).map(|i| (cursor + i) % n).find(|&l| !st.lanes[l].is_empty()) {
@@ -438,7 +441,22 @@ impl<'t, 's> IngressClient<'t, 's, '_> {
     /// admin ops are rare and unbounded by lane capacity.
     pub fn post_admin(&self, op: AdminOp<'t, 's>) {
         let mut st = self.shared.state.lock().expect("ingress poisoned");
-        st.admin.push_back(op);
+        st.admin.push_back((op, false));
+        drop(st);
+        self.shared.ready.notify_one();
+    }
+
+    /// [`IngressClient::post_admin`] for **read-only** ops — the seam
+    /// the `query` verb (and a replica's every read) runs through. The
+    /// op still jumps the lanes and runs on the worker with exclusive
+    /// monitor access, but it skips the flush barrier (it stages
+    /// nothing, so there is nothing to make durable: its [`AdminDone`]
+    /// is invoked immediately with `true`) and it is served even in
+    /// degraded read-only mode — reads stay up when writes refuse.
+    /// The op must not mutate the monitor.
+    pub fn post_admin_read(&self, op: AdminOp<'t, 's>) {
+        let mut st = self.shared.state.lock().expect("ingress poisoned");
+        st.admin.push_back((op, true));
         drop(st);
         self.shared.ready.notify_one();
     }
@@ -567,13 +585,17 @@ fn admission_loop<'t, 'a>(
     loop {
         let (lane, block) = match shared.next_work(cursor, max_block, &mut stats, None) {
             Work::Drained => return stats,
-            Work::Admin(op) => {
+            Work::Admin(op, read_only) => {
                 // Barrier op between blocks: the previous block's
                 // tickets were answered (synchronously — the sink, if
                 // any, appended and synced inside `try_apply_batch`), so
                 // the op sees a quiescent, durable-consistent monitor.
-                let done =
-                    if health.is_degraded() { op(Err(health.reason())) } else { op(Ok(monitor)) };
+                // Read-only ops see it even degraded: reads stay up.
+                let done = if health.is_degraded() && !read_only {
+                    op(Err(health.reason()))
+                } else {
+                    op(Ok(monitor))
+                };
                 done(true);
                 continue;
             }
@@ -729,6 +751,11 @@ struct Pipeline<'w> {
     health: &'w Health,
     policy: DurabilityPolicy,
     metrics: Option<&'w AdmissionMetrics>,
+    /// When attached, every batch's record bytes are teed to the
+    /// replicas after the local sync; under
+    /// [`AckPolicy::ReplicaK`](super::repl::AckPolicy::ReplicaK) the
+    /// batch's tickets are withheld until enough replicas acked.
+    repl: Option<Arc<super::repl::Replicator>>,
     /// The [`StagedSink`] buffer the worker drains after each
     /// `try_apply_batch`.
     staged: Arc<Mutex<Vec<u8>>>,
@@ -815,6 +842,9 @@ fn committer_loop<'t>(pipe: &Pipeline<'_>, rx: &mpsc::Receiver<Msg<'t>>) {
         // Blocks appended this round, awaiting the batch sync.
         let mut appended: Vec<(Vec<Answer<'t>>, usize, Instant)> = Vec::new();
         let mut flushes: Vec<mpsc::Sender<bool>> = Vec::new();
+        // Record bytes appended this round, in commit order: the
+        // replication tee ships exactly what the log carries.
+        let mut shipped: Vec<u8> = Vec::new();
         for msg in msgs {
             match msg {
                 Msg::Reset => broken = false,
@@ -824,7 +854,12 @@ fn committer_loop<'t>(pipe: &Pipeline<'_>, rx: &mpsc::Receiver<Msg<'t>>) {
                         pipe.refuse(answers, &pipe.health.reason());
                     } else {
                         match pipe.retry(|w| w.append_bytes(&bytes)) {
-                            Ok(()) => appended.push((answers, lane, t0)),
+                            Ok(()) => {
+                                if pipe.repl.is_some() {
+                                    shipped.extend_from_slice(&bytes);
+                                }
+                                appended.push((answers, lane, t0));
+                            }
                             Err(e) => {
                                 broken = true;
                                 pipe.fail_batch(&e, "append", &mut appended, answers);
@@ -837,15 +872,49 @@ fn committer_loop<'t>(pipe: &Pipeline<'_>, rx: &mpsc::Receiver<Msg<'t>>) {
         if !appended.is_empty() {
             match pipe.retry(Wal::sync) {
                 Ok(()) => {
-                    if let Some(m) = pipe.metrics {
-                        m.fsync_batch.record(appended.len() as u64);
-                    }
-                    for (answers, lane, t0) in appended {
-                        if let Some(h) = pipe.metrics.and_then(|m| m.commit_latency_us.get(lane)) {
-                            h.record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    // Local durability first, then the tee: under
+                    // ack-on-replica-k the batch's acks are withheld
+                    // until enough standbys confirmed the bytes. An
+                    // exhausted wait is an **unknown outcome** — the
+                    // records are on the local disk and must NOT be
+                    // rolled back; the tickets are refused (the caller
+                    // must treat the op as in doubt) and the server
+                    // degrades until the operator rearms.
+                    let tee = match &pipe.repl {
+                        Some(repl) if !shipped.is_empty() => repl.ship_and_wait(&shipped),
+                        _ => Ok(()),
+                    };
+                    match tee {
+                        Ok(()) => {
+                            if let Some(m) = pipe.metrics {
+                                m.fsync_batch.record(appended.len() as u64);
+                            }
+                            for (answers, lane, t0) in appended {
+                                if let Some(h) =
+                                    pipe.metrics.and_then(|m| m.commit_latency_us.get(lane))
+                                {
+                                    h.record(
+                                        u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX),
+                                    );
+                                }
+                                for a in answers {
+                                    a.answer(Ok(()));
+                                }
+                            }
                         }
-                        for a in answers {
-                            a.answer(Ok(()));
+                        Err(reason) => {
+                            // The durable log keeps the records (no
+                            // rollback — they synced); needs_resync is
+                            // still flagged so the post-rearm protocol
+                            // re-arms the committer through the usual
+                            // resync → `Msg::Reset` path (the resync
+                            // reloads an identical image — harmless).
+                            broken = true;
+                            pipe.needs_resync.store(true, Ordering::SeqCst);
+                            pipe.health.degrade(&reason);
+                            for (answers, _, _) in appended.drain(..) {
+                                pipe.refuse(answers, &reason);
+                            }
                         }
                     }
                 }
@@ -918,7 +987,15 @@ fn pipelined_loop<'t, 'a>(
                 }
                 return stats;
             }
-            Work::Admin(op) => {
+            Work::Admin(op, read_only) => {
+                if read_only {
+                    // Read-only ops skip the flush barrier entirely:
+                    // they stage nothing, a slightly-stale (or even
+                    // degraded) monitor is a consistent read, and the
+                    // committer is never involved.
+                    op(Ok(monitor))(true);
+                    continue;
+                }
                 // Barrier: everything forwarded before the op must be
                 // durable (its tickets answered by the committer) before
                 // the op sees the monitor — and a monitor that ran ahead
@@ -1105,6 +1182,40 @@ pub fn serve_pipelined<'t, 'a, R>(
     wal: Arc<Mutex<Wal>>,
     metrics: Option<&AdmissionMetrics>,
     maintenance_every: usize,
+    maintenance: impl FnMut(&mut ShardedMonitor<'a>) + Send,
+    drive: impl FnOnce(&IngressClient<'t, '_, '_>) -> R,
+) -> (R, IngressStats) {
+    serve_pipelined_repl(
+        monitor,
+        config,
+        policy,
+        health,
+        wal,
+        metrics,
+        None,
+        maintenance_every,
+        maintenance,
+        drive,
+    )
+}
+
+/// [`serve_pipelined`] with a replication tee: every batch the
+/// committer syncs is also handed to `repl`
+/// ([`Replicator::ship_and_wait`](super::repl::Replicator::ship_and_wait)),
+/// and under [`AckPolicy::ReplicaK`](super::repl::AckPolicy::ReplicaK)
+/// the batch's tickets are released only once enough replicas
+/// acknowledged the bytes — the durability/latency dial of the
+/// replication tentpole.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_pipelined_repl<'t, 'a, R>(
+    monitor: &mut ShardedMonitor<'a>,
+    config: &IngressConfig,
+    policy: &DurabilityPolicy,
+    health: &Health,
+    wal: Arc<Mutex<Wal>>,
+    metrics: Option<&AdmissionMetrics>,
+    repl: Option<Arc<super::repl::Replicator>>,
+    maintenance_every: usize,
     mut maintenance: impl FnMut(&mut ShardedMonitor<'a>) + Send,
     drive: impl FnOnce(&IngressClient<'t, '_, '_>) -> R,
 ) -> (R, IngressStats) {
@@ -1116,6 +1227,7 @@ pub fn serve_pipelined<'t, 'a, R>(
         health,
         policy: *policy,
         metrics,
+        repl,
         staged,
         needs_resync: AtomicBool::new(false),
         refused: AtomicUsize::new(0),

@@ -171,6 +171,20 @@ pub struct AdmissionMetrics {
     /// Objects quarantined across every redefinition (gauge — residue
     /// whose consumed history the new inventory cannot absorb).
     pub quarantined_objects: AtomicU64,
+    /// Microseconds the committer spent in the replication tee per
+    /// batch (hand-off under `ack-on-local-fsync`, full wait for the
+    /// k-th replica ack under `ack-on-replica-k`).
+    pub repl_ship_wait_us: Histogram,
+    /// Replication-stream bytes teed to the replicas (counter; one copy
+    /// regardless of fan-out — the per-peer sends carry the same bytes).
+    pub repl_shipped_bytes: AtomicU64,
+    /// Batches teed to the replicas (counter).
+    pub repl_shipped_batches: AtomicU64,
+    /// Currently attached replication peers (gauge).
+    pub repl_live_replicas: AtomicU64,
+    /// Replication-stream records this replica folded into its monitor
+    /// (counter; stays 0 on a primary).
+    pub repl_applied_records: AtomicU64,
 }
 
 impl AdmissionMetrics {
@@ -188,6 +202,11 @@ impl AdmissionMetrics {
             epoch: AtomicU64::new(0),
             redefine_total: AtomicU64::new(0),
             quarantined_objects: AtomicU64::new(0),
+            repl_ship_wait_us: Histogram::new(),
+            repl_shipped_bytes: AtomicU64::new(0),
+            repl_shipped_batches: AtomicU64::new(0),
+            repl_live_replicas: AtomicU64::new(0),
+            repl_applied_records: AtomicU64::new(0),
         }
     }
 
@@ -221,6 +240,11 @@ impl AdmissionMetrics {
                 "microseconds admission stalled for checkpoint capture and seal",
                 &self.checkpoint_stall_us,
             ),
+            (
+                "migratory_repl_ship_wait_us",
+                "microseconds the committer spent teeing a batch to the replicas",
+                &self.repl_ship_wait_us,
+            ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
             h.render(&mut out, name, None);
@@ -238,6 +262,30 @@ impl AdmissionMetrics {
                 "gauge",
                 "objects quarantined across every redefinition",
                 &self.quarantined_objects,
+            ),
+            (
+                "migratory_repl_shipped_bytes",
+                "counter",
+                "replication-stream bytes teed to the replicas",
+                &self.repl_shipped_bytes,
+            ),
+            (
+                "migratory_repl_shipped_batches",
+                "counter",
+                "batches teed to the replicas",
+                &self.repl_shipped_batches,
+            ),
+            (
+                "migratory_repl_live_replicas",
+                "gauge",
+                "currently attached replication peers",
+                &self.repl_live_replicas,
+            ),
+            (
+                "migratory_repl_applied_records",
+                "counter",
+                "replication-stream records folded by this replica",
+                &self.repl_applied_records,
             ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));

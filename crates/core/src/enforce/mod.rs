@@ -126,6 +126,7 @@ pub mod health;
 pub mod ingress;
 pub mod metrics;
 pub mod net;
+pub mod repl;
 pub mod sharded;
 pub mod wal;
 
@@ -133,6 +134,7 @@ pub use faults::{FaultKind, FaultSite, IoFaults};
 pub use health::{CheckpointHealth, Health};
 pub use ingress::{Completion, DurabilityPolicy, IngressConfig, IngressStats};
 pub use metrics::{AdmissionMetrics, Histogram};
+pub use repl::{AckPolicy, ReplicaCtl, Replicator, ShipFault};
 pub use sharded::{ShardStats, ShardedMonitor};
 pub use wal::{
     BlockRef, CheckpointData, CheckpointDelta, CheckpointJob, CommitSink, Evolution, FsyncPolicy,

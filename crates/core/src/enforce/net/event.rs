@@ -486,6 +486,135 @@ fn post_redefine<'t>(
     }));
 }
 
+/// Post an indexed `query` as a **read-only** admin op: the
+/// class/condition pair was parsed on the event thread, the scan runs
+/// on the admission worker between blocks (no flush barrier — replicas
+/// and degraded primaries still serve it), and the pre-rendered reply
+/// is mailed back immediately.
+fn post_query<'t>(
+    c: &mut Conn<'t>,
+    class: migratory_model::ClassId,
+    cond: migratory_model::Condition,
+    binary: bool,
+    me: usize,
+    ev: &Arc<EventShared>,
+    client: &IngressClient<'t, '_, '_>,
+) {
+    let seq = c.push_slot(Slot::Waiting { binary });
+    let (conn, owner) = (c.id, me);
+    let ev = Arc::clone(ev);
+    client.post_admin_read(Box::new(move |gate| {
+        let attempt = match gate {
+            Ok(m) => {
+                let oids = m.db().sat(class, &cond);
+                let mut shown = String::new();
+                for (i, oid) in oids.iter().take(32).enumerate() {
+                    if i > 0 {
+                        shown.push(',');
+                    }
+                    shown.push_str(&oid.to_string());
+                }
+                Ok(format!("query count={} oids={shown}", oids.len()))
+            }
+            Err(reason) => Err(reason),
+        };
+        Box::new(move |_durable: bool| {
+            let bytes = match attempt {
+                Ok(msg) => {
+                    if binary {
+                        let mut rep = Vec::new();
+                        frame::encode(&mut rep, frame::REP_OK, msg.as_bytes());
+                        rep
+                    } else {
+                        format!("ok {msg}\n").into_bytes()
+                    }
+                }
+                Err(reason) => {
+                    error_reply(&ev, binary, &EnforceError::Degraded(reason).to_string())
+                }
+            };
+            ev.inboxes[owner].push_done(Done { conn, seq, reply: Reply::Bytes(bytes) });
+        })
+    }));
+}
+
+/// Promote a replica to a writable primary. The pull loop is told to
+/// stop first; the flip itself rides a write-flavored admin op so it
+/// queues **behind** every apply batch the puller already posted — the
+/// shipped tail folds before the halt lands, and nothing of the acked
+/// stream is dropped. Phase 1 halts further applies and lifts the
+/// read-only refusal while the monitor is exclusively ours.
+#[allow(clippy::too_many_arguments)]
+fn post_promote<'t>(
+    c: &mut Conn<'t>,
+    ctl: &Arc<crate::enforce::repl::ReplicaCtl>,
+    binary: bool,
+    me: usize,
+    ev: &Arc<EventShared>,
+    client: &IngressClient<'t, '_, '_>,
+    shared: &ServerShared<'_>,
+) {
+    let seq = c.push_slot(Slot::Waiting { binary });
+    let (conn, owner) = (c.id, me);
+    let ev = Arc::clone(ev);
+    let ctl = Arc::clone(ctl);
+    let evo = Arc::clone(&shared.evo);
+    let metrics = shared.metrics.clone();
+    ctl.request_stop();
+    client.post_admin(Box::new(move |gate| {
+        let attempt = match gate {
+            Ok(m) => {
+                ctl.halt();
+                ctl.make_writable();
+                // The shipped history may carry redefinitions this
+                // server folded without going through its own
+                // `redefine` verb: refresh the evolution gauges so the
+                // promoted primary's `stats` tells the truth.
+                evo.epoch.store(m.epoch(), Ordering::SeqCst);
+                evo.redefines.store(m.redefine_total(), Ordering::SeqCst);
+                evo.quarantined.store(m.quarantined_total(), Ordering::SeqCst);
+                if let Some(mx) = metrics.as_deref() {
+                    mx.epoch.store(m.epoch(), Ordering::Relaxed);
+                    mx.redefine_total.store(m.redefine_total(), Ordering::Relaxed);
+                    mx.quarantined_objects.store(m.quarantined_total(), Ordering::Relaxed);
+                }
+                Ok((m.epoch(), ctl.applied()))
+            }
+            Err(reason) => Err(reason),
+        };
+        Box::new(move |_durable: bool| {
+            let bytes = match attempt {
+                Ok((epoch, applied)) => {
+                    let msg = format!("promoted epoch={epoch} applied={applied}");
+                    if binary {
+                        let mut rep = Vec::new();
+                        frame::encode(&mut rep, frame::REP_OK, msg.as_bytes());
+                        rep
+                    } else {
+                        format!("ok {msg}\n").into_bytes()
+                    }
+                }
+                Err(reason) => {
+                    error_reply(&ev, binary, &EnforceError::Degraded(reason).to_string())
+                }
+            };
+            ev.inboxes[owner].push_done(Done { conn, seq, reply: Reply::Bytes(bytes) });
+        })
+    }));
+}
+
+/// The split-brain guard: a replica refuses data writes until promoted
+/// — two writable heads of the same chain must never coexist. Returns
+/// the refusal message when `verb` must be bounced.
+fn replica_refusal(shared: &ServerShared<'_>, verb: &str) -> Option<String> {
+    shared.replica.as_ref().filter(|ctl| ctl.is_read_only()).map(|ctl| {
+        format!(
+            "replica is read-only: {verb} refused (following {}; `promote` to accept writes)",
+            ctl.upstream()
+        )
+    })
+}
+
 /// Dispatch one extracted request. Returns `false` when extraction on
 /// this connection must stop (quit, shutdown, teardown).
 #[allow(clippy::too_many_arguments)]
@@ -573,19 +702,39 @@ fn dispatch_verb<'t>(
         None => (line, ""),
     };
     match verb {
-        "invoke" => match parse_invocation(rest) {
-            Ok((name, args)) => match ts.get(name) {
-                Some(t) => post_invoke(c, t, Assignment::new(args), false, me, ev, client),
-                None => {
-                    let r = error_reply(ev, false, &format!("unknown transaction `{name}`"));
+        "invoke" => match replica_refusal(shared, "invoke") {
+            Some(msg) => {
+                let r = error_reply(ev, false, &msg);
+                c.push_slot(Slot::Ready(r));
+            }
+            None => match parse_invocation(rest) {
+                Ok((name, args)) => match ts.get(name) {
+                    Some(t) => post_invoke(c, t, Assignment::new(args), false, me, ev, client),
+                    None => {
+                        let r = error_reply(ev, false, &format!("unknown transaction `{name}`"));
+                        c.push_slot(Slot::Ready(r));
+                    }
+                },
+                Err(e) => {
+                    let r = error_reply(ev, false, &e);
                     c.push_slot(Slot::Ready(r));
                 }
             },
-            Err(e) => {
-                let r = error_reply(ev, false, &e);
-                c.push_slot(Slot::Ready(r));
-            }
         },
+        "query" => {
+            if rest.is_empty() {
+                let r = error_reply(ev, false, "usage: query <Class>[(Attr=value,...)]");
+                c.push_slot(Slot::Ready(r));
+            } else {
+                match super::parse_query(shared.schema, rest) {
+                    Ok((class, cond)) => post_query(c, class, cond, false, me, ev, client),
+                    Err(e) => {
+                        let r = error_reply(ev, false, &e);
+                        c.push_slot(Slot::Ready(r));
+                    }
+                }
+            }
+        }
         "schema" => {
             c.push_slot(Slot::Ready(format!("{}\n", shared.schema_line).into_bytes()));
         }
@@ -617,7 +766,10 @@ fn dispatch_verb<'t>(
                 Some((p, s)) => (p, s.trim()),
                 None => (rest, ""),
             };
-            if policy.is_empty() || src.is_empty() {
+            if let Some(msg) = replica_refusal(shared, "redefine") {
+                let r = error_reply(ev, false, &msg);
+                c.push_slot(Slot::Ready(r));
+            } else if policy.is_empty() || src.is_empty() {
                 let r = error_reply(
                     ev,
                     false,
@@ -640,6 +792,17 @@ fn dispatch_verb<'t>(
             shared.health.rearm();
             c.push_slot(Slot::Ready(b"ok armed\n".to_vec()));
         }
+        "promote" => match &shared.replica {
+            None => {
+                let r = error_reply(
+                    ev,
+                    false,
+                    "not a replica (promote targets a server started with --replica-of)",
+                );
+                c.push_slot(Slot::Ready(r));
+            }
+            Some(ctl) => post_promote(c, ctl, false, me, ev, client, shared),
+        },
         "quit" => {
             c.teardown(Some(b"ok bye\n".to_vec()));
             return false;
@@ -657,7 +820,7 @@ fn dispatch_verb<'t>(
                 false,
                 &format!(
                     "unknown verb `{other}` \
-                     (invoke|schema|stats|ping|auth|redefine|rearm|quit|shutdown)"
+                     (invoke|query|schema|stats|ping|auth|redefine|promote|rearm|quit|shutdown)"
                 ),
             );
             c.push_slot(Slot::Ready(r));
@@ -679,6 +842,11 @@ fn dispatch_frame<'t>(
 ) {
     match kind {
         frame::REQ_INVOKE => {
+            if let Some(msg) = replica_refusal(shared, "invoke") {
+                let rep = error_reply(ev, true, &msg);
+                c.push_slot(Slot::Ready(rep));
+                return;
+            }
             let mut r = migratory_model::codec::Reader::new(payload);
             match migratory_lang::codec::decode_invoke(&mut r) {
                 Ok((name, args)) if r.is_exhausted() => match ts.get(&name) {
@@ -698,6 +866,11 @@ fn dispatch_frame<'t>(
                 }
             }
         }
+        frame::REQ_REDEFINE if replica_refusal(shared, "redefine").is_some() => {
+            let msg = replica_refusal(shared, "redefine").expect("guard matched");
+            let rep = error_reply(ev, true, &msg);
+            c.push_slot(Slot::Ready(rep));
+        }
         frame::REQ_REDEFINE => match payload.split_first() {
             None => {
                 let rep = error_reply(ev, true, "empty redefine payload");
@@ -715,14 +888,29 @@ fn dispatch_frame<'t>(
                 (Ok(p), Ok(src)) => post_redefine(c, p, src, true, me, ev, client, shared),
             },
         },
+        frame::REQ_QUERY => match std::str::from_utf8(payload) {
+            Err(_) => {
+                let rep = error_reply(ev, true, "query payload is not UTF-8");
+                c.push_slot(Slot::Ready(rep));
+            }
+            Ok(q) => match super::parse_query(shared.schema, q) {
+                Ok((class, cond)) => post_query(c, class, cond, true, me, ev, client),
+                Err(e) => {
+                    let rep = error_reply(ev, true, &e);
+                    c.push_slot(Slot::Ready(rep));
+                }
+            },
+        },
         other => {
             let rep = error_reply(
                 ev,
                 true,
                 &format!(
-                    "unknown frame kind {other:#04x} (expected invoke {:#04x} or redefine {:#04x})",
+                    "unknown frame kind {other:#04x} (expected invoke {:#04x}, \
+                     redefine {:#04x}, or query {:#04x})",
                     frame::REQ_INVOKE,
-                    frame::REQ_REDEFINE
+                    frame::REQ_REDEFINE,
+                    frame::REQ_QUERY
                 ),
             );
             c.push_slot(Slot::Ready(rep));

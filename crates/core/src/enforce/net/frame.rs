@@ -45,6 +45,13 @@ pub const REQ_INVOKE: u8 = 0x01;
 /// `epoch=<N> residue=<K>`, or [`REP_ERROR`] with the refusal.
 pub const REQ_REDEFINE: u8 = 0x02;
 
+/// Request frame: indexed query against the current database image.
+/// Payload is the UTF-8 query text `Class` or `Class(Attr=value,...)` —
+/// the text dialect's `query` verb body. Answered [`REP_OK`] with
+/// payload `query count=<N> oids=<o1,o2,...>` (first 32 oids), or
+/// [`REP_ERROR`] with the refusal. Served by replicas.
+pub const REQ_QUERY: u8 = 0x03;
+
 /// Reply frame: the invocation was admitted (durably, when a sink is
 /// attached). Empty payload.
 pub const REP_OK: u8 = 0x81;
@@ -138,6 +145,12 @@ pub fn encode_redefine_frame(
     payload.push(policy.as_byte());
     payload.extend_from_slice(source.as_bytes());
     encode(out, REQ_REDEFINE, &payload);
+}
+
+/// Append one [`REQ_QUERY`] frame to `out` — the client-side encoder
+/// used by `migctl client --binary` script lines and the replica tests.
+pub fn encode_query_frame(out: &mut Vec<u8>, query: &str) {
+    encode(out, REQ_QUERY, query.as_bytes());
 }
 
 /// Blocking client-side helper: read exactly one frame off `r`.

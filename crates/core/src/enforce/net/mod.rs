@@ -182,6 +182,17 @@ pub struct ServerConfig {
     pub wal: Option<Arc<Mutex<Wal>>>,
     /// Admission-latency histograms, shared with the `stats prom` verb.
     pub metrics: Option<Arc<AdmissionMetrics>>,
+    /// Replication tee: when set (primary role; requires `wal`), the
+    /// server accepts replica connections on the replicator's listener
+    /// and every committed batch is shipped under its
+    /// [`AckPolicy`](super::repl::AckPolicy).
+    pub repl: Option<Arc<super::repl::Replicator>>,
+    /// Follow a primary (replica role; requires `wal`, exclusive with
+    /// `repl`): the server bootstraps from the primary's snapshot at
+    /// this address, continuously folds its shipped records, serves
+    /// read verbs from slightly-stale state, and refuses writes until
+    /// `promote`.
+    pub replica_of: Option<String>,
 }
 
 impl std::fmt::Debug for ServerConfig {
@@ -201,6 +212,8 @@ impl std::fmt::Debug for ServerConfig {
             .field("durability", &self.durability)
             .field("wal", &self.wal.is_some())
             .field("metrics", &self.metrics.is_some())
+            .field("repl", &self.repl.is_some())
+            .field("replica_of", &self.replica_of)
             .finish()
     }
 }
@@ -220,6 +233,8 @@ impl Default for ServerConfig {
             durability: DurabilityPolicy::default(),
             wal: None,
             metrics: None,
+            repl: None,
+            replica_of: None,
         }
     }
 }
@@ -286,6 +301,56 @@ pub fn parse_invocation(line: &str) -> Result<(&str, Vec<Value>), String> {
     Ok((name, args))
 }
 
+/// Parse one `query` request body: `Class` (every current member) or
+/// `Class(Attr=value, …)` (members satisfying the conjunction). Values
+/// follow [`parse_invocation`]'s grammar: `"quoted"` strings, decimal
+/// integers, anything else a bare string. Returns the class and the
+/// compiled [`Condition`](migratory_model::Condition) — evaluation
+/// itself runs on the admission worker via a read-only admin op, so a
+/// query observes a block-consistent state.
+pub fn parse_query(
+    schema: &Schema,
+    body: &str,
+) -> Result<(migratory_model::ClassId, migratory_model::Condition), String> {
+    use migratory_model::{Atom, Condition};
+    let body = body.trim();
+    let err = |msg: &str| format!("{msg}: `{body}`");
+    let (name, inner) = match body.find('(') {
+        None => {
+            if body.is_empty() {
+                return Err(err("expected `query Class` or `query Class(Attr=value, …)`"));
+            }
+            (body, "")
+        }
+        Some(open) => {
+            let close = body.rfind(')').ok_or_else(|| err("missing `)`"))?;
+            if close < open {
+                return Err(err("missing `)`"));
+            }
+            (body[..open].trim(), &body[open + 1..close])
+        }
+    };
+    let class = schema.class_id(name).ok_or_else(|| format!("unknown class `{name}`"))?;
+    let mut atoms = Vec::new();
+    if !inner.trim().is_empty() {
+        for part in inner.split(',') {
+            let (attr, value) = part.split_once('=').ok_or_else(|| err("expected `Attr=value`"))?;
+            let attr = attr.trim();
+            let attr = schema.attr_id(attr).ok_or_else(|| format!("unknown attribute `{attr}`"))?;
+            let value = value.trim();
+            let v = if let Some(s) = value.strip_prefix('"').and_then(|p| p.strip_suffix('"')) {
+                Value::str(s)
+            } else if let Ok(i) = value.parse::<i64>() {
+                Value::int(i)
+            } else {
+                Value::str(value)
+            };
+            atoms.push(Atom::eq_const(attr, v));
+        }
+    }
+    Ok((class, Condition::from_atoms(atoms)))
+}
+
 /// Constraint-evolution gauges: read by the `stats` verb on the event
 /// threads, stored by the `redefine` admin op on the admission worker
 /// once its record is durable, and mirrored into the Prometheus
@@ -321,12 +386,21 @@ struct ServerShared<'h> {
     /// Evolution gauges for the `stats` line (`Arc`: the redefine admin
     /// op's completion outlives the event threads' borrows).
     evo: Arc<EvolutionGauges>,
+    /// Replica switchboard, present only when serving `--replica-of`:
+    /// write verbs are refused while it is read-only, and the `promote`
+    /// verb flips it.
+    replica: Option<Arc<super::repl::ReplicaCtl>>,
+    /// Replication tee, present only when serving `--repl-addr`: the
+    /// `stats` line reports its attached-peer count and shipped horizon
+    /// (the signal an operator waits on before opening `replica-K`
+    /// traffic).
+    repl: Option<Arc<super::repl::Replicator>>,
 }
 
 /// The `stats` verb's reply, formatted at the requesting connection's
 /// flush moment.
 fn stats_line(ev: &event::EventShared, shared: &ServerShared<'_>) -> String {
-    format!(
+    let mut line = format!(
         "ok stats requests={} admitted={} rejected={} errors={} connections={} lanes={} \
          degraded={} last_checkpoint={} epoch={} redefines={} quarantined={}",
         ev.requests.load(Ordering::SeqCst),
@@ -340,7 +414,26 @@ fn stats_line(ev: &event::EventShared, shared: &ServerShared<'_>) -> String {
         shared.evo.epoch.load(Ordering::SeqCst),
         shared.evo.redefines.load(Ordering::SeqCst),
         shared.evo.quarantined.load(Ordering::SeqCst),
-    )
+    );
+    // Replication fields trail the stable flat line and appear only on
+    // replicating servers, so the line is byte-identical to the
+    // standalone form everywhere else.
+    if let Some(repl) = &shared.repl {
+        use std::fmt::Write as _;
+        let _ = write!(
+            line,
+            " repl=primary replicas={} shipped={}",
+            repl.live_replicas(),
+            repl.horizon()
+        );
+    }
+    if let Some(ctl) = &shared.replica {
+        use std::fmt::Write as _;
+        let role = if ctl.is_read_only() { "replica" } else { "promoted" };
+        let _ =
+            write!(line, " repl={role} applied={} horizon={}", ctl.applied(), ctl.stream_horizon());
+    }
+    line
 }
 
 /// The complete reply bytes of a `stats` request, formatted at the
@@ -431,6 +524,19 @@ pub fn serve_guarded<'a, 't>(
         m.redefine_total.store(monitor.redefine_total(), Ordering::SeqCst);
         m.quarantined_objects.store(monitor.quarantined_total(), Ordering::SeqCst);
     }
+    if (config.repl.is_some() || config.replica_of.is_some()) && config.wal.is_none() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "replication requires the durable pipeline (serve with a wal handle)",
+        ));
+    }
+    if config.repl.is_some() && config.replica_of.is_some() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "a server is a primary (repl) or a replica (replica_of), not both",
+        ));
+    }
+    let replica = config.replica_of.as_deref().map(|a| Arc::new(super::repl::ReplicaCtl::new(a)));
     let shared = ServerShared {
         schema_line,
         lanes: if monitor.routes_by_component() { monitor.num_shards() } else { 1 },
@@ -439,20 +545,55 @@ pub fn serve_guarded<'a, 't>(
         schema: monitor.schema(),
         alphabet,
         evo,
+        replica: replica.clone(),
+        repl: config.repl.clone(),
     };
     let ev = event::EventShared::new(config.io_threads.max(1))?;
+    // Flags the replication side threads (acceptor / puller) to exit
+    // once the event core returned; they are joined before the ingress
+    // drains, so admin ops they posted are always answered.
+    let repl_stop = std::sync::atomic::AtomicBool::new(false);
     let (run_result, ingress_stats) = match config.wal.clone() {
-        Some(wal) => ingress::serve_pipelined(
-            monitor,
-            &config.ingress,
-            &config.durability,
-            health,
-            wal,
-            config.metrics.as_deref(),
-            config.checkpoint_every,
-            maintenance,
-            |client| event::run(&listener, client, ts, alphabet, &shared, config, &ev),
-        ),
+        Some(wal) => {
+            let puller_wal = wal.clone();
+            let out = ingress::serve_pipelined_repl(
+                monitor,
+                &config.ingress,
+                &config.durability,
+                health,
+                wal,
+                config.metrics.as_deref(),
+                config.repl.clone(),
+                config.checkpoint_every,
+                maintenance,
+                |client| {
+                    std::thread::scope(|rs| {
+                        if let Some(repl) = &config.repl {
+                            rs.spawn(|| super::repl::acceptor(repl, client, &repl_stop));
+                        }
+                        if let Some(ctl) = &replica {
+                            let (wal, metrics) = (&puller_wal, config.metrics.as_ref());
+                            rs.spawn(move || {
+                                super::repl::puller(ctl.upstream(), ctl, wal, client, metrics);
+                            });
+                        }
+                        let out = event::run(&listener, client, ts, alphabet, &shared, config, &ev);
+                        repl_stop.store(true, Ordering::SeqCst);
+                        if let Some(ctl) = &replica {
+                            ctl.request_stop();
+                        }
+                        out
+                    })
+                },
+            );
+            // Close the tee only after the pipeline returned: the
+            // worker drains and ships the tail *after* the event core
+            // stops accepting traffic.
+            if let Some(repl) = &config.repl {
+                repl.close();
+            }
+            out
+        }
         None => ingress::serve_guarded(
             monitor,
             &config.ingress,

@@ -1002,98 +1002,128 @@ impl<'a> ShardedMonitor<'a> {
             m.quarantined_total = evolution.quarantined_total;
         }
         for record in tail {
-            let block =
-                match record {
-                    WalRecord::Block(b) => b,
-                    WalRecord::Certified { .. } => return Err(WalError::Mismatch(
-                        "log carries a certification marker — only the single Monitor certifies"
-                            .into(),
-                    )),
-                    WalRecord::Redefined { epoch, policy, shards, inventory } => {
-                        if epoch <= m.epoch {
-                            continue; // covered by the checkpoint chain
-                        }
-                        if epoch != m.epoch + 1 {
-                            return Err(WalError::Mismatch(format!(
-                                "wal gap: redefinition to epoch {epoch}, monitor is at {}",
-                                m.epoch
-                            )));
-                        }
-                        if shards.len() != m.shards.len() {
-                            return Err(WalError::Mismatch(format!(
-                                "redefinition names {} shards, this monitor partitions into {}",
-                                shards.len(),
-                                m.shards.len()
-                            )));
-                        }
-                        for &(sh, at) in &shards {
-                            let Some(state) = m.shards.get(sh as usize) else {
-                                return Err(WalError::Mismatch(format!(
-                                    "redefinition names shard {sh} of {}",
-                                    m.shards.len()
-                                )));
-                            };
-                            if at != state.steps {
-                                return Err(WalError::Mismatch(format!(
-                                    "wal gap: redefinition at shard {sh} letter {at}, \
-                                     shard is at {}",
-                                    state.steps
-                                )));
-                            }
-                        }
-                        let new_inv = Inventory::decode(alphabet, &inventory).map_err(|e| {
-                            WalError::Mismatch(format!("redefine record inventory: {e}"))
-                        })?;
-                        // Deterministic replay: same viability map, same
-                        // per-shard split, no sink attached — nothing is
-                        // re-logged.
-                        m.redefine(&new_inv, policy).map_err(|e| {
-                            WalError::Mismatch(format!("logged redefinition does not admit: {e}"))
-                        })?;
-                        continue;
-                    }
-                };
-            if block.deltas.is_empty() || block.shards.is_empty() {
-                continue;
-            }
-            // Per-shard fold: compare each participating shard's logged
-            // clock offset against its recovered clock.
-            let (mut skips, mut replays) = (0usize, 0usize);
-            for sl in &block.shards {
-                let Some(state) = m.shards.get(sl.shard as usize) else {
-                    return Err(WalError::Mismatch(format!(
-                        "logged block names shard {} of {}",
-                        sl.shard,
-                        m.shards.len()
-                    )));
-                };
-                match sl.steps0.cmp(&state.steps) {
-                    std::cmp::Ordering::Less => skips += 1,
-                    std::cmp::Ordering::Equal => replays += 1,
-                    std::cmp::Ordering::Greater => {
-                        return Err(WalError::Mismatch(format!(
-                            "wal gap: shard {} block starts at letter {}, shard is at {}",
-                            sl.shard, sl.steps0, state.steps
-                        )))
-                    }
-                }
-            }
-            if skips > 0 && replays > 0 {
-                // Checkpoints capture all shards at one commit boundary,
-                // so a block is folded for all its shards or none.
-                return Err(WalError::Mismatch(
-                    "logged block is half-folded into the checkpoint".into(),
-                ));
-            }
-            if replays == 0 {
-                continue; // fully covered by the checkpoint chain
-            }
-            for d in &block.deltas {
-                d.redo(&mut m.db);
-            }
-            m.replay_block(&block)?;
+            m.replay_record(record)?;
         }
         Ok(m)
+    }
+
+    /// Fold **one** logged (or shipped) record into this monitor: the
+    /// per-record semantics of [`ShardedMonitor::recover`], exposed as a
+    /// method so a streaming consumer — the replication puller folding a
+    /// primary's shipped records into a hot standby — shares the exact
+    /// crash-recovery fold. Returns `Ok(true)` when the record applied,
+    /// `Ok(false)` when it was already covered (a shard clock or epoch
+    /// behind this monitor's — re-delivery after a reconnect is
+    /// idempotent, nothing double-applies), and `Err` on a clock **gap**
+    /// (the stream skipped a record this monitor never saw) or a record
+    /// that cannot belong to this history.
+    ///
+    /// When a sink is attached (a standby writing its own write-ahead
+    /// log), an applied block is written through it ahead of tracking —
+    /// the standby's log carries the same records as the primary's — and
+    /// an applied redefinition writes through inside
+    /// [`ShardedMonitor::redefine`] itself.
+    pub fn replay_record(&mut self, record: WalRecord) -> Result<bool, WalError> {
+        let block = match record {
+            WalRecord::Block(b) => b,
+            WalRecord::Certified { .. } => {
+                return Err(WalError::Mismatch(
+                    "log carries a certification marker — only the single Monitor certifies".into(),
+                ))
+            }
+            WalRecord::Redefined { epoch, policy, shards, inventory } => {
+                if epoch <= self.epoch {
+                    return Ok(false); // covered by the checkpoint chain
+                }
+                if epoch != self.epoch + 1 {
+                    return Err(WalError::Mismatch(format!(
+                        "wal gap: redefinition to epoch {epoch}, monitor is at {}",
+                        self.epoch
+                    )));
+                }
+                if shards.len() != self.shards.len() {
+                    return Err(WalError::Mismatch(format!(
+                        "redefinition names {} shards, this monitor partitions into {}",
+                        shards.len(),
+                        self.shards.len()
+                    )));
+                }
+                for &(sh, at) in &shards {
+                    let Some(state) = self.shards.get(sh as usize) else {
+                        return Err(WalError::Mismatch(format!(
+                            "redefinition names shard {sh} of {}",
+                            self.shards.len()
+                        )));
+                    };
+                    if at != state.steps {
+                        return Err(WalError::Mismatch(format!(
+                            "wal gap: redefinition at shard {sh} letter {at}, \
+                                 shard is at {}",
+                            state.steps
+                        )));
+                    }
+                }
+                let new_inv = Inventory::decode(self.alphabet, &inventory)
+                    .map_err(|e| WalError::Mismatch(format!("redefine record inventory: {e}")))?;
+                // Deterministic replay: same viability map, same
+                // per-shard split. With a sink attached the marker is
+                // re-logged write-ahead (the standby's own log);
+                // without one — recovery — nothing is re-logged.
+                self.redefine(&new_inv, policy).map_err(|e| {
+                    WalError::Mismatch(format!("logged redefinition does not admit: {e}"))
+                })?;
+                return Ok(true);
+            }
+        };
+        if block.deltas.is_empty() || block.shards.is_empty() {
+            return Ok(false);
+        }
+        // Per-shard fold: compare each participating shard's logged
+        // clock offset against its recovered clock.
+        let (mut skips, mut replays) = (0usize, 0usize);
+        for sl in &block.shards {
+            let Some(state) = self.shards.get(sl.shard as usize) else {
+                return Err(WalError::Mismatch(format!(
+                    "logged block names shard {} of {}",
+                    sl.shard,
+                    self.shards.len()
+                )));
+            };
+            match sl.steps0.cmp(&state.steps) {
+                std::cmp::Ordering::Less => skips += 1,
+                std::cmp::Ordering::Equal => replays += 1,
+                std::cmp::Ordering::Greater => {
+                    return Err(WalError::Mismatch(format!(
+                        "wal gap: shard {} block starts at letter {}, shard is at {}",
+                        sl.shard, sl.steps0, state.steps
+                    )))
+                }
+            }
+        }
+        if skips > 0 && replays > 0 {
+            // Checkpoints capture all shards at one commit boundary,
+            // so a block is folded for all its shards or none.
+            return Err(WalError::Mismatch(
+                "logged block is half-folded into the checkpoint".into(),
+            ));
+        }
+        if replays == 0 {
+            return Ok(false); // fully covered by the checkpoint chain
+        }
+        // Write-ahead on the standby: the shipped record reaches this
+        // monitor's own log before tracking state moves, so the
+        // standby's durable image replays byte-identically.
+        if let Some(sink) = &self.sink {
+            let deltas: Vec<&Delta> = block.deltas.iter().collect();
+            sink.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .committed(&BlockRef { deltas: &deltas, shards: &block.shards })?;
+        }
+        for d in &block.deltas {
+            d.redo(&mut self.db);
+        }
+        self.replay_block(&block)?;
+        Ok(true)
     }
 
     /// Rebuild **this** monitor's database and tracking state from a

@@ -476,6 +476,23 @@ pub fn decode_records(mut bytes: &[u8]) -> Result<Vec<WalRecord>, WalError> {
     }
 }
 
+/// Decode the longest valid record prefix of a **replication byte
+/// stream** and report how many bytes it consumed, so a streaming
+/// consumer (the replica puller in [`repl`](super::repl)) can carry the
+/// torn tail forward into its next read instead of dropping it. The
+/// framing is exactly the log's (`[len][crc][payload]`), so a stream cut
+/// at any byte offset yields a whole-record prefix plus an incomplete
+/// fragment — never a half-applied record.
+///
+/// # Errors
+/// Only on an over-cap length claim whose bytes are present (mid-stream
+/// corruption, not a tear): the connection must be dropped and resynced.
+pub fn decode_stream(bytes: &[u8]) -> Result<(Vec<WalRecord>, usize), WalError> {
+    let consumed = valid_prefix_len(bytes)?;
+    let records = decode_records(&bytes[..consumed])?;
+    Ok((records, consumed))
+}
+
 /// Byte length of the longest prefix of whole, checksum-valid records —
 /// where [`Wal::open`] truncates to before appending. Errors only on an
 /// over-cap length claim whose bytes are present (mid-log corruption —

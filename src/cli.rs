@@ -7,8 +7,9 @@
 //! `src/bin/migctl.rs` only reads files and prints.
 
 use migratory_core::enforce::{
-    net, AdmissionMetrics, CheckpointData, DurabilityPolicy, EnforceError, FsyncPolicy, Health,
-    IngressConfig, IoFaults, Monitor, ResiduePolicy, ShardedMonitor, Snapshotter, StepPolicy, Wal,
+    net, AckPolicy, AdmissionMetrics, CheckpointData, DurabilityPolicy, EnforceError, FsyncPolicy,
+    Health, IngressConfig, IoFaults, Monitor, Replicator, ResiduePolicy, ShardedMonitor,
+    Snapshotter, StepPolicy, Wal,
 };
 use migratory_core::{
     analyze_families, decide_with_families, AnalyzeOptions, Inventory, PatternKind, RoleAlphabet,
@@ -34,8 +35,11 @@ USAGE:
                     [--retries N] [--retry-backoff-ms MS] [--inject PLAN]
                     [--idle-timeout SECS] [--max-conn-bytes N] [--max-conn-ops N]
                     [--max-connections N] [--auth TOKEN] [--io-threads N]
+                    [--repl-addr HOST:PORT] [--ack local-fsync|replica-K]
+                    [--ack-timeout-ms MS] [--replica-of HOST:PORT]
   migctl client     [--addr HOST:PORT] [--script <file>] [--shutdown] [--auth TOKEN]
                     [--binary]
+  migctl promote    [--addr HOST:PORT] [--auth TOKEN]
   migctl help
 
   <schema>        a `schema Name { class … }` file
@@ -74,6 +78,14 @@ serve       admits transactions over TCP (docs/PROTOCOL.md) through the sharded
             --inject PLAN schedules deterministic I/O
             faults for testing (comma-separated site@N[:K|:persistent]; sites
             append|sync|seal|ckpt-write|ckpt-sync|ckpt-rename|ckpt-prune).
+            Replication (docs/PROTOCOL.md § Replication stream): --repl-addr
+            makes a durable server a primary that tees every committed record
+            to connected replicas; --ack picks what an `ok` means (local-fsync:
+            locally durable, default; replica-K: also applied and durable on K
+            replicas, --ack-timeout-ms bounds the wait, default 5000).
+            --replica-of makes a durable server a read-only replica following
+            the primary's replication address; it serves query/schema/stats and
+            refuses writes until `promote`.
             Runs until a client sends the `shutdown` verb.
 client      drives a serve endpoint: --script sends each line as an `invoke`
             (pipelined, replies in order; admin lines — redefine, rearm,
@@ -83,6 +95,8 @@ client      drives a serve endpoint: --script sends each line as an `invoke`
             lines from stdin. --binary sends script invocations (and redefine)
             as length-prefixed binary frames (docs/PROTOCOL.md § Binary
             framing) instead of text lines
+promote     flips a replica to a writable primary: the replica finishes folding
+            the shipped tail, stops pulling, and starts accepting writes
 ";
 
 /// Parse a `--kind` value.
@@ -413,6 +427,27 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
         }
         None => None,
     };
+    let repl_addr = flags.get("repl-addr");
+    let replica_of = flags.get("replica-of").map(str::to_owned);
+    if repl_addr.is_some() && replica_of.is_some() {
+        return Err(
+            "a server is a primary (--repl-addr) or a replica (--replica-of), not both".to_owned()
+        );
+    }
+    if (repl_addr.is_some() || replica_of.is_some()) && durable.is_none() {
+        return Err("replication requires --durable DIR (the stream is the WAL)".to_owned());
+    }
+    let ack = match flags.get("ack") {
+        Some(v) => {
+            if repl_addr.is_none() {
+                return Err("--ack requires --repl-addr HOST:PORT".to_owned());
+            }
+            AckPolicy::parse(v)?
+        }
+        None => AckPolicy::LocalFsync,
+    };
+    let ack_timeout =
+        std::time::Duration::from_millis(flags.usize_or("ack-timeout-ms", 5000)? as u64);
 
     // Build the monitor: fresh, or rebuilt from the checkpoint chain +
     // WAL tail (no history replay). Recovery restores the policy the
@@ -472,6 +507,21 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
         }
     }
 
+    // Primary role: bind the replication listener before announcing
+    // anything, so a replica pointed at the printed address always
+    // finds it open.
+    let repl = match repl_addr {
+        Some(addr) => {
+            let r = Replicator::bind(addr)
+                .map_err(|e| format!("binding replication address {addr}: {e}"))?
+                .with_policy(ack)
+                .with_ack_timeout(ack_timeout)
+                .with_metrics(metrics.clone());
+            Some(Arc::new(r))
+        }
+        None => None,
+    };
+
     let addr = flags.get("addr").unwrap_or(DEFAULT_ADDR);
     let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| e.to_string())?;
@@ -484,6 +534,12 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
             None => String::new(),
         }
     );
+    if let Some(repl) = &repl {
+        println!("migctl serve: replicating on {} (ack {})", repl.local_addr(), repl.policy());
+    }
+    if let Some(upstream) = &replica_of {
+        println!("migctl serve: replica of {upstream} (read-only until `promote`)");
+    }
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
@@ -504,6 +560,8 @@ pub fn cmd_serve(schema_src: &str, tx_src: &str, flags: &Flags) -> Result<String
         durability: DurabilityPolicy { retries: retries as u32, backoff },
         wal: wal.clone(),
         metrics: Some(metrics.clone()),
+        repl: repl.clone(),
+        replica_of: replica_of.clone(),
         ..Default::default()
     };
     let maintenance_wal = wal.clone();
@@ -789,6 +847,41 @@ pub fn cmd_client(flags: &Flags, script: Option<&str>) -> Result<String, String>
     }
 }
 
+/// `migctl promote`: flip a replica into a writable primary. Sends the
+/// `promote` verb (after the optional auth handshake); the replica
+/// finishes folding the shipped tail before the flip lands, so nothing
+/// it acknowledged to the old primary is lost.
+pub fn cmd_promote(flags: &Flags) -> Result<String, String> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let addr = flags.get("addr").unwrap_or(DEFAULT_ADDR);
+    let stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting {addr}: {e}"))?;
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+    let mut writer = stream;
+    let mut ask = |line: &str| -> Result<String, String> {
+        writeln!(writer, "{line}").map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        let mut reply = String::new();
+        reader.read_line(&mut reply).map_err(|e| e.to_string())?;
+        if reply.is_empty() {
+            return Err("server closed the connection".to_owned());
+        }
+        Ok(reply.trim_end().to_owned())
+    };
+    if let Some(token) = flags.get("auth") {
+        let reply = ask(&format!("auth {token}"))?;
+        if !reply.starts_with("ok") {
+            return Err(format!("auth failed: {reply}"));
+        }
+    }
+    let reply = ask("promote")?;
+    reply
+        .strip_prefix("ok ")
+        .map(|body| format!("{addr} {body}\n"))
+        .ok_or_else(|| format!("promote refused: {reply}"))
+}
+
 /// Dispatch a full argument vector (excluding the binary name). Used by
 /// the binary with file contents read eagerly.
 pub fn dispatch(
@@ -837,6 +930,7 @@ pub fn dispatch(
             };
             cmd_client(&flags, script.as_deref())
         }
+        "promote" => cmd_promote(&flags),
         other => Err(format!("unknown subcommand `{other}`\n\n{USAGE}")),
     }
 }

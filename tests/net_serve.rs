@@ -820,6 +820,8 @@ fn binary_framing_spec_matches_the_implementation() {
         format!("capped at **{}**", frame::MAX_PAYLOAD),
         format!("exceeds {} bytes", frame::MAX_PAYLOAD),
         format!("**`{:#04x}` (invoke)**", frame::REQ_INVOKE),
+        format!("**`{:#04x}` (redefine)**", frame::REQ_REDEFINE),
+        format!("**`{:#04x}` (query)**", frame::REQ_QUERY),
         format!("**`{:#04x}`** = `ok`", frame::REP_OK),
         format!("**`{:#04x}`** = `violation`", frame::REP_VIOLATION),
         format!("**`{:#04x}`** = `error`", frame::REP_ERROR),
